@@ -1,0 +1,91 @@
+//! Per-box signature-search cost: DTW + hierarchical + silhouette vs CBC.
+//!
+//! Quantifies the paper's claim that CBC yields more signatures (more
+//! temporal models to train) while the clustering itself is cheap in both
+//! flavours.
+
+use atm_clustering::cbc::{cluster as cbc_cluster, CbcConfig};
+use atm_clustering::dtw::dtw_distance;
+use atm_clustering::hierarchical::{cluster_with_silhouette, paper_k_range, Linkage};
+use atm_clustering::kmedoids::k_medoids_with_silhouette;
+use atm_clustering::DistanceMatrix;
+use atm_core::config::ClusterMethod;
+use atm_core::signature::search;
+use atm_stats::stepwise::StepwiseConfig;
+use atm_tracegen::{generate_box, FleetConfig, SeriesKey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn box_columns(vms: usize) -> (Vec<SeriesKey>, Vec<Vec<f64>>) {
+    let config = FleetConfig {
+        num_boxes: 1,
+        days: 1,
+        vm_count_range: (vms, vms),
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    };
+    let b = generate_box(&config, 1);
+    let keys = b.series_keys();
+    let cols = keys.iter().map(|&k| b.demand(k)).collect();
+    (keys, cols)
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_per_box");
+    group.sample_size(20);
+    for vms in [5usize, 10, 16] {
+        let (keys, cols) = box_columns(vms);
+
+        group.bench_with_input(BenchmarkId::new("dtw_hierarchical", vms), &vms, |b, _| {
+            b.iter(|| {
+                let n = cols.len();
+                let d = DistanceMatrix::build(n, |i, j| dtw_distance(&cols[i], &cols[j])).unwrap();
+                let (k_min, k_max) = paper_k_range(n);
+                cluster_with_silhouette(black_box(&d), Linkage::Average, k_min, k_max).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("cbc", vms), &vms, |b, _| {
+            b.iter(|| cbc_cluster(black_box(&cols), &CbcConfig::default()).unwrap());
+        });
+
+        group.bench_with_input(BenchmarkId::new("kmedoids_dtw", vms), &vms, |b, _| {
+            b.iter(|| {
+                let n = cols.len();
+                let d = DistanceMatrix::build(n, |i, j| dtw_distance(&cols[i], &cols[j])).unwrap();
+                let (k_min, k_max) = paper_k_range(n);
+                k_medoids_with_silhouette(black_box(&d), k_min, k_max, 50).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("full_search_dtw", vms), &vms, |b, _| {
+            b.iter(|| {
+                search(
+                    black_box(&keys),
+                    black_box(&cols),
+                    &ClusterMethod::dtw(),
+                    &StepwiseConfig::default(),
+                    true,
+                )
+                .unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("full_search_cbc", vms), &vms, |b, _| {
+            b.iter(|| {
+                search(
+                    black_box(&keys),
+                    black_box(&cols),
+                    &ClusterMethod::cbc(),
+                    &StepwiseConfig::default(),
+                    true,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! DTW distance cost: full dynamic program vs Sakoe–Chiba bands, over
+//! series lengths covering the paper's windows (1 day = 96, 5 days = 480).
+
+use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn series(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let phase = t as f64 * 0.065 + seed as f64;
+            50.0 + 25.0 * phase.sin() + ((t as u64 ^ seed).wrapping_mul(0x9E37) % 97) as f64 * 0.1
+        })
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dtw_distance");
+    for n in [96usize, 192, 480] {
+        let a = series(n, 1);
+        let b = series(n, 2);
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |bench, _| {
+            bench.iter(|| dtw_distance(black_box(&a), black_box(&b)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("band16", n), &n, |bench, _| {
+            bench.iter(|| dtw_distance_banded(black_box(&a), black_box(&b), 16).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("band4", n), &n, |bench, _| {
+            bench.iter(|| dtw_distance_banded(black_box(&a), black_box(&b), 4).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates every paper figure at quick scale as part of
+//! `cargo bench`, so a single command reproduces the full evaluation.
+//! (Run the `figures` binary with `--full` for paper-scale fleets.)
+
+fn main() {
+    // Criterion-style benches receive `--bench`/filter arguments from
+    // cargo; we accept and ignore them.
+    println!("regenerating all paper figures at --quick scale...\n");
+    atm_bench::figures::run_all(atm_bench::Scale::Quick);
+}

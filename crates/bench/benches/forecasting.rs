@@ -1,0 +1,90 @@
+//! Temporal-model training cost vs spatial-model prediction cost —
+//! the asymmetry motivating the whole signature-set design: neural
+//! training is expensive, a linear combination is practically free.
+
+use atm_core::spatial::SpatialModel;
+use atm_forecast::ar::ArForecaster;
+use atm_forecast::holt_winters::HoltWinters;
+use atm_forecast::mlp::{MlpConfig, MlpForecaster};
+use atm_forecast::naive::SeasonalNaive;
+use atm_forecast::Forecaster;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn diurnal(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|t| {
+            let phase = 2.0 * std::f64::consts::PI * (t % 96) as f64 / 96.0;
+            50.0 + 25.0 * phase.sin() + ((t as u64).wrapping_mul(seed | 1) % 89) as f64 * 0.05
+        })
+        .collect()
+}
+
+fn bench_temporal_models(c: &mut Criterion) {
+    let history = diurnal(480, 7); // 5 days of 15-minute windows
+    let mut group = c.benchmark_group("temporal_fit_forecast_96");
+    group.sample_size(10);
+
+    group.bench_function("mlp", |b| {
+        b.iter(|| {
+            let mut m = MlpForecaster::new(MlpConfig {
+                epochs: 100,
+                ..MlpConfig::default()
+            });
+            m.fit(black_box(&history)).unwrap();
+            m.forecast(96).unwrap()
+        });
+    });
+    group.bench_function("ar8", |b| {
+        b.iter(|| {
+            let mut m = ArForecaster::new(8);
+            m.fit(black_box(&history)).unwrap();
+            m.forecast(96).unwrap()
+        });
+    });
+    group.bench_function("holt_winters", |b| {
+        b.iter(|| {
+            let mut m = HoltWinters::with_period(96);
+            m.fit(black_box(&history)).unwrap();
+            m.forecast(96).unwrap()
+        });
+    });
+    group.bench_function("seasonal_naive", |b| {
+        b.iter(|| {
+            let mut m = SeasonalNaive::new(96);
+            m.fit(black_box(&history)).unwrap();
+            m.forecast(96).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_spatial_prediction(c: &mut Criterion) {
+    // 3 signatures, 17 dependents — a typical box after DTW reduction.
+    let signatures: Vec<Vec<f64>> = (0..3).map(|s| diurnal(480, s as u64 + 1)).collect();
+    let dependents: Vec<Vec<f64>> = (0..17)
+        .map(|d| {
+            (0..480)
+                .map(|t| 5.0 + 0.5 * signatures[d % 3][t] + 0.2 * signatures[(d + 1) % 3][t])
+                .collect()
+        })
+        .collect();
+    let mut columns = signatures.clone();
+    columns.extend(dependents);
+    let sig_idx: Vec<usize> = vec![0, 1, 2];
+    let dep_idx: Vec<usize> = (3..20).collect();
+    let model = SpatialModel::fit(&columns, &sig_idx, &dep_idx).unwrap();
+    let futures: Vec<Vec<f64>> = (0..3).map(|s| diurnal(96, s as u64 + 9)).collect();
+
+    let mut group = c.benchmark_group("spatial_model");
+    group.bench_function("fit_17_dependents", |b| {
+        b.iter(|| SpatialModel::fit(black_box(&columns), &sig_idx, &dep_idx).unwrap());
+    });
+    group.bench_function("predict_17x96", |b| {
+        b.iter(|| model.predict(black_box(&futures)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal_models, bench_spatial_prediction);
+criterion_main!(benches);

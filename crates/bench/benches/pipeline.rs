@@ -1,0 +1,41 @@
+//! End-to-end per-box pipeline cost: the paper's "low computational
+//! overhead" claim. Oracle temporal models isolate the ATM machinery
+//! (clustering, regression, resizing) from MLP training, which is
+//! benchmarked separately in `forecasting.rs`.
+
+use atm_core::config::{AtmConfig, ClusterMethod, TemporalModel};
+use atm_core::pipeline::run_box;
+use atm_tracegen::{generate_box, FleetConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_run_box(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atm_run_box_oracle");
+    group.sample_size(10);
+    for vms in [6usize, 10, 16] {
+        let trace_config = FleetConfig {
+            num_boxes: 1,
+            days: 3,
+            vm_count_range: (vms, vms),
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        };
+        let box_trace = generate_box(&trace_config, 5);
+        for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+            let config = AtmConfig {
+                cluster_method: method,
+                temporal: TemporalModel::Oracle,
+                train_windows: 2 * 96,
+                horizon: 96,
+                ..AtmConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(method.name(), vms), &vms, |b, _| {
+                b.iter(|| run_box(black_box(&box_trace), black_box(&config)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_box);
+criterion_main!(benches);

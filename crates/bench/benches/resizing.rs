@@ -1,0 +1,78 @@
+//! Resizing cost: MCKP candidate construction, the greedy MTRV walk, the
+//! exact oracle on small instances, and the baselines.
+
+use atm_resize::mckp::build_groups;
+use atm_resize::{baselines, exact, greedy, ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn problem(vms: usize, windows: usize, tight: bool) -> ResizeProblem {
+    let demands: Vec<VmDemand> = (0..vms)
+        .map(|v| {
+            let series: Vec<f64> = (0..windows)
+                .map(|t| {
+                    let x = ((t * 31 + v * 17) % 97) as f64 / 97.0;
+                    1.0 + 5.0 * x
+                })
+                .collect();
+            VmDemand::new(format!("vm{v}"), series, 0.0, 1e9)
+        })
+        .collect();
+    let budget = if tight {
+        vms as f64 * 4.0
+    } else {
+        vms as f64 * 12.0
+    };
+    ResizeProblem::new(demands, budget, ThresholdPolicy::new(60.0).unwrap())
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resize_greedy");
+    for vms in [5usize, 10, 20, 50] {
+        let p = problem(vms, 96, true);
+        group.bench_with_input(BenchmarkId::new("build_groups", vms), &vms, |b, _| {
+            b.iter(|| build_groups(black_box(&p)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("solve", vms), &vms, |b, _| {
+            b.iter(|| greedy::solve(black_box(&p)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_greedy(c: &mut Criterion) {
+    // Small instance where exhaustive search is tractable.
+    let p = problem(4, 8, true);
+    let mut group = c.benchmark_group("resize_exact_oracle");
+    group.bench_function("greedy_4vm", |b| {
+        b.iter(|| greedy::solve(black_box(&p)).unwrap());
+    });
+    group.bench_function("exact_4vm", |b| {
+        b.iter(|| exact::solve(black_box(&p), exact::DEFAULT_COMBINATION_LIMIT).unwrap());
+    });
+    group.bench_function("dp_4vm_grid10k", |b| {
+        b.iter(|| exact::solve_dp(black_box(&p), 10_000).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let p = problem(10, 96, false);
+    let mut group = c.benchmark_group("resize_baselines");
+    group.bench_function("stingy", |b| {
+        b.iter(|| baselines::stingy(black_box(&p)).unwrap());
+    });
+    group.bench_function("max_min_fairness", |b| {
+        b.iter(|| baselines::max_min_fairness(black_box(&p)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_exact_vs_greedy,
+    bench_baselines
+);
+criterion_main!(benches);

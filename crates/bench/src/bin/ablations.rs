@@ -1,0 +1,49 @@
+//! Runs the ablation sweeps (DESIGN.md §7).
+//!
+//! ```sh
+//! cargo run --release -p atm-bench --bin ablations              # everything
+//! cargo run --release -p atm-bench --bin ablations -- --quick
+//! cargo run --release -p atm-bench --bin ablations -- --only epsilon
+//! ```
+
+use atm_bench::{ablations, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut only: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--only" => {
+                i += 1;
+                only = args.get(i).cloned();
+                if only.is_none() {
+                    eprintln!("--only requires a name");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: ablations [--quick|--full] [--only NAME]");
+                println!("names: epsilon rho-threshold dtw-band horizon temporal-model");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    match only {
+        Some(name) => {
+            if !ablations::run_one(&name, scale) {
+                eprintln!("unknown ablation `{name}`");
+                std::process::exit(2);
+            }
+        }
+        None => ablations::run_all(scale),
+    }
+}

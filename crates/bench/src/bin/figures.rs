@@ -1,0 +1,52 @@
+//! Regenerates the paper's evaluation figures from the synthetic fleet
+//! and the simulated MediaWiki testbed.
+//!
+//! ```sh
+//! cargo run --release -p atm-bench --bin figures              # everything
+//! cargo run --release -p atm-bench --bin figures -- --fig 8   # one figure
+//! cargo run --release -p atm-bench --bin figures -- --quick   # small fleets
+//! ```
+
+use atm_bench::{figures, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut fig: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--fig" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--fig requires an argument (e.g. --fig 8)");
+                    std::process::exit(2);
+                }
+                fig = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--quick|--full] [--fig N]");
+                println!("figures: 1 2 3 5 6 7 8 9 10 12 13");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    match fig {
+        Some(f) => {
+            if !figures::run_one(&f, scale) {
+                eprintln!("unknown figure `{f}` (paper has figures 1-3, 5-10, 12-13)");
+                std::process::exit(2);
+            }
+        }
+        None => figures::run_all(scale),
+    }
+}

@@ -1,0 +1,134 @@
+//! # atm-bench
+//!
+//! The benchmark and figure-regeneration harness for the ATM (DSN 2016)
+//! reproduction.
+//!
+//! - The [`figures`] module regenerates **every figure of the paper's
+//!   evaluation** (Figs. 1–3, 5–10, 12–13) as printed tables/series from
+//!   the synthetic fleet and the simulated MediaWiki testbed. Run them
+//!   all via the `figures` binary:
+//!
+//!   ```sh
+//!   cargo run --release -p atm-bench --bin figures            # all figures
+//!   cargo run --release -p atm-bench --bin figures -- --fig 8 # one figure
+//!   cargo run --release -p atm-bench --bin figures -- --quick # smaller fleets
+//!   ```
+//!
+//! - The [`ablations`] module sweeps ATM's design knobs (ε, ρ_Th, DTW
+//!   band width, horizon, temporal model) via the `ablations` binary:
+//!
+//!   ```sh
+//!   cargo run --release -p atm-bench --bin ablations -- --quick
+//!   ```
+//!
+//! - The Criterion benches (`cargo bench -p atm-bench`) quantify the
+//!   paper's "low computational overhead" claims: DTW scaling, clustering
+//!   cost per box, CBC vs DTW, greedy resize vs the exact MCKP oracle,
+//!   MLP training vs spatial-model prediction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+
+use atm_tracegen::{generate_fleet, FleetConfig, FleetTrace};
+
+/// Scale at which figure harnesses run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small fleets for smoke runs and CI (`--quick`).
+    Quick,
+    /// Paper-like sizes (hundreds of boxes).
+    Full,
+}
+
+impl Scale {
+    /// Number of boxes for fleet-wide characterization figures.
+    pub fn characterization_boxes(self) -> usize {
+        match self {
+            Scale::Quick => 60,
+            Scale::Full => 400,
+        }
+    }
+
+    /// Number of boxes for pipeline (prediction + resizing) figures.
+    pub fn pipeline_boxes(self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Full => 120,
+        }
+    }
+
+    /// Simulated MediaWiki duration in seconds.
+    pub fn mediawiki_duration(self) -> f64 {
+        match self {
+            Scale::Quick => 3600.0,
+            Scale::Full => 6.0 * 3600.0,
+        }
+    }
+}
+
+/// The standard synthetic fleet used by the characterization figures
+/// (1-day traces, gaps enabled as in the production data).
+pub fn characterization_fleet(scale: Scale) -> FleetTrace {
+    generate_fleet(&FleetConfig {
+        num_boxes: scale.characterization_boxes(),
+        days: 1,
+        ..FleetConfig::default()
+    })
+}
+
+/// The gap-free multi-day fleet used by the pipeline figures (the paper's
+/// "400 boxes which have no gaps", trained 5 days + evaluated 1 day; the
+/// quick scale trims the training window).
+pub fn pipeline_fleet(scale: Scale) -> FleetTrace {
+    generate_fleet(&FleetConfig {
+        num_boxes: scale.pipeline_boxes(),
+        days: match scale {
+            Scale::Quick => 3,
+            Scale::Full => 7,
+        },
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+}
+
+/// Renders a horizontal ASCII bar for quick visual comparison in figure
+/// output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || max.is_nan() || !value.is_finite() {
+        return String::new();
+    }
+    let n = ((value / max).clamp(0.0, 1.0) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert!(Scale::Full.characterization_boxes() > Scale::Quick.characterization_boxes());
+        assert!(Scale::Full.pipeline_boxes() > Scale::Quick.pipeline_boxes());
+        assert!(Scale::Full.mediawiki_duration() > Scale::Quick.mediawiki_duration());
+    }
+
+    #[test]
+    fn fleets_have_expected_shape() {
+        let fleet = characterization_fleet(Scale::Quick);
+        assert_eq!(fleet.boxes.len(), 60);
+        assert_eq!(fleet.boxes[0].window_count(), 96);
+        let pf = pipeline_fleet(Scale::Quick);
+        assert!(pf.boxes.iter().all(|b| !b.has_gaps()));
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+        assert_eq!(bar(f64::NAN, 10.0, 10), "");
+    }
+}

@@ -1,0 +1,283 @@
+//! Correlation-based clustering (CBC) — the paper's own clustering
+//! algorithm (Section III-A).
+//!
+//! CBC groups series that are *highly correlated* rather than *close in
+//! distance*, catching dependent series that DTW misses because they are
+//! far apart in level (e.g. `D1 = a0 + a·D3` with a large offset).
+//!
+//! Algorithm, verbatim from the paper:
+//! 1. compute pairwise correlation coefficients ρ for all series;
+//! 2. rank each series first by the number of ρ above a threshold
+//!    `ρ_Th` (default 0.7), second by the mean of those ρ;
+//! 3. select the topmost series, remove it together with every series
+//!    correlated with it above the threshold — these form a new cluster
+//!    with the top-ranked series as its *signature*;
+//! 4. repeat until the ranked list is empty.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusteringError;
+use crate::error::ClusteringResult;
+use crate::Clustering;
+
+/// The paper's default correlation threshold: "a common threshold value
+/// used to determine strong correlation between two series, which suggests
+/// a potential for linear fitting".
+pub const DEFAULT_RHO_THRESHOLD: f64 = 0.7;
+
+/// Result of correlation-based clustering.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CbcOutcome {
+    /// The flat clustering of all series.
+    pub clustering: Clustering,
+    /// For each cluster label, the index of its signature series (the
+    /// top-ranked series that seeded the cluster).
+    pub signatures: Vec<usize>,
+}
+
+/// Configuration for [`cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CbcConfig {
+    /// Correlation threshold ρ_Th above which two series are considered
+    /// strongly correlated.
+    pub rho_threshold: f64,
+    /// Whether to use the absolute value of ρ (anti-correlated series can
+    /// also be fit linearly). The paper uses raw ρ; `false` by default.
+    pub absolute: bool,
+}
+
+impl Default for CbcConfig {
+    fn default() -> Self {
+        CbcConfig {
+            rho_threshold: DEFAULT_RHO_THRESHOLD,
+            absolute: false,
+        }
+    }
+}
+
+/// Runs CBC over `series`, where each element is one demand series and all
+/// series have equal length.
+///
+/// Pairs involving a constant series have undefined Pearson correlation and
+/// are treated as uncorrelated (ρ = 0), so constant series end up in
+/// singleton clusters — they are trivially predictable anyway.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] if `series` is empty or any series is empty.
+/// - [`ClusteringError::SizeMismatch`] if series lengths differ.
+/// - [`ClusteringError::InvalidParameter`] if the threshold is not in `(0, 1)`.
+pub fn cluster(series: &[Vec<f64>], config: &CbcConfig) -> ClusteringResult<CbcOutcome> {
+    if series.is_empty() || series.iter().any(|s| s.is_empty()) {
+        return Err(ClusteringError::Empty);
+    }
+    let len0 = series[0].len();
+    if let Some(bad) = series.iter().find(|s| s.len() != len0) {
+        return Err(ClusteringError::SizeMismatch {
+            expected: len0,
+            actual: bad.len(),
+        });
+    }
+    if !(config.rho_threshold > 0.0 && config.rho_threshold < 1.0) {
+        return Err(ClusteringError::InvalidParameter(
+            "rho threshold must be in (0, 1)",
+        ));
+    }
+
+    let n = series.len();
+    // Pairwise correlations; undefined (constant series) -> 0.
+    let mut rho = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let r = atm_timeseries::stats::pearson(&series[i], &series[j]).unwrap_or(0.0);
+            let r = if config.absolute { r.abs() } else { r };
+            rho[i][j] = r;
+            rho[j][i] = r;
+        }
+    }
+
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut assignments = vec![usize::MAX; n];
+    let mut signatures = Vec::new();
+    let mut next_label = 0usize;
+
+    while !remaining.is_empty() {
+        // Rank remaining series: (count above threshold, mean of those).
+        let mut best: Option<(usize, usize, f64)> = None; // (index, count, mean)
+        for &i in &remaining {
+            let above: Vec<f64> = remaining
+                .iter()
+                .filter(|&&j| j != i && rho[i][j] > config.rho_threshold)
+                .map(|&j| rho[i][j])
+                .collect();
+            let count = above.len();
+            let mean = if count == 0 {
+                0.0
+            } else {
+                above.iter().sum::<f64>() / count as f64
+            };
+            let better = match best {
+                None => true,
+                Some((_, bc, bm)) => count > bc || (count == bc && mean > bm),
+            };
+            if better {
+                best = Some((i, count, mean));
+            }
+        }
+        let (top, _, _) = best.expect("remaining is non-empty");
+
+        // The top series plus everything above-threshold with it.
+        let cluster_members: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&j| j == top || rho[top][j] > config.rho_threshold)
+            .collect();
+        for &m in &cluster_members {
+            assignments[m] = next_label;
+        }
+        signatures.push(top);
+        next_label += 1;
+        remaining.retain(|j| !cluster_members.contains(j));
+    }
+
+    let clustering = Clustering::from_assignments(assignments, next_label)?;
+    Ok(CbcOutcome {
+        clustering,
+        signatures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    /// Base sinusoid plus small noise; `scale`/`offset` create linearly
+    /// dependent variants that DTW would consider distant.
+    fn correlated_family(n: usize, scale: f64, offset: f64, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|t| offset + scale * (20.0 + 15.0 * (t as f64 * 0.26).sin()) + noise(t, seed))
+            .collect()
+    }
+
+    fn independent(n: usize, seed: u64) -> Vec<f64> {
+        (0..n).map(|i| 30.0 + 20.0 * noise(i, seed)).collect()
+    }
+
+    #[test]
+    fn groups_linearly_dependent_series() {
+        // Paper's Fig. 1 scenario: VM1, VM3, VM4 move together (different
+        // scales/offsets), VM2 independent.
+        let n = 96;
+        let vm1 = correlated_family(n, 1.0, 0.0, 1);
+        let vm2 = independent(n, 42);
+        let vm3 = correlated_family(n, 0.7, 30.0, 2);
+        let vm4 = correlated_family(n, 1.4, -5.0, 3);
+        let out = cluster(&[vm1, vm2, vm3, vm4], &CbcConfig::default()).unwrap();
+        let c = &out.clustering;
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(0), c.label(3));
+        assert_ne!(c.label(0), c.label(1));
+        assert_eq!(c.k(), 2);
+        // The signature of the big cluster is one of its members.
+        assert_eq!(out.signatures.len(), 2);
+        for (label, &sig) in out.signatures.iter().enumerate() {
+            assert_eq!(c.label(sig), label);
+        }
+    }
+
+    #[test]
+    fn independent_series_become_singletons() {
+        let n = 128;
+        let series: Vec<Vec<f64>> = (0..4).map(|j| independent(n, j as u64 * 31 + 7)).collect();
+        let out = cluster(&series, &CbcConfig::default()).unwrap();
+        assert_eq!(out.clustering.k(), 4);
+        assert_eq!(out.signatures.len(), 4);
+    }
+
+    #[test]
+    fn constant_series_is_singleton() {
+        let n = 64;
+        let a = correlated_family(n, 1.0, 0.0, 5);
+        let b = correlated_family(n, 2.0, 1.0, 6);
+        let flat = vec![50.0; n];
+        let out = cluster(&[a, b, flat], &CbcConfig::default()).unwrap();
+        let c = &out.clustering;
+        assert_eq!(c.label(0), c.label(1));
+        assert_ne!(c.label(2), c.label(0));
+    }
+
+    #[test]
+    fn absolute_mode_groups_anticorrelated() {
+        let n = 96;
+        let a = correlated_family(n, 1.0, 0.0, 9);
+        let anti: Vec<f64> = a.iter().map(|&v| 100.0 - v).collect();
+        let raw = cluster(&[a.clone(), anti.clone()], &CbcConfig::default()).unwrap();
+        assert_eq!(
+            raw.clustering.k(),
+            2,
+            "raw mode must not group anti-correlated"
+        );
+        let abs_cfg = CbcConfig {
+            absolute: true,
+            ..CbcConfig::default()
+        };
+        let absed = cluster(&[a, anti], &abs_cfg).unwrap();
+        assert_eq!(absed.clustering.k(), 1);
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let s = vec![vec![1.0, 2.0, 3.0]];
+        for bad in [0.0, 1.0, -0.5, 1.5] {
+            let cfg = CbcConfig {
+                rho_threshold: bad,
+                ..CbcConfig::default()
+            };
+            assert!(cluster(&s, &cfg).is_err(), "threshold {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(cluster(&[], &CbcConfig::default()).is_err());
+        assert!(cluster(&[vec![]], &CbcConfig::default()).is_err());
+        assert!(cluster(&[vec![1.0, 2.0], vec![1.0]], &CbcConfig::default()).is_err());
+    }
+
+    #[test]
+    fn every_series_assigned_exactly_once() {
+        let n = 96;
+        let series: Vec<Vec<f64>> = (0..8)
+            .map(|j| {
+                if j % 2 == 0 {
+                    correlated_family(n, 1.0 + j as f64 * 0.1, j as f64, j as u64)
+                } else {
+                    independent(n, j as u64 * 131 + 3)
+                }
+            })
+            .collect();
+        let out = cluster(&series, &CbcConfig::default()).unwrap();
+        assert_eq!(out.clustering.len(), 8);
+        assert_eq!(out.signatures.len(), out.clustering.k());
+        // Signatures are distinct.
+        let mut sigs = out.signatures.clone();
+        sigs.sort_unstable();
+        sigs.dedup();
+        assert_eq!(sigs.len(), out.signatures.len());
+    }
+
+    #[test]
+    fn single_series_is_its_own_signature() {
+        let out = cluster(&[vec![1.0, 2.0, 3.0]], &CbcConfig::default()).unwrap();
+        assert_eq!(out.clustering.k(), 1);
+        assert_eq!(out.signatures, vec![0]);
+    }
+}

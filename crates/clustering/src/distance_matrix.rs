@@ -1,0 +1,189 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::ClusteringError;
+
+/// A symmetric pairwise distance matrix with a zero diagonal, stored in
+/// condensed (upper-triangle) form.
+///
+/// # Example
+///
+/// ```
+/// use atm_clustering::DistanceMatrix;
+///
+/// let mut d = DistanceMatrix::zeros(3);
+/// d.set(0, 2, 4.5);
+/// assert_eq!(d.get(2, 0), 4.5);
+/// assert_eq!(d.get(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    // Upper triangle, row-major: (0,1), (0,2), ..., (0,n-1), (1,2), ...
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Creates an `n × n` all-zero distance matrix.
+    pub fn zeros(n: usize) -> Self {
+        let len = n.saturating_sub(1) * n / 2;
+        DistanceMatrix {
+            n,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Builds the matrix by evaluating `dist(i, j)` for every pair `i < j`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusteringError::Empty`] if `n == 0`.
+    /// - Propagates the first error returned by `dist`.
+    pub fn build<E>(
+        n: usize,
+        mut dist: impl FnMut(usize, usize) -> Result<f64, E>,
+    ) -> Result<Self, E>
+    where
+        E: From<ClusteringError>,
+    {
+        if n == 0 {
+            return Err(ClusteringError::Empty.into());
+        }
+        let mut m = DistanceMatrix::zeros(n);
+        for i in 0..n {
+            for j in i + 1..n {
+                m.set(i, j, dist(i, j)?);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j);
+        // Offset of row i's block plus column offset.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Distance between items `i` and `j` (symmetric; 0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        match i.cmp(&j) {
+            std::cmp::Ordering::Equal => 0.0,
+            std::cmp::Ordering::Less => self.data[self.index(i, j)],
+            std::cmp::Ordering::Greater => self.data[self.index(j, i)],
+        }
+    }
+
+    /// Sets the distance between `i` and `j` (and symmetrically `j`, `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds or if `i == j` with a non-zero value.
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            assert!(d == 0.0, "diagonal must stay zero");
+            return;
+        }
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
+        self.data[idx] = d;
+    }
+
+    /// Average distance from item `i` to every item in `others`
+    /// (excluding `i` itself if present). Returns `None` when no other
+    /// items remain.
+    pub fn mean_distance_to(&self, i: usize, others: &[usize]) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &j in others {
+            if j != i {
+                sum += self.get(i, j);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// The largest pairwise distance (0 for `n < 2`).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_storage() {
+        let mut d = DistanceMatrix::zeros(4);
+        d.set(1, 3, 2.5);
+        d.set(3, 0, 7.0);
+        assert_eq!(d.get(3, 1), 2.5);
+        assert_eq!(d.get(0, 3), 7.0);
+        assert_eq!(d.get(2, 2), 0.0);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn build_fills_all_pairs() {
+        let d =
+            DistanceMatrix::build(3, |i, j| Ok::<f64, ClusteringError>((i + j) as f64)).unwrap();
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(1, 2), 3.0);
+        assert!(DistanceMatrix::build(0, |_, _| Ok::<f64, ClusteringError>(0.0)).is_err());
+    }
+
+    #[test]
+    fn mean_distance() {
+        let mut d = DistanceMatrix::zeros(3);
+        d.set(0, 1, 2.0);
+        d.set(0, 2, 4.0);
+        assert_eq!(d.mean_distance_to(0, &[1, 2]).unwrap(), 3.0);
+        assert_eq!(d.mean_distance_to(0, &[0]), None);
+        assert_eq!(d.mean_distance_to(0, &[0, 1]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn max_distance() {
+        let mut d = DistanceMatrix::zeros(3);
+        d.set(0, 1, 2.0);
+        d.set(1, 2, 9.0);
+        assert_eq!(d.max(), 9.0);
+        assert_eq!(DistanceMatrix::zeros(1).max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must stay zero")]
+    fn nonzero_diagonal_panics() {
+        DistanceMatrix::zeros(2).set(1, 1, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_bounds_panics() {
+        DistanceMatrix::zeros(2).get(0, 5);
+    }
+}

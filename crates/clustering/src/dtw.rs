@@ -1,0 +1,304 @@
+//! Dynamic time warping.
+//!
+//! Implements the paper's eq. (2): the cumulative warping-path distance over
+//! a matrix of pairwise squared point distances,
+//!
+//! ```text
+//! λ(i, j) = d(p_i, q_j) + min{ λ(i−1, j−1), λ(i−1, j), λ(i, j−1) }
+//! ```
+//!
+//! with `d(p, q) = (p − q)²`. [`dtw_distance`] computes the exact value in
+//! `O(n·m)` time and `O(min(n, m))` space; [`dtw_distance_banded`] restricts
+//! the warping path to a Sakoe–Chiba band for an `O(n·w)` upper bound, used
+//! by the ablation benches.
+
+use crate::error::{ClusteringError, ClusteringResult};
+
+/// Exact DTW dissimilarity between two series (squared-distance ground
+/// cost, no normalization — matching the paper's formulation).
+///
+/// Identical series have distance 0; the measure is symmetric.
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::Empty`] if either series is empty.
+///
+/// # Example
+///
+/// ```
+/// use atm_clustering::dtw::dtw_distance;
+///
+/// let d = dtw_distance(&[1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 3.0]).unwrap();
+/// assert_eq!(d, 0.0); // the doubled point warps onto its neighbour
+/// ```
+pub fn dtw_distance(p: &[f64], q: &[f64]) -> ClusteringResult<f64> {
+    if p.is_empty() || q.is_empty() {
+        return Err(ClusteringError::Empty);
+    }
+    // Keep the shorter series as the inner dimension for O(min) space.
+    let (outer, inner) = if p.len() >= q.len() { (p, q) } else { (q, p) };
+    let m = inner.len();
+
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+
+    for (i, &po) in outer.iter().enumerate() {
+        for j in 0..m {
+            let cost = {
+                let diff = po - inner[j];
+                diff * diff
+            };
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 { prev[j] } else { f64::INFINITY };
+                let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
+                diag.min(up).min(left)
+            };
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Ok(prev[m - 1])
+}
+
+/// DTW restricted to a Sakoe–Chiba band of half-width `band` around the
+/// (stretched) diagonal. `band = max(n, m)` reproduces the exact distance;
+/// smaller bands trade accuracy for speed and are always an *upper bound*
+/// on the exact distance.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] if either series is empty.
+/// - [`ClusteringError::InvalidParameter`] if `band == 0`.
+#[allow(clippy::needless_range_loop)]
+pub fn dtw_distance_banded(p: &[f64], q: &[f64], band: usize) -> ClusteringResult<f64> {
+    if p.is_empty() || q.is_empty() {
+        return Err(ClusteringError::Empty);
+    }
+    if band == 0 {
+        return Err(ClusteringError::InvalidParameter("band must be positive"));
+    }
+    let n = p.len();
+    let m = q.len();
+    // Effective band must at least cover the slope difference so a path exists.
+    let w = band.max(n.abs_diff(m));
+
+    let mut prev = vec![f64::INFINITY; m];
+    let mut curr = vec![f64::INFINITY; m];
+
+    for i in 0..n {
+        // Centre the band on the stretched diagonal.
+        let centre = i * m / n;
+        let lo = centre.saturating_sub(w);
+        let hi = (centre + w).min(m - 1);
+        for x in curr.iter_mut() {
+            *x = f64::INFINITY;
+        }
+        for j in lo..=hi {
+            let diff = p[i] - q[j];
+            let cost = diff * diff;
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    prev[j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 { prev[j] } else { f64::INFINITY };
+                let left = if j > 0 { curr[j - 1] } else { f64::INFINITY };
+                diag.min(up).min(left)
+            };
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    Ok(prev[m - 1])
+}
+
+/// The optimal warping path for two series, as `(i, j)` index pairs from
+/// `(0, 0)` to `(n−1, m−1)`. Useful for diagnostics and visualization.
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::Empty`] if either series is empty.
+#[allow(clippy::needless_range_loop)]
+pub fn dtw_path(p: &[f64], q: &[f64]) -> ClusteringResult<Vec<(usize, usize)>> {
+    if p.is_empty() || q.is_empty() {
+        return Err(ClusteringError::Empty);
+    }
+    let n = p.len();
+    let m = q.len();
+    // Full matrix needed for backtracking.
+    let mut acc = vec![f64::INFINITY; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            let diff = p[i] - q[j];
+            let cost = diff * diff;
+            let best = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let diag = if i > 0 && j > 0 {
+                    acc[(i - 1) * m + j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                let up = if i > 0 {
+                    acc[(i - 1) * m + j]
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    acc[i * m + j - 1]
+                } else {
+                    f64::INFINITY
+                };
+                diag.min(up).min(left)
+            };
+            acc[i * m + j] = cost + best;
+        }
+    }
+    // Backtrack greedily along the minimal predecessor.
+    let mut path = vec![(n - 1, m - 1)];
+    let (mut i, mut j) = (n - 1, m - 1);
+    while i > 0 || j > 0 {
+        let diag = if i > 0 && j > 0 {
+            acc[(i - 1) * m + j - 1]
+        } else {
+            f64::INFINITY
+        };
+        let up = if i > 0 {
+            acc[(i - 1) * m + j]
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            acc[i * m + j - 1]
+        } else {
+            f64::INFINITY
+        };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        assert_eq!(dtw_distance(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 3.0, 5.0];
+        let b = [2.0, 2.0, 6.0, 7.0];
+        assert_eq!(dtw_distance(&a, &b).unwrap(), dtw_distance(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn shifted_series_align() {
+        let a = [0.0, 0.0, 1.0, 2.0, 3.0, 3.0];
+        let b = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(dtw_distance(&a, &b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // p=[0,1], q=[1]: path (0,0),(1,0): cost (0-1)^2 + (1-1)^2 = 1.
+        assert_eq!(dtw_distance(&[0.0, 1.0], &[1.0]).unwrap(), 1.0);
+        // p=[0], q=[2]: single cell = 4.
+        assert_eq!(dtw_distance(&[0.0], &[2.0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn dtw_leq_euclidean_for_equal_lengths() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin() * 10.0).collect();
+        let b: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.4 + 0.8).sin() * 10.0)
+            .collect();
+        let euclid: f64 = a.iter().zip(&b).map(|(&x, &y)| (x - y) * (x - y)).sum();
+        let d = dtw_distance(&a, &b).unwrap();
+        assert!(d <= euclid + 1e-12, "dtw {d} > euclid {euclid}");
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(dtw_distance(&[], &[1.0]).is_err());
+        assert!(dtw_distance(&[1.0], &[]).is_err());
+        assert!(dtw_distance_banded(&[], &[1.0], 2).is_err());
+        assert!(dtw_path(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn banded_upper_bounds_exact() {
+        let a: Vec<f64> = (0..64).map(|i| (i * 13 % 7) as f64).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i * 5 % 11) as f64).collect();
+        let exact = dtw_distance(&a, &b).unwrap();
+        for band in [1usize, 2, 4, 8, 64] {
+            let banded = dtw_distance_banded(&a, &b, band).unwrap();
+            assert!(
+                banded >= exact - 1e-9,
+                "band {band}: {banded} < exact {exact}"
+            );
+        }
+        // Full band reproduces the exact distance.
+        assert!((dtw_distance_banded(&a, &b, 64).unwrap() - exact).abs() < 1e-9);
+        assert!(dtw_distance_banded(&a, &b, 0).is_err());
+    }
+
+    #[test]
+    fn banded_handles_unequal_lengths() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.0, 5.0];
+        let d = dtw_distance_banded(&a, &b, 1).unwrap();
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let a = [0.0, 1.0, 2.0, 1.0];
+        let b = [0.0, 2.0, 1.0];
+        let path = dtw_path(&a, &b).unwrap();
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (3, 2));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0);
+            assert!(i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!(i1 + j1 > i0 + j0);
+        }
+    }
+
+    #[test]
+    fn path_cost_matches_distance() {
+        let a = [1.0, 4.0, 2.0, 7.0, 3.0];
+        let b = [1.0, 2.0, 6.0, 3.0];
+        let d = dtw_distance(&a, &b).unwrap();
+        let path = dtw_path(&a, &b).unwrap();
+        let path_cost: f64 = path
+            .iter()
+            .map(|&(i, j)| (a[i] - b[j]) * (a[i] - b[j]))
+            .sum();
+        assert!((d - path_cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by clustering operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusteringError {
+    /// The operation requires non-empty input.
+    Empty,
+    /// A cluster assignment was out of range or left a cluster empty.
+    InvalidAssignment,
+    /// Sizes of related inputs disagree (e.g. distance matrix vs items).
+    SizeMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// A distance or correlation computation failed (e.g. constant series).
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for ClusteringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringError::Empty => write!(f, "input is empty"),
+            ClusteringError::InvalidAssignment => write!(f, "invalid cluster assignment"),
+            ClusteringError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+            ClusteringError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ClusteringError::Degenerate(what) => write!(f, "degenerate input: {what}"),
+        }
+    }
+}
+
+impl Error for ClusteringError {}
+
+/// Convenience alias for results in this crate.
+pub type ClusteringResult<T> = Result<T, ClusteringError>;

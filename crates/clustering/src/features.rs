@@ -1,0 +1,249 @@
+//! Feature-based time-series clustering.
+//!
+//! The paper's related work cites feature extraction (moments,
+//! autocorrelation, seasonality — Fulcher & Jones \[11\]) as the main
+//! alternative to raw-series clustering. Each series is summarized by a
+//! small feature vector; series are then clustered by Euclidean distance
+//! between *z-scored* features with the same hierarchical + silhouette
+//! machinery used for DTW. Exposed as a third Step-1 option for the
+//! signature search, and compared against DTW/CBC in the ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::hierarchical::{cluster_with_silhouette, paper_k_range, Linkage, SelectedClustering};
+
+/// The feature vector extracted from one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesFeatures {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Lag-1 autocorrelation (0 for constant series).
+    pub acf1: f64,
+    /// Autocorrelation at the seasonal lag (0 when the series is shorter
+    /// than twice the lag or constant).
+    pub seasonal_acf: f64,
+    /// Skewness (third standardized moment; 0 for constant series).
+    pub skewness: f64,
+    /// Peak-to-mean ratio (1 for constant series) — captures the heavy
+    /// tail that separates bursty from smooth VMs.
+    pub peak_to_mean: f64,
+}
+
+impl SeriesFeatures {
+    /// Extracts features from a series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] for an empty series.
+    pub fn extract(series: &[f64], seasonal_lag: usize) -> ClusteringResult<Self> {
+        if series.is_empty() {
+            return Err(ClusteringError::Empty);
+        }
+        let n = series.len() as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let var = series.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let std_dev = var.sqrt();
+
+        let acf = |lag: usize| -> f64 {
+            if var == 0.0 || series.len() <= lag + 1 {
+                return 0.0;
+            }
+            let num: f64 = series
+                .windows(lag + 1)
+                .map(|w| (w[0] - mean) * (w[lag] - mean))
+                .sum();
+            num / (var * n)
+        };
+
+        let skewness = if std_dev == 0.0 {
+            0.0
+        } else {
+            series
+                .iter()
+                .map(|&x| {
+                    let z = (x - mean) / std_dev;
+                    z * z * z
+                })
+                .sum::<f64>()
+                / n
+        };
+        let peak = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let peak_to_mean = if mean.abs() < 1e-12 { 1.0 } else { peak / mean };
+
+        Ok(SeriesFeatures {
+            mean,
+            std_dev,
+            acf1: acf(1),
+            seasonal_acf: acf(seasonal_lag),
+            skewness,
+            peak_to_mean,
+        })
+    }
+
+    /// The raw feature values, in a fixed order.
+    pub fn as_vector(&self) -> [f64; 6] {
+        [
+            self.mean,
+            self.std_dev,
+            self.acf1,
+            self.seasonal_acf,
+            self.skewness,
+            self.peak_to_mean,
+        ]
+    }
+}
+
+/// Builds the pairwise Euclidean distance matrix over z-scored feature
+/// vectors (each feature standardized across the series set so no single
+/// scale dominates).
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] for an empty input or empty series.
+pub fn feature_distance_matrix(
+    series: &[Vec<f64>],
+    seasonal_lag: usize,
+) -> ClusteringResult<DistanceMatrix> {
+    if series.is_empty() {
+        return Err(ClusteringError::Empty);
+    }
+    let features: Vec<[f64; 6]> = series
+        .iter()
+        .map(|s| SeriesFeatures::extract(s, seasonal_lag).map(|f| f.as_vector()))
+        .collect::<ClusteringResult<_>>()?;
+
+    // Z-score each feature column across series; constant columns are
+    // dropped (zero weight).
+    let n = features.len() as f64;
+    let mut scaled = features.clone();
+    for f in 0..6 {
+        let mean: f64 = features.iter().map(|v| v[f]).sum::<f64>() / n;
+        let var: f64 = features
+            .iter()
+            .map(|v| (v[f] - mean) * (v[f] - mean))
+            .sum::<f64>()
+            / n;
+        let std = var.sqrt();
+        for (row, feat) in scaled.iter_mut().zip(&features) {
+            row[f] = if std > 0.0 {
+                (feat[f] - mean) / std
+            } else {
+                0.0
+            };
+        }
+    }
+
+    DistanceMatrix::build(features.len(), |i, j| {
+        let d: f64 = scaled[i]
+            .iter()
+            .zip(&scaled[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        Ok::<f64, ClusteringError>(d.sqrt())
+    })
+}
+
+/// Clusters series by features with silhouette-selected hierarchical
+/// clustering over the paper's `k ∈ [2, n/2]` range.
+///
+/// # Errors
+///
+/// Propagates feature extraction and clustering errors.
+pub fn cluster_by_features(
+    series: &[Vec<f64>],
+    seasonal_lag: usize,
+    linkage: Linkage,
+) -> ClusteringResult<SelectedClustering> {
+    let distances = feature_distance_matrix(series, seasonal_lag)?;
+    let (k_min, k_max) = paper_k_range(series.len());
+    cluster_with_silhouette(&distances, linkage, k_min, k_max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize, level: f64) -> Vec<f64> {
+        (0..n)
+            .map(|t| level + 5.0 * (t as f64 * 0.26).sin())
+            .collect()
+    }
+
+    fn bursty(n: usize, level: f64, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                let spike = if (t + seed).is_multiple_of(24) {
+                    level * 2.0
+                } else {
+                    0.0
+                };
+                level + spike
+            })
+            .collect()
+    }
+
+    #[test]
+    fn features_of_constant_series() {
+        let f = SeriesFeatures::extract(&[5.0; 32], 8).unwrap();
+        assert_eq!(f.mean, 5.0);
+        assert_eq!(f.std_dev, 0.0);
+        assert_eq!(f.acf1, 0.0);
+        assert_eq!(f.skewness, 0.0);
+        assert!((f.peak_to_mean - 1.0).abs() < 1e-12);
+        assert!(SeriesFeatures::extract(&[], 8).is_err());
+    }
+
+    #[test]
+    fn features_distinguish_smooth_from_bursty() {
+        let s = SeriesFeatures::extract(&smooth(96, 50.0), 24).unwrap();
+        let b = SeriesFeatures::extract(&bursty(96, 20.0, 0), 24).unwrap();
+        assert!(s.acf1 > b.acf1, "smooth series more autocorrelated");
+        assert!(b.peak_to_mean > s.peak_to_mean, "bursty series peakier");
+        assert!(b.skewness > s.skewness);
+    }
+
+    #[test]
+    fn seasonal_acf_detects_periodicity() {
+        let periodic: Vec<f64> = (0..192).map(|t| (t % 24) as f64).collect();
+        let f = SeriesFeatures::extract(&periodic, 24).unwrap();
+        assert!(f.seasonal_acf > 0.8, "seasonal acf {}", f.seasonal_acf);
+    }
+
+    #[test]
+    fn clustering_groups_by_character() {
+        // Two smooth series at different levels and two bursty ones: the
+        // scale-free features should group smooth-with-smooth.
+        let series = vec![
+            smooth(96, 50.0),
+            smooth(96, 20.0),
+            bursty(96, 15.0, 0),
+            bursty(96, 40.0, 7),
+        ];
+        let sel = cluster_by_features(&series, 24, Linkage::Average).unwrap();
+        let c = &sel.clustering;
+        assert_eq!(c.label(0), c.label(1), "smooth series split: {c:?}");
+        assert_eq!(c.label(2), c.label(3), "bursty series split: {c:?}");
+        assert_ne!(c.label(0), c.label(2));
+    }
+
+    #[test]
+    fn distance_matrix_properties() {
+        let series = vec![smooth(64, 10.0), smooth(64, 10.0), bursty(64, 10.0, 3)];
+        let d = feature_distance_matrix(&series, 16).unwrap();
+        // Identical series have zero feature distance.
+        assert!(d.get(0, 1) < 1e-9);
+        assert!(d.get(0, 2) > d.get(0, 1));
+        assert!(feature_distance_matrix(&[], 16).is_err());
+    }
+
+    #[test]
+    fn constant_fleet_is_degenerate_but_safe() {
+        let series = vec![vec![5.0; 32], vec![5.0; 32], vec![5.0; 32], vec![5.0; 32]];
+        let sel = cluster_by_features(&series, 8, Linkage::Average).unwrap();
+        assert!(sel.clustering.k() >= 1);
+    }
+}

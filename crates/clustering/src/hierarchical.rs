@@ -1,0 +1,366 @@
+//! Agglomerative hierarchical clustering over a precomputed distance
+//! matrix, plus the paper's silhouette-driven model selection.
+//!
+//! The paper applies hierarchical clustering to DTW dissimilarities *"for
+//! any given number of clusters, ranging from 2 to (M × N)/2"* and picks
+//! the cluster count with the maximal average silhouette value.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::silhouette::mean_silhouette;
+use crate::Clustering;
+
+/// Inter-cluster distance update rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA) — the default used
+    /// in the paper reproduction.
+    Average,
+}
+
+/// A full agglomeration history: `n − 1` merges over `n` items.
+///
+/// Cutting the dendrogram at any level yields a flat [`Clustering`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    /// Each merge: (cluster a, cluster b, distance). Clusters `0..n` are
+    /// leaves; merge `t` creates cluster `n + t`.
+    merges: Vec<(usize, usize, f64)>,
+}
+
+impl Dendrogram {
+    /// Number of leaf items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dendrogram has zero items.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge steps, in agglomeration order.
+    pub fn merges(&self) -> &[(usize, usize, f64)] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into exactly `k` flat clusters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::InvalidParameter`] if `k` is 0 or greater
+    /// than the number of items.
+    pub fn cut(&self, k: usize) -> ClusteringResult<Clustering> {
+        if k == 0 || k > self.n {
+            return Err(ClusteringError::InvalidParameter(
+                "cluster count must be in [1, n]",
+            ));
+        }
+        // Union-find over the first n - k merges.
+        let total = self.n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for (t, &(a, b, _)) in self.merges.iter().take(self.n - k).enumerate() {
+            let new = self.n + t;
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            parent[ra] = new;
+            parent[rb] = new;
+        }
+        // Relabel roots densely.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut assignments = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let r = find(&mut parent, i);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(r).or_insert(next);
+            assignments.push(label);
+        }
+        Clustering::from_assignments(assignments, label_of_root.len())
+    }
+}
+
+/// Builds the complete dendrogram by naive `O(n³)` agglomeration — fine for
+/// per-box series counts (tens of series).
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::Empty`] for an empty distance matrix.
+pub fn agglomerate(distances: &DistanceMatrix, linkage: Linkage) -> ClusteringResult<Dendrogram> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusteringError::Empty);
+    }
+    // Active clusters: id -> member list. ids 0..n are leaves, n+t merge results.
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    while active.len() > 1 {
+        // Find the closest active pair under the linkage rule.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for ai in 0..active.len() {
+            for bi in ai + 1..active.len() {
+                let a = active[ai];
+                let b = active[bi];
+                let d = cluster_distance(
+                    distances,
+                    members[a].as_ref().expect("active cluster has members"),
+                    members[b].as_ref().expect("active cluster has members"),
+                    linkage,
+                );
+                if d < best.2 {
+                    best = (ai, bi, d);
+                }
+            }
+        }
+        let (ai, bi, d) = best;
+        let a = active[ai];
+        let b = active[bi];
+        let mut merged = members[a].take().expect("a is active");
+        merged.extend(members[b].take().expect("b is active"));
+        members.push(Some(merged));
+        let new_id = members.len() - 1;
+        // Remove the higher index first to keep the lower one valid.
+        active.remove(bi);
+        active.remove(ai);
+        active.push(new_id);
+        merges.push((a, b, d));
+    }
+
+    Ok(Dendrogram { n, merges })
+}
+
+fn cluster_distance(distances: &DistanceMatrix, a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
+    match linkage {
+        Linkage::Single => {
+            let mut best = f64::INFINITY;
+            for &i in a {
+                for &j in b {
+                    best = best.min(distances.get(i, j));
+                }
+            }
+            best
+        }
+        Linkage::Complete => {
+            let mut worst = 0.0f64;
+            for &i in a {
+                for &j in b {
+                    worst = worst.max(distances.get(i, j));
+                }
+            }
+            worst
+        }
+        Linkage::Average => {
+            let mut sum = 0.0;
+            for &i in a {
+                for &j in b {
+                    sum += distances.get(i, j);
+                }
+            }
+            sum / (a.len() * b.len()) as f64
+        }
+    }
+}
+
+/// Result of silhouette-based model selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedClustering {
+    /// The winning flat clustering.
+    pub clustering: Clustering,
+    /// Its mean silhouette value.
+    pub silhouette: f64,
+    /// All candidate `(k, mean silhouette)` pairs evaluated.
+    pub candidates: Vec<(usize, f64)>,
+}
+
+/// Clusters with every `k ∈ [k_min, k_max]` and returns the cut with the
+/// highest mean silhouette — the paper's model selection (Section III-A,
+/// eq. 3), with the paper's default range being `[2, n/2]`.
+///
+/// As a special case, if `n == 1` the single trivial clustering is
+/// returned with silhouette 0.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] for an empty matrix.
+/// - [`ClusteringError::InvalidParameter`] if `k_min > k_max` or
+///   `k_max > n`.
+pub fn cluster_with_silhouette(
+    distances: &DistanceMatrix,
+    linkage: Linkage,
+    k_min: usize,
+    k_max: usize,
+) -> ClusteringResult<SelectedClustering> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusteringError::Empty);
+    }
+    if n == 1 {
+        return Ok(SelectedClustering {
+            clustering: Clustering::from_assignments(vec![0], 1)?,
+            silhouette: 0.0,
+            candidates: vec![(1, 0.0)],
+        });
+    }
+    if k_min > k_max || k_max > n || k_min == 0 {
+        return Err(ClusteringError::InvalidParameter(
+            "need 1 <= k_min <= k_max <= n",
+        ));
+    }
+    let dendrogram = agglomerate(distances, linkage)?;
+    let mut best: Option<(Clustering, f64)> = None;
+    let mut candidates = Vec::new();
+    for k in k_min..=k_max {
+        let clustering = dendrogram.cut(k)?;
+        // A cut can return fewer clusters than requested only when n < k,
+        // which the range check precludes; assert in debug builds.
+        debug_assert_eq!(clustering.k(), k);
+        let s = mean_silhouette(distances, &clustering)?;
+        candidates.push((k, s));
+        if best.as_ref().is_none_or(|&(_, bs)| s > bs) {
+            best = Some((clustering, s));
+        }
+    }
+    let (clustering, silhouette) = best.expect("at least one candidate");
+    Ok(SelectedClustering {
+        clustering,
+        silhouette,
+        candidates,
+    })
+}
+
+/// The paper's default clustering range for a set of `n` series:
+/// `k ∈ [2, max(2, n/2)]`.
+pub fn paper_k_range(n: usize) -> (usize, usize) {
+    (2.min(n).max(1), (n / 2).max(2).min(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix with two well-separated groups: {0,1,2} and {3,4}.
+    fn two_groups() -> DistanceMatrix {
+        let mut d = DistanceMatrix::zeros(5);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                d.set(i, j, 1.0);
+            }
+        }
+        d.set(3, 4, 1.0);
+        for i in 0..3 {
+            for j in 3..5 {
+                d.set(i, j, 10.0);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn agglomerate_merges_n_minus_1_times() {
+        let d = two_groups();
+        let dend = agglomerate(&d, Linkage::Average).unwrap();
+        assert_eq!(dend.len(), 5);
+        assert_eq!(dend.merges().len(), 4);
+        // Merge distances are non-decreasing for average linkage on
+        // well-separated data.
+        let last = dend.merges().last().unwrap();
+        assert!(last.2 >= dend.merges()[0].2);
+    }
+
+    #[test]
+    fn cut_recovers_true_groups() {
+        let d = two_groups();
+        let dend = agglomerate(&d, Linkage::Average).unwrap();
+        let c = dend.cut(2).unwrap();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(3), c.label(4));
+        assert_ne!(c.label(0), c.label(3));
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = two_groups();
+        let dend = agglomerate(&d, Linkage::Complete).unwrap();
+        let all = dend.cut(1).unwrap();
+        assert_eq!(all.k(), 1);
+        let singletons = dend.cut(5).unwrap();
+        assert_eq!(singletons.k(), 5);
+        assert!(dend.cut(0).is_err());
+        assert!(dend.cut(6).is_err());
+    }
+
+    #[test]
+    fn all_linkages_agree_on_separated_groups() {
+        let d = two_groups();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = agglomerate(&d, linkage).unwrap().cut(2).unwrap();
+            assert_eq!(c.label(0), c.label(2), "{linkage:?}");
+            assert_ne!(c.label(0), c.label(4), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn silhouette_selection_picks_two_groups() {
+        let d = two_groups();
+        let sel = cluster_with_silhouette(&d, Linkage::Average, 2, 4).unwrap();
+        assert_eq!(sel.clustering.k(), 2);
+        assert!(sel.silhouette > 0.7);
+        assert_eq!(sel.candidates.len(), 3);
+    }
+
+    #[test]
+    fn silhouette_selection_single_item() {
+        let d = DistanceMatrix::zeros(1);
+        let sel = cluster_with_silhouette(&d, Linkage::Average, 2, 2);
+        // n == 1 shortcut path.
+        let sel = sel.unwrap();
+        assert_eq!(sel.clustering.k(), 1);
+    }
+
+    #[test]
+    fn selection_validates_range() {
+        let d = two_groups();
+        assert!(cluster_with_silhouette(&d, Linkage::Average, 3, 2).is_err());
+        assert!(cluster_with_silhouette(&d, Linkage::Average, 2, 9).is_err());
+        assert!(cluster_with_silhouette(&d, Linkage::Average, 0, 2).is_err());
+    }
+
+    #[test]
+    fn paper_range() {
+        assert_eq!(paper_k_range(20), (2, 10));
+        assert_eq!(paper_k_range(4), (2, 2));
+        assert_eq!(paper_k_range(3), (2, 2));
+        assert_eq!(paper_k_range(2), (2, 2));
+        assert_eq!(paper_k_range(1), (1, 1));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let d = DistanceMatrix::zeros(0);
+        assert!(agglomerate(&d, Linkage::Average).is_err());
+        assert!(cluster_with_silhouette(&d, Linkage::Average, 2, 2).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! k-medoids clustering (PAM: Partitioning Around Medoids).
+//!
+//! The standard partitional alternative to agglomerative clustering over a
+//! precomputed dissimilarity matrix — a natural pairing for DTW, where
+//! centroids are undefined but *medoids* (the paper's signature choice)
+//! are exactly what the algorithm maintains. Provided for ablations
+//! against the paper's hierarchical + silhouette pipeline; model
+//! selection over `k` reuses [`mean_silhouette`].
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::hierarchical::SelectedClustering;
+use crate::silhouette::mean_silhouette;
+use crate::Clustering;
+
+/// Result of one PAM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoidsOutcome {
+    /// The flat clustering.
+    pub clustering: Clustering,
+    /// Medoid item index per cluster label.
+    pub medoids: Vec<usize>,
+    /// Total within-cluster dissimilarity (the PAM objective).
+    pub cost: f64,
+    /// Swap iterations performed before convergence.
+    pub iterations: usize,
+}
+
+/// Runs PAM with `k` clusters over a distance matrix.
+///
+/// Initialization is deterministic (greedy BUILD: first medoid minimizes
+/// total distance, each next medoid maximizes cost reduction), so results
+/// are reproducible without an RNG. The SWAP phase runs to convergence or
+/// `max_iterations`.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] for an empty matrix.
+/// - [`ClusteringError::InvalidParameter`] if `k` is 0 or exceeds the
+///   item count.
+#[allow(clippy::needless_range_loop)]
+pub fn k_medoids(
+    distances: &DistanceMatrix,
+    k: usize,
+    max_iterations: usize,
+) -> ClusteringResult<KMedoidsOutcome> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusteringError::Empty);
+    }
+    if k == 0 || k > n {
+        return Err(ClusteringError::InvalidParameter("k must be in [1, n]"));
+    }
+
+    // BUILD: greedy initialization.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    let first = (0..n)
+        .min_by(|&a, &b| {
+            let ca: f64 = (0..n).map(|j| distances.get(a, j)).sum();
+            let cb: f64 = (0..n).map(|j| distances.get(b, j)).sum();
+            ca.partial_cmp(&cb).expect("finite distances")
+        })
+        .expect("n > 0");
+    medoids.push(first);
+    while medoids.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for cand in 0..n {
+            if medoids.contains(&cand) {
+                continue;
+            }
+            // Cost reduction from adding cand.
+            let gain: f64 = (0..n)
+                .map(|j| {
+                    let current = medoids
+                        .iter()
+                        .map(|&m| distances.get(j, m))
+                        .fold(f64::INFINITY, f64::min);
+                    (current - distances.get(j, cand)).max(0.0)
+                })
+                .sum();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((cand, gain));
+            }
+        }
+        medoids.push(best.expect("candidates remain").0);
+    }
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut labels = vec![0usize; n];
+        let mut cost = 0.0;
+        for j in 0..n {
+            let (label, d) = medoids
+                .iter()
+                .enumerate()
+                .map(|(l, &m)| (l, distances.get(j, m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("k >= 1");
+            labels[j] = label;
+            cost += d;
+        }
+        (labels, cost)
+    };
+
+    // SWAP: steepest-descent swaps until no improvement.
+    let (mut labels, mut cost) = assign(&medoids);
+    let mut iterations = 0usize;
+    while iterations < max_iterations {
+        let mut best_swap: Option<(usize, usize, Vec<usize>, f64)> = None;
+        for slot in 0..k {
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                let mut trial = medoids.clone();
+                trial[slot] = cand;
+                let (trial_labels, trial_cost) = assign(&trial);
+                if trial_cost < cost - 1e-12
+                    && best_swap
+                        .as_ref()
+                        .is_none_or(|&(_, _, _, c)| trial_cost < c)
+                {
+                    best_swap = Some((slot, cand, trial_labels, trial_cost));
+                }
+            }
+        }
+        match best_swap {
+            Some((slot, cand, new_labels, new_cost)) => {
+                medoids[slot] = cand;
+                labels = new_labels;
+                cost = new_cost;
+                iterations += 1;
+            }
+            None => break,
+        }
+    }
+
+    // Relabel densely in case a medoid captured no points (possible only
+    // with duplicate items; guard anyway).
+    let mut used: Vec<usize> = labels.clone();
+    used.sort_unstable();
+    used.dedup();
+    let remap: std::collections::HashMap<usize, usize> = used
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let dense: Vec<usize> = labels.iter().map(|l| remap[l]).collect();
+    let kept_medoids: Vec<usize> = used.iter().map(|&l| medoids[l]).collect();
+
+    Ok(KMedoidsOutcome {
+        clustering: Clustering::from_assignments(dense, used.len())?,
+        medoids: kept_medoids,
+        cost,
+        iterations,
+    })
+}
+
+/// Model selection for PAM: runs `k ∈ [k_min, k_max]` and keeps the cut
+/// with the best mean silhouette (mirroring the paper's selection for
+/// hierarchical clustering).
+///
+/// # Errors
+///
+/// Same conditions as [`k_medoids`] plus an invalid range.
+pub fn k_medoids_with_silhouette(
+    distances: &DistanceMatrix,
+    k_min: usize,
+    k_max: usize,
+    max_iterations: usize,
+) -> ClusteringResult<SelectedClustering> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusteringError::Empty);
+    }
+    if k_min == 0 || k_min > k_max || k_max > n {
+        return Err(ClusteringError::InvalidParameter(
+            "need 1 <= k_min <= k_max <= n",
+        ));
+    }
+    let mut best: Option<(Clustering, f64)> = None;
+    let mut candidates = Vec::new();
+    for k in k_min..=k_max {
+        let outcome = k_medoids(distances, k, max_iterations)?;
+        let s = mean_silhouette(distances, &outcome.clustering)?;
+        candidates.push((k, s));
+        if best.as_ref().is_none_or(|&(_, bs)| s > bs) {
+            best = Some((outcome.clustering, s));
+        }
+    }
+    let (clustering, silhouette) = best.expect("range is non-empty");
+    Ok(SelectedClustering {
+        clustering,
+        silhouette,
+        candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated groups: {0,1,2} tight, {3,4} tight.
+    fn two_groups() -> DistanceMatrix {
+        let mut d = DistanceMatrix::zeros(5);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                d.set(i, j, 1.0);
+            }
+        }
+        d.set(3, 4, 1.0);
+        for i in 0..3 {
+            for j in 3..5 {
+                d.set(i, j, 10.0);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_true_groups() {
+        let d = two_groups();
+        let out = k_medoids(&d, 2, 100).unwrap();
+        let c = &out.clustering;
+        assert_eq!(c.label(0), c.label(1));
+        assert_eq!(c.label(0), c.label(2));
+        assert_eq!(c.label(3), c.label(4));
+        assert_ne!(c.label(0), c.label(3));
+        // Medoids are members of their clusters.
+        for (label, &m) in out.medoids.iter().enumerate() {
+            assert_eq!(c.label(m), label);
+        }
+        // Cost = within-group distances: group A: two members at 1 from
+        // the medoid; group B: one member at 1.
+        assert!((out.cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_is_zero_cost() {
+        let d = two_groups();
+        let out = k_medoids(&d, 5, 100).unwrap();
+        assert_eq!(out.clustering.k(), 5);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn k_one_picks_global_medoid() {
+        let d = two_groups();
+        let out = k_medoids(&d, 1, 100).unwrap();
+        assert_eq!(out.clustering.k(), 1);
+        // The medoid must come from the larger group (lower total cost).
+        assert!(out.medoids[0] < 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = two_groups();
+        let a = k_medoids(&d, 2, 100).unwrap();
+        let b = k_medoids(&d, 2, 100).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn silhouette_selection_picks_two() {
+        let d = two_groups();
+        let sel = k_medoids_with_silhouette(&d, 2, 4, 100).unwrap();
+        assert_eq!(sel.clustering.k(), 2);
+        assert!(sel.silhouette > 0.7);
+        assert_eq!(sel.candidates.len(), 3);
+    }
+
+    #[test]
+    fn validation() {
+        let d = two_groups();
+        assert!(k_medoids(&d, 0, 10).is_err());
+        assert!(k_medoids(&d, 6, 10).is_err());
+        assert!(k_medoids(&DistanceMatrix::zeros(0), 1, 10).is_err());
+        assert!(k_medoids_with_silhouette(&d, 3, 2, 10).is_err());
+    }
+
+    #[test]
+    fn agrees_with_hierarchical_on_separated_data() {
+        use crate::hierarchical::{agglomerate, Linkage};
+        let d = two_groups();
+        let pam = k_medoids(&d, 2, 100).unwrap().clustering;
+        let hier = agglomerate(&d, Linkage::Average).unwrap().cut(2).unwrap();
+        // Same partition up to label permutation.
+        let same = (0..5).all(|i| {
+            (0..5).all(|j| (pam.label(i) == pam.label(j)) == (hier.label(i) == hier.label(j)))
+        });
+        assert!(same, "PAM {pam:?} vs hierarchical {hier:?}");
+    }
+}

@@ -1,0 +1,234 @@
+//! # atm-clustering
+//!
+//! Time-series clustering for ATM's signature search (Step 1 of
+//! Section III-A in the DSN'16 paper).
+//!
+//! Two clustering families are provided, exactly as in the paper:
+//!
+//! - **DTW clustering** ([`dtw`] + [`hierarchical`]): pairwise [dynamic time
+//!   warping][dtw::dtw_distance] dissimilarities, agglomerative hierarchical
+//!   clustering for every candidate cluster count `k ∈ [2, n/2]`, and
+//!   [silhouette][silhouette::mean_silhouette]-based selection of the
+//!   optimal `k`. The signature of each cluster is its *medoid* — the
+//!   series with the lowest average dissimilarity within the cluster.
+//! - **Feature-based clustering** ([`features`]): the related-work
+//!   alternative the paper cites (moments/autocorrelation features à la
+//!   Fulcher & Jones) — Euclidean distances over z-scored feature vectors
+//!   fed to the same hierarchical machinery.
+//! - **Correlation-based clustering** ([`cbc`]): the paper's own algorithm.
+//!   Series are ranked by how many peers they correlate with above
+//!   `ρ_Th = 0.7` (ties broken by mean correlation); the top-ranked series
+//!   becomes a signature and absorbs everything correlated with it, until
+//!   no series remain.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_clustering::dtw;
+//!
+//! let a = [0.0, 1.0, 2.0, 3.0];
+//! let b = [0.0, 0.0, 1.0, 2.0, 3.0]; // time-shifted copy
+//! let d = dtw::dtw_distance(&a, &b).unwrap();
+//! assert!(d < 1e-12, "DTW aligns shifted series: {d}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbc;
+mod distance_matrix;
+pub mod dtw;
+mod error;
+pub mod features;
+pub mod hierarchical;
+pub mod kmedoids;
+pub mod silhouette;
+
+pub use distance_matrix::DistanceMatrix;
+pub use error::{ClusteringError, ClusteringResult};
+
+use serde::{Deserialize, Serialize};
+
+/// A flat clustering of `n` items into `k` clusters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    assignments: Vec<usize>,
+    k: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from per-item cluster labels in `0..k`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusteringError::Empty`] if `assignments` is empty or `k == 0`.
+    /// - [`ClusteringError::InvalidAssignment`] if any label is `>= k` or a
+    ///   cluster in `0..k` is empty.
+    pub fn from_assignments(assignments: Vec<usize>, k: usize) -> ClusteringResult<Self> {
+        if assignments.is_empty() || k == 0 {
+            return Err(ClusteringError::Empty);
+        }
+        let mut seen = vec![false; k];
+        for &a in &assignments {
+            if a >= k {
+                return Err(ClusteringError::InvalidAssignment);
+            }
+            seen[a] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(ClusteringError::InvalidAssignment);
+        }
+        Ok(Clustering { assignments, k })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of clustered items.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the clustering covers zero items (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// The cluster label of item `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.assignments[i]
+    }
+
+    /// All labels, indexed by item.
+    pub fn labels(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Item indices belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sizes of all clusters, indexed by cluster label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut out = vec![0usize; self.k];
+        for &a in &self.assignments {
+            out[a] += 1;
+        }
+        out
+    }
+
+    /// The medoid of cluster `c` under the given distance matrix: the
+    /// member with the lowest average distance to the other members
+    /// (the paper's choice of DTW signature series). For a singleton
+    /// cluster this is its only member.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusteringError::InvalidAssignment`] if `c >= k`.
+    /// - [`ClusteringError::SizeMismatch`] if the matrix size differs from
+    ///   the clustering size.
+    pub fn medoid(&self, c: usize, distances: &DistanceMatrix) -> ClusteringResult<usize> {
+        if c >= self.k {
+            return Err(ClusteringError::InvalidAssignment);
+        }
+        if distances.len() != self.len() {
+            return Err(ClusteringError::SizeMismatch {
+                expected: self.len(),
+                actual: distances.len(),
+            });
+        }
+        let members = self.members(c);
+        debug_assert!(
+            !members.is_empty(),
+            "clusters are non-empty by construction"
+        );
+        let mut best = members[0];
+        let mut best_avg = f64::INFINITY;
+        for &i in &members {
+            let sum: f64 = members
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| distances.get(i, j))
+                .sum();
+            let avg = if members.len() > 1 {
+                sum / (members.len() - 1) as f64
+            } else {
+                0.0
+            };
+            if avg < best_avg {
+                best_avg = avg;
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Medoids of every cluster (see [`Clustering::medoid`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Clustering::medoid`].
+    pub fn medoids(&self, distances: &DistanceMatrix) -> ClusteringResult<Vec<usize>> {
+        (0..self.k).map(|c| self.medoid(c, distances)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignments_validates() {
+        assert!(Clustering::from_assignments(vec![], 1).is_err());
+        assert!(Clustering::from_assignments(vec![0, 1], 0).is_err());
+        assert!(Clustering::from_assignments(vec![0, 2], 2).is_err());
+        // Cluster 1 empty.
+        assert!(Clustering::from_assignments(vec![0, 0], 2).is_err());
+        let c = Clustering::from_assignments(vec![0, 1, 0], 2).unwrap();
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.members(0), vec![0, 2]);
+        assert_eq!(c.sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn medoid_picks_central_item() {
+        // Items 0,1,2 in one cluster; 1 is closest to both others.
+        let mut d = DistanceMatrix::zeros(3);
+        d.set(0, 1, 1.0);
+        d.set(1, 2, 1.0);
+        d.set(0, 2, 2.0);
+        let c = Clustering::from_assignments(vec![0, 0, 0], 1).unwrap();
+        assert_eq!(c.medoid(0, &d).unwrap(), 1);
+    }
+
+    #[test]
+    fn medoid_of_singleton() {
+        let mut d = DistanceMatrix::zeros(2);
+        d.set(0, 1, 5.0);
+        let c = Clustering::from_assignments(vec![0, 1], 2).unwrap();
+        assert_eq!(c.medoid(0, &d).unwrap(), 0);
+        assert_eq!(c.medoid(1, &d).unwrap(), 1);
+        assert_eq!(c.medoids(&d).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn medoid_errors() {
+        let d = DistanceMatrix::zeros(3);
+        let c = Clustering::from_assignments(vec![0, 0], 1).unwrap();
+        assert!(c.medoid(1, &DistanceMatrix::zeros(2)).is_err());
+        assert!(c.medoid(0, &d).is_err());
+    }
+}

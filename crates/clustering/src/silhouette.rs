@@ -1,0 +1,159 @@
+//! Silhouette values (Rousseeuw 1987), the paper's cluster-count selection
+//! criterion (Section III-A, eq. 3):
+//!
+//! ```text
+//! s(i) = (b(i) − a(i)) / max{ a(i), b(i) }
+//! ```
+//!
+//! where `a(i)` is the mean dissimilarity of `i` to its own cluster and
+//! `b(i)` the lowest mean dissimilarity of `i` to any other cluster.
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::Clustering;
+
+/// Per-item silhouette values in `[−1, 1]`.
+///
+/// Items in singleton clusters get `s(i) = 0` (the standard convention).
+/// A clustering with `k == 1` assigns 0 to every item (no "other" cluster
+/// exists).
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::SizeMismatch`] if the matrix and clustering
+/// cover different item counts.
+pub fn silhouette_values(
+    distances: &DistanceMatrix,
+    clustering: &Clustering,
+) -> ClusteringResult<Vec<f64>> {
+    if distances.len() != clustering.len() {
+        return Err(ClusteringError::SizeMismatch {
+            expected: clustering.len(),
+            actual: distances.len(),
+        });
+    }
+    let k = clustering.k();
+    let n = clustering.len();
+    if k == 1 {
+        return Ok(vec![0.0; n]);
+    }
+    let members: Vec<Vec<usize>> = (0..k).map(|c| clustering.members(c)).collect();
+
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let own = clustering.label(i);
+        if members[own].len() == 1 {
+            out.push(0.0);
+            continue;
+        }
+        let a = distances
+            .mean_distance_to(i, &members[own])
+            .expect("cluster has more than one member");
+        let b = (0..k)
+            .filter(|&c| c != own)
+            .filter_map(|c| distances.mean_distance_to(i, &members[c]))
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        out.push(if denom == 0.0 { 0.0 } else { (b - a) / denom });
+    }
+    Ok(out)
+}
+
+/// Mean silhouette over all items — the paper's "representative silhouette
+/// value" used to pick the optimal cluster count.
+///
+/// # Errors
+///
+/// Same conditions as [`silhouette_values`].
+pub fn mean_silhouette(
+    distances: &DistanceMatrix,
+    clustering: &Clustering,
+) -> ClusteringResult<f64> {
+    let vals = silhouette_values(distances, clustering)?;
+    Ok(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tight_groups() -> (DistanceMatrix, Clustering) {
+        // {0,1} close together, {2,3} close together, groups far apart.
+        let mut d = DistanceMatrix::zeros(4);
+        d.set(0, 1, 1.0);
+        d.set(2, 3, 1.0);
+        for i in 0..2 {
+            for j in 2..4 {
+                d.set(i, j, 20.0);
+            }
+        }
+        let c = Clustering::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        (d, c)
+    }
+
+    #[test]
+    fn good_clustering_scores_high() {
+        let (d, c) = two_tight_groups();
+        let s = silhouette_values(&d, &c).unwrap();
+        for &v in &s {
+            assert!(v > 0.9, "silhouette {v}");
+            assert!(v <= 1.0);
+        }
+        assert!(mean_silhouette(&d, &c).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn bad_clustering_scores_low() {
+        let (d, _) = two_tight_groups();
+        // Deliberately split the natural groups.
+        let bad = Clustering::from_assignments(vec![0, 1, 0, 1], 2).unwrap();
+        let good = Clustering::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        assert!(mean_silhouette(&d, &bad).unwrap() < mean_silhouette(&d, &good).unwrap());
+        assert!(mean_silhouette(&d, &bad).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn values_in_range() {
+        let (d, c) = two_tight_groups();
+        for &v in &silhouette_values(&d, &c).unwrap() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn singleton_cluster_is_zero() {
+        let mut d = DistanceMatrix::zeros(3);
+        d.set(0, 1, 1.0);
+        d.set(0, 2, 5.0);
+        d.set(1, 2, 5.0);
+        let c = Clustering::from_assignments(vec![0, 0, 1], 2).unwrap();
+        let s = silhouette_values(&d, &c).unwrap();
+        assert_eq!(s[2], 0.0);
+        assert!(s[0] > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_all_zero() {
+        let mut d = DistanceMatrix::zeros(3);
+        d.set(0, 1, 1.0);
+        d.set(1, 2, 2.0);
+        d.set(0, 2, 3.0);
+        let c = Clustering::from_assignments(vec![0, 0, 0], 1).unwrap();
+        assert_eq!(silhouette_values(&d, &c).unwrap(), vec![0.0; 3]);
+        assert_eq!(mean_silhouette(&d, &c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let d = DistanceMatrix::zeros(2);
+        let c = Clustering::from_assignments(vec![0, 0, 0], 1).unwrap();
+        assert!(silhouette_values(&d, &c).is_err());
+    }
+
+    #[test]
+    fn all_zero_distances_give_zero() {
+        let d = DistanceMatrix::zeros(4);
+        let c = Clustering::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        assert_eq!(mean_silhouette(&d, &c).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for clustering primitives.
+
+use atm_clustering::cbc::{cluster, CbcConfig};
+use atm_clustering::dtw::{dtw_distance, dtw_path};
+use atm_clustering::hierarchical::{agglomerate, cluster_with_silhouette, Linkage};
+use atm_clustering::silhouette::{mean_silhouette, silhouette_values};
+use atm_clustering::{Clustering, DistanceMatrix};
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 2..40)
+}
+
+fn distance_matrix(n: usize) -> impl Strategy<Value = DistanceMatrix> {
+    prop::collection::vec(0.01f64..100.0, n * (n - 1) / 2).prop_map(move |vals| {
+        let mut d = DistanceMatrix::zeros(n);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in i + 1..n {
+                d.set(i, j, it.next().expect("enough values"));
+            }
+        }
+        d
+    })
+}
+
+proptest! {
+    /// DTW path cost always equals the DTW distance, for arbitrary series.
+    #[test]
+    fn dtw_path_cost_equals_distance(a in series(), b in series()) {
+        let d = dtw_distance(&a, &b).unwrap();
+        let path = dtw_path(&a, &b).unwrap();
+        let cost: f64 = path.iter().map(|&(i, j)| (a[i] - b[j]) * (a[i] - b[j])).sum();
+        prop_assert!((d - cost).abs() < 1e-6 * (1.0 + d));
+        // Path visits every index of both series at least once.
+        prop_assert!(path.iter().map(|&(i, _)| i).max() == Some(a.len() - 1));
+        prop_assert!(path.iter().map(|&(_, j)| j).max() == Some(b.len() - 1));
+    }
+
+    /// Triangle-free sanity: DTW to a constant series equals the summed
+    /// squared deviations along some warping — bounded below by the
+    /// single best-matched point and above by aligning everything.
+    #[test]
+    fn dtw_constant_reference(a in series(), c in -100.0f64..100.0) {
+        let constant = vec![c; a.len()];
+        let d = dtw_distance(&a, &constant).unwrap();
+        let direct: f64 = a.iter().map(|&x| (x - c) * (x - c)).sum();
+        prop_assert!(d <= direct + 1e-9);
+        let best: f64 = a
+            .iter()
+            .map(|&x| (x - c) * (x - c))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(d >= best - 1e-9);
+    }
+
+    /// Every dendrogram cut yields exactly k non-empty clusters.
+    #[test]
+    fn dendrogram_cuts_are_partitions(d in distance_matrix(6), k in 1usize..=6) {
+        let dend = agglomerate(&d, Linkage::Average).unwrap();
+        let c = dend.cut(k).unwrap();
+        prop_assert_eq!(c.k(), k);
+        prop_assert_eq!(c.len(), 6);
+        let sizes = c.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), 6);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    /// Silhouette values stay in [-1, 1] for arbitrary matrices and cuts.
+    #[test]
+    fn silhouette_bounded(d in distance_matrix(5), k in 2usize..=5) {
+        let dend = agglomerate(&d, Linkage::Complete).unwrap();
+        let c = dend.cut(k).unwrap();
+        for v in silhouette_values(&d, &c).unwrap() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+        }
+        let m = mean_silhouette(&d, &c).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&m));
+    }
+
+    /// Silhouette-driven selection returns the best candidate it saw.
+    #[test]
+    fn selection_is_argmax_of_candidates(d in distance_matrix(6)) {
+        let sel = cluster_with_silhouette(&d, Linkage::Average, 2, 3).unwrap();
+        let best = sel
+            .candidates
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((sel.silhouette - best).abs() < 1e-12);
+        prop_assert!(sel.candidates.iter().any(|&(k, _)| k == sel.clustering.k()));
+    }
+
+    /// CBC: every series is assigned exactly once, signatures are
+    /// distinct members of their own clusters, and the threshold bounds
+    /// the number of clusters by 1..=n.
+    #[test]
+    fn cbc_partition_invariants(
+        seeds in prop::collection::vec(0u64..1000, 2..8),
+        rho in 0.3f64..0.95,
+    ) {
+        let n = 64;
+        let series: Vec<Vec<f64>> = seeds
+            .iter()
+            .map(|&s| {
+                (0..n)
+                    .map(|t| {
+                        50.0 + 20.0 * ((t as f64) * 0.2 + s as f64).sin()
+                            + ((t as u64 ^ s).wrapping_mul(0x9E3779B9) % 100) as f64 * 0.05
+                    })
+                    .collect()
+            })
+            .collect();
+        let out = cluster(&series, &CbcConfig { rho_threshold: rho, absolute: false }).unwrap();
+        prop_assert_eq!(out.clustering.len(), series.len());
+        prop_assert!(out.clustering.k() >= 1 && out.clustering.k() <= series.len());
+        prop_assert_eq!(out.signatures.len(), out.clustering.k());
+        for (label, &sig) in out.signatures.iter().enumerate() {
+            prop_assert_eq!(out.clustering.label(sig), label);
+        }
+        let mut sorted = out.signatures.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.signatures.len());
+    }
+
+    /// Medoids are members of their clusters.
+    #[test]
+    fn medoids_are_members(d in distance_matrix(6), k in 1usize..=4) {
+        let dend = agglomerate(&d, Linkage::Average).unwrap();
+        let c = dend.cut(k).unwrap();
+        for (label, medoid) in c.medoids(&d).unwrap().into_iter().enumerate() {
+            prop_assert_eq!(c.label(medoid), label);
+        }
+    }
+
+    /// Clustering construction validates labels.
+    #[test]
+    fn clustering_roundtrip(labels in prop::collection::vec(0usize..4, 1..20)) {
+        let k = labels.iter().max().map_or(0, |&m| m + 1);
+        let dense = {
+            // Relabel densely so every cluster in 0..k is non-empty.
+            let mut map = std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            let labels: Vec<usize> = labels
+                .iter()
+                .map(|&l| {
+                    *map.entry(l).or_insert_with(|| {
+                        let v = next;
+                        next += 1;
+                        v
+                    })
+                })
+                .collect();
+            (labels, next)
+        };
+        let c = Clustering::from_assignments(dense.0.clone(), dense.1).unwrap();
+        prop_assert_eq!(c.len(), dense.0.len());
+        let total: usize = c.sizes().iter().sum();
+        prop_assert_eq!(total, dense.0.len());
+        let _ = k;
+    }
+}

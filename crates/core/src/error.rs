@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ATM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AtmError {
+    /// The box trace is too short for the requested train/test split.
+    TraceTooShort {
+        /// Windows required (train + horizon).
+        required: usize,
+        /// Windows available.
+        actual: usize,
+    },
+    /// The box has no VMs or no series.
+    Empty,
+    /// The trace contains gap (`NaN`) samples in the evaluation window;
+    /// ATM runs on gap-free boxes (the paper selects 400 such boxes).
+    GappyTrace,
+    /// A configuration parameter is invalid.
+    InvalidConfig(&'static str),
+    /// The clustering step failed.
+    Clustering(String),
+    /// A regression step failed irrecoverably.
+    Regression(String),
+    /// A temporal forecaster failed irrecoverably.
+    Forecast(String),
+    /// The resizing optimizer failed.
+    Resize(String),
+}
+
+impl fmt::Display for AtmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmError::TraceTooShort { required, actual } => {
+                write!(f, "trace too short: need {required} windows, have {actual}")
+            }
+            AtmError::Empty => write!(f, "box has no series"),
+            AtmError::GappyTrace => write!(f, "trace contains gaps in the evaluation window"),
+            AtmError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            AtmError::Clustering(e) => write!(f, "clustering failed: {e}"),
+            AtmError::Regression(e) => write!(f, "regression failed: {e}"),
+            AtmError::Forecast(e) => write!(f, "forecast failed: {e}"),
+            AtmError::Resize(e) => write!(f, "resize failed: {e}"),
+        }
+    }
+}
+
+impl Error for AtmError {}
+
+impl From<atm_clustering::ClusteringError> for AtmError {
+    fn from(e: atm_clustering::ClusteringError) -> Self {
+        AtmError::Clustering(e.to_string())
+    }
+}
+
+impl From<atm_stats::StatsError> for AtmError {
+    fn from(e: atm_stats::StatsError) -> Self {
+        AtmError::Regression(e.to_string())
+    }
+}
+
+impl From<atm_forecast::ForecastError> for AtmError {
+    fn from(e: atm_forecast::ForecastError) -> Self {
+        AtmError::Forecast(e.to_string())
+    }
+}
+
+impl From<atm_resize::ResizeError> for AtmError {
+    fn from(e: atm_resize::ResizeError) -> Self {
+        AtmError::Resize(e.to_string())
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type AtmResult<T> = Result<T, AtmError>;

@@ -1,0 +1,240 @@
+//! Fleet-scale evaluation: fans [`run_box`](crate::pipeline::run_box()) out
+//! over many boxes in parallel and aggregates the per-box reports into the
+//! fleet-level numbers the paper's figures plot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use atm_resize::evaluate::{summarize, BoxOutcome, ReductionSummary};
+use atm_tracegen::{BoxTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::config::AtmConfig;
+use crate::pipeline::{run_box, BoxReport};
+
+/// Which allocator's outcome to aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Allocator {
+    /// ATM's greedy MCKP resizing.
+    Atm,
+    /// The stingy (peak-demand) baseline.
+    Stingy,
+    /// Max-min fairness.
+    MaxMin,
+}
+
+/// A box that failed to evaluate, with the reason.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxFailure {
+    /// The box's name.
+    pub box_name: String,
+    /// Stringified error.
+    pub error: String,
+}
+
+/// Aggregated fleet evaluation results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Successful per-box reports.
+    pub reports: Vec<BoxReport>,
+    /// Boxes that failed (e.g. gappy traces).
+    pub failures: Vec<BoxFailure>,
+}
+
+impl FleetReport {
+    /// Mean final signature-to-original ratio across boxes (Fig. 6a).
+    pub fn mean_final_ratio(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.signature.final_ratio()))
+    }
+
+    /// Mean initial (post-clustering) signature ratio across boxes.
+    pub fn mean_initial_ratio(&self) -> f64 {
+        mean(self.reports.iter().map(|r| r.signature.initial_ratio()))
+    }
+
+    /// Mean in-sample spatial-model APE across boxes (fraction, Fig. 6b).
+    pub fn mean_spatial_mape(&self) -> f64 {
+        mean(
+            self.reports
+                .iter()
+                .map(|r| r.signature.spatial_in_sample_mape),
+        )
+    }
+
+    /// Per-box full-pipeline APE samples (fraction; the Fig. 9 "All" CDF).
+    pub fn ape_samples(&self) -> Vec<f64> {
+        self.reports.iter().map(|r| r.prediction.mape_all).collect()
+    }
+
+    /// Per-box peak APE samples (the Fig. 9 "Peak" CDF); boxes without
+    /// peak windows are skipped.
+    pub fn peak_ape_samples(&self) -> Vec<f64> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.prediction.mape_peak)
+            .collect()
+    }
+
+    /// Cluster-count samples across boxes (Fig. 5).
+    pub fn cluster_counts(&self) -> Vec<usize> {
+        self.reports
+            .iter()
+            .map(|r| r.signature.cluster_count)
+            .collect()
+    }
+
+    /// Per-box outcomes for one resource and allocator.
+    pub fn outcomes(&self, resource: Resource, allocator: Allocator) -> Vec<BoxOutcome> {
+        self.reports
+            .iter()
+            .flat_map(|r| {
+                r.resizing.iter().filter(|rr| rr.resource == resource).map(
+                    move |rr| match allocator {
+                        Allocator::Atm => rr.atm,
+                        Allocator::Stingy => rr.stingy,
+                        Allocator::MaxMin => rr.maxmin,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Ticket-reduction summary for one resource and allocator — one bar
+    /// of Figs. 8/10.
+    pub fn reduction_summary(
+        &self,
+        resource: Resource,
+        allocator: Allocator,
+    ) -> Option<ReductionSummary> {
+        summarize(&self.outcomes(resource, allocator)).ok()
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let values: Vec<f64> = iter.collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Runs the ATM pipeline over every box, using `threads` worker threads
+/// (1 = sequential). Boxes that fail are reported in
+/// [`FleetReport::failures`] rather than aborting the sweep.
+pub fn run_fleet(boxes: &[BoxTrace], config: &AtmConfig, threads: usize) -> FleetReport {
+    let threads = threads.max(1).min(boxes.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Result<BoxReport, String>)>> =
+        Mutex::new(Vec::with_capacity(boxes.len()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= boxes.len() {
+                    break;
+                }
+                let result = run_box(&boxes[i], config).map_err(|e| e.to_string());
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((i, result));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("threads joined");
+    collected.sort_by_key(|(i, _)| *i);
+
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for (i, result) in collected {
+        match result {
+            Ok(r) => reports.push(r),
+            Err(e) => failures.push(BoxFailure {
+                box_name: boxes[i].name.clone(),
+                error: e,
+            }),
+        }
+    }
+    FleetReport { reports, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TemporalModel;
+    use atm_tracegen::{generate_fleet, FleetConfig};
+
+    fn small_fleet(gaps: f64) -> Vec<BoxTrace> {
+        generate_fleet(&FleetConfig {
+            num_boxes: 6,
+            days: 3,
+            gap_probability: gaps,
+            ..FleetConfig::default()
+        })
+        .boxes
+    }
+
+    fn oracle_config() -> AtmConfig {
+        AtmConfig {
+            temporal: TemporalModel::Oracle,
+            ..AtmConfig::fast_for_tests()
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let boxes = small_fleet(0.0);
+        let cfg = oracle_config();
+        let seq = run_fleet(&boxes, &cfg, 1);
+        let par = run_fleet(&boxes, &cfg, 4);
+        assert_eq!(seq.reports.len(), par.reports.len());
+        // Same boxes, same order, same signature stats.
+        for (a, b) in seq.reports.iter().zip(&par.reports) {
+            assert_eq!(a.box_name, b.box_name);
+            assert_eq!(a.signature, b.signature);
+        }
+    }
+
+    #[test]
+    fn gappy_boxes_reported_as_failures() {
+        let boxes = small_fleet(1.0);
+        let report = run_fleet(&boxes, &oracle_config(), 2);
+        assert_eq!(report.reports.len() + report.failures.len(), boxes.len());
+        assert!(!report.failures.is_empty());
+        for f in &report.failures {
+            assert!(f.error.contains("gap"), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn aggregations_are_consistent() {
+        let boxes = small_fleet(0.0);
+        let report = run_fleet(&boxes, &oracle_config(), 2);
+        assert!(!report.reports.is_empty());
+        assert!(report.mean_final_ratio() > 0.0);
+        assert!(report.mean_final_ratio() <= report.mean_initial_ratio() + 1e-12);
+        assert_eq!(report.ape_samples().len(), report.reports.len());
+        assert_eq!(report.cluster_counts().len(), report.reports.len());
+        let atm = report
+            .reduction_summary(Resource::Cpu, Allocator::Atm)
+            .expect("boxes evaluated");
+        let stingy = report
+            .reduction_summary(Resource::Cpu, Allocator::Stingy)
+            .expect("boxes evaluated");
+        assert!(atm.total_after <= stingy.total_after);
+    }
+
+    #[test]
+    fn empty_fleet_is_empty_report() {
+        let report = run_fleet(&[], &oracle_config(), 4);
+        assert!(report.reports.is_empty());
+        assert!(report.failures.is_empty());
+        assert_eq!(report.mean_final_ratio(), 0.0);
+        assert!(report
+            .reduction_summary(Resource::Cpu, Allocator::Atm)
+            .is_none());
+    }
+}

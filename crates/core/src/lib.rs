@@ -1,0 +1,60 @@
+//! # atm-core
+//!
+//! The Active Ticket Managing (ATM) system — the primary contribution of
+//! *"Managing Data Center Tickets: Prediction and Active Sizing"*
+//! (DSN 2016), assembled from the substrate crates.
+//!
+//! ATM runs per physical box and consists of:
+//!
+//! 1. **Signature search** ([`signature`]): divide the box's `M × N`
+//!    demand series into a small *signature set* `Ω_s` and a *dependent
+//!    set* `Ω_d`. Step 1 clusters the series — by DTW dissimilarity with
+//!    silhouette-selected hierarchical clustering, or by the paper's
+//!    correlation-based clustering (CBC) — and takes one representative
+//!    per cluster. Step 2 removes multicollinear signatures via VIF +
+//!    stepwise regression.
+//! 2. **Spatial models** ([`spatial`]): each dependent series is an OLS
+//!    linear combination of the signature series (eq. 1).
+//! 3. **Temporal models** (plugged in from `atm-forecast`): signature
+//!    series are forecast over the resizing horizon — neural network by
+//!    default, exactly as the paper uses PRACTISE.
+//! 4. **Resizing** (from `atm-resize`): the predicted demands drive the
+//!    greedy MCKP allocator; CPU and RAM are resized separately.
+//!
+//! The [`pipeline`] module wires these together for one box, [`fleet`]
+//! fans the pipeline out over an entire fleet (the aggregated reports
+//! behind the paper's Figs. 5–10), [`online`] rolls ATM along a trace
+//! day by day — the paper's stated future work — and [`whatif`] inverts
+//! the knapsack into capacity planning (tickets-vs-budget curves).
+//!
+//! # Example
+//!
+//! ```
+//! use atm_core::config::AtmConfig;
+//! use atm_core::pipeline::run_box;
+//! use atm_tracegen::{generate_box, FleetConfig};
+//!
+//! let trace_cfg = FleetConfig { num_boxes: 1, days: 3, gap_probability: 0.0,
+//!                               ..FleetConfig::default() };
+//! let box_trace = generate_box(&trace_cfg, 0);
+//! let config = AtmConfig::fast_for_tests();
+//! let report = run_box(&box_trace, &config)?;
+//! assert!(report.signature.final_ratio() <= 1.0);
+//! # Ok::<(), atm_core::AtmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod error;
+pub mod fleet;
+pub mod online;
+pub mod pipeline;
+pub mod signature;
+pub mod spatial;
+pub mod whatif;
+
+pub use config::AtmConfig;
+pub use error::{AtmError, AtmResult};
+pub use pipeline::{run_box, BoxReport};

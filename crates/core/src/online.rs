@@ -1,0 +1,201 @@
+//! Online rolling management — the paper's stated future work ("use
+//! ATM's prediction abilities to drive online dynamic workload
+//! management").
+//!
+//! Instead of the single post-hoc train/evaluate split of Section V,
+//! [`run_online`] slides ATM along the trace day by day: each resizing
+//! window is predicted and resized using only the history available at
+//! that point, then evaluated against what actually happened — the loop a
+//! production deployment would run.
+
+use atm_tracegen::{BoxTrace, VmTrace};
+use serde::{Deserialize, Serialize};
+
+use crate::config::AtmConfig;
+use crate::error::{AtmError, AtmResult};
+use crate::pipeline::{run_box, BoxReport};
+
+/// Outcome of one resizing window (one day in the paper's setup).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowOutcome {
+    /// Index of the resizing window (0 = first evaluable day).
+    pub window: usize,
+    /// The full per-box report for this window.
+    pub report: BoxReport,
+}
+
+/// Aggregated online-management results for one box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Per-window outcomes, in time order.
+    pub windows: Vec<WindowOutcome>,
+}
+
+impl OnlineReport {
+    /// Total tickets before resizing, summed over every window and
+    /// resource.
+    pub fn total_before(&self) -> usize {
+        self.windows
+            .iter()
+            .flat_map(|w| w.report.resizing.iter())
+            .map(|r| r.atm.before)
+            .sum()
+    }
+
+    /// Total tickets after ATM resizing.
+    pub fn total_after(&self) -> usize {
+        self.windows
+            .iter()
+            .flat_map(|w| w.report.resizing.iter())
+            .map(|r| r.atm.after)
+            .sum()
+    }
+
+    /// Overall percent reduction; `None` when no window had tickets.
+    pub fn overall_reduction_pct(&self) -> Option<f64> {
+        let before = self.total_before();
+        if before == 0 {
+            None
+        } else {
+            Some((before as f64 - self.total_after() as f64) / before as f64 * 100.0)
+        }
+    }
+
+    /// Mean prediction APE across windows (fraction).
+    pub fn mean_mape(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        self.windows
+            .iter()
+            .map(|w| w.report.prediction.mape_all)
+            .sum::<f64>()
+            / self.windows.len() as f64
+    }
+}
+
+/// A copy of `box_trace` truncated to its first `windows` ticketing
+/// windows.
+fn truncate_box(box_trace: &BoxTrace, windows: usize) -> BoxTrace {
+    BoxTrace {
+        name: box_trace.name.clone(),
+        cpu_capacity_ghz: box_trace.cpu_capacity_ghz,
+        ram_capacity_gb: box_trace.ram_capacity_gb,
+        interval_minutes: box_trace.interval_minutes,
+        vms: box_trace
+            .vms
+            .iter()
+            .map(|vm| VmTrace {
+                name: vm.name.clone(),
+                cpu_capacity_ghz: vm.cpu_capacity_ghz,
+                ram_capacity_gb: vm.ram_capacity_gb,
+                cpu_usage: vm.cpu_usage[..windows].to_vec(),
+                ram_usage: vm.ram_usage[..windows].to_vec(),
+            })
+            .collect(),
+    }
+}
+
+/// Rolls ATM along the trace: for every consecutive resizing horizon
+/// after the first `config.train_windows` windows, retrain on the
+/// trailing history and resize, evaluating against the realized demand.
+///
+/// With a 7-day trace and the paper's defaults (5-day training, 1-day
+/// horizon) this yields 2 evaluable windows; longer traces yield more.
+///
+/// # Errors
+///
+/// - [`AtmError::TraceTooShort`] if not even one window fits.
+/// - Propagates per-window pipeline errors.
+pub fn run_online(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<OnlineReport> {
+    config.validate()?;
+    let total = box_trace.window_count();
+    let needed = config.train_windows + config.horizon;
+    if total < needed {
+        return Err(AtmError::TraceTooShort {
+            required: needed,
+            actual: total,
+        });
+    }
+    let evaluable = (total - config.train_windows) / config.horizon;
+    let mut windows = Vec::with_capacity(evaluable);
+    for w in 0..evaluable {
+        let end = config.train_windows + (w + 1) * config.horizon;
+        let truncated = truncate_box(box_trace, end);
+        let report = run_box(&truncated, config)?;
+        windows.push(WindowOutcome { window: w, report });
+    }
+    Ok(OnlineReport { windows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TemporalModel;
+    use atm_tracegen::{generate_box, FleetConfig};
+
+    fn trace(days: usize) -> BoxTrace {
+        generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days,
+                gap_probability: 0.0,
+                ..FleetConfig::default()
+            },
+            3,
+        )
+    }
+
+    fn oracle_config() -> AtmConfig {
+        AtmConfig {
+            temporal: TemporalModel::Oracle,
+            train_windows: 2 * 96,
+            horizon: 96,
+            ..AtmConfig::fast_for_tests()
+        }
+    }
+
+    #[test]
+    fn rolls_over_every_available_window() {
+        // 5 days, 2-day training, 1-day horizon -> 3 windows.
+        let report = run_online(&trace(5), &oracle_config()).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        for (i, w) in report.windows.iter().enumerate() {
+            assert_eq!(w.window, i);
+            assert_eq!(w.report.resizing.len(), 2);
+        }
+    }
+
+    #[test]
+    fn online_reduces_tickets_cumulatively() {
+        let report = run_online(&trace(5), &oracle_config()).unwrap();
+        let before = report.total_before();
+        let after = report.total_after();
+        assert!(before > 0, "trace produced no tickets");
+        assert!(after < before, "online ATM did not reduce tickets");
+        let reduction = report.overall_reduction_pct().unwrap();
+        assert!(reduction > 40.0, "reduction only {reduction:.0}%");
+        assert!(report.mean_mape().is_finite());
+    }
+
+    #[test]
+    fn too_short_trace_rejected() {
+        let cfg = oracle_config();
+        assert!(matches!(
+            run_online(&trace(2), &cfg),
+            Err(AtmError::TraceTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn each_window_trains_only_on_past() {
+        // The first window's report must be identical to running the
+        // pipeline on the truncated prefix — no future leakage.
+        let b = trace(5);
+        let cfg = oracle_config();
+        let online = run_online(&b, &cfg).unwrap();
+        let prefix = truncate_box(&b, cfg.train_windows + cfg.horizon);
+        let direct = run_box(&prefix, &cfg).unwrap();
+        assert_eq!(online.windows[0].report, direct);
+    }
+}

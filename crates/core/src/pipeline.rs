@@ -1,0 +1,581 @@
+//! The end-to-end ATM pipeline for one box (paper Section V):
+//! train on history → signature search → temporal forecasts for
+//! signatures → spatial prediction of dependents → proactive resizing →
+//! replay against the actual future.
+
+use atm_forecast::ensemble::EnsembleForecaster;
+use atm_forecast::holt_winters::HoltWinters;
+use atm_forecast::mlp::MlpForecaster;
+use atm_forecast::naive::{LastValue, SeasonalNaive};
+use atm_forecast::{ar::ArForecaster, Forecaster};
+use atm_resize::evaluate::{box_outcome, BoxOutcome};
+use atm_resize::{baselines, greedy, ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use atm_timeseries::metrics::{mape, peak_mape};
+use atm_tracegen::{BoxTrace, Resource, SeriesKey};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AtmConfig, ResourceScope, TemporalModel};
+use crate::error::{AtmError, AtmResult};
+use crate::signature::{search, SignatureOutcome};
+use crate::spatial::SpatialModel;
+
+/// Signature-search statistics for one box (paper Figs. 5, 6a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureReport {
+    /// Total series considered (`M × N` under the configured scope).
+    pub total_series: usize,
+    /// Signatures after Step 1 (clustering).
+    pub initial_signatures: usize,
+    /// Signatures after Step 2 (stepwise).
+    pub final_signatures: usize,
+    /// Cluster count from Step 1.
+    pub cluster_count: usize,
+    /// Mean silhouette (DTW only).
+    pub silhouette: Option<f64>,
+    /// Final signatures that are CPU series.
+    pub signature_cpu: usize,
+    /// Final signatures that are RAM series.
+    pub signature_ram: usize,
+    /// Mean in-sample APE of the spatial models (fraction; Fig. 6b).
+    pub spatial_in_sample_mape: f64,
+}
+
+impl SignatureReport {
+    /// Signature-to-original ratio after Step 1.
+    pub fn initial_ratio(&self) -> f64 {
+        self.initial_signatures as f64 / self.total_series as f64
+    }
+
+    /// Signature-to-original ratio after Step 2.
+    pub fn final_ratio(&self) -> f64 {
+        self.final_signatures as f64 / self.total_series as f64
+    }
+}
+
+/// Out-of-sample prediction accuracy for one series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPrediction {
+    /// Which series.
+    pub key: SeriesKey,
+    /// Whether it was predicted by a temporal model (signature) or a
+    /// spatial model (dependent).
+    pub is_signature: bool,
+    /// Mean APE over the horizon (fraction); `None` if undefined.
+    pub ape: Option<f64>,
+    /// Mean APE restricted to peak windows (actual usage above the ticket
+    /// threshold); `None` if the series has no peak windows.
+    pub peak_ape: Option<f64>,
+}
+
+/// Aggregated prediction accuracy for one box (paper Fig. 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictionReport {
+    /// Mean APE across all series of the box (fraction).
+    pub mape_all: f64,
+    /// Mean peak APE across series with peaks (fraction); `None` if no
+    /// series peaked.
+    pub mape_peak: Option<f64>,
+    /// Per-series details.
+    pub per_series: Vec<SeriesPrediction>,
+}
+
+/// Resizing outcome for one resource on one box (paper Figs. 8, 10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceResizeReport {
+    /// The resized resource.
+    pub resource: Resource,
+    /// ATM's greedy MCKP allocation outcome.
+    pub atm: BoxOutcome,
+    /// Stingy baseline outcome.
+    pub stingy: BoxOutcome,
+    /// Max-min fairness baseline outcome.
+    pub maxmin: BoxOutcome,
+}
+
+/// Everything ATM produces for one box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxReport {
+    /// The box's name.
+    pub box_name: String,
+    /// Signature-search statistics.
+    pub signature: SignatureReport,
+    /// Out-of-sample prediction accuracy.
+    pub prediction: PredictionReport,
+    /// Per-resource resizing outcomes.
+    pub resizing: Vec<ResourceResizeReport>,
+}
+
+/// Keys of a box under a resource scope.
+fn scoped_keys(box_trace: &BoxTrace, scope: ResourceScope) -> Vec<SeriesKey> {
+    box_trace
+        .series_keys()
+        .into_iter()
+        .filter(|k| match scope {
+            ResourceScope::Inter => true,
+            ResourceScope::IntraCpu => k.resource == Resource::Cpu,
+            ResourceScope::IntraRam => k.resource == Resource::Ram,
+        })
+        .collect()
+}
+
+/// Resources covered by a scope.
+fn scoped_resources(scope: ResourceScope) -> Vec<Resource> {
+    match scope {
+        ResourceScope::Inter => vec![Resource::Cpu, Resource::Ram],
+        ResourceScope::IntraCpu => vec![Resource::Cpu],
+        ResourceScope::IntraRam => vec![Resource::Ram],
+    }
+}
+
+/// Instantiates a forecaster from its configuration (recursively for
+/// ensembles). `Oracle` has no forecaster and returns `None`.
+fn build_forecaster(temporal: &TemporalModel) -> Option<Box<dyn Forecaster + Send>> {
+    match temporal {
+        TemporalModel::Oracle => None,
+        TemporalModel::Mlp(cfg) => Some(Box::new(MlpForecaster::new(cfg.clone()))),
+        TemporalModel::Ar { order } => Some(Box::new(ArForecaster::new(*order))),
+        TemporalModel::HoltWinters(cfg) => Some(Box::new(HoltWinters::new(*cfg))),
+        TemporalModel::SeasonalNaive { period } => Some(Box::new(SeasonalNaive::new(*period))),
+        TemporalModel::Ensemble { members } => {
+            let built: Vec<Box<dyn Forecaster + Send>> =
+                members.iter().filter_map(build_forecaster).collect();
+            if built.is_empty() {
+                None
+            } else {
+                Some(Box::new(EnsembleForecaster::new(built)))
+            }
+        }
+    }
+}
+
+/// Builds a temporal forecast for one signature series, falling back to
+/// simpler models when the configured one cannot fit.
+fn temporal_forecast(
+    train: &[f64],
+    horizon: usize,
+    temporal: &TemporalModel,
+    test_actual: &[f64],
+) -> Vec<f64> {
+    let forecast = match build_forecaster(temporal) {
+        None => return test_actual.to_vec(), // Oracle (or empty ensemble)
+        Some(mut m) => m.fit(train).and_then(|()| m.forecast(horizon)),
+    };
+    forecast
+        .or_else(|_| {
+            // Fallback 1: seasonal-naive over the longest period fitting
+            // the history.
+            let period = (train.len() / 2).clamp(1, 96);
+            let mut m = SeasonalNaive::new(period);
+            m.fit(train).and_then(|()| m.forecast(horizon))
+        })
+        .or_else(|_| {
+            let mut m = LastValue::new();
+            m.fit(train).and_then(|()| m.forecast(horizon))
+        })
+        .unwrap_or_else(|_| vec![0.0; horizon])
+}
+
+/// Replaces non-finite predictions and clamps demands to be non-negative.
+fn sanitize(mut series: Vec<f64>) -> Vec<f64> {
+    for v in &mut series {
+        if !v.is_finite() || *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    series
+}
+
+/// Runs the full ATM pipeline on one box.
+///
+/// Uses the last `train_windows + horizon` ticketing windows of the trace:
+/// the prefix for training (5 days in the paper) and the suffix as the
+/// evaluation day that resizing is applied to.
+///
+/// # Errors
+///
+/// - [`AtmError::InvalidConfig`] for a bad configuration.
+/// - [`AtmError::TraceTooShort`] if the trace cannot cover the split.
+/// - [`AtmError::GappyTrace`] if the evaluation window contains gaps.
+/// - Propagated clustering/regression/forecast/resize errors.
+pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport> {
+    config.validate()?;
+    let keys = scoped_keys(box_trace, config.scope);
+    if keys.is_empty() {
+        return Err(AtmError::Empty);
+    }
+    let needed = config.train_windows + config.horizon;
+    let total = box_trace.window_count();
+    if total < needed {
+        return Err(AtmError::TraceTooShort {
+            required: needed,
+            actual: total,
+        });
+    }
+    let start = total - needed;
+    let split = start + config.train_windows;
+
+    // Demand columns, train/test split.
+    let mut train_cols = Vec::with_capacity(keys.len());
+    let mut test_cols = Vec::with_capacity(keys.len());
+    for &k in &keys {
+        let demand = box_trace.demand(k);
+        if demand[start..].iter().any(|d| !d.is_finite()) {
+            return Err(AtmError::GappyTrace);
+        }
+        train_cols.push(demand[start..split].to_vec());
+        test_cols.push(demand[split..].to_vec());
+    }
+
+    // Step 1 + 2: signature search on training demands.
+    let outcome: SignatureOutcome = search(
+        &keys,
+        &train_cols,
+        &config.cluster_method,
+        &config.stepwise,
+        config.znorm_for_dtw,
+    )?;
+    let dependents = outcome.dependents();
+
+    // Spatial models for dependents.
+    let spatial = SpatialModel::fit_with(
+        &train_cols,
+        &outcome.final_signatures,
+        &dependents,
+        config.spatial_ridge_lambda,
+    )?;
+    let spatial_in_sample = spatial.in_sample_mape(&train_cols)?;
+
+    // Temporal forecasts for signatures.
+    let sig_predictions: Vec<Vec<f64>> = outcome
+        .final_signatures
+        .iter()
+        .map(|&s| {
+            sanitize(temporal_forecast(
+                &train_cols[s],
+                config.horizon,
+                &config.temporal,
+                &test_cols[s],
+            ))
+        })
+        .collect();
+
+    // Spatial predictions for dependents.
+    let dep_predictions: Vec<Vec<f64>> = spatial
+        .predict(&sig_predictions)?
+        .into_iter()
+        .map(sanitize)
+        .collect();
+
+    // Assemble the full predicted matrix aligned with `keys`.
+    let mut predicted: Vec<Vec<f64>> = vec![Vec::new(); keys.len()];
+    for (pos, &s) in outcome.final_signatures.iter().enumerate() {
+        predicted[s] = sig_predictions[pos].clone();
+    }
+    for (pos, &d) in dependents.iter().enumerate() {
+        predicted[d] = dep_predictions[pos].clone();
+    }
+
+    // Prediction accuracy (Fig. 9): APE over all windows and over peak
+    // windows (actual usage above the ticket threshold).
+    let alpha = config.ticket_threshold_pct / 100.0;
+    let mut per_series = Vec::with_capacity(keys.len());
+    let mut ape_sum = 0.0;
+    let mut ape_n = 0usize;
+    let mut peak_sum = 0.0;
+    let mut peak_n = 0usize;
+    for (i, &k) in keys.iter().enumerate() {
+        let capacity = box_trace.vms[k.vm].capacity(k.resource);
+        let ape = mape(&test_cols[i], &predicted[i]).ok();
+        let p_ape = peak_mape(&test_cols[i], &predicted[i], alpha * capacity).ok();
+        if let Some(e) = ape {
+            ape_sum += e;
+            ape_n += 1;
+        }
+        if let Some(e) = p_ape {
+            peak_sum += e;
+            peak_n += 1;
+        }
+        per_series.push(SeriesPrediction {
+            key: k,
+            is_signature: outcome.final_signatures.contains(&i),
+            ape,
+            peak_ape: p_ape,
+        });
+    }
+    let prediction = PredictionReport {
+        mape_all: if ape_n == 0 {
+            0.0
+        } else {
+            ape_sum / ape_n as f64
+        },
+        mape_peak: if peak_n == 0 {
+            None
+        } else {
+            Some(peak_sum / peak_n as f64)
+        },
+        per_series,
+    };
+
+    // Proactive resizing per resource (Fig. 10): allocators size from the
+    // *predicted* demands; outcomes replay the *actual* test demands.
+    let policy = ThresholdPolicy::new(config.ticket_threshold_pct)
+        .map_err(|_| AtmError::InvalidConfig("ticket threshold"))?;
+    let mut resizing = Vec::new();
+    for resource in scoped_resources(config.scope) {
+        let vm_indices: Vec<usize> = (0..box_trace.vm_count()).collect();
+        let idx_of = |vm: usize| -> usize {
+            keys.iter()
+                .position(|k| k.vm == vm && k.resource == resource)
+                .expect("scoped keys cover this resource")
+        };
+        let box_capacity = box_trace.capacity(resource);
+
+        let vms: Vec<VmDemand> = vm_indices
+            .iter()
+            .map(|&vm| {
+                let i = idx_of(vm);
+                // Lower bound: the VM's peak usage before resizing
+                // (paper Section IV-A.1), i.e. peak actual training demand.
+                let lower = train_cols[i].iter().copied().fold(0.0, f64::max);
+                VmDemand::new(
+                    box_trace.vms[vm].name.clone(),
+                    predicted[i].clone(),
+                    lower.min(box_capacity),
+                    box_capacity,
+                )
+            })
+            .collect();
+        let epsilon = match resource {
+            Resource::Cpu => config.epsilon_cpu,
+            Resource::Ram => config.epsilon_ram,
+        };
+        let problem = ResizeProblem::new(vms, box_capacity, policy).with_epsilon(epsilon);
+
+        let atm_alloc = greedy::solve(&problem)?;
+        let stingy_alloc = baselines::stingy(&problem)?;
+        let maxmin_alloc = baselines::max_min_fairness(&problem)?;
+
+        let actual: Vec<Vec<f64>> = vm_indices
+            .iter()
+            .map(|&vm| test_cols[idx_of(vm)].clone())
+            .collect();
+        let original: Vec<f64> = vm_indices
+            .iter()
+            .map(|&vm| box_trace.vms[vm].capacity(resource))
+            .collect();
+
+        resizing.push(ResourceResizeReport {
+            resource,
+            atm: box_outcome(&actual, &original, &atm_alloc.capacities, &policy)?,
+            stingy: box_outcome(&actual, &original, &stingy_alloc.capacities, &policy)?,
+            maxmin: box_outcome(&actual, &original, &maxmin_alloc.capacities, &policy)?,
+        });
+    }
+
+    let (sig_cpu, sig_ram) = outcome.signature_resource_counts();
+    Ok(BoxReport {
+        box_name: box_trace.name.clone(),
+        signature: SignatureReport {
+            total_series: keys.len(),
+            initial_signatures: outcome.initial_signatures.len(),
+            final_signatures: outcome.final_signatures.len(),
+            cluster_count: outcome.cluster_count,
+            silhouette: outcome.silhouette,
+            signature_cpu: sig_cpu,
+            signature_ram: sig_ram,
+            spatial_in_sample_mape: spatial_in_sample,
+        },
+        prediction,
+        resizing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterMethod;
+    use atm_tracegen::{generate_box, FleetConfig};
+
+    fn trace_config() -> FleetConfig {
+        FleetConfig {
+            num_boxes: 1,
+            days: 3,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn oracle_config() -> AtmConfig {
+        AtmConfig {
+            temporal: TemporalModel::Oracle,
+            ..AtmConfig::fast_for_tests()
+        }
+    }
+
+    #[test]
+    fn oracle_pipeline_runs_end_to_end() {
+        let b = generate_box(&trace_config(), 0);
+        let r = run_box(&b, &oracle_config()).unwrap();
+        assert_eq!(r.box_name, "box0");
+        assert_eq!(r.signature.total_series, b.vm_count() * 2);
+        assert!(r.signature.final_signatures >= 1);
+        assert!(r.signature.final_ratio() <= 1.0);
+        assert_eq!(r.resizing.len(), 2);
+        assert_eq!(r.prediction.per_series.len(), r.signature.total_series);
+    }
+
+    #[test]
+    fn oracle_signature_predictions_are_exact() {
+        let b = generate_box(&trace_config(), 1);
+        let r = run_box(&b, &oracle_config()).unwrap();
+        for s in &r.prediction.per_series {
+            if s.is_signature {
+                assert!(s.ape.unwrap_or(0.0) < 1e-9, "oracle signature APE {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn atm_resizing_beats_or_ties_baselines_with_oracle() {
+        // With oracle demands ATM's greedy should dominate both baselines
+        // in total tickets (the Fig. 8 result).
+        let mut atm_total = 0usize;
+        let mut stingy_total = 0usize;
+        let mut maxmin_total = 0usize;
+        for i in 0..5 {
+            let b = generate_box(&trace_config(), i);
+            let r = run_box(&b, &oracle_config()).unwrap();
+            for res in &r.resizing {
+                atm_total += res.atm.after;
+                stingy_total += res.stingy.after;
+                maxmin_total += res.maxmin.after;
+            }
+        }
+        assert!(
+            atm_total <= stingy_total,
+            "ATM {atm_total} > stingy {stingy_total}"
+        );
+        assert!(
+            atm_total <= maxmin_total,
+            "ATM {atm_total} > maxmin {maxmin_total}"
+        );
+    }
+
+    #[test]
+    fn atm_reduces_tickets_substantially_with_oracle() {
+        let mut before = 0usize;
+        let mut after = 0usize;
+        for i in 0..6 {
+            let b = generate_box(&trace_config(), i);
+            let r = run_box(&b, &oracle_config()).unwrap();
+            for res in &r.resizing {
+                before += res.atm.before;
+                after += res.atm.after;
+            }
+        }
+        assert!(before > 0, "no tickets in the generated boxes");
+        let reduction = (before - after) as f64 / before as f64;
+        assert!(
+            reduction > 0.5,
+            "oracle ATM reduced only {:.0}% of tickets",
+            reduction * 100.0
+        );
+    }
+
+    #[test]
+    fn cbc_and_dtw_both_run() {
+        let b = generate_box(&trace_config(), 2);
+        for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+            let cfg = oracle_config().with_cluster_method(method);
+            let r = run_box(&b, &cfg).unwrap();
+            assert!(r.signature.final_signatures >= 1, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn intra_scope_covers_single_resource() {
+        let b = generate_box(&trace_config(), 3);
+        let cfg = oracle_config().with_scope(ResourceScope::IntraCpu);
+        let r = run_box(&b, &cfg).unwrap();
+        assert_eq!(r.signature.total_series, b.vm_count());
+        assert_eq!(r.resizing.len(), 1);
+        assert_eq!(r.resizing[0].resource, Resource::Cpu);
+        assert_eq!(r.signature.signature_ram, 0);
+    }
+
+    #[test]
+    fn short_trace_rejected() {
+        let short = FleetConfig {
+            days: 1,
+            ..trace_config()
+        };
+        let b = generate_box(&short, 0);
+        assert!(matches!(
+            run_box(&b, &oracle_config()),
+            Err(AtmError::TraceTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn gappy_trace_rejected() {
+        let mut b = generate_box(&trace_config(), 4);
+        b.vms[0].cpu_usage[250] = f64::NAN;
+        assert_eq!(run_box(&b, &oracle_config()), Err(AtmError::GappyTrace));
+    }
+
+    #[test]
+    fn mlp_pipeline_runs_and_is_reasonably_accurate() {
+        let b = generate_box(&trace_config(), 5);
+        let cfg = AtmConfig::fast_for_tests();
+        let r = run_box(&b, &cfg).unwrap();
+        // The synthetic load is seasonal but heavy-tailed with low night
+        // levels, which inflates relative errors (APE divides by small
+        // actuals); sanity-check the order of magnitude only.
+        assert!(
+            r.prediction.mape_all < 2.0,
+            "MAPE {:.2} implausibly high",
+            r.prediction.mape_all
+        );
+        assert!(r.prediction.mape_all.is_finite());
+    }
+
+    #[test]
+    fn seasonal_naive_temporal_model() {
+        let b = generate_box(&trace_config(), 6);
+        let cfg = oracle_config().with_temporal(TemporalModel::SeasonalNaive { period: 96 });
+        let r = run_box(&b, &cfg).unwrap();
+        assert!(r.prediction.mape_all.is_finite());
+    }
+
+    #[test]
+    fn holt_winters_temporal_model() {
+        let b = generate_box(&trace_config(), 8);
+        let cfg = oracle_config().with_temporal(TemporalModel::HoltWinters(
+            atm_forecast::holt_winters::HoltWintersConfig::default(),
+        ));
+        let r = run_box(&b, &cfg).unwrap();
+        assert!(r.prediction.mape_all.is_finite());
+    }
+
+    #[test]
+    fn ensemble_temporal_model() {
+        let b = generate_box(&trace_config(), 9);
+        let cfg = oracle_config().with_temporal(TemporalModel::Ensemble {
+            members: vec![
+                TemporalModel::SeasonalNaive { period: 96 },
+                TemporalModel::Ar { order: 4 },
+            ],
+        });
+        let r = run_box(&b, &cfg).unwrap();
+        assert!(r.prediction.mape_all.is_finite());
+    }
+
+    #[test]
+    fn ar_temporal_model() {
+        let b = generate_box(&trace_config(), 7);
+        let cfg = oracle_config().with_temporal(TemporalModel::Ar { order: 4 });
+        let r = run_box(&b, &cfg).unwrap();
+        assert!(r.prediction.mape_all.is_finite());
+    }
+}

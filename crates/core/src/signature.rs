@@ -1,0 +1,431 @@
+//! Signature-set search (paper Section III-A, Fig. 4).
+//!
+//! Step 1 clusters the box's demand series and takes one representative
+//! per cluster (the cluster *medoid* for DTW; the top-ranked series for
+//! CBC). Step 2 detects multicollinearity among the initial signatures via
+//! VIF (> 4) and removes series expressible as linear combinations of the
+//! others through backward stepwise regression.
+
+use atm_clustering::cbc::{self, CbcConfig};
+use atm_clustering::dtw::dtw_distance;
+use atm_clustering::hierarchical::{cluster_with_silhouette, paper_k_range, Linkage};
+use atm_clustering::DistanceMatrix;
+use atm_stats::stepwise::{backward_eliminate, StepwiseConfig};
+use atm_timeseries::transform::znorm;
+use atm_tracegen::{Resource, SeriesKey};
+use serde::{Deserialize, Serialize};
+
+use crate::config::ClusterMethod;
+use crate::error::{AtmError, AtmResult};
+
+/// Result of the two-step signature search over a set of series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureOutcome {
+    /// Keys of all series considered, aligned with the input columns.
+    pub keys: Vec<SeriesKey>,
+    /// Indices of the initial signatures (after Step 1 clustering).
+    pub initial_signatures: Vec<usize>,
+    /// Indices of the final signatures (after Step 2 stepwise pruning).
+    pub final_signatures: Vec<usize>,
+    /// Number of clusters found in Step 1.
+    pub cluster_count: usize,
+    /// Mean silhouette of the chosen clustering (DTW only).
+    pub silhouette: Option<f64>,
+}
+
+impl SignatureOutcome {
+    /// Signature-to-original ratio after Step 1 (paper Fig. 6a
+    /// "Clustering").
+    pub fn initial_ratio(&self) -> f64 {
+        self.initial_signatures.len() as f64 / self.keys.len() as f64
+    }
+
+    /// Signature-to-original ratio after Step 2 (paper Fig. 6a
+    /// "Stepwise").
+    pub fn final_ratio(&self) -> f64 {
+        self.final_signatures.len() as f64 / self.keys.len() as f64
+    }
+
+    /// Indices of the dependent series (everything not in the final
+    /// signature set).
+    pub fn dependents(&self) -> Vec<usize> {
+        (0..self.keys.len())
+            .filter(|i| !self.final_signatures.contains(i))
+            .collect()
+    }
+
+    /// How many final signatures are CPU vs RAM series (paper Fig. 5's
+    /// signature-type breakdown).
+    pub fn signature_resource_counts(&self) -> (usize, usize) {
+        let cpu = self
+            .final_signatures
+            .iter()
+            .filter(|&&i| self.keys[i].resource == Resource::Cpu)
+            .count();
+        (cpu, self.final_signatures.len() - cpu)
+    }
+}
+
+/// Runs the two-step signature search.
+///
+/// `columns[i]` is the training demand series for `keys[i]`; all columns
+/// must be equal-length and gap-free.
+///
+/// # Errors
+///
+/// - [`AtmError::Empty`] for empty input or mismatched keys/columns.
+/// - [`AtmError::Clustering`] if Step 1 fails.
+/// - [`AtmError::Regression`] if Step 2 fails irrecoverably.
+pub fn search(
+    keys: &[SeriesKey],
+    columns: &[Vec<f64>],
+    method: &ClusterMethod,
+    stepwise: &StepwiseConfig,
+    znorm_for_dtw: bool,
+) -> AtmResult<SignatureOutcome> {
+    if keys.is_empty() || keys.len() != columns.len() {
+        return Err(AtmError::Empty);
+    }
+    if columns.iter().any(|c| c.is_empty()) {
+        return Err(AtmError::Empty);
+    }
+
+    let (initial, cluster_count, silhouette) = match method {
+        ClusterMethod::Dtw { linkage } => step1_dtw(columns, *linkage, znorm_for_dtw)?,
+        ClusterMethod::Cbc { rho_threshold } => step1_cbc(columns, *rho_threshold)?,
+        ClusterMethod::Features { linkage } => step1_features(columns, *linkage)?,
+    };
+
+    let final_signatures = step2_stepwise(columns, &initial, stepwise)?;
+
+    Ok(SignatureOutcome {
+        keys: keys.to_vec(),
+        initial_signatures: initial,
+        final_signatures,
+        cluster_count,
+        silhouette,
+    })
+}
+
+/// Step 1, DTW flavour: pairwise DTW distances (on z-normalized series
+/// when configured), hierarchical clustering over `k ∈ [2, n/2]` with
+/// silhouette selection, medoid extraction.
+fn step1_dtw(
+    columns: &[Vec<f64>],
+    linkage: Linkage,
+    znorm_series: bool,
+) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
+    let n = columns.len();
+    if n == 1 {
+        return Ok((vec![0], 1, None));
+    }
+    // Normalize (constant series become all-zero, which DTW handles).
+    let prepared: Vec<Vec<f64>> = columns
+        .iter()
+        .map(|c| {
+            if znorm_series {
+                znorm(c)
+                    .map(|(z, _, _)| z)
+                    .unwrap_or_else(|_| vec![0.0; c.len()])
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+
+    let distances = DistanceMatrix::build(n, |i, j| {
+        dtw_distance(&prepared[i], &prepared[j]).map_err(AtmError::from)
+    })?;
+    let (k_min, k_max) = paper_k_range(n);
+    let selected = cluster_with_silhouette(&distances, linkage, k_min, k_max)?;
+    let medoids = selected.clustering.medoids(&distances)?;
+    Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
+}
+
+/// Step 1, feature-based flavour: moments/autocorrelation features,
+/// Euclidean distances, hierarchical + silhouette, medoid signatures.
+fn step1_features(
+    columns: &[Vec<f64>],
+    linkage: Linkage,
+) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
+    let n = columns.len();
+    if n == 1 {
+        return Ok((vec![0], 1, None));
+    }
+    let seasonal_lag = (columns[0].len() / 2).clamp(1, 96);
+    let distances = atm_clustering::features::feature_distance_matrix(columns, seasonal_lag)?;
+    let (k_min, k_max) = paper_k_range(n);
+    let selected = cluster_with_silhouette(&distances, linkage, k_min, k_max)?;
+    let medoids = selected.clustering.medoids(&distances)?;
+    Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
+}
+
+/// Step 1, CBC flavour.
+fn step1_cbc(
+    columns: &[Vec<f64>],
+    rho_threshold: f64,
+) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
+    let outcome = cbc::cluster(
+        columns,
+        &CbcConfig {
+            rho_threshold,
+            absolute: false,
+        },
+    )?;
+    let k = outcome.clustering.k();
+    Ok((outcome.signatures, k, None))
+}
+
+/// Step 2: VIF-driven backward stepwise over the initial signature
+/// columns. Indices are mapped back into the original column space.
+fn step2_stepwise(
+    columns: &[Vec<f64>],
+    initial: &[usize],
+    config: &StepwiseConfig,
+) -> AtmResult<Vec<usize>> {
+    if initial.len() <= 1 {
+        return Ok(initial.to_vec());
+    }
+    let sig_columns: Vec<Vec<f64>> = initial.iter().map(|&i| columns[i].clone()).collect();
+    let outcome = backward_eliminate(&sig_columns, config)
+        .map_err(|e| AtmError::Regression(e.to_string()))?;
+    Ok(outcome.kept.iter().map(|&k| initial[k]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_stats::stepwise::StepwiseConfig;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn family(n: usize, scale: f64, offset: f64, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|t| {
+                offset + scale * (20.0 + 15.0 * (t as f64 * 0.26).sin()) + 0.5 * noise(t, seed)
+            })
+            .collect()
+    }
+
+    fn independent(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|t| 30.0 + 10.0 * (t as f64 * 0.11 + seed as f64).cos() + 5.0 * noise(t, seed))
+            .collect()
+    }
+
+    fn keys(n: usize) -> Vec<SeriesKey> {
+        (0..n)
+            .map(|i| {
+                SeriesKey::new(
+                    i / 2,
+                    if i % 2 == 0 {
+                        Resource::Cpu
+                    } else {
+                        Resource::Ram
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cbc_reduces_correlated_family() {
+        // 3 linearly dependent + 1 independent: CBC groups the family, so
+        // 2 signatures remain.
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            family(n, 0.7, 30.0, 2),
+            family(n, 1.3, -5.0, 3),
+            independent(n, 77),
+        ];
+        let out = search(
+            &keys(4),
+            &cols,
+            &ClusterMethod::cbc(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(out.final_signatures.len(), 2, "{out:?}");
+        assert_eq!(out.dependents().len(), 2);
+        assert!(out.final_ratio() <= out.initial_ratio() + 1e-12);
+    }
+
+    #[test]
+    fn dtw_clusters_shape_families() {
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            family(n, 1.0, 1.0, 2),
+            independent(n, 50),
+            independent(n, 51),
+        ];
+        let out = search(
+            &keys(4),
+            &cols,
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        assert!(out.cluster_count >= 2);
+        assert!(!out.final_signatures.is_empty());
+        assert!(out.silhouette.is_some());
+        assert!(out.final_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn stepwise_prunes_multicollinear_signatures() {
+        // Three CBC singletons where one is a linear combination of the
+        // other two — the paper's motivating example for Step 2.
+        let n = 120;
+        // Orthogonal bases (sin vs cos) keep a ⟂ b; c mixes both so its
+        // pairwise correlations stay below the clustering threshold while
+        // being an exact linear combination.
+        let a: Vec<f64> = (0..n)
+            .map(|t| 30.0 + 10.0 * (t as f64 * 0.11).cos() + 0.5 * noise(t, 5))
+            .collect();
+        let b: Vec<f64> = (0..n)
+            .map(|t| 30.0 + 10.0 * (t as f64 * 0.11).sin() + 0.5 * noise(t, 31))
+            .collect();
+        let c: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| 5.0 + 0.4 * x + 0.6 * y)
+            .collect();
+        // ρ_Th = 0.9 keeps the three series as CBC singletons (their
+        // pairwise correlations sit below 0.9), so the collinearity is
+        // only discoverable by Step 2.
+        let out = search(
+            &keys(3),
+            [a, b, c].as_ref(),
+            &ClusterMethod::Cbc { rho_threshold: 0.9 },
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        assert!(
+            out.final_signatures.len() < out.initial_signatures.len(),
+            "stepwise did not prune: {out:?}"
+        );
+    }
+
+    #[test]
+    fn single_series_is_its_own_signature() {
+        let out = search(
+            &keys(1),
+            [independent(64, 9)].as_ref(),
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        assert_eq!(out.final_signatures, vec![0]);
+        assert_eq!(out.cluster_count, 1);
+        assert!(out.dependents().is_empty());
+        assert_eq!(out.final_ratio(), 1.0);
+    }
+
+    #[test]
+    fn constant_series_handled() {
+        let n = 64;
+        let cols = vec![vec![50.0; n], independent(n, 3), independent(n, 9)];
+        for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+            let out = search(&keys(3), &cols, &method, &StepwiseConfig::default(), true);
+            assert!(out.is_ok(), "{method:?} failed on constant series");
+        }
+    }
+
+    #[test]
+    fn resource_counts() {
+        let n = 64;
+        let cols = vec![independent(n, 1), independent(n, 2)];
+        let out = search(
+            &keys(2),
+            &cols,
+            &ClusterMethod::cbc(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        let (cpu, ram) = out.signature_resource_counts();
+        assert_eq!(cpu + ram, out.final_signatures.len());
+    }
+
+    #[test]
+    fn feature_based_method_runs() {
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            family(n, 0.8, 10.0, 2),
+            independent(n, 5),
+            independent(n, 77),
+        ];
+        let out = search(
+            &keys(4),
+            &cols,
+            &ClusterMethod::features(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        assert!(!out.final_signatures.is_empty());
+        assert!(out.silhouette.is_some());
+        assert!(out.final_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn empty_and_mismatched_inputs_rejected() {
+        assert!(search(
+            &[],
+            &[],
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true
+        )
+        .is_err());
+        assert!(search(
+            &keys(2),
+            [vec![1.0]].as_ref(),
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true
+        )
+        .is_err());
+        assert!(search(
+            &keys(1),
+            [vec![]].as_ref(),
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn final_signatures_subset_of_initial() {
+        let n = 96;
+        let cols: Vec<Vec<f64>> = (0..6)
+            .map(|j| {
+                if j < 3 {
+                    family(n, 1.0 + j as f64 * 0.2, j as f64 * 5.0, j as u64)
+                } else {
+                    independent(n, j as u64 * 13)
+                }
+            })
+            .collect();
+        for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+            let out = search(&keys(6), &cols, &method, &StepwiseConfig::default(), true).unwrap();
+            for s in &out.final_signatures {
+                assert!(out.initial_signatures.contains(s), "{method:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Spatial models: each dependent demand series as a linear combination of
+//! the signature series (paper eq. 1, fitted by OLS — Section III-B).
+//!
+//! Prediction of a dependent series costs one dot product per window —
+//! the "negligible cost" the paper contrasts with neural-network training.
+
+use atm_stats::ridge::{self, RidgeFit};
+use atm_stats::{ols, OlsFit, StatsError};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AtmError, AtmResult};
+
+/// How one dependent series is predicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DependentModel {
+    /// OLS on all signature series.
+    Ols(OlsFit),
+    /// Ridge regression on all signature series (used when a positive
+    /// regularization strength is configured; robust to collinear or
+    /// numerous signatures).
+    Ridge(RidgeFit),
+    /// Fallback: simple regression on the single best-correlated
+    /// signature (used when the full OLS is singular).
+    Simple {
+        /// Index into the signature list.
+        signature: usize,
+        /// Intercept `a0`.
+        intercept: f64,
+        /// Slope `a`.
+        slope: f64,
+    },
+    /// Last-resort fallback: the series' training mean (used for constant
+    /// or degenerate dependents).
+    Mean(f64),
+}
+
+/// A fitted spatial model for one box: signatures + per-dependent models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialModel {
+    /// Indices (into the box's column list) of the signature series.
+    pub signature_indices: Vec<usize>,
+    /// Indices of the dependent series, aligned with `models`.
+    pub dependent_indices: Vec<usize>,
+    /// One model per dependent series.
+    pub models: Vec<DependentModel>,
+}
+
+impl SpatialModel {
+    /// Fits the spatial model: regresses every dependent column on the
+    /// signature columns over the training window (plain OLS).
+    ///
+    /// # Errors
+    ///
+    /// - [`AtmError::Empty`] on empty inputs or out-of-range indices.
+    pub fn fit(
+        columns: &[Vec<f64>],
+        signature_indices: &[usize],
+        dependent_indices: &[usize],
+    ) -> AtmResult<SpatialModel> {
+        Self::fit_with(columns, signature_indices, dependent_indices, 0.0)
+    }
+
+    /// Fits the spatial model with an L2 penalty `ridge_lambda` on the
+    /// dependent regressions (`0` = plain OLS).
+    ///
+    /// # Errors
+    ///
+    /// - [`AtmError::Empty`] on empty inputs or out-of-range indices.
+    /// - [`AtmError::Regression`] for a negative/non-finite lambda.
+    pub fn fit_with(
+        columns: &[Vec<f64>],
+        signature_indices: &[usize],
+        dependent_indices: &[usize],
+        ridge_lambda: f64,
+    ) -> AtmResult<SpatialModel> {
+        if columns.is_empty() || signature_indices.is_empty() {
+            return Err(AtmError::Empty);
+        }
+        if signature_indices
+            .iter()
+            .chain(dependent_indices)
+            .any(|&i| i >= columns.len())
+        {
+            return Err(AtmError::Empty);
+        }
+        let n = columns[0].len();
+        let sig_rows: Vec<Vec<f64>> = (0..n)
+            .map(|t| signature_indices.iter().map(|&s| columns[s][t]).collect())
+            .collect();
+
+        let mut models = Vec::with_capacity(dependent_indices.len());
+        for &d in dependent_indices {
+            let y = &columns[d];
+            let model = if ridge_lambda > 0.0 {
+                match ridge::fit(&sig_rows, y, ridge_lambda) {
+                    Ok(f) => DependentModel::Ridge(f),
+                    Err(StatsError::Singular) => fallback_model(columns, signature_indices, y),
+                    Err(e) => return Err(AtmError::Regression(e.to_string())),
+                }
+            } else {
+                match ols::fit(&sig_rows, y, true) {
+                    Ok(f) => DependentModel::Ols(f),
+                    Err(StatsError::Singular) | Err(StatsError::Underdetermined { .. }) => {
+                        fallback_model(columns, signature_indices, y)
+                    }
+                    Err(e) => return Err(AtmError::Regression(e.to_string())),
+                }
+            };
+            models.push(model);
+        }
+        Ok(SpatialModel {
+            signature_indices: signature_indices.to_vec(),
+            dependent_indices: dependent_indices.to_vec(),
+            models,
+        })
+    }
+
+    /// Predicts every dependent series given (predicted) signature series.
+    ///
+    /// `signature_predictions[s]` must align with `signature_indices[s]`;
+    /// all must share the same horizon. Returns one predicted series per
+    /// dependent, aligned with `dependent_indices`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Empty`] on arity mismatches.
+    pub fn predict(&self, signature_predictions: &[Vec<f64>]) -> AtmResult<Vec<Vec<f64>>> {
+        if signature_predictions.len() != self.signature_indices.len() {
+            return Err(AtmError::Empty);
+        }
+        let horizon = signature_predictions.first().map_or(0, Vec::len);
+        if signature_predictions.iter().any(|p| p.len() != horizon) {
+            return Err(AtmError::Empty);
+        }
+        let mut out = Vec::with_capacity(self.models.len());
+        for model in &self.models {
+            let series: Vec<f64> = match model {
+                DependentModel::Ols(fit) => (0..horizon)
+                    .map(|t| {
+                        let row: Vec<f64> = signature_predictions.iter().map(|p| p[t]).collect();
+                        fit.predict_one(&row).unwrap_or(f64::NAN)
+                    })
+                    .collect(),
+                DependentModel::Ridge(fit) => (0..horizon)
+                    .map(|t| {
+                        let row: Vec<f64> = signature_predictions.iter().map(|p| p[t]).collect();
+                        fit.predict_one(&row).unwrap_or(f64::NAN)
+                    })
+                    .collect(),
+                DependentModel::Simple {
+                    signature,
+                    intercept,
+                    slope,
+                } => signature_predictions[*signature]
+                    .iter()
+                    .map(|&x| intercept + slope * x)
+                    .collect(),
+                DependentModel::Mean(m) => vec![*m; horizon],
+            };
+            out.push(series);
+        }
+        Ok(out)
+    }
+
+    /// In-sample fitted series for every dependent (used to score the
+    /// spatial models alone, paper Fig. 6b).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Empty`] on arity mismatches.
+    pub fn fitted(&self, columns: &[Vec<f64>]) -> AtmResult<Vec<Vec<f64>>> {
+        let sig_train: Vec<Vec<f64>> = self
+            .signature_indices
+            .iter()
+            .map(|&s| columns[s].clone())
+            .collect();
+        self.predict(&sig_train)
+    }
+
+    /// Mean in-sample APE across all dependent series (fraction, not
+    /// percent). Returns 0 when there are no dependents (a pure-signature
+    /// model reproduces the data exactly through temporal models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::Empty`] on arity mismatches.
+    pub fn in_sample_mape(&self, columns: &[Vec<f64>]) -> AtmResult<f64> {
+        if self.models.is_empty() {
+            return Ok(0.0);
+        }
+        let fitted = self.fitted(columns)?;
+        let mut apes = Vec::new();
+        for (f, &d) in fitted.iter().zip(&self.dependent_indices) {
+            if let Ok(e) = atm_timeseries::metrics::mape(&columns[d], f) {
+                apes.push(e);
+            }
+        }
+        if apes.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(apes.iter().sum::<f64>() / apes.len() as f64)
+    }
+}
+
+/// Fallback when the full OLS is singular: simple regression on the
+/// best-correlated signature, else the training mean.
+fn fallback_model(columns: &[Vec<f64>], signature_indices: &[usize], y: &[f64]) -> DependentModel {
+    let mut best: Option<(usize, f64)> = None;
+    for (pos, &s) in signature_indices.iter().enumerate() {
+        if let Ok(r) = atm_timeseries::stats::pearson(&columns[s], y) {
+            let score = r.abs();
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((pos, score));
+            }
+        }
+    }
+    if let Some((pos, _)) = best {
+        if let Ok((a0, a, _)) = ols::fit_simple(&columns[signature_indices[pos]], y) {
+            return DependentModel::Simple {
+                signature: pos,
+                intercept: a0,
+                slope: a,
+            };
+        }
+    }
+    let mean = if y.is_empty() {
+        0.0
+    } else {
+        y.iter().sum::<f64>() / y.len() as f64
+    };
+    DependentModel::Mean(mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn sig(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|t| 40.0 + 20.0 * (t as f64 * 0.2 + seed as f64).sin() + noise(t, seed))
+            .collect()
+    }
+
+    #[test]
+    fn exact_linear_dependents_recovered() {
+        let n = 96;
+        let s0 = sig(n, 1);
+        let s1 = sig(n, 2);
+        let d: Vec<f64> = (0..n).map(|t| 3.0 + 0.5 * s0[t] + 0.25 * s1[t]).collect();
+        let columns = vec![s0.clone(), s1.clone(), d.clone()];
+        let m = SpatialModel::fit(&columns, &[0, 1], &[2]).unwrap();
+        let err = m.in_sample_mape(&columns).unwrap();
+        assert!(err < 1e-9, "in-sample error {err}");
+        // Out-of-sample: predict from shifted signature futures.
+        let f0: Vec<f64> = s0.iter().map(|v| v + 1.0).collect();
+        let f1: Vec<f64> = s1.iter().map(|v| v - 2.0).collect();
+        let preds = m.predict(&[f0.clone(), f1.clone()]).unwrap();
+        for t in 0..n {
+            let expect = 3.0 + 0.5 * f0[t] + 0.25 * f1[t];
+            assert!((preds[0][t] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn collinear_signatures_fall_back_to_simple() {
+        let n = 64;
+        let s0 = sig(n, 3);
+        let s1: Vec<f64> = s0.iter().map(|v| 2.0 * v).collect(); // collinear
+        let d: Vec<f64> = s0.iter().map(|v| 1.0 + 0.9 * v).collect();
+        let columns = vec![s0, s1, d];
+        let m = SpatialModel::fit(&columns, &[0, 1], &[2]).unwrap();
+        assert!(matches!(m.models[0], DependentModel::Simple { .. }));
+        let err = m.in_sample_mape(&columns).unwrap();
+        assert!(err < 1e-6, "{err}");
+    }
+
+    #[test]
+    fn constant_dependent_falls_back_to_mean() {
+        let n = 64;
+        let s0 = sig(n, 4);
+        let d = vec![25.0; n];
+        let columns = vec![s0, d];
+        let m = SpatialModel::fit(&columns, &[0], &[1]).unwrap();
+        // OLS fits a constant exactly (zero slope), or falls back to mean;
+        // either way in-sample error is ~0 and predictions are constant.
+        let preds = m.predict(&[vec![10.0, 20.0, 30.0]]).unwrap();
+        for &v in &preds[0] {
+            assert!((v - 25.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn no_dependents_is_trivially_perfect() {
+        let columns = vec![sig(32, 5)];
+        let m = SpatialModel::fit(&columns, &[0], &[]).unwrap();
+        assert_eq!(m.in_sample_mape(&columns).unwrap(), 0.0);
+        assert!(m.predict(&[vec![1.0, 2.0]]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_validation() {
+        let columns = vec![sig(32, 6), sig(32, 7)];
+        let m = SpatialModel::fit(&columns, &[0], &[1]).unwrap();
+        // Wrong signature count on predict.
+        assert!(m.predict(&[vec![1.0], vec![2.0]]).is_err());
+        // Ragged horizons.
+        let m2 = SpatialModel::fit(&columns, &[0, 1], &[]).unwrap();
+        assert!(m2.predict(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        // Bad indices at fit time.
+        assert!(SpatialModel::fit(&columns, &[5], &[]).is_err());
+        assert!(SpatialModel::fit(&columns, &[], &[0]).is_err());
+        assert!(SpatialModel::fit(&[], &[0], &[]).is_err());
+    }
+
+    #[test]
+    fn ridge_handles_collinear_signatures_directly() {
+        let n = 64;
+        let s0 = sig(n, 11);
+        let s1: Vec<f64> = s0.iter().map(|v| 2.0 * v).collect();
+        let d: Vec<f64> = s0.iter().map(|v| 1.0 + 0.9 * v).collect();
+        let columns = vec![s0, s1, d.clone()];
+        let m = SpatialModel::fit_with(&columns, &[0, 1], &[2], 1.0).unwrap();
+        assert!(matches!(m.models[0], DependentModel::Ridge(_)));
+        let err = m.in_sample_mape(&columns).unwrap();
+        assert!(err < 0.05, "ridge in-sample error {err}");
+    }
+
+    #[test]
+    fn ridge_lambda_zero_equals_ols_fit() {
+        let n = 64;
+        let s0 = sig(n, 12);
+        let d: Vec<f64> = s0.iter().map(|v| 2.0 + 0.5 * v).collect();
+        let columns = vec![s0, d];
+        let plain = SpatialModel::fit(&columns, &[0], &[1]).unwrap();
+        let zero = SpatialModel::fit_with(&columns, &[0], &[1], 0.0).unwrap();
+        assert_eq!(plain, zero);
+    }
+
+    #[test]
+    fn noisy_dependents_fit_approximately() {
+        let n = 192;
+        let s0 = sig(n, 8);
+        let d: Vec<f64> = (0..n)
+            .map(|t| 10.0 + 0.8 * s0[t] + 2.0 * noise(t, 99))
+            .collect();
+        let columns = vec![s0, d];
+        let m = SpatialModel::fit(&columns, &[0], &[1]).unwrap();
+        let err = m.in_sample_mape(&columns).unwrap();
+        assert!(err < 0.1, "noisy linear fit error {err}");
+    }
+}

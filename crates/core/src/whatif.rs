@@ -1,0 +1,205 @@
+//! Capacity what-if analysis.
+//!
+//! The paper frames resizing as shuffling a *fixed* capacity budget; a
+//! natural operator question follows: *how much capacity does this box
+//! actually need* to be (nearly) ticket-free under optimal resizing?
+//! [`capacity_sweep`] answers it by sweeping the budget and resolving the
+//! MCKP at each point, yielding a tickets-vs-capacity curve;
+//! [`capacity_for_target`] inverts the curve by bisection.
+
+use atm_resize::{greedy, ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use atm_tracegen::{BoxTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AtmError, AtmResult};
+
+/// One point of the capacity sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Budget as a multiple of the box's current physical capacity.
+    pub capacity_factor: f64,
+    /// Absolute budget in capacity units.
+    pub capacity: f64,
+    /// Minimum tickets achievable at that budget (greedy MCKP).
+    pub tickets: usize,
+}
+
+/// Builds the resize problem for a box's last `windows` observations of a
+/// resource with free per-VM bounds.
+fn problem_for(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    windows: usize,
+    capacity: f64,
+    policy: ThresholdPolicy,
+) -> AtmResult<ResizeProblem> {
+    let total = box_trace.window_count();
+    if total < windows {
+        return Err(AtmError::TraceTooShort {
+            required: windows,
+            actual: total,
+        });
+    }
+    let vms = box_trace
+        .vms
+        .iter()
+        .map(|vm| {
+            let demand: Vec<f64> = vm.demand(resource)[total - windows..]
+                .iter()
+                .map(|&d| if d.is_finite() { d } else { 0.0 })
+                .collect();
+            VmDemand::new(vm.name.clone(), demand, 0.0, capacity)
+        })
+        .collect();
+    Ok(ResizeProblem::new(vms, capacity, policy))
+}
+
+/// Sweeps the capacity budget over `factors` (multiples of the box's
+/// physical capacity) and reports the minimum achievable tickets at each,
+/// over the last `windows` observations.
+///
+/// # Errors
+///
+/// - [`AtmError::InvalidConfig`] for empty/invalid factors or threshold.
+/// - [`AtmError::TraceTooShort`] if the trace has fewer than `windows`.
+/// - Propagates resize errors.
+pub fn capacity_sweep(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    factors: &[f64],
+) -> AtmResult<Vec<SweepPoint>> {
+    if factors.is_empty() || factors.iter().any(|&f| f <= 0.0 || !f.is_finite()) {
+        return Err(AtmError::InvalidConfig(
+            "factors must be positive and finite",
+        ));
+    }
+    let policy = ThresholdPolicy::new(threshold_pct)
+        .map_err(|_| AtmError::InvalidConfig("threshold must be in (0, 100)"))?;
+    let base = box_trace.capacity(resource);
+    let mut out = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        let capacity = base * factor;
+        let problem = problem_for(box_trace, resource, windows, capacity, policy)?;
+        let allocation = greedy::solve(&problem)?;
+        out.push(SweepPoint {
+            capacity_factor: factor,
+            capacity,
+            tickets: allocation.tickets,
+        });
+    }
+    Ok(out)
+}
+
+/// Finds (by bisection) the smallest capacity factor in
+/// `[lo_factor, hi_factor]` whose optimal resizing yields at most
+/// `max_tickets` tickets. Returns `None` if even `hi_factor` cannot meet
+/// the target.
+///
+/// # Errors
+///
+/// Same conditions as [`capacity_sweep`].
+pub fn capacity_for_target(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    max_tickets: usize,
+    lo_factor: f64,
+    hi_factor: f64,
+) -> AtmResult<Option<f64>> {
+    if lo_factor <= 0.0 || lo_factor >= hi_factor || !hi_factor.is_finite() || lo_factor.is_nan() {
+        return Err(AtmError::InvalidConfig("need 0 < lo < hi"));
+    }
+    let tickets_at = |factor: f64| -> AtmResult<usize> {
+        Ok(capacity_sweep(box_trace, resource, threshold_pct, windows, &[factor])?[0].tickets)
+    };
+    if tickets_at(hi_factor)? > max_tickets {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (lo_factor, hi_factor);
+    if tickets_at(lo)? <= max_tickets {
+        return Ok(Some(lo));
+    }
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        if tickets_at(mid)? <= max_tickets {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 1e-4 {
+            break;
+        }
+    }
+    Ok(Some(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::{generate_box, FleetConfig};
+
+    fn test_box() -> BoxTrace {
+        generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days: 1,
+                gap_probability: 0.0,
+                hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+                ..FleetConfig::default()
+            },
+            2,
+        )
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_capacity() {
+        let b = test_box();
+        let points =
+            capacity_sweep(&b, Resource::Cpu, 60.0, 96, &[0.5, 0.8, 1.0, 1.5, 2.5]).unwrap();
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(
+                w[1].tickets <= w[0].tickets,
+                "tickets rose with capacity: {points:?}"
+            );
+        }
+        // Abundant capacity reaches zero tickets.
+        assert_eq!(points.last().unwrap().tickets, 0);
+    }
+
+    #[test]
+    fn target_inversion_matches_sweep() {
+        let b = test_box();
+        let factor = capacity_for_target(&b, Resource::Cpu, 60.0, 96, 0, 0.1, 4.0)
+            .unwrap()
+            .expect("abundant upper bound reaches zero tickets");
+        // At the found factor the target holds...
+        let at = capacity_sweep(&b, Resource::Cpu, 60.0, 96, &[factor]).unwrap();
+        assert_eq!(at[0].tickets, 0);
+        // ...and meaningfully below it, it does not.
+        let below = capacity_sweep(&b, Resource::Cpu, 60.0, 96, &[factor * 0.7]).unwrap();
+        assert!(below[0].tickets > 0, "factor {factor} not minimal");
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let b = test_box();
+        // A hair of capacity cannot silence a hot box.
+        let result = capacity_for_target(&b, Resource::Cpu, 60.0, 96, 0, 0.001, 0.01).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn validation() {
+        let b = test_box();
+        assert!(capacity_sweep(&b, Resource::Cpu, 60.0, 96, &[]).is_err());
+        assert!(capacity_sweep(&b, Resource::Cpu, 60.0, 96, &[0.0]).is_err());
+        assert!(capacity_sweep(&b, Resource::Cpu, 120.0, 96, &[1.0]).is_err());
+        assert!(capacity_sweep(&b, Resource::Cpu, 60.0, 10_000, &[1.0]).is_err());
+        assert!(capacity_for_target(&b, Resource::Cpu, 60.0, 96, 0, 2.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Ensemble forecasting: average the forecasts of several models.
+//!
+//! Simple unweighted (or validation-weighted) averaging is a classical
+//! variance-reduction trick; since the ATM framework treats the temporal
+//! model as a black box, an ensemble plugs in wherever a single model
+//! does.
+
+use crate::error::{ForecastError, ForecastResult};
+use crate::Forecaster;
+
+/// Averages the forecasts of its member models.
+///
+/// Members that fail to fit are dropped for the current history (with at
+/// least one survivor required); optionally, members can be weighted by
+/// their inverse error on a held-out validation split of the history.
+pub struct EnsembleForecaster {
+    members: Vec<Box<dyn Forecaster + Send>>,
+    weights: Vec<f64>,
+    fitted_members: Vec<usize>,
+    validation_fraction: f64,
+    fitted: bool,
+}
+
+impl std::fmt::Debug for EnsembleForecaster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleForecaster")
+            .field("members", &self.members.len())
+            .field("weights", &self.weights)
+            .field("fitted", &self.fitted)
+            .finish()
+    }
+}
+
+impl EnsembleForecaster {
+    /// Creates an unweighted ensemble over the given members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Box<dyn Forecaster + Send>>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        EnsembleForecaster {
+            members,
+            weights: Vec::new(),
+            fitted_members: Vec::new(),
+            validation_fraction: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// Enables inverse-MAE validation weighting on the most recent
+    /// `fraction` of the history (in `(0, 0.5]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 0.5]`.
+    pub fn with_validation_weighting(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 0.5,
+            "validation fraction must be in (0, 0.5]"
+        );
+        self.validation_fraction = fraction;
+        self
+    }
+
+    /// The effective member weights after fitting (normalized to sum 1),
+    /// aligned with the fitted members.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// How many members successfully fitted.
+    pub fn fitted_member_count(&self) -> usize {
+        self.fitted_members.len()
+    }
+}
+
+impl Forecaster for EnsembleForecaster {
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()> {
+        self.fitted = false;
+        self.fitted_members.clear();
+        self.weights.clear();
+
+        // Validation weighting: fit on the prefix, score on the suffix.
+        let val_len = (history.len() as f64 * self.validation_fraction) as usize;
+        let mut raw_weights = Vec::new();
+        if val_len >= 2 && history.len() > val_len + 2 {
+            let (train, val) = history.split_at(history.len() - val_len);
+            for (i, m) in self.members.iter_mut().enumerate() {
+                let score = m
+                    .fit(train)
+                    .and_then(|()| m.forecast(val.len()))
+                    .ok()
+                    .map(|fc| {
+                        let mae: f64 = fc
+                            .iter()
+                            .zip(val)
+                            .map(|(&p, &a)| (p - a).abs())
+                            .sum::<f64>()
+                            / val.len() as f64;
+                        1.0 / (mae + 1e-9)
+                    });
+                if let Some(w) = score {
+                    self.fitted_members.push(i);
+                    raw_weights.push(w);
+                }
+            }
+        }
+
+        // (Re)fit all scoreable members on the full history.
+        if self.fitted_members.is_empty() {
+            for (i, m) in self.members.iter_mut().enumerate() {
+                if m.fit(history).is_ok() {
+                    self.fitted_members.push(i);
+                    raw_weights.push(1.0);
+                }
+            }
+        } else {
+            let keep = self.fitted_members.clone();
+            self.fitted_members.clear();
+            let mut kept_weights = Vec::new();
+            for (pos, &i) in keep.iter().enumerate() {
+                if self.members[i].fit(history).is_ok() {
+                    self.fitted_members.push(i);
+                    kept_weights.push(raw_weights[pos]);
+                }
+            }
+            raw_weights = kept_weights;
+        }
+
+        if self.fitted_members.is_empty() {
+            return Err(ForecastError::Degenerate("no ensemble member could fit"));
+        }
+        let total: f64 = raw_weights.iter().sum();
+        self.weights = raw_weights.into_iter().map(|w| w / total).collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>> {
+        if !self.fitted {
+            return Err(ForecastError::NotFitted);
+        }
+        if horizon == 0 {
+            return Err(ForecastError::InvalidParameter("horizon must be positive"));
+        }
+        let mut combined = vec![0.0; horizon];
+        for (&i, &w) in self.fitted_members.iter().zip(&self.weights) {
+            let fc = self.members[i].forecast(horizon)?;
+            for (c, v) in combined.iter_mut().zip(&fc) {
+                *c += w * v;
+            }
+        }
+        Ok(combined)
+    }
+
+    fn name(&self) -> &str {
+        "ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ar::ArForecaster;
+    use crate::naive::{LastValue, MeanForecaster, SeasonalNaive};
+
+    fn seasonal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| 50.0 + 20.0 * (2.0 * std::f64::consts::PI * (t % 24) as f64 / 24.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn averages_members() {
+        // Two constant forecasters (mean of different data? both see the
+        // same history) — easier: mean + last-value on a two-level series.
+        let history = vec![10.0, 10.0, 10.0, 30.0]; // mean 15, last 30
+        let mut e = EnsembleForecaster::new(vec![
+            Box::new(MeanForecaster::new()),
+            Box::new(LastValue::new()),
+        ]);
+        e.fit(&history).unwrap();
+        let fc = e.forecast(2).unwrap();
+        assert!((fc[0] - 22.5).abs() < 1e-9, "{fc:?}");
+        assert_eq!(e.fitted_member_count(), 2);
+        let w: f64 = e.weights().iter().sum();
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_members_that_cannot_fit() {
+        // SeasonalNaive(96) cannot fit a 10-point history; the ensemble
+        // falls back to the survivors.
+        let history = vec![5.0; 10];
+        let mut e = EnsembleForecaster::new(vec![
+            Box::new(SeasonalNaive::new(96)),
+            Box::new(MeanForecaster::new()),
+        ]);
+        e.fit(&history).unwrap();
+        assert_eq!(e.fitted_member_count(), 1);
+        assert_eq!(e.forecast(3).unwrap(), vec![5.0; 3]);
+    }
+
+    #[test]
+    fn all_members_failing_is_an_error() {
+        let mut e = EnsembleForecaster::new(vec![Box::new(SeasonalNaive::new(96))]);
+        assert!(matches!(
+            e.fit(&[1.0; 10]),
+            Err(ForecastError::Degenerate(_))
+        ));
+        assert!(e.forecast(1).is_err());
+    }
+
+    #[test]
+    fn validation_weighting_prefers_better_member() {
+        // On a seasonal series, seasonal-naive should far outweigh the
+        // mean model.
+        let history = seasonal(24 * 6);
+        let mut e = EnsembleForecaster::new(vec![
+            Box::new(SeasonalNaive::new(24)),
+            Box::new(MeanForecaster::new()),
+        ])
+        .with_validation_weighting(0.25);
+        e.fit(&history).unwrap();
+        assert_eq!(e.fitted_member_count(), 2);
+        assert!(
+            e.weights()[0] > 0.9,
+            "seasonal member weight {:?}",
+            e.weights()
+        );
+        // The weighted ensemble tracks the seasonal pattern closely.
+        let fc = e.forecast(24).unwrap();
+        let expected = seasonal(24 * 7);
+        let err: f64 = fc
+            .iter()
+            .zip(&expected[24 * 6..])
+            .map(|(&p, &a)| (p - a).abs())
+            .sum::<f64>()
+            / 24.0;
+        assert!(err < 3.0, "ensemble MAE {err}");
+    }
+
+    #[test]
+    fn works_with_ar_members() {
+        let history = seasonal(24 * 4);
+        let mut e = EnsembleForecaster::new(vec![
+            Box::new(ArForecaster::new(4)),
+            Box::new(SeasonalNaive::new(24)),
+        ]);
+        e.fit(&history).unwrap();
+        let fc = e.forecast(12).unwrap();
+        assert_eq!(fc.len(), 12);
+        assert!(fc.iter().all(|v| v.is_finite()));
+        assert_eq!(e.name(), "ensemble");
+    }
+
+    #[test]
+    #[should_panic(expected = "ensemble needs at least one member")]
+    fn empty_ensemble_panics() {
+        EnsembleForecaster::new(vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by forecasting models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ForecastError {
+    /// `forecast` was called before a successful `fit`.
+    NotFitted,
+    /// The training history is too short for the model configuration.
+    HistoryTooShort {
+        /// Observations required.
+        required: usize,
+        /// Observations provided.
+        actual: usize,
+    },
+    /// The history is degenerate for this model (e.g. constant where
+    /// variance is required).
+    Degenerate(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// Training diverged (non-finite loss).
+    Diverged,
+}
+
+impl fmt::Display for ForecastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForecastError::NotFitted => write!(f, "model has not been fitted"),
+            ForecastError::HistoryTooShort { required, actual } => {
+                write!(f, "history too short: need {required}, have {actual}")
+            }
+            ForecastError::Degenerate(what) => write!(f, "degenerate history: {what}"),
+            ForecastError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ForecastError::Diverged => write!(f, "training diverged"),
+        }
+    }
+}
+
+impl Error for ForecastError {}
+
+/// Convenience alias for results in this crate.
+pub type ForecastResult<T> = Result<T, ForecastError>;

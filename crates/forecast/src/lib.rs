@@ -1,0 +1,112 @@
+//! # atm-forecast
+//!
+//! Temporal prediction models for ATM's *signature* series (Section III-B
+//! of the DSN'16 paper).
+//!
+//! The paper predicts signature series with neural networks (their PRACTISE
+//! system \[7\]) and stresses that *"any temporal prediction model can be
+//! directly plugged into the ATM framework"*. Accordingly this crate
+//! defines the [`Forecaster`] trait and provides:
+//!
+//! - [`mlp::MlpForecaster`] — a from-scratch multilayer perceptron over
+//!   lagged + seasonal features, trained with mini-batch SGD + momentum
+//!   and early stopping (the reproduction's stand-in for PRACTISE);
+//! - [`ar::ArForecaster`] — autoregressive AR(p) fit by least squares;
+//! - [`holt_winters::HoltWinters`] — additive triple exponential
+//!   smoothing with damped trend, the classical statistical choice for
+//!   diurnal load;
+//! - [`naive`] — mean, last-value, drift and seasonal-naive baselines;
+//! - [`ensemble::EnsembleForecaster`] — averages (optionally
+//!   validation-weighted) any set of the above.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_forecast::{Forecaster, naive::SeasonalNaive};
+//!
+//! // A perfectly periodic series is forecast exactly by seasonal-naive.
+//! let history: Vec<f64> = (0..48).map(|t| (t % 24) as f64).collect();
+//! let mut model = SeasonalNaive::new(24);
+//! model.fit(&history)?;
+//! let fc = model.forecast(24)?;
+//! assert_eq!(fc[5], 5.0);
+//! # Ok::<(), atm_forecast::ForecastError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod ensemble;
+mod error;
+pub mod holt_winters;
+pub mod mlp;
+pub mod naive;
+
+pub use error::{ForecastError, ForecastResult};
+
+/// A univariate time-series forecaster.
+///
+/// The contract mirrors how ATM uses temporal models: [`Forecaster::fit`]
+/// on the training history (5 days of 15-minute samples in the paper's
+/// evaluation), then [`Forecaster::forecast`] over the resizing horizon
+/// (1 day = 96 ticketing windows).
+pub trait Forecaster {
+    /// Trains the model on `history` (oldest first), replacing any
+    /// previously fitted state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError`] when the history is too short for the
+    /// model's requirements or otherwise degenerate.
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()>;
+
+    /// Produces point forecasts for the next `horizon` steps after the end
+    /// of the fitted history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForecastError::NotFitted`] if called before a successful
+    /// [`Forecaster::fit`], or [`ForecastError::InvalidParameter`] if
+    /// `horizon == 0`.
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>>;
+
+    /// A short human-readable model name for reports.
+    fn name(&self) -> &str;
+}
+
+/// Fits and forecasts in one call — convenience for benchmark sweeps.
+///
+/// # Errors
+///
+/// Propagates the errors of [`Forecaster::fit`] and
+/// [`Forecaster::forecast`].
+pub fn fit_forecast<F: Forecaster>(
+    model: &mut F,
+    history: &[f64],
+    horizon: usize,
+) -> ForecastResult<Vec<f64>> {
+    model.fit(history)?;
+    model.forecast(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::LastValue;
+
+    #[test]
+    fn fit_forecast_convenience() {
+        let mut m = LastValue::new();
+        let fc = fit_forecast(&mut m, &[1.0, 2.0, 7.0], 3).unwrap();
+        assert_eq!(fc, vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn forecaster_is_object_safe() {
+        let mut models: Vec<Box<dyn Forecaster>> = vec![Box::new(LastValue::new())];
+        models[0].fit(&[1.0, 2.0]).unwrap();
+        assert_eq!(models[0].forecast(1).unwrap(), vec![2.0]);
+        assert_eq!(models[0].name(), "last-value");
+    }
+}

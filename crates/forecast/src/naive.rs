@@ -1,0 +1,242 @@
+//! Baseline forecasters: mean, last-value, drift, and seasonal-naive.
+//!
+//! These serve two purposes in the reproduction: (i) sanity baselines in
+//! benchmark sweeps, and (ii) cheap fallbacks when a signature series is
+//! too short or degenerate for the neural model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ForecastError, ForecastResult};
+use crate::Forecaster;
+
+/// Forecasts the historical mean for every future step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanForecaster {
+    mean: Option<f64>,
+}
+
+impl MeanForecaster {
+    /// Creates an unfitted mean forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for MeanForecaster {
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()> {
+        if history.is_empty() {
+            return Err(ForecastError::HistoryTooShort {
+                required: 1,
+                actual: 0,
+            });
+        }
+        self.mean = Some(history.iter().sum::<f64>() / history.len() as f64);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>> {
+        let mean = self.mean.ok_or(ForecastError::NotFitted)?;
+        if horizon == 0 {
+            return Err(ForecastError::InvalidParameter("horizon must be positive"));
+        }
+        Ok(vec![mean; horizon])
+    }
+
+    fn name(&self) -> &str {
+        "mean"
+    }
+}
+
+/// Forecasts the last observed value for every future step (random-walk
+/// forecast).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates an unfitted last-value forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()> {
+        self.last = Some(*history.last().ok_or(ForecastError::HistoryTooShort {
+            required: 1,
+            actual: 0,
+        })?);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>> {
+        let last = self.last.ok_or(ForecastError::NotFitted)?;
+        if horizon == 0 {
+            return Err(ForecastError::InvalidParameter("horizon must be positive"));
+        }
+        Ok(vec![last; horizon])
+    }
+
+    fn name(&self) -> &str {
+        "last-value"
+    }
+}
+
+/// Extrapolates the straight line between the first and last observation
+/// (the classic drift method).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Drift {
+    last: Option<f64>,
+    slope: f64,
+}
+
+impl Drift {
+    /// Creates an unfitted drift forecaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Forecaster for Drift {
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()> {
+        if history.len() < 2 {
+            return Err(ForecastError::HistoryTooShort {
+                required: 2,
+                actual: history.len(),
+            });
+        }
+        let first = history[0];
+        let last = *history.last().expect("len >= 2");
+        self.slope = (last - first) / (history.len() - 1) as f64;
+        self.last = Some(last);
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>> {
+        let last = self.last.ok_or(ForecastError::NotFitted)?;
+        if horizon == 0 {
+            return Err(ForecastError::InvalidParameter("horizon must be positive"));
+        }
+        Ok((1..=horizon)
+            .map(|h| last + self.slope * h as f64)
+            .collect())
+    }
+
+    fn name(&self) -> &str {
+        "drift"
+    }
+}
+
+/// Repeats the last full seasonal cycle — exact for perfectly periodic
+/// series and a strong baseline for diurnal data-center load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalNaive {
+    period: usize,
+    last_cycle: Option<Vec<f64>>,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive forecaster with the given period
+    /// (96 for daily seasonality at 15-minute sampling).
+    pub fn new(period: usize) -> Self {
+        SeasonalNaive {
+            period,
+            last_cycle: None,
+        }
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn fit(&mut self, history: &[f64]) -> ForecastResult<()> {
+        if self.period == 0 {
+            return Err(ForecastError::InvalidParameter("period must be positive"));
+        }
+        if history.len() < self.period {
+            return Err(ForecastError::HistoryTooShort {
+                required: self.period,
+                actual: history.len(),
+            });
+        }
+        self.last_cycle = Some(history[history.len() - self.period..].to_vec());
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> ForecastResult<Vec<f64>> {
+        let cycle = self.last_cycle.as_ref().ok_or(ForecastError::NotFitted)?;
+        if horizon == 0 {
+            return Err(ForecastError::InvalidParameter("horizon must be positive"));
+        }
+        Ok((0..horizon).map(|h| cycle[h % self.period]).collect())
+    }
+
+    fn name(&self) -> &str {
+        "seasonal-naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_forecaster() {
+        let mut m = MeanForecaster::new();
+        assert_eq!(m.forecast(1), Err(ForecastError::NotFitted));
+        m.fit(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(2).unwrap(), vec![2.0, 2.0]);
+        assert!(m.fit(&[]).is_err());
+        assert!(m.forecast(0).is_err());
+    }
+
+    #[test]
+    fn last_value_forecaster() {
+        let mut m = LastValue::new();
+        m.fit(&[5.0, 9.0]).unwrap();
+        assert_eq!(m.forecast(3).unwrap(), vec![9.0; 3]);
+    }
+
+    #[test]
+    fn drift_extrapolates_line() {
+        let mut m = Drift::new();
+        m.fit(&[0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.forecast(3).unwrap(), vec![4.0, 5.0, 6.0]);
+        assert!(m.fit(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn seasonal_naive_exact_on_periodic() {
+        let history: Vec<f64> = (0..96 * 3)
+            .map(|t| ((t % 96) as f64).sin() * 30.0 + 50.0)
+            .collect();
+        let mut m = SeasonalNaive::new(96);
+        m.fit(&history).unwrap();
+        let fc = m.forecast(192).unwrap();
+        for (h, &v) in fc.iter().enumerate() {
+            let expected = ((h % 96) as f64).sin() * 30.0 + 50.0;
+            assert!((v - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_validation() {
+        let mut m = SeasonalNaive::new(10);
+        assert!(m.fit(&[1.0; 5]).is_err());
+        assert_eq!(m.period(), 10);
+        let mut zero = SeasonalNaive::new(0);
+        assert!(zero.fit(&[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn refit_replaces_state() {
+        let mut m = LastValue::new();
+        m.fit(&[1.0]).unwrap();
+        m.fit(&[2.0]).unwrap();
+        assert_eq!(m.forecast(1).unwrap(), vec![2.0]);
+    }
+}

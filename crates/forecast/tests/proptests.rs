@@ -1,0 +1,134 @@
+//! Property-based tests for the forecasting models.
+
+use atm_forecast::ar::ArForecaster;
+use atm_forecast::holt_winters::HoltWinters;
+use atm_forecast::mlp::{MlpConfig, MlpForecaster};
+use atm_forecast::naive::{Drift, LastValue, MeanForecaster, SeasonalNaive};
+use atm_forecast::Forecaster;
+use proptest::prelude::*;
+
+fn history() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, 24..120)
+}
+
+proptest! {
+    /// Every model returns exactly `horizon` finite values once fitted.
+    #[test]
+    fn forecasts_have_requested_length(h in history(), horizon in 1usize..50) {
+        let mut models: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(MeanForecaster::new()),
+            Box::new(LastValue::new()),
+            Box::new(Drift::new()),
+            Box::new(SeasonalNaive::new(12)),
+            Box::new(ArForecaster::new(4)),
+        ];
+        for m in &mut models {
+            if m.fit(&h).is_ok() {
+                let fc = m.forecast(horizon).unwrap();
+                prop_assert_eq!(fc.len(), horizon);
+                prop_assert!(fc.iter().all(|v| v.is_finite()), "{} NaN", m.name());
+            }
+        }
+    }
+
+    /// Mean/last-value forecasts are constant and inside the history's
+    /// value range.
+    #[test]
+    fn naive_forecasts_within_range(h in history()) {
+        let lo = h.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = h.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut mean = MeanForecaster::new();
+        mean.fit(&h).unwrap();
+        for v in mean.forecast(5).unwrap() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        let mut last = LastValue::new();
+        last.fit(&h).unwrap();
+        let fc = last.forecast(3).unwrap();
+        prop_assert!(fc.iter().all(|&v| v == *h.last().unwrap()));
+    }
+
+    /// Seasonal-naive is exact on any perfectly periodic series.
+    #[test]
+    fn seasonal_naive_exact_on_periodic(
+        cycle in prop::collection::vec(0.0f64..100.0, 2..16),
+        reps in 2usize..6,
+        horizon in 1usize..32,
+    ) {
+        let period = cycle.len();
+        let h: Vec<f64> = (0..period * reps).map(|t| cycle[t % period]).collect();
+        let mut m = SeasonalNaive::new(period);
+        m.fit(&h).unwrap();
+        let fc = m.forecast(horizon).unwrap();
+        for (i, &v) in fc.iter().enumerate() {
+            prop_assert!((v - cycle[(h.len() + i) % period]).abs() < 1e-12);
+        }
+    }
+
+    /// Holt-Winters forecasts stay finite and track constants exactly.
+    #[test]
+    fn holt_winters_constant_and_finite(
+        c in 1.0f64..80.0,
+        h in history(),
+        horizon in 1usize..64,
+    ) {
+        let mut m = HoltWinters::with_period(12);
+        m.fit(&vec![c; 48]).unwrap();
+        for v in m.forecast(horizon).unwrap() {
+            prop_assert!((v - c).abs() < 1e-6);
+        }
+        let mut m2 = HoltWinters::with_period(12);
+        if m2.fit(&h).is_ok() {
+            let fc = m2.forecast(horizon).unwrap();
+            prop_assert_eq!(fc.len(), horizon);
+            prop_assert!(fc.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// AR on a constant series forecasts that constant.
+    #[test]
+    fn ar_constant_history(c in -50.0f64..50.0, order in 1usize..5, horizon in 1usize..20) {
+        let h = vec![c; 40];
+        let mut m = ArForecaster::new(order);
+        m.fit(&h).unwrap();
+        for v in m.forecast(horizon).unwrap() {
+            prop_assert!((v - c).abs() < 1e-6);
+        }
+    }
+
+    /// The MLP is deterministic in its seed and produces finite output on
+    /// arbitrary histories.
+    #[test]
+    fn mlp_deterministic_and_finite(h in history(), seed in 0u64..1000) {
+        let cfg = MlpConfig {
+            lags: 4,
+            seasonal_period: 12,
+            hidden: vec![4],
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 0.02,
+            momentum: 0.9,
+            validation_fraction: 0.2,
+            patience: 3,
+            seed,
+        };
+        let mut a = MlpForecaster::new(cfg.clone());
+        let mut b = MlpForecaster::new(cfg);
+        if a.fit(&h).is_ok() {
+            b.fit(&h).unwrap();
+            let fa = a.forecast(8).unwrap();
+            let fb = b.forecast(8).unwrap();
+            prop_assert_eq!(fa.clone(), fb);
+            prop_assert!(fa.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Refitting replaces state: forecasts reflect the latest history only.
+    #[test]
+    fn refit_replaces_state(h1 in history(), h2 in history()) {
+        let mut m = LastValue::new();
+        m.fit(&h1).unwrap();
+        m.fit(&h2).unwrap();
+        prop_assert_eq!(m.forecast(1).unwrap()[0], *h2.last().unwrap());
+    }
+}

@@ -1,0 +1,160 @@
+//! Capacity actuation — the abstraction over the paper's cgroups daemon.
+//!
+//! The paper enforces ATM's capacity decisions with Linux control groups:
+//! a small per-hypervisor daemon exposes the limits through a web API, and
+//! caps change *on the fly* without restarting guests (Section IV-C).
+//! [`CapacityActuator`] is that interface; [`SimulatedCgroups`] applies
+//! caps to a simulated [`Cluster`] and keeps an audit log, standing in for
+//! the real daemon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::error::{SimError, SimResult};
+
+/// One applied capacity change, for audit/inspection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapChange {
+    /// VM name.
+    pub vm: String,
+    /// Cap before the change, in cores.
+    pub from_cores: f64,
+    /// Cap after the change, in cores.
+    pub to_cores: f64,
+}
+
+/// Applies per-VM capacity limits to some enforcement backend.
+///
+/// Implementations must be *non-disruptive*: applying caps never restarts
+/// or pauses workloads (the cgroups property the paper relies on).
+pub trait CapacityActuator {
+    /// Applies `caps` (cores, one per VM in cluster order) and returns
+    /// the changes actually made.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the cap vector does not match the managed
+    /// VM set or a cap is invalid (non-finite or non-positive).
+    fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>>;
+
+    /// The currently enforced caps, in cores.
+    fn current(&self) -> Vec<f64>;
+}
+
+/// A cgroups-like actuator over a simulated [`Cluster`]: caps apply
+/// immediately, jobs in flight are untouched, and every change is logged.
+#[derive(Debug, Clone)]
+pub struct SimulatedCgroups {
+    cluster: Cluster,
+    log: Vec<CapChange>,
+}
+
+impl SimulatedCgroups {
+    /// Wraps a cluster for actuation.
+    pub fn new(cluster: Cluster) -> Self {
+        SimulatedCgroups {
+            cluster,
+            log: Vec::new(),
+        }
+    }
+
+    /// The audit log of all applied changes, oldest first.
+    pub fn log(&self) -> &[CapChange] {
+        &self.log
+    }
+
+    /// Returns the managed cluster, consuming the actuator.
+    pub fn into_cluster(self) -> Cluster {
+        self.cluster
+    }
+
+    /// Borrows the managed cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+}
+
+impl CapacityActuator for SimulatedCgroups {
+    fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>> {
+        if caps.len() != self.cluster.vms.len() {
+            return Err(SimError::InvalidConfig("cap count != VM count"));
+        }
+        if caps.iter().any(|c| !c.is_finite() || *c <= 0.0) {
+            return Err(SimError::InvalidConfig("caps must be positive and finite"));
+        }
+        let mut changes = Vec::new();
+        for (vm, &cap) in self.cluster.vms.iter_mut().zip(caps) {
+            let from = vm.cap_cores;
+            if (from - cap).abs() > 1e-12 {
+                vm.set_cap(cap);
+                changes.push(CapChange {
+                    vm: vm.name.clone(),
+                    from_cores: from,
+                    to_cores: vm.cap_cores,
+                });
+            }
+        }
+        self.log.extend(changes.iter().cloned());
+        Ok(changes)
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.cluster.vms.iter().map(|vm| vm.cap_cores).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Node;
+    use crate::vm::{Job, SimVm};
+
+    fn cluster() -> Cluster {
+        Cluster {
+            nodes: vec![Node {
+                name: "n0".into(),
+                cores: 8.0,
+            }],
+            vms: vec![SimVm::new("a", 0, 2.0), SimVm::new("b", 0, 2.0)],
+        }
+    }
+
+    #[test]
+    fn applies_and_logs_changes() {
+        let mut actuator = SimulatedCgroups::new(cluster());
+        let changes = actuator.apply(&[3.0, 2.0]).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].vm, "a");
+        assert_eq!(changes[0].from_cores, 2.0);
+        assert_eq!(changes[0].to_cores, 3.0);
+        assert_eq!(actuator.current(), vec![3.0, 2.0]);
+        assert_eq!(actuator.log().len(), 1);
+        // Unchanged caps produce no log entries.
+        let none = actuator.apply(&[3.0, 2.0]).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(actuator.log().len(), 1);
+    }
+
+    #[test]
+    fn validates_input() {
+        let mut actuator = SimulatedCgroups::new(cluster());
+        assert!(actuator.apply(&[1.0]).is_err());
+        assert!(actuator.apply(&[0.0, 1.0]).is_err());
+        assert!(actuator.apply(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn non_disruptive_for_running_jobs() {
+        let mut c = cluster();
+        c.vms[0].enqueue(Job {
+            request: 1,
+            remaining: 0.5,
+        });
+        let mut actuator = SimulatedCgroups::new(c);
+        actuator.apply(&[4.0, 2.0]).unwrap();
+        let cluster = actuator.into_cluster();
+        // The queued job survived the cap change.
+        assert_eq!(cluster.vms[0].queue_len(), 1);
+        assert_eq!(cluster.vms[0].cap_cores, 4.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Physical nodes and CPU arbitration among co-located VMs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vm::SimVm;
+
+/// A physical server hosting VMs (the testbed's nodes have a 4-core
+/// i7-3820).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node name (e.g. `"node2"`).
+    pub name: String,
+    /// Physical CPU capacity in cores.
+    pub cores: f64,
+}
+
+/// The cluster: nodes plus VMs placed on them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Physical nodes.
+    pub nodes: Vec<Node>,
+    /// All VMs; `SimVm::node` indexes into `nodes`.
+    pub vms: Vec<SimVm>,
+}
+
+impl Cluster {
+    /// VM indices hosted on `node`.
+    pub fn vms_on(&self, node: usize) -> Vec<usize> {
+        self.vms
+            .iter()
+            .enumerate()
+            .filter(|(_, vm)| vm.node == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Finds a VM index by name.
+    pub fn vm_index(&self, name: &str) -> Option<usize> {
+        self.vms.iter().position(|vm| vm.name == name)
+    }
+
+    /// Computes each VM's CPU grant for one tick: a busy VM asks for its
+    /// cap; if a node is oversubscribed, grants shrink proportionally.
+    #[allow(clippy::needless_range_loop)]
+    pub fn cpu_grants(&self) -> Vec<f64> {
+        let mut grants = vec![0.0; self.vms.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            let members = self.vms_on(n);
+            let wanted: f64 = members.iter().map(|&i| self.vms[i].cpu_wanted()).sum();
+            let scale = if wanted > node.cores {
+                node.cores / wanted
+            } else {
+                1.0
+            };
+            for &i in &members {
+                grants[i] = self.vms[i].cpu_wanted() * scale;
+            }
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::vm::Job;
+
+    fn two_node_cluster() -> Cluster {
+        let mut vms = vec![
+            SimVm::new("a", 0, 2.0),
+            SimVm::new("b", 0, 2.0),
+            SimVm::new("c", 0, 2.0),
+            SimVm::new("d", 1, 2.0),
+        ];
+        for vm in &mut vms {
+            vm.enqueue(Job {
+                request: 0,
+                remaining: 10.0,
+            });
+        }
+        Cluster {
+            nodes: vec![
+                Node {
+                    name: "node0".into(),
+                    cores: 4.0,
+                },
+                Node {
+                    name: "node1".into(),
+                    cores: 4.0,
+                },
+            ],
+            vms,
+        }
+    }
+
+    #[test]
+    fn placement_queries() {
+        let c = two_node_cluster();
+        assert_eq!(c.vms_on(0), vec![0, 1, 2]);
+        assert_eq!(c.vms_on(1), vec![3]);
+        assert_eq!(c.vm_index("c"), Some(2));
+        assert_eq!(c.vm_index("zzz"), None);
+    }
+
+    #[test]
+    fn oversubscribed_node_scales_grants() {
+        let c = two_node_cluster();
+        let g = c.cpu_grants();
+        // Node 0: three busy VMs want 6 cores of 4 -> each gets 4/6*2.
+        for i in 0..3 {
+            assert!((g[i] - 4.0 / 3.0).abs() < 1e-9);
+        }
+        // Node 1: single VM gets its full cap.
+        assert!((g[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_vms_get_nothing() {
+        let mut c = two_node_cluster();
+        c.vms[0] = SimVm::new("a", 0, 2.0); // idle replacement
+        let g = c.cpu_grants();
+        assert_eq!(g[0], 0.0);
+        // Remaining two busy VMs fit in 4 cores: full caps.
+        assert!((g[1] - 2.0).abs() < 1e-9);
+        assert!((g[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_bound_grants() {
+        let mut c = two_node_cluster();
+        c.vms[3].set_cap(3.0);
+        let g = c.cpu_grants();
+        assert!((g[3] - 3.0).abs() < 1e-9);
+        c.vms[3].set_cap(0.5);
+        let g = c.cpu_grants();
+        assert!((g[3] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the MediaWiki testbed simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is out of range.
+    InvalidConfig(&'static str),
+    /// A VM or node index is out of range.
+    UnknownComponent(String),
+    /// The resizing step failed.
+    Resize(String),
+    /// The simulation produced no completed requests for a required
+    /// metric.
+    NoData(&'static str),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            SimError::UnknownComponent(name) => write!(f, "unknown component: {name}"),
+            SimError::Resize(e) => write!(f, "resize failed: {e}"),
+            SimError::NoData(what) => write!(f, "no data for metric: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Convenience alias for results in this crate.
+pub type SimResult<T> = Result<T, SimError>;

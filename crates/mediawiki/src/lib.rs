@@ -1,0 +1,59 @@
+//! # atm-mediawiki
+//!
+//! A simulated reproduction of the paper's MediaWiki testbed
+//! (Section V-B, Figs. 11–13).
+//!
+//! The original experiment runs two MediaWiki deployments ("wiki-one",
+//! "wiki-two") as 3-tier web applications — Apache front-ends, memcached,
+//! MySQL — across VMs on three physical servers, drives them with a load
+//! generator alternating hourly between low and high intensity, and
+//! compares CPU usage, tickets, response time and throughput with and
+//! without ATM's cgroups-based resizing.
+//!
+//! No hypervisor is available here, so this crate substitutes a
+//! **deterministic tick-based simulation**:
+//!
+//! - every VM is a processor-sharing CPU server with a cgroups-like
+//!   capacity cap ([`vm`]);
+//! - physical nodes arbitrate CPU among their co-located busy VMs
+//!   proportionally to their caps ([`cluster`]);
+//! - requests traverse Apache → (memcached | MySQL) stages with
+//!   exponential service demands ([`request`], [`workload`]);
+//! - per-VM CPU usage is integrated per ticketing window, giving the same
+//!   usage series / ticket semantics as the data-center traces
+//!   ([`sim`]);
+//! - ATM's capacity decisions are enforced through the
+//!   [`actuator::CapacityActuator`] abstraction — the stand-in for the
+//!   paper's cgroups daemon (caps change on the fly, jobs undisturbed);
+//! - the [`scenario`] module assembles the exact Fig. 11 topology and
+//!   replays it with original capacities and with ATM-resized capacities.
+//!
+//! The substitution preserves the experiment's mechanics: resizing shifts
+//! CPU headroom from idle co-located VMs to hot Apache tiers, dropping
+//! per-VM utilization below the ticket threshold while improving
+//! latency/throughput of the saturated wiki.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use atm_mediawiki::scenario::{MediaWikiScenario, ScenarioConfig};
+//!
+//! let scenario = MediaWikiScenario::new(ScenarioConfig::default());
+//! let comparison = scenario.run_comparison().unwrap();
+//! assert!(comparison.resized.total_tickets() <= comparison.original.total_tickets());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuator;
+pub mod cluster;
+mod error;
+pub mod metrics;
+pub mod request;
+pub mod scenario;
+pub mod sim;
+pub mod vm;
+pub mod workload;
+
+pub use error::{SimError, SimResult};

@@ -1,0 +1,210 @@
+//! Per-wiki performance summaries — the numbers behind paper Fig. 13
+//! (mean response time and throughput for wiki-one / wiki-two).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+use crate::request::Wiki;
+use crate::sim::SimOutput;
+
+/// Performance summary for one wiki over one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WikiPerformance {
+    /// Which wiki.
+    pub wiki: Wiki,
+    /// Mean response time in milliseconds.
+    pub mean_rt_ms: f64,
+    /// 95th percentile response time in milliseconds.
+    pub p95_rt_ms: f64,
+    /// Throughput: completed requests per second.
+    pub throughput_rps: f64,
+    /// Completed request count.
+    pub completed: usize,
+    /// Dropped request count.
+    pub dropped: usize,
+}
+
+/// Computes the summary for one wiki.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoData`] when no request of the wiki completed.
+pub fn wiki_performance(
+    output: &SimOutput,
+    wiki: Wiki,
+    duration_seconds: f64,
+) -> SimResult<WikiPerformance> {
+    let completed = output.completed_for(wiki);
+    if completed.is_empty() {
+        return Err(SimError::NoData("no completed requests"));
+    }
+    let mut rts: Vec<f64> = completed
+        .iter()
+        .map(|c| c.response_time() * 1000.0)
+        .collect();
+    rts.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+    let mean = rts.iter().sum::<f64>() / rts.len() as f64;
+    let p95 = rts[((rts.len() as f64 * 0.95) as usize).min(rts.len() - 1)];
+    let dropped = output.dropped[match wiki {
+        Wiki::One => 0,
+        Wiki::Two => 1,
+    }];
+    Ok(WikiPerformance {
+        wiki,
+        mean_rt_ms: mean,
+        p95_rt_ms: p95,
+        throughput_rps: completed.len() as f64 / duration_seconds,
+        completed: completed.len(),
+        dropped,
+    })
+}
+
+/// Mean response time (ms) per time bucket — the data behind an
+/// RT-over-time plot under the alternating load (the latency view of the
+/// paper's Fig. 12 experiment). Buckets with no completions yield `None`.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoData`] if `bucket_seconds` or `duration_seconds`
+/// is non-positive.
+pub fn rt_timeline(
+    output: &SimOutput,
+    wiki: Wiki,
+    duration_seconds: f64,
+    bucket_seconds: f64,
+) -> SimResult<Vec<Option<f64>>> {
+    if bucket_seconds <= 0.0
+        || duration_seconds <= 0.0
+        || bucket_seconds.is_nan()
+        || duration_seconds.is_nan()
+    {
+        return Err(SimError::NoData("non-positive duration or bucket"));
+    }
+    let buckets = (duration_seconds / bucket_seconds).ceil() as usize;
+    let mut sums = vec![0.0; buckets];
+    let mut counts = vec![0usize; buckets];
+    for c in output.completed_for(wiki) {
+        let b = ((c.finish / bucket_seconds) as usize).min(buckets.saturating_sub(1));
+        sums[b] += c.response_time() * 1000.0;
+        counts[b] += 1;
+    }
+    Ok(sums
+        .into_iter()
+        .zip(counts)
+        .map(|(s, n)| if n == 0 { None } else { Some(s / n as f64) })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CompletedRequest;
+
+    fn output_with(completed: Vec<CompletedRequest>, dropped: [usize; 2]) -> SimOutput {
+        SimOutput {
+            vm_names: vec!["vm0".into()],
+            usage_pct: vec![vec![50.0]],
+            demand_cores: vec![vec![1.0]],
+            caps: vec![2.0],
+            completed,
+            dropped,
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let completed = vec![
+            CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 0.0,
+                finish: 0.1,
+            },
+            CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 1.0,
+                finish: 1.3,
+            },
+            CompletedRequest {
+                wiki: Wiki::Two,
+                arrival: 0.0,
+                finish: 0.5,
+            },
+        ];
+        let out = output_with(completed, [2, 0]);
+        let one = wiki_performance(&out, Wiki::One, 10.0).unwrap();
+        assert_eq!(one.completed, 2);
+        assert_eq!(one.dropped, 2);
+        assert!((one.mean_rt_ms - 200.0).abs() < 1e-9);
+        assert!((one.throughput_rps - 0.2).abs() < 1e-12);
+        let two = wiki_performance(&out, Wiki::Two, 10.0).unwrap();
+        assert_eq!(two.completed, 1);
+        assert!((two.mean_rt_ms - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_from_sorted_tail() {
+        let completed: Vec<CompletedRequest> = (0..100)
+            .map(|i| CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 0.0,
+                finish: (i + 1) as f64 / 1000.0, // 1..100 ms
+            })
+            .collect();
+        let out = output_with(completed, [0, 0]);
+        let perf = wiki_performance(&out, Wiki::One, 1.0).unwrap();
+        assert!((perf.p95_rt_ms - 96.0).abs() < 1.01);
+    }
+
+    #[test]
+    fn rt_timeline_buckets_correctly() {
+        let completed = vec![
+            CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 0.0,
+                finish: 1.0,
+            }, // bucket 0, RT 1000
+            CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 1.0,
+                finish: 2.0,
+            }, // bucket 0, RT 1000
+            CompletedRequest {
+                wiki: Wiki::One,
+                arrival: 10.0,
+                finish: 10.5,
+            }, // bucket 1, RT 500
+            CompletedRequest {
+                wiki: Wiki::Two,
+                arrival: 0.0,
+                finish: 9.0,
+            }, // other wiki
+        ];
+        let out = output_with(completed, [0, 0]);
+        let timeline = rt_timeline(&out, Wiki::One, 30.0, 10.0).unwrap();
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline[0], Some(1000.0));
+        assert_eq!(timeline[1], Some(500.0));
+        assert_eq!(timeline[2], None);
+        assert!(rt_timeline(&out, Wiki::One, 30.0, 0.0).is_err());
+        assert!(rt_timeline(&out, Wiki::One, 0.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn rt_timeline_clamps_late_finishes() {
+        let completed = vec![CompletedRequest {
+            wiki: Wiki::One,
+            arrival: 99.0,
+            finish: 100.5, // past the nominal duration
+        }];
+        let out = output_with(completed, [0, 0]);
+        let timeline = rt_timeline(&out, Wiki::One, 100.0, 10.0).unwrap();
+        assert_eq!(timeline.len(), 10);
+        assert!(timeline[9].is_some());
+    }
+
+    #[test]
+    fn empty_wiki_is_no_data() {
+        let out = output_with(vec![], [0, 0]);
+        assert!(wiki_performance(&out, Wiki::One, 1.0).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Requests and their multi-tier service stages.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies which wiki deployment a request belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Wiki {
+    /// wiki-one: 4 Apache, 2 memcached, 1 DB (the larger deployment).
+    One,
+    /// wiki-two: 2 Apache, 1 memcached, 1 DB.
+    Two,
+}
+
+impl Wiki {
+    /// Both wikis.
+    pub const ALL: [Wiki; 2] = [Wiki::One, Wiki::Two];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Wiki::One => "wiki-one",
+            Wiki::Two => "wiki-two",
+        }
+    }
+}
+
+/// One service stage of a request: CPU work (in core-seconds) at a VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// VM index within the cluster.
+    pub vm: usize,
+    /// CPU work in core-seconds.
+    pub work: f64,
+}
+
+/// A request flowing through the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Which wiki the request targets.
+    pub wiki: Wiki,
+    /// Arrival time, seconds since simulation start.
+    pub arrival: f64,
+    /// The tier stages, traversed in order.
+    pub stages: Vec<Stage>,
+    /// Index of the stage currently in service.
+    pub current_stage: usize,
+}
+
+impl Request {
+    /// Creates a request at the first stage.
+    pub fn new(wiki: Wiki, arrival: f64, stages: Vec<Stage>) -> Self {
+        Request {
+            wiki,
+            arrival,
+            stages,
+            current_stage: 0,
+        }
+    }
+
+    /// The stage currently in service, or `None` when finished.
+    pub fn stage(&self) -> Option<&Stage> {
+        self.stages.get(self.current_stage)
+    }
+
+    /// Advances to the next stage; returns `true` if the request is done.
+    pub fn advance(&mut self) -> bool {
+        self.current_stage += 1;
+        self.current_stage >= self.stages.len()
+    }
+
+    /// Total CPU work across all stages.
+    pub fn total_work(&self) -> f64 {
+        self.stages.iter().map(|s| s.work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_traversal() {
+        let mut r = Request::new(
+            Wiki::One,
+            1.5,
+            vec![Stage { vm: 0, work: 0.1 }, Stage { vm: 3, work: 0.2 }],
+        );
+        assert_eq!(r.stage().unwrap().vm, 0);
+        assert!(!r.advance());
+        assert_eq!(r.stage().unwrap().vm, 3);
+        assert!(r.advance());
+        assert!(r.stage().is_none());
+        assert!((r.total_work() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wiki_names() {
+        assert_eq!(Wiki::One.name(), "wiki-one");
+        assert_eq!(Wiki::Two.name(), "wiki-two");
+        assert_eq!(Wiki::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,405 @@
+//! The paper's Fig. 11 testbed scenario and the with/without-ATM
+//! comparison of Figs. 12–13.
+//!
+//! Topology (four physical servers; one is the load generator, three host
+//! VMs): **wiki-one** runs 4 Apache + 2 memcached + 1 MySQL VMs,
+//! **wiki-two** runs 2 Apache + 1 memcached + 1 MySQL. Each VM has 2
+//! virtual CPUs; each node is a 4-core/8-thread i7, modelled as 8
+//! schedulable cores.
+//!
+//! The comparison runs the workload twice: once with the original 2-core
+//! cgroups caps, once with caps chosen by ATM's greedy MCKP resizer from
+//! the demand series observed in the original run (the actuation path the
+//! paper implements with a cgroups daemon).
+
+use atm_resize::{greedy, ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::actuator::{CapacityActuator, SimulatedCgroups};
+use crate::cluster::{Cluster, Node};
+use crate::error::{SimError, SimResult};
+use crate::metrics::{wiki_performance, WikiPerformance};
+use crate::request::Wiki;
+use crate::sim::{run, SimConfig, SimOutput};
+use crate::vm::SimVm;
+use crate::workload::{LoadGenerator, ServiceProfile, WikiWorkload};
+
+/// Scenario parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Simulation parameters (duration, tick, window, seed).
+    pub sim: SimConfig,
+    /// Ticket threshold percent (paper: 60).
+    pub ticket_threshold_pct: f64,
+    /// wiki-one arrival rates (low, high), requests/second.
+    pub wiki_one_rates: (f64, f64),
+    /// wiki-two arrival rates (low, high), requests/second.
+    pub wiki_two_rates: (f64, f64),
+    /// Length of each intensity period in seconds (paper: one hour).
+    pub period_seconds: f64,
+    /// Node CPU capacity in schedulable cores (4C/8T i7 → 8.0).
+    pub node_cores: f64,
+    /// Per-VM allocated virtual CPU in cores (paper: 2 vCPU).
+    pub vm_cores: f64,
+    /// Resizing discretization factor ε in cores.
+    pub epsilon: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            sim: SimConfig::default(),
+            ticket_threshold_pct: 60.0,
+            wiki_one_rates: (12.0, 42.0),
+            wiki_two_rates: (8.0, 33.0),
+            period_seconds: 3600.0,
+            node_cores: 8.0,
+            vm_cores: 2.0,
+            epsilon: 0.0,
+        }
+    }
+}
+
+/// One run's results plus derived ticket counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Raw simulation output.
+    pub output: SimOutput,
+    /// Per-VM ticket counts at the configured threshold.
+    pub tickets_per_vm: Vec<usize>,
+    /// Per-wiki performance.
+    pub performance: Vec<WikiPerformance>,
+}
+
+impl RunResult {
+    /// Total tickets across VMs.
+    pub fn total_tickets(&self) -> usize {
+        self.tickets_per_vm.iter().sum()
+    }
+
+    /// Performance entry for one wiki.
+    pub fn performance_for(&self, wiki: Wiki) -> Option<&WikiPerformance> {
+        self.performance.iter().find(|p| p.wiki == wiki)
+    }
+}
+
+/// Original vs ATM-resized comparison (Figs. 12–13).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The run with original (2-core) caps.
+    pub original: RunResult,
+    /// The run with ATM-resized caps.
+    pub resized: RunResult,
+    /// The caps ATM chose, per VM.
+    pub resized_caps: Vec<f64>,
+}
+
+/// The assembled testbed.
+#[derive(Debug, Clone)]
+pub struct MediaWikiScenario {
+    config: ScenarioConfig,
+}
+
+impl MediaWikiScenario {
+    /// Creates the scenario.
+    pub fn new(config: ScenarioConfig) -> Self {
+        MediaWikiScenario { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// Builds the Fig. 11 cluster with every VM capped at its allocated
+    /// cores.
+    pub fn build_cluster(&self) -> Cluster {
+        let c = self.config.vm_cores;
+        let nodes = (2..=4)
+            .map(|i| Node {
+                name: format!("node{i}"),
+                cores: self.config.node_cores,
+            })
+            .collect();
+        // Placement mirrors the paper's deployment across nodes 2-4.
+        let vms = vec![
+            SimVm::new("w1-apache0", 0, c),
+            SimVm::new("w1-apache1", 0, c),
+            SimVm::new("w2-apache0", 0, c),
+            SimVm::new("w1-apache2", 1, c),
+            SimVm::new("w1-apache3", 1, c),
+            SimVm::new("w2-apache1", 1, c),
+            SimVm::new("w1-memcached0", 1, c),
+            SimVm::new("w1-memcached1", 2, c),
+            SimVm::new("w1-db", 2, c),
+            SimVm::new("w2-memcached0", 2, c),
+            SimVm::new("w2-db", 2, c),
+        ];
+        Cluster { nodes, vms }
+    }
+
+    /// Builds the two wikis' load generators against a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownComponent`] if the cluster lacks an
+    /// expected VM (only possible with a foreign cluster).
+    pub fn build_generators(&self, cluster: &Cluster) -> SimResult<Vec<LoadGenerator>> {
+        let vm = |name: &str| -> SimResult<usize> {
+            cluster
+                .vm_index(name)
+                .ok_or_else(|| SimError::UnknownComponent(name.to_string()))
+        };
+        let w1 = LoadGenerator::new(
+            WikiWorkload {
+                wiki: Wiki::One,
+                low_rate: self.config.wiki_one_rates.0,
+                high_rate: self.config.wiki_one_rates.1,
+                period_seconds: self.config.period_seconds,
+                profile: ServiceProfile::default(),
+            },
+            vec![
+                vm("w1-apache0")?,
+                vm("w1-apache1")?,
+                vm("w1-apache2")?,
+                vm("w1-apache3")?,
+            ],
+            vec![vm("w1-memcached0")?, vm("w1-memcached1")?],
+            vm("w1-db")?,
+        );
+        let w2 = LoadGenerator::new(
+            WikiWorkload {
+                wiki: Wiki::Two,
+                low_rate: self.config.wiki_two_rates.0,
+                high_rate: self.config.wiki_two_rates.1,
+                period_seconds: self.config.period_seconds,
+                profile: ServiceProfile::default(),
+            },
+            vec![vm("w2-apache0")?, vm("w2-apache1")?],
+            vec![vm("w2-memcached0")?],
+            vm("w2-db")?,
+        );
+        Ok(vec![w1, w2])
+    }
+
+    /// Runs the workload once with the given per-VM caps (`None` = the
+    /// original allocated caps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and metric errors.
+    pub fn run_once(&self, caps: Option<&[f64]>) -> SimResult<RunResult> {
+        let cluster = self.build_cluster();
+        // Caps are applied through the cgroups-style actuator, exactly as
+        // ATM's daemon would enforce them on a live hypervisor.
+        let cluster = match caps {
+            Some(caps) => {
+                let mut actuator = SimulatedCgroups::new(cluster);
+                actuator.apply(caps)?;
+                actuator.into_cluster()
+            }
+            None => cluster,
+        };
+        let generators = self.build_generators(&cluster)?;
+        let output = run(cluster, generators, &self.config.sim)?;
+
+        let tickets_per_vm = (0..output.vm_names.len())
+            .map(|v| output.vm_tickets(v, self.config.ticket_threshold_pct))
+            .collect();
+        let mut performance = Vec::new();
+        for wiki in Wiki::ALL {
+            performance.push(wiki_performance(
+                &output,
+                wiki,
+                self.config.sim.duration_seconds,
+            )?);
+        }
+        Ok(RunResult {
+            output,
+            tickets_per_vm,
+            performance,
+        })
+    }
+
+    /// Computes ATM's caps from observed per-window demand series: one
+    /// greedy MCKP resize per node with the node's schedulable cores as
+    /// the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Resize`] if the optimizer fails.
+    pub fn atm_caps(&self, observed: &SimOutput) -> SimResult<Vec<f64>> {
+        let cluster = self.build_cluster();
+        let policy = ThresholdPolicy::new(self.config.ticket_threshold_pct)
+            .map_err(|e| SimError::Resize(e.to_string()))?;
+        let mut caps = vec![self.config.vm_cores; cluster.vms.len()];
+
+        for node in 0..cluster.nodes.len() {
+            let members = cluster.vms_on(node);
+            let vms: Vec<VmDemand> = members
+                .iter()
+                .map(|&v| {
+                    let demands = observed.demand_cores[v].clone();
+                    let peak = demands.iter().copied().fold(0.0, f64::max);
+                    VmDemand::new(
+                        observed.vm_names[v].clone(),
+                        demands,
+                        peak.min(self.config.node_cores),
+                        self.config.node_cores,
+                    )
+                })
+                .collect();
+            let problem = ResizeProblem::new(vms, self.config.node_cores, policy)
+                .with_epsilon(self.config.epsilon);
+            let allocation =
+                greedy::solve(&problem).map_err(|e| SimError::Resize(e.to_string()))?;
+            for (pos, &v) in members.iter().enumerate() {
+                caps[v] = allocation.capacities[pos];
+            }
+        }
+        Ok(caps)
+    }
+
+    /// The full Fig. 12/13 experiment: baseline run → ATM resize → resized
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and resize errors.
+    pub fn run_comparison(&self) -> SimResult<Comparison> {
+        let original = self.run_once(None)?;
+        let caps = self.atm_caps(&original.output)?;
+        let resized = self.run_once(Some(&caps))?;
+        Ok(Comparison {
+            original,
+            resized,
+            resized_caps: caps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down scenario: 40 minutes with 10-minute intensity
+    /// periods and 5-minute ticketing windows.
+    fn fast_config() -> ScenarioConfig {
+        ScenarioConfig {
+            sim: SimConfig {
+                duration_seconds: 2400.0,
+                tick_seconds: 0.05,
+                window_seconds: 300.0,
+                seed: 7,
+                max_frontend_queue: 30,
+            },
+            period_seconds: 600.0,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn topology_matches_fig11() {
+        let s = MediaWikiScenario::new(fast_config());
+        let c = s.build_cluster();
+        assert_eq!(c.nodes.len(), 3);
+        assert_eq!(c.vms.len(), 11);
+        let w1_apaches = c
+            .vms
+            .iter()
+            .filter(|v| v.name.starts_with("w1-apache"))
+            .count();
+        let w2_apaches = c
+            .vms
+            .iter()
+            .filter(|v| v.name.starts_with("w2-apache"))
+            .count();
+        assert_eq!(w1_apaches, 4);
+        assert_eq!(w2_apaches, 2);
+        assert_eq!(c.vms.iter().filter(|v| v.name.ends_with("db")).count(), 2);
+        // Every node hosts at least 3 VMs.
+        for n in 0..3 {
+            assert!(c.vms_on(n).len() >= 3);
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_tickets_under_high_load() {
+        let s = MediaWikiScenario::new(fast_config());
+        let r = s.run_once(None).unwrap();
+        assert!(
+            r.total_tickets() > 0,
+            "no tickets in the baseline high-load scenario"
+        );
+        // Both wikis completed requests.
+        for wiki in Wiki::ALL {
+            assert!(r.performance_for(wiki).unwrap().completed > 100);
+        }
+    }
+
+    #[test]
+    fn resizing_reduces_tickets_dramatically() {
+        let s = MediaWikiScenario::new(fast_config());
+        let cmp = s.run_comparison().unwrap();
+        let before = cmp.original.total_tickets();
+        let after = cmp.resized.total_tickets();
+        assert!(before >= 5, "baseline tickets {before} too few to evaluate");
+        assert!(
+            (after as f64) < before as f64 * 0.4,
+            "resizing reduced tickets only {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn resizing_respects_node_budgets() {
+        let s = MediaWikiScenario::new(fast_config());
+        let cmp = s.run_comparison().unwrap();
+        let cluster = s.build_cluster();
+        for (n, node) in cluster.nodes.iter().enumerate() {
+            let total: f64 = cluster.vms_on(n).iter().map(|&v| cmp.resized_caps[v]).sum();
+            assert!(
+                total <= node.cores + 1e-6,
+                "node {n} caps {total} exceed {}",
+                node.cores
+            );
+        }
+    }
+
+    #[test]
+    fn wiki_two_throughput_improves() {
+        // wiki-two's Apaches are undersized at 2 cores; resizing must not
+        // hurt its throughput and should typically raise it.
+        let s = MediaWikiScenario::new(fast_config());
+        let cmp = s.run_comparison().unwrap();
+        let before = cmp.original.performance_for(Wiki::Two).unwrap();
+        let after = cmp.resized.performance_for(Wiki::Two).unwrap();
+        assert!(
+            after.throughput_rps >= before.throughput_rps * 0.98,
+            "wiki-two throughput regressed: {} -> {}",
+            before.throughput_rps,
+            after.throughput_rps
+        );
+        assert!(after.dropped <= before.dropped);
+    }
+
+    #[test]
+    fn wiki_one_response_time_improves() {
+        let s = MediaWikiScenario::new(fast_config());
+        let cmp = s.run_comparison().unwrap();
+        let before = cmp.original.performance_for(Wiki::One).unwrap();
+        let after = cmp.resized.performance_for(Wiki::One).unwrap();
+        assert!(
+            after.mean_rt_ms <= before.mean_rt_ms * 1.1,
+            "wiki-one RT regressed: {} -> {}",
+            before.mean_rt_ms,
+            after.mean_rt_ms
+        );
+    }
+
+    #[test]
+    fn run_once_validates_cap_length() {
+        let s = MediaWikiScenario::new(fast_config());
+        assert!(s.run_once(Some(&[1.0, 2.0])).is_err());
+    }
+}

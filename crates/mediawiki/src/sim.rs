@@ -1,0 +1,386 @@
+//! The tick-based simulation loop.
+//!
+//! Time advances in small fixed ticks. Each tick: new requests arrive
+//! (open loop), every node arbitrates CPU among its busy VMs, every VM
+//! runs processor-sharing over its job queue, and completed stages move
+//! requests onward. Per-VM CPU consumption is integrated per ticketing
+//! window, producing exactly the usage-series/ticket semantics of the
+//! data-center traces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::error::{SimError, SimResult};
+use crate::request::{Request, Wiki};
+use crate::vm::Job;
+use crate::workload::LoadGenerator;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total simulated time in seconds (paper experiment: ~6 hours).
+    pub duration_seconds: f64,
+    /// Tick length in seconds (CPU arbitration granularity).
+    pub tick_seconds: f64,
+    /// Ticketing window length in seconds (paper: 900 = 15 minutes).
+    pub window_seconds: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Front-end queue cap: arriving requests finding this many jobs at
+    /// their Apache VM are dropped (timeout). 0 disables dropping.
+    pub max_frontend_queue: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration_seconds: 6.0 * 3600.0,
+            tick_seconds: 0.05,
+            window_seconds: 900.0,
+            seed: 0xD51,
+            max_frontend_queue: 30,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on non-positive durations or a
+    /// tick no smaller than the window.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.duration_seconds <= 0.0 || self.duration_seconds.is_nan() {
+            return Err(SimError::InvalidConfig("duration must be positive"));
+        }
+        if self.tick_seconds <= 0.0 || self.tick_seconds.is_nan() {
+            return Err(SimError::InvalidConfig("tick must be positive"));
+        }
+        if self.window_seconds < self.tick_seconds {
+            return Err(SimError::InvalidConfig(
+                "window must cover at least one tick",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// Which wiki served it.
+    pub wiki: Wiki,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Completion time in seconds.
+    pub finish: f64,
+}
+
+impl CompletedRequest {
+    /// Response time in seconds.
+    pub fn response_time(&self) -> f64 {
+        self.finish - self.arrival
+    }
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutput {
+    /// VM names, aligned with the per-VM vectors below.
+    pub vm_names: Vec<String>,
+    /// Per VM: CPU utilization percent (of the VM's *cap*) per ticketing
+    /// window.
+    pub usage_pct: Vec<Vec<f64>>,
+    /// Per VM: mean CPU demand in cores per ticketing window (consumed
+    /// core-seconds / window length).
+    pub demand_cores: Vec<Vec<f64>>,
+    /// The caps in force during the run, per VM (cores).
+    pub caps: Vec<f64>,
+    /// Completed requests.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests dropped at a full front-end queue, per wiki
+    /// `[wiki-one, wiki-two]`.
+    pub dropped: [usize; 2],
+}
+
+impl SimOutput {
+    /// Completed requests of one wiki.
+    pub fn completed_for(&self, wiki: Wiki) -> Vec<&CompletedRequest> {
+        self.completed.iter().filter(|c| c.wiki == wiki).collect()
+    }
+
+    /// Tickets for one VM under a usage threshold (percent).
+    pub fn vm_tickets(&self, vm: usize, threshold_pct: f64) -> usize {
+        self.usage_pct[vm]
+            .iter()
+            .filter(|&&u| u > threshold_pct)
+            .count()
+    }
+
+    /// Total tickets across all VMs under a threshold.
+    pub fn tickets(&self, threshold_pct: f64) -> usize {
+        (0..self.vm_names.len())
+            .map(|v| self.vm_tickets(v, threshold_pct))
+            .sum()
+    }
+}
+
+/// Runs the simulation: drives `generators` against `cluster` for the
+/// configured duration. The cluster's current VM caps are honoured
+/// throughout (set caps before calling to simulate a resized run).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for bad parameters.
+pub fn run(
+    mut cluster: Cluster,
+    mut generators: Vec<LoadGenerator>,
+    config: &SimConfig,
+) -> SimResult<SimOutput> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tick = config.tick_seconds;
+    let ticks = (config.duration_seconds / tick).round() as usize;
+    let ticks_per_window = (config.window_seconds / tick).round() as usize;
+
+    let vm_count = cluster.vms.len();
+    let mut usage_pct: Vec<Vec<f64>> = vec![Vec::new(); vm_count];
+    let mut demand_cores: Vec<Vec<f64>> = vec![Vec::new(); vm_count];
+    let mut completed = Vec::new();
+    let mut dropped = [0usize; 2];
+
+    // In-flight requests; slots are reused via a free list.
+    let mut requests: Vec<Option<Request>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+
+    for tick_index in 0..ticks {
+        let now = tick_index as f64 * tick;
+
+        // 1. Arrivals.
+        for generator in &mut generators {
+            for request in generator.generate_tick(now, tick, &mut rng) {
+                let first = request.stage().expect("requests have stages");
+                let vm = first.vm;
+                if config.max_frontend_queue > 0
+                    && cluster.vms[vm].queue_len() >= config.max_frontend_queue
+                {
+                    dropped[match request.wiki {
+                        Wiki::One => 0,
+                        Wiki::Two => 1,
+                    }] += 1;
+                    continue;
+                }
+                let slot = free_slots.pop().unwrap_or_else(|| {
+                    requests.push(None);
+                    requests.len() - 1
+                });
+                cluster.vms[vm].enqueue(Job {
+                    request: slot,
+                    remaining: first.work,
+                });
+                requests[slot] = Some(request);
+            }
+        }
+
+        // 2. CPU arbitration and PS execution.
+        let grants = cluster.cpu_grants();
+        let mut moves: Vec<(usize, usize, f64)> = Vec::new(); // (slot, vm, work)
+        for (v, vm) in cluster.vms.iter_mut().enumerate() {
+            for slot in vm.run_tick(grants[v], tick) {
+                let request = requests[slot].as_mut().expect("slot in flight");
+                if request.advance() {
+                    completed.push(CompletedRequest {
+                        wiki: request.wiki,
+                        arrival: request.arrival,
+                        finish: now + tick,
+                    });
+                    requests[slot] = None;
+                    free_slots.push(slot);
+                } else {
+                    let stage = request.stage().expect("not finished");
+                    moves.push((slot, stage.vm, stage.work));
+                }
+            }
+        }
+        for (slot, vm, work) in moves {
+            cluster.vms[vm].enqueue(Job {
+                request: slot,
+                remaining: work,
+            });
+        }
+
+        // 3. Window accounting.
+        if (tick_index + 1) % ticks_per_window == 0 {
+            for (v, vm) in cluster.vms.iter_mut().enumerate() {
+                let used = vm.drain_window_usage();
+                let mean_cores = used / config.window_seconds;
+                demand_cores[v].push(mean_cores);
+                usage_pct[v].push(mean_cores / vm.cap_cores * 100.0);
+            }
+        }
+    }
+
+    Ok(SimOutput {
+        vm_names: cluster.vms.iter().map(|vm| vm.name.clone()).collect(),
+        usage_pct,
+        demand_cores,
+        caps: cluster.vms.iter().map(|vm| vm.cap_cores).collect(),
+        completed,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Node;
+    use crate::request::Wiki;
+    use crate::vm::SimVm;
+    use crate::workload::{LoadGenerator, ServiceProfile, WikiWorkload};
+
+    fn tiny_cluster() -> Cluster {
+        Cluster {
+            nodes: vec![Node {
+                name: "n0".into(),
+                cores: 8.0,
+            }],
+            vms: vec![
+                SimVm::new("apache", 0, 2.0),
+                SimVm::new("mc", 0, 2.0),
+                SimVm::new("db", 0, 2.0),
+            ],
+        }
+    }
+
+    fn generator(rate: f64) -> LoadGenerator {
+        LoadGenerator::new(
+            WikiWorkload {
+                wiki: Wiki::One,
+                low_rate: rate,
+                high_rate: rate,
+                period_seconds: 1e9,
+                profile: ServiceProfile::default(),
+            },
+            vec![0],
+            vec![1],
+            2,
+        )
+    }
+
+    fn config(duration: f64) -> SimConfig {
+        SimConfig {
+            duration_seconds: duration,
+            tick_seconds: 0.05,
+            window_seconds: 60.0,
+            seed: 42,
+            max_frontend_queue: 0,
+        }
+    }
+
+    #[test]
+    fn conservation_arrivals_equal_completions_plus_inflight_plus_drops() {
+        // Low load, long run: nearly everything completes.
+        let out = run(tiny_cluster(), vec![generator(4.0)], &config(600.0)).unwrap();
+        let expected = 4.0 * 600.0;
+        let completed = out.completed.len() as f64;
+        assert!(
+            (completed - expected).abs() < expected * 0.1,
+            "completed {completed} vs offered {expected}"
+        );
+        assert_eq!(out.dropped, [0, 0]);
+    }
+
+    #[test]
+    fn response_times_exceed_service_times() {
+        let out = run(tiny_cluster(), vec![generator(4.0)], &config(300.0)).unwrap();
+        for c in &out.completed {
+            assert!(c.response_time() > 0.0);
+            assert!(c.finish >= c.arrival);
+        }
+        // Mean RT at low load ≈ service/speed: apache 0.12/2 + backend,
+        // plus a couple of tick quantizations — well under a second.
+        let mean_rt: f64 = out.completed.iter().map(|c| c.response_time()).sum::<f64>()
+            / out.completed.len() as f64;
+        assert!(mean_rt < 0.5, "mean RT {mean_rt}");
+    }
+
+    #[test]
+    fn utilization_matches_load() {
+        // λ = 8/s, apache work 0.12 -> apache demand 0.96 cores = 48% of 2.
+        let out = run(tiny_cluster(), vec![generator(8.0)], &config(600.0)).unwrap();
+        let apache_usage: f64 =
+            out.usage_pct[0].iter().sum::<f64>() / out.usage_pct[0].len() as f64;
+        assert!(
+            (35.0..60.0).contains(&apache_usage),
+            "apache usage {apache_usage}%"
+        );
+        // memcached load is tiny.
+        let mc_usage: f64 = out.usage_pct[1].iter().sum::<f64>() / out.usage_pct[1].len() as f64;
+        assert!(mc_usage < 10.0);
+    }
+
+    #[test]
+    fn windows_are_counted_correctly() {
+        let out = run(tiny_cluster(), vec![generator(2.0)], &config(300.0)).unwrap();
+        // 300 s / 60 s windows = 5 windows per VM.
+        for v in 0..3 {
+            assert_eq!(out.usage_pct[v].len(), 5);
+            assert_eq!(out.demand_cores[v].len(), 5);
+        }
+    }
+
+    #[test]
+    fn overload_saturates_at_cap_and_drops() {
+        // λ = 30/s × 0.12 = 3.6 cores demanded of a 2-core cap.
+        let mut cfg = config(300.0);
+        cfg.max_frontend_queue = 20;
+        let out = run(tiny_cluster(), vec![generator(30.0)], &cfg).unwrap();
+        let apache_usage: f64 =
+            out.usage_pct[0].iter().sum::<f64>() / out.usage_pct[0].len() as f64;
+        assert!(apache_usage > 90.0, "saturated usage {apache_usage}%");
+        assert!(out.dropped[0] > 0, "no drops under overload");
+        // Throughput is capped near cap/work = 16.7/s.
+        let tput = out.completed.len() as f64 / 300.0;
+        assert!(tput < 20.0, "tput {tput} exceeds capacity");
+    }
+
+    #[test]
+    fn raising_cap_reduces_usage_percent() {
+        let mut hot = tiny_cluster();
+        hot.vms[0].set_cap(2.0);
+        let base = run(hot, vec![generator(12.0)], &config(300.0)).unwrap();
+        let mut resized = tiny_cluster();
+        resized.vms[0].set_cap(4.0);
+        let better = run(resized, vec![generator(12.0)], &config(300.0)).unwrap();
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(
+            mean(&better.usage_pct[0]) < mean(&base.usage_pct[0]),
+            "usage did not drop with a larger cap"
+        );
+        // Tickets at 60% drop accordingly.
+        assert!(better.tickets(60.0) <= base.tickets(60.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(tiny_cluster(), vec![generator(5.0)], &config(120.0)).unwrap();
+        let b = run(tiny_cluster(), vec![generator(5.0)], &config(120.0)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = config(10.0);
+        c.duration_seconds = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = config(10.0);
+        c.tick_seconds = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = config(10.0);
+        c.window_seconds = 0.01;
+        assert!(c.validate().is_err());
+    }
+}

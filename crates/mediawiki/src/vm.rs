@@ -1,0 +1,231 @@
+//! A simulated VM: a processor-sharing CPU server with a cgroups-like
+//! capacity cap.
+//!
+//! Jobs (request stages) share the VM's granted CPU equally within each
+//! tick. The *cap* models the cgroups CPU limit the paper's actuation
+//! daemon sets — it can be changed on the fly without disturbing running
+//! jobs, exactly the advantage the paper cites for cgroups over virtual
+//! hardware resizing.
+
+use serde::{Deserialize, Serialize};
+
+/// A job in a VM's run queue: remaining CPU work for one request stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Index of the owning request in the simulator's in-flight table.
+    pub request: usize,
+    /// Remaining CPU work in core-seconds.
+    pub remaining: f64,
+}
+
+/// A simulated VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimVm {
+    /// VM name (e.g. `"w1-apache0"`).
+    pub name: String,
+    /// Physical node hosting the VM.
+    pub node: usize,
+    /// Originally allocated virtual CPU, in cores (the paper's VMs have 2
+    /// virtual CPUs).
+    pub allocated_cores: f64,
+    /// Current cgroups cap in cores (defaults to `allocated_cores`).
+    pub cap_cores: f64,
+    /// Run queue.
+    queue: Vec<Job>,
+    /// CPU consumed in the current ticketing window, core-seconds.
+    window_used: f64,
+}
+
+impl SimVm {
+    /// Creates an idle VM with cap = allocated.
+    pub fn new(name: impl Into<String>, node: usize, allocated_cores: f64) -> Self {
+        SimVm {
+            name: name.into(),
+            node,
+            allocated_cores,
+            cap_cores: allocated_cores,
+            queue: Vec::new(),
+            window_used: 0.0,
+        }
+    }
+
+    /// Number of queued jobs.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the VM has work.
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// CPU the VM wants this tick: its cap when busy, 0 when idle.
+    pub fn cpu_wanted(&self) -> f64 {
+        if self.is_busy() {
+            self.cap_cores
+        } else {
+            0.0
+        }
+    }
+
+    /// Enqueues a job.
+    pub fn enqueue(&mut self, job: Job) {
+        self.queue.push(job);
+    }
+
+    /// Runs the VM for `tick` seconds with `granted` cores of CPU
+    /// (processor sharing with water-filling so short jobs release their
+    /// share to longer ones). Returns the indices of completed requests.
+    pub fn run_tick(&mut self, granted: f64, tick: f64) -> Vec<usize> {
+        if self.queue.is_empty() || granted <= 0.0 {
+            return Vec::new();
+        }
+        let mut budget = granted * tick; // core-seconds this tick
+                                         // Water-filling PS: repeatedly give every remaining job an equal
+                                         // share; jobs that finish early release the surplus.
+        let mut remaining: Vec<f64> = self.queue.iter().map(|j| j.remaining).collect();
+        let mut active: Vec<usize> = (0..remaining.len()).collect();
+        while budget > 1e-12 && !active.is_empty() {
+            let share = budget / active.len() as f64;
+            let mut next_active = Vec::with_capacity(active.len());
+            let mut spent = 0.0;
+            for &i in &active {
+                let used = remaining[i].min(share);
+                remaining[i] -= used;
+                spent += used;
+                if remaining[i] > 1e-12 {
+                    next_active.push(i);
+                }
+            }
+            budget -= spent;
+            if spent <= 1e-15 {
+                break;
+            }
+            active = next_active;
+        }
+        let consumed = granted * tick - budget;
+        self.window_used += consumed;
+
+        // Collect completions and compact the queue.
+        let mut done = Vec::new();
+        let mut kept = Vec::with_capacity(self.queue.len());
+        for (i, job) in self.queue.iter().enumerate() {
+            if remaining[i] <= 1e-12 {
+                done.push(job.request);
+            } else {
+                kept.push(Job {
+                    request: job.request,
+                    remaining: remaining[i],
+                });
+            }
+        }
+        self.queue = kept;
+        done
+    }
+
+    /// Reads and resets the CPU consumed in the current window;
+    /// returns core-seconds.
+    pub fn drain_window_usage(&mut self) -> f64 {
+        std::mem::replace(&mut self.window_used, 0.0)
+    }
+
+    /// Sets the cgroups cap (clamped to a small positive minimum so a VM
+    /// is never fully starved).
+    pub fn set_cap(&mut self, cap_cores: f64) {
+        self.cap_cores = cap_cores.max(0.05);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_runs_at_full_grant() {
+        let mut vm = SimVm::new("vm", 0, 2.0);
+        vm.enqueue(Job {
+            request: 7,
+            remaining: 0.2,
+        });
+        // 2 cores for 0.05 s = 0.1 core-seconds: half the job.
+        assert!(vm.run_tick(2.0, 0.05).is_empty());
+        assert_eq!(vm.queue_len(), 1);
+        // Another identical tick finishes it.
+        assert_eq!(vm.run_tick(2.0, 0.05), vec![7]);
+        assert!(!vm.is_busy());
+        assert!((vm.drain_window_usage() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processor_sharing_splits_equally() {
+        let mut vm = SimVm::new("vm", 0, 1.0);
+        vm.enqueue(Job {
+            request: 1,
+            remaining: 0.5,
+        });
+        vm.enqueue(Job {
+            request: 2,
+            remaining: 0.5,
+        });
+        // 1 core for 0.5 s = 0.5 core-seconds -> each job gets 0.25.
+        assert!(vm.run_tick(1.0, 0.5).is_empty());
+        for j in &vm.queue {
+            assert!((j.remaining - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn water_filling_releases_surplus() {
+        let mut vm = SimVm::new("vm", 0, 1.0);
+        vm.enqueue(Job {
+            request: 1,
+            remaining: 0.1,
+        });
+        vm.enqueue(Job {
+            request: 2,
+            remaining: 1.0,
+        });
+        // Budget 0.6: equal shares 0.3 each, job 1 only needs 0.1, the
+        // surplus 0.2 goes to job 2 -> job 2 gets 0.5.
+        let done = vm.run_tick(1.0, 0.6);
+        assert_eq!(done, vec![1]);
+        assert_eq!(vm.queue_len(), 1);
+        assert!((vm.queue[0].remaining - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn usage_accounting_counts_only_work_done() {
+        let mut vm = SimVm::new("vm", 0, 4.0);
+        vm.enqueue(Job {
+            request: 1,
+            remaining: 0.1,
+        });
+        // Grant far exceeds remaining work: only 0.1 core-seconds consumed.
+        vm.run_tick(4.0, 1.0);
+        assert!((vm.drain_window_usage() - 0.1).abs() < 1e-9);
+        // Drain resets.
+        assert_eq!(vm.drain_window_usage(), 0.0);
+    }
+
+    #[test]
+    fn idle_vm_wants_nothing() {
+        let mut vm = SimVm::new("vm", 0, 2.0);
+        assert_eq!(vm.cpu_wanted(), 0.0);
+        assert!(vm.run_tick(2.0, 0.1).is_empty());
+        vm.enqueue(Job {
+            request: 1,
+            remaining: 1.0,
+        });
+        assert_eq!(vm.cpu_wanted(), 2.0);
+    }
+
+    #[test]
+    fn cap_changes_apply_and_clamp() {
+        let mut vm = SimVm::new("vm", 0, 2.0);
+        vm.set_cap(3.5);
+        assert_eq!(vm.cap_cores, 3.5);
+        vm.set_cap(0.0);
+        assert!(vm.cap_cores > 0.0);
+        assert_eq!(vm.allocated_cores, 2.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The load generator: open-loop Poisson arrivals alternating hourly
+//! between low and high intensity (paper Section V-B: "requests
+//! alternating between low and high intensity periods, each lasting one
+//! hour").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+use serde::{Deserialize, Serialize};
+
+use crate::request::{Request, Stage, Wiki};
+
+/// Service-demand parameters for one wiki's tiers (all in core-seconds,
+/// exponentially distributed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceProfile {
+    /// Mean Apache (application server) CPU work per request.
+    pub apache_mean: f64,
+    /// Mean memcached work on a cache hit.
+    pub memcached_mean: f64,
+    /// Mean MySQL work on a cache miss.
+    pub mysql_mean: f64,
+    /// Cache hit probability.
+    pub hit_ratio: f64,
+}
+
+impl Default for ServiceProfile {
+    fn default() -> Self {
+        ServiceProfile {
+            apache_mean: 0.12,
+            memcached_mean: 0.01,
+            mysql_mean: 0.10,
+            hit_ratio: 0.8,
+        }
+    }
+}
+
+/// Workload configuration for one wiki.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WikiWorkload {
+    /// Which wiki this drives.
+    pub wiki: Wiki,
+    /// Arrival rate during low-intensity hours, requests/second.
+    pub low_rate: f64,
+    /// Arrival rate during high-intensity hours, requests/second.
+    pub high_rate: f64,
+    /// Intensity period length in seconds (paper: one hour).
+    pub period_seconds: f64,
+    /// Tier service demands.
+    pub profile: ServiceProfile,
+}
+
+impl WikiWorkload {
+    /// The arrival rate at time `t` (low in even periods, high in odd).
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let period = (t / self.period_seconds) as u64;
+        if period.is_multiple_of(2) {
+            self.low_rate
+        } else {
+            self.high_rate
+        }
+    }
+}
+
+/// Generates the requests of one wiki for a tick.
+///
+/// `apache_vms`/`memcached_vms`/`db_vm` are the wiki's tier VM indices;
+/// the load balancer round-robins Apache, memcached instances are chosen
+/// round-robin as well.
+#[derive(Debug)]
+pub struct LoadGenerator {
+    workload: WikiWorkload,
+    apache_vms: Vec<usize>,
+    memcached_vms: Vec<usize>,
+    db_vm: usize,
+    apache_rr: usize,
+    memcached_rr: usize,
+}
+
+impl LoadGenerator {
+    /// Creates a generator for a wiki's tier placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apache_vms` or `memcached_vms` is empty.
+    pub fn new(
+        workload: WikiWorkload,
+        apache_vms: Vec<usize>,
+        memcached_vms: Vec<usize>,
+        db_vm: usize,
+    ) -> Self {
+        assert!(!apache_vms.is_empty(), "need at least one Apache VM");
+        assert!(!memcached_vms.is_empty(), "need at least one memcached VM");
+        LoadGenerator {
+            workload,
+            apache_vms,
+            memcached_vms,
+            db_vm,
+            apache_rr: 0,
+            memcached_rr: 0,
+        }
+    }
+
+    /// The workload definition.
+    pub fn workload(&self) -> &WikiWorkload {
+        &self.workload
+    }
+
+    /// Samples the requests arriving in `[t, t + tick)`.
+    pub fn generate_tick(&mut self, t: f64, tick: f64, rng: &mut StdRng) -> Vec<Request> {
+        let rate = self.workload.rate_at(t);
+        let expected = rate * tick;
+        // Sample a Poisson count via inter-arrival thinning for small
+        // expected counts (tick << 1/rate is typical).
+        let count = sample_poisson(expected, rng);
+        (0..count)
+            .map(|k| {
+                let arrival = t + tick * (k as f64 + rng.gen::<f64>()) / count as f64;
+                self.build_request(arrival.min(t + tick), rng)
+            })
+            .collect()
+    }
+
+    fn build_request(&mut self, arrival: f64, rng: &mut StdRng) -> Request {
+        let p = &self.workload.profile;
+        let apache = self.apache_vms[self.apache_rr % self.apache_vms.len()];
+        self.apache_rr += 1;
+
+        let mut stages = vec![Stage {
+            vm: apache,
+            work: sample_exp(p.apache_mean, rng),
+        }];
+        if rng.gen::<f64>() < p.hit_ratio {
+            let mc = self.memcached_vms[self.memcached_rr % self.memcached_vms.len()];
+            self.memcached_rr += 1;
+            stages.push(Stage {
+                vm: mc,
+                work: sample_exp(p.memcached_mean, rng),
+            });
+        } else {
+            stages.push(Stage {
+                vm: self.db_vm,
+                work: sample_exp(p.mysql_mean, rng),
+            });
+        }
+        Request::new(self.workload.wiki, arrival, stages)
+    }
+}
+
+fn sample_exp(mean: f64, rng: &mut StdRng) -> f64 {
+    Exp::new(1.0 / mean.max(1e-9))
+        .expect("positive rate")
+        .sample(rng)
+}
+
+/// Knuth-style Poisson sampling, adequate for the small per-tick means
+/// used here.
+fn sample_poisson(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = rng.gen();
+    let mut count = 0usize;
+    while product > limit {
+        count += 1;
+        product *= rng.gen::<f64>();
+        if count > 10_000 {
+            break; // absurd mean; cap defensively
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn workload() -> WikiWorkload {
+        WikiWorkload {
+            wiki: Wiki::One,
+            low_rate: 5.0,
+            high_rate: 25.0,
+            period_seconds: 3600.0,
+            profile: ServiceProfile::default(),
+        }
+    }
+
+    #[test]
+    fn rate_alternates_hourly() {
+        let w = workload();
+        assert_eq!(w.rate_at(0.0), 5.0);
+        assert_eq!(w.rate_at(3599.0), 5.0);
+        assert_eq!(w.rate_at(3600.0), 25.0);
+        assert_eq!(w.rate_at(7300.0), 5.0);
+    }
+
+    #[test]
+    fn poisson_mean_approximately_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let total: usize = (0..20_000).map(|_| sample_poisson(0.5, &mut rng)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 0.5).abs() < 0.05, "poisson mean {mean}");
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn generated_requests_have_valid_structure() {
+        let mut gen = LoadGenerator::new(workload(), vec![0, 1], vec![2], 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut total = 0usize;
+        let mut db_requests = 0usize;
+        for i in 0..5000 {
+            let t = i as f64 * 0.1;
+            for r in gen.generate_tick(t, 0.1, &mut rng) {
+                total += 1;
+                assert_eq!(r.stages.len(), 2);
+                assert!([0, 1].contains(&r.stages[0].vm), "apache tier first");
+                assert!(r.arrival >= t && r.arrival <= t + 0.1);
+                assert!(r.stages.iter().all(|s| s.work > 0.0));
+                if r.stages[1].vm == 3 {
+                    db_requests += 1;
+                }
+            }
+        }
+        // 500 s at 5 req/s ≈ 2500 requests.
+        assert!((2000..3000).contains(&total), "total {total}");
+        // Cache misses ≈ 20%.
+        let miss = db_requests as f64 / total as f64;
+        assert!((0.15..0.25).contains(&miss), "miss ratio {miss}");
+    }
+
+    #[test]
+    fn round_robin_balances_apache() {
+        let mut gen = LoadGenerator::new(workload(), vec![0, 1], vec![2], 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 2];
+        for i in 0..2000 {
+            for r in gen.generate_tick(i as f64, 1.0, &mut rng) {
+                counts[r.stages[0].vm] += 1;
+            }
+        }
+        let diff = counts[0].abs_diff(counts[1]);
+        assert!(diff <= 1, "round robin imbalance {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one Apache VM")]
+    fn empty_tier_rejected() {
+        LoadGenerator::new(workload(), vec![], vec![1], 2);
+    }
+}

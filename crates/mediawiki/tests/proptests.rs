@@ -1,0 +1,112 @@
+//! Property-based tests for the MediaWiki simulator's conservation and
+//! scheduling invariants.
+
+use atm_mediawiki::cluster::{Cluster, Node};
+use atm_mediawiki::vm::{Job, SimVm};
+use proptest::prelude::*;
+
+fn jobs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..2.0, 1..12)
+}
+
+proptest! {
+    /// Work conservation inside one PS tick: work done equals the drop in
+    /// total remaining work, never exceeds the grant, and usage
+    /// accounting matches.
+    #[test]
+    fn ps_tick_conserves_work(work in jobs(), grant in 0.1f64..8.0, tick in 0.01f64..1.0) {
+        let mut vm = SimVm::new("vm", 0, 4.0);
+        for (i, &w) in work.iter().enumerate() {
+            vm.enqueue(Job { request: i, remaining: w });
+        }
+        let total_before: f64 = work.iter().sum();
+        let done = vm.run_tick(grant, tick);
+        let used = vm.drain_window_usage();
+        prop_assert!(used <= grant * tick + 1e-9, "used {used} > budget");
+        prop_assert!(used <= total_before + 1e-9);
+        // Completed jobs are unique and within range.
+        let mut d = done.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), done.len());
+        prop_assert!(done.iter().all(|&r| r < work.len()));
+        // Remaining + done-work == before - used (conservation).
+        prop_assert_eq!(vm.queue_len() + done.len(), work.len());
+    }
+
+    /// Processor sharing is fair: with equal job sizes, either all jobs
+    /// finish or none do (they progress in lockstep).
+    #[test]
+    fn ps_equal_jobs_progress_in_lockstep(n in 1usize..10, size in 0.05f64..1.0, budget in 0.01f64..4.0) {
+        let mut vm = SimVm::new("vm", 0, 1.0);
+        for i in 0..n {
+            vm.enqueue(Job { request: i, remaining: size });
+        }
+        let done = vm.run_tick(1.0, budget);
+        prop_assert!(done.len() == n || done.is_empty(),
+            "equal jobs finished unevenly: {} of {}", done.len(), n);
+    }
+
+    /// Node arbitration: grants never exceed caps, and each node's grant
+    /// total never exceeds its cores.
+    #[test]
+    fn node_grants_respect_capacity(
+        caps in prop::collection::vec(0.1f64..4.0, 1..8),
+        cores in 1.0f64..8.0,
+        busy_mask in prop::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let n = caps.len().min(busy_mask.len());
+        let mut vms: Vec<SimVm> = caps[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut vm = SimVm::new(format!("vm{i}"), 0, c);
+                vm.set_cap(c);
+                vm
+            })
+            .collect();
+        for (vm, &busy) in vms.iter_mut().zip(&busy_mask) {
+            if busy {
+                vm.enqueue(Job { request: 0, remaining: 1.0 });
+            }
+        }
+        let cluster = Cluster {
+            nodes: vec![Node { name: "n".into(), cores }],
+            vms,
+        };
+        let grants = cluster.cpu_grants();
+        let total: f64 = grants.iter().sum();
+        prop_assert!(total <= cores + 1e-9, "node oversubscribed: {total} > {cores}");
+        for (g, vm) in grants.iter().zip(&cluster.vms) {
+            prop_assert!(*g <= vm.cap_cores + 1e-9);
+            if !vm.is_busy() {
+                prop_assert_eq!(*g, 0.0);
+            }
+        }
+    }
+
+    /// Oversubscription scales grants proportionally to caps.
+    #[test]
+    fn oversubscription_is_proportional(caps in prop::collection::vec(0.5f64..4.0, 2..6)) {
+        let mut vms: Vec<SimVm> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut vm = SimVm::new(format!("vm{i}"), 0, c);
+                vm.set_cap(c);
+                vm.enqueue(Job { request: 0, remaining: 10.0 });
+                vm
+            })
+            .collect();
+        let want: f64 = caps.iter().sum();
+        let cores = want / 2.0; // force oversubscription
+        let cluster = Cluster {
+            nodes: vec![Node { name: "n".into(), cores }],
+            vms: std::mem::take(&mut vms),
+        };
+        let grants = cluster.cpu_grants();
+        for (g, &c) in grants.iter().zip(&caps) {
+            prop_assert!((g / c - 0.5).abs() < 1e-9, "grant {g} not proportional to cap {c}");
+        }
+    }
+}

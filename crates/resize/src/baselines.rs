@@ -1,0 +1,222 @@
+//! Baseline allocators the paper compares against (Section IV-B):
+//!
+//! - **stingy**: "only allocates the capacity according to the lower
+//!   bound, i.e. the maximum demand regardless of the ticket threshold,
+//!   often used in practice";
+//! - **max-min fairness**: "starts to allocate to all VMs the demand of
+//!   the smallest VM, considering its ticket threshold, and continues onto
+//!   VMs in the increasing order of their demands until all capacity is
+//!   exhausted" — classic water-filling over the per-VM requirement
+//!   `peak/α`.
+
+use crate::error::ResizeResult;
+use crate::problem::{tickets_under_allocation, Allocation, ResizeProblem};
+
+/// The stingy allocator: `C_i = max(lower bound, peak demand)` —
+/// threshold-unaware, so peak windows sit at 100% usage and ticket.
+///
+/// # Errors
+///
+/// Propagates validation errors from [`ResizeProblem::validate`].
+pub fn stingy(problem: &ResizeProblem) -> ResizeResult<Allocation> {
+    problem.validate()?;
+    let capacities: Vec<f64> = problem
+        .vms
+        .iter()
+        .map(|vm| vm.peak().max(vm.lower_bound).min(vm.upper_bound))
+        .collect();
+    let demands: Vec<Vec<f64>> = problem.vms.iter().map(|v| v.demands.clone()).collect();
+    let tickets = tickets_under_allocation(&demands, &capacities, &problem.policy);
+    Ok(Allocation {
+        capacities,
+        tickets,
+    })
+}
+
+/// Max-min fair allocation by progressive water-filling over the per-VM
+/// requirement `r_i = peak/α` (the capacity making VM `i` ticket-free).
+///
+/// Processing VMs in increasing requirement order, each VM receives
+/// `min(r_i, fair share of the remaining budget)`, clamped into its
+/// bounds; small VMs are satisfied first, large VMs absorb the shortfall —
+/// reproducing the paper's observation that "large VMs can be severely
+/// punished under max-min fairness".
+///
+/// # Errors
+///
+/// Propagates validation errors from [`ResizeProblem::validate`].
+pub fn max_min_fairness(problem: &ResizeProblem) -> ResizeResult<Allocation> {
+    problem.validate()?;
+    let alpha = problem.policy.alpha();
+    let n = problem.vms.len();
+
+    // Requirements and an index sort by increasing requirement.
+    let requirements: Vec<f64> = problem.vms.iter().map(|vm| vm.peak() / alpha).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        requirements[a]
+            .partial_cmp(&requirements[b])
+            .expect("finite requirements")
+    });
+
+    // Reserve every VM's lower bound up front, then water-fill the rest.
+    let mut capacities: Vec<f64> = problem.vms.iter().map(|vm| vm.lower_bound).collect();
+    let mut remaining = problem.total_capacity - capacities.iter().sum::<f64>();
+
+    for (pos, &i) in order.iter().enumerate() {
+        let unserved = n - pos;
+        let fair_share = remaining / unserved as f64;
+        let want = (requirements[i] - capacities[i]).max(0.0);
+        let give = want
+            .min(fair_share)
+            .min(problem.vms[i].upper_bound - capacities[i])
+            .max(0.0);
+        capacities[i] += give;
+        remaining -= give;
+    }
+
+    let demands: Vec<Vec<f64>> = problem.vms.iter().map(|v| v.demands.clone()).collect();
+    let tickets = tickets_under_allocation(&demands, &capacities, &problem.policy);
+    Ok(Allocation {
+        capacities,
+        tickets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy;
+    use crate::problem::VmDemand;
+    use atm_ticketing::ThresholdPolicy;
+
+    fn policy60() -> ThresholdPolicy {
+        ThresholdPolicy::new(60.0).unwrap()
+    }
+
+    #[test]
+    fn stingy_allocates_peaks() {
+        let p = ResizeProblem::new(
+            vec![
+                VmDemand::new("a", vec![10.0, 50.0], 0.0, 1e9),
+                VmDemand::new("b", vec![20.0, 5.0], 0.0, 1e9),
+            ],
+            1000.0,
+            policy60(),
+        );
+        let a = stingy(&p).unwrap();
+        assert_eq!(a.capacities, vec![50.0, 20.0]);
+        // Peak windows run at 100% > 60% -> each VM tickets at its peak.
+        assert_eq!(a.tickets, 2);
+        assert!(a.is_feasible(&p));
+    }
+
+    #[test]
+    fn stingy_ignores_threshold() {
+        // Changing the threshold changes stingy's tickets but never its
+        // capacities.
+        let vms = vec![VmDemand::new("a", vec![30.0, 60.0], 0.0, 1e9)];
+        let p60 = ResizeProblem::new(vms.clone(), 1000.0, policy60());
+        let p80 = ResizeProblem::new(vms, 1000.0, ThresholdPolicy::new(80.0).unwrap());
+        assert_eq!(
+            stingy(&p60).unwrap().capacities,
+            stingy(&p80).unwrap().capacities
+        );
+    }
+
+    #[test]
+    fn maxmin_satisfies_small_vms_first() {
+        // Small VM needs 10/0.6 ≈ 16.7; big VM needs 60/0.6 = 100.
+        // Budget 50: small is fully served, big absorbs the shortfall.
+        let p = ResizeProblem::new(
+            vec![
+                VmDemand::new("big", vec![60.0; 4], 0.0, 1e9),
+                VmDemand::new("small", vec![10.0; 4], 0.0, 1e9),
+            ],
+            50.0,
+            policy60(),
+        );
+        let a = max_min_fairness(&p).unwrap();
+        assert!(a.is_feasible(&p));
+        let small_req = 10.0 / 0.6;
+        assert!((a.capacities[1] - small_req).abs() < 1e-6, "{a:?}");
+        // Small VM is ticket-free; big VM tickets in all 4 windows.
+        assert_eq!(a.tickets, 4);
+    }
+
+    #[test]
+    fn maxmin_with_abundant_capacity_is_ticket_free() {
+        let p = ResizeProblem::new(
+            vec![
+                VmDemand::new("a", vec![30.0, 45.0], 0.0, 1e9),
+                VmDemand::new("b", vec![50.0, 20.0], 0.0, 1e9),
+            ],
+            1000.0,
+            policy60(),
+        );
+        let a = max_min_fairness(&p).unwrap();
+        assert_eq!(a.tickets, 0);
+    }
+
+    #[test]
+    fn maxmin_never_exceeds_budget() {
+        let p = ResizeProblem::new(
+            vec![
+                VmDemand::new("a", vec![55.0; 3], 10.0, 1e9),
+                VmDemand::new("b", vec![48.0; 3], 10.0, 1e9),
+                VmDemand::new("c", vec![12.0; 3], 5.0, 1e9),
+            ],
+            90.0,
+            policy60(),
+        );
+        let a = max_min_fairness(&p).unwrap();
+        assert!(a.total() <= 90.0 + 1e-9);
+        assert!(a.is_feasible(&p));
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_baselines() {
+        // The paper's Fig. 8 headline: ATM resizing dominates both
+        // heuristics when demands are known.
+        let vms = vec![
+            VmDemand::new("a", vec![58.0, 12.0, 47.0, 60.0, 33.0, 21.0], 0.0, 1e9),
+            VmDemand::new("b", vec![9.0, 51.0, 14.0, 38.0, 57.0, 42.0], 0.0, 1e9),
+            VmDemand::new("c", vec![25.0, 30.0, 52.0, 11.0, 8.0, 59.0], 0.0, 1e9),
+        ];
+        // Budgets at or above the sum of peaks (176), where stingy's
+        // allocation is feasible — the paper's regime ("data centers are
+        // lowly utilized").
+        for cap in [180.0, 240.0, 300.0] {
+            let p = ResizeProblem::new(vms.clone(), cap, policy60());
+            let g = greedy::solve(&p).unwrap();
+            let s = stingy(&p).unwrap();
+            let m = max_min_fairness(&p).unwrap();
+            assert!(s.is_feasible(&p));
+            assert!(
+                g.tickets <= s.tickets,
+                "greedy {} > stingy {} at {cap}",
+                g.tickets,
+                s.tickets
+            );
+            assert!(
+                g.tickets <= m.tickets,
+                "greedy {} > maxmin {} at {cap}",
+                g.tickets,
+                m.tickets
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_respect_bounds() {
+        let p = ResizeProblem::new(
+            vec![VmDemand::new("a", vec![30.0], 35.0, 40.0)],
+            100.0,
+            policy60(),
+        );
+        let s = stingy(&p).unwrap();
+        assert_eq!(s.capacities, vec![35.0]);
+        let m = max_min_fairness(&p).unwrap();
+        assert!(m.capacities[0] >= 35.0 && m.capacities[0] <= 40.0);
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the resizing optimizer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ResizeError {
+    /// The problem has no VMs or a VM has no demand observations.
+    Empty,
+    /// Total capacity must be positive and finite.
+    InvalidCapacity(f64),
+    /// A VM's bounds are inconsistent (`lower > upper`, negative, etc.).
+    InvalidBounds {
+        /// Index of the offending VM.
+        vm: usize,
+    },
+    /// A demand value is negative or non-finite.
+    InvalidDemand {
+        /// Index of the offending VM.
+        vm: usize,
+    },
+    /// The discretization factor ε must be non-negative and finite.
+    InvalidEpsilon(f64),
+    /// No feasible allocation exists: the sum of lower bounds exceeds the
+    /// available capacity.
+    Infeasible {
+        /// Sum of the per-VM lower bounds.
+        lower_bound_sum: f64,
+        /// Available total capacity.
+        capacity: f64,
+    },
+    /// The instance is too large for the exact solver.
+    TooLarge {
+        /// Number of candidate combinations.
+        combinations: u128,
+        /// Solver limit.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for ResizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResizeError::Empty => write!(f, "problem has no VMs or empty demand series"),
+            ResizeError::InvalidCapacity(c) => write!(f, "invalid total capacity {c}"),
+            ResizeError::InvalidBounds { vm } => write!(f, "inconsistent bounds for VM {vm}"),
+            ResizeError::InvalidDemand { vm } => write!(f, "invalid demand value for VM {vm}"),
+            ResizeError::InvalidEpsilon(e) => write!(f, "invalid discretization factor {e}"),
+            ResizeError::Infeasible {
+                lower_bound_sum,
+                capacity,
+            } => write!(
+                f,
+                "infeasible: lower bounds sum to {lower_bound_sum} > capacity {capacity}"
+            ),
+            ResizeError::TooLarge {
+                combinations,
+                limit,
+            } => write!(
+                f,
+                "instance too large for exact solver: {combinations} > {limit} combinations"
+            ),
+        }
+    }
+}
+
+impl Error for ResizeError {}
+
+/// Convenience alias for results in this crate.
+pub type ResizeResult<T> = Result<T, ResizeError>;

@@ -1,0 +1,197 @@
+//! Before/after ticket accounting — the measurement behind paper Figs. 8
+//! and 10 ("Reduction in Tickets (%)").
+//!
+//! For each box, tickets *before* are counted under the original
+//! capacities; tickets *after* are counted by replaying the **actual**
+//! demand series against the capacities an allocator chose (possibly from
+//! *predicted* demands). The per-box reduction is
+//! `(before − after) / before × 100`; boxes without tickets before are
+//! excluded from the average, and a negative reduction means the policy
+//! made things worse (visible in the paper's max-min error bars).
+
+use serde::{Deserialize, Serialize};
+
+use atm_ticketing::ThresholdPolicy;
+
+use crate::error::{ResizeError, ResizeResult};
+use crate::problem::tickets_under_allocation;
+
+/// One box's before/after ticket counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxOutcome {
+    /// Tickets under the original capacities.
+    pub before: usize,
+    /// Tickets under the resized capacities (replayed on actual demands).
+    pub after: usize,
+}
+
+impl BoxOutcome {
+    /// Percent reduction; `None` when the box had no tickets before.
+    pub fn reduction_pct(&self) -> Option<f64> {
+        if self.before == 0 {
+            None
+        } else {
+            Some((self.before as f64 - self.after as f64) / self.before as f64 * 100.0)
+        }
+    }
+}
+
+/// Computes one box's outcome.
+///
+/// `actual_demands[i]` is VM `i`'s realized demand over the evaluation
+/// window; `original_capacities` are the allocations in place before
+/// resizing; `new_capacities` the allocator's choice.
+///
+/// # Errors
+///
+/// Returns [`ResizeError::Empty`] on length mismatches or empty input.
+pub fn box_outcome(
+    actual_demands: &[Vec<f64>],
+    original_capacities: &[f64],
+    new_capacities: &[f64],
+    policy: &ThresholdPolicy,
+) -> ResizeResult<BoxOutcome> {
+    if actual_demands.is_empty()
+        || actual_demands.len() != original_capacities.len()
+        || actual_demands.len() != new_capacities.len()
+    {
+        return Err(ResizeError::Empty);
+    }
+    Ok(BoxOutcome {
+        before: tickets_under_allocation(actual_demands, original_capacities, policy),
+        after: tickets_under_allocation(actual_demands, new_capacities, policy),
+    })
+}
+
+/// Aggregated reduction statistics across boxes — one bar (mean ± std) in
+/// Figs. 8/10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReductionSummary {
+    /// Mean percent reduction over boxes that had tickets.
+    pub mean_reduction_pct: f64,
+    /// Standard deviation of the percent reduction.
+    pub std_reduction_pct: f64,
+    /// Number of boxes included (had at least one ticket before).
+    pub boxes_counted: usize,
+    /// Total tickets before, across all boxes.
+    pub total_before: usize,
+    /// Total tickets after, across all boxes.
+    pub total_after: usize,
+}
+
+/// Aggregates per-box outcomes into a [`ReductionSummary`].
+///
+/// # Errors
+///
+/// Returns [`ResizeError::Empty`] if `outcomes` is empty.
+pub fn summarize(outcomes: &[BoxOutcome]) -> ResizeResult<ReductionSummary> {
+    if outcomes.is_empty() {
+        return Err(ResizeError::Empty);
+    }
+    let reductions: Vec<f64> = outcomes
+        .iter()
+        .filter_map(BoxOutcome::reduction_pct)
+        .collect();
+    let (mean, std) = if reductions.is_empty() {
+        (0.0, 0.0)
+    } else {
+        atm_timeseries::stats::mean_std_finite(&reductions).unwrap_or((0.0, 0.0))
+    };
+    Ok(ReductionSummary {
+        mean_reduction_pct: mean,
+        std_reduction_pct: std,
+        boxes_counted: reductions.len(),
+        total_before: outcomes.iter().map(|o| o.before).sum(),
+        total_after: outcomes.iter().map(|o| o.after).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_percentages() {
+        assert_eq!(
+            BoxOutcome {
+                before: 10,
+                after: 4
+            }
+            .reduction_pct(),
+            Some(60.0)
+        );
+        assert_eq!(
+            BoxOutcome {
+                before: 4,
+                after: 8
+            }
+            .reduction_pct(),
+            Some(-100.0)
+        );
+        assert_eq!(
+            BoxOutcome {
+                before: 0,
+                after: 0
+            }
+            .reduction_pct(),
+            None
+        );
+    }
+
+    #[test]
+    fn outcome_counts_before_and_after() {
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        // One VM; original capacity 70 -> 42 threshold -> 4 tickets from
+        // the paper's example; new capacity 100 -> 60 threshold -> 0.
+        let demands = vec![vec![
+            30.0, 30.0, 40.0, 40.0, 23.0, 25.0, 60.0, 60.0, 60.0, 60.0,
+        ]];
+        let o = box_outcome(&demands, &[70.0], &[100.0], &policy).unwrap();
+        assert_eq!(o.before, 4);
+        assert_eq!(o.after, 0);
+        assert_eq!(o.reduction_pct(), Some(100.0));
+    }
+
+    #[test]
+    fn outcome_validation() {
+        let policy = ThresholdPolicy::default();
+        assert!(box_outcome(&[], &[], &[], &policy).is_err());
+        assert!(box_outcome(&[vec![1.0]], &[1.0], &[1.0, 2.0], &policy).is_err());
+    }
+
+    #[test]
+    fn summary_excludes_ticketless_boxes() {
+        let outcomes = vec![
+            BoxOutcome {
+                before: 10,
+                after: 5,
+            }, // 50%
+            BoxOutcome {
+                before: 0,
+                after: 0,
+            }, // excluded
+            BoxOutcome {
+                before: 4,
+                after: 0,
+            }, // 100%
+        ];
+        let s = summarize(&outcomes).unwrap();
+        assert_eq!(s.boxes_counted, 2);
+        assert!((s.mean_reduction_pct - 75.0).abs() < 1e-9);
+        assert_eq!(s.total_before, 14);
+        assert_eq!(s.total_after, 5);
+        assert!(s.std_reduction_pct > 0.0);
+        assert!(summarize(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_all_ticketless() {
+        let s = summarize(&[BoxOutcome {
+            before: 0,
+            after: 0,
+        }])
+        .unwrap();
+        assert_eq!(s.boxes_counted, 0);
+        assert_eq!(s.mean_reduction_pct, 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The greedy MCKP solver — the paper's adaptation of the "minimal
+//! algorithm" (Section IV-A.1).
+//!
+//! Every VM starts at its best candidate (maximum capacity ⇒ fewest
+//! tickets). While the summed capacity exceeds the budget, the VM whose
+//! next downward step has the **lowest marginal ticket reduction value**
+//! (fewest additional tickets per unit of capacity released) takes that
+//! step. Lower bounds are respected because candidate lists are already
+//! clamped (see [`crate::mckp`]); the walk stops a VM at its last
+//! candidate.
+
+use crate::error::{ResizeError, ResizeResult};
+use crate::mckp::{build_groups, CandidateGroup};
+use crate::problem::{Allocation, ResizeProblem};
+
+/// Solves the resizing problem greedily. Returns the chosen allocation
+/// with its predicted ticket count.
+///
+/// After the MTRV walk, any *unallocated* budget is redistributed to the
+/// VMs proportionally to their remaining headroom (`upper_bound − C_i`).
+/// This does not change the predicted ticket count (more capacity never
+/// adds tickets) but hardens the allocation against demand-prediction
+/// error — the slack would otherwise sit idle on the box. This is a
+/// robustness refinement over the paper's bare formulation, which is
+/// indifferent among all zero-predicted-ticket allocations.
+///
+/// # Errors
+///
+/// - Propagates validation errors from [`ResizeProblem::validate`].
+/// - [`ResizeError::Infeasible`] if even the minimum candidates (the
+///   per-VM lower bounds) exceed the capacity budget.
+pub fn solve(problem: &ResizeProblem) -> ResizeResult<Allocation> {
+    let groups = build_groups(problem)?;
+    let base = solve_groups(&groups, problem.total_capacity)?;
+
+    let mut capacities = base.capacities;
+    let slack = problem.total_capacity - capacities.iter().sum::<f64>();
+    if slack > 1e-9 {
+        let headrooms: Vec<f64> = capacities
+            .iter()
+            .zip(&problem.vms)
+            .map(|(&c, vm)| (vm.upper_bound - c).max(0.0))
+            .collect();
+        let total_headroom: f64 = headrooms.iter().sum();
+        if total_headroom > 0.0 {
+            let scale = (slack / total_headroom).min(1.0);
+            for (c, h) in capacities.iter_mut().zip(&headrooms) {
+                *c += h * scale;
+            }
+        }
+    }
+
+    // Recount predicted tickets under the final (possibly enlarged)
+    // capacities so the reported number stays exact.
+    let demands: Vec<Vec<f64>> = problem.vms.iter().map(|v| v.demands.clone()).collect();
+    let tickets = crate::problem::tickets_under_allocation(&demands, &capacities, &problem.policy);
+    debug_assert!(tickets <= base.tickets);
+    Ok(Allocation {
+        capacities,
+        tickets,
+    })
+}
+
+/// Greedy walk over prebuilt candidate groups — exposed so benches can
+/// time the walk separately from group construction.
+///
+/// Each group is first reduced to the convex hull of its
+/// `(capacity, tickets)` trade-off, along which MTRVs are non-decreasing.
+/// The walk then always steps the group with the globally smallest next
+/// MTRV. Because per-group MTRVs only grow, the step sequence is a fixed
+/// merge independent of the budget — larger budgets stop the same walk
+/// earlier, making the result *monotone in capacity* and optimal for the
+/// LP relaxation up to the final step.
+///
+/// # Errors
+///
+/// Returns [`ResizeError::Infeasible`] if the minimum possible total
+/// capacity still exceeds `total_capacity`.
+pub fn solve_groups(groups: &[CandidateGroup], total_capacity: f64) -> ResizeResult<Allocation> {
+    if groups.is_empty() {
+        return Err(ResizeError::Empty);
+    }
+    // Feasibility: every group's last candidate is its minimum (the hull
+    // always retains the first and last candidates).
+    let min_total: f64 = groups
+        .iter()
+        .map(|g| *g.capacities.last().expect("groups are non-empty"))
+        .sum();
+    if min_total > total_capacity + 1e-9 {
+        return Err(ResizeError::Infeasible {
+            lower_bound_sum: min_total,
+            capacity: total_capacity,
+        });
+    }
+
+    let hulls: Vec<CandidateGroup> = groups.iter().map(CandidateGroup::convex_hull).collect();
+
+    // Start everyone at the best (largest) candidate.
+    let mut choice: Vec<usize> = vec![0; hulls.len()];
+    let mut total: f64 = hulls.iter().map(|g| g.capacities[0]).sum();
+
+    while total > total_capacity + 1e-9 {
+        // Step the group with the lowest next MTRV (ties: lowest index,
+        // which keeps the merge order deterministic).
+        let mut best: Option<(usize, f64)> = None;
+        for (i, g) in hulls.iter().enumerate() {
+            let next = choice[i] + 1;
+            if next >= g.len() {
+                continue;
+            }
+            let mtrv = g.mtrv(next);
+            if best.is_none_or(|(_, b)| mtrv < b) {
+                best = Some((i, mtrv));
+            }
+        }
+        let (i, _) = best.expect("feasibility check guarantees a step exists");
+        let g = &hulls[i];
+        total -= g.capacities[choice[i]] - g.capacities[choice[i] + 1];
+        choice[i] += 1;
+    }
+
+    let mut capacities: Vec<f64> = hulls
+        .iter()
+        .zip(&choice)
+        .map(|(g, &c)| g.capacities[c])
+        .collect();
+    let mut tickets_per_group: Vec<usize> = hulls
+        .iter()
+        .zip(&choice)
+        .map(|(g, &c)| g.tickets[c])
+        .collect();
+
+    // Repair phase: the hull walk's final step can overshoot (the
+    // integrality gap of the LP greedy). Spend the leftover budget moving
+    // individual VMs back up through their *full* candidate grids,
+    // best ticket-reduction-per-capacity first.
+    let mut slack = total_capacity - capacities.iter().sum::<f64>();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (group, candidate, score)
+        for (i, g) in groups.iter().enumerate() {
+            for v in 0..g.len() {
+                let extra = g.capacities[v] - capacities[i];
+                if extra <= 1e-12 || extra > slack + 1e-9 {
+                    continue;
+                }
+                if g.tickets[v] >= tickets_per_group[i] {
+                    continue;
+                }
+                let gain = (tickets_per_group[i] - g.tickets[v]) as f64;
+                let score = gain / extra;
+                if best.is_none_or(|(_, _, b)| score > b) {
+                    best = Some((i, v, score));
+                }
+            }
+        }
+        let Some((i, v, _)) = best else { break };
+        slack -= groups[i].capacities[v] - capacities[i];
+        capacities[i] = groups[i].capacities[v];
+        tickets_per_group[i] = groups[i].tickets[v];
+    }
+
+    Ok(Allocation {
+        capacities,
+        tickets: tickets_per_group.iter().sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{tickets_under_allocation, VmDemand};
+    use atm_ticketing::ThresholdPolicy;
+
+    fn policy60() -> ThresholdPolicy {
+        ThresholdPolicy::new(60.0).unwrap()
+    }
+
+    fn problem(vms: Vec<VmDemand>, capacity: f64) -> ResizeProblem {
+        ResizeProblem::new(vms, capacity, policy60())
+    }
+
+    #[test]
+    fn abundant_capacity_means_zero_tickets() {
+        // Plenty of headroom: every VM can get peak/α.
+        let p = problem(
+            vec![
+                VmDemand::new("a", vec![10.0, 30.0, 20.0], 0.0, 1e9),
+                VmDemand::new("b", vec![5.0, 15.0, 25.0], 0.0, 1e9),
+            ],
+            1000.0,
+        );
+        let a = solve(&p).unwrap();
+        assert_eq!(a.tickets, 0);
+        assert!(a.is_feasible(&p));
+        // Ticket count cross-checked by direct scan.
+        let demands: Vec<Vec<f64>> = p.vms.iter().map(|v| v.demands.clone()).collect();
+        assert_eq!(
+            tickets_under_allocation(&demands, &a.capacities, &p.policy),
+            0
+        );
+    }
+
+    #[test]
+    fn scarce_capacity_sacrifices_cheapest_vm() {
+        // VM "hot" needs 100 to be ticket-free (demand 60, α=0.6);
+        // VM "rare" has a single spike — sacrificing it costs 1 ticket,
+        // sacrificing hot costs many.
+        let hot = VmDemand::new("hot", vec![60.0; 10], 0.0, 1e9);
+        let rare = VmDemand::new("rare", vec![1.0, 1.0, 1.0, 1.0, 60.0], 0.0, 1e9);
+        // Budget fits hot's 100 plus only a little.
+        let p = problem(vec![hot, rare], 110.0);
+        let a = solve(&p).unwrap();
+        assert!(a.is_feasible(&p));
+        // The hot VM keeps at least its full 100 (slack redistribution may
+        // add more); rare drops its spike candidate.
+        assert!(a.capacities[0] >= 100.0 - 1e-9, "{a:?}");
+        assert!(a.capacities[1] < 100.0 / 0.6);
+        assert_eq!(a.tickets, 1);
+    }
+
+    #[test]
+    fn respects_lower_bounds() {
+        let p = problem(
+            vec![
+                VmDemand::new("a", vec![50.0; 4], 40.0, 1e9),
+                VmDemand::new("b", vec![50.0; 4], 40.0, 1e9),
+            ],
+            90.0,
+        );
+        let a = solve(&p).unwrap();
+        assert!(a.is_feasible(&p));
+        for &c in &a.capacities {
+            assert!(c >= 40.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        let p = problem(vec![VmDemand::new("a", vec![60.0; 4], 0.0, 70.0)], 1000.0);
+        let a = solve(&p).unwrap();
+        // Unclamped best would be 100; upper bound caps at 70.
+        assert!((a.capacities[0] - 70.0).abs() < 1e-9);
+        // At 70, threshold is 42 < 60 -> all 4 windows ticket.
+        assert_eq!(a.tickets, 4);
+    }
+
+    #[test]
+    fn infeasible_lower_bounds_detected() {
+        let p = problem(
+            vec![
+                VmDemand::new("a", vec![1.0], 60.0, 100.0),
+                VmDemand::new("b", vec![1.0], 60.0, 100.0),
+            ],
+            100.0,
+        );
+        assert!(matches!(solve(&p), Err(ResizeError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn allocation_exactly_at_budget_is_kept() {
+        let p = problem(vec![VmDemand::new("a", vec![60.0], 0.0, 1e9)], 100.0);
+        let a = solve(&p).unwrap();
+        assert!((a.capacities[0] - 100.0).abs() < 1e-9);
+        assert_eq!(a.tickets, 0);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        // More budget never yields more tickets.
+        let vms = vec![
+            VmDemand::new("a", vec![30.0, 50.0, 20.0, 60.0], 0.0, 1e9),
+            VmDemand::new("b", vec![10.0, 45.0, 55.0, 25.0], 0.0, 1e9),
+            VmDemand::new("c", vec![5.0, 12.0, 48.0, 33.0], 0.0, 1e9),
+        ];
+        let mut last = usize::MAX;
+        for cap in [50.0, 80.0, 120.0, 160.0, 250.0, 400.0] {
+            let p = problem(vms.clone(), cap);
+            let a = solve(&p).unwrap();
+            assert!(a.tickets <= last, "tickets rose with capacity at {cap}");
+            last = a.tickets;
+        }
+        assert_eq!(last, 0);
+    }
+
+    #[test]
+    fn discretization_is_more_aggressive_but_valid() {
+        let vms = vec![
+            VmDemand::new("a", vec![23.0, 25.0, 30.0, 40.0, 60.0], 0.0, 1e9),
+            VmDemand::new("b", vec![11.0, 17.0, 29.0, 31.0, 59.0], 0.0, 1e9),
+        ];
+        let plain = solve(&problem(vms.clone(), 150.0)).unwrap();
+        let mut disc_problem = problem(vms, 150.0);
+        disc_problem.epsilon = 5.0;
+        let disc = solve(&disc_problem).unwrap();
+        assert!(disc.is_feasible(&disc_problem));
+        // ε-rounding coarsens the candidate grid; the solution stays
+        // feasible and its predicted tickets remain a valid count.
+        let demands: Vec<Vec<f64>> = disc_problem.vms.iter().map(|v| v.demands.clone()).collect();
+        assert_eq!(
+            disc.tickets,
+            crate::problem::tickets_under_allocation(
+                &demands,
+                &disc.capacities,
+                &disc_problem.policy
+            )
+        );
+        let _ = plain;
+    }
+
+    #[test]
+    fn predicted_tickets_match_direct_scan() {
+        let vms = vec![
+            VmDemand::new("a", vec![41.0, 13.0, 55.0, 8.0, 60.0, 22.0], 0.0, 1e9),
+            VmDemand::new("b", vec![9.0, 33.0, 27.0, 58.0, 14.0, 46.0], 0.0, 1e9),
+            VmDemand::new("c", vec![51.0, 29.0, 44.0, 12.0, 37.0, 50.0], 0.0, 1e9),
+        ];
+        for cap in [60.0, 100.0, 140.0, 200.0] {
+            let p = problem(vms.clone(), cap);
+            let a = solve(&p).unwrap();
+            let demands: Vec<Vec<f64>> = p.vms.iter().map(|v| v.demands.clone()).collect();
+            assert_eq!(
+                a.tickets,
+                tickets_under_allocation(&demands, &a.capacities, &p.policy),
+                "mismatch at capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_groups_rejected() {
+        assert!(matches!(solve_groups(&[], 10.0), Err(ResizeError::Empty)));
+    }
+}

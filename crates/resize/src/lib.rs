@@ -1,0 +1,51 @@
+//! # atm-resize
+//!
+//! Proactive VM resizing — the ticket-minimization optimizer of paper
+//! Section IV.
+//!
+//! Given predicted demand series for all VMs co-located on a box, the
+//! resizing policy picks per-VM virtual capacities `C_i` minimizing the
+//! number of usage tickets `Σ_{i,t} I_{i,t}` subject to `Σ_i C_i ≤ C`
+//! (problem *R*, a MILP). The paper's Lemma 4.1 collapses the continuous
+//! decision into a **multi-choice knapsack problem** (*R'*) over each VM's
+//! unique demand values, solved greedily by stepping the VM with the
+//! lowest *marginal ticket reduction value* (MTRV, eq. 12).
+//!
+//! ## Threshold handling (`α`)
+//!
+//! A ticket fires when `D_{i,t} > α·C_i`. The ticket count therefore
+//! changes only at capacities `c = D/α` for observed demand values `D`, so
+//! the optimal capacity satisfies `α·C_i* ∈ D_i' ∪ {0}` — our candidates
+//! are `D/α`, not `D`. (The paper's worked example sets the candidates to
+//! the demand values directly, i.e. it plays out the `α = 1` case; with
+//! `α = 1` our construction reproduces the paper's `D_i'`/`P_i` tables
+//! verbatim — see the `mckp` tests.)
+//!
+//! ## Pieces
+//!
+//! - [`problem`]: the [`problem::ResizeProblem`] input type
+//!   with per-VM lower/upper bounds and the ε discretization factor;
+//! - [`mckp`]: candidate construction (unique demands, ε-rounding, ticket
+//!   weights `P_{i,v}`);
+//! - [`greedy`]: the MTRV greedy solver;
+//! - [`exact`]: exhaustive MCKP oracle for small instances plus a
+//!   pseudo-polynomial DP (`exact::solve_dp`) for mid-size ones;
+//! - [`baselines`]: max-min fairness and the "stingy" peak allocator;
+//! - [`evaluate`]: before/after ticket-reduction accounting (Figs. 8, 10);
+//! - [`sensitivity`]: per-VM marginal analysis (the MTRV view at any
+//!   operating point) for operator tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod error;
+pub mod evaluate;
+pub mod exact;
+pub mod greedy;
+pub mod mckp;
+pub mod problem;
+pub mod sensitivity;
+
+pub use error::{ResizeError, ResizeResult};
+pub use problem::{Allocation, ResizeProblem, VmDemand};

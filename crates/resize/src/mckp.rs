@@ -1,0 +1,373 @@
+//! The MILP → MCKP transform (paper Lemma 4.1 + Section IV-A.1).
+//!
+//! For each VM the continuous capacity decision collapses to a finite
+//! candidate list derived from the unique values of its demand series:
+//! ticket counts only change at capacities `c = D/α`, so candidates are
+//! the unique (optionally ε-discretized) demand values divided by α, plus
+//! zero, clamped into the VM's `[lower, upper]` bounds. Each candidate `v`
+//! carries its ticket count `P_{i,v}`; candidates are stored in
+//! *decreasing capacity* order, so `P` is non-decreasing — exactly the
+//! structure the greedy MTRV walk relies on.
+
+use atm_ticketing::ThresholdPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ResizeError, ResizeResult};
+use crate::problem::{ResizeProblem, VmDemand};
+
+/// One VM's multi-choice group: candidate capacities (decreasing) and the
+/// tickets each incurs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateGroup {
+    /// Candidate capacities, strictly decreasing.
+    pub capacities: Vec<f64>,
+    /// `P_{i,v}`: predicted tickets when `capacities[v]` is chosen;
+    /// non-decreasing.
+    pub tickets: Vec<usize>,
+}
+
+impl CandidateGroup {
+    /// Number of candidates in this group.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the group is empty (never true for a built group).
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// The paper's marginal ticket reduction value between candidate `o−1`
+    /// and `o` (eq. 12): additional tickets per unit of capacity released
+    /// when stepping from candidate `o−1` down to `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o == 0` or `o >= len()`.
+    pub fn mtrv(&self, o: usize) -> f64 {
+        assert!(o > 0 && o < self.len(), "mtrv index out of range");
+        let dt = (self.tickets[o] - self.tickets[o - 1]) as f64;
+        let dc = self.capacities[o - 1] - self.capacities[o];
+        debug_assert!(dc > 0.0);
+        dt / dc
+    }
+
+    /// The lower convex hull of the `(capacity, tickets)` trade-off —
+    /// the candidate subset along which MTRVs are non-decreasing. This is
+    /// the dominance reduction at the heart of MCKP "minimal" algorithms:
+    /// hull candidates are exactly the solutions of the LP relaxation,
+    /// and a greedy MTRV walk over hulls is optimal up to the final
+    /// fractional step.
+    pub fn convex_hull(&self) -> CandidateGroup {
+        if self.len() <= 2 {
+            return self.clone();
+        }
+        let mut hull: Vec<usize> = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Slopes measured as tickets gained per capacity released.
+                let slope_ab = (self.tickets[b] - self.tickets[a]) as f64
+                    / (self.capacities[a] - self.capacities[b]);
+                let slope_ai = (self.tickets[i] - self.tickets[a]) as f64
+                    / (self.capacities[a] - self.capacities[i]);
+                if slope_ai <= slope_ab {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+        CandidateGroup {
+            capacities: hull.iter().map(|&i| self.capacities[i]).collect(),
+            tickets: hull.iter().map(|&i| self.tickets[i]).collect(),
+        }
+    }
+
+    /// The largest single-step ticket increase along this group — an
+    /// upper bound contribution to the greedy's integrality gap.
+    pub fn max_step_jump(&self) -> usize {
+        self.tickets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Rounds `demand` *up* to the next multiple of ε (paper: "rounding up
+/// demands makes the resizing algorithm more aggressive in allocating
+/// resources", providing a safety margin). ε = 0 leaves the value as is.
+pub fn discretize_up(demand: f64, epsilon: f64) -> f64 {
+    if epsilon <= 0.0 || demand <= 0.0 {
+        return demand;
+    }
+    (demand / epsilon).ceil() * epsilon
+}
+
+/// The reduced demand set `D_i'`: unique ε-discretized demand values in
+/// decreasing order with 0 appended — the paper's running example
+/// (`{30,30,40,40,23,25,60,60,60,60}` → `{60,40,30,25,23,0}`).
+pub fn reduced_demand_set(demands: &[f64], epsilon: f64) -> Vec<f64> {
+    let mut vals: Vec<f64> = demands
+        .iter()
+        .filter(|d| d.is_finite())
+        .map(|&d| discretize_up(d, epsilon))
+        .collect();
+    vals.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    vals.dedup();
+    if vals.last() != Some(&0.0) {
+        vals.push(0.0);
+    }
+    vals
+}
+
+/// Builds one VM's candidate group under a policy and bounds.
+///
+/// Candidate capacities are `D'/α` for each reduced demand value `D'`,
+/// clamped into `[lower, upper]` and deduplicated; ticket counts are
+/// evaluated against the *raw* (undiscretized) demands, since ε only
+/// coarsens the decision grid, not the ticket semantics.
+///
+/// # Errors
+///
+/// Returns [`ResizeError::Empty`] for an empty demand series.
+pub fn candidate_group(
+    vm: &VmDemand,
+    policy: &ThresholdPolicy,
+    epsilon: f64,
+) -> ResizeResult<CandidateGroup> {
+    if vm.demands.is_empty() {
+        return Err(ResizeError::Empty);
+    }
+    let alpha = policy.alpha();
+    let reduced = reduced_demand_set(&vm.demands, epsilon);
+
+    let mut capacities: Vec<f64> = reduced
+        .iter()
+        .map(|&d| {
+            let mut c = d / alpha;
+            // Float-rounding guard: the breakpoint capacity must not let
+            // its own defining demand ticket (`d > α·c` must be false),
+            // but `α·(d/α)` can round strictly below `d`.
+            while d > alpha * c {
+                c = c.next_up();
+            }
+            c.clamp(vm.lower_bound, vm.upper_bound)
+        })
+        .collect();
+    // Clamping can create duplicates; keep decreasing order and dedupe.
+    capacities.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    capacities.dedup();
+
+    let tickets: Vec<usize> = capacities
+        .iter()
+        .map(|&c| {
+            vm.demands
+                .iter()
+                .filter(|&&d| policy.violates_demand(d, c.max(f64::MIN_POSITIVE)))
+                .count()
+        })
+        .collect();
+    debug_assert!(tickets.windows(2).all(|w| w[1] >= w[0]));
+
+    Ok(CandidateGroup {
+        capacities,
+        tickets,
+    })
+}
+
+/// Builds all candidate groups of a problem.
+///
+/// # Errors
+///
+/// Propagates [`ResizeProblem::validate`] and [`candidate_group`] errors.
+pub fn build_groups(problem: &ResizeProblem) -> ResizeResult<Vec<CandidateGroup>> {
+    problem.validate()?;
+    problem
+        .vms
+        .iter()
+        .map(|vm| candidate_group(vm, &problem.policy, problem.epsilon))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_ticketing::ThresholdPolicy;
+
+    const PAPER_DEMANDS: [f64; 10] = [30.0, 30.0, 40.0, 40.0, 23.0, 25.0, 60.0, 60.0, 60.0, 60.0];
+
+    #[test]
+    fn reduced_set_matches_paper_example() {
+        let r = reduced_demand_set(&PAPER_DEMANDS, 0.0);
+        assert_eq!(r, vec![60.0, 40.0, 30.0, 25.0, 23.0, 0.0]);
+    }
+
+    #[test]
+    fn discretized_set_matches_paper_example() {
+        // Paper: with first-digit rounding (ε = 10), 23 and 25 round up to
+        // 30 -> D' = {60, 40, 30, 0}.
+        let r = reduced_demand_set(&PAPER_DEMANDS, 10.0);
+        assert_eq!(r, vec![60.0, 40.0, 30.0, 0.0]);
+    }
+
+    #[test]
+    fn ticket_weights_match_paper_example_alpha_one() {
+        // With α = 1 the candidates are the demand values themselves and
+        // P_i must be {0, 4, 6, 8, 9, 10} (paper Section IV-A.1).
+        let policy = ThresholdPolicy::new(99.9999999).unwrap(); // α ≈ 1
+        let vm = VmDemand::new("v", PAPER_DEMANDS.to_vec(), 0.0, 1e9);
+        let g = candidate_group(&vm, &policy, 0.0).unwrap();
+        assert_eq!(g.tickets, vec![0, 4, 6, 8, 9, 10]);
+        // And with ε = 10: P_i = {0, 4, 6, 10}.
+        let g10 = candidate_group(&vm, &policy, 10.0).unwrap();
+        assert_eq!(g10.tickets, vec![0, 4, 6, 10]);
+    }
+
+    #[test]
+    fn candidates_account_for_alpha() {
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        let vm = VmDemand::new("v", vec![30.0, 60.0], 0.0, 1e9);
+        let g = candidate_group(&vm, &policy, 0.0).unwrap();
+        // Capacities are D/α = {100, 50, 0}.
+        assert_eq!(g.capacities, vec![100.0, 50.0, 0.0]);
+        // At capacity 100: threshold 60, no demand exceeds it -> 0 tickets.
+        // At 50: threshold 30 -> only the 60 demand tickets -> 1.
+        // At 0: both positive demands ticket -> 2.
+        assert_eq!(g.tickets, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn capacities_strictly_decreasing_tickets_nondecreasing() {
+        let policy = ThresholdPolicy::new(70.0).unwrap();
+        let vm = VmDemand::new(
+            "v",
+            vec![5.0, 17.0, 17.0, 3.0, 29.0, 11.0, 29.0, 8.0],
+            0.0,
+            1e9,
+        );
+        let g = candidate_group(&vm, &policy, 0.0).unwrap();
+        assert!(g.capacities.windows(2).all(|w| w[0] > w[1]));
+        assert!(g.tickets.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*g.capacities.last().unwrap(), 0.0);
+        assert_eq!(*g.tickets.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn bounds_clamp_candidates() {
+        let policy = ThresholdPolicy::new(50.0).unwrap();
+        let vm = VmDemand::new("v", vec![10.0, 20.0, 40.0], 15.0, 50.0);
+        let g = candidate_group(&vm, &policy, 0.0).unwrap();
+        // Raw candidates: 80, 40, 20, 0 -> clamped into [15, 50]:
+        // 50, 40, 20, 15.
+        assert_eq!(g.capacities, vec![50.0, 40.0, 20.0, 15.0]);
+        for &c in &g.capacities {
+            assert!((15.0..=50.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn mtrv_definition() {
+        let g = CandidateGroup {
+            capacities: vec![60.0, 40.0, 30.0],
+            tickets: vec![0, 4, 6],
+        };
+        // Step 0 -> 1: 4 tickets per 20 capacity = 0.2.
+        assert!((g.mtrv(1) - 0.2).abs() < 1e-12);
+        // Step 1 -> 2: 2 tickets per 10 capacity = 0.2.
+        assert!((g.mtrv(2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convex_hull_removes_dominated_candidates() {
+        // Both (40, 5) and (30, 6) lie above the chord from (60, 0) to
+        // (0, 10): stepping through them is never LP-optimal.
+        let g = CandidateGroup {
+            capacities: vec![60.0, 40.0, 30.0, 0.0],
+            tickets: vec![0, 5, 6, 10],
+        };
+        let hull = g.convex_hull();
+        assert_eq!(hull.capacities, vec![60.0, 0.0]);
+        assert_eq!(hull.tickets, vec![0, 10]);
+        // Endpoints always survive.
+        assert_eq!(hull.capacities[0], g.capacities[0]);
+        assert_eq!(
+            *hull.capacities.last().unwrap(),
+            *g.capacities.last().unwrap()
+        );
+        // MTRVs along the hull are non-decreasing.
+        for o in 2..hull.len() {
+            assert!(hull.mtrv(o) >= hull.mtrv(o - 1) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn convex_hull_keeps_strictly_convex_groups() {
+        // Slopes 4/20 = 0.2 then 5/10 = 0.5: strictly increasing, all
+        // points are hull vertices. (Collinear middle points are merged.)
+        let g = CandidateGroup {
+            capacities: vec![60.0, 40.0, 30.0],
+            tickets: vec![0, 4, 9],
+        };
+        assert_eq!(g.convex_hull(), g);
+        let collinear = CandidateGroup {
+            capacities: vec![60.0, 40.0, 30.0],
+            tickets: vec![0, 4, 6],
+        };
+        assert_eq!(
+            collinear.convex_hull().capacities,
+            vec![60.0, 30.0],
+            "collinear interior points are merged"
+        );
+        // Tiny groups are returned as-is.
+        let tiny = CandidateGroup {
+            capacities: vec![10.0, 0.0],
+            tickets: vec![0, 3],
+        };
+        assert_eq!(tiny.convex_hull(), tiny);
+    }
+
+    #[test]
+    fn max_step_jump() {
+        let g = CandidateGroup {
+            capacities: vec![60.0, 40.0, 30.0, 0.0],
+            tickets: vec![0, 4, 6, 13],
+        };
+        assert_eq!(g.max_step_jump(), 7);
+        let single = CandidateGroup {
+            capacities: vec![5.0],
+            tickets: vec![2],
+        };
+        assert_eq!(single.max_step_jump(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mtrv index out of range")]
+    fn mtrv_rejects_zero() {
+        let g = CandidateGroup {
+            capacities: vec![60.0, 40.0],
+            tickets: vec![0, 4],
+        };
+        g.mtrv(0);
+    }
+
+    #[test]
+    fn discretize_up_behaviour() {
+        assert_eq!(discretize_up(23.0, 5.0), 25.0);
+        assert_eq!(discretize_up(25.0, 5.0), 25.0);
+        assert_eq!(discretize_up(23.0, 0.0), 23.0);
+        assert_eq!(discretize_up(0.0, 5.0), 0.0);
+        assert_eq!(discretize_up(0.1, 5.0), 5.0);
+    }
+
+    #[test]
+    fn nan_demands_excluded_from_candidates() {
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        let vm = VmDemand::new("v", vec![30.0, f64::NAN, 60.0], 0.0, 1e9);
+        let g = candidate_group(&vm, &policy, 0.0).unwrap();
+        assert!(g.capacities.iter().all(|c| c.is_finite()));
+    }
+}

@@ -1,0 +1,310 @@
+//! The resizing problem statement and its solution type.
+
+use atm_ticketing::ThresholdPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ResizeError, ResizeResult};
+
+/// One VM's input to the resizing problem: its predicted demand over the
+/// resizing window plus practical capacity bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmDemand {
+    /// VM name, for reports.
+    pub name: String,
+    /// Predicted demand per ticketing window, in capacity units
+    /// (GHz or GB).
+    pub demands: Vec<f64>,
+    /// Lower capacity bound — the paper sets this to the VM's peak usage
+    /// before resizing, "to avoid spillovers of unfinished demands".
+    pub lower_bound: f64,
+    /// Upper capacity bound — the physical box capacity.
+    pub upper_bound: f64,
+}
+
+impl VmDemand {
+    /// Creates a VM demand with bounds `[0, +∞)` replaced by
+    /// `[0, upper_bound]`.
+    pub fn new(
+        name: impl Into<String>,
+        demands: Vec<f64>,
+        lower_bound: f64,
+        upper_bound: f64,
+    ) -> Self {
+        VmDemand {
+            name: name.into(),
+            demands,
+            lower_bound,
+            upper_bound,
+        }
+    }
+
+    /// Maximum predicted demand (0 for an empty series).
+    pub fn peak(&self) -> f64 {
+        self.demands.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A resizing problem over one box: choose `C_i` for each VM minimizing
+/// total tickets subject to `Σ C_i ≤ total_capacity` and per-VM bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResizeProblem {
+    /// Co-located VMs and their predicted demands.
+    pub vms: Vec<VmDemand>,
+    /// Total available virtual capacity `C` at the box.
+    pub total_capacity: f64,
+    /// Ticket threshold policy (α).
+    pub policy: ThresholdPolicy,
+    /// Discretization factor ε: candidate demand values are rounded *up*
+    /// to the next multiple of ε before deduplication (paper: ε = 5 in the
+    /// evaluation; 0 disables discretization).
+    pub epsilon: f64,
+}
+
+impl ResizeProblem {
+    /// Creates a problem with no discretization (ε = 0).
+    pub fn new(vms: Vec<VmDemand>, total_capacity: f64, policy: ThresholdPolicy) -> Self {
+        ResizeProblem {
+            vms,
+            total_capacity,
+            policy,
+            epsilon: 0.0,
+        }
+    }
+
+    /// Sets the discretization factor ε (builder style).
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Number of VMs (the paper's `M`).
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Validates the problem.
+    ///
+    /// # Errors
+    ///
+    /// - [`ResizeError::Empty`] for zero VMs or an empty demand series.
+    /// - [`ResizeError::InvalidCapacity`] for a non-positive capacity.
+    /// - [`ResizeError::InvalidEpsilon`] for negative/non-finite ε.
+    /// - [`ResizeError::InvalidDemand`] for negative/non-finite demands.
+    /// - [`ResizeError::InvalidBounds`] for inconsistent bounds.
+    /// - [`ResizeError::Infeasible`] when `Σ lower_bound > total_capacity`.
+    pub fn validate(&self) -> ResizeResult<()> {
+        if self.vms.is_empty() {
+            return Err(ResizeError::Empty);
+        }
+        if !(self.total_capacity > 0.0 && self.total_capacity.is_finite()) {
+            return Err(ResizeError::InvalidCapacity(self.total_capacity));
+        }
+        if !(self.epsilon >= 0.0 && self.epsilon.is_finite()) {
+            return Err(ResizeError::InvalidEpsilon(self.epsilon));
+        }
+        let mut lower_sum = 0.0;
+        for (i, vm) in self.vms.iter().enumerate() {
+            if vm.demands.is_empty() {
+                return Err(ResizeError::Empty);
+            }
+            if vm.demands.iter().any(|d| !d.is_finite() || *d < 0.0) {
+                return Err(ResizeError::InvalidDemand { vm: i });
+            }
+            if !(vm.lower_bound >= 0.0
+                && vm.lower_bound.is_finite()
+                && vm.upper_bound.is_finite()
+                && vm.lower_bound <= vm.upper_bound)
+            {
+                return Err(ResizeError::InvalidBounds { vm: i });
+            }
+            lower_sum += vm.lower_bound;
+        }
+        if lower_sum > self.total_capacity + 1e-9 {
+            return Err(ResizeError::Infeasible {
+                lower_bound_sum: lower_sum,
+                capacity: self.total_capacity,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A solved allocation: one capacity per VM plus the predicted ticket
+/// count under those capacities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Chosen capacity per VM, same order as the problem's VMs.
+    pub capacities: Vec<f64>,
+    /// Total predicted tickets under these capacities.
+    pub tickets: usize,
+}
+
+impl Allocation {
+    /// Sum of allocated capacities.
+    pub fn total(&self) -> f64 {
+        self.capacities.iter().sum()
+    }
+
+    /// Checks the allocation against the problem's constraints (capacity
+    /// budget and per-VM bounds), with a small numeric tolerance.
+    pub fn is_feasible(&self, problem: &ResizeProblem) -> bool {
+        self.capacities.len() == problem.vms.len()
+            && self.total() <= problem.total_capacity + 1e-6
+            && self
+                .capacities
+                .iter()
+                .zip(&problem.vms)
+                .all(|(&c, vm)| c >= vm.lower_bound - 1e-9 && c <= vm.upper_bound + 1e-9)
+    }
+}
+
+/// Counts the tickets an allocation incurs against (actual or predicted)
+/// demand series: window `t` of VM `i` tickets when
+/// `demands[i][t] > α·capacities[i]`. `NaN` demands never ticket.
+pub fn tickets_under_allocation(
+    demands: &[Vec<f64>],
+    capacities: &[f64],
+    policy: &ThresholdPolicy,
+) -> usize {
+    demands
+        .iter()
+        .zip(capacities)
+        .map(|(d, &c)| {
+            d.iter()
+                .filter(|&&x| policy.violates_demand(x, c.max(f64::MIN_POSITIVE)))
+                .count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(demands: Vec<f64>, lb: f64, ub: f64) -> VmDemand {
+        VmDemand::new("vm", demands, lb, ub)
+    }
+
+    #[test]
+    fn validation_happy_path() {
+        let p = ResizeProblem::new(
+            vec![vm(vec![1.0, 2.0], 0.0, 10.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        assert!(p.validate().is_ok());
+        assert_eq!(p.vm_count(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let ok_vm = vm(vec![1.0], 0.0, 10.0);
+        let base = ResizeProblem::new(vec![ok_vm.clone()], 10.0, ThresholdPolicy::default());
+
+        let empty = ResizeProblem::new(vec![], 10.0, ThresholdPolicy::default());
+        assert_eq!(empty.validate(), Err(ResizeError::Empty));
+
+        let no_demand = ResizeProblem::new(
+            vec![vm(vec![], 0.0, 10.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        assert_eq!(no_demand.validate(), Err(ResizeError::Empty));
+
+        let bad_cap = ResizeProblem::new(vec![ok_vm.clone()], 0.0, ThresholdPolicy::default());
+        assert!(matches!(
+            bad_cap.validate(),
+            Err(ResizeError::InvalidCapacity(_))
+        ));
+
+        let neg_demand = ResizeProblem::new(
+            vec![vm(vec![-1.0], 0.0, 10.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        assert!(matches!(
+            neg_demand.validate(),
+            Err(ResizeError::InvalidDemand { vm: 0 })
+        ));
+
+        let bad_bounds = ResizeProblem::new(
+            vec![vm(vec![1.0], 5.0, 2.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        assert!(matches!(
+            bad_bounds.validate(),
+            Err(ResizeError::InvalidBounds { vm: 0 })
+        ));
+
+        let bad_eps = base.clone().with_epsilon(-1.0);
+        assert!(matches!(
+            bad_eps.validate(),
+            Err(ResizeError::InvalidEpsilon(_))
+        ));
+
+        let infeasible = ResizeProblem::new(
+            vec![vm(vec![1.0], 8.0, 10.0), vm(vec![1.0], 8.0, 10.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        assert!(matches!(
+            infeasible.validate(),
+            Err(ResizeError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_demand() {
+        assert_eq!(vm(vec![3.0, 9.0, 1.0], 0.0, 10.0).peak(), 9.0);
+        assert_eq!(vm(vec![], 0.0, 10.0).peak(), 0.0);
+    }
+
+    #[test]
+    fn allocation_feasibility() {
+        let p = ResizeProblem::new(
+            vec![vm(vec![1.0], 1.0, 6.0), vm(vec![1.0], 0.0, 6.0)],
+            10.0,
+            ThresholdPolicy::default(),
+        );
+        let ok = Allocation {
+            capacities: vec![4.0, 6.0],
+            tickets: 0,
+        };
+        assert!(ok.is_feasible(&p));
+        assert_eq!(ok.total(), 10.0);
+        let over_budget = Allocation {
+            capacities: vec![6.0, 6.0],
+            tickets: 0,
+        };
+        assert!(!over_budget.is_feasible(&p));
+        let below_lower = Allocation {
+            capacities: vec![0.5, 6.0],
+            tickets: 0,
+        };
+        assert!(!below_lower.is_feasible(&p));
+        let wrong_len = Allocation {
+            capacities: vec![1.0],
+            tickets: 0,
+        };
+        assert!(!wrong_len.is_feasible(&p));
+    }
+
+    #[test]
+    fn ticket_counting_under_allocation() {
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        // Capacity 70 -> threshold 42: paper example yields 4 tickets.
+        let demands = vec![vec![
+            30.0, 30.0, 40.0, 40.0, 23.0, 25.0, 60.0, 60.0, 60.0, 60.0,
+        ]];
+        assert_eq!(tickets_under_allocation(&demands, &[70.0], &policy), 4);
+        assert_eq!(tickets_under_allocation(&demands, &[100.0], &policy), 0);
+        // Zero capacity: every positive demand tickets.
+        assert_eq!(tickets_under_allocation(&demands, &[0.0], &policy), 10);
+        // NaN demand (gap) never tickets.
+        assert_eq!(
+            tickets_under_allocation(&[vec![f64::NAN, 100.0]], &[10.0], &policy),
+            1
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Marginal analysis of a solved allocation.
+//!
+//! The greedy's decision variable — the marginal ticket reduction value
+//! (paper eq. 12) — is also exactly what an operator wants to see on a
+//! dashboard: *which VM would benefit most from one more unit of
+//! capacity, and which VM could safely give one up?* This module exposes
+//! that view for any allocation.
+
+use atm_ticketing::ThresholdPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ResizeResult;
+use crate::mckp::candidate_group;
+use crate::problem::{ResizeProblem, VmDemand};
+
+/// Marginal view of one VM at a given capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmMarginals {
+    /// VM name.
+    pub name: String,
+    /// The capacity analyzed.
+    pub capacity: f64,
+    /// Tickets at that capacity.
+    pub tickets: usize,
+    /// Next candidate *upgrade*: `(extra capacity, tickets saved)` to
+    /// reach the next lower ticket count; `None` when already ticket-free
+    /// or at the upper bound.
+    pub upgrade: Option<(f64, usize)>,
+    /// Next candidate *downgrade*: `(capacity released, tickets added)`
+    /// stepping to the next lower candidate; `None` at the bottom.
+    pub downgrade: Option<(f64, usize)>,
+}
+
+impl VmMarginals {
+    /// Tickets saved per unit of extra capacity for the upgrade step
+    /// (∞-free: `None` when no upgrade exists or it costs nothing).
+    pub fn upgrade_efficiency(&self) -> Option<f64> {
+        self.upgrade.and_then(
+            |(dc, dt)| {
+                if dc > 0.0 {
+                    Some(dt as f64 / dc)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Tickets added per unit of capacity released for the downgrade step
+    /// (the paper's MTRV at this operating point).
+    pub fn downgrade_mtrv(&self) -> Option<f64> {
+        self.downgrade.and_then(
+            |(dc, dt)| {
+                if dc > 0.0 {
+                    Some(dt as f64 / dc)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+}
+
+/// Computes the marginal view of one VM at `capacity`.
+///
+/// # Errors
+///
+/// Propagates candidate-construction errors (empty demand series).
+pub fn vm_marginals(
+    vm: &VmDemand,
+    capacity: f64,
+    policy: &ThresholdPolicy,
+    epsilon: f64,
+) -> ResizeResult<VmMarginals> {
+    let group = candidate_group(vm, policy, epsilon)?;
+    let tickets_now = vm
+        .demands
+        .iter()
+        .filter(|&&d| policy.violates_demand(d, capacity.max(f64::MIN_POSITIVE)))
+        .count();
+
+    // Next candidate strictly above the current capacity with fewer
+    // tickets (capacities are stored in decreasing order).
+    let upgrade = group
+        .capacities
+        .iter()
+        .zip(&group.tickets)
+        .rev()
+        .find(|&(&c, &t)| c > capacity + 1e-12 && t < tickets_now)
+        .map(|(&c, &t)| (c - capacity, tickets_now - t));
+
+    // Next candidate strictly below.
+    let downgrade = group
+        .capacities
+        .iter()
+        .zip(&group.tickets)
+        .find(|&(&c, _)| c < capacity - 1e-12)
+        .map(|(&c, &t)| (capacity - c, t.saturating_sub(tickets_now)));
+
+    Ok(VmMarginals {
+        name: vm.name.clone(),
+        capacity,
+        tickets: tickets_now,
+        upgrade,
+        downgrade,
+    })
+}
+
+/// Computes marginals for every VM of a problem under an allocation.
+///
+/// # Errors
+///
+/// - Propagates [`ResizeProblem::validate`] errors.
+/// - Returns [`crate::ResizeError::Empty`] on an arity mismatch between
+///   the allocation and the problem.
+pub fn allocation_marginals(
+    problem: &ResizeProblem,
+    capacities: &[f64],
+) -> ResizeResult<Vec<VmMarginals>> {
+    problem.validate()?;
+    if capacities.len() != problem.vms.len() {
+        return Err(crate::ResizeError::Empty);
+    }
+    problem
+        .vms
+        .iter()
+        .zip(capacities)
+        .map(|(vm, &c)| vm_marginals(vm, c, &problem.policy, problem.epsilon))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy;
+
+    fn policy60() -> ThresholdPolicy {
+        ThresholdPolicy::new(60.0).unwrap()
+    }
+
+    #[test]
+    fn marginals_at_known_points() {
+        // Demands {30, 60}: candidates 100 (0 tkts), 50 (1), 0 (2).
+        let vm = VmDemand::new("v", vec![30.0, 60.0], 0.0, 1e9);
+        let at_50 = vm_marginals(&vm, 50.0, &policy60(), 0.0).unwrap();
+        assert_eq!(at_50.tickets, 1);
+        // Upgrading to 100 saves the 1 ticket at a cost of 50 capacity.
+        assert_eq!(at_50.upgrade, Some((50.0, 1)));
+        assert!((at_50.upgrade_efficiency().unwrap() - 0.02).abs() < 1e-12);
+        // Downgrading to 0 adds one ticket, releasing 50.
+        assert_eq!(at_50.downgrade, Some((50.0, 1)));
+        assert!((at_50.downgrade_mtrv().unwrap() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ticket_free_vm_has_no_upgrade() {
+        let vm = VmDemand::new("v", vec![30.0, 60.0], 0.0, 1e9);
+        let at_top = vm_marginals(&vm, 120.0, &policy60(), 0.0).unwrap();
+        assert_eq!(at_top.tickets, 0);
+        assert!(at_top.upgrade.is_none());
+        assert!(at_top.downgrade.is_some());
+    }
+
+    #[test]
+    fn bottomed_out_vm_has_no_downgrade() {
+        let vm = VmDemand::new("v", vec![30.0, 60.0], 0.0, 1e9);
+        let at_zero = vm_marginals(&vm, 0.0, &policy60(), 0.0).unwrap();
+        assert_eq!(at_zero.tickets, 2);
+        assert!(at_zero.downgrade.is_none());
+        assert!(at_zero.upgrade.is_some());
+    }
+
+    #[test]
+    fn allocation_view_matches_solution() {
+        let problem = ResizeProblem::new(
+            vec![
+                VmDemand::new("a", vec![30.0, 60.0, 45.0], 0.0, 1e9),
+                VmDemand::new("b", vec![10.0, 55.0, 20.0], 0.0, 1e9),
+            ],
+            120.0,
+            policy60(),
+        );
+        let allocation = greedy::solve(&problem).unwrap();
+        let marginals = allocation_marginals(&problem, &allocation.capacities).unwrap();
+        assert_eq!(marginals.len(), 2);
+        let total: usize = marginals.iter().map(|m| m.tickets).sum();
+        assert_eq!(total, allocation.tickets);
+        // Arity mismatch rejected.
+        assert!(allocation_marginals(&problem, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn upgrade_and_downgrade_are_consistent_with_rescan() {
+        let vm = VmDemand::new("v", vec![12.0, 48.0, 31.0, 55.0, 22.0], 0.0, 1e9);
+        let policy = policy60();
+        for capacity in [10.0, 40.0, 60.0, 75.0, 95.0] {
+            let m = vm_marginals(&vm, capacity, &policy, 0.0).unwrap();
+            if let Some((dc, dt)) = m.upgrade {
+                let upgraded = capacity + dc;
+                let t: usize = vm
+                    .demands
+                    .iter()
+                    .filter(|&&d| policy.violates_demand(d, upgraded))
+                    .count();
+                assert_eq!(t, m.tickets - dt, "upgrade inconsistent at {capacity}");
+            }
+            if let Some((dc, dt)) = m.downgrade {
+                let downgraded = capacity - dc;
+                let t: usize = vm
+                    .demands
+                    .iter()
+                    .filter(|&&d| policy.violates_demand(d, downgraded.max(f64::MIN_POSITIVE)))
+                    .count();
+                assert_eq!(t, m.tickets + dt, "downgrade inconsistent at {capacity}");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by regression and linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// Design matrix and response have different numbers of rows.
+    RowMismatch {
+        /// Rows in the design matrix.
+        design: usize,
+        /// Rows in the response vector.
+        response: usize,
+    },
+    /// The design matrix has inconsistent row widths.
+    RaggedDesign,
+    /// Not enough observations for the number of parameters.
+    Underdetermined {
+        /// Observations available.
+        rows: usize,
+        /// Parameters to estimate.
+        params: usize,
+    },
+    /// The normal-equations system is singular (exact collinearity).
+    Singular,
+    /// Matrix dimensions incompatible for the requested operation.
+    DimensionMismatch {
+        /// Left operand dimensions (rows, cols).
+        left: (usize, usize),
+        /// Right operand dimensions (rows, cols).
+        right: (usize, usize),
+    },
+    /// The operation needs a non-empty input.
+    Empty,
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::RowMismatch { design, response } => {
+                write!(f, "design has {design} rows but response has {response}")
+            }
+            StatsError::RaggedDesign => write!(f, "design matrix rows have unequal widths"),
+            StatsError::Underdetermined { rows, params } => {
+                write!(
+                    f,
+                    "underdetermined system: {rows} rows for {params} parameters"
+                )
+            }
+            StatsError::Singular => write!(f, "matrix is singular"),
+            StatsError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            StatsError::Empty => write!(f, "input is empty"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Convenience alias for results in this crate.
+pub type StatsResult<T> = Result<T, StatsError>;

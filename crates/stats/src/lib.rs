@@ -1,0 +1,40 @@
+//! # atm-stats
+//!
+//! Regression machinery for ATM's spatial models (Section III of the DSN'16
+//! paper): ordinary least squares, variance inflation factors (VIF), and
+//! stepwise regression.
+//!
+//! ATM expresses each *dependent* demand series as a linear combination of
+//! *signature* series (`D_k = f_k(D_j)`, eq. 1). The coefficients come from
+//! [`ols::fit`] (or [`ridge::fit`] when regularization is wanted); the
+//! signature set itself is pruned with [`vif::vif_scores`]
+//! (multicollinearity detection, VIF > 4 rule) and
+//! [`stepwise::backward_eliminate`].
+//!
+//! # Example
+//!
+//! ```
+//! use atm_stats::ols;
+//!
+//! // y = 2 + 3·x, exactly.
+//! let xs = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]];
+//! let ys = vec![5.0, 8.0, 11.0, 14.0];
+//! let fit = ols::fit(&xs, &ys, true)?;
+//! assert!((fit.intercept() - 2.0).abs() < 1e-9);
+//! assert!((fit.coefficients()[0] - 3.0).abs() < 1e-9);
+//! # Ok::<(), atm_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod matrix;
+pub mod ols;
+pub mod ridge;
+pub mod stepwise;
+pub mod vif;
+
+pub use error::{StatsError, StatsResult};
+pub use matrix::Matrix;
+pub use ols::OlsFit;

@@ -1,0 +1,427 @@
+//! A minimal dense, row-major matrix with just the operations OLS needs:
+//! transpose-multiply, Cholesky factorization, and triangular solves.
+//!
+//! This is intentionally not a general linear-algebra library — the ATM
+//! spatial models solve small systems (signature sets of at most a few tens
+//! of series per box), where a straightforward Cholesky of the normal
+//! equations is accurate and fast.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use atm_stats::Matrix;
+///
+/// let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.transpose().get(0, 1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::Empty`] if `rows` is empty or rows are zero-width.
+    /// - [`StatsError::RaggedDesign`] if the rows have unequal lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> StatsResult<Self> {
+        let n = rows.len();
+        if n == 0 {
+            return Err(StatsError::Empty);
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(StatsError::Empty);
+        }
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(StatsError::RaggedDesign);
+        }
+        let mut data = Vec::with_capacity(n * cols);
+        for r in rows {
+            data.extend(r);
+        }
+        Ok(Matrix {
+            rows: n,
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from column vectors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Matrix::from_rows`].
+    pub fn from_columns(columns: &[Vec<f64>]) -> StatsResult<Self> {
+        if columns.is_empty() || columns[0].is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let rows = columns[0].len();
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(StatsError::RaggedDesign);
+        }
+        let cols = columns.len();
+        let mut m = Matrix::zeros(rows, cols);
+        for (j, col) in columns.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column out of bounds");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> StatsResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> StatsResult<Vec<f64>> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect())
+    }
+
+    /// Gram matrix `selfᵀ · self` computed without materializing the
+    /// transpose.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    let v = g.get(i, j) + ri * row[j];
+                    g.set(i, j, v);
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..self.cols {
+            for j in 0..i {
+                let v = g.get(j, i);
+                g.set(i, j, v);
+            }
+        }
+        g
+    }
+
+    /// Solves the symmetric positive-definite system `self · x = b` via
+    /// Cholesky factorization.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if not square or `b` has the
+    ///   wrong length.
+    /// - [`StatsError::Singular`] if the matrix is not positive definite
+    ///   (e.g. exactly collinear regressors).
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_spd(&self, b: &[f64]) -> StatsResult<Vec<f64>> {
+        let l = self.cholesky()?;
+        if b.len() != self.rows {
+            return Err(StatsError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let n = self.rows;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for j in 0..i {
+                s -= l.get(i, j) * y[j];
+            }
+            y[i] = s / l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= l.get(j, i) * x[j];
+            }
+            x[i] = s / l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Cholesky factor `L` with `self = L·Lᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// - [`StatsError::DimensionMismatch`] if not square.
+    /// - [`StatsError::Singular`] if not positive definite.
+    pub fn cholesky(&self) -> StatsResult<Matrix> {
+        if self.rows != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (self.cols, self.rows),
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    // Tolerance scaled by the diagonal magnitude guards against
+                    // declaring near-singular systems positive definite.
+                    if s <= 1e-12 * self.get(i, i).abs().max(1.0) {
+                        return Err(StatsError::Singular);
+                    }
+                    l.set(i, j, s.sqrt());
+                } else {
+                    l.set(i, j, s / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_access() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn from_rows_validation() {
+        assert_eq!(Matrix::from_rows(vec![]), Err(StatsError::Empty));
+        assert_eq!(
+            Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
+            Err(StatsError::RaggedDesign)
+        );
+        assert_eq!(Matrix::from_rows(vec![vec![]]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn from_columns_matches_from_rows_transposed() {
+        let cols = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let m = Matrix::from_columns(&cols).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
+        let bad = Matrix::zeros(3, 3);
+        assert!(a.matmul(&bad).is_err());
+    }
+
+    #[test]
+    fn matvec() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gram_equals_xtx() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = x.gram();
+        let xtx = x.transpose().matmul(&x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((g.get(i, j) - xtx.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_and_solve() {
+        // SPD matrix: A = [[4,2],[2,3]].
+        let a = Matrix::from_rows(vec![vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let l = a.cholesky().unwrap();
+        let rebuilt = l.matmul(&l.transpose()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rebuilt.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+        }
+        // Solve A x = [8, 7] -> x = [1.25, 1.5].
+        let x = a.solve_spd(&[8.0, 7.0]).unwrap();
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(vec![vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert_eq!(a.cholesky().unwrap_err(), StatsError::Singular);
+        assert!(a.solve_spd(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = Matrix::identity(2);
+        assert!(a.solve_spd(&[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Matrix::zeros(2, 2).get(2, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Ordinary least squares.
+//!
+//! ATM's spatial model regresses each dependent demand series on the
+//! signature series using OLS (Section III-B: "obtaining coefficients using
+//! ordinary least square estimates").
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+use crate::matrix::Matrix;
+
+/// A fitted OLS model.
+///
+/// Obtain one with [`fit`]; generate predictions for new inputs with
+/// [`OlsFit::predict`] / [`OlsFit::predict_one`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    fitted: Vec<f64>,
+    residuals: Vec<f64>,
+    r_squared: f64,
+    adjusted_r_squared: f64,
+    has_intercept: bool,
+}
+
+impl OlsFit {
+    /// The fitted intercept (`0.0` when fit without an intercept).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Slope coefficients, one per regressor column.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// In-sample fitted values.
+    pub fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+
+    /// In-sample residuals `y − ŷ`.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Coefficient of determination R² (about the mean when an intercept is
+    /// present, about zero otherwise).
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// R² adjusted for the number of regressors.
+    pub fn adjusted_r_squared(&self) -> f64 {
+        self.adjusted_r_squared
+    }
+
+    /// Whether the model was fit with an intercept term.
+    pub fn has_intercept(&self) -> bool {
+        self.has_intercept
+    }
+
+    /// Predicts the response for one input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `row` does not have one
+    /// value per fitted coefficient.
+    pub fn predict_one(&self, row: &[f64]) -> StatsResult<f64> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                left: (1, row.len()),
+                right: (1, self.coefficients.len()),
+            });
+        }
+        Ok(self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&x, &b)| x * b)
+                .sum::<f64>())
+    }
+
+    /// Predicts the response for many input rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if any row has the wrong
+    /// width.
+    pub fn predict(&self, rows: &[Vec<f64>]) -> StatsResult<Vec<f64>> {
+        rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+/// Fits `y ≈ Xβ (+ intercept)` by least squares via the normal equations
+/// with Cholesky factorization.
+///
+/// `xs` is row-major: one inner `Vec` per observation. Set `intercept` to
+/// add a constant column.
+///
+/// # Errors
+///
+/// - [`StatsError::Empty`] / [`StatsError::RaggedDesign`] for malformed input.
+/// - [`StatsError::RowMismatch`] if `xs.len() != ys.len()`.
+/// - [`StatsError::Underdetermined`] if there are fewer observations than
+///   parameters.
+/// - [`StatsError::Singular`] for exactly collinear regressors.
+pub fn fit(xs: &[Vec<f64>], ys: &[f64], intercept: bool) -> StatsResult<OlsFit> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::RowMismatch {
+            design: xs.len(),
+            response: ys.len(),
+        });
+    }
+    let p_raw = xs[0].len();
+    if p_raw == 0 {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().any(|r| r.len() != p_raw) {
+        return Err(StatsError::RaggedDesign);
+    }
+    let p = p_raw + usize::from(intercept);
+    if xs.len() < p {
+        return Err(StatsError::Underdetermined {
+            rows: xs.len(),
+            params: p,
+        });
+    }
+
+    // Build the (optionally augmented) design matrix.
+    let design_rows: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|r| {
+            if intercept {
+                let mut row = Vec::with_capacity(p);
+                row.push(1.0);
+                row.extend_from_slice(r);
+                row
+            } else {
+                r.clone()
+            }
+        })
+        .collect();
+    let x = Matrix::from_rows(design_rows)?;
+
+    // Normal equations: (XᵀX) β = Xᵀ y.
+    let xtx = x.gram();
+    let xty: Vec<f64> = (0..x.cols())
+        .map(|j| (0..x.rows()).map(|i| x.get(i, j) * ys[i]).sum())
+        .collect();
+    let beta = xtx.solve_spd(&xty)?;
+
+    let fitted = x.matvec(&beta)?;
+    let residuals: Vec<f64> = ys.iter().zip(&fitted).map(|(&y, &f)| y - f).collect();
+
+    let ss_res: f64 = residuals.iter().map(|r| r * r).sum();
+    let ss_tot: f64 = if intercept {
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        ys.iter().map(|&y| (y - mean) * (y - mean)).sum()
+    } else {
+        ys.iter().map(|&y| y * y).sum()
+    };
+    let r_squared = if ss_tot == 0.0 {
+        // Constant response fit exactly has R² = 1 by convention here.
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    let n = xs.len() as f64;
+    let k = p_raw as f64;
+    let adjusted_r_squared = if n - k - 1.0 > 0.0 {
+        1.0 - (1.0 - r_squared) * (n - 1.0) / (n - k - 1.0)
+    } else {
+        r_squared
+    };
+
+    let (intercept_val, coefficients) = if intercept {
+        (beta[0], beta[1..].to_vec())
+    } else {
+        (0.0, beta)
+    };
+
+    Ok(OlsFit {
+        intercept: intercept_val,
+        coefficients,
+        fitted,
+        residuals,
+        r_squared,
+        adjusted_r_squared,
+        has_intercept: intercept,
+    })
+}
+
+/// Fits a simple linear regression `y ≈ a₀ + a·x` of one series on another,
+/// the exact form used in the paper's CBC example (`D1 = a0 + a·D3`).
+///
+/// Returns `(a0, a, r_squared)`.
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+pub fn fit_simple(x: &[f64], y: &[f64]) -> StatsResult<(f64, f64, f64)> {
+    let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+    let f = fit(&rows, y, true)?;
+    Ok((f.intercept(), f.coefficients()[0], f.r_squared()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery() {
+        // y = 1 + 2 x1 - 3 x2.
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let f = fit(&xs, &ys, true).unwrap();
+        assert!((f.intercept() - 1.0).abs() < 1e-9);
+        assert!((f.coefficients()[0] - 2.0).abs() < 1e-9);
+        assert!((f.coefficients()[1] + 3.0).abs() < 1e-9);
+        assert!((f.r_squared() - 1.0).abs() < 1e-9);
+        for r in f.residuals() {
+            assert!(r.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residuals_orthogonal_to_regressors() {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.7).cos()])
+            .collect();
+        let ys: Vec<f64> = (0..30)
+            .map(|i| 3.0 * (i as f64).sin() + ((i * 13 % 17) as f64) * 0.1)
+            .collect();
+        let f = fit(&xs, &ys, true).unwrap();
+        for j in 0..2 {
+            let dot: f64 = xs.iter().zip(f.residuals()).map(|(r, &e)| r[j] * e).sum();
+            assert!(dot.abs() < 1e-8, "residuals not orthogonal: {dot}");
+        }
+        // Residuals sum to ~0 when an intercept is present.
+        let s: f64 = f.residuals().iter().sum();
+        assert!(s.abs() < 1e-8);
+    }
+
+    #[test]
+    fn no_intercept_fit() {
+        let xs: Vec<Vec<f64>> = (1..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (1..10).map(|i| 4.0 * i as f64).collect();
+        let f = fit(&xs, &ys, false).unwrap();
+        assert_eq!(f.intercept(), 0.0);
+        assert!((f.coefficients()[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_formula() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![1.0, 3.0, 5.0, 7.0];
+        let f = fit(&xs, &ys, true).unwrap();
+        assert!((f.predict_one(&[10.0]).unwrap() - 21.0).abs() < 1e-9);
+        let many = f.predict(&[vec![4.0], vec![5.0]]).unwrap();
+        assert!((many[0] - 9.0).abs() < 1e-9);
+        assert!(f.predict_one(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(fit(&[], &[], true).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0, 2.0], true).is_err());
+        assert!(fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], true).is_err());
+        // 2 observations, 3 parameters (intercept + 2 slopes).
+        assert!(matches!(
+            fit(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[1.0, 2.0], true),
+            Err(StatsError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn collinear_regressors_are_singular() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(fit(&xs, &ys, true).unwrap_err(), StatsError::Singular);
+    }
+
+    #[test]
+    fn r_squared_between_zero_and_one() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![(i % 5) as f64]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| ((i * 7 + 3) % 11) as f64).collect();
+        let f = fit(&xs, &ys, true).unwrap();
+        assert!((0.0..=1.0).contains(&f.r_squared()));
+        assert!(f.adjusted_r_squared() <= f.r_squared());
+    }
+
+    #[test]
+    fn simple_regression_paper_example_form() {
+        // D1 = 5 + 0.8 * D3, the CBC linear-fit form from Section III-A.
+        let d3: Vec<f64> = (0..48)
+            .map(|t| 40.0 + 20.0 * (t as f64 * 0.3).sin())
+            .collect();
+        let d1: Vec<f64> = d3.iter().map(|&v| 5.0 + 0.8 * v).collect();
+        let (a0, a, r2) = fit_simple(&d3, &d1).unwrap();
+        assert!((a0 - 5.0).abs() < 1e-9);
+        assert!((a - 0.8).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+}

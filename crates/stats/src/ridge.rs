@@ -1,0 +1,201 @@
+//! Ridge (L2-regularized) regression.
+//!
+//! The spatial models regress dependent series on signature series; when
+//! signatures are numerous or nearly collinear, plain OLS coefficients
+//! blow up and generalize poorly to the prediction horizon. Ridge shrinks
+//! them toward zero at a small bias cost — an optional robustness upgrade
+//! for [`SpatialModel`](../atm_core/spatial) fitting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+use crate::matrix::Matrix;
+
+/// A fitted ridge regression model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RidgeFit {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    lambda: f64,
+}
+
+impl RidgeFit {
+    /// The fitted intercept (never penalized).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Slope coefficients, one per regressor.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The regularization strength used.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Predicts the response for one input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on a wrong-width row.
+    pub fn predict_one(&self, row: &[f64]) -> StatsResult<f64> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                left: (1, row.len()),
+                right: (1, self.coefficients.len()),
+            });
+        }
+        Ok(self.intercept
+            + row
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&x, &b)| x * b)
+                .sum::<f64>())
+    }
+}
+
+/// Fits `y ≈ β₀ + Xβ` minimizing `‖y − β₀ − Xβ‖² + λ‖β‖²`.
+///
+/// The intercept is unpenalized (fitted on centered data). `lambda = 0`
+/// recovers OLS; unlike OLS this never fails on collinear regressors for
+/// `lambda > 0`.
+///
+/// # Errors
+///
+/// - [`StatsError::Empty`] / [`StatsError::RaggedDesign`] /
+///   [`StatsError::RowMismatch`] for malformed input.
+/// - [`StatsError::InvalidParameter`] for negative or non-finite `lambda`.
+/// - [`StatsError::Singular`] only when `lambda == 0` and the design is
+///   exactly collinear.
+pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> StatsResult<RidgeFit> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::RowMismatch {
+            design: xs.len(),
+            response: ys.len(),
+        });
+    }
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "lambda must be >= 0 and finite",
+        ));
+    }
+    let p = xs[0].len();
+    if p == 0 {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().any(|r| r.len() != p) {
+        return Err(StatsError::RaggedDesign);
+    }
+    let n = xs.len();
+
+    // Center X and y so the intercept stays unpenalized.
+    let x_means: Vec<f64> = (0..p)
+        .map(|j| xs.iter().map(|r| r[j]).sum::<f64>() / n as f64)
+        .collect();
+    let y_mean = ys.iter().sum::<f64>() / n as f64;
+    let centered: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|r| r.iter().zip(&x_means).map(|(&x, &m)| x - m).collect())
+        .collect();
+    let yc: Vec<f64> = ys.iter().map(|&y| y - y_mean).collect();
+
+    // (XᵀX + λI) β = Xᵀ y.
+    let x = Matrix::from_rows(centered)?;
+    let mut xtx = x.gram();
+    for j in 0..p {
+        let v = xtx.get(j, j) + lambda;
+        xtx.set(j, j, v);
+    }
+    let xty: Vec<f64> = (0..p)
+        .map(|j| (0..n).map(|i| x.get(i, j) * yc[i]).sum())
+        .collect();
+    let beta = xtx.solve_spd(&xty)?;
+
+    let intercept = y_mean - beta.iter().zip(&x_means).map(|(&b, &m)| b * m).sum::<f64>();
+    Ok(RidgeFit {
+        intercept,
+        coefficients: beta,
+        lambda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn lambda_zero_recovers_ols() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![noise(i, 1) * 10.0, noise(i, 2) * 10.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let ridge = fit(&xs, &ys, 0.0).unwrap();
+        let ols = crate::ols::fit(&xs, &ys, true).unwrap();
+        assert!((ridge.intercept() - ols.intercept()).abs() < 1e-6);
+        for (a, b) in ridge.coefficients().iter().zip(ols.coefficients()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn handles_exact_collinearity_with_positive_lambda() {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| {
+                let v = noise(i, 3) * 5.0;
+                vec![v, 2.0 * v] // perfectly collinear
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + r[0]).collect();
+        assert!(crate::ols::fit(&xs, &ys, true).is_err());
+        let ridge = fit(&xs, &ys, 1.0).unwrap();
+        // Prediction quality survives even though coefficients are shrunk.
+        let errs: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(r, &y)| (ridge.predict_one(r).unwrap() - y).abs())
+            .sum::<f64>()
+            / ys.len() as f64;
+        assert!(errs < 0.5, "mean abs error {errs}");
+    }
+
+    #[test]
+    fn shrinkage_increases_with_lambda() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![noise(i, 7) * 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 5.0 * r[0]).collect();
+        let mut last = f64::INFINITY;
+        for lambda in [0.0, 1.0, 100.0, 10_000.0] {
+            let f = fit(&xs, &ys, lambda).unwrap();
+            let norm = f.coefficients()[0].abs();
+            assert!(norm <= last + 1e-9, "coefficients grew at λ={lambda}");
+            last = norm;
+        }
+        // Extreme shrinkage approaches the mean-only model.
+        let f = fit(&xs, &ys, 1e12).unwrap();
+        assert!(f.coefficients()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit(&[], &[], 1.0).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0, 2.0], 1.0).is_err());
+        assert!(fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 1.0).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0], -1.0).is_err());
+        assert!(fit(&[vec![1.0]], &[1.0], f64::NAN).is_err());
+        let f = fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], 0.5).unwrap();
+        assert!(f.predict_one(&[1.0, 2.0]).is_err());
+        assert_eq!(f.lambda(), 0.5);
+    }
+}

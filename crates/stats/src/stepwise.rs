@@ -1,0 +1,307 @@
+//! Stepwise regression for signature-set pruning.
+//!
+//! After Step 1 (clustering) produces an initial signature set, the paper's
+//! Step 2 removes signature series *"that can be represented as linear
+//! combinations of the other signature series"*: compute VIFs, and while
+//! multicollinearity is detected (VIF > 4), backward-eliminate the most
+//! redundant series.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+use crate::ols;
+use crate::vif::{vif_scores, VIF_THRESHOLD};
+
+/// Outcome of stepwise elimination over a candidate set of series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepwiseOutcome {
+    /// Indices (into the input slice) of the series that were *kept*.
+    pub kept: Vec<usize>,
+    /// Indices of series removed, in removal order, with the R² of the
+    /// regression of the removed series on the survivors at removal time.
+    pub removed: Vec<RemovedSeries>,
+}
+
+/// One backward-elimination step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemovedSeries {
+    /// Index of the removed series in the original input.
+    pub index: usize,
+    /// VIF of the series at the moment it was removed.
+    pub vif: f64,
+    /// R² of regressing the removed series on the remaining set.
+    pub r_squared: f64,
+}
+
+/// Configuration for [`backward_eliminate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepwiseConfig {
+    /// VIF above which a series is considered collinear (paper: 4).
+    pub vif_threshold: f64,
+    /// Minimum R² the survivors must achieve on a removed series for the
+    /// removal to be accepted; protects against removing a series that is
+    /// inflated but not actually well represented. Set to 0 to disable.
+    pub min_represented_r2: f64,
+    /// Never shrink the set below this size.
+    pub min_set_size: usize,
+}
+
+impl Default for StepwiseConfig {
+    fn default() -> Self {
+        StepwiseConfig {
+            vif_threshold: VIF_THRESHOLD,
+            min_represented_r2: 0.9,
+            min_set_size: 1,
+        }
+    }
+}
+
+/// Backward stepwise elimination driven by VIF.
+///
+/// Repeatedly: compute VIFs of the surviving columns; if the maximum VIF
+/// exceeds `config.vif_threshold`, try to remove that column (checking that
+/// the remaining columns represent it with R² ≥ `min_represented_r2`);
+/// stop when no VIF exceeds the threshold, removal would violate
+/// `min_set_size`, or no candidate passes the representation check.
+///
+/// # Errors
+///
+/// - [`StatsError::Empty`] if `columns` is empty.
+/// - Propagates errors from the underlying VIF/OLS computations (ragged
+///   input, too few observations).
+pub fn backward_eliminate(
+    columns: &[Vec<f64>],
+    config: &StepwiseConfig,
+) -> StatsResult<StepwiseOutcome> {
+    if columns.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let mut kept: Vec<usize> = (0..columns.len()).collect();
+    let mut removed = Vec::new();
+
+    loop {
+        if kept.len() <= config.min_set_size {
+            break;
+        }
+        let current: Vec<Vec<f64>> = kept.iter().map(|&i| columns[i].clone()).collect();
+        let vifs = match vif_scores(&current) {
+            Ok(v) => v,
+            // Too few observations to assess this many columns: stop rather
+            // than guess.
+            Err(StatsError::Underdetermined { .. }) => break,
+            Err(e) => return Err(e),
+        };
+
+        // Candidates above threshold, worst first.
+        let mut candidates: Vec<(usize, f64)> = vifs
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, v)| v > config.vif_threshold)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut removed_this_round = false;
+        for (pos, vif) in candidates {
+            let target = &current[pos];
+            let rest_rows: Vec<Vec<f64>> = (0..target.len())
+                .map(|t| {
+                    current
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != pos)
+                        .map(|(_, c)| c[t])
+                        .collect()
+                })
+                .collect();
+            let r2 = match ols::fit(&rest_rows, target, true) {
+                Ok(f) => f.r_squared(),
+                Err(StatsError::Singular) => 1.0,
+                Err(_) => continue,
+            };
+            if r2 >= config.min_represented_r2 {
+                removed.push(RemovedSeries {
+                    index: kept[pos],
+                    vif,
+                    r_squared: r2,
+                });
+                kept.remove(pos);
+                removed_this_round = true;
+                break;
+            }
+        }
+        if !removed_this_round {
+            break;
+        }
+    }
+
+    Ok(StepwiseOutcome { kept, removed })
+}
+
+/// Forward stepwise selection: greedily picks columns that best improve the
+/// fit of `target`, stopping when the adjusted R² gain drops below
+/// `min_gain` or `max_terms` is reached. Returns the chosen column indices
+/// in selection order.
+///
+/// Provided as a complementary tool for building minimal spatial models.
+///
+/// # Errors
+///
+/// - [`StatsError::Empty`] for empty inputs.
+/// - Propagates OLS fitting errors.
+pub fn forward_select(
+    columns: &[Vec<f64>],
+    target: &[f64],
+    max_terms: usize,
+    min_gain: f64,
+) -> StatsResult<Vec<usize>> {
+    if columns.is_empty() || target.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut best_r2 = 0.0;
+    while chosen.len() < max_terms.min(columns.len()) {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..columns.len() {
+            if chosen.contains(&j) {
+                continue;
+            }
+            let mut trial = chosen.clone();
+            trial.push(j);
+            let rows: Vec<Vec<f64>> = (0..target.len())
+                .map(|t| trial.iter().map(|&c| columns[c][t]).collect())
+                .collect();
+            let r2 = match ols::fit(&rows, target, true) {
+                Ok(f) => f.adjusted_r_squared(),
+                Err(StatsError::Singular) => continue,
+                Err(StatsError::Underdetermined { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            if best.is_none_or(|(_, b)| r2 > b) {
+                best = Some((j, r2));
+            }
+        }
+        match best {
+            Some((j, r2)) if r2 - best_r2 >= min_gain => {
+                chosen.push(j);
+                best_r2 = r2;
+            }
+            _ => break,
+        }
+    }
+    Ok(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        // splitmix64-style mixing: decorrelates sequences across seeds.
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    fn independent(n: usize, seed: u64) -> Vec<f64> {
+        (0..n).map(|i| 50.0 + 10.0 * noise(i, seed)).collect()
+    }
+
+    #[test]
+    fn removes_exact_linear_combination() {
+        let n = 120;
+        let a = independent(n, 3);
+        let b = independent(n, 17);
+        let c: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| 0.5 * x + 0.5 * y).collect();
+        let out = backward_eliminate(&[a, b, c], &StepwiseConfig::default()).unwrap();
+        assert_eq!(out.kept.len(), 2);
+        assert_eq!(out.removed.len(), 1);
+        assert!(out.removed[0].r_squared > 0.99);
+    }
+
+    #[test]
+    fn keeps_independent_series() {
+        let n = 120;
+        let cols = vec![independent(n, 1), independent(n, 2), independent(n, 5)];
+        let out = backward_eliminate(&cols, &StepwiseConfig::default()).unwrap();
+        assert_eq!(out.kept, vec![0, 1, 2]);
+        assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn respects_min_set_size() {
+        let n = 60;
+        let a = independent(n, 9);
+        // Three identical copies: maximal collinearity.
+        let cols = vec![a.clone(), a.clone(), a];
+        let cfg = StepwiseConfig {
+            min_set_size: 2,
+            ..StepwiseConfig::default()
+        };
+        let out = backward_eliminate(&cols, &cfg).unwrap();
+        assert_eq!(out.kept.len(), 2);
+    }
+
+    #[test]
+    fn paper_multicollinearity_example() {
+        // Paper Section III-A: three clusters where one is a linear
+        // combination of the other two — stepwise should drop exactly one.
+        let n = 96;
+        let c1 = independent(n, 21);
+        let c2 = independent(n, 77);
+        let c3: Vec<f64> = c1
+            .iter()
+            .zip(&c2)
+            .map(|(&x, &y)| 10.0 + 0.3 * x + 0.7 * y)
+            .collect();
+        let out = backward_eliminate(&[c1, c2, c3], &StepwiseConfig::default()).unwrap();
+        assert_eq!(out.kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(backward_eliminate(&[], &StepwiseConfig::default()).is_err());
+        assert!(forward_select(&[], &[1.0], 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn forward_select_finds_true_predictors() {
+        let n = 150;
+        let x1 = independent(n, 31);
+        let x2 = independent(n, 47);
+        let junk = independent(n, 99);
+        let y: Vec<f64> = (0..n)
+            .map(|i| 2.0 * x1[i] - 1.0 * x2[i] + 0.01 * noise(i, 7))
+            .collect();
+        let chosen = forward_select(&[junk.clone(), x1.clone(), x2.clone()], &y, 3, 0.01).unwrap();
+        assert!(chosen.contains(&1));
+        assert!(chosen.contains(&2));
+        assert!(!chosen.contains(&0), "junk column selected: {chosen:?}");
+    }
+
+    #[test]
+    fn forward_select_respects_max_terms() {
+        let n = 80;
+        let cols: Vec<Vec<f64>> = (0..5).map(|j| independent(n, j as u64 + 1)).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| cols.iter().map(|c| c[i]).sum::<f64>())
+            .collect();
+        let chosen = forward_select(&cols, &y, 2, 0.0).unwrap();
+        assert!(chosen.len() <= 2);
+    }
+
+    #[test]
+    fn too_few_observations_stops_gracefully() {
+        // 4 observations, 5 columns: cannot compute VIFs; must not panic.
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..4).map(|i| noise(i + j, j as u64)).collect())
+            .collect();
+        let out = backward_eliminate(&cols, &StepwiseConfig::default()).unwrap();
+        assert_eq!(out.kept.len(), 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Variance inflation factors.
+//!
+//! Step 2 of the paper's signature search (Section III-A) detects
+//! multicollinearity inside the *initial* signature set: *"for each series
+//! in the signature set, we regress it on the rest of signature series and
+//! obtain its VIF value. The rule of practice is that a VIF greater than 4
+//! indicates a dependency with the other series."*
+
+use crate::error::{StatsError, StatsResult};
+use crate::ols;
+
+/// The paper's rule-of-practice multicollinearity threshold.
+pub const VIF_THRESHOLD: f64 = 4.0;
+
+/// Computes the VIF of every column in `columns` by regressing it on all
+/// other columns: `VIF_j = 1 / (1 − R²_j)`.
+///
+/// A column that is an exact linear combination of the others gets
+/// `f64::INFINITY`. With a single column the result is `[1.0]` (no other
+/// regressors ⇒ no inflation).
+///
+/// # Errors
+///
+/// - [`StatsError::Empty`] if `columns` is empty or columns are empty.
+/// - [`StatsError::RaggedDesign`] if columns have unequal lengths.
+/// - [`StatsError::Underdetermined`] if there are fewer observations than
+///   columns.
+pub fn vif_scores(columns: &[Vec<f64>]) -> StatsResult<Vec<f64>> {
+    if columns.is_empty() || columns[0].is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let n = columns[0].len();
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(StatsError::RaggedDesign);
+    }
+    if columns.len() == 1 {
+        return Ok(vec![1.0]);
+    }
+    if n < columns.len() + 1 {
+        return Err(StatsError::Underdetermined {
+            rows: n,
+            params: columns.len() + 1,
+        });
+    }
+
+    let mut out = Vec::with_capacity(columns.len());
+    for j in 0..columns.len() {
+        let y = &columns[j];
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != j)
+                    .map(|(_, c)| c[i])
+                    .collect()
+            })
+            .collect();
+        let r2 = match ols::fit(&rows, y, true) {
+            Ok(f) => f.r_squared(),
+            // Singular auxiliary regression means the *other* columns are
+            // collinear among themselves; the fit on column j is then
+            // ill-posed but the column itself may still be perfectly
+            // explainable — treat conservatively as fully inflated.
+            Err(StatsError::Singular) => 1.0,
+            Err(e) => return Err(e),
+        };
+        out.push(if r2 >= 1.0 - 1e-12 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - r2)
+        });
+    }
+    Ok(out)
+}
+
+/// Returns `true` if any column's VIF exceeds [`VIF_THRESHOLD`] — the
+/// paper's trigger for running stepwise regression on the signature set.
+///
+/// # Errors
+///
+/// Same conditions as [`vif_scores`].
+pub fn has_multicollinearity(columns: &[Vec<f64>]) -> StatsResult<bool> {
+    Ok(vif_scores(columns)?.iter().any(|&v| v > VIF_THRESHOLD))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(i: usize, seed: u64) -> f64 {
+        // splitmix64-style mixing: decorrelates sequences across seeds.
+        let mut z = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+
+    #[test]
+    fn orthogonal_columns_have_vif_near_one() {
+        let n = 200;
+        let a: Vec<f64> = (0..n).map(|i| noise(i, 1)).collect();
+        let b: Vec<f64> = (0..n).map(|i| noise(i, 999)).collect();
+        let v = vif_scores(&[a, b]).unwrap();
+        for &x in &v {
+            assert!(x >= 1.0 - 1e-9);
+            assert!(x < 1.5, "independent noise should have low VIF, got {x}");
+        }
+    }
+
+    #[test]
+    fn exact_linear_combination_is_infinite() {
+        let n = 50;
+        let a: Vec<f64> = (0..n).map(|i| noise(i, 1)).collect();
+        let b: Vec<f64> = (0..n).map(|i| noise(i, 2)).collect();
+        let c: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| 2.0 * x - y + 3.0).collect();
+        let v = vif_scores(&[a, b, c]).unwrap();
+        assert!(v.iter().all(|x| x.is_infinite()), "{v:?}");
+        assert!(has_multicollinearity(&[
+            (0..n).map(|i| noise(i, 1)).collect::<Vec<f64>>(),
+            (0..n).map(|i| noise(i, 1)).collect::<Vec<f64>>()
+        ])
+        .unwrap());
+    }
+
+    #[test]
+    fn single_column_has_unit_vif() {
+        assert_eq!(vif_scores(&[vec![1.0, 2.0, 3.0]]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn vif_always_at_least_one() {
+        let n = 100;
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|j| (0..n).map(|i| noise(i, j as u64 * 7 + 1)).collect())
+            .collect();
+        for &v in &vif_scores(&cols).unwrap() {
+            assert!(v >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(vif_scores(&[]).is_err());
+        assert!(vif_scores(&[vec![]]).is_err());
+        assert!(vif_scores(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+        // 3 columns but only 3 observations: underdetermined aux regressions.
+        assert!(matches!(
+            vif_scores(&[
+                vec![1.0, 2.0, 3.0],
+                vec![2.0, 1.0, 0.5],
+                vec![0.1, 0.9, 0.4]
+            ]),
+            Err(StatsError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn no_multicollinearity_for_independent_noise() {
+        let n = 300;
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| (0..n).map(|i| noise(i * 3 + j, j as u64 + 11)).collect())
+            .collect();
+        assert!(!has_multicollinearity(&cols).unwrap());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the regression machinery.
+
+use atm_stats::stepwise::{backward_eliminate, StepwiseConfig};
+use atm_stats::vif::vif_scores;
+use atm_stats::{ols, ridge, Matrix};
+use proptest::prelude::*;
+
+fn design(rows: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-100.0f64..100.0, 2..4),
+        rows..rows + 30,
+    )
+}
+
+proptest! {
+    /// OLS residuals are orthogonal to every regressor and sum to ~0 with
+    /// an intercept; R² is bounded.
+    #[test]
+    fn ols_normal_equations_hold(xs in design(12)) {
+        let p = xs[0].len();
+        let xs: Vec<Vec<f64>> = xs.into_iter().filter(|r| r.len() == p).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.iter().sum::<f64>() + (i % 7) as f64)
+            .collect();
+        if let Ok(fit) = ols::fit(&xs, &ys, true) {
+            let residual_sum: f64 = fit.residuals().iter().sum();
+            prop_assert!(residual_sum.abs() < 1e-6 * (1.0 + ys.len() as f64));
+            for j in 0..p {
+                let dot: f64 = xs.iter().zip(fit.residuals()).map(|(r, &e)| r[j] * e).sum();
+                prop_assert!(dot.abs() < 1e-5 * (1.0 + ys.len() as f64), "col {j} dot {dot}");
+            }
+            prop_assert!((0.0..=1.0).contains(&fit.r_squared()));
+            prop_assert!(fit.adjusted_r_squared() <= fit.r_squared() + 1e-12);
+        }
+    }
+
+    /// OLS exactly recovers a noiseless linear model.
+    #[test]
+    fn ols_recovers_linear_model(
+        xs in design(10),
+        intercept in -10.0f64..10.0,
+        coef in -5.0f64..5.0,
+    ) {
+        let p = xs[0].len();
+        let xs: Vec<Vec<f64>> = xs.into_iter().filter(|r| r.len() == p).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| intercept + coef * r[0] - 0.5 * r[p - 1]).collect();
+        if let Ok(fit) = ols::fit(&xs, &ys, true) {
+            prop_assert!((fit.intercept() - intercept).abs() < 1e-5);
+            prop_assert!((fit.coefficients()[0] - coef).abs() < 1e-5);
+            prop_assert!((fit.coefficients()[p - 1] + 0.5).abs() < 1e-5);
+        }
+    }
+
+    /// Ridge predictions converge to OLS as λ → 0 and to the mean model
+    /// as λ → ∞.
+    #[test]
+    fn ridge_limits(xs in design(15)) {
+        let p = xs[0].len();
+        let xs: Vec<Vec<f64>> = xs.into_iter().filter(|r| r.len() == p).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 + r.iter().sum::<f64>()).collect();
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        if let (Ok(ols_fit), Ok(small), Ok(huge)) = (
+            ols::fit(&xs, &ys, true),
+            ridge::fit(&xs, &ys, 1e-9),
+            ridge::fit(&xs, &ys, 1e12),
+        ) {
+            for (a, b) in small.coefficients().iter().zip(ols_fit.coefficients()) {
+                prop_assert!((a - b).abs() < 1e-4, "small-λ {a} vs OLS {b}");
+            }
+            // Huge λ shrinks slopes to ~0 and predicts ~the mean.
+            for &c in huge.coefficients() {
+                prop_assert!(c.abs() < 1e-3);
+            }
+            let pred = huge.predict_one(&xs[0]).unwrap();
+            prop_assert!((pred - y_mean).abs() < 1e-2 * (1.0 + y_mean.abs()));
+        }
+    }
+
+    /// VIF scores are at least 1 whenever defined.
+    #[test]
+    fn vif_at_least_one(xs in design(20)) {
+        let p = xs[0].len();
+        let xs: Vec<Vec<f64>> = xs.into_iter().filter(|r| r.len() == p).collect();
+        let columns: Vec<Vec<f64>> = (0..p).map(|j| xs.iter().map(|r| r[j]).collect()).collect();
+        if let Ok(scores) = vif_scores(&columns) {
+            for v in scores {
+                prop_assert!(v >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    /// Stepwise elimination output is a subset of the input and respects
+    /// the minimum set size.
+    #[test]
+    fn stepwise_keeps_subset(xs in design(25), min_size in 1usize..3) {
+        let p = xs[0].len();
+        let xs: Vec<Vec<f64>> = xs.into_iter().filter(|r| r.len() == p).collect();
+        let columns: Vec<Vec<f64>> = (0..p).map(|j| xs.iter().map(|r| r[j]).collect()).collect();
+        let cfg = StepwiseConfig {
+            min_set_size: min_size,
+            ..StepwiseConfig::default()
+        };
+        if let Ok(out) = backward_eliminate(&columns, &cfg) {
+            prop_assert!(out.kept.len() >= min_size.min(columns.len()));
+            prop_assert!(out.kept.iter().all(|&i| i < columns.len()));
+            prop_assert_eq!(out.kept.len() + out.removed.len(), columns.len());
+        }
+    }
+
+    /// Cholesky solve inverts SPD systems built as AᵀA + I.
+    #[test]
+    fn spd_solve_roundtrip(values in prop::collection::vec(-5.0f64..5.0, 9)) {
+        let a = Matrix::from_rows(vec![
+            values[0..3].to_vec(),
+            values[3..6].to_vec(),
+            values[6..9].to_vec(),
+        ])
+        .unwrap();
+        // AᵀA + I is SPD for any A.
+        let mut spd = a.gram();
+        for i in 0..3 {
+            let v = spd.get(i, i) + 1.0;
+            spd.set(i, i, v);
+        }
+        let b = vec![1.0, -2.0, 3.0];
+        let x = spd.solve_spd(&b).unwrap();
+        let back = spd.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6, "{back:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-box and fleet-level ticket characterization — the machinery behind
+//! paper Fig. 2: how many boxes have tickets, how tickets distribute across
+//! boxes, and how many "culprit" VMs account for the majority of tickets.
+
+use atm_tracegen::{BoxTrace, FleetTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{TicketingError, TicketingResult};
+use crate::ticket::{count_usage_tickets, ThresholdPolicy};
+
+/// The paper's "majority" definition for culprit VMs: the VMs that account
+/// for 80% of usage tickets per box ("this is an ad-hoc value").
+pub const CULPRIT_COVERAGE: f64 = 0.8;
+
+/// Ticket statistics for one box and one resource under one threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxTicketStats {
+    /// Tickets per VM, indexed by VM position in the box.
+    pub per_vm: Vec<usize>,
+    /// Total tickets on the box.
+    pub total: usize,
+    /// Minimum number of VMs covering [`CULPRIT_COVERAGE`] of all tickets
+    /// (0 when the box has no tickets).
+    pub culprit_vms: usize,
+}
+
+impl BoxTicketStats {
+    /// Whether the box issued at least one ticket.
+    pub fn has_tickets(&self) -> bool {
+        self.total > 0
+    }
+}
+
+/// Computes per-box ticket statistics for a resource under a policy.
+///
+/// The culprit count is the smallest `k` such that the `k` VMs with the
+/// most tickets cover at least `coverage` of the box's tickets.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::InvalidCoverage`] unless `0 < coverage <= 1`.
+pub fn box_ticket_stats(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+    coverage: f64,
+) -> TicketingResult<BoxTicketStats> {
+    if !(coverage > 0.0 && coverage <= 1.0) {
+        return Err(TicketingError::InvalidCoverage(coverage));
+    }
+    let per_vm: Vec<usize> = box_trace
+        .vms
+        .iter()
+        .map(|vm| count_usage_tickets(vm.usage(resource), policy))
+        .collect();
+    let total: usize = per_vm.iter().sum();
+    let culprit_vms = if total == 0 {
+        0
+    } else {
+        let mut sorted = per_vm.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let target = (total as f64 * coverage).ceil() as usize;
+        let mut acc = 0usize;
+        let mut k = 0usize;
+        for c in sorted {
+            acc += c;
+            k += 1;
+            if acc >= target {
+                break;
+            }
+        }
+        k
+    };
+    Ok(BoxTicketStats {
+        per_vm,
+        total,
+        culprit_vms,
+    })
+}
+
+/// Fleet-level summary for one resource and one threshold — one group of
+/// bars in paper Figs. 2a–2c.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTicketSummary {
+    /// The resource characterized.
+    pub resource: Resource,
+    /// The ticket threshold in percent.
+    pub threshold_pct: f64,
+    /// Percentage of boxes with at least one ticket (Fig. 2a).
+    pub pct_boxes_with_tickets: f64,
+    /// Mean tickets per box (Fig. 2b).
+    pub mean_tickets_per_box: f64,
+    /// Standard deviation of tickets per box (Fig. 2b).
+    pub std_tickets_per_box: f64,
+    /// Mean culprit-VM count over boxes *with* tickets (Fig. 2c).
+    pub mean_culprit_vms: f64,
+    /// Standard deviation of the culprit-VM count over boxes with tickets.
+    pub std_culprit_vms: f64,
+}
+
+/// Characterizes the whole fleet for one resource and threshold.
+///
+/// # Errors
+///
+/// - [`TicketingError::Empty`] if the fleet has no boxes.
+/// - [`TicketingError::InvalidCoverage`] for a bad coverage.
+pub fn fleet_ticket_summary(
+    fleet: &FleetTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+    coverage: f64,
+) -> TicketingResult<FleetTicketSummary> {
+    if fleet.boxes.is_empty() {
+        return Err(TicketingError::Empty);
+    }
+    let stats: Vec<BoxTicketStats> = fleet
+        .boxes
+        .iter()
+        .map(|b| box_ticket_stats(b, resource, policy, coverage))
+        .collect::<TicketingResult<_>>()?;
+
+    let with_tickets = stats.iter().filter(|s| s.has_tickets()).count();
+    let pct = with_tickets as f64 / stats.len() as f64 * 100.0;
+
+    let totals: Vec<f64> = stats.iter().map(|s| s.total as f64).collect();
+    let (mean_t, std_t) =
+        atm_timeseries::stats::mean_std_finite(&totals).map_err(|_| TicketingError::Empty)?;
+
+    let culprits: Vec<f64> = stats
+        .iter()
+        .filter(|s| s.has_tickets())
+        .map(|s| s.culprit_vms as f64)
+        .collect();
+    let (mean_c, std_c) = if culprits.is_empty() {
+        (0.0, 0.0)
+    } else {
+        atm_timeseries::stats::mean_std_finite(&culprits).map_err(|_| TicketingError::Empty)?
+    };
+
+    Ok(FleetTicketSummary {
+        resource,
+        threshold_pct: policy.threshold_pct(),
+        pct_boxes_with_tickets: pct,
+        mean_tickets_per_box: mean_t,
+        std_tickets_per_box: std_t,
+        mean_culprit_vms: mean_c,
+        std_culprit_vms: std_c,
+    })
+}
+
+/// Runs [`fleet_ticket_summary`] for both resources across a set of
+/// thresholds — the full input for paper Figs. 2a–2c.
+///
+/// # Errors
+///
+/// Propagates the errors of [`fleet_ticket_summary`] and threshold
+/// construction.
+pub fn characterize_fleet(
+    fleet: &FleetTrace,
+    thresholds_pct: &[f64],
+) -> TicketingResult<Vec<FleetTicketSummary>> {
+    let mut out = Vec::with_capacity(thresholds_pct.len() * 2);
+    for &th in thresholds_pct {
+        let policy = ThresholdPolicy::new(th)?;
+        for resource in Resource::ALL {
+            out.push(fleet_ticket_summary(
+                fleet,
+                resource,
+                &policy,
+                CULPRIT_COVERAGE,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// Distribution of tickets across the time of day: fraction of all
+/// tickets falling in each of the 24 hours (index 0 = windows starting at
+/// midnight). `windows_per_day` is 96 for 15-minute sampling.
+///
+/// The diurnal shape explains why the paper's one-day resizing window is
+/// safe: tickets cluster in business hours, so a day-ahead plan covers a
+/// full cycle.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::Empty`] for an empty fleet or
+/// [`TicketingError::InvalidCoverage`] if `windows_per_day` is not a
+/// positive multiple of 24.
+pub fn hourly_ticket_profile(
+    fleet: &FleetTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+    windows_per_day: usize,
+) -> TicketingResult<[f64; 24]> {
+    if fleet.boxes.is_empty() {
+        return Err(TicketingError::Empty);
+    }
+    if windows_per_day == 0 || !windows_per_day.is_multiple_of(24) {
+        return Err(TicketingError::InvalidCoverage(windows_per_day as f64));
+    }
+    let per_hour = windows_per_day / 24;
+    let mut counts = [0usize; 24];
+    for b in &fleet.boxes {
+        for vm in &b.vms {
+            for (t, &u) in vm.usage(resource).iter().enumerate() {
+                if policy.violates_usage(u) {
+                    counts[(t % windows_per_day) / per_hour] += 1;
+                }
+            }
+        }
+    }
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return Ok([0.0; 24]);
+    }
+    let mut out = [0.0; 24];
+    for (o, &c) in out.iter_mut().zip(&counts) {
+        *o = c as f64 / total as f64;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::VmTrace;
+
+    fn make_box(cpu_per_vm: Vec<Vec<f64>>) -> BoxTrace {
+        let vms = cpu_per_vm
+            .into_iter()
+            .enumerate()
+            .map(|(i, cpu)| {
+                let n = cpu.len();
+                VmTrace {
+                    name: format!("vm{i}"),
+                    cpu_capacity_ghz: 4.0,
+                    ram_capacity_gb: 8.0,
+                    cpu_usage: cpu,
+                    ram_usage: vec![30.0; n],
+                }
+            })
+            .collect();
+        BoxTrace {
+            name: "b".into(),
+            cpu_capacity_ghz: 32.0,
+            ram_capacity_gb: 64.0,
+            vms,
+            interval_minutes: 15,
+        }
+    }
+
+    #[test]
+    fn per_vm_counts_and_total() {
+        let b = make_box(vec![
+            vec![70.0, 70.0, 10.0], // 2 tickets
+            vec![10.0, 10.0, 10.0], // 0
+            vec![65.0, 10.0, 10.0], // 1
+        ]);
+        let s = box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 0.8).unwrap();
+        assert_eq!(s.per_vm, vec![2, 0, 1]);
+        assert_eq!(s.total, 3);
+        assert!(s.has_tickets());
+    }
+
+    #[test]
+    fn culprit_count_concentrated() {
+        // VM0 has 8 of 10 tickets: one culprit covers 80%.
+        let mut vm0 = vec![70.0; 8];
+        vm0.extend([10.0, 10.0]);
+        let mut vm1 = vec![70.0; 2];
+        vm1.extend(vec![10.0; 8]);
+        let b = make_box(vec![vm0, vm1]);
+        let s = box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 0.8).unwrap();
+        assert_eq!(s.total, 10);
+        assert_eq!(s.culprit_vms, 1);
+    }
+
+    #[test]
+    fn culprit_count_even_distribution() {
+        // 4 VMs with equal tickets: need ceil(0.8*4)=4 of 4 covered by
+        // 4 tickets -> 4 VMs... each VM has 1 ticket, target = 4*0.8=3.2 ->
+        // ceil 4, so 4 VMs needed.
+        let b = make_box(vec![
+            vec![70.0, 1.0],
+            vec![70.0, 1.0],
+            vec![70.0, 1.0],
+            vec![70.0, 1.0],
+        ]);
+        let s = box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 0.8).unwrap();
+        assert_eq!(s.culprit_vms, 4);
+    }
+
+    #[test]
+    fn no_tickets_zero_culprits() {
+        let b = make_box(vec![vec![10.0; 4], vec![20.0; 4]]);
+        let s = box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 0.8).unwrap();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.culprit_vms, 0);
+        assert!(!s.has_tickets());
+    }
+
+    #[test]
+    fn coverage_validation() {
+        let b = make_box(vec![vec![70.0]]);
+        assert!(box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 0.0).is_err());
+        assert!(box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 1.5).is_err());
+        assert!(box_ticket_stats(&b, Resource::Cpu, &ThresholdPolicy::default(), 1.0).is_ok());
+    }
+
+    #[test]
+    fn fleet_summary_percentages() {
+        let fleet = FleetTrace {
+            boxes: vec![
+                make_box(vec![vec![70.0, 70.0]]), // tickets
+                make_box(vec![vec![10.0, 10.0]]), // none
+            ],
+        };
+        let s = fleet_ticket_summary(
+            &fleet,
+            Resource::Cpu,
+            &ThresholdPolicy::default(),
+            CULPRIT_COVERAGE,
+        )
+        .unwrap();
+        assert_eq!(s.pct_boxes_with_tickets, 50.0);
+        assert_eq!(s.mean_tickets_per_box, 1.0);
+        assert_eq!(s.mean_culprit_vms, 1.0);
+        let empty = FleetTrace { boxes: vec![] };
+        assert!(fleet_ticket_summary(
+            &empty,
+            Resource::Cpu,
+            &ThresholdPolicy::default(),
+            CULPRIT_COVERAGE
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hourly_profile_sums_to_one_and_peaks_in_business_hours() {
+        use atm_tracegen::{generate_fleet, FleetConfig};
+        let fleet = generate_fleet(&FleetConfig {
+            num_boxes: 30,
+            days: 2,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        });
+        let profile =
+            hourly_ticket_profile(&fleet, Resource::Cpu, &ThresholdPolicy::default(), 96).unwrap();
+        let total: f64 = profile.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Business hours (9-17) should carry clearly more tickets than the
+        // small hours (0-5).
+        let day: f64 = profile[9..18].iter().sum();
+        let night: f64 = profile[0..6].iter().sum();
+        assert!(day > night, "day {day} vs night {night}");
+    }
+
+    #[test]
+    fn hourly_profile_validation() {
+        let fleet = FleetTrace {
+            boxes: vec![make_box(vec![vec![10.0; 96]])],
+        };
+        let p = ThresholdPolicy::default();
+        // No tickets -> all-zero profile.
+        let profile = hourly_ticket_profile(&fleet, Resource::Cpu, &p, 96).unwrap();
+        assert!(profile.iter().all(|&v| v == 0.0));
+        assert!(hourly_ticket_profile(&fleet, Resource::Cpu, &p, 95).is_err());
+        assert!(hourly_ticket_profile(&fleet, Resource::Cpu, &p, 0).is_err());
+        let empty = FleetTrace { boxes: vec![] };
+        assert!(hourly_ticket_profile(&empty, Resource::Cpu, &p, 96).is_err());
+    }
+
+    #[test]
+    fn characterize_covers_all_combinations() {
+        let fleet = FleetTrace {
+            boxes: vec![make_box(vec![vec![70.0, 50.0]])],
+        };
+        let all = characterize_fleet(&fleet, &crate::ticket::PAPER_THRESHOLDS).unwrap();
+        assert_eq!(all.len(), 6); // 3 thresholds x 2 resources
+                                  // Higher thresholds can only reduce ticket percentages.
+        let cpu_60 = &all[0];
+        let cpu_80 = &all[4];
+        assert_eq!(cpu_60.resource, Resource::Cpu);
+        assert!(cpu_60.pct_boxes_with_tickets >= cpu_80.pct_boxes_with_tickets);
+    }
+}

@@ -1,0 +1,200 @@
+//! Ticket co-occurrence analysis.
+//!
+//! The paper's motivating example (Fig. 1) observes that spatially
+//! dependent VMs' *"respective tickets are triggered together"* — which is
+//! what makes correlated tickets expensive to root-cause. This module
+//! quantifies that: for each pair of co-located VMs, the [Jaccard
+//! similarity] of their ticket-window sets, plus box-level burstiness
+//! (how many tickets share a window).
+//!
+//! [Jaccard similarity]: https://en.wikipedia.org/wiki/Jaccard_index
+
+use std::collections::BTreeSet;
+
+use atm_tracegen::{BoxTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::ticket::{ticket_windows, ThresholdPolicy};
+
+/// Co-occurrence statistics for one box and resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoOccurrence {
+    /// Jaccard similarity of ticket windows for every VM pair that both
+    /// have tickets, as `(vm_a, vm_b, jaccard)`.
+    pub pair_jaccard: Vec<(usize, usize, f64)>,
+    /// Number of distinct windows with at least one ticket.
+    pub ticketed_windows: usize,
+    /// Total tickets across VMs.
+    pub total_tickets: usize,
+}
+
+impl CoOccurrence {
+    /// Mean pairwise Jaccard over pairs where both VMs ticket;
+    /// `None` when fewer than two VMs have tickets.
+    pub fn mean_jaccard(&self) -> Option<f64> {
+        if self.pair_jaccard.is_empty() {
+            return None;
+        }
+        Some(
+            self.pair_jaccard.iter().map(|&(_, _, j)| j).sum::<f64>()
+                / self.pair_jaccard.len() as f64,
+        )
+    }
+
+    /// Ticket *burstiness*: mean tickets per ticketed window (1.0 = every
+    /// ticket alone in its window; higher = tickets arrive together).
+    pub fn burstiness(&self) -> f64 {
+        if self.ticketed_windows == 0 {
+            0.0
+        } else {
+            self.total_tickets as f64 / self.ticketed_windows as f64
+        }
+    }
+}
+
+/// Computes ticket co-occurrence for one box and resource.
+pub fn box_co_occurrence(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+) -> CoOccurrence {
+    let windows_per_vm: Vec<BTreeSet<usize>> = box_trace
+        .vms
+        .iter()
+        .map(|vm| {
+            ticket_windows(vm.usage(resource), policy)
+                .into_iter()
+                .collect()
+        })
+        .collect();
+
+    let mut pair_jaccard = Vec::new();
+    for a in 0..windows_per_vm.len() {
+        if windows_per_vm[a].is_empty() {
+            continue;
+        }
+        for b in a + 1..windows_per_vm.len() {
+            if windows_per_vm[b].is_empty() {
+                continue;
+            }
+            let intersection = windows_per_vm[a].intersection(&windows_per_vm[b]).count();
+            let union = windows_per_vm[a].union(&windows_per_vm[b]).count();
+            pair_jaccard.push((a, b, intersection as f64 / union as f64));
+        }
+    }
+
+    let mut all_windows = BTreeSet::new();
+    let mut total = 0usize;
+    for w in &windows_per_vm {
+        total += w.len();
+        all_windows.extend(w.iter().copied());
+    }
+
+    CoOccurrence {
+        pair_jaccard,
+        ticketed_windows: all_windows.len(),
+        total_tickets: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::VmTrace;
+
+    fn make_box(cpu: Vec<Vec<f64>>) -> BoxTrace {
+        let vms = cpu
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let n = u.len();
+                VmTrace {
+                    name: format!("vm{i}"),
+                    cpu_capacity_ghz: 4.0,
+                    ram_capacity_gb: 8.0,
+                    cpu_usage: u,
+                    ram_usage: vec![10.0; n],
+                }
+            })
+            .collect();
+        BoxTrace {
+            name: "b".into(),
+            cpu_capacity_ghz: 32.0,
+            ram_capacity_gb: 64.0,
+            vms,
+            interval_minutes: 15,
+        }
+    }
+
+    #[test]
+    fn synchronized_tickets_have_jaccard_one() {
+        let hot = vec![70.0, 10.0, 70.0, 10.0];
+        let b = make_box(vec![hot.clone(), hot]);
+        let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
+        assert_eq!(c.pair_jaccard.len(), 1);
+        assert_eq!(c.pair_jaccard[0], (0, 1, 1.0));
+        assert_eq!(c.mean_jaccard(), Some(1.0));
+        // 4 tickets over 2 windows: burstiness 2.
+        assert_eq!(c.total_tickets, 4);
+        assert_eq!(c.ticketed_windows, 2);
+        assert!((c.burstiness() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_tickets_have_jaccard_zero() {
+        let b = make_box(vec![
+            vec![70.0, 10.0, 10.0, 10.0],
+            vec![10.0, 10.0, 70.0, 10.0],
+        ]);
+        let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
+        assert_eq!(c.pair_jaccard[0].2, 0.0);
+        assert!((c.burstiness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ticketless_vms_excluded_from_pairs() {
+        let b = make_box(vec![vec![70.0, 70.0], vec![10.0, 10.0], vec![70.0, 10.0]]);
+        let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
+        // Only the (0, 2) pair qualifies.
+        assert_eq!(c.pair_jaccard.len(), 1);
+        assert_eq!((c.pair_jaccard[0].0, c.pair_jaccard[0].1), (0, 2));
+    }
+
+    #[test]
+    fn no_tickets_is_empty() {
+        let b = make_box(vec![vec![10.0; 4], vec![20.0; 4]]);
+        let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
+        assert!(c.pair_jaccard.is_empty());
+        assert_eq!(c.mean_jaccard(), None);
+        assert_eq!(c.burstiness(), 0.0);
+        assert_eq!(c.total_tickets, 0);
+    }
+
+    #[test]
+    fn coupled_generated_vms_cooccur_more_than_chance() {
+        // The generator's shared-factor design should produce visibly
+        // correlated ticket timing on hot boxes.
+        use atm_tracegen::{generate_fleet, FleetConfig};
+        let fleet = generate_fleet(&FleetConfig {
+            num_boxes: 30,
+            days: 1,
+            gap_probability: 0.0,
+            hot_cpu_vm_probabilities: [0.0, 0.0, 1.0], // always 2 hot VMs
+            ..FleetConfig::default()
+        });
+        let policy = ThresholdPolicy::default();
+        let mut jaccards = Vec::new();
+        for b in &fleet.boxes {
+            let c = box_co_occurrence(b, Resource::Cpu, &policy);
+            if let Some(j) = c.mean_jaccard() {
+                jaccards.push(j);
+            }
+        }
+        assert!(!jaccards.is_empty());
+        let mean: f64 = jaccards.iter().sum::<f64>() / jaccards.len() as f64;
+        assert!(
+            mean > 0.05,
+            "co-located hot VMs show no ticket co-occurrence: {mean}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by ticketing operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TicketingError {
+    /// A threshold outside `(0, 100)` percent was supplied.
+    InvalidThreshold(f64),
+    /// A coverage fraction outside `(0, 1]` was supplied.
+    InvalidCoverage(f64),
+    /// The operation requires non-empty input.
+    Empty,
+    /// A capacity must be positive and finite.
+    InvalidCapacity(f64),
+}
+
+impl fmt::Display for TicketingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TicketingError::InvalidThreshold(t) => {
+                write!(f, "threshold {t} must be in (0, 100) percent")
+            }
+            TicketingError::InvalidCoverage(c) => {
+                write!(f, "coverage {c} must be in (0, 1]")
+            }
+            TicketingError::Empty => write!(f, "input is empty"),
+            TicketingError::InvalidCapacity(c) => {
+                write!(f, "capacity {c} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for TicketingError {}
+
+/// Convenience alias for results in this crate.
+pub type TicketingResult<T> = Result<T, TicketingError>;

@@ -1,0 +1,40 @@
+//! # atm-ticketing
+//!
+//! Usage-ticket semantics and the paper's Section II characterization.
+//!
+//! A *usage ticket* is issued for a VM in a ticketing window when its
+//! average utilization in that window exceeds a threshold (60%, 70% or 80%
+//! in the paper, with 60% the evaluation default). This crate provides:
+//!
+//! - [`ticket`]: threshold policies and NaN-safe ticket counting over
+//!   usage and demand series;
+//! - [`characterize`]: per-box and fleet-level ticket statistics — the
+//!   percentage of boxes with tickets, the distribution of tickets per
+//!   box, and the number of "culprit" VMs covering the majority of
+//!   tickets (paper Fig. 2);
+//! - [`correlation`]: the four spatial-dependency measures of paper
+//!   Fig. 3 (intra-CPU, intra-RAM, inter-all, inter-pair);
+//! - [`cooccurrence`]: how synchronously co-located VMs' tickets fire
+//!   (the Fig. 1 "tickets are triggered together" observation).
+//!
+//! # Example
+//!
+//! ```
+//! use atm_ticketing::ticket::{ThresholdPolicy, count_usage_tickets};
+//!
+//! let policy = ThresholdPolicy::new(60.0).unwrap();
+//! let usage = [55.0, 62.0, 80.0, 59.9];
+//! assert_eq!(count_usage_tickets(&usage, &policy), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod cooccurrence;
+pub mod correlation;
+mod error;
+pub mod ticket;
+
+pub use error::{TicketingError, TicketingResult};
+pub use ticket::ThresholdPolicy;

@@ -1,0 +1,181 @@
+//! Ticket thresholds and counting.
+//!
+//! The monitoring system checks, every ticketing window, whether a VM's
+//! average utilization exceeds the threshold `α` of its allocated capacity
+//! (paper Section IV: demand `D_{i,t} > α·C_i` ⇔ usage `> α·100%`).
+//! Gap samples (`NaN`) never generate tickets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{TicketingError, TicketingResult};
+
+/// The threshold levels studied in the paper's characterization (Fig. 2).
+pub const PAPER_THRESHOLDS: [f64; 3] = [60.0, 70.0, 80.0];
+
+/// The paper's evaluation default (Sections IV-B and V).
+pub const DEFAULT_THRESHOLD: f64 = 60.0;
+
+/// A usage-ticket threshold policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPolicy {
+    threshold_pct: f64,
+}
+
+impl ThresholdPolicy {
+    /// Creates a policy issuing tickets above `threshold_pct` percent
+    /// utilization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TicketingError::InvalidThreshold`] unless
+    /// `0 < threshold_pct < 100`.
+    pub fn new(threshold_pct: f64) -> TicketingResult<Self> {
+        if !(threshold_pct > 0.0 && threshold_pct < 100.0) {
+            return Err(TicketingError::InvalidThreshold(threshold_pct));
+        }
+        Ok(ThresholdPolicy { threshold_pct })
+    }
+
+    /// The threshold in percent (e.g. 60.0).
+    pub fn threshold_pct(&self) -> f64 {
+        self.threshold_pct
+    }
+
+    /// The threshold as a fraction α ∈ (0, 1) — the `α` of the paper's
+    /// constraint `D_{i,t} − αC_i ≤ D_{i,t} I_{i,t}`.
+    pub fn alpha(&self) -> f64 {
+        self.threshold_pct / 100.0
+    }
+
+    /// Whether a single utilization-percent sample triggers a ticket.
+    /// `NaN` (gap) samples never do.
+    pub fn violates_usage(&self, usage_pct: f64) -> bool {
+        usage_pct > self.threshold_pct
+    }
+
+    /// Whether a demand sample triggers a ticket under an allocated
+    /// capacity: `demand > α·capacity`.
+    pub fn violates_demand(&self, demand: f64, capacity: f64) -> bool {
+        demand > self.alpha() * capacity
+    }
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy {
+            threshold_pct: DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// Counts tickets over a utilization-percent series. `NaN` samples are
+/// skipped.
+pub fn count_usage_tickets(usage_pct: &[f64], policy: &ThresholdPolicy) -> usize {
+    usage_pct
+        .iter()
+        .filter(|&&u| policy.violates_usage(u))
+        .count()
+}
+
+/// Counts tickets over a demand series for a given allocated capacity.
+/// `NaN` samples are skipped.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::InvalidCapacity`] unless `capacity` is
+/// positive and finite.
+pub fn count_demand_tickets(
+    demand: &[f64],
+    capacity: f64,
+    policy: &ThresholdPolicy,
+) -> TicketingResult<usize> {
+    if !(capacity > 0.0 && capacity.is_finite()) {
+        return Err(TicketingError::InvalidCapacity(capacity));
+    }
+    Ok(demand
+        .iter()
+        .filter(|&&d| policy.violates_demand(d, capacity))
+        .count())
+}
+
+/// Indices of the ticketing windows in which a usage series violates the
+/// policy.
+pub fn ticket_windows(usage_pct: &[f64], policy: &ThresholdPolicy) -> Vec<usize> {
+    usage_pct
+        .iter()
+        .enumerate()
+        .filter(|&(_, &u)| policy.violates_usage(u))
+        .map(|(t, _)| t)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_validation() {
+        assert!(ThresholdPolicy::new(60.0).is_ok());
+        assert!(ThresholdPolicy::new(0.0).is_err());
+        assert!(ThresholdPolicy::new(100.0).is_err());
+        assert!(ThresholdPolicy::new(-5.0).is_err());
+        assert!(ThresholdPolicy::new(f64::NAN).is_err());
+        assert_eq!(ThresholdPolicy::default().threshold_pct(), 60.0);
+        assert!((ThresholdPolicy::new(70.0).unwrap().alpha() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strict_inequality_at_threshold() {
+        let p = ThresholdPolicy::new(60.0).unwrap();
+        assert!(!p.violates_usage(60.0));
+        assert!(p.violates_usage(60.0001));
+    }
+
+    #[test]
+    fn nan_never_tickets() {
+        let p = ThresholdPolicy::default();
+        assert!(!p.violates_usage(f64::NAN));
+        assert_eq!(count_usage_tickets(&[f64::NAN, 90.0, f64::NAN], &p), 1);
+    }
+
+    #[test]
+    fn count_usage() {
+        let p = ThresholdPolicy::new(70.0).unwrap();
+        let usage = [65.0, 71.0, 90.0, 70.0, 100.0];
+        assert_eq!(count_usage_tickets(&usage, &p), 3);
+        assert_eq!(count_usage_tickets(&[], &p), 0);
+    }
+
+    #[test]
+    fn demand_tickets_match_paper_example() {
+        // Paper Section IV-A example: capacity 70, threshold 60% -> demands
+        // above 42 ticket. D = {30,30,40,40,23,25,60,60,60,60} -> 4 tickets.
+        let p = ThresholdPolicy::new(60.0).unwrap();
+        let d = [30.0, 30.0, 40.0, 40.0, 23.0, 25.0, 60.0, 60.0, 60.0, 60.0];
+        assert_eq!(count_demand_tickets(&d, 70.0, &p).unwrap(), 4);
+        // Capacity 100: threshold 60 -> none of the demands exceed 60.
+        assert_eq!(count_demand_tickets(&d, 100.0, &p).unwrap(), 0);
+        assert!(count_demand_tickets(&d, 0.0, &p).is_err());
+        assert!(count_demand_tickets(&d, f64::INFINITY, &p).is_err());
+    }
+
+    #[test]
+    fn windows_listed_in_order() {
+        let p = ThresholdPolicy::default();
+        let usage = [61.0, 10.0, 75.0];
+        assert_eq!(ticket_windows(&usage, &p), vec![0, 2]);
+    }
+
+    #[test]
+    fn usage_and_demand_counting_agree() {
+        // usage > 60%  <=>  demand > 0.6 * capacity for any capacity.
+        let p = ThresholdPolicy::default();
+        let usage = [10.0, 59.0, 61.0, 95.0];
+        let capacity = 7.5;
+        let demand: Vec<f64> = usage.iter().map(|u| u / 100.0 * capacity).collect();
+        assert_eq!(
+            count_usage_tickets(&usage, &p),
+            count_demand_tickets(&demand, capacity, &p).unwrap()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for ticket counting and characterization.
+
+use atm_ticketing::characterize::box_ticket_stats;
+use atm_ticketing::ticket::{count_demand_tickets, count_usage_tickets, ticket_windows};
+use atm_ticketing::ThresholdPolicy;
+use atm_tracegen::{BoxTrace, Resource, VmTrace};
+use proptest::prelude::*;
+
+fn usage_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..130.0, 1..96)
+}
+
+fn make_box(cpu: Vec<Vec<f64>>) -> BoxTrace {
+    let vms = cpu
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| {
+            let n = u.len();
+            VmTrace {
+                name: format!("vm{i}"),
+                cpu_capacity_ghz: 4.0,
+                ram_capacity_gb: 8.0,
+                cpu_usage: u,
+                ram_usage: vec![10.0; n],
+            }
+        })
+        .collect();
+    BoxTrace {
+        name: "b".into(),
+        cpu_capacity_ghz: 64.0,
+        ram_capacity_gb: 128.0,
+        vms,
+        interval_minutes: 15,
+    }
+}
+
+proptest! {
+    /// Ticket counts are monotone non-increasing in the threshold.
+    #[test]
+    fn tickets_monotone_in_threshold(usage in usage_series()) {
+        let mut last = usize::MAX;
+        for th in [30.0, 50.0, 60.0, 70.0, 80.0, 95.0] {
+            let p = ThresholdPolicy::new(th).unwrap();
+            let c = count_usage_tickets(&usage, &p);
+            prop_assert!(c <= last);
+            last = c;
+        }
+    }
+
+    /// `ticket_windows` agrees with `count_usage_tickets` and every
+    /// listed window actually violates.
+    #[test]
+    fn windows_match_count(usage in usage_series(), th in 10.0f64..95.0) {
+        let p = ThresholdPolicy::new(th).unwrap();
+        let wins = ticket_windows(&usage, &p);
+        prop_assert_eq!(wins.len(), count_usage_tickets(&usage, &p));
+        for &w in &wins {
+            prop_assert!(usage[w] > th);
+        }
+        // Windows are strictly increasing.
+        prop_assert!(wins.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Usage-based and demand-based counting agree for any capacity.
+    #[test]
+    fn usage_demand_equivalence(usage in usage_series(), cap in 0.5f64..64.0) {
+        let p = ThresholdPolicy::new(60.0).unwrap();
+        let demand: Vec<f64> = usage.iter().map(|u| u / 100.0 * cap).collect();
+        prop_assert_eq!(
+            count_usage_tickets(&usage, &p),
+            count_demand_tickets(&demand, cap, &p).unwrap()
+        );
+    }
+
+    /// Per-box stats: per-VM counts sum to the total; culprit count is
+    /// between 1 and the number of ticketing VMs (when tickets exist) and
+    /// is monotone non-increasing in the coverage requirement's
+    /// complement (lower coverage -> fewer culprits needed).
+    #[test]
+    fn culprit_counts_consistent(series in prop::collection::vec(usage_series(), 1..6)) {
+        // Equalize lengths.
+        let len = series.iter().map(Vec::len).min().unwrap();
+        let series: Vec<Vec<f64>> = series.into_iter().map(|s| s[..len].to_vec()).collect();
+        let b = make_box(series);
+        let p = ThresholdPolicy::new(60.0).unwrap();
+        let full = box_ticket_stats(&b, Resource::Cpu, &p, 0.8).unwrap();
+        prop_assert_eq!(full.per_vm.iter().sum::<usize>(), full.total);
+        if full.total > 0 {
+            let ticketing_vms = full.per_vm.iter().filter(|&&c| c > 0).count();
+            prop_assert!(full.culprit_vms >= 1 && full.culprit_vms <= ticketing_vms);
+            let half = box_ticket_stats(&b, Resource::Cpu, &p, 0.4).unwrap();
+            prop_assert!(half.culprit_vms <= full.culprit_vms);
+            let all = box_ticket_stats(&b, Resource::Cpu, &p, 1.0).unwrap();
+            prop_assert!(all.culprit_vms >= full.culprit_vms);
+            prop_assert_eq!(all.culprit_vms, ticketing_vms);
+        } else {
+            prop_assert_eq!(full.culprit_vms, 0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper reports several results as CDFs across boxes: the correlation
+//! CDFs of Fig. 3 and the prediction-error CDFs of Fig. 9. [`EmpiricalCdf`]
+//! supports both evaluation `F(x)` and inverse evaluation (quantiles), and
+//! can be sampled onto a grid for plotting/reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeriesError, SeriesResult};
+
+/// An empirical CDF built from a finite sample.
+///
+/// # Example
+///
+/// ```
+/// use atm_timeseries::EmpiricalCdf;
+///
+/// let cdf = EmpiricalCdf::from_samples(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(2.0), 0.75);
+/// assert_eq!(cdf.eval(9.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from samples. Non-finite samples are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] if no finite samples remain.
+    pub fn from_samples(samples: Vec<f64>) -> SeriesResult<Self> {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(SeriesError::Empty);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(EmpiricalCdf { sorted })
+    }
+
+    /// Number of samples backing the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is backed by zero samples (never true for a
+    /// successfully constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F(x) = P[X ≤ x]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of samples <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `x` with `F(x) ≥ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::InvalidParameter`] if `p` is outside `(0, 1]`.
+    pub fn quantile(&self, p: f64) -> SeriesResult<f64> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(SeriesError::InvalidParameter(
+                "probability must be in (0, 1]",
+            ));
+        }
+        let k = ((p * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Ok(self.sorted[k.min(self.sorted.len() - 1)])
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Samples the CDF at `n` evenly spaced points over `[lo, hi]`,
+    /// returning `(x, F(x))` pairs — a plottable curve like the paper's
+    /// CDF figures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::InvalidParameter`] if `n < 2` or `lo >= hi`.
+    pub fn curve(&self, lo: f64, hi: f64, n: usize) -> SeriesResult<Vec<(f64, f64)>> {
+        if n < 2 {
+            return Err(SeriesError::InvalidParameter("need at least 2 grid points"));
+        }
+        if lo >= hi {
+            return Err(SeriesError::InvalidParameter("lo must be < hi"));
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        Ok((0..n)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.eval(x))
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let cdf = EmpiricalCdf::from_samples(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert!((cdf.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cdf.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn drops_nan_and_errors_when_empty() {
+        let cdf = EmpiricalCdf::from_samples(vec![f64::NAN, 5.0]).unwrap();
+        assert_eq!(cdf.len(), 1);
+        assert!(EmpiricalCdf::from_samples(vec![f64::NAN]).is_err());
+        assert!(EmpiricalCdf::from_samples(vec![]).is_err());
+    }
+
+    #[test]
+    fn quantile_inverse() {
+        let cdf = EmpiricalCdf::from_samples((1..=100).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(cdf.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(cdf.quantile(1.0).unwrap(), 100.0);
+        assert_eq!(cdf.quantile(0.01).unwrap(), 1.0);
+        assert!(cdf.quantile(0.0).is_err());
+        assert!(cdf.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn quantile_eval_roundtrip() {
+        let cdf = EmpiricalCdf::from_samples(vec![1.0, 5.0, 9.0, 13.0]).unwrap();
+        for p in [0.25, 0.5, 0.75, 1.0] {
+            let x = cdf.quantile(p).unwrap();
+            assert!(cdf.eval(x) >= p);
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let cdf = EmpiricalCdf::from_samples(vec![0.1, 0.4, 0.4, 0.9]).unwrap();
+        let pts = cdf.curve(0.0, 1.0, 11).unwrap();
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[10].1, 1.0);
+        assert!(cdf.curve(1.0, 0.0, 5).is_err());
+        assert!(cdf.curve(0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let cdf = EmpiricalCdf::from_samples(vec![2.0, -1.0, 8.0]).unwrap();
+        assert_eq!(cdf.min(), -1.0);
+        assert_eq!(cdf.max(), 8.0);
+    }
+}

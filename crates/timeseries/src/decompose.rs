@@ -1,0 +1,158 @@
+//! Simple seasonal decomposition.
+//!
+//! Data-center usage exhibits strong diurnal seasonality (Section I of the
+//! paper; Fig. 1). This module provides an additive decomposition into a
+//! periodic seasonal profile plus residual, used by the forecasting crate's
+//! seasonal features and by the trace generator's self-checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeriesError, SeriesResult};
+
+/// Result of an additive seasonal decomposition with period `p`:
+/// `x[t] = level + seasonal[t mod p] + residual[t]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalDecomposition {
+    /// Overall mean level of the series.
+    pub level: f64,
+    /// Zero-mean seasonal profile of length `period`.
+    pub seasonal: Vec<f64>,
+    /// Residual after removing level and seasonality; same length as input.
+    pub residual: Vec<f64>,
+}
+
+impl SeasonalDecomposition {
+    /// Reconstructs the fitted (level + seasonal) component at index `t`.
+    pub fn fitted(&self, t: usize) -> f64 {
+        self.level + self.seasonal[t % self.seasonal.len()]
+    }
+
+    /// Fraction of total variance explained by the seasonal component,
+    /// in `[0, 1]`. Returns 0 for a constant series.
+    pub fn seasonal_strength(&self) -> f64 {
+        let n = self.residual.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let var_res: f64 = self.residual.iter().map(|r| r * r).sum::<f64>() / n;
+        let var_seas: f64 = (0..self.residual.len())
+            .map(|t| {
+                let s = self.seasonal[t % self.seasonal.len()];
+                s * s
+            })
+            .sum::<f64>()
+            / n;
+        let total = var_res + var_seas;
+        if total == 0.0 {
+            0.0
+        } else {
+            var_seas / total
+        }
+    }
+}
+
+/// Decomposes `xs` additively with the given period using seasonal means.
+///
+/// # Errors
+///
+/// - [`SeriesError::InvalidParameter`] if `period == 0`.
+/// - [`SeriesError::TooShort`] if fewer than `2 * period` observations
+///   (at least two full cycles are needed for a meaningful profile).
+pub fn seasonal_decompose(xs: &[f64], period: usize) -> SeriesResult<SeasonalDecomposition> {
+    if period == 0 {
+        return Err(SeriesError::InvalidParameter("period must be positive"));
+    }
+    if xs.len() < 2 * period {
+        return Err(SeriesError::TooShort {
+            required: 2 * period,
+            actual: xs.len(),
+        });
+    }
+    let level = xs.iter().sum::<f64>() / xs.len() as f64;
+
+    // Seasonal means per phase, then centered to zero mean.
+    let mut sums = vec![0.0; period];
+    let mut counts = vec![0usize; period];
+    for (t, &x) in xs.iter().enumerate() {
+        sums[t % period] += x - level;
+        counts[t % period] += 1;
+    }
+    let mut seasonal: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| s / c as f64)
+        .collect();
+    let seas_mean = seasonal.iter().sum::<f64>() / period as f64;
+    for s in &mut seasonal {
+        *s -= seas_mean;
+    }
+
+    let residual: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(t, &x)| x - level - seasonal[t % period])
+        .collect();
+
+    Ok(SeasonalDecomposition {
+        level,
+        seasonal,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_pure_seasonal_signal() {
+        let profile = [0.0, 10.0, 5.0, -15.0];
+        let xs: Vec<f64> = (0..40).map(|t| 50.0 + profile[t % 4]).collect();
+        let d = seasonal_decompose(&xs, 4).unwrap();
+        assert!((d.level - 50.0).abs() < 1e-9);
+        for (a, b) in d.seasonal.iter().zip(&profile) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        for r in &d.residual {
+            assert!(r.abs() < 1e-9);
+        }
+        assert!((d.seasonal_strength() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fitted_reconstruction() {
+        let xs: Vec<f64> = (0..20)
+            .map(|t| if t % 2 == 0 { 10.0 } else { 30.0 })
+            .collect();
+        let d = seasonal_decompose(&xs, 2).unwrap();
+        assert!((d.fitted(0) - 10.0).abs() < 1e-9);
+        assert!((d.fitted(1) - 30.0).abs() < 1e-9);
+        assert!((d.fitted(7) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn white_noise_has_weak_seasonality() {
+        // Deterministic pseudo-noise (no rand dependency here).
+        let xs: Vec<f64> = (0..96)
+            .map(|t| ((t as f64 * 12.9898).sin() * 43758.5453).fract())
+            .collect();
+        let d = seasonal_decompose(&xs, 24).unwrap();
+        assert!(d.seasonal_strength() < 0.7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(seasonal_decompose(&[1.0; 10], 0).is_err());
+        assert!(seasonal_decompose(&[1.0; 5], 4).is_err());
+    }
+
+    #[test]
+    fn seasonal_component_is_zero_mean() {
+        let xs: Vec<f64> = (0..30)
+            .map(|t| (t % 5) as f64 * 2.0 + t as f64 * 0.01)
+            .collect();
+        let d = seasonal_decompose(&xs, 5).unwrap();
+        let m: f64 = d.seasonal.iter().sum::<f64>() / d.seasonal.len() as f64;
+        assert!(m.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by time-series operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeriesError {
+    /// The operation requires a non-empty series.
+    Empty,
+    /// Two series were expected to have equal length but did not.
+    LengthMismatch {
+        /// Length of the left-hand series.
+        left: usize,
+        /// Length of the right-hand series.
+        right: usize,
+    },
+    /// The operation requires at least this many observations.
+    TooShort {
+        /// Observations required.
+        required: usize,
+        /// Observations available.
+        actual: usize,
+    },
+    /// A statistic is undefined because the input has zero variance.
+    ZeroVariance,
+    /// A parameter was outside its valid domain (e.g. a quantile not in `[0, 1]`).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesError::Empty => write!(f, "series is empty"),
+            SeriesError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            SeriesError::TooShort { required, actual } => {
+                write!(f, "series too short: need {required}, have {actual}")
+            }
+            SeriesError::ZeroVariance => write!(f, "statistic undefined for zero variance input"),
+            SeriesError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for SeriesError {}
+
+/// Convenience alias for results in this crate.
+pub type SeriesResult<T> = Result<T, SeriesError>;

@@ -1,0 +1,52 @@
+//! # atm-timeseries
+//!
+//! Foundational time-series types and statistics for the ATM (Active Ticket
+//! Managing) reproduction of *"Managing Data Center Tickets: Prediction and
+//! Active Sizing"* (DSN 2016).
+//!
+//! Everything in ATM operates on regularly sampled, fixed-interval series of
+//! resource usage or demand: 15-minute samples of CPU/RAM utilization in the
+//! paper. This crate provides:
+//!
+//! - [`Series`]: an owned, regularly sampled series with an optional name.
+//! - [`SeriesSet`]: a labeled, length-aligned collection of series (the
+//!   `M × N` frame the spatial models operate on).
+//! - [`stats`]: summary statistics, Pearson/Spearman correlation,
+//!   covariance — the building blocks of the paper's Section II
+//!   characterization and of correlation-based clustering.
+//! - [`cdf`]: empirical cumulative distribution functions (used to reproduce
+//!   the paper's CDF figures).
+//! - [`metrics`]: prediction error metrics — absolute percentage error as
+//!   defined in the paper (footnote 3), MAPE, peak-restricted errors, RMSE.
+//! - [`window`]: resampling and sliding-window utilities (ticketing windows).
+//! - [`transform`]: z-normalization, differencing, usage↔demand conversion.
+//! - [`decompose`]: simple seasonal decomposition for diagnostics.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_timeseries::{Series, stats};
+//!
+//! let a = Series::from_values("vm1-cpu", vec![10.0, 20.0, 30.0, 40.0]);
+//! let b = Series::from_values("vm2-cpu", vec![12.0, 19.0, 33.0, 41.0]);
+//! let rho = stats::pearson(a.values(), b.values()).unwrap();
+//! assert!(rho > 0.95);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod decompose;
+mod error;
+pub mod metrics;
+mod series;
+mod series_set;
+pub mod stats;
+pub mod transform;
+pub mod window;
+
+pub use cdf::EmpiricalCdf;
+pub use error::{SeriesError, SeriesResult};
+pub use series::Series;
+pub use series_set::SeriesSet;

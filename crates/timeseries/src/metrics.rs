@@ -1,0 +1,213 @@
+//! Prediction-error metrics.
+//!
+//! The paper's accuracy metric is the absolute percentage error
+//! (footnote 3): `APE = |actual − fitted| / actual`, averaged over the
+//! evaluation horizon (reported as "Mean Abs. PCT Error"). Fig. 9
+//! additionally reports *peak* errors — the APE restricted to ticketing
+//! windows whose actual usage exceeds the ticket threshold (60%).
+
+use crate::error::{SeriesError, SeriesResult};
+
+/// Absolute percentage error of a single point, as defined in the paper.
+///
+/// Returns `None` when `actual == 0`, where the metric is undefined; the
+/// aggregate functions below skip such points (matching common practice for
+/// utilization series, which are positive almost everywhere).
+pub fn ape(actual: f64, predicted: f64) -> Option<f64> {
+    if actual == 0.0 {
+        None
+    } else {
+        Some((actual - predicted).abs() / actual.abs())
+    }
+}
+
+/// Mean absolute percentage error over a horizon, in *fraction* (0.2 = 20%).
+///
+/// Points with `actual == 0` are skipped.
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::Empty`] if no point has non-zero actual value.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> SeriesResult<f64> {
+    check_lengths(actual, predicted)?;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if let Some(e) = ape(a, p) {
+            sum += e;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(SeriesError::Empty);
+    }
+    Ok(sum / n as f64)
+}
+
+/// Mean APE restricted to points where `actual > threshold`
+/// (paper Fig. 9's "Peak" curves; threshold is the ticket threshold, e.g.
+/// 60 for utilization-percent series).
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::Empty`] if no point exceeds the threshold.
+pub fn peak_mape(actual: &[f64], predicted: &[f64], threshold: f64) -> SeriesResult<f64> {
+    check_lengths(actual, predicted)?;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a > threshold {
+            if let Some(e) = ape(a, p) {
+                sum += e;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return Err(SeriesError::Empty);
+    }
+    Ok(sum / n as f64)
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::Empty`] on empty input.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> SeriesResult<f64> {
+    check_lengths(actual, predicted)?;
+    if actual.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    let ss: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p) * (a - p))
+        .sum();
+    Ok((ss / actual.len() as f64).sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::Empty`] on empty input.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> SeriesResult<f64> {
+    check_lengths(actual, predicted)?;
+    if actual.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    let s: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(&a, &p)| (a - p).abs())
+        .sum();
+    Ok(s / actual.len() as f64)
+}
+
+/// Symmetric MAPE, bounded in `[0, 2]`; robust when actuals approach zero.
+/// Provided for ablation comparisons against the paper's APE.
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::Empty`] if every point has `|actual| + |predicted| == 0`.
+pub fn smape(actual: &[f64], predicted: &[f64]) -> SeriesResult<f64> {
+    check_lengths(actual, predicted)?;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        let denom = (a.abs() + p.abs()) / 2.0;
+        if denom > 0.0 {
+            sum += (a - p).abs() / denom;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(SeriesError::Empty);
+    }
+    Ok(sum / n as f64)
+}
+
+fn check_lengths(a: &[f64], b: &[f64]) -> SeriesResult<()> {
+    if a.len() != b.len() {
+        return Err(SeriesError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ape_pointwise() {
+        assert_eq!(ape(100.0, 80.0), Some(0.2));
+        assert_eq!(ape(50.0, 60.0), Some(0.2));
+        assert_eq!(ape(0.0, 5.0), None);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let a = [100.0, 100.0];
+        let p = [90.0, 120.0];
+        assert!((mape(&a, &p).unwrap() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let a = [0.0, 100.0];
+        let p = [10.0, 80.0];
+        assert!((mape(&a, &p).unwrap() - 0.2).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let a = [10.0, 20.0, 30.0];
+        assert_eq!(mape(&a, &a).unwrap(), 0.0);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+        assert_eq!(mae(&a, &a).unwrap(), 0.0);
+        assert_eq!(smape(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn peak_mape_restricts_to_threshold() {
+        let a = [50.0, 70.0, 90.0];
+        let p = [10.0, 63.0, 81.0]; // errors: skipped, 0.1, 0.1
+        assert!((peak_mape(&a, &p, 60.0).unwrap() - 0.1).abs() < 1e-12);
+        assert!(peak_mape(&a, &p, 95.0).is_err());
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 5.0];
+        assert!((mae(&a, &p).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rmse(&a, &p).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(mape(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(rmse(&[1.0], &[]).is_err());
+        assert!(mae(&[], &[1.0]).is_err());
+        assert!(smape(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn smape_bounded() {
+        let a = [1.0, 100.0];
+        let p = [100.0, 1.0];
+        let s = smape(&a, &p).unwrap();
+        assert!(s > 0.0 && s <= 2.0);
+        assert!(smape(&[0.0], &[0.0]).is_err());
+    }
+}

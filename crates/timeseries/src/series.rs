@@ -1,0 +1,279 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeriesError, SeriesResult};
+use crate::stats;
+
+/// A regularly sampled, fixed-interval time series.
+///
+/// In the ATM paper every series is a CPU or RAM usage (percent) or demand
+/// (GHz/GB) series sampled every 15 minutes. `Series` keeps only the values
+/// and a human-readable name; sampling interval bookkeeping lives with the
+/// owner (e.g. a trace), since all series of a box share it.
+///
+/// # Example
+///
+/// ```
+/// use atm_timeseries::Series;
+///
+/// let s = Series::from_values("vm3-cpu", vec![55.0, 61.0, 58.5]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.name(), "vm3-cpu");
+/// assert!(s.max().unwrap() > 60.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from a name and raw values.
+    pub fn from_values(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Series {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// The series name (e.g. `"box12/vm3/cpu"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the series.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The observations, in time order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the observations.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the series and returns its raw values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Returns the observation at `t`, if present.
+    pub fn get(&self, t: usize) -> Option<f64> {
+        self.values.get(t).copied()
+    }
+
+    /// Arithmetic mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] for an empty series.
+    pub fn mean(&self) -> SeriesResult<f64> {
+        stats::mean(&self.values)
+    }
+
+    /// Sample standard deviation (n − 1 denominator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::TooShort`] for fewer than two observations.
+    pub fn std_dev(&self) -> SeriesResult<f64> {
+        stats::std_dev(&self.values)
+    }
+
+    /// Minimum value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] for an empty series.
+    pub fn min(&self) -> SeriesResult<f64> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or(SeriesError::Empty)
+    }
+
+    /// Maximum value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] for an empty series.
+    pub fn max(&self) -> SeriesResult<f64> {
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(SeriesError::Empty)
+    }
+
+    /// Returns a sub-series for the half-open index range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Series {
+        Series {
+            name: self.name.clone(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
+    /// Splits the series into a training prefix of `train_len` observations
+    /// and the remaining test suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::TooShort`] if `train_len > self.len()`.
+    pub fn split_at(&self, train_len: usize) -> SeriesResult<(Series, Series)> {
+        if train_len > self.len() {
+            return Err(SeriesError::TooShort {
+                required: train_len,
+                actual: self.len(),
+            });
+        }
+        Ok((self.slice(0, train_len), self.slice(train_len, self.len())))
+    }
+
+    /// Fraction of observations strictly above `threshold`.
+    ///
+    /// Used throughout ticket characterization: a usage sample above the
+    /// ticket threshold triggers a ticket in its ticketing window.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let above = self.values.iter().filter(|&&v| v > threshold).count();
+        above as f64 / self.values.len() as f64
+    }
+
+    /// Applies `f` element-wise and returns a new series with the same name.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Series {
+        Series {
+            name: self.name.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+impl FromIterator<f64> for Series {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Series {
+            name: String::new(),
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Series {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+impl AsRef<[f64]> for Series {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = Series::from_values("x", vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(1), Some(2.0));
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_series_statistics_error() {
+        let s = Series::new("empty");
+        assert_eq!(s.mean(), Err(SeriesError::Empty));
+        assert_eq!(s.min(), Err(SeriesError::Empty));
+        assert_eq!(s.max(), Err(SeriesError::Empty));
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = Series::from_values("x", vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic data set is ~2.138.
+        assert!((s.std_dev().unwrap() - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn min_max() {
+        let s = Series::from_values("x", vec![3.0, -1.0, 7.5, 0.0]);
+        assert_eq!(s.min().unwrap(), -1.0);
+        assert_eq!(s.max().unwrap(), 7.5);
+    }
+
+    #[test]
+    fn slice_and_split() {
+        let s = Series::from_values("x", (0..10).map(|i| i as f64).collect());
+        let mid = s.slice(2, 5);
+        assert_eq!(mid.values(), &[2.0, 3.0, 4.0]);
+        let (train, test) = s.split_at(7).unwrap();
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(test.values()[0], 7.0);
+        assert!(s.split_at(11).is_err());
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly() {
+        let s = Series::from_values("x", vec![59.0, 60.0, 61.0, 80.0]);
+        assert!((s.fraction_above(60.0) - 0.5).abs() < 1e-12);
+        assert_eq!(Series::new("e").fraction_above(60.0), 0.0);
+    }
+
+    #[test]
+    fn map_preserves_name() {
+        let s = Series::from_values("n", vec![1.0, 2.0]);
+        let doubled = s.map(|v| v * 2.0);
+        assert_eq!(doubled.name(), "n");
+        assert_eq!(doubled.values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: Series = (0..3).map(|i| i as f64).collect();
+        s.extend([3.0, 4.0]);
+        assert_eq!(s.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

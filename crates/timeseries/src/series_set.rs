@@ -1,0 +1,284 @@
+//! A labeled, length-aligned collection of series — the "frame" shape the
+//! spatial models operate on (`M × N` equal-length demand series per box).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SeriesError, SeriesResult};
+use crate::series::Series;
+use crate::stats;
+
+/// A set of equal-length named series.
+///
+/// # Example
+///
+/// ```
+/// use atm_timeseries::SeriesSet;
+///
+/// let mut set = SeriesSet::new();
+/// set.insert("cpu", vec![1.0, 2.0, 3.0])?;
+/// set.insert("ram", vec![2.0, 4.0, 6.0])?;
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.window_count(), 3);
+/// let rho = set.correlation_matrix()?;
+/// assert!((rho[0][1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), atm_timeseries::SeriesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeriesSet {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the set holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Observations per series (0 for an empty set).
+    pub fn window_count(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Adds a named series.
+    ///
+    /// # Errors
+    ///
+    /// - [`SeriesError::Empty`] for an empty series.
+    /// - [`SeriesError::LengthMismatch`] if its length differs from the
+    ///   set's.
+    pub fn insert(&mut self, name: impl Into<String>, values: Vec<f64>) -> SeriesResult<()> {
+        if values.is_empty() {
+            return Err(SeriesError::Empty);
+        }
+        if !self.columns.is_empty() && values.len() != self.window_count() {
+            return Err(SeriesError::LengthMismatch {
+                left: self.window_count(),
+                right: values.len(),
+            });
+        }
+        self.names.push(name.into());
+        self.columns.push(values);
+        Ok(())
+    }
+
+    /// The series names, in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The values of series `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn column(&self, i: usize) -> &[f64] {
+        &self.columns[i]
+    }
+
+    /// All columns, aligned with [`SeriesSet::names`].
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Looks up a series by name.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.columns[i].as_slice())
+    }
+
+    /// Extracts the series as owned [`Series`] values.
+    pub fn to_series(&self) -> Vec<Series> {
+        self.names
+            .iter()
+            .zip(&self.columns)
+            .map(|(n, c)| Series::from_values(n.clone(), c.clone()))
+            .collect()
+    }
+
+    /// Splits every series at `train_len`, returning (train, test) sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::TooShort`] if `train_len >= window_count`.
+    pub fn split_at(&self, train_len: usize) -> SeriesResult<(SeriesSet, SeriesSet)> {
+        if train_len >= self.window_count() {
+            return Err(SeriesError::TooShort {
+                required: train_len + 1,
+                actual: self.window_count(),
+            });
+        }
+        let mut train = SeriesSet::new();
+        let mut test = SeriesSet::new();
+        for (n, c) in self.names.iter().zip(&self.columns) {
+            train.insert(n.clone(), c[..train_len].to_vec())?;
+            test.insert(n.clone(), c[train_len..].to_vec())?;
+        }
+        Ok((train, test))
+    }
+
+    /// Keeps only the series at the given indices (in the given order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::InvalidParameter`] for out-of-range indices.
+    pub fn select(&self, indices: &[usize]) -> SeriesResult<SeriesSet> {
+        let mut out = SeriesSet::new();
+        for &i in indices {
+            if i >= self.len() {
+                return Err(SeriesError::InvalidParameter("index out of range"));
+            }
+            out.insert(self.names[i].clone(), self.columns[i].clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Pairwise Pearson correlation matrix; undefined pairs (constant
+    /// series) are reported as 0 and the diagonal is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::Empty`] for an empty set.
+    pub fn correlation_matrix(&self) -> SeriesResult<Vec<Vec<f64>>> {
+        if self.is_empty() {
+            return Err(SeriesError::Empty);
+        }
+        let n = self.len();
+        let mut out = vec![vec![0.0; n]; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            out[i][i] = 1.0;
+            for j in i + 1..n {
+                let r = stats::pearson(&self.columns[i], &self.columns[j]).unwrap_or(0.0);
+                out[i][j] = r;
+                out[j][i] = r;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl FromIterator<(String, Vec<f64>)> for SeriesSet {
+    /// Collects `(name, values)` pairs, skipping entries that violate the
+    /// alignment invariant (use [`SeriesSet::insert`] for error handling).
+    fn from_iter<I: IntoIterator<Item = (String, Vec<f64>)>>(iter: I) -> Self {
+        let mut set = SeriesSet::new();
+        for (name, values) in iter {
+            let _ = set.insert(name, values);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesSet {
+        let mut s = SeriesSet::new();
+        s.insert("a", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        s.insert("b", vec![2.0, 4.0, 6.0, 8.0]).unwrap();
+        s.insert("c", vec![4.0, 3.0, 2.0, 1.0]).unwrap();
+        s
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.window_count(), 4);
+        assert_eq!(s.get("b").unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+        assert!(s.get("zzz").is_none());
+        assert_eq!(s.names(), &["a", "b", "c"]);
+        assert_eq!(s.column(0)[0], 1.0);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut s = sample();
+        assert_eq!(
+            s.insert("bad", vec![1.0]),
+            Err(SeriesError::LengthMismatch { left: 4, right: 1 })
+        );
+        assert_eq!(s.insert("empty", vec![]), Err(SeriesError::Empty));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn split() {
+        let s = sample();
+        let (train, test) = s.split_at(3).unwrap();
+        assert_eq!(train.window_count(), 3);
+        assert_eq!(test.window_count(), 1);
+        assert_eq!(test.get("a").unwrap(), &[4.0]);
+        assert!(s.split_at(4).is_err());
+    }
+
+    #[test]
+    fn select_reorders() {
+        let s = sample();
+        let sub = s.select(&[2, 0]).unwrap();
+        assert_eq!(sub.names(), &["c", "a"]);
+        assert!(s.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn correlation_matrix_properties() {
+        let s = sample();
+        let m = s.correlation_matrix().unwrap();
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert!((m[i][j] - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!((m[0][1] - 1.0).abs() < 1e-12); // b = 2a
+        assert!((m[0][2] + 1.0).abs() < 1e-12); // c = reversed a
+        assert!(SeriesSet::new().correlation_matrix().is_err());
+    }
+
+    #[test]
+    fn constant_series_correlate_as_zero() {
+        let mut s = SeriesSet::new();
+        s.insert("flat", vec![5.0; 4]).unwrap();
+        s.insert("a", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let m = s.correlation_matrix().unwrap();
+        assert_eq!(m[0][1], 0.0);
+    }
+
+    #[test]
+    fn to_series_and_from_iterator() {
+        let s = sample();
+        let series = s.to_series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[1].name(), "b");
+        let rebuilt: SeriesSet = s
+            .names()
+            .iter()
+            .zip(s.columns())
+            .map(|(n, c)| (n.clone(), c.clone()))
+            .collect();
+        assert_eq!(rebuilt, s);
+        // Misaligned entries are skipped by the collector.
+        let skipped: SeriesSet = vec![
+            ("x".to_string(), vec![1.0, 2.0]),
+            ("bad".to_string(), vec![1.0]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(skipped.len(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Summary statistics and correlation measures over raw `&[f64]` slices.
+//!
+//! These are the primitives behind the paper's Section II characterization
+//! (Pearson correlation CDFs across co-located VM series) and the
+//! correlation-based clustering (CBC) of Section III.
+
+use crate::error::{SeriesError, SeriesResult};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::Empty`] if `xs` is empty.
+pub fn mean(xs: &[f64]) -> SeriesResult<f64> {
+    if xs.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n − 1 denominator).
+///
+/// # Errors
+///
+/// Returns [`SeriesError::TooShort`] if fewer than two observations.
+pub fn variance(xs: &[f64]) -> SeriesResult<f64> {
+    if xs.len() < 2 {
+        return Err(SeriesError::TooShort {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Ok(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation (n − 1 denominator).
+///
+/// # Errors
+///
+/// Returns [`SeriesError::TooShort`] if fewer than two observations.
+pub fn std_dev(xs: &[f64]) -> SeriesResult<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Population mean and standard deviation in one pass (n denominator).
+///
+/// # Errors
+///
+/// Returns [`SeriesError::Empty`] if `xs` is empty.
+pub fn mean_std_population(xs: &[f64]) -> SeriesResult<(f64, f64)> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Ok((m, (ss / xs.len() as f64).sqrt()))
+}
+
+/// Sample covariance between `xs` and `ys` (n − 1 denominator).
+///
+/// # Errors
+///
+/// Returns [`SeriesError::LengthMismatch`] on unequal lengths and
+/// [`SeriesError::TooShort`] on fewer than two observations.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
+    if xs.len() != ys.len() {
+        return Err(SeriesError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(SeriesError::TooShort {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let s: f64 = xs.iter().zip(ys).map(|(&x, &y)| (x - mx) * (y - my)).sum();
+    Ok(s / (xs.len() - 1) as f64)
+}
+
+/// Pearson's linear correlation coefficient ρ ∈ [−1, 1].
+///
+/// This is the spatial-dependency measure used throughout the paper:
+/// intra-CPU, intra-RAM and inter-CPU/RAM correlations of co-located VMs
+/// (Fig. 3) and the ranking criterion of CBC (ρ_Th = 0.7).
+///
+/// # Errors
+///
+/// - [`SeriesError::LengthMismatch`] on unequal lengths.
+/// - [`SeriesError::TooShort`] on fewer than two observations.
+/// - [`SeriesError::ZeroVariance`] if either input is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
+    if xs.len() != ys.len() {
+        return Err(SeriesError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(SeriesError::TooShort {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    // Clamp to guard against floating-point drift slightly outside [-1, 1].
+    Ok((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman's rank correlation coefficient.
+///
+/// Robust alternative to [`pearson`] for monotone but non-linear dependency;
+/// used in ablation studies of the clustering step.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Fractional ranks (average rank for ties), 1-based.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank over the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between order
+/// statistics (type-7, the R/numpy default).
+///
+/// # Errors
+///
+/// - [`SeriesError::Empty`] if `xs` is empty.
+/// - [`SeriesError::InvalidParameter`] if `q` is outside `[0, 1]` or NaN.
+pub fn quantile(xs: &[f64], q: f64) -> SeriesResult<f64> {
+    if xs.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(SeriesError::InvalidParameter("quantile must be in [0, 1]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Median (the 0.5-quantile).
+///
+/// # Errors
+///
+/// Returns [`SeriesError::Empty`] if `xs` is empty.
+pub fn median(xs: &[f64]) -> SeriesResult<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Mean and sample standard deviation of a collection, ignoring NaNs.
+///
+/// Convenience for aggregating per-box statistics into the paper's
+/// "mean ± std" bar charts (Figs. 2b, 8, 10). Returns `(mean, std)`;
+/// `std` is 0 when fewer than two finite values exist.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::Empty`] if no finite values exist.
+pub fn mean_std_finite(xs: &[f64]) -> SeriesResult<(f64, f64)> {
+    let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    let m = mean(&finite)?;
+    let s = if finite.len() < 2 {
+        0.0
+    } else {
+        std_dev(&finite)?
+    };
+    Ok((m, s))
+}
+
+/// Lag-`k` sample autocorrelation.
+///
+/// # Errors
+///
+/// - [`SeriesError::TooShort`] if `xs.len() <= k + 1`.
+/// - [`SeriesError::ZeroVariance`] if `xs` is constant.
+pub fn autocorrelation(xs: &[f64], k: usize) -> SeriesResult<f64> {
+    if xs.len() <= k + 1 {
+        return Err(SeriesError::TooShort {
+            required: k + 2,
+            actual: xs.len(),
+        });
+    }
+    let m = mean(xs)?;
+    let denom: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    let num: f64 = xs.windows(k + 1).map(|w| (w[0] - m) * (w[k] - m)).sum();
+    Ok(num / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 4.571428571).abs() < 1e-8);
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_shift_scale_invariant() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [0.3, 2.0, 1.1, 4.0, 1.0];
+        let base = pearson(&x, &y).unwrap();
+        let x2: Vec<f64> = x.iter().map(|v| 3.0 * v + 10.0).collect();
+        assert!((pearson(&x2, &y).unwrap() - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert_eq!(
+            pearson(&[1.0, 2.0], &[1.0]),
+            Err(SeriesError::LengthMismatch { left: 2, right: 1 })
+        );
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[2.0, 3.0]),
+            Err(SeriesError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&xs, 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert!((median(&[4.0, 1.0, 2.0, 3.0]).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_matches_variance() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        assert!((covariance(&xs, &xs).unwrap() - variance(&xs).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_finite_ignores_nan() {
+        let (m, s) = mean_std_finite(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(m, 2.0);
+        assert!(s > 0.0);
+        assert!(mean_std_finite(&[f64::NAN]).is_err());
+        let (m1, s1) = mean_std_finite(&[5.0]).unwrap();
+        assert_eq!((m1, s1), (5.0, 0.0));
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        // Period-4 signal: lag-4 autocorrelation should be strongly positive.
+        let xs: Vec<f64> = (0..64).map(|i| (i % 4) as f64).collect();
+        let r4 = autocorrelation(&xs, 4).unwrap();
+        let r2 = autocorrelation(&xs, 2).unwrap();
+        assert!(r4 > 0.8, "lag-4 acf {r4}");
+        assert!(r4 > r2);
+        assert!(autocorrelation(&[1.0, 1.0, 1.0], 1).is_err());
+    }
+}

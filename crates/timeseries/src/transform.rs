@@ -1,0 +1,190 @@
+//! Element-wise and whole-series transforms.
+//!
+//! Includes the usage↔demand conversion at the heart of the paper's
+//! footnote 2: *"demand series is the product of usage series and the
+//! allocated virtual capacity"*. ATM predicts demand series directly so the
+//! resizing policy can reason in capacity units (GHz, GB).
+
+use crate::error::{SeriesError, SeriesResult};
+use crate::stats;
+
+/// Z-normalizes a series: `(x − mean) / std` (population std).
+///
+/// Commonly applied before DTW so that clusters reflect *shape* rather than
+/// level. Returns the normalized values plus the `(mean, std)` used, so the
+/// transform can be inverted.
+///
+/// # Errors
+///
+/// - [`SeriesError::Empty`] on empty input.
+/// - [`SeriesError::ZeroVariance`] if the series is constant.
+pub fn znorm(xs: &[f64]) -> SeriesResult<(Vec<f64>, f64, f64)> {
+    let (m, s) = stats::mean_std_population(xs)?;
+    if s == 0.0 {
+        return Err(SeriesError::ZeroVariance);
+    }
+    Ok((xs.iter().map(|&x| (x - m) / s).collect(), m, s))
+}
+
+/// Inverts [`znorm`] given the original mean and std.
+pub fn znorm_inverse(zs: &[f64], mean: f64, std: f64) -> Vec<f64> {
+    zs.iter().map(|&z| z * std + mean).collect()
+}
+
+/// First difference: `y[t] = x[t] − x[t−1]`, length `n − 1`.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::TooShort`] for fewer than two observations.
+pub fn diff(xs: &[f64]) -> SeriesResult<Vec<f64>> {
+    if xs.len() < 2 {
+        return Err(SeriesError::TooShort {
+            required: 2,
+            actual: xs.len(),
+        });
+    }
+    Ok(xs.windows(2).map(|w| w[1] - w[0]).collect())
+}
+
+/// Inverts [`diff`] given the first original value.
+pub fn undiff(dys: &[f64], first: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(dys.len() + 1);
+    out.push(first);
+    let mut acc = first;
+    for &d in dys {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+/// Converts a utilization-percent series (0–100) into a demand series in
+/// capacity units, given the allocated virtual capacity.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::InvalidParameter`] if `capacity` is not positive
+/// and finite.
+pub fn usage_to_demand(usage_pct: &[f64], capacity: f64) -> SeriesResult<Vec<f64>> {
+    if !(capacity > 0.0 && capacity.is_finite()) {
+        return Err(SeriesError::InvalidParameter(
+            "capacity must be positive and finite",
+        ));
+    }
+    Ok(usage_pct.iter().map(|&u| u / 100.0 * capacity).collect())
+}
+
+/// Converts a demand series back into utilization percent for a given
+/// allocated capacity.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::InvalidParameter`] if `capacity` is not positive
+/// and finite.
+pub fn demand_to_usage(demand: &[f64], capacity: f64) -> SeriesResult<Vec<f64>> {
+    if !(capacity > 0.0 && capacity.is_finite()) {
+        return Err(SeriesError::InvalidParameter(
+            "capacity must be positive and finite",
+        ));
+    }
+    Ok(demand.iter().map(|&d| d / capacity * 100.0).collect())
+}
+
+/// Clamps every value into `[lo, hi]`.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::InvalidParameter`] if `lo > hi`.
+pub fn clamp(xs: &[f64], lo: f64, hi: f64) -> SeriesResult<Vec<f64>> {
+    if lo > hi {
+        return Err(SeriesError::InvalidParameter("clamp bounds inverted"));
+    }
+    Ok(xs.iter().map(|&x| x.clamp(lo, hi)).collect())
+}
+
+/// Min-max scales a series into `[0, 1]`, returning the values plus the
+/// original `(min, max)` for inversion.
+///
+/// # Errors
+///
+/// - [`SeriesError::Empty`] on empty input.
+/// - [`SeriesError::ZeroVariance`] if all values are equal.
+pub fn minmax_scale(xs: &[f64]) -> SeriesResult<(Vec<f64>, f64, f64)> {
+    if xs.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return Err(SeriesError::ZeroVariance);
+    }
+    Ok((xs.iter().map(|&x| (x - lo) / (hi - lo)).collect(), lo, hi))
+}
+
+/// Inverts [`minmax_scale`].
+pub fn minmax_inverse(zs: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    zs.iter().map(|&z| z * (hi - lo) + lo).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znorm_roundtrip() {
+        let xs = [3.0, 7.0, 11.0, 1.0];
+        let (zs, m, s) = znorm(&xs).unwrap();
+        let mean_z: f64 = zs.iter().sum::<f64>() / zs.len() as f64;
+        assert!(mean_z.abs() < 1e-12);
+        let back = znorm_inverse(&zs, m, s);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(znorm(&[5.0, 5.0]), Err(SeriesError::ZeroVariance));
+        assert!(znorm(&[]).is_err());
+    }
+
+    #[test]
+    fn diff_undiff_roundtrip() {
+        let xs = [1.0, 4.0, 2.0, 8.0];
+        let d = diff(&xs).unwrap();
+        assert_eq!(d, vec![3.0, -2.0, 6.0]);
+        assert_eq!(undiff(&d, xs[0]), xs.to_vec());
+        assert!(diff(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn usage_demand_roundtrip() {
+        let usage = [0.0, 50.0, 100.0];
+        let demand = usage_to_demand(&usage, 8.0).unwrap();
+        assert_eq!(demand, vec![0.0, 4.0, 8.0]);
+        let back = demand_to_usage(&demand, 8.0).unwrap();
+        assert_eq!(back, usage.to_vec());
+        assert!(usage_to_demand(&usage, 0.0).is_err());
+        assert!(usage_to_demand(&usage, f64::NAN).is_err());
+        assert!(demand_to_usage(&demand, -1.0).is_err());
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(
+            clamp(&[-5.0, 50.0, 150.0], 0.0, 100.0).unwrap(),
+            vec![0.0, 50.0, 100.0]
+        );
+        assert!(clamp(&[1.0], 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn minmax_roundtrip() {
+        let xs = [10.0, 20.0, 15.0];
+        let (zs, lo, hi) = minmax_scale(&xs).unwrap();
+        assert_eq!(zs[0], 0.0);
+        assert_eq!(zs[1], 1.0);
+        let back = minmax_inverse(&zs, lo, hi);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(minmax_scale(&[2.0, 2.0]).is_err());
+        assert!(minmax_scale(&[]).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Windowing and resampling utilities.
+//!
+//! Data-center monitors record usage per *ticketing window* (15 minutes in
+//! the paper); the resizing policy operates at a coarser *resizing window*
+//! (one day = 96 ticketing windows). These helpers aggregate raw samples
+//! into windows and extract lagged feature matrices for temporal models.
+
+use crate::error::{SeriesError, SeriesResult};
+
+/// How to aggregate samples that fall into the same window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregation {
+    /// Arithmetic mean of samples in the window (the paper's monitors
+    /// compare *average* usage in each window against the threshold).
+    Mean,
+    /// Maximum sample in the window (conservative aggregation).
+    Max,
+    /// Minimum sample in the window.
+    Min,
+    /// Last sample in the window.
+    Last,
+}
+
+/// Aggregates `xs` into consecutive non-overlapping windows of `size`
+/// samples. A trailing partial window is aggregated as-is.
+///
+/// # Errors
+///
+/// - [`SeriesError::InvalidParameter`] if `size == 0`.
+/// - [`SeriesError::Empty`] if `xs` is empty.
+pub fn downsample(xs: &[f64], size: usize, how: Aggregation) -> SeriesResult<Vec<f64>> {
+    if size == 0 {
+        return Err(SeriesError::InvalidParameter(
+            "window size must be positive",
+        ));
+    }
+    if xs.is_empty() {
+        return Err(SeriesError::Empty);
+    }
+    Ok(xs
+        .chunks(size)
+        .map(|chunk| match how {
+            Aggregation::Mean => chunk.iter().sum::<f64>() / chunk.len() as f64,
+            Aggregation::Max => chunk.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Min => chunk.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregation::Last => *chunk.last().expect("chunks are non-empty"),
+        })
+        .collect())
+}
+
+/// Sliding windows of length `len` with stride 1, as rows of a matrix.
+/// Returns an empty vector when `xs.len() < len`.
+pub fn sliding(xs: &[f64], len: usize) -> Vec<&[f64]> {
+    if len == 0 || xs.len() < len {
+        return Vec::new();
+    }
+    xs.windows(len).collect()
+}
+
+/// Builds a lagged supervised dataset for one-step-ahead prediction:
+/// each row contains `lags` consecutive observations and the target is the
+/// next observation. Returns `(inputs, targets)`.
+///
+/// # Errors
+///
+/// - [`SeriesError::InvalidParameter`] if `lags == 0`.
+/// - [`SeriesError::TooShort`] if `xs.len() <= lags`.
+pub fn lagged_dataset(xs: &[f64], lags: usize) -> SeriesResult<(Vec<Vec<f64>>, Vec<f64>)> {
+    if lags == 0 {
+        return Err(SeriesError::InvalidParameter("lags must be positive"));
+    }
+    if xs.len() <= lags {
+        return Err(SeriesError::TooShort {
+            required: lags + 1,
+            actual: xs.len(),
+        });
+    }
+    let mut inputs = Vec::with_capacity(xs.len() - lags);
+    let mut targets = Vec::with_capacity(xs.len() - lags);
+    for t in lags..xs.len() {
+        inputs.push(xs[t - lags..t].to_vec());
+        targets.push(xs[t]);
+    }
+    Ok((inputs, targets))
+}
+
+/// Moving average with a centered-as-possible trailing window of `size`.
+/// The first `size − 1` outputs average only the available prefix.
+///
+/// # Errors
+///
+/// Returns [`SeriesError::InvalidParameter`] if `size == 0`.
+pub fn moving_average(xs: &[f64], size: usize) -> SeriesResult<Vec<f64>> {
+    if size == 0 {
+        return Err(SeriesError::InvalidParameter(
+            "window size must be positive",
+        ));
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        sum += x;
+        if i >= size {
+            sum -= xs[i - size];
+        }
+        let n = (i + 1).min(size);
+        out.push(sum / n as f64);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_mean() {
+        let xs = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let out = downsample(&xs, 2, Aggregation::Mean).unwrap();
+        assert_eq!(out, vec![2.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn downsample_max_min_last() {
+        let xs = [1.0, 3.0, 2.0, 8.0];
+        assert_eq!(
+            downsample(&xs, 2, Aggregation::Max).unwrap(),
+            vec![3.0, 8.0]
+        );
+        assert_eq!(
+            downsample(&xs, 2, Aggregation::Min).unwrap(),
+            vec![1.0, 2.0]
+        );
+        assert_eq!(
+            downsample(&xs, 2, Aggregation::Last).unwrap(),
+            vec![3.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn downsample_errors() {
+        assert!(downsample(&[1.0], 0, Aggregation::Mean).is_err());
+        assert!(downsample(&[], 2, Aggregation::Mean).is_err());
+    }
+
+    #[test]
+    fn downsample_preserves_total_for_exact_multiple() {
+        let xs: Vec<f64> = (0..96).map(|i| i as f64).collect();
+        let out = downsample(&xs, 4, Aggregation::Mean).unwrap();
+        assert_eq!(out.len(), 24);
+        let total_in: f64 = xs.iter().sum();
+        let total_out: f64 = out.iter().map(|v| v * 4.0).sum();
+        assert!((total_in - total_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_windows() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let w = sliding(&xs, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], &[1.0, 2.0]);
+        assert!(sliding(&xs, 5).is_empty());
+        assert!(sliding(&xs, 0).is_empty());
+    }
+
+    #[test]
+    fn lagged_dataset_shapes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let (inp, tgt) = lagged_dataset(&xs, 2).unwrap();
+        assert_eq!(inp.len(), 3);
+        assert_eq!(tgt, vec![3.0, 4.0, 5.0]);
+        assert_eq!(inp[0], vec![1.0, 2.0]);
+        assert!(lagged_dataset(&xs, 0).is_err());
+        assert!(lagged_dataset(&xs, 5).is_err());
+    }
+
+    #[test]
+    fn moving_average_warmup() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        let out = moving_average(&xs, 2).unwrap();
+        assert_eq!(out, vec![2.0, 3.0, 5.0, 7.0]);
+        assert!(moving_average(&xs, 0).is_err());
+    }
+}

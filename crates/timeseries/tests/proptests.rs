@@ -1,0 +1,138 @@
+//! Property-based tests for the time-series primitives.
+
+use atm_timeseries::{decompose, metrics, stats, transform, window};
+use proptest::prelude::*;
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 2..100)
+}
+
+proptest! {
+    #[test]
+    fn mean_within_bounds(xs in values()) {
+        let m = stats::mean(&xs).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative(xs in values()) {
+        prop_assert!(stats::variance(&xs).unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn pearson_self_is_one(xs in values()) {
+        match stats::pearson(&xs, &xs) {
+            Ok(r) => prop_assert!((r - 1.0).abs() < 1e-9),
+            Err(_) => prop_assert!(xs.iter().all(|&v| v == xs[0])), // constant
+        }
+    }
+
+    #[test]
+    fn spearman_bounded(xs in values(), ys in values()) {
+        let n = xs.len().min(ys.len());
+        if let Ok(r) = stats::spearman(&xs[..n], &ys[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn quantile_within_range_and_monotone(xs in values(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo_p, hi_p) = if a <= b { (a, b) } else { (b, a) };
+        let q_lo = stats::quantile(&xs, lo_p).unwrap();
+        let q_hi = stats::quantile(&xs, hi_p).unwrap();
+        prop_assert!(q_lo <= q_hi + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q_lo >= min && q_hi <= max);
+    }
+
+    #[test]
+    fn znorm_roundtrip(xs in values()) {
+        if let Ok((zs, m, s)) = transform::znorm(&xs) {
+            let back = transform::znorm_inverse(&zs, m, s);
+            for (a, b) in xs.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+            }
+            // Normalized series has ~zero mean, ~unit std.
+            let zm = stats::mean(&zs).unwrap();
+            prop_assert!(zm.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diff_undiff_roundtrip(xs in values()) {
+        let d = transform::diff(&xs).unwrap();
+        let back = transform::undiff(&d, xs[0]);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn usage_demand_roundtrip(xs in prop::collection::vec(0.0f64..100.0, 1..50), cap in 0.1f64..100.0) {
+        let demand = transform::usage_to_demand(&xs, cap).unwrap();
+        let back = transform::demand_to_usage(&demand, cap).unwrap();
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for (&d, &u) in demand.iter().zip(&xs) {
+            prop_assert!(d >= 0.0 && d <= cap * 1.0001);
+            prop_assert!((d - u / 100.0 * cap).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn downsample_mean_preserves_total_on_exact_multiples(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..20),
+        reps in 1usize..6,
+    ) {
+        // Build a series whose length is an exact multiple of `reps`.
+        let series: Vec<f64> = xs.iter().flat_map(|&v| std::iter::repeat_n(v, reps)).collect();
+        let down = window::downsample(&series, reps, window::Aggregation::Mean).unwrap();
+        let total_in: f64 = series.iter().sum();
+        let total_out: f64 = down.iter().map(|v| v * reps as f64).sum();
+        prop_assert!((total_in - total_out).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moving_average_within_bounds(xs in values(), size in 1usize..20) {
+        let ma = window::moving_average(&xs, size).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &ma {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        prop_assert_eq!(ma.len(), xs.len());
+    }
+
+    #[test]
+    fn mape_zero_iff_equal(xs in prop::collection::vec(1.0f64..1e3, 1..50)) {
+        prop_assert_eq!(metrics::mape(&xs, &xs).unwrap(), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|v| v * 1.1).collect();
+        let e = metrics::mape(&xs, &shifted).unwrap();
+        prop_assert!((e - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_at_least_mae(xs in values(), ys in values()) {
+        let n = xs.len().min(ys.len());
+        let rmse = metrics::rmse(&xs[..n], &ys[..n]).unwrap();
+        let mae = metrics::mae(&xs[..n], &ys[..n]).unwrap();
+        prop_assert!(rmse >= mae - 1e-9);
+    }
+
+    #[test]
+    fn seasonal_decomposition_reconstructs(xs in prop::collection::vec(-50.0f64..50.0, 8..80), period in 2usize..4) {
+        if xs.len() >= 2 * period {
+            let d = decompose::seasonal_decompose(&xs, period).unwrap();
+            for (t, &x) in xs.iter().enumerate() {
+                let rebuilt = d.fitted(t) + d.residual[t];
+                prop_assert!((rebuilt - x).abs() < 1e-6);
+            }
+            let strength = d.seasonal_strength();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&strength));
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The fleet generator: composes the temporal building blocks of
+//! [`profile`](crate::profile) into per-box families of correlated CPU/RAM
+//! utilization series.
+//!
+//! ## Statistical model
+//!
+//! Per box, a *shared latent load factor* `S(t)` (diurnal + AR(1) noise)
+//! drives a subset of the co-located VMs — the source of the paper's
+//! spatial dependency. Each VM `i` mixes the shared factor with its own
+//! individual factor `I_i(t)` according to a loading weight `w_i`:
+//!
+//! ```text
+//! driver_i(t) = w_i · S(t) + (1 − w_i) · I_i(t)
+//! cpu_i(t)    = clamp(base_i + amp_i · driver_i(t) + burst_i(t) + ε, 0, 100)
+//! ram_i(t)    = clamp(rbase_i + ramp_i · (κ · driver_i(t) + (1 − κ) · R_i(t)) + ε, 0, 100)
+//! ```
+//!
+//! The within-VM coupling `κ` produces the strong inter-pair CPU↔RAM
+//! correlation of paper Fig. 3; hot "culprit" VMs (elevated `base`/`amp`)
+//! produce the ticket skew of Fig. 2c; RAM parameters are chosen lower so
+//! RAM tickets are rarer than CPU tickets (Fig. 2a).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{diurnal, weekly, Ar1Noise, BurstProcess};
+use crate::trace::{BoxTrace, FleetTrace, VmTrace};
+
+/// Configuration for synthetic fleet generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of physical boxes (paper trace: 6K).
+    pub num_boxes: usize,
+    /// Trace length in days (paper trace: 7).
+    pub days: usize,
+    /// Sampling interval in minutes (paper: 15).
+    pub interval_minutes: u32,
+    /// Master seed; everything is deterministic given this.
+    pub seed: u64,
+    /// Inclusive range of VMs per box (paper: ~10 on average).
+    pub vm_count_range: (usize, usize),
+    /// Probability that a VM loads strongly on the box's shared factor.
+    pub shared_loading_probability: f64,
+    /// Within-VM CPU↔RAM coupling κ (drives inter-pair correlation).
+    pub pair_coupling: f64,
+    /// Probability that a box has gaps in its trace.
+    pub gap_probability: f64,
+    /// Weekend load damping factor in `(0, 1]`.
+    pub weekend_level: f64,
+    /// Distribution of hot (culprit) CPU VMs per box:
+    /// `[P(0 hot), P(1 hot), P(2 hot)]`; must sum to 1.
+    pub hot_cpu_vm_probabilities: [f64; 3],
+    /// Probability that a hot VM is also hot on RAM.
+    pub hot_ram_probability: f64,
+    /// Standard deviation of per-sample measurement noise (percent points).
+    pub noise_sigma: f64,
+    /// Usage clamp for hot (culprit) VMs' CPU, in percent. Values above
+    /// 100 model bursting beyond the allocated virtual capacity, which
+    /// VMware reports for CPU; this is what makes the "stingy"
+    /// peak-demand allocation an *increase* for culprit VMs.
+    pub hot_cpu_max_usage_pct: f64,
+    /// Usage clamp for hot VMs' RAM, in percent.
+    pub hot_ram_max_usage_pct: f64,
+    /// Per-window probability that a transient burst starts.
+    pub burst_start_probability: f64,
+    /// Burst amplitude as a multiple of the VM's high watermark
+    /// (`base + amp`), sampled uniformly from this range. Relative bursts
+    /// keep small VMs' transients below the ticket threshold while still
+    /// making every VM's peak heavy-tailed.
+    pub burst_amplitude_range: (f64, f64),
+    /// Per-window probability of a single-window spike that multiplies
+    /// the current load level. Production 15-minute VM traces are heavy
+    /// tailed: a VM's daily peak typically sits far above its typical
+    /// load, which is what makes peak-based ("stingy") allocation
+    /// tolerable in practice.
+    pub spike_probability: f64,
+    /// Spike magnitude as a multiple of the momentary load (sampled
+    /// uniformly from this range and *added*, so 1.0 doubles the load).
+    pub spike_factor_range: (f64, f64),
+    /// Factor range for the guaranteed twice-daily spikes, as a multiple
+    /// of each VM's high watermark; set the upper bound to 0 to disable
+    /// them entirely (smooth traces).
+    pub daily_spike_factor_range: (f64, f64),
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            num_boxes: 100,
+            days: 7,
+            interval_minutes: 15,
+            seed: 0xA7A7_2016,
+            vm_count_range: (4, 16),
+            shared_loading_probability: 0.45,
+            pair_coupling: 0.78,
+            gap_probability: 0.35,
+            weekend_level: 0.6,
+            hot_cpu_vm_probabilities: [0.3, 0.45, 0.25],
+            hot_ram_probability: 0.55,
+            noise_sigma: 2.5,
+            hot_cpu_max_usage_pct: 130.0,
+            hot_ram_max_usage_pct: 115.0,
+            burst_start_probability: 0.002,
+            burst_amplitude_range: (0.6, 1.2),
+            spike_probability: 0.015,
+            spike_factor_range: (0.6, 1.4),
+            daily_spike_factor_range: (1.2, 2.0),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The paper-shaped fleet: 7 days at 15-minute sampling with gaps —
+    /// the trace shape of the IBM study (scaled to `num_boxes`).
+    pub fn paper(num_boxes: usize) -> Self {
+        FleetConfig {
+            num_boxes,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A gap-free evaluation fleet (the paper's "400 boxes which have no
+    /// gaps"): 7 days, no monitoring outages.
+    pub fn gap_free(num_boxes: usize) -> Self {
+        FleetConfig {
+            num_boxes,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A smooth fleet: no bursts or spikes — useful for isolating the
+    /// clustering/prediction machinery from heavy-tail effects.
+    pub fn smooth(num_boxes: usize) -> Self {
+        FleetConfig {
+            num_boxes,
+            gap_probability: 0.0,
+            burst_start_probability: 0.0,
+            spike_probability: 0.0,
+            spike_factor_range: (0.0, 0.0),
+            daily_spike_factor_range: (0.0, 0.0),
+            noise_sigma: 1.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// A hot, overcommitted fleet: every box carries two culprit VMs and
+    /// runs its capacity factor at the low end — the stress case for the
+    /// resizing baselines.
+    pub fn overcommitted(num_boxes: usize) -> Self {
+        FleetConfig {
+            num_boxes,
+            gap_probability: 0.0,
+            hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+            hot_ram_probability: 0.8,
+            ..FleetConfig::default()
+        }
+    }
+
+    /// Ticketing windows per day implied by the sampling interval.
+    pub fn windows_per_day(&self) -> usize {
+        (24 * 60 / self.interval_minutes) as usize
+    }
+
+    /// Total ticketing windows in the trace.
+    pub fn total_windows(&self) -> usize {
+        self.windows_per_day() * self.days
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on invalid parameters; the
+    /// generator calls this before generating.
+    pub fn validate(&self) {
+        assert!(self.num_boxes > 0, "num_boxes must be positive");
+        assert!(self.days > 0, "days must be positive");
+        assert!(
+            self.interval_minutes > 0 && 24 * 60 % self.interval_minutes == 0,
+            "interval must divide a day"
+        );
+        assert!(
+            self.vm_count_range.0 >= 1 && self.vm_count_range.0 <= self.vm_count_range.1,
+            "invalid vm count range"
+        );
+        assert!((0.0..=1.0).contains(&self.shared_loading_probability));
+        assert!((0.0..=1.0).contains(&self.pair_coupling));
+        assert!((0.0..=1.0).contains(&self.gap_probability));
+        assert!(self.weekend_level > 0.0 && self.weekend_level <= 1.0);
+        let p_sum: f64 = self.hot_cpu_vm_probabilities.iter().sum();
+        assert!(
+            (p_sum - 1.0).abs() < 1e-9,
+            "hot VM probabilities must sum to 1"
+        );
+        assert!((0.0..=1.0).contains(&self.hot_ram_probability));
+        assert!(self.noise_sigma >= 0.0);
+        assert!(
+            self.hot_cpu_max_usage_pct >= 100.0,
+            "hot CPU clamp below 100%"
+        );
+        assert!(
+            self.hot_ram_max_usage_pct >= 100.0,
+            "hot RAM clamp below 100%"
+        );
+        assert!((0.0..=1.0).contains(&self.burst_start_probability));
+        assert!(
+            self.burst_amplitude_range.0 >= 0.0
+                && self.burst_amplitude_range.0 <= self.burst_amplitude_range.1,
+            "invalid burst amplitude range"
+        );
+        assert!((0.0..=1.0).contains(&self.spike_probability));
+        assert!(
+            self.spike_factor_range.0 >= 0.0
+                && self.spike_factor_range.0 <= self.spike_factor_range.1,
+            "invalid spike factor range"
+        );
+        assert!(
+            self.daily_spike_factor_range.0 >= 0.0
+                && self.daily_spike_factor_range.0 <= self.daily_spike_factor_range.1,
+            "invalid daily spike factor range"
+        );
+    }
+}
+
+/// splitmix64 — used to derive independent per-box seeds from the master.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Generates the entire fleet described by `config`.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FleetConfig::validate`].
+pub fn generate_fleet(config: &FleetConfig) -> FleetTrace {
+    config.validate();
+    let boxes = (0..config.num_boxes)
+        .map(|b| generate_box(config, b))
+        .collect();
+    FleetTrace { boxes }
+}
+
+/// Generates a single box (deterministic in `config.seed` and
+/// `box_index`), so large fleets can be produced incrementally or in
+/// parallel by the caller.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FleetConfig::validate`].
+pub fn generate_box(config: &FleetConfig, box_index: usize) -> BoxTrace {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(mix_seed(config.seed, box_index as u64));
+    let windows = config.total_windows();
+    let wpd = config.windows_per_day();
+
+    let vm_count = rng.gen_range(config.vm_count_range.0..=config.vm_count_range.1);
+
+    // Shared latent factor for this box, in roughly [0, 1].
+    let box_phase: f64 = rng.gen_range(-0.1..0.1);
+    let mut shared_noise = Ar1Noise::new(0.85, 0.05);
+    let shared: Vec<f64> = (0..windows)
+        .map(|t| {
+            let base = diurnal(t, wpd, box_phase) * weekly(t, wpd, config.weekend_level);
+            (base + shared_noise.next(&mut rng)).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    // Pick hot (culprit) CPU VMs.
+    let hot_cpu_count = {
+        let u: f64 = rng.gen();
+        let p = config.hot_cpu_vm_probabilities;
+        if u < p[0] {
+            0
+        } else if u < p[0] + p[1] {
+            1
+        } else {
+            2
+        }
+    }
+    .min(vm_count);
+    // The first `hot_cpu_count` VM slots are hot; VM order carries no
+    // meaning, so this is equivalent to random placement.
+
+    let noise = Normal::new(0.0, config.noise_sigma.max(1e-12)).expect("valid normal");
+
+    // Guaranteed spike windows, shared by all co-located VMs (box-wide
+    // cron jobs, backups, log rotation): they make every VM-day's peak
+    // sit well above its typical load — the heavy tail of production
+    // 15-minute traces — while keeping co-located series correlated.
+    // Two per day, one in each half-day, so a monitoring gap cannot
+    // erase a whole day's peak.
+    let daily_spikes: Vec<usize> = (0..config.days)
+        .flat_map(|d| {
+            let half = (wpd / 2).max(1);
+            [
+                d * wpd + rng.gen_range(0..half),
+                d * wpd + half + rng.gen_range(0..wpd - half),
+            ]
+        })
+        .collect();
+
+    let mut vms = Vec::with_capacity(vm_count);
+    for v in 0..vm_count {
+        let hot_cpu = v < hot_cpu_count;
+        let hot_ram = hot_cpu && rng.gen::<f64>() < config.hot_ram_probability;
+
+        // Heterogeneous virtual capacities; culprit VMs skew large (big
+        // production VMs are the usual ticket sources).
+        let cpu_capacity_ghz = if hot_cpu {
+            rng.gen_range(5.0..8.0_f64)
+        } else {
+            rng.gen_range(1.0..6.0_f64)
+        };
+        let ram_capacity_gb = (2.0_f64).powi(rng.gen_range(1..6)); // 2..32 GB
+
+        // Loading on the shared factor.
+        let w = if rng.gen::<f64>() < config.shared_loading_probability {
+            rng.gen_range(0.65..0.95)
+        } else {
+            rng.gen_range(0.0..0.25)
+        };
+
+        // CPU level parameters.
+        let (cpu_base, cpu_amp) = if hot_cpu {
+            (rng.gen_range(30.0..45.0), rng.gen_range(35.0..55.0))
+        } else {
+            (rng.gen_range(3.0..8.0), rng.gen_range(5.0..10.0))
+        };
+        // RAM sits higher at rest but varies less (over-provisioned).
+        let (ram_base, ram_amp) = if hot_ram {
+            (rng.gen_range(35.0..50.0), rng.gen_range(25.0..40.0))
+        } else {
+            (rng.gen_range(6.0..12.0), rng.gen_range(3.0..7.0))
+        };
+
+        // Individual factors.
+        let own_phase: f64 = rng.gen_range(-0.3..0.3);
+        let mut own_noise = Ar1Noise::new(0.8, 0.08);
+        let mut ram_slow = Ar1Noise::new(0.95, 0.03);
+        let mut burst = BurstProcess::new(
+            config.burst_start_probability,
+            0.7,
+            rng.gen_range(config.burst_amplitude_range.0..=config.burst_amplitude_range.1)
+                * (cpu_base + cpu_amp),
+        );
+        let kappa = config.pair_coupling;
+
+        let cpu_clamp = if hot_cpu {
+            config.hot_cpu_max_usage_pct
+        } else {
+            100.0
+        };
+        let ram_clamp = if hot_ram {
+            config.hot_ram_max_usage_pct
+        } else {
+            100.0
+        };
+        // VMs that follow the box's shared load run its jobs in lockstep;
+        // loosely coupled VMs run them with a small stagger. This keeps
+        // every VM's peaks heavy-tailed while preserving the strong
+        // correlation of tightly coupled co-located series (paper Fig. 1).
+        let vm_spikes: Vec<usize> = daily_spikes
+            .iter()
+            .map(|&win| {
+                let jitter = if w > 0.5 { 0 } else { rng.gen_range(-2i64..=2) };
+                (win as i64 + jitter).clamp(0, windows as i64 - 1) as usize
+            })
+            .collect();
+        let mut cpu_usage = Vec::with_capacity(windows);
+        let mut ram_usage = Vec::with_capacity(windows);
+        for (t, &s) in shared.iter().enumerate() {
+            let own = (diurnal(t, wpd, own_phase) * weekly(t, wpd, config.weekend_level)
+                + own_noise.next(&mut rng))
+            .clamp(0.0, 1.0);
+            let driver = w * s + (1.0 - w) * own;
+            let mut cpu =
+                cpu_base + cpu_amp * driver + burst.next(&mut rng) + noise.sample(&mut rng);
+            let mut ram_floor = 0.0;
+            if config.daily_spike_factor_range.1 > 0.0 && vm_spikes.contains(&t) {
+                // The guaranteed daily spike lifts the VM to a multiple of
+                // its high watermark regardless of when it fires (cron
+                // jobs, backups): production 15-minute traces have daily
+                // peaks far above typical load, which is what makes
+                // peak-demand ("stingy") allocation workable in practice.
+                let f = rng.gen_range(
+                    config.daily_spike_factor_range.0..=config.daily_spike_factor_range.1,
+                );
+                cpu = cpu.max((1.0 + f) * (cpu_base + cpu_amp));
+                ram_floor = (1.0 + f) * (ram_base + ram_amp);
+            } else if rng.gen::<f64>() < config.spike_probability {
+                let f = rng.gen_range(config.spike_factor_range.0..=config.spike_factor_range.1);
+                cpu += cpu.max(0.0) * f;
+            }
+            let cpu = cpu.clamp(0.0, cpu_clamp);
+            let slow = (0.5 + ram_slow.next(&mut rng)).clamp(0.0, 1.0);
+            let ram_driver = kappa * driver + (1.0 - kappa) * slow;
+            let mut ram = ram_base + ram_amp * ram_driver + noise.sample(&mut rng);
+            ram = ram.max(ram_floor);
+            let ram = ram.clamp(0.0, ram_clamp);
+            cpu_usage.push(cpu);
+            ram_usage.push(ram);
+        }
+
+        vms.push(VmTrace {
+            name: format!("vm{v}"),
+            cpu_capacity_ghz,
+            ram_capacity_gb,
+            cpu_usage,
+            ram_usage,
+        });
+    }
+
+    // Box physical capacity: allocated virtual capacity plus headroom —
+    // "typically data centers are lowly utilized" (paper Section IV-B).
+    let allocated_cpu: f64 = vms.iter().map(|vm| vm.cpu_capacity_ghz).sum();
+    let allocated_ram: f64 = vms.iter().map(|vm| vm.ram_capacity_gb).sum();
+    let cpu_capacity_ghz = allocated_cpu * rng.gen_range(0.85..1.3);
+    let ram_capacity_gb = allocated_ram * rng.gen_range(0.9..1.4);
+
+    let mut box_trace = BoxTrace {
+        name: format!("box{box_index}"),
+        cpu_capacity_ghz,
+        ram_capacity_gb,
+        vms,
+        interval_minutes: config.interval_minutes,
+    };
+
+    // Gap injection: monitoring outages blank all series of the box.
+    if rng.gen::<f64>() < config.gap_probability {
+        inject_gaps(&mut box_trace, &mut rng);
+    }
+
+    box_trace
+}
+
+/// Blanks 1–3 random intervals (up to ~4 hours each) across every series
+/// of the box, emulating a monitoring outage.
+fn inject_gaps(box_trace: &mut BoxTrace, rng: &mut StdRng) {
+    let windows = box_trace.window_count();
+    if windows == 0 {
+        return;
+    }
+    let max_gap = (windows / 12).clamp(1, 8);
+    let gap_count = rng.gen_range(1..=3);
+    for _ in 0..gap_count {
+        let len = rng.gen_range(1..=max_gap);
+        let start = rng.gen_range(0..windows.saturating_sub(len).max(1));
+        for vm in &mut box_trace.vms {
+            for t in start..(start + len).min(windows) {
+                vm.cpu_usage[t] = f64::NAN;
+                vm.ram_usage[t] = f64::NAN;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_timeseries::stats::pearson;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            num_boxes: 30,
+            days: 2,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config();
+        assert_eq!(generate_fleet(&cfg), generate_fleet(&cfg));
+        let other = FleetConfig {
+            seed: 99,
+            ..small_config()
+        };
+        assert_ne!(generate_fleet(&cfg), generate_fleet(&other));
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let cfg = small_config();
+        let fleet = generate_fleet(&cfg);
+        assert_eq!(fleet.boxes.len(), 30);
+        for b in &fleet.boxes {
+            assert!((4..=16).contains(&b.vm_count()));
+            assert_eq!(b.window_count(), 2 * 96);
+            for vm in &b.vms {
+                assert_eq!(vm.cpu_usage.len(), 192);
+                assert_eq!(vm.ram_usage.len(), 192);
+            }
+        }
+    }
+
+    #[test]
+    fn usage_stays_in_percent_range() {
+        let fleet = generate_fleet(&small_config());
+        for b in &fleet.boxes {
+            for vm in &b.vms {
+                for &u in &vm.cpu_usage {
+                    assert!((0.0..=130.0).contains(&u), "CPU usage {u} out of range");
+                }
+                for &u in &vm.ram_usage {
+                    assert!((0.0..=115.0).contains(&u), "RAM usage {u} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_capacity_tracks_allocation() {
+        // Boxes range from mildly overcommitted (capacity below the sum
+        // of virtual allocations) to comfortably provisioned.
+        let fleet = generate_fleet(&small_config());
+        for b in &fleet.boxes {
+            let cpu_ratio = b.cpu_capacity_ghz / b.allocated(crate::Resource::Cpu);
+            let ram_ratio = b.ram_capacity_gb / b.allocated(crate::Resource::Ram);
+            assert!((0.8..=1.35).contains(&cpu_ratio), "cpu ratio {cpu_ratio}");
+            assert!((0.85..=1.45).contains(&ram_ratio), "ram ratio {ram_ratio}");
+        }
+    }
+
+    #[test]
+    fn inter_pair_correlation_is_strong() {
+        // Paper Fig. 3: CPU↔RAM of the same VM has median ρ ≈ 0.62 —
+        // much higher than cross-VM correlations.
+        let fleet = generate_fleet(&small_config());
+        let mut pair_rhos = Vec::new();
+        for b in &fleet.boxes {
+            for vm in &b.vms {
+                if let Ok(r) = pearson(&vm.cpu_usage, &vm.ram_usage) {
+                    pair_rhos.push(r);
+                }
+            }
+        }
+        let median = atm_timeseries::stats::median(&pair_rhos).unwrap();
+        assert!(median > 0.45, "inter-pair median {median} too weak");
+    }
+
+    #[test]
+    fn shared_factor_creates_cross_vm_correlation() {
+        // Some co-located CPU pairs must be strongly correlated (the
+        // Fig. 1 phenomenon) while the typical pair is only mildly so.
+        let fleet = generate_fleet(&small_config());
+        let mut high_pairs = 0usize;
+        let mut all_rhos = Vec::new();
+        for b in &fleet.boxes {
+            for i in 0..b.vm_count() {
+                for j in i + 1..b.vm_count() {
+                    if let Ok(r) = pearson(&b.vms[i].cpu_usage, &b.vms[j].cpu_usage) {
+                        all_rhos.push(r);
+                        if r > 0.7 {
+                            high_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(high_pairs > 10, "no strongly correlated co-located pairs");
+        let median = atm_timeseries::stats::median(&all_rhos).unwrap();
+        assert!(
+            median < 0.6,
+            "typical intra-CPU correlation too high: {median}"
+        );
+        assert!(
+            median > 0.0,
+            "typical intra-CPU correlation negative: {median}"
+        );
+    }
+
+    #[test]
+    fn hot_vms_create_ticket_skew() {
+        let cfg = FleetConfig {
+            num_boxes: 60,
+            days: 1,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        };
+        let fleet = generate_fleet(&cfg);
+        // Count boxes with at least one CPU sample above 60%.
+        let boxes_with_cpu_violations = fleet
+            .boxes
+            .iter()
+            .filter(|b| {
+                b.vms
+                    .iter()
+                    .any(|vm| vm.cpu_usage.iter().any(|&u| u > 60.0))
+            })
+            .count();
+        let frac = boxes_with_cpu_violations as f64 / fleet.boxes.len() as f64;
+        assert!(
+            (0.35..=0.95).contains(&frac),
+            "fraction of boxes with CPU violations {frac} implausible"
+        );
+        // RAM violations must be rarer than CPU violations (Fig. 2a).
+        let boxes_with_ram_violations = fleet
+            .boxes
+            .iter()
+            .filter(|b| {
+                b.vms
+                    .iter()
+                    .any(|vm| vm.ram_usage.iter().any(|&u| u > 60.0))
+            })
+            .count();
+        assert!(boxes_with_ram_violations <= boxes_with_cpu_violations);
+    }
+
+    #[test]
+    fn gaps_injected_when_enabled() {
+        let cfg = FleetConfig {
+            num_boxes: 40,
+            days: 1,
+            gap_probability: 0.8,
+            ..FleetConfig::default()
+        };
+        let fleet = generate_fleet(&cfg);
+        let gap_free = fleet.gap_free_boxes().len();
+        assert!(gap_free < 40, "no gaps injected");
+        assert!(gap_free > 0, "every box has gaps at p=0.8");
+    }
+
+    #[test]
+    fn windows_per_day() {
+        assert_eq!(small_config().windows_per_day(), 96);
+        let hourly = FleetConfig {
+            interval_minutes: 60,
+            ..small_config()
+        };
+        assert_eq!(hourly.windows_per_day(), 24);
+        assert_eq!(hourly.total_windows(), 48);
+    }
+
+    #[test]
+    fn presets_are_valid_and_distinct() {
+        for cfg in [
+            FleetConfig::paper(5),
+            FleetConfig::gap_free(5),
+            FleetConfig::smooth(5),
+            FleetConfig::overcommitted(5),
+        ] {
+            cfg.validate();
+            assert_eq!(cfg.num_boxes, 5);
+        }
+        assert_eq!(FleetConfig::gap_free(3).gap_probability, 0.0);
+        assert_eq!(FleetConfig::smooth(3).burst_start_probability, 0.0);
+        // A smooth fleet really is smooth: peaks sit close to p90.
+        let fleet = generate_fleet(&FleetConfig {
+            days: 1,
+            ..FleetConfig::smooth(4)
+        });
+        for b in &fleet.boxes {
+            for vm in &b.vms {
+                let mut sorted = vm.cpu_usage.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let p90 = sorted[(sorted.len() as f64 * 0.9) as usize];
+                let peak = sorted[sorted.len() - 1];
+                assert!(peak <= p90 * 1.6 + 5.0, "smooth peak {peak} vs p90 {p90}");
+            }
+        }
+        // The overcommitted fleet always has hot VMs.
+        let hot = generate_fleet(&FleetConfig {
+            days: 1,
+            ..FleetConfig::overcommitted(4)
+        });
+        for b in &hot.boxes {
+            assert!(
+                b.vms
+                    .iter()
+                    .any(|vm| vm.cpu_usage.iter().any(|&u| u > 60.0)),
+                "overcommitted box without hot usage"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_boxes must be positive")]
+    fn zero_boxes_rejected() {
+        generate_fleet(&FleetConfig {
+            num_boxes: 0,
+            ..FleetConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must divide a day")]
+    fn bad_interval_rejected() {
+        generate_fleet(&FleetConfig {
+            interval_minutes: 7,
+            num_boxes: 1,
+            ..FleetConfig::default()
+        });
+    }
+}

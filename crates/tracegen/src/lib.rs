@@ -1,0 +1,52 @@
+//! # atm-tracegen
+//!
+//! Synthetic data-center trace generation — the reproduction's substitute
+//! for the paper's production trace (IBM data centers: ~6K physical boxes,
+//! 80K+ VMs, CPU and RAM utilization at 15-minute granularity over 7 days).
+//!
+//! The original trace is proprietary, so this crate generates a fleet whose
+//! *statistical properties* match what the paper's analysis depends on:
+//!
+//! - **high consolidation**: ~10 VMs per box on average, heterogeneous VM
+//!   and box capacities;
+//! - **temporal structure**: diurnal (and weekly) seasonality plus AR(1)
+//!   noise and transient bursts;
+//! - **spatial dependency** (paper Fig. 3): a per-box shared latent load
+//!   factor that a subset of co-located VMs follow, yielding intra-CPU and
+//!   intra-RAM correlations with medians near 0.26/0.24, and strong
+//!   CPU↔RAM coupling within each VM (inter-pair median near 0.62);
+//! - **ticket skew** (paper Fig. 2c): one to two "culprit" VMs per box run
+//!   hot and cause the majority of usage tickets;
+//! - **RAM over-provisioning**: RAM utilization sits lower than CPU, so RAM
+//!   tickets are rarer (paper Fig. 2a);
+//! - **trace gaps**: optional per-box gaps (`NaN` samples) mirroring the
+//!   paper's observation that only 400 of the boxes were gap-free.
+//!
+//! All generation is deterministic given [`FleetConfig::seed`]. Real
+//! monitoring exports can be loaded instead of generating: see [`io`]
+//! for the JSON and CSV interchange formats.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_tracegen::{FleetConfig, generate_fleet};
+//!
+//! let config = FleetConfig { num_boxes: 3, days: 1, ..FleetConfig::default() };
+//! let fleet = generate_fleet(&config);
+//! assert_eq!(fleet.boxes.len(), 3);
+//! let first = &fleet.boxes[0];
+//! assert_eq!(first.vms[0].cpu_usage.len(), 96); // 1 day at 15 min
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod io;
+pub mod profile;
+mod resource;
+mod trace;
+
+pub use generator::{generate_box, generate_fleet, FleetConfig};
+pub use resource::Resource;
+pub use trace::{BoxTrace, FleetTrace, SeriesKey, VmTrace};

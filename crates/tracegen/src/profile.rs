@@ -1,0 +1,185 @@
+//! Temporal building blocks for synthetic load: diurnal/weekly profiles,
+//! AR(1) noise, and transient burst processes.
+//!
+//! These are composed by the [generator](crate::generate_fleet) into
+//! per-VM utilization series with the temporal patterns the paper observes
+//! in production traces (strong daily seasonality, bursty transients).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A smooth diurnal profile in `[0, 1]`: low at night, peaking during
+/// business hours, with a configurable phase shift in windows.
+///
+/// `windows_per_day` is 96 for 15-minute sampling.
+pub fn diurnal(t: usize, windows_per_day: usize, phase_shift: f64) -> f64 {
+    let day_pos = (t % windows_per_day) as f64 / windows_per_day as f64;
+    let phase = 2.0 * std::f64::consts::PI * (day_pos + phase_shift);
+    // Two harmonics give a realistic asymmetric business-hours bump.
+    let raw = 0.5 - 0.4 * phase.cos() - 0.15 * (2.0 * phase).cos();
+    raw.clamp(0.0, 1.0)
+}
+
+/// A weekly modulation factor in `[weekend_level, 1]`: weekdays at 1.0,
+/// weekends damped. `t` counts windows from the start of a Monday.
+pub fn weekly(t: usize, windows_per_day: usize, weekend_level: f64) -> f64 {
+    let day = (t / windows_per_day) % 7;
+    if day >= 5 {
+        weekend_level
+    } else {
+        1.0
+    }
+}
+
+/// Stateful AR(1) noise process `x[t] = φ·x[t−1] + ε`, ε ~ N(0, σ²),
+/// producing the short-range temporal correlation seen in usage traces.
+#[derive(Debug)]
+pub struct Ar1Noise {
+    phi: f64,
+    normal: Normal<f64>,
+    state: f64,
+}
+
+impl Ar1Noise {
+    /// Creates the process with persistence `phi ∈ [0, 1)` and innovation
+    /// standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is outside `[0, 1)` or `sigma` is negative/non-finite.
+    pub fn new(phi: f64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&phi), "phi must be in [0, 1)");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        Ar1Noise {
+            phi,
+            normal: Normal::new(0.0, sigma.max(1e-12)).expect("valid normal"),
+            state: 0.0,
+        }
+    }
+
+    /// Advances the process one step and returns the new value.
+    pub fn next(&mut self, rng: &mut StdRng) -> f64 {
+        self.state = self.phi * self.state + self.normal.sample(rng);
+        self.state
+    }
+}
+
+/// Stateful transient-burst process: bursts start with a small per-window
+/// probability, last a geometric number of windows, and add a fixed
+/// amplitude while active. Models the "transient load dynamics" that
+/// trigger spurious tickets.
+#[derive(Debug)]
+pub struct BurstProcess {
+    start_probability: f64,
+    continue_probability: f64,
+    amplitude: f64,
+    active: bool,
+}
+
+impl BurstProcess {
+    /// Creates a burst process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are outside `[0, 1]`.
+    pub fn new(start_probability: f64, continue_probability: f64, amplitude: f64) -> Self {
+        assert!((0.0..=1.0).contains(&start_probability));
+        assert!((0.0..=1.0).contains(&continue_probability));
+        BurstProcess {
+            start_probability,
+            continue_probability,
+            amplitude,
+            active: false,
+        }
+    }
+
+    /// Advances one window; returns the burst contribution (0 or amplitude).
+    pub fn next(&mut self, rng: &mut StdRng) -> f64 {
+        if self.active {
+            if rng.gen::<f64>() >= self.continue_probability {
+                self.active = false;
+            }
+        } else if rng.gen::<f64>() < self.start_probability {
+            self.active = true;
+        }
+        if self.active {
+            self.amplitude
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_in_unit_range_and_periodic() {
+        for t in 0..96 * 3 {
+            let v = diurnal(t, 96, 0.0);
+            assert!((0.0..=1.0).contains(&v), "t={t}: {v}");
+            assert_eq!(v, diurnal(t + 96, 96, 0.0));
+        }
+        // Peak is higher than trough.
+        let night = diurnal(0, 96, 0.0);
+        let midday = diurnal(48, 96, 0.0);
+        assert!(midday > night + 0.3);
+    }
+
+    #[test]
+    fn phase_shift_moves_peak() {
+        // A half-day shift swaps day and night levels.
+        let a = diurnal(0, 96, 0.0);
+        let b = diurnal(0, 96, 0.5);
+        assert!((b - diurnal(48, 96, 0.0)).abs() < 1e-12);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn weekly_damps_weekends() {
+        let wpd = 96;
+        assert_eq!(weekly(0, wpd, 0.5), 1.0); // Monday
+        assert_eq!(weekly(4 * wpd, wpd, 0.5), 1.0); // Friday
+        assert_eq!(weekly(5 * wpd, wpd, 0.5), 0.5); // Saturday
+        assert_eq!(weekly(6 * wpd + 10, wpd, 0.5), 0.5); // Sunday
+    }
+
+    #[test]
+    fn ar1_is_stationary_and_correlated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Ar1Noise::new(0.9, 1.0);
+        let xs: Vec<f64> = (0..5000).map(|_| p.next(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.5, "AR(1) mean {mean}");
+        let rho = atm_timeseries::stats::autocorrelation(&xs, 1).unwrap();
+        assert!(rho > 0.8, "lag-1 autocorrelation {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must be in [0, 1)")]
+    fn ar1_rejects_bad_phi() {
+        Ar1Noise::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn bursts_occur_and_end() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = BurstProcess::new(0.05, 0.8, 30.0);
+        let xs: Vec<f64> = (0..2000).map(|_| b.next(&mut rng)).collect();
+        let active = xs.iter().filter(|&&v| v > 0.0).count();
+        assert!(active > 0, "no bursts in 2000 windows");
+        assert!(active < 2000, "burst never ended");
+        // All contributions are 0 or the amplitude.
+        assert!(xs.iter().all(|&v| v == 0.0 || v == 30.0));
+    }
+
+    #[test]
+    fn zero_probability_means_no_bursts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = BurstProcess::new(0.0, 0.9, 30.0);
+        assert!((0..500).all(|_| b.next(&mut rng) == 0.0));
+    }
+}

@@ -1,0 +1,50 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtualized resource type tracked by the monitoring system.
+///
+/// The paper considers two: virtual CPU (measured in GHz) and virtual RAM
+/// (measured in GB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Resource {
+    /// Virtual CPU, capacity in GHz.
+    Cpu,
+    /// Virtual RAM, capacity in GB.
+    Ram,
+}
+
+impl Resource {
+    /// Both resource kinds, in canonical order.
+    pub const ALL: [Resource; 2] = [Resource::Cpu, Resource::Ram];
+
+    /// The capacity unit for this resource.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Resource::Cpu => "GHz",
+            Resource::Ram => "GB",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Cpu => write!(f, "CPU"),
+            Resource::Ram => write!(f, "RAM"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_units() {
+        assert_eq!(Resource::Cpu.to_string(), "CPU");
+        assert_eq!(Resource::Ram.to_string(), "RAM");
+        assert_eq!(Resource::Cpu.unit(), "GHz");
+        assert_eq!(Resource::Ram.unit(), "GB");
+        assert_eq!(Resource::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+use atm_timeseries::SeriesSet;
+use serde::{Deserialize, Serialize};
+
+use crate::resource::Resource;
+
+/// Identifies one usage/demand series within a box: a VM index plus a
+/// resource kind. A box with `M` VMs exposes `M × 2` series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Index of the VM within its box.
+    pub vm: usize,
+    /// Resource kind.
+    pub resource: Resource,
+}
+
+impl SeriesKey {
+    /// Creates a series key.
+    pub fn new(vm: usize, resource: Resource) -> Self {
+        SeriesKey { vm, resource }
+    }
+}
+
+/// One virtual machine's trace: allocated capacities and utilization
+/// series for CPU and RAM.
+///
+/// Utilization is in percent of the *allocated* capacity (0–100, possibly
+/// `NaN` inside trace gaps); demand in capacity units is
+/// `usage/100 × capacity` (paper footnote 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmTrace {
+    /// VM name, unique within its box.
+    pub name: String,
+    /// Allocated virtual CPU capacity in GHz.
+    pub cpu_capacity_ghz: f64,
+    /// Allocated virtual RAM capacity in GB.
+    pub ram_capacity_gb: f64,
+    /// CPU utilization percent per ticketing window.
+    pub cpu_usage: Vec<f64>,
+    /// RAM utilization percent per ticketing window.
+    pub ram_usage: Vec<f64>,
+}
+
+impl VmTrace {
+    /// Utilization series for the given resource.
+    pub fn usage(&self, resource: Resource) -> &[f64] {
+        match resource {
+            Resource::Cpu => &self.cpu_usage,
+            Resource::Ram => &self.ram_usage,
+        }
+    }
+
+    /// Allocated capacity for the given resource.
+    pub fn capacity(&self, resource: Resource) -> f64 {
+        match resource {
+            Resource::Cpu => self.cpu_capacity_ghz,
+            Resource::Ram => self.ram_capacity_gb,
+        }
+    }
+
+    /// Demand series in capacity units: `usage/100 × capacity`.
+    pub fn demand(&self, resource: Resource) -> Vec<f64> {
+        let cap = self.capacity(resource);
+        self.usage(resource)
+            .iter()
+            .map(|&u| u / 100.0 * cap)
+            .collect()
+    }
+
+    /// Whether this VM's trace contains gap samples (`NaN`).
+    pub fn has_gaps(&self) -> bool {
+        self.cpu_usage.iter().any(|v| v.is_nan()) || self.ram_usage.iter().any(|v| v.is_nan())
+    }
+}
+
+/// One physical box: its capacities and the co-located VMs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxTrace {
+    /// Box name, unique within the fleet.
+    pub name: String,
+    /// Total physical CPU capacity in GHz available for virtual allocation.
+    pub cpu_capacity_ghz: f64,
+    /// Total physical RAM capacity in GB available for virtual allocation.
+    pub ram_capacity_gb: f64,
+    /// Co-located virtual machines.
+    pub vms: Vec<VmTrace>,
+    /// Sampling interval of all series, in minutes (15 in the paper).
+    pub interval_minutes: u32,
+}
+
+impl BoxTrace {
+    /// Number of co-located VMs (the paper's `M`).
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of ticketing windows in the trace (`T`); 0 for a box with no
+    /// VMs.
+    pub fn window_count(&self) -> usize {
+        self.vms.first().map_or(0, |vm| vm.cpu_usage.len())
+    }
+
+    /// Total physical capacity for a resource — the `C` in the resizing
+    /// constraint `Σ Cᵢ ≤ C`.
+    pub fn capacity(&self, resource: Resource) -> f64 {
+        match resource {
+            Resource::Cpu => self.cpu_capacity_ghz,
+            Resource::Ram => self.ram_capacity_gb,
+        }
+    }
+
+    /// All `M × N` series keys of this box, VM-major, CPU before RAM.
+    pub fn series_keys(&self) -> Vec<SeriesKey> {
+        let mut keys = Vec::with_capacity(self.vms.len() * Resource::ALL.len());
+        for vm in 0..self.vms.len() {
+            for resource in Resource::ALL {
+                keys.push(SeriesKey::new(vm, resource));
+            }
+        }
+        keys
+    }
+
+    /// The utilization series addressed by a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.vm` is out of range.
+    pub fn usage(&self, key: SeriesKey) -> &[f64] {
+        self.vms[key.vm].usage(key.resource)
+    }
+
+    /// The demand series addressed by a key, in capacity units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.vm` is out of range.
+    pub fn demand(&self, key: SeriesKey) -> Vec<f64> {
+        self.vms[key.vm].demand(key.resource)
+    }
+
+    /// All demand series in `series_keys` order.
+    pub fn demand_matrix(&self) -> Vec<(SeriesKey, Vec<f64>)> {
+        self.series_keys()
+            .into_iter()
+            .map(|k| (k, self.demand(k)))
+            .collect()
+    }
+
+    /// Whether any VM trace on this box contains gaps.
+    pub fn has_gaps(&self) -> bool {
+        self.vms.iter().any(VmTrace::has_gaps)
+    }
+
+    /// The box's demand series as a labeled [`SeriesSet`]
+    /// (`"<vm>/<resource>"` names, `series_keys` order) — the frame shape
+    /// the statistics and clustering crates consume.
+    pub fn to_series_set(&self) -> SeriesSet {
+        let mut set = SeriesSet::new();
+        for key in self.series_keys() {
+            let name = format!("{}/{}", self.vms[key.vm].name, key.resource);
+            // Series within one box are equal-length by construction, so
+            // insertion cannot fail.
+            set.insert(name, self.demand(key)).expect("aligned series");
+        }
+        set
+    }
+
+    /// Sum of currently allocated virtual capacities across VMs.
+    pub fn allocated(&self, resource: Resource) -> f64 {
+        self.vms.iter().map(|vm| vm.capacity(resource)).sum()
+    }
+}
+
+/// An entire fleet of boxes — the unit the characterization and benchmark
+/// sweeps run over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrace {
+    /// All physical boxes.
+    pub boxes: Vec<BoxTrace>,
+}
+
+impl FleetTrace {
+    /// Total number of VMs in the fleet.
+    pub fn vm_count(&self) -> usize {
+        self.boxes.iter().map(BoxTrace::vm_count).sum()
+    }
+
+    /// Boxes whose traces have no gaps — the paper's evaluation subset
+    /// ("400 boxes which have no gaps in their traces").
+    pub fn gap_free_boxes(&self) -> Vec<&BoxTrace> {
+        self.boxes.iter().filter(|b| !b.has_gaps()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_box() -> BoxTrace {
+        BoxTrace {
+            name: "box0".into(),
+            cpu_capacity_ghz: 16.0,
+            ram_capacity_gb: 64.0,
+            vms: vec![
+                VmTrace {
+                    name: "vm0".into(),
+                    cpu_capacity_ghz: 4.0,
+                    ram_capacity_gb: 8.0,
+                    cpu_usage: vec![50.0, 100.0],
+                    ram_usage: vec![25.0, 75.0],
+                },
+                VmTrace {
+                    name: "vm1".into(),
+                    cpu_capacity_ghz: 2.0,
+                    ram_capacity_gb: 16.0,
+                    cpu_usage: vec![10.0, 20.0],
+                    ram_usage: vec![f64::NAN, 40.0],
+                },
+            ],
+            interval_minutes: 15,
+        }
+    }
+
+    #[test]
+    fn demand_is_usage_times_capacity() {
+        let b = sample_box();
+        assert_eq!(b.vms[0].demand(Resource::Cpu), vec![2.0, 4.0]);
+        assert_eq!(b.vms[0].demand(Resource::Ram), vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn series_keys_cover_all_pairs() {
+        let b = sample_box();
+        let keys = b.series_keys();
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys[0], SeriesKey::new(0, Resource::Cpu));
+        assert_eq!(keys[3], SeriesKey::new(1, Resource::Ram));
+        let matrix = b.demand_matrix();
+        assert_eq!(matrix.len(), 4);
+        assert_eq!(matrix[0].1, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn gap_detection() {
+        let b = sample_box();
+        assert!(!b.vms[0].has_gaps());
+        assert!(b.vms[1].has_gaps());
+        assert!(b.has_gaps());
+        let fleet = FleetTrace { boxes: vec![b] };
+        assert!(fleet.gap_free_boxes().is_empty());
+        assert_eq!(fleet.vm_count(), 2);
+    }
+
+    #[test]
+    fn counts_and_capacities() {
+        let b = sample_box();
+        assert_eq!(b.vm_count(), 2);
+        assert_eq!(b.window_count(), 2);
+        assert_eq!(b.capacity(Resource::Cpu), 16.0);
+        assert_eq!(b.allocated(Resource::Cpu), 6.0);
+        assert_eq!(b.allocated(Resource::Ram), 24.0);
+    }
+
+    #[test]
+    fn to_series_set_labels_and_aligns() {
+        let b = sample_box();
+        let set = b.to_series_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.window_count(), 2);
+        assert_eq!(set.get("vm0/CPU").unwrap(), &[2.0, 4.0]);
+        assert_eq!(set.get("vm1/RAM").unwrap()[1], 6.4);
+        assert!(set.get("vm9/CPU").is_none());
+    }
+
+    #[test]
+    fn usage_accessor_by_key() {
+        let b = sample_box();
+        assert_eq!(b.usage(SeriesKey::new(1, Resource::Cpu)), &[10.0, 20.0]);
+    }
+}

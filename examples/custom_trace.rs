@@ -1,0 +1,88 @@
+//! Driving ATM with your own monitoring data instead of the synthetic
+//! generator.
+//!
+//! ```sh
+//! cargo run --release --example custom_trace
+//! ```
+//!
+//! Builds a tiny hand-written trace in the CSV interchange format
+//! (`box,vm,resource,capacity,window,usage_pct` — the shape most
+//! monitoring exports take), loads it, runs ATM, and sketches the box's
+//! tickets-vs-capacity curve for capacity planning.
+
+use atm::core::config::{AtmConfig, TemporalModel};
+use atm::core::pipeline::run_box;
+use atm::core::whatif::capacity_sweep;
+use atm::tracegen::io::fleet_from_csv;
+use atm::tracegen::Resource;
+use std::fmt::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two days at 15-minute sampling for a 3-VM box: a diurnal web VM, a
+    // batch VM with a nightly spike, and a near-idle VM.
+    let windows = 2 * 96;
+    let mut csv = String::from("#box web-box,24.0,96.0,15\n");
+    csv.push_str("box,vm,resource,capacity,window,usage_pct\n");
+    for t in 0..windows {
+        let hour = (t % 96) as f64 / 4.0;
+        let diurnal = 45.0 + 35.0 * ((hour - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+        let batch = if (1.0..3.0).contains(&hour) {
+            85.0
+        } else {
+            8.0
+        };
+        let idle = 4.0 + (t % 7) as f64;
+        for (vm, cap_cpu, cap_ram, cpu) in [
+            ("web", 8.0, 16.0, diurnal),
+            ("batch", 4.0, 32.0, batch),
+            ("idle", 2.0, 8.0, idle),
+        ] {
+            let _ = writeln!(csv, "web-box,{vm},cpu,{cap_cpu},{t},{cpu:.2}");
+            let _ = writeln!(
+                csv,
+                "web-box,{vm},ram,{cap_ram},{t},{:.2}",
+                cpu * 0.6 + 10.0
+            );
+        }
+    }
+
+    let fleet = fleet_from_csv(&csv)?;
+    let b = &fleet.boxes[0];
+    println!(
+        "loaded `{}`: {} VMs x {} windows from CSV",
+        b.name,
+        b.vm_count(),
+        b.window_count()
+    );
+
+    // One day of training, one day of proactive resizing.
+    let config = AtmConfig {
+        temporal: TemporalModel::SeasonalNaive { period: 96 },
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    };
+    let report = run_box(b, &config)?;
+    println!(
+        "\nsignatures: {}/{} series; 1-day APE {:.1}%",
+        report.signature.final_signatures,
+        report.signature.total_series,
+        report.prediction.mape_all * 100.0
+    );
+    for r in &report.resizing {
+        println!(
+            "{}: tickets {} -> {} under ATM resizing",
+            r.resource, r.atm.before, r.atm.after
+        );
+    }
+
+    // Capacity planning: how much CPU would this box need?
+    println!("\ncapacity what-if (CPU, optimal resizing of the last day):");
+    for p in capacity_sweep(b, Resource::Cpu, 60.0, 96, &[0.4, 0.6, 0.8, 1.0, 1.5])? {
+        println!(
+            "  {:>4.1}x capacity ({:>5.1} GHz): {:>3} tickets",
+            p.capacity_factor, p.capacity, p.tickets
+        );
+    }
+    Ok(())
+}

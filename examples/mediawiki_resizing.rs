@@ -1,0 +1,60 @@
+//! The MediaWiki testbed experiment — paper Section V-B (Figs. 11–13).
+//!
+//! ```sh
+//! cargo run --release --example mediawiki_resizing
+//! ```
+//!
+//! Simulates two MediaWiki deployments (wiki-one: 4 Apache, 2 memcached,
+//! 1 MySQL; wiki-two: 2, 1, 1) on three physical nodes under a load
+//! alternating hourly between low and high intensity, then reruns the
+//! same workload with ATM's cgroups-style capacity caps and compares
+//! tickets, response time, and throughput.
+
+use atm::mediawiki::request::Wiki;
+use atm::mediawiki::scenario::{MediaWikiScenario, ScenarioConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ScenarioConfig::default(); // 6 simulated hours
+    let scenario = MediaWikiScenario::new(config);
+    println!("simulating 6 hours of alternating load, original caps...");
+    let comparison = scenario.run_comparison()?;
+
+    let before = &comparison.original;
+    let after = &comparison.resized;
+    println!(
+        "\ntickets (60% threshold): {} -> {}",
+        before.total_tickets(),
+        after.total_tickets()
+    );
+    println!("\nper-VM tickets and ATM caps:");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "vm", "before", "after", "ATM cap"
+    );
+    for (v, name) in before.output.vm_names.iter().enumerate() {
+        println!(
+            "{:<16} {:>8} {:>8} {:>9.2}c",
+            name, before.tickets_per_vm[v], after.tickets_per_vm[v], comparison.resized_caps[v]
+        );
+    }
+
+    println!("\nperformance (paper Fig. 13):");
+    for wiki in Wiki::ALL {
+        let b = before.performance_for(wiki).expect("wiki simulated");
+        let a = after.performance_for(wiki).expect("wiki simulated");
+        println!(
+            "{}: RT {:.0} -> {:.0} ms ({:+.0}%), TPUT {:.1} -> {:.1} req/s ({:+.0}%), \
+             dropped {} -> {}",
+            wiki.name(),
+            b.mean_rt_ms,
+            a.mean_rt_ms,
+            (a.mean_rt_ms / b.mean_rt_ms - 1.0) * 100.0,
+            b.throughput_rps,
+            a.throughput_rps,
+            (a.throughput_rps / b.throughput_rps - 1.0) * 100.0,
+            b.dropped,
+            a.dropped
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Online dynamic workload management — the paper's future-work loop.
+//!
+//! ```sh
+//! cargo run --release --example online_management
+//! ```
+//!
+//! Rolls ATM along a 7-day trace: every day it retrains on the trailing
+//! history (signature search + forecasts), resizes the box for the next
+//! day, and is scored against what actually happened.
+
+use atm::core::config::{AtmConfig, TemporalModel};
+use atm::core::online::run_online;
+use atm::forecast::mlp::MlpConfig;
+use atm::tracegen::{generate_box, FleetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = generate_box(
+        &FleetConfig {
+            num_boxes: 1,
+            days: 7,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        },
+        11,
+    );
+    println!(
+        "box `{}`: {} VMs, 7-day trace; rolling 3-day training, 1-day horizon\n",
+        trace.name,
+        trace.vm_count()
+    );
+
+    let config = AtmConfig {
+        temporal: TemporalModel::Mlp(MlpConfig {
+            epochs: 80,
+            ..MlpConfig::default()
+        }),
+        train_windows: 3 * 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    };
+    let report = run_online(&trace, &config)?;
+
+    println!(
+        "{:>5} {:>10} {:>22} {:>22}",
+        "day", "APE", "CPU tickets (b->a)", "RAM tickets (b->a)"
+    );
+    for w in &report.windows {
+        let cpu = &w.report.resizing[0].atm;
+        let ram = &w.report.resizing[1].atm;
+        println!(
+            "{:>5} {:>9.1}% {:>12} -> {:<7} {:>12} -> {:<7}",
+            w.window + 1,
+            w.report.prediction.mape_all * 100.0,
+            cpu.before,
+            cpu.after,
+            ram.before,
+            ram.after
+        );
+    }
+    println!(
+        "\noverall: {} -> {} tickets ({})",
+        report.total_before(),
+        report.total_after(),
+        report
+            .overall_reduction_pct()
+            .map(|r| format!("{r:.0}% reduction"))
+            .unwrap_or_else(|| "no tickets".into())
+    );
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Signature-set exploration: compare DTW vs CBC clustering and inter-
+//! vs intra-resource spatial models on a fleet (paper Figs. 5–7).
+//!
+//! ```sh
+//! cargo run --release --example signature_explorer
+//! ```
+
+use atm::core::config::{AtmConfig, ClusterMethod, ResourceScope, TemporalModel};
+use atm::core::fleet::run_fleet;
+use atm::tracegen::{generate_fleet, FleetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = generate_fleet(&FleetConfig {
+        num_boxes: 40,
+        days: 2,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    });
+    println!(
+        "fleet: {} boxes, {} VMs\n",
+        fleet.boxes.len(),
+        fleet.vm_count()
+    );
+
+    let base = AtmConfig {
+        temporal: TemporalModel::Oracle, // isolate the spatial models
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    println!("== DTW vs CBC (paper Figs. 5-6) ==");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14}",
+        "method", "clusters", "sig(step1)", "sig(step2)", "spatial APE"
+    );
+    for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+        let config = base.clone().with_cluster_method(method);
+        let report = run_fleet(&fleet.boxes, &config, threads);
+        let mean_clusters: f64 = report
+            .cluster_counts()
+            .iter()
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / report.reports.len().max(1) as f64;
+        println!(
+            "{:<8} {:>10.1} {:>11.0}% {:>11.0}% {:>13.1}%",
+            method.name(),
+            mean_clusters,
+            report.mean_initial_ratio() * 100.0,
+            report.mean_final_ratio() * 100.0,
+            report.mean_spatial_mape() * 100.0
+        );
+    }
+
+    println!("\n== inter- vs intra-resource models (paper Fig. 7) ==");
+    println!("{:<12} {:>12} {:>14}", "scope", "sig ratio", "spatial APE");
+    for (label, scope) in [
+        ("inter", ResourceScope::Inter),
+        ("intra-CPU", ResourceScope::IntraCpu),
+        ("intra-RAM", ResourceScope::IntraRam),
+    ] {
+        let config = base
+            .clone()
+            .with_cluster_method(ClusterMethod::cbc())
+            .with_scope(scope);
+        let report = run_fleet(&fleet.boxes, &config, threads);
+        println!(
+            "{:<12} {:>11.0}% {:>13.1}%",
+            label,
+            report.mean_final_ratio() * 100.0,
+            report.mean_spatial_mape() * 100.0
+        );
+    }
+    println!("\npaper reference: inter-resource models achieve both lower APE and");
+    println!("fewer signatures than intra-CPU / intra-RAM (Fig. 7).");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! # atm — Active Ticket Managing
+//!
+//! A from-scratch Rust reproduction of *"Managing Data Center Tickets:
+//! Prediction and Active Sizing"* (Xue, Birke, Chen, Smirni — DSN 2016).
+//!
+//! ATM reduces data-center *usage tickets* (alerts fired when a VM's CPU
+//! or RAM utilization crosses a threshold) by predicting future resource
+//! demand and proactively resizing co-located VMs:
+//!
+//! 1. a small **signature set** of demand series is found per box via
+//!    time-series clustering (DTW or correlation-based) plus VIF/stepwise
+//!    pruning;
+//! 2. signatures are forecast with a **temporal model** (neural network);
+//!    all other series follow as **linear combinations** of signatures;
+//! 3. predicted demands drive a greedy **multi-choice knapsack** resizer
+//!    that reallocates virtual capacity to minimize tickets.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`timeseries`] | `atm-timeseries` | series, statistics, CDFs, error metrics |
+//! | [`stats`] | `atm-stats` | OLS, VIF, stepwise regression |
+//! | [`clustering`] | `atm-clustering` | DTW, hierarchical, silhouette, CBC |
+//! | [`forecast`] | `atm-forecast` | MLP, AR(p), naive baselines |
+//! | [`tracegen`] | `atm-tracegen` | synthetic data-center fleet generator |
+//! | [`ticketing`] | `atm-ticketing` | ticket policies + characterization |
+//! | [`resize`] | `atm-resize` | MCKP transform, greedy, baselines |
+//! | [`core`] | `atm-core` | signature search, spatial models, pipeline |
+//! | [`mediawiki`] | `atm-mediawiki` | simulated 3-tier testbed |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use atm::core::config::{AtmConfig, TemporalModel};
+//! use atm::core::pipeline::run_box;
+//! use atm::tracegen::{generate_box, FleetConfig};
+//!
+//! // A 3-day trace of one box with ~10 co-located VMs.
+//! let trace = generate_box(
+//!     &FleetConfig { num_boxes: 1, days: 3, gap_probability: 0.0,
+//!                    ..FleetConfig::default() },
+//!     0,
+//! );
+//! // Run ATM: 2 days of training, 1 day of proactive resizing.
+//! let config = AtmConfig {
+//!     temporal: TemporalModel::Oracle, // plug any forecaster here
+//!     ..AtmConfig::fast_for_tests()
+//! };
+//! let report = run_box(&trace, &config)?;
+//! println!(
+//!     "signatures: {}/{} series, CPU tickets {} -> {}",
+//!     report.signature.final_signatures,
+//!     report.signature.total_series,
+//!     report.resizing[0].atm.before,
+//!     report.resizing[0].atm.after,
+//! );
+//! # Ok::<(), atm::core::AtmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atm_clustering as clustering;
+pub use atm_core as core;
+pub use atm_forecast as forecast;
+pub use atm_mediawiki as mediawiki;
+pub use atm_resize as resize;
+pub use atm_stats as stats;
+pub use atm_ticketing as ticketing;
+pub use atm_timeseries as timeseries;
+pub use atm_tracegen as tracegen;

@@ -1,0 +1,205 @@
+//! Edge-case integration tests: degenerate boxes, trace I/O round trips
+//! through the pipeline, and configuration extremes.
+
+use atm::core::config::{AtmConfig, ClusterMethod, TemporalModel};
+use atm::core::pipeline::run_box;
+use atm::tracegen::io::{fleet_from_csv, fleet_from_json, fleet_to_csv, fleet_to_json};
+use atm::tracegen::{generate_fleet, BoxTrace, FleetConfig, FleetTrace, VmTrace};
+
+fn oracle_config() -> AtmConfig {
+    AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::fast_for_tests()
+    }
+}
+
+fn vm(name: &str, cpu: Vec<f64>, ram: Vec<f64>) -> VmTrace {
+    VmTrace {
+        name: name.into(),
+        cpu_capacity_ghz: 4.0,
+        ram_capacity_gb: 8.0,
+        cpu_usage: cpu,
+        ram_usage: ram,
+    }
+}
+
+fn one_box(vms: Vec<VmTrace>) -> BoxTrace {
+    BoxTrace {
+        name: "edge".into(),
+        cpu_capacity_ghz: 40.0,
+        ram_capacity_gb: 80.0,
+        vms,
+        interval_minutes: 15,
+    }
+}
+
+/// A single-VM box still runs end-to-end: both its series become
+/// signatures (or one signature + one dependent).
+#[test]
+fn single_vm_box() {
+    let n = 192;
+    let cpu: Vec<f64> = (0..n)
+        .map(|t| 30.0 + 20.0 * (t as f64 * 0.1).sin())
+        .collect();
+    let ram: Vec<f64> = (0..n)
+        .map(|t| 25.0 + 10.0 * (t as f64 * 0.1).sin())
+        .collect();
+    let b = one_box(vec![vm("only", cpu, ram)]);
+    for method in [
+        ClusterMethod::dtw(),
+        ClusterMethod::cbc(),
+        ClusterMethod::features(),
+    ] {
+        let config = AtmConfig {
+            cluster_method: method,
+            ..oracle_config()
+        };
+        let report = run_box(&b, &config).unwrap();
+        assert_eq!(report.signature.total_series, 2, "{method:?}");
+        assert!(report.signature.final_signatures >= 1);
+        assert_eq!(report.resizing.len(), 2);
+    }
+}
+
+/// Constant (idle) VMs do not break clustering, regression, or resizing.
+#[test]
+fn constant_series_box() {
+    let n = 192;
+    let flat = vec![5.0; n];
+    let active: Vec<f64> = (0..n)
+        .map(|t| 40.0 + 30.0 * (t as f64 * 0.13).sin())
+        .collect();
+    let b = one_box(vec![
+        vm("idle0", flat.clone(), flat.clone()),
+        vm("idle1", flat.clone(), flat.clone()),
+        vm("busy", active.clone(), active),
+    ]);
+    for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+        let config = AtmConfig {
+            cluster_method: method,
+            ..oracle_config()
+        };
+        let report = run_box(&b, &config).unwrap();
+        // Constant series are perfectly predictable: no new tickets.
+        for r in &report.resizing {
+            assert!(r.atm.after <= r.atm.before.max(1), "{method:?}: {r:?}");
+        }
+    }
+}
+
+/// An all-zero box (powered-off VMs) runs without dividing by zero.
+#[test]
+fn all_zero_box() {
+    let n = 192;
+    let zero = vec![0.0; n];
+    let b = one_box(vec![
+        vm("off0", zero.clone(), zero.clone()),
+        vm("off1", zero.clone(), zero),
+    ]);
+    let report = run_box(&b, &oracle_config()).unwrap();
+    for r in &report.resizing {
+        assert_eq!(r.atm.before, 0);
+        assert_eq!(r.atm.after, 0);
+    }
+}
+
+/// The paper's exact 7-day shape: 5-day training + 1-day horizon over a
+/// 7-day trace (the last day is simply unused).
+#[test]
+fn paper_shaped_split() {
+    let fleet = generate_fleet(&FleetConfig {
+        num_boxes: 1,
+        days: 7,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    });
+    let config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 5 * 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    };
+    let report = run_box(&fleet.boxes[0], &config).unwrap();
+    assert_eq!(
+        report.prediction.per_series.len(),
+        report.signature.total_series
+    );
+}
+
+/// CSV and JSON round trips feed the pipeline identically to the
+/// original in-memory fleet.
+#[test]
+fn trace_io_roundtrip_through_pipeline() {
+    let fleet = generate_fleet(&FleetConfig {
+        num_boxes: 2,
+        days: 3,
+        gap_probability: 0.0,
+        vm_count_range: (3, 5),
+        ..FleetConfig::default()
+    });
+    let config = oracle_config();
+    let direct = run_box(&fleet.boxes[0], &config).unwrap();
+
+    let json = fleet_to_json(&fleet).unwrap();
+    let from_json = fleet_from_json(&json).unwrap();
+    assert_eq!(run_box(&from_json.boxes[0], &config).unwrap(), direct);
+
+    let csv = fleet_to_csv(&fleet);
+    let from_csv = fleet_from_csv(&csv).unwrap();
+    let csv_report = run_box(&from_csv.boxes[0], &config).unwrap();
+    // CSV carries full f64 precision via Display; reports must agree on
+    // the discrete outcomes.
+    assert_eq!(csv_report.signature, direct.signature);
+    assert_eq!(csv_report.resizing, direct.resizing);
+}
+
+/// Ridge-regularized spatial models run end-to-end and stay sane.
+#[test]
+fn ridge_spatial_models_end_to_end() {
+    let fleet = generate_fleet(&FleetConfig {
+        num_boxes: 3,
+        days: 3,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    });
+    let plain = AtmConfig {
+        spatial_ridge_lambda: 0.0,
+        ..oracle_config()
+    };
+    let ridged = AtmConfig {
+        spatial_ridge_lambda: 10.0,
+        ..oracle_config()
+    };
+    for b in &fleet.boxes {
+        let p = run_box(b, &plain).unwrap();
+        let r = run_box(b, &ridged).unwrap();
+        assert_eq!(p.signature.final_signatures, r.signature.final_signatures);
+        // Ridge trades a bit of in-sample fit for robustness; both stay
+        // in a sane band.
+        assert!(r.prediction.mape_all.is_finite());
+        assert!(r.prediction.mape_all < 2.0);
+    }
+}
+
+/// An empty fleet and malformed configs are rejected, not panicking.
+#[test]
+fn config_extremes_rejected() {
+    let b = generate_fleet(&FleetConfig {
+        num_boxes: 1,
+        days: 3,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+    .boxes
+    .remove(0);
+    let mut bad = oracle_config();
+    bad.spatial_ridge_lambda = -1.0;
+    assert!(run_box(&b, &bad).is_err());
+    let mut bad = oracle_config();
+    bad.horizon = 0;
+    assert!(run_box(&b, &bad).is_err());
+    let empty = FleetTrace { boxes: vec![] };
+    assert!(empty.gap_free_boxes().is_empty());
+}

@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: the paper's headline claims, verified
+//! end-to-end on the synthetic fleet.
+
+use atm::core::config::{AtmConfig, ClusterMethod, ResourceScope, TemporalModel};
+use atm::core::fleet::{run_fleet, Allocator};
+use atm::core::pipeline::run_box;
+use atm::ticketing::characterize::characterize_fleet;
+use atm::ticketing::correlation::{fleet_correlation_cdfs, CorrelationKind};
+use atm::tracegen::{generate_fleet, FleetConfig, Resource};
+
+fn fleet_config(boxes: usize, days: usize) -> FleetConfig {
+    FleetConfig {
+        num_boxes: boxes,
+        days,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    }
+}
+
+fn oracle_config() -> AtmConfig {
+    AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 2 * 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    }
+}
+
+/// Section II: tickets concentrate on few culprit VMs and CPU tickets
+/// outnumber RAM tickets at every threshold.
+#[test]
+fn characterization_reproduces_fig2_shape() {
+    let fleet = generate_fleet(&fleet_config(50, 1));
+    let summaries = characterize_fleet(&fleet, &[60.0, 70.0, 80.0]).unwrap();
+    // CPU vs RAM at matching thresholds.
+    for pair in summaries.chunks(2) {
+        let (cpu, ram) = (&pair[0], &pair[1]);
+        assert_eq!(cpu.resource, Resource::Cpu);
+        assert!(
+            cpu.pct_boxes_with_tickets >= ram.pct_boxes_with_tickets,
+            "RAM tickets outnumber CPU at {}%",
+            cpu.threshold_pct
+        );
+        assert!(cpu.mean_tickets_per_box >= ram.mean_tickets_per_box);
+    }
+    // Higher thresholds -> fewer tickets (monotone in threshold).
+    let cpu_means: Vec<f64> = summaries
+        .iter()
+        .filter(|s| s.resource == Resource::Cpu)
+        .map(|s| s.mean_tickets_per_box)
+        .collect();
+    assert!(cpu_means[0] >= cpu_means[1] && cpu_means[1] >= cpu_means[2]);
+    // Culprit concentration: 1-2 VMs account for 80% of tickets.
+    for s in &summaries {
+        if s.mean_culprit_vms > 0.0 {
+            assert!(
+                s.mean_culprit_vms < 3.0,
+                "culprit VMs {} too dispersed",
+                s.mean_culprit_vms
+            );
+        }
+    }
+}
+
+/// Section II: the Fig. 3 ordering — inter-pair correlation dominates the
+/// cross-VM families.
+#[test]
+fn correlation_reproduces_fig3_ordering() {
+    let fleet = generate_fleet(&fleet_config(40, 2));
+    let cdfs = fleet_correlation_cdfs(&fleet).unwrap();
+    let pair = cdfs.mean(CorrelationKind::InterPair);
+    assert!(pair > cdfs.mean(CorrelationKind::IntraCpu));
+    assert!(pair > cdfs.mean(CorrelationKind::IntraRam));
+    assert!(pair > 0.4, "inter-pair correlation too weak: {pair}");
+}
+
+/// Section III: DTW reduces the signature set more aggressively than CBC
+/// (paper: 26% vs 66%).
+#[test]
+fn dtw_reduces_more_than_cbc() {
+    let fleet = generate_fleet(&fleet_config(16, 3));
+    let dtw = run_fleet(
+        &fleet.boxes,
+        &oracle_config().with_cluster_method(ClusterMethod::dtw()),
+        4,
+    );
+    let cbc = run_fleet(
+        &fleet.boxes,
+        &oracle_config().with_cluster_method(ClusterMethod::cbc()),
+        4,
+    );
+    assert!(!dtw.reports.is_empty() && !cbc.reports.is_empty());
+    assert!(
+        dtw.mean_final_ratio() < cbc.mean_final_ratio(),
+        "DTW {:.2} should reduce below CBC {:.2}",
+        dtw.mean_final_ratio(),
+        cbc.mean_final_ratio()
+    );
+    // Both reduce the set meaningfully.
+    assert!(dtw.mean_final_ratio() < 0.8);
+}
+
+/// Section III: stepwise regression never increases the signature count
+/// and the spatial models stay accurate.
+#[test]
+fn stepwise_never_grows_signature_set() {
+    let fleet = generate_fleet(&fleet_config(12, 3));
+    for method in [ClusterMethod::dtw(), ClusterMethod::cbc()] {
+        let report = run_fleet(
+            &fleet.boxes,
+            &oracle_config().with_cluster_method(method),
+            4,
+        );
+        for r in &report.reports {
+            assert!(r.signature.final_signatures <= r.signature.initial_signatures);
+            assert!(r.signature.final_signatures >= 1);
+        }
+        assert!(
+            report.mean_spatial_mape() < 0.5,
+            "{method:?} spatial APE {:.2} implausible",
+            report.mean_spatial_mape()
+        );
+    }
+}
+
+/// Section IV/V: ATM's resizing dominates stingy and max-min in total
+/// tickets, and reduces tickets fleet-wide.
+#[test]
+fn atm_dominates_baselines_fleet_wide() {
+    let fleet = generate_fleet(&fleet_config(14, 3));
+    let report = run_fleet(&fleet.boxes, &oracle_config(), 4);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    for resource in Resource::ALL {
+        let atm = report.reduction_summary(resource, Allocator::Atm).unwrap();
+        let stingy = report
+            .reduction_summary(resource, Allocator::Stingy)
+            .unwrap();
+        let maxmin = report
+            .reduction_summary(resource, Allocator::MaxMin)
+            .unwrap();
+        assert!(
+            atm.total_after <= stingy.total_after,
+            "{resource}: ATM {} > stingy {}",
+            atm.total_after,
+            stingy.total_after
+        );
+        assert!(
+            atm.total_after <= maxmin.total_after,
+            "{resource}: ATM {} > max-min {}",
+            atm.total_after,
+            maxmin.total_after
+        );
+        if atm.total_before > 0 {
+            let reduction = (atm.total_before - atm.total_after) as f64 / atm.total_before as f64;
+            assert!(
+                reduction > 0.5,
+                "{resource}: fleet reduction only {:.0}%",
+                reduction * 100.0
+            );
+        }
+    }
+}
+
+/// Section V: the full pipeline with a real temporal model (MLP) still
+/// produces usable predictions and ticket reductions.
+#[test]
+fn full_pipeline_with_mlp_is_accurate_and_reduces_tickets() {
+    let fleet = generate_fleet(&fleet_config(6, 3));
+    let config = AtmConfig::fast_for_tests();
+    let report = run_fleet(&fleet.boxes, &config, 4);
+    assert!(report.failures.is_empty());
+    let mean_ape = report.ape_samples().iter().sum::<f64>() / report.reports.len() as f64;
+    assert!(mean_ape < 0.6, "fleet MAPE {mean_ape:.2} too high");
+
+    let mut before = 0usize;
+    let mut after = 0usize;
+    for r in &report.reports {
+        for res in &r.resizing {
+            before += res.atm.before;
+            after += res.atm.after;
+        }
+    }
+    assert!(before > 0);
+    assert!(
+        after < before,
+        "MLP-driven ATM did not reduce tickets: {before} -> {after}"
+    );
+}
+
+/// Intra-resource scope restricts everything to one resource and the
+/// inter model uses no more signatures than the sum of the intra models
+/// (the Fig. 7 economy).
+#[test]
+fn inter_scope_is_more_economical_than_intra() {
+    let fleet = generate_fleet(&fleet_config(10, 3));
+    let base = oracle_config().with_cluster_method(ClusterMethod::cbc());
+    let inter = run_fleet(
+        &fleet.boxes,
+        &base.clone().with_scope(ResourceScope::Inter),
+        4,
+    );
+    let cpu = run_fleet(
+        &fleet.boxes,
+        &base.clone().with_scope(ResourceScope::IntraCpu),
+        4,
+    );
+    let ram = run_fleet(&fleet.boxes, &base.with_scope(ResourceScope::IntraRam), 4);
+    let inter_sigs: usize = inter
+        .reports
+        .iter()
+        .map(|r| r.signature.final_signatures)
+        .sum();
+    let intra_sigs: usize = cpu
+        .reports
+        .iter()
+        .chain(&ram.reports)
+        .map(|r| r.signature.final_signatures)
+        .sum();
+    assert!(
+        inter_sigs <= intra_sigs,
+        "inter model uses more signatures ({inter_sigs}) than split models ({intra_sigs})"
+    );
+}
+
+/// Determinism: identical configs yield identical reports.
+#[test]
+fn end_to_end_determinism() {
+    let fleet = generate_fleet(&fleet_config(3, 3));
+    let a = run_box(&fleet.boxes[0], &AtmConfig::fast_for_tests()).unwrap();
+    let b = run_box(&fleet.boxes[0], &AtmConfig::fast_for_tests()).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the simulated MediaWiki experiment
+//! (paper Section V-B), at a reduced duration.
+
+use atm::mediawiki::request::Wiki;
+use atm::mediawiki::scenario::{MediaWikiScenario, ScenarioConfig};
+use atm::mediawiki::sim::SimConfig;
+
+fn fast_scenario(seed: u64) -> MediaWikiScenario {
+    MediaWikiScenario::new(ScenarioConfig {
+        sim: SimConfig {
+            duration_seconds: 2400.0,
+            tick_seconds: 0.05,
+            window_seconds: 300.0,
+            seed,
+            max_frontend_queue: 30,
+        },
+        period_seconds: 600.0,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn fig12_ticket_reduction_shape() {
+    let comparison = fast_scenario(1).run_comparison().unwrap();
+    let before = comparison.original.total_tickets();
+    let after = comparison.resized.total_tickets();
+    assert!(before > 0, "no baseline tickets to reduce");
+    assert!(
+        after * 2 < before,
+        "resizing reduced tickets only {before} -> {after}"
+    );
+}
+
+#[test]
+fn fig12_usage_pushed_down_for_hot_vms() {
+    let comparison = fast_scenario(2).run_comparison().unwrap();
+    let original = &comparison.original.output;
+    let resized = &comparison.resized.output;
+    // For every VM that ticketed in the baseline, mean usage must drop
+    // after resizing (the Fig. 12 visual).
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    for v in 0..original.vm_names.len() {
+        if comparison.original.tickets_per_vm[v] > 1 {
+            assert!(
+                mean(&resized.usage_pct[v]) < mean(&original.usage_pct[v]) + 5.0,
+                "hot VM {} usage did not improve",
+                original.vm_names[v]
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13_throughput_and_latency_shape() {
+    let comparison = fast_scenario(3).run_comparison().unwrap();
+    for wiki in Wiki::ALL {
+        let b = comparison.original.performance_for(wiki).unwrap();
+        let a = comparison.resized.performance_for(wiki).unwrap();
+        // Throughput never collapses, and the undersized wiki-two is
+        // allowed to gain.
+        assert!(
+            a.throughput_rps >= b.throughput_rps * 0.95,
+            "{}: throughput regressed {:.1} -> {:.1}",
+            wiki.name(),
+            b.throughput_rps,
+            a.throughput_rps
+        );
+        // RT stays in the sub-5-second web regime in both runs.
+        assert!(b.mean_rt_ms < 5000.0 && a.mean_rt_ms < 5000.0);
+    }
+    // Dropped requests never increase with resizing.
+    let b2 = comparison.original.performance_for(Wiki::Two).unwrap();
+    let a2 = comparison.resized.performance_for(Wiki::Two).unwrap();
+    assert!(a2.dropped <= b2.dropped);
+}
+
+#[test]
+fn caps_respect_physical_budgets_and_all_vms_capped() {
+    let scenario = fast_scenario(4);
+    let comparison = scenario.run_comparison().unwrap();
+    let cluster = scenario.build_cluster();
+    assert_eq!(comparison.resized_caps.len(), cluster.vms.len());
+    for (n, node) in cluster.nodes.iter().enumerate() {
+        let total: f64 = cluster
+            .vms_on(n)
+            .iter()
+            .map(|&v| comparison.resized_caps[v])
+            .sum();
+        assert!(total <= node.cores + 1e-6);
+    }
+    for &cap in &comparison.resized_caps {
+        assert!(cap > 0.0);
+    }
+}
+
+#[test]
+fn comparison_is_deterministic() {
+    let a = fast_scenario(5).run_comparison().unwrap();
+    let b = fast_scenario(5).run_comparison().unwrap();
+    assert_eq!(a.resized_caps, b.resized_caps);
+    assert_eq!(a.original.total_tickets(), b.original.total_tickets());
+    assert_eq!(
+        a.resized.output.completed.len(),
+        b.resized.output.completed.len()
+    );
+}
