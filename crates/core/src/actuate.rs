@@ -1,0 +1,296 @@
+//! Capacity actuation from the online loop's point of view.
+//!
+//! The paper enforces caps with a per-hypervisor cgroups daemon; the
+//! `atm-mediawiki` crate simulates that daemon. This module defines the
+//! *minimal* interface the online management loop needs to drive any such
+//! backend, plus the robustness machinery around it: bounded
+//! retry-with-backoff for transient failures, and the bookkeeping the
+//! safe mode in [`online`](crate::online) relies on.
+//!
+//! The trait here is deliberately smaller than
+//! `atm_mediawiki::actuator::CapacityActuator` (no audit log, no change
+//! list) so any enforcement backend — simulated cgroups, a REST daemon, a
+//! test double — adapts to it in a few lines.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Why an actuation attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActuationError {
+    /// A transient fault (timeout, connection reset, partial apply):
+    /// retrying the same absolute caps is safe and may succeed.
+    Transient(String),
+    /// A permanent fault (invalid caps, unknown VM set): retrying the
+    /// same request cannot succeed.
+    Permanent(String),
+}
+
+impl std::fmt::Display for ActuationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActuationError::Transient(e) => write!(f, "transient actuation fault: {e}"),
+            ActuationError::Permanent(e) => write!(f, "permanent actuation fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ActuationError {}
+
+/// An enforcement backend for per-VM capacity caps.
+///
+/// `apply` takes *absolute* caps (one per VM, in the box's capacity
+/// units), so retries are idempotent: applying the same vector twice
+/// leaves the system in the same state.
+pub trait CapacityActuator {
+    /// Applies the caps, replacing whatever was enforced before.
+    ///
+    /// # Errors
+    ///
+    /// [`ActuationError::Transient`] when a retry may succeed,
+    /// [`ActuationError::Permanent`] when it cannot.
+    fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError>;
+
+    /// The currently enforced caps.
+    fn current(&self) -> Vec<f64>;
+}
+
+/// Bounded retry-with-backoff for actuator calls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try plus retries); at least 1.
+    pub max_attempts: usize,
+    /// Base backoff in milliseconds, doubled after every failed attempt.
+    /// Zero (the default) disables sleeping — right for simulation, where
+    /// windows, not wall-clock, are the unit of time.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`](crate::AtmError::InvalidConfig)
+    /// when no attempt is allowed.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        if self.max_attempts == 0 {
+            return Err(crate::AtmError::InvalidConfig(
+                "retry max_attempts must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of an [`apply_with_retry`] call that eventually succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplyOutcome {
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: usize,
+}
+
+/// Applies `caps` through `actuator`, retrying transient failures up to
+/// `policy.max_attempts` total attempts with exponential backoff.
+///
+/// Permanent failures are returned immediately — retrying an invalid
+/// request cannot help.
+///
+/// # Errors
+///
+/// The last [`ActuationError`] when every attempt failed, or the first
+/// permanent one.
+pub fn apply_with_retry(
+    actuator: &mut dyn CapacityActuator,
+    caps: &[f64],
+    policy: &RetryPolicy,
+) -> Result<ApplyOutcome, ActuationError> {
+    let attempts_allowed = policy.max_attempts.max(1);
+    let mut backoff = policy.backoff_ms;
+    let mut last_err = None;
+    for attempt in 1..=attempts_allowed {
+        match actuator.apply(caps) {
+            Ok(()) => return Ok(ApplyOutcome { attempts: attempt }),
+            Err(e @ ActuationError::Permanent(_)) => return Err(e),
+            Err(e @ ActuationError::Transient(_)) => {
+                last_err = Some(e);
+                if attempt < attempts_allowed && backoff > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt was made"))
+}
+
+/// An actuator that records the caps it is told to apply and never fails.
+/// The default backend for [`run_online`](crate::online::run_online()):
+/// online management without live enforcement, exactly the paper's
+/// post-hoc evaluation mode.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NoopActuator {
+    caps: Vec<f64>,
+    /// Every cap vector ever applied, oldest first.
+    history: Vec<Vec<f64>>,
+}
+
+impl NoopActuator {
+    /// Creates a recorder with no caps applied yet.
+    pub fn new() -> Self {
+        NoopActuator::default()
+    }
+
+    /// Every cap vector ever applied, oldest first.
+    pub fn history(&self) -> &[Vec<f64>] {
+        &self.history
+    }
+}
+
+impl CapacityActuator for NoopActuator {
+    fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError> {
+        self.caps = caps.to_vec();
+        self.history.push(caps.to_vec());
+        Ok(())
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.caps.clone()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! A deterministic flaky actuator for exercising retry and safe mode.
+
+    use super::*;
+
+    /// Fails transiently according to a scripted pattern (`true` = fail),
+    /// cycling through it on successive `apply` calls.
+    pub struct ScriptedActuator {
+        inner: NoopActuator,
+        pattern: Vec<bool>,
+        call: usize,
+        pub failures_injected: usize,
+    }
+
+    impl ScriptedActuator {
+        pub fn new(pattern: Vec<bool>) -> Self {
+            ScriptedActuator {
+                inner: NoopActuator::new(),
+                pattern,
+                call: 0,
+                failures_injected: 0,
+            }
+        }
+
+        pub fn applied(&self) -> &[Vec<f64>] {
+            self.inner.history()
+        }
+    }
+
+    impl CapacityActuator for ScriptedActuator {
+        fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError> {
+            let fail = self.pattern[self.call % self.pattern.len()];
+            self.call += 1;
+            if fail {
+                self.failures_injected += 1;
+                return Err(ActuationError::Transient("scripted failure".into()));
+            }
+            self.inner.apply(caps)
+        }
+
+        fn current(&self) -> Vec<f64> {
+            self.inner.current()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::ScriptedActuator;
+    use super::*;
+
+    #[test]
+    fn first_try_success_uses_one_attempt() {
+        let mut actuator = NoopActuator::new();
+        let outcome =
+            apply_with_retry(&mut actuator, &[1.0, 2.0], &RetryPolicy::default()).unwrap();
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(actuator.current(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn transient_failures_retried_to_success() {
+        let mut actuator = ScriptedActuator::new(vec![true, true, false]);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_ms: 0,
+        };
+        let outcome = apply_with_retry(&mut actuator, &[4.0], &policy).unwrap();
+        assert_eq!(outcome.attempts, 3);
+        assert_eq!(actuator.applied(), &[vec![4.0]]);
+        assert_eq!(actuator.failures_injected, 2);
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let mut actuator = ScriptedActuator::new(vec![true]);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff_ms: 0,
+        };
+        let err = apply_with_retry(&mut actuator, &[4.0], &policy).unwrap_err();
+        assert!(matches!(err, ActuationError::Transient(_)));
+        assert_eq!(actuator.failures_injected, 4);
+        assert!(actuator.applied().is_empty());
+    }
+
+    #[test]
+    fn permanent_failure_not_retried() {
+        struct Permanent;
+        impl CapacityActuator for Permanent {
+            fn apply(&mut self, _caps: &[f64]) -> Result<(), ActuationError> {
+                Err(ActuationError::Permanent("bad caps".into()))
+            }
+            fn current(&self) -> Vec<f64> {
+                Vec::new()
+            }
+        }
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            backoff_ms: 0,
+        };
+        let err = apply_with_retry(&mut Permanent, &[1.0], &policy).unwrap_err();
+        assert!(matches!(err, ActuationError::Permanent(_)));
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            backoff_ms: 0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn noop_records_history() {
+        let mut a = NoopActuator::new();
+        a.apply(&[1.0]).unwrap();
+        a.apply(&[2.0]).unwrap();
+        assert_eq!(a.history(), &[vec![1.0], vec![2.0]]);
+        assert_eq!(a.current(), vec![2.0]);
+    }
+}

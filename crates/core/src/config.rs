@@ -8,6 +8,46 @@ use atm_forecast::mlp::MlpConfig;
 use atm_stats::stepwise::StepwiseConfig;
 use serde::{Deserialize, Serialize};
 
+use crate::actuate::RetryPolicy;
+use crate::impute::ImputationConfig;
+
+/// Robustness knobs for the online rolling loop ([`crate::online`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// When the full signature pipeline fails on a window, fall back to
+    /// per-VM seasonal-naive forecasts (and, failing that, carry the
+    /// previous window's caps forward) instead of aborting the run.
+    pub fallback: bool,
+    /// Retry policy for capacity actuation.
+    pub retry: RetryPolicy,
+    /// After this many *consecutive* windows whose actuation failed even
+    /// with retries, enter safe mode: revert every cap to the VM's upper
+    /// bound (its full entitlement) and stop resizing until an apply
+    /// succeeds again. Zero disables safe mode.
+    pub safe_mode_after: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            fallback: true,
+            retry: RetryPolicy::default(),
+            safe_mode_after: 3,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Validates the online-loop settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AtmError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        self.retry.validate()
+    }
+}
+
 /// Step-1 clustering method for the signature search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMethod {
@@ -132,6 +172,12 @@ pub struct AtmConfig {
     pub train_windows: usize,
     /// Prediction/resizing horizon in windows (paper: 1 day = 96).
     pub horizon: usize,
+    /// Gap-imputation front end. Enabled by default; disable to restore
+    /// the strict behaviour where any gap in the evaluation window is
+    /// rejected with [`crate::AtmError::GappyTrace`].
+    pub imputation: ImputationConfig,
+    /// Robustness settings for the online rolling loop.
+    pub online: OnlineConfig,
 }
 
 impl Default for AtmConfig {
@@ -148,6 +194,8 @@ impl Default for AtmConfig {
             spatial_ridge_lambda: 0.0,
             train_windows: 5 * 96,
             horizon: 96,
+            imputation: ImputationConfig::default(),
+            online: OnlineConfig::default(),
         }
     }
 }
@@ -223,6 +271,8 @@ impl AtmConfig {
                 ));
             }
         }
+        self.imputation.validate()?;
+        self.online.validate()?;
         Ok(())
     }
 }
@@ -271,5 +321,20 @@ mod tests {
         let mut c = AtmConfig::fast_for_tests();
         c.train_windows = 2;
         assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.imputation.seasonal_period = 0;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.online.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn online_defaults() {
+        let c = OnlineConfig::default();
+        assert!(c.fallback);
+        assert_eq!(c.retry.max_attempts, 3);
+        assert_eq!(c.safe_mode_after, 3);
+        assert!(c.validate().is_ok());
     }
 }

@@ -14,9 +14,22 @@ pub enum AtmError {
     },
     /// The box has no VMs or no series.
     Empty,
-    /// The trace contains gap (`NaN`) samples in the evaluation window;
-    /// ATM runs on gap-free boxes (the paper selects 400 such boxes).
+    /// The trace contains gap (`NaN`) samples in the evaluation window
+    /// and imputation is disabled; with imputation off, ATM runs only on
+    /// gap-free boxes (the paper selects 400 such boxes).
     GappyTrace,
+    /// A VM's series have inconsistent lengths — the trace is malformed
+    /// and no window split is well-defined.
+    RaggedTrace {
+        /// Name of the offending VM.
+        vm: String,
+        /// Window count of the box (from its first VM).
+        expected: usize,
+        /// The offending series length.
+        actual: usize,
+    },
+    /// A capacity actuation failed irrecoverably (after retries).
+    Actuation(String),
     /// A configuration parameter is invalid.
     InvalidConfig(&'static str),
     /// The clustering step failed.
@@ -36,7 +49,19 @@ impl fmt::Display for AtmError {
                 write!(f, "trace too short: need {required} windows, have {actual}")
             }
             AtmError::Empty => write!(f, "box has no series"),
-            AtmError::GappyTrace => write!(f, "trace contains gaps in the evaluation window"),
+            AtmError::GappyTrace => write!(
+                f,
+                "trace contains gaps in the evaluation window and imputation is disabled"
+            ),
+            AtmError::RaggedTrace {
+                vm,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "VM `{vm}` has a series of {actual} windows where the box has {expected}"
+            ),
+            AtmError::Actuation(e) => write!(f, "capacity actuation failed: {e}"),
             AtmError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             AtmError::Clustering(e) => write!(f, "clustering failed: {e}"),
             AtmError::Regression(e) => write!(f, "regression failed: {e}"),

@@ -83,6 +83,22 @@ impl FleetReport {
             .collect()
     }
 
+    /// Boxes whose traces needed gap imputation.
+    pub fn imputed_boxes(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| !r.imputation.is_empty())
+            .count()
+    }
+
+    /// Gap samples imputed across the fleet.
+    pub fn imputed_samples(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.imputation.total_imputed())
+            .sum()
+    }
+
     /// Per-box outcomes for one resource and allocator.
     pub fn outcomes(&self, resource: Resource, allocator: Allocator) -> Vec<BoxOutcome> {
         self.reports
@@ -199,14 +215,30 @@ mod tests {
     }
 
     #[test]
-    fn gappy_boxes_reported_as_failures() {
+    fn gappy_boxes_reported_as_failures_when_imputation_disabled() {
         let boxes = small_fleet(1.0);
-        let report = run_fleet(&boxes, &oracle_config(), 2);
+        let mut cfg = oracle_config();
+        cfg.imputation.enabled = false;
+        let report = run_fleet(&boxes, &cfg, 2);
         assert_eq!(report.reports.len() + report.failures.len(), boxes.len());
         assert!(!report.failures.is_empty());
         for f in &report.failures {
             assert!(f.error.contains("gap"), "{f:?}");
         }
+    }
+
+    #[test]
+    fn gappy_boxes_imputed_by_default() {
+        let boxes = small_fleet(1.0);
+        let report = run_fleet(&boxes, &oracle_config(), 2);
+        assert!(
+            report.failures.is_empty(),
+            "imputation should rescue gappy boxes: {:?}",
+            report.failures
+        );
+        assert_eq!(report.reports.len(), boxes.len());
+        assert!(report.imputed_boxes() > 0);
+        assert!(report.imputed_samples() > 0);
     }
 
     #[test]

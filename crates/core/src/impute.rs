@@ -1,0 +1,443 @@
+//! Gap imputation — the pipeline front-end that turns gappy boxes into
+//! manageable ones.
+//!
+//! The paper sidesteps trace gaps by evaluating only the 400 gap-free
+//! boxes of its 6K-box fleet; roughly a third of the boxes are simply
+//! dropped. A production ticket manager cannot drop a box because its
+//! monitoring blinked, so [`run_box`](crate::pipeline::run_box()) imputes
+//! gaps before training instead of rejecting the trace:
+//!
+//! - **short interior gaps** (at most [`ImputationConfig::max_linear_gap`]
+//!   windows with finite values on both sides) are filled by linear
+//!   interpolation between their neighbours;
+//! - **long or edge gaps** are filled seasonal-naive: the value one (or
+//!   more) seasonal periods away, the nearest finite neighbour when no
+//!   seasonal donor exists;
+//! - every fill is clamped to the physically plausible utilization range.
+//!
+//! Imputation is deterministic (no RNG) and a strict no-op on gap-free
+//! series, so enabling it never perturbs the paper-faithful evaluation
+//! path. Per-series statistics are recorded in the
+//! [`BoxReport`](crate::pipeline::BoxReport) so degradation is measurable.
+
+use atm_tracegen::{BoxTrace, SeriesKey};
+use serde::{Deserialize, Serialize};
+
+/// Gap-imputation settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImputationConfig {
+    /// Whether the pipeline imputes gaps at all. When `false`, gappy
+    /// traces are rejected with
+    /// [`AtmError::GappyTrace`](crate::AtmError::GappyTrace) — the
+    /// paper's original drop-the-box behaviour.
+    pub enabled: bool,
+    /// Longest interior gap (in windows) filled by linear interpolation;
+    /// longer gaps fall back to seasonal-naive donors.
+    pub max_linear_gap: usize,
+    /// Seasonal period in windows used for long-gap donors (one day at
+    /// the paper's 15-minute sampling = 96).
+    pub seasonal_period: usize,
+}
+
+impl Default for ImputationConfig {
+    fn default() -> Self {
+        ImputationConfig {
+            enabled: true,
+            max_linear_gap: 4,
+            seasonal_period: 96,
+        }
+    }
+}
+
+impl ImputationConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtmError::InvalidConfig`](crate::AtmError::InvalidConfig)
+    /// on out-of-range values.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        if self.seasonal_period == 0 {
+            return Err(crate::AtmError::InvalidConfig(
+                "imputation seasonal period must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How one series was imputed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesImputation {
+    /// Which series.
+    pub key: SeriesKey,
+    /// Gap runs found.
+    pub gap_runs: usize,
+    /// Longest gap run, in windows.
+    pub longest_gap: usize,
+    /// Samples filled by linear interpolation.
+    pub linear_samples: usize,
+    /// Samples filled from a seasonal donor.
+    pub seasonal_samples: usize,
+    /// Samples filled from the nearest finite neighbour (edge gaps with
+    /// no seasonal donor) or with zero (fully-gapped series).
+    pub nearest_samples: usize,
+}
+
+impl SeriesImputation {
+    /// Total samples imputed in this series.
+    pub fn imputed_samples(&self) -> usize {
+        self.linear_samples + self.seasonal_samples + self.nearest_samples
+    }
+}
+
+/// Imputation statistics for a whole box; empty when the trace was
+/// gap-free.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ImputationReport {
+    /// Per-series statistics, only for series that actually had gaps.
+    pub per_series: Vec<SeriesImputation>,
+}
+
+impl ImputationReport {
+    /// Total samples imputed across all series.
+    pub fn total_imputed(&self) -> usize {
+        self.per_series
+            .iter()
+            .map(SeriesImputation::imputed_samples)
+            .sum()
+    }
+
+    /// Whether any imputation happened.
+    pub fn is_empty(&self) -> bool {
+        self.per_series.is_empty()
+    }
+
+    /// The longest gap run seen in any series.
+    pub fn longest_gap(&self) -> usize {
+        self.per_series
+            .iter()
+            .map(|s| s.longest_gap)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Raw per-series fill counters (no key attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FillStats {
+    /// Gap runs found.
+    pub gap_runs: usize,
+    /// Longest gap run.
+    pub longest_gap: usize,
+    /// Linear-interpolation fills.
+    pub linear_samples: usize,
+    /// Seasonal-donor fills.
+    pub seasonal_samples: usize,
+    /// Nearest-neighbour / constant fills.
+    pub nearest_samples: usize,
+}
+
+impl FillStats {
+    /// Total fills.
+    pub fn total(&self) -> usize {
+        self.linear_samples + self.seasonal_samples + self.nearest_samples
+    }
+}
+
+/// Imputes every `NaN` run of `series` in place.
+///
+/// Interior runs no longer than `config.max_linear_gap` are linearly
+/// interpolated; everything else looks for a seasonal donor at
+/// `t ± k·period`, then the nearest finite neighbour. Fills read only the
+/// *original* samples (never other fills) and are clamped to
+/// `[0, max(100, observed max)]`, so imputed utilization stays within the
+/// physically observed range. A series with no finite samples at all is
+/// filled with zeros.
+pub fn impute_series(series: &mut [f64], config: &ImputationConfig) -> FillStats {
+    let mut stats = FillStats::default();
+    let n = series.len();
+    if n == 0 {
+        return stats;
+    }
+    let original = series.to_vec();
+    if original.iter().all(|v| v.is_nan()) {
+        // An entirely unobserved series (e.g. a VM that never reported):
+        // nothing to interpolate from; fill flat zero.
+        series.fill(0.0);
+        stats.gap_runs = 1;
+        stats.longest_gap = n;
+        stats.nearest_samples = n;
+        return stats;
+    }
+    let clamp_hi = original
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(100.0_f64, |a, &b| a.max(b));
+
+    let mut t = 0;
+    while t < n {
+        if !original[t].is_nan() {
+            t += 1;
+            continue;
+        }
+        let start = t;
+        while t < n && original[t].is_nan() {
+            t += 1;
+        }
+        let end = t; // run is [start, end)
+        let len = end - start;
+        stats.gap_runs += 1;
+        stats.longest_gap = stats.longest_gap.max(len);
+
+        let interior = start > 0 && end < n;
+        if interior && len <= config.max_linear_gap {
+            let left = original[start - 1];
+            let right = original[end];
+            for (offset, slot) in series[start..end].iter_mut().enumerate() {
+                let frac = (offset + 1) as f64 / (len + 1) as f64;
+                *slot = (left + (right - left) * frac).clamp(0.0, clamp_hi);
+                stats.linear_samples += 1;
+            }
+        } else {
+            for idx in start..end {
+                let fill = match seasonal_donor(&original, idx, config.seasonal_period) {
+                    Some(v) => {
+                        stats.seasonal_samples += 1;
+                        v
+                    }
+                    None => {
+                        stats.nearest_samples += 1;
+                        nearest_finite(&original, idx)
+                    }
+                };
+                series[idx] = fill.clamp(0.0, clamp_hi);
+            }
+        }
+    }
+    stats
+}
+
+/// The finite value one or more seasonal periods away from `idx`,
+/// preferring the most recent past donor, then the nearest future one.
+fn seasonal_donor(original: &[f64], idx: usize, period: usize) -> Option<f64> {
+    let mut back = idx;
+    while back >= period {
+        back -= period;
+        if original[back].is_finite() {
+            return Some(original[back]);
+        }
+    }
+    let mut fwd = idx;
+    while fwd + period < original.len() {
+        fwd += period;
+        if original[fwd].is_finite() {
+            return Some(original[fwd]);
+        }
+    }
+    None
+}
+
+/// The closest finite value to `idx` (ties resolve to the past).
+///
+/// Callers guarantee at least one finite sample exists.
+fn nearest_finite(original: &[f64], idx: usize) -> f64 {
+    for d in 1..original.len() {
+        if idx >= d && original[idx - d].is_finite() {
+            return original[idx - d];
+        }
+        if idx + d < original.len() && original[idx + d].is_finite() {
+            return original[idx + d];
+        }
+    }
+    unreachable!("caller guarantees a finite sample exists")
+}
+
+/// Imputes every gapped series of a box, returning the filled copy and the
+/// per-series report. Gap-free boxes are returned unchanged with an empty
+/// report.
+pub fn impute_box(box_trace: &BoxTrace, config: &ImputationConfig) -> (BoxTrace, ImputationReport) {
+    let mut filled = box_trace.clone();
+    let mut per_series = Vec::new();
+    for key in box_trace.series_keys() {
+        let vm = &mut filled.vms[key.vm];
+        let series = match key.resource {
+            atm_tracegen::Resource::Cpu => &mut vm.cpu_usage,
+            atm_tracegen::Resource::Ram => &mut vm.ram_usage,
+        };
+        if !series.iter().any(|v| v.is_nan()) {
+            continue;
+        }
+        let stats = impute_series(series, config);
+        per_series.push(SeriesImputation {
+            key,
+            gap_runs: stats.gap_runs,
+            longest_gap: stats.longest_gap,
+            linear_samples: stats.linear_samples,
+            seasonal_samples: stats.seasonal_samples,
+            nearest_samples: stats.nearest_samples,
+        });
+    }
+    (filled, ImputationReport { per_series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::{generate_box, inject::FaultPlan, FleetConfig};
+
+    fn cfg() -> ImputationConfig {
+        ImputationConfig {
+            enabled: true,
+            max_linear_gap: 3,
+            seasonal_period: 8,
+        }
+    }
+
+    #[test]
+    fn short_interior_gap_is_linear() {
+        let mut s = vec![10.0, f64::NAN, f64::NAN, 40.0];
+        let stats = impute_series(&mut s, &cfg());
+        assert_eq!(s, vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(stats.linear_samples, 2);
+        assert_eq!(stats.gap_runs, 1);
+        assert_eq!(stats.longest_gap, 2);
+        assert_eq!(stats.seasonal_samples + stats.nearest_samples, 0);
+    }
+
+    #[test]
+    fn long_gap_uses_seasonal_donor() {
+        // Period 8; a 5-window gap (> max_linear_gap = 3) in the second
+        // cycle must copy the first cycle's values.
+        let mut s: Vec<f64> = (0..24).map(|t| (t % 8) as f64 * 10.0).collect();
+        for slot in &mut s[10..15] {
+            *slot = f64::NAN;
+        }
+        let stats = impute_series(&mut s, &cfg());
+        for t in 10..15 {
+            assert_eq!(s[t], (t % 8) as f64 * 10.0, "window {t}");
+        }
+        assert_eq!(stats.seasonal_samples, 5);
+        assert_eq!(stats.linear_samples, 0);
+    }
+
+    #[test]
+    fn leading_gap_without_donor_backfills() {
+        let mut s = vec![f64::NAN, f64::NAN, 30.0, 40.0];
+        let stats = impute_series(&mut s, &cfg());
+        assert_eq!(s, vec![30.0, 30.0, 30.0, 40.0]);
+        assert_eq!(stats.nearest_samples, 2);
+    }
+
+    #[test]
+    fn trailing_gap_with_donor_is_seasonal() {
+        let mut s: Vec<f64> = (0..16).map(|t| (t % 8) as f64).collect();
+        s[15] = f64::NAN;
+        let stats = impute_series(&mut s, &cfg());
+        // The donor one period back (index 7) carries the value.
+        assert_eq!(s[15], 7.0);
+        assert_eq!(stats.seasonal_samples, 1);
+    }
+
+    #[test]
+    fn fully_gapped_series_fills_zero() {
+        let mut s = vec![f64::NAN; 6];
+        let stats = impute_series(&mut s, &cfg());
+        assert!(s.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.nearest_samples, 6);
+        assert_eq!(stats.longest_gap, 6);
+    }
+
+    #[test]
+    fn fills_clamped_to_observed_range() {
+        // Neighbours at 120 (a hot VM bursting above 100%): the fill may
+        // reach the observed max but never exceed it, and never go
+        // negative.
+        let mut s = vec![120.0, f64::NAN, 120.0];
+        impute_series(&mut s, &cfg());
+        assert_eq!(s[1], 120.0);
+        let mut neg = vec![5.0, f64::NAN, 0.0];
+        impute_series(&mut neg, &cfg());
+        assert!(neg[1] >= 0.0);
+    }
+
+    #[test]
+    fn gap_free_series_untouched() {
+        let mut s: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        let before = s.clone();
+        let stats = impute_series(&mut s, &cfg());
+        assert_eq!(s, before);
+        assert_eq!(stats.total(), 0);
+        assert_eq!(stats.gap_runs, 0);
+    }
+
+    #[test]
+    fn fills_read_originals_not_other_fills() {
+        // Two adjacent long gaps: the second must not interpolate against
+        // the first's fills. With period 4, index 6's donor is index 2.
+        let mut s = vec![0.0, 1.0, 2.0, 3.0, 0.0, f64::NAN, f64::NAN, 3.0];
+        let config = ImputationConfig {
+            enabled: true,
+            max_linear_gap: 0,
+            seasonal_period: 4,
+        };
+        impute_series(&mut s, &config);
+        assert_eq!(s[5], 1.0);
+        assert_eq!(s[6], 2.0);
+    }
+
+    #[test]
+    fn box_imputation_reports_only_gapped_series() {
+        let mut b = generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days: 2,
+                gap_probability: 0.0,
+                ..FleetConfig::default()
+            },
+            3,
+        );
+        let plan = FaultPlan::gaps_only(9);
+        let summary = plan.inject_box(&mut b, 0);
+        assert!(summary.gap_samples > 0);
+
+        let (filled, report) = impute_box(&b, &ImputationConfig::default());
+        assert!(!report.is_empty());
+        assert_eq!(report.total_imputed(), summary.gap_samples);
+        assert!(report.longest_gap() > 0);
+        assert!(!filled.has_gaps(), "imputation left gaps behind");
+        // Untouched windows are bit-identical.
+        for (vm_f, vm_o) in filled.vms.iter().zip(&b.vms) {
+            for (f, o) in vm_f.cpu_usage.iter().zip(&vm_o.cpu_usage) {
+                if !o.is_nan() {
+                    assert_eq!(f, o);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_free_box_returned_unchanged() {
+        let b = generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days: 1,
+                gap_probability: 0.0,
+                ..FleetConfig::default()
+            },
+            4,
+        );
+        let (filled, report) = impute_box(&b, &ImputationConfig::default());
+        assert_eq!(filled, b);
+        assert!(report.is_empty());
+        assert_eq!(report.total_imputed(), 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = ImputationConfig::default();
+        assert!(c.validate().is_ok());
+        c.seasonal_period = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -27,6 +27,11 @@
 //! day by day — the paper's stated future work — and [`whatif`] inverts
 //! the knapsack into capacity planning (tickets-vs-budget curves).
 //!
+//! Robustness: [`impute`] fills trace gaps before the pipeline runs,
+//! [`actuate`] wraps capacity enforcement in bounded retries, and the
+//! online loop degrades per window (fallback forecasts, carried-forward
+//! caps, safe mode) rather than aborting the whole run.
+//!
 //! # Example
 //!
 //! ```
@@ -46,9 +51,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actuate;
 pub mod config;
 mod error;
 pub mod fleet;
+pub mod impute;
 pub mod online;
 pub mod pipeline;
 pub mod signature;

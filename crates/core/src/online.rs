@@ -1,27 +1,137 @@
 //! Online rolling management — the paper's stated future work ("use
 //! ATM's prediction abilities to drive online dynamic workload
-//! management").
+//! management") — hardened to degrade rather than abort.
 //!
 //! Instead of the single post-hoc train/evaluate split of Section V,
 //! [`run_online`] slides ATM along the trace day by day: each resizing
 //! window is predicted and resized using only the history available at
 //! that point, then evaluated against what actually happened — the loop a
 //! production deployment would run.
+//!
+//! # Degrade, don't abort
+//!
+//! A production loop cannot stop managing a box because one window's
+//! model failed to fit or the enforcement daemon timed out. Every window
+//! therefore completes with a [`WindowStatus`], falling through a chain:
+//!
+//! 1. the full signature pipeline ([`run_box`]);
+//! 2. the clustering-free per-VM seasonal-naive fallback
+//!    ([`fallback_box_report`]) when the full pipeline errors;
+//! 3. carrying the previous window's capacities forward when both fail —
+//!    the box keeps its last known-good configuration.
+//!
+//! Capacity changes are pushed through a [`CapacityActuator`] (CPU caps,
+//! mirroring the paper's per-hypervisor cgroups daemon) with bounded
+//! retries; after [`OnlineConfig::safe_mode_after`](crate::config::OnlineConfig)
+//! consecutive actuation failures the loop enters *safe mode*, reverting
+//! caps to the VMs' allocated capacities until an apply succeeds again.
+//! Ticket accounting for every window — including degraded and skipped
+//! ones — is aggregated in [`DegradationSummary`].
+//!
+//! The simulation evaluates tickets under the *intended* capacities;
+//! actuation failures are tracked for accounting and safe mode rather
+//! than forking the evaluation state.
 
-use atm_tracegen::{BoxTrace, VmTrace};
+use atm_resize::evaluate::box_outcome;
+use atm_ticketing::ThresholdPolicy;
+use atm_tracegen::{BoxTrace, Resource, VmTrace};
 use serde::{Deserialize, Serialize};
 
+use crate::actuate::{apply_with_retry, CapacityActuator, NoopActuator};
 use crate::config::AtmConfig;
 use crate::error::{AtmError, AtmResult};
-use crate::pipeline::{run_box, BoxReport};
+use crate::pipeline::{
+    fallback_box_report, run_box, scoped_resources, ticket_policy, validate_rectangular, BoxReport,
+};
+
+/// How one online window completed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowStatus {
+    /// The full pipeline ran on clean data and actuation succeeded first
+    /// try.
+    Ok,
+    /// The window completed with reduced fidelity: gaps were imputed, the
+    /// fallback pipeline was used, or actuation needed retries / failed.
+    Degraded {
+        /// Human-readable degradation causes, semicolon-separated.
+        reason: String,
+    },
+    /// No new capacities were computed this window: the previous caps
+    /// were carried forward (or safe mode held the box at its allocated
+    /// capacities).
+    Skipped {
+        /// Why the window was skipped.
+        reason: String,
+    },
+}
+
+impl WindowStatus {
+    /// Whether the window completed at full fidelity.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, WindowStatus::Ok)
+    }
+
+    /// Whether the window completed degraded.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, WindowStatus::Degraded { .. })
+    }
+
+    /// Whether resizing was skipped for the window.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, WindowStatus::Skipped { .. })
+    }
+}
 
 /// Outcome of one resizing window (one day in the paper's setup).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WindowOutcome {
     /// Index of the resizing window (0 = first evaluable day).
     pub window: usize,
-    /// The full per-box report for this window.
-    pub report: BoxReport,
+    /// How the window completed.
+    pub status: WindowStatus,
+    /// The per-box report for this window; `None` when caps were carried
+    /// forward (no model ran).
+    pub report: Option<BoxReport>,
+    /// Tickets in this window under the original capacities, summed over
+    /// the scoped resources.
+    pub tickets_before: usize,
+    /// Tickets under the capacities in effect after this window's
+    /// management decision.
+    pub tickets_after: usize,
+    /// Actuator attempts used this window (0 = nothing was actuated,
+    /// e.g. a RAM-only scope).
+    pub actuation_attempts: usize,
+}
+
+/// Degradation accounting across an online run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationSummary {
+    /// Windows evaluated in total.
+    pub windows_total: usize,
+    /// Windows that completed at full fidelity.
+    pub windows_ok: usize,
+    /// Windows that completed degraded.
+    pub windows_degraded: usize,
+    /// Windows where resizing was skipped (carry-forward or safe mode).
+    pub windows_skipped: usize,
+    /// Windows resized by the fallback pipeline.
+    pub fallback_windows: usize,
+    /// Windows whose trace needed gap imputation.
+    pub imputed_windows: usize,
+    /// Gap samples imputed, summed over windows (a sample gapped in
+    /// several windows' truncated traces is counted once per window).
+    pub imputed_samples: usize,
+    /// Extra actuator attempts beyond the first, summed over windows.
+    pub actuation_retries: usize,
+    /// Windows whose actuation still failed after all retries.
+    pub actuation_failures: usize,
+    /// Times the loop entered safe mode.
+    pub safe_mode_entries: usize,
+    /// Tickets before resizing in non-`Ok` windows.
+    pub degraded_tickets_before: usize,
+    /// Tickets after resizing in non-`Ok` windows — the ticket cost
+    /// attributable to degraded operation.
+    pub degraded_tickets_after: usize,
 }
 
 /// Aggregated online-management results for one box.
@@ -29,26 +139,20 @@ pub struct WindowOutcome {
 pub struct OnlineReport {
     /// Per-window outcomes, in time order.
     pub windows: Vec<WindowOutcome>,
+    /// Degradation accounting across the run.
+    pub degradation: DegradationSummary,
 }
 
 impl OnlineReport {
     /// Total tickets before resizing, summed over every window and
     /// resource.
     pub fn total_before(&self) -> usize {
-        self.windows
-            .iter()
-            .flat_map(|w| w.report.resizing.iter())
-            .map(|r| r.atm.before)
-            .sum()
+        self.windows.iter().map(|w| w.tickets_before).sum()
     }
 
     /// Total tickets after ATM resizing.
     pub fn total_after(&self) -> usize {
-        self.windows
-            .iter()
-            .flat_map(|w| w.report.resizing.iter())
-            .map(|r| r.atm.after)
-            .sum()
+        self.windows.iter().map(|w| w.tickets_after).sum()
     }
 
     /// Overall percent reduction; `None` when no window had tickets.
@@ -61,23 +165,41 @@ impl OnlineReport {
         }
     }
 
-    /// Mean prediction APE across windows (fraction).
+    /// Mean prediction APE across windows that produced a report
+    /// (fraction).
     pub fn mean_mape(&self) -> f64 {
-        if self.windows.is_empty() {
+        let mapes: Vec<f64> = self
+            .windows
+            .iter()
+            .filter_map(|w| w.report.as_ref().map(|r| r.prediction.mape_all))
+            .collect();
+        if mapes.is_empty() {
             return 0.0;
         }
-        self.windows
-            .iter()
-            .map(|w| w.report.prediction.mape_all)
-            .sum::<f64>()
-            / self.windows.len() as f64
+        mapes.iter().sum::<f64>() / mapes.len() as f64
     }
 }
 
 /// A copy of `box_trace` truncated to its first `windows` ticketing
 /// windows.
-fn truncate_box(box_trace: &BoxTrace, windows: usize) -> BoxTrace {
-    BoxTrace {
+///
+/// # Errors
+///
+/// Returns [`AtmError::RaggedTrace`] when any series is shorter than
+/// `windows` — truncation would otherwise panic on the malformed VM.
+pub fn truncate_box(box_trace: &BoxTrace, windows: usize) -> AtmResult<BoxTrace> {
+    for vm in &box_trace.vms {
+        for actual in [vm.cpu_usage.len(), vm.ram_usage.len()] {
+            if actual < windows {
+                return Err(AtmError::RaggedTrace {
+                    vm: vm.name.clone(),
+                    expected: windows,
+                    actual,
+                });
+            }
+        }
+    }
+    Ok(BoxTrace {
         name: box_trace.name.clone(),
         cpu_capacity_ghz: box_trace.cpu_capacity_ghz,
         ram_capacity_gb: box_trace.ram_capacity_gb,
@@ -93,22 +215,82 @@ fn truncate_box(box_trace: &BoxTrace, windows: usize) -> BoxTrace {
                 ram_usage: vm.ram_usage[..windows].to_vec(),
             })
             .collect(),
+    })
+}
+
+/// Ticket counts for one evaluation window under explicit capacities.
+/// `new_caps[i] = None` means "unchanged" for that resource. Gap samples
+/// in the raw demands never generate tickets, so this works on gappy
+/// windows too.
+fn evaluate_caps(
+    box_trace: &BoxTrace,
+    resources: &[Resource],
+    eval_start: usize,
+    eval_end: usize,
+    new_caps: &[Option<Vec<f64>>],
+    policy: &ThresholdPolicy,
+) -> AtmResult<(usize, usize)> {
+    let mut before = 0;
+    let mut after = 0;
+    for (ri, &resource) in resources.iter().enumerate() {
+        let actual: Vec<Vec<f64>> = box_trace
+            .vms
+            .iter()
+            .map(|vm| vm.demand(resource)[eval_start..eval_end].to_vec())
+            .collect();
+        let original: Vec<f64> = box_trace
+            .vms
+            .iter()
+            .map(|vm| vm.capacity(resource))
+            .collect();
+        let caps = new_caps[ri].clone().unwrap_or_else(|| original.clone());
+        let outcome = box_outcome(&actual, &original, &caps, policy)?;
+        before += outcome.before;
+        after += outcome.after;
     }
+    Ok((before, after))
+}
+
+/// Rolls ATM along the trace with the default (no-op) actuator — online
+/// management without live enforcement, the paper's evaluation mode.
+///
+/// See [`run_online_with_actuator`] for semantics and errors.
+///
+/// # Errors
+///
+/// As [`run_online_with_actuator`].
+pub fn run_online(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<OnlineReport> {
+    let mut actuator = NoopActuator::new();
+    run_online_with_actuator(box_trace, config, &mut actuator)
 }
 
 /// Rolls ATM along the trace: for every consecutive resizing horizon
 /// after the first `config.train_windows` windows, retrain on the
-/// trailing history and resize, evaluating against the realized demand.
+/// trailing history, resize, push the new CPU caps through `actuator`,
+/// and evaluate against the realized demand.
 ///
 /// With a 7-day trace and the paper's defaults (5-day training, 1-day
 /// horizon) this yields 2 evaluable windows; longer traces yield more.
 ///
+/// When [`OnlineConfig::fallback`](crate::config::OnlineConfig) is on
+/// (the default), per-window model failures degrade instead of aborting:
+/// see the [module docs](self). With it off, the first pipeline error is
+/// propagated — the pre-robustness strict behaviour.
+///
 /// # Errors
 ///
+/// - [`AtmError::InvalidConfig`] for a bad configuration.
+/// - [`AtmError::RaggedTrace`] for a malformed trace.
 /// - [`AtmError::TraceTooShort`] if not even one window fits.
-/// - Propagates per-window pipeline errors.
-pub fn run_online(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<OnlineReport> {
+/// - Per-window pipeline errors, only when `config.online.fallback` is
+///   `false`.
+pub fn run_online_with_actuator(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+) -> AtmResult<OnlineReport> {
     config.validate()?;
+    validate_rectangular(box_trace)?;
     let total = box_trace.window_count();
     let needed = config.train_windows + config.horizon;
     if total < needed {
@@ -117,20 +299,189 @@ pub fn run_online(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<OnlineR
             actual: total,
         });
     }
+    let policy = ticket_policy(config)?;
+    let resources = scoped_resources(config.scope);
+    let actuate_cpu = resources.contains(&Resource::Cpu);
+    let original_cpu_caps: Vec<f64> = box_trace.vms.iter().map(|vm| vm.cpu_capacity_ghz).collect();
+
+    // Last successfully computed caps per scoped resource, carried
+    // forward when a window cannot compute new ones.
+    let mut last_caps: Vec<Option<Vec<f64>>> = vec![None; resources.len()];
+    let mut consecutive_actuation_failures = 0usize;
+    let mut safe_mode = false;
+    let mut summary = DegradationSummary::default();
+
     let evaluable = (total - config.train_windows) / config.horizon;
     let mut windows = Vec::with_capacity(evaluable);
     for w in 0..evaluable {
         let end = config.train_windows + (w + 1) * config.horizon;
-        let truncated = truncate_box(box_trace, end);
-        let report = run_box(&truncated, config)?;
-        windows.push(WindowOutcome { window: w, report });
+        let eval_start = end - config.horizon;
+
+        if safe_mode {
+            // Hold the box at its allocated capacities; retry the revert
+            // each window and leave safe mode once an apply sticks.
+            let mut attempts = 0;
+            if actuate_cpu {
+                match apply_with_retry(actuator, &original_cpu_caps, &config.online.retry) {
+                    Ok(outcome) => {
+                        attempts = outcome.attempts;
+                        summary.actuation_retries += outcome.attempts - 1;
+                        consecutive_actuation_failures = 0;
+                        safe_mode = false;
+                    }
+                    Err(_) => {
+                        attempts = config.online.retry.max_attempts;
+                        summary.actuation_retries += attempts.saturating_sub(1);
+                        summary.actuation_failures += 1;
+                    }
+                }
+            } else {
+                safe_mode = false;
+            }
+            let no_change: Vec<Option<Vec<f64>>> = vec![None; resources.len()];
+            let (before, after) =
+                evaluate_caps(box_trace, &resources, eval_start, end, &no_change, &policy)?;
+            summary.windows_skipped += 1;
+            summary.degraded_tickets_before += before;
+            summary.degraded_tickets_after += after;
+            windows.push(WindowOutcome {
+                window: w,
+                status: WindowStatus::Skipped {
+                    reason: "safe mode: caps reverted to allocated capacities".into(),
+                },
+                report: None,
+                tickets_before: before,
+                tickets_after: after,
+                actuation_attempts: attempts,
+            });
+            continue;
+        }
+
+        let truncated = truncate_box(box_trace, end)?;
+        let mut reasons: Vec<String> = Vec::new();
+
+        // Fallback chain: full pipeline -> per-VM seasonal naive ->
+        // carry previous caps forward.
+        let report = match run_box(&truncated, config) {
+            Ok(r) => Some(r),
+            Err(e) if config.online.fallback => match fallback_box_report(&truncated, config) {
+                Ok(r) => {
+                    reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
+                    summary.fallback_windows += 1;
+                    Some(r)
+                }
+                Err(e2) => {
+                    reasons.push(format!(
+                        "pipeline failed ({e}); fallback failed ({e2}); carried caps forward"
+                    ));
+                    None
+                }
+            },
+            Err(e) => return Err(e),
+        };
+
+        let (tickets_before, tickets_after) = match &report {
+            Some(r) => {
+                if !r.imputation.is_empty() {
+                    reasons.push(format!(
+                        "imputed {} gap samples",
+                        r.imputation.total_imputed()
+                    ));
+                    summary.imputed_windows += 1;
+                    summary.imputed_samples += r.imputation.total_imputed();
+                }
+                for (ri, &resource) in resources.iter().enumerate() {
+                    if let Some(res) = r.resizing.iter().find(|res| res.resource == resource) {
+                        last_caps[ri] = Some(res.capacities.clone());
+                    }
+                }
+                let before = r.resizing.iter().map(|res| res.atm.before).sum();
+                let after = r.resizing.iter().map(|res| res.atm.after).sum();
+                (before, after)
+            }
+            None => evaluate_caps(box_trace, &resources, eval_start, end, &last_caps, &policy)?,
+        };
+
+        // Actuate the CPU caps in effect for this window.
+        let mut attempts = 0;
+        if actuate_cpu {
+            let cpu_index = resources
+                .iter()
+                .position(|&r| r == Resource::Cpu)
+                .expect("actuate_cpu implies a CPU entry");
+            let caps = last_caps[cpu_index]
+                .clone()
+                .unwrap_or_else(|| original_cpu_caps.clone());
+            match apply_with_retry(actuator, &caps, &config.online.retry) {
+                Ok(outcome) => {
+                    attempts = outcome.attempts;
+                    if outcome.attempts > 1 {
+                        reasons.push(format!("actuation needed {} attempts", outcome.attempts));
+                        summary.actuation_retries += outcome.attempts - 1;
+                    }
+                    consecutive_actuation_failures = 0;
+                }
+                Err(e) => {
+                    attempts = config.online.retry.max_attempts;
+                    summary.actuation_retries += attempts.saturating_sub(1);
+                    summary.actuation_failures += 1;
+                    consecutive_actuation_failures += 1;
+                    reasons.push(format!("actuation failed after {attempts} attempts: {e}"));
+                    if config.online.safe_mode_after > 0
+                        && consecutive_actuation_failures >= config.online.safe_mode_after
+                    {
+                        safe_mode = true;
+                        summary.safe_mode_entries += 1;
+                        reasons.push("entering safe mode".into());
+                        // Best-effort immediate revert; the next window
+                        // retries it either way.
+                        let _ =
+                            apply_with_retry(actuator, &original_cpu_caps, &config.online.retry);
+                    }
+                }
+            }
+        }
+
+        let status = if report.is_none() {
+            WindowStatus::Skipped {
+                reason: reasons.join("; "),
+            }
+        } else if reasons.is_empty() {
+            WindowStatus::Ok
+        } else {
+            WindowStatus::Degraded {
+                reason: reasons.join("; "),
+            }
+        };
+        match &status {
+            WindowStatus::Ok => summary.windows_ok += 1,
+            WindowStatus::Degraded { .. } => summary.windows_degraded += 1,
+            WindowStatus::Skipped { .. } => summary.windows_skipped += 1,
+        }
+        if !status.is_ok() {
+            summary.degraded_tickets_before += tickets_before;
+            summary.degraded_tickets_after += tickets_after;
+        }
+        windows.push(WindowOutcome {
+            window: w,
+            status,
+            report,
+            tickets_before,
+            tickets_after,
+            actuation_attempts: attempts,
+        });
     }
-    Ok(OnlineReport { windows })
+    summary.windows_total = windows.len();
+    Ok(OnlineReport {
+        windows,
+        degradation: summary,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actuate::test_support::ScriptedActuator;
     use crate::config::TemporalModel;
     use atm_tracegen::{generate_box, FleetConfig};
 
@@ -160,9 +511,13 @@ mod tests {
         // 5 days, 2-day training, 1-day horizon -> 3 windows.
         let report = run_online(&trace(5), &oracle_config()).unwrap();
         assert_eq!(report.windows.len(), 3);
+        assert_eq!(report.degradation.windows_total, 3);
+        assert_eq!(report.degradation.windows_ok, 3);
         for (i, w) in report.windows.iter().enumerate() {
             assert_eq!(w.window, i);
-            assert_eq!(w.report.resizing.len(), 2);
+            assert!(w.status.is_ok(), "window {i}: {:?}", w.status);
+            assert_eq!(w.actuation_attempts, 1);
+            assert_eq!(w.report.as_ref().unwrap().resizing.len(), 2);
         }
     }
 
@@ -176,6 +531,7 @@ mod tests {
         let reduction = report.overall_reduction_pct().unwrap();
         assert!(reduction > 40.0, "reduction only {reduction:.0}%");
         assert!(report.mean_mape().is_finite());
+        assert_eq!(report.degradation.degraded_tickets_after, 0);
     }
 
     #[test]
@@ -194,8 +550,166 @@ mod tests {
         let b = trace(5);
         let cfg = oracle_config();
         let online = run_online(&b, &cfg).unwrap();
-        let prefix = truncate_box(&b, cfg.train_windows + cfg.horizon);
+        let prefix = truncate_box(&b, cfg.train_windows + cfg.horizon).unwrap();
         let direct = run_box(&prefix, &cfg).unwrap();
-        assert_eq!(online.windows[0].report, direct);
+        assert_eq!(online.windows[0].report.as_ref().unwrap(), &direct);
+    }
+
+    #[test]
+    fn truncate_rejects_ragged_series() {
+        let mut b = trace(5);
+        b.vms[2].cpu_usage.truncate(100);
+        match truncate_box(&b, 200) {
+            Err(AtmError::RaggedTrace {
+                vm,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(vm, b.vms[2].name);
+                assert_eq!(expected, 200);
+                assert_eq!(actual, 100);
+            }
+            other => panic!("expected RaggedTrace, got {other:?}"),
+        }
+        assert!(truncate_box(&b, 50).is_ok());
+    }
+
+    #[test]
+    fn online_run_is_deterministic() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        let a = run_online(&b, &cfg).unwrap();
+        let c = run_online(&b, &cfg).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn gap_bursts_degrade_but_never_abort() {
+        let mut b = trace(5);
+        // Gap bursts in training and evaluation regions of several windows.
+        for t in 150..170 {
+            b.vms[0].cpu_usage[t] = f64::NAN;
+        }
+        for t in 300..310 {
+            b.vms[1].ram_usage[t] = f64::NAN;
+        }
+        let report = run_online(&b, &oracle_config()).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert_eq!(report.degradation.windows_skipped, 0);
+        assert!(report.degradation.imputed_windows > 0);
+        assert!(report.degradation.imputed_samples > 0);
+        assert!(report
+            .windows
+            .iter()
+            .any(|w| w.status.is_degraded() && w.report.is_some()));
+    }
+
+    #[test]
+    fn carries_caps_forward_when_pipeline_and_fallback_fail() {
+        let mut b = trace(5);
+        // With imputation disabled, gaps inside window 1's training or
+        // evaluation region defeat both the pipeline and the fallback.
+        for t in 300..320 {
+            b.vms[0].cpu_usage[t] = f64::NAN;
+        }
+        let mut cfg = oracle_config();
+        cfg.imputation.enabled = false;
+        let report = run_online(&b, &cfg).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert!(report.windows[0].status.is_ok());
+        // Window 1 sees the gaps in its evaluation day; window 2 sees
+        // them in its training span. Both carry caps forward.
+        for w in [1, 2] {
+            assert!(
+                report.windows[w].status.is_skipped(),
+                "window {w}: {:?}",
+                report.windows[w].status
+            );
+            assert!(report.windows[w].report.is_none());
+        }
+        assert_eq!(report.degradation.windows_skipped, 2);
+        // Carried-forward windows still count tickets (NaN-safe).
+        let skipped_before: usize = report.windows[1..].iter().map(|w| w.tickets_before).sum();
+        assert!(skipped_before > 0, "skipped windows counted no tickets");
+    }
+
+    #[test]
+    fn strict_mode_propagates_window_errors() {
+        let mut b = trace(5);
+        for t in 300..320 {
+            b.vms[0].cpu_usage[t] = f64::NAN;
+        }
+        let mut cfg = oracle_config();
+        cfg.imputation.enabled = false;
+        cfg.online.fallback = false;
+        assert_eq!(run_online(&b, &cfg), Err(AtmError::GappyTrace));
+    }
+
+    #[test]
+    fn flaky_actuator_degrades_but_completes() {
+        // Every apply fails once, then succeeds on retry.
+        let mut actuator = ScriptedActuator::new(vec![true, false]);
+        let report = run_online_with_actuator(&trace(5), &oracle_config(), &mut actuator).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        for w in &report.windows {
+            assert!(w.status.is_degraded(), "{:?}", w.status);
+            assert_eq!(w.actuation_attempts, 2);
+        }
+        assert_eq!(report.degradation.actuation_retries, 3);
+        assert_eq!(report.degradation.actuation_failures, 0);
+        assert_eq!(report.degradation.safe_mode_entries, 0);
+        // The model-side results are unaffected by actuation flakiness.
+        let clean = run_online(&trace(5), &oracle_config()).unwrap();
+        assert_eq!(report.total_after(), clean.total_after());
+    }
+
+    #[test]
+    fn repeated_actuation_failures_enter_safe_mode() {
+        let mut actuator = ScriptedActuator::new(vec![true]);
+        let mut cfg = oracle_config();
+        cfg.online.retry.max_attempts = 2;
+        cfg.online.safe_mode_after = 2;
+        let report = run_online_with_actuator(&trace(5), &cfg, &mut actuator).unwrap();
+        assert_eq!(report.windows.len(), 3);
+        assert!(report.windows[0].status.is_degraded());
+        assert!(report.windows[1].status.is_degraded());
+        assert_eq!(report.degradation.safe_mode_entries, 1);
+        // Window 2 runs in safe mode: resizing skipped, caps at the
+        // allocated capacities, so tickets after == before.
+        let w2 = &report.windows[2];
+        assert!(w2.status.is_skipped(), "{:?}", w2.status);
+        assert_eq!(w2.tickets_after, w2.tickets_before);
+        assert_eq!(report.degradation.actuation_failures, 3);
+        assert_eq!(actuator.applied().len(), 0, "no apply ever succeeded");
+    }
+
+    #[test]
+    fn safe_mode_exits_when_actuation_recovers() {
+        // Fails the first 8 applies, then recovers. With 2 attempts per
+        // window plus the safe-mode entry revert, window 2's revert
+        // succeeds and the loop leaves safe mode.
+        let mut pattern = vec![true; 8];
+        pattern.push(false);
+        let mut actuator = ScriptedActuator::new(pattern);
+        let mut cfg = AtmConfig {
+            temporal: TemporalModel::Oracle,
+            train_windows: 96,
+            horizon: 96,
+            ..AtmConfig::fast_for_tests()
+        };
+        cfg.online.retry.max_attempts = 2;
+        cfg.online.safe_mode_after = 2;
+        let report = run_online_with_actuator(&trace(6), &cfg, &mut actuator).unwrap();
+        // 6 days, 1-day train, 1-day horizon -> 5 windows.
+        assert_eq!(report.windows.len(), 5);
+        assert_eq!(report.degradation.safe_mode_entries, 1);
+        assert!(report.windows.iter().any(|w| w.status.is_skipped()));
+        let last = report.windows.last().unwrap();
+        assert!(
+            last.status.is_ok() || last.status.is_degraded(),
+            "loop never recovered: {:?}",
+            last.status
+        );
+        assert!(!actuator.applied().is_empty(), "recovery never applied");
     }
 }

@@ -1,7 +1,7 @@
 //! The end-to-end ATM pipeline for one box (paper Section V):
-//! train on history → signature search → temporal forecasts for
-//! signatures → spatial prediction of dependents → proactive resizing →
-//! replay against the actual future.
+//! impute trace gaps → train on history → signature search → temporal
+//! forecasts for signatures → spatial prediction of dependents →
+//! proactive resizing → replay against the actual future.
 
 use atm_forecast::ensemble::EnsembleForecaster;
 use atm_forecast::holt_winters::HoltWinters;
@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{AtmConfig, ResourceScope, TemporalModel};
 use crate::error::{AtmError, AtmResult};
+use crate::impute::{impute_box, ImputationReport};
 use crate::signature::{search, SignatureOutcome};
 use crate::spatial::SpatialModel;
 
@@ -85,6 +86,9 @@ pub struct PredictionReport {
 pub struct ResourceResizeReport {
     /// The resized resource.
     pub resource: Resource,
+    /// The capacities ATM chose, one per VM in box order — what the
+    /// online loop actuates and carries forward on degraded windows.
+    pub capacities: Vec<f64>,
     /// ATM's greedy MCKP allocation outcome.
     pub atm: BoxOutcome,
     /// Stingy baseline outcome.
@@ -98,6 +102,9 @@ pub struct ResourceResizeReport {
 pub struct BoxReport {
     /// The box's name.
     pub box_name: String,
+    /// Gap-imputation statistics (empty when the trace was gap-free or
+    /// imputation is disabled).
+    pub imputation: ImputationReport,
     /// Signature-search statistics.
     pub signature: SignatureReport,
     /// Out-of-sample prediction accuracy.
@@ -120,12 +127,87 @@ fn scoped_keys(box_trace: &BoxTrace, scope: ResourceScope) -> Vec<SeriesKey> {
 }
 
 /// Resources covered by a scope.
-fn scoped_resources(scope: ResourceScope) -> Vec<Resource> {
+pub(crate) fn scoped_resources(scope: ResourceScope) -> Vec<Resource> {
     match scope {
         ResourceScope::Inter => vec![Resource::Cpu, Resource::Ram],
         ResourceScope::IntraCpu => vec![Resource::Cpu],
         ResourceScope::IntraRam => vec![Resource::Ram],
     }
+}
+
+/// Rejects ragged boxes: every series must span the box's window count,
+/// or no train/test split is well-defined (and slicing would panic).
+pub(crate) fn validate_rectangular(box_trace: &BoxTrace) -> AtmResult<()> {
+    let expected = box_trace.window_count();
+    for vm in &box_trace.vms {
+        for actual in [vm.cpu_usage.len(), vm.ram_usage.len()] {
+            if actual != expected {
+                return Err(AtmError::RaggedTrace {
+                    vm: vm.name.clone(),
+                    expected,
+                    actual,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Imputation front end: fills gaps when enabled, otherwise leaves the
+/// trace alone. Returns `None` (and an empty report) when nothing was
+/// filled, so the gap-free path never clones the trace.
+fn impute_front_end(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+) -> (Option<BoxTrace>, ImputationReport) {
+    if !config.imputation.enabled || !box_trace.has_gaps() {
+        return (None, ImputationReport::default());
+    }
+    let (filled, report) = impute_box(box_trace, &config.imputation);
+    (Some(filled), report)
+}
+
+/// The train/test demand split shared by the full pipeline and the
+/// fallback path.
+struct DemandSplit {
+    keys: Vec<SeriesKey>,
+    train_cols: Vec<Vec<f64>>,
+    test_cols: Vec<Vec<f64>>,
+}
+
+/// Splits the last `train_windows + horizon` windows of each scoped
+/// demand series into train/test columns.
+fn split_demands(trace: &BoxTrace, config: &AtmConfig) -> AtmResult<DemandSplit> {
+    let keys = scoped_keys(trace, config.scope);
+    if keys.is_empty() {
+        return Err(AtmError::Empty);
+    }
+    let needed = config.train_windows + config.horizon;
+    let total = trace.window_count();
+    if total < needed {
+        return Err(AtmError::TraceTooShort {
+            required: needed,
+            actual: total,
+        });
+    }
+    let start = total - needed;
+    let split = start + config.train_windows;
+
+    let mut train_cols = Vec::with_capacity(keys.len());
+    let mut test_cols = Vec::with_capacity(keys.len());
+    for &k in &keys {
+        let demand = trace.demand(k);
+        if demand[start..].iter().any(|d| !d.is_finite()) {
+            return Err(AtmError::GappyTrace);
+        }
+        train_cols.push(demand[start..split].to_vec());
+        test_cols.push(demand[split..].to_vec());
+    }
+    Ok(DemandSplit {
+        keys,
+        train_cols,
+        test_cols,
+    })
 }
 
 /// Instantiates a forecaster from its configuration (recursively for
@@ -151,7 +233,7 @@ fn build_forecaster(temporal: &TemporalModel) -> Option<Box<dyn Forecaster + Sen
 
 /// Builds a temporal forecast for one signature series, falling back to
 /// simpler models when the configured one cannot fit.
-fn temporal_forecast(
+pub(crate) fn temporal_forecast(
     train: &[f64],
     horizon: usize,
     temporal: &TemporalModel,
@@ -186,51 +268,154 @@ fn sanitize(mut series: Vec<f64>) -> Vec<f64> {
     series
 }
 
+/// Prediction accuracy (Fig. 9): APE over all windows and over peak
+/// windows (actual usage above the ticket threshold).
+fn prediction_report(
+    trace: &BoxTrace,
+    split: &DemandSplit,
+    predicted: &[Vec<f64>],
+    signatures: &[usize],
+    threshold_pct: f64,
+) -> PredictionReport {
+    let alpha = threshold_pct / 100.0;
+    let mut per_series = Vec::with_capacity(split.keys.len());
+    let mut ape_sum = 0.0;
+    let mut ape_n = 0usize;
+    let mut peak_sum = 0.0;
+    let mut peak_n = 0usize;
+    for (i, &k) in split.keys.iter().enumerate() {
+        let capacity = trace.vms[k.vm].capacity(k.resource);
+        let ape = mape(&split.test_cols[i], &predicted[i]).ok();
+        let p_ape = peak_mape(&split.test_cols[i], &predicted[i], alpha * capacity).ok();
+        if let Some(e) = ape {
+            ape_sum += e;
+            ape_n += 1;
+        }
+        if let Some(e) = p_ape {
+            peak_sum += e;
+            peak_n += 1;
+        }
+        per_series.push(SeriesPrediction {
+            key: k,
+            is_signature: signatures.contains(&i),
+            ape,
+            peak_ape: p_ape,
+        });
+    }
+    PredictionReport {
+        mape_all: if ape_n == 0 {
+            0.0
+        } else {
+            ape_sum / ape_n as f64
+        },
+        mape_peak: if peak_n == 0 {
+            None
+        } else {
+            Some(peak_sum / peak_n as f64)
+        },
+        per_series,
+    }
+}
+
+/// Proactive resizing per resource (Fig. 10): allocators size from the
+/// *predicted* demands; outcomes replay the *actual* test demands.
+fn resize_reports(
+    trace: &BoxTrace,
+    split: &DemandSplit,
+    predicted: &[Vec<f64>],
+    config: &AtmConfig,
+    policy: &ThresholdPolicy,
+) -> AtmResult<Vec<ResourceResizeReport>> {
+    let mut resizing = Vec::new();
+    for resource in scoped_resources(config.scope) {
+        let vm_indices: Vec<usize> = (0..trace.vm_count()).collect();
+        let idx_of = |vm: usize| -> usize {
+            split
+                .keys
+                .iter()
+                .position(|k| k.vm == vm && k.resource == resource)
+                .expect("scoped keys cover this resource")
+        };
+        let box_capacity = trace.capacity(resource);
+
+        let vms: Vec<VmDemand> = vm_indices
+            .iter()
+            .map(|&vm| {
+                let i = idx_of(vm);
+                // Lower bound: the VM's peak usage before resizing
+                // (paper Section IV-A.1), i.e. peak actual training demand.
+                let lower = split.train_cols[i].iter().copied().fold(0.0, f64::max);
+                VmDemand::new(
+                    trace.vms[vm].name.clone(),
+                    predicted[i].clone(),
+                    lower.min(box_capacity),
+                    box_capacity,
+                )
+            })
+            .collect();
+        let epsilon = match resource {
+            Resource::Cpu => config.epsilon_cpu,
+            Resource::Ram => config.epsilon_ram,
+        };
+        let problem = ResizeProblem::new(vms, box_capacity, *policy).with_epsilon(epsilon);
+
+        let atm_alloc = greedy::solve(&problem)?;
+        let stingy_alloc = baselines::stingy(&problem)?;
+        let maxmin_alloc = baselines::max_min_fairness(&problem)?;
+
+        let actual: Vec<Vec<f64>> = vm_indices
+            .iter()
+            .map(|&vm| split.test_cols[idx_of(vm)].clone())
+            .collect();
+        let original: Vec<f64> = vm_indices
+            .iter()
+            .map(|&vm| trace.vms[vm].capacity(resource))
+            .collect();
+
+        resizing.push(ResourceResizeReport {
+            resource,
+            atm: box_outcome(&actual, &original, &atm_alloc.capacities, policy)?,
+            stingy: box_outcome(&actual, &original, &stingy_alloc.capacities, policy)?,
+            maxmin: box_outcome(&actual, &original, &maxmin_alloc.capacities, policy)?,
+            capacities: atm_alloc.capacities,
+        });
+    }
+    Ok(resizing)
+}
+
+pub(crate) fn ticket_policy(config: &AtmConfig) -> AtmResult<ThresholdPolicy> {
+    ThresholdPolicy::new(config.ticket_threshold_pct)
+        .map_err(|_| AtmError::InvalidConfig("ticket threshold"))
+}
+
 /// Runs the full ATM pipeline on one box.
 ///
 /// Uses the last `train_windows + horizon` ticketing windows of the trace:
 /// the prefix for training (5 days in the paper) and the suffix as the
-/// evaluation day that resizing is applied to.
+/// evaluation day that resizing is applied to. Gaps are imputed first
+/// (see [`crate::impute`]) unless imputation is disabled; imputed test
+/// windows also serve as the replay "actuals", since nothing better was
+/// observed.
 ///
 /// # Errors
 ///
 /// - [`AtmError::InvalidConfig`] for a bad configuration.
+/// - [`AtmError::RaggedTrace`] if a VM's series lengths disagree.
 /// - [`AtmError::TraceTooShort`] if the trace cannot cover the split.
-/// - [`AtmError::GappyTrace`] if the evaluation window contains gaps.
+/// - [`AtmError::GappyTrace`] if the evaluation window contains gaps and
+///   imputation is disabled.
 /// - Propagated clustering/regression/forecast/resize errors.
 pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport> {
     config.validate()?;
-    let keys = scoped_keys(box_trace, config.scope);
-    if keys.is_empty() {
-        return Err(AtmError::Empty);
-    }
-    let needed = config.train_windows + config.horizon;
-    let total = box_trace.window_count();
-    if total < needed {
-        return Err(AtmError::TraceTooShort {
-            required: needed,
-            actual: total,
-        });
-    }
-    let start = total - needed;
-    let split = start + config.train_windows;
-
-    // Demand columns, train/test split.
-    let mut train_cols = Vec::with_capacity(keys.len());
-    let mut test_cols = Vec::with_capacity(keys.len());
-    for &k in &keys {
-        let demand = box_trace.demand(k);
-        if demand[start..].iter().any(|d| !d.is_finite()) {
-            return Err(AtmError::GappyTrace);
-        }
-        train_cols.push(demand[start..split].to_vec());
-        test_cols.push(demand[split..].to_vec());
-    }
+    validate_rectangular(box_trace)?;
+    let (filled, imputation) = impute_front_end(box_trace, config);
+    let trace = filled.as_ref().unwrap_or(box_trace);
+    let split = split_demands(trace, config)?;
 
     // Step 1 + 2: signature search on training demands.
     let outcome: SignatureOutcome = search(
-        &keys,
-        &train_cols,
+        &split.keys,
+        &split.train_cols,
         &config.cluster_method,
         &config.stepwise,
         config.znorm_for_dtw,
@@ -239,12 +424,12 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
 
     // Spatial models for dependents.
     let spatial = SpatialModel::fit_with(
-        &train_cols,
+        &split.train_cols,
         &outcome.final_signatures,
         &dependents,
         config.spatial_ridge_lambda,
     )?;
-    let spatial_in_sample = spatial.in_sample_mape(&train_cols)?;
+    let spatial_in_sample = spatial.in_sample_mape(&split.train_cols)?;
 
     // Temporal forecasts for signatures.
     let sig_predictions: Vec<Vec<f64>> = outcome
@@ -252,10 +437,10 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
         .iter()
         .map(|&s| {
             sanitize(temporal_forecast(
-                &train_cols[s],
+                &split.train_cols[s],
                 config.horizon,
                 &config.temporal,
-                &test_cols[s],
+                &split.test_cols[s],
             ))
         })
         .collect();
@@ -268,7 +453,7 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
         .collect();
 
     // Assemble the full predicted matrix aligned with `keys`.
-    let mut predicted: Vec<Vec<f64>> = vec![Vec::new(); keys.len()];
+    let mut predicted: Vec<Vec<f64>> = vec![Vec::new(); split.keys.len()];
     for (pos, &s) in outcome.final_signatures.iter().enumerate() {
         predicted[s] = sig_predictions[pos].clone();
     }
@@ -276,108 +461,22 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
         predicted[d] = dep_predictions[pos].clone();
     }
 
-    // Prediction accuracy (Fig. 9): APE over all windows and over peak
-    // windows (actual usage above the ticket threshold).
-    let alpha = config.ticket_threshold_pct / 100.0;
-    let mut per_series = Vec::with_capacity(keys.len());
-    let mut ape_sum = 0.0;
-    let mut ape_n = 0usize;
-    let mut peak_sum = 0.0;
-    let mut peak_n = 0usize;
-    for (i, &k) in keys.iter().enumerate() {
-        let capacity = box_trace.vms[k.vm].capacity(k.resource);
-        let ape = mape(&test_cols[i], &predicted[i]).ok();
-        let p_ape = peak_mape(&test_cols[i], &predicted[i], alpha * capacity).ok();
-        if let Some(e) = ape {
-            ape_sum += e;
-            ape_n += 1;
-        }
-        if let Some(e) = p_ape {
-            peak_sum += e;
-            peak_n += 1;
-        }
-        per_series.push(SeriesPrediction {
-            key: k,
-            is_signature: outcome.final_signatures.contains(&i),
-            ape,
-            peak_ape: p_ape,
-        });
-    }
-    let prediction = PredictionReport {
-        mape_all: if ape_n == 0 {
-            0.0
-        } else {
-            ape_sum / ape_n as f64
-        },
-        mape_peak: if peak_n == 0 {
-            None
-        } else {
-            Some(peak_sum / peak_n as f64)
-        },
-        per_series,
-    };
-
-    // Proactive resizing per resource (Fig. 10): allocators size from the
-    // *predicted* demands; outcomes replay the *actual* test demands.
-    let policy = ThresholdPolicy::new(config.ticket_threshold_pct)
-        .map_err(|_| AtmError::InvalidConfig("ticket threshold"))?;
-    let mut resizing = Vec::new();
-    for resource in scoped_resources(config.scope) {
-        let vm_indices: Vec<usize> = (0..box_trace.vm_count()).collect();
-        let idx_of = |vm: usize| -> usize {
-            keys.iter()
-                .position(|k| k.vm == vm && k.resource == resource)
-                .expect("scoped keys cover this resource")
-        };
-        let box_capacity = box_trace.capacity(resource);
-
-        let vms: Vec<VmDemand> = vm_indices
-            .iter()
-            .map(|&vm| {
-                let i = idx_of(vm);
-                // Lower bound: the VM's peak usage before resizing
-                // (paper Section IV-A.1), i.e. peak actual training demand.
-                let lower = train_cols[i].iter().copied().fold(0.0, f64::max);
-                VmDemand::new(
-                    box_trace.vms[vm].name.clone(),
-                    predicted[i].clone(),
-                    lower.min(box_capacity),
-                    box_capacity,
-                )
-            })
-            .collect();
-        let epsilon = match resource {
-            Resource::Cpu => config.epsilon_cpu,
-            Resource::Ram => config.epsilon_ram,
-        };
-        let problem = ResizeProblem::new(vms, box_capacity, policy).with_epsilon(epsilon);
-
-        let atm_alloc = greedy::solve(&problem)?;
-        let stingy_alloc = baselines::stingy(&problem)?;
-        let maxmin_alloc = baselines::max_min_fairness(&problem)?;
-
-        let actual: Vec<Vec<f64>> = vm_indices
-            .iter()
-            .map(|&vm| test_cols[idx_of(vm)].clone())
-            .collect();
-        let original: Vec<f64> = vm_indices
-            .iter()
-            .map(|&vm| box_trace.vms[vm].capacity(resource))
-            .collect();
-
-        resizing.push(ResourceResizeReport {
-            resource,
-            atm: box_outcome(&actual, &original, &atm_alloc.capacities, &policy)?,
-            stingy: box_outcome(&actual, &original, &stingy_alloc.capacities, &policy)?,
-            maxmin: box_outcome(&actual, &original, &maxmin_alloc.capacities, &policy)?,
-        });
-    }
+    let prediction = prediction_report(
+        trace,
+        &split,
+        &predicted,
+        &outcome.final_signatures,
+        config.ticket_threshold_pct,
+    );
+    let policy = ticket_policy(config)?;
+    let resizing = resize_reports(trace, &split, &predicted, config, &policy)?;
 
     let (sig_cpu, sig_ram) = outcome.signature_resource_counts();
     Ok(BoxReport {
-        box_name: box_trace.name.clone(),
+        box_name: trace.name.clone(),
+        imputation,
         signature: SignatureReport {
-            total_series: keys.len(),
+            total_series: split.keys.len(),
             initial_signatures: outcome.initial_signatures.len(),
             final_signatures: outcome.final_signatures.len(),
             cluster_count: outcome.cluster_count,
@@ -385,6 +484,72 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
             signature_cpu: sig_cpu,
             signature_ram: sig_ram,
             spatial_in_sample_mape: spatial_in_sample,
+        },
+        prediction,
+        resizing,
+    })
+}
+
+/// A degraded, clustering-free pipeline for one box: every series is its
+/// own signature, forecast seasonal-naively (period =
+/// [`ImputationConfig::seasonal_period`](crate::impute::ImputationConfig)),
+/// and resizing runs on those forecasts. No spatial models are fit.
+///
+/// This is the online loop's first fallback when the full pipeline fails
+/// on a window — strictly simpler machinery with strictly fewer failure
+/// modes, at the cost of prediction accuracy.
+///
+/// # Errors
+///
+/// The same trace-shape errors as [`run_box`]
+/// ([`AtmError::RaggedTrace`], [`AtmError::TraceTooShort`],
+/// [`AtmError::GappyTrace`]) plus propagated resize errors.
+pub fn fallback_box_report(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport> {
+    config.validate()?;
+    validate_rectangular(box_trace)?;
+    let (filled, imputation) = impute_front_end(box_trace, config);
+    let trace = filled.as_ref().unwrap_or(box_trace);
+    let split = split_demands(trace, config)?;
+
+    let temporal = TemporalModel::SeasonalNaive {
+        period: config.imputation.seasonal_period,
+    };
+    let predicted: Vec<Vec<f64>> = split
+        .train_cols
+        .iter()
+        .zip(&split.test_cols)
+        .map(|(train, test)| sanitize(temporal_forecast(train, config.horizon, &temporal, test)))
+        .collect();
+
+    let signatures: Vec<usize> = (0..split.keys.len()).collect();
+    let prediction = prediction_report(
+        trace,
+        &split,
+        &predicted,
+        &signatures,
+        config.ticket_threshold_pct,
+    );
+    let policy = ticket_policy(config)?;
+    let resizing = resize_reports(trace, &split, &predicted, config, &policy)?;
+
+    let sig_cpu = split
+        .keys
+        .iter()
+        .filter(|k| k.resource == Resource::Cpu)
+        .count();
+    let total = split.keys.len();
+    Ok(BoxReport {
+        box_name: trace.name.clone(),
+        imputation,
+        signature: SignatureReport {
+            total_series: total,
+            initial_signatures: total,
+            final_signatures: total,
+            cluster_count: total,
+            silhouette: None,
+            signature_cpu: sig_cpu,
+            signature_ram: total - sig_cpu,
+            spatial_in_sample_mape: 0.0,
         },
         prediction,
         resizing,
@@ -423,6 +588,12 @@ mod tests {
         assert!(r.signature.final_ratio() <= 1.0);
         assert_eq!(r.resizing.len(), 2);
         assert_eq!(r.prediction.per_series.len(), r.signature.total_series);
+        assert!(r.imputation.is_empty());
+        for res in &r.resizing {
+            assert_eq!(res.capacities.len(), b.vm_count());
+            let total: f64 = res.capacities.iter().sum();
+            assert!(total <= b.capacity(res.resource) + 1e-9);
+        }
     }
 
     #[test]
@@ -518,10 +689,71 @@ mod tests {
     }
 
     #[test]
-    fn gappy_trace_rejected() {
+    fn gappy_trace_rejected_when_imputation_disabled() {
         let mut b = generate_box(&trace_config(), 4);
         b.vms[0].cpu_usage[250] = f64::NAN;
-        assert_eq!(run_box(&b, &oracle_config()), Err(AtmError::GappyTrace));
+        let mut cfg = oracle_config();
+        cfg.imputation.enabled = false;
+        assert_eq!(run_box(&b, &cfg), Err(AtmError::GappyTrace));
+    }
+
+    #[test]
+    fn gappy_trace_imputed_and_managed() {
+        let mut b = generate_box(&trace_config(), 4);
+        // A short interior gap and a long one, in the evaluation region.
+        b.vms[0].cpu_usage[250] = f64::NAN;
+        for t in 200..212 {
+            b.vms[1].ram_usage[t] = f64::NAN;
+        }
+        let r = run_box(&b, &oracle_config()).unwrap();
+        assert!(!r.imputation.is_empty());
+        assert_eq!(r.imputation.total_imputed(), 13);
+        assert_eq!(r.imputation.longest_gap(), 12);
+        assert_eq!(r.imputation.per_series.len(), 2);
+        assert_eq!(r.resizing.len(), 2);
+    }
+
+    #[test]
+    fn imputation_is_noop_on_gap_free_trace() {
+        let b = generate_box(&trace_config(), 5);
+        let enabled = run_box(&b, &oracle_config()).unwrap();
+        let mut cfg = oracle_config();
+        cfg.imputation.enabled = false;
+        let disabled = run_box(&b, &cfg).unwrap();
+        assert_eq!(enabled, disabled);
+    }
+
+    #[test]
+    fn ragged_trace_rejected() {
+        let mut b = generate_box(&trace_config(), 6);
+        b.vms[1].ram_usage.pop();
+        match run_box(&b, &oracle_config()) {
+            Err(AtmError::RaggedTrace { vm, .. }) => assert_eq!(vm, b.vms[1].name),
+            other => panic!("expected RaggedTrace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_pipeline_runs_and_treats_all_series_as_signatures() {
+        let b = generate_box(&trace_config(), 7);
+        let r = fallback_box_report(&b, &oracle_config()).unwrap();
+        assert_eq!(r.signature.final_signatures, r.signature.total_series);
+        assert!(r.signature.silhouette.is_none());
+        assert!(r.prediction.per_series.iter().all(|s| s.is_signature));
+        assert_eq!(r.resizing.len(), 2);
+        for res in &r.resizing {
+            assert_eq!(res.capacities.len(), b.vm_count());
+        }
+    }
+
+    #[test]
+    fn fallback_pipeline_survives_gaps() {
+        let mut b = generate_box(&trace_config(), 8);
+        for t in 100..140 {
+            b.vms[0].cpu_usage[t] = f64::NAN;
+        }
+        let r = fallback_box_report(&b, &oracle_config()).unwrap();
+        assert!(!r.imputation.is_empty());
     }
 
     #[test]

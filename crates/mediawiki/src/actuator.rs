@@ -5,7 +5,8 @@
 //! caps change *on the fly* without restarting guests (Section IV-C).
 //! [`CapacityActuator`] is that interface; [`SimulatedCgroups`] applies
 //! caps to a simulated [`Cluster`] and keeps an audit log, standing in for
-//! the real daemon.
+//! the real daemon. [`FlakyActuator`] wraps any actuator with seeded
+//! transient-failure and partial-apply injection for robustness testing.
 
 use serde::{Deserialize, Serialize};
 
@@ -75,12 +76,23 @@ impl SimulatedCgroups {
 }
 
 impl CapacityActuator for SimulatedCgroups {
+    /// Applies the cap vector **atomically**: the whole request is
+    /// validated before any VM is touched, so an invalid request leaves
+    /// every cap (and the audit log) exactly as it was — there is no
+    /// partially-applied state to roll back. Invalid caps are reported
+    /// with the offending VM's name and index.
     fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>> {
         if caps.len() != self.cluster.vms.len() {
             return Err(SimError::InvalidConfig("cap count != VM count"));
         }
-        if caps.iter().any(|c| !c.is_finite() || *c <= 0.0) {
-            return Err(SimError::InvalidConfig("caps must be positive and finite"));
+        for (index, &cap) in caps.iter().enumerate() {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(SimError::InvalidCap {
+                    vm: self.cluster.vms[index].name.clone(),
+                    index,
+                    cap,
+                });
+            }
         }
         let mut changes = Vec::new();
         for (vm, &cap) in self.cluster.vms.iter_mut().zip(caps) {
@@ -100,6 +112,141 @@ impl CapacityActuator for SimulatedCgroups {
 
     fn current(&self) -> Vec<f64> {
         self.cluster.vms.iter().map(|vm| vm.cap_cores).collect()
+    }
+}
+
+/// Failure-injection settings for [`FlakyActuator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlakyConfig {
+    /// Probability that an `apply` fails outright with
+    /// [`SimError::Transient`] before touching any cap.
+    pub failure_probability: f64,
+    /// Probability that an `apply` lands only a *prefix* of the cap
+    /// vector before failing — the messy real-world case a retrying
+    /// caller must tolerate.
+    pub partial_probability: f64,
+    /// RNG seed; the failure schedule is a pure function of this seed
+    /// and the call sequence.
+    pub seed: u64,
+}
+
+impl Default for FlakyConfig {
+    fn default() -> Self {
+        FlakyConfig {
+            failure_probability: 0.2,
+            partial_probability: 0.05,
+            seed: 0xF1A_C7,
+        }
+    }
+}
+
+impl FlakyConfig {
+    /// Validates the probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless both probabilities are
+    /// in `[0, 1]` and sum to at most 1.
+    pub fn validate(&self) -> SimResult<()> {
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        if !ok(self.failure_probability) || !ok(self.partial_probability) {
+            return Err(SimError::InvalidConfig(
+                "flaky probabilities must be in [0, 1]",
+            ));
+        }
+        if self.failure_probability + self.partial_probability > 1.0 {
+            return Err(SimError::InvalidConfig(
+                "flaky probabilities must sum to at most 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Wraps any [`CapacityActuator`] with deterministic, seeded fault
+/// injection: transient full failures and partial applies.
+///
+/// Because [`CapacityActuator::apply`] takes *absolute* caps, a retry
+/// after either failure mode is idempotent — re-applying the same vector
+/// heals a partial apply. This wrapper exists to exercise exactly that
+/// retry logic (e.g. `atm-core`'s online loop) without a real flaky
+/// daemon.
+#[derive(Debug, Clone)]
+pub struct FlakyActuator<A> {
+    inner: A,
+    config: FlakyConfig,
+    rng: rand::rngs::StdRng,
+    failures_injected: usize,
+    partials_injected: usize,
+}
+
+impl<A: CapacityActuator> FlakyActuator<A> {
+    /// Wraps `inner` with the given fault schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for invalid probabilities.
+    pub fn new(inner: A, config: FlakyConfig) -> SimResult<Self> {
+        use rand::SeedableRng;
+        config.validate()?;
+        Ok(FlakyActuator {
+            inner,
+            config,
+            rng: rand::rngs::StdRng::seed_from_u64(config.seed),
+            failures_injected: 0,
+            partials_injected: 0,
+        })
+    }
+
+    /// Borrows the wrapped actuator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Unwraps the inner actuator, discarding the fault schedule.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+
+    /// Full transient failures injected so far.
+    pub fn failures_injected(&self) -> usize {
+        self.failures_injected
+    }
+
+    /// Partial applies injected so far.
+    pub fn partials_injected(&self) -> usize {
+        self.partials_injected
+    }
+}
+
+impl<A: CapacityActuator> CapacityActuator for FlakyActuator<A> {
+    fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>> {
+        use rand::Rng;
+        // Draw both values every call so the schedule stays aligned with
+        // the call sequence regardless of which branch is taken.
+        let roll: f64 = self.rng.gen();
+        let prefix = self.rng.gen_range(0..caps.len().max(1));
+        if roll < self.config.failure_probability {
+            self.failures_injected += 1;
+            return Err(SimError::Transient("injected failure before apply"));
+        }
+        if roll < self.config.failure_probability + self.config.partial_probability {
+            // Land a prefix of the new caps, keep the rest as-is, then
+            // report failure — the caller cannot tell how far we got.
+            let current = self.inner.current();
+            if current.len() == caps.len() && !caps.is_empty() {
+                let mut landed = current;
+                landed[..prefix].copy_from_slice(&caps[..prefix]);
+                let _ = self.inner.apply(&landed);
+            }
+            self.partials_injected += 1;
+            return Err(SimError::Transient("injected failure mid-apply"));
+        }
+        self.inner.apply(caps)
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.inner.current()
     }
 }
 
@@ -141,6 +288,135 @@ mod tests {
         assert!(actuator.apply(&[1.0]).is_err());
         assert!(actuator.apply(&[0.0, 1.0]).is_err());
         assert!(actuator.apply(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn invalid_cap_error_names_the_vm() {
+        let mut actuator = SimulatedCgroups::new(cluster());
+        match actuator.apply(&[3.0, -1.0]) {
+            Err(SimError::InvalidCap { vm, index, cap }) => {
+                assert_eq!(vm, "b");
+                assert_eq!(index, 1);
+                assert_eq!(cap, -1.0);
+            }
+            other => panic!("expected InvalidCap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_requests_atomically() {
+        // The first cap is valid, the second is not: after the rejection
+        // NO cap may have changed and the audit log must stay empty.
+        let mut actuator = SimulatedCgroups::new(cluster());
+        assert!(actuator.apply(&[3.0, f64::INFINITY]).is_err());
+        assert_eq!(actuator.current(), vec![2.0, 2.0]);
+        assert!(actuator.log().is_empty());
+    }
+
+    #[test]
+    fn flaky_schedule_is_deterministic() {
+        let run = || {
+            let mut flaky = FlakyActuator::new(
+                SimulatedCgroups::new(cluster()),
+                FlakyConfig {
+                    failure_probability: 0.4,
+                    partial_probability: 0.2,
+                    seed: 7,
+                },
+            )
+            .unwrap();
+            (0..50)
+                .map(|i| flaky.apply(&[1.0 + i as f64, 2.0]).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flaky_injects_at_roughly_the_configured_rate() {
+        let mut flaky = FlakyActuator::new(
+            SimulatedCgroups::new(cluster()),
+            FlakyConfig {
+                failure_probability: 0.25,
+                partial_probability: 0.0,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let mut failures = 0;
+        for _ in 0..400 {
+            if flaky.apply(&[3.0, 2.0]).is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, flaky.failures_injected());
+        assert!(
+            (60..=140).contains(&failures),
+            "{failures}/400 failures at p=0.25"
+        );
+    }
+
+    #[test]
+    fn partial_apply_heals_on_retry() {
+        let mut flaky = FlakyActuator::new(
+            SimulatedCgroups::new(cluster()),
+            FlakyConfig {
+                failure_probability: 0.0,
+                partial_probability: 0.5,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let target = [5.0, 6.0];
+        // Absolute caps make retries idempotent: keep retrying the same
+        // vector until one apply succeeds; the end state must be exact.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 100, "actuator never succeeded");
+            if flaky.apply(&target).is_ok() {
+                break;
+            }
+        }
+        assert_eq!(flaky.current(), target.to_vec());
+        assert!(flaky.partials_injected() >= 1 || attempts == 1);
+    }
+
+    #[test]
+    fn zero_rate_flaky_is_transparent() {
+        let mut plain = SimulatedCgroups::new(cluster());
+        let mut flaky = FlakyActuator::new(
+            SimulatedCgroups::new(cluster()),
+            FlakyConfig {
+                failure_probability: 0.0,
+                partial_probability: 0.0,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let plain_changes = plain.apply(&[4.0, 3.0]).unwrap();
+        let flaky_changes = flaky.apply(&[4.0, 3.0]).unwrap();
+        assert_eq!(plain_changes, flaky_changes);
+        assert_eq!(plain.current(), flaky.current());
+        assert_eq!(flaky.failures_injected(), 0);
+        assert_eq!(flaky.partials_injected(), 0);
+    }
+
+    #[test]
+    fn flaky_config_validation() {
+        assert!(FlakyConfig::default().validate().is_ok());
+        let bad = FlakyConfig {
+            failure_probability: 0.8,
+            partial_probability: 0.5,
+            seed: 0,
+        };
+        assert!(FlakyActuator::new(SimulatedCgroups::new(cluster()), bad).is_err());
+        let neg = FlakyConfig {
+            failure_probability: -0.1,
+            partial_probability: 0.0,
+            seed: 0,
+        };
+        assert!(neg.validate().is_err());
     }
 
     #[test]

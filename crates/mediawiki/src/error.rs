@@ -9,6 +9,20 @@ pub enum SimError {
     InvalidConfig(&'static str),
     /// A VM or node index is out of range.
     UnknownComponent(String),
+    /// A capacity cap is invalid (non-finite or non-positive) for a
+    /// specific VM. Carries enough context to identify the offender.
+    InvalidCap {
+        /// Name of the VM the cap was meant for.
+        vm: String,
+        /// Index of the cap within the apply request.
+        index: usize,
+        /// The offending value.
+        cap: f64,
+    },
+    /// A transient actuation fault (injected by
+    /// [`FlakyActuator`](crate::actuator::FlakyActuator), or a real
+    /// daemon timing out); retrying the same request may succeed.
+    Transient(&'static str),
     /// The resizing step failed.
     Resize(String),
     /// The simulation produced no completed requests for a required
@@ -21,6 +35,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             SimError::UnknownComponent(name) => write!(f, "unknown component: {name}"),
+            SimError::InvalidCap { vm, index, cap } => {
+                write!(f, "invalid cap {cap} for VM `{vm}` (index {index})")
+            }
+            SimError::Transient(what) => write!(f, "transient actuation fault: {what}"),
             SimError::Resize(e) => write!(f, "resize failed: {e}"),
             SimError::NoData(what) => write!(f, "no data for metric: {what}"),
         }

@@ -24,7 +24,9 @@
 //!   ([`sim`]);
 //! - ATM's capacity decisions are enforced through the
 //!   [`actuator::CapacityActuator`] abstraction — the stand-in for the
-//!   paper's cgroups daemon (caps change on the fly, jobs undisturbed);
+//!   paper's cgroups daemon (caps change on the fly, jobs undisturbed),
+//!   with [`actuator::FlakyActuator`] available to layer seeded
+//!   transient-failure and partial-apply faults over any backend;
 //! - the [`scenario`] module assembles the exact Fig. 11 topology and
 //!   replays it with original capacities and with ATM-resized capacities.
 //!

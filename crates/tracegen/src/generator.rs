@@ -226,7 +226,7 @@ impl FleetConfig {
 }
 
 /// splitmix64 — used to derive independent per-box seeds from the master.
-fn mix_seed(seed: u64, index: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);

@@ -1,0 +1,559 @@
+//! Deterministic, seeded fault injection for traces.
+//!
+//! The paper evaluates ATM only on the 400 gap-free boxes of its 6K-box
+//! trace; a production ticket manager must instead keep managing through
+//! monitoring outages, sensor glitches, and VM churn. This module turns a
+//! clean (or already-gappy) trace into a faulty one on purpose, so the
+//! pipeline's degradation behaviour can be exercised and measured:
+//!
+//! - **gap bursts** — runs of `NaN` samples across every series of the
+//!   box, emulating monitoring outages longer and denser than the
+//!   generator's built-in gaps;
+//! - **sensor corruption** — isolated spike samples (a counter glitch
+//!   multiplies the reading) and stuck-value runs (the sensor freezes and
+//!   repeats its last reading);
+//! - **VM churn** — a VM's series starts late or ends early (deployment /
+//!   decommission mid-trace), modelled as leading/trailing `NaN` runs so
+//!   box series stay equal-length.
+//!
+//! Everything is deterministic given [`FaultPlan::seed`] and the box
+//! index, mirroring how [`generate_box`](crate::generate_box) derives
+//! per-box streams from the master seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::generator::mix_seed;
+use crate::trace::{BoxTrace, FleetTrace};
+
+/// Gap-burst injection parameters (monitoring outages).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapBurstConfig {
+    /// Number of bursts per box, sampled uniformly from this inclusive
+    /// range.
+    pub bursts_per_box: (usize, usize),
+    /// Burst length in windows, sampled uniformly from this inclusive
+    /// range.
+    pub burst_len: (usize, usize),
+}
+
+impl Default for GapBurstConfig {
+    fn default() -> Self {
+        GapBurstConfig {
+            bursts_per_box: (1, 3),
+            burst_len: (2, 12),
+        }
+    }
+}
+
+/// Sensor-corruption parameters (spikes and stuck values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorFaultConfig {
+    /// Per-sample probability that a reading is replaced by a spike.
+    pub spike_probability: f64,
+    /// Spike multiplier range: the corrupted reading is the true reading
+    /// times a factor sampled from this inclusive range.
+    pub spike_factor: (f64, f64),
+    /// Per-series probability that the sensor freezes once.
+    pub stuck_probability: f64,
+    /// Stuck-run length in windows, sampled uniformly from this inclusive
+    /// range.
+    pub stuck_len: (usize, usize),
+}
+
+impl Default for SensorFaultConfig {
+    fn default() -> Self {
+        SensorFaultConfig {
+            spike_probability: 0.002,
+            spike_factor: (2.0, 6.0),
+            stuck_probability: 0.1,
+            stuck_len: (4, 24),
+        }
+    }
+}
+
+/// VM-churn parameters (series starting late / ending early).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Per-VM probability that its series starts late.
+    pub late_start_probability: f64,
+    /// Per-VM probability that its series ends early.
+    pub early_end_probability: f64,
+    /// Maximum fraction of the trace a churn run may blank, in `(0, 1)`.
+    pub max_missing_fraction: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            late_start_probability: 0.1,
+            early_end_probability: 0.05,
+            max_missing_fraction: 0.25,
+        }
+    }
+}
+
+/// A complete, seeded fault-injection plan for a trace.
+///
+/// Each fault family is optional; `None` disables it. The same plan
+/// applied to the same box always yields the same faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; injections are deterministic given this and the box
+    /// index.
+    pub seed: u64,
+    /// Monitoring-outage gap bursts.
+    pub gap_bursts: Option<GapBurstConfig>,
+    /// Sensor spike / stuck-value corruption.
+    pub sensor: Option<SensorFaultConfig>,
+    /// VM churn (late start / early end).
+    pub churn: Option<ChurnConfig>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA_0175,
+            gap_bursts: Some(GapBurstConfig::default()),
+            sensor: Some(SensorFaultConfig::default()),
+            churn: Some(ChurnConfig::default()),
+        }
+    }
+}
+
+/// What one plan application actually injected, for assertions and
+/// reporting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InjectionSummary {
+    /// Samples blanked by gap bursts (per series, summed over series).
+    pub gap_samples: usize,
+    /// Samples replaced by spikes.
+    pub spike_samples: usize,
+    /// Samples frozen by stuck-value runs.
+    pub stuck_samples: usize,
+    /// Samples blanked by VM churn.
+    pub churn_samples: usize,
+    /// VMs whose series start late or end early.
+    pub churned_vms: usize,
+}
+
+impl InjectionSummary {
+    /// Total samples affected by any fault.
+    pub fn total_samples(&self) -> usize {
+        self.gap_samples + self.spike_samples + self.stuck_samples + self.churn_samples
+    }
+
+    /// Merges another summary into this one (for fleet-level totals).
+    pub fn merge(&mut self, other: &InjectionSummary) {
+        self.gap_samples += other.gap_samples;
+        self.spike_samples += other.spike_samples;
+        self.stuck_samples += other.stuck_samples;
+        self.churn_samples += other.churn_samples;
+        self.churned_vms += other.churned_vms;
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only injects gap bursts — the acceptance scenario for
+    /// gap-tolerant pipelines.
+    pub fn gaps_only(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            gap_bursts: Some(GapBurstConfig::default()),
+            sensor: None,
+            churn: None,
+        }
+    }
+
+    /// A plan with every fault family disabled (injects nothing).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            gap_bursts: None,
+            sensor: None,
+            churn: None,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on invalid parameters; the
+    /// injectors call this before injecting.
+    pub fn validate(&self) {
+        if let Some(g) = &self.gap_bursts {
+            assert!(
+                g.bursts_per_box.0 <= g.bursts_per_box.1,
+                "invalid burst count range"
+            );
+            assert!(
+                g.burst_len.0 >= 1 && g.burst_len.0 <= g.burst_len.1,
+                "invalid burst length range"
+            );
+        }
+        if let Some(s) = &self.sensor {
+            assert!(
+                (0.0..=1.0).contains(&s.spike_probability),
+                "spike probability out of range"
+            );
+            assert!(
+                s.spike_factor.0 >= 1.0 && s.spike_factor.0 <= s.spike_factor.1,
+                "invalid spike factor range"
+            );
+            assert!(
+                (0.0..=1.0).contains(&s.stuck_probability),
+                "stuck probability out of range"
+            );
+            assert!(
+                s.stuck_len.0 >= 1 && s.stuck_len.0 <= s.stuck_len.1,
+                "invalid stuck length range"
+            );
+        }
+        if let Some(c) = &self.churn {
+            assert!(
+                (0.0..=1.0).contains(&c.late_start_probability),
+                "late-start probability out of range"
+            );
+            assert!(
+                (0.0..=1.0).contains(&c.early_end_probability),
+                "early-end probability out of range"
+            );
+            assert!(
+                c.max_missing_fraction > 0.0 && c.max_missing_fraction < 1.0,
+                "max missing fraction out of range"
+            );
+        }
+    }
+
+    /// Applies the plan to one box in place and reports what was injected.
+    ///
+    /// Deterministic given the plan's seed and `box_index`; independent of
+    /// injections into other boxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn inject_box(&self, box_trace: &mut BoxTrace, box_index: usize) -> InjectionSummary {
+        self.validate();
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
+        let mut summary = InjectionSummary::default();
+        let windows = box_trace.window_count();
+        if windows == 0 {
+            return summary;
+        }
+
+        // Sensor corruption first, so gaps and churn can blank corrupted
+        // samples (a dead sensor reports nothing, glitched or not).
+        if let Some(sensor) = &self.sensor {
+            for vm in &mut box_trace.vms {
+                for series in [&mut vm.cpu_usage, &mut vm.ram_usage] {
+                    summary.spike_samples += inject_spikes(series, sensor, &mut rng);
+                    summary.stuck_samples += inject_stuck_run(series, sensor, &mut rng);
+                }
+            }
+        }
+
+        if let Some(gaps) = &self.gap_bursts {
+            let bursts = rng.gen_range(gaps.bursts_per_box.0..=gaps.bursts_per_box.1);
+            for _ in 0..bursts {
+                let len = rng
+                    .gen_range(gaps.burst_len.0..=gaps.burst_len.1)
+                    .min(windows);
+                let start = rng.gen_range(0..=windows - len);
+                for vm in &mut box_trace.vms {
+                    for series in [&mut vm.cpu_usage, &mut vm.ram_usage] {
+                        for v in &mut series[start..start + len] {
+                            if !v.is_nan() {
+                                summary.gap_samples += 1;
+                                *v = f64::NAN;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(churn) = &self.churn {
+            let max_run = ((windows as f64 * churn.max_missing_fraction) as usize).max(1);
+            for vm in &mut box_trace.vms {
+                let late = rng.gen::<f64>() < churn.late_start_probability;
+                let early = rng.gen::<f64>() < churn.early_end_probability;
+                if !(late || early) {
+                    continue;
+                }
+                summary.churned_vms += 1;
+                if late {
+                    let len = rng.gen_range(1..=max_run);
+                    for series in [&mut vm.cpu_usage, &mut vm.ram_usage] {
+                        for v in &mut series[..len] {
+                            if !v.is_nan() {
+                                summary.churn_samples += 1;
+                                *v = f64::NAN;
+                            }
+                        }
+                    }
+                }
+                if early {
+                    let len = rng.gen_range(1..=max_run);
+                    for series in [&mut vm.cpu_usage, &mut vm.ram_usage] {
+                        for v in &mut series[windows - len..] {
+                            if !v.is_nan() {
+                                summary.churn_samples += 1;
+                                *v = f64::NAN;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        summary
+    }
+
+    /// Applies the plan to every box of a fleet and returns the merged
+    /// summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn inject_fleet(&self, fleet: &mut FleetTrace) -> InjectionSummary {
+        let mut total = InjectionSummary::default();
+        for (i, box_trace) in fleet.boxes.iter_mut().enumerate() {
+            total.merge(&self.inject_box(box_trace, i));
+        }
+        total
+    }
+}
+
+/// Replaces isolated samples with spike readings; returns how many.
+fn inject_spikes(series: &mut [f64], cfg: &SensorFaultConfig, rng: &mut StdRng) -> usize {
+    let mut injected = 0;
+    for v in series.iter_mut() {
+        if v.is_nan() {
+            continue;
+        }
+        if rng.gen::<f64>() < cfg.spike_probability {
+            let factor = rng.gen_range(cfg.spike_factor.0..=cfg.spike_factor.1);
+            *v *= factor;
+            injected += 1;
+        }
+    }
+    injected
+}
+
+/// Freezes at most one run of the series at its preceding reading;
+/// returns how many samples were frozen.
+fn inject_stuck_run(series: &mut [f64], cfg: &SensorFaultConfig, rng: &mut StdRng) -> usize {
+    // Draw the per-series coin and the run geometry unconditionally so the
+    // RNG stream (and thus every later fault) is independent of whether
+    // this particular series freezes.
+    let frozen = rng.gen::<f64>() < cfg.stuck_probability;
+    if series.len() < 2 {
+        return 0;
+    }
+    let len = rng
+        .gen_range(cfg.stuck_len.0..=cfg.stuck_len.1)
+        .min(series.len() - 1);
+    let start = rng.gen_range(1..=series.len() - len);
+    if !frozen {
+        return 0;
+    }
+    let held = series[start - 1];
+    if held.is_nan() {
+        return 0;
+    }
+    let mut injected = 0;
+    for v in &mut series[start..start + len] {
+        if !v.is_nan() {
+            *v = held;
+            injected += 1;
+        }
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_box, FleetConfig};
+
+    fn clean_box(seed_index: usize) -> BoxTrace {
+        generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days: 3,
+                gap_probability: 0.0,
+                ..FleetConfig::default()
+            },
+            seed_index,
+        )
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_index() {
+        let plan = FaultPlan::default();
+        let mut a = clean_box(0);
+        let mut b = clean_box(0);
+        let sa = plan.inject_box(&mut a, 7);
+        let sb = plan.inject_box(&mut b, 7);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // A different box index yields different faults.
+        let mut c = clean_box(0);
+        plan.inject_box(&mut c, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gap_bursts_blank_runs_across_all_series() {
+        let plan = FaultPlan::gaps_only(42);
+        let mut b = clean_box(1);
+        let summary = plan.inject_box(&mut b, 0);
+        assert!(summary.gap_samples > 0, "no gaps injected");
+        assert_eq!(summary.spike_samples, 0);
+        assert_eq!(summary.churn_samples, 0);
+        assert!(b.has_gaps());
+        // A gap burst hits CPU and RAM of every VM in the same windows.
+        let windows = b.window_count();
+        for t in 0..windows {
+            let gapped: Vec<bool> = b
+                .vms
+                .iter()
+                .flat_map(|vm| [vm.cpu_usage[t].is_nan(), vm.ram_usage[t].is_nan()])
+                .collect();
+            assert!(
+                gapped.iter().all(|&g| g) || gapped.iter().all(|&g| !g),
+                "window {t} only partially gapped"
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_faults_corrupt_without_gapping() {
+        let plan = FaultPlan {
+            seed: 3,
+            gap_bursts: None,
+            sensor: Some(SensorFaultConfig {
+                spike_probability: 0.05,
+                stuck_probability: 1.0,
+                ..SensorFaultConfig::default()
+            }),
+            churn: None,
+        };
+        let mut b = clean_box(2);
+        let summary = plan.inject_box(&mut b, 0);
+        assert!(summary.spike_samples > 0, "no spikes injected");
+        assert!(summary.stuck_samples > 0, "no stuck runs injected");
+        assert!(!b.has_gaps(), "sensor corruption must not create gaps");
+    }
+
+    #[test]
+    fn stuck_runs_repeat_the_held_reading() {
+        let plan = FaultPlan {
+            seed: 11,
+            gap_bursts: None,
+            sensor: Some(SensorFaultConfig {
+                spike_probability: 0.0,
+                stuck_probability: 1.0,
+                stuck_len: (8, 8),
+                ..SensorFaultConfig::default()
+            }),
+            churn: None,
+        };
+        let mut b = clean_box(3);
+        plan.inject_box(&mut b, 0);
+        // Every series now contains a run of >= 8 identical values.
+        for vm in &b.vms {
+            for series in [&vm.cpu_usage, &vm.ram_usage] {
+                let mut longest = 1;
+                let mut current = 1;
+                for w in series.windows(2) {
+                    if w[0] == w[1] {
+                        current += 1;
+                        longest = longest.max(current);
+                    } else {
+                        current = 1;
+                    }
+                }
+                assert!(longest >= 8, "no stuck run found (longest {longest})");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_blanks_only_edges() {
+        let plan = FaultPlan {
+            seed: 5,
+            gap_bursts: None,
+            sensor: None,
+            churn: Some(ChurnConfig {
+                late_start_probability: 1.0,
+                early_end_probability: 1.0,
+                max_missing_fraction: 0.2,
+            }),
+        };
+        let mut b = clean_box(4);
+        let windows = b.window_count();
+        let summary = plan.inject_box(&mut b, 0);
+        assert_eq!(summary.churned_vms, b.vm_count());
+        assert!(summary.churn_samples > 0);
+        for vm in &b.vms {
+            // NaNs only at a leading and/or trailing run.
+            let first_finite = vm.cpu_usage.iter().position(|v| !v.is_nan()).unwrap();
+            let last_finite =
+                windows - 1 - vm.cpu_usage.iter().rev().position(|v| !v.is_nan()).unwrap();
+            for t in first_finite..=last_finite {
+                assert!(!vm.cpu_usage[t].is_nan(), "interior gap at {t}");
+            }
+            // Churn stays within the configured bound.
+            assert!(first_finite <= (windows as f64 * 0.2) as usize + 1);
+            assert!(windows - 1 - last_finite <= (windows as f64 * 0.2) as usize + 1);
+        }
+    }
+
+    #[test]
+    fn none_plan_injects_nothing() {
+        let plan = FaultPlan::none(0);
+        let mut b = clean_box(5);
+        let before = b.clone();
+        let summary = plan.inject_box(&mut b, 0);
+        assert_eq!(summary.total_samples(), 0);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn fleet_injection_merges_summaries() {
+        let cfg = FleetConfig {
+            num_boxes: 5,
+            days: 1,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        };
+        let mut fleet = crate::generate_fleet(&cfg);
+        let plan = FaultPlan::default();
+        let total = plan.inject_fleet(&mut fleet);
+        let mut merged = InjectionSummary::default();
+        let mut fleet2 = crate::generate_fleet(&cfg);
+        for (i, b) in fleet2.boxes.iter_mut().enumerate() {
+            merged.merge(&plan.inject_box(b, i));
+        }
+        assert_eq!(total, merged);
+        assert_eq!(fleet, fleet2);
+        assert!(total.total_samples() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spike probability out of range")]
+    fn invalid_plan_rejected() {
+        let plan = FaultPlan {
+            sensor: Some(SensorFaultConfig {
+                spike_probability: 2.0,
+                ..SensorFaultConfig::default()
+            }),
+            ..FaultPlan::default()
+        };
+        plan.inject_box(&mut clean_box(6), 0);
+    }
+}

@@ -24,7 +24,9 @@
 //!
 //! All generation is deterministic given [`FleetConfig::seed`]. Real
 //! monitoring exports can be loaded instead of generating: see [`io`]
-//! for the JSON and CSV interchange formats.
+//! for the JSON and CSV interchange formats. The [`inject`] module layers
+//! deterministic faults (gap bursts, sensor corruption, VM churn) on top
+//! of any trace for robustness testing.
 //!
 //! # Example
 //!
@@ -42,11 +44,13 @@
 #![warn(missing_docs)]
 
 mod generator;
+pub mod inject;
 pub mod io;
 pub mod profile;
 mod resource;
 mod trace;
 
 pub use generator::{generate_box, generate_fleet, FleetConfig};
+pub use inject::{FaultPlan, InjectionSummary};
 pub use resource::Resource;
 pub use trace::{BoxTrace, FleetTrace, SeriesKey, VmTrace};

@@ -1,0 +1,147 @@
+//! Fault-tolerant online management — degrade, don't abort.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+//!
+//! Injects seeded monitoring gap bursts into a clean 7-day trace, then
+//! rolls ATM's online loop along it while pushing every capacity change
+//! through a simulated cgroups daemon that transiently fails 20% of the
+//! time (and occasionally lands only a partial apply). The loop imputes
+//! the gaps, retries the daemon, and finishes every window — the run
+//! ends with the degradation bill instead of an error.
+
+use atm::core::actuate::{ActuationError, CapacityActuator};
+use atm::core::config::{AtmConfig, TemporalModel};
+use atm::core::online::{run_online_with_actuator, WindowStatus};
+use atm::mediawiki::actuator::{
+    CapacityActuator as SimCapacityActuator, FlakyActuator, FlakyConfig, SimulatedCgroups,
+};
+use atm::mediawiki::cluster::{Cluster, Node};
+use atm::mediawiki::vm::SimVm;
+use atm::mediawiki::SimError;
+use atm::tracegen::{generate_box, FaultPlan, FleetConfig};
+
+/// Adapts the MediaWiki simulator's actuator to the minimal trait the
+/// online loop drives: transient simulator faults stay retryable,
+/// everything else is permanent.
+struct SimBridge<A: SimCapacityActuator>(A);
+
+impl<A: SimCapacityActuator> CapacityActuator for SimBridge<A> {
+    fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError> {
+        match self.0.apply(caps) {
+            Ok(_) => Ok(()),
+            Err(SimError::Transient(what)) => Err(ActuationError::Transient(what.to_string())),
+            Err(e) => Err(ActuationError::Permanent(e.to_string())),
+        }
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.0.current()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace = generate_box(
+        &FleetConfig {
+            num_boxes: 1,
+            days: 7,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        },
+        11,
+    );
+    let injected = FaultPlan::gaps_only(0xFA_0175).inject_box(&mut trace, 0);
+    println!(
+        "box `{}`: {} VMs, 7-day trace; injected {} gap samples across all series\n",
+        trace.name,
+        trace.vm_count(),
+        injected.gap_samples
+    );
+
+    // One simulated hypervisor enforcing the box's CPU caps, wrapped in
+    // a flaky layer: 20% full transient failures, 5% partial applies.
+    let cluster = Cluster {
+        nodes: vec![Node {
+            name: "hypervisor".into(),
+            cores: trace.cpu_capacity_ghz,
+        }],
+        vms: trace
+            .vms
+            .iter()
+            .map(|vm| SimVm::new(vm.name.clone(), 0, vm.cpu_capacity_ghz))
+            .collect(),
+    };
+    let flaky = FlakyActuator::new(
+        SimulatedCgroups::new(cluster),
+        FlakyConfig {
+            failure_probability: 0.2,
+            partial_probability: 0.05,
+            seed: 0xF1A_C7,
+        },
+    )?;
+    let mut actuator = SimBridge(flaky);
+
+    let config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 2 * 96,
+        horizon: 96,
+        ..AtmConfig::default()
+    };
+    let report = run_online_with_actuator(&trace, &config, &mut actuator)?;
+
+    println!(
+        "{:>4} {:>9} {:>8} {:>17}  {}",
+        "day", "status", "applies", "tickets (b->a)", "detail"
+    );
+    for w in &report.windows {
+        let (tag, detail) = match &w.status {
+            WindowStatus::Ok => ("ok", String::new()),
+            WindowStatus::Degraded { reason } => ("degraded", reason.clone()),
+            WindowStatus::Skipped { reason } => ("skipped", reason.clone()),
+        };
+        println!(
+            "{:>4} {:>9} {:>8} {:>10} -> {:<4}  {}",
+            w.window + 1,
+            tag,
+            w.actuation_attempts,
+            w.tickets_before,
+            w.tickets_after,
+            detail
+        );
+    }
+
+    let d = &report.degradation;
+    println!("\ndegradation summary");
+    println!(
+        "  windows: {} total = {} ok + {} degraded + {} skipped",
+        d.windows_total, d.windows_ok, d.windows_degraded, d.windows_skipped
+    );
+    println!(
+        "  imputation: {} windows, {} gap samples filled",
+        d.imputed_windows, d.imputed_samples
+    );
+    println!(
+        "  actuation: {} retries, {} windows failed all attempts, {} safe-mode entries",
+        d.actuation_retries, d.actuation_failures, d.safe_mode_entries
+    );
+    println!(
+        "  injected by the daemon: {} full failures, {} partial applies",
+        actuator.0.failures_injected(),
+        actuator.0.partials_injected()
+    );
+    println!(
+        "  tickets in non-ok windows: {} -> {}",
+        d.degraded_tickets_before, d.degraded_tickets_after
+    );
+    println!(
+        "\noverall: {} -> {} tickets ({})",
+        report.total_before(),
+        report.total_after(),
+        report
+            .overall_reduction_pct()
+            .map(|r| format!("{r:.0}% reduction"))
+            .unwrap_or_else(|| "no tickets".into())
+    );
+    Ok(())
+}

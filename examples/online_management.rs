@@ -45,12 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "day", "APE", "CPU tickets (b->a)", "RAM tickets (b->a)"
     );
     for w in &report.windows {
-        let cpu = &w.report.resizing[0].atm;
-        let ram = &w.report.resizing[1].atm;
+        let Some(day) = &w.report else {
+            println!("{:>5} skipped: {:?}", w.window + 1, w.status);
+            continue;
+        };
+        let cpu = &day.resizing[0].atm;
+        let ram = &day.resizing[1].atm;
         println!(
             "{:>5} {:>9.1}% {:>12} -> {:<7} {:>12} -> {:<7}",
             w.window + 1,
-            w.report.prediction.mape_all * 100.0,
+            day.prediction.mape_all * 100.0,
             cpu.before,
             cpu.after,
             ram.before,
