@@ -1,0 +1,395 @@
+//! DTW kernel and distance-matrix benchmark: times the naive DP against
+//! the optimized [`DtwKernel`] and the sequential matrix build against
+//! `build_parallel`, then writes a machine-readable report (the
+//! `BENCH_PIPELINE.json` at the repo root; schema in `BENCHMARKS.md`).
+//!
+//! ```sh
+//! cargo run --release -p atm-bench --bin bench -- --quick --out bench-quick.json
+//! cargo run --release -p atm-bench --bin bench -- --full --out BENCH_PIPELINE.json
+//! cargo run --release -p atm-bench --bin bench -- --check BENCH_PIPELINE.json
+//! ```
+//!
+//! Every timed leg recomputes the same distances; the binary asserts all
+//! legs agree bit-for-bit before reporting, so a report is also a
+//! determinism proof for the host it ran on.
+
+use std::time::Instant;
+
+use atm_clustering::dtw::dtw_distance;
+use atm_clustering::kernel::DtwKernel;
+use atm_clustering::DistanceMatrix;
+
+/// Schema version written into the report; bump when fields change.
+const SCHEMA_VERSION: u64 = 1;
+
+/// Timed matrix-build leg.
+struct MatrixLeg {
+    threads: usize,
+    kernel: &'static str,
+    build_ms: f64,
+    speedup_vs_sequential_naive: f64,
+}
+
+/// Full report, rendered by [`render_json`].
+struct BenchReport {
+    scale: &'static str,
+    host_cpus: usize,
+    series_count: usize,
+    series_len: usize,
+    reps: usize,
+    kernel_naive_ms: f64,
+    kernel_optimized_ms: f64,
+    nn_naive_ms: f64,
+    nn_bounded_ms: f64,
+    nn_abandoned_pairs: usize,
+    nn_total_pairs: usize,
+    matrix: Vec<MatrixLeg>,
+    distance_checksum: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--full" => quick = false,
+            "--out" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+                out = Some(args[i].clone());
+            }
+            "--check" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--check requires a path");
+                    std::process::exit(2);
+                }
+                check = Some(args[i].clone());
+            }
+            "--help" | "-h" => {
+                println!("usage: bench [--quick|--full] [--out PATH] [--check PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = check {
+        match check_file(&path) {
+            Ok(()) => {
+                println!("{path}: valid bench report");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: invalid bench report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = run(quick);
+    let json = render_json(&report);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Deterministic synthetic demand-like series (sinusoid + hash noise);
+/// DTW cost depends only on lengths, so these time the kernels honestly.
+fn series(len: usize, seed: u64) -> Vec<f64> {
+    (0..len)
+        .map(|t| {
+            let mut z = (t as u64 + 1).wrapping_mul(seed.wrapping_add(0x9E3779B97F4A7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let noise = ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            50.0 + 20.0 * (t as f64 * 0.13 + seed as f64).sin() + 5.0 * noise
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(value);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn run(quick: bool) -> BenchReport {
+    let (series_count, series_len, reps) = if quick { (16, 192, 3) } else { (64, 576, 3) };
+    let set: Vec<Vec<f64>> = (0..series_count)
+        .map(|i| series(series_len, i as u64 * 131 + 7))
+        .collect();
+    let n = set.len();
+
+    // Kernel leg: all upper-triangle pairs, single thread.
+    let (kernel_naive_ms, naive_matrix) = time_best(reps, || {
+        DistanceMatrix::build(n, |i, j| dtw_distance(&set[i], &set[j])).expect("valid series")
+    });
+    let (kernel_optimized_ms, _) = time_best(reps, || {
+        let mut kernel = DtwKernel::new();
+        DistanceMatrix::build(n, |i, j| kernel.distance(&set[i], &set[j])).expect("valid series")
+    });
+
+    // Nearest-neighbour leg: early abandonment has a best-so-far to beat.
+    let (nn_naive_ms, naive_nn) = time_best(reps, || {
+        (0..n)
+            .map(|i| {
+                let mut best = f64::INFINITY;
+                for j in 0..n {
+                    if i != j {
+                        best = best.min(dtw_distance(&set[i], &set[j]).expect("valid series"));
+                    }
+                }
+                best
+            })
+            .collect::<Vec<f64>>()
+    });
+    let (nn_bounded_ms, (bounded_nn, nn_abandoned_pairs)) = time_best(reps, || {
+        let mut kernel = DtwKernel::new();
+        let mut abandoned = 0usize;
+        let bests = (0..n)
+            .map(|i| {
+                let mut best = f64::INFINITY;
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    match kernel
+                        .distance_bounded(&set[i], &set[j], best)
+                        .expect("valid series")
+                    {
+                        Some(d) => best = best.min(d),
+                        None => abandoned += 1,
+                    }
+                }
+                best
+            })
+            .collect::<Vec<f64>>();
+        (bests, abandoned)
+    });
+    assert_eq!(
+        naive_nn.len(),
+        bounded_nn.len(),
+        "nearest-neighbour legs diverged"
+    );
+    for (a, b) in naive_nn.iter().zip(&bounded_nn) {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "early abandonment changed a result"
+        );
+    }
+
+    // Matrix legs: sequential baseline, then the parallel build across
+    // thread counts with both kernels. All legs must agree bit-for-bit.
+    let mut matrix = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        for kernel_name in ["naive", "optimized"] {
+            let (build_ms, built) = if kernel_name == "naive" {
+                time_best(reps, || {
+                    DistanceMatrix::build_parallel(n, threads, |i, j| {
+                        dtw_distance(&set[i], &set[j])
+                    })
+                    .expect("valid series")
+                })
+            } else {
+                time_best(reps, || {
+                    DistanceMatrix::build_parallel_with(n, threads, DtwKernel::new, |k, i, j| {
+                        k.distance(&set[i], &set[j])
+                    })
+                    .expect("valid series")
+                })
+            };
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        naive_matrix.get(i, j).to_bits(),
+                        built.get(i, j).to_bits(),
+                        "matrix leg threads={threads} kernel={kernel_name} diverged"
+                    );
+                }
+            }
+            matrix.push(MatrixLeg {
+                threads,
+                kernel: kernel_name,
+                build_ms,
+                speedup_vs_sequential_naive: kernel_naive_ms / build_ms.max(1e-9),
+            });
+        }
+    }
+
+    let mut distance_checksum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            distance_checksum += naive_matrix.get(i, j);
+        }
+    }
+
+    BenchReport {
+        scale: if quick { "quick" } else { "full" },
+        host_cpus: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        series_count,
+        series_len,
+        reps,
+        kernel_naive_ms,
+        kernel_optimized_ms,
+        nn_naive_ms,
+        nn_bounded_ms,
+        nn_abandoned_pairs,
+        nn_total_pairs: n * (n - 1),
+        matrix,
+        distance_checksum,
+    }
+}
+
+/// Renders the report as JSON. Hand-rolled (every value is a finite
+/// number or a fixed string, so no escaping is needed); the schema is
+/// documented in `BENCHMARKS.md` and validated by `--check`.
+fn render_json(r: &BenchReport) -> String {
+    let mut legs = String::new();
+    for (i, leg) in r.matrix.iter().enumerate() {
+        if i > 0 {
+            legs.push_str(",\n");
+        }
+        legs.push_str(&format!(
+            "    {{\"threads\": {}, \"kernel\": \"{}\", \"build_ms\": {}, \
+             \"speedup_vs_sequential_naive\": {}}}",
+            leg.threads, leg.kernel, leg.build_ms, leg.speedup_vs_sequential_naive
+        ));
+    }
+    format!(
+        "{{\n\
+         \x20 \"schema_version\": {},\n\
+         \x20 \"scale\": \"{}\",\n\
+         \x20 \"host_cpus\": {},\n\
+         \x20 \"series_count\": {},\n\
+         \x20 \"series_len\": {},\n\
+         \x20 \"reps\": {},\n\
+         \x20 \"kernel\": {{\"naive_ms\": {}, \"optimized_ms\": {}, \"speedup\": {}}},\n\
+         \x20 \"nn_early_abandon\": {{\"naive_ms\": {}, \"bounded_ms\": {}, \"speedup\": {}, \
+         \"abandoned_pairs\": {}, \"total_pairs\": {}}},\n\
+         \x20 \"matrix\": [\n{}\n  ],\n\
+         \x20 \"distance_checksum\": {}\n\
+         }}\n",
+        SCHEMA_VERSION,
+        r.scale,
+        r.host_cpus,
+        r.series_count,
+        r.series_len,
+        r.reps,
+        r.kernel_naive_ms,
+        r.kernel_optimized_ms,
+        r.kernel_naive_ms / r.kernel_optimized_ms.max(1e-9),
+        r.nn_naive_ms,
+        r.nn_bounded_ms,
+        r.nn_naive_ms / r.nn_bounded_ms.max(1e-9),
+        r.nn_abandoned_pairs,
+        r.nn_total_pairs,
+        legs,
+        r.distance_checksum,
+    )
+}
+
+/// Validates that `path` holds a parseable bench report with the
+/// documented fields (used by CI after a `--quick` smoke run, and
+/// against the committed `BENCH_PIPELINE.json`).
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let obj = v.as_object().ok_or("top level is not an object")?;
+    for key in [
+        "schema_version",
+        "host_cpus",
+        "series_count",
+        "series_len",
+        "reps",
+    ] {
+        if !obj.get(key).is_some_and(serde_json::Value::is_u64) {
+            return Err(format!("missing or non-integer field `{key}`"));
+        }
+    }
+    if !obj.get("scale").is_some_and(serde_json::Value::is_string) {
+        return Err("missing or non-string field `scale`".into());
+    }
+    for (group, fields) in [
+        ("kernel", &["naive_ms", "optimized_ms", "speedup"][..]),
+        (
+            "nn_early_abandon",
+            &[
+                "naive_ms",
+                "bounded_ms",
+                "speedup",
+                "abandoned_pairs",
+                "total_pairs",
+            ][..],
+        ),
+    ] {
+        let g = obj
+            .get(group)
+            .and_then(serde_json::Value::as_object)
+            .ok_or_else(|| format!("missing object `{group}`"))?;
+        for f in fields {
+            if !g.get(*f).is_some_and(serde_json::Value::is_number) {
+                return Err(format!("missing or non-numeric field `{group}.{f}`"));
+            }
+        }
+    }
+    let legs = obj
+        .get("matrix")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing array `matrix`")?;
+    if legs.is_empty() {
+        return Err("`matrix` has no legs".into());
+    }
+    for (i, leg) in legs.iter().enumerate() {
+        let leg = leg
+            .as_object()
+            .ok_or_else(|| format!("matrix[{i}] is not an object"))?;
+        if !leg.get("threads").is_some_and(serde_json::Value::is_u64) {
+            return Err(format!("matrix[{i}].threads missing or non-integer"));
+        }
+        if !leg.get("kernel").is_some_and(serde_json::Value::is_string) {
+            return Err(format!("matrix[{i}].kernel missing or non-string"));
+        }
+        for f in ["build_ms", "speedup_vs_sequential_naive"] {
+            if !leg.get(f).is_some_and(serde_json::Value::is_number) {
+                return Err(format!("matrix[{i}].{f} missing or non-numeric"));
+            }
+        }
+    }
+    if !obj
+        .get("distance_checksum")
+        .is_some_and(serde_json::Value::is_number)
+    {
+        return Err("missing or non-numeric field `distance_checksum`".into());
+    }
+    Ok(())
+}

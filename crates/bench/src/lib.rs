@@ -21,6 +21,17 @@
 //!   cargo run --release -p atm-bench --bin ablations -- --quick
 //!   ```
 //!
+//! - The `bench` binary times the optimized DTW kernel against the naive
+//!   DP and the parallel distance-matrix build against the sequential
+//!   one, writing the machine-readable report committed as
+//!   `BENCH_PIPELINE.json` at the repo root (schema and measured numbers
+//!   in `BENCHMARKS.md`):
+//!
+//!   ```sh
+//!   cargo run --release -p atm-bench --bin bench -- --full --out BENCH_PIPELINE.json
+//!   cargo run --release -p atm-bench --bin bench -- --check BENCH_PIPELINE.json
+//!   ```
+//!
 //! - The Criterion benches (`cargo bench -p atm-bench`) quantify the
 //!   paper's "low computational overhead" claims: DTW scaling, clustering
 //!   cost per box, CBC vs DTW, greedy resize vs the exact MCKP oracle,

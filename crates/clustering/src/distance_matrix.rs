@@ -1,3 +1,5 @@
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::ClusteringError;
@@ -55,6 +57,106 @@ impl DistanceMatrix {
             }
         }
         Ok(m)
+    }
+
+    /// Builds the matrix like [`DistanceMatrix::build`], but shards the
+    /// condensed upper-triangle across `threads` scoped worker threads.
+    /// See [`DistanceMatrix::build_parallel_with`] for the semantics.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusteringError::Empty`] if `n == 0`.
+    /// - The error of the smallest failing pair index, as in the
+    ///   sequential builder.
+    pub fn build_parallel<E, F>(n: usize, threads: usize, dist: F) -> Result<Self, E>
+    where
+        E: From<ClusteringError> + Send,
+        F: Fn(usize, usize) -> Result<f64, E> + Sync,
+    {
+        Self::build_parallel_with(n, threads, || (), |(), i, j| dist(i, j))
+    }
+
+    /// Parallel matrix build with per-thread worker state (e.g. a reusable
+    /// [`DtwKernel`](crate::kernel::DtwKernel)): `state()` is invoked once
+    /// per worker, and `dist(&mut state, i, j)` fills every pair `i < j`.
+    ///
+    /// The condensed storage is split into contiguous chunks, one per
+    /// worker, so results land exactly where the sequential builder would
+    /// put them — the output is identical to [`DistanceMatrix::build`]
+    /// for any thread count (including the propagated error, which is
+    /// deterministically the one with the smallest pair index: each
+    /// worker stops its chunk at its first failure and the smallest index
+    /// across workers wins). `threads <= 1` runs inline without spawning.
+    ///
+    /// # Errors
+    ///
+    /// - [`ClusteringError::Empty`] if `n == 0`.
+    /// - The `dist` error of the smallest failing pair index.
+    pub fn build_parallel_with<S, E, F, G>(
+        n: usize,
+        threads: usize,
+        state: G,
+        dist: F,
+    ) -> Result<Self, E>
+    where
+        E: From<ClusteringError> + Send,
+        G: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, usize) -> Result<f64, E> + Sync,
+    {
+        if n == 0 {
+            return Err(ClusteringError::Empty.into());
+        }
+        let mut m = DistanceMatrix::zeros(n);
+        let len = m.data.len();
+        let threads = threads.max(1).min(len.max(1));
+        if threads <= 1 {
+            let mut s = state();
+            let mut cells = m.data.iter_mut();
+            for i in 0..n {
+                for j in i + 1..n {
+                    *cells.next().expect("condensed storage covers all pairs") =
+                        dist(&mut s, i, j)?;
+                }
+            }
+            return Ok(m);
+        }
+        let chunk = len.div_ceil(threads);
+        // First error by smallest pair index — deterministic across runs.
+        let first_err: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (c, slice) in m.data.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                let first_err = &first_err;
+                let state = &state;
+                let dist = &dist;
+                scope.spawn(move || {
+                    let mut s = state();
+                    let (mut i, mut j) = pair_at(n, start);
+                    for (offset, cell) in slice.iter_mut().enumerate() {
+                        match dist(&mut s, i, j) {
+                            Ok(d) => *cell = d,
+                            Err(e) => {
+                                let t = start + offset;
+                                let mut guard = first_err.lock().expect("no panics under the lock");
+                                if guard.as_ref().is_none_or(|&(seen, _)| t < seen) {
+                                    *guard = Some((t, e));
+                                }
+                                break;
+                            }
+                        }
+                        j += 1;
+                        if j == n {
+                            i += 1;
+                            j = i + 1;
+                        }
+                    }
+                });
+            }
+        });
+        match first_err.into_inner().expect("threads joined") {
+            Some((_, e)) => Err(e),
+            None => Ok(m),
+        }
     }
 
     /// Number of items.
@@ -131,9 +233,103 @@ impl DistanceMatrix {
     }
 }
 
+/// Decodes the `(i, j)` pair at condensed linear index `t` for an
+/// `n × n` matrix (row `i` starts at offset `i*n − i*(i+1)/2`).
+fn pair_at(n: usize, t: usize) -> (usize, usize) {
+    let mut i = 0usize;
+    let mut row_start = 0usize;
+    loop {
+        debug_assert!(i + 1 < n, "index {t} beyond the condensed triangle");
+        let row_len = n - i - 1;
+        if t < row_start + row_len {
+            return (i, i + 1 + (t - row_start));
+        }
+        row_start += row_len;
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pair_decoding_roundtrips() {
+        for n in [2usize, 3, 5, 9] {
+            let mut t = 0usize;
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(pair_at(n, t), (i, j), "n={n} t={t}");
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let dist = |i: usize, j: usize| Ok::<f64, ClusteringError>((i * 31 + j) as f64 * 0.5);
+        for n in [1usize, 2, 3, 7, 12] {
+            let seq = DistanceMatrix::build(n, dist).unwrap();
+            for threads in [1usize, 2, 3, 8, 64] {
+                let par = DistanceMatrix::build_parallel(n, threads, dist).unwrap();
+                assert_eq!(seq, par, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_uses_per_thread_state() {
+        let instantiated = AtomicUsize::new(0);
+        let par = DistanceMatrix::build_parallel_with(
+            10,
+            4,
+            || {
+                instantiated.fetch_add(1, Ordering::Relaxed);
+                0usize // per-worker call counter
+            },
+            |calls, i, j| {
+                *calls += 1;
+                Ok::<f64, ClusteringError>((i + j) as f64)
+            },
+        )
+        .unwrap();
+        assert_eq!(par.get(2, 7), 9.0);
+        let states = instantiated.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&states),
+            "expected <= 4 worker states, got {states}"
+        );
+    }
+
+    #[test]
+    fn parallel_build_reports_smallest_failing_pair() {
+        // Pairs (1, 3) and (5, 6) fail; every thread count must surface
+        // the same (smallest-index) error as the sequential builder.
+        let dist = |i: usize, j: usize| {
+            if (i, j) == (1, 3) || (i, j) == (5, 6) {
+                Err(ClusteringError::SizeMismatch {
+                    expected: i,
+                    actual: j,
+                })
+            } else {
+                Ok((i + j) as f64)
+            }
+        };
+        let seq = DistanceMatrix::build(8, dist).unwrap_err();
+        for threads in [1usize, 2, 4, 16] {
+            let par = DistanceMatrix::build_parallel(8, threads, dist).unwrap_err();
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_rejects_empty() {
+        assert!(
+            DistanceMatrix::build_parallel(0, 4, |_, _| Ok::<f64, ClusteringError>(0.0)).is_err()
+        );
+    }
 
     #[test]
     fn symmetric_storage() {

@@ -211,6 +211,34 @@ pub fn cluster_with_silhouette(
     k_min: usize,
     k_max: usize,
 ) -> ClusteringResult<SelectedClustering> {
+    select_with_silhouette(distances, linkage, k_min, k_max, 1)
+}
+
+/// [`cluster_with_silhouette`] with candidate `k` values evaluated on up
+/// to `threads` worker threads. Candidates are folded back in ascending-`k`
+/// order, so the selected clustering (and any error) is identical to the
+/// sequential version for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`cluster_with_silhouette`].
+pub fn cluster_with_silhouette_threaded(
+    distances: &DistanceMatrix,
+    linkage: Linkage,
+    k_min: usize,
+    k_max: usize,
+    threads: usize,
+) -> ClusteringResult<SelectedClustering> {
+    select_with_silhouette(distances, linkage, k_min, k_max, threads)
+}
+
+fn select_with_silhouette(
+    distances: &DistanceMatrix,
+    linkage: Linkage,
+    k_min: usize,
+    k_max: usize,
+    threads: usize,
+) -> ClusteringResult<SelectedClustering> {
     let n = distances.len();
     if n == 0 {
         return Err(ClusteringError::Empty);
@@ -228,14 +256,24 @@ pub fn cluster_with_silhouette(
         ));
     }
     let dendrogram = agglomerate(distances, linkage)?;
+    let evaluated = crate::parallel::map_indexed(
+        k_max - k_min + 1,
+        threads,
+        |idx| -> ClusteringResult<(usize, Clustering, f64)> {
+            let k = k_min + idx;
+            let clustering = dendrogram.cut(k)?;
+            // A cut can return fewer clusters than requested only when
+            // n < k, which the range check precludes; assert in debug
+            // builds.
+            debug_assert_eq!(clustering.k(), k);
+            let s = mean_silhouette(distances, &clustering)?;
+            Ok((k, clustering, s))
+        },
+    );
     let mut best: Option<(Clustering, f64)> = None;
     let mut candidates = Vec::new();
-    for k in k_min..=k_max {
-        let clustering = dendrogram.cut(k)?;
-        // A cut can return fewer clusters than requested only when n < k,
-        // which the range check precludes; assert in debug builds.
-        debug_assert_eq!(clustering.k(), k);
-        let s = mean_silhouette(distances, &clustering)?;
+    for result in evaluated {
+        let (k, clustering, s) = result?;
         candidates.push((k, s));
         if best.as_ref().is_none_or(|&(_, bs)| s > bs) {
             best = Some((clustering, s));
@@ -338,6 +376,17 @@ mod tests {
         // n == 1 shortcut path.
         let sel = sel.unwrap();
         assert_eq!(sel.clustering.k(), 1);
+    }
+
+    #[test]
+    fn threaded_selection_matches_sequential() {
+        let d = two_groups();
+        let seq = cluster_with_silhouette(&d, Linkage::Average, 2, 4).unwrap();
+        for threads in [0usize, 1, 2, 3, 8] {
+            let par =
+                cluster_with_silhouette_threaded(&d, Linkage::Average, 2, 4, threads).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 
     #[test]

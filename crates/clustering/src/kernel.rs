@@ -1,0 +1,533 @@
+//! Optimized DTW kernel: reusable workspaces, unified Sakoe–Chiba
+//! banding, and LB_Kim/LB_Keogh lower bounds with early abandonment.
+//!
+//! [`dtw_distance`](crate::dtw::dtw_distance) reallocates its two DP rows
+//! on every call, which dominates per-box clustering cost when thousands
+//! of pairs are evaluated. [`DtwKernel`] keeps the rows (and the envelope
+//! deques for LB_Keogh) alive across calls, so a matrix build performs no
+//! per-pair allocation after warm-up.
+//!
+//! The kernel is **bit-identical** to the naive references:
+//!
+//! - unbanded, [`DtwKernel::distance`] returns exactly the bits of
+//!   [`dtw_distance`](crate::dtw::dtw_distance) — the DP visits the same
+//!   cells in the same order with the same float operations;
+//! - banded, it returns exactly the bits of
+//!   [`dtw_distance_banded`](crate::dtw::dtw_distance_banded) — the
+//!   full-row `INFINITY` clearing of the reference is replaced by bound
+//!   guards that substitute `INFINITY` for every cell the reference would
+//!   have cleared.
+//!
+//! [`DtwKernel::distance_bounded`] additionally abandons a pair early
+//! when a *sound* lower bound proves its distance cannot beat a running
+//! best-so-far (nearest-neighbour style workloads). Abandonment is
+//! conservative under floating point: LB_Kim and the per-row DP minimum
+//! are exact lower bounds of the accumulated DP value, and LB_Keogh is
+//! derated by [`KEOGH_MARGIN`] to absorb summation-order rounding, so a
+//! pair whose true distance beats the bound is never abandoned.
+
+use crate::error::{ClusteringError, ClusteringResult};
+
+/// Relative derating applied to LB_Keogh before comparing against the
+/// best-so-far. The Keogh sum and the DP accumulate the same non-negative
+/// terms in different orders, so they can disagree by a few ULPs; scaling
+/// the bound down by `1e-9` (orders of magnitude above the worst-case
+/// relative summation error for any realistic series length) guarantees a
+/// pair is only abandoned when its true distance exceeds best-so-far.
+pub const KEOGH_MARGIN: f64 = 1e-9;
+
+/// A reusable DTW kernel. Create once (per thread), call
+/// [`distance`](DtwKernel::distance) /
+/// [`distance_bounded`](DtwKernel::distance_bounded) many times.
+#[derive(Debug, Clone)]
+pub struct DtwKernel {
+    band: Option<usize>,
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+    // Monotonic index deques for the O(n + m) LB_Keogh envelopes.
+    max_deque: Vec<usize>,
+    min_deque: Vec<usize>,
+}
+
+impl Default for DtwKernel {
+    fn default() -> Self {
+        DtwKernel::new()
+    }
+}
+
+impl DtwKernel {
+    /// An exact (unbanded) kernel, bit-identical to
+    /// [`dtw_distance`](crate::dtw::dtw_distance).
+    pub fn new() -> Self {
+        DtwKernel {
+            band: None,
+            prev: Vec::new(),
+            curr: Vec::new(),
+            max_deque: Vec::new(),
+            min_deque: Vec::new(),
+        }
+    }
+
+    /// A kernel restricted to a Sakoe–Chiba band of half-width `band`,
+    /// bit-identical to
+    /// [`dtw_distance_banded`](crate::dtw::dtw_distance_banded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::InvalidParameter`] if `band == 0`.
+    pub fn banded(band: usize) -> ClusteringResult<Self> {
+        if band == 0 {
+            return Err(ClusteringError::InvalidParameter("band must be positive"));
+        }
+        Ok(DtwKernel {
+            band: Some(band),
+            ..DtwKernel::new()
+        })
+    }
+
+    /// The configured Sakoe–Chiba half-width (`None` = exact DTW).
+    pub fn band(&self) -> Option<usize> {
+        self.band
+    }
+
+    /// DTW dissimilarity between two series, matching the naive reference
+    /// for this kernel's band configuration bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] if either series is empty.
+    pub fn distance(&mut self, p: &[f64], q: &[f64]) -> ClusteringResult<f64> {
+        self.distance_bounded(p, q, f64::INFINITY)
+            .map(|d| d.expect("an infinite bound never abandons"))
+    }
+
+    /// DTW dissimilarity with early abandonment against `best_so_far`.
+    ///
+    /// Returns `Ok(Some(d))` with the exact (reference-bit-identical)
+    /// distance, or `Ok(None)` when a lower bound or the running DP row
+    /// minimum proves the distance exceeds `best_so_far`. A pair whose
+    /// true distance is `<= best_so_far` is never abandoned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] if either series is empty.
+    pub fn distance_bounded(
+        &mut self,
+        p: &[f64],
+        q: &[f64],
+        best_so_far: f64,
+    ) -> ClusteringResult<Option<f64>> {
+        if p.is_empty() || q.is_empty() {
+            return Err(ClusteringError::Empty);
+        }
+        if best_so_far.is_finite() {
+            // Cheap O(1) bound first, then the O(n + m) envelope bound.
+            if kim_bound(p, q) > best_so_far {
+                return Ok(None);
+            }
+            let w = self.envelope_width(p.len(), q.len());
+            let keogh = self.keogh_bound(p, q, w);
+            if keogh * (1.0 - KEOGH_MARGIN) > best_so_far {
+                return Ok(None);
+            }
+        }
+        Ok(match self.band {
+            None => {
+                // Keep the shorter series inner, exactly as the naive DP
+                // does; squared costs make the swap bit-exact.
+                let (outer, inner) = if p.len() >= q.len() { (p, q) } else { (q, p) };
+                if best_so_far.is_finite() {
+                    self.dp(outer, inner, inner.len(), best_so_far)
+                } else {
+                    // No bound to abandon against: take the tight full-DP
+                    // path with no band guards or row-minimum tracking.
+                    Some(self.dp_full(outer, inner))
+                }
+            }
+            Some(band) => {
+                let w = band.max(p.len().abs_diff(q.len()));
+                self.dp(p, q, w, best_so_far)
+            }
+        })
+    }
+
+    /// LB_Kim: the summed costs of the two path endpoints, which lie on
+    /// every warping path. An exact (never-over-estimating, including
+    /// under floating point) lower bound on [`DtwKernel::distance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] if either series is empty.
+    pub fn lb_kim(&self, p: &[f64], q: &[f64]) -> ClusteringResult<f64> {
+        if p.is_empty() || q.is_empty() {
+            return Err(ClusteringError::Empty);
+        }
+        Ok(kim_bound(p, q))
+    }
+
+    /// LB_Keogh: the summed out-of-envelope costs of `p` against the
+    /// band-windowed min/max envelopes of `q`. Lower-bounds the true
+    /// distance mathematically; derate by [`KEOGH_MARGIN`] before using
+    /// it to abandon (as [`DtwKernel::distance_bounded`] does) to absorb
+    /// summation-order rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] if either series is empty.
+    pub fn lb_keogh(&mut self, p: &[f64], q: &[f64]) -> ClusteringResult<f64> {
+        if p.is_empty() || q.is_empty() {
+            return Err(ClusteringError::Empty);
+        }
+        let w = self.envelope_width(p.len(), q.len());
+        Ok(self.keogh_bound(p, q, w))
+    }
+
+    /// Nearest neighbour of `query` in `corpus` under this kernel's DTW,
+    /// using lower-bounded early abandonment. Returns the same
+    /// `(index, distance)` (bit-identical) as a full linear scan keeping
+    /// the first strict minimum; `None` for an empty corpus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusteringError::Empty`] if the query or any corpus
+    /// series is empty.
+    pub fn nearest(
+        &mut self,
+        query: &[f64],
+        corpus: &[Vec<f64>],
+    ) -> ClusteringResult<Option<(usize, f64)>> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, candidate) in corpus.iter().enumerate() {
+            let bound = best.map_or(f64::INFINITY, |(_, d)| d);
+            if let Some(d) = self.distance_bounded(query, candidate, bound)? {
+                if d < bound {
+                    best = Some((i, d));
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Envelope window half-width matching this kernel's DP geometry.
+    fn envelope_width(&self, n: usize, m: usize) -> usize {
+        match self.band {
+            // Full DP: every column is reachable from every row.
+            None => m,
+            Some(band) => band.max(n.abs_diff(m)),
+        }
+    }
+
+    /// LB_Keogh sum for band half-width `w` over the reference band
+    /// geometry (`centre = i * m / n`). O(n + m) via monotonic deques:
+    /// both window bounds are non-decreasing in `i`.
+    fn keogh_bound(&mut self, p: &[f64], q: &[f64], w: usize) -> f64 {
+        let n = p.len();
+        let m = q.len();
+        self.max_deque.clear();
+        self.min_deque.clear();
+        let mut max_head = 0usize;
+        let mut min_head = 0usize;
+        let mut filled = 0usize; // next q index to insert
+        let mut sum = 0.0;
+        for (i, &x) in p.iter().enumerate() {
+            let centre = i * m / n;
+            let lo = centre.saturating_sub(w);
+            let hi = (centre + w).min(m - 1);
+            while filled <= hi {
+                let v = q[filled];
+                while self.max_deque.len() > max_head
+                    && q[*self.max_deque.last().expect("len > head")] <= v
+                {
+                    self.max_deque.pop();
+                }
+                self.max_deque.push(filled);
+                while self.min_deque.len() > min_head
+                    && q[*self.min_deque.last().expect("len > head")] >= v
+                {
+                    self.min_deque.pop();
+                }
+                self.min_deque.push(filled);
+                filled += 1;
+            }
+            while self.max_deque[max_head] < lo {
+                max_head += 1;
+            }
+            while self.min_deque[min_head] < lo {
+                min_head += 1;
+            }
+            let upper = q[self.max_deque[max_head]];
+            let lower = q[self.min_deque[min_head]];
+            if x > upper {
+                let d = x - upper;
+                sum += d * d;
+            } else if x < lower {
+                let d = lower - x;
+                sum += d * d;
+            }
+        }
+        sum
+    }
+
+    /// The full (unbanded, unbounded) two-row DP, bit-exact to
+    /// [`dtw_distance`](crate::dtw::dtw_distance): the first row and
+    /// first column are peeled out of the hot loop so the remaining
+    /// cells evaluate exactly the reference's `diag.min(up).min(left)`
+    /// chain with no branches and no bounds checks.
+    fn dp_full(&mut self, outer: &[f64], inner: &[f64]) -> f64 {
+        let m = inner.len();
+        // Stale contents are never read: every cell is written before
+        // any read in this call.
+        self.prev.resize(m, f64::INFINITY);
+        self.curr.resize(m, f64::INFINITY);
+
+        // Row 0: only the `left` predecessor exists. The reference's min
+        // chain degenerates to `INFINITY.min(left)`, kept verbatim so
+        // the bits match even for non-finite inputs.
+        let o0 = outer[0];
+        let d0 = o0 - inner[0];
+        let mut left = d0 * d0;
+        self.curr[0] = left;
+        for (&q, c) in inner[1..].iter().zip(self.curr[1..].iter_mut()) {
+            let diff = o0 - q;
+            let value = diff * diff + f64::INFINITY.min(left);
+            *c = value;
+            left = value;
+        }
+        std::mem::swap(&mut self.prev, &mut self.curr);
+
+        for &po in &outer[1..] {
+            // Column 0: `diag` and `left` are out of range.
+            let diff = po - inner[0];
+            let mut left = diff * diff + f64::INFINITY.min(self.prev[0]).min(f64::INFINITY);
+            self.curr[0] = left;
+            // Interior cells: prev.windows(2) yields (diag, up) with no
+            // bounds checks; `left` carries along the row.
+            let prev = &self.prev;
+            for (win, (&q, c)) in prev
+                .windows(2)
+                .zip(inner[1..].iter().zip(self.curr[1..].iter_mut()))
+            {
+                let diff = po - q;
+                let value = diff * diff + win[0].min(win[1]).min(left);
+                *c = value;
+                left = value;
+            }
+            std::mem::swap(&mut self.prev, &mut self.curr);
+        }
+        self.prev[m - 1]
+    }
+
+    /// The banded two-row DP over `(a, b)` with half-width `w`, bit-exact
+    /// to the naive references (see the module docs for the argument).
+    /// Returns `None` when every cell of some row exceeds `best_so_far`
+    /// (only possible when `best_so_far` is finite): every warping path
+    /// crosses every row, and appending non-negative costs never shrinks
+    /// the accumulated value, so the final distance is at least each
+    /// row's minimum — even under floating point.
+    fn dp(&mut self, a: &[f64], b: &[f64], w: usize, best_so_far: f64) -> Option<f64> {
+        let n = a.len();
+        let m = b.len();
+        // Stale contents are never read: every cell is written before any
+        // read in this call, and out-of-band reads are guarded to INFINITY.
+        self.prev.resize(m, f64::INFINITY);
+        self.curr.resize(m, f64::INFINITY);
+        let abandon = best_so_far.is_finite();
+        let mut prev_lo = 0usize;
+        let mut prev_hi = 0usize;
+        for (i, &ai) in a.iter().enumerate() {
+            let centre = i * m / n;
+            let lo = centre.saturating_sub(w);
+            let hi = (centre + w).min(m - 1);
+            let mut row_min = f64::INFINITY;
+            for j in lo..=hi {
+                let diff = ai - b[j];
+                let cost = diff * diff;
+                let best = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let diag = if i > 0 && j > 0 && j - 1 >= prev_lo && j - 1 <= prev_hi {
+                        self.prev[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let up = if i > 0 && j >= prev_lo && j <= prev_hi {
+                        self.prev[j]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let left = if j > lo {
+                        self.curr[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    diag.min(up).min(left)
+                };
+                let value = cost + best;
+                self.curr[j] = value;
+                row_min = row_min.min(value);
+            }
+            if abandon && row_min > best_so_far {
+                return None;
+            }
+            std::mem::swap(&mut self.prev, &mut self.curr);
+            prev_lo = lo;
+            prev_hi = hi;
+        }
+        Some(if m - 1 >= prev_lo && m - 1 <= prev_hi {
+            self.prev[m - 1]
+        } else {
+            f64::INFINITY
+        })
+    }
+}
+
+/// LB_Kim over the two endpoint cells (one cell for 1×1 inputs). Both
+/// cells lie on every (banded or full) warping path, and IEEE addition of
+/// non-negatives is monotone, so the float sum never exceeds the float DP
+/// accumulation — the bound is exact even bit-wise.
+fn kim_bound(p: &[f64], q: &[f64]) -> f64 {
+    let d0 = p[0] - q[0];
+    let first = d0 * d0;
+    if p.len() == 1 && q.len() == 1 {
+        return first;
+    }
+    let dl = p[p.len() - 1] - q[q.len() - 1];
+    first + dl * dl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw_distance, dtw_distance_banded};
+
+    /// Deterministic pseudo-random series (splitmix64-style).
+    fn series(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_bitwise_across_shapes_and_reuse() {
+        let mut k = DtwKernel::new();
+        for (la, lb, seed) in [(1, 1, 1), (1, 7, 2), (40, 40, 3), (17, 31, 4), (64, 5, 5)] {
+            let a = series(la, seed);
+            let b = series(lb, seed + 100);
+            let naive = dtw_distance(&a, &b).unwrap();
+            let fast = k.distance(&a, &b).unwrap();
+            assert_eq!(naive.to_bits(), fast.to_bits(), "{la}x{lb}");
+            // Symmetry carries over too.
+            let fast_rev = k.distance(&b, &a).unwrap();
+            assert_eq!(naive.to_bits(), fast_rev.to_bits(), "{la}x{lb} swapped");
+        }
+    }
+
+    #[test]
+    fn matches_banded_reference_bitwise() {
+        for band in [1usize, 2, 3, 5, 8, 16, 64] {
+            let mut k = DtwKernel::banded(band).unwrap();
+            for (la, lb, seed) in [(12, 12, 9), (30, 11, 10), (11, 30, 11), (48, 48, 12)] {
+                let a = series(la, seed);
+                let b = series(lb, seed + 7);
+                let reference = dtw_distance_banded(&a, &b, band).unwrap();
+                let fast = k.distance(&a, &b).unwrap();
+                assert_eq!(reference.to_bits(), fast.to_bits(), "band {band} {la}x{lb}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_is_exact_or_correct_abandon() {
+        let mut k = DtwKernel::new();
+        let mut abandoned = 0usize;
+        for seed in 0..200u64 {
+            let a = series(24, seed);
+            let b = series(24, seed + 1000);
+            let naive = dtw_distance(&a, &b).unwrap();
+            // Bounds drawn around the true distance to hit both branches.
+            for best in [naive * 0.25, naive * 0.999, naive, naive * 1.5] {
+                match k.distance_bounded(&a, &b, best).unwrap() {
+                    Some(d) => assert_eq!(d.to_bits(), naive.to_bits()),
+                    None => {
+                        assert!(naive > best, "wrong abandon: {naive} <= {best}");
+                        abandoned += 1;
+                    }
+                }
+            }
+        }
+        assert!(abandoned > 0, "abandonment never triggered");
+    }
+
+    #[test]
+    fn lower_bounds_hold() {
+        for seed in 0..50u64 {
+            let a = series(31, seed);
+            let b = series(19, seed + 500);
+            for band in [None, Some(1), Some(4), Some(16)] {
+                let mut k = match band {
+                    None => DtwKernel::new(),
+                    Some(w) => DtwKernel::banded(w).unwrap(),
+                };
+                let d = k.distance(&a, &b).unwrap();
+                let kim = k.lb_kim(&a, &b).unwrap();
+                let keogh = k.lb_keogh(&a, &b).unwrap();
+                assert!(kim <= d, "kim {kim} > {d} (band {band:?})");
+                assert!(
+                    keogh * (1.0 - KEOGH_MARGIN) <= d,
+                    "keogh {keogh} > {d} (band {band:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let mut k = DtwKernel::new();
+        for seed in 0..20u64 {
+            let query = series(20, seed);
+            let corpus: Vec<Vec<f64>> = (0..12)
+                .map(|i| series(16 + i, seed * 31 + i as u64))
+                .collect();
+            let fast = k.nearest(&query, &corpus).unwrap().unwrap();
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in corpus.iter().enumerate() {
+                let d = dtw_distance(&query, c).unwrap();
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+            let naive = best.unwrap();
+            assert_eq!(fast.0, naive.0);
+            assert_eq!(fast.1.to_bits(), naive.1.to_bits());
+        }
+        assert_eq!(k.nearest(&series(5, 1), &[]).unwrap(), None);
+    }
+
+    #[test]
+    fn errors() {
+        let mut k = DtwKernel::new();
+        assert!(k.distance(&[], &[1.0]).is_err());
+        assert!(k.distance(&[1.0], &[]).is_err());
+        assert!(k.distance_bounded(&[], &[1.0], 1.0).is_err());
+        assert!(k.lb_kim(&[], &[1.0]).is_err());
+        assert!(k.lb_keogh(&[1.0], &[]).is_err());
+        assert!(DtwKernel::banded(0).is_err());
+        assert_eq!(DtwKernel::banded(3).unwrap().band(), Some(3));
+        assert_eq!(DtwKernel::new().band(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let mut k = DtwKernel::new();
+        assert_eq!(k.distance(&[0.0, 1.0], &[1.0]).unwrap(), 1.0);
+        assert_eq!(k.distance(&[0.0], &[2.0]).unwrap(), 4.0);
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        assert_eq!(k.distance(&xs, &xs).unwrap(), 0.0);
+    }
+}

@@ -168,6 +168,34 @@ pub fn k_medoids_with_silhouette(
     k_max: usize,
     max_iterations: usize,
 ) -> ClusteringResult<SelectedClustering> {
+    select_k_medoids(distances, k_min, k_max, max_iterations, 1)
+}
+
+/// [`k_medoids_with_silhouette`] with candidate `k` values evaluated on up
+/// to `threads` worker threads. Candidates are folded back in ascending-`k`
+/// order, so the selected clustering (and any error) is identical to the
+/// sequential version for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`k_medoids_with_silhouette`].
+pub fn k_medoids_with_silhouette_threaded(
+    distances: &DistanceMatrix,
+    k_min: usize,
+    k_max: usize,
+    max_iterations: usize,
+    threads: usize,
+) -> ClusteringResult<SelectedClustering> {
+    select_k_medoids(distances, k_min, k_max, max_iterations, threads)
+}
+
+fn select_k_medoids(
+    distances: &DistanceMatrix,
+    k_min: usize,
+    k_max: usize,
+    max_iterations: usize,
+    threads: usize,
+) -> ClusteringResult<SelectedClustering> {
     let n = distances.len();
     if n == 0 {
         return Err(ClusteringError::Empty);
@@ -177,14 +205,23 @@ pub fn k_medoids_with_silhouette(
             "need 1 <= k_min <= k_max <= n",
         ));
     }
+    let evaluated = crate::parallel::map_indexed(
+        k_max - k_min + 1,
+        threads,
+        |idx| -> ClusteringResult<(usize, Clustering, f64)> {
+            let k = k_min + idx;
+            let outcome = k_medoids(distances, k, max_iterations)?;
+            let s = mean_silhouette(distances, &outcome.clustering)?;
+            Ok((k, outcome.clustering, s))
+        },
+    );
     let mut best: Option<(Clustering, f64)> = None;
     let mut candidates = Vec::new();
-    for k in k_min..=k_max {
-        let outcome = k_medoids(distances, k, max_iterations)?;
-        let s = mean_silhouette(distances, &outcome.clustering)?;
+    for result in evaluated {
+        let (k, clustering, s) = result?;
         candidates.push((k, s));
         if best.as_ref().is_none_or(|&(_, bs)| s > bs) {
-            best = Some((outcome.clustering, s));
+            best = Some((clustering, s));
         }
     }
     let (clustering, silhouette) = best.expect("range is non-empty");
@@ -267,6 +304,16 @@ mod tests {
         assert_eq!(sel.clustering.k(), 2);
         assert!(sel.silhouette > 0.7);
         assert_eq!(sel.candidates.len(), 3);
+    }
+
+    #[test]
+    fn threaded_selection_matches_sequential() {
+        let d = two_groups();
+        let seq = k_medoids_with_silhouette(&d, 2, 4, 100).unwrap();
+        for threads in [0usize, 1, 2, 3, 8] {
+            let par = k_medoids_with_silhouette_threaded(&d, 2, 4, 100, threads).unwrap();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
     }
 
     #[test]

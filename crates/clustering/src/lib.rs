@@ -41,7 +41,9 @@ pub mod dtw;
 mod error;
 pub mod features;
 pub mod hierarchical;
+pub mod kernel;
 pub mod kmedoids;
+mod parallel;
 pub mod silhouette;
 
 pub use distance_matrix::DistanceMatrix;

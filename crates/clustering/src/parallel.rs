@@ -1,0 +1,62 @@
+//! Internal scoped-thread fan-out helper shared by the threaded model
+//! selection entry points ([`crate::hierarchical`], [`crate::kmedoids`]).
+//!
+//! Results are collected with their index and merged back in input
+//! order, so any fold over the output is deterministic regardless of the
+//! thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluates `f(0..count)` on up to `threads` scoped worker threads and
+/// returns the results in index order. `threads <= 1` (or a single item)
+/// runs inline without spawning, producing the exact sequential
+/// evaluation order.
+pub(crate) fn map_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let value = f(i);
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((i, value));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("threads joined");
+    collected.sort_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        for threads in [0usize, 1, 2, 3, 9, 32] {
+            let out = map_indexed(17, threads, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based equivalence tests for the optimized DTW kernel
+//! ([`atm_clustering::kernel::DtwKernel`]) against the naive DP
+//! references in [`atm_clustering::dtw`], and for the parallel distance
+//! matrix against the sequential build.
+//!
+//! The kernel's contract is *bit*-identity, not approximate equality:
+//! every assertion here compares `f64::to_bits`, never an epsilon.
+
+use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
+use atm_clustering::kernel::DtwKernel;
+use atm_clustering::DistanceMatrix;
+use proptest::prelude::*;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..48)
+}
+
+fn series_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(series(), 2..8)
+}
+
+proptest! {
+    /// The full (unbanded) kernel reproduces the naive DP bit-for-bit,
+    /// including across workspace reuse.
+    #[test]
+    fn kernel_matches_naive_dp_bitwise(a in series(), b in series()) {
+        let naive = dtw_distance(&a, &b).unwrap();
+        let mut kernel = DtwKernel::new();
+        // Twice through the same workspace: reuse must not leak state.
+        for _ in 0..2 {
+            let fast = kernel.distance(&a, &b).unwrap();
+            prop_assert_eq!(fast.to_bits(), naive.to_bits());
+        }
+        // Symmetric orientation too (the kernel swaps internally).
+        let swapped = kernel.distance(&b, &a).unwrap();
+        prop_assert_eq!(swapped.to_bits(), dtw_distance(&b, &a).unwrap().to_bits());
+    }
+
+    /// The banded kernel reproduces `dtw_distance_banded` bit-for-bit
+    /// for every band width.
+    #[test]
+    fn banded_kernel_matches_reference_bitwise(
+        a in series(),
+        b in series(),
+        band in 1usize..24,
+    ) {
+        let reference = dtw_distance_banded(&a, &b, band).unwrap();
+        let mut kernel = DtwKernel::banded(band).unwrap();
+        let fast = kernel.distance(&a, &b).unwrap();
+        prop_assert_eq!(fast.to_bits(), reference.to_bits());
+    }
+
+    /// Early abandonment is conservative: with any best-so-far bound the
+    /// kernel either returns the exact distance (when the pair is within
+    /// the bound) or abandons a pair whose true distance genuinely
+    /// exceeds the bound. It never abandons a pair that beats
+    /// best-so-far.
+    #[test]
+    fn bounded_kernel_abandons_only_losers(
+        a in series(),
+        b in series(),
+        scale in 0.0f64..2.0,
+    ) {
+        let truth = dtw_distance(&a, &b).unwrap();
+        let best_so_far = truth * scale;
+        let mut kernel = DtwKernel::new();
+        match kernel.distance_bounded(&a, &b, best_so_far).unwrap() {
+            Some(d) => prop_assert_eq!(d.to_bits(), truth.to_bits()),
+            None => prop_assert!(
+                truth > best_so_far,
+                "abandoned a winner: truth {} <= bound {}",
+                truth,
+                best_so_far
+            ),
+        }
+        // A pair at or under the bound must never be abandoned.
+        let kept = kernel.distance_bounded(&a, &b, truth).unwrap();
+        prop_assert_eq!(kept.expect("distance == bound is kept").to_bits(), truth.to_bits());
+    }
+
+    /// The kernel's lower bounds never exceed the true DTW distance, for
+    /// both full and banded geometry.
+    #[test]
+    fn lower_bounds_never_exceed_distance(a in series(), b in series()) {
+        let mut kernel = DtwKernel::new();
+        let truth = kernel.distance(&a, &b).unwrap();
+        prop_assert!(kernel.lb_kim(&a, &b).unwrap() <= truth);
+        prop_assert!(kernel.lb_keogh(&a, &b).unwrap() <= truth * (1.0 + 1e-9) + 1e-12);
+        for band in [1usize, 4, 16] {
+            let mut banded = DtwKernel::banded(band).unwrap();
+            let banded_truth = banded.distance(&a, &b).unwrap();
+            prop_assert!(banded.lb_kim(&a, &b).unwrap() <= banded_truth);
+            prop_assert!(
+                banded.lb_keogh(&a, &b).unwrap() <= banded_truth * (1.0 + 1e-9) + 1e-12
+            );
+        }
+    }
+
+    /// Nearest-neighbour search with early abandonment returns the same
+    /// answer as an exhaustive linear scan.
+    #[test]
+    fn nearest_matches_exhaustive_scan(query in series(), corpus in series_set()) {
+        let mut kernel = DtwKernel::new();
+        let (best_idx, best_d) = kernel
+            .nearest(&query, &corpus)
+            .unwrap()
+            .expect("non-empty corpus");
+        let mut scan_idx = 0usize;
+        let mut scan_d = f64::INFINITY;
+        for (i, c) in corpus.iter().enumerate() {
+            let d = dtw_distance(&query, c).unwrap();
+            if d < scan_d {
+                scan_d = d;
+                scan_idx = i;
+            }
+        }
+        prop_assert_eq!(best_idx, scan_idx);
+        prop_assert_eq!(best_d.to_bits(), scan_d.to_bits());
+    }
+
+    /// The parallel distance-matrix build equals the sequential build for
+    /// every thread count, with either kernel.
+    #[test]
+    fn parallel_matrix_matches_sequential(set in series_set(), threads in 1usize..9) {
+        let n = set.len();
+        let sequential = DistanceMatrix::build(n, |i, j| {
+            dtw_distance(&set[i], &set[j])
+        })
+        .unwrap();
+        let parallel = DistanceMatrix::build_parallel(n, threads, |i, j| {
+            dtw_distance(&set[i], &set[j])
+        })
+        .unwrap();
+        let optimized = DistanceMatrix::build_parallel_with(
+            n,
+            threads,
+            DtwKernel::new,
+            |kernel, i, j| kernel.distance(&set[i], &set[j]),
+        )
+        .unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(sequential.get(i, j).to_bits(), parallel.get(i, j).to_bits());
+                prop_assert_eq!(sequential.get(i, j).to_bits(), optimized.get(i, j).to_bits());
+            }
+        }
+    }
+}

@@ -48,6 +48,81 @@ impl OnlineConfig {
     }
 }
 
+/// Compute knobs for the per-box clustering stage: intra-box parallelism
+/// and DTW kernel selection.
+///
+/// Every setting here is *result-preserving*: the optimized kernel is
+/// bit-identical to the naive DP, and the parallel distance-matrix /
+/// silhouette sweeps place results deterministically, so pipeline reports
+/// serialize byte-identically for any `threads` value and either kernel.
+/// The only knob that changes distances is [`dtw_band`](Self::dtw_band)
+/// (a banded DTW is a different — but still deterministic — metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeConfig {
+    /// Worker threads for intra-box clustering (distance matrix build and
+    /// silhouette model selection). `0` means one thread per available
+    /// CPU; `1` (the default) is fully sequential.
+    #[serde(default = "default_compute_threads")]
+    pub threads: usize,
+    /// Sakoe–Chiba band half-width for DTW, in samples. `0` (the default)
+    /// runs the exact full DP; a positive band constrains warping and
+    /// speeds up long series at the cost of exactness.
+    #[serde(default)]
+    pub dtw_band: usize,
+    /// Use the workspace-reusing, lower-bounded DTW kernel
+    /// ([`atm_clustering::kernel::DtwKernel`]) instead of the naive
+    /// allocate-per-call DP. Bit-identical results, so enabled by
+    /// default; disable only for A/B benchmarking.
+    #[serde(default = "default_true")]
+    pub optimized_kernel: bool,
+}
+
+fn default_compute_threads() -> usize {
+    1
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Default for ComputeConfig {
+    fn default() -> Self {
+        ComputeConfig {
+            threads: 1,
+            dtw_band: 0,
+            optimized_kernel: true,
+        }
+    }
+}
+
+impl ComputeConfig {
+    /// Resolves [`threads`](Self::threads) to a concrete worker count:
+    /// `0` becomes the number of available CPUs (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Returns a copy with [`threads`](Self::threads) overridden by the
+    /// `ATM_THREADS` environment variable when it is set to a valid
+    /// `usize` (the CI thread-count matrix hook). Unset or unparsable
+    /// values leave the configured count unchanged.
+    pub fn with_env_threads(mut self) -> Self {
+        if let Some(t) = std::env::var("ATM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            self.threads = t;
+        }
+        self
+    }
+}
+
 /// Step-1 clustering method for the signature search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMethod {
@@ -178,6 +253,10 @@ pub struct AtmConfig {
     pub imputation: ImputationConfig,
     /// Robustness settings for the online rolling loop.
     pub online: OnlineConfig,
+    /// Intra-box parallelism and DTW kernel selection. Defaulted when
+    /// absent from serialized configs, so older configs keep loading.
+    #[serde(default)]
+    pub compute: ComputeConfig,
 }
 
 impl Default for AtmConfig {
@@ -196,6 +275,7 @@ impl Default for AtmConfig {
             horizon: 96,
             imputation: ImputationConfig::default(),
             online: OnlineConfig::default(),
+            compute: ComputeConfig::default(),
         }
     }
 }
@@ -237,6 +317,12 @@ impl AtmConfig {
     /// Builder-style override of the temporal model.
     pub fn with_temporal(mut self, temporal: TemporalModel) -> Self {
         self.temporal = temporal;
+        self
+    }
+
+    /// Builder-style override of the compute settings.
+    pub fn with_compute(mut self, compute: ComputeConfig) -> Self {
+        self.compute = compute;
         self
     }
 
@@ -327,6 +413,32 @@ mod tests {
         let mut c = AtmConfig::fast_for_tests();
         c.online.retry.max_attempts = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn compute_defaults_are_sequential_and_exact() {
+        let c = ComputeConfig::default();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.dtw_band, 0);
+        assert!(c.optimized_kernel);
+        assert_eq!(c.effective_threads(), 1);
+        // threads = 0 resolves to at least one worker.
+        let auto = ComputeConfig {
+            threads: 0,
+            ..ComputeConfig::default()
+        };
+        assert!(auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn compute_field_defaults_when_missing_from_serialized_config() {
+        // A config serialized before the compute field existed must keep
+        // deserializing (and behave sequentially).
+        let mut v: serde_json::Value =
+            serde_json::to_value(AtmConfig::fast_for_tests()).expect("serializable");
+        v.as_object_mut().expect("object").remove("compute");
+        let restored: AtmConfig = serde_json::from_value(v).expect("compute defaults");
+        assert_eq!(restored.compute, ComputeConfig::default());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::{AtmConfig, ResourceScope, TemporalModel};
 use crate::error::{AtmError, AtmResult};
 use crate::impute::{impute_box, ImputationReport};
-use crate::signature::{search, SignatureOutcome};
+use crate::signature::{search_with, SignatureOutcome};
 use crate::spatial::SpatialModel;
 
 /// Signature-search statistics for one box (paper Figs. 5, 6a).
@@ -413,12 +413,13 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
     let split = split_demands(trace, config)?;
 
     // Step 1 + 2: signature search on training demands.
-    let outcome: SignatureOutcome = search(
+    let outcome: SignatureOutcome = search_with(
         &split.keys,
         &split.train_cols,
         &config.cluster_method,
         &config.stepwise,
         config.znorm_for_dtw,
+        &config.compute,
     )?;
     let dependents = outcome.dependents();
 

@@ -7,15 +7,16 @@
 //! others through backward stepwise regression.
 
 use atm_clustering::cbc::{self, CbcConfig};
-use atm_clustering::dtw::dtw_distance;
-use atm_clustering::hierarchical::{cluster_with_silhouette, paper_k_range, Linkage};
+use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
+use atm_clustering::hierarchical::{cluster_with_silhouette_threaded, paper_k_range, Linkage};
+use atm_clustering::kernel::DtwKernel;
 use atm_clustering::DistanceMatrix;
 use atm_stats::stepwise::{backward_eliminate, StepwiseConfig};
 use atm_timeseries::transform::znorm;
 use atm_tracegen::{Resource, SeriesKey};
 use serde::{Deserialize, Serialize};
 
-use crate::config::ClusterMethod;
+use crate::config::{ClusterMethod, ComputeConfig};
 use crate::error::{AtmError, AtmResult};
 
 /// Result of the two-step signature search over a set of series.
@@ -83,6 +84,34 @@ pub fn search(
     stepwise: &StepwiseConfig,
     znorm_for_dtw: bool,
 ) -> AtmResult<SignatureOutcome> {
+    search_with(
+        keys,
+        columns,
+        method,
+        stepwise,
+        znorm_for_dtw,
+        &ComputeConfig::default(),
+    )
+}
+
+/// [`search`] with explicit [`ComputeConfig`] control over intra-box
+/// parallelism and the DTW kernel. `search` is equivalent to calling this
+/// with `ComputeConfig::default()` (sequential, exact, optimized kernel);
+/// every compute setting except a positive `dtw_band` is
+/// result-preserving, so outcomes are byte-identical across thread counts
+/// and kernels.
+///
+/// # Errors
+///
+/// Same conditions as [`search`].
+pub fn search_with(
+    keys: &[SeriesKey],
+    columns: &[Vec<f64>],
+    method: &ClusterMethod,
+    stepwise: &StepwiseConfig,
+    znorm_for_dtw: bool,
+    compute: &ComputeConfig,
+) -> AtmResult<SignatureOutcome> {
     if keys.is_empty() || keys.len() != columns.len() {
         return Err(AtmError::Empty);
     }
@@ -91,9 +120,9 @@ pub fn search(
     }
 
     let (initial, cluster_count, silhouette) = match method {
-        ClusterMethod::Dtw { linkage } => step1_dtw(columns, *linkage, znorm_for_dtw)?,
+        ClusterMethod::Dtw { linkage } => step1_dtw(columns, *linkage, znorm_for_dtw, compute)?,
         ClusterMethod::Cbc { rho_threshold } => step1_cbc(columns, *rho_threshold)?,
-        ClusterMethod::Features { linkage } => step1_features(columns, *linkage)?,
+        ClusterMethod::Features { linkage } => step1_features(columns, *linkage, compute)?,
     };
 
     let final_signatures = step2_stepwise(columns, &initial, stepwise)?;
@@ -114,6 +143,7 @@ fn step1_dtw(
     columns: &[Vec<f64>],
     linkage: Linkage,
     znorm_series: bool,
+    compute: &ComputeConfig,
 ) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
     let n = columns.len();
     if n == 1 {
@@ -133,11 +163,38 @@ fn step1_dtw(
         })
         .collect();
 
-    let distances = DistanceMatrix::build(n, |i, j| {
-        dtw_distance(&prepared[i], &prepared[j]).map_err(AtmError::from)
-    })?;
+    let threads = compute.effective_threads();
+    let band = compute.dtw_band;
+    let distances = if compute.optimized_kernel {
+        // Per-thread kernel workspaces; the kernel is bit-identical to the
+        // naive DP (and to `dtw_distance_banded` when banded).
+        DistanceMatrix::build_parallel_with(
+            n,
+            threads,
+            || {
+                if band == 0 {
+                    DtwKernel::new()
+                } else {
+                    DtwKernel::banded(band).expect("band is positive")
+                }
+            },
+            |kernel, i, j| {
+                kernel
+                    .distance(&prepared[i], &prepared[j])
+                    .map_err(AtmError::from)
+            },
+        )?
+    } else if band > 0 {
+        DistanceMatrix::build_parallel(n, threads, |i, j| {
+            dtw_distance_banded(&prepared[i], &prepared[j], band).map_err(AtmError::from)
+        })?
+    } else {
+        DistanceMatrix::build_parallel(n, threads, |i, j| {
+            dtw_distance(&prepared[i], &prepared[j]).map_err(AtmError::from)
+        })?
+    };
     let (k_min, k_max) = paper_k_range(n);
-    let selected = cluster_with_silhouette(&distances, linkage, k_min, k_max)?;
+    let selected = cluster_with_silhouette_threaded(&distances, linkage, k_min, k_max, threads)?;
     let medoids = selected.clustering.medoids(&distances)?;
     Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
 }
@@ -147,6 +204,7 @@ fn step1_dtw(
 fn step1_features(
     columns: &[Vec<f64>],
     linkage: Linkage,
+    compute: &ComputeConfig,
 ) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
     let n = columns.len();
     if n == 1 {
@@ -155,7 +213,13 @@ fn step1_features(
     let seasonal_lag = (columns[0].len() / 2).clamp(1, 96);
     let distances = atm_clustering::features::feature_distance_matrix(columns, seasonal_lag)?;
     let (k_min, k_max) = paper_k_range(n);
-    let selected = cluster_with_silhouette(&distances, linkage, k_min, k_max)?;
+    let selected = cluster_with_silhouette_threaded(
+        &distances,
+        linkage,
+        k_min,
+        k_max,
+        compute.effective_threads(),
+    )?;
     let medoids = selected.clustering.medoids(&distances)?;
     Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
 }
@@ -407,6 +471,87 @@ mod tests {
             true
         )
         .is_err());
+    }
+
+    #[test]
+    fn compute_settings_preserve_dtw_outcome() {
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            family(n, 1.0, 1.0, 2),
+            independent(n, 50),
+            independent(n, 51),
+            independent(n, 52),
+        ];
+        let baseline = search(
+            &keys(5),
+            &cols,
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            for optimized_kernel in [false, true] {
+                let compute = ComputeConfig {
+                    threads,
+                    dtw_band: 0,
+                    optimized_kernel,
+                };
+                let out = search_with(
+                    &keys(5),
+                    &cols,
+                    &ClusterMethod::dtw(),
+                    &StepwiseConfig::default(),
+                    true,
+                    &compute,
+                )
+                .unwrap();
+                assert_eq!(baseline, out, "compute = {compute:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_dtw_is_deterministic_across_kernels_and_threads() {
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            independent(n, 50),
+            independent(n, 51),
+            independent(n, 52),
+        ];
+        let reference = search_with(
+            &keys(4),
+            &cols,
+            &ClusterMethod::dtw(),
+            &StepwiseConfig::default(),
+            true,
+            &ComputeConfig {
+                threads: 1,
+                dtw_band: 8,
+                optimized_kernel: false,
+            },
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            for optimized_kernel in [false, true] {
+                let out = search_with(
+                    &keys(4),
+                    &cols,
+                    &ClusterMethod::dtw(),
+                    &StepwiseConfig::default(),
+                    true,
+                    &ComputeConfig {
+                        threads,
+                        dtw_band: 8,
+                        optimized_kernel,
+                    },
+                )
+                .unwrap();
+                assert_eq!(reference, out, "threads={threads} opt={optimized_kernel}");
+            }
+        }
     }
 
     #[test]

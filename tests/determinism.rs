@@ -1,0 +1,138 @@
+//! Determinism golden tests: the full pipeline report on a seeded fleet
+//! must serialize byte-identically regardless of the intra-box thread
+//! count, the fleet-level thread count, and the DTW kernel (naive vs
+//! optimized). Parallelism and early abandonment are result-preserving
+//! by construction; these tests pin that contract down at the
+//! `serde_json` byte level.
+//!
+//! The `ATM_THREADS` environment variable (the CI thread-count matrix
+//! hook) overrides the "parallel" leg's thread count, so the same test
+//! binary proves `ATM_THREADS=1` and `ATM_THREADS=4` (or any other
+//! count) produce identical bytes.
+
+use atm::core::config::{ComputeConfig, TemporalModel};
+use atm::core::fleet::run_fleet;
+use atm::core::AtmConfig;
+use atm::tracegen::{generate_fleet, BoxTrace, FleetConfig};
+
+fn seeded_fleet() -> Vec<BoxTrace> {
+    generate_fleet(&FleetConfig {
+        num_boxes: 5,
+        days: 3,
+        seed: 42,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+    .boxes
+}
+
+fn config_with(compute: ComputeConfig) -> AtmConfig {
+    AtmConfig {
+        temporal: TemporalModel::Oracle,
+        compute,
+        ..AtmConfig::fast_for_tests()
+    }
+}
+
+/// Serialized fleet report for the given compute settings and
+/// fleet-level thread count.
+fn report_bytes(boxes: &[BoxTrace], compute: ComputeConfig, fleet_threads: usize) -> String {
+    let report = run_fleet(boxes, &config_with(compute), fleet_threads);
+    serde_json::to_string(&report).expect("fleet report serializes")
+}
+
+/// The thread count for the "parallel" legs: `ATM_THREADS` when set
+/// (the CI matrix), 8 otherwise.
+fn parallel_threads() -> usize {
+    ComputeConfig::default().with_env_threads().threads.max(2)
+}
+
+#[test]
+fn pipeline_report_is_byte_identical_across_threads_and_kernels() {
+    let boxes = seeded_fleet();
+    let par = parallel_threads();
+
+    let baseline = report_bytes(
+        &boxes,
+        ComputeConfig {
+            threads: 1,
+            dtw_band: 0,
+            optimized_kernel: false,
+        },
+        1,
+    );
+    assert!(baseline.contains("reports"), "sanity: report serialized");
+
+    // threads = 1 vs threads = N (intra-box and fleet-level), naive vs
+    // optimized kernel: every combination must produce the same bytes.
+    for (threads, fleet_threads, optimized_kernel) in [
+        (1, 1, true),
+        (par, 1, false),
+        (par, 1, true),
+        (1, par, false),
+        (par, par, true),
+    ] {
+        let candidate = report_bytes(
+            &boxes,
+            ComputeConfig {
+                threads,
+                dtw_band: 0,
+                optimized_kernel,
+            },
+            fleet_threads,
+        );
+        assert_eq!(
+            baseline, candidate,
+            "report bytes diverged: intra-box threads={threads} \
+             fleet threads={fleet_threads} optimized_kernel={optimized_kernel}"
+        );
+    }
+}
+
+#[test]
+fn banded_pipeline_is_byte_identical_across_threads_and_kernels() {
+    // A positive Sakoe-Chiba band changes the metric (it is a different,
+    // still-deterministic DTW), so banded runs get their own baseline.
+    let boxes = seeded_fleet();
+    let par = parallel_threads();
+
+    let baseline = report_bytes(
+        &boxes,
+        ComputeConfig {
+            threads: 1,
+            dtw_band: 12,
+            optimized_kernel: false,
+        },
+        1,
+    );
+    for (threads, optimized_kernel) in [(1, true), (par, false), (par, true)] {
+        let candidate = report_bytes(
+            &boxes,
+            ComputeConfig {
+                threads,
+                dtw_band: 12,
+                optimized_kernel,
+            },
+            1,
+        );
+        assert_eq!(
+            baseline, candidate,
+            "banded report bytes diverged: threads={threads} \
+             optimized_kernel={optimized_kernel}"
+        );
+    }
+}
+
+#[test]
+fn env_thread_override_is_read() {
+    // Not an env-mutation test (the harness runs tests concurrently);
+    // just pins the parsing contract on whatever the environment holds.
+    let compute = ComputeConfig::default().with_env_threads();
+    match std::env::var("ATM_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(t) => assert_eq!(compute.threads, t),
+            Err(_) => assert_eq!(compute.threads, ComputeConfig::default().threads),
+        },
+        Err(_) => assert_eq!(compute.threads, ComputeConfig::default().threads),
+    }
+}
