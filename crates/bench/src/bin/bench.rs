@@ -103,10 +103,13 @@ fn main() {
     let json = render_json(&report);
     match out {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            });
+            // Atomic so a crash mid-write can't leave a torn report where
+            // a previous good one lived.
+            atm_core::fsio::write_atomic(std::path::Path::new(&path), json.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),

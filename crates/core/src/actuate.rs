@@ -169,9 +169,11 @@ impl CapacityActuator for NoopActuator {
     }
 }
 
-#[cfg(test)]
-pub(crate) mod test_support {
-    //! A deterministic flaky actuator for exercising retry and safe mode.
+pub mod test_support {
+    //! Deterministic fault-injecting actuators for exercising retry,
+    //! safe mode, and the supervisor's crash isolation. Public (not
+    //! `cfg(test)`) so integration tests and the chaos harness can
+    //! script failures too.
 
     use super::*;
 
@@ -181,10 +183,13 @@ pub(crate) mod test_support {
         inner: NoopActuator,
         pattern: Vec<bool>,
         call: usize,
+        /// Transient failures injected so far.
         pub failures_injected: usize,
     }
 
     impl ScriptedActuator {
+        /// An actuator that replays `pattern` (`true` = fail the call)
+        /// forever.
         pub fn new(pattern: Vec<bool>) -> Self {
             ScriptedActuator {
                 inner: NoopActuator::new(),
@@ -194,6 +199,7 @@ pub(crate) mod test_support {
             }
         }
 
+        /// Every cap vector successfully applied, oldest first.
         pub fn applied(&self) -> &[Vec<f64>] {
             self.inner.history()
         }
@@ -207,6 +213,50 @@ pub(crate) mod test_support {
                 self.failures_injected += 1;
                 return Err(ActuationError::Transient("scripted failure".into()));
             }
+            self.inner.apply(caps)
+        }
+
+        fn current(&self) -> Vec<f64> {
+            self.inner.current()
+        }
+    }
+
+    /// Panics on the Nth `apply` call — a mid-window crash, as opposed to
+    /// the clean between-window kills of
+    /// [`run_online_until`](crate::online::run_online_until()). The
+    /// supervisor's `catch_unwind` isolation turns the panic into a
+    /// quarantined box instead of a fleet abort.
+    pub struct CrashingActuator {
+        inner: NoopActuator,
+        calls: usize,
+        panic_on_call: usize,
+    }
+
+    impl CrashingActuator {
+        /// Panics on apply call number `panic_on_call` (1-based); `0`
+        /// never panics.
+        pub fn new(panic_on_call: usize) -> Self {
+            CrashingActuator {
+                inner: NoopActuator::new(),
+                calls: 0,
+                panic_on_call,
+            }
+        }
+
+        /// Apply calls made so far.
+        pub fn calls(&self) -> usize {
+            self.calls
+        }
+    }
+
+    impl CapacityActuator for CrashingActuator {
+        fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError> {
+            self.calls += 1;
+            assert!(
+                self.panic_on_call == 0 || self.calls != self.panic_on_call,
+                "scripted actuator crash on apply call {}",
+                self.calls
+            );
             self.inner.apply(caps)
         }
 

@@ -1,0 +1,833 @@
+//! Durable checkpoints for the online management loop.
+//!
+//! A controller that dies mid-run and forgets its caps is worse than no
+//! controller: stale caps keep firing tickets until a human intervenes.
+//! This module makes [`run_online`](crate::online::run_online()) runs
+//! *restartable*: the per-box [`OnlineState`] is persisted after every
+//! window, and a restarted process resumes exactly where the dead one
+//! stopped, producing a byte-identical
+//! [`OnlineReport`](crate::online::OnlineReport).
+//!
+//! # On-disk layout
+//!
+//! Per box, inside the store directory:
+//!
+//! - `<box>.snap` — the latest full-state **snapshot**: a one-line header
+//!   (`atm-snapshot v1 crc32=<hex> len=<bytes>`) followed by a CRC-32
+//!   checksummed JSON payload. Written atomically (temp + fsync +
+//!   rename, via [`crate::fsio::write_atomic`]).
+//! - `<box>.snap.prev` — the previous snapshot, kept as the fallback
+//!   when the latest one is corrupt or torn.
+//! - `<box>.journal` — an append-only **window journal**: one framed,
+//!   CRC-checked [`JournalRecord`] line per completed window since the
+//!   last snapshot. Appends are fsynced but not atomic; a torn tail is
+//!   detected by its frame/CRC and dropped on recovery.
+//!
+//! Snapshots are cut every
+//! [`DurabilityConfig::checkpoint_interval`](crate::config::DurabilityConfig)
+//! windows; the journal covers the windows in between, so recovery never
+//! replays the model — it replays a handful of small records.
+//!
+//! # Recovery semantics
+//!
+//! [`CheckpointStore::recover`] never panics and returns structured
+//! [`RecoveryEvent`]s instead of failing the run: a corrupt or truncated
+//! snapshot falls back to the previous one; a corrupt journal tail is
+//! dropped; a checkpoint written by a different trace/config (detected
+//! via a fingerprint) is ignored entirely. The worst case is always "some
+//! windows are recomputed", never "the run aborts" or "state from the
+//! wrong run is mixed in".
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DurabilityConfig;
+use crate::error::{AtmError, AtmResult};
+use crate::fsio::{append_durable, write_atomic};
+use crate::online::{DegradationSummary, OnlineState, WindowOutcome};
+
+/// Snapshot format version; bumped on incompatible layout changes.
+/// Snapshots with a different version are treated as corrupt (recovery
+/// falls back), never misparsed.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const SNAPSHOT_MAGIC: &str = "atm-snapshot";
+const JOURNAL_MAGIC: &str = "atmj1";
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) over `bytes` — the
+/// checksum guarding snapshots and journal records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// One recovery decision, reported (not panicked) so fleet tooling can
+/// surface corruption without aborting anything.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryEvent {
+    /// A snapshot file existed but failed its header, CRC, version, or
+    /// JSON checks.
+    SnapshotCorrupt {
+        /// The snapshot file.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A snapshot was valid but was written by a different trace or
+    /// configuration (fingerprint mismatch) and was ignored.
+    SnapshotStale {
+        /// The snapshot file.
+        path: String,
+    },
+    /// Recovery used the previous snapshot because the latest was
+    /// missing or rejected.
+    SnapshotFellBack {
+        /// The fallback snapshot file.
+        path: String,
+    },
+    /// The journal's tail was torn or corrupt; the listed number of
+    /// trailing lines were dropped (their windows will be recomputed).
+    JournalTruncated {
+        /// The journal file.
+        path: String,
+        /// Trailing lines dropped.
+        dropped: usize,
+        /// Why the first bad line was rejected.
+        reason: String,
+    },
+    /// A journal record was valid but did not extend the recovered state
+    /// (wrong fingerprint or non-contiguous window) and was skipped.
+    JournalSkipped {
+        /// The journal file.
+        path: String,
+        /// The record's window index.
+        window: usize,
+    },
+    /// Recovery produced a usable state; the run resumes at this window.
+    Resumed {
+        /// First window the resumed run will compute.
+        window: usize,
+    },
+    /// No usable checkpoint was found; the run starts from window 0.
+    Fresh,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::SnapshotCorrupt { path, reason } => {
+                write!(f, "snapshot {path} corrupt: {reason}")
+            }
+            RecoveryEvent::SnapshotStale { path } => {
+                write!(f, "snapshot {path} belongs to a different run; ignored")
+            }
+            RecoveryEvent::SnapshotFellBack { path } => {
+                write!(f, "fell back to previous snapshot {path}")
+            }
+            RecoveryEvent::JournalTruncated {
+                path,
+                dropped,
+                reason,
+            } => write!(
+                f,
+                "journal {path}: dropped {dropped} torn line(s): {reason}"
+            ),
+            RecoveryEvent::JournalSkipped { path, window } => {
+                write!(f, "journal {path}: skipped record for window {window}")
+            }
+            RecoveryEvent::Resumed { window } => write!(f, "resumed at window {window}"),
+            RecoveryEvent::Fresh => write!(f, "no usable checkpoint; starting fresh"),
+        }
+    }
+}
+
+/// What [`CheckpointStore::recover`] found.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// The recovered state (the fresh state when nothing usable was on
+    /// disk).
+    pub state: OnlineState,
+    /// Every decision recovery made, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// The window the run resumed from; `None` when starting fresh.
+    pub resumed_from: Option<usize>,
+}
+
+/// One appended journal line: the outcome of a single completed window
+/// plus the small post-window loop state, enough to roll the previous
+/// snapshot forward without recomputing anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Fingerprint binding the record to its (trace, config) pair.
+    pub fingerprint: u64,
+    /// The window this record completes.
+    pub window: usize,
+    /// The window's outcome (status, report, tickets).
+    pub outcome: WindowOutcome,
+    /// Carried-forward capacities after this window, per scoped resource.
+    pub last_caps: Vec<Option<Vec<f64>>>,
+    /// Consecutive actuation failures after this window.
+    pub consecutive_actuation_failures: usize,
+    /// Whether the loop is in safe mode after this window.
+    pub safe_mode: bool,
+    /// Degradation accounting after this window.
+    pub summary: DegradationSummary,
+}
+
+/// A directory of per-box snapshots and journals.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn ckpt_err(path: &Path, reason: impl fmt::Display) -> AtmError {
+    AtmError::Checkpoint {
+        path: path.display().to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+/// Maps a box name to a safe file stem (alphanumerics, `.`, `_`, `-`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> AtmResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| ckpt_err(&dir, e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// Opens the store named by `durability.checkpoint_dir`, or `None`
+    /// when checkpointing is disabled (the directory is empty).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] when the directory cannot be created.
+    pub fn from_config(durability: &DurabilityConfig) -> AtmResult<Option<Self>> {
+        if !durability.checkpointing_enabled() {
+            return Ok(None);
+        }
+        Self::open(&durability.checkpoint_dir).map(Some)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a box's latest snapshot.
+    pub fn snapshot_path(&self, box_name: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap", sanitize(box_name)))
+    }
+
+    /// Path of a box's previous (fallback) snapshot.
+    pub fn prev_snapshot_path(&self, box_name: &str) -> PathBuf {
+        self.dir.join(format!("{}.snap.prev", sanitize(box_name)))
+    }
+
+    /// Path of a box's window journal.
+    pub fn journal_path(&self, box_name: &str) -> PathBuf {
+        self.dir.join(format!("{}.journal", sanitize(box_name)))
+    }
+
+    /// Removes every checkpoint artifact of one box. Missing files are
+    /// fine; the next run simply starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] on filesystem errors other than
+    /// "not found".
+    pub fn wipe(&self, box_name: &str) -> AtmResult<()> {
+        for path in [
+            self.snapshot_path(box_name),
+            self.prev_snapshot_path(box_name),
+            self.journal_path(box_name),
+        ] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(ckpt_err(&path, e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically writes `state` as the latest snapshot, rotating the
+    /// previous one to the `.prev` fallback slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] when serialization or any filesystem
+    /// step fails.
+    pub fn save_snapshot(&self, box_name: &str, state: &OnlineState) -> AtmResult<()> {
+        let path = self.snapshot_path(box_name);
+        let payload = serde_json::to_vec(state).map_err(|e| ckpt_err(&path, e))?;
+        let header = format!(
+            "{SNAPSHOT_MAGIC} v{SNAPSHOT_VERSION} crc32={:08x} len={}\n",
+            crc32(&payload),
+            payload.len()
+        );
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(&payload);
+        if path.exists() {
+            let prev = self.prev_snapshot_path(box_name);
+            fs::rename(&path, &prev).map_err(|e| ckpt_err(&prev, e))?;
+        }
+        write_atomic(&path, &bytes).map_err(|e| ckpt_err(&path, e))
+    }
+
+    /// Appends one window's record to the box's journal, fsynced.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] when serialization or the append fails.
+    pub fn append_journal(&self, box_name: &str, record: &JournalRecord) -> AtmResult<()> {
+        let path = self.journal_path(box_name);
+        let payload = serde_json::to_string(record).map_err(|e| ckpt_err(&path, e))?;
+        let line = format!(
+            "{JOURNAL_MAGIC} crc32={:08x} {payload}\n",
+            crc32(payload.as_bytes())
+        );
+        append_durable(&path, line.as_bytes()).map_err(|e| ckpt_err(&path, e))
+    }
+
+    /// Empties the box's journal (after its contents were folded into a
+    /// snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] on filesystem errors.
+    pub fn truncate_journal(&self, box_name: &str) -> AtmResult<()> {
+        let path = self.journal_path(box_name);
+        write_atomic(&path, b"").map_err(|e| ckpt_err(&path, e))
+    }
+
+    /// Persists the window that `state` just completed: appends a journal
+    /// record, and every `interval` windows folds everything into a fresh
+    /// snapshot (journal truncated afterwards). `interval == 0` snapshots
+    /// every window.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmError::Checkpoint`] when any write fails; the in-memory run
+    /// is unaffected, but durability is lost, so callers should treat
+    /// this as a failed window.
+    pub fn record_window(
+        &self,
+        box_name: &str,
+        state: &OnlineState,
+        interval: usize,
+    ) -> AtmResult<()> {
+        let snapshot_due = interval <= 1 || state.next_window % interval.max(1) == 0;
+        if snapshot_due {
+            self.save_snapshot(box_name, state)?;
+            self.truncate_journal(box_name)?;
+            return Ok(());
+        }
+        let outcome = state
+            .windows
+            .last()
+            .cloned()
+            .ok_or_else(|| ckpt_err(&self.journal_path(box_name), "no completed window"))?;
+        let record = JournalRecord {
+            fingerprint: state.fingerprint,
+            window: state.next_window - 1,
+            outcome,
+            last_caps: state.last_caps.clone(),
+            consecutive_actuation_failures: state.consecutive_actuation_failures,
+            safe_mode: state.safe_mode,
+            summary: state.summary.clone(),
+        };
+        self.append_journal(box_name, &record)
+    }
+
+    /// Loads and verifies one snapshot file. `Ok(None)` means "file does
+    /// not exist"; any validation failure is an `Err` with the reason.
+    fn load_snapshot(&self, path: &Path) -> Result<Option<OnlineState>, String> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("unreadable: {e}")),
+        };
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| "missing header line".to_string())?;
+        let header =
+            std::str::from_utf8(&bytes[..newline]).map_err(|_| "header not UTF-8".to_string())?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some(SNAPSHOT_MAGIC) {
+            return Err("bad magic".into());
+        }
+        let version = parts.next().unwrap_or_default();
+        if version != format!("v{SNAPSHOT_VERSION}") {
+            return Err(format!("unsupported version `{version}`"));
+        }
+        let crc_field = parts
+            .next()
+            .and_then(|p| p.strip_prefix("crc32="))
+            .ok_or_else(|| "missing crc32 field".to_string())?;
+        let expected_crc =
+            u32::from_str_radix(crc_field, 16).map_err(|_| "bad crc32 field".to_string())?;
+        let len_field = parts
+            .next()
+            .and_then(|p| p.strip_prefix("len="))
+            .ok_or_else(|| "missing len field".to_string())?;
+        let expected_len: usize = len_field.parse().map_err(|_| "bad len field".to_string())?;
+        let payload = &bytes[newline + 1..];
+        if payload.len() != expected_len {
+            return Err(format!(
+                "truncated: payload {} of {expected_len} bytes",
+                payload.len()
+            ));
+        }
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(format!(
+                "crc mismatch: header {expected_crc:08x}, payload {actual_crc:08x}"
+            ));
+        }
+        let state: OnlineState =
+            serde_json::from_slice(payload).map_err(|e| format!("payload not valid JSON: {e}"))?;
+        if state.windows.len() != state.next_window {
+            return Err(format!(
+                "inconsistent state: {} outcomes for cursor {}",
+                state.windows.len(),
+                state.next_window
+            ));
+        }
+        Ok(Some(state))
+    }
+
+    /// Parses the journal into `(good records, events)`; a torn or
+    /// corrupt line ends the replay there.
+    fn load_journal(&self, box_name: &str) -> (Vec<JournalRecord>, Vec<RecoveryEvent>) {
+        let path = self.journal_path(box_name);
+        let mut events = Vec::new();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return (Vec::new(), events),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<&str> = text.split('\n').collect();
+        let mut records = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            // A valid append always ends with '\n'; a non-empty final
+            // element of the split is a torn tail by construction.
+            let torn_tail = i == lines.len() - 1;
+            let parsed = (|| -> Result<JournalRecord, String> {
+                if torn_tail {
+                    return Err("unterminated line".into());
+                }
+                let rest = line
+                    .strip_prefix(JOURNAL_MAGIC)
+                    .and_then(|r| r.strip_prefix(' '))
+                    .ok_or_else(|| "bad magic".to_string())?;
+                let (crc_field, payload) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| "missing payload".to_string())?;
+                let expected = crc_field
+                    .strip_prefix("crc32=")
+                    .and_then(|c| u32::from_str_radix(c, 16).ok())
+                    .ok_or_else(|| "bad crc32 field".to_string())?;
+                let actual = crc32(payload.as_bytes());
+                if actual != expected {
+                    return Err(format!("crc mismatch: {expected:08x} vs {actual:08x}"));
+                }
+                serde_json::from_str(payload).map_err(|e| format!("bad record JSON: {e}"))
+            })();
+            match parsed {
+                Ok(record) => records.push(record),
+                Err(reason) => {
+                    let dropped = lines[i..].iter().filter(|l| !l.is_empty()).count();
+                    events.push(RecoveryEvent::JournalTruncated {
+                        path: path.display().to_string(),
+                        dropped,
+                        reason,
+                    });
+                    break;
+                }
+            }
+        }
+        (records, events)
+    }
+
+    /// Recovers the best available state for one box: the latest valid
+    /// snapshot (falling back to the previous one), rolled forward by the
+    /// journal. `fresh` is the run's clean starting state and doubles as
+    /// the fingerprint to match checkpoints against; it is returned
+    /// unchanged when nothing usable is on disk.
+    ///
+    /// This never fails on corrupt data — every rejection is a
+    /// [`RecoveryEvent`]. It cannot panic.
+    pub fn recover(&self, box_name: &str, fresh: OnlineState) -> Recovery {
+        let mut events = Vec::new();
+        let fingerprint = fresh.fingerprint;
+        let mut state: Option<OnlineState> = None;
+        let mut primary_failed = false;
+
+        for (slot, path) in [
+            ("latest", self.snapshot_path(box_name)),
+            ("previous", self.prev_snapshot_path(box_name)),
+        ] {
+            match self.load_snapshot(&path) {
+                Ok(None) => {
+                    if slot == "latest" {
+                        primary_failed = true;
+                    }
+                }
+                Ok(Some(candidate)) => {
+                    if candidate.fingerprint != fingerprint {
+                        events.push(RecoveryEvent::SnapshotStale {
+                            path: path.display().to_string(),
+                        });
+                        if slot == "latest" {
+                            primary_failed = true;
+                        }
+                        continue;
+                    }
+                    if slot == "previous" && primary_failed {
+                        events.push(RecoveryEvent::SnapshotFellBack {
+                            path: path.display().to_string(),
+                        });
+                    }
+                    state = Some(candidate);
+                    break;
+                }
+                Err(reason) => {
+                    events.push(RecoveryEvent::SnapshotCorrupt {
+                        path: path.display().to_string(),
+                        reason,
+                    });
+                    if slot == "latest" {
+                        primary_failed = true;
+                    }
+                }
+            }
+        }
+
+        let mut state = state.unwrap_or_else(|| fresh.clone());
+
+        let (records, mut journal_events) = self.load_journal(box_name);
+        let journal_path = self.journal_path(box_name).display().to_string();
+        for record in records {
+            if record.fingerprint != fingerprint || record.window < state.next_window {
+                // Stale records are normal after a snapshot that did not
+                // get to truncate the journal; skip silently unless they
+                // are from a different run entirely.
+                if record.fingerprint != fingerprint {
+                    events.push(RecoveryEvent::JournalSkipped {
+                        path: journal_path.clone(),
+                        window: record.window,
+                    });
+                }
+                continue;
+            }
+            if record.window != state.next_window {
+                // A gap means the journal belongs to a newer snapshot
+                // than the one we recovered; everything from here on
+                // would skip windows, so stop and recompute instead.
+                events.push(RecoveryEvent::JournalSkipped {
+                    path: journal_path.clone(),
+                    window: record.window,
+                });
+                break;
+            }
+            state.windows.push(record.outcome);
+            state.summary = record.summary;
+            state.last_caps = record.last_caps;
+            state.consecutive_actuation_failures = record.consecutive_actuation_failures;
+            state.safe_mode = record.safe_mode;
+            state.next_window = record.window + 1;
+        }
+        events.append(&mut journal_events);
+
+        let resumed_from = if state.next_window > 0 {
+            events.push(RecoveryEvent::Resumed {
+                window: state.next_window,
+            });
+            Some(state.next_window)
+        } else {
+            events.push(RecoveryEvent::Fresh);
+            None
+        };
+        Recovery {
+            state,
+            events,
+            resumed_from,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::WindowStatus;
+
+    fn temp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "atm-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn from_config_respects_the_enable_switch() {
+        let off = DurabilityConfig::default();
+        assert!(CheckpointStore::from_config(&off).unwrap().is_none());
+
+        let dir = std::env::temp_dir().join(format!(
+            "atm-ckpt-from-config-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let on = DurabilityConfig {
+            checkpoint_dir: dir.display().to_string(),
+            ..DurabilityConfig::default()
+        };
+        let store = CheckpointStore::from_config(&on).unwrap().unwrap();
+        assert_eq!(store.dir(), dir.as_path());
+        assert!(dir.is_dir(), "open creates the directory");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn outcome(window: usize) -> WindowOutcome {
+        WindowOutcome {
+            window,
+            status: WindowStatus::Ok,
+            report: None,
+            tickets_before: 10 + window,
+            tickets_after: window,
+            actuation_attempts: 1,
+        }
+    }
+
+    fn state_with(fingerprint: u64, windows: usize) -> OnlineState {
+        let mut summary = DegradationSummary::default();
+        summary.windows_ok = windows;
+        OnlineState {
+            fingerprint,
+            next_window: windows,
+            windows: (0..windows).map(outcome).collect(),
+            summary,
+            last_caps: vec![Some(vec![1.5, 2.5]), None],
+            consecutive_actuation_failures: 0,
+            safe_mode: false,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let store = temp_store("roundtrip");
+        let state = state_with(7, 3);
+        store.save_snapshot("box0", &state).unwrap();
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.state, state);
+        assert_eq!(recovery.resumed_from, Some(3));
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Resumed { window: 3 })));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_previous() {
+        let store = temp_store("fallback");
+        store.save_snapshot("box0", &state_with(7, 2)).unwrap();
+        store.save_snapshot("box0", &state_with(7, 4)).unwrap();
+        // Flip a payload byte in the latest snapshot.
+        let path = store.snapshot_path("box0");
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.state, state_with(7, 2), "should use .prev");
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SnapshotCorrupt { .. })));
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SnapshotFellBack { .. })));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn journal_extends_snapshot() {
+        let store = temp_store("journal");
+        let mut state = state_with(7, 2);
+        store.save_snapshot("box0", &state).unwrap();
+        // Two more windows recorded in the journal only.
+        for w in 2..4 {
+            state.windows.push(outcome(w));
+            state.next_window = w + 1;
+            state.summary.windows_ok += 1;
+            store.record_window("box0", &state, 100).unwrap();
+        }
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.state, state);
+        assert_eq!(recovery.resumed_from, Some(4));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped() {
+        let store = temp_store("torn");
+        let mut state = state_with(7, 1);
+        store.save_snapshot("box0", &state).unwrap();
+        for w in 1..3 {
+            state.windows.push(outcome(w));
+            state.next_window = w + 1;
+            store.record_window("box0", &state, 100).unwrap();
+        }
+        // Tear the last line mid-record (simulates a crash mid-append).
+        let path = store.journal_path("box0");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let recovery = store.recover("box0", state_with(7, 0));
+        // Window 2's record was torn: recovery stops after window 1.
+        assert_eq!(recovery.resumed_from, Some(2));
+        assert_eq!(recovery.state.windows.len(), 2);
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::JournalTruncated { dropped: 1, .. })));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn flipped_journal_byte_is_detected() {
+        let store = temp_store("flip");
+        let mut state = state_with(7, 1);
+        store.save_snapshot("box0", &state).unwrap();
+        state.windows.push(outcome(1));
+        state.next_window = 2;
+        store.record_window("box0", &state, 100).unwrap();
+        let path = store.journal_path("box0");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.resumed_from, Some(1), "journal record rejected");
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::JournalTruncated { .. })));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_starts_fresh() {
+        let store = temp_store("fingerprint");
+        store.save_snapshot("box0", &state_with(7, 3)).unwrap();
+        let recovery = store.recover("box0", state_with(8, 0));
+        assert_eq!(recovery.resumed_from, None);
+        assert_eq!(recovery.state, state_with(8, 0));
+        assert!(recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::SnapshotStale { .. })));
+        assert!(recovery.events.contains(&RecoveryEvent::Fresh));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn record_window_rotates_snapshots_on_interval() {
+        let store = temp_store("rotate");
+        let mut state = state_with(7, 0);
+        for w in 0..4 {
+            state.windows.push(outcome(w));
+            state.next_window = w + 1;
+            // interval 2: snapshots at windows 1 and 3 (cursor 2 and 4).
+            store.record_window("box0", &state, 2).unwrap();
+        }
+        assert!(store.snapshot_path("box0").exists());
+        assert!(store.prev_snapshot_path("box0").exists());
+        // Journal was truncated by the last snapshot.
+        let journal = fs::read(store.journal_path("box0")).unwrap();
+        assert!(journal.is_empty());
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.state, state);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn wipe_removes_everything() {
+        let store = temp_store("wipe");
+        let state = state_with(7, 1);
+        store.save_snapshot("box0", &state).unwrap();
+        store.save_snapshot("box0", &state).unwrap();
+        store.record_window("box0", &state, 100).unwrap();
+        store.wipe("box0").unwrap();
+        assert!(!store.snapshot_path("box0").exists());
+        assert!(!store.prev_snapshot_path("box0").exists());
+        assert!(!store.journal_path("box0").exists());
+        // Wiping again is fine.
+        store.wipe("box0").unwrap();
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn sanitize_box_names() {
+        assert_eq!(sanitize("box0"), "box0");
+        assert_eq!(sanitize("a/b c"), "a_b_c");
+    }
+}

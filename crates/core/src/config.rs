@@ -48,6 +48,110 @@ impl OnlineConfig {
     }
 }
 
+/// Durability and supervision knobs for the crash-safe online loop
+/// ([`crate::checkpoint`] and [`crate::supervisor`]).
+///
+/// Every field is serde-defaulted, so configurations serialized before
+/// this struct existed keep loading (durability off, supervision at its
+/// defaults).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DurabilityConfig {
+    /// Directory for per-box snapshots and journals. Empty (the default)
+    /// disables checkpointing entirely: `run_online_checkpointed`
+    /// requires a store, and the supervisor runs without durability.
+    #[serde(default)]
+    pub checkpoint_dir: String,
+    /// Cut a full snapshot every this many windows; in between, windows
+    /// are journaled. `1` (or `0`) snapshots every window.
+    #[serde(default = "default_checkpoint_interval")]
+    pub checkpoint_interval: usize,
+    /// Per-window wall-clock deadline in milliseconds, checked
+    /// cooperatively after each window (state is persisted first, so a
+    /// blown deadline loses no work). `0` (the default) disables it.
+    #[serde(default)]
+    pub window_deadline_ms: u64,
+    /// Circuit breaker: consecutive failed run attempts before a box's
+    /// breaker opens. `0` disables the breaker (every failure retries
+    /// immediately up to `max_restarts`).
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_threshold: usize,
+    /// Base backoff for an open breaker, in milliseconds. Actual waits
+    /// use decorrelated jitter from the supervisor's seeded RNG.
+    #[serde(default = "default_breaker_base_ms")]
+    pub breaker_base_ms: u64,
+    /// Upper bound on a single backoff wait, in milliseconds.
+    #[serde(default = "default_breaker_cap_ms")]
+    pub breaker_cap_ms: u64,
+    /// Maximum restart attempts per box (after the first) before the
+    /// supervisor quarantines it.
+    #[serde(default = "default_max_restarts")]
+    pub max_restarts: usize,
+    /// Seed for the supervisor's backoff jitter RNG; per-box streams are
+    /// derived deterministically from it.
+    #[serde(default = "default_supervisor_seed")]
+    pub supervisor_seed: u64,
+}
+
+fn default_checkpoint_interval() -> usize {
+    8
+}
+
+fn default_breaker_threshold() -> usize {
+    3
+}
+
+fn default_breaker_base_ms() -> u64 {
+    10
+}
+
+fn default_breaker_cap_ms() -> u64 {
+    1_000
+}
+
+fn default_max_restarts() -> usize {
+    2
+}
+
+fn default_supervisor_seed() -> u64 {
+    0xA7_0117
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_dir: String::new(),
+            checkpoint_interval: default_checkpoint_interval(),
+            window_deadline_ms: 0,
+            breaker_threshold: default_breaker_threshold(),
+            breaker_base_ms: default_breaker_base_ms(),
+            breaker_cap_ms: default_breaker_cap_ms(),
+            max_restarts: default_max_restarts(),
+            supervisor_seed: default_supervisor_seed(),
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Whether a checkpoint directory is configured.
+    pub fn checkpointing_enabled(&self) -> bool {
+        !self.checkpoint_dir.is_empty()
+    }
+
+    /// Validates the durability settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AtmError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        if self.breaker_cap_ms < self.breaker_base_ms {
+            return Err(crate::AtmError::InvalidConfig(
+                "breaker_cap_ms must be >= breaker_base_ms",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Compute knobs for the per-box clustering stage: intra-box parallelism
 /// and DTW kernel selection.
 ///
@@ -257,6 +361,10 @@ pub struct AtmConfig {
     /// absent from serialized configs, so older configs keep loading.
     #[serde(default)]
     pub compute: ComputeConfig,
+    /// Checkpointing and fleet-supervision settings. Defaulted when
+    /// absent from serialized configs, so older configs keep loading.
+    #[serde(default)]
+    pub durability: DurabilityConfig,
 }
 
 impl Default for AtmConfig {
@@ -276,6 +384,7 @@ impl Default for AtmConfig {
             imputation: ImputationConfig::default(),
             online: OnlineConfig::default(),
             compute: ComputeConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -359,6 +468,7 @@ impl AtmConfig {
         }
         self.imputation.validate()?;
         self.online.validate()?;
+        self.durability.validate()?;
         Ok(())
     }
 }
@@ -439,6 +549,29 @@ mod tests {
         v.as_object_mut().expect("object").remove("compute");
         let restored: AtmConfig = serde_json::from_value(v).expect("compute defaults");
         assert_eq!(restored.compute, ComputeConfig::default());
+    }
+
+    #[test]
+    fn durability_defaults_are_off_and_backward_compatible() {
+        let d = DurabilityConfig::default();
+        assert!(!d.checkpointing_enabled());
+        assert_eq!(d.window_deadline_ms, 0);
+        assert!(d.validate().is_ok());
+        // A config serialized before the durability field existed must
+        // keep deserializing with the defaults.
+        let mut v: serde_json::Value =
+            serde_json::to_value(AtmConfig::fast_for_tests()).expect("serializable");
+        v.as_object_mut().expect("object").remove("durability");
+        let restored: AtmConfig = serde_json::from_value(v).expect("durability defaults");
+        assert_eq!(restored.durability, DurabilityConfig::default());
+    }
+
+    #[test]
+    fn durability_validation_rejects_inverted_backoff() {
+        let mut c = AtmConfig::fast_for_tests();
+        c.durability.breaker_base_ms = 100;
+        c.durability.breaker_cap_ms = 10;
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -40,6 +40,30 @@ pub enum AtmError {
     Forecast(String),
     /// The resizing optimizer failed.
     Resize(String),
+    /// A checkpoint could not be written, read, or validated.
+    Checkpoint {
+        /// Filesystem path involved.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An online window exceeded the configured wall-clock deadline.
+    DeadlineExceeded {
+        /// The window that blew the deadline.
+        window: usize,
+        /// Elapsed wall-clock milliseconds.
+        elapsed_ms: u64,
+        /// The configured per-window deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A scripted crash-injection point was reached (chaos harness only).
+    /// The kill fired just before this window was computed; every earlier
+    /// window is durable, and resuming from the checkpoint continues
+    /// here.
+    SimulatedCrash {
+        /// The first window the kill prevented from running.
+        window: usize,
+    },
 }
 
 impl fmt::Display for AtmError {
@@ -67,6 +91,20 @@ impl fmt::Display for AtmError {
             AtmError::Regression(e) => write!(f, "regression failed: {e}"),
             AtmError::Forecast(e) => write!(f, "forecast failed: {e}"),
             AtmError::Resize(e) => write!(f, "resize failed: {e}"),
+            AtmError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint failure at {path}: {reason}")
+            }
+            AtmError::DeadlineExceeded {
+                window,
+                elapsed_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "window {window} exceeded its deadline: {elapsed_ms} ms elapsed, {deadline_ms} ms allowed"
+            ),
+            AtmError::SimulatedCrash { window } => {
+                write!(f, "simulated crash after window {window}")
+            }
         }
     }
 }

@@ -1,0 +1,125 @@
+//! Crash-safe filesystem primitives shared by every writer of JSON (and
+//! other) artifacts in this workspace: checkpoints, bench reports, and
+//! anything else that must never be observed half-written.
+//!
+//! The only primitive is [`write_atomic`]: write to a temporary file in
+//! the destination directory, `fsync` it, then `rename` over the target.
+//! On POSIX filesystems the rename is atomic, so a reader (or a process
+//! restarted after a crash) sees either the old complete file or the new
+//! complete file — never a torn mixture. The directory itself is synced
+//! after the rename so the new directory entry is durable too.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically replaces the file at `path` with `bytes`.
+///
+/// The data is staged in a sibling temporary file (same directory, so the
+/// rename cannot cross filesystems), flushed and synced to disk, and then
+/// renamed over `path`. A crash at any point leaves either the previous
+/// file or the new one — never a partial write. The parent directory is
+/// fsynced afterwards on a best-effort basis (some filesystems reject
+/// directory syncs; the rename itself is still atomic there).
+///
+/// # Errors
+///
+/// Any underlying [`io::Error`] from create/write/sync/rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{}.tmp.{}", file_name, std::process::id()));
+
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable. Opening a directory read-only
+        // and syncing it works on Linux; elsewhere this is best-effort.
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        // Never leave the staging file behind on failure.
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Appends `bytes` to the file at `path` (creating it if absent) and
+/// syncs the write to disk before returning.
+///
+/// Appends are *not* atomic: a crash mid-append can leave a torn tail.
+/// Callers (the checkpoint journal) must therefore frame and checksum
+/// each record so a torn tail is detected and dropped on recovery.
+///
+/// # Errors
+///
+/// Any underlying [`io::Error`] from open/write/sync.
+pub fn append_durable(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "atm-fsio-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        // No staging files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let dir = temp_dir("append");
+        let path = dir.join("journal");
+        append_durable(&path, b"a\n").unwrap();
+        append_durable(&path, b"b\n").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"a\nb\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_name_rejected() {
+        assert!(write_atomic(Path::new("/"), b"x").is_err());
+    }
+}

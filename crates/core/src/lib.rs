@@ -32,6 +32,12 @@
 //! online loop degrades per window (fallback forecasts, carried-forward
 //! caps, safe mode) rather than aborting the whole run.
 //!
+//! Durability: [`checkpoint`] persists the online loop's state after
+//! every window (checksummed snapshots + a window journal, written
+//! atomically via [`fsio`]), so a killed process resumes byte-identically;
+//! [`supervisor`] runs whole fleets that way with per-box panic
+//! isolation, restart-from-checkpoint, deadlines, and circuit breakers.
+//!
 //! # Example
 //!
 //! ```
@@ -52,14 +58,17 @@
 #![warn(missing_docs)]
 
 pub mod actuate;
+pub mod checkpoint;
 pub mod config;
 mod error;
 pub mod fleet;
+pub mod fsio;
 pub mod impute;
 pub mod online;
 pub mod pipeline;
 pub mod signature;
 pub mod spatial;
+pub mod supervisor;
 pub mod whatif;
 
 pub use config::AtmConfig;

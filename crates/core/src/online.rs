@@ -31,6 +31,17 @@
 //! The simulation evaluates tickets under the *intended* capacities;
 //! actuation failures are tracked for accounting and safe mode rather
 //! than forking the evaluation state.
+//!
+//! # Crash safety
+//!
+//! The loop is factored into an [`OnlineDriver`] advancing a serializable
+//! [`OnlineState`] one window at a time. [`run_online_checkpointed`]
+//! persists that state through a [`CheckpointStore`] after every window,
+//! so a process killed at any point resumes from its checkpoint and
+//! finishes with a byte-identical [`OnlineReport`];
+//! [`run_online_until`] adds a scripted kill point for the chaos
+//! harness, and [`crate::supervisor`] runs whole fleets this way with
+//! panic isolation and circuit breaking.
 
 use atm_resize::evaluate::box_outcome;
 use atm_ticketing::ThresholdPolicy;
@@ -38,6 +49,7 @@ use atm_tracegen::{BoxTrace, Resource, VmTrace};
 use serde::{Deserialize, Serialize};
 
 use crate::actuate::{apply_with_retry, CapacityActuator, NoopActuator};
+use crate::checkpoint::{CheckpointStore, Recovery};
 use crate::config::AtmConfig;
 use crate::error::{AtmError, AtmResult};
 use crate::pipeline::{
@@ -132,6 +144,26 @@ pub struct DegradationSummary {
     /// Tickets after resizing in non-`Ok` windows — the ticket cost
     /// attributable to degraded operation.
     pub degraded_tickets_after: usize,
+}
+
+impl DegradationSummary {
+    /// Accumulates another box's accounting into this one — the
+    /// fleet-level aggregation used by
+    /// [`FleetReport`](crate::supervisor::FleetReport).
+    pub fn merge(&mut self, other: &DegradationSummary) {
+        self.windows_total += other.windows_total;
+        self.windows_ok += other.windows_ok;
+        self.windows_degraded += other.windows_degraded;
+        self.windows_skipped += other.windows_skipped;
+        self.fallback_windows += other.fallback_windows;
+        self.imputed_windows += other.imputed_windows;
+        self.imputed_samples += other.imputed_samples;
+        self.actuation_retries += other.actuation_retries;
+        self.actuation_failures += other.actuation_failures;
+        self.safe_mode_entries += other.safe_mode_entries;
+        self.degraded_tickets_before += other.degraded_tickets_before;
+        self.degraded_tickets_after += other.degraded_tickets_after;
+    }
 }
 
 /// Aggregated online-management results for one box.
@@ -289,62 +321,203 @@ pub fn run_online_with_actuator(
     config: &AtmConfig,
     actuator: &mut dyn CapacityActuator,
 ) -> AtmResult<OnlineReport> {
-    config.validate()?;
-    validate_rectangular(box_trace)?;
-    let total = box_trace.window_count();
-    let needed = config.train_windows + config.horizon;
-    if total < needed {
-        return Err(AtmError::TraceTooShort {
-            required: needed,
-            actual: total,
-        });
+    let driver = OnlineDriver::new(box_trace, config)?;
+    let mut state = driver.fresh_state();
+    while !driver.is_done(&state) {
+        driver.step(&mut state, actuator)?;
     }
-    let policy = ticket_policy(config)?;
-    let resources = scoped_resources(config.scope);
-    let actuate_cpu = resources.contains(&Resource::Cpu);
-    let original_cpu_caps: Vec<f64> = box_trace.vms.iter().map(|vm| vm.cpu_capacity_ghz).collect();
+    Ok(driver.finish(state))
+}
 
-    // Last successfully computed caps per scoped resource, carried
-    // forward when a window cannot compute new ones.
-    let mut last_caps: Vec<Option<Vec<f64>>> = vec![None; resources.len()];
-    let mut consecutive_actuation_failures = 0usize;
-    let mut safe_mode = false;
-    let mut summary = DegradationSummary::default();
+/// Serializable per-box state of an in-progress online run: the window
+/// cursor, every completed [`WindowOutcome`], the carried-forward caps,
+/// and the safe-mode/degradation counters.
+///
+/// This is exactly what [`crate::checkpoint`] persists after every
+/// window; a run resumed from it continues as if it had never stopped,
+/// producing a byte-identical [`OnlineReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineState {
+    /// Binds the state to one (trace, config) pair; see
+    /// [`OnlineDriver::fingerprint`].
+    pub(crate) fingerprint: u64,
+    /// The next window to compute (== windows completed so far).
+    pub(crate) next_window: usize,
+    /// Completed window outcomes, in time order.
+    pub(crate) windows: Vec<WindowOutcome>,
+    /// Running degradation accounting.
+    pub(crate) summary: DegradationSummary,
+    /// Last successfully computed caps per scoped resource, carried
+    /// forward when a window cannot compute new ones.
+    pub(crate) last_caps: Vec<Option<Vec<f64>>>,
+    /// Consecutive windows whose actuation failed even with retries.
+    pub(crate) consecutive_actuation_failures: usize,
+    /// Whether the loop is currently in safe mode.
+    pub(crate) safe_mode: bool,
+}
 
-    let evaluable = (total - config.train_windows) / config.horizon;
-    let mut windows = Vec::with_capacity(evaluable);
-    for w in 0..evaluable {
+impl OnlineState {
+    /// The next window this state will compute.
+    pub fn next_window(&self) -> usize {
+        self.next_window
+    }
+
+    /// Windows completed so far.
+    pub fn completed_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// FNV-1a fingerprint binding checkpointed state to its (trace, config)
+/// pair, so stale state from a different run is detected and ignored
+/// instead of silently mixed in.
+fn run_fingerprint(box_trace: &BoxTrace, config: &AtmConfig) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    feed(&serde_json::to_vec(config).unwrap_or_default());
+    feed(&serde_json::to_vec(box_trace).unwrap_or_default());
+    hash
+}
+
+/// Step-at-a-time driver for the online loop.
+///
+/// [`run_online_with_actuator`] drives this to completion in one go; the
+/// checkpointed runner ([`run_online_checkpointed`]) and the fleet
+/// supervisor ([`crate::supervisor`]) interleave [`step`](Self::step)
+/// with persistence so a kill between any two windows is recoverable.
+pub struct OnlineDriver<'a> {
+    box_trace: &'a BoxTrace,
+    config: &'a AtmConfig,
+    policy: ThresholdPolicy,
+    resources: Vec<Resource>,
+    actuate_cpu: bool,
+    original_cpu_caps: Vec<f64>,
+    evaluable: usize,
+    fingerprint: u64,
+}
+
+impl<'a> OnlineDriver<'a> {
+    /// Validates the run and precomputes its derived parameters.
+    ///
+    /// # Errors
+    ///
+    /// - [`AtmError::InvalidConfig`] for a bad configuration.
+    /// - [`AtmError::RaggedTrace`] for a malformed trace.
+    /// - [`AtmError::TraceTooShort`] if not even one window fits.
+    pub fn new(box_trace: &'a BoxTrace, config: &'a AtmConfig) -> AtmResult<Self> {
+        config.validate()?;
+        validate_rectangular(box_trace)?;
+        let total = box_trace.window_count();
+        let needed = config.train_windows + config.horizon;
+        if total < needed {
+            return Err(AtmError::TraceTooShort {
+                required: needed,
+                actual: total,
+            });
+        }
+        let policy = ticket_policy(config)?;
+        let resources = scoped_resources(config.scope);
+        let actuate_cpu = resources.contains(&Resource::Cpu);
+        let original_cpu_caps = box_trace.vms.iter().map(|vm| vm.cpu_capacity_ghz).collect();
+        let evaluable = (total - config.train_windows) / config.horizon;
+        let fingerprint = run_fingerprint(box_trace, config);
+        Ok(OnlineDriver {
+            box_trace,
+            config,
+            policy,
+            resources,
+            actuate_cpu,
+            original_cpu_caps,
+            evaluable,
+            fingerprint,
+        })
+    }
+
+    /// Total windows this run will evaluate.
+    pub fn windows_total(&self) -> usize {
+        self.evaluable
+    }
+
+    /// The run's (trace, config) fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// A clean starting state for this run.
+    pub fn fresh_state(&self) -> OnlineState {
+        OnlineState {
+            fingerprint: self.fingerprint,
+            next_window: 0,
+            windows: Vec::with_capacity(self.evaluable),
+            summary: DegradationSummary::default(),
+            last_caps: vec![None; self.resources.len()],
+            consecutive_actuation_failures: 0,
+            safe_mode: false,
+        }
+    }
+
+    /// Whether every window has been computed.
+    pub fn is_done(&self, state: &OnlineState) -> bool {
+        state.next_window >= self.evaluable
+    }
+
+    /// Computes, actuates, and records the next window, advancing the
+    /// cursor by one. The degrade-don't-abort semantics are unchanged
+    /// from the pre-checkpoint loop: see the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Evaluation errors on the carry-forward path, and per-window
+    /// pipeline errors when `config.online.fallback` is `false`.
+    pub fn step(
+        &self,
+        state: &mut OnlineState,
+        actuator: &mut dyn CapacityActuator,
+    ) -> AtmResult<()> {
+        let w = state.next_window;
+        let config = self.config;
         let end = config.train_windows + (w + 1) * config.horizon;
         let eval_start = end - config.horizon;
 
-        if safe_mode {
+        if state.safe_mode {
             // Hold the box at its allocated capacities; retry the revert
             // each window and leave safe mode once an apply sticks.
             let mut attempts = 0;
-            if actuate_cpu {
-                match apply_with_retry(actuator, &original_cpu_caps, &config.online.retry) {
+            if self.actuate_cpu {
+                match apply_with_retry(actuator, &self.original_cpu_caps, &config.online.retry) {
                     Ok(outcome) => {
                         attempts = outcome.attempts;
-                        summary.actuation_retries += outcome.attempts - 1;
-                        consecutive_actuation_failures = 0;
-                        safe_mode = false;
+                        state.summary.actuation_retries += outcome.attempts - 1;
+                        state.consecutive_actuation_failures = 0;
+                        state.safe_mode = false;
                     }
                     Err(_) => {
                         attempts = config.online.retry.max_attempts;
-                        summary.actuation_retries += attempts.saturating_sub(1);
-                        summary.actuation_failures += 1;
+                        state.summary.actuation_retries += attempts.saturating_sub(1);
+                        state.summary.actuation_failures += 1;
                     }
                 }
             } else {
-                safe_mode = false;
+                state.safe_mode = false;
             }
-            let no_change: Vec<Option<Vec<f64>>> = vec![None; resources.len()];
-            let (before, after) =
-                evaluate_caps(box_trace, &resources, eval_start, end, &no_change, &policy)?;
-            summary.windows_skipped += 1;
-            summary.degraded_tickets_before += before;
-            summary.degraded_tickets_after += after;
-            windows.push(WindowOutcome {
+            let no_change: Vec<Option<Vec<f64>>> = vec![None; self.resources.len()];
+            let (before, after) = evaluate_caps(
+                self.box_trace,
+                &self.resources,
+                eval_start,
+                end,
+                &no_change,
+                &self.policy,
+            )?;
+            state.summary.windows_skipped += 1;
+            state.summary.degraded_tickets_before += before;
+            state.summary.degraded_tickets_after += after;
+            state.windows.push(WindowOutcome {
                 window: w,
                 status: WindowStatus::Skipped {
                     reason: "safe mode: caps reverted to allocated capacities".into(),
@@ -354,10 +527,11 @@ pub fn run_online_with_actuator(
                 tickets_after: after,
                 actuation_attempts: attempts,
             });
-            continue;
+            state.next_window = w + 1;
+            return Ok(());
         }
 
-        let truncated = truncate_box(box_trace, end)?;
+        let truncated = truncate_box(self.box_trace, end)?;
         let mut reasons: Vec<String> = Vec::new();
 
         // Fallback chain: full pipeline -> per-VM seasonal naive ->
@@ -367,7 +541,7 @@ pub fn run_online_with_actuator(
             Err(e) if config.online.fallback => match fallback_box_report(&truncated, config) {
                 Ok(r) => {
                     reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
-                    summary.fallback_windows += 1;
+                    state.summary.fallback_windows += 1;
                     Some(r)
                 }
                 Err(e2) => {
@@ -387,56 +561,67 @@ pub fn run_online_with_actuator(
                         "imputed {} gap samples",
                         r.imputation.total_imputed()
                     ));
-                    summary.imputed_windows += 1;
-                    summary.imputed_samples += r.imputation.total_imputed();
+                    state.summary.imputed_windows += 1;
+                    state.summary.imputed_samples += r.imputation.total_imputed();
                 }
-                for (ri, &resource) in resources.iter().enumerate() {
+                for (ri, &resource) in self.resources.iter().enumerate() {
                     if let Some(res) = r.resizing.iter().find(|res| res.resource == resource) {
-                        last_caps[ri] = Some(res.capacities.clone());
+                        state.last_caps[ri] = Some(res.capacities.clone());
                     }
                 }
                 let before = r.resizing.iter().map(|res| res.atm.before).sum();
                 let after = r.resizing.iter().map(|res| res.atm.after).sum();
                 (before, after)
             }
-            None => evaluate_caps(box_trace, &resources, eval_start, end, &last_caps, &policy)?,
+            None => evaluate_caps(
+                self.box_trace,
+                &self.resources,
+                eval_start,
+                end,
+                &state.last_caps,
+                &self.policy,
+            )?,
         };
 
         // Actuate the CPU caps in effect for this window.
         let mut attempts = 0;
-        if actuate_cpu {
-            let cpu_index = resources
+        if self.actuate_cpu {
+            let cpu_index = self
+                .resources
                 .iter()
                 .position(|&r| r == Resource::Cpu)
                 .expect("actuate_cpu implies a CPU entry");
-            let caps = last_caps[cpu_index]
+            let caps = state.last_caps[cpu_index]
                 .clone()
-                .unwrap_or_else(|| original_cpu_caps.clone());
+                .unwrap_or_else(|| self.original_cpu_caps.clone());
             match apply_with_retry(actuator, &caps, &config.online.retry) {
                 Ok(outcome) => {
                     attempts = outcome.attempts;
                     if outcome.attempts > 1 {
                         reasons.push(format!("actuation needed {} attempts", outcome.attempts));
-                        summary.actuation_retries += outcome.attempts - 1;
+                        state.summary.actuation_retries += outcome.attempts - 1;
                     }
-                    consecutive_actuation_failures = 0;
+                    state.consecutive_actuation_failures = 0;
                 }
                 Err(e) => {
                     attempts = config.online.retry.max_attempts;
-                    summary.actuation_retries += attempts.saturating_sub(1);
-                    summary.actuation_failures += 1;
-                    consecutive_actuation_failures += 1;
+                    state.summary.actuation_retries += attempts.saturating_sub(1);
+                    state.summary.actuation_failures += 1;
+                    state.consecutive_actuation_failures += 1;
                     reasons.push(format!("actuation failed after {attempts} attempts: {e}"));
                     if config.online.safe_mode_after > 0
-                        && consecutive_actuation_failures >= config.online.safe_mode_after
+                        && state.consecutive_actuation_failures >= config.online.safe_mode_after
                     {
-                        safe_mode = true;
-                        summary.safe_mode_entries += 1;
+                        state.safe_mode = true;
+                        state.summary.safe_mode_entries += 1;
                         reasons.push("entering safe mode".into());
                         // Best-effort immediate revert; the next window
                         // retries it either way.
-                        let _ =
-                            apply_with_retry(actuator, &original_cpu_caps, &config.online.retry);
+                        let _ = apply_with_retry(
+                            actuator,
+                            &self.original_cpu_caps,
+                            &config.online.retry,
+                        );
                     }
                 }
             }
@@ -454,15 +639,15 @@ pub fn run_online_with_actuator(
             }
         };
         match &status {
-            WindowStatus::Ok => summary.windows_ok += 1,
-            WindowStatus::Degraded { .. } => summary.windows_degraded += 1,
-            WindowStatus::Skipped { .. } => summary.windows_skipped += 1,
+            WindowStatus::Ok => state.summary.windows_ok += 1,
+            WindowStatus::Degraded { .. } => state.summary.windows_degraded += 1,
+            WindowStatus::Skipped { .. } => state.summary.windows_skipped += 1,
         }
         if !status.is_ok() {
-            summary.degraded_tickets_before += tickets_before;
-            summary.degraded_tickets_after += tickets_after;
+            state.summary.degraded_tickets_before += tickets_before;
+            state.summary.degraded_tickets_after += tickets_after;
         }
-        windows.push(WindowOutcome {
+        state.windows.push(WindowOutcome {
             window: w,
             status,
             report,
@@ -470,11 +655,95 @@ pub fn run_online_with_actuator(
             tickets_after,
             actuation_attempts: attempts,
         });
+        state.next_window = w + 1;
+        Ok(())
     }
-    summary.windows_total = windows.len();
-    Ok(OnlineReport {
-        windows,
-        degradation: summary,
+
+    /// Finalizes a completed state into the aggregated report.
+    pub fn finish(&self, mut state: OnlineState) -> OnlineReport {
+        state.summary.windows_total = state.windows.len();
+        OnlineReport {
+            windows: state.windows,
+            degradation: state.summary,
+        }
+    }
+}
+
+/// Result of a checkpointed online run: the aggregated report plus what
+/// recovery found on startup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRun {
+    /// The aggregated report — byte-identical to an uninterrupted run's.
+    pub report: OnlineReport,
+    /// What recovery found: the resume point and any corruption events.
+    pub recovery: Recovery,
+}
+
+/// [`run_online_with_actuator`] with durability: state is recovered from
+/// `store` on startup and persisted after every window, so the process
+/// can be killed at any point and rerun to a byte-identical
+/// [`OnlineReport`].
+///
+/// # Errors
+///
+/// As [`run_online_with_actuator`], plus [`AtmError::Checkpoint`] when
+/// persistence fails and [`AtmError::DeadlineExceeded`] when a window
+/// blows [`DurabilityConfig::window_deadline_ms`](crate::config::DurabilityConfig)
+/// (checked *after* the window's state is durable, so no work is lost).
+pub fn run_online_checkpointed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+    store: &CheckpointStore,
+) -> AtmResult<OnlineRun> {
+    run_online_until(box_trace, config, actuator, store, None)
+}
+
+/// [`run_online_checkpointed`] with a scripted kill point for the chaos
+/// harness: with `kill_after = Some(k)`, the run returns
+/// [`AtmError::SimulatedCrash`] just before computing window `k` —
+/// exactly `k` windows are durable at that point. Rerunning (with
+/// `kill_after` past the end, or `None`) resumes from the checkpoint.
+///
+/// # Errors
+///
+/// As [`run_online_checkpointed`], plus the scripted
+/// [`AtmError::SimulatedCrash`].
+pub fn run_online_until(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+    store: &CheckpointStore,
+    kill_after: Option<usize>,
+) -> AtmResult<OnlineRun> {
+    let driver = OnlineDriver::new(box_trace, config)?;
+    let recovery = store.recover(&box_trace.name, driver.fresh_state());
+    let mut state = recovery.state.clone();
+    let interval = config.durability.checkpoint_interval;
+    let deadline_ms = config.durability.window_deadline_ms;
+    while !driver.is_done(&state) {
+        if kill_after == Some(state.next_window) {
+            return Err(AtmError::SimulatedCrash {
+                window: state.next_window,
+            });
+        }
+        let started = std::time::Instant::now();
+        driver.step(&mut state, actuator)?;
+        store.record_window(&box_trace.name, &state, interval)?;
+        if deadline_ms > 0 {
+            let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if elapsed_ms > deadline_ms {
+                return Err(AtmError::DeadlineExceeded {
+                    window: state.next_window - 1,
+                    elapsed_ms,
+                    deadline_ms,
+                });
+            }
+        }
+    }
+    Ok(OnlineRun {
+        report: driver.finish(state),
+        recovery,
     })
 }
 
@@ -681,6 +950,113 @@ mod tests {
         assert_eq!(w2.tickets_after, w2.tickets_before);
         assert_eq!(report.degradation.actuation_failures, 3);
         assert_eq!(actuator.applied().len(), 0, "no apply ever succeeded");
+    }
+
+    fn temp_store(tag: &str) -> crate::checkpoint::CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "atm-online-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        crate::checkpoint::CheckpointStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn driver_matches_monolithic_loop() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        let baseline = run_online(&b, &cfg).unwrap();
+        let driver = OnlineDriver::new(&b, &cfg).unwrap();
+        assert_eq!(driver.windows_total(), 3);
+        let mut state = driver.fresh_state();
+        let mut actuator = NoopActuator::new();
+        let mut steps = 0;
+        while !driver.is_done(&state) {
+            driver.step(&mut state, &mut actuator).unwrap();
+            steps += 1;
+            assert_eq!(state.next_window(), steps);
+            assert_eq!(state.completed_windows(), steps);
+        }
+        assert_eq!(driver.finish(state), baseline);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uninterrupted() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        let baseline = run_online(&b, &cfg).unwrap();
+        let store = temp_store("clean");
+        let run = run_online_checkpointed(&b, &cfg, &mut NoopActuator::new(), &store).unwrap();
+        assert_eq!(run.report, baseline);
+        assert_eq!(run.recovery.resumed_from, None);
+        // A second full run resumes at the end and recomputes nothing.
+        let rerun = run_online_checkpointed(&b, &cfg, &mut NoopActuator::new(), &store).unwrap();
+        assert_eq!(rerun.report, baseline);
+        assert_eq!(rerun.recovery.resumed_from, Some(3));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn kill_at_any_window_and_resume_is_equivalent() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        let baseline = run_online(&b, &cfg).unwrap();
+        for k in 0..3 {
+            let store = temp_store(&format!("kill{k}"));
+            let err =
+                run_online_until(&b, &cfg, &mut NoopActuator::new(), &store, Some(k)).unwrap_err();
+            assert_eq!(err, AtmError::SimulatedCrash { window: k });
+            let resumed =
+                run_online_checkpointed(&b, &cfg, &mut NoopActuator::new(), &store).unwrap();
+            assert_eq!(resumed.report, baseline, "kill after {k} windows");
+            assert_eq!(
+                resumed.recovery.resumed_from,
+                if k == 0 { None } else { Some(k) }
+            );
+            let _ = std::fs::remove_dir_all(store.dir());
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_runs() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        // Checkpoints from one config are ignored by a different one.
+        let store = temp_store("fp");
+        let err =
+            run_online_until(&b, &cfg, &mut NoopActuator::new(), &store, Some(2)).unwrap_err();
+        assert_eq!(err, AtmError::SimulatedCrash { window: 2 });
+        let mut other = cfg.clone();
+        other.ticket_threshold_pct = 70.0;
+        let run = run_online_checkpointed(&b, &other, &mut NoopActuator::new(), &store).unwrap();
+        assert_eq!(run.recovery.resumed_from, None, "stale checkpoint reused");
+        assert_eq!(run.report, run_online(&b, &other).unwrap());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn summary_merge_accumulates_every_field() {
+        let mut a = DegradationSummary::default();
+        let b = DegradationSummary {
+            windows_total: 1,
+            windows_ok: 2,
+            windows_degraded: 3,
+            windows_skipped: 4,
+            fallback_windows: 5,
+            imputed_windows: 6,
+            imputed_samples: 7,
+            actuation_retries: 8,
+            actuation_failures: 9,
+            safe_mode_entries: 10,
+            degraded_tickets_before: 11,
+            degraded_tickets_after: 12,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.windows_total, 2);
+        assert_eq!(a.degraded_tickets_after, 24);
+        assert_eq!(a.safe_mode_entries, 20);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! [`CapacityActuator`] is that interface; [`SimulatedCgroups`] applies
 //! caps to a simulated [`Cluster`] and keeps an audit log, standing in for
 //! the real daemon. [`FlakyActuator`] wraps any actuator with seeded
-//! transient-failure and partial-apply injection for robustness testing.
+//! transient-failure and partial-apply injection for robustness testing;
+//! [`CrashingActuator`] goes further and panics mid-apply on a scripted
+//! call, for exercising crash-recovery supervisors.
 
 use serde::{Deserialize, Serialize};
 
@@ -250,6 +252,57 @@ impl<A: CapacityActuator> CapacityActuator for FlakyActuator<A> {
     }
 }
 
+/// Wraps any [`CapacityActuator`] and panics on the Nth `apply` call — a
+/// daemon process dying *mid-window*, the crash mode checkpointed online
+/// management must survive. Unlike [`FlakyActuator`], which returns
+/// errors the retry loop handles, this kills the whole call stack; only
+/// a supervisor with panic isolation (e.g. `atm-core`'s fleet
+/// supervisor) turns it into a restart instead of an abort.
+#[derive(Debug, Clone)]
+pub struct CrashingActuator<A> {
+    inner: A,
+    calls: usize,
+    panic_on_call: usize,
+}
+
+impl<A: CapacityActuator> CrashingActuator<A> {
+    /// Panics on apply call number `panic_on_call` (1-based); `0` never
+    /// panics.
+    pub fn new(inner: A, panic_on_call: usize) -> Self {
+        CrashingActuator {
+            inner,
+            calls: 0,
+            panic_on_call,
+        }
+    }
+
+    /// Apply calls made so far.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Borrows the wrapped actuator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: CapacityActuator> CapacityActuator for CrashingActuator<A> {
+    fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>> {
+        self.calls += 1;
+        assert!(
+            self.panic_on_call == 0 || self.calls != self.panic_on_call,
+            "scripted daemon crash on apply call {}",
+            self.calls
+        );
+        self.inner.apply(caps)
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.inner.current()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +470,24 @@ mod tests {
             seed: 0,
         };
         assert!(neg.validate().is_err());
+    }
+
+    #[test]
+    fn crashing_actuator_panics_on_schedule() {
+        let mut a = CrashingActuator::new(SimulatedCgroups::new(cluster()), 2);
+        a.apply(&[3.0, 2.0]).unwrap();
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = a.apply(&[3.0, 2.0]);
+        }));
+        assert!(crashed.is_err(), "second apply should panic");
+
+        // 0 disables crashing entirely.
+        let mut quiet = CrashingActuator::new(SimulatedCgroups::new(cluster()), 0);
+        for _ in 0..5 {
+            quiet.apply(&[3.0, 2.0]).unwrap();
+        }
+        assert_eq!(quiet.calls(), 5);
+        assert_eq!(quiet.inner().current(), vec![3.0, 2.0]);
     }
 
     #[test]

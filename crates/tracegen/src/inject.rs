@@ -327,6 +327,75 @@ impl FaultPlan {
     }
 }
 
+/// A seeded schedule of process kills for the crash-recovery chaos
+/// harness: for each box, a strictly increasing list of windows at which
+/// the controller process dies (e.g. fed to a scripted kill point like
+/// `atm-core`'s `run_online_until`). Each restart then runs to the next
+/// kill point, so a plan with `k` kills exercises `k` resume-from-
+/// checkpoint cycles before the run finally completes.
+///
+/// Deterministic given [`seed`](Self::seed) and the box index, like
+/// [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashPlan {
+    /// Master seed; kill schedules are deterministic given this and the
+    /// box index.
+    pub seed: u64,
+    /// Kills per box, sampled uniformly from this inclusive range.
+    pub kills_per_box: (usize, usize),
+}
+
+impl Default for CrashPlan {
+    fn default() -> Self {
+        CrashPlan {
+            seed: 0xC4A5_4E5,
+            kills_per_box: (1, 3),
+        }
+    }
+}
+
+impl CrashPlan {
+    /// A plan killing exactly once per box.
+    pub fn single_kill(seed: u64) -> Self {
+        CrashPlan {
+            seed,
+            kills_per_box: (1, 1),
+        }
+    }
+
+    /// The kill schedule for one box whose run spans `windows` windows:
+    /// strictly increasing window indices in `0..windows`, one per
+    /// scheduled kill. Runs shorter than the requested kill count get
+    /// fewer kills (at most one per window). Empty when `windows` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kills_per_box` is not a valid inclusive range.
+    pub fn kill_points(&self, box_index: usize, windows: usize) -> Vec<usize> {
+        assert!(
+            self.kills_per_box.0 <= self.kills_per_box.1,
+            "invalid kills-per-box range"
+        );
+        if windows == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
+        let kills = rng
+            .gen_range(self.kills_per_box.0..=self.kills_per_box.1)
+            .min(windows);
+        // Sample distinct windows without replacement; the candidate pool
+        // is small (a run's window count), so a shuffle-prefix is fine.
+        let mut candidates: Vec<usize> = (0..windows).collect();
+        for i in 0..kills {
+            let j = rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        let mut points = candidates[..kills].to_vec();
+        points.sort_unstable();
+        points
+    }
+}
+
 /// Replaces isolated samples with spike readings; returns how many.
 fn inject_spikes(series: &mut [f64], cfg: &SensorFaultConfig, rng: &mut StdRng) -> usize {
     let mut injected = 0;
@@ -542,6 +611,34 @@ mod tests {
         assert_eq!(total, merged);
         assert_eq!(fleet, fleet2);
         assert!(total.total_samples() > 0);
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_and_increasing() {
+        let plan = CrashPlan::default();
+        for windows in [1usize, 5, 40] {
+            for box_index in 0..4 {
+                let a = plan.kill_points(box_index, windows);
+                let b = plan.kill_points(box_index, windows);
+                assert_eq!(a, b, "schedule must be reproducible");
+                assert!(!a.is_empty(), "default plan kills at least once");
+                assert!(a.windows(2).all(|w| w[0] < w[1]), "not increasing: {a:?}");
+                assert!(a.iter().all(|&k| k < windows), "out of range: {a:?}");
+            }
+        }
+        // Different boxes get different schedules (with enough room).
+        let a = plan.kill_points(0, 40);
+        let b = plan.kill_points(1, 40);
+        assert_ne!(a, b);
+        assert!(plan.kill_points(0, 0).is_empty());
+    }
+
+    #[test]
+    fn single_kill_plan_kills_once() {
+        let plan = CrashPlan::single_kill(9);
+        for windows in [1usize, 3, 10] {
+            assert_eq!(plan.kill_points(0, windows).len(), 1);
+        }
     }
 
     #[test]

@@ -38,6 +38,42 @@ pub enum TraceIoError {
     /// The parsed trace is structurally inconsistent (e.g. VMs of one box
     /// with different window counts).
     Inconsistent(String),
+    /// A usage or capacity value is invalid: non-finite, or negative where
+    /// the schema requires a non-negative reading. (Gap samples are
+    /// represented as *empty* CSV fields / JSON `null`s, never as literal
+    /// `NaN` text.)
+    BadValue {
+        /// Which sample or capacity (`box/vm cpu usage[17]`-style path).
+        location: String,
+        /// What was wrong with it.
+        problem: String,
+    },
+    /// The trace file could not be read at all (missing, unreadable,
+    /// permission denied).
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O failure.
+        reason: String,
+    },
+    /// A parse or validation error in a named file — wraps the positional
+    /// error with the path so callers see `file: line N: ...` context.
+    InFile {
+        /// The file involved.
+        path: String,
+        /// The underlying parse/validation error.
+        source: Box<TraceIoError>,
+    },
+}
+
+impl TraceIoError {
+    /// Wraps this error with the file it occurred in.
+    fn in_file(self, path: &std::path::Path) -> TraceIoError {
+        TraceIoError::InFile {
+            path: path.display().to_string(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -46,6 +82,11 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Json(e) => write!(f, "json error: {e}"),
             TraceIoError::Csv { line, problem } => write!(f, "csv line {line}: {problem}"),
             TraceIoError::Inconsistent(what) => write!(f, "inconsistent trace: {what}"),
+            TraceIoError::BadValue { location, problem } => {
+                write!(f, "bad value at {location}: {problem}")
+            }
+            TraceIoError::Io { path, reason } => write!(f, "cannot read {path}: {reason}"),
+            TraceIoError::InFile { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -144,10 +185,17 @@ pub fn fleet_from_csv(csv: &str) -> Result<FleetTrace, TraceIoError> {
                 });
             }
             let parse = |s: &str, what: &str| -> Result<f64, TraceIoError> {
-                s.parse().map_err(|_| TraceIoError::Csv {
+                let v: f64 = s.parse().map_err(|_| TraceIoError::Csv {
                     line: line_no,
                     problem: format!("bad {what}: {s}"),
-                })
+                })?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(TraceIoError::Csv {
+                        line: line_no,
+                        problem: format!("{what} must be finite and positive, got {s}"),
+                    });
+                }
+                Ok(v)
             };
             let interval: u32 = parts[3].parse().map_err(|_| TraceIoError::Csv {
                 line: line_no,
@@ -182,6 +230,12 @@ pub fn fleet_from_csv(csv: &str) -> Result<FleetTrace, TraceIoError> {
             line: line_no,
             problem: format!("bad capacity: {}", parts[3]),
         })?;
+        if !capacity.is_finite() || capacity <= 0.0 {
+            return Err(TraceIoError::Csv {
+                line: line_no,
+                problem: format!("capacity must be finite and positive, got {}", parts[3]),
+            });
+        }
         let window: usize = parts[4].parse().map_err(|_| TraceIoError::Csv {
             line: line_no,
             problem: format!("bad window index: {}", parts[4]),
@@ -189,10 +243,25 @@ pub fn fleet_from_csv(csv: &str) -> Result<FleetTrace, TraceIoError> {
         let usage: f64 = if parts[5].is_empty() {
             f64::NAN
         } else {
-            parts[5].parse().map_err(|_| TraceIoError::Csv {
+            let u: f64 = parts[5].parse().map_err(|_| TraceIoError::Csv {
                 line: line_no,
                 problem: format!("bad usage: {}", parts[5]),
-            })?
+            })?;
+            // Gaps are *empty* fields; a literal NaN/inf is a corrupt
+            // export, and utilization cannot be negative.
+            if !u.is_finite() {
+                return Err(TraceIoError::Csv {
+                    line: line_no,
+                    problem: format!("non-finite usage: {} (gaps are empty fields)", parts[5]),
+                });
+            }
+            if u < 0.0 {
+                return Err(TraceIoError::Csv {
+                    line: line_no,
+                    problem: format!("negative usage: {}", parts[5]),
+                });
+            }
+            u
         };
 
         if !box_order.contains(&key.0) {
@@ -280,6 +349,118 @@ pub fn fleet_from_csv(csv: &str) -> Result<FleetTrace, TraceIoError> {
     Ok(FleetTrace { boxes })
 }
 
+/// Validates a parsed fleet: rectangular per-box series, finite positive
+/// capacities, and usage samples that are either finite non-negative
+/// readings or `NaN` gaps. Run this on traces from untrusted sources
+/// (anything not produced by the generator) before feeding them to ATM;
+/// the file loaders below do so automatically.
+///
+/// # Errors
+///
+/// - [`TraceIoError::Inconsistent`] for ragged rows (VMs of one box with
+///   different window counts, or a VM whose cpu/ram series disagree);
+/// - [`TraceIoError::BadValue`] for non-finite/non-positive capacities or
+///   infinite/negative usage samples, with a `box/vm resource usage[t]`
+///   location path.
+pub fn validate_fleet(fleet: &FleetTrace) -> Result<(), TraceIoError> {
+    let check_capacity = |location: String, v: f64| -> Result<(), TraceIoError> {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(TraceIoError::BadValue {
+                location,
+                problem: format!("capacity must be finite and positive, got {v}"),
+            });
+        }
+        Ok(())
+    };
+    for b in &fleet.boxes {
+        check_capacity(format!("{} cpu capacity", b.name), b.cpu_capacity_ghz)?;
+        check_capacity(format!("{} ram capacity", b.name), b.ram_capacity_gb)?;
+        let mut windows: Option<usize> = None;
+        for vm in &b.vms {
+            check_capacity(
+                format!("{}/{} cpu capacity", b.name, vm.name),
+                vm.cpu_capacity_ghz,
+            )?;
+            check_capacity(
+                format!("{}/{} ram capacity", b.name, vm.name),
+                vm.ram_capacity_gb,
+            )?;
+            if vm.cpu_usage.len() != vm.ram_usage.len() {
+                return Err(TraceIoError::Inconsistent(format!(
+                    "{}/{}: cpu has {} windows, ram has {}",
+                    b.name,
+                    vm.name,
+                    vm.cpu_usage.len(),
+                    vm.ram_usage.len()
+                )));
+            }
+            match windows {
+                None => windows = Some(vm.cpu_usage.len()),
+                Some(n) if n != vm.cpu_usage.len() => {
+                    return Err(TraceIoError::Inconsistent(format!(
+                        "{}: VMs disagree on window count ({} has {}, expected {n})",
+                        b.name,
+                        vm.name,
+                        vm.cpu_usage.len()
+                    )));
+                }
+                Some(_) => {}
+            }
+            for resource in Resource::ALL {
+                let series = vm.usage(resource);
+                for (t, &u) in series.iter().enumerate() {
+                    if u.is_nan() {
+                        continue; // a gap — legal, imputation handles it
+                    }
+                    if !u.is_finite() || u < 0.0 {
+                        return Err(TraceIoError::BadValue {
+                            location: format!("{}/{} {resource} usage[{t}]", b.name, vm.name),
+                            problem: format!(
+                                "usage must be a finite non-negative percent, got {u}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads and validates a JSON fleet file.
+///
+/// # Errors
+///
+/// [`TraceIoError::Io`] when the file cannot be read;
+/// [`TraceIoError::InFile`] wrapping the parse or validation failure
+/// (truncated JSON surfaces here with serde's line/column context).
+pub fn fleet_from_json_file(path: &std::path::Path) -> Result<FleetTrace, TraceIoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceIoError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let fleet = fleet_from_json(&text).map_err(|e| e.in_file(path))?;
+    validate_fleet(&fleet).map_err(|e| e.in_file(path))?;
+    Ok(fleet)
+}
+
+/// Reads and validates a CSV fleet file.
+///
+/// # Errors
+///
+/// [`TraceIoError::Io`] when the file cannot be read;
+/// [`TraceIoError::InFile`] wrapping the line-numbered parse error or the
+/// validation failure.
+pub fn fleet_from_csv_file(path: &std::path::Path) -> Result<FleetTrace, TraceIoError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceIoError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let fleet = fleet_from_csv(&text).map_err(|e| e.in_file(path))?;
+    validate_fleet(&fleet).map_err(|e| e.in_file(path))?;
+    Ok(fleet)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +486,28 @@ mod tests {
         assert_eq!(json, fleet_to_json(&back).unwrap());
         assert_eq!(fleet.boxes.len(), back.boxes.len());
         assert!(fleet_from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn json_roundtrips_gaps_as_null() {
+        // Gap samples serialize as `null` and come back as NaN — a plain
+        // Vec<f64> would fail to deserialize its own output here.
+        let fleet = small_fleet(1.0);
+        assert!(fleet.boxes.iter().any(|b| b.has_gaps()));
+        let json = fleet_to_json(&fleet).unwrap();
+        assert!(json.contains("null"));
+        let back = fleet_from_json(&json).unwrap();
+        assert_eq!(json, fleet_to_json(&back).unwrap());
+        for (a, b) in fleet.boxes.iter().zip(&back.boxes) {
+            for (va, vb) in a.vms.iter().zip(&b.vms) {
+                for (x, y) in va.cpu_usage.iter().zip(&vb.cpu_usage) {
+                    assert_eq!(x.is_nan(), y.is_nan());
+                    if x.is_finite() {
+                        assert_eq!(x, y);
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -390,5 +593,123 @@ b0,v0,ram,8.0,2,20.0
             fleet_from_csv(gappy),
             Err(TraceIoError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn csv_rejects_poisoned_values_with_line_context() {
+        // Literal NaN text (a gap must be an *empty* field).
+        let err = fleet_from_csv("b0,v0,cpu,4.0,0,NaN").unwrap_err();
+        assert!(matches!(err, TraceIoError::Csv { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("non-finite usage"), "{err}");
+        // Infinite usage.
+        let err = fleet_from_csv("b0,v0,cpu,4.0,0,inf").unwrap_err();
+        assert!(err.to_string().contains("non-finite usage"), "{err}");
+        // Negative usage.
+        let err = fleet_from_csv("b0,v0,cpu,4.0,0,-3.5").unwrap_err();
+        assert!(err.to_string().contains("negative usage"), "{err}");
+        // Zero / non-finite capacities, in rows and in `#box` headers.
+        let err = fleet_from_csv("b0,v0,cpu,0.0,0,50.0").unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+        let err = fleet_from_csv("b0,v0,cpu,inf,0,50.0").unwrap_err();
+        assert!(err.to_string().contains("capacity"), "{err}");
+        let err = fleet_from_csv("#box b0,NaN,8.0,15").unwrap_err();
+        assert!(matches!(err, TraceIoError::Csv { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("cpu capacity"), "{err}");
+    }
+
+    #[test]
+    fn validate_fleet_accepts_generated_traces_with_gaps() {
+        let fleet = small_fleet(1.0);
+        assert!(fleet.boxes.iter().any(|b| b.has_gaps()));
+        validate_fleet(&fleet).unwrap();
+    }
+
+    #[test]
+    fn validate_fleet_catches_ragged_and_poisoned_traces() {
+        // Ragged: one VM loses a window.
+        let mut fleet = small_fleet(0.0);
+        fleet.boxes[0].vms[0].cpu_usage.pop();
+        assert!(matches!(
+            validate_fleet(&fleet),
+            Err(TraceIoError::Inconsistent(_))
+        ));
+
+        // Infinite usage sample, with a usable location path.
+        let mut fleet = small_fleet(0.0);
+        fleet.boxes[1].vms[0].ram_usage[2] = f64::INFINITY;
+        let err = validate_fleet(&fleet).unwrap_err();
+        match &err {
+            TraceIoError::BadValue { location, .. } => {
+                assert!(location.contains("usage[2]"), "{location}");
+            }
+            other => panic!("expected BadValue, got {other}"),
+        }
+
+        // Negative usage sample.
+        let mut fleet = small_fleet(0.0);
+        fleet.boxes[0].vms[1].cpu_usage[0] = -1.0;
+        assert!(matches!(
+            validate_fleet(&fleet),
+            Err(TraceIoError::BadValue { .. })
+        ));
+
+        // Corrupt capacity.
+        let mut fleet = small_fleet(0.0);
+        fleet.boxes[0].cpu_capacity_ghz = f64::NAN;
+        assert!(matches!(
+            validate_fleet(&fleet),
+            Err(TraceIoError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn file_loaders_report_path_context() {
+        let dir = std::env::temp_dir().join(format!(
+            "atm-io-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file -> Io with the path.
+        let missing = dir.join("nope.json");
+        let err = fleet_from_json_file(&missing).unwrap_err();
+        match &err {
+            TraceIoError::Io { path, .. } => assert!(path.contains("nope.json"), "{path}"),
+            other => panic!("expected Io, got {other}"),
+        }
+
+        // Truncated JSON -> InFile wrapping a Json error.
+        let fleet = small_fleet(0.0);
+        let json = fleet_to_json(&fleet).unwrap();
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, &json[..json.len() / 2]).unwrap();
+        let err = fleet_from_json_file(&truncated).unwrap_err();
+        match &err {
+            TraceIoError::InFile { path, source } => {
+                assert!(path.contains("truncated.json"), "{path}");
+                assert!(matches!(**source, TraceIoError::Json(_)), "{source}");
+            }
+            other => panic!("expected InFile, got {other}"),
+        }
+
+        // Good files round-trip through both loaders.
+        let good_json = dir.join("fleet.json");
+        std::fs::write(&good_json, &json).unwrap();
+        let back = fleet_from_json_file(&good_json).unwrap();
+        assert_eq!(back.boxes.len(), fleet.boxes.len());
+        let good_csv = dir.join("fleet.csv");
+        std::fs::write(&good_csv, fleet_to_csv(&fleet)).unwrap();
+        let back = fleet_from_csv_file(&good_csv).unwrap();
+        assert_eq!(back.boxes.len(), fleet.boxes.len());
+
+        // Truncated CSV (cut mid-line) -> InFile wrapping a line error.
+        let csv = fleet_to_csv(&fleet);
+        let cut = dir.join("truncated.csv");
+        std::fs::write(&cut, &csv[..csv.len() - 20]).unwrap();
+        let err = fleet_from_csv_file(&cut).unwrap_err();
+        assert!(matches!(err, TraceIoError::InFile { .. }), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -35,9 +35,32 @@ pub struct VmTrace {
     /// Allocated virtual RAM capacity in GB.
     pub ram_capacity_gb: f64,
     /// CPU utilization percent per ticketing window.
+    #[serde(with = "gap_serde")]
     pub cpu_usage: Vec<f64>,
     /// RAM utilization percent per ticketing window.
+    #[serde(with = "gap_serde")]
     pub ram_usage: Vec<f64>,
+}
+
+/// `Vec<f64>` as JSON with gap support: `NaN` samples serialize as `null`
+/// and `null` deserializes back to `NaN`. Plain `Vec<f64>` breaks the
+/// round trip — serde_json writes non-finite floats as `null`, which a
+/// bare `f64` field then refuses to read back.
+mod gap_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(values: &[f64], s: S) -> Result<S::Ok, S::Error> {
+        let mapped: Vec<Option<f64>> = values
+            .iter()
+            .map(|&v| if v.is_nan() { None } else { Some(v) })
+            .collect();
+        mapped.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<f64>, D::Error> {
+        let mapped = Vec::<Option<f64>>::deserialize(d)?;
+        Ok(mapped.into_iter().map(|v| v.unwrap_or(f64::NAN)).collect())
+    }
 }
 
 impl VmTrace {

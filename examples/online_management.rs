@@ -7,9 +7,16 @@
 //! Rolls ATM along a 7-day trace: every day it retrains on the trailing
 //! history (signature search + forecasts), resizes the box for the next
 //! day, and is scored against what actually happened.
+//!
+//! The second half demonstrates crash-safe operation: the same run is
+//! repeated with checkpointing, killed partway through, and resumed —
+//! the resumed report is byte-identical to the uninterrupted one.
 
+use atm::core::actuate::NoopActuator;
+use atm::core::checkpoint::CheckpointStore;
 use atm::core::config::{AtmConfig, TemporalModel};
-use atm::core::online::run_online;
+use atm::core::online::{run_online, run_online_checkpointed, run_online_until};
+use atm::core::AtmError;
 use atm::forecast::mlp::MlpConfig;
 use atm::tracegen::{generate_box, FleetConfig};
 
@@ -70,5 +77,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|r| format!("{r:.0}% reduction"))
             .unwrap_or_else(|| "no tickets".into())
     );
+
+    // ---- Crash-safe operation ------------------------------------------
+    // The same run, checkpointed: kill the process just before day 3,
+    // then rerun — recovery picks up from the journal and the final
+    // report is byte-identical to the uninterrupted run above.
+    println!("\ncrash safety: killing after day 2, then resuming from checkpoints");
+    let dir = std::env::temp_dir().join(format!("atm-online-demo-{}", std::process::id()));
+    let store = CheckpointStore::open(&dir)?;
+
+    let mut actuator = NoopActuator::new();
+    match run_online_until(&trace, &config, &mut actuator, &store, Some(2)) {
+        Err(AtmError::SimulatedCrash { window }) => {
+            println!("  process died just before day {}", window + 1);
+        }
+        other => {
+            return Err(format!("expected the scripted crash, got {other:?}").into());
+        }
+    }
+
+    let mut actuator = NoopActuator::new();
+    let resumed = run_online_checkpointed(&trace, &config, &mut actuator, &store)?;
+    println!(
+        "  resumed from day {}, recomputing only the rest",
+        resumed.recovery.resumed_from.map_or(1, |w| w + 1)
+    );
+    for event in &resumed.recovery.events {
+        println!("  recovery: {event}");
+    }
+    let identical = serde_json::to_string(&resumed.report)? == serde_json::to_string(&report)?;
+    println!(
+        "  resumed report byte-identical to the uninterrupted run: {}",
+        if identical { "yes" } else { "NO (bug!)" }
+    );
+    store.wipe(&trace.name)?;
+    std::fs::remove_dir_all(&dir).ok();
+    if !identical {
+        return Err("resumed report diverged from the uninterrupted run".into());
+    }
     Ok(())
 }

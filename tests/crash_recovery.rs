@@ -1,0 +1,365 @@
+//! Crash-recovery integration tests: kill the online loop at arbitrary
+//! windows, corrupt its checkpoints, panic its actuators mid-apply — and
+//! require the resumed run to produce a byte-identical report every
+//! time, with every recovery decision visible in the reports.
+//!
+//! Like `determinism.rs`, the parallel legs honor `ATM_THREADS` so CI
+//! can prove the same bytes at several thread counts.
+
+use atm::core::actuate::{ActuationError, CapacityActuator, NoopActuator};
+use atm::core::checkpoint::{CheckpointStore, RecoveryEvent};
+use atm::core::config::{AtmConfig, ComputeConfig, TemporalModel};
+use atm::core::online::{run_online, run_online_checkpointed, run_online_until, OnlineReport};
+use atm::core::supervisor::run_fleet_online;
+use atm::core::AtmError;
+use atm::mediawiki::actuator::{
+    CapacityActuator as SimCapacityActuator, CrashingActuator, SimulatedCgroups,
+};
+use atm::mediawiki::cluster::{Cluster, Node};
+use atm::mediawiki::vm::SimVm;
+use atm::mediawiki::SimError;
+use atm::tracegen::inject::CrashPlan;
+use atm::tracegen::{generate_box, generate_fleet, BoxTrace, FleetConfig};
+use proptest::prelude::*;
+
+/// Bridges a MediaWiki-simulator actuator to the minimal trait the
+/// online loop drives (same few-line adapter as `fault_tolerance.rs`).
+struct SimBridge<A: SimCapacityActuator>(A);
+
+impl<A: SimCapacityActuator> CapacityActuator for SimBridge<A> {
+    fn apply(&mut self, caps: &[f64]) -> Result<(), ActuationError> {
+        match self.0.apply(caps) {
+            Ok(_) => Ok(()),
+            Err(SimError::Transient(what)) => Err(ActuationError::Transient(what.to_string())),
+            Err(e) => Err(ActuationError::Permanent(e.to_string())),
+        }
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.0.current()
+    }
+}
+
+fn clean_box(days: usize, seed_index: usize) -> BoxTrace {
+    generate_box(
+        &FleetConfig {
+            num_boxes: 1,
+            days,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        },
+        seed_index,
+    )
+}
+
+fn oracle_config() -> AtmConfig {
+    let mut cfg = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::fast_for_tests()
+    };
+    cfg.durability.breaker_base_ms = 0;
+    cfg.durability.breaker_cap_ms = 0;
+    cfg
+}
+
+fn temp_store(tag: &str) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!(
+        "atm-crashrec-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::open(dir).unwrap()
+}
+
+fn report_bytes(report: &OnlineReport) -> String {
+    serde_json::to_string(report).expect("online report serializes")
+}
+
+/// The CI thread matrix hook, as in `determinism.rs`.
+fn parallel_threads() -> usize {
+    ComputeConfig::default().with_env_threads().threads.max(2)
+}
+
+/// One simulated hypervisor mirroring the trace's VMs.
+fn cluster_for(trace: &BoxTrace) -> Cluster {
+    Cluster {
+        nodes: vec![Node {
+            name: "hypervisor".into(),
+            cores: trace.cpu_capacity_ghz,
+        }],
+        vms: trace
+            .vms
+            .iter()
+            .map(|vm| SimVm::new(vm.name.clone(), 0, vm.cpu_capacity_ghz))
+            .collect(),
+    }
+}
+
+/// Kill just before *every* window in turn; each resumed run must end in
+/// a report byte-identical to the uninterrupted baseline.
+#[test]
+fn kill_at_every_window_resumes_byte_identical() {
+    let trace = clean_box(5, 31);
+    let cfg = oracle_config();
+    let uninterrupted = run_online(&trace, &cfg).unwrap();
+    let baseline = report_bytes(&uninterrupted);
+    let windows = uninterrupted.windows.len();
+    assert!(windows >= 3, "need a multi-window run, got {windows}");
+
+    for k in 0..windows {
+        let store = temp_store(&format!("kill{k}"));
+        let mut actuator = NoopActuator::new();
+        match run_online_until(&trace, &cfg, &mut actuator, &store, Some(k)) {
+            Err(AtmError::SimulatedCrash { window }) => assert_eq!(window, k),
+            other => panic!("kill at {k} should crash, got {other:?}"),
+        }
+        let mut actuator = NoopActuator::new();
+        let resumed = run_online_checkpointed(&trace, &cfg, &mut actuator, &store).unwrap();
+        assert_eq!(
+            baseline,
+            report_bytes(&resumed.report),
+            "kill at window {k} changed the report"
+        );
+        if k == 0 {
+            assert_eq!(resumed.recovery.resumed_from, None, "nothing durable yet");
+        } else {
+            assert_eq!(resumed.recovery.resumed_from, Some(k));
+        }
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}
+
+/// A full seeded kill schedule from `tracegen::inject::CrashPlan`: the
+/// process dies several times over one run, each restart resuming from
+/// checkpoints, and the final report is still byte-identical.
+#[test]
+fn crash_plan_schedule_survives_to_identical_report() {
+    let trace = clean_box(5, 32);
+    let cfg = oracle_config();
+    let baseline = run_online(&trace, &cfg).unwrap();
+    let windows = baseline.windows.len();
+
+    let plan = CrashPlan {
+        seed: 0xDEAD,
+        kills_per_box: (2, 3),
+    };
+    let kills = plan.kill_points(0, windows);
+    assert!(kills.len() >= 2, "plan too tame: {kills:?}");
+
+    let store = temp_store("plan");
+    for &k in &kills {
+        let mut actuator = NoopActuator::new();
+        match run_online_until(&trace, &cfg, &mut actuator, &store, Some(k)) {
+            Err(AtmError::SimulatedCrash { window }) => assert_eq!(window, k),
+            other => panic!("scheduled kill at {k} should crash, got {other:?}"),
+        }
+    }
+    let mut actuator = NoopActuator::new();
+    let survived = run_online_checkpointed(&trace, &cfg, &mut actuator, &store).unwrap();
+    assert_eq!(report_bytes(&baseline), report_bytes(&survived.report));
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Corrupt the journal tail after a kill: recovery drops the torn
+/// record, reports it, resumes one window earlier, and still converges
+/// to the identical report.
+#[test]
+fn corrupted_journal_tail_recovers_with_event() {
+    let trace = clean_box(5, 33);
+    let cfg = oracle_config(); // default interval keeps windows in the journal
+    let baseline = report_bytes(&run_online(&trace, &cfg).unwrap());
+
+    let store = temp_store("journal-corrupt");
+    let mut actuator = NoopActuator::new();
+    let _ = run_online_until(&trace, &cfg, &mut actuator, &store, Some(2)).unwrap_err();
+
+    // Flip one byte inside the journal's last line.
+    let journal = store.journal_path(&trace.name);
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let flip = bytes.len() - 10;
+    bytes[flip] ^= 0x40;
+    std::fs::write(&journal, &bytes).unwrap();
+
+    let mut actuator = NoopActuator::new();
+    let resumed = run_online_checkpointed(&trace, &cfg, &mut actuator, &store).unwrap();
+    assert_eq!(baseline, report_bytes(&resumed.report));
+    assert!(
+        resumed
+            .recovery
+            .events
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::JournalTruncated { dropped: 1, .. })),
+        "missing truncation event: {:?}",
+        resumed.recovery.events
+    );
+    assert_eq!(resumed.recovery.resumed_from, Some(1), "one window dropped");
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Corrupt the latest snapshot: recovery falls back to the previous good
+/// one, reports both decisions, and the rerun — driven through the
+/// supervisor so the events also surface in the `FleetReport` — still
+/// produces the baseline bytes.
+#[test]
+fn corrupted_snapshot_falls_back_and_surfaces_in_fleet_report() {
+    let trace = clean_box(5, 34);
+    let mut cfg = oracle_config();
+    cfg.durability.checkpoint_interval = 1; // snapshot after every window
+    let baseline = report_bytes(&run_online(&trace, &cfg).unwrap());
+
+    let store = temp_store("snapshot-corrupt");
+    let mut actuator = NoopActuator::new();
+    let _ = run_online_until(&trace, &cfg, &mut actuator, &store, Some(2)).unwrap_err();
+
+    // Flip a payload byte in the latest snapshot; the `.prev` rotation
+    // still holds the window-1 state.
+    let snapshot = store.snapshot_path(&trace.name);
+    let mut bytes = std::fs::read(&snapshot).unwrap();
+    let flip = bytes.len() - 5;
+    bytes[flip] ^= 0x01;
+    std::fs::write(&snapshot, &bytes).unwrap();
+
+    let boxes = vec![trace.clone()];
+    let report = run_fleet_online(&boxes, &cfg, Some(&store), 1, |_, _| {
+        Box::new(NoopActuator::new())
+    });
+    assert_eq!(report.quarantined(), 0, "corruption must not quarantine");
+    let run = &report.boxes[0];
+    assert_eq!(baseline, report_bytes(run.report.as_ref().unwrap()));
+    let events = report.recovery_events();
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, RecoveryEvent::SnapshotCorrupt { .. })),
+        "corruption not recorded: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, RecoveryEvent::SnapshotFellBack { .. })),
+        "fallback not recorded: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|(_, e)| matches!(e, RecoveryEvent::Resumed { window: 1 })),
+        "resume point not recorded: {events:?}"
+    );
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// A MediaWiki daemon that panics mid-apply quarantines its box while
+/// the rest of the fleet completes — and with a checkpoint store, a
+/// daemon that crashes only once is healed by the restart.
+#[test]
+fn mediawiki_daemon_crash_is_isolated_and_healed_by_restart() {
+    let boxes = generate_fleet(&FleetConfig {
+        num_boxes: 3,
+        days: 3,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+    .boxes;
+    let mut cfg = oracle_config();
+    cfg.durability.max_restarts = 1;
+
+    // Box 1's simulated cgroups daemon panics on every apply.
+    let always = |i: usize, b: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+        let panic_on = if i == 1 { 1 } else { 0 };
+        Box::new(SimBridge(CrashingActuator::new(
+            SimulatedCgroups::new(cluster_for(b)),
+            panic_on,
+        )))
+    };
+    let report = run_fleet_online(&boxes, &cfg, None, 2, always);
+    assert_eq!(report.quarantined(), 1);
+    assert!(report.boxes[1].is_quarantined());
+    assert_eq!(report.boxes[1].panics, 2);
+    for i in [0, 2] {
+        assert!(!report.boxes[i].is_quarantined());
+    }
+
+    // Same daemon crash, but only on the first apply of the first
+    // attempt — with checkpoints the restart resumes past it.
+    let store = temp_store("mw-heal");
+    let once = |_: usize, b: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+        Box::new(SimBridge(CrashingActuator::new(
+            SimulatedCgroups::new(cluster_for(b)),
+            2,
+        )))
+    };
+    let healed = run_fleet_online(&boxes[..1], &cfg, Some(&store), 1, once);
+    assert_eq!(healed.quarantined(), 0, "{:?}", healed.boxes[0].status);
+    assert_eq!(healed.boxes[0].attempts, 2);
+    assert_eq!(healed.boxes[0].panics, 1);
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// The supervised, checkpointed, crash-riddled fleet produces the same
+/// bytes sequentially and at the `ATM_THREADS` parallel leg.
+#[test]
+fn supervised_recovery_is_byte_identical_across_thread_counts() {
+    let boxes = generate_fleet(&FleetConfig {
+        num_boxes: 4,
+        days: 3,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+    .boxes;
+    let cfg = oracle_config();
+
+    let run_with = |threads: usize, tag: &str| -> String {
+        let store = temp_store(tag);
+        // Every box's actuator panics once mid-run; restarts resume from
+        // checkpoints.
+        let factory = |_: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+            Box::new(atm::core::actuate::test_support::CrashingActuator::new(2))
+        };
+        let report = run_fleet_online(&boxes, &cfg, Some(&store), threads, factory);
+        assert_eq!(report.quarantined(), 0);
+        let bytes = serde_json::to_string(&report).expect("fleet report serializes");
+        let _ = std::fs::remove_dir_all(store.dir());
+        bytes
+    };
+
+    let seq = run_with(1, "seq");
+    let par = run_with(parallel_threads(), "par");
+    assert_eq!(seq, par, "thread count changed the recovered fleet report");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Resume semantics, property-tested: for a random box and a kill
+    /// before any window under any checkpoint interval, kill + resume is
+    /// byte-identical to the uninterrupted run.
+    #[test]
+    fn kill_anywhere_resume_is_byte_identical(
+        seed_index in 0usize..64,
+        days in 3usize..6,
+        interval in 1usize..4,
+        kill_frac in 0.0f64..1.0,
+    ) {
+        let trace = clean_box(days, seed_index);
+        let mut cfg = oracle_config();
+        cfg.durability.checkpoint_interval = interval;
+        let baseline = run_online(&trace, &cfg).unwrap();
+        let windows = baseline.windows.len();
+        prop_assume!(windows > 0);
+        let k = ((kill_frac * windows as f64) as usize).min(windows - 1);
+
+        let store = temp_store(&format!("prop-{seed_index}-{days}-{interval}-{k}"));
+        let mut actuator = NoopActuator::new();
+        match run_online_until(&trace, &cfg, &mut actuator, &store, Some(k)) {
+            Err(AtmError::SimulatedCrash { window }) => prop_assert_eq!(window, k),
+            other => prop_assert!(false, "expected crash at {}, got {:?}", k, other),
+        }
+        let mut actuator = NoopActuator::new();
+        let resumed = run_online_checkpointed(&trace, &cfg, &mut actuator, &store).unwrap();
+        prop_assert_eq!(report_bytes(&baseline), report_bytes(&resumed.report));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -10,9 +10,12 @@
 //! binary proves `ATM_THREADS=1` and `ATM_THREADS=4` (or any other
 //! count) produce identical bytes.
 
+use atm::core::actuate::NoopActuator;
+use atm::core::checkpoint::CheckpointStore;
 use atm::core::config::{ComputeConfig, TemporalModel};
 use atm::core::fleet::run_fleet;
-use atm::core::AtmConfig;
+use atm::core::online::{run_online, run_online_checkpointed, run_online_until};
+use atm::core::{AtmConfig, AtmError};
 use atm::tracegen::{generate_fleet, BoxTrace, FleetConfig};
 
 fn seeded_fleet() -> Vec<BoxTrace> {
@@ -120,6 +123,53 @@ fn banded_pipeline_is_byte_identical_across_threads_and_kernels() {
             "banded report bytes diverged: threads={threads} \
              optimized_kernel={optimized_kernel}"
         );
+    }
+}
+
+#[test]
+fn online_resume_is_byte_identical_across_compute_threads() {
+    // The crash-safety contract meets the determinism contract: killing
+    // the online loop mid-run and resuming from checkpoints must yield
+    // the same bytes as the uninterrupted run, at every intra-box thread
+    // count in the matrix.
+    let trace = seeded_fleet().remove(0);
+    let par = parallel_threads();
+
+    let online_config = |threads: usize| AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 96,
+        horizon: 96,
+        compute: ComputeConfig {
+            threads,
+            dtw_band: 0,
+            optimized_kernel: threads != 1,
+        },
+        ..AtmConfig::fast_for_tests()
+    };
+
+    let baseline = serde_json::to_string(&run_online(&trace, &online_config(1)).unwrap()).unwrap();
+    for threads in [1, par] {
+        let cfg = online_config(threads);
+        let dir = std::env::temp_dir().join(format!(
+            "atm-determinism-resume-{threads}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut actuator = NoopActuator::new();
+        match run_online_until(&trace, &cfg, &mut actuator, &store, Some(1)) {
+            Err(AtmError::SimulatedCrash { window: 1 }) => {}
+            other => panic!("expected the scripted crash, got {other:?}"),
+        }
+        let mut actuator = NoopActuator::new();
+        let resumed = run_online_checkpointed(&trace, &cfg, &mut actuator, &store).unwrap();
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&resumed.report).unwrap(),
+            "resume diverged at threads={threads}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
