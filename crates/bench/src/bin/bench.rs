@@ -1,13 +1,24 @@
 //! DTW kernel and distance-matrix benchmark: times the naive DP against
 //! the optimized [`DtwKernel`] and the sequential matrix build against
-//! `build_parallel`, then writes a machine-readable report (the
-//! `BENCH_PIPELINE.json` at the repo root; schema in `BENCHMARKS.md`).
+//! `build_parallel`, plus an observability-overhead leg (the same online
+//! run with instrumentation off and on), then writes a machine-readable
+//! report (the `BENCH_PIPELINE.json` at the repo root; schema in
+//! `BENCHMARKS.md`).
 //!
 //! ```sh
 //! cargo run --release -p atm-bench --bin bench -- --quick --out bench-quick.json
 //! cargo run --release -p atm-bench --bin bench -- --full --out BENCH_PIPELINE.json
 //! cargo run --release -p atm-bench --bin bench -- --check BENCH_PIPELINE.json
+//! cargo run --release -p atm-bench --bin bench -- --quick --metrics \
+//!     --compare BENCH_PIPELINE.json --tolerance 25
 //! ```
+//!
+//! `--metrics` additionally writes `OBS_SNAPSHOT.json` (the full metrics
+//! snapshot of the instrumented online leg, timings included) and
+//! `OBS_EVENTS.jsonl` (its event log). `--compare BASELINE` re-runs the
+//! bench and exits non-zero if any kernel or matrix timing regressed
+//! beyond `--tolerance` percent after normalizing per DP cell, so a
+//! `--quick` run can be gated against the committed `--full` baseline.
 //!
 //! Every timed leg recomputes the same distances; the binary asserts all
 //! legs agree bit-for-bit before reporting, so a report is also a
@@ -18,9 +29,16 @@ use std::time::Instant;
 use atm_clustering::dtw::dtw_distance;
 use atm_clustering::kernel::DtwKernel;
 use atm_clustering::DistanceMatrix;
+use atm_core::config::TemporalModel;
+use atm_core::online::{run_online, run_online_observed};
+use atm_core::AtmConfig;
+use atm_obs::Obs;
+use atm_tracegen::{generate_box, FleetConfig};
 
 /// Schema version written into the report; bump when fields change.
-const SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the `obs` overhead group; `--check` still accepts
+/// version-1 reports so older committed baselines stay valid.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Timed matrix-build leg.
 struct MatrixLeg {
@@ -44,7 +62,18 @@ struct BenchReport {
     nn_abandoned_pairs: usize,
     nn_total_pairs: usize,
     matrix: Vec<MatrixLeg>,
+    online_disabled_ms: f64,
+    online_enabled_ms: f64,
     distance_checksum: f64,
+}
+
+impl BenchReport {
+    /// Observability overhead of the online leg, in percent (can be
+    /// slightly negative from timer noise on a quiet host).
+    fn obs_overhead_pct(&self) -> f64 {
+        (self.online_enabled_ms - self.online_disabled_ms) / self.online_disabled_ms.max(1e-9)
+            * 100.0
+    }
 }
 
 fn main() {
@@ -52,12 +81,16 @@ fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut metrics = false;
+    let mut compare: Option<String> = None;
+    let mut tolerance_pct = 25.0_f64;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--full" => quick = false,
+            "--metrics" => metrics = true,
             "--out" => {
                 i += 1;
                 if i >= args.len() {
@@ -74,8 +107,30 @@ fn main() {
                 }
                 check = Some(args[i].clone());
             }
+            "--compare" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--compare requires a baseline path");
+                    std::process::exit(2);
+                }
+                compare = Some(args[i].clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance_pct = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance requires a non-negative percentage");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
-                println!("usage: bench [--quick|--full] [--out PATH] [--check PATH]");
+                println!(
+                    "usage: bench [--quick|--full] [--metrics] [--out PATH] [--check PATH] \
+                     [--compare BASELINE [--tolerance PCT]]"
+                );
                 return;
             }
             other => {
@@ -99,7 +154,7 @@ fn main() {
         }
     }
 
-    let report = run(quick);
+    let (report, obs) = run(quick);
     let json = render_json(&report);
     match out {
         Some(path) => {
@@ -113,6 +168,42 @@ fn main() {
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
+    }
+
+    if metrics {
+        let snapshot = obs.metrics_snapshot().full_json();
+        atm_core::fsio::write_atomic(
+            std::path::Path::new("OBS_SNAPSHOT.json"),
+            snapshot.as_bytes(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write OBS_SNAPSHOT.json: {e}");
+            std::process::exit(1);
+        });
+        obs.write_events(std::path::Path::new("OBS_EVENTS.jsonl"))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot write OBS_EVENTS.jsonl: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote OBS_SNAPSHOT.json and OBS_EVENTS.jsonl");
+    }
+
+    if let Some(path) = compare {
+        match compare_against(&report, &path, tolerance_pct) {
+            Ok(regressions) if regressions.is_empty() => {
+                eprintln!("no regressions vs {path} (tolerance {tolerance_pct}%)");
+            }
+            Ok(regressions) => {
+                for r in &regressions {
+                    eprintln!("REGRESSION: {r}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot compare against {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -143,7 +234,10 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("reps >= 1"))
 }
 
-fn run(quick: bool) -> BenchReport {
+/// Runs every leg; also returns the [`Obs`] handle of the final
+/// instrumented online rep so `--metrics` can dump its snapshot and
+/// event log.
+fn run(quick: bool) -> (BenchReport, Obs) {
     let (series_count, series_len, reps) = if quick { (16, 192, 3) } else { (64, 576, 3) };
     let set: Vec<Vec<f64>> = (0..series_count)
         .map(|i| series(series_len, i as u64 * 131 + 7))
@@ -247,6 +341,41 @@ fn run(quick: bool) -> BenchReport {
         }
     }
 
+    // Observability-overhead leg: the same seeded online run with
+    // instrumentation off and on. The delta is the cost of the obs layer
+    // (spans, counters, events) on a realistic workload; `BENCHMARKS.md`
+    // budgets it at under 2%. A fresh `Obs` per rep keeps the snapshot a
+    // single-run record.
+    let trace = generate_box(
+        &FleetConfig {
+            num_boxes: 1,
+            days: if quick { 3 } else { 6 },
+            seed: 42,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        },
+        0,
+    );
+    let online_config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::fast_for_tests()
+    };
+    let (online_disabled_ms, disabled_report) = time_best(reps, || {
+        run_online(&trace, &online_config).expect("online leg")
+    });
+    let (online_enabled_ms, (enabled_report, obs)) = time_best(reps, || {
+        let obs = Obs::enabled(true);
+        let report = run_online_observed(&trace, &online_config, &obs).expect("online leg");
+        (report, obs)
+    });
+    assert_eq!(
+        disabled_report.windows.len(),
+        enabled_report.windows.len(),
+        "observability changed the online run"
+    );
+
     let mut distance_checksum = 0.0;
     for i in 0..n {
         for j in (i + 1)..n {
@@ -254,7 +383,7 @@ fn run(quick: bool) -> BenchReport {
         }
     }
 
-    BenchReport {
+    let report = BenchReport {
         scale: if quick { "quick" } else { "full" },
         host_cpus: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -269,8 +398,11 @@ fn run(quick: bool) -> BenchReport {
         nn_abandoned_pairs,
         nn_total_pairs: n * (n - 1),
         matrix,
+        online_disabled_ms,
+        online_enabled_ms,
         distance_checksum,
-    }
+    };
+    (report, obs)
 }
 
 /// Renders the report as JSON. Hand-rolled (every value is a finite
@@ -300,6 +432,8 @@ fn render_json(r: &BenchReport) -> String {
          \x20 \"nn_early_abandon\": {{\"naive_ms\": {}, \"bounded_ms\": {}, \"speedup\": {}, \
          \"abandoned_pairs\": {}, \"total_pairs\": {}}},\n\
          \x20 \"matrix\": [\n{}\n  ],\n\
+         \x20 \"obs\": {{\"online_disabled_ms\": {}, \"online_enabled_ms\": {}, \
+         \"overhead_pct\": {}}},\n\
          \x20 \"distance_checksum\": {}\n\
          }}\n",
         SCHEMA_VERSION,
@@ -317,6 +451,9 @@ fn render_json(r: &BenchReport) -> String {
         r.nn_abandoned_pairs,
         r.nn_total_pairs,
         legs,
+        r.online_disabled_ms,
+        r.online_enabled_ms,
+        r.obs_overhead_pct(),
         r.distance_checksum,
     )
 }
@@ -338,6 +475,15 @@ fn check_file(path: &str) -> Result<(), String> {
         if !obj.get(key).is_some_and(serde_json::Value::is_u64) {
             return Err(format!("missing or non-integer field `{key}`"));
         }
+    }
+    let schema_version = obj
+        .get("schema_version")
+        .and_then(serde_json::Value::as_u64)
+        .expect("checked above");
+    if !(1..=SCHEMA_VERSION).contains(&schema_version) {
+        return Err(format!(
+            "unsupported schema_version {schema_version} (this binary reads 1..={SCHEMA_VERSION})"
+        ));
     }
     if !obj.get("scale").is_some_and(serde_json::Value::is_string) {
         return Err("missing or non-string field `scale`".into());
@@ -388,6 +534,19 @@ fn check_file(path: &str) -> Result<(), String> {
             }
         }
     }
+    // The `obs` overhead group arrived with schema version 2; version-1
+    // baselines (committed before the observability layer) stay valid.
+    if schema_version >= 2 {
+        let g = obj
+            .get("obs")
+            .and_then(serde_json::Value::as_object)
+            .ok_or("missing object `obs`")?;
+        for f in ["online_disabled_ms", "online_enabled_ms", "overhead_pct"] {
+            if !g.get(f).is_some_and(serde_json::Value::is_number) {
+                return Err(format!("missing or non-numeric field `obs.{f}`"));
+            }
+        }
+    }
     if !obj
         .get("distance_checksum")
         .is_some_and(serde_json::Value::is_number)
@@ -395,4 +554,91 @@ fn check_file(path: &str) -> Result<(), String> {
         return Err("missing or non-numeric field `distance_checksum`".into());
     }
     Ok(())
+}
+
+/// Compares the report just produced against the baseline at `path`,
+/// normalizing every kernel/matrix wall time per DP cell
+/// (`pairs * len^2`) so a `--quick` run is comparable with the committed
+/// `--full` baseline. Returns the regressions beyond `tolerance_pct`
+/// (empty = gate passes); every comparison is echoed to stderr either
+/// way. Legs present in only one report are skipped, so the gate also
+/// tolerates baselines from hosts with fewer matrix thread counts.
+fn compare_against(
+    report: &BenchReport,
+    path: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let obj = v.as_object().ok_or("baseline top level is not an object")?;
+
+    let cells = |count: f64, len: f64| count * (count - 1.0) / 2.0 * len * len;
+    let base_count = obj
+        .get("series_count")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("baseline missing `series_count`")? as f64;
+    let base_len = obj
+        .get("series_len")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("baseline missing `series_len`")? as f64;
+    let base_cells = cells(base_count, base_len);
+    let cur_cells = cells(report.series_count as f64, report.series_len as f64);
+    if base_cells <= 0.0 || cur_cells <= 0.0 {
+        return Err("degenerate DP cell count".into());
+    }
+
+    let mut regressions = Vec::new();
+    let mut check = |name: &str, current_ms: f64, baseline_ms: f64| {
+        let cur = current_ms / cur_cells * 1e6; // ns per DP cell
+        let base = baseline_ms / base_cells * 1e6;
+        let delta_pct = (cur - base) / base.max(1e-12) * 100.0;
+        eprintln!("{name}: {cur:.4} ns/cell vs baseline {base:.4} ns/cell ({delta_pct:+.1}%)");
+        if delta_pct > tolerance_pct {
+            regressions.push(format!(
+                "{name} regressed {delta_pct:+.1}% per DP cell (tolerance {tolerance_pct}%)"
+            ));
+        }
+    };
+
+    let kernel = obj
+        .get("kernel")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("baseline missing object `kernel`")?;
+    for (field, current_ms) in [
+        ("naive_ms", report.kernel_naive_ms),
+        ("optimized_ms", report.kernel_optimized_ms),
+    ] {
+        let baseline_ms = kernel
+            .get(field)
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("baseline missing `kernel.{field}`"))?;
+        check(&format!("kernel.{field}"), current_ms, baseline_ms);
+    }
+
+    let legs = obj
+        .get("matrix")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("baseline missing array `matrix`")?;
+    for leg in legs {
+        let threads = leg.get("threads").and_then(serde_json::Value::as_u64);
+        let kernel_name = leg.get("kernel").and_then(serde_json::Value::as_str);
+        let build_ms = leg.get("build_ms").and_then(serde_json::Value::as_f64);
+        let (Some(threads), Some(kernel_name), Some(build_ms)) = (threads, kernel_name, build_ms)
+        else {
+            return Err("malformed baseline matrix leg".into());
+        };
+        if let Some(current) = report
+            .matrix
+            .iter()
+            .find(|l| l.threads as u64 == threads && l.kernel == kernel_name)
+        {
+            check(
+                &format!("matrix[threads={threads},kernel={kernel_name}]"),
+                current.build_ms,
+                build_ms,
+            );
+        }
+    }
+
+    Ok(regressions)
 }

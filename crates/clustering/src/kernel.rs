@@ -36,12 +36,53 @@ use crate::error::{ClusteringError, ClusteringResult};
 /// pair is only abandoned when its true distance exceeds best-so-far.
 pub const KEOGH_MARGIN: f64 = 1e-9;
 
+/// Work counters accumulated by a [`DtwKernel`] across calls.
+///
+/// Every field is a pure function of the call arguments (the DP geometry
+/// and the lower-bound outcomes are bit-deterministic), so stats summed
+/// over a fixed set of pairs are identical for any thread count or pair
+/// order — merging per-thread kernels' stats with [`merge`](Self::merge)
+/// is commutative. Counting is always on: the cost is one integer add per
+/// call or per DP row, far below measurement noise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Pairs evaluated via [`DtwKernel::distance_bounded`] (directly or
+    /// through [`DtwKernel::distance`] / [`DtwKernel::nearest`]).
+    pub pairs: u64,
+    /// DP cells computed (full DP counts `n * m`; banded DP counts the
+    /// in-band cells actually visited).
+    pub dp_cells: u64,
+    /// Pairs abandoned by the O(1) LB_Kim endpoint bound.
+    pub lb_kim_cuts: u64,
+    /// Pairs abandoned by the O(n + m) LB_Keogh envelope bound.
+    pub lb_keogh_cuts: u64,
+    /// Pairs abandoned mid-DP by a row minimum exceeding the bound.
+    pub row_abandons: u64,
+}
+
+impl KernelStats {
+    /// Total pairs abandoned before the DP completed.
+    pub fn abandons(&self) -> u64 {
+        self.lb_kim_cuts + self.lb_keogh_cuts + self.row_abandons
+    }
+
+    /// Add another kernel's counters into this one (commutative).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.pairs += other.pairs;
+        self.dp_cells += other.dp_cells;
+        self.lb_kim_cuts += other.lb_kim_cuts;
+        self.lb_keogh_cuts += other.lb_keogh_cuts;
+        self.row_abandons += other.row_abandons;
+    }
+}
+
 /// A reusable DTW kernel. Create once (per thread), call
 /// [`distance`](DtwKernel::distance) /
 /// [`distance_bounded`](DtwKernel::distance_bounded) many times.
 #[derive(Debug, Clone)]
 pub struct DtwKernel {
     band: Option<usize>,
+    stats: KernelStats,
     prev: Vec<f64>,
     curr: Vec<f64>,
     // Monotonic index deques for the O(n + m) LB_Keogh envelopes.
@@ -61,6 +102,7 @@ impl DtwKernel {
     pub fn new() -> Self {
         DtwKernel {
             band: None,
+            stats: KernelStats::default(),
             prev: Vec::new(),
             curr: Vec::new(),
             max_deque: Vec::new(),
@@ -88,6 +130,17 @@ impl DtwKernel {
     /// The configured Sakoe–Chiba half-width (`None` = exact DTW).
     pub fn band(&self) -> Option<usize> {
         self.band
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`take_stats`](Self::take_stats)).
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Return the accumulated counters and reset them to zero.
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// DTW dissimilarity between two series, matching the naive reference
@@ -120,18 +173,21 @@ impl DtwKernel {
         if p.is_empty() || q.is_empty() {
             return Err(ClusteringError::Empty);
         }
+        self.stats.pairs += 1;
         if best_so_far.is_finite() {
             // Cheap O(1) bound first, then the O(n + m) envelope bound.
             if kim_bound(p, q) > best_so_far {
+                self.stats.lb_kim_cuts += 1;
                 return Ok(None);
             }
             let w = self.envelope_width(p.len(), q.len());
             let keogh = self.keogh_bound(p, q, w);
             if keogh * (1.0 - KEOGH_MARGIN) > best_so_far {
+                self.stats.lb_keogh_cuts += 1;
                 return Ok(None);
             }
         }
-        Ok(match self.band {
+        let result = match self.band {
             None => {
                 // Keep the shorter series inner, exactly as the naive DP
                 // does; squared costs make the swap bit-exact.
@@ -148,7 +204,11 @@ impl DtwKernel {
                 let w = band.max(p.len().abs_diff(q.len()));
                 self.dp(p, q, w, best_so_far)
             }
-        })
+        };
+        if result.is_none() {
+            self.stats.row_abandons += 1;
+        }
+        Ok(result)
     }
 
     /// LB_Kim: the summed costs of the two path endpoints, which lie on
@@ -275,6 +335,7 @@ impl DtwKernel {
     /// chain with no branches and no bounds checks.
     fn dp_full(&mut self, outer: &[f64], inner: &[f64]) -> f64 {
         let m = inner.len();
+        self.stats.dp_cells += (outer.len() * m) as u64;
         // Stale contents are never read: every cell is written before
         // any read in this call.
         self.prev.resize(m, f64::INFINITY);
@@ -338,6 +399,7 @@ impl DtwKernel {
             let centre = i * m / n;
             let lo = centre.saturating_sub(w);
             let hi = (centre + w).min(m - 1);
+            self.stats.dp_cells += (hi + 1 - lo) as u64;
             let mut row_min = f64::INFINITY;
             for j in lo..=hi {
                 let diff = ai - b[j];
@@ -520,6 +582,51 @@ mod tests {
         assert!(DtwKernel::banded(0).is_err());
         assert_eq!(DtwKernel::banded(3).unwrap().band(), Some(3));
         assert_eq!(DtwKernel::new().band(), None);
+    }
+
+    #[test]
+    fn stats_count_work_and_reset() {
+        let mut k = DtwKernel::new();
+        let a = series(10, 1);
+        let b = series(7, 2);
+        k.distance(&a, &b).unwrap();
+        let s = k.stats();
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.dp_cells, 70, "full DP visits n*m cells");
+        assert_eq!(s.abandons(), 0);
+
+        // A bound far below the true distance must abandon via LB_Kim
+        // (endpoint costs alone exceed it) and charge no DP cells.
+        let naive = dtw_distance(&a, &b).unwrap();
+        assert!(k.distance_bounded(&a, &b, naive * 1e-12).unwrap().is_none());
+        let s = k.stats();
+        assert_eq!(s.pairs, 2);
+        assert_eq!(s.lb_kim_cuts + s.lb_keogh_cuts, 1);
+        assert_eq!(s.dp_cells, 70);
+
+        // Banded DP visits only in-band cells.
+        let mut kb = DtwKernel::banded(1).unwrap();
+        let c = series(10, 3);
+        let d = series(10, 4);
+        kb.distance(&c, &d).unwrap();
+        let sb = kb.stats();
+        assert!(sb.dp_cells > 0 && sb.dp_cells < 100, "{}", sb.dp_cells);
+
+        // Stats are a pure function of the inputs, merge is commutative,
+        // and take_stats resets.
+        let mut k2 = DtwKernel::new();
+        k2.distance(&a, &b).unwrap();
+        assert!(k2
+            .distance_bounded(&a, &b, naive * 1e-12)
+            .unwrap()
+            .is_none());
+        let mut merged_ab = k2.take_stats();
+        assert_eq!(merged_ab, s);
+        assert_eq!(k2.stats(), KernelStats::default());
+        let mut merged_ba = sb;
+        merged_ba.merge(&merged_ab);
+        merged_ab.merge(&sb);
+        assert_eq!(merged_ab, merged_ba);
     }
 
     #[test]

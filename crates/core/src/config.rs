@@ -227,6 +227,59 @@ impl ComputeConfig {
     }
 }
 
+/// Observability knobs: whether the pipeline, online loop, and supervisor
+/// record spans/metrics/events (see [`atm_obs`] and [`crate::metrics`]).
+///
+/// Disabled by default — the instrumented code paths then go through
+/// [`atm_obs::Obs::disabled`], whose every call is a branch on a `None`.
+/// Every field is serde-defaulted, so configurations serialized before
+/// this struct existed keep loading (observability off).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservabilityConfig {
+    /// Record counters, gauges, histograms, and events.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Also record wall-clock span timings (monotonic clock). Timings are
+    /// excluded from deterministic snapshots either way; leave this off
+    /// when clock reads must be avoided entirely.
+    #[serde(default)]
+    pub record_timings: bool,
+    /// Path for the JSONL event log written when a fleet run finishes
+    /// (sorted, atomic write). Empty (the default) keeps events in memory
+    /// only.
+    #[serde(default)]
+    pub event_log: String,
+}
+
+impl Default for ObservabilityConfig {
+    fn default() -> Self {
+        ObservabilityConfig {
+            enabled: false,
+            record_timings: false,
+            event_log: String::new(),
+        }
+    }
+}
+
+impl ObservabilityConfig {
+    /// An enabled configuration (without timings — fully deterministic).
+    pub fn enabled() -> Self {
+        ObservabilityConfig {
+            enabled: true,
+            ..ObservabilityConfig::default()
+        }
+    }
+
+    /// Build the matching [`atm_obs::Obs`] handle.
+    pub fn build_obs(&self) -> atm_obs::Obs {
+        if self.enabled {
+            atm_obs::Obs::enabled(self.record_timings)
+        } else {
+            atm_obs::Obs::disabled()
+        }
+    }
+}
+
 /// Step-1 clustering method for the signature search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMethod {
@@ -365,6 +418,10 @@ pub struct AtmConfig {
     /// absent from serialized configs, so older configs keep loading.
     #[serde(default)]
     pub durability: DurabilityConfig,
+    /// Observability settings (metrics, spans, event log). Defaulted when
+    /// absent from serialized configs, so older configs keep loading.
+    #[serde(default)]
+    pub observability: ObservabilityConfig,
 }
 
 impl Default for AtmConfig {
@@ -385,6 +442,7 @@ impl Default for AtmConfig {
             online: OnlineConfig::default(),
             compute: ComputeConfig::default(),
             durability: DurabilityConfig::default(),
+            observability: ObservabilityConfig::default(),
         }
     }
 }
@@ -564,6 +622,23 @@ mod tests {
         v.as_object_mut().expect("object").remove("durability");
         let restored: AtmConfig = serde_json::from_value(v).expect("durability defaults");
         assert_eq!(restored.durability, DurabilityConfig::default());
+    }
+
+    #[test]
+    fn observability_defaults_are_off_and_backward_compatible() {
+        let o = ObservabilityConfig::default();
+        assert!(!o.enabled);
+        assert!(!o.record_timings);
+        assert!(o.event_log.is_empty());
+        assert!(!o.build_obs().is_enabled());
+        assert!(ObservabilityConfig::enabled().build_obs().is_enabled());
+        // A config serialized before the observability field existed must
+        // keep deserializing with the defaults (observability off).
+        let mut v: serde_json::Value =
+            serde_json::to_value(AtmConfig::fast_for_tests()).expect("serializable");
+        v.as_object_mut().expect("object").remove("observability");
+        let restored: AtmConfig = serde_json::from_value(v).expect("observability defaults");
+        assert_eq!(restored.observability, ObservabilityConfig::default());
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //! [`supervisor`] runs whole fleets that way with per-box panic
 //! isolation, restart-from-checkpoint, deadlines, and circuit breakers.
 //!
+//! Observability: every stage above is instrumented through an
+//! [`atm_obs::Obs`] handle — pipeline-stage spans, kernel work counters,
+//! per-window online counters/events, and supervisor restart/quarantine
+//! accounting. The `*_observed` function variants take the handle
+//! explicitly; the plain variants run with the no-op handle. [`metrics`]
+//! embeds the deterministic part of a snapshot into reports.
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +71,7 @@ mod error;
 pub mod fleet;
 pub mod fsio;
 pub mod impute;
+pub mod metrics;
 pub mod online;
 pub mod pipeline;
 pub mod signature;

@@ -1,0 +1,150 @@
+//! Serializable, human-readable view of an [`atm_obs`] metrics snapshot.
+//!
+//! [`atm_obs`] itself is dependency-free, so its [`MetricsSnapshot`]
+//! renders JSON by hand and carries no serde impls. Reports that embed
+//! metrics ([`crate::pipeline::BoxReport`],
+//! [`crate::supervisor::FleetReport`]) need a serde-derived,
+//! `PartialEq`-comparable type instead — that is [`MetricsReport`].
+//!
+//! Only the **deterministic** sections of a snapshot (counters, gauges,
+//! integer histograms) are carried over; wall-clock timings are
+//! deliberately dropped so a report stays byte-identical across thread
+//! counts and hosts (`tests/determinism.rs` relies on this).
+
+use atm_obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Deterministic metrics embedded in a report, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsReport {
+    /// Monotonic counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Fixed-bucket integer histograms, sorted by name.
+    pub histograms: Vec<HistogramReport>,
+}
+
+/// One histogram in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `("le=<bound>" | "inf", count)`.
+    pub buckets: Vec<(String, u64)>,
+}
+
+impl MetricsReport {
+    /// Build a report from counters only (a per-run summary such as the
+    /// one [`crate::pipeline::run_box_observed`] embeds in its
+    /// [`BoxReport`](crate::pipeline::BoxReport)). Entries are sorted by
+    /// name to keep the report canonical.
+    pub fn from_counters(counters: Vec<(&str, u64)>) -> Self {
+        let mut counters: Vec<(String, u64)> = counters
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        counters.sort();
+        MetricsReport {
+            counters,
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+}
+
+impl From<&MetricsSnapshot> for MetricsReport {
+    /// Carry over the deterministic sections; drop timings.
+    fn from(snap: &MetricsSnapshot) -> Self {
+        MetricsReport {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|h| HistogramReport {
+                    name: h.name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        for (name, value) in &self.counters {
+            writeln!(f, "  {name:<40} {value:>12}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "  {name:<40} {value:>12} (gauge)")?;
+        }
+        for h in &self.histograms {
+            let mean = if h.count == 0 {
+                0.0
+            } else {
+                h.sum as f64 / h.count as f64
+            };
+            writeln!(
+                f,
+                "  {:<40} {:>12} obs, sum {}, mean {:.2}",
+                h.name, h.count, h.sum, mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_obs::Obs;
+
+    #[test]
+    fn from_snapshot_drops_timings() {
+        let obs = Obs::enabled(true);
+        obs.add("pipeline.runs", 2);
+        obs.set_gauge("fleet.boxes", 3);
+        obs.observe("online.tickets_before", 7);
+        obs.observe_ms("span.pipeline", 1.5);
+        let report = MetricsReport::from(&obs.metrics_snapshot());
+        assert_eq!(report.counter("pipeline.runs"), Some(2));
+        assert_eq!(report.gauge("fleet.boxes"), Some(3));
+        assert_eq!(report.histograms.len(), 1);
+        assert_eq!(report.histograms[0].count, 1);
+        // Serde round-trip is lossless (important: reports embedding this
+        // type are compared byte-for-byte in the determinism suite).
+        let json = serde_json::to_string(&report).expect("serializes");
+        let back: MetricsReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_counters_sorts_by_name() {
+        let r = MetricsReport::from_counters(vec![("z", 1), ("a", 2)]);
+        assert_eq!(r.counters[0].0, "a");
+        assert_eq!(r.counter("z"), Some(1));
+        assert!(!format!("{r}").is_empty());
+    }
+}

@@ -43,6 +43,7 @@
 //! harness, and [`crate::supervisor`] runs whole fleets this way with
 //! panic isolation and circuit breaking.
 
+use atm_obs::Obs;
 use atm_resize::evaluate::box_outcome;
 use atm_ticketing::ThresholdPolicy;
 use atm_tracegen::{BoxTrace, Resource, VmTrace};
@@ -53,7 +54,8 @@ use crate::checkpoint::{CheckpointStore, Recovery};
 use crate::config::AtmConfig;
 use crate::error::{AtmError, AtmResult};
 use crate::pipeline::{
-    fallback_box_report, run_box, scoped_resources, ticket_policy, validate_rectangular, BoxReport,
+    fallback_box_report_observed, run_box_observed, scoped_resources, ticket_policy,
+    validate_rectangular, BoxReport,
 };
 
 /// How one online window completed.
@@ -296,6 +298,119 @@ pub fn run_online(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<OnlineR
     run_online_with_actuator(box_trace, config, &mut actuator)
 }
 
+/// [`run_online`] with an observability handle: per-window `online.*`
+/// counters, ticket histograms, and one `window` event per window are
+/// recorded on `obs` (scoped by the box name), and every window's
+/// [`BoxReport`] embeds its per-run metrics.
+///
+/// # Errors
+///
+/// As [`run_online`].
+pub fn run_online_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    obs: &Obs,
+) -> AtmResult<OnlineReport> {
+    let mut actuator = NoopActuator::new();
+    run_online_with_actuator_observed(box_trace, config, &mut actuator, obs)
+}
+
+/// Records one completed window's *logical progress* on `obs`: the
+/// `online.*` counters (as deltas of the running [`DegradationSummary`]
+/// against `before`, so restart-recomputed work is never double-counted
+/// when this is called only after the window is accepted/persisted), the
+/// ticket histograms, and a `window` event scoped by the box name.
+fn record_window_obs(obs: &Obs, box_name: &str, before: &DegradationSummary, state: &OnlineState) {
+    let outcome = match state.windows.last() {
+        Some(o) => o,
+        None => return,
+    };
+    let after = &state.summary;
+    obs.add("online.windows_total", 1);
+    let status = match &outcome.status {
+        WindowStatus::Ok => {
+            obs.add("online.windows_ok", 1);
+            "ok"
+        }
+        WindowStatus::Degraded { .. } => {
+            obs.add("online.windows_degraded", 1);
+            "degraded"
+        }
+        WindowStatus::Skipped { .. } => {
+            obs.add("online.windows_skipped", 1);
+            "skipped"
+        }
+    };
+    let deltas = [
+        (
+            "online.fallback_windows",
+            after.fallback_windows,
+            before.fallback_windows,
+        ),
+        (
+            "online.imputed_windows",
+            after.imputed_windows,
+            before.imputed_windows,
+        ),
+        (
+            "online.imputed_samples",
+            after.imputed_samples,
+            before.imputed_samples,
+        ),
+        (
+            "online.actuation_retries",
+            after.actuation_retries,
+            before.actuation_retries,
+        ),
+        (
+            "online.actuation_failures",
+            after.actuation_failures,
+            before.actuation_failures,
+        ),
+        (
+            "online.safe_mode_entries",
+            after.safe_mode_entries,
+            before.safe_mode_entries,
+        ),
+    ];
+    for (name, now, prev) in deltas {
+        obs.add(name, now.saturating_sub(prev) as u64);
+    }
+    obs.observe("online.tickets_before", outcome.tickets_before as u64);
+    obs.observe("online.tickets_after", outcome.tickets_after as u64);
+    let reason = match &outcome.status {
+        WindowStatus::Ok => String::new(),
+        WindowStatus::Degraded { reason } | WindowStatus::Skipped { reason } => reason.clone(),
+    };
+    let mut fields = vec![
+        ("window", atm_obs::FieldValue::from(outcome.window)),
+        ("status", atm_obs::FieldValue::from(status)),
+        (
+            "tickets_before",
+            atm_obs::FieldValue::from(outcome.tickets_before),
+        ),
+        (
+            "tickets_after",
+            atm_obs::FieldValue::from(outcome.tickets_after),
+        ),
+        (
+            "attempts",
+            atm_obs::FieldValue::from(outcome.actuation_attempts),
+        ),
+    ];
+    if !reason.is_empty() {
+        fields.push(("reason", atm_obs::FieldValue::from(reason)));
+    }
+    obs.event(box_name, "window", fields);
+    if after.safe_mode_entries > before.safe_mode_entries {
+        obs.event(
+            box_name,
+            "safe_mode_enter",
+            vec![("window", atm_obs::FieldValue::from(outcome.window))],
+        );
+    }
+}
+
 /// Rolls ATM along the trace: for every consecutive resizing horizon
 /// after the first `config.train_windows` windows, retrain on the
 /// trailing history, resize, push the new CPU caps through `actuator`,
@@ -321,10 +436,29 @@ pub fn run_online_with_actuator(
     config: &AtmConfig,
     actuator: &mut dyn CapacityActuator,
 ) -> AtmResult<OnlineReport> {
-    let driver = OnlineDriver::new(box_trace, config)?;
+    run_online_with_actuator_observed(box_trace, config, actuator, &Obs::disabled())
+}
+
+/// [`run_online_with_actuator`] with an observability handle; see
+/// [`run_online_observed`].
+///
+/// # Errors
+///
+/// As [`run_online_with_actuator`].
+pub fn run_online_with_actuator_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+    obs: &Obs,
+) -> AtmResult<OnlineReport> {
+    let driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let mut state = driver.fresh_state();
     while !driver.is_done(&state) {
+        let before = obs.is_enabled().then(|| state.summary.clone());
         driver.step(&mut state, actuator)?;
+        if let Some(before) = before {
+            record_window_obs(obs, &box_trace.name, &before, &state);
+        }
     }
     Ok(driver.finish(state))
 }
@@ -399,6 +533,7 @@ pub struct OnlineDriver<'a> {
     original_cpu_caps: Vec<f64>,
     evaluable: usize,
     fingerprint: u64,
+    obs: Obs,
 }
 
 impl<'a> OnlineDriver<'a> {
@@ -410,6 +545,25 @@ impl<'a> OnlineDriver<'a> {
     /// - [`AtmError::RaggedTrace`] for a malformed trace.
     /// - [`AtmError::TraceTooShort`] if not even one window fits.
     pub fn new(box_trace: &'a BoxTrace, config: &'a AtmConfig) -> AtmResult<Self> {
+        Self::new_observed(box_trace, config, &Obs::disabled())
+    }
+
+    /// [`OnlineDriver::new`] with an observability handle. The driver
+    /// instruments *work performed* (pipeline spans and kernel counters,
+    /// via [`run_box_observed`]); *logical progress* (`online.*`
+    /// per-window counters and events) is recorded by the loop wrappers
+    /// after the window is accepted — and, in the durable loops, only
+    /// after it is persisted — so a restarted box never double-counts a
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineDriver::new`].
+    pub fn new_observed(
+        box_trace: &'a BoxTrace,
+        config: &'a AtmConfig,
+        obs: &Obs,
+    ) -> AtmResult<Self> {
         config.validate()?;
         validate_rectangular(box_trace)?;
         let total = box_trace.window_count();
@@ -435,6 +589,7 @@ impl<'a> OnlineDriver<'a> {
             original_cpu_caps,
             evaluable,
             fingerprint,
+            obs: obs.clone(),
         })
     }
 
@@ -479,6 +634,7 @@ impl<'a> OnlineDriver<'a> {
         state: &mut OnlineState,
         actuator: &mut dyn CapacityActuator,
     ) -> AtmResult<()> {
+        let _window_span = self.obs.span("online.window");
         let w = state.next_window;
         let config = self.config;
         let end = config.train_windows + (w + 1) * config.horizon;
@@ -536,21 +692,23 @@ impl<'a> OnlineDriver<'a> {
 
         // Fallback chain: full pipeline -> per-VM seasonal naive ->
         // carry previous caps forward.
-        let report = match run_box(&truncated, config) {
+        let report = match run_box_observed(&truncated, config, &self.obs) {
             Ok(r) => Some(r),
-            Err(e) if config.online.fallback => match fallback_box_report(&truncated, config) {
-                Ok(r) => {
-                    reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
-                    state.summary.fallback_windows += 1;
-                    Some(r)
+            Err(e) if config.online.fallback => {
+                match fallback_box_report_observed(&truncated, config, &self.obs) {
+                    Ok(r) => {
+                        reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
+                        state.summary.fallback_windows += 1;
+                        Some(r)
+                    }
+                    Err(e2) => {
+                        reasons.push(format!(
+                            "pipeline failed ({e}); fallback failed ({e2}); carried caps forward"
+                        ));
+                        None
+                    }
                 }
-                Err(e2) => {
-                    reasons.push(format!(
-                        "pipeline failed ({e}); fallback failed ({e2}); carried caps forward"
-                    ));
-                    None
-                }
-            },
+            }
             Err(e) => return Err(e),
         };
 
@@ -699,6 +857,25 @@ pub fn run_online_checkpointed(
     run_online_until(box_trace, config, actuator, store, None)
 }
 
+/// [`run_online_checkpointed`] with an observability handle. Window
+/// metrics and events are recorded **after** the window's state is
+/// durable, so a run resumed from a checkpoint records each window's
+/// `online.*` progress exactly once — windows replayed from the store
+/// are never recomputed, hence never re-counted.
+///
+/// # Errors
+///
+/// As [`run_online_checkpointed`].
+pub fn run_online_checkpointed_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+    store: &CheckpointStore,
+    obs: &Obs,
+) -> AtmResult<OnlineRun> {
+    run_online_until_observed(box_trace, config, actuator, store, None, obs)
+}
+
 /// [`run_online_checkpointed`] with a scripted kill point for the chaos
 /// harness: with `kill_after = Some(k)`, the run returns
 /// [`AtmError::SimulatedCrash`] just before computing window `k` —
@@ -716,7 +893,31 @@ pub fn run_online_until(
     store: &CheckpointStore,
     kill_after: Option<usize>,
 ) -> AtmResult<OnlineRun> {
-    let driver = OnlineDriver::new(box_trace, config)?;
+    run_online_until_observed(
+        box_trace,
+        config,
+        actuator,
+        store,
+        kill_after,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_online_until`] with an observability handle; see
+/// [`run_online_checkpointed_observed`] for the exactly-once contract.
+///
+/// # Errors
+///
+/// As [`run_online_until`].
+pub fn run_online_until_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    actuator: &mut dyn CapacityActuator,
+    store: &CheckpointStore,
+    kill_after: Option<usize>,
+    obs: &Obs,
+) -> AtmResult<OnlineRun> {
+    let driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let recovery = store.recover(&box_trace.name, driver.fresh_state());
     let mut state = recovery.state.clone();
     let interval = config.durability.checkpoint_interval;
@@ -728,8 +929,15 @@ pub fn run_online_until(
             });
         }
         let started = std::time::Instant::now();
+        let before = obs.is_enabled().then(|| state.summary.clone());
         driver.step(&mut state, actuator)?;
         store.record_window(&box_trace.name, &state, interval)?;
+        // Progress metrics only after the window is durable: a crash
+        // between step and persistence recomputes the window on restart,
+        // and counting it here would then double-count it.
+        if let Some(before) = before {
+            record_window_obs(obs, &box_trace.name, &before, &state);
+        }
         if deadline_ms > 0 {
             let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
             if elapsed_ms > deadline_ms {
@@ -752,6 +960,7 @@ mod tests {
     use super::*;
     use crate::actuate::test_support::ScriptedActuator;
     use crate::config::TemporalModel;
+    use crate::pipeline::run_box;
     use atm_tracegen::{generate_box, FleetConfig};
 
     fn trace(days: usize) -> BoxTrace {
@@ -1057,6 +1266,63 @@ mod tests {
         assert_eq!(a.windows_total, 2);
         assert_eq!(a.degraded_tickets_after, 24);
         assert_eq!(a.safe_mode_entries, 20);
+    }
+
+    #[test]
+    fn observed_run_counts_windows_and_disabled_path_is_unchanged() {
+        let b = trace(5);
+        let cfg = oracle_config();
+        let plain = run_online(&b, &cfg).unwrap();
+        let obs = Obs::enabled(false);
+        let observed = run_online_observed(&b, &cfg, &obs).unwrap();
+        // Summaries agree; observed window reports additionally embed
+        // their per-run metrics.
+        assert_eq!(observed.degradation, plain.degradation);
+        assert!(observed
+            .windows
+            .iter()
+            .all(|w| w.report.as_ref().is_none_or(|r| r.metrics.is_some())));
+
+        let snap = obs.metrics_snapshot();
+        let n = plain.windows.len() as u64;
+        assert_eq!(snap.counter("online.windows_total"), Some(n));
+        assert_eq!(
+            snap.counter("online.windows_ok"),
+            Some(plain.degradation.windows_ok as u64)
+        );
+        assert_eq!(snap.counter("pipeline.runs"), Some(n));
+        // One `window` event per window, in order, under the box scope.
+        let windows: Vec<_> = obs
+            .events()
+            .into_iter()
+            .filter(|e| e.scope == b.name && e.kind == "window")
+            .collect();
+        assert_eq!(windows.len(), plain.windows.len());
+        for (i, e) in windows.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn observed_flaky_run_counts_retries_and_safe_mode() {
+        let mut actuator = ScriptedActuator::new(vec![true]);
+        let mut cfg = oracle_config();
+        cfg.online.retry.max_attempts = 2;
+        cfg.online.safe_mode_after = 2;
+        let obs = Obs::enabled(false);
+        let report =
+            run_online_with_actuator_observed(&trace(5), &cfg, &mut actuator, &obs).unwrap();
+        let snap = obs.metrics_snapshot();
+        assert_eq!(
+            snap.counter("online.actuation_failures"),
+            Some(report.degradation.actuation_failures as u64)
+        );
+        assert_eq!(
+            snap.counter("online.actuation_retries"),
+            Some(report.degradation.actuation_retries as u64)
+        );
+        assert_eq!(snap.counter("online.safe_mode_entries"), Some(1));
+        assert!(obs.events().iter().any(|e| e.kind == "safe_mode_enter"));
     }
 
     #[test]

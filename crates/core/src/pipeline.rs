@@ -8,6 +8,7 @@ use atm_forecast::holt_winters::HoltWinters;
 use atm_forecast::mlp::MlpForecaster;
 use atm_forecast::naive::{LastValue, SeasonalNaive};
 use atm_forecast::{ar::ArForecaster, Forecaster};
+use atm_obs::Obs;
 use atm_resize::evaluate::{box_outcome, BoxOutcome};
 use atm_resize::{baselines, greedy, ResizeProblem, VmDemand};
 use atm_ticketing::ThresholdPolicy;
@@ -18,7 +19,8 @@ use serde::{Deserialize, Serialize};
 use crate::config::{AtmConfig, ResourceScope, TemporalModel};
 use crate::error::{AtmError, AtmResult};
 use crate::impute::{impute_box, ImputationReport};
-use crate::signature::{search_with, SignatureOutcome};
+use crate::metrics::MetricsReport;
+use crate::signature::{search_observed, SearchStats, SignatureOutcome};
 use crate::spatial::SpatialModel;
 
 /// Signature-search statistics for one box (paper Figs. 5, 6a).
@@ -111,6 +113,12 @@ pub struct BoxReport {
     pub prediction: PredictionReport,
     /// Per-resource resizing outcomes.
     pub resizing: Vec<ResourceResizeReport>,
+    /// Deterministic per-run metrics (signature-search work counters and
+    /// imputation totals). `None` unless the run was observed through an
+    /// enabled [`Obs`] handle, and skipped entirely from serialization in
+    /// that case so unobserved reports keep their historical byte layout.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsReport>,
 }
 
 /// Keys of a box under a resource scope.
@@ -406,45 +414,99 @@ pub(crate) fn ticket_policy(config: &AtmConfig) -> AtmResult<ThresholdPolicy> {
 ///   imputation is disabled.
 /// - Propagated clustering/regression/forecast/resize errors.
 pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport> {
+    run_box_observed(box_trace, config, &Obs::disabled())
+}
+
+/// Deterministic per-run metrics embedded in an observed [`BoxReport`].
+fn box_metrics(stats: &SearchStats, imputation: &ImputationReport) -> MetricsReport {
+    MetricsReport::from_counters(vec![
+        ("clustering.dtw.pairs", stats.dtw_pairs),
+        ("clustering.dtw.dp_cells", stats.dtw_dp_cells),
+        ("clustering.dtw.early_abandons", stats.dtw_abandons),
+        (
+            "clustering.silhouette.candidates",
+            stats.silhouette_candidates,
+        ),
+        (
+            "pipeline.imputed_samples",
+            imputation.total_imputed() as u64,
+        ),
+    ])
+}
+
+/// [`run_box`] with explicit observability: stage spans under
+/// `pipeline.*`, work counters from the signature search, and a
+/// per-run [`MetricsReport`] embedded in the returned report when `obs`
+/// is enabled. With [`Obs::disabled()`] this is exactly [`run_box`] —
+/// same result bytes, near-zero overhead.
+///
+/// # Errors
+///
+/// Identical to [`run_box`].
+pub fn run_box_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    obs: &Obs,
+) -> AtmResult<BoxReport> {
+    let _run_span = obs.span("pipeline.run_box");
+    obs.add("pipeline.runs", 1);
     config.validate()?;
     validate_rectangular(box_trace)?;
-    let (filled, imputation) = impute_front_end(box_trace, config);
+    let (filled, imputation) = {
+        let _span = obs.span("pipeline.impute");
+        impute_front_end(box_trace, config)
+    };
+    obs.add(
+        "pipeline.imputed_samples",
+        imputation.total_imputed() as u64,
+    );
     let trace = filled.as_ref().unwrap_or(box_trace);
     let split = split_demands(trace, config)?;
 
     // Step 1 + 2: signature search on training demands.
-    let outcome: SignatureOutcome = search_with(
-        &split.keys,
-        &split.train_cols,
-        &config.cluster_method,
-        &config.stepwise,
-        config.znorm_for_dtw,
-        &config.compute,
-    )?;
+    let (outcome, stats): (SignatureOutcome, SearchStats) = {
+        let _span = obs.span("pipeline.signature");
+        search_observed(
+            &split.keys,
+            &split.train_cols,
+            &config.cluster_method,
+            &config.stepwise,
+            config.znorm_for_dtw,
+            &config.compute,
+            obs,
+        )?
+    };
     let dependents = outcome.dependents();
 
     // Spatial models for dependents.
-    let spatial = SpatialModel::fit_with(
-        &split.train_cols,
-        &outcome.final_signatures,
-        &dependents,
-        config.spatial_ridge_lambda,
-    )?;
-    let spatial_in_sample = spatial.in_sample_mape(&split.train_cols)?;
+    let (spatial, spatial_in_sample) = {
+        let _span = obs.span("pipeline.spatial_fit");
+        let spatial = SpatialModel::fit_with(
+            &split.train_cols,
+            &outcome.final_signatures,
+            &dependents,
+            config.spatial_ridge_lambda,
+        )?;
+        let in_sample = spatial.in_sample_mape(&split.train_cols)?;
+        (spatial, in_sample)
+    };
 
     // Temporal forecasts for signatures.
-    let sig_predictions: Vec<Vec<f64>> = outcome
-        .final_signatures
-        .iter()
-        .map(|&s| {
-            sanitize(temporal_forecast(
-                &split.train_cols[s],
-                config.horizon,
-                &config.temporal,
-                &split.test_cols[s],
-            ))
-        })
-        .collect();
+    let sig_predictions: Vec<Vec<f64>> = {
+        let _span = obs.span("pipeline.temporal_forecast");
+        outcome
+            .final_signatures
+            .iter()
+            .map(|&s| {
+                sanitize(temporal_forecast(
+                    &split.train_cols[s],
+                    config.horizon,
+                    &config.temporal,
+                    &split.test_cols[s],
+                ))
+            })
+            .collect()
+    };
 
     // Spatial predictions for dependents.
     let dep_predictions: Vec<Vec<f64>> = spatial
@@ -462,17 +524,24 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
         predicted[d] = dep_predictions[pos].clone();
     }
 
-    let prediction = prediction_report(
-        trace,
-        &split,
-        &predicted,
-        &outcome.final_signatures,
-        config.ticket_threshold_pct,
-    );
+    let prediction = {
+        let _span = obs.span("pipeline.prediction");
+        prediction_report(
+            trace,
+            &split,
+            &predicted,
+            &outcome.final_signatures,
+            config.ticket_threshold_pct,
+        )
+    };
     let policy = ticket_policy(config)?;
-    let resizing = resize_reports(trace, &split, &predicted, config, &policy)?;
+    let resizing = {
+        let _span = obs.span("pipeline.resize");
+        resize_reports(trace, &split, &predicted, config, &policy)?
+    };
 
     let (sig_cpu, sig_ram) = outcome.signature_resource_counts();
+    let metrics = obs.is_enabled().then(|| box_metrics(&stats, &imputation));
     Ok(BoxReport {
         box_name: trace.name.clone(),
         imputation,
@@ -488,6 +557,7 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
         },
         prediction,
         resizing,
+        metrics,
     })
 }
 
@@ -506,9 +576,30 @@ pub fn run_box(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport>
 /// ([`AtmError::RaggedTrace`], [`AtmError::TraceTooShort`],
 /// [`AtmError::GappyTrace`]) plus propagated resize errors.
 pub fn fallback_box_report(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResult<BoxReport> {
+    fallback_box_report_observed(box_trace, config, &Obs::disabled())
+}
+
+/// [`fallback_box_report`] with explicit observability: a
+/// `pipeline.fallback` span, the `pipeline.fallback_runs` counter, and
+/// an embedded per-run [`MetricsReport`] when `obs` is enabled.
+///
+/// # Errors
+///
+/// Identical to [`fallback_box_report`].
+pub fn fallback_box_report_observed(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    obs: &Obs,
+) -> AtmResult<BoxReport> {
+    let _run_span = obs.span("pipeline.fallback");
+    obs.add("pipeline.fallback_runs", 1);
     config.validate()?;
     validate_rectangular(box_trace)?;
     let (filled, imputation) = impute_front_end(box_trace, config);
+    obs.add(
+        "pipeline.imputed_samples",
+        imputation.total_imputed() as u64,
+    );
     let trace = filled.as_ref().unwrap_or(box_trace);
     let split = split_demands(trace, config)?;
 
@@ -539,6 +630,9 @@ pub fn fallback_box_report(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResul
         .filter(|k| k.resource == Resource::Cpu)
         .count();
     let total = split.keys.len();
+    let metrics = obs
+        .is_enabled()
+        .then(|| box_metrics(&SearchStats::default(), &imputation));
     Ok(BoxReport {
         box_name: trace.name.clone(),
         imputation,
@@ -554,6 +648,7 @@ pub fn fallback_box_report(box_trace: &BoxTrace, config: &AtmConfig) -> AtmResul
         },
         prediction,
         resizing,
+        metrics,
     })
 }
 
@@ -802,6 +897,41 @@ mod tests {
         });
         let r = run_box(&b, &cfg).unwrap();
         assert!(r.prediction.mape_all.is_finite());
+    }
+
+    #[test]
+    fn observed_run_embeds_metrics_and_disabled_path_is_identical() {
+        let b = generate_box(&trace_config(), 3);
+        let cfg = oracle_config();
+        let plain = run_box(&b, &cfg).unwrap();
+        assert!(plain.metrics.is_none());
+        // An unobserved report serializes without any metrics key at all
+        // (seed-compatible bytes).
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(!json.contains("\"metrics\""));
+
+        let obs = Obs::enabled(false);
+        let observed = run_box_observed(&b, &cfg, &obs).unwrap();
+        let m = observed.metrics.as_ref().expect("observed run has metrics");
+        assert_eq!(
+            m.counter("pipeline.imputed_samples"),
+            Some(plain.imputation.total_imputed() as u64)
+        );
+        assert!(m.counter("clustering.dtw.pairs").is_some());
+        // Everything except the metrics field matches the plain run.
+        let mut stripped = observed.clone();
+        stripped.metrics = None;
+        assert_eq!(stripped, plain);
+        // The shared handle aggregated the run counters too.
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counter("pipeline.runs"), Some(1));
+
+        let fb = fallback_box_report_observed(&b, &cfg, &obs).unwrap();
+        assert!(fb.metrics.is_some());
+        assert_eq!(
+            obs.metrics_snapshot().counter("pipeline.fallback_runs"),
+            Some(1)
+        );
     }
 
     #[test]

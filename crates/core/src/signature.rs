@@ -9,15 +9,38 @@
 use atm_clustering::cbc::{self, CbcConfig};
 use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
 use atm_clustering::hierarchical::{cluster_with_silhouette_threaded, paper_k_range, Linkage};
-use atm_clustering::kernel::DtwKernel;
+use atm_clustering::kernel::{DtwKernel, KernelStats};
 use atm_clustering::DistanceMatrix;
+use atm_obs::Obs;
 use atm_stats::stepwise::{backward_eliminate, StepwiseConfig};
 use atm_timeseries::transform::znorm;
 use atm_tracegen::{Resource, SeriesKey};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::config::{ClusterMethod, ComputeConfig};
 use crate::error::{AtmError, AtmResult};
+
+/// Work counters from one signature search, suitable for metrics.
+///
+/// Deterministic: every field is a pure function of the inputs (the
+/// kernel's DP geometry and the silhouette sweep are bit-deterministic),
+/// so values are identical for any thread count. DTW fields are only
+/// non-zero when the optimized kernel ran (the naive reference paths
+/// count pairs but not cells).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// DTW pairs evaluated for the distance matrix.
+    pub dtw_pairs: u64,
+    /// DP cells computed by the optimized kernel.
+    pub dtw_dp_cells: u64,
+    /// Pairs abandoned early by the kernel's lower bounds (always zero in
+    /// a matrix build — every exact distance is needed — but non-zero in
+    /// nearest-neighbour workloads that reuse this accounting).
+    pub dtw_abandons: u64,
+    /// Cluster counts `k` evaluated by the silhouette model selection.
+    pub silhouette_candidates: u64,
+}
 
 /// Result of the two-step signature search over a set of series.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,6 +135,36 @@ pub fn search_with(
     znorm_for_dtw: bool,
     compute: &ComputeConfig,
 ) -> AtmResult<SignatureOutcome> {
+    search_observed(
+        keys,
+        columns,
+        method,
+        stepwise,
+        znorm_for_dtw,
+        compute,
+        &Obs::disabled(),
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`search_with`] instrumented through an [`Obs`] handle: records
+/// `signature.*` spans and `clustering.*` counters, and returns the
+/// per-run [`SearchStats`] alongside the outcome. With a disabled handle
+/// this is exactly `search_with` plus a cheap stats tally.
+///
+/// # Errors
+///
+/// Same conditions as [`search`].
+#[allow(clippy::too_many_arguments)]
+pub fn search_observed(
+    keys: &[SeriesKey],
+    columns: &[Vec<f64>],
+    method: &ClusterMethod,
+    stepwise: &StepwiseConfig,
+    znorm_for_dtw: bool,
+    compute: &ComputeConfig,
+    obs: &Obs,
+) -> AtmResult<(SignatureOutcome, SearchStats)> {
     if keys.is_empty() || keys.len() != columns.len() {
         return Err(AtmError::Empty);
     }
@@ -119,21 +172,61 @@ pub fn search_with(
         return Err(AtmError::Empty);
     }
 
+    let mut stats = SearchStats::default();
     let (initial, cluster_count, silhouette) = match method {
-        ClusterMethod::Dtw { linkage } => step1_dtw(columns, *linkage, znorm_for_dtw, compute)?,
+        ClusterMethod::Dtw { linkage } => {
+            step1_dtw(columns, *linkage, znorm_for_dtw, compute, obs, &mut stats)?
+        }
         ClusterMethod::Cbc { rho_threshold } => step1_cbc(columns, *rho_threshold)?,
-        ClusterMethod::Features { linkage } => step1_features(columns, *linkage, compute)?,
+        ClusterMethod::Features { linkage } => {
+            step1_features(columns, *linkage, compute, obs, &mut stats)?
+        }
     };
 
-    let final_signatures = step2_stepwise(columns, &initial, stepwise)?;
+    let final_signatures = {
+        let _span = obs.span("signature.stepwise");
+        step2_stepwise(columns, &initial, stepwise)?
+    };
 
-    Ok(SignatureOutcome {
-        keys: keys.to_vec(),
-        initial_signatures: initial,
-        final_signatures,
-        cluster_count,
-        silhouette,
-    })
+    obs.add("clustering.dtw.pairs", stats.dtw_pairs);
+    obs.add("clustering.dtw.dp_cells", stats.dtw_dp_cells);
+    obs.add("clustering.dtw.early_abandons", stats.dtw_abandons);
+    obs.add(
+        "clustering.silhouette.candidates",
+        stats.silhouette_candidates,
+    );
+
+    Ok((
+        SignatureOutcome {
+            keys: keys.to_vec(),
+            initial_signatures: initial,
+            final_signatures,
+            cluster_count,
+            silhouette,
+        },
+        stats,
+    ))
+}
+
+/// Per-thread distance-matrix state: a kernel plus a shared sink its
+/// accumulated [`KernelStats`] are merged into on drop. The merge is a
+/// commutative sum of pure-function-of-input counters, so the total is
+/// identical for any thread count or chunk assignment — this is how
+/// per-thread kernel stats escape `build_parallel_with` without changing
+/// its API or the result bytes.
+struct KernelStatsGuard<'a> {
+    kernel: DtwKernel,
+    sink: &'a Mutex<KernelStats>,
+}
+
+impl Drop for KernelStatsGuard<'_> {
+    fn drop(&mut self) {
+        let stats = self.kernel.stats();
+        self.sink
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .merge(&stats);
+    }
 }
 
 /// Step 1, DTW flavour: pairwise DTW distances (on z-normalized series
@@ -144,6 +237,8 @@ fn step1_dtw(
     linkage: Linkage,
     znorm_series: bool,
     compute: &ComputeConfig,
+    obs: &Obs,
+    stats: &mut SearchStats,
 ) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
     let n = columns.len();
     if n == 1 {
@@ -165,36 +260,59 @@ fn step1_dtw(
 
     let threads = compute.effective_threads();
     let band = compute.dtw_band;
-    let distances = if compute.optimized_kernel {
-        // Per-thread kernel workspaces; the kernel is bit-identical to the
-        // naive DP (and to `dtw_distance_banded` when banded).
-        DistanceMatrix::build_parallel_with(
-            n,
-            threads,
-            || {
-                if band == 0 {
-                    DtwKernel::new()
-                } else {
-                    DtwKernel::banded(band).expect("band is positive")
-                }
-            },
-            |kernel, i, j| {
-                kernel
-                    .distance(&prepared[i], &prepared[j])
-                    .map_err(AtmError::from)
-            },
-        )?
-    } else if band > 0 {
-        DistanceMatrix::build_parallel(n, threads, |i, j| {
-            dtw_distance_banded(&prepared[i], &prepared[j], band).map_err(AtmError::from)
-        })?
-    } else {
-        DistanceMatrix::build_parallel(n, threads, |i, j| {
-            dtw_distance(&prepared[i], &prepared[j]).map_err(AtmError::from)
-        })?
+    let kernel_stats = Mutex::new(KernelStats::default());
+    let distances = {
+        let _span = obs.span("signature.distance_matrix");
+        if compute.optimized_kernel {
+            // Per-thread kernel workspaces; the kernel is bit-identical to
+            // the naive DP (and to `dtw_distance_banded` when banded).
+            DistanceMatrix::build_parallel_with(
+                n,
+                threads,
+                || KernelStatsGuard {
+                    kernel: if band == 0 {
+                        DtwKernel::new()
+                    } else {
+                        DtwKernel::banded(band).expect("band is positive")
+                    },
+                    sink: &kernel_stats,
+                },
+                |guard, i, j| {
+                    guard
+                        .kernel
+                        .distance(&prepared[i], &prepared[j])
+                        .map_err(AtmError::from)
+                },
+            )?
+        } else if band > 0 {
+            DistanceMatrix::build_parallel(n, threads, |i, j| {
+                dtw_distance_banded(&prepared[i], &prepared[j], band).map_err(AtmError::from)
+            })?
+        } else {
+            DistanceMatrix::build_parallel(n, threads, |i, j| {
+                dtw_distance(&prepared[i], &prepared[j]).map_err(AtmError::from)
+            })?
+        }
     };
+    if compute.optimized_kernel {
+        // Every worker's guard has dropped by now (scoped threads join
+        // before build_parallel_with returns), so the sink is complete.
+        let merged = kernel_stats
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        stats.dtw_pairs += merged.pairs;
+        stats.dtw_dp_cells += merged.dp_cells;
+        stats.dtw_abandons += merged.abandons();
+    } else {
+        // Naive reference paths: the pair count is still knowable.
+        stats.dtw_pairs += (n * (n - 1) / 2) as u64;
+    }
     let (k_min, k_max) = paper_k_range(n);
-    let selected = cluster_with_silhouette_threaded(&distances, linkage, k_min, k_max, threads)?;
+    stats.silhouette_candidates += (k_max - k_min + 1) as u64;
+    let selected = {
+        let _span = obs.span("signature.model_selection");
+        cluster_with_silhouette_threaded(&distances, linkage, k_min, k_max, threads)?
+    };
     let medoids = selected.clustering.medoids(&distances)?;
     Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
 }
@@ -205,21 +323,30 @@ fn step1_features(
     columns: &[Vec<f64>],
     linkage: Linkage,
     compute: &ComputeConfig,
+    obs: &Obs,
+    stats: &mut SearchStats,
 ) -> AtmResult<(Vec<usize>, usize, Option<f64>)> {
     let n = columns.len();
     if n == 1 {
         return Ok((vec![0], 1, None));
     }
     let seasonal_lag = (columns[0].len() / 2).clamp(1, 96);
-    let distances = atm_clustering::features::feature_distance_matrix(columns, seasonal_lag)?;
+    let distances = {
+        let _span = obs.span("signature.distance_matrix");
+        atm_clustering::features::feature_distance_matrix(columns, seasonal_lag)?
+    };
     let (k_min, k_max) = paper_k_range(n);
-    let selected = cluster_with_silhouette_threaded(
-        &distances,
-        linkage,
-        k_min,
-        k_max,
-        compute.effective_threads(),
-    )?;
+    stats.silhouette_candidates += (k_max - k_min + 1) as u64;
+    let selected = {
+        let _span = obs.span("signature.model_selection");
+        cluster_with_silhouette_threaded(
+            &distances,
+            linkage,
+            k_min,
+            k_max,
+            compute.effective_threads(),
+        )?
+    };
     let medoids = selected.clustering.medoids(&distances)?;
     Ok((medoids, selected.clustering.k(), Some(selected.silhouette)))
 }
@@ -552,6 +679,47 @@ mod tests {
                 assert_eq!(reference, out, "threads={threads} opt={optimized_kernel}");
             }
         }
+    }
+
+    #[test]
+    fn observed_stats_are_exact_and_thread_count_independent() {
+        let n = 96;
+        let cols = vec![
+            family(n, 1.0, 0.0, 1),
+            family(n, 1.0, 1.0, 2),
+            independent(n, 50),
+            independent(n, 51),
+            independent(n, 52),
+        ];
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let obs = Obs::enabled(false);
+            let (outcome, stats) = search_observed(
+                &keys(5),
+                &cols,
+                &ClusterMethod::dtw(),
+                &StepwiseConfig::default(),
+                true,
+                &ComputeConfig {
+                    threads,
+                    dtw_band: 0,
+                    optimized_kernel: true,
+                },
+                &obs,
+            )
+            .unwrap();
+            runs.push((outcome, stats, obs.metrics_snapshot().deterministic_json()));
+        }
+        let (o1, s1, j1) = &runs[0];
+        let (o4, s4, j4) = &runs[1];
+        assert_eq!(o1, o4);
+        assert_eq!(s1, s4, "kernel stats must not depend on thread count");
+        assert_eq!(j1, j4, "metrics snapshot must not depend on thread count");
+        // 5 series -> 10 pairs, full DP -> 96*96 cells each, no abandons.
+        assert_eq!(s1.dtw_pairs, 10);
+        assert_eq!(s1.dtw_dp_cells, 10 * 96 * 96);
+        assert_eq!(s1.dtw_abandons, 0);
+        assert!(s1.silhouette_candidates > 0);
     }
 
     #[test]

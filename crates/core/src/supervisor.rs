@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use atm_obs::{FieldValue, Obs};
 use atm_tracegen::BoxTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,8 +42,10 @@ use crate::actuate::CapacityActuator;
 use crate::checkpoint::{CheckpointStore, RecoveryEvent};
 use crate::config::{AtmConfig, DurabilityConfig};
 use crate::error::AtmError;
+use crate::metrics::MetricsReport;
 use crate::online::{
-    run_online_checkpointed, run_online_with_actuator, DegradationSummary, OnlineReport,
+    run_online_checkpointed_observed, run_online_with_actuator_observed, DegradationSummary,
+    OnlineReport,
 };
 
 /// Circuit-breaker position, in the classic three-state machine:
@@ -174,6 +177,14 @@ pub struct FleetReport {
     pub boxes: Vec<BoxRun>,
     /// Merged degradation accounting over completed boxes.
     pub degradation: DegradationSummary,
+    /// Deterministic metrics from the run's [`Obs`] handle (counters,
+    /// gauges, integer histograms — never wall-clock timings). `None`
+    /// unless the fleet ran through
+    /// [`run_fleet_online_observed`] with an enabled handle; skipped
+    /// from serialization in that case so unobserved reports keep their
+    /// historical byte layout.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsReport>,
 }
 
 impl FleetReport {
@@ -224,13 +235,60 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Records a finished box's supervision accounting on `obs`: the
+/// `supervisor.*` counters plus a terminal `box_completed` /
+/// `box_quarantined` event (and one `recovery` event per
+/// checkpoint-recovery event) under the box's scope.
+fn record_box_obs(obs: &Obs, run: &BoxRun) {
+    match &run.status {
+        BoxRunStatus::Completed => obs.add("supervisor.boxes_completed", 1),
+        BoxRunStatus::Quarantined { .. } => obs.add("supervisor.boxes_quarantined", 1),
+    }
+    obs.add("supervisor.restarts", (run.attempts - 1) as u64);
+    obs.add("supervisor.panics", run.panics as u64);
+    obs.add("supervisor.deadline_misses", run.deadline_misses as u64);
+    obs.add("supervisor.breaker_trips", run.breaker_trips as u64);
+    obs.add(
+        "supervisor.recovery_events",
+        run.recovery_events.len() as u64,
+    );
+    for event in &run.recovery_events {
+        obs.event(
+            &run.box_name,
+            "recovery",
+            vec![("detail", FieldValue::from(format!("{event:?}")))],
+        );
+    }
+    let mut fields = vec![
+        ("attempts", FieldValue::from(run.attempts)),
+        ("panics", FieldValue::from(run.panics)),
+        ("deadline_misses", FieldValue::from(run.deadline_misses)),
+        ("breaker_trips", FieldValue::from(run.breaker_trips)),
+    ];
+    let kind = match &run.status {
+        BoxRunStatus::Completed => "box_completed",
+        BoxRunStatus::Quarantined { error } => {
+            fields.push(("error", FieldValue::from(error.clone())));
+            "box_quarantined"
+        }
+    };
+    obs.event(&run.box_name, kind, fields);
+}
+
 /// Drives one box to completion or quarantine.
+///
+/// With a checkpoint store, restart attempts resume from the last
+/// durable window, and per-window `online.*` metrics are recorded only
+/// after persistence — so a restarted box never double-counts a window.
+/// Without a store a restart recomputes every window from scratch, and
+/// the counters reflect that recomputed work.
 fn supervise_box<F>(
     index: usize,
     box_trace: &BoxTrace,
     config: &AtmConfig,
     store: Option<&CheckpointStore>,
     make_actuator: &F,
+    obs: &Obs,
 ) -> BoxRun
 where
     F: Fn(usize, &BoxTrace) -> Box<dyn CapacityActuator + Send> + Sync,
@@ -250,16 +308,18 @@ where
         // previous one in an arbitrary state.
         let mut actuator = make_actuator(index, box_trace);
         let attempt = catch_unwind(AssertUnwindSafe(|| match store {
-            Some(s) => run_online_checkpointed(box_trace, config, actuator.as_mut(), s)
-                .map(|run| (run.report, run.recovery.events)),
-            None => run_online_with_actuator(box_trace, config, actuator.as_mut())
+            Some(s) => {
+                run_online_checkpointed_observed(box_trace, config, actuator.as_mut(), s, obs)
+                    .map(|run| (run.report, run.recovery.events))
+            }
+            None => run_online_with_actuator_observed(box_trace, config, actuator.as_mut(), obs)
                 .map(|report| (report, Vec::new())),
         }));
         match attempt {
             Ok(Ok((report, events))) => {
                 breaker.on_success();
                 recovery_events.extend(events);
-                return BoxRun {
+                let run = BoxRun {
                     box_name: box_trace.name.clone(),
                     status: BoxRunStatus::Completed,
                     report: Some(report),
@@ -269,6 +329,10 @@ where
                     breaker_trips: breaker.trips(),
                     recovery_events,
                 };
+                if obs.is_enabled() {
+                    record_box_obs(obs, &run);
+                }
+                return run;
             }
             Ok(Err(e)) => {
                 if matches!(e, AtmError::DeadlineExceeded { .. }) {
@@ -288,7 +352,7 @@ where
         }
     }
 
-    BoxRun {
+    let run = BoxRun {
         box_name: box_trace.name.clone(),
         status: BoxRunStatus::Quarantined { error: last_error },
         report: None,
@@ -297,7 +361,11 @@ where
         deadline_misses,
         breaker_trips: breaker.trips(),
         recovery_events,
+    };
+    if obs.is_enabled() {
+        record_box_obs(obs, &run);
     }
+    run
 }
 
 /// Runs the online management loop over every box with `threads` worker
@@ -320,6 +388,34 @@ pub fn run_fleet_online<F>(
 where
     F: Fn(usize, &BoxTrace) -> Box<dyn CapacityActuator + Send> + Sync,
 {
+    run_fleet_online_observed(
+        boxes,
+        config,
+        store,
+        threads,
+        make_actuator,
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_fleet_online`] with an observability handle: every box's
+/// pipeline, online-window, and supervision accounting lands on `obs`
+/// (all commutative sums and per-scope event sequences, so the result
+/// is byte-identical for any `threads` value), and the returned
+/// [`FleetReport`] embeds the final deterministic [`MetricsReport`]
+/// when the handle is enabled.
+pub fn run_fleet_online_observed<F>(
+    boxes: &[BoxTrace],
+    config: &AtmConfig,
+    store: Option<&CheckpointStore>,
+    threads: usize,
+    make_actuator: F,
+    obs: &Obs,
+) -> FleetReport
+where
+    F: Fn(usize, &BoxTrace) -> Box<dyn CapacityActuator + Send> + Sync,
+{
+    obs.set_gauge("fleet.boxes", boxes.len() as i64);
     let threads = threads.max(1).min(boxes.len().max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, BoxRun)>> = Mutex::new(Vec::with_capacity(boxes.len()));
@@ -331,7 +427,7 @@ where
                 if i >= boxes.len() {
                     break;
                 }
-                let run = supervise_box(i, &boxes[i], config, store, &make_actuator);
+                let run = supervise_box(i, &boxes[i], config, store, &make_actuator, obs);
                 results
                     .lock()
                     .expect("no panics while holding the lock")
@@ -350,17 +446,29 @@ where
             degradation.merge(&report.degradation);
         }
     }
-    FleetReport { boxes, degradation }
+    let metrics = obs
+        .is_enabled()
+        .then(|| MetricsReport::from(&obs.metrics_snapshot()));
+    FleetReport {
+        boxes,
+        degradation,
+        metrics,
+    }
 }
 
 /// [`run_fleet_online`] driven entirely by the configuration: the
 /// checkpoint store is opened from `config.durability.checkpoint_dir`
-/// (empty = run without durability).
+/// (empty = run without durability), the [`Obs`] handle is built from
+/// `config.observability`, and — when
+/// [`ObservabilityConfig::event_log`](crate::config::ObservabilityConfig)
+/// names a path — the JSONL event log is written there atomically after
+/// the run.
 ///
 /// # Errors
 ///
 /// [`AtmError`](crate::AtmError) when the configured checkpoint
-/// directory cannot be created.
+/// directory cannot be created or the configured event log cannot be
+/// written.
 pub fn run_fleet_online_from_config<F>(
     boxes: &[BoxTrace],
     config: &AtmConfig,
@@ -371,13 +479,17 @@ where
     F: Fn(usize, &BoxTrace) -> Box<dyn CapacityActuator + Send> + Sync,
 {
     let store = CheckpointStore::from_config(&config.durability)?;
-    Ok(run_fleet_online(
-        boxes,
-        config,
-        store.as_ref(),
-        threads,
-        make_actuator,
-    ))
+    let obs = config.observability.build_obs();
+    let report =
+        run_fleet_online_observed(boxes, config, store.as_ref(), threads, make_actuator, &obs);
+    if obs.is_enabled() && !config.observability.event_log.is_empty() {
+        obs.write_events(std::path::Path::new(&config.observability.event_log))
+            .map_err(|e| AtmError::Checkpoint {
+                path: config.observability.event_log.clone(),
+                reason: format!("event log write failed: {e}"),
+            })?;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -640,6 +752,46 @@ mod tests {
             }
         }
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn observed_fleet_records_supervision_counters() {
+        let boxes = small_fleet(3);
+        let mut cfg = oracle_config();
+        cfg.durability.max_restarts = 1;
+        let factory = |i: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+            if i == 1 {
+                Box::new(CrashingActuator::new(1))
+            } else {
+                Box::new(NoopActuator::new())
+            }
+        };
+        let obs = Obs::enabled(false);
+        let report = run_fleet_online_observed(&boxes, &cfg, None, 2, factory, &obs);
+        let m = report.metrics.as_ref().expect("observed fleet has metrics");
+        assert_eq!(m.counter("supervisor.boxes_completed"), Some(2));
+        assert_eq!(m.counter("supervisor.boxes_quarantined"), Some(1));
+        assert_eq!(m.counter("supervisor.restarts"), Some(1));
+        assert_eq!(m.counter("supervisor.panics"), Some(2));
+        assert_eq!(m.gauge("fleet.boxes"), Some(3));
+        assert!(obs
+            .events()
+            .iter()
+            .any(|e| e.scope == boxes[1].name && e.kind == "box_quarantined"));
+        assert_eq!(
+            obs.events()
+                .iter()
+                .filter(|e| e.kind == "box_completed")
+                .count(),
+            2
+        );
+
+        // Unobserved runs embed no metrics and serialize without the key.
+        let plain = run_fleet_online(&boxes, &oracle_config(), None, 1, noop_factory);
+        assert!(plain.metrics.is_none());
+        assert!(!serde_json::to_string(&plain)
+            .unwrap()
+            .contains("\"metrics\""));
     }
 
     #[test]

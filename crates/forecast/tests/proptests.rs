@@ -11,7 +11,21 @@ fn history() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(0.0f64..100.0, 24..120)
 }
 
+/// Proptest case count: `default`, rescaled by `ATM_PROPTEST_CASES`
+/// relative to proptest's own default of 256 (the nightly CI deep run
+/// sets 1024, i.e. 4x cases for every suite).
+fn proptest_cases(default: u32) -> u32 {
+    match std::env::var("ATM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(cases) => (u64::from(default) * cases).div_ceil(256).max(1) as u32,
+        None => default,
+    }
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(256)))]
     /// Every model returns exactly `horizon` finite values once fitted.
     #[test]
     fn forecasts_have_requested_length(h in history(), horizon in 1usize..50) {

@@ -252,6 +252,52 @@ impl<A: CapacityActuator> CapacityActuator for FlakyActuator<A> {
     }
 }
 
+/// Wraps any [`CapacityActuator`] and records every apply on an
+/// [`atm_obs::Obs`] handle: the `actuator.applies`,
+/// `actuator.apply_failures`, and `actuator.caps_changed` counters. The
+/// wrapper is transparent — results and enforced caps are exactly the
+/// inner actuator's — so it can sit anywhere in an actuator stack (e.g.
+/// around a [`FlakyActuator`] to count injected failures as seen by the
+/// retry loop).
+#[derive(Debug, Clone)]
+pub struct ObservedActuator<A> {
+    inner: A,
+    obs: atm_obs::Obs,
+}
+
+impl<A: CapacityActuator> ObservedActuator<A> {
+    /// Wraps `inner`, recording onto `obs`.
+    pub fn new(inner: A, obs: atm_obs::Obs) -> Self {
+        ObservedActuator { inner, obs }
+    }
+
+    /// Borrows the wrapped actuator.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// Unwraps the inner actuator.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: CapacityActuator> CapacityActuator for ObservedActuator<A> {
+    fn apply(&mut self, caps: &[f64]) -> SimResult<Vec<CapChange>> {
+        self.obs.add("actuator.applies", 1);
+        let result = self.inner.apply(caps);
+        match &result {
+            Ok(changes) => self.obs.add("actuator.caps_changed", changes.len() as u64),
+            Err(_) => self.obs.add("actuator.apply_failures", 1),
+        }
+        result
+    }
+
+    fn current(&self) -> Vec<f64> {
+        self.inner.current()
+    }
+}
+
 /// Wraps any [`CapacityActuator`] and panics on the Nth `apply` call — a
 /// daemon process dying *mid-window*, the crash mode checkpointed online
 /// management must survive. Unlike [`FlakyActuator`], which returns
@@ -488,6 +534,22 @@ mod tests {
         }
         assert_eq!(quiet.calls(), 5);
         assert_eq!(quiet.inner().current(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn observed_actuator_is_transparent_and_counts() {
+        let obs = atm_obs::Obs::enabled(false);
+        let mut observed = ObservedActuator::new(SimulatedCgroups::new(cluster()), obs.clone());
+        let changes = observed.apply(&[3.0, 2.0]).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert!(observed.apply(&[1.0]).is_err());
+        assert_eq!(observed.current(), vec![3.0, 2.0]);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(snap.counter("actuator.applies"), Some(2));
+        assert_eq!(snap.counter("actuator.caps_changed"), Some(1));
+        assert_eq!(snap.counter("actuator.apply_failures"), Some(1));
+        assert_eq!(observed.inner().log().len(), 1);
+        assert_eq!(observed.into_inner().current(), vec![3.0, 2.0]);
     }
 
     #[test]

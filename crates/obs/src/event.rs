@@ -1,0 +1,232 @@
+//! Structured event log: per-scope sequenced events rendered as JSONL
+//! behind a versioned header line.
+//!
+//! # Schema (version 1)
+//!
+//! The first line of every event-log file is the header:
+//!
+//! ```json
+//! {"schema":"atm-obs-events","version":1}
+//! ```
+//!
+//! Every following line is one event object:
+//!
+//! ```json
+//! {"scope":"box0","seq":3,"kind":"window","window":3,"status":"ok","tickets_before":9,"tickets_after":2}
+//! ```
+//!
+//! * `scope` — the logical emitter, usually a box name (or `fleet`,
+//!   `bench`). Sequence numbers are **per scope** and start at 0.
+//! * `seq` — monotonic within its scope; a reader can detect drops or
+//!   duplicates per scope without any global ordering assumption.
+//! * `kind` — the event type; remaining keys are kind-specific fields in
+//!   the order the emitter supplied them.
+//!
+//! Events deliberately carry **no wall-clock timestamps**: the log is part
+//! of the deterministic surface (byte-identical across `ATM_THREADS`), and
+//! ordering is logical — [`render_jsonl`](crate::Obs::events_jsonl) sorts
+//! by `(scope, seq)` so concurrent boxes interleave identically no matter
+//! which worker thread ran them. Wall-clock data belongs in the timing
+//! section of the metrics snapshot instead.
+//!
+//! A torn tail (partial last line after a crash) is recoverable by
+//! dropping any trailing line that fails to parse — the same stance the
+//! checkpoint journal takes, minus the CRC framing, because the event log
+//! is diagnostic rather than recovery-critical.
+
+use std::collections::BTreeMap;
+
+/// Header line identifying the event-log schema, mirroring the versioned
+/// `atm-snapshot v1 ...` header of the checkpoint format.
+pub const EVENT_LOG_HEADER: &str = "{\"schema\":\"atm-obs-events\",\"version\":1}";
+
+/// A field value attached to an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// String (escaped on render).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Logical emitter (box name, `fleet`, `bench`, ...).
+    pub scope: String,
+    /// Monotonic sequence number within `scope`, starting at 0.
+    pub seq: u64,
+    /// Event type.
+    pub kind: String,
+    /// Kind-specific fields, rendered in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Render the event as one line of JSON (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"scope\":{},\"seq\":{},\"kind\":{}",
+            json_string(&self.scope),
+            self.seq,
+            json_string(&self.kind)
+        );
+        for (key, value) in &self.fields {
+            out.push(',');
+            out.push_str(&json_string(key));
+            out.push(':');
+            match value {
+                FieldValue::U64(v) => out.push_str(&v.to_string()),
+                FieldValue::I64(v) => out.push_str(&v.to_string()),
+                FieldValue::Str(v) => out.push_str(&json_string(v)),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// In-memory event store behind an enabled [`Obs`](crate::Obs) handle.
+#[derive(Debug, Default)]
+pub(crate) struct EventBook {
+    events: Vec<Event>,
+    next_seq: BTreeMap<String, u64>,
+    /// Number of leading `events` already flushed to a file by
+    /// [`Obs::flush_events`](crate::Obs::flush_events).
+    pub(crate) flushed: usize,
+}
+
+impl EventBook {
+    pub(crate) fn push(&mut self, scope: &str, kind: &str, fields: Vec<(String, FieldValue)>) {
+        let seq = self.next_seq.entry(scope.to_string()).or_insert(0);
+        self.events.push(Event {
+            scope: scope.to_string(),
+            seq: *seq,
+            kind: kind.to_string(),
+            fields,
+        });
+        *seq += 1;
+    }
+
+    /// Events sorted by `(scope, seq)` — the deterministic order.
+    pub(crate) fn sorted(&self) -> Vec<Event> {
+        let mut out = self.events.clone();
+        out.sort_by(|a, b| (a.scope.as_str(), a.seq).cmp(&(b.scope.as_str(), b.seq)));
+        out
+    }
+
+    /// Events in arrival order, used for incremental appends.
+    pub(crate) fn arrival(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+/// Escape `s` as a JSON string literal (with surrounding quotes).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_per_scope() {
+        let mut book = EventBook::default();
+        book.push("box1", "window", vec![]);
+        book.push("box0", "window", vec![]);
+        book.push("box1", "window", vec![]);
+        let sorted = book.sorted();
+        assert_eq!(
+            sorted
+                .iter()
+                .map(|e| (e.scope.as_str(), e.seq))
+                .collect::<Vec<_>>(),
+            vec![("box0", 0), ("box1", 0), ("box1", 1)]
+        );
+    }
+
+    #[test]
+    fn render_escapes_strings() {
+        let mut book = EventBook::default();
+        book.push(
+            "box\"0",
+            "fail",
+            vec![("reason".to_string(), FieldValue::from("tab\there"))],
+        );
+        assert_eq!(
+            book.arrival()[0].render(),
+            "{\"scope\":\"box\\\"0\",\"seq\":0,\"kind\":\"fail\",\"reason\":\"tab\\there\"}"
+        );
+    }
+
+    #[test]
+    fn sorted_order_is_thread_interleaving_independent() {
+        // Two arrival orders of the same per-scope streams render the
+        // same sorted log.
+        let mut a = EventBook::default();
+        a.push("b", "x", vec![]);
+        a.push("a", "x", vec![]);
+        a.push("b", "y", vec![]);
+        let mut b = EventBook::default();
+        b.push("a", "x", vec![]);
+        b.push("b", "x", vec![]);
+        b.push("b", "y", vec![]);
+        assert_eq!(a.sorted(), b.sorted());
+    }
+}

@@ -1,0 +1,397 @@
+//! # atm-obs — zero-dependency observability core for ATM
+//!
+//! Lightweight spans, metrics, and a structured event log, designed for
+//! three constraints the rest of the workspace imposes:
+//!
+//! 1. **Cheap when disabled.** Every hot path (the DTW kernel loop, the
+//!    per-window online loop) calls through an [`Obs`] handle; the
+//!    disabled handle is a `None` and each call is a branch on it — no
+//!    locks, no allocation, no clock reads.
+//! 2. **Deterministic when enabled.** Counters, gauges, fixed-bucket
+//!    histograms, and the event log are byte-identical across
+//!    `ATM_THREADS=1` vs `4` for the same seeded workload. Wall-clock
+//!    timings are segregated into a section that deterministic renders
+//!    exclude (see [`metrics`]).
+//! 3. **Zero dependencies.** JSON is rendered by hand (the same stance the
+//!    bench binary takes) so the crate can be linked anywhere, including
+//!    the clustering kernels, without pulling serde into their build.
+//!
+//! # Example
+//!
+//! ```
+//! use atm_obs::{FieldValue, Obs};
+//!
+//! let obs = Obs::enabled(true);
+//! {
+//!     let span = obs.span("pipeline");
+//!     let _child = span.child("signature"); // timing "pipeline.signature"
+//!     obs.add("clustering.dtw.pairs", 120);
+//!     obs.observe("online.tickets_before", 9);
+//! }
+//! obs.event("box0", "window", vec![("window", FieldValue::from(0u64))]);
+//!
+//! let snap = obs.metrics_snapshot();
+//! assert_eq!(snap.counter("clustering.dtw.pairs"), Some(120));
+//! // Deterministic render: counters/gauges/histograms only.
+//! assert!(!snap.deterministic_json().contains("timings"));
+//! // Event log: versioned header + one JSON line per event.
+//! assert!(obs.events_jsonl().starts_with("{\"schema\":\"atm-obs-events\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+
+pub use event::{Event, FieldValue, EVENT_LOG_HEADER};
+pub use metrics::{
+    HistogramSnapshot, MetricsSnapshot, TimingSnapshot, TIMING_BUCKET_BOUNDS_MS,
+    VALUE_BUCKET_BOUNDS,
+};
+
+use event::EventBook;
+use metrics::Registry;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Lock helper that shrugs off poisoning: a panicking box must not take
+/// the whole fleet's telemetry down with it (the supervisor catches the
+/// panic and restarts the box; its metrics must keep working).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    record_timings: bool,
+    metrics: Mutex<Registry>,
+    events: Mutex<EventBook>,
+}
+
+/// Handle to an observability context. Cloning is cheap (an `Arc`); all
+/// clones feed the same registry and event book, and the handle is
+/// `Send + Sync` so fleet worker threads can share it.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// A no-op handle: every call is a cheap branch, nothing is recorded.
+    /// This is the default the un-instrumented public APIs use.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled handle. `record_timings` controls whether spans read the
+    /// monotonic clock and record wall-clock durations; leave it off when
+    /// the snapshot must stay fully deterministic end-to-end.
+    pub fn enabled(record_timings: bool) -> Self {
+        Self {
+            inner: Some(Arc::new(ObsInner {
+                record_timings,
+                metrics: Mutex::new(Registry::default()),
+                events: Mutex::new(EventBook::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether spans on this handle record wall-clock timings.
+    pub fn records_timings(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.record_timings)
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).add(name, delta);
+        }
+    }
+
+    /// Set the gauge `name` to `value` (last write wins). Instrumented
+    /// code only sets gauges from deterministic contexts — never from
+    /// racing worker threads — so snapshots stay thread-count independent.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).set_gauge(name, value);
+        }
+    }
+
+    /// Record `value` into the fixed-bucket histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).observe(name, value);
+        }
+    }
+
+    /// Record a wall-clock duration (milliseconds) into the timing
+    /// histogram `name`. Timings are excluded from deterministic renders.
+    pub fn observe_ms(&self, name: &str, ms: f64) {
+        if let Some(inner) = &self.inner {
+            if inner.record_timings {
+                lock(&inner.metrics).observe_ms(name, ms);
+            }
+        }
+    }
+
+    /// Open a root span named `name`. The span records its wall-clock
+    /// duration (monotonic clock) into the timing `name` when dropped, if
+    /// timings are enabled; child spans extend the path with `.`.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self, name.to_string())
+    }
+
+    /// Append a structured event under `scope`. Sequence numbers are
+    /// assigned per scope in call order; see [`event`] for the schema.
+    pub fn event(&self, scope: &str, kind: &str, fields: Vec<(&str, FieldValue)>) {
+        if let Some(inner) = &self.inner {
+            let owned = fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            lock(&inner.events).push(scope, kind, owned);
+        }
+    }
+
+    /// Snapshot the metrics registry (sorted by name). Returns an empty
+    /// snapshot for a disabled handle.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => lock(&inner.metrics).snapshot(),
+            None => Registry::default().snapshot(),
+        }
+    }
+
+    /// All events so far, sorted by `(scope, seq)` — the deterministic
+    /// order, independent of which worker thread emitted what first.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => lock(&inner.events).sorted(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Render the full event log as JSONL: the versioned header line
+    /// followed by one line per event in `(scope, seq)` order, with a
+    /// trailing newline.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::from(EVENT_LOG_HEADER);
+        out.push('\n');
+        for e in self.events() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the complete sorted event log to `path` atomically
+    /// (temp file + fsync + rename, the `core::fsio::write_atomic` idiom).
+    /// Any previous contents are replaced.
+    pub fn write_events(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.events_jsonl().as_bytes())
+    }
+
+    /// Durably append events not yet flushed by a previous call to the
+    /// JSONL file at `path`, creating it (header included) if absent.
+    /// Returns the number of events appended.
+    ///
+    /// Appends happen in **arrival order** — for a single sequential box
+    /// that coincides with the sorted order, but a multi-threaded fleet
+    /// interleaves scopes nondeterministically; use [`write_events`]
+    /// (sorted) when byte-stability of the file matters. Each line is
+    /// written and fsynced in one batch; a torn tail after a crash is at
+    /// most one partial line, which readers drop.
+    pub fn flush_events(&self, path: &Path) -> io::Result<usize> {
+        let Some(inner) = &self.inner else {
+            return Ok(0);
+        };
+        // Render the pending chunk under the lock, write it outside.
+        let (chunk, appended, new_file) = {
+            let mut book = lock(&inner.events);
+            let pending = &book.arrival()[book.flushed..];
+            if pending.is_empty() {
+                return Ok(0);
+            }
+            let new_file = !path.exists();
+            let mut chunk = String::new();
+            if new_file {
+                chunk.push_str(EVENT_LOG_HEADER);
+                chunk.push('\n');
+            }
+            for e in pending {
+                chunk.push_str(&e.render());
+                chunk.push('\n');
+            }
+            let appended = pending.len();
+            book.flushed += appended;
+            (chunk, appended, new_file)
+        };
+        let _ = new_file;
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(chunk.as_bytes())?;
+        file.sync_all()?;
+        Ok(appended)
+    }
+}
+
+/// Atomic full-file write: temp file in the same directory, fsync, rename
+/// over the target, best-effort directory sync. Self-contained copy of the
+/// `core::fsio::write_atomic` idiom (this crate cannot depend on core).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut n = name.to_os_string();
+            n.push(".tmp");
+            path.with_file_name(n)
+        }
+        None => return Err(io::Error::other("path has no file name")),
+    };
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A hierarchical span. Records its wall-clock duration into the timing
+/// named by its dotted path when dropped (if the handle records timings);
+/// on a disabled handle it is a zero-cost placeholder that never reads
+/// the clock.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<Arc<ObsInner>>,
+    path: String,
+    start: Option<Instant>,
+}
+
+impl Span {
+    fn new(obs: &Obs, path: String) -> Self {
+        let timing = obs
+            .inner
+            .as_ref()
+            .filter(|i| i.record_timings)
+            .map(|i| Arc::clone(i));
+        Self {
+            start: timing.as_ref().map(|_| Instant::now()),
+            inner: timing,
+            path,
+        }
+    }
+
+    /// Open a child span; its timing name is `parent.path + "." + name`.
+    pub fn child(&self, name: &str) -> Span {
+        Span {
+            inner: self.inner.clone(),
+            path: format!("{}.{}", self.path, name),
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// The dotted timing path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(inner), Some(start)) = (&self.inner, self.start) {
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            lock(&inner.metrics).observe_ms(&self.path, ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let obs = Obs::disabled();
+        obs.add("c", 1);
+        obs.observe("h", 2);
+        obs.set_gauge("g", 3);
+        obs.event("s", "k", vec![]);
+        let _span = obs.span("root");
+        let snap = obs.metrics_snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.events_jsonl(), format!("{EVENT_LOG_HEADER}\n"));
+    }
+
+    #[test]
+    fn spans_record_dotted_paths() {
+        let obs = Obs::enabled(true);
+        {
+            let root = obs.span("pipeline");
+            let _child = root.child("signature");
+        }
+        let snap = obs.metrics_snapshot();
+        let names: Vec<_> = snap.timings.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["pipeline", "pipeline.signature"]);
+    }
+
+    #[test]
+    fn timings_off_means_no_clock_reads_recorded() {
+        let obs = Obs::enabled(false);
+        {
+            let _span = obs.span("pipeline");
+        }
+        obs.observe_ms("manual", 1.0);
+        assert!(obs.metrics_snapshot().timings.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled(false);
+        let clone = obs.clone();
+        clone.add("c", 2);
+        obs.add("c", 3);
+        assert_eq!(obs.metrics_snapshot().counter("c"), Some(5));
+    }
+
+    #[test]
+    fn flush_then_write_round_trip() {
+        let dir = std::env::temp_dir().join(format!("atm-obs-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = fs::remove_file(&path);
+
+        let obs = Obs::enabled(false);
+        obs.event("box0", "window", vec![("window", FieldValue::from(0u64))]);
+        assert_eq!(obs.flush_events(&path).unwrap(), 1);
+        obs.event("box0", "window", vec![("window", FieldValue::from(1u64))]);
+        assert_eq!(obs.flush_events(&path).unwrap(), 1);
+        assert_eq!(obs.flush_events(&path).unwrap(), 0);
+
+        // Single sequential scope: incremental appends equal the sorted
+        // atomic render byte-for-byte.
+        let appended = fs::read_to_string(&path).unwrap();
+        assert_eq!(appended, obs.events_jsonl());
+
+        let atomic = dir.join("events-atomic.jsonl");
+        obs.write_events(&atomic).unwrap();
+        assert_eq!(fs::read_to_string(&atomic).unwrap(), appended);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,387 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms, plus a
+//! segregated wall-clock timing section.
+//!
+//! # Determinism contract
+//!
+//! Everything except the [`timings`](MetricsSnapshot::timings) section is
+//! **deterministic**: counters and integer histograms are commutative sums,
+//! gauges are last-write values that instrumented code only sets from
+//! deterministic contexts, and bucket bounds are fixed constants. Running
+//! the same seeded workload under `ATM_THREADS=1` and `ATM_THREADS=4` must
+//! produce byte-identical [`MetricsSnapshot::deterministic_json`] output —
+//! `tests/determinism.rs` in the workspace root enforces this.
+//!
+//! Wall-clock timings (span durations, `observe_ms`) are inherently
+//! machine- and run-dependent, so they live in a separate section that only
+//! [`MetricsSnapshot::full_json`] includes. Sinks that must be diffable
+//! (golden tests, fleet reports) use the deterministic render; profiling
+//! sinks (`OBS_SNAPSHOT.json` from the bench binary) use the full render.
+
+use std::collections::BTreeMap;
+
+/// Fixed upper bounds for value histograms, in a 1–2–5 pattern.
+///
+/// Values are integer counts (tickets, samples, attempts); a value `v`
+/// lands in the first bucket with `v <= bound`, or the overflow bucket.
+/// The bounds are a compile-time constant so snapshots from different
+/// processes, thread counts, and hosts are always diffable.
+pub const VALUE_BUCKET_BOUNDS: &[u64] = &[
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000,
+];
+
+/// Fixed upper bounds (milliseconds) for timing histograms.
+pub const TIMING_BUCKET_BOUNDS_MS: &[f64] = &[
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0,
+];
+
+/// A fixed-bucket histogram over integer values.
+#[derive(Debug, Clone)]
+pub(crate) struct ValueHistogram {
+    /// One count per bound in [`VALUE_BUCKET_BOUNDS`], plus overflow last.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for ValueHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; VALUE_BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl ValueHistogram {
+    fn observe(&mut self, value: u64) {
+        let idx = VALUE_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(VALUE_BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// A fixed-bucket histogram over wall-clock durations (milliseconds).
+#[derive(Debug, Clone)]
+pub(crate) struct TimingHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ms: f64,
+}
+
+impl Default for TimingHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; TIMING_BUCKET_BOUNDS_MS.len() + 1],
+            count: 0,
+            total_ms: 0.0,
+        }
+    }
+}
+
+impl TimingHistogram {
+    fn observe(&mut self, ms: f64) {
+        let idx = TIMING_BUCKET_BOUNDS_MS
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(TIMING_BUCKET_BOUNDS_MS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ms += ms;
+    }
+}
+
+/// The in-memory metric store behind an enabled [`Obs`](crate::Obs) handle.
+///
+/// `BTreeMap` keys keep every render sorted by metric name without an
+/// explicit sort pass, which is what makes snapshots byte-stable.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, ValueHistogram>,
+    timings: BTreeMap<String, TimingHistogram>,
+}
+
+impl Registry {
+    pub(crate) fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    pub(crate) fn observe_ms(&mut self, name: &str, ms: f64) {
+        self.timings
+            .entry(name.to_string())
+            .or_default()
+            .observe(ms);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| HistogramSnapshot {
+                    name: k.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: labelled_buckets(&h.buckets, VALUE_BUCKET_BOUNDS, |b| b.to_string()),
+                })
+                .collect(),
+            timings: self
+                .timings
+                .iter()
+                .map(|(k, t)| TimingSnapshot {
+                    name: k.clone(),
+                    count: t.count,
+                    total_ms: t.total_ms,
+                    buckets: labelled_buckets(&t.buckets, TIMING_BUCKET_BOUNDS_MS, |b| {
+                        format!("{b}")
+                    }),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Keep only non-empty buckets, labelled `le=<bound>` (or `inf` for the
+/// overflow bucket) so renders stay compact and fully fixed-format.
+fn labelled_buckets<B: Copy>(
+    counts: &[u64],
+    bounds: &[B],
+    label: impl Fn(B) -> String,
+) -> Vec<(String, u64)> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let l = match bounds.get(i) {
+                Some(&b) => format!("le={}", label(b)),
+                None => "inf".to_string(),
+            };
+            (l, c)
+        })
+        .collect()
+}
+
+/// A point-in-time copy of the registry, sorted by metric name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Fixed-bucket integer histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Wall-clock timing histograms, sorted by name. **Not deterministic**;
+    /// excluded from [`deterministic_json`](Self::deterministic_json).
+    pub timings: Vec<TimingSnapshot>,
+}
+
+/// One integer histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `("le=<bound>" | "inf", count)`.
+    pub buckets: Vec<(String, u64)>,
+}
+
+/// One timing histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSnapshot {
+    /// Timing name (usually a span path).
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations in milliseconds.
+    pub total_ms: f64,
+    /// Non-empty buckets as `("le=<bound ms>" | "inf", count)`.
+    pub buckets: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Render the deterministic sections (counters, gauges, histograms) as
+    /// one line of JSON with sorted keys. Byte-identical across thread
+    /// counts for the same seeded workload.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"atm-obs-metrics\",\"version\":1,");
+        self.render_deterministic_sections(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Render every section including wall-clock timings. **Not**
+    /// deterministic; intended for profiling sinks such as the bench
+    /// binary's `OBS_SNAPSHOT.json`.
+    pub fn full_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"atm-obs-metrics\",\"version\":1,");
+        self.render_deterministic_sections(&mut out);
+        out.push_str(",\"timings\":{");
+        for (i, t) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ms\":{:.3},\"buckets\":{}}}",
+                crate::event::json_string(&t.name),
+                t.count,
+                t.total_ms,
+                render_buckets(&t.buckets)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    fn render_deterministic_sections(&self, out: &mut String) {
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", crate::event::json_string(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", crate::event::json_string(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":{}}}",
+                crate::event::json_string(&h.name),
+                h.count,
+                h.sum,
+                render_buckets(&h.buckets)
+            ));
+        }
+        out.push('}');
+    }
+}
+
+fn render_buckets(buckets: &[(String, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (label, count)) in buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", crate::event::json_string(label), count));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_sorted_and_stable() {
+        let mut r = Registry::default();
+        r.add("z.last", 2);
+        r.add("a.first", 1);
+        r.add("z.last", 3);
+        let json = r.snapshot().deterministic_json();
+        assert_eq!(
+            json,
+            "{\"schema\":\"atm-obs-metrics\",\"version\":1,\
+             \"counters\":{\"a.first\":1,\"z.last\":5},\
+             \"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn histogram_bucketing_is_fixed() {
+        let mut r = Registry::default();
+        for v in [0, 1, 2, 7, 10, 11, 1_000_000] {
+            r.observe("tickets", v);
+        }
+        let snap = r.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 1_000_031);
+        // 0 and 1 -> le=1; 2 -> le=2; 7 and 10 -> le=10; 11 -> le=20;
+        // 1_000_000 -> inf.
+        assert_eq!(
+            h.buckets,
+            vec![
+                ("le=1".to_string(), 2),
+                ("le=2".to_string(), 1),
+                ("le=10".to_string(), 2),
+                ("le=20".to_string(), 1),
+                ("inf".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn timings_are_excluded_from_deterministic_render() {
+        let mut r = Registry::default();
+        r.observe_ms("span.pipeline.run_box", 3.25);
+        let snap = r.snapshot();
+        assert!(!snap.deterministic_json().contains("timings"));
+        assert!(snap.full_json().contains("\"timings\""));
+        assert!(snap.full_json().contains("span.pipeline.run_box"));
+    }
+
+    #[test]
+    fn counter_sums_commute() {
+        // Merging the same observations in any order yields identical
+        // snapshots — the property the parallel fleet relies on.
+        let mut a = Registry::default();
+        let mut b = Registry::default();
+        for v in [3u64, 1, 4, 1, 5] {
+            a.add("c", v);
+            a.observe("h", v);
+        }
+        for v in [5u64, 1, 4, 1, 3] {
+            b.add("c", v);
+            b.observe("h", v);
+        }
+        assert_eq!(
+            a.snapshot().deterministic_json(),
+            b.snapshot().deterministic_json()
+        );
+    }
+}

@@ -12,7 +12,21 @@ fn design(rows: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     )
 }
 
+/// Proptest case count: `default`, rescaled by `ATM_PROPTEST_CASES`
+/// relative to proptest's own default of 256 (the nightly CI deep run
+/// sets 1024, i.e. 4x cases for every suite).
+fn proptest_cases(default: u32) -> u32 {
+    match std::env::var("ATM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(cases) => (u64::from(default) * cases).div_ceil(256).max(1) as u32,
+        None => default,
+    }
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(256)))]
     /// OLS residuals are orthogonal to every regressor and sum to ~0 with
     /// an intercept; R² is bounded.
     #[test]

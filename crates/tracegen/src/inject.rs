@@ -236,6 +236,60 @@ impl FaultPlan {
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn inject_box(&self, box_trace: &mut BoxTrace, box_index: usize) -> InjectionSummary {
+        self.inject_box_observed(box_trace, box_index, &atm_obs::Obs::disabled())
+    }
+
+    /// [`FaultPlan::inject_box`] with observability: the per-family
+    /// `inject.*` counters and one `inject` event (under the box's name)
+    /// are recorded on `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn inject_box_observed(
+        &self,
+        box_trace: &mut BoxTrace,
+        box_index: usize,
+        obs: &atm_obs::Obs,
+    ) -> InjectionSummary {
+        let summary = self.inject_box_inner(box_trace, box_index);
+        if obs.is_enabled() {
+            obs.add("inject.gap_samples", summary.gap_samples as u64);
+            obs.add("inject.spike_samples", summary.spike_samples as u64);
+            obs.add("inject.stuck_samples", summary.stuck_samples as u64);
+            obs.add("inject.churn_samples", summary.churn_samples as u64);
+            obs.add("inject.churned_vms", summary.churned_vms as u64);
+            obs.event(
+                &box_trace.name,
+                "inject",
+                vec![
+                    (
+                        "gap_samples",
+                        atm_obs::FieldValue::from(summary.gap_samples),
+                    ),
+                    (
+                        "spike_samples",
+                        atm_obs::FieldValue::from(summary.spike_samples),
+                    ),
+                    (
+                        "stuck_samples",
+                        atm_obs::FieldValue::from(summary.stuck_samples),
+                    ),
+                    (
+                        "churn_samples",
+                        atm_obs::FieldValue::from(summary.churn_samples),
+                    ),
+                    (
+                        "churned_vms",
+                        atm_obs::FieldValue::from(summary.churned_vms),
+                    ),
+                ],
+            );
+        }
+        summary
+    }
+
+    fn inject_box_inner(&self, box_trace: &mut BoxTrace, box_index: usize) -> InjectionSummary {
         self.validate();
         let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
         let mut summary = InjectionSummary::default();
@@ -319,9 +373,23 @@ impl FaultPlan {
     ///
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn inject_fleet(&self, fleet: &mut FleetTrace) -> InjectionSummary {
+        self.inject_fleet_observed(fleet, &atm_obs::Obs::disabled())
+    }
+
+    /// [`FaultPlan::inject_fleet`] with observability; see
+    /// [`FaultPlan::inject_box_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn inject_fleet_observed(
+        &self,
+        fleet: &mut FleetTrace,
+        obs: &atm_obs::Obs,
+    ) -> InjectionSummary {
         let mut total = InjectionSummary::default();
         for (i, box_trace) in fleet.boxes.iter_mut().enumerate() {
-            total.merge(&self.inject_box(box_trace, i));
+            total.merge(&self.inject_box_observed(box_trace, i, obs));
         }
         total
     }
@@ -611,6 +679,33 @@ mod tests {
         assert_eq!(total, merged);
         assert_eq!(fleet, fleet2);
         assert!(total.total_samples() > 0);
+    }
+
+    #[test]
+    fn observed_injection_counts_match_summary_and_change_nothing() {
+        let plan = FaultPlan::default();
+        let obs = atm_obs::Obs::enabled(false);
+        let mut observed = clean_box(7);
+        let summary = plan.inject_box_observed(&mut observed, 0, &obs);
+        let snap = obs.metrics_snapshot();
+        assert_eq!(
+            snap.counter("inject.gap_samples"),
+            Some(summary.gap_samples as u64)
+        );
+        assert_eq!(
+            snap.counter("inject.spike_samples"),
+            Some(summary.spike_samples as u64)
+        );
+        assert_eq!(
+            snap.counter("inject.churned_vms"),
+            Some(summary.churned_vms as u64)
+        );
+        assert_eq!(obs.events().len(), 1);
+        assert_eq!(obs.events()[0].kind, "inject");
+        // The observed path injects the exact same faults.
+        let mut plain = clean_box(7);
+        assert_eq!(plan.inject_box(&mut plain, 0), summary);
+        assert_eq!(observed, plain);
     }
 
     #[test]

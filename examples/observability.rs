@@ -1,0 +1,144 @@
+//! Observability tour — spans, counters, and the JSONL event log.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+//!
+//! Runs a supervised three-box fleet with every obs hook lit up: seeded
+//! monitoring faults from `tracegen::inject` (gap bursts feed the
+//! imputation counters), one actuator that panics exactly once (the
+//! supervisor restarts the box and resumes from its checkpoint — the
+//! window counters must not double-count), and one actuator that always
+//! panics (the box ends quarantined). The run prints the aggregated
+//! metrics report and writes the per-box event log.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use atm::core::actuate::{ActuationError, CapacityActuator, NoopActuator};
+use atm::core::checkpoint::CheckpointStore;
+use atm::core::config::{AtmConfig, TemporalModel};
+use atm::core::supervisor::run_fleet_online_observed;
+use atm::obs::Obs;
+use atm::tracegen::{generate_fleet, BoxTrace, FaultPlan, FleetConfig};
+
+/// Panics on the first `apply` ever issued for its box (the flag is
+/// shared across supervisor restart attempts), then passes everything.
+struct CrashOnceActuator {
+    crashed: Arc<AtomicBool>,
+}
+
+impl CapacityActuator for CrashOnceActuator {
+    fn apply(&mut self, _caps: &[f64]) -> Result<(), ActuationError> {
+        if !self.crashed.swap(true, Ordering::SeqCst) {
+            panic!("simulated actuator crash (restart me)");
+        }
+        Ok(())
+    }
+
+    fn current(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// Panics on every `apply`: the supervisor exhausts its restart budget
+/// and quarantines the box.
+struct AlwaysCrashActuator;
+
+impl CapacityActuator for AlwaysCrashActuator {
+    fn apply(&mut self, _caps: &[f64]) -> Result<(), ActuationError> {
+        panic!("simulated hard actuator fault");
+    }
+
+    fn current(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Everything below records onto this one handle; `true` also keeps
+    // per-span wall-clock timings (excluded from the deterministic view).
+    let obs = Obs::enabled(true);
+
+    let mut fleet = generate_fleet(&FleetConfig {
+        num_boxes: 3,
+        days: 3,
+        seed: 42,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    });
+    let injected = FaultPlan::gaps_only(0x0B5_FA17).inject_fleet_observed(&mut fleet, &obs);
+    println!(
+        "injected {} gap samples across {} boxes (inject.* counters recorded)\n",
+        injected.gap_samples,
+        fleet.boxes.len()
+    );
+
+    let mut config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        train_windows: 96,
+        horizon: 96,
+        ..AtmConfig::fast_for_tests()
+    };
+    config.durability.max_restarts = 1;
+    config.durability.breaker_base_ms = 0;
+    config.durability.breaker_cap_ms = 0;
+
+    // Durable checkpoints make the restart resume instead of recompute,
+    // so the `online.*` counters stay exactly-once per window.
+    let dir = std::env::temp_dir().join(format!("atm-obs-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir)?;
+
+    let crash_once = Arc::new(AtomicBool::new(false));
+    let factory = {
+        let crash_once = Arc::clone(&crash_once);
+        move |i: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+            match i {
+                1 => Box::new(CrashOnceActuator {
+                    crashed: Arc::clone(&crash_once),
+                }),
+                2 => Box::new(AlwaysCrashActuator),
+                _ => Box::new(NoopActuator::new()),
+            }
+        }
+    };
+
+    let report = run_fleet_online_observed(&fleet.boxes, &config, Some(&store), 2, factory, &obs);
+    println!(
+        "fleet: {} completed, {} quarantined, {} restarts\n",
+        report.completed(),
+        report.quarantined(),
+        report.total_restarts()
+    );
+
+    let metrics = report.metrics.as_ref().expect("observed run has metrics");
+    println!("metrics report\n{metrics}");
+    println!(
+        "fault handling: {} imputed samples, {} fallback runs, {} boxes quarantined",
+        metrics.counter("online.imputed_samples").unwrap_or(0),
+        metrics.counter("pipeline.fallback_runs").unwrap_or(0),
+        metrics.counter("supervisor.boxes_quarantined").unwrap_or(0),
+    );
+
+    let log_path = dir.join("events.jsonl");
+    obs.write_events(&log_path)?;
+    let log = std::fs::read_to_string(&log_path)?;
+    println!(
+        "\nevent log: {} lines at {}; first window / recovery / quarantine events:",
+        log.lines().count(),
+        log_path.display()
+    );
+    for kind in [
+        "\"kind\":\"window\"",
+        "\"kind\":\"recovery\"",
+        "\"kind\":\"box_quarantined\"",
+    ] {
+        if let Some(line) = log.lines().find(|l| l.contains(kind)) {
+            println!("  {line}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

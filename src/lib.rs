@@ -28,6 +28,7 @@
 //! | [`resize`] | `atm-resize` | MCKP transform, greedy, baselines |
 //! | [`core`] | `atm-core` | signature search, spatial models, pipeline |
 //! | [`mediawiki`] | `atm-mediawiki` | simulated 3-tier testbed |
+//! | [`obs`] | `atm-obs` | spans, metrics, deterministic JSONL event log |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub use atm_clustering as clustering;
 pub use atm_core as core;
 pub use atm_forecast as forecast;
 pub use atm_mediawiki as mediawiki;
+pub use atm_obs as obs;
 pub use atm_resize as resize;
 pub use atm_stats as stats;
 pub use atm_ticketing as ticketing;

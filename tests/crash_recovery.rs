@@ -330,8 +330,143 @@ fn supervised_recovery_is_byte_identical_across_thread_counts() {
     assert_eq!(seq, par, "thread count changed the recovered fleet report");
 }
 
+/// Panics on the first `apply` ever issued (the flag is shared across
+/// supervisor restart attempts), then passes everything through.
+struct PanicOnceActuator {
+    crashed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CapacityActuator for PanicOnceActuator {
+    fn apply(&mut self, _caps: &[f64]) -> Result<(), ActuationError> {
+        if !self.crashed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            panic!("scripted one-shot actuator panic");
+        }
+        Ok(())
+    }
+
+    fn current(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// The exactly-once metrics contract on the durable path: a kill +
+/// resume pair sharing one obs handle records each window once, because
+/// `online.*` counters are recorded only after the window persists.
+#[test]
+fn resumed_run_does_not_double_count_window_metrics() {
+    use atm::core::online::{run_online_checkpointed_observed, run_online_until_observed};
+    use atm::obs::{FieldValue, Obs};
+
+    let trace = clean_box(4, 17);
+    let cfg = oracle_config();
+    let baseline = run_online(&trace, &cfg).unwrap();
+    let windows = baseline.windows.len() as u64;
+    assert!(windows >= 2, "need a multi-window run, got {windows}");
+
+    let store = temp_store("obs-once");
+    let obs = Obs::enabled(false);
+    let mut actuator = NoopActuator::new();
+    match run_online_until_observed(&trace, &cfg, &mut actuator, &store, Some(1), &obs) {
+        Err(AtmError::SimulatedCrash { window: 1 }) => {}
+        other => panic!("expected the scripted crash, got {other:?}"),
+    }
+    let mut actuator = NoopActuator::new();
+    let resumed =
+        run_online_checkpointed_observed(&trace, &cfg, &mut actuator, &store, &obs).unwrap();
+    assert_eq!(
+        report_bytes(&resumed.report),
+        report_bytes(&baseline),
+        "resume must still be byte-identical with obs attached"
+    );
+
+    let m = obs.metrics_snapshot();
+    assert_eq!(m.counter("online.windows_total"), Some(windows));
+    // One `window` event per window index — the rerun must not replay
+    // the windows the first attempt already persisted.
+    let mut seen = std::collections::BTreeSet::new();
+    for e in obs.events().iter().filter(|e| e.kind == "window") {
+        let (_, value) = e
+            .fields
+            .iter()
+            .find(|(k, _)| k == "window")
+            .expect("window events carry a window field");
+        match value {
+            FieldValue::U64(idx) => assert!(seen.insert(*idx), "window {idx} recorded twice"),
+            other => panic!("window field has unexpected type: {other:?}"),
+        }
+    }
+    assert_eq!(seen.len() as u64, windows);
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Same contract through the supervisor: a box whose actuator panics
+/// once is restarted and resumes from its checkpoint, so the shared obs
+/// handle still sees each window exactly once.
+#[test]
+fn supervised_restart_records_windows_exactly_once() {
+    use atm::core::supervisor::run_fleet_online_observed;
+    use atm::obs::Obs;
+
+    let boxes = generate_fleet(&FleetConfig {
+        num_boxes: 2,
+        days: 3,
+        gap_probability: 0.0,
+        ..FleetConfig::default()
+    })
+    .boxes;
+    let mut cfg = oracle_config();
+    cfg.durability.max_restarts = 2;
+    let solo_windows: u64 = boxes
+        .iter()
+        .map(|b| run_online(b, &cfg).unwrap().windows.len() as u64)
+        .sum();
+
+    let store = temp_store("obs-supervised");
+    let crashed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let factory = {
+        let crashed = std::sync::Arc::clone(&crashed);
+        move |i: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+            if i == 0 {
+                Box::new(PanicOnceActuator {
+                    crashed: std::sync::Arc::clone(&crashed),
+                })
+            } else {
+                Box::new(NoopActuator::new())
+            }
+        }
+    };
+    let obs = Obs::enabled(false);
+    let report = run_fleet_online_observed(&boxes, &cfg, Some(&store), 2, factory, &obs);
+    assert_eq!(report.quarantined(), 0, "the one-shot panic must recover");
+    assert_eq!(report.total_restarts(), 1);
+
+    let m = obs.metrics_snapshot();
+    assert_eq!(
+        m.counter("online.windows_total"),
+        Some(solo_windows),
+        "restart-resumed windows were double-counted"
+    );
+    assert_eq!(m.counter("supervisor.restarts"), Some(1));
+    assert_eq!(m.counter("supervisor.panics"), Some(1));
+    let _ = std::fs::remove_dir_all(store.dir());
+}
+
+/// Proptest case count: `default`, rescaled by `ATM_PROPTEST_CASES`
+/// relative to proptest's own default of 256. Kill/resume cases are far
+/// slower than a plain property, so this suite starts from 8 and the
+/// nightly 1024 setting means 32 cases here, not 1024.
+fn proptest_cases(default: u32) -> u32 {
+    match std::env::var("ATM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(cases) => (u64::from(default) * cases).div_ceil(256).max(1) as u32,
+        None => default,
+    }
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(8)))]
 
     /// Resume semantics, property-tested: for a random box and a kill
     /// before any window under any checkpoint interval, kill + resume is

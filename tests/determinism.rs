@@ -10,12 +10,16 @@
 //! binary proves `ATM_THREADS=1` and `ATM_THREADS=4` (or any other
 //! count) produce identical bytes.
 
-use atm::core::actuate::NoopActuator;
+use atm::core::actuate::{CapacityActuator, NoopActuator};
 use atm::core::checkpoint::CheckpointStore;
 use atm::core::config::{ComputeConfig, TemporalModel};
 use atm::core::fleet::run_fleet;
-use atm::core::online::{run_online, run_online_checkpointed, run_online_until};
+use atm::core::online::{
+    run_online, run_online_checkpointed, run_online_observed, run_online_until,
+};
+use atm::core::supervisor::run_fleet_online_observed;
 use atm::core::{AtmConfig, AtmError};
+use atm::obs::Obs;
 use atm::tracegen::{generate_fleet, BoxTrace, FleetConfig};
 
 fn seeded_fleet() -> Vec<BoxTrace> {
@@ -171,6 +175,89 @@ fn online_resume_is_byte_identical_across_compute_threads() {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn obs_metrics_and_events_are_byte_identical_across_threads() {
+    // The observability layer extends the determinism contract: counters
+    // are commutative sums and events render sorted by (scope, seq), so
+    // the deterministic snapshot and the JSONL event log must be the
+    // same bytes at every intra-box thread count. `Obs::enabled(true)`
+    // also records wall-clock spans — the deterministic views exclude
+    // them, and this test is the proof.
+    let trace = seeded_fleet().remove(0);
+
+    let observe = |threads: usize| {
+        let cfg = AtmConfig {
+            temporal: TemporalModel::Oracle,
+            train_windows: 96,
+            horizon: 96,
+            compute: ComputeConfig {
+                threads,
+                dtw_band: 0,
+                optimized_kernel: true,
+            },
+            ..AtmConfig::fast_for_tests()
+        };
+        let obs = Obs::enabled(true);
+        run_online_observed(&trace, &cfg, &obs).expect("online run");
+        (
+            obs.metrics_snapshot().deterministic_json(),
+            obs.events_jsonl(),
+        )
+    };
+
+    let (base_metrics, base_events) = observe(1);
+    assert!(
+        base_metrics.contains("online.windows_total"),
+        "sanity: counters recorded"
+    );
+    assert!(
+        base_events.contains("\"kind\":\"window\""),
+        "sanity: window events recorded"
+    );
+    let (par_metrics, par_events) = observe(parallel_threads());
+    assert_eq!(base_metrics, par_metrics, "metrics snapshot diverged");
+    assert_eq!(base_events, par_events, "event log diverged");
+}
+
+#[test]
+fn fleet_obs_is_byte_identical_across_fleet_threads() {
+    // Same contract one level up: concurrent boxes interleave their
+    // events arbitrarily, but the rendered log and the embedded
+    // `FleetReport::metrics` must not depend on the fleet thread count.
+    let boxes = seeded_fleet();
+
+    let observe = |fleet_threads: usize| {
+        let cfg = config_with(ComputeConfig {
+            threads: 1,
+            dtw_band: 0,
+            optimized_kernel: true,
+        });
+        let obs = Obs::enabled(true);
+        let report = run_fleet_online_observed(
+            &boxes,
+            &cfg,
+            None,
+            fleet_threads,
+            |_: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+                Box::new(NoopActuator::new())
+            },
+            &obs,
+        );
+        let metrics = report.metrics.as_ref().expect("observed fleet has metrics");
+        (
+            obs.metrics_snapshot().deterministic_json(),
+            obs.events_jsonl(),
+            serde_json::to_string(metrics).expect("metrics report serializes"),
+        )
+    };
+
+    let base = observe(1);
+    let par = observe(parallel_threads());
+    assert_eq!(base.0, par.0, "fleet metrics snapshot diverged");
+    assert_eq!(base.1, par.1, "fleet event log diverged");
+    assert_eq!(base.2, par.2, "embedded FleetReport metrics diverged");
 }
 
 #[test]
