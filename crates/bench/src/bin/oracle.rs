@@ -1,0 +1,123 @@
+//! Command-line front end for the differential oracle (DESIGN.md §12).
+//!
+//! ```sh
+//! cargo run --release -p atm-bench --bin oracle                       # 500 cases, default seed
+//! cargo run --release -p atm-bench --bin oracle -- --cases 5000 --seed 42
+//! cargo run --release -p atm-bench --bin oracle -- --replay tests/oracle_replays/tied_mtrv_determinism.json
+//! ```
+//!
+//! Exits non-zero on any contract violation. On failure, every violating
+//! case is also printed as a ready-to-commit replay JSON so it can be
+//! dropped into `tests/oracle_replays/` once the bug is fixed.
+//! `ATM_ORACLE_CASES` / `ATM_PROPTEST_CASES` rescale the default case
+//! count exactly as in the test suite.
+
+use atm_oracle::{check_instance, generate, ReplayCase};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cases: Option<u64> = None;
+    let mut seed = atm_oracle::DEFAULT_SEED;
+    let mut replay: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => {
+                i += 1;
+                cases = args.get(i).and_then(|v| v.parse().ok());
+                if cases.is_none() {
+                    eprintln!("--cases requires a number");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(s) => seed = s,
+                    None => {
+                        eprintln!("--seed requires a number");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--replay" => {
+                i += 1;
+                replay = args.get(i).cloned();
+                if replay.is_none() {
+                    eprintln!("--replay requires a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: oracle [--cases N] [--seed S] [--replay FILE]");
+                println!("  --cases N     seeded differential cases to run (default 500,");
+                println!("                overridable via ATM_ORACLE_CASES / ATM_PROPTEST_CASES)");
+                println!("  --seed S      run seed (default {:#x})", seed);
+                println!("  --replay FILE re-check one committed replay JSON instead of sweeping");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        run_replay(&path);
+        return;
+    }
+
+    let cases = cases.unwrap_or_else(|| atm_oracle::configured_cases(atm_oracle::DEFAULT_CASES));
+    let report = atm_oracle::run(cases, seed);
+    println!("{}", report.summary());
+    println!("per family:");
+    for (family, count) in &report.per_family {
+        println!("  {family:<20} {count}");
+    }
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!(
+                "VIOLATION case {} (family {}, seed {:#x}): {}",
+                v.case,
+                v.family.name(),
+                v.seed,
+                v.detail
+            );
+            let replay = ReplayCase::from_instance(&generate(v.case, v.seed), &v.detail);
+            match replay.to_json() {
+                Ok(json) => eprintln!("replay JSON:\n{json}"),
+                Err(e) => eprintln!("(could not serialize replay: {e})"),
+            }
+        }
+        std::process::exit(1);
+    }
+}
+
+fn run_replay(path: &str) {
+    let json = match std::fs::read_to_string(path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let case = ReplayCase::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("{path}: malformed replay: {e}");
+        std::process::exit(2);
+    });
+    println!("replaying {path}");
+    println!("  note: {}", case.note);
+    let inst = case.to_instance().unwrap_or_else(|e| {
+        eprintln!("{path}: cannot rebuild instance: {e}");
+        std::process::exit(2);
+    });
+    match check_instance(&inst) {
+        Ok(outcome) => println!("  PASS: {:?}", outcome.result),
+        Err(v) => {
+            eprintln!("  FAIL: {}", v.detail);
+            std::process::exit(1);
+        }
+    }
+}

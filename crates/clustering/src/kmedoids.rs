@@ -58,7 +58,7 @@ pub fn k_medoids(
         .min_by(|&a, &b| {
             let ca: f64 = (0..n).map(|j| distances.get(a, j)).sum();
             let cb: f64 = (0..n).map(|j| distances.get(b, j)).sum();
-            ca.partial_cmp(&cb).expect("finite distances")
+            ca.total_cmp(&cb)
         })
         .expect("n > 0");
     medoids.push(first);
@@ -93,7 +93,7 @@ pub fn k_medoids(
                 .iter()
                 .enumerate()
                 .map(|(l, &m)| (l, distances.get(j, m)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k >= 1");
             labels[j] = label;
             cost += d;

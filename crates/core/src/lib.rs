@@ -68,6 +68,10 @@ pub mod actuate;
 pub mod checkpoint;
 pub mod config;
 mod error;
+/// NaN-safe float ordering and compensated summation, re-exported from
+/// `atm-num` so pipeline code can say `atm_core::float::sort_floats` —
+/// see DESIGN.md §12 for the total-order contract.
+pub use atm_num as float;
 pub mod fleet;
 pub mod fsio;
 pub mod impute;

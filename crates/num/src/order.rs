@@ -1,0 +1,110 @@
+//! Total-order sorting and extrema for `f64` slices.
+//!
+//! All helpers order by [`f64::total_cmp`], which is a true total order:
+//! it never panics, is transitive even with NaN present, and places
+//! `-NaN` before `-∞` and `+NaN` after `+∞`. `-0.0` sorts before `+0.0`,
+//! which is what makes results byte-identical across runs even when the
+//! two zeros are numerically equal.
+
+/// Sorts a slice ascending in the IEEE 754 total order.
+///
+/// Unlike `sort_by(|a, b| a.partial_cmp(b).unwrap())` this never panics;
+/// unlike `unwrap_or(Equal)` the comparator stays transitive, so the
+/// result is a deterministic permutation regardless of NaN placement.
+pub fn sort_floats(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+/// Sorts a slice descending in the IEEE 754 total order (`+NaN` first is
+/// *not* the case — descending means `+NaN`, `+∞`, …, `-∞`, `-NaN`).
+pub fn sort_floats_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.total_cmp(a));
+}
+
+/// Maximum of a slice under the total order (`None` for an empty slice).
+///
+/// With NaN present the result is `+NaN` if one exists (it is the total
+/// order's top element); callers that want "largest finite" should filter
+/// or guard with [`crate::finite::ensure_finite`] first.
+pub fn total_max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::total_cmp)
+}
+
+/// Minimum of a slice under the total order (`None` for an empty slice).
+pub fn total_min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().min_by(f64::total_cmp)
+}
+
+/// Indices that sort `xs` ascending under the total order.
+///
+/// The underlying sort is stable, so tied values (including exact
+/// duplicates) keep their original relative index order — the
+/// deterministic tie-break rule used by stepwise selection and ranking.
+pub fn argsort(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_plain_values() {
+        let mut xs = vec![3.0, -1.0, 2.0, -0.0, 0.0];
+        sort_floats(&mut xs);
+        assert_eq!(xs, vec![-1.0, -0.0, 0.0, 2.0, 3.0]);
+        // -0.0 really sorts before +0.0 in the total order.
+        assert!(xs[1].is_sign_negative() && !xs[2].is_sign_negative());
+        sort_floats_desc(&mut xs);
+        assert_eq!(xs, vec![3.0, 2.0, 0.0, -0.0, -1.0]);
+    }
+
+    #[test]
+    fn nan_sorts_to_the_edges_without_panicking() {
+        let mut xs = vec![f64::NAN, 1.0, f64::NEG_INFINITY, -f64::NAN, 2.0];
+        sort_floats(&mut xs);
+        assert!(xs[0].is_nan() && xs[0].is_sign_negative());
+        assert_eq!(xs[1], f64::NEG_INFINITY);
+        assert_eq!(&xs[2..4], &[1.0, 2.0]);
+        assert!(xs[4].is_nan() && xs[4].is_sign_positive());
+    }
+
+    #[test]
+    fn extrema() {
+        assert_eq!(total_max(&[1.0, 5.0, -2.0]), Some(5.0));
+        assert_eq!(total_min(&[1.0, 5.0, -2.0]), Some(-2.0));
+        assert_eq!(total_max(&[]), None);
+        assert!(total_max(&[1.0, f64::NAN]).unwrap().is_nan());
+        assert_eq!(total_min(&[1.0, f64::NAN]), Some(1.0));
+        // Denormals order correctly.
+        assert_eq!(
+            total_min(&[f64::MIN_POSITIVE, 5e-324]).unwrap(),
+            5e-324,
+            "subnormal below smallest normal"
+        );
+    }
+
+    #[test]
+    fn argsort_is_stable_on_ties() {
+        let xs = [2.0, 1.0, 2.0, 1.0, 2.0];
+        assert_eq!(argsort(&xs), vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn sort_is_deterministic_for_any_input_order() {
+        // A non-transitive comparator (the old unwrap_or(Equal) idiom)
+        // can yield different permutations for different input orders;
+        // total_cmp cannot.
+        let a = vec![1.0, f64::NAN, 0.5, f64::INFINITY, 0.5];
+        let mut fwd = a.clone();
+        let mut rev: Vec<f64> = a.into_iter().rev().collect();
+        sort_floats(&mut fwd);
+        sort_floats(&mut rev);
+        assert_eq!(
+            fwd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            rev.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Neumaier-compensated summation.
+//!
+//! The oracle harness needs a *reference* accumulation whose rounding
+//! error is O(1) ulp regardless of length or cancellation, so that the
+//! plain `f64` reductions in `atm-stats` (gram matrices, R², means) can
+//! be differentially checked on ill-conditioned inputs. Neumaier's
+//! variant of Kahan summation also handles the case where the incoming
+//! term is larger than the running sum, which Kahan's original loses.
+
+/// A running Neumaier-compensated sum.
+///
+/// ```
+/// use atm_num::NeumaierSum;
+///
+/// let mut s = NeumaierSum::new();
+/// s.add(1e16);
+/// s.add(1.0);
+/// s.add(-1e16);
+/// assert_eq!(s.value(), 1.0); // plain f64 summation would return 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// A fresh zero sum.
+    pub fn new() -> Self {
+        NeumaierSum::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated sum of an iterator of terms.
+pub fn sum_compensated(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut s = NeumaierSum::new();
+    for x in xs {
+        s.add(x);
+    }
+    s.value()
+}
+
+/// Compensated dot product `Σ aᵢ·bᵢ`.
+///
+/// The individual products are formed in plain `f64` (no two-product
+/// splitting); compensation targets the accumulation, which is where the
+/// long-series cancellation error in the stats paths lives.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths (programmer error, same
+/// contract as `iter::zip` misuse elsewhere in the workspace).
+pub fn dot_compensated(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product of unequal lengths");
+    sum_compensated(a.iter().zip(b).map(|(&x, &y)| x * y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancelled_small_term() {
+        assert_eq!(sum_compensated([1e16, 1.0, -1e16]), 1.0);
+        let plain: f64 = [1e16, 1.0, -1e16].iter().sum();
+        assert_eq!(plain, 0.0, "plain summation loses the small term");
+    }
+
+    #[test]
+    fn handles_term_larger_than_sum() {
+        // The case Kahan's original algorithm gets wrong.
+        assert_eq!(sum_compensated([1.0, 1e100, 1.0, -1e100]), 2.0);
+    }
+
+    #[test]
+    fn matches_exact_on_benign_input() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(sum_compensated(xs.iter().copied()), 5050.0);
+        assert_eq!(sum_compensated([0.0; 0]), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot_compensated(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // Catastrophic cancellation across products.
+        let a = [1e8, 1.0, -1e8];
+        let b = [1e8, 1.0, 1e8];
+        assert_eq!(dot_compensated(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn dot_rejects_length_mismatch() {
+        dot_compensated(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,389 @@
+//! The differential contract: what every solver must agree on for a
+//! single instance.
+//!
+//! For a *valid* instance the greedy walk, the exact enumerator, the DP,
+//! and the baselines each produce an allocation; the contract pins
+//! feasibility, ticket-recount exactness, optimality ordering, budget
+//! monotonicity, and bit-identical determinism across repeated solves.
+//! For an *invalid* instance (NaN gaps, infeasible bounds, non-finite
+//! budgets) every public entry point must return the **same** structured
+//! error — the NaN-safety guarantee this crate exists to enforce.
+
+use atm_resize::problem::tickets_under_allocation;
+use atm_resize::{baselines, exact, greedy, mckp, Allocation};
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{Family, OracleInstance};
+
+/// Combination limit handed to the exact solver. Generated instances are
+/// orders of magnitude smaller; hitting this limit is itself a violation
+/// (the generator escaped its size envelope).
+pub const EXACT_LIMIT: u128 = exact::DEFAULT_COMBINATION_LIMIT;
+
+/// Capacity grid for the DP cross-check.
+pub const DP_GRID: usize = 20_000;
+
+/// What one checked case produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CaseResult {
+    /// All solvers produced allocations satisfying the contract.
+    Solved {
+        /// Tickets from the greedy hull walk (+ repair + slack phases).
+        greedy_tickets: usize,
+        /// Tickets from the exact enumerator — the optimum.
+        exact_tickets: usize,
+        /// Tickets from the DP, when it solved the rounded instance.
+        dp_tickets: Option<usize>,
+        /// Certified greedy integrality-gap bound for this instance:
+        /// the largest single hull-step ticket jump over all groups.
+        gap_bound: usize,
+    },
+    /// The instance is invalid and every entry point rejected it with
+    /// the same structured error (rendered via `Debug` for comparison).
+    Rejected {
+        /// The shared error, e.g. `InvalidDemand { vm: 1 }`.
+        error: String,
+    },
+}
+
+/// A checked case: provenance plus what happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseOutcome {
+    /// Case index within the run.
+    pub case: u64,
+    /// Family that generated it.
+    pub family: Family,
+    /// The differential result.
+    pub result: CaseResult,
+}
+
+/// A contract violation — one concrete solver disagreement or broken
+/// invariant, with enough provenance to regenerate the instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Case index within the run.
+    pub case: u64,
+    /// Run seed.
+    pub seed: u64,
+    /// Family that generated the instance.
+    pub family: Family,
+    /// Human-readable description of the broken invariant.
+    pub detail: String,
+}
+
+/// Bit-exact equality of two allocations: same tickets and the same
+/// capacity *bit patterns* (so `-0.0` vs `0.0` or one-ulp drift count as
+/// disagreements — determinism means byte identity, not tolerance).
+pub fn allocations_bit_equal(a: &Allocation, b: &Allocation) -> bool {
+    a.tickets == b.tickets
+        && a.capacities.len() == b.capacities.len()
+        && a.capacities
+            .iter()
+            .zip(&b.capacities)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Checks one instance against the full solver battery.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found; instances that pass come back
+/// as a [`CaseOutcome`].
+pub fn check_instance(inst: &OracleInstance) -> Result<CaseOutcome, Violation> {
+    let p = &inst.problem;
+    let fail = |detail: String| Violation {
+        case: inst.case,
+        seed: inst.seed,
+        family: inst.family,
+        detail,
+    };
+
+    // Every solve below runs twice; byte-identical results are part of
+    // the contract (ATM_THREADS never reaches the resize layer, so this
+    // also pins the thread-matrix CI legs to one answer).
+    let greedy_1 = greedy::solve(p);
+    let greedy_2 = greedy::solve(p);
+    match (&greedy_1, &greedy_2) {
+        (Ok(a), Ok(b)) if allocations_bit_equal(a, b) => {}
+        (Err(a), Err(b)) if a == b => {}
+        _ => {
+            return Err(fail(format!(
+                "greedy double-solve diverged: {greedy_1:?} vs {greedy_2:?}"
+            )))
+        }
+    }
+
+    let exact_r = exact::solve(p, EXACT_LIMIT);
+    let dp_r = exact::solve_dp(p, DP_GRID);
+    let stingy_r = baselines::stingy(p);
+    let maxmin_r = baselines::max_min_fairness(p);
+
+    // Invalid instance: all five entry points must reject identically.
+    if let Err(validation) = p.validate() {
+        let expect = format!("{validation:?}");
+        for (name, got) in [
+            ("greedy", greedy_1.as_ref().err().map(|e| format!("{e:?}"))),
+            ("exact", exact_r.as_ref().err().map(|e| format!("{e:?}"))),
+            ("dp", dp_r.as_ref().err().map(|e| format!("{e:?}"))),
+            ("stingy", stingy_r.as_ref().err().map(|e| format!("{e:?}"))),
+            ("maxmin", maxmin_r.as_ref().err().map(|e| format!("{e:?}"))),
+        ] {
+            match got {
+                Some(err) if err == expect => {}
+                other => {
+                    return Err(fail(format!(
+                        "invalid instance ({expect}) but {name} returned {other:?}"
+                    )))
+                }
+            }
+        }
+        return Ok(CaseOutcome {
+            case: inst.case,
+            family: inst.family,
+            result: CaseResult::Rejected { error: expect },
+        });
+    }
+
+    // Valid instance: greedy, exact, and max-min must all solve it.
+    let greedy_a = greedy_1.map_err(|e| fail(format!("greedy failed a valid instance: {e:?}")))?;
+    let exact_a = exact_r.map_err(|e| fail(format!("exact failed a valid instance: {e:?}")))?;
+    let maxmin_a = maxmin_r.map_err(|e| fail(format!("maxmin failed a valid instance: {e:?}")))?;
+    let stingy_a = stingy_r.map_err(|e| fail(format!("stingy failed a valid instance: {e:?}")))?;
+
+    let demands: Vec<Vec<f64>> = p.vms.iter().map(|v| v.demands.clone()).collect();
+    let recount = |a: &Allocation| tickets_under_allocation(&demands, &a.capacities, &p.policy);
+
+    for (name, a) in [
+        ("greedy", &greedy_a),
+        ("exact", &exact_a),
+        ("maxmin", &maxmin_a),
+    ] {
+        if !a.is_feasible(p) {
+            return Err(fail(format!("{name} allocation infeasible: {a:?}")));
+        }
+        let r = recount(a);
+        if r != a.tickets {
+            return Err(fail(format!(
+                "{name} reported {} tickets but recount says {r}",
+                a.tickets
+            )));
+        }
+    }
+    // Stingy ignores the budget by design; only its reported count and
+    // per-VM bounds are contractual.
+    if recount(&stingy_a) != stingy_a.tickets {
+        return Err(fail(format!(
+            "stingy reported {} tickets but recount says {}",
+            stingy_a.tickets,
+            recount(&stingy_a)
+        )));
+    }
+    if !stingy_a
+        .capacities
+        .iter()
+        .zip(&p.vms)
+        .all(|(&c, vm)| c >= vm.lower_bound - 1e-9 && c <= vm.upper_bound + 1e-9)
+    {
+        return Err(fail(format!("stingy violated per-VM bounds: {stingy_a:?}")));
+    }
+
+    // Optimality ordering. Two regimes:
+    //
+    // - The hull walk and the exact enumerator optimize over the *same*
+    //   candidate grid, so `exact ≤ walk ≤ exact + gap` holds at any ε,
+    //   and the full greedy (walk + repair + slack, with its recount
+    //   guard) never exceeds the walk.
+    // - The candidate-floor argument certifying `exact ≤ recount(any
+    //   feasible allocation)` needs the grid to contain every `d/α`
+    //   breakpoint — true exactly when ε = 0. With ε > 0 the grid is
+    //   coarser, and continuous capacities (greedy's slack phase,
+    //   maxmin's water-fill, stingy's peaks, the DP's cell rounding) can
+    //   legitimately land between grid points and beat the grid optimum.
+    let groups = mckp::build_groups(p)
+        .map_err(|e| fail(format!("build_groups failed after validate: {e:?}")))?;
+    let gap_bound = groups
+        .iter()
+        .map(|g| g.convex_hull().max_step_jump())
+        .max()
+        .unwrap_or(0);
+    let walk = greedy::solve_groups(&groups, p.total_capacity)
+        .map_err(|e| fail(format!("hull walk failed a valid instance: {e:?}")))?;
+    if walk.tickets < exact_a.tickets {
+        return Err(fail(format!(
+            "hull walk ({}) beat the exact optimum ({}) on the same grid",
+            walk.tickets, exact_a.tickets
+        )));
+    }
+    if walk.tickets > exact_a.tickets + gap_bound {
+        return Err(fail(format!(
+            "hull walk ({}) exceeded exact ({}) + certified gap bound ({gap_bound})",
+            walk.tickets, exact_a.tickets
+        )));
+    }
+    if greedy_a.tickets > walk.tickets {
+        return Err(fail(format!(
+            "slack phase raised tickets over the hull walk: {} > {}",
+            greedy_a.tickets, walk.tickets
+        )));
+    }
+    if p.epsilon == 0.0 {
+        if greedy_a.tickets < exact_a.tickets {
+            return Err(fail(format!(
+                "greedy ({}) beat the exact optimum ({})",
+                greedy_a.tickets, exact_a.tickets
+            )));
+        }
+        if maxmin_a.tickets < exact_a.tickets {
+            return Err(fail(format!(
+                "maxmin ({}) beat the exact optimum ({})",
+                maxmin_a.tickets, exact_a.tickets
+            )));
+        }
+        if stingy_a.total() <= p.total_capacity + 1e-6 && stingy_a.tickets < exact_a.tickets {
+            return Err(fail(format!(
+                "budget-feasible stingy ({}) beat the exact optimum ({})",
+                stingy_a.tickets, exact_a.tickets
+            )));
+        }
+    }
+
+    // DP cross-check: its rounded-grid optimum never beats the true one,
+    // and its allocation obeys the real constraints. The strict grid can
+    // be infeasible when the budget sits within the per-group ceil
+    // rounding of the lower-bound sum — tolerate exactly that sliver.
+    let dp_tickets = match dp_r {
+        Ok(dp_a) => {
+            if !dp_a.is_feasible(p) {
+                return Err(fail(format!("dp allocation infeasible: {dp_a:?}")));
+            }
+            if recount(&dp_a) != dp_a.tickets {
+                return Err(fail(format!(
+                    "dp reported {} tickets but recount says {}",
+                    dp_a.tickets,
+                    recount(&dp_a)
+                )));
+            }
+            if p.epsilon == 0.0 && dp_a.tickets < exact_a.tickets {
+                return Err(fail(format!(
+                    "dp ({}) beat the exact optimum ({})",
+                    dp_a.tickets, exact_a.tickets
+                )));
+            }
+            Some(dp_a.tickets)
+        }
+        Err(e) => {
+            let lower_sum: f64 = p.vms.iter().map(|vm| vm.lower_bound).sum();
+            let rounding_zone = p.total_capacity / DP_GRID as f64 * (p.vms.len() + 1) as f64;
+            if p.total_capacity - lower_sum > rounding_zone {
+                return Err(fail(format!("dp failed a valid instance: {e:?}")));
+            }
+            None
+        }
+    };
+
+    // Budget monotonicity: 10% more budget never tickets more.
+    let mut richer = p.clone();
+    richer.total_capacity *= 1.1;
+    match greedy::solve(&richer) {
+        Ok(r) => {
+            if r.tickets > greedy_a.tickets {
+                return Err(fail(format!(
+                    "greedy not monotone in budget: {} tickets at {} but {} at {}",
+                    greedy_a.tickets, p.total_capacity, r.tickets, richer.total_capacity
+                )));
+            }
+        }
+        Err(e) => {
+            return Err(fail(format!(
+                "greedy failed after enlarging a feasible budget: {e:?}"
+            )))
+        }
+    }
+
+    Ok(CaseOutcome {
+        case: inst.case,
+        family: inst.family,
+        result: CaseResult::Solved {
+            greedy_tickets: greedy_a.tickets,
+            exact_tickets: exact_a.tickets,
+            dp_tickets,
+            gap_bound,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use atm_resize::{ResizeProblem, VmDemand};
+    use atm_ticketing::ThresholdPolicy;
+
+    #[test]
+    fn clean_instance_passes() {
+        let p = ResizeProblem::new(
+            vec![
+                VmDemand::new("a", vec![30.0, 60.0, 45.0], 0.0, 1e9),
+                VmDemand::new("b", vec![21.0, 42.0, 63.0], 0.0, 1e9),
+            ],
+            180.0,
+            ThresholdPolicy::new(60.0).unwrap(),
+        );
+        let inst = OracleInstance {
+            case: 0,
+            seed: 0,
+            family: Family::Plain,
+            problem: p,
+        };
+        let outcome = check_instance(&inst).expect("clean instance must pass");
+        assert!(matches!(outcome.result, CaseResult::Solved { .. }));
+    }
+
+    #[test]
+    fn nan_instance_is_rejected_consistently() {
+        let p = ResizeProblem::new(
+            vec![VmDemand::new("a", vec![30.0, f64::NAN], 0.0, 1e9)],
+            100.0,
+            ThresholdPolicy::new(60.0).unwrap(),
+        );
+        let inst = OracleInstance {
+            case: 8,
+            seed: 0,
+            family: Family::NanGap,
+            problem: p,
+        };
+        match check_instance(&inst)
+            .expect("consistent rejection is a pass")
+            .result
+        {
+            CaseResult::Rejected { error } => {
+                assert!(error.contains("InvalidDemand"), "got {error}");
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_equality_is_strict() {
+        let a = Allocation {
+            capacities: vec![1.0, 0.0],
+            tickets: 2,
+        };
+        let mut b = a.clone();
+        assert!(allocations_bit_equal(&a, &b));
+        b.capacities[1] = -0.0;
+        assert!(!allocations_bit_equal(&a, &b), "-0.0 must not pass for 0.0");
+    }
+
+    #[test]
+    fn generated_smoke_cases_pass() {
+        // One representative per family; the deep sweep lives in the
+        // workspace-level `tests/oracle.rs`.
+        for case in 0..9 {
+            let inst = generate(case, 0xC0FFEE);
+            if let Err(v) = check_instance(&inst) {
+                panic!("family {} case {case}: {}", v.family.name(), v.detail);
+            }
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Seeded generation of randomized MCKP instances, organized in
+//! adversarial *families* that target the numeric edges where the greedy
+//! hull walk, the exact enumerator, and the baselines have historically
+//! disagreed or panicked: degenerate ε-discretizations, tied MTRVs,
+//! near-ulp demand separations, denormal magnitudes, tight bounds, and
+//! fault-injected NaN gaps from `atm_tracegen::inject`.
+//!
+//! Instances are deliberately small (≤ 5 VMs, ≤ 16 windows, ≤ ~12 unique
+//! demands per VM) so the exact solver enumerates them comfortably below
+//! [`atm_resize::exact::DEFAULT_COMBINATION_LIMIT`]; the adversarial
+//! value is in the *numerics*, not the size.
+
+use atm_resize::{ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use atm_tracegen::{generate_box, FaultPlan, FleetConfig, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SplitMix64;
+
+/// The adversarial instance families, cycled by case index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Uniform random demands — the smoke-test baseline family.
+    Plain,
+    /// Demands drawn from a tiny shared level set, so several VMs carry
+    /// identical candidate groups and every MTRV comparison ties.
+    TiedMtrv,
+    /// Demand values separated by a few ulps, exercising the breakpoint
+    /// rounding guard in `candidate_group` and near-equal comparisons.
+    NearUlp,
+    /// ε-discretization with demands on and just above multiples of ε,
+    /// collapsing many raw values onto the same candidate.
+    EpsilonDegenerate,
+    /// Demands at denormal/tiny magnitudes (`~1e-305` down to
+    /// subnormals), where naive arithmetic underflows.
+    Denormal,
+    /// Lower bounds near peaks and budgets near the lower-bound sum —
+    /// instances that straddle the feasibility boundary.
+    TightBounds,
+    /// Structural edges: single VM, single window, all-zero demands,
+    /// pinned `lower == upper` bounds.
+    SizeEdge,
+    /// Ticket thresholds at the extremes of the valid `(0, 100)` range.
+    ExtremeAlpha,
+    /// Demand series with NaN gaps produced by the fault injector —
+    /// every solver must reject these with the same structured error.
+    NanGap,
+}
+
+/// All families in cycle order.
+pub const FAMILIES: [Family; 9] = [
+    Family::Plain,
+    Family::TiedMtrv,
+    Family::NearUlp,
+    Family::EpsilonDegenerate,
+    Family::Denormal,
+    Family::TightBounds,
+    Family::SizeEdge,
+    Family::ExtremeAlpha,
+    Family::NanGap,
+];
+
+impl Family {
+    /// The family a given case index falls into.
+    pub fn from_index(case: u64) -> Family {
+        FAMILIES[(case % FAMILIES.len() as u64) as usize]
+    }
+
+    /// Stable lowercase name, used in reports and replay files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Plain => "plain",
+            Family::TiedMtrv => "tied-mtrv",
+            Family::NearUlp => "near-ulp",
+            Family::EpsilonDegenerate => "epsilon-degenerate",
+            Family::Denormal => "denormal",
+            Family::TightBounds => "tight-bounds",
+            Family::SizeEdge => "size-edge",
+            Family::ExtremeAlpha => "extreme-alpha",
+            Family::NanGap => "nan-gap",
+        }
+    }
+}
+
+/// One generated oracle case: the instance plus the provenance needed to
+/// regenerate or replay it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleInstance {
+    /// Case index within the run.
+    pub case: u64,
+    /// Run seed the case was derived from.
+    pub seed: u64,
+    /// Which adversarial family built it.
+    pub family: Family,
+    /// The problem handed to every solver.
+    pub problem: ResizeProblem,
+}
+
+/// Generates case `case` of the run seeded with `seed`. Fully
+/// deterministic: the same `(case, seed)` pair always yields the same
+/// instance, on every platform and thread count.
+pub fn generate(case: u64, seed: u64) -> OracleInstance {
+    let family = Family::from_index(case);
+    // Derive a per-case stream so inserting a family never shifts the
+    // randomness of its neighbours.
+    let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let problem = match family {
+        Family::Plain => plain(&mut rng),
+        Family::TiedMtrv => tied_mtrv(&mut rng),
+        Family::NearUlp => near_ulp(&mut rng),
+        Family::EpsilonDegenerate => epsilon_degenerate(&mut rng),
+        Family::Denormal => denormal(&mut rng),
+        Family::TightBounds => tight_bounds(&mut rng),
+        Family::SizeEdge => size_edge(&mut rng),
+        Family::ExtremeAlpha => extreme_alpha(&mut rng),
+        Family::NanGap => nan_gap(&mut rng),
+    };
+    OracleInstance {
+        case,
+        seed,
+        family,
+        problem,
+    }
+}
+
+fn policy(pct: f64) -> ThresholdPolicy {
+    ThresholdPolicy::new(pct).expect("generator thresholds are valid")
+}
+
+/// Budget as a fraction of the capacity that would make every VM
+/// ticket-free, floored at the lower-bound sum so most instances are
+/// feasible (the TightBounds family deliberately goes below it).
+fn budget(rng: &mut SplitMix64, vms: &[VmDemand], alpha: f64, lo: f64, hi: f64) -> f64 {
+    let full: f64 = vms
+        .iter()
+        .map(|vm| (vm.peak() / alpha).clamp(vm.lower_bound, vm.upper_bound))
+        .sum();
+    let lower_sum: f64 = vms.iter().map(|vm| vm.lower_bound).sum();
+    (full * rng.range_f64(lo, hi))
+        .max(lower_sum)
+        .max(f64::MIN_POSITIVE)
+}
+
+fn plain(rng: &mut SplitMix64) -> ResizeProblem {
+    let n = rng.range_usize(1, 5);
+    let w = rng.range_usize(3, 10);
+    let upper = *rng.pick(&[150.0, 1e9]);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w).map(|_| rng.range_f64(0.0, 100.0)).collect();
+            VmDemand::new(format!("p{i}"), demands, 0.0, upper)
+        })
+        .collect();
+    let pct = *rng.pick(&[40.0, 60.0, 75.0]);
+    let cap = budget(rng, &vms, pct / 100.0, 0.4, 1.15);
+    ResizeProblem::new(vms, cap, policy(pct))
+}
+
+fn tied_mtrv(rng: &mut SplitMix64) -> ResizeProblem {
+    const LEVELS: [f64; 5] = [12.0, 24.0, 36.0, 48.0, 60.0];
+    let n = rng.range_usize(2, 5);
+    let w = rng.range_usize(4, 8);
+    // upper = 100 puts the clamp exactly on the 60/0.6 breakpoint.
+    let upper = *rng.pick(&[100.0, 1e9]);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w).map(|_| *rng.pick(&LEVELS)).collect();
+            VmDemand::new(format!("t{i}"), demands, 0.0, upper)
+        })
+        .collect();
+    let cap = budget(rng, &vms, 0.6, 0.4, 1.1);
+    ResizeProblem::new(vms, cap, policy(60.0))
+}
+
+fn near_ulp(rng: &mut SplitMix64) -> ResizeProblem {
+    let n = rng.range_usize(1, 4);
+    let w = rng.range_usize(4, 10);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let base = rng.range_f64(10.0, 90.0);
+            let demands: Vec<f64> = (0..w)
+                .map(|_| {
+                    // A cluster of values 0–3 ulps above a shared base,
+                    // plus the occasional distant value.
+                    if rng.chance(0.75) {
+                        let mut d = base;
+                        for _ in 0..rng.range_usize(0, 3) {
+                            d = d.next_up();
+                        }
+                        d
+                    } else {
+                        rng.range_f64(0.0, 100.0)
+                    }
+                })
+                .collect();
+            VmDemand::new(format!("u{i}"), demands, 0.0, 1e9)
+        })
+        .collect();
+    // Budgets pinned near the ticket-free total, where one ulp decides
+    // whether the last hull step is taken.
+    let cap = budget(rng, &vms, 0.6, 0.95, 1.05);
+    ResizeProblem::new(vms, cap, policy(60.0))
+}
+
+fn epsilon_degenerate(rng: &mut SplitMix64) -> ResizeProblem {
+    let eps = *rng.pick(&[1.0, 5.0, 10.0]);
+    let n = rng.range_usize(1, 4);
+    let w = rng.range_usize(4, 10);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w)
+                .map(|_| {
+                    let k = rng.range_usize(0, 9) as f64;
+                    if rng.chance(0.5) {
+                        eps * k // exactly on the grid
+                    } else {
+                        eps * k + rng.range_f64(0.0, eps) // rounds up to k+1
+                    }
+                })
+                .collect();
+            VmDemand::new(format!("e{i}"), demands, 0.0, 1e9)
+        })
+        .collect();
+    let cap = budget(rng, &vms, 0.6, 0.4, 1.1);
+    ResizeProblem::new(vms, cap, policy(60.0)).with_epsilon(eps)
+}
+
+fn denormal(rng: &mut SplitMix64) -> ResizeProblem {
+    let n = rng.range_usize(1, 4);
+    let w = rng.range_usize(3, 8);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w)
+                .map(|_| {
+                    if rng.chance(0.4) {
+                        // Subnormal: a handful of ulps above zero.
+                        f64::from_bits(rng.range_usize(1, 50) as u64)
+                    } else {
+                        rng.range_f64(0.0, 1.0) * 1e-305
+                    }
+                })
+                .collect();
+            VmDemand::new(format!("d{i}"), demands, 0.0, 1e-300)
+        })
+        .collect();
+    let cap = budget(rng, &vms, 0.6, 0.4, 1.15);
+    ResizeProblem::new(vms, cap, policy(60.0))
+}
+
+fn tight_bounds(rng: &mut SplitMix64) -> ResizeProblem {
+    let n = rng.range_usize(2, 5);
+    let w = rng.range_usize(3, 8);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w).map(|_| rng.range_f64(10.0, 100.0)).collect();
+            let peak = demands.iter().copied().fold(0.0, f64::max);
+            let lower = peak * rng.range_f64(0.8, 1.05);
+            let upper = (peak * 1.2).max(lower);
+            VmDemand::new(format!("b{i}"), demands, lower, upper)
+        })
+        .collect();
+    // Straddle the feasibility line: some budgets land just below the
+    // lower-bound sum, and the solvers must all reject those identically.
+    let lower_sum: f64 = vms.iter().map(|vm| vm.lower_bound).sum();
+    let cap = lower_sum * rng.range_f64(0.97, 1.1);
+    ResizeProblem::new(vms, cap, policy(60.0))
+}
+
+fn size_edge(rng: &mut SplitMix64) -> ResizeProblem {
+    match rng.range_usize(0, 3) {
+        0 => {
+            // One VM, one window.
+            let d = rng.range_f64(0.0, 100.0);
+            let vms = vec![VmDemand::new("s0", vec![d], 0.0, 1e9)];
+            let cap = budget(rng, &vms, 0.6, 0.5, 1.2);
+            ResizeProblem::new(vms, cap, policy(60.0))
+        }
+        1 => {
+            // All-zero demands: the only candidate is the lower bound.
+            let n = rng.range_usize(1, 4);
+            let vms: Vec<VmDemand> = (0..n)
+                .map(|i| VmDemand::new(format!("s{i}"), vec![0.0; 4], 0.0, 1e9))
+                .collect();
+            ResizeProblem::new(vms, rng.range_f64(1.0, 100.0), policy(60.0))
+        }
+        2 => {
+            // Five VMs with a single shared window.
+            let vms: Vec<VmDemand> = (0..5)
+                .map(|i| VmDemand::new(format!("s{i}"), vec![rng.range_f64(0.0, 100.0)], 0.0, 1e9))
+                .collect();
+            let cap = budget(rng, &vms, 0.6, 0.4, 1.1);
+            ResizeProblem::new(vms, cap, policy(60.0))
+        }
+        _ => {
+            // Pinned bounds: lower == upper collapses each group to one
+            // candidate after clamping.
+            let n = rng.range_usize(1, 4);
+            let vms: Vec<VmDemand> = (0..n)
+                .map(|i| {
+                    let pin = rng.range_f64(20.0, 120.0);
+                    let demands: Vec<f64> = (0..4).map(|_| rng.range_f64(0.0, 100.0)).collect();
+                    VmDemand::new(format!("s{i}"), demands, pin, pin)
+                })
+                .collect();
+            let lower_sum: f64 = vms.iter().map(|vm| vm.lower_bound).sum();
+            ResizeProblem::new(vms, lower_sum * rng.range_f64(1.0, 1.3), policy(60.0))
+        }
+    }
+}
+
+fn extreme_alpha(rng: &mut SplitMix64) -> ResizeProblem {
+    let pct = *rng.pick(&[0.001, 99.999]);
+    let n = rng.range_usize(1, 4);
+    let w = rng.range_usize(3, 8);
+    let vms: Vec<VmDemand> = (0..n)
+        .map(|i| {
+            let demands: Vec<f64> = (0..w).map(|_| rng.range_f64(0.0, 100.0)).collect();
+            VmDemand::new(format!("a{i}"), demands, 0.0, f64::MAX / 16.0)
+        })
+        .collect();
+    let cap = budget(rng, &vms, pct / 100.0, 0.4, 1.1);
+    ResizeProblem::new(vms, cap, policy(pct))
+}
+
+fn nan_gap(rng: &mut SplitMix64) -> ResizeProblem {
+    // Realistic gapped demands: a generated box trace run through the
+    // gap-burst fault injector, exactly as production traces reach the
+    // resize layer when imputation is skipped.
+    let config = FleetConfig {
+        num_boxes: 1,
+        days: 1,
+        gap_probability: 0.0,
+        seed: rng.next_u64() & 0xFFFF_FFFF,
+        ..FleetConfig::default()
+    };
+    let mut box_trace = generate_box(&config, 0);
+    FaultPlan::gaps_only(rng.next_u64()).inject_box(&mut box_trace, 0);
+
+    let n = box_trace.vms.len().min(rng.range_usize(1, 4));
+    let vms: Vec<VmDemand> = box_trace.vms[..n]
+        .iter()
+        .map(|vm| {
+            let demands: Vec<f64> = vm.demand(Resource::Cpu).into_iter().take(16).collect();
+            VmDemand::new(vm.name.clone(), demands, 0.0, 1e9)
+        })
+        .collect();
+    let mut vms = vms;
+    // The burst may have missed the first 16 windows of the kept VMs;
+    // force at least one gap so the family always tests NaN rejection.
+    if !vms.iter().any(|vm| vm.demands.iter().any(|d| d.is_nan())) {
+        let slot = rng.range_usize(0, vms[0].demands.len() - 1);
+        vms[0].demands[slot] = f64::NAN;
+    }
+    let finite_peak: f64 = vms
+        .iter()
+        .map(|vm| {
+            vm.demands
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    ResizeProblem::new(vms, (finite_peak * 2.0).max(1.0), policy(60.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_cycle_in_order() {
+        for (i, &family) in FAMILIES.iter().enumerate() {
+            assert_eq!(Family::from_index(i as u64), family);
+            assert_eq!(Family::from_index(i as u64 + 9), family);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        // `assert_eq!` would be wrong here: NaN-gap instances contain
+        // NaN demands and `PartialEq` says NaN != NaN. Compare bitwise.
+        for case in 0..18 {
+            let a = generate(case, 7);
+            let b = generate(case, 7);
+            assert_eq!(a.family, Family::from_index(case));
+            assert_eq!(a.family, b.family, "case {case} family drifted");
+            assert_eq!(
+                a.problem.total_capacity.to_bits(),
+                b.problem.total_capacity.to_bits(),
+                "case {case} capacity drifted"
+            );
+            assert_eq!(a.problem.vms.len(), b.problem.vms.len());
+            for (x, y) in a.problem.vms.iter().zip(&b.problem.vms) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.lower_bound.to_bits(), y.lower_bound.to_bits());
+                assert_eq!(x.upper_bound.to_bits(), y.upper_bound.to_bits());
+                assert_eq!(x.demands.len(), y.demands.len());
+                for (d, e) in x.demands.iter().zip(&y.demands) {
+                    assert_eq!(d.to_bits(), e.to_bits(), "case {case} demand drifted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instances_stay_inside_the_exact_envelope() {
+        // ≤ 5 VMs × ≤ 17 candidates (16 windows + the zero candidate)
+        // keeps the combination count far below the exact solver limit.
+        for case in 0..45 {
+            let inst = generate(case, 3);
+            assert!(inst.problem.vms.len() <= 5, "case {case} too wide");
+            for vm in &inst.problem.vms {
+                assert!(vm.demands.len() <= 16, "case {case} too long");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_gap_family_always_carries_a_gap() {
+        for k in 0..6 {
+            let inst = generate(8 + 9 * k, 11);
+            assert_eq!(inst.family, Family::NanGap);
+            assert!(
+                inst.problem
+                    .vms
+                    .iter()
+                    .any(|vm| vm.demands.iter().any(|d| d.is_nan())),
+                "case {} lost its NaN gap",
+                inst.case
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Replay files: failing oracle instances committed as JSON regression
+//! tests.
+//!
+//! `serde_json` flattens every non-finite float to `null`, which cannot
+//! round-trip the NaN-gap instances this oracle exists to pin down. The
+//! replay schema therefore stores demand values through [`ReplayValue`]:
+//! plain JSON numbers for finite values and the strings `"NaN"`,
+//! `"inf"`, `"-inf"` for the specials — human-readable *and* lossless
+//! (finite values round-trip bit-exactly via `float_roundtrip`).
+//!
+//! Reproduce a committed case locally with:
+//!
+//! ```sh
+//! cargo run --release -p atm-bench --bin oracle -- \
+//!     --replay tests/oracle_replays/<case>.json
+//! ```
+
+use atm_resize::{ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{Family, OracleInstance};
+
+/// A float that survives JSON: finite values as numbers, specials as
+/// strings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum ReplayValue {
+    /// A finite demand value.
+    Finite(f64),
+    /// `"NaN"`, `"inf"`, or `"-inf"`.
+    Special(String),
+}
+
+impl ReplayValue {
+    /// Encodes an `f64`, preserving non-finite values.
+    pub fn encode(v: f64) -> ReplayValue {
+        if v.is_finite() {
+            ReplayValue::Finite(v)
+        } else if v.is_nan() {
+            ReplayValue::Special("NaN".to_owned())
+        } else if v > 0.0 {
+            ReplayValue::Special("inf".to_owned())
+        } else {
+            ReplayValue::Special("-inf".to_owned())
+        }
+    }
+
+    /// Decodes back to an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of an unrecognized special string.
+    pub fn decode(&self) -> Result<f64, String> {
+        match self {
+            ReplayValue::Finite(v) => Ok(*v),
+            ReplayValue::Special(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(format!("unknown special float `{other}`")),
+            },
+        }
+    }
+}
+
+/// One VM of a replay case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayVm {
+    /// VM name.
+    pub name: String,
+    /// Demand series, specials encoded.
+    pub demands: Vec<ReplayValue>,
+    /// Lower capacity bound.
+    pub lower_bound: ReplayValue,
+    /// Upper capacity bound.
+    pub upper_bound: ReplayValue,
+}
+
+/// A committed oracle case: provenance, a human note on what it once
+/// broke, and the full instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayCase {
+    /// Case index of the originating run (0 for hand-written cases).
+    pub case: u64,
+    /// Seed of the originating run.
+    pub seed: u64,
+    /// Family name (see [`Family::name`]).
+    pub family: String,
+    /// What this case regressed before the fix — the reason it is
+    /// committed.
+    pub note: String,
+    /// The VMs.
+    pub vms: Vec<ReplayVm>,
+    /// Capacity budget.
+    pub total_capacity: ReplayValue,
+    /// Ticket threshold in percent.
+    pub threshold_pct: f64,
+    /// Discretization ε.
+    pub epsilon: f64,
+}
+
+impl ReplayCase {
+    /// Captures an instance (with a note) for committing.
+    pub fn from_instance(inst: &OracleInstance, note: impl Into<String>) -> ReplayCase {
+        let p = &inst.problem;
+        ReplayCase {
+            case: inst.case,
+            seed: inst.seed,
+            family: inst.family.name().to_owned(),
+            note: note.into(),
+            vms: p
+                .vms
+                .iter()
+                .map(|vm| ReplayVm {
+                    name: vm.name.clone(),
+                    demands: vm.demands.iter().map(|&d| ReplayValue::encode(d)).collect(),
+                    lower_bound: ReplayValue::encode(vm.lower_bound),
+                    upper_bound: ReplayValue::encode(vm.upper_bound),
+                })
+                .collect(),
+            total_capacity: ReplayValue::encode(p.total_capacity),
+            threshold_pct: p.policy.threshold_pct(),
+            epsilon: p.epsilon,
+        }
+    }
+
+    /// Rebuilds the instance for re-checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when a special value or the threshold does
+    /// not decode.
+    pub fn to_instance(&self) -> Result<OracleInstance, String> {
+        let family = FAMILY_NAMES
+            .iter()
+            .find(|(_, name)| *name == self.family)
+            .map(|&(f, _)| f)
+            .ok_or_else(|| format!("unknown family `{}`", self.family))?;
+        let vms = self
+            .vms
+            .iter()
+            .map(|vm| {
+                Ok(VmDemand::new(
+                    vm.name.clone(),
+                    vm.demands
+                        .iter()
+                        .map(ReplayValue::decode)
+                        .collect::<Result<Vec<f64>, String>>()?,
+                    vm.lower_bound.decode()?,
+                    vm.upper_bound.decode()?,
+                ))
+            })
+            .collect::<Result<Vec<VmDemand>, String>>()?;
+        let policy = ThresholdPolicy::new(self.threshold_pct)
+            .map_err(|e| format!("bad threshold: {e:?}"))?;
+        Ok(OracleInstance {
+            case: self.case,
+            seed: self.seed,
+            family,
+            problem: ResizeProblem::new(vms, self.total_capacity.decode()?, policy)
+                .with_epsilon(self.epsilon),
+        })
+    }
+
+    /// Serializes to pretty JSON for committing under
+    /// `tests/oracle_replays/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (none occur for well-formed
+    /// cases; specials are pre-encoded as strings).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses a committed replay file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `serde_json` error message for malformed files.
+    pub fn from_json(json: &str) -> Result<ReplayCase, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// Family decode table for [`ReplayCase::to_instance`].
+const FAMILY_NAMES: [(Family, &str); 9] = [
+    (Family::Plain, "plain"),
+    (Family::TiedMtrv, "tied-mtrv"),
+    (Family::NearUlp, "near-ulp"),
+    (Family::EpsilonDegenerate, "epsilon-degenerate"),
+    (Family::Denormal, "denormal"),
+    (Family::TightBounds, "tight-bounds"),
+    (Family::SizeEdge, "size-edge"),
+    (Family::ExtremeAlpha, "extreme-alpha"),
+    (Family::NanGap, "nan-gap"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn round_trips_every_family_including_nan() {
+        for case in 0..9 {
+            let inst = generate(case, 0xBEEF);
+            let replay = ReplayCase::from_instance(&inst, "round-trip test");
+            let json = replay.to_json().unwrap();
+            let back = ReplayCase::from_json(&json).unwrap().to_instance().unwrap();
+            assert_eq!(back.family, inst.family);
+            assert_eq!(back.problem.total_capacity, inst.problem.total_capacity);
+            assert_eq!(back.problem.epsilon, inst.problem.epsilon);
+            for (a, b) in back.problem.vms.iter().zip(&inst.problem.vms) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.lower_bound.to_bits(), b.lower_bound.to_bits());
+                assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+                assert_eq!(a.demands.len(), b.demands.len());
+                for (x, y) in a.demands.iter().zip(&b.demands) {
+                    assert!(
+                        x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                        "demand drifted through JSON: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specials_encode_readably() {
+        assert_eq!(
+            ReplayValue::encode(f64::NAN),
+            ReplayValue::Special("NaN".into())
+        );
+        assert_eq!(
+            ReplayValue::encode(f64::INFINITY),
+            ReplayValue::Special("inf".into())
+        );
+        assert_eq!(
+            ReplayValue::encode(f64::NEG_INFINITY),
+            ReplayValue::Special("-inf".into())
+        );
+        assert!(ReplayValue::Special("bogus".into()).decode().is_err());
+        assert_eq!(ReplayValue::Finite(1.5).decode().unwrap(), 1.5);
+    }
+}

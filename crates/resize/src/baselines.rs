@@ -52,12 +52,10 @@ pub fn max_min_fairness(problem: &ResizeProblem) -> ResizeResult<Allocation> {
 
     // Requirements and an index sort by increasing requirement.
     let requirements: Vec<f64> = problem.vms.iter().map(|vm| vm.peak() / alpha).collect();
+    // Total order + stable sort: tied requirements keep VM index order,
+    // so the water-fill visits ties deterministically.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        requirements[a]
-            .partial_cmp(&requirements[b])
-            .expect("finite requirements")
-    });
+    order.sort_by(|&a, &b| requirements[a].total_cmp(&requirements[b]));
 
     // Reserve every VM's lower bound up front, then water-fill the rest.
     let mut capacities: Vec<f64> = problem.vms.iter().map(|vm| vm.lower_bound).collect();

@@ -36,6 +36,17 @@ pub enum ResizeError {
         /// Solver limit.
         limit: u128,
     },
+    /// A candidate group handed directly to a solver is malformed: empty,
+    /// carrying non-finite capacities, mismatched capacity/ticket lengths,
+    /// or capacities not strictly decreasing. Groups built by
+    /// [`crate::mckp::build_groups`] are well-formed by construction; this
+    /// guards the public `solve_groups` entry points.
+    MalformedGroup {
+        /// Index of the offending group.
+        group: usize,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ResizeError {
@@ -60,6 +71,9 @@ impl fmt::Display for ResizeError {
                 f,
                 "instance too large for exact solver: {combinations} > {limit} combinations"
             ),
+            ResizeError::MalformedGroup { group, reason } => {
+                write!(f, "malformed candidate group {group}: {reason}")
+            }
         }
     }
 }

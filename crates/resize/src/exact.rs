@@ -6,7 +6,7 @@
 //! the greedy MTRV walk gets to the optimum.
 
 use crate::error::{ResizeError, ResizeResult};
-use crate::mckp::{build_groups, CandidateGroup};
+use crate::mckp::{build_groups, validate_groups, CandidateGroup};
 use crate::problem::{Allocation, ResizeProblem};
 
 /// Maximum number of candidate combinations the exact solver will explore.
@@ -31,14 +31,18 @@ pub fn solve(problem: &ResizeProblem, limit: u128) -> ResizeResult<Allocation> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`solve`].
+/// Same conditions as [`solve`], plus [`ResizeError::MalformedGroup`] /
+/// [`ResizeError::InvalidCapacity`] for hand-built groups or a
+/// non-finite budget (the same entry guard as the greedy solver, so the
+/// two sides of a differential test fail identically).
 pub fn solve_groups(
     groups: &[CandidateGroup],
     total_capacity: f64,
     limit: u128,
 ) -> ResizeResult<Allocation> {
-    if groups.is_empty() {
-        return Err(ResizeError::Empty);
+    validate_groups(groups)?;
+    if !total_capacity.is_finite() {
+        return Err(ResizeError::InvalidCapacity(total_capacity));
     }
     let combos: u128 = groups.iter().map(|g| g.len() as u128).product();
     if combos > limit {

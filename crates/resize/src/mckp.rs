@@ -86,6 +86,39 @@ impl CandidateGroup {
         }
     }
 
+    /// Checks the structural invariants solvers rely on: non-empty,
+    /// matching `capacities`/`tickets` lengths, finite capacities in
+    /// strictly decreasing order, and non-decreasing ticket counts.
+    ///
+    /// Groups produced by [`candidate_group`] satisfy this by
+    /// construction; the check guards hand-built groups entering the
+    /// public `solve_groups` APIs, where a NaN capacity would otherwise
+    /// silently corrupt the MTRV walk. The reported group index is 0;
+    /// multi-group callers rewrite it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResizeError::MalformedGroup`] describing the violation.
+    pub fn validate(&self) -> ResizeResult<()> {
+        let fail = |reason| Err(ResizeError::MalformedGroup { group: 0, reason });
+        if self.capacities.is_empty() {
+            return fail("no candidates");
+        }
+        if self.capacities.len() != self.tickets.len() {
+            return fail("capacities/tickets length mismatch");
+        }
+        if atm_num::ensure_finite(&self.capacities).is_err() {
+            return fail("non-finite candidate capacity");
+        }
+        if self.capacities.windows(2).any(|w| w[0] <= w[1]) {
+            return fail("capacities not strictly decreasing");
+        }
+        if self.tickets.windows(2).any(|w| w[1] < w[0]) {
+            return fail("tickets not non-decreasing");
+        }
+        Ok(())
+    }
+
     /// The largest single-step ticket increase along this group — an
     /// upper bound contribution to the greedy's integrality gap.
     pub fn max_step_jump(&self) -> usize {
@@ -116,7 +149,7 @@ pub fn reduced_demand_set(demands: &[f64], epsilon: f64) -> Vec<f64> {
         .filter(|d| d.is_finite())
         .map(|&d| discretize_up(d, epsilon))
         .collect();
-    vals.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    atm_num::sort_floats_desc(&mut vals);
     vals.dedup();
     if vals.last() != Some(&0.0) {
         vals.push(0.0);
@@ -131,9 +164,16 @@ pub fn reduced_demand_set(demands: &[f64], epsilon: f64) -> Vec<f64> {
 /// evaluated against the *raw* (undiscretized) demands, since ε only
 /// coarsens the decision grid, not the ticket semantics.
 ///
+/// Non-finite demand values are treated as gaps: they produce no
+/// candidate and never ticket (see `tickets_under_allocation`). The
+/// bounds, however, must be finite and consistent — a NaN bound would
+/// otherwise panic inside `f64::clamp` mid-solve.
+///
 /// # Errors
 ///
-/// Returns [`ResizeError::Empty`] for an empty demand series.
+/// - [`ResizeError::Empty`] for an empty demand series.
+/// - [`ResizeError::InvalidBounds`] (with `vm: 0`) for NaN or inverted
+///   bounds.
 pub fn candidate_group(
     vm: &VmDemand,
     policy: &ThresholdPolicy,
@@ -141,6 +181,16 @@ pub fn candidate_group(
 ) -> ResizeResult<CandidateGroup> {
     if vm.demands.is_empty() {
         return Err(ResizeError::Empty);
+    }
+    // `lower <= upper` is false for NaN bounds, so this single check also
+    // rejects non-finite bounds (upper may be +∞ only if lower is finite:
+    // clamp is then still well-defined, but validate() upstream requires
+    // finite bounds, so reject infinities here too for consistency).
+    if !(vm.lower_bound.is_finite()
+        && vm.upper_bound.is_finite()
+        && vm.lower_bound <= vm.upper_bound)
+    {
+        return Err(ResizeError::InvalidBounds { vm: 0 });
     }
     let alpha = policy.alpha();
     let reduced = reduced_demand_set(&vm.demands, epsilon);
@@ -159,8 +209,9 @@ pub fn candidate_group(
         })
         .collect();
     // Clamping can create duplicates; keep decreasing order and dedupe.
-    capacities.sort_by(|a, b| b.partial_cmp(a).expect("finite values compare"));
+    atm_num::sort_floats_desc(&mut capacities);
     capacities.dedup();
+    atm_num::debug_assert_finite!(&capacities, "candidate capacities");
 
     let tickets: Vec<usize> = capacities
         .iter()
@@ -177,6 +228,23 @@ pub fn candidate_group(
         capacities,
         tickets,
     })
+}
+
+/// Validates a set of groups entering a public solver, rewriting the
+/// per-group error index to the offending position.
+pub(crate) fn validate_groups(groups: &[CandidateGroup]) -> ResizeResult<()> {
+    if groups.is_empty() {
+        return Err(ResizeError::Empty);
+    }
+    for (i, g) in groups.iter().enumerate() {
+        g.validate().map_err(|e| match e {
+            ResizeError::MalformedGroup { reason, .. } => {
+                ResizeError::MalformedGroup { group: i, reason }
+            }
+            other => other,
+        })?;
+    }
+    Ok(())
 }
 
 /// Builds all candidate groups of a problem.
@@ -369,5 +437,66 @@ mod tests {
         let vm = VmDemand::new("v", vec![30.0, f64::NAN, 60.0], 0.0, 1e9);
         let g = candidate_group(&vm, &policy, 0.0).unwrap();
         assert!(g.capacities.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn nan_bounds_are_structured_errors_not_clamp_panics() {
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        for (lo, hi) in [
+            (f64::NAN, 1e9),
+            (0.0, f64::NAN),
+            (f64::NEG_INFINITY, 1e9),
+            (0.0, f64::INFINITY),
+            (50.0, 10.0),
+        ] {
+            let vm = VmDemand::new("v", vec![30.0, 60.0], lo, hi);
+            assert!(
+                matches!(
+                    candidate_group(&vm, &policy, 0.0),
+                    Err(ResizeError::InvalidBounds { vm: 0 })
+                ),
+                "bounds ({lo}, {hi}) accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn group_validate_catches_malformed_groups() {
+        let good = CandidateGroup {
+            capacities: vec![60.0, 40.0, 0.0],
+            tickets: vec![0, 2, 5],
+        };
+        assert!(good.validate().is_ok());
+
+        let cases = [
+            (vec![], vec![], "no candidates"),
+            (vec![1.0], vec![0, 1], "capacities/tickets length mismatch"),
+            (
+                vec![f64::NAN, 0.0],
+                vec![0, 1],
+                "non-finite candidate capacity",
+            ),
+            (
+                vec![40.0, 60.0],
+                vec![0, 1],
+                "capacities not strictly decreasing",
+            ),
+            (
+                vec![60.0, 60.0],
+                vec![0, 1],
+                "capacities not strictly decreasing",
+            ),
+            (vec![60.0, 40.0], vec![3, 1], "tickets not non-decreasing"),
+        ];
+        for (capacities, tickets, want) in cases {
+            let g = CandidateGroup {
+                capacities,
+                tickets,
+            };
+            match g.validate() {
+                Err(ResizeError::MalformedGroup { reason, .. }) => assert_eq!(reason, want),
+                other => panic!("expected MalformedGroup({want}), got {other:?}"),
+            }
+        }
     }
 }

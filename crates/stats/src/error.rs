@@ -32,6 +32,13 @@ pub enum StatsError {
     },
     /// The operation needs a non-empty input.
     Empty,
+    /// The design matrix or response carries a NaN or infinite value.
+    /// Normal-equation solvers silently propagate non-finite values into
+    /// every coefficient, so they are rejected at the public entry points.
+    NonFinite {
+        /// Index of the first offending observation (row).
+        row: usize,
+    },
     /// A parameter was outside its valid domain.
     InvalidParameter(&'static str),
 }
@@ -56,6 +63,9 @@ impl fmt::Display for StatsError {
                 left.0, left.1, right.0, right.1
             ),
             StatsError::Empty => write!(f, "input is empty"),
+            StatsError::NonFinite { row } => {
+                write!(f, "non-finite value in observation {row}")
+            }
             StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }
     }

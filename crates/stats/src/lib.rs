@@ -31,6 +31,7 @@
 mod error;
 pub mod matrix;
 pub mod ols;
+pub mod precise;
 pub mod ridge;
 pub mod stepwise;
 pub mod vif;

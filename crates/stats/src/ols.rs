@@ -105,6 +105,8 @@ impl OlsFit {
 /// - [`StatsError::RowMismatch`] if `xs.len() != ys.len()`.
 /// - [`StatsError::Underdetermined`] if there are fewer observations than
 ///   parameters.
+/// - [`StatsError::NonFinite`] if any design or response value is NaN or
+///   infinite (normal equations would propagate it into every coefficient).
 /// - [`StatsError::Singular`] for exactly collinear regressors.
 pub fn fit(xs: &[Vec<f64>], ys: &[f64], intercept: bool) -> StatsResult<OlsFit> {
     if xs.is_empty() || ys.is_empty() {
@@ -122,6 +124,15 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], intercept: bool) -> StatsResult<OlsFit> 
     }
     if xs.iter().any(|r| r.len() != p_raw) {
         return Err(StatsError::RaggedDesign);
+    }
+    if let Some(row) = xs
+        .iter()
+        .position(|r| atm_num::first_non_finite(r).is_some())
+    {
+        return Err(StatsError::NonFinite { row });
+    }
+    if let Some((row, _)) = atm_num::first_non_finite(ys) {
+        return Err(StatsError::NonFinite { row });
     }
     let p = p_raw + usize::from(intercept);
     if xs.len() < p {
@@ -282,6 +293,22 @@ mod tests {
             fit(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[1.0, 2.0], true),
             Err(StatsError::Underdetermined { .. })
         ));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_structured_errors() {
+        assert_eq!(
+            fit(&[vec![1.0], vec![f64::NAN]], &[1.0, 2.0], true).unwrap_err(),
+            StatsError::NonFinite { row: 1 }
+        );
+        assert_eq!(
+            fit(&[vec![1.0], vec![2.0]], &[f64::INFINITY, 2.0], true).unwrap_err(),
+            StatsError::NonFinite { row: 0 }
+        );
+        assert_eq!(
+            fit_simple(&[1.0, f64::NEG_INFINITY], &[1.0, 2.0]).unwrap_err(),
+            StatsError::NonFinite { row: 1 }
+        );
     }
 
     #[test]

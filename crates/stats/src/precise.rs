@@ -1,0 +1,375 @@
+//! High-precision reference fits for differential testing.
+//!
+//! The production solvers ([`crate::ols::fit`], [`crate::ridge::fit`],
+//! [`crate::vif::vif_scores`]) accumulate the normal equations with naive
+//! summation, which loses low-order bits on ill-conditioned designs (large
+//! common offsets, near-collinear columns, wide dynamic range). This module
+//! re-implements the same estimators with Neumaier-compensated summation so
+//! the oracle harness can quantify — and bound — that loss. It is a
+//! *reference*, not a replacement: it trades speed for an extra ~53 bits of
+//! effective accumulator width in the Gram matrix and residual sums.
+//!
+//! The differential contract lives in `crates/stats/tests/differential.rs`:
+//! on every generated instance both implementations must either fail with
+//! the same structured error or agree on *predictions* (fitted values) to a
+//! conditioning-aware tolerance. Coefficients themselves are compared only
+//! on well-conditioned designs, where both paths are stable.
+
+use crate::error::{StatsError, StatsResult};
+use crate::matrix::Matrix;
+use atm_num::{dot_compensated, NeumaierSum};
+
+/// A fit produced by the compensated reference path.
+///
+/// Unlike [`crate::OlsFit`] this exposes its fields directly: the struct
+/// exists to be inspected by differential tests, not consumed by models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreciseFit {
+    /// Fitted intercept (`0.0` when fit without one).
+    pub intercept: f64,
+    /// Slope coefficients, one per regressor column.
+    pub coefficients: Vec<f64>,
+    /// In-sample fitted values.
+    pub fitted: Vec<f64>,
+    /// Coefficient of determination, same conventions as
+    /// [`crate::OlsFit::r_squared`].
+    pub r_squared: f64,
+}
+
+impl PreciseFit {
+    /// Predicts the response for one input row with a compensated dot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on a wrong-width row.
+    pub fn predict_one(&self, row: &[f64]) -> StatsResult<f64> {
+        if row.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                left: (1, row.len()),
+                right: (1, self.coefficients.len()),
+            });
+        }
+        Ok(self.intercept + dot_compensated(row, &self.coefficients))
+    }
+}
+
+fn validate(xs: &[Vec<f64>], ys: &[f64]) -> StatsResult<usize> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if xs.len() != ys.len() {
+        return Err(StatsError::RowMismatch {
+            design: xs.len(),
+            response: ys.len(),
+        });
+    }
+    let p = xs[0].len();
+    if p == 0 {
+        return Err(StatsError::Empty);
+    }
+    if xs.iter().any(|r| r.len() != p) {
+        return Err(StatsError::RaggedDesign);
+    }
+    if let Some(row) = xs
+        .iter()
+        .position(|r| atm_num::first_non_finite(r).is_some())
+    {
+        return Err(StatsError::NonFinite { row });
+    }
+    if let Some((row, _)) = atm_num::first_non_finite(ys) {
+        return Err(StatsError::NonFinite { row });
+    }
+    Ok(p)
+}
+
+/// Column-major view of the design.
+fn columns(xs: &[Vec<f64>], p: usize) -> Vec<Vec<f64>> {
+    (0..p).map(|j| xs.iter().map(|r| r[j]).collect()).collect()
+}
+
+/// Solves the normal equations with every inner product compensated.
+fn solve_normal(cols: &[Vec<f64>], ys: &[f64]) -> StatsResult<Vec<f64>> {
+    let k = cols.len();
+    let mut xtx_rows = Vec::with_capacity(k);
+    for a in cols {
+        let row: Vec<f64> = cols.iter().map(|b| dot_compensated(a, b)).collect();
+        xtx_rows.push(row);
+    }
+    let xty: Vec<f64> = cols.iter().map(|c| dot_compensated(c, ys)).collect();
+    Matrix::from_rows(xtx_rows)?.solve_spd(&xty)
+}
+
+fn finish(xs: &[Vec<f64>], ys: &[f64], beta: Vec<f64>, intercept: bool) -> StatsResult<PreciseFit> {
+    let (intercept_val, coefficients) = if intercept {
+        (beta[0], beta[1..].to_vec())
+    } else {
+        (0.0, beta)
+    };
+    let fitted: Vec<f64> = xs
+        .iter()
+        .map(|r| intercept_val + dot_compensated(r, &coefficients))
+        .collect();
+
+    let mut ss_res = NeumaierSum::new();
+    for (&y, &f) in ys.iter().zip(&fitted) {
+        let r = y - f;
+        ss_res.add(r * r);
+    }
+    let ss_res = ss_res.value();
+
+    let ss_tot = if intercept {
+        let mean = atm_num::sum_compensated(ys.iter().copied()) / ys.len() as f64;
+        let mut s = NeumaierSum::new();
+        for &y in ys {
+            s.add((y - mean) * (y - mean));
+        }
+        s.value()
+    } else {
+        let mut s = NeumaierSum::new();
+        for &y in ys {
+            s.add(y * y);
+        }
+        s.value()
+    };
+    let r_squared = if ss_tot == 0.0 {
+        if ss_res < 1e-12 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+
+    Ok(PreciseFit {
+        intercept: intercept_val,
+        coefficients,
+        fitted,
+        r_squared,
+    })
+}
+
+/// Compensated OLS: same estimator and error contract as
+/// [`crate::ols::fit`], with every accumulation Neumaier-compensated.
+///
+/// When an intercept is requested the reference additionally *centers* the
+/// design before solving — mathematically identical to augmenting with a
+/// constant column, but it removes the offset-induced cancellation inside
+/// the Cholesky factorization that compensated summation alone cannot fix
+/// (the products `x·x` are already rounded before any sum happens). This is
+/// what lets the reference stay accurate on designs with large common
+/// offsets, where the production path's coefficients wobble.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::ols::fit`].
+pub fn fit(xs: &[Vec<f64>], ys: &[f64], intercept: bool) -> StatsResult<PreciseFit> {
+    let p_raw = validate(xs, ys)?;
+    let p = p_raw + usize::from(intercept);
+    if xs.len() < p {
+        return Err(StatsError::Underdetermined {
+            rows: xs.len(),
+            params: p,
+        });
+    }
+    if intercept {
+        let n = xs.len();
+        let x_means: Vec<f64> = (0..p_raw)
+            .map(|j| atm_num::sum_compensated(xs.iter().map(|r| r[j])) / n as f64)
+            .collect();
+        let y_mean = atm_num::sum_compensated(ys.iter().copied()) / n as f64;
+        let centered_cols: Vec<Vec<f64>> = (0..p_raw)
+            .map(|j| xs.iter().map(|r| r[j] - x_means[j]).collect())
+            .collect();
+        let yc: Vec<f64> = ys.iter().map(|&y| y - y_mean).collect();
+        let beta = solve_normal(&centered_cols, &yc)?;
+        let b0 = y_mean - dot_compensated(&beta, &x_means);
+        finish(xs, ys, [vec![b0], beta].concat(), true)
+    } else {
+        let cols = columns(xs, p_raw);
+        let beta = solve_normal(&cols, ys)?;
+        finish(xs, ys, beta, false)
+    }
+}
+
+/// Compensated ridge: same estimator and error contract as
+/// [`crate::ridge::fit`] (centered, unpenalized intercept).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::ridge::fit`].
+pub fn ridge_fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> StatsResult<PreciseFit> {
+    if !(lambda >= 0.0 && lambda.is_finite()) {
+        return Err(StatsError::InvalidParameter(
+            "lambda must be >= 0 and finite",
+        ));
+    }
+    let p = validate(xs, ys)?;
+    let n = xs.len();
+
+    let x_means: Vec<f64> = (0..p)
+        .map(|j| atm_num::sum_compensated(xs.iter().map(|r| r[j])) / n as f64)
+        .collect();
+    let y_mean = atm_num::sum_compensated(ys.iter().copied()) / n as f64;
+    let centered_cols: Vec<Vec<f64>> = (0..p)
+        .map(|j| xs.iter().map(|r| r[j] - x_means[j]).collect())
+        .collect();
+    let yc: Vec<f64> = ys.iter().map(|&y| y - y_mean).collect();
+
+    let k = centered_cols.len();
+    let mut xtx_rows = Vec::with_capacity(k);
+    for (i, a) in centered_cols.iter().enumerate() {
+        let mut row: Vec<f64> = centered_cols
+            .iter()
+            .map(|b| dot_compensated(a, b))
+            .collect();
+        row[i] += lambda;
+        xtx_rows.push(row);
+    }
+    let xty: Vec<f64> = centered_cols
+        .iter()
+        .map(|c| dot_compensated(c, &yc))
+        .collect();
+    let beta = Matrix::from_rows(xtx_rows)?.solve_spd(&xty)?;
+
+    let intercept = y_mean - dot_compensated(&beta, &x_means);
+    finish(xs, ys, [vec![intercept], beta].concat(), true)
+}
+
+/// Compensated VIF scores: same conventions as [`crate::vif::vif_scores`]
+/// (single column ⇒ `[1.0]`, singular auxiliary regression ⇒ fully
+/// inflated, R² ≥ 1−1e−12 ⇒ `f64::INFINITY`).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::vif::vif_scores`].
+pub fn vif_scores(columns: &[Vec<f64>]) -> StatsResult<Vec<f64>> {
+    if columns.is_empty() || columns[0].is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let n = columns[0].len();
+    if columns.iter().any(|c| c.len() != n) {
+        return Err(StatsError::RaggedDesign);
+    }
+    if columns.len() == 1 {
+        return Ok(vec![1.0]);
+    }
+    if n < columns.len() + 1 {
+        return Err(StatsError::Underdetermined {
+            rows: n,
+            params: columns.len() + 1,
+        });
+    }
+
+    let mut out = Vec::with_capacity(columns.len());
+    for j in 0..columns.len() {
+        let y = &columns[j];
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != j)
+                    .map(|(_, c)| c[i])
+                    .collect()
+            })
+            .collect();
+        let r2 = match fit(&rows, y, true) {
+            Ok(f) => f.r_squared,
+            Err(StatsError::Singular) => 1.0,
+            Err(e) => return Err(e),
+        };
+        out.push(if r2 >= 1.0 - 1e-12 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - r2)
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery_matches_production() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let precise = fit(&xs, &ys, true).unwrap();
+        let plain = crate::ols::fit(&xs, &ys, true).unwrap();
+        assert!((precise.intercept - plain.intercept()).abs() < 1e-9);
+        for (a, b) in precise.coefficients.iter().zip(plain.coefficients()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!((precise.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_offset_design_stays_accurate() {
+        // x ≈ 1e8 with unit-scale variation: naive Gram accumulation loses
+        // most of the signal bits; the compensated path must still recover
+        // the true slope.
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0e8 + i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * (r[0] - 1.0e8) + 7.0).collect();
+        let precise = fit(&xs, &ys, true).unwrap();
+        assert!(
+            (precise.coefficients[0] - 3.0).abs() < 1e-4,
+            "slope {}",
+            precise.coefficients[0]
+        );
+        for (f, (r, &y)) in precise.fitted.iter().zip(xs.iter().zip(&ys)) {
+            assert!((f - y).abs() < 1e-2, "fitted {f} vs {y} at x={}", r[0]);
+        }
+    }
+
+    #[test]
+    fn error_contract_matches_production() {
+        assert_eq!(fit(&[], &[], true).unwrap_err(), StatsError::Empty);
+        assert_eq!(
+            fit(&[vec![f64::NAN]], &[1.0], true).unwrap_err(),
+            StatsError::NonFinite { row: 0 }
+        );
+        assert!(matches!(
+            fit(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[1.0, 2.0], true),
+            Err(StatsError::Underdetermined { .. })
+        ));
+        assert_eq!(
+            ridge_fit(&[vec![1.0]], &[1.0], -1.0).unwrap_err(),
+            StatsError::InvalidParameter("lambda must be >= 0 and finite")
+        );
+    }
+
+    #[test]
+    fn ridge_matches_production_on_clean_data() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin() * 10.0,
+                    (i as f64 * 0.11).cos() * 5.0,
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        for lambda in [0.0, 1.0, 50.0] {
+            let precise = ridge_fit(&xs, &ys, lambda).unwrap();
+            let plain = crate::ridge::fit(&xs, &ys, lambda).unwrap();
+            assert!((precise.intercept - plain.intercept()).abs() < 1e-6);
+            for (a, b) in precise.coefficients.iter().zip(plain.coefficients()) {
+                assert!((a - b).abs() < 1e-6, "λ={lambda}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vif_conventions_match_production() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..30).map(|i| (i as f64 * 1.3).cos()).collect();
+        let c: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let precise = vif_scores(&[a.clone(), b.clone(), c]).unwrap();
+        assert!(precise.iter().all(|v| v.is_infinite()));
+        assert_eq!(vif_scores(&[a]).unwrap(), vec![1.0]);
+    }
+}

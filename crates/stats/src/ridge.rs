@@ -67,6 +67,8 @@ impl RidgeFit {
 /// - [`StatsError::Empty`] / [`StatsError::RaggedDesign`] /
 ///   [`StatsError::RowMismatch`] for malformed input.
 /// - [`StatsError::InvalidParameter`] for negative or non-finite `lambda`.
+/// - [`StatsError::NonFinite`] if any design or response value is NaN or
+///   infinite.
 /// - [`StatsError::Singular`] only when `lambda == 0` and the design is
 ///   exactly collinear.
 pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> StatsResult<RidgeFit> {
@@ -90,6 +92,15 @@ pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> StatsResult<RidgeFit> {
     }
     if xs.iter().any(|r| r.len() != p) {
         return Err(StatsError::RaggedDesign);
+    }
+    if let Some(row) = xs
+        .iter()
+        .position(|r| atm_num::first_non_finite(r).is_some())
+    {
+        return Err(StatsError::NonFinite { row });
+    }
+    if let Some((row, _)) = atm_num::first_non_finite(ys) {
+        return Err(StatsError::NonFinite { row });
     }
     let n = xs.len();
 
@@ -194,6 +205,14 @@ mod tests {
         assert!(fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], 1.0).is_err());
         assert!(fit(&[vec![1.0]], &[1.0], -1.0).is_err());
         assert!(fit(&[vec![1.0]], &[1.0], f64::NAN).is_err());
+        assert_eq!(
+            fit(&[vec![f64::NAN], vec![2.0]], &[1.0, 2.0], 1.0).unwrap_err(),
+            StatsError::NonFinite { row: 0 }
+        );
+        assert_eq!(
+            fit(&[vec![1.0], vec![2.0]], &[1.0, f64::NAN], 1.0).unwrap_err(),
+            StatsError::NonFinite { row: 1 }
+        );
         let f = fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], 0.5).unwrap();
         assert!(f.predict_one(&[1.0, 2.0]).is_err());
         assert_eq!(f.lambda(), 0.5);

@@ -102,7 +102,10 @@ pub fn backward_eliminate(
         if candidates.is_empty() {
             break;
         }
-        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Total order (worst VIF first) with a stable index tie-break:
+        // duplicate VIFs previously fell into `Ordering::Equal`, making the
+        // removal order depend on the platform sort's internals.
+        candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let mut removed_this_round = false;
         for (pos, vif) in candidates {
@@ -293,6 +296,28 @@ mod tests {
             .collect();
         let chosen = forward_select(&cols, &y, 2, 0.0).unwrap();
         assert!(chosen.len() <= 2);
+    }
+
+    #[test]
+    fn duplicate_vifs_removed_in_stable_index_order() {
+        // Three identical copies tie exactly on VIF. The stable tie-break
+        // must remove the lowest surviving index first, every time — the
+        // old `unwrap_or(Equal)` comparator left the order to the sort
+        // implementation.
+        let n = 60;
+        let a = independent(n, 13);
+        let cols = vec![a.clone(), a.clone(), a];
+        let cfg = StepwiseConfig {
+            min_set_size: 1,
+            ..StepwiseConfig::default()
+        };
+        let first = backward_eliminate(&cols, &cfg).unwrap();
+        let removed: Vec<usize> = first.removed.iter().map(|r| r.index).collect();
+        assert_eq!(removed, vec![0, 1], "tie-break must favor lower indices");
+        assert_eq!(first.kept, vec![2]);
+        for _ in 0..10 {
+            assert_eq!(backward_eliminate(&cols, &cfg).unwrap(), first);
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Differential oracle: production OLS/ridge/VIF vs the compensated
+//! reference in `atm_stats::precise`, on deliberately ill-conditioned
+//! designs.
+//!
+//! Contract (see DESIGN.md §12): on every generated instance both paths
+//! must either fail with the *same* structured error, or agree on fitted
+//! values to a conditioning-aware tolerance. Coefficients are only
+//! compared on well-conditioned designs, where the normal equations are
+//! stable for both paths.
+
+use atm_stats::{ols, precise, ridge, vif, StatsError};
+
+/// splitmix64: the repo's standard seeded generator for test data.
+fn mix(i: u64, seed: u64) -> u64 {
+    let mut z = i.wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn unit(i: u64, seed: u64) -> f64 {
+    (mix(i, seed) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// Relative-or-absolute closeness with a per-case scale.
+fn close(a: f64, b: f64, tol: f64, scale: f64) -> bool {
+    (a - b).abs() <= tol * scale.max(1.0)
+}
+
+fn assert_fitted_agree(
+    plain: &ols::OlsFit,
+    reference: &precise::PreciseFit,
+    ys: &[f64],
+    tol: f64,
+    label: &str,
+) {
+    let scale = ys.iter().fold(0.0_f64, |m, &y| m.max(y.abs()));
+    for (i, (&a, &b)) in plain.fitted().iter().zip(&reference.fitted).enumerate() {
+        assert!(
+            close(a, b, tol, scale),
+            "{label}: fitted[{i}] diverges: plain {a} vs precise {b} (scale {scale})"
+        );
+    }
+}
+
+#[test]
+fn well_conditioned_designs_agree_tightly() {
+    for seed in 0..20u64 {
+        let n = 40 + (seed as usize % 3) * 17;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    unit(i as u64, seed) * 10.0,
+                    unit(i as u64, seed ^ 0xABCD) * 4.0,
+                ]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 + 1.5 * r[0] - 0.5 * r[1] + 0.01 * unit(i as u64, seed ^ 7))
+            .collect();
+        let plain = ols::fit(&xs, &ys, true).unwrap();
+        let reference = precise::fit(&xs, &ys, true).unwrap();
+        assert!(
+            (plain.intercept() - reference.intercept).abs() < 1e-8,
+            "seed {seed}"
+        );
+        for (a, b) in plain.coefficients().iter().zip(&reference.coefficients) {
+            assert!((a - b).abs() < 1e-8, "seed {seed}: {a} vs {b}");
+        }
+        assert_fitted_agree(&plain, &reference, &ys, 1e-8, "well-conditioned");
+    }
+}
+
+#[test]
+fn large_offset_designs_agree_on_predictions() {
+    // Common offset 1e8 with unit-scale signal: the Gram matrix entries are
+    // ~1e16, so naive accumulation works at the very edge of f64. Both
+    // paths must still predict the response to within a loose tolerance —
+    // coefficients themselves are allowed to wobble.
+    for seed in 0..10u64 {
+        let n = 60;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![1.0e8 + (i as f64) + unit(i as u64, seed)])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * (r[0] - 1.0e8) + 7.0).collect();
+        match (ols::fit(&xs, &ys, true), precise::fit(&xs, &ys, true)) {
+            (Ok(plain), Ok(reference)) => {
+                // The naive path loses ~1% of the slope to Gram-matrix
+                // cancellation here; 5e-2 relative bounds the damage
+                // without asserting more accuracy than f64 normal
+                // equations can deliver at condition number ~1e13.
+                assert_fitted_agree(&plain, &reference, &ys, 5e-2, "large-offset");
+                // The reference itself must actually fit the data.
+                for (f, &y) in reference.fitted.iter().zip(&ys) {
+                    assert!((f - y).abs() < 1e-1, "precise fit off: {f} vs {y}");
+                }
+            }
+            // Cancellation can make the naive Gram matrix numerically
+            // non-SPD; a structured Singular is an acceptable answer —
+            // silently wrong coefficients are not.
+            (Err(StatsError::Singular), _) | (_, Err(StatsError::Singular)) => {}
+            (a, b) => panic!("seed {seed}: inconsistent outcomes {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn near_collinear_designs_never_disagree_silently() {
+    // Second column = first + 1e-9 noise. Either both paths solve (and
+    // agree on predictions) or at least one reports Singular.
+    for seed in 0..10u64 {
+        let n = 50;
+        let base: Vec<f64> = (0..n).map(|i| 50.0 + 10.0 * unit(i as u64, seed)).collect();
+        let xs: Vec<Vec<f64>> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| vec![v, v + 1e-9 * unit(i as u64, seed ^ 99)])
+            .collect();
+        let ys: Vec<f64> = base.iter().map(|&v| 2.0 * v + 1.0).collect();
+        match (ols::fit(&xs, &ys, true), precise::fit(&xs, &ys, true)) {
+            (Ok(plain), Ok(reference)) => {
+                assert_fitted_agree(&plain, &reference, &ys, 1e-4, "near-collinear");
+            }
+            (Err(StatsError::Singular), _) | (_, Err(StatsError::Singular)) => {}
+            (a, b) => panic!("seed {seed}: inconsistent outcomes {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn vandermonde_powers_agree_or_fail_structured() {
+    // Cubic Vandermonde on x ∈ [0, 20]: condition number ~1e9.
+    let n = 40;
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.5;
+            vec![x, x * x, x * x * x]
+        })
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|r| 1.0 - r[0] + 0.1 * r[2]).collect();
+    match (ols::fit(&xs, &ys, true), precise::fit(&xs, &ys, true)) {
+        (Ok(plain), Ok(reference)) => {
+            assert_fitted_agree(&plain, &reference, &ys, 1e-4, "vandermonde");
+        }
+        (Err(StatsError::Singular), _) | (_, Err(StatsError::Singular)) => {}
+        (a, b) => panic!("inconsistent outcomes {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn ridge_paths_agree_under_collinearity() {
+    // Ridge with λ > 0 must succeed on exactly collinear designs in both
+    // implementations and produce matching predictions.
+    let n = 40;
+    let base: Vec<f64> = (0..n).map(|i| 5.0 * unit(i as u64, 11)).collect();
+    let xs: Vec<Vec<f64>> = base.iter().map(|&v| vec![v, 2.0 * v]).collect();
+    let ys: Vec<f64> = base.iter().map(|&v| 1.0 + v).collect();
+    for lambda in [1e-3, 1.0, 100.0] {
+        let plain = ridge::fit(&xs, &ys, lambda).unwrap();
+        let reference = precise::ridge_fit(&xs, &ys, lambda).unwrap();
+        let scale = ys.iter().fold(0.0_f64, |m, &y| m.max(y.abs()));
+        for (r, &f) in xs.iter().zip(&reference.fitted) {
+            let p = plain.predict_one(r).unwrap();
+            assert!(
+                close(p, f, 1e-6, scale),
+                "λ={lambda}: ridge predictions diverge: {p} vs {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn vif_classification_agrees() {
+    // Both implementations must agree on the paper's VIF > 4 rule for
+    // clearly separated designs.
+    let n = 120;
+    let a: Vec<f64> = (0..n).map(|i| 50.0 + 10.0 * unit(i as u64, 3)).collect();
+    let b: Vec<f64> = (0..n).map(|i| 50.0 + 10.0 * unit(i as u64, 17)).collect();
+    let mix_col: Vec<f64> = a.iter().zip(&b).map(|(&x, &y)| 0.5 * x + 0.5 * y).collect();
+
+    let collinear = [a.clone(), b.clone(), mix_col];
+    let plain = vif::vif_scores(&collinear).unwrap();
+    let reference = precise::vif_scores(&collinear).unwrap();
+    for (p, r) in plain.iter().zip(&reference) {
+        assert_eq!(
+            *p > vif::VIF_THRESHOLD,
+            *r > vif::VIF_THRESHOLD,
+            "VIF classification diverges: {p} vs {r}"
+        );
+    }
+
+    let independent = [a, b];
+    let plain = vif::vif_scores(&independent).unwrap();
+    let reference = precise::vif_scores(&independent).unwrap();
+    for (p, r) in plain.iter().zip(&reference) {
+        assert!((p - r).abs() < 1e-6, "independent VIFs diverge: {p} vs {r}");
+    }
+}
+
+#[test]
+fn non_finite_inputs_fail_identically_everywhere() {
+    let xs = vec![vec![1.0], vec![f64::NAN]];
+    let ys = vec![1.0, 2.0];
+    let expected = StatsError::NonFinite { row: 1 };
+    assert_eq!(ols::fit(&xs, &ys, true).unwrap_err(), expected);
+    assert_eq!(precise::fit(&xs, &ys, true).unwrap_err(), expected);
+    assert_eq!(ridge::fit(&xs, &ys, 1.0).unwrap_err(), expected);
+    assert_eq!(precise::ridge_fit(&xs, &ys, 1.0).unwrap_err(), expected);
+
+    let ys_bad = vec![1.0, f64::INFINITY];
+    let xs_ok = vec![vec![1.0], vec![2.0]];
+    let expected = StatsError::NonFinite { row: 1 };
+    assert_eq!(ols::fit(&xs_ok, &ys_bad, true).unwrap_err(), expected);
+    assert_eq!(precise::fit(&xs_ok, &ys_bad, true).unwrap_err(), expected);
+}

@@ -37,7 +37,7 @@ impl EmpiricalCdf {
         if sorted.is_empty() {
             return Err(SeriesError::Empty);
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        atm_num::sort_floats(&mut sorted);
         Ok(EmpiricalCdf { sorted })
     }
 

@@ -25,6 +25,13 @@ pub enum SeriesError {
     ZeroVariance,
     /// A parameter was outside its valid domain (e.g. a quantile not in `[0, 1]`).
     InvalidParameter(&'static str),
+    /// The input contains a NaN or infinite value at an entry point that
+    /// requires finite data (order statistics, correlations). Gap-tolerant
+    /// callers should impute or filter first (e.g. `mean_std_finite`).
+    NonFinite {
+        /// Index of the first offending observation.
+        index: usize,
+    },
 }
 
 impl fmt::Display for SeriesError {
@@ -39,6 +46,9 @@ impl fmt::Display for SeriesError {
             }
             SeriesError::ZeroVariance => write!(f, "statistic undefined for zero variance input"),
             SeriesError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SeriesError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
         }
     }
 }

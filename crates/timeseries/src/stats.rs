@@ -90,6 +90,9 @@ pub fn covariance(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
 ///
 /// - [`SeriesError::LengthMismatch`] on unequal lengths.
 /// - [`SeriesError::TooShort`] on fewer than two observations.
+/// - [`SeriesError::NonFinite`] if either input carries a NaN or infinity
+///   (a NaN-gapped series would otherwise yield a silent NaN correlation);
+///   impute gaps or pre-filter complete pairs first.
 /// - [`SeriesError::ZeroVariance`] if either input is constant.
 pub fn pearson(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
     if xs.len() != ys.len() {
@@ -104,6 +107,8 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
             actual: xs.len(),
         });
     }
+    ensure_finite(xs)?;
+    ensure_finite(ys)?;
     let mx = mean(xs)?;
     let my = mean(ys)?;
     let mut sxy = 0.0;
@@ -130,21 +135,30 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
 ///
 /// # Errors
 ///
-/// Same conditions as [`pearson`].
+/// Same conditions as [`pearson`]; non-finite inputs are rejected *before*
+/// ranking (ranks would silently place NaNs as the largest values).
 pub fn spearman(xs: &[f64], ys: &[f64]) -> SeriesResult<f64> {
+    ensure_finite(xs)?;
+    ensure_finite(ys)?;
     let rx = ranks(xs);
     let ry = ranks(ys);
     pearson(&rx, &ry)
 }
 
+/// Maps the first non-finite value to a structured error.
+fn ensure_finite(xs: &[f64]) -> SeriesResult<()> {
+    match atm_num::first_non_finite(xs) {
+        Some((index, _)) => Err(SeriesError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
 /// Fractional ranks (average rank for ties), 1-based.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: a stable total order even if a caller ever feeds NaNs
+    // through a future entry point — they rank last, deterministically.
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -169,6 +183,9 @@ fn ranks(xs: &[f64]) -> Vec<f64> {
 ///
 /// - [`SeriesError::Empty`] if `xs` is empty.
 /// - [`SeriesError::InvalidParameter`] if `q` is outside `[0, 1]` or NaN.
+/// - [`SeriesError::NonFinite`] if `xs` carries a NaN or infinity — an
+///   order statistic over non-finite data has no meaningful value, and the
+///   old `unwrap_or(Equal)` sort made it depend on input order.
 pub fn quantile(xs: &[f64], q: f64) -> SeriesResult<f64> {
     if xs.is_empty() {
         return Err(SeriesError::Empty);
@@ -176,8 +193,9 @@ pub fn quantile(xs: &[f64], q: f64) -> SeriesResult<f64> {
     if !(0.0..=1.0).contains(&q) {
         return Err(SeriesError::InvalidParameter("quantile must be in [0, 1]"));
     }
+    ensure_finite(xs)?;
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    atm_num::sort_floats(&mut sorted);
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -192,7 +210,8 @@ pub fn quantile(xs: &[f64], q: f64) -> SeriesResult<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`SeriesError::Empty`] if `xs` is empty.
+/// Returns [`SeriesError::Empty`] if `xs` is empty and
+/// [`SeriesError::NonFinite`] if it carries a NaN or infinity.
 pub fn median(xs: &[f64]) -> SeriesResult<f64> {
     quantile(xs, 0.5)
 }
@@ -322,6 +341,39 @@ mod tests {
     fn median_odd_even() {
         assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
         assert!((median(&[4.0, 1.0, 2.0, 3.0]).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_structured_errors() {
+        assert_eq!(
+            quantile(&[1.0, f64::NAN, 3.0], 0.5),
+            Err(SeriesError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            median(&[f64::INFINITY]),
+            Err(SeriesError::NonFinite { index: 0 })
+        );
+        assert_eq!(
+            pearson(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(SeriesError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            spearman(&[1.0, 2.0], &[f64::NEG_INFINITY, 2.0]),
+            Err(SeriesError::NonFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn quantile_deterministic_under_permutation() {
+        // Duplicate-heavy input in two different orders must give
+        // bit-identical quantiles at every probe point.
+        let a = [2.0, 1.0, 2.0, 1.0, 2.0, 3.0, 1.0];
+        let b = [3.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0];
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let qa = quantile(&a, q).unwrap();
+            let qb = quantile(&b, q).unwrap();
+            assert_eq!(qa.to_bits(), qb.to_bits(), "q={q}");
+        }
     }
 
     #[test]

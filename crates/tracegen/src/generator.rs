@@ -659,7 +659,7 @@ mod tests {
         for b in &fleet.boxes {
             for vm in &b.vms {
                 let mut sorted = vm.cpu_usage.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                atm_num::sort_floats(&mut sorted);
                 let p90 = sorted[(sorted.len() as f64 * 0.9) as usize];
                 let peak = sorted[sorted.len() - 1];
                 assert!(peak <= p90 * 1.6 + 5.0, "smooth peak {peak} vs p90 {p90}");
