@@ -11,6 +11,8 @@
 //! cargo run --release -p atm-bench --bin bench -- --check BENCH_PIPELINE.json
 //! cargo run --release -p atm-bench --bin bench -- --quick --metrics \
 //!     --compare BENCH_PIPELINE.json --tolerance 25
+//! cargo run --release -p atm-bench --bin bench -- --scenario all \
+//!     --compare BENCH_SCENARIOS.json
 //! ```
 //!
 //! `--metrics` additionally writes `OBS_SNAPSHOT.json` (the full metrics
@@ -19,6 +21,14 @@
 //! bench and exits non-zero if any kernel or matrix timing regressed
 //! beyond `--tolerance` percent after normalizing per DP cell, so a
 //! `--quick` run can be gated against the committed `--full` baseline.
+//!
+//! `--scenario <name|all>` switches to the drift-scenario leg instead of
+//! the DTW legs: it replays the committed seeded scenarios from
+//! `BENCH_SCENARIOS.json` (clean baseline, adaptive, and non-adaptive
+//! runs), reports the measured ticket reductions and drift events as
+//! JSON, and — when `--compare` names the committed matrix — exits
+//! non-zero if any measured reduction leaves its committed band.
+//! `--seed N` overrides the committed seed for ad-hoc replay.
 //!
 //! Every timed leg recomputes the same distances; the binary asserts all
 //! legs agree bit-for-bit before reporting, so a report is also a
@@ -29,11 +39,11 @@ use std::time::Instant;
 use atm_clustering::dtw::dtw_distance;
 use atm_clustering::kernel::DtwKernel;
 use atm_clustering::DistanceMatrix;
-use atm_core::config::TemporalModel;
-use atm_core::online::{run_online, run_online_observed};
+use atm_core::config::{AdaptationConfig, ClusterMethod, TemporalModel};
+use atm_core::online::{run_online, run_online_observed, DriftEventKind, OnlineReport};
 use atm_core::AtmConfig;
 use atm_obs::Obs;
-use atm_tracegen::{generate_box, FleetConfig};
+use atm_tracegen::{generate_box, FleetConfig, ScenarioKind, ScenarioPlan};
 
 /// Schema version written into the report; bump when fields change.
 /// Version 2 added the `obs` overhead group; `--check` still accepts
@@ -84,6 +94,8 @@ fn main() {
     let mut metrics = false;
     let mut compare: Option<String> = None;
     let mut tolerance_pct = 25.0_f64;
+    let mut scenario: Option<String> = None;
+    let mut seed_override: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -126,10 +138,27 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--scenario" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--scenario requires a scenario name or `all`");
+                    std::process::exit(2);
+                }
+                scenario = Some(args[i].clone());
+            }
+            "--seed" => {
+                i += 1;
+                seed_override = args.get(i).and_then(|v| v.parse().ok());
+                if seed_override.is_none() {
+                    eprintln!("--seed requires an unsigned integer");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick|--full] [--metrics] [--out PATH] [--check PATH] \
-                     [--compare BASELINE [--tolerance PCT]]"
+                     [--compare BASELINE [--tolerance PCT]] \
+                     [--scenario NAME|all [--seed N]]"
                 );
                 return;
             }
@@ -152,6 +181,11 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(selector) = scenario {
+        run_scenario_mode(&selector, seed_override, out.as_deref(), compare.as_deref());
+        return;
     }
 
     let (report, obs) = run(quick);
@@ -641,4 +675,282 @@ fn compare_against(
     }
 
     Ok(regressions)
+}
+
+/// One committed drift scenario, as read from `BENCH_SCENARIOS.json`.
+struct ScenarioSpec {
+    kind: ScenarioKind,
+    seed: u64,
+    days: usize,
+    band_pp: f64,
+    no_harm_pp: f64,
+    nonadaptive_violates: bool,
+    daily_growth: Option<f64>,
+    max_factor: Option<f64>,
+}
+
+/// Measured outcome of one scenario's three runs.
+struct ScenarioResult {
+    name: &'static str,
+    seed: u64,
+    days: usize,
+    baseline_reduction_pct: f64,
+    adaptive_reduction_pct: f64,
+    nonadaptive_reduction_pct: f64,
+    drift_confirmed: usize,
+    drift_cleared: usize,
+    refits_used: usize,
+}
+
+/// Parses the committed scenario matrix (the same file
+/// `tests/scenarios.rs` enforces).
+fn parse_scenario_matrix(path: &str) -> Result<(usize, Vec<ScenarioSpec>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    if v.get("schema_version").and_then(serde_json::Value::as_u64) != Some(1) {
+        return Err("unsupported scenario-matrix schema_version".into());
+    }
+    let onset = v
+        .get("onset_window")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("missing `onset_window`")? as usize;
+    let scenarios = v
+        .get("scenarios")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing array `scenarios`")?;
+    let mut specs = Vec::new();
+    for s in scenarios {
+        let name = s
+            .get("name")
+            .and_then(serde_json::Value::as_str)
+            .ok_or("scenario missing `name`")?;
+        let kind = ScenarioKind::from_name(name)
+            .ok_or_else(|| format!("unknown scenario name {name:?}"))?;
+        specs.push(ScenarioSpec {
+            kind,
+            seed: s
+                .get("seed")
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("{name}: missing `seed`"))?,
+            days: s
+                .get("days")
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("{name}: missing `days`"))? as usize,
+            band_pp: s
+                .get("band_pp")
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing `band_pp`"))?,
+            no_harm_pp: s
+                .get("no_harm_pp")
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("{name}: missing `no_harm_pp`"))?,
+            nonadaptive_violates: s
+                .get("nonadaptive_violates")
+                .and_then(serde_json::Value::as_bool)
+                .ok_or_else(|| format!("{name}: missing `nonadaptive_violates`"))?,
+            daily_growth: s.get("daily_growth").and_then(serde_json::Value::as_f64),
+            max_factor: s.get("max_factor").and_then(serde_json::Value::as_f64),
+        });
+    }
+    Ok((onset, specs))
+}
+
+/// The trace recipe the committed bands were calibrated for — keep in
+/// lockstep with `tests/scenarios.rs` (`fleet_config` there): smooth
+/// 8-VM boxes, two hot CPU VMs capped just below the ticket threshold.
+fn scenario_fleet(days: usize, seed: u64) -> FleetConfig {
+    FleetConfig {
+        days,
+        seed,
+        vm_count_range: (8, 8),
+        hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+        hot_ram_probability: 0.0,
+        hot_cpu_max_usage_pct: 55.0,
+        ..FleetConfig::smooth(1)
+    }
+}
+
+/// The committed evaluation config — keep in lockstep with
+/// `tests/scenarios.rs` (`scenario_config` there).
+fn scenario_atm_config(adaptive: bool) -> AtmConfig {
+    let mut cfg = AtmConfig {
+        temporal: TemporalModel::SeasonalNaive { period: 96 },
+        train_windows: 2 * 96,
+        horizon: 96,
+        ..AtmConfig::fast_for_tests()
+    }
+    .with_cluster_method(ClusterMethod::cbc());
+    cfg.compute = cfg.compute.with_env_threads();
+    if adaptive {
+        cfg.adaptation = AdaptationConfig::fast();
+    }
+    cfg
+}
+
+fn scenario_reduction_pct(report: &OnlineReport) -> f64 {
+    report.overall_reduction_pct().unwrap_or(100.0)
+}
+
+/// Replays one committed scenario (clean baseline, adaptive,
+/// non-adaptive) and returns the measured outcome.
+fn run_one_scenario(spec: &ScenarioSpec, onset: usize, seed: u64) -> ScenarioResult {
+    let clean = generate_box(&scenario_fleet(spec.days, seed), 0);
+    let mut drifted = clean.clone();
+    let mut plan = ScenarioPlan::new(spec.kind, seed, onset);
+    if let Some(g) = spec.daily_growth {
+        plan.daily_growth = g;
+    }
+    if let Some(m) = spec.max_factor {
+        plan.max_factor = m;
+    }
+    plan.apply_box(&mut drifted, 0).unwrap_or_else(|e| {
+        eprintln!("{}: invalid committed plan: {e}", spec.kind.name());
+        std::process::exit(1);
+    });
+
+    let run = |trace, adaptive| {
+        run_online(trace, &scenario_atm_config(adaptive)).unwrap_or_else(|e| {
+            eprintln!("{}: online run failed: {e}", spec.kind.name());
+            std::process::exit(1);
+        })
+    };
+    let baseline = run(&clean, true);
+    let adaptive = run(&drifted, true);
+    let nonadaptive = run(&drifted, false);
+    ScenarioResult {
+        name: spec.kind.name(),
+        seed,
+        days: spec.days,
+        baseline_reduction_pct: scenario_reduction_pct(&baseline),
+        adaptive_reduction_pct: scenario_reduction_pct(&adaptive),
+        nonadaptive_reduction_pct: scenario_reduction_pct(&nonadaptive),
+        drift_confirmed: adaptive
+            .adaptation
+            .events_of(DriftEventKind::Confirmed)
+            .len(),
+        drift_cleared: adaptive.adaptation.events_of(DriftEventKind::Cleared).len(),
+        refits_used: adaptive.adaptation.refits_used,
+    }
+}
+
+/// Renders the scenario-leg report (hand-rolled like [`render_json`]).
+fn render_scenario_json(results: &[ScenarioResult]) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seed\": {}, \"days\": {}, \
+             \"baseline_reduction_pct\": {}, \"adaptive_reduction_pct\": {}, \
+             \"nonadaptive_reduction_pct\": {}, \"drift_confirmed\": {}, \
+             \"drift_cleared\": {}, \"refits_used\": {}}}",
+            r.name,
+            r.seed,
+            r.days,
+            r.baseline_reduction_pct,
+            r.adaptive_reduction_pct,
+            r.nonadaptive_reduction_pct,
+            r.drift_confirmed,
+            r.drift_cleared,
+            r.refits_used,
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"mode\": \"scenario\",\n  \"scenarios\": [\n{rows}\n  ]\n}}\n"
+    )
+}
+
+/// The `--scenario` entry point: replays the selected committed
+/// scenarios, prints (or `--out`-writes) the measured JSON, and — when
+/// `compare` names the committed matrix — gates the measurements against
+/// its bands, exiting non-zero on any violation.
+fn run_scenario_mode(
+    selector: &str,
+    seed_override: Option<u64>,
+    out: Option<&str>,
+    compare: Option<&str>,
+) {
+    let matrix_path = compare.unwrap_or("BENCH_SCENARIOS.json");
+    let (onset, specs) = parse_scenario_matrix(matrix_path).unwrap_or_else(|e| {
+        eprintln!("cannot read scenario matrix {matrix_path}: {e}");
+        std::process::exit(1);
+    });
+    let selected: Vec<&ScenarioSpec> = if selector == "all" {
+        specs.iter().collect()
+    } else {
+        match specs.iter().find(|s| s.kind.name() == selector) {
+            Some(s) => vec![s],
+            None => {
+                let known: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+                eprintln!(
+                    "unknown scenario {selector:?}; known: {} or all",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let results: Vec<ScenarioResult> = selected
+        .iter()
+        .map(|spec| run_one_scenario(spec, onset, seed_override.unwrap_or(spec.seed)))
+        .collect();
+
+    let json = render_scenario_json(&results);
+    match out {
+        Some(path) => {
+            atm_core::fsio::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    // Gate against the committed bands only when comparing the committed
+    // seeds (a --seed override changes the trace, not the contract).
+    if compare.is_some() && seed_override.is_none() {
+        let mut violations = Vec::new();
+        for (spec, r) in selected.iter().zip(&results) {
+            let floor = r.baseline_reduction_pct - spec.band_pp;
+            eprintln!(
+                "{}: baseline {:.1}% adaptive {:.1}% non-adaptive {:.1}% (band floor {:.1}%)",
+                r.name,
+                r.baseline_reduction_pct,
+                r.adaptive_reduction_pct,
+                r.nonadaptive_reduction_pct,
+                floor
+            );
+            if r.adaptive_reduction_pct < floor {
+                violations.push(format!(
+                    "{}: adaptive reduction {:.1}% below committed floor {:.1}%",
+                    r.name, r.adaptive_reduction_pct, floor
+                ));
+            }
+            if r.adaptive_reduction_pct < r.nonadaptive_reduction_pct - spec.no_harm_pp {
+                violations.push(format!(
+                    "{}: adaptation made things worse ({:.1}% vs {:.1}%)",
+                    r.name, r.adaptive_reduction_pct, r.nonadaptive_reduction_pct
+                ));
+            }
+            if spec.nonadaptive_violates && r.nonadaptive_reduction_pct >= floor {
+                violations.push(format!(
+                    "{}: non-adaptive loop no longer violates the band \
+                     ({:.1}% >= {:.1}%) — the scenario stopped stressing anything",
+                    r.name, r.nonadaptive_reduction_pct, floor
+                ));
+            }
+        }
+        if violations.is_empty() {
+            eprintln!("all scenario bands hold vs {matrix_path}");
+        } else {
+            for v in &violations {
+                eprintln!("BAND VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -47,7 +47,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::DurabilityConfig;
 use crate::error::{AtmError, AtmResult};
 use crate::fsio::{append_durable, write_atomic};
-use crate::online::{DegradationSummary, OnlineState, WindowOutcome};
+use crate::online::{AdaptationState, DegradationSummary, OnlineState, WindowOutcome};
 
 /// Snapshot format version; bumped on incompatible layout changes.
 /// Snapshots with a different version are treated as corrupt (recovery
@@ -194,6 +194,10 @@ pub struct JournalRecord {
     pub safe_mode: bool,
     /// Degradation accounting after this window.
     pub summary: DegradationSummary,
+    /// Drift-adaptation state after this window. Defaults for journals
+    /// written before adaptation existed, so old stores stay readable.
+    #[serde(default)]
+    pub adaptation: AdaptationState,
 }
 
 /// A directory of per-box snapshots and journals.
@@ -374,6 +378,7 @@ impl CheckpointStore {
             consecutive_actuation_failures: state.consecutive_actuation_failures,
             safe_mode: state.safe_mode,
             summary: state.summary.clone(),
+            adaptation: state.adaptation.clone(),
         };
         self.append_journal(box_name, &record)
     }
@@ -578,6 +583,7 @@ impl CheckpointStore {
             state.last_caps = record.last_caps;
             state.consecutive_actuation_failures = record.consecutive_actuation_failures;
             state.safe_mode = record.safe_mode;
+            state.adaptation = record.adaptation;
             state.next_window = record.window + 1;
         }
         events.append(&mut journal_events);
@@ -602,7 +608,7 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::online::WindowStatus;
+    use crate::online::{DriftEvent, DriftEventKind, WindowStatus};
 
     fn temp_store(tag: &str) -> CheckpointStore {
         let dir = std::env::temp_dir().join(format!(
@@ -657,6 +663,7 @@ mod tests {
             last_caps: vec![Some(vec![1.5, 2.5]), None],
             consecutive_actuation_failures: 0,
             safe_mode: false,
+            adaptation: AdaptationState::default(),
         }
     }
 
@@ -806,6 +813,41 @@ mod tests {
         assert!(journal.is_empty());
         let recovery = store.recover("box0", state_with(7, 0));
         assert_eq!(recovery.state, state);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn adaptation_state_rides_snapshots_and_journal_byte_identically() {
+        let store = temp_store("adapt");
+        let mut state = state_with(7, 2);
+        state.adaptation.baseline = Some(0.25);
+        state.adaptation.refits_used = 1;
+        state.adaptation.active = true;
+        state.adaptation.headroom = 1.75;
+        state.adaptation.recent = vec![0.5];
+        state.adaptation.events.push(DriftEvent {
+            window: 1,
+            kind: DriftEventKind::Confirmed,
+            residual: 0.5,
+            baseline: 0.25,
+            headroom: 1.75,
+        });
+        store.save_snapshot("box0", &state).unwrap();
+        // One more window lands in the journal only, with adaptation
+        // state that evolved past the snapshot — replay must carry it.
+        state.windows.push(outcome(2));
+        state.next_window = 3;
+        state.adaptation.headroom = 2.25;
+        state.adaptation.recent = vec![0.625];
+        store.record_window("box0", &state, 100).unwrap();
+
+        let recovery = store.recover("box0", state_with(7, 0));
+        assert_eq!(recovery.state, state);
+        assert_eq!(
+            serde_json::to_string(&recovery.state).unwrap(),
+            serde_json::to_string(&state).unwrap(),
+            "resumed adaptation state must be byte-identical"
+        );
         let _ = fs::remove_dir_all(store.dir());
     }
 

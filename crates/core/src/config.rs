@@ -116,6 +116,10 @@ fn default_supervisor_seed() -> u64 {
     0xA7_0117
 }
 
+fn default_demand_headroom() -> f64 {
+    1.0
+}
+
 impl Default for DurabilityConfig {
     fn default() -> Self {
         DurabilityConfig {
@@ -280,6 +284,197 @@ impl ObservabilityConfig {
     }
 }
 
+/// Drift-aware adaptation knobs for the online rolling loop: a residual
+/// (MAPE) drift detector with hysteresis, plus a budget-capped controller
+/// that re-fits on recent history and hedges the resizer while drift is
+/// active (see `DESIGN.md` §13).
+///
+/// Disabled by default, and every field is serde-defaulted, so
+/// configurations serialized before this struct existed keep loading with
+/// the online loop byte-identical to its non-adaptive behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationConfig {
+    /// Master switch. Off (the default) leaves the online loop exactly as
+    /// it was: no detector state advances, no events, no re-fits.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Windows of residuals that freeze the drift-free baseline level; no
+    /// detection happens during this warmup.
+    #[serde(default = "default_baseline_windows")]
+    pub baseline_windows: usize,
+    /// Windows in the rolling "recent residual" median the detector
+    /// compares against the baseline.
+    #[serde(default = "default_short_windows")]
+    pub short_windows: usize,
+    /// Drift trigger: the recent median must exceed `trigger_ratio` times
+    /// the baseline (floored at [`residual_floor`](Self::residual_floor)).
+    /// Must be greater than [`clear_ratio`](Self::clear_ratio).
+    #[serde(default = "default_trigger_ratio")]
+    pub trigger_ratio: f64,
+    /// Hysteresis: active drift clears only once the recent median falls
+    /// back below `clear_ratio` times the baseline. Must be >= 1.
+    #[serde(default = "default_clear_ratio")]
+    pub clear_ratio: f64,
+    /// Absolute MAPE floor for the baseline, so near-perfect models (e.g.
+    /// oracle runs) do not hair-trigger on noise.
+    #[serde(default = "default_residual_floor")]
+    pub residual_floor: f64,
+    /// Consecutive elevated windows required to confirm drift.
+    #[serde(default = "default_confirm_windows")]
+    pub confirm_windows: usize,
+    /// Windows after a drift episode clears during which no new episode
+    /// may confirm (lets the re-trained model prove itself).
+    #[serde(default = "default_cooldown_windows")]
+    pub cooldown_windows: usize,
+    /// Re-fit budget: confirmed drift episodes that may trigger
+    /// adaptation per run. Once spent, further confirmations degrade to a
+    /// `budget_exhausted` event — detection keeps running, adaptation
+    /// stops, the loop never aborts.
+    #[serde(default = "default_max_refits")]
+    pub max_refits: usize,
+    /// Training-span override while drift is active: the pipeline
+    /// re-fits (clustering, spatial regression, forecasts) on only the
+    /// most recent `refit_train_windows` windows, shedding stale
+    /// pre-drift history. `0` keeps the full span. Nonzero values must be
+    /// >= 8 (the pipeline's minimum) and below `train_windows` to have
+    /// any effect.
+    #[serde(default = "default_refit_train_windows")]
+    pub refit_train_windows: usize,
+    /// Headroom hedge gain: while drift is active the resizer sees
+    /// predicted demands inflated by `1 + headroom_gain * recent_mape`
+    /// (capped at [`max_headroom`](Self::max_headroom)) — the "hedge
+    /// against prediction error" move from the online-allocation
+    /// literature. `0` disables the hedge, leaving re-fit only.
+    #[serde(default = "default_headroom_gain")]
+    pub headroom_gain: f64,
+    /// Upper bound on the adaptive headroom multiplier; must be >= 1.
+    #[serde(default = "default_max_headroom")]
+    pub max_headroom: f64,
+}
+
+fn default_baseline_windows() -> usize {
+    3
+}
+
+fn default_short_windows() -> usize {
+    2
+}
+
+fn default_trigger_ratio() -> f64 {
+    2.0
+}
+
+fn default_clear_ratio() -> f64 {
+    1.2
+}
+
+fn default_residual_floor() -> f64 {
+    0.05
+}
+
+fn default_confirm_windows() -> usize {
+    2
+}
+
+fn default_cooldown_windows() -> usize {
+    2
+}
+
+fn default_max_refits() -> usize {
+    2
+}
+
+fn default_refit_train_windows() -> usize {
+    96
+}
+
+fn default_headroom_gain() -> f64 {
+    2.0
+}
+
+fn default_max_headroom() -> f64 {
+    2.5
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            enabled: false,
+            baseline_windows: default_baseline_windows(),
+            short_windows: default_short_windows(),
+            trigger_ratio: default_trigger_ratio(),
+            clear_ratio: default_clear_ratio(),
+            residual_floor: default_residual_floor(),
+            confirm_windows: default_confirm_windows(),
+            cooldown_windows: default_cooldown_windows(),
+            max_refits: default_max_refits(),
+            refit_train_windows: default_refit_train_windows(),
+            headroom_gain: default_headroom_gain(),
+            max_headroom: default_max_headroom(),
+        }
+    }
+}
+
+impl AdaptationConfig {
+    /// An enabled configuration tuned for short traces (tests, demos):
+    /// two clean windows freeze the baseline, one elevated window
+    /// confirms drift.
+    pub fn fast() -> Self {
+        AdaptationConfig {
+            enabled: true,
+            baseline_windows: 2,
+            short_windows: 1,
+            confirm_windows: 1,
+            cooldown_windows: 1,
+            ..AdaptationConfig::default()
+        }
+    }
+
+    /// Validates the adaptation settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AtmError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        if self.baseline_windows == 0 || self.short_windows == 0 || self.confirm_windows == 0 {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation window counts must be positive",
+            ));
+        }
+        if !(self.clear_ratio >= 1.0 && self.clear_ratio.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation clear_ratio must be >= 1",
+            ));
+        }
+        if !(self.trigger_ratio > self.clear_ratio && self.trigger_ratio.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation trigger_ratio must exceed clear_ratio",
+            ));
+        }
+        if !(self.residual_floor >= 0.0 && self.residual_floor.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation residual_floor must be >= 0",
+            ));
+        }
+        if self.refit_train_windows != 0 && self.refit_train_windows < 8 {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation refit_train_windows must be 0 or >= 8",
+            ));
+        }
+        if !(self.headroom_gain >= 0.0 && self.headroom_gain.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation headroom_gain must be >= 0",
+            ));
+        }
+        if !(self.max_headroom >= 1.0 && self.max_headroom.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "adaptation max_headroom must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Step-1 clustering method for the signature search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMethod {
@@ -410,6 +605,18 @@ pub struct AtmConfig {
     pub imputation: ImputationConfig,
     /// Robustness settings for the online rolling loop.
     pub online: OnlineConfig,
+    /// Multiplier applied to predicted demands *for resizing only* (the
+    /// reported prediction accuracy always reflects the raw model).
+    /// `1.0` (the default) is a no-op; the adaptation controller raises
+    /// the effective value while drift is active. Defaulted when absent
+    /// from serialized configs, so older configs keep loading.
+    #[serde(default = "default_demand_headroom")]
+    pub demand_headroom: f64,
+    /// Drift detection and adaptation settings for the online loop.
+    /// Defaulted (disabled) when absent from serialized configs, so older
+    /// configs keep loading.
+    #[serde(default)]
+    pub adaptation: AdaptationConfig,
     /// Intra-box parallelism and DTW kernel selection. Defaulted when
     /// absent from serialized configs, so older configs keep loading.
     #[serde(default)]
@@ -440,6 +647,8 @@ impl Default for AtmConfig {
             horizon: 96,
             imputation: ImputationConfig::default(),
             online: OnlineConfig::default(),
+            demand_headroom: default_demand_headroom(),
+            adaptation: AdaptationConfig::default(),
             compute: ComputeConfig::default(),
             durability: DurabilityConfig::default(),
             observability: ObservabilityConfig::default(),
@@ -524,8 +733,14 @@ impl AtmConfig {
                 ));
             }
         }
+        if !(self.demand_headroom >= 1.0 && self.demand_headroom.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "demand_headroom must be >= 1",
+            ));
+        }
         self.imputation.validate()?;
         self.online.validate()?;
+        self.adaptation.validate()?;
         self.durability.validate()?;
         Ok(())
     }
@@ -646,6 +861,52 @@ mod tests {
         let mut c = AtmConfig::fast_for_tests();
         c.durability.breaker_base_ms = 100;
         c.durability.breaker_cap_ms = 10;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn adaptation_defaults_are_off_and_backward_compatible() {
+        let a = AdaptationConfig::default();
+        assert!(!a.enabled);
+        assert!(a.trigger_ratio > a.clear_ratio);
+        assert!(a.validate().is_ok());
+        assert!(AdaptationConfig::fast().enabled);
+        assert!(AdaptationConfig::fast().validate().is_ok());
+        // A config serialized before the adaptation/headroom fields
+        // existed must keep deserializing with adaptation off and no
+        // headroom.
+        let mut v: serde_json::Value =
+            serde_json::to_value(AtmConfig::fast_for_tests()).expect("serializable");
+        let obj = v.as_object_mut().expect("object");
+        obj.remove("adaptation");
+        obj.remove("demand_headroom");
+        let restored: AtmConfig = serde_json::from_value(v).expect("adaptation defaults");
+        assert_eq!(restored.adaptation, AdaptationConfig::default());
+        assert_eq!(restored.demand_headroom, 1.0);
+    }
+
+    #[test]
+    fn adaptation_validation_rejects_bad_values() {
+        let mut c = AtmConfig::fast_for_tests();
+        c.adaptation.trigger_ratio = 1.0; // not above clear_ratio
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.adaptation.clear_ratio = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.adaptation.short_windows = 0;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.adaptation.refit_train_windows = 4;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.adaptation.max_headroom = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.demand_headroom = 0.9;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.demand_headroom = f64::NAN;
         assert!(c.validate().is_err());
     }
 

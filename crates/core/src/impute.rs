@@ -398,7 +398,7 @@ mod tests {
             3,
         );
         let plan = FaultPlan::gaps_only(9);
-        let summary = plan.inject_box(&mut b, 0);
+        let summary = plan.inject_box(&mut b, 0).expect("valid plan");
         assert!(summary.gap_samples > 0);
 
         let (filled, report) = impute_box(&b, &ImputationConfig::default());

@@ -32,6 +32,24 @@
 //! actuation failures are tracked for accounting and safe mode rather
 //! than forking the evaluation state.
 //!
+//! # Drift-aware adaptation
+//!
+//! With [`AdaptationConfig::enabled`](crate::config::AdaptationConfig)
+//! the driver watches each window's residual (the report's overall
+//! prediction MAPE) for sustained shifts against a frozen baseline.
+//! A confirmed shift emits a structured [`DriftEvent`], spends one unit
+//! of the bounded re-fit budget, and switches subsequent windows to an
+//! *adapted* configuration: training shortened to
+//! [`refit_train_windows`](crate::config::AdaptationConfig) (which also
+//! re-clusters on the fresh history) and
+//! [`demand_headroom`](crate::config::AtmConfig) raised in proportion to
+//! the observed residual. Hysteresis clears the episode once residuals
+//! settle, a cooldown suppresses immediate re-triggering, and an
+//! exhausted budget emits one [`DriftEventKind::BudgetExhausted`] event
+//! and falls back to the ordinary degradation chain — the loop degrades,
+//! it never aborts. All adaptation state lives in [`OnlineState`], so
+//! crash-resumed runs replay decisions byte-identically.
+//!
 //! # Crash safety
 //!
 //! The loop is factored into an [`OnlineDriver`] advancing a serializable
@@ -51,7 +69,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::actuate::{apply_with_retry, CapacityActuator, NoopActuator};
 use crate::checkpoint::{CheckpointStore, Recovery};
-use crate::config::AtmConfig;
+use crate::config::{AdaptationConfig, AtmConfig};
 use crate::error::{AtmError, AtmResult};
 use crate::pipeline::{
     fallback_box_report_observed, run_box_observed, scoped_resources, ticket_policy,
@@ -151,20 +169,267 @@ pub struct DegradationSummary {
 impl DegradationSummary {
     /// Accumulates another box's accounting into this one — the
     /// fleet-level aggregation used by
-    /// [`FleetReport`](crate::supervisor::FleetReport).
+    /// [`FleetReport`](crate::supervisor::FleetReport). Saturates
+    /// instead of overflowing, so pathological inputs cannot panic the
+    /// aggregation in debug builds.
     pub fn merge(&mut self, other: &DegradationSummary) {
-        self.windows_total += other.windows_total;
-        self.windows_ok += other.windows_ok;
-        self.windows_degraded += other.windows_degraded;
-        self.windows_skipped += other.windows_skipped;
-        self.fallback_windows += other.fallback_windows;
-        self.imputed_windows += other.imputed_windows;
-        self.imputed_samples += other.imputed_samples;
-        self.actuation_retries += other.actuation_retries;
-        self.actuation_failures += other.actuation_failures;
-        self.safe_mode_entries += other.safe_mode_entries;
-        self.degraded_tickets_before += other.degraded_tickets_before;
-        self.degraded_tickets_after += other.degraded_tickets_after;
+        self.windows_total = self.windows_total.saturating_add(other.windows_total);
+        self.windows_ok = self.windows_ok.saturating_add(other.windows_ok);
+        self.windows_degraded = self.windows_degraded.saturating_add(other.windows_degraded);
+        self.windows_skipped = self.windows_skipped.saturating_add(other.windows_skipped);
+        self.fallback_windows = self.fallback_windows.saturating_add(other.fallback_windows);
+        self.imputed_windows = self.imputed_windows.saturating_add(other.imputed_windows);
+        self.imputed_samples = self.imputed_samples.saturating_add(other.imputed_samples);
+        self.actuation_retries = self
+            .actuation_retries
+            .saturating_add(other.actuation_retries);
+        self.actuation_failures = self
+            .actuation_failures
+            .saturating_add(other.actuation_failures);
+        self.safe_mode_entries = self
+            .safe_mode_entries
+            .saturating_add(other.safe_mode_entries);
+        self.degraded_tickets_before = self
+            .degraded_tickets_before
+            .saturating_add(other.degraded_tickets_before);
+        self.degraded_tickets_after = self
+            .degraded_tickets_after
+            .saturating_add(other.degraded_tickets_after);
+    }
+}
+
+/// What a [`DriftEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DriftEventKind {
+    /// Residual shift confirmed; an adaptation episode began and one
+    /// unit of the re-fit budget was spent.
+    Confirmed,
+    /// Residuals settled back under the hysteresis threshold; the
+    /// episode ended and the adapted configuration was dropped.
+    Cleared,
+    /// A shift was confirmed but the re-fit budget was already spent;
+    /// the loop keeps running un-adapted (degradation chain only).
+    /// Emitted at most once per run.
+    BudgetExhausted,
+}
+
+/// One structured, deterministic drift-detector transition. Events are
+/// part of [`OnlineState`], so a crash-resumed run carries byte-identical
+/// history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftEvent {
+    /// Window index (0 = first evaluable window) the transition fired on.
+    pub window: usize,
+    /// Transition kind.
+    pub kind: DriftEventKind,
+    /// The short-window residual median that triggered the transition.
+    pub residual: f64,
+    /// The effective baseline it was compared against (frozen baseline
+    /// median, floored by the configured residual floor).
+    pub baseline: f64,
+    /// Demand headroom in effect immediately after the transition.
+    pub headroom: f64,
+}
+
+/// Aggregated adaptation accounting surfaced in an [`OnlineReport`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationReport {
+    /// Every drift-detector transition, in window order.
+    pub events: Vec<DriftEvent>,
+    /// Re-fit budget units spent.
+    pub refits_used: usize,
+    /// Whether a confirmed shift found the budget already exhausted.
+    pub budget_exhausted: bool,
+}
+
+impl AdaptationReport {
+    /// True when adaptation never fired (or was disabled) — the report
+    /// then serializes without an `adaptation` key, keeping the
+    /// pre-adaptation byte layout.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.refits_used == 0 && !self.budget_exhausted
+    }
+
+    /// Events of one kind, in window order.
+    pub fn events_of(&self, kind: DriftEventKind) -> Vec<&DriftEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+/// Median of a non-empty slice (NaN-safe total order). 0 for empty input.
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Serializable residual-drift detector + adaptation controller state.
+///
+/// Lives inside [`OnlineState`] so every decision it makes is replayed
+/// byte-identically after a crash-resume. The state machine:
+///
+/// 1. **Warm-up**: the first
+///    [`baseline_windows`](crate::config::AdaptationConfig) residuals
+///    freeze the baseline median.
+/// 2. **Watch**: the median of the last `short_windows` residuals is
+///    compared against `trigger_ratio ×` the baseline (floored by
+///    `residual_floor`); `confirm_windows` consecutive elevated windows
+///    confirm drift.
+/// 3. **Adapt**: a confirmed shift spends one re-fit unit, emits
+///    [`DriftEventKind::Confirmed`], and raises demand headroom
+///    proportionally to the residual (ratcheting up within the episode,
+///    never down, so alternating surge/calm days stay covered).
+/// 4. **Clear**: residuals at or under `clear_ratio ×` baseline end the
+///    episode ([`DriftEventKind::Cleared`]), reset headroom, and start a
+///    cooldown during which no new episode can begin.
+///
+/// With the budget spent, step 3 instead emits one
+/// [`DriftEventKind::BudgetExhausted`] and stays un-adapted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationState {
+    /// Residuals collected while freezing the baseline.
+    pub(crate) warmup: Vec<f64>,
+    /// Frozen baseline residual median; `None` during warm-up.
+    pub(crate) baseline: Option<f64>,
+    /// Ring of the last `short_windows` residuals.
+    pub(crate) recent: Vec<f64>,
+    /// Consecutive elevated windows seen so far.
+    pub(crate) elevated_streak: usize,
+    /// Whether an adaptation episode is in progress.
+    pub(crate) active: bool,
+    /// Windows left before a new episode may begin.
+    pub(crate) cooldown: usize,
+    /// Re-fit budget units spent.
+    pub(crate) refits_used: usize,
+    /// Demand headroom currently in force (1 = none).
+    pub(crate) headroom: f64,
+    /// Whether the one-shot budget-exhausted event already fired.
+    pub(crate) budget_exhausted_reported: bool,
+    /// Every transition so far, in window order.
+    pub(crate) events: Vec<DriftEvent>,
+}
+
+impl Default for AdaptationState {
+    fn default() -> Self {
+        AdaptationState {
+            warmup: Vec::new(),
+            baseline: None,
+            recent: Vec::new(),
+            elevated_streak: 0,
+            active: false,
+            cooldown: 0,
+            refits_used: 0,
+            headroom: 1.0,
+            budget_exhausted_reported: false,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl AdaptationState {
+    /// Feeds one completed window's residual through the state machine.
+    /// Non-finite or negative residuals are ignored (a carried-forward
+    /// window produces none at all).
+    pub(crate) fn observe(&mut self, cfg: &AdaptationConfig, window: usize, residual: f64) {
+        if !residual.is_finite() || residual < 0.0 {
+            return;
+        }
+        let baseline = match self.baseline {
+            None => {
+                self.warmup.push(residual);
+                if self.warmup.len() >= cfg.baseline_windows {
+                    self.baseline = Some(median(&self.warmup));
+                    self.warmup.clear();
+                }
+                return;
+            }
+            Some(b) => b,
+        };
+        self.recent.push(residual);
+        if self.recent.len() > cfg.short_windows {
+            self.recent.remove(0);
+        }
+        if self.recent.len() < cfg.short_windows {
+            return;
+        }
+        let recent = median(&self.recent);
+        let floor = baseline.max(cfg.residual_floor);
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.elevated_streak = 0;
+            return;
+        }
+
+        if self.active {
+            // Ratchet headroom up with the residual; never down within
+            // an episode, so alternating surge/calm days stay covered.
+            let candidate = (1.0 + cfg.headroom_gain * recent).clamp(1.0, cfg.max_headroom);
+            if candidate > self.headroom {
+                self.headroom = candidate;
+            }
+            if recent <= cfg.clear_ratio * floor {
+                self.active = false;
+                self.headroom = 1.0;
+                self.cooldown = cfg.cooldown_windows;
+                self.events.push(DriftEvent {
+                    window,
+                    kind: DriftEventKind::Cleared,
+                    residual: recent,
+                    baseline: floor,
+                    headroom: 1.0,
+                });
+            }
+            return;
+        }
+
+        if recent > cfg.trigger_ratio * floor {
+            self.elevated_streak += 1;
+            if self.elevated_streak >= cfg.confirm_windows {
+                self.elevated_streak = 0;
+                if self.refits_used < cfg.max_refits {
+                    self.refits_used += 1;
+                    self.active = true;
+                    self.headroom = (1.0 + cfg.headroom_gain * recent).clamp(1.0, cfg.max_headroom);
+                    self.events.push(DriftEvent {
+                        window,
+                        kind: DriftEventKind::Confirmed,
+                        residual: recent,
+                        baseline: floor,
+                        headroom: self.headroom,
+                    });
+                } else if !self.budget_exhausted_reported {
+                    self.budget_exhausted_reported = true;
+                    self.events.push(DriftEvent {
+                        window,
+                        kind: DriftEventKind::BudgetExhausted,
+                        residual: recent,
+                        baseline: floor,
+                        headroom: self.headroom,
+                    });
+                }
+            }
+        } else {
+            self.elevated_streak = 0;
+        }
+    }
+
+    /// The adaptation accounting for a finished run.
+    fn into_report(self) -> AdaptationReport {
+        AdaptationReport {
+            events: self.events,
+            refits_used: self.refits_used,
+            budget_exhausted: self.budget_exhausted_reported,
+        }
     }
 }
 
@@ -175,6 +440,10 @@ pub struct OnlineReport {
     pub windows: Vec<WindowOutcome>,
     /// Degradation accounting across the run.
     pub degradation: DegradationSummary,
+    /// Drift-adaptation accounting; omitted from serialization while
+    /// empty so pre-adaptation reports keep their byte layout.
+    #[serde(default, skip_serializing_if = "AdaptationReport::is_empty")]
+    pub adaptation: AdaptationReport,
 }
 
 impl OnlineReport {
@@ -319,8 +588,15 @@ pub fn run_online_observed(
 /// `online.*` counters (as deltas of the running [`DegradationSummary`]
 /// against `before`, so restart-recomputed work is never double-counted
 /// when this is called only after the window is accepted/persisted), the
-/// ticket histograms, and a `window` event scoped by the box name.
-fn record_window_obs(obs: &Obs, box_name: &str, before: &DegradationSummary, state: &OnlineState) {
+/// ticket histograms, a `window` event scoped by the box name, and one
+/// `drift` event per drift-detector transition past `events_before`.
+fn record_window_obs(
+    obs: &Obs,
+    box_name: &str,
+    before: &DegradationSummary,
+    events_before: usize,
+    state: &OnlineState,
+) {
     let outcome = match state.windows.last() {
         Some(o) => o,
         None => return,
@@ -409,6 +685,37 @@ fn record_window_obs(obs: &Obs, box_name: &str, before: &DegradationSummary, sta
             vec![("window", atm_obs::FieldValue::from(outcome.window))],
         );
     }
+    for ev in state.adaptation.events.iter().skip(events_before) {
+        let kind = match ev.kind {
+            DriftEventKind::Confirmed => "confirmed",
+            DriftEventKind::Cleared => "cleared",
+            DriftEventKind::BudgetExhausted => "budget_exhausted",
+        };
+        obs.add("online.drift_events", 1);
+        obs.add(&format!("online.drift_{kind}"), 1);
+        obs.event(
+            box_name,
+            "drift",
+            vec![
+                ("window", atm_obs::FieldValue::from(ev.window)),
+                ("kind", atm_obs::FieldValue::from(kind)),
+                // FieldValue has no float variant; fixed-precision
+                // strings keep the log deterministic.
+                (
+                    "residual",
+                    atm_obs::FieldValue::from(format!("{:.6}", ev.residual)),
+                ),
+                (
+                    "baseline",
+                    atm_obs::FieldValue::from(format!("{:.6}", ev.baseline)),
+                ),
+                (
+                    "headroom",
+                    atm_obs::FieldValue::from(format!("{:.6}", ev.headroom)),
+                ),
+            ],
+        );
+    }
 }
 
 /// Rolls ATM along the trace: for every consecutive resizing horizon
@@ -454,10 +761,12 @@ pub fn run_online_with_actuator_observed(
     let driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let mut state = driver.fresh_state();
     while !driver.is_done(&state) {
-        let before = obs.is_enabled().then(|| state.summary.clone());
+        let before = obs
+            .is_enabled()
+            .then(|| (state.summary.clone(), state.adaptation.events.len()));
         driver.step(&mut state, actuator)?;
-        if let Some(before) = before {
-            record_window_obs(obs, &box_trace.name, &before, &state);
+        if let Some((before, events_before)) = before {
+            record_window_obs(obs, &box_trace.name, &before, events_before, &state);
         }
     }
     Ok(driver.finish(state))
@@ -488,6 +797,10 @@ pub struct OnlineState {
     pub(crate) consecutive_actuation_failures: usize,
     /// Whether the loop is currently in safe mode.
     pub(crate) safe_mode: bool,
+    /// Drift detector + adaptation controller state. Defaults keep
+    /// checkpoints written before adaptation existed loadable.
+    #[serde(default)]
+    pub(crate) adaptation: AdaptationState,
 }
 
 impl OnlineState {
@@ -613,6 +926,7 @@ impl<'a> OnlineDriver<'a> {
             last_caps: vec![None; self.resources.len()],
             consecutive_actuation_failures: 0,
             safe_mode: false,
+            adaptation: AdaptationState::default(),
         }
     }
 
@@ -690,12 +1004,29 @@ impl<'a> OnlineDriver<'a> {
         let truncated = truncate_box(self.box_trace, end)?;
         let mut reasons: Vec<String> = Vec::new();
 
+        // Under an active adaptation episode the pipeline runs with the
+        // adapted configuration: training shortened to the re-fit span
+        // (which also re-clusters on the fresh history) and demand
+        // headroom raised to the episode's level. Window geometry above
+        // stays on the original `train_windows`, so the evaluated span
+        // is identical either way.
+        let adapted = (config.adaptation.enabled && state.adaptation.active).then(|| {
+            let mut c = config.clone();
+            let refit = config.adaptation.refit_train_windows;
+            if refit != 0 && refit < c.train_windows {
+                c.train_windows = refit;
+            }
+            c.demand_headroom = c.demand_headroom.max(state.adaptation.headroom);
+            c
+        });
+        let run_config = adapted.as_ref().unwrap_or(config);
+
         // Fallback chain: full pipeline -> per-VM seasonal naive ->
         // carry previous caps forward.
-        let report = match run_box_observed(&truncated, config, &self.obs) {
+        let report = match run_box_observed(&truncated, run_config, &self.obs) {
             Ok(r) => Some(r),
             Err(e) if config.online.fallback => {
-                match fallback_box_report_observed(&truncated, config, &self.obs) {
+                match fallback_box_report_observed(&truncated, run_config, &self.obs) {
                     Ok(r) => {
                         reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
                         state.summary.fallback_windows += 1;
@@ -805,6 +1136,16 @@ impl<'a> OnlineDriver<'a> {
             state.summary.degraded_tickets_before += tickets_before;
             state.summary.degraded_tickets_after += tickets_after;
         }
+        // Feed the completed window's residual into the drift detector;
+        // decisions take effect from the next window on.
+        if config.adaptation.enabled {
+            if let Some(r) = &report {
+                state
+                    .adaptation
+                    .observe(&config.adaptation, w, r.prediction.mape_all);
+            }
+        }
+
         state.windows.push(WindowOutcome {
             window: w,
             status,
@@ -823,6 +1164,7 @@ impl<'a> OnlineDriver<'a> {
         OnlineReport {
             windows: state.windows,
             degradation: state.summary,
+            adaptation: state.adaptation.into_report(),
         }
     }
 }
@@ -929,14 +1271,16 @@ pub fn run_online_until_observed(
             });
         }
         let started = std::time::Instant::now();
-        let before = obs.is_enabled().then(|| state.summary.clone());
+        let before = obs
+            .is_enabled()
+            .then(|| (state.summary.clone(), state.adaptation.events.len()));
         driver.step(&mut state, actuator)?;
         store.record_window(&box_trace.name, &state, interval)?;
         // Progress metrics only after the window is durable: a crash
         // between step and persistence recomputes the window on restart,
         // and counting it here would then double-count it.
-        if let Some(before) = before {
-            record_window_obs(obs, &box_trace.name, &before, &state);
+        if let Some((before, events_before)) = before {
+            record_window_obs(obs, &box_trace.name, &before, events_before, &state);
         }
         if deadline_ms > 0 {
             let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
@@ -1266,6 +1610,139 @@ mod tests {
         assert_eq!(a.windows_total, 2);
         assert_eq!(a.degraded_tickets_after, 24);
         assert_eq!(a.safe_mode_entries, 20);
+    }
+
+    #[test]
+    fn summary_merge_saturates_and_empty_merge_is_identity() {
+        let mut a = DegradationSummary::default();
+        a.merge(&DegradationSummary::default());
+        assert_eq!(a, DegradationSummary::default());
+
+        let mut near_max = DegradationSummary {
+            windows_total: usize::MAX,
+            imputed_samples: usize::MAX - 1,
+            ..DegradationSummary::default()
+        };
+        near_max.merge(&DegradationSummary {
+            windows_total: 5,
+            imputed_samples: 7,
+            degraded_tickets_after: 3,
+            ..DegradationSummary::default()
+        });
+        assert_eq!(near_max.windows_total, usize::MAX);
+        assert_eq!(near_max.imputed_samples, usize::MAX);
+        assert_eq!(near_max.degraded_tickets_after, 3);
+    }
+
+    #[test]
+    fn drift_detector_confirms_ratchets_clears_and_exhausts_budget() {
+        let cfg = crate::config::AdaptationConfig::fast();
+        // fast(): baseline 2, short 1, confirm 1, cooldown 1,
+        // trigger 2.0, clear 1.2, floor 0.05, gain 2.0, max 2.5, refits 2.
+        let mut st = AdaptationState::default();
+        st.observe(&cfg, 0, 0.02);
+        st.observe(&cfg, 1, 0.04);
+        assert!((st.baseline.unwrap() - 0.03).abs() < 1e-12);
+        // Floor (0.05) dominates the tiny baseline; 0.5 > 2 * 0.05.
+        st.observe(&cfg, 2, 0.5);
+        assert!(st.active);
+        assert_eq!(st.refits_used, 1);
+        assert!((st.headroom - 2.0).abs() < 1e-12);
+        // Ratchet up (clamped to max_headroom), never down mid-episode.
+        st.observe(&cfg, 3, 0.8);
+        assert!((st.headroom - 2.5).abs() < 1e-12);
+        st.observe(&cfg, 4, 0.3);
+        assert!((st.headroom - 2.5).abs() < 1e-12, "ratchet slipped");
+        // Settle under clear_ratio * floor (0.06): episode clears.
+        st.observe(&cfg, 5, 0.04);
+        assert!(!st.active);
+        assert!((st.headroom - 1.0).abs() < 1e-12);
+        assert_eq!(st.cooldown, 1);
+        // Cooldown absorbs one elevated window; the next re-confirms.
+        st.observe(&cfg, 6, 0.9);
+        assert!(!st.active);
+        st.observe(&cfg, 7, 0.9);
+        assert!(st.active);
+        assert_eq!(st.refits_used, 2);
+        // Clear again, then exhaust the budget: exactly one
+        // BudgetExhausted event no matter how long drift persists.
+        st.observe(&cfg, 8, 0.01);
+        st.observe(&cfg, 9, 0.9); // cooldown
+        st.observe(&cfg, 10, 0.9);
+        st.observe(&cfg, 11, 0.9);
+        assert!(!st.active);
+        assert!(st.budget_exhausted_reported);
+
+        let kinds: Vec<(usize, DriftEventKind)> =
+            st.events.iter().map(|e| (e.window, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (2, DriftEventKind::Confirmed),
+                (5, DriftEventKind::Cleared),
+                (7, DriftEventKind::Confirmed),
+                (8, DriftEventKind::Cleared),
+                (10, DriftEventKind::BudgetExhausted),
+            ]
+        );
+        // Junk residuals are ignored entirely.
+        let snapshot = st.clone();
+        st.observe(&cfg, 12, f64::NAN);
+        st.observe(&cfg, 13, -1.0);
+        assert_eq!(st, snapshot);
+    }
+
+    #[test]
+    fn adaptation_state_serde_round_trips_byte_identically() {
+        let cfg = crate::config::AdaptationConfig::fast();
+        let mut st = AdaptationState::default();
+        for (w, r) in [0.02, 0.04, 0.5, 0.8, 0.04, 0.9, 0.9].iter().enumerate() {
+            st.observe(&cfg, w, *r);
+        }
+        let json = serde_json::to_string(&st).unwrap();
+        let back: AdaptationState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, st);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        // Old checkpoints (written before the adaptation field existed)
+        // deserialize with the default state.
+        let b = trace(5);
+        let cfg = oracle_config();
+        let driver = OnlineDriver::new(&b, &cfg).unwrap();
+        let mut v = serde_json::to_value(driver.fresh_state()).unwrap();
+        v.as_object_mut().unwrap().remove("adaptation");
+        let legacy: OnlineState = serde_json::from_value(v).unwrap();
+        assert_eq!(legacy.adaptation, AdaptationState::default());
+    }
+
+    #[test]
+    fn adaptation_off_keeps_report_semantics_and_byte_layout() {
+        let report = run_online(&trace(5), &oracle_config()).unwrap();
+        assert!(report.adaptation.is_empty());
+        assert_eq!(report.adaptation.refits_used, 0);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("\"adaptation\""),
+            "empty adaptation must not change the serialized layout"
+        );
+    }
+
+    #[test]
+    fn adaptation_state_survives_checkpoint_resume() {
+        let b = trace(5);
+        let mut cfg = oracle_config();
+        cfg.adaptation = crate::config::AdaptationConfig::fast();
+        let baseline = run_online(&b, &cfg).unwrap();
+        let store = temp_store("adapt-resume");
+        let err =
+            run_online_until(&b, &cfg, &mut NoopActuator::new(), &store, Some(2)).unwrap_err();
+        assert_eq!(err, AtmError::SimulatedCrash { window: 2 });
+        let resumed = run_online_checkpointed(&b, &cfg, &mut NoopActuator::new(), &store).unwrap();
+        assert_eq!(resumed.report, baseline);
+        assert_eq!(
+            serde_json::to_string(&resumed.report).unwrap(),
+            serde_json::to_string(&baseline).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -345,6 +345,16 @@ fn resize_reports(
                 .expect("scoped keys cover this resource")
         };
         let box_capacity = trace.capacity(resource);
+        let peak_sum: f64 = vm_indices
+            .iter()
+            .map(|&vm| predicted[idx_of(vm)].iter().copied().fold(0.0, f64::max))
+            .sum();
+        let headroom = effective_headroom(
+            config.demand_headroom,
+            policy.alpha(),
+            peak_sum,
+            box_capacity,
+        );
 
         let vms: Vec<VmDemand> = vm_indices
             .iter()
@@ -355,7 +365,7 @@ fn resize_reports(
                 let lower = split.train_cols[i].iter().copied().fold(0.0, f64::max);
                 VmDemand::new(
                     trace.vms[vm].name.clone(),
-                    predicted[i].clone(),
+                    predicted[i].iter().map(|v| v * headroom).collect(),
                     lower.min(box_capacity),
                     box_capacity,
                 )
@@ -389,6 +399,27 @@ fn resize_reports(
         });
     }
     Ok(resizing)
+}
+
+/// Capacity-aware demand headroom: the factor actually applied to one
+/// resource's predicted demands before resizing. Prediction accuracy is
+/// always scored on the raw forecasts; headroom only biases the sizing
+/// input, which is what lets the online adaptation controller buy slack
+/// without corrupting its own drift signal.
+///
+/// The configured factor is scaled down so that every VM could still be
+/// granted `inflated_peak / α` capacity simultaneously (α = the ticket
+/// threshold fraction), i.e. so inflation never pushes the sizing
+/// problem from feasible to infeasible. Past that point inflation
+/// cannot buy real slack — it only makes the solver triage against
+/// fictional demand, shorting some VMs to their training-peak lower
+/// bound, so adaptation would make a pressured box *worse* than leaving
+/// it alone. Never drops below 1 (headroom must not deflate demand).
+fn effective_headroom(headroom: f64, alpha: f64, peak_sum: f64, capacity: f64) -> f64 {
+    if headroom <= 1.0 || peak_sum <= 0.0 {
+        return headroom.max(1.0);
+    }
+    headroom.min(alpha * capacity / peak_sum).max(1.0)
 }
 
 pub(crate) fn ticket_policy(config: &AtmConfig) -> AtmResult<ThresholdPolicy> {
@@ -932,6 +963,47 @@ mod tests {
             obs.metrics_snapshot().counter("pipeline.fallback_runs"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn effective_headroom_caps_at_feasibility_and_never_deflates() {
+        // Plenty of slack: the configured factor applies untouched.
+        assert_eq!(effective_headroom(2.5, 0.6, 10.0, 100.0), 2.5);
+        // Tight box: capped so every inflated peak stays coverable at
+        // the ticket threshold (0.6 * 100 / 30 = 2.0).
+        assert_eq!(effective_headroom(2.5, 0.6, 30.0, 100.0), 2.0);
+        // Pressured box: inflation is a no-op, never a deflation.
+        assert_eq!(effective_headroom(2.5, 0.6, 80.0, 100.0), 1.0);
+        assert_eq!(effective_headroom(1.0, 0.6, 80.0, 100.0), 1.0);
+        // Degenerate all-zero forecast keeps the configured factor.
+        assert_eq!(effective_headroom(2.5, 0.6, 0.0, 100.0), 2.5);
+    }
+
+    #[test]
+    fn demand_headroom_biases_sizing_but_not_prediction() {
+        let b = generate_box(&trace_config(), 10);
+        let base_cfg = oracle_config();
+        let base = run_box(&b, &base_cfg).unwrap();
+
+        // Headroom 1.0 takes the no-copy path and must be byte-identical.
+        let mut noop_cfg = oracle_config();
+        noop_cfg.demand_headroom = 1.0;
+        assert_eq!(run_box(&b, &noop_cfg).unwrap(), base);
+
+        // Inflated headroom may only change the resizing leg; the
+        // prediction report (the drift signal) must be untouched.
+        let mut head_cfg = oracle_config();
+        head_cfg.demand_headroom = 1.5;
+        let headed = run_box(&b, &head_cfg).unwrap();
+        assert_eq!(headed.prediction, base.prediction);
+        assert_eq!(headed.signature, base.signature);
+        assert_eq!(headed.resizing.len(), base.resizing.len());
+        for (h, b) in headed.resizing.iter().zip(&base.resizing) {
+            // Replay still respects the box capacity.
+            let total: f64 = h.capacities.iter().sum();
+            assert!(total <= generate_box(&trace_config(), 10).capacity(h.resource) + 1e-9);
+            assert_eq!(h.resource, b.resource);
+        }
     }
 
     #[test]

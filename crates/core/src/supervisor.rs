@@ -203,6 +203,25 @@ impl FleetReport {
         self.boxes.iter().map(|b| b.attempts - 1).sum()
     }
 
+    /// Every drift event across completed boxes, with the box it came
+    /// from, in input order.
+    pub fn drift_events(&self) -> Vec<(&str, &crate::online::DriftEvent)> {
+        self.boxes
+            .iter()
+            .filter_map(|b| b.report.as_ref().map(|r| (b.box_name.as_str(), r)))
+            .flat_map(|(name, r)| r.adaptation.events.iter().map(move |e| (name, e)))
+            .collect()
+    }
+
+    /// Total adaptation re-fit budget spent across completed boxes.
+    pub fn total_refits(&self) -> usize {
+        self.boxes
+            .iter()
+            .filter_map(|b| b.report.as_ref())
+            .map(|r| r.adaptation.refits_used)
+            .fold(0, usize::saturating_add)
+    }
+
     /// Every recovery event across the fleet, with the box it came from.
     pub fn recovery_events(&self) -> Vec<(&str, &RecoveryEvent)> {
         self.boxes
@@ -792,6 +811,28 @@ mod tests {
         assert!(!serde_json::to_string(&plain)
             .unwrap()
             .contains("\"metrics\""));
+    }
+
+    #[test]
+    fn fleet_report_aggregates_drift_accounting() {
+        let boxes = small_fleet(2);
+        let cfg = oracle_config();
+        // Oracle forecasts on a clean fleet: adaptation is off by
+        // default, so the aggregate must be empty.
+        let report = run_fleet_online(&boxes, &cfg, None, 2, noop_factory);
+        assert!(report.drift_events().is_empty());
+        assert_eq!(report.total_refits(), 0);
+
+        // Enabling adaptation on a drift-free fleet must not fire
+        // either: the detector baselines and stays quiet.
+        let mut adaptive = cfg.clone();
+        adaptive.adaptation = crate::config::AdaptationConfig::fast();
+        let report = run_fleet_online(&boxes, &adaptive, None, 1, noop_factory);
+        assert!(report.drift_events().is_empty());
+        assert_eq!(report.total_refits(), 0);
+        for run in &report.boxes {
+            assert!(run.report.as_ref().unwrap().adaptation.is_empty());
+        }
     }
 
     #[test]

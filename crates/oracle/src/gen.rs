@@ -334,7 +334,9 @@ fn nan_gap(rng: &mut SplitMix64) -> ResizeProblem {
         ..FleetConfig::default()
     };
     let mut box_trace = generate_box(&config, 0);
-    FaultPlan::gaps_only(rng.next_u64()).inject_box(&mut box_trace, 0);
+    FaultPlan::gaps_only(rng.next_u64())
+        .inject_box(&mut box_trace, 0)
+        .expect("gaps-only plan is always valid");
 
     let n = box_trace.vms.len().min(rng.range_usize(1, 4));
     let vms: Vec<VmDemand> = box_trace.vms[..n]

@@ -27,6 +27,38 @@ use serde::{Deserialize, Serialize};
 use crate::generator::mix_seed;
 use crate::trace::{BoxTrace, FleetTrace};
 
+/// A fault, crash, or scenario plan whose parameters are outside their
+/// documented ranges, rejected at the injection entry point before any
+/// trace is touched (the same convention as
+/// [`TraceIoError`](crate::io::TraceIoError) at the load entry points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlanError {
+    /// A probability or fraction parameter is outside its documented
+    /// interval.
+    OutOfRange {
+        /// Which parameter, e.g. `"spike probability"`.
+        what: &'static str,
+    },
+    /// An inclusive `(lo, hi)` range parameter has `lo > hi`, or a lower
+    /// bound below the documented minimum.
+    InvalidRange {
+        /// Which parameter, e.g. `"burst count"`.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::OutOfRange { what } => write!(f, "{what} out of range"),
+            PlanError::InvalidRange { what } => write!(f, "invalid {what} range"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// Gap-burst injection parameters (monitoring outages).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GapBurstConfig {
@@ -139,18 +171,24 @@ pub struct InjectionSummary {
 }
 
 impl InjectionSummary {
-    /// Total samples affected by any fault.
+    /// Total samples affected by any fault (saturating, like
+    /// [`InjectionSummary::merge`]).
     pub fn total_samples(&self) -> usize {
-        self.gap_samples + self.spike_samples + self.stuck_samples + self.churn_samples
+        self.gap_samples
+            .saturating_add(self.spike_samples)
+            .saturating_add(self.stuck_samples)
+            .saturating_add(self.churn_samples)
     }
 
     /// Merges another summary into this one (for fleet-level totals).
+    /// Counters saturate rather than wrap, so a merge over an absurdly
+    /// long campaign can pin at `usize::MAX` but never overflow.
     pub fn merge(&mut self, other: &InjectionSummary) {
-        self.gap_samples += other.gap_samples;
-        self.spike_samples += other.spike_samples;
-        self.stuck_samples += other.stuck_samples;
-        self.churn_samples += other.churn_samples;
-        self.churned_vms += other.churned_vms;
+        self.gap_samples = self.gap_samples.saturating_add(other.gap_samples);
+        self.spike_samples = self.spike_samples.saturating_add(other.spike_samples);
+        self.stuck_samples = self.stuck_samples.saturating_add(other.stuck_samples);
+        self.churn_samples = self.churn_samples.saturating_add(other.churn_samples);
+        self.churned_vms = self.churned_vms.saturating_add(other.churned_vms);
     }
 }
 
@@ -178,53 +216,64 @@ impl FaultPlan {
 
     /// Validates parameter ranges.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a descriptive message on invalid parameters; the
-    /// injectors call this before injecting.
-    pub fn validate(&self) {
+    /// Returns a [`PlanError`] naming the offending parameter; the
+    /// injectors call this before touching the trace, so an invalid plan
+    /// never partially injects.
+    pub fn validate(&self) -> Result<(), PlanError> {
         if let Some(g) = &self.gap_bursts {
-            assert!(
-                g.bursts_per_box.0 <= g.bursts_per_box.1,
-                "invalid burst count range"
-            );
-            assert!(
-                g.burst_len.0 >= 1 && g.burst_len.0 <= g.burst_len.1,
-                "invalid burst length range"
-            );
+            if g.bursts_per_box.0 > g.bursts_per_box.1 {
+                return Err(PlanError::InvalidRange {
+                    what: "burst count",
+                });
+            }
+            if g.burst_len.0 < 1 || g.burst_len.0 > g.burst_len.1 {
+                return Err(PlanError::InvalidRange {
+                    what: "burst length",
+                });
+            }
         }
         if let Some(s) = &self.sensor {
-            assert!(
-                (0.0..=1.0).contains(&s.spike_probability),
-                "spike probability out of range"
-            );
-            assert!(
-                s.spike_factor.0 >= 1.0 && s.spike_factor.0 <= s.spike_factor.1,
-                "invalid spike factor range"
-            );
-            assert!(
-                (0.0..=1.0).contains(&s.stuck_probability),
-                "stuck probability out of range"
-            );
-            assert!(
-                s.stuck_len.0 >= 1 && s.stuck_len.0 <= s.stuck_len.1,
-                "invalid stuck length range"
-            );
+            if !(0.0..=1.0).contains(&s.spike_probability) {
+                return Err(PlanError::OutOfRange {
+                    what: "spike probability",
+                });
+            }
+            if !(s.spike_factor.0 >= 1.0 && s.spike_factor.0 <= s.spike_factor.1) {
+                return Err(PlanError::InvalidRange {
+                    what: "spike factor",
+                });
+            }
+            if !(0.0..=1.0).contains(&s.stuck_probability) {
+                return Err(PlanError::OutOfRange {
+                    what: "stuck probability",
+                });
+            }
+            if s.stuck_len.0 < 1 || s.stuck_len.0 > s.stuck_len.1 {
+                return Err(PlanError::InvalidRange {
+                    what: "stuck length",
+                });
+            }
         }
         if let Some(c) = &self.churn {
-            assert!(
-                (0.0..=1.0).contains(&c.late_start_probability),
-                "late-start probability out of range"
-            );
-            assert!(
-                (0.0..=1.0).contains(&c.early_end_probability),
-                "early-end probability out of range"
-            );
-            assert!(
-                c.max_missing_fraction > 0.0 && c.max_missing_fraction < 1.0,
-                "max missing fraction out of range"
-            );
+            if !(0.0..=1.0).contains(&c.late_start_probability) {
+                return Err(PlanError::OutOfRange {
+                    what: "late-start probability",
+                });
+            }
+            if !(0.0..=1.0).contains(&c.early_end_probability) {
+                return Err(PlanError::OutOfRange {
+                    what: "early-end probability",
+                });
+            }
+            if !(c.max_missing_fraction > 0.0 && c.max_missing_fraction < 1.0) {
+                return Err(PlanError::OutOfRange {
+                    what: "max missing fraction",
+                });
+            }
         }
+        Ok(())
     }
 
     /// Applies the plan to one box in place and reports what was injected.
@@ -232,10 +281,15 @@ impl FaultPlan {
     /// Deterministic given the plan's seed and `box_index`; independent of
     /// injections into other boxes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
-    pub fn inject_box(&self, box_trace: &mut BoxTrace, box_index: usize) -> InjectionSummary {
+    /// Returns the [`FaultPlan::validate`] error without touching the
+    /// trace if the plan is invalid.
+    pub fn inject_box(
+        &self,
+        box_trace: &mut BoxTrace,
+        box_index: usize,
+    ) -> Result<InjectionSummary, PlanError> {
         self.inject_box_observed(box_trace, box_index, &atm_obs::Obs::disabled())
     }
 
@@ -243,16 +297,17 @@ impl FaultPlan {
     /// `inject.*` counters and one `inject` event (under the box's name)
     /// are recorded on `obs`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
+    /// Returns the [`FaultPlan::validate`] error without touching the
+    /// trace if the plan is invalid.
     pub fn inject_box_observed(
         &self,
         box_trace: &mut BoxTrace,
         box_index: usize,
         obs: &atm_obs::Obs,
-    ) -> InjectionSummary {
-        let summary = self.inject_box_inner(box_trace, box_index);
+    ) -> Result<InjectionSummary, PlanError> {
+        let summary = self.inject_box_inner(box_trace, box_index)?;
         if obs.is_enabled() {
             obs.add("inject.gap_samples", summary.gap_samples as u64);
             obs.add("inject.spike_samples", summary.spike_samples as u64);
@@ -286,16 +341,20 @@ impl FaultPlan {
                 ],
             );
         }
-        summary
+        Ok(summary)
     }
 
-    fn inject_box_inner(&self, box_trace: &mut BoxTrace, box_index: usize) -> InjectionSummary {
-        self.validate();
+    fn inject_box_inner(
+        &self,
+        box_trace: &mut BoxTrace,
+        box_index: usize,
+    ) -> Result<InjectionSummary, PlanError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
         let mut summary = InjectionSummary::default();
         let windows = box_trace.window_count();
         if windows == 0 {
-            return summary;
+            return Ok(summary);
         }
 
         // Sensor corruption first, so gaps and churn can blank corrupted
@@ -363,35 +422,40 @@ impl FaultPlan {
             }
         }
 
-        summary
+        Ok(summary)
     }
 
     /// Applies the plan to every box of a fleet and returns the merged
     /// summary.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
-    pub fn inject_fleet(&self, fleet: &mut FleetTrace) -> InjectionSummary {
+    /// Returns the [`FaultPlan::validate`] error without touching any box
+    /// if the plan is invalid.
+    pub fn inject_fleet(&self, fleet: &mut FleetTrace) -> Result<InjectionSummary, PlanError> {
         self.inject_fleet_observed(fleet, &atm_obs::Obs::disabled())
     }
 
     /// [`FaultPlan::inject_fleet`] with observability; see
     /// [`FaultPlan::inject_box_observed`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
+    /// Returns the [`FaultPlan::validate`] error without touching any box
+    /// if the plan is invalid.
     pub fn inject_fleet_observed(
         &self,
         fleet: &mut FleetTrace,
         obs: &atm_obs::Obs,
-    ) -> InjectionSummary {
+    ) -> Result<InjectionSummary, PlanError> {
+        // Validate once up front so a bad plan cannot corrupt a prefix of
+        // the fleet before the first per-box call rejects it.
+        self.validate()?;
         let mut total = InjectionSummary::default();
         for (i, box_trace) in fleet.boxes.iter_mut().enumerate() {
-            total.merge(&self.inject_box_observed(box_trace, i, obs));
+            total.merge(&self.inject_box_observed(box_trace, i, obs)?);
         }
-        total
+        Ok(total)
     }
 }
 
@@ -431,21 +495,33 @@ impl CrashPlan {
         }
     }
 
+    /// Validates parameter ranges, mirroring [`FaultPlan::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.kills_per_box.0 > self.kills_per_box.1 {
+            return Err(PlanError::InvalidRange {
+                what: "kills-per-box",
+            });
+        }
+        Ok(())
+    }
+
     /// The kill schedule for one box whose run spans `windows` windows:
     /// strictly increasing window indices in `0..windows`, one per
     /// scheduled kill. Runs shorter than the requested kill count get
     /// fewer kills (at most one per window). Empty when `windows` is 0.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `kills_per_box` is not a valid inclusive range.
-    pub fn kill_points(&self, box_index: usize, windows: usize) -> Vec<usize> {
-        assert!(
-            self.kills_per_box.0 <= self.kills_per_box.1,
-            "invalid kills-per-box range"
-        );
+    /// Returns the [`CrashPlan::validate`] error when `kills_per_box` is
+    /// not a valid inclusive range.
+    pub fn kill_points(&self, box_index: usize, windows: usize) -> Result<Vec<usize>, PlanError> {
+        self.validate()?;
         if windows == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
         let kills = rng
@@ -460,7 +536,7 @@ impl CrashPlan {
         }
         let mut points = candidates[..kills].to_vec();
         points.sort_unstable();
-        points
+        Ok(points)
     }
 }
 
@@ -528,18 +604,22 @@ mod tests {
         )
     }
 
+    fn inject(plan: &FaultPlan, b: &mut BoxTrace, index: usize) -> InjectionSummary {
+        plan.inject_box(b, index).expect("valid plan")
+    }
+
     #[test]
     fn deterministic_given_seed_and_index() {
         let plan = FaultPlan::default();
         let mut a = clean_box(0);
         let mut b = clean_box(0);
-        let sa = plan.inject_box(&mut a, 7);
-        let sb = plan.inject_box(&mut b, 7);
+        let sa = inject(&plan, &mut a, 7);
+        let sb = inject(&plan, &mut b, 7);
         assert_eq!(a, b);
         assert_eq!(sa, sb);
         // A different box index yields different faults.
         let mut c = clean_box(0);
-        plan.inject_box(&mut c, 8);
+        inject(&plan, &mut c, 8);
         assert_ne!(a, c);
     }
 
@@ -547,7 +627,7 @@ mod tests {
     fn gap_bursts_blank_runs_across_all_series() {
         let plan = FaultPlan::gaps_only(42);
         let mut b = clean_box(1);
-        let summary = plan.inject_box(&mut b, 0);
+        let summary = inject(&plan, &mut b, 0);
         assert!(summary.gap_samples > 0, "no gaps injected");
         assert_eq!(summary.spike_samples, 0);
         assert_eq!(summary.churn_samples, 0);
@@ -580,7 +660,7 @@ mod tests {
             churn: None,
         };
         let mut b = clean_box(2);
-        let summary = plan.inject_box(&mut b, 0);
+        let summary = inject(&plan, &mut b, 0);
         assert!(summary.spike_samples > 0, "no spikes injected");
         assert!(summary.stuck_samples > 0, "no stuck runs injected");
         assert!(!b.has_gaps(), "sensor corruption must not create gaps");
@@ -600,7 +680,7 @@ mod tests {
             churn: None,
         };
         let mut b = clean_box(3);
-        plan.inject_box(&mut b, 0);
+        inject(&plan, &mut b, 0);
         // Every series now contains a run of >= 8 identical values.
         for vm in &b.vms {
             for series in [&vm.cpu_usage, &vm.ram_usage] {
@@ -633,7 +713,7 @@ mod tests {
         };
         let mut b = clean_box(4);
         let windows = b.window_count();
-        let summary = plan.inject_box(&mut b, 0);
+        let summary = inject(&plan, &mut b, 0);
         assert_eq!(summary.churned_vms, b.vm_count());
         assert!(summary.churn_samples > 0);
         for vm in &b.vms {
@@ -655,7 +735,7 @@ mod tests {
         let plan = FaultPlan::none(0);
         let mut b = clean_box(5);
         let before = b.clone();
-        let summary = plan.inject_box(&mut b, 0);
+        let summary = inject(&plan, &mut b, 0);
         assert_eq!(summary.total_samples(), 0);
         assert_eq!(b, before);
     }
@@ -670,11 +750,11 @@ mod tests {
         };
         let mut fleet = crate::generate_fleet(&cfg);
         let plan = FaultPlan::default();
-        let total = plan.inject_fleet(&mut fleet);
+        let total = plan.inject_fleet(&mut fleet).expect("valid plan");
         let mut merged = InjectionSummary::default();
         let mut fleet2 = crate::generate_fleet(&cfg);
         for (i, b) in fleet2.boxes.iter_mut().enumerate() {
-            merged.merge(&plan.inject_box(b, i));
+            merged.merge(&inject(&plan, b, i));
         }
         assert_eq!(total, merged);
         assert_eq!(fleet, fleet2);
@@ -686,7 +766,9 @@ mod tests {
         let plan = FaultPlan::default();
         let obs = atm_obs::Obs::enabled(false);
         let mut observed = clean_box(7);
-        let summary = plan.inject_box_observed(&mut observed, 0, &obs);
+        let summary = plan
+            .inject_box_observed(&mut observed, 0, &obs)
+            .expect("valid plan");
         let snap = obs.metrics_snapshot();
         assert_eq!(
             snap.counter("inject.gap_samples"),
@@ -704,7 +786,7 @@ mod tests {
         assert_eq!(obs.events()[0].kind, "inject");
         // The observed path injects the exact same faults.
         let mut plain = clean_box(7);
-        assert_eq!(plan.inject_box(&mut plain, 0), summary);
+        assert_eq!(inject(&plan, &mut plain, 0), summary);
         assert_eq!(observed, plain);
     }
 
@@ -713,8 +795,8 @@ mod tests {
         let plan = CrashPlan::default();
         for windows in [1usize, 5, 40] {
             for box_index in 0..4 {
-                let a = plan.kill_points(box_index, windows);
-                let b = plan.kill_points(box_index, windows);
+                let a = plan.kill_points(box_index, windows).expect("valid plan");
+                let b = plan.kill_points(box_index, windows).expect("valid plan");
                 assert_eq!(a, b, "schedule must be reproducible");
                 assert!(!a.is_empty(), "default plan kills at least once");
                 assert!(a.windows(2).all(|w| w[0] < w[1]), "not increasing: {a:?}");
@@ -722,23 +804,22 @@ mod tests {
             }
         }
         // Different boxes get different schedules (with enough room).
-        let a = plan.kill_points(0, 40);
-        let b = plan.kill_points(1, 40);
+        let a = plan.kill_points(0, 40).expect("valid plan");
+        let b = plan.kill_points(1, 40).expect("valid plan");
         assert_ne!(a, b);
-        assert!(plan.kill_points(0, 0).is_empty());
+        assert!(plan.kill_points(0, 0).expect("valid plan").is_empty());
     }
 
     #[test]
     fn single_kill_plan_kills_once() {
         let plan = CrashPlan::single_kill(9);
         for windows in [1usize, 3, 10] {
-            assert_eq!(plan.kill_points(0, windows).len(), 1);
+            assert_eq!(plan.kill_points(0, windows).expect("valid plan").len(), 1);
         }
     }
 
     #[test]
-    #[should_panic(expected = "spike probability out of range")]
-    fn invalid_plan_rejected() {
+    fn invalid_plan_rejected_without_injecting() {
         let plan = FaultPlan {
             sensor: Some(SensorFaultConfig {
                 spike_probability: 2.0,
@@ -746,6 +827,62 @@ mod tests {
             }),
             ..FaultPlan::default()
         };
-        plan.inject_box(&mut clean_box(6), 0);
+        let mut b = clean_box(6);
+        let before = b.clone();
+        let err = plan.inject_box(&mut b, 0).expect_err("must reject");
+        assert_eq!(
+            err,
+            PlanError::OutOfRange {
+                what: "spike probability"
+            }
+        );
+        assert_eq!(err.to_string(), "spike probability out of range");
+        assert_eq!(b, before, "rejected plan must not touch the trace");
+    }
+
+    #[test]
+    fn invalid_crash_plan_rejected() {
+        let plan = CrashPlan {
+            seed: 1,
+            kills_per_box: (3, 1),
+        };
+        let err = plan.kill_points(0, 10).expect_err("must reject");
+        assert_eq!(
+            err,
+            PlanError::InvalidRange {
+                what: "kills-per-box"
+            }
+        );
+        assert_eq!(err.to_string(), "invalid kills-per-box range");
+    }
+
+    #[test]
+    fn summary_merge_saturates_and_has_identity() {
+        // Empty merge is the identity.
+        let mut s = InjectionSummary {
+            gap_samples: 3,
+            spike_samples: 5,
+            stuck_samples: 7,
+            churn_samples: 11,
+            churned_vms: 2,
+        };
+        let before = s.clone();
+        s.merge(&InjectionSummary::default());
+        assert_eq!(s, before);
+        // Saturation: merging near-MAX counters pins at MAX, no wrap.
+        let big = InjectionSummary {
+            gap_samples: usize::MAX - 1,
+            spike_samples: usize::MAX,
+            stuck_samples: 0,
+            churn_samples: usize::MAX,
+            churned_vms: usize::MAX - 1,
+        };
+        s.merge(&big);
+        assert_eq!(s.gap_samples, usize::MAX);
+        assert_eq!(s.spike_samples, usize::MAX);
+        assert_eq!(s.stuck_samples, 7);
+        assert_eq!(s.churn_samples, usize::MAX);
+        assert_eq!(s.churned_vms, usize::MAX);
+        assert_eq!(big.total_samples(), usize::MAX);
     }
 }

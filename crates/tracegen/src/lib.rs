@@ -26,7 +26,9 @@
 //! monitoring exports can be loaded instead of generating: see [`io`]
 //! for the JSON and CSV interchange formats. The [`inject`] module layers
 //! deterministic faults (gap bursts, sensor corruption, VM churn) on top
-//! of any trace for robustness testing.
+//! of any trace for robustness testing, and the [`scenario`] module
+//! layers deterministic *drift* (surges, migrations, churn storms) on
+//! top for adaptation testing; the two compose freely.
 //!
 //! # Example
 //!
@@ -48,9 +50,11 @@ pub mod inject;
 pub mod io;
 pub mod profile;
 mod resource;
+pub mod scenario;
 mod trace;
 
 pub use generator::{generate_box, generate_fleet, FleetConfig};
-pub use inject::{FaultPlan, InjectionSummary};
+pub use inject::{FaultPlan, InjectionSummary, PlanError};
 pub use resource::Resource;
+pub use scenario::{ScenarioKind, ScenarioPlan, ScenarioSummary};
 pub use trace::{BoxTrace, FleetTrace, SeriesKey, VmTrace};

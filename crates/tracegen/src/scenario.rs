@@ -1,0 +1,688 @@
+//! Seeded drift scenarios: structured workload change over time.
+//!
+//! [`inject`](crate::inject) models *faults* — data that goes missing or
+//! lies. This module models *drift* — data that is correct but whose
+//! underlying workload has changed, which is exactly the regime where a
+//! model trained once and reused forever silently inflates tickets. Five
+//! scenario families cover the canonical ways production fleets drift:
+//!
+//! - **flash-crowd surge** ([`ScenarioKind::FlashCrowd`]) — recurring
+//!   viral-traffic days: from the onset, every other day runs at a
+//!   multiple of its organic load, so a seasonal predictor is wrong in
+//!   *both* directions forever (it forecasts the calm day from the surge
+//!   day and vice versa);
+//! - **gradual drift** ([`ScenarioKind::GradualDrift`]) — organic growth
+//!   compounding day over day, so every forecast trained on yesterday
+//!   under-predicts today;
+//! - **region-failover load migration**
+//!   ([`ScenarioKind::RegionFailover`]) — a remote region fails and its
+//!   load lands on a subset of VMs while the rest shed load, a sustained
+//!   one-time step;
+//! - **VM churn storm** ([`ScenarioKind::ChurnStorm`]) — a wave of
+//!   decommissions: VM slots go dark mid-trace and return with a new
+//!   tenant at a different load level;
+//! - **correlated multi-box failure**
+//!   ([`ScenarioKind::CorrelatedFailure`]) — shared-infrastructure
+//!   events that hit every box in the *same* windows: part of each box
+//!   goes dark while the surviving VMs absorb failover load.
+//!
+//! Everything is deterministic given [`ScenarioPlan::seed`] and the box
+//! index, exactly like [`FaultPlan`](crate::inject::FaultPlan), and
+//! scenario application composes freely with fault injection and crash
+//! schedules (apply the scenario first, then the `FaultPlan`; feed the
+//! run a `CrashPlan` kill schedule as usual).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::generator::mix_seed;
+use crate::inject::PlanError;
+use crate::trace::{BoxTrace, FleetTrace};
+
+/// Ceiling (in percent of VM capacity) that scenario scaling clamps to;
+/// matches the generator's hottest admissible reading with headroom for
+/// surge overshoot.
+const USAGE_CLAMP_PCT: f64 = 170.0;
+
+/// RAM reacts to load shifts at half the CPU exponent (RAM is dominated
+/// by resident sets, not request rate), mirroring the generator's
+/// CPU-leaning hot-VM model.
+const RAM_DAMPING: f64 = 0.5;
+
+/// The five scenario families; see the module docs for what each models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ScenarioKind {
+    /// Recurring alternating-day traffic surges.
+    FlashCrowd,
+    /// Compounding day-over-day organic growth.
+    GradualDrift,
+    /// Sustained load migration onto part of the box.
+    RegionFailover,
+    /// A wave of VM decommissions and re-deployments at new load levels.
+    ChurnStorm,
+    /// Fleet-wide synchronized failure/failover events.
+    CorrelatedFailure,
+}
+
+impl ScenarioKind {
+    /// Every scenario kind, in canonical (CLI and report) order.
+    pub const ALL: [ScenarioKind; 5] = [
+        ScenarioKind::FlashCrowd,
+        ScenarioKind::GradualDrift,
+        ScenarioKind::RegionFailover,
+        ScenarioKind::ChurnStorm,
+        ScenarioKind::CorrelatedFailure,
+    ];
+
+    /// The stable CLI/report name (`flash_crowd`, `gradual_drift`,
+    /// `region_failover`, `churn_storm`, `correlated_failure`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::FlashCrowd => "flash_crowd",
+            ScenarioKind::GradualDrift => "gradual_drift",
+            ScenarioKind::RegionFailover => "region_failover",
+            ScenarioKind::ChurnStorm => "churn_storm",
+            ScenarioKind::CorrelatedFailure => "correlated_failure",
+        }
+    }
+
+    /// Parses a [`ScenarioKind::name`] back into the kind.
+    pub fn from_name(name: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// What one scenario application actually changed, for assertions and
+/// reporting. Merging (for fleet totals) saturates like
+/// [`InjectionSummary`](crate::inject::InjectionSummary).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Samples whose reading was rescaled by the scenario.
+    pub scaled_samples: usize,
+    /// Samples blanked (churned or failed away) by the scenario.
+    pub blanked_samples: usize,
+    /// VMs whose series the scenario touched.
+    pub affected_vms: usize,
+}
+
+impl ScenarioSummary {
+    /// Merges another summary into this one (saturating).
+    pub fn merge(&mut self, other: &ScenarioSummary) {
+        self.scaled_samples = self.scaled_samples.saturating_add(other.scaled_samples);
+        self.blanked_samples = self.blanked_samples.saturating_add(other.blanked_samples);
+        self.affected_vms = self.affected_vms.saturating_add(other.affected_vms);
+    }
+}
+
+/// A complete, seeded drift scenario: one [`ScenarioKind`] plus the
+/// knobs every kind draws from. Unused knobs are ignored by kinds that
+/// do not read them, so one plan round-trips through serde regardless of
+/// kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPlan {
+    /// Which drift family to apply.
+    pub kind: ScenarioKind,
+    /// Master seed; applications are deterministic given this and the
+    /// box index.
+    pub seed: u64,
+    /// First window (absolute index into the trace) at which the world
+    /// changes; everything before it is untouched.
+    pub onset_window: usize,
+    /// CPU load multiplier for surge-type scenarios (flash-crowd days,
+    /// failover arrivals, correlated-failure survivors); must be >= 1.
+    pub surge_factor: f64,
+    /// Day-over-day compounding growth for [`ScenarioKind::GradualDrift`];
+    /// must be >= 1.
+    pub daily_growth: f64,
+    /// Cap on the compounded gradual-drift multiplier; must be >=
+    /// `daily_growth`.
+    pub max_factor: f64,
+    /// Fraction of VMs the scenario singles out (failover arrivals,
+    /// churned slots, failed services), in `(0, 1]`.
+    pub affected_fraction: f64,
+    /// Load multiplier for VMs *shedding* load in
+    /// [`ScenarioKind::RegionFailover`], in `(0, 1]`.
+    pub shed_factor: f64,
+    /// Churn-storm outage length in windows, sampled uniformly from this
+    /// inclusive range; lower bound must be >= 1.
+    pub churn_outage_windows: (usize, usize),
+    /// Load-level scale of the tenant that re-occupies a churned slot,
+    /// sampled uniformly from this inclusive range of positive factors.
+    pub churn_level_shift: (f64, f64),
+    /// Duration, in windows, of each correlated-failure event; must be
+    /// >= 1.
+    pub event_windows: usize,
+    /// Number of correlated-failure events after the onset; must be >= 1.
+    pub event_count: usize,
+}
+
+impl ScenarioPlan {
+    /// A plan for `kind` with the documented default intensities and the
+    /// given seed and onset window.
+    pub fn new(kind: ScenarioKind, seed: u64, onset_window: usize) -> Self {
+        ScenarioPlan {
+            kind,
+            seed,
+            onset_window,
+            surge_factor: 1.9,
+            daily_growth: 1.2,
+            max_factor: 4.0,
+            affected_fraction: 0.5,
+            shed_factor: 0.45,
+            churn_outage_windows: (48, 144),
+            churn_level_shift: (0.7, 1.5),
+            event_windows: 12,
+            event_count: 3,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] naming the offending parameter; the
+    /// appliers call this before touching the trace.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if !(self.surge_factor.is_finite() && self.surge_factor >= 1.0) {
+            return Err(PlanError::OutOfRange {
+                what: "surge factor",
+            });
+        }
+        if !(self.daily_growth.is_finite() && self.daily_growth >= 1.0) {
+            return Err(PlanError::OutOfRange {
+                what: "daily growth",
+            });
+        }
+        if !(self.max_factor.is_finite() && self.max_factor >= self.daily_growth) {
+            return Err(PlanError::OutOfRange { what: "max factor" });
+        }
+        if !(self.affected_fraction > 0.0 && self.affected_fraction <= 1.0) {
+            return Err(PlanError::OutOfRange {
+                what: "affected fraction",
+            });
+        }
+        if !(self.shed_factor > 0.0 && self.shed_factor <= 1.0) {
+            return Err(PlanError::OutOfRange {
+                what: "shed factor",
+            });
+        }
+        if self.churn_outage_windows.0 < 1
+            || self.churn_outage_windows.0 > self.churn_outage_windows.1
+        {
+            return Err(PlanError::InvalidRange {
+                what: "churn outage",
+            });
+        }
+        if !(self.churn_level_shift.0 > 0.0
+            && self.churn_level_shift.0 <= self.churn_level_shift.1
+            && self.churn_level_shift.1.is_finite())
+        {
+            return Err(PlanError::InvalidRange {
+                what: "churn level shift",
+            });
+        }
+        if self.event_windows < 1 {
+            return Err(PlanError::OutOfRange {
+                what: "event windows",
+            });
+        }
+        if self.event_count < 1 {
+            return Err(PlanError::OutOfRange {
+                what: "event count",
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the scenario to one box in place and reports what
+    /// changed. Deterministic given the plan's seed and `box_index`;
+    /// independent of applications to other boxes (correlated-failure
+    /// event *times* are shared across boxes by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioPlan::validate`] error without touching the
+    /// trace if the plan is invalid.
+    pub fn apply_box(
+        &self,
+        box_trace: &mut BoxTrace,
+        box_index: usize,
+    ) -> Result<ScenarioSummary, PlanError> {
+        self.validate()?;
+        let windows = box_trace.window_count();
+        let mut summary = ScenarioSummary::default();
+        if windows == 0 || self.onset_window >= windows {
+            return Ok(summary);
+        }
+        let wpd = (24 * 60 / box_trace.interval_minutes.max(1) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, box_index as u64));
+        match self.kind {
+            ScenarioKind::FlashCrowd => self.flash_crowd(box_trace, wpd, &mut rng, &mut summary),
+            ScenarioKind::GradualDrift => {
+                self.gradual_drift(box_trace, wpd, &mut rng, &mut summary)
+            }
+            ScenarioKind::RegionFailover => self.region_failover(box_trace, &mut rng, &mut summary),
+            ScenarioKind::ChurnStorm => self.churn_storm(box_trace, &mut rng, &mut summary),
+            ScenarioKind::CorrelatedFailure => {
+                self.correlated_failure(box_trace, &mut rng, &mut summary)
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Applies the scenario to every box of a fleet and returns the
+    /// merged summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioPlan::validate`] error without touching any
+    /// box if the plan is invalid.
+    pub fn apply_fleet(&self, fleet: &mut FleetTrace) -> Result<ScenarioSummary, PlanError> {
+        self.validate()?;
+        let mut total = ScenarioSummary::default();
+        for (i, box_trace) in fleet.boxes.iter_mut().enumerate() {
+            total.merge(&self.apply_box(box_trace, i)?);
+        }
+        Ok(total)
+    }
+
+    /// Recurring surges: from the onset, every other day (day parity 0,
+    /// 2, ... relative to the onset) runs hot. Each VM gets a seeded
+    /// amplitude jitter so surge days are correlated but not identical.
+    fn flash_crowd(
+        &self,
+        box_trace: &mut BoxTrace,
+        wpd: usize,
+        rng: &mut StdRng,
+        summary: &mut ScenarioSummary,
+    ) {
+        let onset = self.onset_window;
+        for vm in &mut box_trace.vms {
+            let jitter = rng.gen_range(0.9..=1.1);
+            let cpu_factor = 1.0 + (self.surge_factor - 1.0) * jitter;
+            let ram_factor = 1.0 + (cpu_factor - 1.0) * RAM_DAMPING;
+            let mut touched = false;
+            for (series, factor) in [
+                (&mut vm.cpu_usage, cpu_factor),
+                (&mut vm.ram_usage, ram_factor),
+            ] {
+                for (t, v) in series.iter_mut().enumerate().skip(onset) {
+                    if v.is_nan() || (t - onset) / wpd % 2 != 0 {
+                        continue;
+                    }
+                    *v = (*v * factor).clamp(0.0, USAGE_CLAMP_PCT);
+                    summary.scaled_samples += 1;
+                    touched = true;
+                }
+            }
+            if touched {
+                summary.affected_vms += 1;
+            }
+        }
+    }
+
+    /// Compounding growth: each sample after the onset is scaled by
+    /// `daily_growth` raised to the (fractional) days elapsed since the
+    /// onset, capped at `max_factor`. Per-VM jitter varies the growth
+    /// exponent slightly.
+    fn gradual_drift(
+        &self,
+        box_trace: &mut BoxTrace,
+        wpd: usize,
+        rng: &mut StdRng,
+        summary: &mut ScenarioSummary,
+    ) {
+        let onset = self.onset_window;
+        for vm in &mut box_trace.vms {
+            let jitter = rng.gen_range(0.9..=1.1);
+            let mut touched = false;
+            for (series, damping) in [(&mut vm.cpu_usage, 1.0), (&mut vm.ram_usage, RAM_DAMPING)] {
+                for (t, v) in series.iter_mut().enumerate().skip(onset) {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    let days = (t - onset + 1) as f64 / wpd as f64;
+                    let factor = self
+                        .daily_growth
+                        .powf(days * jitter * damping)
+                        .min(self.max_factor);
+                    *v = (*v * factor).clamp(0.0, USAGE_CLAMP_PCT);
+                    summary.scaled_samples += 1;
+                    touched = true;
+                }
+            }
+            if touched {
+                summary.affected_vms += 1;
+            }
+        }
+    }
+
+    /// Sustained migration step: an `affected_fraction` subset of VMs
+    /// absorbs the failed region's load (`surge_factor`) while the rest
+    /// shed theirs (`shed_factor`), from the onset to the end of the
+    /// trace. At least one VM always arrives, so the scenario can never
+    /// degenerate to a pure shed.
+    fn region_failover(
+        &self,
+        box_trace: &mut BoxTrace,
+        rng: &mut StdRng,
+        summary: &mut ScenarioSummary,
+    ) {
+        let onset = self.onset_window;
+        let arriving: Vec<bool> = box_trace
+            .vms
+            .iter()
+            .map(|_| rng.gen::<f64>() < self.affected_fraction)
+            .collect();
+        for (i, vm) in box_trace.vms.iter_mut().enumerate() {
+            let arrives = arriving[i] || (i == 0 && !arriving.iter().any(|&a| a));
+            let cpu_factor = if arrives {
+                self.surge_factor
+            } else {
+                self.shed_factor
+            };
+            let ram_factor = 1.0 + (cpu_factor - 1.0) * RAM_DAMPING;
+            let mut touched = false;
+            for (series, factor) in [
+                (&mut vm.cpu_usage, cpu_factor),
+                (&mut vm.ram_usage, ram_factor),
+            ] {
+                for v in series.iter_mut().skip(onset) {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    *v = (*v * factor).clamp(0.0, USAGE_CLAMP_PCT);
+                    summary.scaled_samples += 1;
+                    touched = true;
+                }
+            }
+            if touched {
+                summary.affected_vms += 1;
+            }
+        }
+    }
+
+    /// Churn wave: each selected VM goes dark for a seeded outage run
+    /// starting shortly after the onset, then returns with a new tenant
+    /// whose load level is the old one scaled by a seeded factor.
+    fn churn_storm(
+        &self,
+        box_trace: &mut BoxTrace,
+        rng: &mut StdRng,
+        summary: &mut ScenarioSummary,
+    ) {
+        let windows = box_trace.window_count();
+        let onset = self.onset_window;
+        for vm in &mut box_trace.vms {
+            // Draw every VM's coin and geometry unconditionally so the
+            // stream for later VMs is independent of earlier outcomes
+            // (the same discipline as `inject_stuck_run`).
+            let churns = rng.gen::<f64>() < self.affected_fraction;
+            let start = onset + rng.gen_range(0..self.churn_outage_windows.1.max(1));
+            let len = rng.gen_range(self.churn_outage_windows.0..=self.churn_outage_windows.1);
+            let level = rng.gen_range(self.churn_level_shift.0..=self.churn_level_shift.1);
+            if !churns || start >= windows {
+                continue;
+            }
+            summary.affected_vms += 1;
+            let outage_end = (start + len).min(windows);
+            let ram_level = 1.0 + (level - 1.0) * RAM_DAMPING;
+            for (series, factor) in [(&mut vm.cpu_usage, level), (&mut vm.ram_usage, ram_level)] {
+                for v in &mut series[start..outage_end] {
+                    if !v.is_nan() {
+                        *v = f64::NAN;
+                        summary.blanked_samples += 1;
+                    }
+                }
+                for v in &mut series[outage_end..] {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    *v = (*v * factor).clamp(0.0, USAGE_CLAMP_PCT);
+                    summary.scaled_samples += 1;
+                }
+            }
+        }
+    }
+
+    /// Fleet-synchronized failures: event *times* come from a stream
+    /// derived from the seed alone (every box sees the same windows);
+    /// which VMs fail and which absorb load stays per-box.
+    fn correlated_failure(
+        &self,
+        box_trace: &mut BoxTrace,
+        rng: &mut StdRng,
+        summary: &mut ScenarioSummary,
+    ) {
+        let windows = box_trace.window_count();
+        let onset = self.onset_window;
+        let span = windows - onset;
+        // Box-independent stream for the shared event schedule; u64::MAX
+        // is outside any reachable box index.
+        let mut shared = StdRng::seed_from_u64(mix_seed(self.seed, u64::MAX));
+        let mut events = Vec::with_capacity(self.event_count);
+        for _ in 0..self.event_count {
+            let latest_start = span.saturating_sub(self.event_windows).max(1);
+            let start = onset + shared.gen_range(0..latest_start);
+            let end = (start + self.event_windows).min(windows);
+            events.push((start, end));
+        }
+        let failed: Vec<bool> = box_trace
+            .vms
+            .iter()
+            .map(|_| rng.gen::<f64>() < self.affected_fraction)
+            .collect();
+        let ram_factor = 1.0 + (self.surge_factor - 1.0) * RAM_DAMPING;
+        for (i, vm) in box_trace.vms.iter_mut().enumerate() {
+            let mut touched = false;
+            for &(start, end) in &events {
+                if failed[i] {
+                    for series in [&mut vm.cpu_usage, &mut vm.ram_usage] {
+                        for v in &mut series[start..end] {
+                            if !v.is_nan() {
+                                *v = f64::NAN;
+                                summary.blanked_samples += 1;
+                                touched = true;
+                            }
+                        }
+                    }
+                } else {
+                    for (series, factor) in [
+                        (&mut vm.cpu_usage, self.surge_factor),
+                        (&mut vm.ram_usage, ram_factor),
+                    ] {
+                        for v in &mut series[start..end] {
+                            if v.is_nan() {
+                                continue;
+                            }
+                            *v = (*v * factor).clamp(0.0, USAGE_CLAMP_PCT);
+                            summary.scaled_samples += 1;
+                            touched = true;
+                        }
+                    }
+                }
+            }
+            if touched {
+                summary.affected_vms += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_box, generate_fleet, FleetConfig};
+
+    fn clean_box(days: usize, seed_index: usize) -> BoxTrace {
+        generate_box(
+            &FleetConfig {
+                days,
+                ..FleetConfig::gap_free(1)
+            },
+            seed_index,
+        )
+    }
+
+    /// Bitwise trace equality: the derived `PartialEq` is useless once a
+    /// scenario has blanked samples, because `NaN != NaN`.
+    fn bitwise_eq(a: &BoxTrace, b: &BoxTrace) -> bool {
+        fn series_eq(x: &[f64], y: &[f64]) -> bool {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        a.name == b.name
+            && a.cpu_capacity_ghz.to_bits() == b.cpu_capacity_ghz.to_bits()
+            && a.ram_capacity_gb.to_bits() == b.ram_capacity_gb.to_bits()
+            && a.vms.len() == b.vms.len()
+            && a.vms.iter().zip(&b.vms).all(|(u, v)| {
+                u.name == v.name
+                    && u.cpu_capacity_ghz.to_bits() == v.cpu_capacity_ghz.to_bits()
+                    && u.ram_capacity_gb.to_bits() == v.ram_capacity_gb.to_bits()
+                    && series_eq(&u.cpu_usage, &v.cpu_usage)
+                    && series_eq(&u.ram_usage, &v.ram_usage)
+            })
+    }
+
+    #[test]
+    fn every_kind_is_deterministic_and_touches_only_post_onset() {
+        for kind in ScenarioKind::ALL {
+            let plan = ScenarioPlan::new(kind, 0xD21F7, 96);
+            let mut a = clean_box(4, 0);
+            let mut b = clean_box(4, 0);
+            let sa = plan.apply_box(&mut a, 3).expect("valid plan");
+            let sb = plan.apply_box(&mut b, 3).expect("valid plan");
+            assert!(bitwise_eq(&a, &b), "{}: not deterministic", kind.name());
+            assert_eq!(sa, sb);
+            assert!(sa.affected_vms > 0, "{}: touched no VM at all", kind.name());
+            // Pre-onset samples are untouched.
+            let clean = clean_box(4, 0);
+            for (vm, vm_clean) in a.vms.iter().zip(&clean.vms) {
+                assert_eq!(vm.cpu_usage[..96], vm_clean.cpu_usage[..96]);
+                assert_eq!(vm.ram_usage[..96], vm_clean.ram_usage[..96]);
+            }
+            // A different box index yields a different application
+            // (event times of the correlated failure are shared, but the
+            // per-box RNG still differs).
+            let mut c = clean_box(4, 0);
+            plan.apply_box(&mut c, 4).expect("valid plan");
+            assert!(!bitwise_eq(&a, &c), "{}: box index ignored", kind.name());
+        }
+    }
+
+    #[test]
+    fn flash_crowd_alternates_days() {
+        let wpd = 96;
+        let plan = ScenarioPlan::new(ScenarioKind::FlashCrowd, 7, wpd);
+        let clean = clean_box(4, 1);
+        let mut surged = clean.clone();
+        plan.apply_box(&mut surged, 0).expect("valid plan");
+        let vm = 0;
+        // Day 2 (windows 96..192) surges, day 3 (192..288) stays calm.
+        let surged_day: f64 = surged.vms[vm].cpu_usage[wpd..2 * wpd].iter().sum();
+        let clean_day: f64 = clean.vms[vm].cpu_usage[wpd..2 * wpd].iter().sum();
+        assert!(surged_day > clean_day * 1.2, "surge day did not surge");
+        assert_eq!(
+            surged.vms[vm].cpu_usage[2 * wpd..3 * wpd],
+            clean.vms[vm].cpu_usage[2 * wpd..3 * wpd],
+            "calm day was touched"
+        );
+    }
+
+    #[test]
+    fn gradual_drift_compounds_monotonically() {
+        let plan = ScenarioPlan::new(ScenarioKind::GradualDrift, 9, 0);
+        let clean = clean_box(6, 2);
+        let mut drifted = clean.clone();
+        plan.apply_box(&mut drifted, 0).expect("valid plan");
+        // The per-day mean scale factor grows day over day.
+        let mut last_ratio = 0.0;
+        for day in 0..6 {
+            let d: f64 = drifted.vms[0].cpu_usage[day * 96..(day + 1) * 96]
+                .iter()
+                .sum();
+            let c: f64 = clean.vms[0].cpu_usage[day * 96..(day + 1) * 96]
+                .iter()
+                .sum();
+            let ratio = d / c;
+            assert!(
+                ratio > last_ratio * 0.999,
+                "day {day}: ratio {ratio} fell below {last_ratio}"
+            );
+            last_ratio = ratio;
+        }
+        assert!(last_ratio > 1.5, "drift never compounded: {last_ratio}");
+    }
+
+    #[test]
+    fn churn_storm_blanks_and_relevels() {
+        let plan = ScenarioPlan {
+            affected_fraction: 1.0,
+            ..ScenarioPlan::new(ScenarioKind::ChurnStorm, 11, 96)
+        };
+        let mut b = clean_box(6, 3);
+        let summary = plan.apply_box(&mut b, 0).expect("valid plan");
+        assert_eq!(summary.affected_vms, b.vm_count());
+        assert!(summary.blanked_samples > 0, "no outage blanked");
+        assert!(summary.scaled_samples > 0, "no tenant re-leveled");
+        assert!(b.has_gaps());
+    }
+
+    #[test]
+    fn correlated_failure_hits_same_windows_across_boxes() {
+        let plan = ScenarioPlan::new(ScenarioKind::CorrelatedFailure, 13, 96);
+        let cfg = FleetConfig {
+            days: 4,
+            ..FleetConfig::gap_free(3)
+        };
+        let mut fleet = generate_fleet(&cfg);
+        let clean = generate_fleet(&cfg);
+        plan.apply_fleet(&mut fleet).expect("valid plan");
+        // Collect, per box, the set of windows where anything changed.
+        let changed: Vec<Vec<bool>> = fleet
+            .boxes
+            .iter()
+            .zip(&clean.boxes)
+            .map(|(b, c)| {
+                (0..b.window_count())
+                    .map(|t| {
+                        b.vms.iter().zip(&c.vms).any(|(vm, vm_c)| {
+                            vm.cpu_usage[t].to_bits() != vm_c.cpu_usage[t].to_bits()
+                                || vm.ram_usage[t].to_bits() != vm_c.ram_usage[t].to_bits()
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        assert!(changed[0].iter().any(|&c| c), "no correlated event landed");
+        assert_eq!(changed[0], changed[1], "boxes 0/1 saw different windows");
+        assert_eq!(changed[0], changed[2], "boxes 0/2 saw different windows");
+    }
+
+    #[test]
+    fn invalid_plan_rejected_without_applying() {
+        let plan = ScenarioPlan {
+            surge_factor: 0.5,
+            ..ScenarioPlan::new(ScenarioKind::FlashCrowd, 1, 0)
+        };
+        let mut b = clean_box(2, 4);
+        let before = b.clone();
+        let err = plan.apply_box(&mut b, 0).expect_err("must reject");
+        assert_eq!(
+            err,
+            PlanError::OutOfRange {
+                what: "surge factor"
+            }
+        );
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(ScenarioKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::from_name("nope"), None);
+    }
+}

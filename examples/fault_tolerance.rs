@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         11,
     );
-    let injected = FaultPlan::gaps_only(0xFA_0175).inject_box(&mut trace, 0);
+    let injected = FaultPlan::gaps_only(0xFA_0175).inject_box(&mut trace, 0)?;
     println!(
         "box `{}`: {} VMs, 7-day trace; injected {} gap samples across all series\n",
         trace.name,

@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gap_probability: 0.0,
         ..FleetConfig::default()
     });
-    let injected = FaultPlan::gaps_only(0x0B5_FA17).inject_fleet_observed(&mut fleet, &obs);
+    let injected = FaultPlan::gaps_only(0x0B5_FA17).inject_fleet_observed(&mut fleet, &obs)?;
     println!(
         "injected {} gap samples across {} boxes (inject.* counters recorded)\n",
         injected.gap_samples,

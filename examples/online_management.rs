@@ -11,16 +11,140 @@
 //! The second half demonstrates crash-safe operation: the same run is
 //! repeated with checkpointing, killed partway through, and resumed —
 //! the resumed report is byte-identical to the uninterrupted one.
+//!
+//! Pass `--scenario <name>` (one of `flash_crowd`, `gradual_drift`,
+//! `region_failover`, `churn_storm`, `correlated_failure`; optional
+//! `--seed N`) to instead replay a drift scenario and watch the
+//! budget-capped adaptation loop react, side by side with the frozen
+//! non-adaptive loop:
+//!
+//! ```sh
+//! cargo run --release --example online_management -- --scenario flash_crowd
+//! ```
 
 use atm::core::actuate::NoopActuator;
 use atm::core::checkpoint::CheckpointStore;
-use atm::core::config::{AtmConfig, TemporalModel};
+use atm::core::config::{AdaptationConfig, AtmConfig, ClusterMethod, TemporalModel};
 use atm::core::online::{run_online, run_online_checkpointed, run_online_until};
 use atm::core::AtmError;
 use atm::forecast::mlp::MlpConfig;
-use atm::tracegen::{generate_box, FleetConfig};
+use atm::tracegen::{generate_box, FleetConfig, ScenarioKind, ScenarioPlan};
+
+/// Replays one seeded drift scenario: a clean trace and its drifted twin
+/// are managed by the adaptive loop, the drifted twin also by the frozen
+/// (non-adaptive) loop, and the drift-detector transitions are printed.
+fn run_scenario_demo(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(kind) = ScenarioKind::from_name(name) else {
+        let known: Vec<&str> = ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+        return Err(format!("unknown scenario {name:?}; known: {}", known.join(", ")).into());
+    };
+
+    // Same fleet recipe and onset as the committed matrix
+    // (BENCH_SCENARIOS.json / tests/scenarios.rs): hot VMs sit just
+    // below the ticket threshold, so every ticket below is caused by
+    // the scenario.
+    let days = 10;
+    let onset_window = 384;
+    let fleet = FleetConfig {
+        days,
+        seed,
+        vm_count_range: (8, 8),
+        hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+        hot_ram_probability: 0.0,
+        hot_cpu_max_usage_pct: 55.0,
+        ..FleetConfig::smooth(1)
+    };
+    let clean = generate_box(&fleet, 0);
+    let mut drifted = clean.clone();
+    let plan = ScenarioPlan::new(kind, seed, onset_window);
+    let summary = plan.apply_box(&mut drifted, 0)?;
+    println!(
+        "scenario `{name}` (seed {seed}): onset day {}, {} VMs affected, \
+         {} samples scaled, {} blanked\n",
+        onset_window / 96 + 1,
+        summary.affected_vms,
+        summary.scaled_samples,
+        summary.blanked_samples
+    );
+
+    let config = |adaptive: bool| {
+        let mut cfg = AtmConfig {
+            temporal: TemporalModel::SeasonalNaive { period: 96 },
+            train_windows: 2 * 96,
+            horizon: 96,
+            ..AtmConfig::fast_for_tests()
+        }
+        .with_cluster_method(ClusterMethod::cbc());
+        if adaptive {
+            cfg.adaptation = AdaptationConfig::fast();
+        }
+        cfg
+    };
+    let adaptive = run_online(&drifted, &config(true))?;
+    let frozen = run_online(&drifted, &config(false))?;
+    let baseline = run_online(&clean, &config(true))?;
+
+    println!("drift-detector transitions (adaptive loop):");
+    if adaptive.adaptation.events.is_empty() {
+        println!("  (none — the detector never confirmed a shift)");
+    }
+    for e in &adaptive.adaptation.events {
+        // Eval window w scores the day after the two training days, so
+        // the calendar day (1-based, like the onset above) is w + 3.
+        println!(
+            "  day {:>2}: {:?} (residual {:.3} vs baseline {:.3}, headroom -> {:.2})",
+            e.window + 3,
+            e.kind,
+            e.residual,
+            e.baseline,
+            e.headroom
+        );
+    }
+    println!(
+        "  re-fit budget spent: {}/{}",
+        adaptive.adaptation.refits_used,
+        AdaptationConfig::fast().max_refits
+    );
+
+    let pct = |r: &atm::core::online::OnlineReport| r.overall_reduction_pct().unwrap_or(100.0);
+    println!(
+        "\nticket reduction: clean baseline {:.1}%, adaptive {:.1}%, frozen {:.1}%",
+        pct(&baseline),
+        pct(&adaptive),
+        pct(&frozen)
+    );
+    println!(
+        "tickets under drift: adaptive {} -> {}, frozen {} -> {}",
+        adaptive.total_before(),
+        adaptive.total_after(),
+        frozen.total_before(),
+        frozen.total_after()
+    );
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario: Option<String> = None;
+    let mut seed = 46061_u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" if i + 1 < args.len() => {
+                scenario = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse()?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+    if let Some(name) = scenario {
+        return run_scenario_demo(&name, seed);
+    }
+
     let trace = generate_box(
         &FleetConfig {
             num_boxes: 1,

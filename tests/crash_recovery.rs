@@ -146,7 +146,7 @@ fn crash_plan_schedule_survives_to_identical_report() {
         seed: 0xDEAD,
         kills_per_box: (2, 3),
     };
-    let kills = plan.kill_points(0, windows);
+    let kills = plan.kill_points(0, windows).expect("valid plan");
     assert!(kills.len() >= 2, "plan too tame: {kills:?}");
 
     let store = temp_store("plan");

@@ -122,7 +122,9 @@ fn gappy_box_managed_online() {
 #[test]
 fn full_fault_plan_never_aborts_the_pipeline() {
     let mut faulted = clean_box(3, 4);
-    let summary = FaultPlan::default().inject_box(&mut faulted, 0);
+    let summary = FaultPlan::default()
+        .inject_box(&mut faulted, 0)
+        .expect("valid plan");
     assert!(summary.total_samples() > 0);
     let report = run_box(&faulted, &oracle_config()).unwrap();
     assert!(!report.imputation.is_empty());
@@ -141,7 +143,12 @@ fn full_fault_plan_never_aborts_the_pipeline() {
         }),
         churn: None,
     };
-    assert!(plan.inject_box(&mut corrupted, 0).total_samples() > 0);
+    assert!(
+        plan.inject_box(&mut corrupted, 0)
+            .expect("valid plan")
+            .total_samples()
+            > 0
+    );
     let report = run_box(&corrupted, &oracle_config()).unwrap();
     assert!(report.imputation.is_empty());
 }
@@ -152,7 +159,9 @@ fn full_fault_plan_never_aborts_the_pipeline() {
 #[test]
 fn gap_bursts_and_flaky_actuator_degrade_every_window() {
     let mut trace = clean_box(5, 5);
-    FaultPlan::gaps_only(17).inject_box(&mut trace, 0);
+    FaultPlan::gaps_only(17)
+        .inject_box(&mut trace, 0)
+        .expect("valid plan");
     // Pin a gap burst inside the first training span so every window's
     // truncated trace is guaranteed to impute (the plan's bursts land at
     // seeded but arbitrary offsets).
@@ -195,7 +204,9 @@ fn gap_bursts_and_flaky_actuator_degrade_every_window() {
 fn faults_disabled_reports_are_byte_identical() {
     let trace = clean_box(5, 6);
     let mut uninjected = trace.clone();
-    let summary = FaultPlan::none(17).inject_box(&mut uninjected, 0);
+    let summary = FaultPlan::none(17)
+        .inject_box(&mut uninjected, 0)
+        .expect("valid plan");
     assert_eq!(summary.total_samples(), 0);
     assert_eq!(uninjected, trace);
 
@@ -254,6 +265,7 @@ fn imputed_box_fills_stay_within_observed_range() {
     assert!(
         FaultPlan::gaps_only(23)
             .inject_box(&mut faulted, 0)
+            .expect("valid plan")
             .gap_samples
             > 0
     );

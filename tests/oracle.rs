@@ -76,7 +76,9 @@ fn injected_gaps_are_rejected_not_propagated() {
         ..FleetConfig::default()
     };
     let mut box_trace = generate_box(&config, 0);
-    let summary = FaultPlan::gaps_only(7).inject_box(&mut box_trace, 0);
+    let summary = FaultPlan::gaps_only(7)
+        .inject_box(&mut box_trace, 0)
+        .expect("valid plan");
     assert!(summary.gap_samples > 0, "injector produced no gaps");
 
     let vms: Vec<VmDemand> = box_trace

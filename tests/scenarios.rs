@@ -1,0 +1,475 @@
+//! Scenario-matrix acceptance suite for the drift-aware online loop.
+//!
+//! `BENCH_SCENARIOS.json` commits, per scenario, the seed, trace length,
+//! and the ticket-reduction band the adaptive loop must stay within
+//! relative to the no-drift baseline run. This suite replays every
+//! scenario three ways — clean trace, drifted trace with adaptation,
+//! drifted trace without — and enforces:
+//!
+//! - the adaptive run's reduction stays within the committed band of the
+//!   clean-trace baseline on **every** scenario;
+//! - the non-adaptive run demonstrably violates the band on the
+//!   scenarios marked `nonadaptive_violates` (flash crowd and gradual
+//!   drift — the two that persistently defeat a seasonal predictor);
+//! - adaptation never makes things worse than the stale loop by more
+//!   than the committed no-harm margin, never exceeds its re-fit budget,
+//!   and never aborts a window ("degrade, never abort");
+//! - `DriftEvent` streams are byte-identical across thread counts and
+//!   across a mid-scenario crash/resume.
+//!
+//! Like `determinism.rs`, every config honors `ATM_THREADS`, so the CI
+//! `scenarios` job proves the same bytes at several thread counts. The
+//! nightly long-drift leg (10x the eval windows) is gated behind
+//! `ATM_LONG_DRIFT` so regular runs stay fast.
+//!
+//! The geometry behind the committed bands: boxes carry 8 VMs, two of
+//! them hot with CPU capped at 55% — below the 60% ticket threshold, so
+//! the *clean* trace produces no tickets and every ticket in a drifted
+//! run is attributable to the scenario; the six cool VMs provide the
+//! physical-capacity slack that makes covering a confirmed drift
+//! feasible for the resizer.
+
+use atm::core::actuate::NoopActuator;
+use atm::core::checkpoint::CheckpointStore;
+use atm::core::config::{AdaptationConfig, AtmConfig, ClusterMethod, TemporalModel};
+use atm::core::online::{
+    run_online, run_online_checkpointed, run_online_observed, run_online_until, DegradationSummary,
+    DriftEvent, DriftEventKind, OnlineReport,
+};
+use atm::core::AtmError;
+use atm::obs::Obs;
+use atm::tracegen::{
+    generate_box, BoxTrace, FleetConfig, InjectionSummary, ScenarioKind, ScenarioPlan,
+    ScenarioSummary,
+};
+use proptest::prelude::*;
+
+/// The committed scenario matrix — the same file the bench binary's
+/// `--scenario --compare` leg checks against.
+const MATRIX_JSON: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_SCENARIOS.json"));
+
+/// Windows per day at the generator's 15-minute sampling interval.
+const WPD: usize = 96;
+
+/// One committed scenario specification.
+struct Spec {
+    kind: ScenarioKind,
+    seed: u64,
+    days: usize,
+    /// Max percentage points the adaptive run may fall below the
+    /// clean-trace baseline's ticket reduction.
+    band_pp: f64,
+    /// Max percentage points the adaptive run may fall below the
+    /// non-adaptive run (adaptation must never hurt much).
+    no_harm_pp: f64,
+    /// Whether the stale loop must violate the band on this scenario.
+    nonadaptive_violates: bool,
+    daily_growth: Option<f64>,
+    max_factor: Option<f64>,
+}
+
+struct Matrix {
+    onset_window: usize,
+    specs: Vec<Spec>,
+}
+
+fn load_matrix() -> Matrix {
+    let v: serde_json::Value = serde_json::from_str(MATRIX_JSON).expect("matrix json parses");
+    assert_eq!(
+        v["schema_version"].as_u64(),
+        Some(1),
+        "unknown matrix schema"
+    );
+    let onset_window = v["onset_window"].as_u64().expect("onset_window") as usize;
+    let specs = v["scenarios"]
+        .as_array()
+        .expect("scenarios array")
+        .iter()
+        .map(|s| {
+            let name = s["name"].as_str().expect("scenario name");
+            Spec {
+                kind: ScenarioKind::from_name(name)
+                    .unwrap_or_else(|| panic!("unknown scenario name {name:?}")),
+                seed: s["seed"].as_u64().expect("seed"),
+                days: s["days"].as_u64().expect("days") as usize,
+                band_pp: s["band_pp"].as_f64().expect("band_pp"),
+                no_harm_pp: s["no_harm_pp"].as_f64().expect("no_harm_pp"),
+                nonadaptive_violates: s["nonadaptive_violates"].as_bool().expect("violates flag"),
+                daily_growth: s["daily_growth"].as_f64(),
+                max_factor: s["max_factor"].as_f64(),
+            }
+        })
+        .collect();
+    Matrix {
+        onset_window,
+        specs,
+    }
+}
+
+/// The trace recipe the committed bands were calibrated for: smooth
+/// (no spikes/bursts), 8 VMs per box, exactly two hot CPU VMs whose
+/// usage is capped just *below* the 60% ticket threshold.
+fn fleet_config(days: usize, seed: u64) -> FleetConfig {
+    FleetConfig {
+        days,
+        seed,
+        vm_count_range: (8, 8),
+        hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+        hot_ram_probability: 0.0,
+        hot_cpu_max_usage_pct: 55.0,
+        ..FleetConfig::smooth(1)
+    }
+}
+
+fn scenario_trace(days: usize, seed: u64) -> BoxTrace {
+    generate_box(&fleet_config(days, seed), 0)
+}
+
+fn plan_for(spec: &Spec, onset_window: usize) -> ScenarioPlan {
+    let mut plan = ScenarioPlan::new(spec.kind, spec.seed, onset_window);
+    if let Some(g) = spec.daily_growth {
+        plan.daily_growth = g;
+    }
+    if let Some(m) = spec.max_factor {
+        plan.max_factor = m;
+    }
+    plan
+}
+
+/// The committed evaluation config: seasonal-naive over one day, two
+/// training days, CBC clustering — the regime where drift, not model
+/// variance, decides the outcome. Honors `ATM_THREADS` like the
+/// determinism suite.
+fn scenario_config(adaptive: bool) -> AtmConfig {
+    let mut cfg = AtmConfig {
+        temporal: TemporalModel::SeasonalNaive { period: WPD },
+        train_windows: 2 * WPD,
+        horizon: WPD,
+        ..AtmConfig::fast_for_tests()
+    }
+    .with_cluster_method(ClusterMethod::cbc());
+    cfg.compute = cfg.compute.with_env_threads();
+    cfg.durability.breaker_base_ms = 0;
+    cfg.durability.breaker_cap_ms = 0;
+    if adaptive {
+        cfg.adaptation = AdaptationConfig::fast();
+    }
+    cfg
+}
+
+/// Ticket reduction in percent; a run whose trace never ticketed before
+/// resizing counts as a perfect 100% (nothing to fix, nothing broken).
+fn reduction_pct(report: &OnlineReport) -> f64 {
+    report.overall_reduction_pct().unwrap_or(100.0)
+}
+
+fn report_bytes(report: &OnlineReport) -> String {
+    serde_json::to_string(report).expect("online report serializes")
+}
+
+fn assert_events_monotone(name: &str, events: &[DriftEvent]) {
+    assert!(
+        events.windows(2).all(|p| p[0].window < p[1].window),
+        "{name}: drift events out of window order: {events:?}"
+    );
+}
+
+fn temp_store(tag: &str) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!(
+        "atm-scenarios-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::open(dir).unwrap()
+}
+
+/// Runs one committed scenario three ways and enforces its band. Factored
+/// out so the nightly long-drift leg can reuse it at 10x the windows.
+fn check_scenario(spec: &Spec, days: usize, onset_window: usize) {
+    let name = spec.kind.name();
+    let clean = scenario_trace(days, spec.seed);
+    let mut drifted = clean.clone();
+    let summary = plan_for(spec, onset_window)
+        .apply_box(&mut drifted, 0)
+        .expect("committed plan validates");
+    assert!(summary.affected_vms > 0, "{name}: scenario touched nothing");
+
+    let adaptive_cfg = scenario_config(true);
+    let baseline = run_online(&clean, &adaptive_cfg).expect("baseline run");
+    let adaptive = run_online(&drifted, &adaptive_cfg).expect("adaptive run");
+    let nonadaptive = run_online(&drifted, &scenario_config(false)).expect("non-adaptive run");
+
+    // Degrade, never abort: every run evaluates every window.
+    let expected_windows = days - 2;
+    for (label, report) in [
+        ("baseline", &baseline),
+        ("adaptive", &adaptive),
+        ("non-adaptive", &nonadaptive),
+    ] {
+        assert_eq!(
+            report.windows.len(),
+            expected_windows,
+            "{name}: {label} run lost windows"
+        );
+    }
+
+    let base_r = reduction_pct(&baseline);
+    let adapt_r = reduction_pct(&adaptive);
+    let naive_r = reduction_pct(&nonadaptive);
+
+    assert!(
+        adapt_r >= base_r - spec.band_pp,
+        "{name}: adaptive reduction {adapt_r:.1}% fell more than {:.0}pp below the \
+         no-drift baseline's {base_r:.1}%",
+        spec.band_pp
+    );
+    assert!(
+        adapt_r >= naive_r - spec.no_harm_pp,
+        "{name}: adaptation made things worse ({adapt_r:.1}% vs stale {naive_r:.1}%)"
+    );
+    assert!(
+        adaptive.adaptation.refits_used <= adaptive_cfg.adaptation.max_refits,
+        "{name}: re-fit budget exceeded ({} > {})",
+        adaptive.adaptation.refits_used,
+        adaptive_cfg.adaptation.max_refits
+    );
+    assert_events_monotone(name, &adaptive.adaptation.events);
+    assert!(
+        nonadaptive.adaptation.is_empty(),
+        "{name}: adaptation disabled yet events were emitted"
+    );
+
+    if spec.nonadaptive_violates {
+        assert!(
+            nonadaptive.total_before() > 0,
+            "{name}: drifted trace produced no tickets to reduce"
+        );
+        assert!(
+            naive_r < base_r - spec.band_pp,
+            "{name}: stale loop's {naive_r:.1}% unexpectedly within {:.0}pp of the \
+             baseline's {base_r:.1}% — the scenario no longer stresses anything",
+            spec.band_pp
+        );
+        assert!(
+            !adaptive
+                .adaptation
+                .events_of(DriftEventKind::Confirmed)
+                .is_empty(),
+            "{name}: adaptive run never confirmed drift"
+        );
+    }
+}
+
+/// The headline acceptance test: every committed scenario, all three
+/// runs, every band.
+#[test]
+fn scenario_matrix_holds_committed_bands() {
+    let matrix = load_matrix();
+    assert_eq!(
+        matrix.specs.len(),
+        ScenarioKind::ALL.len(),
+        "matrix must commit every scenario kind exactly once"
+    );
+    for kind in ScenarioKind::ALL {
+        assert_eq!(
+            matrix.specs.iter().filter(|s| s.kind == kind).count(),
+            1,
+            "{} committed more than once or not at all",
+            kind.name()
+        );
+    }
+    for spec in &matrix.specs {
+        check_scenario(spec, spec.days, matrix.onset_window);
+    }
+}
+
+/// Nightly soak: the flash-crowd scenario at 10x the eval windows, so
+/// sustained drift pressure (70 surge days) cannot leak headroom, blow
+/// the re-fit budget, or drift the event stream. Gated on
+/// `ATM_LONG_DRIFT` to keep regular runs fast.
+#[test]
+fn long_drift_soak_holds_band_and_budget() {
+    if std::env::var("ATM_LONG_DRIFT").is_err() {
+        return;
+    }
+    let matrix = load_matrix();
+    let spec = matrix
+        .specs
+        .iter()
+        .find(|s| s.kind == ScenarioKind::FlashCrowd)
+        .expect("flash_crowd committed");
+    // 10x the committed eval-window count: days - 2 eval windows each.
+    let days = (spec.days - 2) * 10 + 2;
+    check_scenario(spec, days, matrix.onset_window);
+}
+
+/// `DriftEvent` streams (and whole reports, and the obs event log) must
+/// be byte-identical across intra-box thread counts.
+#[test]
+fn drift_streams_identical_across_thread_counts() {
+    let matrix = load_matrix();
+    let spec = matrix
+        .specs
+        .iter()
+        .find(|s| s.kind == ScenarioKind::FlashCrowd)
+        .expect("flash_crowd committed");
+    let clean = scenario_trace(8, spec.seed);
+    let mut drifted = clean.clone();
+    plan_for(spec, matrix.onset_window)
+        .apply_box(&mut drifted, 0)
+        .expect("committed plan validates");
+
+    let mut legs = Vec::new();
+    for threads in [1usize, 4] {
+        let mut cfg = scenario_config(true);
+        cfg.compute.threads = threads;
+        let obs = Obs::enabled(false);
+        let report = run_online_observed(&drifted, &cfg, &obs).expect("observed run");
+        assert!(
+            !report
+                .adaptation
+                .events_of(DriftEventKind::Confirmed)
+                .is_empty(),
+            "threads={threads}: surge never confirmed"
+        );
+        legs.push((threads, report_bytes(&report), obs.events_jsonl()));
+    }
+    let (_, ref report_1, ref events_1) = legs[0];
+    for (threads, report_t, events_t) in &legs[1..] {
+        assert_eq!(
+            report_1, report_t,
+            "report bytes differ between 1 and {threads} threads"
+        );
+        assert_eq!(
+            events_1, events_t,
+            "obs event log differs between 1 and {threads} threads"
+        );
+    }
+    assert!(
+        events_1.contains("drift"),
+        "obs event log never recorded a drift event:\n{events_1}"
+    );
+}
+
+/// Kill the loop mid-scenario — after drift was confirmed, before the
+/// run ends — and require the resumed run to reproduce the uninterrupted
+/// report byte-for-byte, drift events included.
+#[test]
+fn drift_state_survives_mid_scenario_crash_byte_identically() {
+    let matrix = load_matrix();
+    let spec = matrix
+        .specs
+        .iter()
+        .find(|s| s.kind == ScenarioKind::FlashCrowd)
+        .expect("flash_crowd committed");
+    let clean = scenario_trace(8, spec.seed);
+    let mut drifted = clean.clone();
+    plan_for(spec, matrix.onset_window)
+        .apply_box(&mut drifted, 0)
+        .expect("committed plan validates");
+    let cfg = scenario_config(true);
+
+    let uninterrupted = run_online(&drifted, &cfg).expect("uninterrupted run");
+    let confirmed = uninterrupted
+        .adaptation
+        .events_of(DriftEventKind::Confirmed);
+    assert!(
+        confirmed.first().is_some_and(|e| e.window < 4),
+        "drift must confirm before the kill point, got {:?}",
+        uninterrupted.adaptation.events
+    );
+
+    let store = temp_store("midscenario");
+    let mut actuator = NoopActuator::new();
+    match run_online_until(&drifted, &cfg, &mut actuator, &store, Some(4)) {
+        Err(AtmError::SimulatedCrash { window }) => assert_eq!(window, 4),
+        other => panic!("kill at 4 should crash, got {other:?}"),
+    }
+    let mut actuator = NoopActuator::new();
+    let resumed =
+        run_online_checkpointed(&drifted, &cfg, &mut actuator, &store).expect("resumed run");
+    assert_eq!(
+        report_bytes(&uninterrupted),
+        report_bytes(&resumed.report),
+        "resumed report is not byte-identical"
+    );
+    assert_eq!(
+        uninterrupted.adaptation, resumed.report.adaptation,
+        "drift events did not survive the crash"
+    );
+}
+
+prop_compose! {
+    fn degradation_summary()(f in any::<[usize; 12]>()) -> DegradationSummary {
+        DegradationSummary {
+            windows_total: f[0],
+            windows_ok: f[1],
+            windows_degraded: f[2],
+            windows_skipped: f[3],
+            fallback_windows: f[4],
+            imputed_windows: f[5],
+            imputed_samples: f[6],
+            actuation_retries: f[7],
+            actuation_failures: f[8],
+            safe_mode_entries: f[9],
+            degraded_tickets_before: f[10],
+            degraded_tickets_after: f[11],
+        }
+    }
+}
+
+prop_compose! {
+    fn injection_summary()(f in any::<[usize; 5]>()) -> InjectionSummary {
+        InjectionSummary {
+            gap_samples: f[0],
+            spike_samples: f[1],
+            stuck_samples: f[2],
+            churn_samples: f[3],
+            churned_vms: f[4],
+        }
+    }
+}
+
+prop_compose! {
+    fn scenario_summary()(f in any::<[usize; 3]>()) -> ScenarioSummary {
+        ScenarioSummary {
+            scaled_samples: f[0],
+            blanked_samples: f[1],
+            affected_vms: f[2],
+        }
+    }
+}
+
+proptest! {
+    /// Fleet-level aggregation folds in arbitrary order, so merge must
+    /// commute (saturation makes this non-obvious: it holds because
+    /// every field saturates independently).
+    #[test]
+    fn degradation_merge_commutes(a in degradation_summary(), b in degradation_summary()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn injection_merge_commutes(a in injection_summary(), b in injection_summary()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn scenario_merge_commutes(a in scenario_summary(), b in scenario_summary()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+}
