@@ -21,6 +21,8 @@
 //! bench and exits non-zero if any kernel or matrix timing regressed
 //! beyond `--tolerance` percent after normalizing per DP cell, so a
 //! `--quick` run can be gated against the committed `--full` baseline.
+//! The fixed-scale `dtw` and `mckp` micro-legs (schema v3) always run
+//! the same workload, so those are compared on raw wall time.
 //!
 //! `--scenario <name|all>` switches to the drift-scenario leg instead of
 //! the DTW legs: it replays the committed seeded scenarios from
@@ -36,19 +38,25 @@
 
 use std::time::Instant;
 
-use atm_clustering::dtw::dtw_distance;
+use atm_clustering::dtw::{dtw_distance, dtw_distance_banded, dtw_distance_banded_capped};
 use atm_clustering::kernel::DtwKernel;
+use atm_clustering::prefilter::build_matrix_pruned;
 use atm_clustering::DistanceMatrix;
 use atm_core::config::{AdaptationConfig, ClusterMethod, TemporalModel};
 use atm_core::online::{run_online, run_online_observed, DriftEventKind, OnlineReport};
 use atm_core::AtmConfig;
 use atm_obs::Obs;
+use atm_resize::incremental::IncrementalMckp;
+use atm_resize::{greedy, ResizeProblem, VmDemand};
+use atm_ticketing::ThresholdPolicy;
 use atm_tracegen::{generate_box, FleetConfig, ScenarioKind, ScenarioPlan};
 
 /// Schema version written into the report; bump when fields change.
-/// Version 2 added the `obs` overhead group; `--check` still accepts
-/// version-1 reports so older committed baselines stay valid.
-const SCHEMA_VERSION: u64 = 2;
+/// Version 2 added the `obs` overhead group; version 3 added the
+/// fixed-scale `dtw` and `mckp` kernel micro-leg groups. `--check`
+/// still accepts version-1 and version-2 reports so older committed
+/// baselines stay valid.
+const SCHEMA_VERSION: u64 = 3;
 
 /// Timed matrix-build leg.
 struct MatrixLeg {
@@ -72,9 +80,39 @@ struct BenchReport {
     nn_abandoned_pairs: usize,
     nn_total_pairs: usize,
     matrix: Vec<MatrixLeg>,
+    dtw: DtwMicroLegs,
+    mckp: MckpLegs,
     online_disabled_ms: f64,
     online_enabled_ms: f64,
     distance_checksum: f64,
+}
+
+/// Fixed-scale DTW kernel micro-legs (schema v3). The workload is the
+/// same regardless of `--quick`/`--full` so raw wall times are directly
+/// comparable across reports without per-cell normalization.
+struct DtwMicroLegs {
+    series_count: usize,
+    series_len: usize,
+    band: usize,
+    naive_ms: f64,
+    banded_ms: f64,
+    prefiltered_ms: f64,
+    pruned_pairs: u64,
+    total_pairs: u64,
+}
+
+/// Fixed-scale sliding-window MCKP legs (schema v3): the same window
+/// sequence solved from scratch per window vs delta-updated through
+/// [`IncrementalMckp`]. Like [`DtwMicroLegs`], the workload never
+/// changes with `--quick`/`--full`.
+struct MckpLegs {
+    vms: usize,
+    window_len: usize,
+    stride: usize,
+    windows: usize,
+    epsilon: f64,
+    scratch_ms: f64,
+    incremental_ms: f64,
 }
 
 impl BenchReport {
@@ -268,6 +306,146 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("reps >= 1"))
 }
 
+/// Fixed-scale DTW micro-legs: the row-DP baseline, the wavefront
+/// kernel, and the LB-prefiltered matrix build, all over the same
+/// 32×256 banded workload. The cutoff for the prefiltered leg is the
+/// lower quartile of the exact banded distances, so roughly three
+/// quarters of the pairs are prunable and the leg exercises both bound
+/// passes and the surviving DPs. Every leg is asserted bit-identical to
+/// the capped reference before timings are reported.
+fn run_dtw_micro(reps: usize) -> DtwMicroLegs {
+    let (count, len, band) = (32usize, 256usize, 16usize);
+    let set: Vec<Vec<f64>> = (0..count)
+        .map(|i| series(len, i as u64 * 977 + 3))
+        .collect();
+    let n = set.len();
+
+    let (naive_ms, naive_matrix) = time_best(reps, || {
+        DistanceMatrix::build(n, |i, j| dtw_distance_banded(&set[i], &set[j], band))
+            .expect("valid series")
+    });
+    let (banded_ms, banded_matrix) = time_best(reps, || {
+        let mut kernel = DtwKernel::banded(band).expect("positive band");
+        DistanceMatrix::build(n, |i, j| kernel.distance(&set[i], &set[j])).expect("valid series")
+    });
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                naive_matrix.get(i, j).to_bits(),
+                banded_matrix.get(i, j).to_bits(),
+                "banded DTW micro-leg diverged at ({i},{j})"
+            );
+        }
+    }
+
+    // Lower-quartile cutoff over the exact distances: deterministic, and
+    // aggressive enough that the bound passes carry real weight.
+    let mut distances: Vec<f64> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| naive_matrix.get(i, j))
+        .collect();
+    distances.sort_by(f64::total_cmp);
+    let cutoff = distances[distances.len() / 4];
+
+    let (prefiltered_ms, (pruned_matrix, stats)) = time_best(reps, || {
+        build_matrix_pruned(&set, Some(band), cutoff, 1).expect("valid series")
+    });
+    for i in 0..n {
+        for j in 0..n {
+            let want =
+                dtw_distance_banded_capped(&set[i], &set[j], band, cutoff).expect("valid series");
+            assert_eq!(
+                want.to_bits(),
+                pruned_matrix.get(i, j).to_bits(),
+                "prefiltered DTW micro-leg diverged at ({i},{j})"
+            );
+        }
+    }
+
+    DtwMicroLegs {
+        series_count: count,
+        series_len: len,
+        band,
+        naive_ms,
+        banded_ms,
+        prefiltered_ms,
+        pruned_pairs: stats.pruned(),
+        total_pairs: stats.pairs,
+    }
+}
+
+/// Fixed-scale sliding-window MCKP legs: 64 windows of 12 VM demand
+/// streams, stride 4 over 96-sample windows, at the paper's evaluation
+/// discretization ε = 5.0. The scratch leg calls [`greedy::solve`] per
+/// window; the incremental leg delta-updates one [`IncrementalMckp`]
+/// across the sequence. Both legs' allocations are asserted
+/// bit-identical before timings are reported.
+fn run_mckp_legs(reps: usize) -> MckpLegs {
+    let (vms, window_len, stride, windows) = (12usize, 96usize, 4usize, 64usize);
+    let epsilon = 5.0;
+    let stream_len = window_len + stride * (windows - 1);
+    let streams: Vec<Vec<f64>> = (0..vms)
+        .map(|v| series(stream_len, v as u64 * 389 + 11))
+        .collect();
+    let policy = ThresholdPolicy::new(60.0).expect("valid threshold");
+    let problems: Vec<ResizeProblem> = (0..windows)
+        .map(|k| {
+            let s = k * stride;
+            ResizeProblem::new(
+                streams
+                    .iter()
+                    .enumerate()
+                    .map(|(v, st)| {
+                        VmDemand::new(format!("vm{v}"), st[s..s + window_len].to_vec(), 0.0, 1e9)
+                    })
+                    .collect(),
+                45.0 * vms as f64,
+                policy.clone(),
+            )
+            .with_epsilon(epsilon)
+        })
+        .collect();
+
+    let (scratch_ms, scratch_allocs) = time_best(reps, || {
+        problems
+            .iter()
+            .map(|p| greedy::solve(p).expect("feasible window"))
+            .collect::<Vec<_>>()
+    });
+    let (incremental_ms, incremental_allocs) = time_best(reps, || {
+        let mut solver = IncrementalMckp::new();
+        problems
+            .iter()
+            .map(|p| solver.solve(p).expect("feasible window"))
+            .collect::<Vec<_>>()
+    });
+    for (w, (a, b)) in scratch_allocs.iter().zip(&incremental_allocs).enumerate() {
+        assert_eq!(a.tickets, b.tickets, "MCKP legs diverged at window {w}");
+        assert_eq!(
+            a.capacities.len(),
+            b.capacities.len(),
+            "MCKP legs diverged at window {w}"
+        );
+        for (x, y) in a.capacities.iter().zip(&b.capacities) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "MCKP capacities diverged at window {w}"
+            );
+        }
+    }
+
+    MckpLegs {
+        vms,
+        window_len,
+        stride,
+        windows,
+        epsilon,
+        scratch_ms,
+        incremental_ms,
+    }
+}
+
 /// Runs every leg; also returns the [`Obs`] handle of the final
 /// instrumented online rep so `--metrics` can dump its snapshot and
 /// event log.
@@ -375,6 +553,12 @@ fn run(quick: bool) -> (BenchReport, Obs) {
         }
     }
 
+    // Fixed-scale kernel micro-legs (schema v3): these ignore
+    // `--quick`/`--full` on purpose so their raw wall times compare
+    // directly across reports.
+    let dtw = run_dtw_micro(reps);
+    let mckp = run_mckp_legs(reps);
+
     // Observability-overhead leg: the same seeded online run with
     // instrumentation off and on. The delta is the cost of the obs layer
     // (spans, counters, events) on a realistic workload; `BENCHMARKS.md`
@@ -432,6 +616,8 @@ fn run(quick: bool) -> (BenchReport, Obs) {
         nn_abandoned_pairs,
         nn_total_pairs: n * (n - 1),
         matrix,
+        dtw,
+        mckp,
         online_disabled_ms,
         online_enabled_ms,
         distance_checksum,
@@ -466,6 +652,12 @@ fn render_json(r: &BenchReport) -> String {
          \x20 \"nn_early_abandon\": {{\"naive_ms\": {}, \"bounded_ms\": {}, \"speedup\": {}, \
          \"abandoned_pairs\": {}, \"total_pairs\": {}}},\n\
          \x20 \"matrix\": [\n{}\n  ],\n\
+         \x20 \"dtw\": {{\"series_count\": {}, \"series_len\": {}, \"band\": {}, \
+         \"naive_ms\": {}, \"banded_ms\": {}, \"prefiltered_ms\": {}, \
+         \"banded_speedup\": {}, \"prefiltered_speedup\": {}, \
+         \"pruned_pairs\": {}, \"total_pairs\": {}}},\n\
+         \x20 \"mckp\": {{\"vms\": {}, \"window_len\": {}, \"stride\": {}, \"windows\": {}, \
+         \"epsilon\": {}, \"scratch_ms\": {}, \"incremental_ms\": {}, \"speedup\": {}}},\n\
          \x20 \"obs\": {{\"online_disabled_ms\": {}, \"online_enabled_ms\": {}, \
          \"overhead_pct\": {}}},\n\
          \x20 \"distance_checksum\": {}\n\
@@ -485,6 +677,24 @@ fn render_json(r: &BenchReport) -> String {
         r.nn_abandoned_pairs,
         r.nn_total_pairs,
         legs,
+        r.dtw.series_count,
+        r.dtw.series_len,
+        r.dtw.band,
+        r.dtw.naive_ms,
+        r.dtw.banded_ms,
+        r.dtw.prefiltered_ms,
+        r.dtw.naive_ms / r.dtw.banded_ms.max(1e-9),
+        r.dtw.naive_ms / r.dtw.prefiltered_ms.max(1e-9),
+        r.dtw.pruned_pairs,
+        r.dtw.total_pairs,
+        r.mckp.vms,
+        r.mckp.window_len,
+        r.mckp.stride,
+        r.mckp.windows,
+        r.mckp.epsilon,
+        r.mckp.scratch_ms,
+        r.mckp.incremental_ms,
+        r.mckp.scratch_ms / r.mckp.incremental_ms.max(1e-9),
         r.online_disabled_ms,
         r.online_enabled_ms,
         r.obs_overhead_pct(),
@@ -568,6 +778,51 @@ fn check_file(path: &str) -> Result<(), String> {
             }
         }
     }
+    // The fixed-scale kernel micro-leg groups arrived with schema
+    // version 3; older baselines stay valid without them.
+    if schema_version >= 3 {
+        for (group, fields) in [
+            (
+                "dtw",
+                &[
+                    "series_count",
+                    "series_len",
+                    "band",
+                    "naive_ms",
+                    "banded_ms",
+                    "prefiltered_ms",
+                    "banded_speedup",
+                    "prefiltered_speedup",
+                    "pruned_pairs",
+                    "total_pairs",
+                ][..],
+            ),
+            (
+                "mckp",
+                &[
+                    "vms",
+                    "window_len",
+                    "stride",
+                    "windows",
+                    "epsilon",
+                    "scratch_ms",
+                    "incremental_ms",
+                    "speedup",
+                ][..],
+            ),
+        ] {
+            let g = obj
+                .get(group)
+                .and_then(serde_json::Value::as_object)
+                .ok_or_else(|| format!("missing object `{group}`"))?;
+            for f in fields {
+                if !g.get(*f).is_some_and(serde_json::Value::is_number) {
+                    return Err(format!("missing or non-numeric field `{group}.{f}`"));
+                }
+            }
+        }
+    }
+
     // The `obs` overhead group arrived with schema version 2; version-1
     // baselines (committed before the observability layer) stay valid.
     if schema_version >= 2 {
@@ -671,6 +926,44 @@ fn compare_against(
                 current.build_ms,
                 build_ms,
             );
+        }
+    }
+
+    // Fixed-scale micro-legs (schema v3): the workload never changes, so
+    // raw wall times compare directly. Baselines written before v3 lack
+    // these groups and are skipped, same as absent matrix legs.
+    let mut check_raw = |name: &str, current_ms: f64, baseline_ms: f64| {
+        let delta_pct = (current_ms - baseline_ms) / baseline_ms.max(1e-12) * 100.0;
+        eprintln!("{name}: {current_ms:.3} ms vs baseline {baseline_ms:.3} ms ({delta_pct:+.1}%)");
+        if delta_pct > tolerance_pct {
+            regressions.push(format!(
+                "{name} regressed {delta_pct:+.1}% (tolerance {tolerance_pct}%)"
+            ));
+        }
+    };
+    if let Some(g) = obj.get("dtw").and_then(serde_json::Value::as_object) {
+        for (field, current_ms) in [
+            ("naive_ms", report.dtw.naive_ms),
+            ("banded_ms", report.dtw.banded_ms),
+            ("prefiltered_ms", report.dtw.prefiltered_ms),
+        ] {
+            let baseline_ms = g
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("baseline missing `dtw.{field}`"))?;
+            check_raw(&format!("dtw.{field}"), current_ms, baseline_ms);
+        }
+    }
+    if let Some(g) = obj.get("mckp").and_then(serde_json::Value::as_object) {
+        for (field, current_ms) in [
+            ("scratch_ms", report.mckp.scratch_ms),
+            ("incremental_ms", report.mckp.incremental_ms),
+        ] {
+            let baseline_ms = g
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("baseline missing `mckp.{field}`"))?;
+            check_raw(&format!("mckp.{field}"), current_ms, baseline_ms);
         }
     }
 

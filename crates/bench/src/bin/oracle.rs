@@ -120,4 +120,23 @@ fn run_replay(path: &str) {
             std::process::exit(1);
         }
     }
+    // Sliding cases additionally replay the window stream through the
+    // incremental MCKP differential (bit-identity against from-scratch
+    // solves on every window).
+    if case.sliding.is_some() {
+        match case.check_sliding() {
+            Ok(outcome) => println!(
+                "  PASS: {} windows incremental==scratch ({} slid, {} rebuilt, {} reused, {} memoized)",
+                outcome.windows,
+                outcome.stats.vms_slid,
+                outcome.stats.vms_rebuilt,
+                outcome.stats.vms_reused,
+                outcome.stats.memoized
+            ),
+            Err(e) => {
+                eprintln!("  FAIL (sliding): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

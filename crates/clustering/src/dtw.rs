@@ -122,6 +122,41 @@ pub fn dtw_distance_banded(p: &[f64], q: &[f64], band: usize) -> ClusteringResul
     Ok(prev[m - 1])
 }
 
+/// Cutoff-capped exact DTW: the reference semantics for pruned matrix
+/// builds. Returns the exact [`dtw_distance`] bits when the distance is
+/// `<= cutoff`, and `INFINITY` when it exceeds the cutoff — so a sound
+/// lower bound proving `d > cutoff` may skip the DP entirely without
+/// changing a single output bit.
+///
+/// `cutoff = INFINITY` degenerates to the exact distance (nothing is
+/// ever capped; non-finite DP results pass through unchanged, since
+/// `INFINITY > INFINITY` and `NaN > cutoff` are both false).
+///
+/// # Errors
+///
+/// Returns [`ClusteringError::Empty`] if either series is empty.
+pub fn dtw_distance_capped(p: &[f64], q: &[f64], cutoff: f64) -> ClusteringResult<f64> {
+    let d = dtw_distance(p, q)?;
+    Ok(if d > cutoff { f64::INFINITY } else { d })
+}
+
+/// Cutoff-capped banded DTW; see [`dtw_distance_capped`] for the capping
+/// semantics and [`dtw_distance_banded`] for the band geometry.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] if either series is empty.
+/// - [`ClusteringError::InvalidParameter`] if `band == 0`.
+pub fn dtw_distance_banded_capped(
+    p: &[f64],
+    q: &[f64],
+    band: usize,
+    cutoff: f64,
+) -> ClusteringResult<f64> {
+    let d = dtw_distance_banded(p, q, band)?;
+    Ok(if d > cutoff { f64::INFINITY } else { d })
+}
+
 /// The optimal warping path for two series, as `(i, j)` index pairs from
 /// `(0, 0)` to `(n−1, m−1)`. Useful for diagnostics and visualization.
 ///

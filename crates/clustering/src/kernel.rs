@@ -1,11 +1,21 @@
 //! Optimized DTW kernel: reusable workspaces, unified Sakoe–Chiba
-//! banding, and LB_Kim/LB_Keogh lower bounds with early abandonment.
+//! banding, an anti-diagonal (wavefront) DP for the unbounded hot path,
+//! and LB_Kim/LB_Keogh lower bounds with early abandonment.
 //!
 //! [`dtw_distance`](crate::dtw::dtw_distance) reallocates its two DP rows
 //! on every call, which dominates per-box clustering cost when thousands
-//! of pairs are evaluated. [`DtwKernel`] keeps the rows (and the envelope
-//! deques for LB_Keogh) alive across calls, so a matrix build performs no
-//! per-pair allocation after warm-up.
+//! of pairs are evaluated. [`DtwKernel`] keeps its workspaces (and the
+//! envelope deques for LB_Keogh) alive across calls, so a matrix build
+//! performs no per-pair allocation after warm-up.
+//!
+//! The row-order DP's inner loop is *latency-bound*: every cell waits on
+//! its `left` neighbour through a serial `add → min` dependency chain, so
+//! neither the compiler nor the core can overlap cell computations.
+//! [`DtwKernel::distance`] instead evaluates the recurrence along
+//! anti-diagonals (`s = i + j`): cells on one diagonal depend only on the
+//! two previous diagonals, never on each other, which removes the chain
+//! and lets the inner loop vectorize. The diagonals live in one flat
+//! three-lane, sentinel-padded workspace that stays L1-resident.
 //!
 //! The kernel is **bit-identical** to the naive references:
 //!
@@ -88,6 +98,13 @@ pub struct DtwKernel {
     // Monotonic index deques for the O(n + m) LB_Keogh envelopes.
     max_deque: Vec<usize>,
     min_deque: Vec<usize>,
+    // Flat three-lane anti-diagonal workspace (see `dp_diag`).
+    lanes: Vec<f64>,
+    // Reversed copy of the inner series for contiguous diagonal access.
+    rev: Vec<f64>,
+    // Per-row band bounds shared by the diagonal sweep.
+    row_lo: Vec<usize>,
+    row_hi: Vec<usize>,
 }
 
 impl Default for DtwKernel {
@@ -107,6 +124,10 @@ impl DtwKernel {
             curr: Vec::new(),
             max_deque: Vec::new(),
             min_deque: Vec::new(),
+            lanes: Vec::new(),
+            rev: Vec::new(),
+            row_lo: Vec::new(),
+            row_hi: Vec::new(),
         }
     }
 
@@ -195,14 +216,18 @@ impl DtwKernel {
                 if best_so_far.is_finite() {
                     self.dp(outer, inner, inner.len(), best_so_far)
                 } else {
-                    // No bound to abandon against: take the tight full-DP
-                    // path with no band guards or row-minimum tracking.
-                    Some(self.dp_full(outer, inner))
+                    // No bound to abandon against: take the vectorizable
+                    // anti-diagonal sweep with no row-minimum tracking.
+                    Some(self.dp_diag(outer, inner, None))
                 }
             }
             Some(band) => {
                 let w = band.max(p.len().abs_diff(q.len()));
-                self.dp(p, q, w, best_so_far)
+                if best_so_far.is_finite() {
+                    self.dp(p, q, w, best_so_far)
+                } else {
+                    Some(self.dp_diag(p, q, Some(w)))
+                }
             }
         };
         if result.is_none() {
@@ -328,54 +353,123 @@ impl DtwKernel {
         sum
     }
 
-    /// The full (unbanded, unbounded) two-row DP, bit-exact to
-    /// [`dtw_distance`](crate::dtw::dtw_distance): the first row and
-    /// first column are peeled out of the hot loop so the remaining
-    /// cells evaluate exactly the reference's `diag.min(up).min(left)`
-    /// chain with no branches and no bounds checks.
-    fn dp_full(&mut self, outer: &[f64], inner: &[f64]) -> f64 {
-        let m = inner.len();
-        self.stats.dp_cells += (outer.len() * m) as u64;
-        // Stale contents are never read: every cell is written before
-        // any read in this call.
-        self.prev.resize(m, f64::INFINITY);
-        self.curr.resize(m, f64::INFINITY);
-
-        // Row 0: only the `left` predecessor exists. The reference's min
-        // chain degenerates to `INFINITY.min(left)`, kept verbatim so
-        // the bits match even for non-finite inputs.
-        let o0 = outer[0];
-        let d0 = o0 - inner[0];
-        let mut left = d0 * d0;
-        self.curr[0] = left;
-        for (&q, c) in inner[1..].iter().zip(self.curr[1..].iter_mut()) {
-            let diff = o0 - q;
-            let value = diff * diff + f64::INFINITY.min(left);
-            *c = value;
-            left = value;
-        }
-        std::mem::swap(&mut self.prev, &mut self.curr);
-
-        for &po in &outer[1..] {
-            // Column 0: `diag` and `left` are out of range.
-            let diff = po - inner[0];
-            let mut left = diff * diff + f64::INFINITY.min(self.prev[0]).min(f64::INFINITY);
-            self.curr[0] = left;
-            // Interior cells: prev.windows(2) yields (diag, up) with no
-            // bounds checks; `left` carries along the row.
-            let prev = &self.prev;
-            for (win, (&q, c)) in prev
-                .windows(2)
-                .zip(inner[1..].iter().zip(self.curr[1..].iter_mut()))
-            {
-                let diff = po - q;
-                let value = diff * diff + win[0].min(win[1]).min(left);
-                *c = value;
-                left = value;
+    /// The unbounded DP evaluated along anti-diagonals (wavefronts) over
+    /// a flat three-lane workspace, bit-exact to the naive references
+    /// ([`dtw_distance`](crate::dtw::dtw_distance) for `w = None`,
+    /// [`dtw_distance_banded`](crate::dtw::dtw_distance_banded) for
+    /// `w = Some(effective_width)`).
+    ///
+    /// Cells on one anti-diagonal `s = i + j` have no data dependencies
+    /// on each other — their predecessors all live on diagonals `s - 1`
+    /// and `s - 2` — so the inner loop carries no serial `left` chain and
+    /// is free to vectorize. Each cell still evaluates exactly the
+    /// reference expression `diag.min(up).min(left)` on exactly the
+    /// reference operand values (a DP cell's operands are final before the
+    /// cell is computed in either evaluation order), so the result bits
+    /// match the row-order references for every input, including NaN and
+    /// ±INFINITY.
+    ///
+    /// Out-of-band / out-of-range predecessors read `INFINITY` exactly as
+    /// in the references: the three lanes are INFINITY-filled once per
+    /// call, and after each diagonal the two slots flanking its valid
+    /// range are re-set to INFINITY. The valid row range `[imin, imax]`
+    /// of a diagonal is contiguous, both endpoints are non-decreasing in
+    /// `s`, and each moves by at most one per diagonal (both `i + hi(i)`
+    /// and `i + lo(i)` are strictly increasing in `i`), so every read
+    /// that leaves a lane's valid range lands on one of those sentinels.
+    fn dp_diag(&mut self, a: &[f64], b: &[f64], w: Option<usize>) -> f64 {
+        let n = a.len();
+        let m = b.len();
+        // Row-band geometry identical to the references.
+        self.row_lo.clear();
+        self.row_hi.clear();
+        match w {
+            None => {
+                self.row_lo.resize(n, 0);
+                self.row_hi.resize(n, m - 1);
             }
-            std::mem::swap(&mut self.prev, &mut self.curr);
+            Some(w) => {
+                for i in 0..n {
+                    let centre = i * m / n;
+                    self.row_lo.push(centre.saturating_sub(w));
+                    self.row_hi.push((centre + w).min(m - 1));
+                }
+            }
         }
-        self.prev[m - 1]
+        // A reversed copy of the inner series makes the per-diagonal
+        // access pattern contiguous: cell (i, s - i) reads rev[i + m - 1 - s].
+        self.rev.clear();
+        self.rev.extend(b.iter().rev());
+        // One flat allocation, three sentinel-padded lanes of n + 2; lane
+        // k holds diagonal s ≡ k (mod 3). Row i maps to slot i + 1.
+        let lane = n + 2;
+        self.lanes.clear();
+        self.lanes.resize(3 * lane, f64::INFINITY);
+
+        // Diagonal 0 is the single cell (0, 0), always in band. The
+        // reference computes `cost + 0.0`, which is `cost` bit-for-bit
+        // (squared costs are never -0.0) — kept verbatim anyway.
+        let d0 = a[0] - b[0];
+        self.lanes[1] = d0 * d0 + 0.0;
+        let last = n + m - 2;
+        let mut cells = 1u64;
+        let mut result = self.lanes[1];
+
+        let mut imin = 0usize;
+        let mut imax = 0usize;
+        for s in 1..=last {
+            let cap = s.min(n - 1);
+            // Advance the valid row range: in-band means
+            // lo(i) <= s - i <= hi(i), i.e. i + hi(i) >= s (lower end)
+            // and i + lo(i) <= s (upper end). Both sums are strictly
+            // increasing in i, so each endpoint only moves forward, by
+            // at most one per diagonal for imax.
+            while imin <= cap && imin + self.row_hi[imin] < s {
+                imin += 1;
+            }
+            if imax < cap && imax + 1 + self.row_lo[imax + 1] <= s {
+                imax += 1;
+            }
+            let (l0, rest) = self.lanes.split_at_mut(lane);
+            let (l1, l2) = rest.split_at_mut(lane);
+            let (curr, prev, prev2) = match s % 3 {
+                0 => (l0, &*l2, &*l1),
+                1 => (l1, &*l0, &*l2),
+                _ => (l2, &*l1, &*l0),
+            };
+            if imin <= imax {
+                let len = imax - imin + 1;
+                cells += len as u64;
+                let av = &a[imin..imin + len];
+                let rv = &self.rev[imin + m - 1 - s..imin + m - 1 - s + len];
+                let dg = &prev2[imin..imin + len];
+                let up = &prev[imin..imin + len];
+                let lf = &prev[imin + 1..imin + 1 + len];
+                let out = &mut curr[imin + 1..imin + 1 + len];
+                for k in 0..len {
+                    let diff = av[k] - rv[k];
+                    out[k] = diff * diff + dg[k].min(up[k]).min(lf[k]);
+                }
+                if s == last {
+                    // The only possible row here is i = n - 1; if it is
+                    // out of band the INFINITY default stands, exactly as
+                    // the banded reference's final-cell guard.
+                    result = curr[n];
+                }
+                curr[imin] = f64::INFINITY;
+                curr[imax + 2] = f64::INFINITY;
+            } else {
+                // Empty diagonal (imax = imin - 1): refresh the two slots
+                // later diagonals may read so no stale value leaks.
+                curr[imin] = f64::INFINITY;
+                curr[imin + 1] = f64::INFINITY;
+                if s == last {
+                    result = f64::INFINITY;
+                }
+            }
+        }
+        self.stats.dp_cells += cells;
+        result
     }
 
     /// The banded two-row DP over `(a, b)` with half-width `w`, bit-exact
@@ -447,7 +541,7 @@ impl DtwKernel {
 /// cells lie on every (banded or full) warping path, and IEEE addition of
 /// non-negatives is monotone, so the float sum never exceeds the float DP
 /// accumulation — the bound is exact even bit-wise.
-fn kim_bound(p: &[f64], q: &[f64]) -> f64 {
+pub(crate) fn kim_bound(p: &[f64], q: &[f64]) -> f64 {
     let d0 = p[0] - q[0];
     let first = d0 * d0;
     if p.len() == 1 && q.len() == 1 {

@@ -44,6 +44,7 @@ pub mod hierarchical;
 pub mod kernel;
 pub mod kmedoids;
 mod parallel;
+pub mod prefilter;
 pub mod silhouette;
 
 pub use distance_matrix::DistanceMatrix;

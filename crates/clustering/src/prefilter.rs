@@ -1,0 +1,437 @@
+//! Batched lower-bound prefiltering for whole-matrix DTW builds.
+//!
+//! A distance-matrix build evaluates every pair, so per-pair lower-bound
+//! work can be hoisted: [`build_matrix_pruned`] computes each series'
+//! LB_Keogh envelope (and NaN flag) **once** in an O(total length)
+//! batched pass, then shards the pair loop through
+//! [`DistanceMatrix::build_parallel_with`] exactly like the exact
+//! builder. A pair whose LB_Kim or LB_Keogh bound already exceeds the
+//! `cutoff` skips its DP entirely and stores `INFINITY`.
+//!
+//! # Capped semantics, bit-identical
+//!
+//! The output contract is [`dtw_distance_capped`]
+//! (/ [`dtw_distance_banded_capped`]): entry `(i, j)` is the exact
+//! reference DTW bits when the distance is `<= cutoff`, else `INFINITY`.
+//! Pruning never changes an output bit, because a pair is only skipped
+//! when a *sound* lower bound proves `d > cutoff` — in which case the
+//! reference entry is `INFINITY` too:
+//!
+//! - LB_Kim is bit-exactly sound (endpoint costs, monotone IEEE sums);
+//! - LB_Keogh is derated by [`KEOGH_MARGIN`] to absorb summation-order
+//!   rounding, as in [`DtwKernel::distance_bounded`];
+//! - a series containing NaN is never prune-eligible: its DP result can
+//!   be NaN, and `NaN > cutoff` is false, so the reference keeps the NaN
+//!   — the prefilter runs the DP for such pairs and keeps it too.
+//!
+//! `cutoff = INFINITY` degenerates to the exact matrix build: no bound
+//! exceeds an infinite cutoff, so the envelope pass is skipped wholesale
+//! and every pair takes the DP path (this is what the pipeline uses).
+//!
+//! # Error determinism
+//!
+//! Unlike a per-pair `dist` closure, the prefilter can *skip* pairs — so
+//! input validation must not ride on the pair loop, or the first error
+//! observed would depend on which pairs a given cutoff happens to prune.
+//! [`build_matrix_pruned`] therefore validates every series (and the
+//! band) **up front**, before any parallel work: the error for a given
+//! input set is identical at 1 thread and 8, pruned or not.
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::kernel::{kim_bound, DtwKernel, KernelStats, KEOGH_MARGIN};
+use std::sync::Mutex;
+
+/// Work counters for one [`build_matrix_pruned`] call. Every count is a
+/// pure function of the inputs (bounds and cutoff comparisons are
+/// bit-deterministic), so totals are identical for any thread count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PrunedBuildStats {
+    /// Pairs considered (`n * (n - 1) / 2`).
+    pub pairs: u64,
+    /// Pairs skipped by the O(1) LB_Kim endpoint bound.
+    pub pruned_kim: u64,
+    /// Pairs skipped by the batched LB_Keogh envelope bound.
+    pub pruned_keogh: u64,
+    /// DP work of the surviving pairs (summed across worker kernels).
+    pub kernel: KernelStats,
+}
+
+impl PrunedBuildStats {
+    /// Total pairs that skipped the DP.
+    pub fn pruned(&self) -> u64 {
+        self.pruned_kim + self.pruned_keogh
+    }
+
+    /// Add another build's counters into this one (commutative).
+    pub fn merge(&mut self, other: &PrunedBuildStats) {
+        self.pairs += other.pairs;
+        self.pruned_kim += other.pruned_kim;
+        self.pruned_keogh += other.pruned_keogh;
+        self.kernel.merge(&other.kernel);
+    }
+}
+
+/// Per-series data computed once by the batched envelope pass.
+struct SeriesEnvelope {
+    /// Windowed lower envelope (empty when the global bounds apply).
+    lower: Vec<f64>,
+    /// Windowed upper envelope (empty when the global bounds apply).
+    upper: Vec<f64>,
+    /// Global min/max fallback (full DTW, or mixed-length sets).
+    gmin: f64,
+    gmax: f64,
+    /// NaN anywhere in the series disables pruning for its pairs.
+    has_nan: bool,
+}
+
+/// Builds the windowed min/max envelope of `q` for half-width `w`
+/// (window `[i - w, i + w]`, the banded DP geometry for equal-length
+/// pairs) via the standard monotonic-deque sweep, O(n) total.
+fn windowed_envelope(q: &[f64], w: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = q.len();
+    let mut lower = vec![0.0; n];
+    let mut upper = vec![0.0; n];
+    let mut max_dq: Vec<usize> = Vec::with_capacity(n);
+    let mut min_dq: Vec<usize> = Vec::with_capacity(n);
+    let mut max_head = 0usize;
+    let mut min_head = 0usize;
+    let mut filled = 0usize;
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        while filled <= hi {
+            let v = q[filled];
+            while max_dq.len() > max_head && q[*max_dq.last().expect("len > head")] <= v {
+                max_dq.pop();
+            }
+            max_dq.push(filled);
+            while min_dq.len() > min_head && q[*min_dq.last().expect("len > head")] >= v {
+                min_dq.pop();
+            }
+            min_dq.push(filled);
+            filled += 1;
+        }
+        while max_dq[max_head] < lo {
+            max_head += 1;
+        }
+        while min_dq[min_head] < lo {
+            min_head += 1;
+        }
+        upper[i] = q[max_dq[max_head]];
+        lower[i] = q[min_dq[min_head]];
+    }
+    (lower, upper)
+}
+
+/// LB_Keogh of `p` against a precomputed envelope of its partner.
+/// NaN samples in `p` compare false on both sides and contribute 0 —
+/// the bound only shrinks, staying sound.
+fn keogh_vs_envelope(p: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for k in 0..p.len() {
+        let x = p[k];
+        if x > upper[k] {
+            let d = x - upper[k];
+            sum += d * d;
+        } else if x < lower[k] {
+            let d = lower[k] - x;
+            sum += d * d;
+        }
+    }
+    sum
+}
+
+/// LB_Keogh of `p` against the global `[gmin, gmax]` hull of its
+/// partner — the envelope degenerate of full (unbanded) DTW, where
+/// every column is reachable from every row.
+fn keogh_vs_global(p: &[f64], gmin: f64, gmax: f64) -> f64 {
+    let mut sum = 0.0;
+    for &x in p {
+        if x > gmax {
+            let d = x - gmax;
+            sum += d * d;
+        } else if x < gmin {
+            let d = gmin - x;
+            sum += d * d;
+        }
+    }
+    sum
+}
+
+/// The batched envelope pass: one O(len) sweep per series.
+///
+/// Windowed envelopes are only meaningful under the banded DP geometry
+/// when both series have the same length (centre `= i`); for full DTW —
+/// or any pair of unequal lengths — the global hull is the right (and
+/// cheapest) envelope, so `gmin`/`gmax` are always computed and the
+/// windowed arrays only when `band` is set and the set is uniform-length.
+fn build_envelopes(set: &[Vec<f64>], band: Option<usize>) -> Vec<SeriesEnvelope> {
+    let uniform = set.windows(2).all(|w| w[0].len() == w[1].len());
+    set.iter()
+        .map(|q| {
+            let mut gmin = f64::INFINITY;
+            let mut gmax = f64::NEG_INFINITY;
+            let mut has_nan = false;
+            for &x in q {
+                has_nan |= x.is_nan();
+                gmin = gmin.min(x);
+                gmax = gmax.max(x);
+            }
+            let (lower, upper) = match band {
+                Some(w) if uniform => windowed_envelope(q, w),
+                _ => (Vec::new(), Vec::new()),
+            };
+            SeriesEnvelope {
+                lower,
+                upper,
+                gmin,
+                gmax,
+                has_nan,
+            }
+        })
+        .collect()
+}
+
+/// Per-worker state: a reusable kernel plus local counters, merged into
+/// the shared sink on drop so totals are exact at any thread count.
+struct WorkerGuard<'a> {
+    kernel: DtwKernel,
+    pruned_kim: u64,
+    pruned_keogh: u64,
+    sink: &'a Mutex<PrunedBuildStats>,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        let mut stats = self.sink.lock().expect("no panics under the stats lock");
+        stats.pruned_kim += self.pruned_kim;
+        stats.pruned_keogh += self.pruned_keogh;
+        stats.kernel.merge(&self.kernel.stats());
+    }
+}
+
+/// Builds the pairwise DTW matrix under the capped-distance contract
+/// (see the module docs), pruning pairs whose batched lower bound
+/// exceeds `cutoff`, sharded over `threads` workers through
+/// [`DistanceMatrix::build_parallel_with`].
+///
+/// Entry `(i, j)` is bit-identical to
+/// [`dtw_distance_capped`](crate::dtw::dtw_distance_capped)
+/// (`band = None`) or
+/// [`dtw_distance_banded_capped`](crate::dtw::dtw_distance_banded_capped)
+/// (`band = Some(w)`) for every input, at every thread count.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] if the set, or any series in it, is
+///   empty — detected before any parallel work, so the reported error is
+///   independent of thread count and of which pairs the cutoff prunes.
+/// - [`ClusteringError::InvalidParameter`] if `band == Some(0)`.
+pub fn build_matrix_pruned(
+    set: &[Vec<f64>],
+    band: Option<usize>,
+    cutoff: f64,
+    threads: usize,
+) -> ClusteringResult<(DistanceMatrix, PrunedBuildStats)> {
+    if set.is_empty() || set.iter().any(|s| s.is_empty()) {
+        return Err(ClusteringError::Empty);
+    }
+    if band == Some(0) {
+        return Err(ClusteringError::InvalidParameter("band must be positive"));
+    }
+    let n = set.len();
+    // An infinite cutoff prunes nothing: skip the envelope pass entirely.
+    let prefilter = cutoff.is_finite();
+    let envelopes = if prefilter {
+        build_envelopes(set, band)
+    } else {
+        Vec::new()
+    };
+    let stats_sink = Mutex::new(PrunedBuildStats {
+        pairs: (n * (n - 1) / 2) as u64,
+        ..PrunedBuildStats::default()
+    });
+    let new_kernel = || match band {
+        None => DtwKernel::new(),
+        Some(w) => DtwKernel::banded(w).expect("band validated above"),
+    };
+    let matrix = DistanceMatrix::build_parallel_with(
+        n,
+        threads,
+        || WorkerGuard {
+            kernel: new_kernel(),
+            pruned_kim: 0,
+            pruned_keogh: 0,
+            sink: &stats_sink,
+        },
+        |guard, i, j| -> ClusteringResult<f64> {
+            let (p, q) = (&set[i], &set[j]);
+            if prefilter {
+                let (ep, eq) = (&envelopes[i], &envelopes[j]);
+                if !ep.has_nan && !eq.has_nan {
+                    if kim_bound(p, q) > cutoff {
+                        guard.pruned_kim += 1;
+                        return Ok(f64::INFINITY);
+                    }
+                    let windowed = !ep.lower.is_empty() && p.len() == q.len();
+                    let keogh = if windowed {
+                        let a = keogh_vs_envelope(p, &eq.lower, &eq.upper);
+                        if a * (1.0 - KEOGH_MARGIN) > cutoff {
+                            a
+                        } else {
+                            keogh_vs_envelope(q, &ep.lower, &ep.upper)
+                        }
+                    } else {
+                        let a = keogh_vs_global(p, eq.gmin, eq.gmax);
+                        if a * (1.0 - KEOGH_MARGIN) > cutoff {
+                            a
+                        } else {
+                            keogh_vs_global(q, ep.gmin, ep.gmax)
+                        }
+                    };
+                    if keogh * (1.0 - KEOGH_MARGIN) > cutoff {
+                        guard.pruned_keogh += 1;
+                        return Ok(f64::INFINITY);
+                    }
+                }
+            }
+            let d = guard.kernel.distance(p, q)?;
+            Ok(if d > cutoff { f64::INFINITY } else { d })
+        },
+    )?;
+    let stats = stats_sink
+        .into_inner()
+        .expect("worker guards merged without panicking");
+    Ok((matrix, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw_distance_banded_capped, dtw_distance_capped};
+
+    fn series(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect()
+    }
+
+    fn reference_entry(p: &[f64], q: &[f64], band: Option<usize>, cutoff: f64) -> f64 {
+        match band {
+            None => dtw_distance_capped(p, q, cutoff).unwrap(),
+            Some(w) => dtw_distance_banded_capped(p, q, w, cutoff).unwrap(),
+        }
+    }
+
+    fn assert_matches_reference(set: &[Vec<f64>], band: Option<usize>, cutoff: f64) {
+        for threads in [1usize, 4] {
+            let (m, stats) = build_matrix_pruned(set, band, cutoff, threads).unwrap();
+            for i in 0..set.len() {
+                for j in i + 1..set.len() {
+                    let want = reference_entry(&set[i], &set[j], band, cutoff);
+                    let got = m.get(i, j);
+                    assert_eq!(
+                        want.to_bits(),
+                        got.to_bits(),
+                        "pair ({i},{j}) band {band:?} cutoff {cutoff} threads {threads}: \
+                         want {want}, got {got}"
+                    );
+                }
+            }
+            assert_eq!(stats.pairs, (set.len() * (set.len() - 1) / 2) as u64);
+        }
+    }
+
+    #[test]
+    fn pruned_build_matches_capped_reference() {
+        let set: Vec<Vec<f64>> = (0..10).map(|i| series(40, i as u64 * 13 + 1)).collect();
+        for band in [None, Some(4)] {
+            for cutoff in [0.0, 1e4, 1e6, f64::INFINITY] {
+                assert_matches_reference(&set, band, cutoff);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_actually_happens_and_stats_are_thread_independent() {
+        let set: Vec<Vec<f64>> = (0..12).map(|i| series(48, i as u64 * 7 + 3)).collect();
+        let (_, s1) = build_matrix_pruned(&set, None, 5e4, 1).unwrap();
+        let (_, s4) = build_matrix_pruned(&set, None, 5e4, 4).unwrap();
+        assert!(s1.pruned() > 0, "cutoff 5e4 should prune some pairs");
+        assert_eq!(s1, s4, "stats must not depend on thread count");
+        // Pruned pairs charge no DP cells.
+        let (_, exact) = build_matrix_pruned(&set, None, f64::INFINITY, 1).unwrap();
+        assert!(s1.kernel.dp_cells < exact.kernel.dp_cells);
+    }
+
+    #[test]
+    fn mixed_lengths_fall_back_to_global_hull() {
+        let set: Vec<Vec<f64>> = (0..8).map(|i| series(20 + i * 3, i as u64 + 11)).collect();
+        for band in [None, Some(3)] {
+            assert_matches_reference(&set, band, 2e4);
+        }
+    }
+
+    #[test]
+    fn nan_series_never_pruned_and_bits_match() {
+        let mut set: Vec<Vec<f64>> = (0..6).map(|i| series(24, i as u64 + 40)).collect();
+        set[2][5] = f64::NAN;
+        set[4][0] = f64::NAN; // NaN at an endpoint hits LB_Kim too
+        for band in [None, Some(2)] {
+            for cutoff in [0.0, 1e3, f64::INFINITY] {
+                assert_matches_reference(&set, band, cutoff);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_series_bits_match() {
+        let mut set: Vec<Vec<f64>> = (0..5).map(|i| series(16, i as u64 + 70)).collect();
+        set[1] = vec![3.25; 16];
+        set[3] = vec![-1.5; 16];
+        for band in [None, Some(2)] {
+            assert_matches_reference(&set, band, 1e2);
+        }
+    }
+
+    #[test]
+    fn validation_is_up_front_and_thread_independent() {
+        let mut set: Vec<Vec<f64>> = (0..6).map(|i| series(10, i as u64)).collect();
+        set[3] = Vec::new();
+        for threads in [1usize, 8] {
+            let err = build_matrix_pruned(&set, None, 1.0, threads).unwrap_err();
+            assert!(matches!(err, ClusteringError::Empty), "threads={threads}");
+        }
+        assert!(matches!(
+            build_matrix_pruned(&[], None, 1.0, 1).unwrap_err(),
+            ClusteringError::Empty
+        ));
+        assert!(matches!(
+            build_matrix_pruned(&[vec![1.0]], Some(0), 1.0, 1).unwrap_err(),
+            ClusteringError::InvalidParameter(_)
+        ));
+    }
+
+    #[test]
+    fn envelope_matches_bruteforce() {
+        let q = series(33, 99);
+        for w in [0usize, 1, 4, 32, 100] {
+            let (lower, upper) = windowed_envelope(&q, w);
+            for i in 0..q.len() {
+                let lo = i.saturating_sub(w);
+                let hi = (i + w).min(q.len() - 1);
+                let want_max = q[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let want_min = q[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min);
+                assert_eq!(upper[i], want_max, "w={w} i={i}");
+                assert_eq!(lower[i], want_min, "w={w} i={i}");
+            }
+        }
+    }
+}

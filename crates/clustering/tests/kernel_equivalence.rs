@@ -6,8 +6,11 @@
 //! The kernel's contract is *bit*-identity, not approximate equality:
 //! every assertion here compares `f64::to_bits`, never an epsilon.
 
-use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
-use atm_clustering::kernel::DtwKernel;
+use atm_clustering::dtw::{
+    dtw_distance, dtw_distance_banded, dtw_distance_banded_capped, dtw_distance_capped,
+};
+use atm_clustering::kernel::{DtwKernel, KEOGH_MARGIN};
+use atm_clustering::prefilter::build_matrix_pruned;
 use atm_clustering::DistanceMatrix;
 use proptest::prelude::*;
 
@@ -17,6 +20,67 @@ fn series() -> impl Strategy<Value = Vec<f64>> {
 
 fn series_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(series(), 2..8)
+}
+
+/// A series with NaN gaps: the un-imputed sensor-dropout shape the
+/// pipeline sees when imputation is skipped. At least one NaN.
+fn gapped_series() -> impl Strategy<Value = Vec<f64>> {
+    (series(), prop::collection::vec(0usize..48, 1..4)).prop_map(|(mut s, gaps)| {
+        for g in gaps {
+            let idx = g % s.len();
+            s[idx] = f64::NAN;
+        }
+        s
+    })
+}
+
+/// A constant series (every sample the same value) — degenerate inputs
+/// where envelopes collapse to a point and LB_Keogh hits exact zeros.
+fn constant_series() -> impl Strategy<Value = Vec<f64>> {
+    (-100.0f64..100.0, 1usize..48).prop_map(|(v, len)| vec![v; len])
+}
+
+/// A mixed set: plain, gapped, and constant series, all of one length
+/// so the banded prefilter keeps its windowed envelopes.
+fn mixed_set() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 24), 2..6),
+        prop::collection::vec(0u8..3, 2..6),
+    )
+        .prop_map(|(base, kinds)| {
+            base.into_iter()
+                .zip(kinds.into_iter().chain(std::iter::repeat(0)))
+                .map(|(mut s, kind)| {
+                    match kind {
+                        1 => s[7] = f64::NAN,
+                        2 => {
+                            let v = s[0];
+                            s.iter_mut().for_each(|x| *x = v);
+                        }
+                        _ => {}
+                    }
+                    s
+                })
+                .collect()
+        })
+}
+
+/// Per-pair reference for the pruned build: the naive capped DP —
+/// exact bits at or under the cutoff, `+inf` above it.
+fn capped_reference(set: &[Vec<f64>], band: Option<usize>, cutoff: f64) -> Vec<Vec<f64>> {
+    let n = set.len();
+    let mut m = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = match band {
+                Some(b) => dtw_distance_banded_capped(&set[i], &set[j], b, cutoff).unwrap(),
+                None => dtw_distance_capped(&set[i], &set[j], cutoff).unwrap(),
+            };
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
 }
 
 /// Proptest case count: `default`, rescaled by `ATM_PROPTEST_CASES`
@@ -130,6 +194,127 @@ proptest! {
         }
         prop_assert_eq!(best_idx, scan_idx);
         prop_assert_eq!(best_d.to_bits(), scan_d.to_bits());
+    }
+
+    /// The lower-bound prefiltered build is bit-identical to the naive
+    /// capped reference for every band, cutoff regime, and thread
+    /// count: exact distance bits at or under the cutoff, `+inf` above
+    /// it — a pruned pair must be one the reference also capped.
+    #[test]
+    fn prefiltered_build_matches_capped_reference_bitwise(
+        set in series_set(),
+        band_sel in 0usize..16,
+        cutoff_sel in 0u8..4,
+        threads in 1usize..5,
+    ) {
+        let band = if band_sel == 0 { None } else { Some(band_sel) };
+        let cutoff = match cutoff_sel {
+            0 => f64::INFINITY, // inert prefilter: the pipeline's configuration
+            1 => 0.0,           // everything prunable is pruned
+            2 => 1e4,
+            _ => 1e6,
+        };
+        let reference = capped_reference(&set, band, cutoff);
+        let (matrix, stats) = build_matrix_pruned(&set, band, cutoff, threads).unwrap();
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                prop_assert_eq!(
+                    matrix.get(i, j).to_bits(),
+                    reference[i][j].to_bits(),
+                    "entry ({}, {}) band {:?} cutoff {} threads {}",
+                    i, j, band, cutoff, threads
+                );
+            }
+        }
+        // The stats decompose: every pair is either pruned or ran the DP.
+        let pairs = (set.len() * (set.len() - 1) / 2) as u64;
+        prop_assert_eq!(stats.pairs, pairs);
+        prop_assert_eq!(stats.pruned() + stats.kernel.pairs, pairs);
+        if !cutoff.is_finite() {
+            prop_assert_eq!(stats.pruned(), 0, "inert prefilter must not prune");
+        }
+    }
+
+    /// The prefiltered build stays bit-identical on degenerate inputs:
+    /// NaN-gap series (which must never be pruned — a lower bound on
+    /// NaN data is meaningless) and constant series (collapsed
+    /// envelopes, zero lower bounds), mixed into one uniform-length set
+    /// so the banded windowed-envelope path is exercised too.
+    #[test]
+    fn prefiltered_build_handles_gaps_and_constants(
+        set in mixed_set(),
+        band_sel in 0usize..8,
+        cutoff_sel in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        let band = if band_sel == 0 { None } else { Some(band_sel) };
+        let cutoff = match cutoff_sel {
+            0 => f64::INFINITY,
+            1 => 0.0,
+            _ => 1e5,
+        };
+        let reference = capped_reference(&set, band, cutoff);
+        let (matrix, _) = build_matrix_pruned(&set, band, cutoff, threads).unwrap();
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                let (got, want) = (matrix.get(i, j), reference[i][j]);
+                prop_assert!(
+                    got.to_bits() == want.to_bits() || (got.is_nan() && want.is_nan()),
+                    "entry ({}, {}): {} vs {} (band {:?} cutoff {})",
+                    i, j, got, want, band, cutoff
+                );
+            }
+        }
+    }
+
+    /// The prefilter's pruning predicates are sound exactly as it
+    /// applies them: LB_Kim never exceeds the true distance, and
+    /// LB_Keogh *after the one-sided derating margin* never does either
+    /// — so `bound > cutoff` always implies `distance > cutoff`, for
+    /// full and banded geometry, on plain and constant series.
+    #[test]
+    fn derated_lower_bounds_never_exceed_distance(
+        a in series(),
+        b in constant_series(),
+        band in 1usize..16,
+    ) {
+        for (p, q) in [(&a, &b), (&a, &a), (&b, &b)] {
+            let mut kernel = DtwKernel::new();
+            let truth = kernel.distance(p, q).unwrap();
+            prop_assert!(kernel.lb_kim(p, q).unwrap() <= truth);
+            prop_assert!(kernel.lb_keogh(p, q).unwrap() * (1.0 - KEOGH_MARGIN) <= truth);
+            let mut banded = DtwKernel::banded(band).unwrap();
+            let banded_truth = banded.distance(p, q).unwrap();
+            prop_assert!(banded.lb_kim(p, q).unwrap() <= banded_truth);
+            prop_assert!(
+                banded.lb_keogh(p, q).unwrap() * (1.0 - KEOGH_MARGIN) <= banded_truth
+            );
+        }
+    }
+
+    /// NaN-gap series flow through both kernels without panicking and
+    /// reproduce the naive DP bit-for-bit. (The result is *not* always
+    /// NaN: `f64::min` drops NaN against the `+inf` DP borders, so a
+    /// gap away from the final alignment step surfaces as `+inf` — the
+    /// kernel must reproduce whichever poisoned value the reference
+    /// computes, bit-exactly.)
+    #[test]
+    fn nan_gaps_propagate_identically(a in gapped_series(), b in series()) {
+        let naive = dtw_distance(&a, &b).unwrap();
+        prop_assert!(
+            naive.is_nan() || naive.is_infinite() || naive >= 0.0,
+            "gap produced a negative finite distance: {}",
+            naive
+        );
+        let mut kernel = DtwKernel::new();
+        let fast = kernel.distance(&a, &b).unwrap();
+        prop_assert_eq!(fast.to_bits(), naive.to_bits());
+        let banded_naive = dtw_distance_banded(&a, &b, 6).unwrap();
+        let mut banded = DtwKernel::banded(6).unwrap();
+        prop_assert_eq!(
+            banded.distance(&a, &b).unwrap().to_bits(),
+            banded_naive.to_bits()
+        );
     }
 
     /// The parallel distance-matrix build equals the sequential build for

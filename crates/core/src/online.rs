@@ -72,8 +72,8 @@ use crate::checkpoint::{CheckpointStore, Recovery};
 use crate::config::{AdaptationConfig, AtmConfig};
 use crate::error::{AtmError, AtmResult};
 use crate::pipeline::{
-    fallback_box_report_observed, run_box_observed, scoped_resources, ticket_policy,
-    validate_rectangular, BoxReport,
+    fallback_box_report_observed_with, run_box_observed_with, scoped_resources, ticket_policy,
+    validate_rectangular, BoxReport, ResizeSolvers,
 };
 
 /// How one online window completed.
@@ -758,7 +758,7 @@ pub fn run_online_with_actuator_observed(
     actuator: &mut dyn CapacityActuator,
     obs: &Obs,
 ) -> AtmResult<OnlineReport> {
-    let driver = OnlineDriver::new_observed(box_trace, config, obs)?;
+    let mut driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let mut state = driver.fresh_state();
     while !driver.is_done(&state) {
         let before = obs
@@ -847,6 +847,14 @@ pub struct OnlineDriver<'a> {
     evaluable: usize,
     fingerprint: u64,
     obs: Obs,
+    /// Incremental MCKP state carried across windows — a pure cache:
+    /// results are byte-identical whether it is warm (mid-run) or cold
+    /// (fresh driver after a checkpoint resume), so it is deliberately
+    /// NOT part of [`OnlineState`]. One set per fallback tier: the
+    /// seasonal-naive fallback feeds different demand vectors and would
+    /// otherwise evict the main pipeline's groups.
+    solvers: ResizeSolvers,
+    fallback_solvers: ResizeSolvers,
 }
 
 impl<'a> OnlineDriver<'a> {
@@ -903,6 +911,8 @@ impl<'a> OnlineDriver<'a> {
             evaluable,
             fingerprint,
             obs: obs.clone(),
+            solvers: ResizeSolvers::new(),
+            fallback_solvers: ResizeSolvers::new(),
         })
     }
 
@@ -944,7 +954,7 @@ impl<'a> OnlineDriver<'a> {
     /// Evaluation errors on the carry-forward path, and per-window
     /// pipeline errors when `config.online.fallback` is `false`.
     pub fn step(
-        &self,
+        &mut self,
         state: &mut OnlineState,
         actuator: &mut dyn CapacityActuator,
     ) -> AtmResult<()> {
@@ -1023,25 +1033,31 @@ impl<'a> OnlineDriver<'a> {
 
         // Fallback chain: full pipeline -> per-VM seasonal naive ->
         // carry previous caps forward.
-        let report = match run_box_observed(&truncated, run_config, &self.obs) {
-            Ok(r) => Some(r),
-            Err(e) if config.online.fallback => {
-                match fallback_box_report_observed(&truncated, run_config, &self.obs) {
-                    Ok(r) => {
-                        reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
-                        state.summary.fallback_windows += 1;
-                        Some(r)
-                    }
-                    Err(e2) => {
-                        reasons.push(format!(
+        let report =
+            match run_box_observed_with(&truncated, run_config, &self.obs, &mut self.solvers) {
+                Ok(r) => Some(r),
+                Err(e) if config.online.fallback => {
+                    match fallback_box_report_observed_with(
+                        &truncated,
+                        run_config,
+                        &self.obs,
+                        &mut self.fallback_solvers,
+                    ) {
+                        Ok(r) => {
+                            reasons.push(format!("pipeline failed ({e}); used per-VM fallback"));
+                            state.summary.fallback_windows += 1;
+                            Some(r)
+                        }
+                        Err(e2) => {
+                            reasons.push(format!(
                             "pipeline failed ({e}); fallback failed ({e2}); carried caps forward"
                         ));
-                        None
+                            None
+                        }
                     }
                 }
-            }
-            Err(e) => return Err(e),
-        };
+                Err(e) => return Err(e),
+            };
 
         let (tickets_before, tickets_after) = match &report {
             Some(r) => {
@@ -1259,7 +1275,7 @@ pub fn run_online_until_observed(
     kill_after: Option<usize>,
     obs: &Obs,
 ) -> AtmResult<OnlineRun> {
-    let driver = OnlineDriver::new_observed(box_trace, config, obs)?;
+    let mut driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let recovery = store.recover(&box_trace.name, driver.fresh_state());
     let mut state = recovery.state.clone();
     let interval = config.durability.checkpoint_interval;
@@ -1520,7 +1536,7 @@ mod tests {
         let b = trace(5);
         let cfg = oracle_config();
         let baseline = run_online(&b, &cfg).unwrap();
-        let driver = OnlineDriver::new(&b, &cfg).unwrap();
+        let mut driver = OnlineDriver::new(&b, &cfg).unwrap();
         assert_eq!(driver.windows_total(), 3);
         let mut state = driver.fresh_state();
         let mut actuator = NoopActuator::new();

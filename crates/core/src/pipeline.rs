@@ -10,7 +10,8 @@ use atm_forecast::naive::{LastValue, SeasonalNaive};
 use atm_forecast::{ar::ArForecaster, Forecaster};
 use atm_obs::Obs;
 use atm_resize::evaluate::{box_outcome, BoxOutcome};
-use atm_resize::{baselines, greedy, ResizeProblem, VmDemand};
+use atm_resize::incremental::IncrementalMckp;
+use atm_resize::{baselines, ResizeProblem, VmDemand};
 use atm_ticketing::ThresholdPolicy;
 use atm_timeseries::metrics::{mape, peak_mape};
 use atm_tracegen::{BoxTrace, Resource, SeriesKey};
@@ -325,6 +326,34 @@ fn prediction_report(
     }
 }
 
+/// Per-resource [`IncrementalMckp`] solvers, reusable across windows.
+///
+/// The incremental solver is byte-identical to a from-scratch
+/// `greedy::solve` on every call, so sharing one set of solvers across
+/// an online run (or using a fresh set per window, as the stateless
+/// entry points do) never changes a result — persistence only lets
+/// adjacent windows reuse candidate-group state when their demand
+/// inputs repeat or slide. One solver per resource: CPU and RAM
+/// problems alternate within a window and would thrash a shared cache.
+#[derive(Default)]
+pub(crate) struct ResizeSolvers {
+    solvers: Vec<(Resource, IncrementalMckp)>,
+}
+
+impl ResizeSolvers {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn for_resource(&mut self, resource: Resource) -> &mut IncrementalMckp {
+        if let Some(pos) = self.solvers.iter().position(|(r, _)| *r == resource) {
+            return &mut self.solvers[pos].1;
+        }
+        self.solvers.push((resource, IncrementalMckp::new()));
+        &mut self.solvers.last_mut().expect("just pushed").1
+    }
+}
+
 /// Proactive resizing per resource (Fig. 10): allocators size from the
 /// *predicted* demands; outcomes replay the *actual* test demands.
 fn resize_reports(
@@ -333,6 +362,7 @@ fn resize_reports(
     predicted: &[Vec<f64>],
     config: &AtmConfig,
     policy: &ThresholdPolicy,
+    solvers: &mut ResizeSolvers,
 ) -> AtmResult<Vec<ResourceResizeReport>> {
     let mut resizing = Vec::new();
     for resource in scoped_resources(config.scope) {
@@ -377,7 +407,7 @@ fn resize_reports(
         };
         let problem = ResizeProblem::new(vms, box_capacity, *policy).with_epsilon(epsilon);
 
-        let atm_alloc = greedy::solve(&problem)?;
+        let atm_alloc = solvers.for_resource(resource).solve(&problem)?;
         let stingy_alloc = baselines::stingy(&problem)?;
         let maxmin_alloc = baselines::max_min_fairness(&problem)?;
 
@@ -479,6 +509,23 @@ pub fn run_box_observed(
     config: &AtmConfig,
     obs: &Obs,
 ) -> AtmResult<BoxReport> {
+    run_box_observed_with(box_trace, config, obs, &mut ResizeSolvers::new())
+}
+
+/// [`run_box_observed`] with caller-owned [`ResizeSolvers`], so an
+/// online loop can carry incremental MCKP state across windows. Result
+/// bytes are independent of the solvers' prior state (see
+/// [`ResizeSolvers`]).
+///
+/// # Errors
+///
+/// Identical to [`run_box`].
+pub(crate) fn run_box_observed_with(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    obs: &Obs,
+    solvers: &mut ResizeSolvers,
+) -> AtmResult<BoxReport> {
     let _run_span = obs.span("pipeline.run_box");
     obs.add("pipeline.runs", 1);
     config.validate()?;
@@ -568,7 +615,7 @@ pub fn run_box_observed(
     let policy = ticket_policy(config)?;
     let resizing = {
         let _span = obs.span("pipeline.resize");
-        resize_reports(trace, &split, &predicted, config, &policy)?
+        resize_reports(trace, &split, &predicted, config, &policy, solvers)?
     };
 
     let (sig_cpu, sig_ram) = outcome.signature_resource_counts();
@@ -622,6 +669,21 @@ pub fn fallback_box_report_observed(
     config: &AtmConfig,
     obs: &Obs,
 ) -> AtmResult<BoxReport> {
+    fallback_box_report_observed_with(box_trace, config, obs, &mut ResizeSolvers::new())
+}
+
+/// [`fallback_box_report_observed`] with caller-owned [`ResizeSolvers`]
+/// (see [`run_box_observed_with`]).
+///
+/// # Errors
+///
+/// Identical to [`fallback_box_report`].
+pub(crate) fn fallback_box_report_observed_with(
+    box_trace: &BoxTrace,
+    config: &AtmConfig,
+    obs: &Obs,
+    solvers: &mut ResizeSolvers,
+) -> AtmResult<BoxReport> {
     let _run_span = obs.span("pipeline.fallback");
     obs.add("pipeline.fallback_runs", 1);
     config.validate()?;
@@ -653,7 +715,7 @@ pub fn fallback_box_report_observed(
         config.ticket_threshold_pct,
     );
     let policy = ticket_policy(config)?;
-    let resizing = resize_reports(trace, &split, &predicted, config, &policy)?;
+    let resizing = resize_reports(trace, &split, &predicted, config, &policy, solvers)?;
 
     let sig_cpu = split
         .keys

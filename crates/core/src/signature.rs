@@ -9,14 +9,13 @@
 use atm_clustering::cbc::{self, CbcConfig};
 use atm_clustering::dtw::{dtw_distance, dtw_distance_banded};
 use atm_clustering::hierarchical::{cluster_with_silhouette_threaded, paper_k_range, Linkage};
-use atm_clustering::kernel::{DtwKernel, KernelStats};
+use atm_clustering::prefilter::build_matrix_pruned;
 use atm_clustering::DistanceMatrix;
 use atm_obs::Obs;
 use atm_stats::stepwise::{backward_eliminate, StepwiseConfig};
 use atm_timeseries::transform::znorm;
 use atm_tracegen::{Resource, SeriesKey};
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
 
 use crate::config::{ClusterMethod, ComputeConfig};
 use crate::error::{AtmError, AtmResult};
@@ -208,27 +207,6 @@ pub fn search_observed(
     ))
 }
 
-/// Per-thread distance-matrix state: a kernel plus a shared sink its
-/// accumulated [`KernelStats`] are merged into on drop. The merge is a
-/// commutative sum of pure-function-of-input counters, so the total is
-/// identical for any thread count or chunk assignment — this is how
-/// per-thread kernel stats escape `build_parallel_with` without changing
-/// its API or the result bytes.
-struct KernelStatsGuard<'a> {
-    kernel: DtwKernel,
-    sink: &'a Mutex<KernelStats>,
-}
-
-impl Drop for KernelStatsGuard<'_> {
-    fn drop(&mut self) {
-        let stats = self.kernel.stats();
-        self.sink
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .merge(&stats);
-    }
-}
-
 /// Step 1, DTW flavour: pairwise DTW distances (on z-normalized series
 /// when configured), hierarchical clustering over `k ∈ [2, n/2]` with
 /// silhouette selection, medoid extraction.
@@ -260,30 +238,19 @@ fn step1_dtw(
 
     let threads = compute.effective_threads();
     let band = compute.dtw_band;
-    let kernel_stats = Mutex::new(KernelStats::default());
     let distances = {
         let _span = obs.span("signature.distance_matrix");
         if compute.optimized_kernel {
-            // Per-thread kernel workspaces; the kernel is bit-identical to
-            // the naive DP (and to `dtw_distance_banded` when banded).
-            DistanceMatrix::build_parallel_with(
-                n,
-                threads,
-                || KernelStatsGuard {
-                    kernel: if band == 0 {
-                        DtwKernel::new()
-                    } else {
-                        DtwKernel::banded(band).expect("band is positive")
-                    },
-                    sink: &kernel_stats,
-                },
-                |guard, i, j| {
-                    guard
-                        .kernel
-                        .distance(&prepared[i], &prepared[j])
-                        .map_err(AtmError::from)
-                },
-            )?
+            // The pruned builder runs per-thread kernel workspaces and is
+            // bit-identical to the naive DP (and to `dtw_distance_banded`
+            // when banded); an infinite cutoff makes the lower-bound
+            // prefilter inert, so every exact distance is materialized.
+            let band = if band == 0 { None } else { Some(band) };
+            let (matrix, pruned) = build_matrix_pruned(&prepared, band, f64::INFINITY, threads)?;
+            stats.dtw_pairs += pruned.kernel.pairs;
+            stats.dtw_dp_cells += pruned.kernel.dp_cells;
+            stats.dtw_abandons += pruned.kernel.abandons();
+            matrix
         } else if band > 0 {
             DistanceMatrix::build_parallel(n, threads, |i, j| {
                 dtw_distance_banded(&prepared[i], &prepared[j], band).map_err(AtmError::from)
@@ -294,16 +261,7 @@ fn step1_dtw(
             })?
         }
     };
-    if compute.optimized_kernel {
-        // Every worker's guard has dropped by now (scoped threads join
-        // before build_parallel_with returns), so the sink is complete.
-        let merged = kernel_stats
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        stats.dtw_pairs += merged.pairs;
-        stats.dtw_dp_cells += merged.dp_cells;
-        stats.dtw_abandons += merged.abandons();
-    } else {
+    if !compute.optimized_kernel {
         // Naive reference paths: the pair count is still knowable.
         stats.dtw_pairs += (n * (n - 1) / 2) as u64;
     }

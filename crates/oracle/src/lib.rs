@@ -50,7 +50,7 @@ use std::collections::BTreeMap;
 
 pub use contract::{check_instance, CaseOutcome, CaseResult, Violation};
 pub use gen::{generate, Family, OracleInstance};
-pub use replay::ReplayCase;
+pub use replay::{ReplayCase, SlidingOutcome, SlidingReplay};
 pub use rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 

@@ -15,10 +15,12 @@
 //!     --replay tests/oracle_replays/<case>.json
 //! ```
 
-use atm_resize::{ResizeProblem, VmDemand};
+use atm_resize::incremental::{IncrementalMckp, IncrementalStats};
+use atm_resize::{greedy, ResizeProblem, VmDemand};
 use atm_ticketing::ThresholdPolicy;
 use serde::{Deserialize, Serialize};
 
+use crate::contract::allocations_bit_equal;
 use crate::gen::{Family, OracleInstance};
 
 /// A float that survives JSON: finite values as numbers, specials as
@@ -77,6 +79,24 @@ pub struct ReplayVm {
     pub upper_bound: ReplayValue,
 }
 
+/// Sliding-window replay directive: re-interprets the case's demand
+/// series as a *stream* and differential-tests the incremental MCKP
+/// solver ([`IncrementalMckp`]) against from-scratch solves on every
+/// window (see [`ReplayCase::check_sliding`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingReplay {
+    /// Window length in samples. Each window `k` solves the subproblem
+    /// over `demands[k·stride .. k·stride + window]`.
+    pub window: usize,
+    /// Samples the window advances per step (≥ 1).
+    pub stride: usize,
+    /// When `true`, every window renames every VM (`name@k`), so no
+    /// cached per-VM state is ever reusable — the complete active-set
+    /// churn scenario, pinning the solver's full-rebuild fallback.
+    #[serde(default)]
+    pub rename_each_window: bool,
+}
+
 /// A committed oracle case: provenance, a human note on what it once
 /// broke, and the full instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,6 +118,12 @@ pub struct ReplayCase {
     pub threshold_pct: f64,
     /// Discretization ε.
     pub epsilon: f64,
+    /// Optional sliding-window directive. Absent (the default, and the
+    /// state of all pre-existing replay files) the case is a single
+    /// instance; present, the demands are a stream windowed through the
+    /// incremental MCKP differential (`oracle --replay` runs both).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sliding: Option<SlidingReplay>,
 }
 
 impl ReplayCase {
@@ -122,6 +148,7 @@ impl ReplayCase {
             total_capacity: ReplayValue::encode(p.total_capacity),
             threshold_pct: p.policy.threshold_pct(),
             epsilon: p.epsilon,
+            sliding: None,
         }
     }
 
@@ -182,6 +209,123 @@ impl ReplayCase {
     pub fn from_json(json: &str) -> Result<ReplayCase, String> {
         serde_json::from_str(json).map_err(|e| e.to_string())
     }
+
+    /// Materializes the window sequence of a sliding case: one
+    /// [`ResizeProblem`] per window position, each over
+    /// `demands[k·stride .. k·stride + window]` (bounds, budget, α and ε
+    /// constant across windows).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the case has no `sliding` block, a
+    /// special value does not decode, the VM series lengths differ, or
+    /// the window geometry does not fit the series.
+    pub fn window_problems(&self) -> Result<Vec<ResizeProblem>, String> {
+        let sliding = self
+            .sliding
+            .as_ref()
+            .ok_or_else(|| "case has no sliding block".to_owned())?;
+        if sliding.stride == 0 || sliding.window == 0 {
+            return Err("sliding window and stride must be positive".to_owned());
+        }
+        let base = self.to_instance()?.problem;
+        let len = base
+            .vms
+            .first()
+            .map(|vm| vm.demands.len())
+            .ok_or_else(|| "sliding case has no VMs".to_owned())?;
+        if base.vms.iter().any(|vm| vm.demands.len() != len) {
+            return Err("sliding case requires uniform series lengths".to_owned());
+        }
+        if sliding.window > len {
+            return Err(format!(
+                "window {} exceeds series length {len}",
+                sliding.window
+            ));
+        }
+        let steps = (len - sliding.window) / sliding.stride + 1;
+        Ok((0..steps)
+            .map(|k| {
+                let start = k * sliding.stride;
+                let vms = base
+                    .vms
+                    .iter()
+                    .map(|vm| {
+                        let name = if sliding.rename_each_window {
+                            format!("{}@{k}", vm.name)
+                        } else {
+                            vm.name.clone()
+                        };
+                        VmDemand::new(
+                            name,
+                            vm.demands[start..start + sliding.window].to_vec(),
+                            vm.lower_bound,
+                            vm.upper_bound,
+                        )
+                    })
+                    .collect();
+                ResizeProblem::new(vms, base.total_capacity, base.policy.clone())
+                    .with_epsilon(base.epsilon)
+            })
+            .collect())
+    }
+
+    /// Replays the window sequence through one [`IncrementalMckp`]
+    /// against from-scratch [`greedy::solve`] calls, requiring
+    /// bit-identical allocations (and identical structured errors) on
+    /// every window.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence, or of a malformed
+    /// sliding block.
+    pub fn check_sliding(&self) -> Result<SlidingOutcome, String> {
+        let problems = self.window_problems()?;
+        let mut incremental = IncrementalMckp::new();
+        for (k, problem) in problems.iter().enumerate() {
+            match (greedy::solve(problem), incremental.solve(problem)) {
+                (Ok(scratch), Ok(inc)) => {
+                    if !allocations_bit_equal(&scratch, &inc) {
+                        return Err(format!(
+                            "window {k}: incremental allocation diverged from scratch \
+                             (tickets {} vs {})",
+                            inc.tickets, scratch.tickets
+                        ));
+                    }
+                }
+                (Err(scratch), Err(inc)) => {
+                    if scratch != inc {
+                        return Err(format!(
+                            "window {k}: error divergence: scratch {scratch:?} vs \
+                             incremental {inc:?}"
+                        ));
+                    }
+                }
+                (scratch, inc) => {
+                    return Err(format!(
+                        "window {k}: outcome divergence: scratch {:?} vs incremental {:?}",
+                        scratch.map(|a| a.tickets),
+                        inc.map(|a| a.tickets)
+                    ));
+                }
+            }
+        }
+        Ok(SlidingOutcome {
+            windows: problems.len(),
+            stats: incremental.stats(),
+        })
+    }
+}
+
+/// What a clean sliding replay produced — window count plus the
+/// incremental solver's work counters, so callers can additionally pin
+/// *how* the windows were solved (slides vs rebuilds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlidingOutcome {
+    /// Windows checked.
+    pub windows: usize,
+    /// The incremental solver's counters over the whole sequence.
+    pub stats: IncrementalStats,
 }
 
 /// Family decode table for [`ReplayCase::to_instance`].
@@ -225,6 +369,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Hand-built sliding case over a deterministic sawtooth stream.
+    fn sliding_case(window: usize, stride: usize, rename: bool) -> ReplayCase {
+        let series = |phase: usize| -> Vec<ReplayValue> {
+            (0..24)
+                .map(|t| ReplayValue::Finite((((t + phase) % 7) as f64) * 9.0 + 5.0))
+                .collect()
+        };
+        ReplayCase {
+            case: 0,
+            seed: 0,
+            family: "plain".to_owned(),
+            note: "sliding unit test".to_owned(),
+            vms: (0..3)
+                .map(|v| ReplayVm {
+                    name: format!("vm{v}"),
+                    demands: series(v * 3),
+                    lower_bound: ReplayValue::Finite(0.0),
+                    upper_bound: ReplayValue::Finite(200.0),
+                })
+                .collect(),
+            total_capacity: ReplayValue::Finite(150.0),
+            threshold_pct: 60.0,
+            epsilon: 0.0,
+            sliding: Some(SlidingReplay {
+                window,
+                stride,
+                rename_each_window: rename,
+            }),
+        }
+    }
+
+    #[test]
+    fn sliding_windows_materialize_and_check_clean() {
+        let case = sliding_case(12, 3, false);
+        let problems = case.window_problems().unwrap();
+        assert_eq!(problems.len(), 5, "(24 - 12) / 3 + 1");
+        assert!(problems
+            .iter()
+            .all(|p| p.vms.iter().all(|vm| vm.demands.len() == 12)));
+        let outcome = case.check_sliding().unwrap();
+        assert_eq!(outcome.windows, 5);
+        assert_eq!(outcome.stats.vms_rebuilt, 3, "only the first window");
+        assert_eq!(outcome.stats.vms_slid, 4 * 3, "every later window slides");
+    }
+
+    #[test]
+    fn renamed_windows_churn_the_whole_active_set() {
+        let case = sliding_case(12, 3, true);
+        let outcome = case.check_sliding().unwrap();
+        assert_eq!(outcome.windows, 5);
+        assert_eq!(outcome.stats.vms_slid, 0, "renames kill every cache hit");
+        assert_eq!(outcome.stats.vms_reused, 0);
+        assert_eq!(outcome.stats.vms_rebuilt, 5 * 3);
+    }
+
+    #[test]
+    fn malformed_sliding_blocks_are_rejected() {
+        let mut case = sliding_case(12, 3, false);
+        case.sliding = None;
+        assert!(case.check_sliding().is_err());
+        let mut case = sliding_case(0, 3, false);
+        assert!(case.window_problems().is_err());
+        case.sliding = Some(SlidingReplay {
+            window: 25,
+            stride: 1,
+            rename_each_window: false,
+        });
+        assert!(case.window_problems().is_err());
+        let mut case = sliding_case(12, 0, false);
+        assert!(case.window_problems().is_err());
+        case.sliding = Some(SlidingReplay {
+            window: 12,
+            stride: 1,
+            rename_each_window: false,
+        });
+        case.vms[1].demands.pop();
+        assert!(
+            case.window_problems().is_err(),
+            "ragged series lengths must reject"
+        );
     }
 
     #[test]

@@ -31,7 +31,43 @@ use crate::problem::{Allocation, ResizeProblem};
 ///   per-VM lower bounds) exceed the capacity budget.
 pub fn solve(problem: &ResizeProblem) -> ResizeResult<Allocation> {
     let groups = build_groups(problem)?;
-    let base = solve_groups(&groups, problem.total_capacity)?;
+    solve_with_groups(problem, &groups)
+}
+
+/// The walk plus finishing passes over prebuilt groups — the scratch
+/// path's entry into the shared core. Computes the convex hulls fresh;
+/// the incremental solver calls [`solve_with_groups_and_hulls`] directly
+/// with its cached hulls, so a cached-group solve is byte-identical to a
+/// from-scratch one by construction.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_groups`].
+pub(crate) fn solve_with_groups(
+    problem: &ResizeProblem,
+    groups: &[CandidateGroup],
+) -> ResizeResult<Allocation> {
+    let hulls: Vec<CandidateGroup> = groups.iter().map(CandidateGroup::convex_hull).collect();
+    let hull_refs: Vec<&CandidateGroup> = hulls.iter().collect();
+    solve_with_groups_and_hulls(problem, groups, &hull_refs)
+}
+
+/// [`solve_with_groups`] over caller-supplied hulls. `groups` must be
+/// structurally valid (built by this crate's own group constructors) and
+/// `hulls[i]` must be bit-identical to `groups[i].convex_hull()`; group
+/// validation is skipped because internally built groups satisfy
+/// [`CandidateGroup::validate`] by construction.
+///
+/// # Errors
+///
+/// Same conditions as [`solve_groups`] minus the malformed-group cases,
+/// which cannot arise for internally built groups.
+pub(crate) fn solve_with_groups_and_hulls(
+    problem: &ResizeProblem,
+    groups: &[CandidateGroup],
+    hulls: &[&CandidateGroup],
+) -> ResizeResult<Allocation> {
+    let base = walk_repair(groups, hulls, problem.total_capacity)?;
 
     let mut capacities = base.capacities.clone();
     let slack = problem.total_capacity - capacities.iter().sum::<f64>();
@@ -57,8 +93,19 @@ pub fn solve(problem: &ResizeProblem) -> ResizeResult<Allocation> {
     // ulp below a `demand/α` breakpoint that the candidate capacity sat
     // exactly on, re-ticketing a window. In that edge the walk's own
     // allocation is the safer answer — keep it instead of asserting.
-    let demands: Vec<Vec<f64>> = problem.vms.iter().map(|v| v.demands.clone()).collect();
-    let tickets = crate::problem::tickets_under_allocation(&demands, &capacities, &problem.policy);
+    // (Same count as `tickets_under_allocation`, without cloning the
+    // demand series.)
+    let tickets: usize = problem
+        .vms
+        .iter()
+        .zip(&capacities)
+        .map(|(vm, &c)| {
+            vm.demands
+                .iter()
+                .filter(|&&x| problem.policy.violates_demand(x, c.max(f64::MIN_POSITIVE)))
+                .count()
+        })
+        .sum();
     if tickets > base.tickets {
         return Ok(base);
     }
@@ -89,6 +136,22 @@ pub fn solve(problem: &ResizeProblem) -> ResizeResult<Allocation> {
 ///   still exceeds `total_capacity`.
 pub fn solve_groups(groups: &[CandidateGroup], total_capacity: f64) -> ResizeResult<Allocation> {
     validate_groups(groups)?;
+    let hulls: Vec<CandidateGroup> = groups.iter().map(CandidateGroup::convex_hull).collect();
+    let hull_refs: Vec<&CandidateGroup> = hulls.iter().collect();
+    walk_repair(groups, &hull_refs, total_capacity)
+}
+
+/// The walk core over validated (or internally built) groups and their
+/// precomputed hulls: budget and feasibility checks, the MTRV hull walk,
+/// and the repair phase over the full candidate grids.
+fn walk_repair(
+    groups: &[CandidateGroup],
+    hulls: &[&CandidateGroup],
+    total_capacity: f64,
+) -> ResizeResult<Allocation> {
+    if groups.is_empty() {
+        return Err(ResizeError::Empty);
+    }
     if !total_capacity.is_finite() {
         return Err(ResizeError::InvalidCapacity(total_capacity));
     }
@@ -104,8 +167,6 @@ pub fn solve_groups(groups: &[CandidateGroup], total_capacity: f64) -> ResizeRes
             capacity: total_capacity,
         });
     }
-
-    let hulls: Vec<CandidateGroup> = groups.iter().map(CandidateGroup::convex_hull).collect();
 
     // Start everyone at the best (largest) candidate.
     let mut choice: Vec<usize> = vec![0; hulls.len()];

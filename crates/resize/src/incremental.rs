@@ -1,0 +1,861 @@
+//! Incremental MCKP across adjacent online windows.
+//!
+//! The online pipeline re-solves the same box every window, and adjacent
+//! windows share almost all of their demand samples: a stride-`s` slide
+//! drops `s` old samples per VM and appends `s` new ones. From-scratch
+//! [`greedy::solve`](crate::greedy::solve) re-sorts every demand series,
+//! rebuilds every candidate group, and recomputes every convex hull per
+//! window; [`IncrementalMckp`] instead keeps each VM's demand multiset in
+//! descending total order and delta-updates it (`s` binary-searched
+//! removals + insertions), then *splices* the derived state rather than
+//! rebuilding it:
+//!
+//! - a counted multiset of ε-discretized demand values tracks which
+//!   candidate capacities exist, so a slide touches at most `2s`
+//!   candidates (each a binary-searched insert/remove);
+//! - surviving candidates' ticket counts are adjusted by suffix deltas
+//!   against cached thresholds (`±1` for every slid sample, applied in
+//!   one O(k) pass) instead of a fresh O(T + k) scan;
+//! - the convex hull is recomputed only for VMs whose group changed,
+//!   into a per-VM reusable buffer.
+//!
+//! # Byte-identity
+//!
+//! The solver is pinned byte-identical to `greedy::solve` for every
+//! problem sequence, not ε-close: spliced groups are debug-asserted
+//! against [`group_from_sorted`] (the scratch path's constructor), the
+//! splice is only taken when a guard rules out the edge cases where
+//! splice-dedup and the scratch path's sort+dedup could disagree
+//! (zero/negative demand values, ±0.0 candidates, zero upper bounds —
+//! those VMs rebuild through the scratch constructor instead), and the
+//! result feeds the *same*
+//! [`solve_with_groups_and_hulls`](crate::greedy) walk the scratch path
+//! uses. The sorted multiset it maintains is unique — descending
+//! [`f64::total_cmp`] order, under which equal elements are
+//! bit-identical, so any insertion order converges to the same array the
+//! scratch sort produces. Config changes (threshold α, ε) and VM
+//! renames/reorders fall back to full rebuilds of the affected state; a
+//! fallback is a correctness no-op, only a missed reuse.
+//! `tests/oracle_replays/` commits sliding-window sequences (including a
+//! complete active-set churn) replayed by the oracle binary against this
+//! equivalence.
+
+use atm_ticketing::ThresholdPolicy;
+
+use crate::error::ResizeResult;
+use crate::greedy::solve_with_groups_and_hulls;
+use crate::mckp::{candidate_capacity, discretize_up, group_from_sorted, CandidateGroup};
+use crate::problem::{Allocation, ResizeProblem, VmDemand};
+
+/// Longest window slide (in samples) the shift search will look for
+/// before falling back to a full rebuild. Failed probes almost always
+/// mismatch on their first element, so the search costs O(`MAX_SLIDE` +
+/// T) comparisons; slides longer than a full day of 15-minute samples
+/// are no longer "adjacent windows" in any useful sense.
+const MAX_SLIDE: usize = 96;
+
+/// Work counters for one [`IncrementalMckp`] lifetime. Deterministic:
+/// every count is a pure function of the solved problem sequence.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Total `solve` calls.
+    pub solves: u64,
+    /// Whole-solve memo hits (identical problem re-solved).
+    pub memoized: u64,
+    /// Per-VM group reuses (demands and bounds bit-identical).
+    pub vms_reused: u64,
+    /// Per-VM slide updates (sorted multiset delta-maintained).
+    pub vms_slid: u64,
+    /// Per-VM full rebuilds (no usable cached state).
+    pub vms_rebuilt: u64,
+}
+
+/// One VM's cached state, keyed by its position in the problem.
+struct VmState {
+    name: String,
+    demands: Vec<f64>,
+    /// `demands` in descending total order — the unique sorted multiset
+    /// all group arrays derive from.
+    sorted: Vec<f64>,
+    lower_bits: u64,
+    upper_bits: u64,
+    /// Counted multiset of ε-discretized demand values, descending:
+    /// `(value bits, multiplicity)`. Drives candidate-list splices.
+    uniq: Vec<(u64, u32)>,
+    /// Per-candidate reference counts — how many `uniq` entries map to
+    /// each candidate, plus one for the permanent zero-demand sentinel —
+    /// aligned with the group arrays.
+    refs: Vec<u32>,
+    /// Cached per-candidate ticket thresholds `α·max(c, MIN_POSITIVE)`.
+    thr: Vec<f64>,
+    /// Cached convex hull of the current group.
+    hull: CandidateGroup,
+    /// Delta maintenance enabled: set when the state is free of the edge
+    /// cases where a splice could diverge from the scratch path (see the
+    /// module docs); cleared states rebuild their group every window.
+    fast: bool,
+}
+
+/// Incremental MCKP solver: byte-identical to
+/// [`greedy::solve`](crate::greedy::solve) on every call, cheaper when
+/// consecutive problems share VM state (see the module docs).
+pub struct IncrementalMckp {
+    threshold_bits: u64,
+    epsilon_bits: u64,
+    vms: Vec<VmState>,
+    /// Groups aligned with `vms`, fed straight into the shared walk.
+    groups: Vec<CandidateGroup>,
+    /// Whole-solve memo: capacity bits of the last successful solve and
+    /// its allocation, valid while no VM state changes.
+    memo: Option<(u64, Allocation)>,
+    stats: IncrementalStats,
+}
+
+impl Default for IncrementalMckp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalMckp {
+    /// Creates an empty solver; the first `solve` populates the cache.
+    pub fn new() -> Self {
+        IncrementalMckp {
+            threshold_bits: 0,
+            epsilon_bits: 0,
+            vms: Vec::new(),
+            groups: Vec::new(),
+            memo: None,
+            stats: IncrementalStats::default(),
+        }
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Solves `problem`, reusing state from previous calls where the
+    /// inputs are bit-identical or a window slide of them. The returned
+    /// allocation (and any returned error) is byte-identical to
+    /// `greedy::solve(problem)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the conditions of [`greedy::solve`](crate::greedy::solve).
+    pub fn solve(&mut self, problem: &ResizeProblem) -> ResizeResult<Allocation> {
+        problem.validate()?;
+        self.stats.solves += 1;
+
+        // A policy or ε change invalidates every cached group (they bake
+        // in α and the discretization grid).
+        let threshold_bits = problem.policy.threshold_pct().to_bits();
+        let epsilon_bits = problem.epsilon.to_bits();
+        if threshold_bits != self.threshold_bits || epsilon_bits != self.epsilon_bits {
+            self.vms.clear();
+            self.groups.clear();
+            self.memo = None;
+            self.threshold_bits = threshold_bits;
+            self.epsilon_bits = epsilon_bits;
+        }
+
+        if self.vms.len() != problem.vms.len() {
+            self.vms.truncate(problem.vms.len());
+            self.groups.truncate(problem.vms.len());
+            self.memo = None;
+        }
+
+        let mut any_changed = false;
+        for (i, vm) in problem.vms.iter().enumerate() {
+            any_changed |= self.update_vm(i, vm, &problem.policy, problem.epsilon);
+        }
+
+        let capacity_bits = problem.total_capacity.to_bits();
+        if !any_changed {
+            if let Some((bits, allocation)) = &self.memo {
+                if *bits == capacity_bits {
+                    self.stats.memoized += 1;
+                    return Ok(allocation.clone());
+                }
+            }
+        } else {
+            self.memo = None;
+        }
+
+        let hulls: Vec<&CandidateGroup> = self.vms.iter().map(|s| &s.hull).collect();
+        let allocation = solve_with_groups_and_hulls(problem, &self.groups, &hulls)?;
+        self.memo = Some((capacity_bits, allocation.clone()));
+        Ok(allocation)
+    }
+
+    /// Brings slot `i` up to date with `vm`; returns whether its group
+    /// changed (bitwise) relative to the previous solve.
+    fn update_vm(
+        &mut self,
+        i: usize,
+        vm: &VmDemand,
+        policy: &ThresholdPolicy,
+        epsilon: f64,
+    ) -> bool {
+        let lower_bits = vm.lower_bound.to_bits();
+        let upper_bits = vm.upper_bound.to_bits();
+        if i < self.vms.len() {
+            let state = &mut self.vms[i];
+            let group = &mut self.groups[i];
+            let frame_matches = state.name == vm.name
+                && state.lower_bits == lower_bits
+                && state.upper_bits == upper_bits;
+            if frame_matches && bits_eq(&state.demands, &vm.demands) {
+                self.stats.vms_reused += 1;
+                return false;
+            }
+            if frame_matches && state.demands.len() == vm.demands.len() {
+                if let Some(shift) = find_slide(&state.demands, &vm.demands) {
+                    let removed: Vec<f64> = state.demands[..shift].to_vec();
+                    for &old in &removed {
+                        remove_sorted(&mut state.sorted, old);
+                    }
+                    let inserted = &vm.demands[vm.demands.len() - shift..];
+                    for &new in inserted {
+                        insert_sorted(&mut state.sorted, new);
+                    }
+                    state.demands.clear();
+                    state.demands.extend_from_slice(&vm.demands);
+                    // A failed splice may leave the derived state
+                    // half-updated; the rebuild below regenerates all of
+                    // it from the (already final) sorted multiset.
+                    let spliced = state.fast
+                        && splice_update(
+                            state,
+                            group,
+                            &removed,
+                            inserted,
+                            policy,
+                            epsilon,
+                            vm.lower_bound,
+                            vm.upper_bound,
+                        );
+                    if !spliced {
+                        *group = group_from_sorted(
+                            &state.sorted,
+                            policy,
+                            epsilon,
+                            vm.lower_bound,
+                            vm.upper_bound,
+                        );
+                        state.rebuild_derived(
+                            group,
+                            policy,
+                            epsilon,
+                            vm.lower_bound,
+                            vm.upper_bound,
+                        );
+                    } else {
+                        debug_assert_spliced_group_matches_scratch(
+                            state,
+                            group,
+                            policy,
+                            epsilon,
+                            vm.lower_bound,
+                            vm.upper_bound,
+                        );
+                    }
+                    group.convex_hull_into(&mut state.hull);
+                    self.stats.vms_slid += 1;
+                    return true;
+                }
+            }
+        }
+        // Full rebuild: exactly the scratch path's per-VM work, plus the
+        // derived splice state.
+        let mut sorted = vm.demands.clone();
+        atm_num::sort_floats_desc(&mut sorted);
+        let group = group_from_sorted(&sorted, policy, epsilon, vm.lower_bound, vm.upper_bound);
+        let mut state = VmState {
+            name: vm.name.clone(),
+            demands: vm.demands.clone(),
+            sorted,
+            lower_bits,
+            upper_bits,
+            uniq: Vec::new(),
+            refs: Vec::new(),
+            thr: Vec::new(),
+            hull: CandidateGroup {
+                capacities: Vec::new(),
+                tickets: Vec::new(),
+            },
+            fast: false,
+        };
+        state.rebuild_derived(&group, policy, epsilon, vm.lower_bound, vm.upper_bound);
+        group.convex_hull_into(&mut state.hull);
+        if i < self.vms.len() {
+            self.vms[i] = state;
+            self.groups[i] = group;
+        } else {
+            self.vms.push(state);
+            self.groups.push(group);
+        }
+        self.stats.vms_rebuilt += 1;
+        true
+    }
+}
+
+impl VmState {
+    /// Rebuilds the derived splice state (counted multiset, candidate
+    /// refcounts, cached thresholds) from `sorted` and an authoritative
+    /// `group`, and decides whether delta maintenance is safe.
+    fn rebuild_derived(
+        &mut self,
+        group: &CandidateGroup,
+        policy: &ThresholdPolicy,
+        epsilon: f64,
+        lower: f64,
+        upper: f64,
+    ) {
+        let alpha = policy.alpha();
+        self.thr.clear();
+        self.thr.extend(
+            group
+                .capacities
+                .iter()
+                .map(|&c| alpha * c.max(f64::MIN_POSITIVE)),
+        );
+
+        // Counted discretized multiset: `sorted` is descending and
+        // `discretize_up` is monotone, so equal discretized values are
+        // adjacent and one run-length pass suffices.
+        self.uniq.clear();
+        // Positive demands only (the splice guard): zero demands would
+        // interact with the scratch path's appended-0.0 rule, and ±0.0
+        // candidates dedupe by `==` but differ by bits. A zero upper
+        // bound collapses every candidate onto the sentinel.
+        let mut fast = upper > 0.0;
+        for &d in &self.sorted {
+            if !d.is_finite() {
+                // Unreachable after `ResizeProblem::validate`, which
+                // rejects non-finite demands; keep the splice off if a
+                // caller ever feeds one through `group_from_sorted`.
+                fast = false;
+                continue;
+            }
+            let u = discretize_up(d, epsilon);
+            if !(u.is_finite() && u > 0.0) {
+                fast = false;
+            }
+            match self.uniq.last_mut() {
+                Some(last) if last.0 == u.to_bits() => last.1 += 1,
+                _ => self.uniq.push((u.to_bits(), 1)),
+            }
+        }
+
+        // Map every discretized value (and the zero-demand sentinel the
+        // scratch path appends) onto its candidate index by exact bits; a
+        // miss means the scratch dedup merged values in a way the splice
+        // cannot track, so delta maintenance stays off.
+        self.refs.clear();
+        self.refs.resize(group.capacities.len(), 0);
+        for &(bits, _) in &self.uniq {
+            let u = f64::from_bits(bits);
+            match find_candidate(
+                &group.capacities,
+                candidate_capacity(u, alpha, lower, upper),
+            ) {
+                Some(ci) => self.refs[ci] += 1,
+                None => fast = false,
+            }
+        }
+        match find_candidate(
+            &group.capacities,
+            candidate_capacity(0.0, alpha, lower, upper),
+        ) {
+            Some(ci) => self.refs[ci] += 1,
+            None => fast = false,
+        }
+        self.fast = fast;
+    }
+}
+
+/// Delta-updates a slid VM's group arrays and derived state in place.
+/// Returns `false` (state possibly half-updated — the caller must then
+/// rebuild from `sorted`) when a guard trips; `true` means the arrays
+/// are bit-identical to a scratch rebuild.
+#[allow(clippy::too_many_arguments)]
+fn splice_update(
+    state: &mut VmState,
+    group: &mut CandidateGroup,
+    removed: &[f64],
+    inserted: &[f64],
+    policy: &ThresholdPolicy,
+    epsilon: f64,
+    lower: f64,
+    upper: f64,
+) -> bool {
+    let alpha = policy.alpha();
+    // The splice handles strictly positive finite samples only; anything
+    // else reintroduces the ±0.0 / appended-sentinel edge cases.
+    if removed
+        .iter()
+        .chain(inserted)
+        .any(|&d| !(d.is_finite() && d > 0.0))
+    {
+        return false;
+    }
+
+    // 1. Structural removals: drop candidates whose last discretized
+    //    demand value left the window.
+    for &d in removed {
+        let u = discretize_up(d, epsilon);
+        let Some(pos) = find_uniq(&state.uniq, u) else {
+            return false;
+        };
+        state.uniq[pos].1 -= 1;
+        if state.uniq[pos].1 == 0 {
+            state.uniq.remove(pos);
+            let Some(ci) = find_candidate(
+                &group.capacities,
+                candidate_capacity(u, alpha, lower, upper),
+            ) else {
+                return false;
+            };
+            state.refs[ci] -= 1;
+            if state.refs[ci] == 0 {
+                group.capacities.remove(ci);
+                group.tickets.remove(ci);
+                state.refs.remove(ci);
+                state.thr.remove(ci);
+            }
+        }
+    }
+
+    // 2. Ticket deltas for surviving candidates: a sample `d` tickets
+    //    exactly the candidates with threshold < d — a suffix, because
+    //    thresholds are non-increasing along the group. One ±1 mark per
+    //    slid sample, one O(k) prefix pass.
+    let k = group.capacities.len();
+    let mut diff = vec![0i64; k + 1];
+    for &d in removed {
+        diff[state.thr.partition_point(|&t| t >= d)] -= 1;
+    }
+    for &d in inserted {
+        diff[state.thr.partition_point(|&t| t >= d)] += 1;
+    }
+    let mut acc = 0i64;
+    for (v, &dv) in diff.iter().take(k).enumerate() {
+        acc += dv;
+        if acc != 0 {
+            let t = group.tickets[v] as i64 + acc;
+            debug_assert!(t >= 0, "ticket delta underflow");
+            group.tickets[v] = t as usize;
+        }
+    }
+
+    // 3. Structural insertions: new discretized values get their
+    //    candidate spliced in with a fresh count against the (already
+    //    final) sorted multiset, so the step-2 deltas never apply twice.
+    for &d in inserted {
+        let u = discretize_up(d, epsilon);
+        if !(u.is_finite() && u > 0.0) {
+            return false;
+        }
+        let upos = state
+            .uniq
+            .partition_point(|&(b, _)| f64::from_bits(b).total_cmp(&u).is_gt());
+        if upos < state.uniq.len() && state.uniq[upos].0 == u.to_bits() {
+            state.uniq[upos].1 += 1;
+            continue;
+        }
+        state.uniq.insert(upos, (u.to_bits(), 1));
+        let c = candidate_capacity(u, alpha, lower, upper);
+        if !(c.is_finite() && c > 0.0) {
+            return false;
+        }
+        let ci = group
+            .capacities
+            .partition_point(|x| x.total_cmp(&c).is_gt());
+        if ci < group.capacities.len() && group.capacities[ci].to_bits() == c.to_bits() {
+            state.refs[ci] += 1;
+            continue;
+        }
+        let thr_c = alpha * c.max(f64::MIN_POSITIVE);
+        let count = state.sorted.partition_point(|&x| x > thr_c);
+        group.capacities.insert(ci, c);
+        group.tickets.insert(ci, count);
+        state.refs.insert(ci, 1);
+        state.thr.insert(ci, thr_c);
+    }
+    true
+}
+
+/// Debug-build differential: a successful splice must be bit-identical
+/// to the scratch constructor's output. Compiled out in release.
+fn debug_assert_spliced_group_matches_scratch(
+    state: &VmState,
+    group: &CandidateGroup,
+    policy: &ThresholdPolicy,
+    epsilon: f64,
+    lower: f64,
+    upper: f64,
+) {
+    if cfg!(debug_assertions) {
+        let fresh = group_from_sorted(&state.sorted, policy, epsilon, lower, upper);
+        debug_assert_eq!(fresh.tickets, group.tickets, "spliced tickets diverged");
+        debug_assert!(
+            fresh.capacities.len() == group.capacities.len()
+                && fresh
+                    .capacities
+                    .iter()
+                    .zip(&group.capacities)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "spliced candidates diverged"
+        );
+    }
+}
+
+/// Bitwise slice equality — the cache's notion of "unchanged".
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Finds the smallest positive shift `s ≤ MAX_SLIDE` such that `new` is
+/// `old` slid by `s` samples (`old[s..] == new[..len-s]` bitwise).
+fn find_slide(old: &[f64], new: &[f64]) -> Option<usize> {
+    debug_assert_eq!(old.len(), new.len());
+    // A full-length "slide" (empty overlap) is just a rebuild — exclude it.
+    (1..=MAX_SLIDE.min(old.len().saturating_sub(1)))
+        .find(|&s| bits_eq(&old[s..], &new[..old.len() - s]))
+}
+
+/// Removes one element bit-equal to `v` from a descending-total-order
+/// vector. `v` is always present (it came out of the cached window).
+fn remove_sorted(sorted: &mut Vec<f64>, v: f64) {
+    let idx = sorted.partition_point(|x| x.total_cmp(&v).is_gt());
+    debug_assert!(idx < sorted.len() && sorted[idx].to_bits() == v.to_bits());
+    sorted.remove(idx);
+}
+
+/// Inserts `v` into a descending-total-order vector. Position among
+/// total-order-equal elements is immaterial: equal means bit-identical.
+fn insert_sorted(sorted: &mut Vec<f64>, v: f64) {
+    let idx = sorted.partition_point(|x| x.total_cmp(&v).is_gt());
+    sorted.insert(idx, v);
+}
+
+/// Locates `u` (by exact bits) in the descending counted multiset.
+fn find_uniq(uniq: &[(u64, u32)], u: f64) -> Option<usize> {
+    let idx = uniq.partition_point(|&(b, _)| f64::from_bits(b).total_cmp(&u).is_gt());
+    (idx < uniq.len() && uniq[idx].0 == u.to_bits()).then_some(idx)
+}
+
+/// Locates candidate `c` (by exact bits) in the descending capacities.
+fn find_candidate(capacities: &[f64], c: f64) -> Option<usize> {
+    let idx = capacities.partition_point(|x| x.total_cmp(&c).is_gt());
+    (idx < capacities.len() && capacities[idx].to_bits() == c.to_bits()).then_some(idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy;
+    use crate::problem::VmDemand;
+
+    fn sample(i: usize, seed: u64) -> f64 {
+        let mut z = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 60.0
+    }
+
+    fn window_problem(window: usize, vms: usize, len: usize, stride: usize) -> ResizeProblem {
+        let demands = |v: usize| -> Vec<f64> {
+            (0..len)
+                .map(|t| sample(window * stride + t, v as u64 * 17 + 5))
+                .collect()
+        };
+        ResizeProblem::new(
+            (0..vms)
+                .map(|v| VmDemand::new(format!("vm{v}"), demands(v), 0.0, 500.0))
+                .collect(),
+            40.0 * vms as f64,
+            ThresholdPolicy::new(60.0).unwrap(),
+        )
+    }
+
+    fn assert_alloc_bits_equal(a: &Allocation, b: &Allocation, ctx: &str) {
+        assert_eq!(a.tickets, b.tickets, "{ctx}");
+        assert_eq!(a.capacities.len(), b.capacities.len(), "{ctx}");
+        for (x, y) in a.capacities.iter().zip(&b.capacities) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn sliding_windows_match_scratch_bitwise() {
+        let mut inc = IncrementalMckp::new();
+        for window in 0..12 {
+            let p = window_problem(window, 6, 48, 4);
+            let scratch = greedy::solve(&p).unwrap();
+            let incremental = inc.solve(&p).unwrap();
+            assert_alloc_bits_equal(&scratch, &incremental, &format!("window {window}"));
+        }
+        let s = inc.stats();
+        assert_eq!(s.solves, 12);
+        assert_eq!(s.vms_rebuilt, 6, "only the first window builds");
+        assert_eq!(s.vms_slid, 11 * 6, "every later window slides");
+    }
+
+    #[test]
+    fn slid_windows_take_the_splice_path() {
+        // Continuous positive data: the splice guard must hold and delta
+        // maintenance must stay enabled across every slide.
+        let mut inc = IncrementalMckp::new();
+        for window in 0..8 {
+            let p = window_problem(window, 3, 40, 2);
+            inc.solve(&p).unwrap();
+        }
+        assert!(inc.vms.iter().all(|s| s.fast), "splice guard tripped");
+        // Derived-state invariants: refcounts sum to |uniq| + 1 sentinel,
+        // thresholds align with candidates.
+        for (s, g) in inc.vms.iter().zip(&inc.groups) {
+            assert_eq!(s.refs.len(), g.capacities.len());
+            assert_eq!(s.thr.len(), g.capacities.len());
+            assert_eq!(
+                s.refs.iter().map(|&r| u64::from(r)).sum::<u64>(),
+                s.uniq.len() as u64 + 1
+            );
+            assert_eq!(
+                s.uniq.iter().map(|&(_, c)| u64::from(c)).sum::<u64>(),
+                s.sorted.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn zero_demands_disable_the_splice_but_stay_correct() {
+        // A 0.0 demand triggers the scratch path's appended-0.0 dedup
+        // rule; the guard must fall back to full rebuilds and results
+        // must stay bit-identical.
+        let mut inc = IncrementalMckp::new();
+        for window in 0..5 {
+            let demands: Vec<f64> = (0..20)
+                .map(|t| {
+                    if (t + window) % 6 == 0 {
+                        0.0
+                    } else {
+                        sample(t + window, 3)
+                    }
+                })
+                .collect();
+            let p = ResizeProblem::new(
+                vec![VmDemand::new("zeroed", demands, 0.0, 300.0)],
+                120.0,
+                ThresholdPolicy::new(60.0).unwrap(),
+            );
+            assert_alloc_bits_equal(
+                &greedy::solve(&p).unwrap(),
+                &inc.solve(&p).unwrap(),
+                &format!("window {window}"),
+            );
+        }
+        assert!(inc.vms.iter().all(|s| !s.fast));
+    }
+
+    #[test]
+    fn identical_problem_is_memoized() {
+        let mut inc = IncrementalMckp::new();
+        let p = window_problem(3, 4, 32, 1);
+        let first = inc.solve(&p).unwrap();
+        let second = inc.solve(&p).unwrap();
+        assert_alloc_bits_equal(&first, &second, "memo");
+        assert_eq!(inc.stats().memoized, 1);
+        // Same VMs, different budget: memo misses, groups reused.
+        let mut tighter = p.clone();
+        tighter.total_capacity *= 0.5;
+        let t = inc.solve(&tighter).unwrap();
+        assert_alloc_bits_equal(&greedy::solve(&tighter).unwrap(), &t, "budget change");
+        assert_eq!(inc.stats().memoized, 1);
+        assert_eq!(inc.stats().vms_reused, 2 * 4);
+    }
+
+    #[test]
+    fn full_churn_and_config_changes_fall_back_correctly() {
+        let mut inc = IncrementalMckp::new();
+        let p1 = window_problem(0, 5, 40, 2);
+        inc.solve(&p1).unwrap();
+        // Complete active-set churn: every VM replaced.
+        let mut p2 = window_problem(50, 5, 40, 2);
+        for (v, vm) in p2.vms.iter_mut().enumerate() {
+            vm.name = format!("other{v}");
+        }
+        let scratch = greedy::solve(&p2).unwrap();
+        assert_alloc_bits_equal(&scratch, &inc.solve(&p2).unwrap(), "churn");
+        assert_eq!(inc.stats().vms_rebuilt, 10);
+        // Threshold change invalidates everything.
+        let mut p3 = p2.clone();
+        p3.policy = ThresholdPolicy::new(70.0).unwrap();
+        assert_alloc_bits_equal(&greedy::solve(&p3).unwrap(), &inc.solve(&p3).unwrap(), "α");
+        assert_eq!(inc.stats().vms_rebuilt, 15);
+        // ε change likewise.
+        let p4 = p3.clone().with_epsilon(5.0);
+        assert_alloc_bits_equal(&greedy::solve(&p4).unwrap(), &inc.solve(&p4).unwrap(), "ε");
+        assert_eq!(inc.stats().vms_rebuilt, 20);
+    }
+
+    #[test]
+    fn bound_changes_and_vm_count_changes_rebuild() {
+        let mut inc = IncrementalMckp::new();
+        let p1 = window_problem(0, 3, 24, 1);
+        inc.solve(&p1).unwrap();
+        let mut p2 = window_problem(1, 3, 24, 1);
+        p2.vms[1].upper_bound = 400.0;
+        assert_alloc_bits_equal(
+            &greedy::solve(&p2).unwrap(),
+            &inc.solve(&p2).unwrap(),
+            "bounds",
+        );
+        // Shrink then grow the VM set.
+        let mut p3 = window_problem(2, 2, 24, 1);
+        p3.vms[1].upper_bound = 400.0;
+        assert_alloc_bits_equal(
+            &greedy::solve(&p3).unwrap(),
+            &inc.solve(&p3).unwrap(),
+            "shrink",
+        );
+        let p4 = window_problem(3, 7, 24, 1);
+        assert_alloc_bits_equal(
+            &greedy::solve(&p4).unwrap(),
+            &inc.solve(&p4).unwrap(),
+            "grow",
+        );
+    }
+
+    #[test]
+    fn errors_match_scratch() {
+        let mut inc = IncrementalMckp::new();
+        let mut p = window_problem(0, 2, 16, 1);
+        inc.solve(&p).unwrap();
+        p.vms[0].lower_bound = 1e9; // infeasible with finite budget
+        p.vms[0].upper_bound = 2e9;
+        assert_eq!(greedy::solve(&p).unwrap_err(), inc.solve(&p).unwrap_err());
+        // Recovery after an error keeps byte-identity.
+        let ok = window_problem(1, 2, 16, 1);
+        assert_alloc_bits_equal(
+            &greedy::solve(&ok).unwrap(),
+            &inc.solve(&ok).unwrap(),
+            "recover",
+        );
+    }
+
+    #[test]
+    fn duplicate_heavy_series_slide_correctly() {
+        // Constant and few-valued series stress the multiset maintenance:
+        // removals must take out exactly one copy.
+        let mut inc = IncrementalMckp::new();
+        for window in 0..6 {
+            let len = 20;
+            let vals: Vec<f64> = (0..len)
+                .map(|t| [30.0, 30.0, 60.0, 30.0][(window + t) % 4])
+                .collect();
+            let p = ResizeProblem::new(
+                vec![
+                    VmDemand::new("const", vec![42.0; len], 0.0, 300.0),
+                    VmDemand::new("steps", vals, 0.0, 300.0),
+                ],
+                150.0,
+                ThresholdPolicy::new(60.0).unwrap(),
+            );
+            assert_alloc_bits_equal(
+                &greedy::solve(&p).unwrap(),
+                &inc.solve(&p).unwrap(),
+                &format!("window {window}"),
+            );
+        }
+        assert!(inc.stats().vms_slid + inc.stats().vms_reused > 0);
+    }
+
+    #[test]
+    fn discretized_slides_stay_bit_identical() {
+        // ε > 0 funnels many raw values into shared discretized buckets:
+        // the counted multiset must merge and split them exactly.
+        let mut inc = IncrementalMckp::new();
+        for window in 0..10 {
+            let p = window_problem(window, 4, 36, 3).with_epsilon(5.0);
+            assert_alloc_bits_equal(
+                &greedy::solve(&p).unwrap(),
+                &inc.solve(&p).unwrap(),
+                &format!("window {window}"),
+            );
+        }
+        assert!(inc.stats().vms_slid >= 4 * 9);
+    }
+
+    #[test]
+    fn tight_bounds_clamp_during_slides() {
+        // Bounds that actually bind: clamp collisions merge candidates
+        // (refcounts > 1) and the splice must keep them merged.
+        let mut inc = IncrementalMckp::new();
+        for window in 0..8 {
+            let demands: Vec<f64> = (0..30).map(|t| sample(t + window * 2, 7)).collect();
+            let p = ResizeProblem::new(
+                vec![
+                    VmDemand::new("clamped", demands.clone(), 20.0, 55.0),
+                    VmDemand::new("free", demands, 0.0, 500.0),
+                ],
+                90.0,
+                ThresholdPolicy::new(60.0).unwrap(),
+            );
+            assert_alloc_bits_equal(
+                &greedy::solve(&p).unwrap(),
+                &inc.solve(&p).unwrap(),
+                &format!("window {window}"),
+            );
+        }
+        assert!(inc.stats().vms_slid > 0);
+    }
+
+    #[test]
+    fn slide_detection_finds_strides() {
+        let old: Vec<f64> = (0..30).map(|t| sample(t, 9)).collect();
+        for s in [1usize, 3, 7] {
+            let new: Vec<f64> = (0..30).map(|t| sample(t + s, 9)).collect();
+            assert_eq!(find_slide(&old, &new), Some(s));
+        }
+        let unrelated: Vec<f64> = (0..30).map(|t| sample(t, 77)).collect();
+        assert_eq!(find_slide(&old, &unrelated), None);
+    }
+
+    #[test]
+    fn hashmap_free_state_is_indexable() {
+        // Regression guard for the keying strategy: two VMs may share a
+        // name; state is positional, so they never alias.
+        let mut inc = IncrementalMckp::new();
+        let mk = |w: usize| {
+            ResizeProblem::new(
+                vec![
+                    VmDemand::new(
+                        "dup",
+                        (0..16).map(|t| sample(t + w, 1)).collect(),
+                        0.0,
+                        300.0,
+                    ),
+                    VmDemand::new(
+                        "dup",
+                        (0..16).map(|t| sample(t + w, 2)).collect(),
+                        0.0,
+                        300.0,
+                    ),
+                ],
+                120.0,
+                ThresholdPolicy::new(60.0).unwrap(),
+            )
+        };
+        for w in 0..4 {
+            let p = mk(w);
+            assert_alloc_bits_equal(
+                &greedy::solve(&p).unwrap(),
+                &inc.solve(&p).unwrap(),
+                &format!("w{w}"),
+            );
+        }
+    }
+}

@@ -43,6 +43,7 @@ mod error;
 pub mod evaluate;
 pub mod exact;
 pub mod greedy;
+pub mod incremental;
 pub mod mckp;
 pub mod problem;
 pub mod sensitivity;

@@ -59,8 +59,24 @@ impl CandidateGroup {
     /// and a greedy MTRV walk over hulls is optimal up to the final
     /// fractional step.
     pub fn convex_hull(&self) -> CandidateGroup {
+        let mut out = CandidateGroup {
+            capacities: Vec::new(),
+            tickets: Vec::new(),
+        };
+        self.convex_hull_into(&mut out);
+        out
+    }
+
+    /// [`convex_hull`](Self::convex_hull) writing into `out`, reusing its
+    /// allocations — the incremental solver recomputes hulls every window
+    /// and keeps a per-VM output buffer.
+    pub fn convex_hull_into(&self, out: &mut CandidateGroup) {
+        out.capacities.clear();
+        out.tickets.clear();
         if self.len() <= 2 {
-            return self.clone();
+            out.capacities.extend_from_slice(&self.capacities);
+            out.tickets.extend_from_slice(&self.tickets);
+            return;
         }
         let mut hull: Vec<usize> = Vec::with_capacity(self.len());
         for i in 0..self.len() {
@@ -80,10 +96,9 @@ impl CandidateGroup {
             }
             hull.push(i);
         }
-        CandidateGroup {
-            capacities: hull.iter().map(|&i| self.capacities[i]).collect(),
-            tickets: hull.iter().map(|&i| self.tickets[i]).collect(),
-        }
+        out.capacities
+            .extend(hull.iter().map(|&i| self.capacities[i]));
+        out.tickets.extend(hull.iter().map(|&i| self.tickets[i]));
     }
 
     /// Checks the structural invariants solvers rely on: non-empty,
@@ -157,6 +172,110 @@ pub fn reduced_demand_set(demands: &[f64], epsilon: f64) -> Vec<f64> {
     vals
 }
 
+/// [`reduced_demand_set`] over demands already in descending total order:
+/// one dedup pass instead of a fresh sort. Identical output, because
+/// `discretize_up` is monotone non-decreasing, so mapping a descending
+/// list keeps it descending — sorting before or after the map commutes
+/// (the only numerically-equal-but-distinct finite bit patterns, ±0.0,
+/// map to themselves and keep their total-order positions).
+fn reduced_from_sorted(sorted_desc: &[f64], epsilon: f64) -> Vec<f64> {
+    let mut vals: Vec<f64> = Vec::with_capacity(sorted_desc.len() + 1);
+    for &d in sorted_desc {
+        if !d.is_finite() {
+            continue;
+        }
+        let v = discretize_up(d, epsilon);
+        if vals.last() != Some(&v) {
+            vals.push(v);
+        }
+    }
+    if vals.last() != Some(&0.0) {
+        vals.push(0.0);
+    }
+    vals
+}
+
+/// Ticket counts for a descending candidate list against demands in
+/// descending total order — the two-pointer replacement for the original
+/// per-candidate filter scan, O(T + k) instead of O(k·T).
+///
+/// Counts are bit-identical to
+/// `demands.filter(|d| policy.violates_demand(d, c.max(MIN_POSITIVE)))`:
+/// the threshold `α·max(c, MIN_POSITIVE)` is non-increasing along the
+/// strictly decreasing candidates (multiplication by a positive finite α
+/// is monotone), so the set `{d : d > thr}` only grows and the pointer
+/// never backs up. Positive NaNs sit above +∞ in descending total order
+/// and never violate, so the scan starts past them; negative NaNs sit
+/// below −∞ and are never reached by a `> thr` pointer.
+pub(crate) fn ticket_counts(
+    sorted_desc: &[f64],
+    capacities: &[f64],
+    policy: &ThresholdPolicy,
+) -> Vec<usize> {
+    let start = sorted_desc.iter().take_while(|d| d.is_nan()).count();
+    let mut p = start;
+    capacities
+        .iter()
+        .map(|&c| {
+            let thr = policy.alpha() * c.max(f64::MIN_POSITIVE);
+            while p < sorted_desc.len() && sorted_desc[p] > thr {
+                p += 1;
+            }
+            p - start
+        })
+        .collect()
+}
+
+/// One candidate capacity for a (discretized) demand value: `d/α` nudged
+/// up to the ticket breakpoint and clamped into `[lower, upper]`. Shared
+/// by the batch builder and the incremental splicer in
+/// [`crate::incremental`] so both produce bit-identical candidates.
+pub(crate) fn candidate_capacity(d: f64, alpha: f64, lower: f64, upper: f64) -> f64 {
+    let mut c = d / alpha;
+    // Float-rounding guard: the breakpoint capacity must not let its own
+    // defining demand ticket (`d > α·c` must be false), but `α·(d/α)` can
+    // round strictly below `d`.
+    while d > alpha * c {
+        c = c.next_up();
+    }
+    c.clamp(lower, upper)
+}
+
+/// Candidate capacities for a reduced demand set: `D'/α` nudged up to the
+/// breakpoint, clamped into `[lower, upper]`, deduplicated descending.
+fn candidates_from_reduced(reduced: &[f64], alpha: f64, lower: f64, upper: f64) -> Vec<f64> {
+    let mut capacities: Vec<f64> = reduced
+        .iter()
+        .map(|&d| candidate_capacity(d, alpha, lower, upper))
+        .collect();
+    // Clamping can create duplicates; keep decreasing order and dedupe.
+    atm_num::sort_floats_desc(&mut capacities);
+    capacities.dedup();
+    atm_num::debug_assert_finite!(&capacities, "candidate capacities");
+    capacities
+}
+
+/// Builds a [`CandidateGroup`] from demands already sorted in descending
+/// total order — the shared core of [`candidate_group`] and the
+/// incremental solver in [`crate::incremental`], so both produce
+/// byte-identical groups by construction.
+pub(crate) fn group_from_sorted(
+    sorted_desc: &[f64],
+    policy: &ThresholdPolicy,
+    epsilon: f64,
+    lower: f64,
+    upper: f64,
+) -> CandidateGroup {
+    let reduced = reduced_from_sorted(sorted_desc, epsilon);
+    let capacities = candidates_from_reduced(&reduced, policy.alpha(), lower, upper);
+    let tickets = ticket_counts(sorted_desc, &capacities, policy);
+    debug_assert!(tickets.windows(2).all(|w| w[1] >= w[0]));
+    CandidateGroup {
+        capacities,
+        tickets,
+    }
+}
+
 /// Builds one VM's candidate group under a policy and bounds.
 ///
 /// Candidate capacities are `D'/α` for each reduced demand value `D'`,
@@ -192,42 +311,15 @@ pub fn candidate_group(
     {
         return Err(ResizeError::InvalidBounds { vm: 0 });
     }
-    let alpha = policy.alpha();
-    let reduced = reduced_demand_set(&vm.demands, epsilon);
-
-    let mut capacities: Vec<f64> = reduced
-        .iter()
-        .map(|&d| {
-            let mut c = d / alpha;
-            // Float-rounding guard: the breakpoint capacity must not let
-            // its own defining demand ticket (`d > α·c` must be false),
-            // but `α·(d/α)` can round strictly below `d`.
-            while d > alpha * c {
-                c = c.next_up();
-            }
-            c.clamp(vm.lower_bound, vm.upper_bound)
-        })
-        .collect();
-    // Clamping can create duplicates; keep decreasing order and dedupe.
-    atm_num::sort_floats_desc(&mut capacities);
-    capacities.dedup();
-    atm_num::debug_assert_finite!(&capacities, "candidate capacities");
-
-    let tickets: Vec<usize> = capacities
-        .iter()
-        .map(|&c| {
-            vm.demands
-                .iter()
-                .filter(|&&d| policy.violates_demand(d, c.max(f64::MIN_POSITIVE)))
-                .count()
-        })
-        .collect();
-    debug_assert!(tickets.windows(2).all(|w| w[1] >= w[0]));
-
-    Ok(CandidateGroup {
-        capacities,
-        tickets,
-    })
+    let mut sorted = vm.demands.clone();
+    atm_num::sort_floats_desc(&mut sorted);
+    Ok(group_from_sorted(
+        &sorted,
+        policy,
+        epsilon,
+        vm.lower_bound,
+        vm.upper_bound,
+    ))
 }
 
 /// Validates a set of groups entering a public solver, rewriting the

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Repeatable profiling workflow for the two hot kernels — DTW distance
+# matrices (clustering) and the MCKP hull walk (resize). Findings per
+# host are recorded in PROFILING.md; keep that file in sync when the
+# numbers move.
+#
+# Usage:
+#   scripts/profile.sh micro        # fixed-scale kernel micro-legs (default)
+#   scripts/profile.sh perf         # perf record/report on the bench binary
+#   scripts/profile.sh flamegraph   # cargo flamegraph on the bench binary
+#
+# `micro` needs only the repo toolchain. `perf` needs linux-tools;
+# `flamegraph` needs cargo-flamegraph — both modes bail with a hint if
+# the tool is missing rather than half-running.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-micro}"
+BENCH=target/release/bench
+
+build_bench() {
+    cargo build --release -p atm-bench --bin bench
+}
+
+case "$MODE" in
+micro)
+    # The schema-v3 micro-legs double as the profiling workload: the
+    # same 32x256 banded DTW set and 64-window MCKP sequence every run,
+    # best-of-reps, bit-identity asserted inside the binary. Raw wall
+    # times are directly comparable across runs and hosts.
+    build_bench
+    "$BENCH" --quick --out /tmp/profile-bench.json
+    echo "== fixed-scale kernel micro-legs (/tmp/profile-bench.json) =="
+    grep -o '"dtw": {[^}]*}' /tmp/profile-bench.json
+    grep -o '"mckp": {[^}]*}' /tmp/profile-bench.json
+    echo
+    echo "Divide dtw *_ms by the DP cell count (496 pairs x ~256*33 band"
+    echo "cells) for ns/cell; PROFILING.md records per-host baselines."
+    ;;
+perf)
+    command -v perf >/dev/null || {
+        echo "perf not found (install linux-tools); falling back is not useful — aborting" >&2
+        exit 1
+    }
+    build_bench
+    # Symbolized release build: Cargo.toml ships line-tables-only debug
+    # info in the release profile for exactly this workflow.
+    perf record -g --output /tmp/profile-bench.perf \
+        "$BENCH" --quick --out /tmp/profile-bench.json
+    perf report --input /tmp/profile-bench.perf --stdio | head -60
+    echo "full report: perf report --input /tmp/profile-bench.perf"
+    ;;
+flamegraph)
+    command -v cargo-flamegraph >/dev/null || command -v flamegraph >/dev/null || {
+        echo "cargo-flamegraph not found (cargo install flamegraph)" >&2
+        exit 1
+    }
+    cargo flamegraph --release -p atm-bench --bin bench \
+        -o /tmp/profile-bench-flame.svg -- --quick --out /tmp/profile-bench.json
+    echo "wrote /tmp/profile-bench-flame.svg"
+    ;;
+*)
+    echo "usage: scripts/profile.sh {micro|perf|flamegraph}" >&2
+    exit 2
+    ;;
+esac

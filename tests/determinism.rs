@@ -10,6 +10,9 @@
 //! binary proves `ATM_THREADS=1` and `ATM_THREADS=4` (or any other
 //! count) produce identical bytes.
 
+use atm::clustering::dtw::{dtw_distance_banded_capped, dtw_distance_capped};
+use atm::clustering::prefilter::build_matrix_pruned;
+use atm::clustering::ClusteringError;
 use atm::core::actuate::{CapacityActuator, NoopActuator};
 use atm::core::checkpoint::CheckpointStore;
 use atm::core::config::{ComputeConfig, TemporalModel};
@@ -258,6 +261,100 @@ fn fleet_obs_is_byte_identical_across_fleet_threads() {
     assert_eq!(base.0, par.0, "fleet metrics snapshot diverged");
     assert_eq!(base.1, par.1, "fleet event log diverged");
     assert_eq!(base.2, par.2, "embedded FleetReport metrics diverged");
+}
+
+/// Deterministic synthetic demand set for the pruned-build tests —
+/// varied enough that a finite cutoff genuinely prunes some pairs and
+/// keeps others.
+fn pruned_test_set() -> Vec<Vec<f64>> {
+    (0..10)
+        .map(|s| {
+            (0..96)
+                .map(|t| {
+                    let x = (t as f64) * 0.21 + (s as f64) * 1.7;
+                    40.0 + (s as f64) * 6.0 + 25.0 * x.sin() + ((t * 7 + s) % 13) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn pruned_matrix_is_byte_identical_across_threads() {
+    // The lower-bound prefilter runs inside the parallel build; neither
+    // the pruning decisions nor the surviving DP results may depend on
+    // the thread count, at any band/cutoff combination. `ATM_THREADS`
+    // (the CI matrix) supplies the parallel leg.
+    let set = pruned_test_set();
+    let par = parallel_threads();
+    for band in [None, Some(8)] {
+        for cutoff in [f64::INFINITY, 1e3, 2e4] {
+            let (base, base_stats) = build_matrix_pruned(&set, band, cutoff, 1).unwrap();
+            let (wide, wide_stats) = build_matrix_pruned(&set, band, cutoff, par).unwrap();
+            for i in 0..set.len() {
+                for j in 0..set.len() {
+                    assert_eq!(
+                        base.get(i, j).to_bits(),
+                        wide.get(i, j).to_bits(),
+                        "entry ({i}, {j}) diverged: band {band:?} cutoff {cutoff} threads {par}"
+                    );
+                }
+            }
+            assert_eq!(
+                base_stats, wide_stats,
+                "pruning stats diverged across threads: band {band:?} cutoff {cutoff}"
+            );
+            if cutoff.is_finite() {
+                assert!(
+                    base_stats.pruned() > 0,
+                    "finite cutoff never pruned — the determinism leg stopped \
+                     exercising the prefilter (band {band:?} cutoff {cutoff})"
+                );
+            } else {
+                assert_eq!(base_stats.pruned(), 0, "inert prefilter must not prune");
+            }
+            // And the capped reference semantics hold regardless of threads.
+            let reference = |i: usize, j: usize| match band {
+                Some(b) => dtw_distance_banded_capped(&set[i], &set[j], b, cutoff).unwrap(),
+                None => dtw_distance_capped(&set[i], &set[j], cutoff).unwrap(),
+            };
+            for i in 0..set.len() {
+                for j in (i + 1)..set.len() {
+                    assert_eq!(base.get(i, j).to_bits(), reference(i, j).to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_build_first_error_is_thread_independent() {
+    // Validation happens before any parallel work, so the *same* error
+    // surfaces first at every thread count — a worker must never race a
+    // different failure to the front.
+    let mut set = pruned_test_set();
+    set[7] = Vec::new(); // one empty series mid-set
+    for threads in [1usize, 8] {
+        let err = build_matrix_pruned(&set, None, 1e4, threads).unwrap_err();
+        assert_eq!(err, ClusteringError::Empty, "threads {threads}");
+        let err = build_matrix_pruned(&set, Some(4), f64::INFINITY, threads).unwrap_err();
+        assert_eq!(err, ClusteringError::Empty, "banded, threads {threads}");
+    }
+    // With two competing invalidities (empty series AND zero band) the
+    // winner is fixed: series validation precedes parameter validation.
+    for threads in [1usize, 8] {
+        let err = build_matrix_pruned(&set, Some(0), 1e4, threads).unwrap_err();
+        assert_eq!(err, ClusteringError::Empty, "threads {threads}");
+    }
+    // Zero band alone reports InvalidParameter identically everywhere.
+    let clean = pruned_test_set();
+    for threads in [1usize, 8] {
+        let err = build_matrix_pruned(&clean, Some(0), 1e4, threads).unwrap_err();
+        assert!(
+            matches!(err, ClusteringError::InvalidParameter(_)),
+            "threads {threads}: {err:?}"
+        );
+    }
 }
 
 #[test]

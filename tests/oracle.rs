@@ -218,6 +218,18 @@ fn committed_replay_cases_stay_fixed() {
             "tied_mtrv_determinism.json",
             include_str!("oracle_replays/tied_mtrv_determinism.json"),
         ),
+        (
+            "incremental_sliding_window.json",
+            include_str!("oracle_replays/incremental_sliding_window.json"),
+        ),
+        (
+            "incremental_full_churn.json",
+            include_str!("oracle_replays/incremental_full_churn.json"),
+        ),
+        (
+            "incremental_duplicate_slide.json",
+            include_str!("oracle_replays/incremental_duplicate_slide.json"),
+        ),
     ];
     for (name, json) in replays {
         let case = ReplayCase::from_json(json).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -251,6 +263,53 @@ fn replay_outcomes_match_their_notes() {
     let a = greedy::solve(&tied.problem).unwrap();
     let b = greedy::solve(&tied.problem).unwrap();
     assert!(atm_oracle::contract::allocations_bit_equal(&a, &b));
+}
+
+/// The sliding replay files drive the incremental MCKP solver through
+/// committed window streams; each must stay bit-identical to scratch
+/// solves AND keep exercising the cache path it was committed to pin
+/// (slides for the sliding case, pure rebuilds for the churn case,
+/// reuse + tied-copy removals for the duplicate case).
+#[test]
+fn sliding_replays_pin_incremental_solver() {
+    let expect = [
+        // (file, windows, slid, rebuilt, reused)
+        (
+            "incremental_sliding_window.json",
+            include_str!("oracle_replays/incremental_sliding_window.json"),
+            5usize,
+            12u64,
+            3u64,
+            0u64,
+        ),
+        (
+            "incremental_full_churn.json",
+            include_str!("oracle_replays/incremental_full_churn.json"),
+            3,
+            0,
+            9,
+            0,
+        ),
+        (
+            "incremental_duplicate_slide.json",
+            include_str!("oracle_replays/incremental_duplicate_slide.json"),
+            9,
+            8,
+            2,
+            8,
+        ),
+    ];
+    for (name, json, windows, slid, rebuilt, reused) in expect {
+        let case = ReplayCase::from_json(json).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(case.sliding.is_some(), "{name}: lost its sliding block");
+        let outcome = case
+            .check_sliding()
+            .unwrap_or_else(|e| panic!("{name} regressed: {e} ({})", case.note));
+        assert_eq!(outcome.windows, windows, "{name}: window count");
+        assert_eq!(outcome.stats.vms_slid, slid, "{name}: slide count");
+        assert_eq!(outcome.stats.vms_rebuilt, rebuilt, "{name}: rebuild count");
+        assert_eq!(outcome.stats.vms_reused, reused, "{name}: reuse count");
+    }
 }
 
 /// Proptest case count, rescaled by `ATM_PROPTEST_CASES` relative to the
@@ -342,6 +401,63 @@ proptest! {
             "budget {} -> {} raised tickets {} -> {}",
             p.total_capacity, richer.total_capacity, base.tickets, more.tickets
         );
+    }
+
+    /// The incremental MCKP solver is bit-identical to from-scratch
+    /// `greedy::solve` across arbitrary sliding-window sequences —
+    /// random streams, random window geometry, and a mid-sequence budget
+    /// change (which must invalidate the whole-solve memo but may keep
+    /// reusing per-VM groups).
+    #[test]
+    fn incremental_matches_scratch_on_sliding_windows(
+        streams in prop::collection::vec(
+            prop::collection::vec(0.0f64..100.0, 24..=40),
+            1..=4,
+        ),
+        window in 8usize..=16,
+        stride in 1usize..=4,
+        budget_frac in 0.3f64..1.3,
+        budget_bump in 1.0f64..1.5,
+    ) {
+        let len = streams.iter().map(Vec::len).min().unwrap();
+        let window = window.min(len);
+        let steps = (len - window) / stride + 1;
+        let peak_sum: f64 = streams
+            .iter()
+            .map(|s| s.iter().fold(0.0f64, |a, &b| a.max(b)) / 0.6)
+            .sum();
+        let budget = (peak_sum * budget_frac).max(1.0);
+        let mut inc = atm::resize::incremental::IncrementalMckp::new();
+        for k in 0..steps {
+            let start = k * stride;
+            let vms: Vec<VmDemand> = streams
+                .iter()
+                .enumerate()
+                .map(|(v, s)| {
+                    VmDemand::new(format!("v{v}"), s[start..start + window].to_vec(), 0.0, 1e9)
+                })
+                .collect();
+            // Halfway through, the budget changes: memo must not leak.
+            let cap = if k * 2 >= steps { budget * budget_bump } else { budget };
+            let p = ResizeProblem::new(vms, cap, policy60());
+            let scratch = greedy::solve(&p).unwrap();
+            let fast = inc.solve(&p).unwrap();
+            prop_assert!(
+                atm_oracle::contract::allocations_bit_equal(&scratch, &fast),
+                "window {k}: incremental diverged (tickets {} vs {})",
+                fast.tickets,
+                scratch.tickets
+            );
+        }
+        // Overlapping windows must actually exercise the slide path.
+        if steps > 1 && stride < window {
+            let s = inc.stats();
+            prop_assert!(
+                s.vms_slid + s.vms_reused + s.memoized > 0,
+                "no incremental reuse across {} overlapping windows: {s:?}",
+                steps
+            );
+        }
     }
 
     /// The slack-redistribution phase never raises the ticket count over
