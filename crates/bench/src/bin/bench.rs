@@ -32,13 +32,24 @@
 //! non-zero if any measured reduction leaves its committed band.
 //! `--seed N` overrides the committed seed for ad-hoc replay.
 //!
+//! `--serve` switches to the daemon overload leg: it boots a fresh
+//! in-process `atm-serve` daemon per committed leg (one in-capacity, one
+//! 4× overload) and drives it with the seeded virtual-time load
+//! generator, reporting shed rate, degradation-rung counts, goodput, and
+//! p50/p99 latency (the committed `BENCH_SERVE.json`). With `--compare`,
+//! every deterministic count must match the baseline *exactly* (virtual
+//! time makes the accept/shed transcript a pure function of the seed);
+//! latencies are gated by `--tolerance` like the timing legs.
+//!
 //! Every timed leg recomputes the same distances; the binary asserts all
 //! legs agree bit-for-bit before reporting, so a report is also a
 //! determinism proof for the host it ran on.
 
 use std::time::Instant;
 
+use atm_clustering::adaptive::{agglomerate_adaptive, AdaptiveParams};
 use atm_clustering::dtw::{dtw_distance, dtw_distance_banded, dtw_distance_banded_capped};
+use atm_clustering::hierarchical::{agglomerate, Linkage};
 use atm_clustering::kernel::DtwKernel;
 use atm_clustering::prefilter::build_matrix_pruned;
 use atm_clustering::DistanceMatrix;
@@ -99,6 +110,17 @@ struct DtwMicroLegs {
     prefiltered_ms: f64,
     pruned_pairs: u64,
     total_pairs: u64,
+    /// The median merge radius of the adaptive agglomeration — the
+    /// cutoff the prefiltered leg ran with.
+    adaptive_cutoff: f64,
+    /// The cutoff the adaptive run itself converged to while proving
+    /// the dendrogram.
+    adaptive_final_cutoff: f64,
+    /// Refinement rounds the adaptive run took.
+    adaptive_refinements: u64,
+    /// Pairs the adaptive run materialized exactly (out of
+    /// `total_pairs`).
+    adaptive_resolved_pairs: u64,
 }
 
 /// Fixed-scale sliding-window MCKP legs (schema v3): the same window
@@ -134,6 +156,7 @@ fn main() {
     let mut tolerance_pct = 25.0_f64;
     let mut scenario: Option<String> = None;
     let mut seed_override: Option<u64> = None;
+    let mut serve = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -184,6 +207,7 @@ fn main() {
                 }
                 scenario = Some(args[i].clone());
             }
+            "--serve" => serve = true,
             "--seed" => {
                 i += 1;
                 seed_override = args.get(i).and_then(|v| v.parse().ok());
@@ -196,7 +220,8 @@ fn main() {
                 println!(
                     "usage: bench [--quick|--full] [--metrics] [--out PATH] [--check PATH] \
                      [--compare BASELINE [--tolerance PCT]] \
-                     [--scenario NAME|all [--seed N]]"
+                     [--scenario NAME|all [--seed N]] \
+                     [--serve [--seed N]]"
                 );
                 return;
             }
@@ -223,6 +248,16 @@ fn main() {
 
     if let Some(selector) = scenario {
         run_scenario_mode(&selector, seed_override, out.as_deref(), compare.as_deref());
+        return;
+    }
+
+    if serve {
+        run_serve_mode(
+            seed_override,
+            out.as_deref(),
+            compare.as_deref(),
+            tolerance_pct,
+        );
         return;
     }
 
@@ -309,10 +344,13 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 /// Fixed-scale DTW micro-legs: the row-DP baseline, the wavefront
 /// kernel, and the LB-prefiltered matrix build, all over the same
 /// 32×256 banded workload. The cutoff for the prefiltered leg is the
-/// lower quartile of the exact banded distances, so roughly three
-/// quarters of the pairs are prunable and the leg exercises both bound
-/// passes and the surviving DPs. Every leg is asserted bit-identical to
-/// the capped reference before timings are reported.
+/// converged cutoff of the adaptive merge-radius-driven agglomeration
+/// (`atm_clustering::adaptive`), which grows a star-sample seed by
+/// feeding the clustering loop's merge radius back into the prefilter —
+/// no exact matrix required, unlike the fixed-quartile cutoff it
+/// replaces. The adaptive dendrogram and every leg's matrix are
+/// asserted bit-identical to their exact references before timings are
+/// reported.
 fn run_dtw_micro(reps: usize) -> DtwMicroLegs {
     let (count, len, band) = (32usize, 256usize, 16usize);
     let set: Vec<Vec<f64>> = (0..count)
@@ -338,14 +376,27 @@ fn run_dtw_micro(reps: usize) -> DtwMicroLegs {
         }
     }
 
-    // Lower-quartile cutoff over the exact distances: deterministic, and
-    // aggressive enough that the bound passes carry real weight.
-    let mut distances: Vec<f64> = (0..n)
-        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-        .map(|(i, j)| naive_matrix.get(i, j))
-        .collect();
-    distances.sort_by(f64::total_cmp);
-    let cutoff = distances[distances.len() / 4];
+    // Adaptive cutoff: the single-linkage adaptive agglomeration grows
+    // a star-sample seed by feeding its own merge radius back into the
+    // prefilter (atm_clustering::adaptive), and the clustering loop's
+    // median merge radius becomes the leg's cutoff — the old fixed
+    // quartile needed the exact distances first, i.e. the very matrix
+    // this leg is supposed to avoid building. The dendrogram the
+    // adaptive run proves along the way is gated bit-identical against
+    // exact agglomeration before anything is timed.
+    let params = AdaptiveParams {
+        band: Some(band),
+        linkage: Linkage::Single,
+        ..AdaptiveParams::default()
+    };
+    let adaptive = agglomerate_adaptive(&set, &params).expect("valid series");
+    let exact_dendrogram = agglomerate(&banded_matrix, Linkage::Single).expect("non-empty matrix");
+    assert_eq!(
+        adaptive.dendrogram, exact_dendrogram,
+        "adaptive agglomeration diverged from the exact dendrogram"
+    );
+    let radii = adaptive.dendrogram.merges();
+    let cutoff = radii[radii.len() / 2].2;
 
     let (prefiltered_ms, (pruned_matrix, stats)) = time_best(reps, || {
         build_matrix_pruned(&set, Some(band), cutoff, 1).expect("valid series")
@@ -362,6 +413,17 @@ fn run_dtw_micro(reps: usize) -> DtwMicroLegs {
         }
     }
 
+    // Count every pair the leg left unmaterialized — bound-pruned or
+    // DP'd past the cutoff — rather than only the bound-pruned ones.
+    let mut pruned_pairs = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if pruned_matrix.get(i, j) == f64::INFINITY {
+                pruned_pairs += 1;
+            }
+        }
+    }
+
     DtwMicroLegs {
         series_count: count,
         series_len: len,
@@ -369,8 +431,12 @@ fn run_dtw_micro(reps: usize) -> DtwMicroLegs {
         naive_ms,
         banded_ms,
         prefiltered_ms,
-        pruned_pairs: stats.pruned(),
+        pruned_pairs,
         total_pairs: stats.pairs,
+        adaptive_cutoff: cutoff,
+        adaptive_final_cutoff: adaptive.stats.final_cutoff,
+        adaptive_refinements: adaptive.stats.refinements,
+        adaptive_resolved_pairs: adaptive.stats.resolved_pairs,
     }
 }
 
@@ -655,7 +721,9 @@ fn render_json(r: &BenchReport) -> String {
          \x20 \"dtw\": {{\"series_count\": {}, \"series_len\": {}, \"band\": {}, \
          \"naive_ms\": {}, \"banded_ms\": {}, \"prefiltered_ms\": {}, \
          \"banded_speedup\": {}, \"prefiltered_speedup\": {}, \
-         \"pruned_pairs\": {}, \"total_pairs\": {}}},\n\
+         \"pruned_pairs\": {}, \"total_pairs\": {}, \
+         \"adaptive_cutoff\": {}, \"adaptive_final_cutoff\": {}, \
+         \"adaptive_refinements\": {}, \"adaptive_resolved_pairs\": {}}},\n\
          \x20 \"mckp\": {{\"vms\": {}, \"window_len\": {}, \"stride\": {}, \"windows\": {}, \
          \"epsilon\": {}, \"scratch_ms\": {}, \"incremental_ms\": {}, \"speedup\": {}}},\n\
          \x20 \"obs\": {{\"online_disabled_ms\": {}, \"online_enabled_ms\": {}, \
@@ -687,6 +755,10 @@ fn render_json(r: &BenchReport) -> String {
         r.dtw.naive_ms / r.dtw.prefiltered_ms.max(1e-9),
         r.dtw.pruned_pairs,
         r.dtw.total_pairs,
+        r.dtw.adaptive_cutoff,
+        r.dtw.adaptive_final_cutoff,
+        r.dtw.adaptive_refinements,
+        r.dtw.adaptive_resolved_pairs,
         r.mckp.vms,
         r.mckp.window_len,
         r.mckp.stride,
@@ -1246,4 +1318,292 @@ fn run_scenario_mode(
             std::process::exit(1);
         }
     }
+}
+
+/// One committed serve leg: a fresh in-process daemon with a fixed
+/// admission policy, hammered by the seeded virtual-time load generator.
+struct ServeLegSpec {
+    name: &'static str,
+    /// Offered arrival rate, virtual requests per second.
+    rate_per_sec: f64,
+    requests: usize,
+    admission_rate: f64,
+    admission_burst: f64,
+}
+
+/// The committed serve matrix: one in-capacity leg and one 4× overload
+/// leg (the acceptance scenario: offered rate four times the admission
+/// rate). Each leg boots its own daemon so the token bucket and plan
+/// cache start from the same state every run.
+const SERVE_LEGS: &[ServeLegSpec] = &[
+    ServeLegSpec {
+        name: "nominal",
+        rate_per_sec: 20.0,
+        requests: 60,
+        admission_rate: 50.0,
+        admission_burst: 10.0,
+    },
+    ServeLegSpec {
+        name: "overload_4x",
+        rate_per_sec: 40.0,
+        requests: 120,
+        admission_rate: 10.0,
+        admission_burst: 5.0,
+    },
+];
+
+/// Committed master seed for the serve legs; `--seed` overrides it for
+/// ad-hoc replay (which skips the gate, same as scenario mode).
+const SERVE_SEED: u64 = 42;
+
+struct ServeLegResult {
+    name: &'static str,
+    offered_rps: f64,
+    report: atm_serve::loadgen::LoadReport,
+    served_fresh: u64,
+    served_cached: u64,
+    served_safe_mode: u64,
+}
+
+/// Runs one serve leg end to end: boot daemon, register the committed
+/// fleet over the wire like any client, play the seeded schedule,
+/// collect both the client-side report and the daemon's own counters.
+fn run_one_serve_leg(spec: &ServeLegSpec, seed: u64) -> ServeLegResult {
+    use atm_serve::loadgen::{self, LoadConfig, Phase};
+    use atm_serve::server::{self, ServerConfig};
+    use atm_serve::AdmissionPolicy;
+
+    let die = |stage: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("serve leg {}: {stage}: {e}", spec.name);
+        std::process::exit(1);
+    };
+
+    let handle = server::start(ServerConfig {
+        admission: AdmissionPolicy::new(spec.admission_rate, spec.admission_burst),
+        deterministic_time: true,
+        per_conn_queue: 4096,
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| die("daemon failed to start", &e));
+    let addr = handle.addr().to_string();
+
+    let mut stream = loadgen::connect_with_backoff(
+        &addr,
+        atm_core::backoff::BackoffPolicy::new(10, 200),
+        seed,
+        10,
+    )
+    .unwrap_or_else(|e| die("connect", &e));
+    loadgen::query(
+        &mut stream,
+        r#"{"op":"submit_fleet","id":"bench-fleet","gen":{"boxes":1,"days":3,"seed":7},"now_ms":0}"#,
+        "bench-fleet",
+    )
+    .unwrap_or_else(|e| die("submit_fleet", &e));
+    drop(stream);
+
+    let report = loadgen::run(&LoadConfig {
+        addr,
+        seed,
+        phases: vec![Phase {
+            rate_per_sec: spec.rate_per_sec,
+            requests: spec.requests,
+        }],
+        box_name: "box0".into(),
+        ..LoadConfig::default()
+    })
+    .unwrap_or_else(|e| die("load run", &e));
+
+    let stats: std::collections::BTreeMap<&str, u64> = handle.stats().into_iter().collect();
+    let result = ServeLegResult {
+        name: spec.name,
+        offered_rps: spec.rate_per_sec,
+        served_fresh: stats["served_fresh"],
+        served_cached: stats["served_cached"],
+        served_safe_mode: stats["served_safe_mode"],
+        report,
+    };
+    handle.shutdown();
+    result
+}
+
+/// Renders the serve-leg report (hand-rolled like [`render_json`]).
+fn render_serve_json(results: &[ServeLegResult]) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let shed = r.report.rejected_total();
+        let shed_pct = if r.report.sent == 0 {
+            0.0
+        } else {
+            shed as f64 / r.report.sent as f64 * 100.0
+        };
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"offered_rps\": {}, \"sent\": {}, \"ok\": {}, \
+             \"shed\": {}, \"shed_pct\": {}, \"served_fresh\": {}, \"served_cached\": {}, \
+             \"served_safe_mode\": {}, \"stalled\": {}, \"goodput_pct\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}}}",
+            r.name,
+            r.offered_rps,
+            r.report.sent,
+            r.report.ok,
+            shed,
+            shed_pct,
+            r.served_fresh,
+            r.served_cached,
+            r.served_safe_mode,
+            r.report.stalled,
+            r.report.goodput_pct,
+            r.report.p50_ms,
+            r.report.p99_ms,
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"mode\": \"serve\",\n  \"legs\": [\n{rows}\n  ]\n}}\n"
+    )
+}
+
+/// The `--serve` entry point: runs the committed serve legs, prints (or
+/// `--out`-writes) the measured JSON, and — when `--compare` names the
+/// committed `BENCH_SERVE.json` — gates the deterministic counts exactly
+/// and the latencies by `--tolerance`, exiting non-zero on any mismatch.
+fn run_serve_mode(
+    seed_override: Option<u64>,
+    out: Option<&str>,
+    compare: Option<&str>,
+    tolerance_pct: f64,
+) {
+    let seed = seed_override.unwrap_or(SERVE_SEED);
+    let results: Vec<ServeLegResult> = SERVE_LEGS
+        .iter()
+        .map(|spec| run_one_serve_leg(spec, seed))
+        .collect();
+
+    for r in &results {
+        eprintln!(
+            "{}: sent {} ok {} shed {} (fresh {} cached {} safe {}) stalled {} \
+             p50 {:.2}ms p99 {:.2}ms goodput {:.1}%",
+            r.name,
+            r.report.sent,
+            r.report.ok,
+            r.report.rejected_total(),
+            r.served_fresh,
+            r.served_cached,
+            r.served_safe_mode,
+            r.report.stalled,
+            r.report.p50_ms,
+            r.report.p99_ms,
+            r.report.goodput_pct,
+        );
+    }
+
+    let json = render_serve_json(&results);
+    match out {
+        Some(path) => {
+            atm_core::fsio::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    // Gate only when replaying the committed seed: a --seed override
+    // changes the schedule, not the contract.
+    if let Some(path) = compare {
+        if seed_override.is_some() {
+            return;
+        }
+        match compare_serve(&results, path, tolerance_pct) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("serve legs match {path}");
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("SERVE VIOLATION: {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot compare against {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Compares measured serve legs against the committed baseline: every
+/// deterministic count must match exactly (virtual time makes the
+/// accept/shed transcript a pure function of the seed); p50/p99 are wall
+/// clock and gated by `tolerance_pct`, skipping sub-5ms baselines where
+/// scheduler noise dwarfs the signal.
+fn compare_serve(
+    results: &[ServeLegResult],
+    path: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let legs = v
+        .get("legs")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("baseline missing array `legs`")?;
+
+    let mut violations = Vec::new();
+    for r in results {
+        let Some(base) = legs
+            .iter()
+            .find(|l| l.get("name").and_then(serde_json::Value::as_str) == Some(r.name))
+        else {
+            violations.push(format!("leg {} missing from baseline", r.name));
+            continue;
+        };
+        let want = |field: &str| -> Result<u64, String> {
+            base.get(field)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("baseline leg {} missing `{field}`", r.name))
+        };
+        for (field, got) in [
+            ("sent", r.report.sent),
+            ("ok", r.report.ok),
+            ("shed", r.report.rejected_total()),
+            ("served_fresh", r.served_fresh),
+            ("served_cached", r.served_cached),
+            ("served_safe_mode", r.served_safe_mode),
+            ("stalled", r.report.stalled),
+        ] {
+            let expected = want(field)?;
+            if got != expected {
+                violations.push(format!(
+                    "{}.{field}: measured {got}, committed {expected} (must match exactly)",
+                    r.name
+                ));
+            }
+        }
+        for (field, got) in [("p50_ms", r.report.p50_ms), ("p99_ms", r.report.p99_ms)] {
+            let baseline_ms = base
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("baseline leg {} missing `{field}`", r.name))?;
+            if baseline_ms < 5.0 {
+                continue;
+            }
+            let delta_pct = (got - baseline_ms) / baseline_ms * 100.0;
+            eprintln!(
+                "{}.{field}: {got:.2} ms vs baseline {baseline_ms:.2} ms ({delta_pct:+.1}%)",
+                r.name
+            );
+            if delta_pct > tolerance_pct {
+                violations.push(format!(
+                    "{}.{field} regressed {delta_pct:+.1}% (tolerance {tolerance_pct}%)",
+                    r.name
+                ));
+            }
+        }
+    }
+    Ok(violations)
 }

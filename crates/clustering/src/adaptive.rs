@@ -1,0 +1,604 @@
+//! Adaptive-cutoff agglomeration: hierarchical clustering that feeds
+//! its own merge radius back into the [`prefilter`](crate::prefilter)
+//! cutoff, instead of requiring the exact distance matrix (or a fixed,
+//! workload-blind cutoff) up front.
+//!
+//! # Why
+//!
+//! [`agglomerate`](crate::hierarchical::agglomerate) needs a full
+//! [`DistanceMatrix`], which costs `n(n−1)/2` DTW DPs even though early
+//! merges only depend on *small* distances. The capped builder
+//! ([`build_matrix_pruned`]) skips pairs above a cutoff, but picking
+//! that cutoff was previously circular: the bench harness derived it
+//! from the lower quartile of the **exact** distances — the very matrix
+//! pruning is meant to avoid.
+//!
+//! [`agglomerate_adaptive`] breaks the circularity. It starts from a
+//! cheap seed cutoff (the lower quartile of one star sample: series 0
+//! against every other series — `n − 1` DPs), agglomerates as far as
+//! the resolved entries allow, and whenever the next merge cannot be
+//! *proven* from resolved entries, raises the cutoff to a multiple of
+//! the largest of (a) the current merge radius — the distance of the
+//! most recent merge, which lower-bounds where the dendrogram is
+//! heading — and (b) the blocking pending bound, then refines the
+//! matrix in place via [`refine_matrix_pruned`] (finite entries are
+//! reused verbatim; only previously pruned pairs are re-examined).
+//!
+//! # Byte-identical by construction
+//!
+//! The produced [`Dendrogram`] is **bit-identical** to
+//! `agglomerate(&exact_matrix, linkage)` for every input, linkage,
+//! band, and thread count — this is the equivalence gate the rest of
+//! the crate relies on. The argument:
+//!
+//! - Every finite entry of the capped matrix is the exact DP bits
+//!   (capped contract, see [`crate::prefilter`]); every `INFINITY`
+//!   entry ("pending") has true distance **strictly** greater than the
+//!   cutoff that pruned it.
+//! - A candidate cluster pair is *exact* when its linkage distance is
+//!   fully determined by resolved entries (for single linkage, any
+//!   resolved entry at or below the cutoff suffices; for complete and
+//!   average linkage, all entries must be resolved). Exact candidate
+//!   distances are computed with the same fold, in the same member
+//!   order, as [`agglomerate`] — identical bits.
+//! - Each *pending* candidate carries a strict lower bound on its true
+//!   linkage distance (the cutoff for single/complete; the average with
+//!   pruned entries replaced by the cutoff, derated by
+//!   [`AVG_LB_MARGIN`] to absorb summation-order rounding, for
+//!   average).
+//! - A merge is committed only when the best exact candidate `d*`
+//!   (first minimum in the same scan order as [`agglomerate`], strict
+//!   `<`) satisfies `d* <= min(pending lower bounds)`. Every pending
+//!   candidate's true distance then *strictly* exceeds `d*`, so the
+//!   exact scan — which sees those true distances — would have picked
+//!   the same pair at the same distance. Otherwise the cutoff is
+//!   raised and the matrix refined; after boundedly many rounds the
+//!   cutoff escalates to `INFINITY`, where the loop degenerates to the
+//!   exact algorithm (including its handling of genuine `INFINITY` and
+//!   NaN distances).
+
+use crate::distance_matrix::DistanceMatrix;
+use crate::error::{ClusteringError, ClusteringResult};
+use crate::hierarchical::{Dendrogram, Linkage};
+use crate::kernel::DtwKernel;
+use crate::prefilter::{build_matrix_pruned, refine_matrix_pruned, PrunedBuildStats};
+
+/// Derating applied to the average-linkage pending lower bound: the
+/// bound substitutes the cutoff for pruned entries and re-sums, so its
+/// rounding differs from the true fold's; shaving a relative `1e-9`
+/// (≫ the `k·ε` summation error for any realistic member count) keeps
+/// the bound strictly below the true distance.
+const AVG_LB_MARGIN: f64 = 1e-9;
+
+/// Floor applied before multiplying by the growth factor, so a cutoff
+/// of exactly zero (possible when the seed sample is degenerate) still
+/// makes progress.
+const MIN_CUTOFF: f64 = 1e-12;
+
+/// Refinement rounds before the cutoff escalates straight to
+/// `INFINITY`. Geometric growth crosses any finite distance scale long
+/// before this; the cap is a safety valve, not a tuning knob.
+const MAX_REFINEMENTS: u64 = 64;
+
+/// Parameters for [`agglomerate_adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveParams {
+    /// Sakoe-Chiba band half-width (`None` = full DTW), as in
+    /// [`build_matrix_pruned`].
+    pub band: Option<usize>,
+    /// Linkage rule; the produced dendrogram matches
+    /// [`agglomerate`](crate::hierarchical::agglomerate) under the same
+    /// rule.
+    pub linkage: Linkage,
+    /// Worker threads for the matrix build/refinement passes.
+    pub threads: usize,
+    /// Starting cutoff. `None` seeds from the star sample (lower
+    /// quartile of series 0's distances to every other series).
+    pub initial_cutoff: Option<f64>,
+    /// Multiplier applied to the refinement target each round; must be
+    /// `> 1`.
+    pub growth: f64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            band: None,
+            linkage: Linkage::Average,
+            threads: 1,
+            initial_cutoff: None,
+            growth: 4.0,
+        }
+    }
+}
+
+/// Work counters for one [`agglomerate_adaptive`] call. Deterministic
+/// for a given input at every thread count (the underlying build stats
+/// are).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStats {
+    /// The cutoff the first build ran with (seeded or supplied).
+    pub initial_cutoff: f64,
+    /// The cutoff after the last refinement (`INFINITY` if escalated).
+    pub final_cutoff: f64,
+    /// Refinement rounds taken.
+    pub refinements: u64,
+    /// Pairs whose exact distance was materialized (finite entries in
+    /// the final matrix). `pairs − resolved_pairs` never ran to a
+    /// resolved DP at the final cutoff.
+    pub resolved_pairs: u64,
+    /// Build counters merged across the seed sample, the initial build
+    /// and every refinement. `pairs` accumulates per round (so it can
+    /// exceed `n(n−1)/2`); `kernel.dp_cells` is the true total DP work.
+    pub build: PrunedBuildStats,
+}
+
+/// Result of [`agglomerate_adaptive`]: the dendrogram, the final capped
+/// matrix it was proven from, and the work counters.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// Dendrogram, bit-identical to exact agglomeration.
+    pub dendrogram: Dendrogram,
+    /// The capped matrix at [`AdaptiveStats::final_cutoff`].
+    pub matrix: DistanceMatrix,
+    /// Work counters.
+    pub stats: AdaptiveStats,
+}
+
+/// A candidate cluster pair, as far as the capped matrix can tell.
+enum Candidate {
+    /// Linkage distance fully determined; bits equal the exact fold's.
+    Exact(f64),
+    /// Some member pair is pruned; carries a strict lower bound on the
+    /// true linkage distance.
+    Pending(f64),
+}
+
+fn evaluate(
+    matrix: &DistanceMatrix,
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+    cutoff: f64,
+) -> Candidate {
+    // With an infinite cutoff nothing is pruned: an INFINITY entry is a
+    // genuine distance and must flow through the exact folds below.
+    let capped = cutoff.is_finite();
+    match linkage {
+        Linkage::Single => {
+            let mut best = f64::INFINITY;
+            let mut pending = false;
+            for &i in a {
+                for &j in b {
+                    let d = matrix.get(i, j);
+                    if capped && d == f64::INFINITY {
+                        pending = true;
+                    } else {
+                        best = best.min(d);
+                    }
+                }
+            }
+            // Any resolved entry (<= cutoff) already wins the min
+            // against every pruned entry (> cutoff), so the fold over
+            // resolved entries alone is the exact single-linkage value.
+            if pending && best == f64::INFINITY {
+                Candidate::Pending(cutoff)
+            } else {
+                Candidate::Exact(best)
+            }
+        }
+        Linkage::Complete => {
+            let mut worst = 0.0f64;
+            let mut pending = false;
+            for &i in a {
+                for &j in b {
+                    let d = matrix.get(i, j);
+                    if capped && d == f64::INFINITY {
+                        pending = true;
+                    } else {
+                        worst = worst.max(d);
+                    }
+                }
+            }
+            if pending {
+                // The true max includes an entry strictly above the
+                // cutoff, which dominates every resolved entry.
+                Candidate::Pending(cutoff)
+            } else {
+                Candidate::Exact(worst)
+            }
+        }
+        Linkage::Average => {
+            let mut sum = 0.0;
+            let mut pruned = 0u64;
+            for &i in a {
+                for &j in b {
+                    let d = matrix.get(i, j);
+                    if capped && d == f64::INFINITY {
+                        pruned += 1;
+                    } else {
+                        sum += d;
+                    }
+                }
+            }
+            let total = (a.len() * b.len()) as f64;
+            if pruned > 0 {
+                let lb = (sum + pruned as f64 * cutoff) / total;
+                Candidate::Pending(lb * (1.0 - AVG_LB_MARGIN))
+            } else {
+                Candidate::Exact(sum / total)
+            }
+        }
+    }
+}
+
+/// Seed cutoff from a star sample: exact distances from series 0 to
+/// every other series (`n − 1` DPs), lower quartile of the finite ones.
+fn seed_cutoff(
+    set: &[Vec<f64>],
+    band: Option<usize>,
+    build: &mut PrunedBuildStats,
+) -> ClusteringResult<f64> {
+    let mut kernel = match band {
+        None => DtwKernel::new(),
+        Some(w) => DtwKernel::banded(w)?,
+    };
+    let mut star = Vec::with_capacity(set.len().saturating_sub(1));
+    for other in &set[1..] {
+        star.push(kernel.distance(&set[0], other)?);
+    }
+    build.kernel.merge(&kernel.stats());
+    star.retain(|d| d.is_finite());
+    star.sort_by(f64::total_cmp);
+    Ok(if star.is_empty() {
+        0.0
+    } else {
+        star[star.len() / 4]
+    })
+}
+
+/// Builds the complete dendrogram with the merge-radius-driven adaptive
+/// cutoff described in the module docs. The result is bit-identical to
+/// `agglomerate(&build_matrix_pruned(set, band, INFINITY, _)?.0,
+/// linkage)` for every input and thread count.
+///
+/// # Errors
+///
+/// - [`ClusteringError::Empty`] if the set, or any series in it, is
+///   empty.
+/// - [`ClusteringError::InvalidParameter`] if `band == Some(0)`,
+///   `growth <= 1`, or `initial_cutoff` is negative/NaN.
+/// - Any kernel error from the underlying DTW builds.
+pub fn agglomerate_adaptive(
+    set: &[Vec<f64>],
+    params: &AdaptiveParams,
+) -> ClusteringResult<AdaptiveOutcome> {
+    // Validation mirrors build_matrix_pruned, up front, so the reported
+    // error never depends on which pairs a cutoff happens to prune.
+    if set.is_empty() || set.iter().any(|s| s.is_empty()) {
+        return Err(ClusteringError::Empty);
+    }
+    if params.band == Some(0) {
+        return Err(ClusteringError::InvalidParameter("band must be positive"));
+    }
+    if !(params.growth > 1.0) {
+        return Err(ClusteringError::InvalidParameter("growth must exceed 1"));
+    }
+    if let Some(c0) = params.initial_cutoff {
+        if !(c0 >= 0.0) {
+            return Err(ClusteringError::InvalidParameter(
+                "initial cutoff must be non-negative",
+            ));
+        }
+    }
+    let n = set.len();
+    let mut build = PrunedBuildStats::default();
+    let initial_cutoff = match params.initial_cutoff {
+        Some(c0) => c0,
+        None => seed_cutoff(set, params.band, &mut build)?,
+    };
+    let mut cutoff = initial_cutoff;
+    let (mut matrix, first) = build_matrix_pruned(set, params.band, cutoff, params.threads)?;
+    build.merge(&first);
+    let mut refinements = 0u64;
+
+    // Agglomeration bookkeeping, mirroring hierarchical::agglomerate
+    // exactly (ids, member order, scan order, removal order).
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    // The clustering loop's current merge radius: distance of the most
+    // recent (finite) merge. Feeding it into the refinement target is
+    // what makes the cutoff track the dendrogram instead of a fixed
+    // quantile.
+    let mut merge_radius = 0.0f64;
+
+    while active.len() > 1 {
+        loop {
+            // One scan: best exact candidate (same order and strict `<`
+            // as the exact algorithm) and the tightest pending bound.
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            let mut min_pending = f64::INFINITY;
+            for ai in 0..active.len() {
+                for bi in ai + 1..active.len() {
+                    let a = active[ai];
+                    let b = active[bi];
+                    let cand = evaluate(
+                        &matrix,
+                        members[a].as_ref().expect("active cluster has members"),
+                        members[b].as_ref().expect("active cluster has members"),
+                        params.linkage,
+                        cutoff,
+                    );
+                    match cand {
+                        Candidate::Exact(d) => {
+                            if d < best.2 {
+                                best = (ai, bi, d);
+                            }
+                        }
+                        Candidate::Pending(lb) => min_pending = min_pending.min(lb),
+                    }
+                }
+            }
+            if best.2 <= min_pending {
+                // Every pending candidate's true distance strictly
+                // exceeds best.2 — the exact scan picks the same pair.
+                let (ai, bi, d) = best;
+                let a = active[ai];
+                let b = active[bi];
+                let mut merged = members[a].take().expect("a is active");
+                merged.extend(members[b].take().expect("b is active"));
+                members.push(Some(merged));
+                let new_id = members.len() - 1;
+                active.remove(bi);
+                active.remove(ai);
+                active.push(new_id);
+                merges.push((a, b, d));
+                if d.is_finite() {
+                    merge_radius = d;
+                }
+                break;
+            }
+            // Blocked: raise the cutoff to a multiple of the largest of
+            // the current radius, the blocking bound, and the cutoff
+            // itself (guaranteeing strict growth), then refine.
+            refinements += 1;
+            let target = cutoff.max(min_pending).max(merge_radius);
+            cutoff = if refinements > MAX_REFINEMENTS || !target.is_finite() {
+                f64::INFINITY
+            } else {
+                target.max(MIN_CUTOFF) * params.growth
+            };
+            let (refined, step) =
+                refine_matrix_pruned(set, params.band, &matrix, cutoff, params.threads)?;
+            matrix = refined;
+            build.merge(&step);
+        }
+    }
+
+    let mut resolved_pairs = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            if matrix.get(i, j) != f64::INFINITY {
+                resolved_pairs += 1;
+            }
+        }
+    }
+    Ok(AdaptiveOutcome {
+        dendrogram: Dendrogram::from_merges(n, merges),
+        matrix,
+        stats: AdaptiveStats {
+            initial_cutoff,
+            final_cutoff: cutoff,
+            refinements,
+            resolved_pairs,
+            build,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::agglomerate;
+
+    fn series(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let mut z = (i as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect()
+    }
+
+    fn exact_dendrogram(set: &[Vec<f64>], band: Option<usize>, linkage: Linkage) -> Dendrogram {
+        let (m, _) = build_matrix_pruned(set, band, f64::INFINITY, 1).unwrap();
+        agglomerate(&m, linkage).unwrap()
+    }
+
+    fn assert_dendrograms_bit_equal(got: &Dendrogram, want: &Dendrogram, ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: leaf count");
+        assert_eq!(
+            got.merges().len(),
+            want.merges().len(),
+            "{ctx}: merge count"
+        );
+        for (t, (g, w)) in got.merges().iter().zip(want.merges()).enumerate() {
+            assert_eq!((g.0, g.1), (w.0, w.1), "{ctx}: merge {t} pair");
+            assert_eq!(
+                g.2.to_bits(),
+                w.2.to_bits(),
+                "{ctx}: merge {t} distance {} vs {}",
+                g.2,
+                w.2
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_exact_for_all_linkages_bands_threads() {
+        let set: Vec<Vec<f64>> = (0..14).map(|i| series(40, i as u64 * 13 + 1)).collect();
+        for band in [None, Some(4)] {
+            for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+                let want = exact_dendrogram(&set, band, linkage);
+                for threads in [1usize, 4] {
+                    let params = AdaptiveParams {
+                        band,
+                        linkage,
+                        threads,
+                        ..AdaptiveParams::default()
+                    };
+                    let out = agglomerate_adaptive(&set, &params).unwrap();
+                    assert_dendrograms_bit_equal(
+                        &out.dendrogram,
+                        &want,
+                        &format!("band {band:?} linkage {linkage:?} threads {threads}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_exact_with_nan_series() {
+        let mut set: Vec<Vec<f64>> = (0..8).map(|i| series(24, i as u64 + 40)).collect();
+        set[2][5] = f64::NAN;
+        set[6][0] = f64::NAN;
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let want = exact_dendrogram(&set, Some(3), linkage);
+            let params = AdaptiveParams {
+                band: Some(3),
+                linkage,
+                ..AdaptiveParams::default()
+            };
+            let out = agglomerate_adaptive(&set, &params).unwrap();
+            assert_dendrograms_bit_equal(&out.dendrogram, &want, &format!("{linkage:?}"));
+        }
+    }
+
+    #[test]
+    fn zero_seed_forces_refinement_and_still_matches() {
+        let set: Vec<Vec<f64>> = (0..10).map(|i| series(32, i as u64 * 7 + 3)).collect();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let want = exact_dendrogram(&set, None, linkage);
+            let params = AdaptiveParams {
+                linkage,
+                initial_cutoff: Some(0.0),
+                ..AdaptiveParams::default()
+            };
+            let out = agglomerate_adaptive(&set, &params).unwrap();
+            assert_dendrograms_bit_equal(&out.dendrogram, &want, &format!("{linkage:?}"));
+            assert!(
+                out.stats.refinements > 0,
+                "a zero seed cannot resolve anything without refining"
+            );
+            assert_eq!(out.stats.initial_cutoff, 0.0);
+            assert!(out.stats.final_cutoff > 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_are_thread_independent() {
+        let set: Vec<Vec<f64>> = (0..10).map(|i| series(32, i as u64 * 5 + 9)).collect();
+        let p1 = AdaptiveParams {
+            threads: 1,
+            ..AdaptiveParams::default()
+        };
+        let p4 = AdaptiveParams {
+            threads: 4,
+            ..AdaptiveParams::default()
+        };
+        let s1 = agglomerate_adaptive(&set, &p1).unwrap().stats;
+        let s4 = agglomerate_adaptive(&set, &p4).unwrap().stats;
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn chained_levels_prune_far_pairs_under_single_linkage() {
+        // A chain of near-constant series at levels 0, 7, 14, ...:
+        // single linkage merges neighbour to neighbour at a small
+        // radius, so the adaptive cutoff never grows to the scale of
+        // the far (level-distance >= 2) pairs and their DPs never run.
+        let set: Vec<Vec<f64>> = (0..12)
+            .map(|lvl| {
+                series(64, lvl as u64 + 400)
+                    .into_iter()
+                    .map(|x| x * 0.01 + lvl as f64 * 7.0)
+                    .collect()
+            })
+            .collect();
+        let params = AdaptiveParams {
+            linkage: Linkage::Single,
+            ..AdaptiveParams::default()
+        };
+        let out = agglomerate_adaptive(&set, &params).unwrap();
+        let want = exact_dendrogram(&set, None, Linkage::Single);
+        assert_dendrograms_bit_equal(&out.dendrogram, &want, "chain");
+        let total_pairs = (set.len() * (set.len() - 1) / 2) as u64;
+        assert!(
+            out.stats.resolved_pairs < total_pairs,
+            "far pairs should stay pruned: {}/{total_pairs} resolved",
+            out.stats.resolved_pairs
+        );
+        let (_, exact) = build_matrix_pruned(&set, None, f64::INFINITY, 1).unwrap();
+        assert!(
+            out.stats.build.kernel.dp_cells < exact.kernel.dp_cells,
+            "adaptive DP work {} must undercut the exact build {}",
+            out.stats.build.kernel.dp_cells,
+            exact.kernel.dp_cells
+        );
+    }
+
+    #[test]
+    fn single_item_set_yields_trivial_dendrogram() {
+        let set = vec![series(8, 3)];
+        let out = agglomerate_adaptive(&set, &AdaptiveParams::default()).unwrap();
+        assert_eq!(out.dendrogram.len(), 1);
+        assert!(out.dendrogram.merges().is_empty());
+    }
+
+    #[test]
+    fn validation_is_up_front() {
+        let set: Vec<Vec<f64>> = (0..4).map(|i| series(8, i as u64)).collect();
+        assert!(matches!(
+            agglomerate_adaptive(&[], &AdaptiveParams::default()).unwrap_err(),
+            ClusteringError::Empty
+        ));
+        let mut holed = set.clone();
+        holed[2] = Vec::new();
+        assert!(matches!(
+            agglomerate_adaptive(&holed, &AdaptiveParams::default()).unwrap_err(),
+            ClusteringError::Empty
+        ));
+        for bad in [
+            AdaptiveParams {
+                band: Some(0),
+                ..AdaptiveParams::default()
+            },
+            AdaptiveParams {
+                growth: 1.0,
+                ..AdaptiveParams::default()
+            },
+            AdaptiveParams {
+                growth: f64::NAN,
+                ..AdaptiveParams::default()
+            },
+            AdaptiveParams {
+                initial_cutoff: Some(-1.0),
+                ..AdaptiveParams::default()
+            },
+            AdaptiveParams {
+                initial_cutoff: Some(f64::NAN),
+                ..AdaptiveParams::default()
+            },
+        ] {
+            assert!(matches!(
+                agglomerate_adaptive(&set, &bad).unwrap_err(),
+                ClusteringError::InvalidParameter(_)
+            ));
+        }
+    }
+}

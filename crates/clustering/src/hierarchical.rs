@@ -36,6 +36,13 @@ pub struct Dendrogram {
 }
 
 impl Dendrogram {
+    /// Assembles a dendrogram from raw merge steps — reserved for the
+    /// in-crate adaptive agglomeration ([`crate::adaptive`]), which must
+    /// produce the same type as [`agglomerate`] to be comparable with it.
+    pub(crate) fn from_merges(n: usize, merges: Vec<(usize, usize, f64)>) -> Self {
+        Dendrogram { n, merges }
+    }
+
     /// Number of leaf items.
     pub fn len(&self) -> usize {
         self.n

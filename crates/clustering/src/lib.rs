@@ -21,6 +21,11 @@
 //!   becomes a signature and absorbs everything correlated with it, until
 //!   no series remain.
 //!
+//! For large sets, [`adaptive`] provides a cutoff-pruned agglomeration
+//! that feeds the clustering loop's merge radius back into the
+//! [`prefilter`] cutoff, producing a dendrogram bit-identical to the
+//! exact [`hierarchical`] build without materializing the full matrix.
+//!
 //! # Example
 //!
 //! ```
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod cbc;
 mod distance_matrix;
 pub mod dtw;

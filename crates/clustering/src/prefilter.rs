@@ -234,6 +234,49 @@ pub fn build_matrix_pruned(
     cutoff: f64,
     threads: usize,
 ) -> ClusteringResult<(DistanceMatrix, PrunedBuildStats)> {
+    build_pruned_impl(set, band, cutoff, threads, None)
+}
+
+/// Raises the cutoff of an existing pruned matrix: entries that are
+/// already finite in `prev` are *exact* (the capped contract) and are
+/// reused verbatim; only `INFINITY` entries — pairs the lower cutoff
+/// pruned — are re-evaluated (bounds first, then the DP) against the
+/// new `cutoff`. The result is bit-identical to
+/// [`build_matrix_pruned`] at `cutoff` built from scratch, for a
+/// fraction of the DP work.
+///
+/// This is the refinement step of the adaptive agglomeration
+/// ([`crate::adaptive`]): the clustering loop starts with a cheap
+/// cutoff and feeds its growing merge radius back in here whenever the
+/// matrix runs out of resolved pairs.
+///
+/// # Errors
+///
+/// Same conditions as [`build_matrix_pruned`], plus
+/// [`ClusteringError::InvalidParameter`] if `prev` does not cover
+/// exactly `set.len()` items.
+pub fn refine_matrix_pruned(
+    set: &[Vec<f64>],
+    band: Option<usize>,
+    prev: &DistanceMatrix,
+    cutoff: f64,
+    threads: usize,
+) -> ClusteringResult<(DistanceMatrix, PrunedBuildStats)> {
+    if prev.len() != set.len() {
+        return Err(ClusteringError::InvalidParameter(
+            "previous matrix does not match the series set",
+        ));
+    }
+    build_pruned_impl(set, band, cutoff, threads, Some(prev))
+}
+
+fn build_pruned_impl(
+    set: &[Vec<f64>],
+    band: Option<usize>,
+    cutoff: f64,
+    threads: usize,
+    prev: Option<&DistanceMatrix>,
+) -> ClusteringResult<(DistanceMatrix, PrunedBuildStats)> {
     if set.is_empty() || set.iter().any(|s| s.is_empty()) {
         return Err(ClusteringError::Empty);
     }
@@ -267,6 +310,17 @@ pub fn build_matrix_pruned(
         },
         |guard, i, j| -> ClusteringResult<f64> {
             let (p, q) = (&set[i], &set[j]);
+            // Refinement: a non-INFINITY entry from the lower-cutoff
+            // matrix is already the exact DP bits (capped contract) and
+            // stays exact under any higher cutoff — reuse it verbatim.
+            // (NaN entries are reused too: the DP is deterministic, so
+            // recomputing could only waste work.)
+            if let Some(prev) = prev {
+                let known = prev.get(i, j);
+                if known != f64::INFINITY {
+                    return Ok(known);
+                }
+            }
             if prefilter {
                 let (ep, eq) = (&envelopes[i], &envelopes[j]);
                 if !ep.has_nan && !eq.has_nan {
@@ -293,6 +347,21 @@ pub fn build_matrix_pruned(
                     if keogh * (1.0 - KEOGH_MARGIN) > cutoff {
                         guard.pruned_keogh += 1;
                         return Ok(f64::INFINITY);
+                    }
+                    // Refinement rounds swap the wavefront DP for the
+                    // row-abandoning one: every pair re-examined here
+                    // already proved `d > previous cutoff`, so most are
+                    // still far above the new cutoff and the abandon
+                    // fires early. (Scratch builds keep the wavefront —
+                    // their survivors run to completion, where the
+                    // vectorized sweep is faster per cell.) Either DP
+                    // returns the exact reference bits when `d` is
+                    // within the cutoff, preserving the capped contract.
+                    if prev.is_some() {
+                        return match guard.kernel.distance_bounded(p, q, cutoff)? {
+                            Some(d) if d <= cutoff => Ok(d),
+                            _ => Ok(f64::INFINITY),
+                        };
                     }
                 }
             }
@@ -415,6 +484,58 @@ mod tests {
         ));
         assert!(matches!(
             build_matrix_pruned(&[vec![1.0]], Some(0), 1.0, 1).unwrap_err(),
+            ClusteringError::InvalidParameter(_)
+        ));
+    }
+
+    #[test]
+    fn refine_matches_scratch_build_bitwise_with_less_dp_work() {
+        let mut set: Vec<Vec<f64>> = (0..12).map(|i| series(48, i as u64 * 7 + 3)).collect();
+        set[5][9] = f64::NAN; // NaN entries must survive refinement verbatim
+        let cutoffs = [1e5, 2e5, 1e6, f64::INFINITY];
+        for band in [None, Some(4)] {
+            for threads in [1usize, 4] {
+                let (mut m, mut stats) =
+                    build_matrix_pruned(&set, band, cutoffs[0], threads).unwrap();
+                let finite = (0..set.len())
+                    .flat_map(|i| (i + 1..set.len()).map(move |j| (i, j)))
+                    .filter(|&(i, j)| m.get(i, j).is_finite())
+                    .count();
+                assert!(finite > 0, "first cutoff must resolve some pairs to reuse");
+                for &cutoff in &cutoffs[1..] {
+                    let (refined, step) =
+                        refine_matrix_pruned(&set, band, &m, cutoff, threads).unwrap();
+                    let (scratch, scratch_stats) =
+                        build_matrix_pruned(&set, band, cutoff, threads).unwrap();
+                    for i in 0..set.len() {
+                        for j in i + 1..set.len() {
+                            assert_eq!(
+                                refined.get(i, j).to_bits(),
+                                scratch.get(i, j).to_bits(),
+                                "pair ({i},{j}) band {band:?} cutoff {cutoff}"
+                            );
+                        }
+                    }
+                    assert!(
+                        step.kernel.dp_cells < scratch_stats.kernel.dp_cells,
+                        "refinement must reuse finite entries instead of re-running DPs \
+                         (band {band:?} cutoff {cutoff}: {} vs {})",
+                        step.kernel.dp_cells,
+                        scratch_stats.kernel.dp_cells
+                    );
+                    stats.merge(&step);
+                    m = refined;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_rejects_mismatched_matrix() {
+        let set: Vec<Vec<f64>> = (0..4).map(|i| series(16, i as u64 + 5)).collect();
+        let (m, _) = build_matrix_pruned(&set[..3], None, 1e4, 1).unwrap();
+        assert!(matches!(
+            refine_matrix_pruned(&set, None, &m, 1e6, 1).unwrap_err(),
             ClusteringError::InvalidParameter(_)
         ));
     }

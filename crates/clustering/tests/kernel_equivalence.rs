@@ -6,11 +6,13 @@
 //! The kernel's contract is *bit*-identity, not approximate equality:
 //! every assertion here compares `f64::to_bits`, never an epsilon.
 
+use atm_clustering::adaptive::{agglomerate_adaptive, AdaptiveParams};
 use atm_clustering::dtw::{
     dtw_distance, dtw_distance_banded, dtw_distance_banded_capped, dtw_distance_capped,
 };
+use atm_clustering::hierarchical::{agglomerate, Linkage};
 use atm_clustering::kernel::{DtwKernel, KEOGH_MARGIN};
-use atm_clustering::prefilter::build_matrix_pruned;
+use atm_clustering::prefilter::{build_matrix_pruned, refine_matrix_pruned};
 use atm_clustering::DistanceMatrix;
 use proptest::prelude::*;
 
@@ -315,6 +317,82 @@ proptest! {
             banded.distance(&a, &b).unwrap().to_bits(),
             banded_naive.to_bits()
         );
+    }
+
+    /// Raising the cutoff via `refine_matrix_pruned` is bit-identical
+    /// to a from-scratch `build_matrix_pruned` at the higher cutoff:
+    /// reused finite entries are already exact, and re-examined pruned
+    /// entries go through the same bounds and DP.
+    #[test]
+    fn refined_build_matches_scratch_bitwise(
+        set in series_set(),
+        band_sel in 0usize..8,
+        lo_sel in 0u8..3,
+        hi_sel in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        let band = if band_sel == 0 { None } else { Some(band_sel) };
+        let lo = match lo_sel { 0 => 0.0, 1 => 1e4, _ => 1e5 };
+        let hi = match hi_sel { 0 => 5e4, 1 => 1e6, _ => f64::INFINITY }.max(lo);
+        let (first, _) = build_matrix_pruned(&set, band, lo, threads).unwrap();
+        let (refined, _) = refine_matrix_pruned(&set, band, &first, hi, threads).unwrap();
+        let (scratch, _) = build_matrix_pruned(&set, band, hi, threads).unwrap();
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                prop_assert_eq!(
+                    refined.get(i, j).to_bits(),
+                    scratch.get(i, j).to_bits(),
+                    "entry ({}, {}) band {:?} {} -> {} threads {}",
+                    i, j, band, lo, hi, threads
+                );
+            }
+        }
+    }
+
+    /// The adaptive merge-radius-driven agglomeration produces a
+    /// dendrogram bit-identical to exact agglomeration over the full
+    /// matrix, for every linkage, band, seed cutoff, and thread count —
+    /// including NaN-gap and constant series in the set.
+    #[test]
+    fn adaptive_agglomeration_matches_exact_bitwise(
+        set in mixed_set(),
+        band_sel in 0usize..8,
+        linkage_sel in 0u8..3,
+        seed_sel in 0u8..3,
+        threads in 1usize..5,
+    ) {
+        let band = if band_sel == 0 { None } else { Some(band_sel) };
+        let linkage = match linkage_sel {
+            0 => Linkage::Single,
+            1 => Linkage::Complete,
+            _ => Linkage::Average,
+        };
+        let initial_cutoff = match seed_sel {
+            0 => None,            // star-sample seed
+            1 => Some(0.0),       // worst case: everything starts pruned
+            _ => Some(f64::INFINITY), // degenerates to the exact build
+        };
+        let (exact_matrix, _) =
+            build_matrix_pruned(&set, band, f64::INFINITY, threads).unwrap();
+        let want = agglomerate(&exact_matrix, linkage).unwrap();
+        let params = AdaptiveParams {
+            band,
+            linkage,
+            threads,
+            initial_cutoff,
+            ..AdaptiveParams::default()
+        };
+        let out = agglomerate_adaptive(&set, &params).unwrap();
+        prop_assert_eq!(out.dendrogram.len(), want.len());
+        prop_assert_eq!(out.dendrogram.merges().len(), want.merges().len());
+        for (t, (g, w)) in out.dendrogram.merges().iter().zip(want.merges()).enumerate() {
+            prop_assert_eq!((g.0, g.1), (w.0, w.1), "merge {} pair", t);
+            prop_assert!(
+                g.2.to_bits() == w.2.to_bits() || (g.2.is_nan() && w.2.is_nan()),
+                "merge {} distance {} vs {} (band {:?} {:?} seed {:?} threads {})",
+                t, g.2, w.2, band, linkage, initial_cutoff, threads
+            );
+        }
     }
 
     /// The parallel distance-matrix build equals the sequential build for

@@ -1,0 +1,126 @@
+//! Seeded decorrelated-jitter retry backoff, shared by every component
+//! that waits out failures: the fleet supervisor's circuit breaker and
+//! the serve-layer load/chaos clients.
+//!
+//! The scheme is the classic *decorrelated jitter*: each wait is drawn
+//! uniformly from `[base, prev * 3]`, clamped to `cap`, from a seeded
+//! RNG — so consecutive waits grow roughly geometrically but never
+//! synchronize across independent retriers, and a given seed always
+//! reproduces the same schedule. This module is the single home of that
+//! math; `core::supervisor`'s breaker holds a [`Backoff`] instead of a
+//! private copy, and the draw sequence is pinned byte-identical to the
+//! pre-extraction breaker by `tests/determinism.rs` and the breaker's
+//! own schedule tests.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The (base, cap) shape of a decorrelated-jitter schedule, without the
+/// RNG state — cheap to copy and embed in configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Smallest wait, in milliseconds (also the first draw's lower edge).
+    pub base_ms: u64,
+    /// Largest wait, in milliseconds; every draw is clamped here.
+    pub cap_ms: u64,
+}
+
+impl BackoffPolicy {
+    /// A policy with the given bounds.
+    pub fn new(base_ms: u64, cap_ms: u64) -> Self {
+        BackoffPolicy { base_ms, cap_ms }
+    }
+
+    /// Instantiates the stateful schedule for one retrier.
+    pub fn seeded(self, seed: u64) -> Backoff {
+        Backoff {
+            policy: self,
+            prev_ms: self.base_ms,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// One retrier's stateful decorrelated-jitter schedule.
+///
+/// Each [`next_wait`](Self::next_wait) draws uniformly from
+/// `[base, prev * 3]` (clamped to `cap`); [`reset`](Self::reset) snaps
+/// the schedule back to `base` after a success. The RNG is consumed
+/// exactly once per draw, so two schedules with the same seed and the
+/// same call sequence produce identical waits.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: BackoffPolicy,
+    prev_ms: u64,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// The schedule's (base, cap) shape.
+    pub fn policy(&self) -> BackoffPolicy {
+        self.policy
+    }
+
+    /// Draws the next wait.
+    pub fn next_wait(&mut self) -> Duration {
+        Duration::from_millis(self.next_wait_ms())
+    }
+
+    /// Draws the next wait in milliseconds.
+    pub fn next_wait_ms(&mut self) -> u64 {
+        let base = self.policy.base_ms;
+        let hi = self.prev_ms.saturating_mul(3).max(base);
+        let wait = self.rng.gen_range(base..=hi).min(self.policy.cap_ms);
+        // Remember at least 1ms so a zero draw cannot freeze the
+        // schedule at zero forever.
+        self.prev_ms = wait.max(1);
+        wait
+    }
+
+    /// Snaps the schedule back to `base` (after a success).
+    pub fn reset(&mut self) {
+        self.prev_ms = self.policy.base_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let mut a = BackoffPolicy::new(10, 500).seeded(seed);
+            let mut b = BackoffPolicy::new(10, 500).seeded(seed);
+            for _ in 0..32 {
+                assert_eq!(a.next_wait_ms(), b.next_wait_ms());
+            }
+        }
+    }
+
+    #[test]
+    fn waits_stay_in_bounds_and_reset_restarts() {
+        let mut backoff = BackoffPolicy::new(10, 90).seeded(7);
+        let mut prev = 10u64;
+        for _ in 0..64 {
+            let w = backoff.next_wait_ms();
+            assert!(w >= 10, "wait {w} below base");
+            assert!(w <= 90, "wait {w} above cap");
+            assert!(w <= prev.saturating_mul(3).max(10));
+            prev = w.max(1);
+        }
+        backoff.reset();
+        let w = backoff.next_wait_ms();
+        assert!(w <= 30, "post-reset draw must restart from base: {w}");
+    }
+
+    #[test]
+    fn zero_policy_never_panics() {
+        let mut backoff = BackoffPolicy::new(0, 0).seeded(3);
+        for _ in 0..8 {
+            assert_eq!(backoff.next_wait_ms(), 0);
+        }
+    }
+}

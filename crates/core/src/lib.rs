@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod actuate;
+pub mod backoff;
 pub mod checkpoint;
 pub mod config;
 mod error;

@@ -813,12 +813,20 @@ impl OnlineState {
     pub fn completed_windows(&self) -> usize {
         self.windows.len()
     }
+
+    /// Completed window outcomes, in time order. The serve layer streams
+    /// these one response line per [`OnlineDriver::step`].
+    pub fn outcomes(&self) -> &[WindowOutcome] {
+        &self.windows
+    }
 }
 
 /// FNV-1a fingerprint binding checkpointed state to its (trace, config)
 /// pair, so stale state from a different run is detected and ignored
-/// instead of silently mixed in.
-fn run_fingerprint(box_trace: &BoxTrace, config: &AtmConfig) -> u64 {
+/// instead of silently mixed in. Public because the serve layer keys its
+/// plan cache on the same value: a cached plan is only ever replayed for
+/// the exact (trace, config) pair that produced it.
+pub fn run_fingerprint(box_trace: &BoxTrace, config: &AtmConfig) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut feed = |bytes: &[u8]| {
         for &b in bytes {

@@ -34,9 +34,9 @@ use std::time::Duration;
 
 use atm_obs::{FieldValue, Obs};
 use atm_tracegen::BoxTrace;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::backoff::{Backoff, BackoffPolicy};
 
 use crate::actuate::CapacityActuator;
 use crate::checkpoint::{CheckpointStore, RecoveryEvent};
@@ -63,31 +63,27 @@ pub enum BreakerState {
 
 /// Per-box circuit breaker with decorrelated-jitter backoff.
 ///
-/// Jitter follows the decorrelated scheme: each wait is drawn uniformly
-/// from `[base, prev * 3]` (clamped to `cap`), from a seeded RNG so the
-/// schedule is reproducible.
+/// The jitter schedule lives in [`crate::backoff`] (shared with the
+/// serve-layer retry clients); the breaker only owns the three-state
+/// machine and the failure counting. The seeded draw sequence is
+/// identical to the pre-extraction breaker, so fleet reports keep their
+/// historical bytes.
 pub(crate) struct CircuitBreaker {
     threshold: usize,
-    base_ms: u64,
-    cap_ms: u64,
     consecutive_failures: usize,
-    prev_backoff_ms: u64,
     state: BreakerState,
     trips: usize,
-    rng: StdRng,
+    backoff: Backoff,
 }
 
 impl CircuitBreaker {
     pub(crate) fn new(cfg: &DurabilityConfig, seed: u64) -> Self {
         CircuitBreaker {
             threshold: cfg.breaker_threshold,
-            base_ms: cfg.breaker_base_ms,
-            cap_ms: cfg.breaker_cap_ms,
             consecutive_failures: 0,
-            prev_backoff_ms: cfg.breaker_base_ms,
             state: BreakerState::Closed,
             trips: 0,
-            rng: StdRng::seed_from_u64(seed),
+            backoff: BackoffPolicy::new(cfg.breaker_base_ms, cfg.breaker_cap_ms).seeded(seed),
         }
     }
 
@@ -102,7 +98,7 @@ impl CircuitBreaker {
     /// One successful attempt: the breaker closes and backoff resets.
     pub(crate) fn on_success(&mut self) {
         self.consecutive_failures = 0;
-        self.prev_backoff_ms = self.base_ms;
+        self.backoff.reset();
         self.state = BreakerState::Closed;
     }
 
@@ -118,12 +114,10 @@ impl CircuitBreaker {
             self.trips += 1;
         }
         self.state = BreakerState::Open;
-        let hi = self.prev_backoff_ms.saturating_mul(3).max(self.base_ms);
-        let wait = self.rng.gen_range(self.base_ms..=hi).min(self.cap_ms);
-        self.prev_backoff_ms = wait.max(1);
+        let wait = self.backoff.next_wait();
         // The caller sleeps out the backoff and then probes.
         self.state = BreakerState::HalfOpen;
-        Some(Duration::from_millis(wait))
+        Some(wait)
     }
 }
 

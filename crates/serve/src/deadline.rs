@@ -1,0 +1,72 @@
+//! Per-request deadlines with cooperative cancellation.
+//!
+//! A [`Deadline`] is armed when the request frame is read and checked at
+//! the natural pause points of each operation — window boundaries for
+//! `stream_windows`, rung boundaries of the degradation ladder for
+//! `get_plan`/`whatif`, sweep points for capacity sweeps. Work is never
+//! preempted mid-kernel; it is cancelled *between* units, which keeps
+//! every in-progress answer internally consistent and is why a daemon
+//! under deadline pressure degrades (cached → safe-mode) instead of
+//! tearing down connections.
+
+use std::time::{Duration, Instant};
+
+/// An armed per-request deadline (or `None` = unlimited).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    armed_at: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// Arms a deadline `budget_ms` from now; `None` never expires.
+    pub fn arm(budget_ms: Option<u64>) -> Self {
+        Deadline {
+            armed_at: Instant::now(),
+            budget: budget_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        match self.budget {
+            Some(budget) => self.armed_at.elapsed() >= budget,
+            None => false,
+        }
+    }
+
+    /// Milliseconds spent since arming.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.armed_at.elapsed().as_millis() as u64
+    }
+
+    /// The budget in ms, if any.
+    pub fn budget_ms(&self) -> Option<u64> {
+        self.budget.map(|b| b.as_millis() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::arm(None);
+        assert!(!d.expired());
+        assert_eq!(d.budget_ms(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::arm(Some(0));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn generous_budget_is_not_yet_expired() {
+        let d = Deadline::arm(Some(120_000));
+        assert!(!d.expired());
+        assert_eq!(d.budget_ms(), Some(120_000));
+    }
+}

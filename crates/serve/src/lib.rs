@@ -1,0 +1,45 @@
+//! # atm-serve
+//!
+//! An overload-hardened daemon serving the ATM pipeline — plans, online
+//! window streams, and capacity what-ifs — as JSONL over TCP, built for
+//! the regime where *overload handling, not raw throughput*, decides
+//! whether answers keep flowing (DESIGN.md §15).
+//!
+//! Partial failure is the design center:
+//!
+//! - **Admission control** ([`admission`]): a token bucket sheds excess
+//!   offered load with typed `429`-style rejections before any work is
+//!   queued; in deterministic mode the bucket runs on client-stamped
+//!   virtual time, so overload transcripts are byte-reproducible.
+//! - **Backpressure** ([`queue`]): bounded per-connection and global
+//!   work queues answer `connection_busy` / degrade instead of
+//!   blocking the accept loop.
+//! - **Deadlines** ([`deadline`]): per-request budgets cancel
+//!   cooperatively at window/sweep boundaries — work stops between
+//!   units, never mid-kernel.
+//! - **Degradation ladder** ([`server`]): fresh plan → fingerprint-keyed
+//!   cached plan ([`plancache`]) → safe-mode envelope answer.
+//! - **Restart safety** ([`plancache`]): the plan cache persists through
+//!   `core::fsio::write_atomic` and recovers byte-identically after a
+//!   `SIGKILL`; an append-only journal (torn-tail tolerant, like
+//!   `core::checkpoint`) counts requests lost mid-flight.
+//! - **Chaos harness** ([`loadgen`]): a seeded open-loop client with
+//!   ramping arrival rates, slow-loris readers, mid-request
+//!   disconnects, malformed frames, and duplicate ids; reconnects use
+//!   the shared `core::backoff` decorrelated jitter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod deadline;
+pub mod loadgen;
+pub mod plancache;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use admission::AdmissionPolicy;
+pub use plancache::{fleet_fingerprint, PlanCache};
+pub use protocol::{RejectReason, ServedVia};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,476 @@
+//! Seeded open-loop load and chaos client for the atm-serve daemon.
+//!
+//! The generator plays a *schedule*, not a feedback loop: arrival times
+//! are laid out up front from the configured phases (so a 4× overload
+//! stays a 4× overload no matter how slowly the daemon answers — the
+//! defining property of an open-loop harness), every request is stamped
+//! with its virtual arrival time, and all randomness (op mix, chaos
+//! behaviours, payload choices) comes from a seeded [`rand::rngs::StdRng`].
+//! Under `virtual_time` the whole schedule is pipelined down one
+//! connection with no sleeping, which makes the daemon's accept/shed
+//! transcript — and therefore every count in the [`LoadReport`] —
+//! byte-deterministic.
+//!
+//! Chaos connections ride alongside the scripted load, one misbehaviour
+//! each: slow-loris dribble, mid-request disconnect, malformed frames,
+//! duplicate request ids. Reconnects (the daemon may be mid-restart
+//! during the kill/restart soak) use the shared seeded
+//! [`atm_core::backoff`] policy — the same decorrelated jitter the fleet
+//! supervisor retries with.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use atm_core::backoff::BackoffPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+
+/// One constant-rate slice of the arrival schedule; chain several to
+/// ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Offered arrivals per second during the phase.
+    pub rate_per_sec: f64,
+    /// Requests sent in the phase.
+    pub requests: usize,
+}
+
+/// Load/chaos run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Master seed; the entire run is a pure function of it (plus the
+    /// daemon's timing, in wall-clock mode).
+    pub seed: u64,
+    /// Arrival phases, played in order on the scripted connection.
+    pub phases: Vec<Phase>,
+    /// Registered box the scripted ops target.
+    pub box_name: String,
+    /// Per-request deadline stamped on scripted ops.
+    pub deadline_ms: Option<u64>,
+    /// Percent of scripted ops that are `get_plan` (the rest are
+    /// `whatif`).
+    pub plan_pct: u32,
+    /// When `true`: no sleeping, virtual `now_ms` stamps, single
+    /// pipelined connection — fully deterministic counts.
+    pub virtual_time: bool,
+    /// Extra chaos connections (behaviour drawn per connection).
+    pub chaos_connections: usize,
+    /// Reconnect backoff policy (shared with `core::supervisor`).
+    pub reconnect: BackoffPolicy,
+    /// Wall-clock slack beyond the largest deadline before an
+    /// unanswered request counts as stalled.
+    pub stall_slack_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            seed: 0,
+            phases: vec![Phase {
+                rate_per_sec: 20.0,
+                requests: 40,
+            }],
+            box_name: String::new(),
+            deadline_ms: Some(5_000),
+            plan_pct: 10,
+            virtual_time: true,
+            chaos_connections: 0,
+            reconnect: BackoffPolicy::new(10, 500),
+            stall_slack_ms: 5_000,
+        }
+    }
+}
+
+/// What one load run observed, client-side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadReport {
+    /// Scripted frames written.
+    pub sent: u64,
+    /// `ok:true` final responses.
+    pub ok: u64,
+    /// Typed rejections by reason.
+    pub rejected: BTreeMap<String, u64>,
+    /// Successful answers by degradation rung.
+    pub served_via: BTreeMap<String, u64>,
+    /// Streamed per-window lines seen.
+    pub stream_lines: u64,
+    /// Scripted requests with no response within deadline + slack.
+    pub stalled: u64,
+    /// Chaos frames written (not counted in `sent`).
+    pub chaos_frames: u64,
+    /// Chaos connections that were dropped by the daemon (expected).
+    pub chaos_drops: u64,
+    /// p50 response latency, ms (0 when nothing completed).
+    pub p50_ms: f64,
+    /// p99 response latency, ms.
+    pub p99_ms: f64,
+    /// `ok / sent`, percent.
+    pub goodput_pct: f64,
+}
+
+impl LoadReport {
+    /// Total typed rejections.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.values().sum()
+    }
+}
+
+/// Connects with seeded decorrelated-jitter retries — the daemon may be
+/// mid-restart (the kill/restart soak leans on this).
+pub fn connect_with_backoff(
+    addr: &str,
+    policy: BackoffPolicy,
+    seed: u64,
+    attempts: usize,
+) -> io::Result<TcpStream> {
+    let mut backoff = policy.seeded(seed);
+    let mut last_err = None;
+    for _ in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(backoff.next_wait());
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::new(io::ErrorKind::Other, "connect failed")))
+}
+
+/// Sends one frame and collects response lines until the final line for
+/// that request (non-stream, or `done:true`) arrives.
+pub fn query(stream: &mut TcpStream, frame: &str, id: &str) -> io::Result<Vec<String>> {
+    stream.write_all(frame.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "daemon gone"));
+        }
+        let trimmed = line.trim_end().to_string();
+        let value: Option<Value> = serde_json::from_str(&trimmed).ok();
+        let is_final = value
+            .as_ref()
+            .map(|v| {
+                let same = v.get("id").and_then(Value::as_str).unwrap_or("") == id;
+                let streaming = v.get("stream").and_then(Value::as_bool).unwrap_or(false);
+                same && !streaming
+            })
+            .unwrap_or(false);
+        lines.push(trimmed);
+        if is_final {
+            return Ok(lines);
+        }
+    }
+}
+
+/// Virtual arrival times (ms) for the configured phases.
+fn arrivals(phases: &[Phase]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    for phase in phases {
+        let gap = 1000.0 / phase.rate_per_sec.max(1e-6);
+        for _ in 0..phase.requests {
+            out.push(t as u64);
+            t += gap;
+        }
+    }
+    out
+}
+
+/// In-flight bookkeeping shared between the sender and the receiver.
+#[derive(Default)]
+struct Pending {
+    sent_at: BTreeMap<String, Instant>,
+    report: LoadReport,
+    latencies: Vec<f64>,
+}
+
+/// Runs the scripted load (plus chaos connections) and reports what the
+/// client observed.
+///
+/// # Errors
+///
+/// Connection-level failures on the scripted connection; chaos
+/// connection errors are expected and swallowed.
+pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
+    let chaos_handles: Vec<_> = (0..config.chaos_connections)
+        .map(|i| {
+            let config = config.clone();
+            std::thread::spawn(move || chaos_connection(&config, i as u64))
+        })
+        .collect();
+
+    let stream = connect_with_backoff(&config.addr, config.reconnect, config.seed, 20)?;
+    stream.set_nodelay(true).ok();
+    let pending = Arc::new(Mutex::new(Pending::default()));
+
+    // Receiver: correlate responses by id, record latency and taxonomy.
+    let reader_pending = Arc::clone(&pending);
+    let read_half = stream.try_clone()?;
+    let receiver = std::thread::spawn(move || {
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+            let Ok(value) = serde_json::from_str::<Value>(line.trim_end()) else {
+                continue;
+            };
+            let mut p = reader_pending.lock().unwrap();
+            if value
+                .get("stream")
+                .and_then(Value::as_bool)
+                .unwrap_or(false)
+            {
+                p.report.stream_lines += 1;
+                continue;
+            }
+            let id = value
+                .get("id")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string();
+            let latency_ms = p
+                .sent_at
+                .remove(&id)
+                .map(|at| at.elapsed().as_secs_f64() * 1000.0);
+            if let Some(ms) = latency_ms {
+                p.latencies.push(ms);
+            }
+            if value.get("ok").and_then(Value::as_bool).unwrap_or(false) {
+                p.report.ok += 1;
+                if let Some(via) = value.get("served_via").and_then(Value::as_str) {
+                    *p.report.served_via.entry(via.to_string()).or_insert(0) += 1;
+                }
+            } else {
+                let reason = value
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                *p.report.rejected.entry(reason).or_insert(0) += 1;
+            }
+        }
+    });
+
+    // Sender: play the schedule open-loop.
+    let schedule = arrivals(&config.phases);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut write_half = stream.try_clone()?;
+    let started = Instant::now();
+    let mut sent = 0u64;
+    for (i, &at_ms) in schedule.iter().enumerate() {
+        if !config.virtual_time {
+            let elapsed = started.elapsed().as_millis() as u64;
+            if at_ms > elapsed {
+                std::thread::sleep(Duration::from_millis(at_ms - elapsed));
+            }
+        }
+        let id = format!("r{:06}", i);
+        let deadline = config
+            .deadline_ms
+            .map(|d| format!(",\"deadline_ms\":{d}"))
+            .unwrap_or_default();
+        let op = if rng.gen_range(0u32..100) < config.plan_pct {
+            format!(
+                "{{\"op\":\"get_plan\",\"id\":\"{id}\",\"box\":\"{}\",\"now_ms\":{at_ms}{deadline}}}",
+                config.box_name
+            )
+        } else {
+            let factor = 0.5 + f64::from(rng.gen_range(0u32..7)) * 0.25;
+            format!(
+                "{{\"op\":\"whatif\",\"id\":\"{id}\",\"box\":\"{}\",\"resource\":\"cpu\",\"factors\":[{factor}],\"now_ms\":{at_ms}{deadline}}}",
+                config.box_name
+            )
+        };
+        pending
+            .lock()
+            .unwrap()
+            .sent_at
+            .insert(id.clone(), Instant::now());
+        write_half.write_all(op.as_bytes())?;
+        write_half.write_all(b"\n")?;
+        write_half.flush()?;
+        sent += 1;
+    }
+
+    // Drain: wait for outstanding responses up to deadline + slack.
+    let budget =
+        Duration::from_millis(config.deadline_ms.unwrap_or(0) + config.stall_slack_ms.max(100));
+    let drain_start = Instant::now();
+    loop {
+        let outstanding = pending.lock().unwrap().sent_at.len();
+        if outstanding == 0 || drain_start.elapsed() > budget {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(write_half);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = receiver.join();
+
+    let mut pending = Arc::try_unwrap(pending)
+        .map_err(|_| io::Error::new(io::ErrorKind::Other, "receiver leaked"))?
+        .into_inner()
+        .unwrap();
+    pending.report.sent = sent;
+    pending.report.stalled = pending.sent_at.len() as u64;
+    pending
+        .latencies
+        .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if pending.latencies.is_empty() {
+            0.0
+        } else {
+            let idx = ((pending.latencies.len() as f64 - 1.0) * p).round() as usize;
+            pending.latencies[idx]
+        }
+    };
+    pending.report.p50_ms = pct(0.50);
+    pending.report.p99_ms = pct(0.99);
+    pending.report.goodput_pct = if sent == 0 {
+        100.0
+    } else {
+        pending.report.ok as f64 / sent as f64 * 100.0
+    };
+
+    for handle in chaos_handles {
+        if let Ok((frames, dropped)) = handle.join() {
+            pending.report.chaos_frames += frames;
+            pending.report.chaos_drops += u64::from(dropped);
+        }
+    }
+    Ok(pending.report)
+}
+
+/// One chaos connection: a single seeded misbehaviour, then verify the
+/// daemon either answered with a typed rejection or dropped us — never
+/// hung us. Returns (frames written, daemon dropped the connection).
+fn chaos_connection(config: &LoadConfig, index: u64) -> (u64, bool) {
+    let mut rng =
+        StdRng::seed_from_u64(config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index + 1)));
+    let Ok(mut stream) = connect_with_backoff(
+        &config.addr,
+        config.reconnect,
+        config.seed.wrapping_add(index),
+        5,
+    ) else {
+        return (0, false);
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(20))).ok();
+    let mut frames = 0u64;
+    let behaviour = rng.gen_range(0u32..4);
+    match behaviour {
+        // Slow-loris: dribble a frame a few bytes at a time, slower
+        // than the daemon's idle timeout should tolerate forever.
+        0 => {
+            let frame = format!("{{\"op\":\"stats\",\"id\":\"loris-{index}\"}}");
+            for chunk in frame.as_bytes().chunks(3) {
+                if stream.write_all(chunk).is_err() {
+                    return (frames, true);
+                }
+                let _ = stream.flush();
+                std::thread::sleep(Duration::from_millis(rng.gen_range(20..60)));
+            }
+            // Never send the newline; wait for the daemon to drop us.
+            let mut buf = [0u8; 64];
+            let dropped = matches!(stream.read(&mut buf), Ok(0) | Err(_));
+            (frames, dropped)
+        }
+        // Mid-request disconnect: half a frame, then vanish.
+        1 => {
+            let _ = stream.write_all(b"{\"op\":\"get_plan\",\"id\":\"half-");
+            let _ = stream.flush();
+            drop(stream);
+            (frames, false)
+        }
+        // Malformed frames: garbage must yield typed 400s, not a hang.
+        2 => {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            for i in 0..3 {
+                let garbage = match i {
+                    0 => "this is not json".to_string(),
+                    1 => "{\"op\":\"warp_core\",\"id\":\"chaos\"}".to_string(),
+                    _ => format!("{{\"op\":\"get_plan\",\"id\":{}}}", rng.gen_range(0..9)),
+                };
+                if stream
+                    .write_all(format!("{garbage}\n").as_bytes())
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    return (frames, true);
+                }
+                frames += 1;
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return (frames, true);
+                }
+            }
+            (frames, false)
+        }
+        // Duplicate ids: the second accepted use must be rejected 409.
+        _ => {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let frame = format!(
+                "{{\"op\":\"whatif\",\"id\":\"dup-{index}\",\"box\":\"{}\",\"factors\":[1.0],\"now_ms\":0}}",
+                config.box_name
+            );
+            for _ in 0..2 {
+                if stream
+                    .write_all(format!("{frame}\n").as_bytes())
+                    .and_then(|_| stream.flush())
+                    .is_err()
+                {
+                    return (frames, true);
+                }
+                frames += 1;
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                    return (frames, true);
+                }
+            }
+            (frames, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_respect_phase_rates() {
+        let schedule = arrivals(&[
+            Phase {
+                rate_per_sec: 10.0,
+                requests: 3,
+            },
+            Phase {
+                rate_per_sec: 1000.0,
+                requests: 2,
+            },
+        ]);
+        assert_eq!(schedule, vec![0, 100, 200, 300, 301]);
+    }
+
+    #[test]
+    fn report_percentiles_handle_empty() {
+        let report = LoadReport::default();
+        assert_eq!(report.p50_ms, 0.0);
+        assert_eq!(report.rejected_total(), 0);
+    }
+}

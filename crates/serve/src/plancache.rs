@@ -1,0 +1,363 @@
+//! Fingerprint-keyed plan cache and in-flight journal — the daemon's
+//! restart safety, riding on `core`'s durability substrate.
+//!
+//! The cache maps `(fleet fingerprint, op key)` to the rendered response
+//! body the daemon would have produced fresh. It is the middle rung of
+//! the degradation ladder and is persisted after every insert through
+//! [`atm_core::fsio::write_atomic`] in a checksummed single-file format,
+//! so a `SIGKILL` at any instant leaves either the old file or the new
+//! file, both internally consistent. Loading and re-persisting an
+//! unchanged cache writes *byte-identical* contents — asserted by
+//! `tests/serve.rs` across a mid-soak kill/restart.
+//!
+//! The journal records `begin`/`done` markers for plan-computing
+//! requests via [`atm_core::fsio::append_durable`] (same torn-tail
+//! discipline as `core::checkpoint`: each line carries its own CRC, a
+//! torn tail is dropped on recovery). On restart the daemon counts
+//! requests that began but never finished — the work lost to the crash.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use atm_core::checkpoint::crc32;
+use atm_core::fsio::{append_durable, write_atomic};
+use atm_core::online::run_fingerprint;
+use atm_core::AtmConfig;
+use atm_tracegen::BoxTrace;
+
+/// Magic first token of the cache file.
+const CACHE_MAGIC: &str = "atm-plancache";
+/// Magic first token of every journal line.
+const JOURNAL_MAGIC: &str = "atmsrvj1";
+
+/// Fingerprint binding a box trace to the daemon's ATM config.
+///
+/// Folds [`run_fingerprint`] (the online loop's trace+config FNV over
+/// serde bytes) into an FNV-1a walk of a canonical trace encoding
+/// (names, capacities, usage bit patterns), so two traces differing in
+/// any sample — or one trace under two configs — never share a key.
+pub fn fleet_fingerprint(box_trace: &BoxTrace, config: &AtmConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(&run_fingerprint(box_trace, config).to_le_bytes());
+    eat(box_trace.name.as_bytes());
+    eat(&box_trace.cpu_capacity_ghz.to_bits().to_le_bytes());
+    eat(&box_trace.ram_capacity_gb.to_bits().to_le_bytes());
+    eat(&u64::from(box_trace.interval_minutes).to_le_bytes());
+    for vm in &box_trace.vms {
+        eat(vm.name.as_bytes());
+        eat(&vm.cpu_capacity_ghz.to_bits().to_le_bytes());
+        eat(&vm.ram_capacity_gb.to_bits().to_le_bytes());
+        for series in [&vm.cpu_usage, &vm.ram_usage] {
+            eat(&(series.len() as u64).to_le_bytes());
+            for &x in series.iter() {
+                eat(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+    hash
+}
+
+/// The fingerprint-keyed cache of rendered plan bodies.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: BTreeMap<(u64, String), String>,
+    path: Option<PathBuf>,
+    /// Whether the on-disk file was unreadable/corrupt at load.
+    pub recovered_corrupt: bool,
+}
+
+impl PlanCache {
+    /// An in-memory cache with no persistence.
+    pub fn in_memory() -> Self {
+        PlanCache {
+            entries: BTreeMap::new(),
+            path: None,
+            recovered_corrupt: false,
+        }
+    }
+
+    /// Opens (or initialises) the cache at `dir/plancache.atm`.
+    ///
+    /// A missing file is an empty cache; a corrupt file (bad header or
+    /// CRC mismatch) is dropped and flagged, never trusted partially.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let path = dir.join("plancache.atm");
+        let mut cache = PlanCache {
+            entries: BTreeMap::new(),
+            path: Some(path.clone()),
+            recovered_corrupt: false,
+        };
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(cache),
+            Err(e) => return Err(e),
+        };
+        match Self::parse(&raw) {
+            Some(entries) => cache.entries = entries,
+            None => cache.recovered_corrupt = true,
+        }
+        Ok(cache)
+    }
+
+    fn parse(raw: &str) -> Option<BTreeMap<(u64, String), String>> {
+        let (header, body) = raw.split_once('\n')?;
+        let mut fields = header.split(' ');
+        if fields.next()? != CACHE_MAGIC || fields.next()? != "v1" {
+            return None;
+        }
+        let crc_hex = fields.next()?.strip_prefix("crc32=")?;
+        let want_crc = u32::from_str_radix(crc_hex, 16).ok()?;
+        let entries_field: usize = fields.next()?.strip_prefix("entries=")?.parse().ok()?;
+        if crc32(body.as_bytes()) != want_crc {
+            return None;
+        }
+        let mut entries = BTreeMap::new();
+        for line in body.lines() {
+            let mut parts = line.splitn(3, ' ');
+            let fp = u64::from_str_radix(parts.next()?, 16).ok()?;
+            let op_key = parts.next()?.to_string();
+            let plan = parts.next()?.to_string();
+            entries.insert((fp, op_key), plan);
+        }
+        if entries.len() != entries_field {
+            return None;
+        }
+        Some(entries)
+    }
+
+    fn render(&self) -> String {
+        let mut body = String::new();
+        for ((fp, op_key), plan) in &self.entries {
+            body.push_str(&format!("{fp:016x} {op_key} {plan}\n"));
+        }
+        format!(
+            "{CACHE_MAGIC} v1 crc32={:08x} entries={}\n{body}",
+            crc32(body.as_bytes()),
+            self.entries.len()
+        )
+    }
+
+    /// Looks up the cached body for `(fingerprint, op_key)`.
+    pub fn get(&self, fingerprint: u64, op_key: &str) -> Option<&str> {
+        self.entries
+            .get(&(fingerprint, op_key.to_string()))
+            .map(String::as_str)
+    }
+
+    /// Inserts a rendered body and persists the cache if it is backed by
+    /// a file. `plan` must be newline-free (one cache line per entry).
+    pub fn put(&mut self, fingerprint: u64, op_key: &str, plan: String) -> io::Result<()> {
+        debug_assert!(!plan.contains('\n'), "cache bodies are single-line");
+        debug_assert!(!op_key.contains(' '), "op keys are space-free");
+        self.entries.insert((fingerprint, op_key.to_string()), plan);
+        self.persist()
+    }
+
+    /// Rewrites the backing file atomically (no-op for in-memory caches).
+    pub fn persist(&self) -> io::Result<()> {
+        match &self.path {
+            Some(path) => write_atomic(path, self.render().as_bytes()),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// What the in-flight journal says happened before a restart.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalRecovery {
+    /// Requests that began and finished.
+    pub completed: usize,
+    /// Requests that began but never finished (lost to the crash).
+    pub orphaned: usize,
+    /// Whether a torn tail line was dropped.
+    pub torn_tail_dropped: bool,
+}
+
+/// Append-only `begin`/`done` journal for plan-computing requests.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// The journal at `dir/inflight.journal`.
+    pub fn new(dir: &Path) -> Self {
+        Journal {
+            path: dir.join("inflight.journal"),
+        }
+    }
+
+    fn append(&self, event: &str, fingerprint: u64, op_key: &str) -> io::Result<()> {
+        let payload = format!("{event} {fingerprint:016x} {op_key}");
+        let line = format!(
+            "{JOURNAL_MAGIC} crc32={:08x} {payload}\n",
+            crc32(payload.as_bytes())
+        );
+        append_durable(&self.path, line.as_bytes())
+    }
+
+    /// Records that a plan-computing request started.
+    pub fn begin(&self, fingerprint: u64, op_key: &str) -> io::Result<()> {
+        self.append("begin", fingerprint, op_key)
+    }
+
+    /// Records that it finished (any rung of the ladder).
+    pub fn done(&self, fingerprint: u64, op_key: &str) -> io::Result<()> {
+        self.append("done", fingerprint, op_key)
+    }
+
+    /// Replays the journal, pairing `begin` with `done` markers. Lines
+    /// that fail their CRC (a torn tail from a mid-append kill) end the
+    /// replay, matching `core::checkpoint`'s torn-tail discipline.
+    pub fn recover(&self) -> io::Result<JournalRecovery> {
+        let raw = match std::fs::read_to_string(&self.path) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalRecovery::default()),
+            Err(e) => return Err(e),
+        };
+        let mut recovery = JournalRecovery::default();
+        let mut open: BTreeMap<String, usize> = BTreeMap::new();
+        for line in raw.lines() {
+            let parsed = (|| {
+                let rest = line.strip_prefix(JOURNAL_MAGIC)?.strip_prefix(' ')?;
+                let (crc_field, payload) = rest.split_once(' ')?;
+                let want = u32::from_str_radix(crc_field.strip_prefix("crc32=")?, 16).ok()?;
+                if crc32(payload.as_bytes()) != want {
+                    return None;
+                }
+                let (event, key) = payload.split_once(' ')?;
+                Some((event.to_string(), key.to_string()))
+            })();
+            let Some((event, key)) = parsed else {
+                recovery.torn_tail_dropped = true;
+                break;
+            };
+            match event.as_str() {
+                "begin" => *open.entry(key).or_insert(0) += 1,
+                "done" => {
+                    let slot = open.entry(key).or_insert(0);
+                    if *slot > 0 {
+                        *slot -= 1;
+                        recovery.completed += 1;
+                    }
+                }
+                _ => {
+                    recovery.torn_tail_dropped = true;
+                    break;
+                }
+            }
+        }
+        recovery.orphaned = open.values().sum();
+        Ok(recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::{generate_box, FleetConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atm-plancache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fingerprint_separates_traces_and_configs() {
+        let cfg = FleetConfig {
+            num_boxes: 2,
+            days: 2,
+            gap_probability: 0.0,
+            ..FleetConfig::default()
+        };
+        let a = generate_box(&cfg, 0);
+        let b = generate_box(&cfg, 1);
+        let atm = AtmConfig::fast_for_tests();
+        assert_eq!(fleet_fingerprint(&a, &atm), fleet_fingerprint(&a, &atm));
+        assert_ne!(fleet_fingerprint(&a, &atm), fleet_fingerprint(&b, &atm));
+        let mut bent = a.clone();
+        bent.vms[0].cpu_usage[0] += 0.25;
+        assert_ne!(fleet_fingerprint(&a, &atm), fleet_fingerprint(&bent, &atm));
+    }
+
+    #[test]
+    fn cache_round_trips_byte_identically() {
+        let dir = tmp_dir("rt");
+        let mut cache = PlanCache::open(&dir).unwrap();
+        cache.put(7, "plan", "{\"x\":1}".into()).unwrap();
+        cache.put(9, "whatif:cpu", "{\"y\":2}".into()).unwrap();
+        let bytes = std::fs::read(dir.join("plancache.atm")).unwrap();
+
+        let reopened = PlanCache::open(&dir).unwrap();
+        assert!(!reopened.recovered_corrupt);
+        assert_eq!(reopened.get(7, "plan"), Some("{\"x\":1}"));
+        assert_eq!(reopened.get(9, "whatif:cpu"), Some("{\"y\":2}"));
+        reopened.persist().unwrap();
+        assert_eq!(
+            std::fs::read(dir.join("plancache.atm")).unwrap(),
+            bytes,
+            "load + re-persist must not change a single byte"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_is_dropped_not_trusted() {
+        let dir = tmp_dir("corrupt");
+        let mut cache = PlanCache::open(&dir).unwrap();
+        cache.put(1, "plan", "{\"x\":1}".into()).unwrap();
+        let path = dir.join("plancache.atm");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reopened = PlanCache::open(&dir).unwrap();
+        assert!(reopened.recovered_corrupt);
+        assert!(reopened.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_pairs_begin_done_and_drops_torn_tail() {
+        let dir = tmp_dir("journal");
+        let journal = Journal::new(&dir);
+        journal.begin(1, "plan").unwrap();
+        journal.done(1, "plan").unwrap();
+        journal.begin(2, "whatif:cpu").unwrap();
+        let recovery = journal.recover().unwrap();
+        assert_eq!(recovery.completed, 1);
+        assert_eq!(recovery.orphaned, 1);
+        assert!(!recovery.torn_tail_dropped);
+
+        // Tear the tail mid-line: the partial record must be dropped
+        // without disturbing the paired history before it.
+        let path = dir.join("inflight.journal");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&path, &bytes).unwrap();
+        let recovery = journal.recover().unwrap();
+        assert_eq!(recovery.completed, 1);
+        assert!(recovery.torn_tail_dropped);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

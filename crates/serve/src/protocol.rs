@@ -1,0 +1,480 @@
+//! The atm-serve wire protocol: JSONL requests and responses over TCP.
+//!
+//! One request per line, one (or, for `stream_windows`, several)
+//! response lines per request. Requests are parsed leniently from a
+//! [`serde_json::Value`] so a malformed frame yields a typed rejection
+//! instead of a dropped connection; responses are rendered by hand into
+//! a canonical byte layout (sorted, fixed field order, [`f64`] via the
+//! shortest-round-trip `Display`) so a seeded request schedule produces
+//! a byte-identical response transcript — the overload determinism
+//! contract of `tests/serve.rs` leans on this.
+//!
+//! ## Request shape
+//!
+//! ```json
+//! {"op":"get_plan","id":"r1","box":"box-0000","now_ms":120,"deadline_ms":500}
+//! ```
+//!
+//! `op` and `id` are mandatory. `now_ms` is the *virtual* arrival time
+//! used by deterministic admission control; `deadline_ms` is the
+//! per-request budget enforced cooperatively at window boundaries.
+//!
+//! ## Response shape
+//!
+//! ```json
+//! {"id":"r1","ok":true,"served_via":"cached", ...}
+//! {"id":"r1","ok":false,"code":429,"reason":"rate_limited","detail":"..."}
+//! ```
+
+use atm_tracegen::{BoxTrace, Resource, VmTrace};
+use serde_json::Value;
+
+/// Which rung of the degradation ladder produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// Full pipeline ran for this request.
+    Fresh,
+    /// Fingerprint-keyed plan cache hit.
+    Cached,
+    /// Safe-mode envelope answer (no model ran).
+    SafeMode,
+}
+
+impl ServedVia {
+    /// Canonical wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServedVia::Fresh => "fresh",
+            ServedVia::Cached => "cached",
+            ServedVia::SafeMode => "safe_mode",
+        }
+    }
+}
+
+/// Typed rejection taxonomy — every shed request names its reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Token-bucket admission control refused the request.
+    RateLimited,
+    /// The bounded global work queue is full.
+    QueueFull,
+    /// The per-connection pending queue is full.
+    ConnectionBusy,
+    /// A request with this id was already accepted.
+    DuplicateId(String),
+    /// The frame was not a valid request.
+    Malformed(String),
+    /// The named fleet box is not registered.
+    NotFound(String),
+    /// The deadline expired before any rung could answer.
+    DeadlineExceeded,
+    /// The daemon is draining for shutdown.
+    ShuttingDown,
+    /// An internal pipeline error with no degraded answer available.
+    Internal(String),
+}
+
+impl RejectReason {
+    /// HTTP-flavoured status code for the reason.
+    pub fn code(&self) -> u16 {
+        match self {
+            RejectReason::RateLimited => 429,
+            RejectReason::QueueFull | RejectReason::ConnectionBusy | RejectReason::ShuttingDown => {
+                503
+            }
+            RejectReason::DuplicateId(_) => 409,
+            RejectReason::Malformed(_) => 400,
+            RejectReason::NotFound(_) => 404,
+            RejectReason::DeadlineExceeded => 504,
+            RejectReason::Internal(_) => 500,
+        }
+    }
+
+    /// Canonical wire name (also the obs counter suffix).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RejectReason::RateLimited => "rate_limited",
+            RejectReason::QueueFull => "queue_full",
+            RejectReason::ConnectionBusy => "connection_busy",
+            RejectReason::DuplicateId(_) => "duplicate_id",
+            RejectReason::Malformed(_) => "malformed",
+            RejectReason::NotFound(_) => "not_found",
+            RejectReason::DeadlineExceeded => "deadline_exceeded",
+            RejectReason::ShuttingDown => "shutting_down",
+            RejectReason::Internal(_) => "internal",
+        }
+    }
+
+    /// Free-text detail for the wire (may be empty).
+    pub fn detail(&self) -> &str {
+        match self {
+            RejectReason::DuplicateId(d)
+            | RejectReason::Malformed(d)
+            | RejectReason::NotFound(d)
+            | RejectReason::Internal(d) => d,
+            _ => "",
+        }
+    }
+}
+
+/// A parsed request operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Register fleet boxes with the daemon: either a seeded generator
+    /// recipe or inline traces.
+    SubmitFleet {
+        /// Seeded tracegen recipe: `(num_boxes, days, seed)`.
+        gen: Option<(usize, usize, u64)>,
+        /// Inline traces, hand-parsed from the frame.
+        boxes: Vec<BoxTrace>,
+    },
+    /// One full ATM plan for a registered box.
+    GetPlan {
+        /// Registered box name.
+        box_name: String,
+    },
+    /// Step the online loop, one response line per window.
+    StreamWindows {
+        /// Registered box name.
+        box_name: String,
+        /// Cap on streamed windows (`None` = whole trace).
+        max_windows: Option<usize>,
+    },
+    /// Capacity what-if: sweep and/or target inversion.
+    Whatif {
+        /// Registered box name.
+        box_name: String,
+        /// Which resource to sweep.
+        resource: Resource,
+        /// Ticket threshold in percent.
+        threshold_pct: f64,
+        /// Trailing windows the sweep evaluates.
+        windows: usize,
+        /// Budget factors to sweep.
+        factors: Vec<f64>,
+        /// Optional inversion: smallest factor with at most this many
+        /// tickets (searched within the factors' min/max range).
+        target_tickets: Option<usize>,
+    },
+    /// Degradation-ladder and rejection counters.
+    Stats,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen request id, echoed on every response line.
+    pub id: String,
+    /// Virtual arrival time for deterministic admission (ms).
+    pub now_ms: Option<u64>,
+    /// Per-request budget in ms.
+    pub deadline_ms: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Parses one request line. On failure returns the best-effort id (so
+/// the rejection can still be correlated) and a malformed reason.
+pub fn parse_request(line: &str) -> Result<Request, (String, RejectReason)> {
+    let value: Value = serde_json::from_str(line).map_err(|_| {
+        (
+            String::new(),
+            RejectReason::Malformed("invalid json".into()),
+        )
+    })?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let fail = |detail: &str| (id.clone(), RejectReason::Malformed(detail.into()));
+    if value.as_object().is_none() {
+        return Err(fail("frame must be an object"));
+    }
+    if id.is_empty() {
+        return Err(fail("missing id"));
+    }
+    let op_name = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| fail("missing op"))?;
+    let now_ms = value.get("now_ms").and_then(Value::as_u64);
+    let deadline_ms = value.get("deadline_ms").and_then(Value::as_u64);
+    let box_name = || -> Result<String, (String, RejectReason)> {
+        value
+            .get("box")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| fail("missing box"))
+    };
+    let op = match op_name {
+        "submit_fleet" => {
+            let gen = value.get("gen").map(|g| {
+                let boxes = g.get("boxes").and_then(Value::as_u64).unwrap_or(1) as usize;
+                let days = g.get("days").and_then(Value::as_u64).unwrap_or(3) as usize;
+                let seed = g.get("seed").and_then(Value::as_u64).unwrap_or(0);
+                (boxes, days, seed)
+            });
+            let boxes = match value.get("boxes").and_then(Value::as_array) {
+                Some(arr) => arr
+                    .iter()
+                    .map(parse_box_trace)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| fail(e))?,
+                None => Vec::new(),
+            };
+            if gen.is_none() && boxes.is_empty() {
+                return Err(fail("submit_fleet needs gen or boxes"));
+            }
+            Op::SubmitFleet { gen, boxes }
+        }
+        "get_plan" => Op::GetPlan {
+            box_name: box_name()?,
+        },
+        "stream_windows" => Op::StreamWindows {
+            box_name: box_name()?,
+            max_windows: value
+                .get("max_windows")
+                .and_then(Value::as_u64)
+                .map(|w| w as usize),
+        },
+        "whatif" => {
+            let resource = match value.get("resource").and_then(Value::as_str) {
+                Some("cpu") | None => Resource::Cpu,
+                Some("ram") => Resource::Ram,
+                Some(_) => return Err(fail("resource must be cpu or ram")),
+            };
+            let factors = match value.get("factors").and_then(Value::as_array) {
+                Some(arr) => {
+                    let mut out = Vec::with_capacity(arr.len());
+                    for f in arr {
+                        out.push(f.as_f64().ok_or_else(|| fail("factors must be numbers"))?);
+                    }
+                    out
+                }
+                None => vec![0.5, 0.75, 1.0, 1.25, 1.5],
+            };
+            Op::Whatif {
+                box_name: box_name()?,
+                resource,
+                threshold_pct: value
+                    .get("threshold_pct")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(70.0),
+                windows: value.get("windows").and_then(Value::as_u64).unwrap_or(96) as usize,
+                factors,
+                target_tickets: value
+                    .get("target_tickets")
+                    .and_then(Value::as_u64)
+                    .map(|t| t as usize),
+            }
+        }
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err((
+                id.clone(),
+                RejectReason::Malformed(format!("unknown op {other:?}")),
+            ))
+        }
+    };
+    Ok(Request {
+        id,
+        now_ms,
+        deadline_ms,
+        op,
+    })
+}
+
+/// Hand-parses an inline [`BoxTrace`] from a frame value. Kept out of
+/// serde so a hostile frame fails with a message, not a panic, and so
+/// the daemon parses traces even where typed serde is unavailable.
+fn parse_box_trace(v: &Value) -> Result<BoxTrace, &'static str> {
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("box missing name")?
+        .to_string();
+    let cpu_capacity_ghz = v
+        .get("cpu_capacity_ghz")
+        .and_then(Value::as_f64)
+        .ok_or("box missing cpu_capacity_ghz")?;
+    let ram_capacity_gb = v
+        .get("ram_capacity_gb")
+        .and_then(Value::as_f64)
+        .ok_or("box missing ram_capacity_gb")?;
+    let interval_minutes = v
+        .get("interval_minutes")
+        .and_then(Value::as_u64)
+        .ok_or("box missing interval_minutes")? as u32;
+    let vms = v
+        .get("vms")
+        .and_then(Value::as_array)
+        .ok_or("box missing vms")?
+        .iter()
+        .map(|vm| {
+            let series = |key: &str| -> Result<Vec<f64>, &'static str> {
+                vm.get(key)
+                    .and_then(Value::as_array)
+                    .ok_or("vm missing usage series")?
+                    .iter()
+                    .map(|x| x.as_f64().ok_or("usage must be numbers"))
+                    .collect()
+            };
+            Ok(VmTrace {
+                name: vm
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("vm missing name")?
+                    .to_string(),
+                cpu_capacity_ghz: vm
+                    .get("cpu_capacity_ghz")
+                    .and_then(Value::as_f64)
+                    .ok_or("vm missing cpu_capacity_ghz")?,
+                ram_capacity_gb: vm
+                    .get("ram_capacity_gb")
+                    .and_then(Value::as_f64)
+                    .ok_or("vm missing ram_capacity_gb")?,
+                cpu_usage: series("cpu_usage")?,
+                ram_usage: series("ram_usage")?,
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(BoxTrace {
+        name,
+        cpu_capacity_ghz,
+        ram_capacity_gb,
+        vms,
+        interval_minutes,
+    })
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a canonical JSON number (shortest round-trip;
+/// non-finite values become `null`, which JSON cannot carry otherwise).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `Display` omits the point for integral floats; keep it a JSON
+        // number either way (both parse back identically).
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a success line: `{"id":..,"ok":true,"served_via":..,<body>}`.
+/// `body` must be a comma-led raw JSON fragment or empty.
+pub fn render_ok(id: &str, via: Option<ServedVia>, body: &str) -> String {
+    let mut out = format!("{{\"id\":\"{}\",\"ok\":true", escape_json(id));
+    if let Some(via) = via {
+        out.push_str(&format!(",\"served_via\":\"{}\"", via.as_str()));
+    }
+    out.push_str(body);
+    out.push('}');
+    out
+}
+
+/// Renders a rejection line with the typed code/reason/detail triple.
+pub fn render_reject(id: &str, reason: &RejectReason) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"ok\":false,\"code\":{},\"reason\":\"{}\",\"detail\":\"{}\"}}",
+        escape_json(id),
+        reason.code(),
+        reason.as_str(),
+        escape_json(reason.detail())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_ops() {
+        let r = parse_request(r#"{"op":"stats","id":"s1"}"#).unwrap();
+        assert_eq!(r.id, "s1");
+        assert_eq!(r.op, Op::Stats);
+
+        let r =
+            parse_request(r#"{"op":"get_plan","id":"p1","box":"b0","deadline_ms":250}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(
+            r.op,
+            Op::GetPlan {
+                box_name: "b0".into()
+            }
+        );
+
+        let r =
+            parse_request(r#"{"op":"submit_fleet","id":"f1","gen":{"boxes":2,"days":3,"seed":7}}"#)
+                .unwrap();
+        assert_eq!(
+            r.op,
+            Op::SubmitFleet {
+                gen: Some((2, 3, 7)),
+                boxes: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_yield_typed_rejections_with_best_effort_id() {
+        let (id, reason) = parse_request("not json at all").unwrap_err();
+        assert_eq!(id, "");
+        assert!(matches!(reason, RejectReason::Malformed(_)));
+
+        let (id, reason) = parse_request(r#"{"op":"warp","id":"x9"}"#).unwrap_err();
+        assert_eq!(id, "x9", "id must survive an unknown op");
+        assert!(matches!(reason, RejectReason::Malformed(_)));
+
+        let (_, reason) = parse_request(r#"{"op":"get_plan","id":"x"}"#).unwrap_err();
+        assert!(matches!(reason, RejectReason::Malformed(_)));
+    }
+
+    #[test]
+    fn inline_box_round_trips_through_hand_parser() {
+        let line = r#"{"op":"submit_fleet","id":"f2","boxes":[{"name":"b","cpu_capacity_ghz":10.0,"ram_capacity_gb":64.0,"interval_minutes":15,"vms":[{"name":"v0","cpu_capacity_ghz":2.5,"ram_capacity_gb":8.0,"cpu_usage":[10.0,20.5],"ram_usage":[30.0,40.0]}]}]}"#;
+        let r = parse_request(line).unwrap();
+        match r.op {
+            Op::SubmitFleet { boxes, .. } => {
+                assert_eq!(boxes.len(), 1);
+                assert_eq!(boxes[0].name, "b");
+                assert_eq!(boxes[0].vms[0].cpu_usage, vec![10.0, 20.5]);
+            }
+            other => panic!("wrong op: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rendering_is_canonical() {
+        assert_eq!(
+            render_ok("a\"b", Some(ServedVia::Cached), ",\"x\":1"),
+            "{\"id\":\"a\\\"b\",\"ok\":true,\"served_via\":\"cached\",\"x\":1}"
+        );
+        assert_eq!(
+            render_reject("r", &RejectReason::RateLimited),
+            "{\"id\":\"r\",\"ok\":false,\"code\":429,\"reason\":\"rate_limited\",\"detail\":\"\"}"
+        );
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

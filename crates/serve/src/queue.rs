@@ -1,0 +1,130 @@
+//! Bounded work accounting with backpressure.
+//!
+//! Two limits guard the daemon: a **global** cap on concurrently
+//! in-flight plan-producing requests across all connections, and a
+//! **per-connection** cap on requests a single pipelined client may have
+//! outstanding. Both are try-acquire only — when a limit is hit the
+//! request is shed immediately with a typed rejection (`queue_full` /
+//! `connection_busy`) instead of blocking the accept loop, which is the
+//! backpressure contract: under overload the daemon answers *something*
+//! for every frame, quickly, rather than stalling connections.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A bounded counter handing out RAII permits.
+#[derive(Debug)]
+pub struct WorkGate {
+    limit: u64,
+    in_flight: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl WorkGate {
+    /// A gate admitting at most `limit` concurrent permits.
+    pub fn new(limit: usize) -> Arc<Self> {
+        Arc::new(WorkGate {
+            limit: limit as u64,
+            in_flight: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        })
+    }
+
+    /// Tries to take one permit; `None` means the queue is full.
+    pub fn try_enter(self: &Arc<Self>) -> Option<WorkPermit> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.high_water.fetch_max(cur + 1, Ordering::Relaxed);
+                    return Some(WorkPermit {
+                        gate: Arc::clone(self),
+                    });
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Permits currently out.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Most permits ever out at once.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+/// An RAII permit from a [`WorkGate`]; dropping it frees the slot.
+#[derive(Debug)]
+pub struct WorkPermit {
+    gate: Arc<WorkGate>,
+}
+
+impl Drop for WorkPermit {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permits_are_bounded_and_released_on_drop() {
+        let gate = WorkGate::new(2);
+        let a = gate.try_enter().expect("first");
+        let _b = gate.try_enter().expect("second");
+        assert!(gate.try_enter().is_none(), "limit must hold");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        assert!(gate.try_enter().is_some(), "freed slot must be reusable");
+        assert_eq!(gate.high_water(), 2);
+    }
+
+    #[test]
+    fn zero_limit_rejects_everything() {
+        let gate = WorkGate::new(0);
+        assert!(gate.try_enter().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_never_exceeds_limit() {
+        let gate = WorkGate::new(8);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        if let Some(p) = gate.try_enter() {
+                            assert!(gate.in_flight() <= gate.limit());
+                            drop(p);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(gate.in_flight(), 0);
+        assert!(gate.high_water() <= 8);
+    }
+}

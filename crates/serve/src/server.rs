@@ -1,0 +1,1121 @@
+//! The atm-serve daemon: thread-per-connection JSONL over TCP,
+//! engineered for partial failure first.
+//!
+//! Every frame travels one fixed path:
+//!
+//! ```text
+//! read → parse → dedup → admission (token bucket) → per-conn queue →
+//!   global gate → degradation ladder (fresh → cached → safe-mode)
+//! ```
+//!
+//! Each connection runs a **reader** and a **worker** thread joined by a
+//! bounded job queue, so responses for one connection are written in
+//! request order — with a scripted single-connection load (virtual
+//! `now_ms` timestamps), the entire response transcript is
+//! byte-deterministic. Shedding happens as early as possible: malformed
+//! frames, duplicate ids, and rate-limited requests are answered with
+//! typed rejections before any plan work is queued; a full
+//! per-connection queue answers `connection_busy` from the reader
+//! rather than blocking the socket.
+//!
+//! The **degradation ladder** sits in the worker: a plan-producing
+//! request first tries the fresh pipeline (needs a global-gate permit
+//! and remaining deadline budget), then the fingerprint-keyed
+//! [`PlanCache`], then a safe-mode envelope answer — so overload and
+//! deadline pressure degrade fidelity instead of stalling connections.
+//! Restart safety rides on `core`'s durability substrate via
+//! [`crate::plancache`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use atm_core::actuate::NoopActuator;
+use atm_core::online::OnlineDriver;
+use atm_core::pipeline::{fallback_box_report_observed, run_box_observed, BoxReport};
+use atm_core::whatif::{capacity_for_target, capacity_sweep};
+use atm_core::AtmConfig;
+use atm_obs::Obs;
+use atm_tracegen::{generate_box, BoxTrace, FleetConfig, Resource};
+
+use crate::admission::{AdmissionPolicy, TokenBucket};
+use crate::deadline::Deadline;
+use crate::plancache::{fleet_fingerprint, Journal, PlanCache};
+use crate::protocol::{
+    escape_json, json_f64, parse_request, render_ok, render_reject, Op, RejectReason, Request,
+    ServedVia,
+};
+use crate::queue::WorkGate;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// The ATM pipeline configuration every plan is computed under.
+    /// Defaults to the demo-scale [`AtmConfig::fast_for_tests`] so the
+    /// daemon answers interactively out of the box; deployments tune it.
+    pub atm: AtmConfig,
+    /// Token-bucket admission for plan-producing requests.
+    pub admission: AdmissionPolicy,
+    /// Global cap on concurrently computing plan requests.
+    pub global_queue: usize,
+    /// Bound on queued-but-unanswered requests per connection.
+    pub per_conn_queue: usize,
+    /// Deadline applied when a request does not carry `deadline_ms`.
+    pub default_deadline_ms: Option<u64>,
+    /// Idle/slow-loris read timeout per connection.
+    pub idle_timeout_ms: u64,
+    /// Largest accepted frame in bytes.
+    pub max_frame_bytes: usize,
+    /// Directory for the plan cache + in-flight journal (`None` = no
+    /// persistence).
+    pub state_dir: Option<PathBuf>,
+    /// When `true`, admission time comes from each request's `now_ms`
+    /// (virtual, deterministic); when `false`, from the wall clock.
+    pub deterministic_time: bool,
+    /// How many recent request ids the duplicate filter remembers.
+    pub dedup_window: usize,
+    /// Observability handle shared by every request.
+    pub obs: Obs,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            atm: AtmConfig::fast_for_tests(),
+            admission: AdmissionPolicy::new(50.0, 10.0),
+            global_queue: 4,
+            per_conn_queue: 64,
+            default_deadline_ms: Some(30_000),
+            idle_timeout_ms: 30_000,
+            max_frame_bytes: 8 * 1024 * 1024,
+            state_dir: None,
+            deterministic_time: false,
+            dedup_window: 4096,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+macro_rules! serve_stats {
+    ($($field:ident),+ $(,)?) => {
+        /// Monotonic daemon counters; every shed or served request lands
+        /// in exactly one `served_*`/`rejected_*` bucket.
+        #[derive(Debug, Default)]
+        pub struct ServeStats {
+            $(
+                #[allow(missing_docs)]
+                pub $field: AtomicU64,
+            )+
+        }
+
+        impl ServeStats {
+            /// Counter values in stable (declaration) order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field.load(Ordering::Relaxed)),)+]
+            }
+        }
+    };
+}
+
+serve_stats!(
+    accepted,
+    connections,
+    deadline_degraded,
+    disconnects_mid_request,
+    frames,
+    recovered_cache_plans,
+    recovered_corrupt_cache,
+    recovered_journal_completed,
+    recovered_journal_orphans,
+    rejected_connection_busy,
+    rejected_deadline,
+    rejected_duplicate_id,
+    rejected_internal,
+    rejected_malformed,
+    rejected_not_found,
+    rejected_queue_full,
+    rejected_rate_limited,
+    rejected_shutting_down,
+    served_cached,
+    served_fresh,
+    served_safe_mode,
+    slow_loris_dropped,
+    stream_cancelled,
+    stream_windows_served,
+);
+
+impl ServeStats {
+    fn bump(&self, counter: &AtomicU64, obs: &Obs, name: &str) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        obs.add(name, 1);
+    }
+
+    fn reject(&self, reason: &RejectReason, obs: &Obs) {
+        let counter = match reason {
+            RejectReason::RateLimited => &self.rejected_rate_limited,
+            RejectReason::QueueFull => &self.rejected_queue_full,
+            RejectReason::ConnectionBusy => &self.rejected_connection_busy,
+            RejectReason::DuplicateId(_) => &self.rejected_duplicate_id,
+            RejectReason::Malformed(_) => &self.rejected_malformed,
+            RejectReason::NotFound(_) => &self.rejected_not_found,
+            RejectReason::DeadlineExceeded => &self.rejected_deadline,
+            RejectReason::ShuttingDown => &self.rejected_shutting_down,
+            RejectReason::Internal(_) => &self.rejected_internal,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        obs.add(&format!("serve.reject.{}", reason.as_str()), 1);
+    }
+
+    fn serve(&self, via: ServedVia, obs: &Obs) {
+        let counter = match via {
+            ServedVia::Fresh => &self.served_fresh,
+            ServedVia::Cached => &self.served_cached,
+            ServedVia::SafeMode => &self.served_safe_mode,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        obs.add(&format!("serve.served.{}", via.as_str()), 1);
+    }
+}
+
+/// One unit of per-connection work, carried reader → worker.
+enum Job {
+    Handle(Request, Deadline),
+    Reject(String, RejectReason),
+}
+
+impl Job {
+    /// The request id this job will answer with (clients correlate by
+    /// id, so even out-of-order sheds must echo it).
+    fn id(&self) -> &str {
+        match self {
+            Job::Handle(req, _) => &req.id,
+            Job::Reject(id, _) => id,
+        }
+    }
+}
+
+struct ConnQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    closed: AtomicBool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    stats: ServeStats,
+    bucket: Mutex<TokenBucket>,
+    gate: Arc<WorkGate>,
+    fleet: Mutex<BTreeMap<String, Arc<BoxTrace>>>,
+    cache: Mutex<PlanCache>,
+    journal: Option<Journal>,
+    seen_ids: Mutex<(BTreeSet<String>, VecDeque<String>)>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    fn obs(&self) -> &Obs {
+        &self.config.obs
+    }
+
+    /// Millisecond clock for admission: virtual in deterministic mode,
+    /// wall otherwise.
+    fn clock_ms(&self, req: &Request) -> u64 {
+        if self.config.deterministic_time {
+            req.now_ms.unwrap_or(0)
+        } else {
+            self.started.elapsed().as_millis() as u64
+        }
+    }
+}
+
+/// A running daemon; dropping the handle does *not* stop it — call
+/// [`shutdown`](Self::shutdown).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The daemon's counters.
+    pub fn stats(&self) -> Vec<(&'static str, u64)> {
+        self.shared.stats.fields()
+    }
+
+    /// Cached plans currently held.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().unwrap().len()
+    }
+
+    /// The observability handle requests are instrumented through.
+    pub fn obs(&self) -> &Obs {
+        self.shared.obs()
+    }
+
+    /// Blocks until the daemon stops (a `shutdown` op arrives). This is
+    /// what the `atm-serve` binary parks its main thread on.
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Signals shutdown and joins the accept loop. In-flight requests
+    /// drain; queued-but-unstarted frames are answered `shutting_down`.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Binds, recovers persisted state, and starts the accept loop.
+///
+/// # Errors
+///
+/// Propagates bind/listen and state-directory I/O failures.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let (cache, journal) = match &config.state_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            (PlanCache::open(dir)?, Some(Journal::new(dir)))
+        }
+        None => (PlanCache::in_memory(), None),
+    };
+
+    let bucket = config.admission.bucket_at(0);
+    let shared = Arc::new(Shared {
+        addr,
+        stats: ServeStats::default(),
+        bucket: Mutex::new(bucket),
+        gate: WorkGate::new(config.global_queue),
+        fleet: Mutex::new(BTreeMap::new()),
+        cache: Mutex::new(cache),
+        journal,
+        seen_ids: Mutex::new((BTreeSet::new(), VecDeque::new())),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        config,
+    });
+
+    // Surface what the crash left behind.
+    {
+        let cache = shared.cache.lock().unwrap();
+        shared
+            .stats
+            .recovered_cache_plans
+            .store(cache.len() as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .recovered_corrupt_cache
+            .store(u64::from(cache.recovered_corrupt), Ordering::Relaxed);
+    }
+    if let Some(journal) = &shared.journal {
+        let recovery = journal.recover()?;
+        shared
+            .stats
+            .recovered_journal_completed
+            .store(recovery.completed as u64, Ordering::Relaxed);
+        shared
+            .stats
+            .recovered_journal_orphans
+            .store(recovery.orphaned as u64, Ordering::Relaxed);
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    let acceptor = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            accept_shared
+                .stats
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            accept_shared.obs().add("serve.connections", 1);
+            let conn_shared = Arc::clone(&accept_shared);
+            std::thread::spawn(move || serve_connection(conn_shared, stream));
+        }
+    });
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn write_line(writer: &Mutex<TcpStream>, line: &str) -> bool {
+    let mut stream = writer.lock().unwrap();
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|_| stream.write_all(b"\n"))
+        .and_then(|_| stream.flush())
+        .is_ok()
+}
+
+/// Reader half of one connection: frames, parses, sheds, enqueues.
+fn serve_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let idle = Duration::from_millis(shared.config.idle_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(idle));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let queue = Arc::new(ConnQueue {
+        jobs: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        closed: AtomicBool::new(false),
+    });
+
+    let worker = {
+        let shared = Arc::clone(&shared);
+        let writer = Arc::clone(&writer);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || worker_loop(shared, writer, queue))
+    };
+
+    let max_frame = shared.config.max_frame_bytes as u64;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let complete = loop {
+            // Budget each frame: a flood with no newline hits the frame
+            // limit instead of growing the buffer without bound.
+            let remaining = (max_frame + 2).saturating_sub(line.len() as u64);
+            if remaining == 0 {
+                shared.stats.reject(
+                    &RejectReason::Malformed("frame too large".into()),
+                    shared.obs(),
+                );
+                let _ = write_line(
+                    &writer,
+                    &render_reject("", &RejectReason::Malformed("frame too large".into())),
+                );
+                line.clear();
+                break false;
+            }
+            match reader.by_ref().take(remaining).read_line(&mut line) {
+                Ok(0) => break false,
+                Ok(_) if line.ends_with('\n') => break true,
+                // EOF after a partial frame (or the budget above ran
+                // out): the frame will never complete.
+                Ok(_) if (line.len() as u64) < max_frame + 2 => break false,
+                Ok(_) => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break false;
+                    }
+                    if !line.is_empty() {
+                        // A frame that started but did not finish within
+                        // the idle window: slow-loris. Drop the
+                        // connection rather than hold a thread hostage.
+                        shared.stats.bump(
+                            &shared.stats.slow_loris_dropped,
+                            shared.obs(),
+                            "serve.slow_loris_dropped",
+                        );
+                        line.clear();
+                        break false;
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if !complete {
+            if !line.is_empty() {
+                shared.stats.bump(
+                    &shared.stats.disconnects_mid_request,
+                    shared.obs(),
+                    "serve.disconnects_mid_request",
+                );
+            }
+            break;
+        }
+        let frame = line.trim_end_matches(['\n', '\r']);
+        if frame.is_empty() {
+            continue;
+        }
+        shared.stats.frames.fetch_add(1, Ordering::Relaxed);
+        shared.obs().add("serve.frames", 1);
+        if frame.len() > shared.config.max_frame_bytes {
+            let reject = RejectReason::Malformed("frame too large".into());
+            shared.stats.reject(&reject, shared.obs());
+            let _ = write_line(&writer, &render_reject("", &reject));
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let reject = RejectReason::ShuttingDown;
+            shared.stats.reject(&reject, shared.obs());
+            let _ = write_line(&writer, &render_reject("", &reject));
+            break;
+        }
+
+        let job = match parse_request(frame) {
+            Ok(req) => pre_admit(&shared, req),
+            Err((id, reason)) => Job::Reject(id, reason),
+        };
+
+        // Enqueue for the worker so one connection's responses keep
+        // request order; shed `connection_busy` here when the bounded
+        // queue is full (the one reply the reader writes out of order).
+        let mut jobs = queue.jobs.lock().unwrap();
+        if jobs.len() >= shared.config.per_conn_queue {
+            drop(jobs);
+            let reject = RejectReason::ConnectionBusy;
+            shared.stats.reject(&reject, shared.obs());
+            // Echo the id: a pipelining client correlates responses by
+            // id, and an uncorrelatable shed reads as a stall.
+            if !write_line(&writer, &render_reject(job.id(), &reject)) {
+                break;
+            }
+            continue;
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        queue.ready.notify_one();
+    }
+
+    queue.closed.store(true, Ordering::SeqCst);
+    queue.ready.notify_one();
+    let _ = worker.join();
+}
+
+/// Dedup + admission, decided at arrival time so shedding happens
+/// before any queueing.
+fn pre_admit(shared: &Shared, req: Request) -> Job {
+    // stats/shutdown are control-plane: never deduped or rate limited.
+    if matches!(req.op, Op::Stats | Op::Shutdown) {
+        let deadline = Deadline::arm(None);
+        return Job::Handle(req, deadline);
+    }
+
+    // Duplicates are judged against *accepted* requests only, so a
+    // client retrying a rate-limited id (the loadgen's backoff does
+    // exactly that) is not punished for the retry.
+    if shared.seen_ids.lock().unwrap().0.contains(&req.id) {
+        return Job::Reject(req.id.clone(), RejectReason::DuplicateId(req.id));
+    }
+
+    let now_ms = shared.clock_ms(&req);
+    if !shared.bucket.lock().unwrap().admit(now_ms) {
+        return Job::Reject(req.id, RejectReason::RateLimited);
+    }
+
+    {
+        let mut seen = shared.seen_ids.lock().unwrap();
+        seen.0.insert(req.id.clone());
+        seen.1.push_back(req.id.clone());
+        if seen.1.len() > shared.config.dedup_window.max(1) {
+            if let Some(old) = seen.1.pop_front() {
+                seen.0.remove(&old);
+            }
+        }
+    }
+
+    shared
+        .stats
+        .bump(&shared.stats.accepted, shared.obs(), "serve.accepted");
+    let deadline = Deadline::arm(req.deadline_ms.or(shared.config.default_deadline_ms));
+    Job::Handle(req, deadline)
+}
+
+/// Worker half of one connection: drains the job queue in order.
+fn worker_loop(shared: Arc<Shared>, writer: Arc<Mutex<TcpStream>>, queue: Arc<ConnQueue>) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if queue.closed.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = queue
+                    .ready
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .unwrap();
+                jobs = guard;
+            }
+        };
+        let Some(job) = job else { return };
+        match job {
+            Job::Reject(id, reason) => {
+                shared.stats.reject(&reason, shared.obs());
+                if !write_line(&writer, &render_reject(&id, &reason)) {
+                    return;
+                }
+            }
+            Job::Handle(req, deadline) => {
+                let _span = shared.obs().span("serve.request");
+                if !handle_request(&shared, &writer, req, deadline) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Handles one admitted request; returns `false` when the peer is gone.
+fn handle_request(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    req: Request,
+    deadline: Deadline,
+) -> bool {
+    let obs = shared.obs();
+    match req.op {
+        Op::Stats => {
+            let body = render_stats_body(shared);
+            write_line(writer, &render_ok(&req.id, None, &body))
+        }
+        Op::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let ok = write_line(writer, &render_ok(&req.id, None, ",\"stopping\":true"));
+            // Unblock the acceptor so the daemon actually exits.
+            let _ = TcpStream::connect(shared.addr);
+            ok
+        }
+        Op::SubmitFleet { gen, boxes } => {
+            let mut registered: Vec<String> = Vec::new();
+            let mut windows = 0usize;
+            let mut all = boxes;
+            if let Some((num_boxes, days, seed)) = gen {
+                let mut fc = FleetConfig::gap_free(num_boxes.clamp(1, 64));
+                fc.days = days.clamp(1, 30);
+                fc.seed = seed;
+                for i in 0..fc.num_boxes {
+                    all.push(generate_box(&fc, i));
+                }
+            }
+            if all.iter().any(|b| b.vms.is_empty()) {
+                let reject = RejectReason::Malformed("box without vms".into());
+                shared.stats.reject(&reject, obs);
+                return write_line(writer, &render_reject(&req.id, &reject));
+            }
+            let mut fleet = shared.fleet.lock().unwrap();
+            for b in all {
+                windows = windows.max(b.window_count());
+                registered.push(b.name.clone());
+                fleet.insert(b.name.clone(), Arc::new(b));
+            }
+            drop(fleet);
+            obs.add("serve.op.submit_fleet", 1);
+            let names = registered
+                .iter()
+                .map(|n| format!("\"{}\"", escape_json(n)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let body = format!(",\"boxes\":[{names}],\"windows\":{windows}");
+            write_line(writer, &render_ok(&req.id, None, &body))
+        }
+        Op::GetPlan { box_name } => {
+            obs.add("serve.op.get_plan", 1);
+            let Some(trace) = shared.fleet.lock().unwrap().get(&box_name).cloned() else {
+                let reject = RejectReason::NotFound(box_name);
+                shared.stats.reject(&reject, obs);
+                return write_line(writer, &render_reject(&req.id, &reject));
+            };
+            handle_get_plan(shared, writer, &req.id, &trace, deadline)
+        }
+        Op::Whatif {
+            box_name,
+            resource,
+            threshold_pct,
+            windows,
+            factors,
+            target_tickets,
+        } => {
+            obs.add("serve.op.whatif", 1);
+            let Some(trace) = shared.fleet.lock().unwrap().get(&box_name).cloned() else {
+                let reject = RejectReason::NotFound(box_name);
+                shared.stats.reject(&reject, obs);
+                return write_line(writer, &render_reject(&req.id, &reject));
+            };
+            handle_whatif(
+                shared,
+                writer,
+                &req.id,
+                &trace,
+                resource,
+                threshold_pct,
+                windows,
+                &factors,
+                target_tickets,
+                deadline,
+            )
+        }
+        Op::StreamWindows {
+            box_name,
+            max_windows,
+        } => {
+            obs.add("serve.op.stream_windows", 1);
+            let Some(trace) = shared.fleet.lock().unwrap().get(&box_name).cloned() else {
+                let reject = RejectReason::NotFound(box_name);
+                shared.stats.reject(&reject, obs);
+                return write_line(writer, &render_reject(&req.id, &reject));
+            };
+            handle_stream_windows(shared, writer, &req.id, &trace, max_windows, deadline)
+        }
+    }
+}
+
+/// `get_plan`: the full three-rung degradation ladder.
+fn handle_get_plan(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    id: &str,
+    trace: &Arc<BoxTrace>,
+    deadline: Deadline,
+) -> bool {
+    let obs = shared.obs();
+    let fingerprint = fleet_fingerprint(trace, &shared.config.atm);
+
+    // Rung 1: fresh, if a gate slot is free and budget remains.
+    if !deadline.expired() {
+        if let Some(_permit) = shared.gate.try_enter() {
+            if let Some(journal) = &shared.journal {
+                let _ = journal.begin(fingerprint, "plan");
+            }
+            let result = run_box_observed(trace, &shared.config.atm, obs);
+            if let Some(journal) = &shared.journal {
+                let _ = journal.done(fingerprint, "plan");
+            }
+            if let Ok(report) = result {
+                let body = render_plan_body(&report, fingerprint, false);
+                let _ = shared
+                    .cache
+                    .lock()
+                    .unwrap()
+                    .put(fingerprint, "plan", body.clone());
+                shared.stats.serve(ServedVia::Fresh, obs);
+                return write_line(writer, &render_ok(id, Some(ServedVia::Fresh), &body));
+            }
+            // fall through the ladder on pipeline errors
+        }
+    } else {
+        shared.stats.bump(
+            &shared.stats.deadline_degraded,
+            obs,
+            "serve.deadline_degraded",
+        );
+    }
+
+    // Rung 2: fingerprint-keyed cache.
+    if let Some(body) = shared
+        .cache
+        .lock()
+        .unwrap()
+        .get(fingerprint, "plan")
+        .map(str::to_string)
+    {
+        shared.stats.serve(ServedVia::Cached, obs);
+        return write_line(writer, &render_ok(id, Some(ServedVia::Cached), &body));
+    }
+
+    // Rung 3: safe-mode envelope (the pipeline's fallback report).
+    match fallback_box_report_observed(trace, &shared.config.atm, obs) {
+        Ok(report) => {
+            let body = render_plan_body(&report, fingerprint, true);
+            shared.stats.serve(ServedVia::SafeMode, obs);
+            write_line(writer, &render_ok(id, Some(ServedVia::SafeMode), &body))
+        }
+        Err(e) => {
+            let reject = RejectReason::Internal(format!("{e}"));
+            shared.stats.reject(&reject, obs);
+            write_line(writer, &render_reject(id, &reject))
+        }
+    }
+}
+
+/// `whatif`: fresh sweep with per-point deadline checks, then cache,
+/// then a peak-demand envelope estimate.
+#[allow(clippy::too_many_arguments)]
+fn handle_whatif(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    id: &str,
+    trace: &Arc<BoxTrace>,
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    factors: &[f64],
+    target_tickets: Option<usize>,
+    deadline: Deadline,
+) -> bool {
+    let obs = shared.obs();
+    let fingerprint = fleet_fingerprint(trace, &shared.config.atm);
+    let op_key = whatif_op_key(resource, threshold_pct, windows, factors, target_tickets);
+
+    // Rung 1: fresh sweep, cancelling cooperatively between points.
+    if !deadline.expired() {
+        if let Some(_permit) = shared.gate.try_enter() {
+            if let Some(journal) = &shared.journal {
+                let _ = journal.begin(fingerprint, &op_key);
+            }
+            let outcome = fresh_whatif(
+                trace,
+                resource,
+                threshold_pct,
+                windows,
+                factors,
+                target_tickets,
+                deadline,
+            );
+            if let Some(journal) = &shared.journal {
+                let _ = journal.done(fingerprint, &op_key);
+            }
+            match outcome {
+                Ok((body, cancelled)) => {
+                    if !cancelled {
+                        let _ =
+                            shared
+                                .cache
+                                .lock()
+                                .unwrap()
+                                .put(fingerprint, &op_key, body.clone());
+                    } else {
+                        shared.stats.bump(
+                            &shared.stats.deadline_degraded,
+                            obs,
+                            "serve.deadline_degraded",
+                        );
+                    }
+                    shared.stats.serve(ServedVia::Fresh, obs);
+                    return write_line(writer, &render_ok(id, Some(ServedVia::Fresh), &body));
+                }
+                Err(reject) => {
+                    shared.stats.reject(&reject, obs);
+                    return write_line(writer, &render_reject(id, &reject));
+                }
+            }
+        }
+    } else {
+        shared.stats.bump(
+            &shared.stats.deadline_degraded,
+            obs,
+            "serve.deadline_degraded",
+        );
+    }
+
+    // Rung 2: cache.
+    if let Some(body) = shared
+        .cache
+        .lock()
+        .unwrap()
+        .get(fingerprint, &op_key)
+        .map(str::to_string)
+    {
+        shared.stats.serve(ServedVia::Cached, obs);
+        return write_line(writer, &render_ok(id, Some(ServedVia::Cached), &body));
+    }
+
+    // Rung 3: envelope estimate from aggregate peak demand — no MCKP,
+    // no model, O(windows) arithmetic.
+    let body = envelope_whatif(trace, resource, threshold_pct, windows, factors);
+    shared.stats.serve(ServedVia::SafeMode, obs);
+    write_line(writer, &render_ok(id, Some(ServedVia::SafeMode), &body))
+}
+
+fn whatif_op_key(
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    factors: &[f64],
+    target_tickets: Option<usize>,
+) -> String {
+    let mut factors_fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for &f in factors {
+        for b in f.to_bits().to_le_bytes() {
+            factors_fp ^= u64::from(b);
+            factors_fp = factors_fp.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    format!(
+        "whatif:{}:{}:{}:{:016x}:{}",
+        resource_name(resource),
+        threshold_pct.to_bits(),
+        windows,
+        factors_fp,
+        target_tickets.map_or("none".to_string(), |t| t.to_string()),
+    )
+}
+
+fn resource_name(resource: Resource) -> &'static str {
+    match resource {
+        Resource::Cpu => "cpu",
+        Resource::Ram => "ram",
+    }
+}
+
+type WhatifBody = (String, bool);
+
+fn fresh_whatif(
+    trace: &BoxTrace,
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    factors: &[f64],
+    target_tickets: Option<usize>,
+    deadline: Deadline,
+) -> Result<WhatifBody, RejectReason> {
+    let mut points = Vec::with_capacity(factors.len());
+    let mut cancelled_at: Option<usize> = None;
+    for &factor in factors {
+        if deadline.expired() {
+            cancelled_at = Some(points.len());
+            break;
+        }
+        let point = capacity_sweep(trace, resource, threshold_pct, windows, &[factor])
+            .map_err(|e| RejectReason::Internal(format!("{e}")))?;
+        points.push(point.into_iter().next().expect("one factor, one point"));
+    }
+    let target_factor = match (target_tickets, cancelled_at) {
+        (Some(target), None) => {
+            let lo = factors.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = factors.iter().copied().fold(0.0f64, f64::max);
+            let (lo, hi) = if lo.is_finite() && hi.is_finite() && lo < hi {
+                (lo, hi)
+            } else {
+                (0.25, 4.0)
+            };
+            capacity_for_target(trace, resource, threshold_pct, windows, target, lo, hi)
+                .map_err(|e| RejectReason::Internal(format!("{e}")))?
+        }
+        _ => None,
+    };
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"factor\":{},\"capacity\":{},\"tickets\":{}}}",
+                json_f64(p.capacity_factor),
+                json_f64(p.capacity),
+                p.tickets
+            )
+        })
+        .collect();
+    let body = format!(
+        ",\"box\":\"{}\",\"resource\":\"{}\",\"points\":[{}],\"target_factor\":{},\"cancelled_at\":{},\"envelope\":false",
+        escape_json(&trace.name),
+        resource_name(resource),
+        rendered.join(","),
+        target_factor.map_or("null".to_string(), json_f64),
+        cancelled_at.map_or("null".to_string(), |c| c.to_string()),
+    );
+    Ok((body, cancelled_at.is_some()))
+}
+
+/// Safe-mode what-if: tickets estimated from the *aggregate* demand
+/// curve against the scaled budget — an envelope in the sense that it
+/// treats the box as one pooled VM, which needs no solver and no model.
+fn envelope_whatif(
+    trace: &BoxTrace,
+    resource: Resource,
+    threshold_pct: f64,
+    windows: usize,
+    factors: &[f64],
+) -> String {
+    let total = trace.window_count();
+    let take = windows.clamp(1, total.max(1));
+    let mut aggregate = vec![0.0f64; take.min(total)];
+    for vm in &trace.vms {
+        let demand = vm.demand(resource);
+        for (slot, &d) in aggregate.iter_mut().zip(&demand[total - take.min(total)..]) {
+            if d.is_finite() {
+                *slot += d;
+            }
+        }
+    }
+    let base = trace.capacity(resource);
+    let threshold = threshold_pct.clamp(1.0, 100.0) / 100.0;
+    let rendered: Vec<String> = factors
+        .iter()
+        .map(|&factor| {
+            let capacity = base * factor;
+            let tickets = aggregate
+                .iter()
+                .filter(|&&d| d > capacity * threshold)
+                .count();
+            format!(
+                "{{\"factor\":{},\"capacity\":{},\"tickets\":{}}}",
+                json_f64(factor),
+                json_f64(capacity),
+                tickets
+            )
+        })
+        .collect();
+    format!(
+        ",\"box\":\"{}\",\"resource\":\"{}\",\"points\":[{}],\"target_factor\":null,\"cancelled_at\":null,\"envelope\":true",
+        escape_json(&trace.name),
+        resource_name(resource),
+        rendered.join(","),
+    )
+}
+
+/// `stream_windows`: one response line per online window, cancelled
+/// cooperatively at window boundaries when the deadline expires.
+fn handle_stream_windows(
+    shared: &Shared,
+    writer: &Mutex<TcpStream>,
+    id: &str,
+    trace: &Arc<BoxTrace>,
+    max_windows: Option<usize>,
+    deadline: Deadline,
+) -> bool {
+    let obs = shared.obs();
+    if deadline.expired() {
+        let reject = RejectReason::DeadlineExceeded;
+        shared.stats.reject(&reject, obs);
+        return write_line(writer, &render_reject(id, &reject));
+    }
+    let Some(_permit) = shared.gate.try_enter() else {
+        let reject = RejectReason::QueueFull;
+        shared.stats.reject(&reject, obs);
+        return write_line(writer, &render_reject(id, &reject));
+    };
+    let mut driver = match OnlineDriver::new_observed(trace, &shared.config.atm, obs) {
+        Ok(driver) => driver,
+        Err(e) => {
+            let reject = RejectReason::Internal(format!("{e}"));
+            shared.stats.reject(&reject, obs);
+            return write_line(writer, &render_reject(id, &reject));
+        }
+    };
+    let mut state = driver.fresh_state();
+    let mut actuator = NoopActuator::new();
+    let cap = max_windows
+        .unwrap_or(usize::MAX)
+        .min(driver.windows_total());
+    let mut cancelled_at: Option<usize> = None;
+    let (mut ok_n, mut degraded_n, mut skipped_n) = (0usize, 0usize, 0usize);
+    while !driver.is_done(&state) && state.completed_windows() < cap {
+        if deadline.expired() {
+            cancelled_at = Some(state.next_window());
+            shared.stats.bump(
+                &shared.stats.stream_cancelled,
+                obs,
+                "serve.stream_cancelled",
+            );
+            break;
+        }
+        if let Err(e) = driver.step(&mut state, &mut actuator) {
+            let reject = RejectReason::Internal(format!("{e}"));
+            shared.stats.reject(&reject, obs);
+            return write_line(writer, &render_reject(id, &reject));
+        }
+        let Some(outcome) = state.outcomes().last() else {
+            break;
+        };
+        let (status, reason) = match &outcome.status {
+            atm_core::online::WindowStatus::Ok => {
+                ok_n += 1;
+                ("ok", String::new())
+            }
+            atm_core::online::WindowStatus::Degraded { reason } => {
+                degraded_n += 1;
+                ("degraded", reason.clone())
+            }
+            atm_core::online::WindowStatus::Skipped { reason } => {
+                skipped_n += 1;
+                ("skipped", reason.clone())
+            }
+        };
+        shared
+            .stats
+            .stream_windows_served
+            .fetch_add(1, Ordering::Relaxed);
+        let line = format!(
+            "{{\"id\":\"{}\",\"ok\":true,\"stream\":true,\"window\":{},\"status\":\"{}\",\"reason\":\"{}\",\"tickets_before\":{},\"tickets_after\":{}}}",
+            escape_json(id),
+            outcome.window,
+            status,
+            escape_json(&reason),
+            outcome.tickets_before,
+            outcome.tickets_after,
+        );
+        if !write_line(writer, &line) {
+            return false;
+        }
+    }
+    let body = format!(
+        ",\"done\":true,\"windows\":{},\"ok_windows\":{ok_n},\"degraded\":{degraded_n},\"skipped\":{skipped_n},\"cancelled_at\":{}",
+        state.completed_windows(),
+        cancelled_at.map_or("null".to_string(), |c| c.to_string()),
+    );
+    shared.stats.serve(ServedVia::Fresh, obs);
+    write_line(writer, &render_ok(id, Some(ServedVia::Fresh), &body))
+}
+
+/// Renders the compact plan body shared by fresh/cached/safe-mode
+/// `get_plan` answers. Must stay newline-free (it is a cache line).
+fn render_plan_body(report: &BoxReport, fingerprint: u64, envelope: bool) -> String {
+    let resizing: Vec<String> = report
+        .resizing
+        .iter()
+        .map(|r| {
+            let caps: Vec<String> = r.capacities.iter().map(|&c| json_f64(c)).collect();
+            format!(
+                "{{\"resource\":\"{}\",\"before\":{},\"after\":{},\"stingy_after\":{},\"maxmin_after\":{},\"capacities\":[{}]}}",
+                resource_name(r.resource),
+                r.atm.before,
+                r.atm.after,
+                r.stingy.after,
+                r.maxmin.after,
+                caps.join(","),
+            )
+        })
+        .collect();
+    format!(
+        ",\"box\":\"{}\",\"fingerprint\":\"{fingerprint:016x}\",\"envelope\":{envelope},\"signatures\":{},\"total_series\":{},\"mape_all\":{},\"resizing\":[{}]",
+        escape_json(&report.box_name),
+        report.signature.final_signatures,
+        report.signature.total_series,
+        json_f64(report.prediction.mape_all),
+        resizing.join(","),
+    )
+}
+
+fn render_stats_body(shared: &Shared) -> String {
+    let mut fields = shared.stats.fields();
+    fields.sort_by_key(|(name, _)| *name);
+    let rendered: Vec<String> = fields
+        .iter()
+        .map(|(name, value)| format!("\"{name}\":{value}"))
+        .collect();
+    format!(
+        ",\"stats\":{{{}}},\"gate\":{{\"in_flight\":{},\"high_water\":{},\"limit\":{}}},\"cache_plans\":{},\"uptime_ms\":{}",
+        rendered.join(","),
+        shared.gate.in_flight(),
+        shared.gate.high_water(),
+        shared.gate.limit(),
+        shared.cache.lock().unwrap().len(),
+        shared.started.elapsed().as_millis(),
+    )
+}

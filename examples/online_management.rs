@@ -21,6 +21,17 @@
 //! ```sh
 //! cargo run --release --example online_management -- --scenario flash_crowd
 //! ```
+//!
+//! Pass `--serve` (optional `--queries N`) to instead boot an
+//! in-process `atm-serve` daemon on virtual time and walk its
+//! degradation ladder with a scripted burst of `whatif` queries —
+//! fresh sweeps first, then cache hits under an expired deadline, then
+//! a safe-mode envelope answer, then a same-instant burst the token
+//! bucket sheds — and print the daemon's ladder counters:
+//!
+//! ```sh
+//! cargo run --release --example online_management -- --serve
+//! ```
 
 use atm::core::actuate::NoopActuator;
 use atm::core::checkpoint::CheckpointStore;
@@ -123,9 +134,171 @@ fn run_scenario_demo(name: &str, seed: u64) -> Result<(), Box<dyn std::error::Er
     Ok(())
 }
 
+/// Sends one `whatif` frame over the demo connection and reduces the
+/// response to a one-word verdict: the ladder rung for accepted
+/// queries, the typed rejection reason for shed ones.
+fn whatif_verdict(
+    stream: &mut std::net::TcpStream,
+    id: &str,
+    factor: f64,
+    now_ms: u64,
+    deadline_ms: Option<u64>,
+) -> Result<String, Box<dyn std::error::Error>> {
+    use serde_json::Value;
+
+    let deadline = deadline_ms
+        .map(|d| format!(",\"deadline_ms\":{d}"))
+        .unwrap_or_default();
+    let frame = format!(
+        "{{\"op\":\"whatif\",\"id\":\"{id}\",\"box\":\"box0\",\"resource\":\"cpu\",\
+         \"factors\":[{factor}],\"now_ms\":{now_ms}{deadline}}}"
+    );
+    let lines = atm_serve::loadgen::query(stream, &frame, id)?;
+    let last = lines.last().ok_or("daemon sent no response")?;
+    let value: Value = serde_json::from_str(last)?;
+    if value.get("ok").and_then(Value::as_bool) == Some(true) {
+        Ok(value
+            .get("served_via")
+            .and_then(Value::as_str)
+            .unwrap_or("ok")
+            .to_string())
+    } else {
+        Ok(format!(
+            "shed:{}",
+            value
+                .get("reason")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown")
+        ))
+    }
+}
+
+/// The `--serve` demo: boots an in-process daemon in deterministic-time
+/// mode, submits a generated fleet over the wire, and scripts a query
+/// sequence that visits every rung of the degradation ladder plus the
+/// admission shed, asserting the daemon's own counters agree.
+fn run_serve_demo(queries: usize, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    use atm::core::backoff::BackoffPolicy;
+    use atm_serve::loadgen;
+    use atm_serve::server::{self, ServerConfig};
+    use atm_serve::AdmissionPolicy;
+    use std::collections::BTreeMap;
+
+    // Small bucket so the final burst actually sheds: 10 virtual
+    // requests/sec, 4 tokens of burst.
+    let (rate, burst) = (10.0, 4.0);
+    let handle = server::start(ServerConfig {
+        admission: AdmissionPolicy::new(rate, burst),
+        deterministic_time: true,
+        ..ServerConfig::default()
+    })?;
+    let addr = handle.addr().to_string();
+    println!("atm-serve on {addr} (virtual time; admission {rate} req/s, burst {burst})");
+
+    let mut stream = loadgen::connect_with_backoff(&addr, BackoffPolicy::new(10, 200), seed, 10)?;
+    loadgen::query(
+        &mut stream,
+        r#"{"op":"submit_fleet","id":"demo-fleet","gen":{"boxes":1,"days":3,"seed":7},"now_ms":0}"#,
+        "demo-fleet",
+    )?;
+    println!("submitted generated fleet (1 box, 3 days, seed 7) -> `box0`\n");
+
+    // Split the query budget into the scripted rounds: paired
+    // fresh/cached sweeps, one safe-mode probe, and the shed burst.
+    // The floor keeps round 1 wide enough that every burst query the
+    // bucket admits finds its sweep already cached.
+    let queries = queries.max(14);
+    let fresh_n = (queries - 2) / 3;
+    let burst_n = queries - 2 * fresh_n - 1;
+    let factor = |k: usize| 0.5 + 0.25 * (k % 7) as f64;
+    let mut now_ms: u64 = 1_000;
+
+    // Round 1 — fresh: spaced stamps keep the bucket refilled, a live
+    // deadline lets every sweep compute (and populate the plan cache).
+    for k in 0..fresh_n {
+        let verdict = whatif_verdict(&mut stream, &format!("fresh-{k}"), factor(k), now_ms, None)?;
+        println!(
+            "  fresh-{k}  factor {:.2} at t={now_ms}ms -> {verdict}",
+            factor(k)
+        );
+        now_ms += 1_000;
+    }
+
+    // Round 2 — cached: the same sweeps with an already-expired budget
+    // (`deadline_ms: 0`) skip the fresh rung and hit the cache.
+    for k in 0..fresh_n {
+        let verdict = whatif_verdict(
+            &mut stream,
+            &format!("cached-{k}"),
+            factor(k),
+            now_ms,
+            Some(0),
+        )?;
+        println!(
+            "  cached-{k} factor {:.2} at t={now_ms}ms -> {verdict}",
+            factor(k)
+        );
+        now_ms += 1_000;
+    }
+
+    // Round 3 — safe mode: an expired budget for a sweep nobody has
+    // computed falls through the cache to the envelope answer.
+    let verdict = whatif_verdict(&mut stream, "safe-0", 9.75, now_ms, Some(0))?;
+    println!("  safe-0   factor 9.75 at t={now_ms}ms -> {verdict}");
+    now_ms += 10_000; // let the bucket refill to its full burst
+
+    // Round 4 — shed: a same-instant burst. The first `burst` tokens
+    // are admitted (cache hits again), the rest are rate-limited.
+    for k in 0..burst_n {
+        let verdict = whatif_verdict(
+            &mut stream,
+            &format!("burst-{k}"),
+            factor(k),
+            now_ms,
+            Some(0),
+        )?;
+        println!(
+            "  burst-{k}  factor {:.2} at t={now_ms}ms -> {verdict}",
+            factor(k)
+        );
+    }
+    drop(stream);
+
+    let stats: BTreeMap<&str, u64> = handle.stats().into_iter().collect();
+    println!("\ndegradation ladder counters (daemon side):");
+    for key in [
+        "served_fresh",
+        "served_cached",
+        "served_safe_mode",
+        "rejected_rate_limited",
+        "accepted",
+        "frames",
+    ] {
+        println!("  {key:<22} {}", stats[key]);
+    }
+    handle.shutdown();
+
+    // The script is deterministic, so the rung counts are checkable.
+    let expect = [
+        ("served_fresh", fresh_n as u64),
+        ("served_cached", fresh_n as u64 + burst as u64),
+        ("served_safe_mode", 1),
+        ("rejected_rate_limited", burst_n as u64 - burst as u64),
+    ];
+    for (key, want) in expect {
+        if stats[key] != want {
+            return Err(format!("expected {key} = {want}, daemon counted {}", stats[key]).into());
+        }
+    }
+    println!("\nladder counters match the scripted schedule: yes");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario: Option<String> = None;
+    let mut serve = false;
+    let mut queries = 16_usize;
     let mut seed = 46061_u64;
     let mut i = 0;
     while i < args.len() {
@@ -134,12 +307,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 scenario = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--serve" => {
+                serve = true;
+                i += 1;
+            }
+            "--queries" if i + 1 < args.len() => {
+                queries = args[i + 1].parse()?;
+                i += 2;
+            }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse()?;
                 i += 2;
             }
             other => return Err(format!("unknown argument {other:?}").into()),
         }
+    }
+    if serve {
+        return run_serve_demo(queries, seed);
     }
     if let Some(name) = scenario {
         return run_scenario_demo(&name, seed);

@@ -1,0 +1,90 @@
+//! The atm-serve daemon binary: serves ATM plans, online window
+//! streams, and capacity what-ifs as JSONL over TCP, hardened for
+//! overload (admission control, backpressure, deadlines, degradation
+//! ladder) — see DESIGN.md §15.
+//!
+//! ```text
+//! atm-serve [--addr 127.0.0.1:0] [--state-dir DIR] [--rate RPS]
+//!           [--burst N] [--queue N] [--per-conn-queue N]
+//!           [--idle-timeout-ms MS] [--deterministic-time]
+//! ```
+//!
+//! Prints `atm-serve listening on <addr>` once ready (tests and the
+//! kill/restart soak parse this line), then serves until a `shutdown`
+//! op arrives. State in `--state-dir` (plan cache + in-flight journal)
+//! survives `SIGKILL` byte-identically.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use atm_obs::Obs;
+use atm_serve::server::{self, ServerConfig};
+use atm_serve::AdmissionPolicy;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        obs: Obs::enabled(false),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--state-dir" => config.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--rate" => {
+                config.admission = AdmissionPolicy::new(
+                    value("--rate").parse().expect("--rate: f64"),
+                    config.admission.burst,
+                )
+            }
+            "--burst" => {
+                config.admission = AdmissionPolicy::new(
+                    config.admission.rate_per_sec,
+                    value("--burst").parse().expect("--burst: f64"),
+                )
+            }
+            "--queue" => config.global_queue = value("--queue").parse().expect("--queue: usize"),
+            "--per-conn-queue" => {
+                config.per_conn_queue = value("--per-conn-queue").parse().expect("usize")
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value("--idle-timeout-ms").parse().expect("u64")
+            }
+            "--default-deadline-ms" => {
+                config.default_deadline_ms =
+                    Some(value("--default-deadline-ms").parse().expect("u64"))
+            }
+            "--deterministic-time" => config.deterministic_time = true,
+            "--help" | "-h" => {
+                println!(
+                    "atm-serve: overload-hardened ATM daemon (JSONL over TCP)\n\
+                     options: --addr A --state-dir D --rate RPS --burst N --queue N\n\
+                     \x20        --per-conn-queue N --idle-timeout-ms MS \
+                     --default-deadline-ms MS --deterministic-time"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match server::start(config) {
+        Ok(handle) => {
+            // Tests and scripts wait for this exact line.
+            println!("atm-serve listening on {}", handle.addr());
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("atm-serve: failed to start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Integration tests for the atm-serve daemon: the ISSUE acceptance
+//! scenarios. Under seeded 4× overload the daemon must shed
+//! deterministically with zero stalled connections, walk the
+//! fresh → cached → safe-mode degradation ladder per request, cancel
+//! streams cooperatively at window boundaries, survive a mid-run
+//! `SIGKILL` with a byte-identical plan cache, and answer every chaos
+//! connection (slow-loris, mid-request disconnect, malformed frames,
+//! duplicate ids) with a typed rejection or a drop — never a hang.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use atm_core::backoff::BackoffPolicy;
+use atm_serve::loadgen::{self, LoadConfig, Phase};
+use atm_serve::server::{self, ServerConfig, ServerHandle};
+use atm_serve::AdmissionPolicy;
+use serde_json::Value;
+
+/// Deterministic in-process daemon: virtual time (the token bucket runs
+/// on client `now_ms` stamps), everything else default.
+fn det_server(rate: f64, burst: f64) -> ServerHandle {
+    server::start(ServerConfig {
+        admission: AdmissionPolicy::new(rate, burst),
+        deterministic_time: true,
+        per_conn_queue: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts")
+}
+
+fn connect(addr: &str) -> TcpStream {
+    loadgen::connect_with_backoff(addr, BackoffPolicy::new(10, 200), 1, 20).expect("connect")
+}
+
+/// Registers the committed seeded fleet (one box named `box0`).
+fn submit_fleet(stream: &mut TcpStream, days: usize) -> Vec<String> {
+    let frame = format!(
+        "{{\"op\":\"submit_fleet\",\"id\":\"fleet\",\"gen\":{{\"boxes\":1,\"days\":{days},\"seed\":7}},\"now_ms\":0}}"
+    );
+    let lines = loadgen::query(stream, &frame, "fleet").expect("submit_fleet");
+    assert!(lines.last().unwrap().contains("\"ok\":true"), "{lines:?}");
+    lines
+}
+
+fn last_json(lines: &[String]) -> Value {
+    serde_json::from_str(lines.last().expect("at least one line")).expect("valid json")
+}
+
+/// Seeded 4× overload (offered 40/s against a 10/s bucket): the daemon
+/// sheds with typed rejections, never stalls a request past its
+/// deadline, and — because virtual time pins the bucket to the client's
+/// schedule — produces the exact same accept/shed transcript every run.
+#[test]
+fn overload_4x_sheds_deterministically_with_zero_stalls() {
+    let run_once = || {
+        let handle = det_server(10.0, 2.0);
+        let addr = handle.addr().to_string();
+        let mut stream = connect(&addr);
+        submit_fleet(&mut stream, 3);
+        drop(stream);
+        let report = loadgen::run(&LoadConfig {
+            addr,
+            seed: 7,
+            phases: vec![Phase {
+                rate_per_sec: 40.0,
+                requests: 80,
+            }],
+            box_name: "box0".into(),
+            ..LoadConfig::default()
+        })
+        .expect("load run");
+        handle.shutdown();
+        report
+    };
+
+    let a = run_once();
+    assert_eq!(a.sent, 80);
+    assert_eq!(a.stalled, 0, "no request may stall past its deadline");
+    assert!(a.rejected_total() > 0, "4x overload must shed: {a:?}");
+    assert!(a.ok > 0, "overload must not starve everything: {a:?}");
+    assert_eq!(a.ok + a.rejected_total(), a.sent, "every frame answered");
+    assert!(a.rejected.contains_key("rate_limited"), "{:?}", a.rejected);
+
+    let b = run_once();
+    assert_eq!(
+        (
+            a.sent,
+            a.ok,
+            &a.rejected,
+            &a.served_via,
+            a.stream_lines,
+            a.stalled
+        ),
+        (
+            b.sent,
+            b.ok,
+            &b.rejected,
+            &b.served_via,
+            b.stream_lines,
+            b.stalled
+        ),
+        "seeded overload transcript must be deterministic"
+    );
+}
+
+/// One request at each rung: an expired deadline against an empty cache
+/// falls to the safe-mode envelope, a fresh run populates the cache,
+/// and the same expired deadline then serves the cached plan.
+#[test]
+fn deadline_zero_walks_the_degradation_ladder() {
+    let handle = det_server(1000.0, 100.0);
+    let addr = handle.addr().to_string();
+    let mut stream = connect(&addr);
+    submit_fleet(&mut stream, 3);
+
+    let whatif = |id: &str, deadline: &str| {
+        format!(
+            "{{\"op\":\"whatif\",\"id\":\"{id}\",\"box\":\"box0\",\"factors\":[1.0],\"now_ms\":0{deadline}}}"
+        )
+    };
+
+    // Rung 3 first: nothing cached, no time to compute.
+    let lines = loadgen::query(&mut stream, &whatif("w1", ",\"deadline_ms\":0"), "w1").unwrap();
+    let v = last_json(&lines);
+    assert_eq!(v["served_via"], "safe_mode", "{lines:?}");
+    assert_eq!(v["envelope"], true, "safe mode answers the envelope");
+
+    // Rung 1: a live deadline computes fresh and caches.
+    let lines = loadgen::query(&mut stream, &whatif("w2", ""), "w2").unwrap();
+    let v = last_json(&lines);
+    assert_eq!(v["served_via"], "fresh", "{lines:?}");
+    assert_eq!(v["envelope"], false);
+
+    // Rung 2: same fingerprint + op key, expired deadline → cached.
+    let lines = loadgen::query(&mut stream, &whatif("w3", ",\"deadline_ms\":0"), "w3").unwrap();
+    let v = last_json(&lines);
+    assert_eq!(v["served_via"], "cached", "{lines:?}");
+
+    // The plan ladder degrades the same way.
+    let plan = |id: &str, deadline: &str| {
+        format!("{{\"op\":\"get_plan\",\"id\":\"{id}\",\"box\":\"box0\",\"now_ms\":0{deadline}}}")
+    };
+    let v =
+        last_json(&loadgen::query(&mut stream, &plan("p1", ",\"deadline_ms\":0"), "p1").unwrap());
+    assert_eq!(v["served_via"], "safe_mode");
+    let v = last_json(&loadgen::query(&mut stream, &plan("p2", ""), "p2").unwrap());
+    assert_eq!(v["served_via"], "fresh");
+    let v =
+        last_json(&loadgen::query(&mut stream, &plan("p3", ",\"deadline_ms\":0"), "p3").unwrap());
+    assert_eq!(v["served_via"], "cached");
+
+    handle.shutdown();
+}
+
+/// Streams reject an already-expired deadline with a typed 504 (there
+/// is no degraded answer for a stream) and otherwise emit one line per
+/// window plus a final summary, honouring `max_windows`.
+#[test]
+fn stream_windows_rejects_expired_deadlines_and_caps_windows() {
+    let handle = det_server(1000.0, 100.0);
+    let addr = handle.addr().to_string();
+    let mut stream = connect(&addr);
+    // Five days so the online loop has multiple windows to stream.
+    submit_fleet(&mut stream, 5);
+
+    let frame =
+        "{\"op\":\"stream_windows\",\"id\":\"s1\",\"box\":\"box0\",\"now_ms\":0,\"deadline_ms\":0}";
+    let lines = loadgen::query(&mut stream, frame, "s1").unwrap();
+    assert_eq!(lines.len(), 1, "expired stream must reject, not start");
+    let v = last_json(&lines);
+    assert_eq!(v["code"], 504);
+    assert_eq!(v["reason"], "deadline_exceeded");
+
+    let frame =
+        "{\"op\":\"stream_windows\",\"id\":\"s2\",\"box\":\"box0\",\"max_windows\":2,\"now_ms\":0}";
+    let lines = loadgen::query(&mut stream, frame, "s2").unwrap();
+    assert_eq!(lines.len(), 3, "two window lines + summary: {lines:?}");
+    for (i, line) in lines[..2].iter().enumerate() {
+        let v: Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["stream"], true);
+        assert_eq!(v["window"], i as u64);
+        assert!(v["tickets_before"].is_u64(), "{line}");
+    }
+    let done = last_json(&lines);
+    assert_eq!(done["done"], true);
+    assert_eq!(done["windows"], 2);
+    assert_eq!(done["served_via"], "fresh");
+    assert!(done["cancelled_at"].is_null(), "no deadline, no cancel");
+
+    handle.shutdown();
+}
+
+/// Eight chaos connections (slow-loris, mid-request disconnects,
+/// malformed frames, duplicate ids) ride alongside scripted load: the
+/// scripted requests must all be answered and the daemon must still be
+/// serving afterwards.
+#[test]
+fn chaos_connections_never_stall_the_scripted_load() {
+    let handle = server::start(ServerConfig {
+        admission: AdmissionPolicy::new(1000.0, 100.0),
+        deterministic_time: true,
+        per_conn_queue: 4096,
+        // Fast loris detection so the chaos threads finish quickly.
+        idle_timeout_ms: 300,
+        ..ServerConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+    let mut stream = connect(&addr);
+    submit_fleet(&mut stream, 3);
+    drop(stream);
+
+    let report = loadgen::run(&LoadConfig {
+        addr: addr.clone(),
+        seed: 11,
+        phases: vec![Phase {
+            rate_per_sec: 50.0,
+            requests: 30,
+        }],
+        box_name: "box0".into(),
+        chaos_connections: 8,
+        ..LoadConfig::default()
+    })
+    .expect("load run");
+    assert_eq!(report.stalled, 0, "chaos must not stall scripted load");
+    assert_eq!(report.ok + report.rejected_total(), report.sent);
+    assert!(report.chaos_frames > 0, "chaos ran: {report:?}");
+
+    // The daemon survived and still answers.
+    let mut stream = connect(&addr);
+    let lines = loadgen::query(
+        &mut stream,
+        "{\"op\":\"stats\",\"id\":\"after\",\"now_ms\":99999}",
+        "after",
+    )
+    .unwrap();
+    let v = last_json(&lines);
+    assert_eq!(v["ok"], true);
+    assert!(v["stats"]["frames"].is_u64());
+
+    handle.shutdown();
+}
+
+/// Typed rejections are byte-exact: the wire format is part of the
+/// contract (clients switch on `code`/`reason`).
+#[test]
+fn typed_rejections_are_byte_exact() {
+    let handle = det_server(1000.0, 100.0);
+    let addr = handle.addr().to_string();
+    let mut stream = connect(&addr);
+
+    let lines = loadgen::query(
+        &mut stream,
+        "{\"op\":\"warp\",\"id\":\"x9\",\"now_ms\":0}",
+        "x9",
+    )
+    .unwrap();
+    assert_eq!(
+        lines.last().unwrap(),
+        "{\"id\":\"x9\",\"ok\":false,\"code\":400,\"reason\":\"malformed\",\"detail\":\"unknown op \\\"warp\\\"\"}"
+    );
+
+    let lines = loadgen::query(
+        &mut stream,
+        "{\"op\":\"get_plan\",\"id\":\"q1\",\"box\":\"ghost\",\"now_ms\":0}",
+        "q1",
+    )
+    .unwrap();
+    assert_eq!(
+        lines.last().unwrap(),
+        "{\"id\":\"q1\",\"ok\":false,\"code\":404,\"reason\":\"not_found\",\"detail\":\"ghost\"}"
+    );
+
+    // A replayed accepted id is refused, not recomputed.
+    submit_fleet(&mut stream, 3);
+    let frame =
+        "{\"op\":\"whatif\",\"id\":\"dup\",\"box\":\"box0\",\"factors\":[1.0],\"now_ms\":0}";
+    let first = loadgen::query(&mut stream, frame, "dup").unwrap();
+    assert!(first.last().unwrap().contains("\"ok\":true"));
+    let second = loadgen::query(&mut stream, frame, "dup").unwrap();
+    assert_eq!(
+        second.last().unwrap(),
+        "{\"id\":\"dup\",\"ok\":false,\"code\":409,\"reason\":\"duplicate_id\",\"detail\":\"dup\"}"
+    );
+
+    handle.shutdown();
+}
+
+/// Path to the daemon binary: Cargo exports it for integration tests;
+/// the offline harness passes `ATM_SERVE_BIN` instead.
+fn serve_bin() -> Option<PathBuf> {
+    if let Some(path) = option_env!("CARGO_BIN_EXE_atm-serve") {
+        return Some(PathBuf::from(path));
+    }
+    std::env::var_os("ATM_SERVE_BIN").map(PathBuf::from)
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_daemon(bin: &PathBuf, state_dir: &std::path::Path) -> Daemon {
+    spawn_daemon_rated(bin, state_dir, 1000.0, 100.0)
+}
+
+fn spawn_daemon_rated(bin: &PathBuf, state_dir: &std::path::Path, rate: f64, burst: f64) -> Daemon {
+    let mut child = Command::new(bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--rate",
+            &format!("{rate}"),
+            "--burst",
+            &format!("{burst}"),
+            "--deterministic-time",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("daemon announces");
+    let addr = line
+        .trim()
+        .strip_prefix("atm-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line:?}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+/// The restart-safety acceptance test: populate the plan cache, SIGKILL
+/// the daemon mid-run, restart on the same state dir, and require (a)
+/// the recovered cache serves without recompute and (b) the cache file
+/// is byte-identical across the kill.
+#[test]
+fn sigkill_restart_resumes_byte_identical_plan_cache() {
+    let Some(bin) = serve_bin() else {
+        eprintln!("skipping: daemon binary not built (set ATM_SERVE_BIN)");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("atm-serve-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let daemon = spawn_daemon(&bin, &dir);
+    let mut stream = connect(&daemon.addr);
+    submit_fleet(&mut stream, 3);
+    let v = last_json(
+        &loadgen::query(
+            &mut stream,
+            "{\"op\":\"get_plan\",\"id\":\"g1\",\"box\":\"box0\",\"now_ms\":0}",
+            "g1",
+        )
+        .unwrap(),
+    );
+    assert_eq!(v["served_via"], "fresh");
+    let v = last_json(
+        &loadgen::query(
+            &mut stream,
+            "{\"op\":\"whatif\",\"id\":\"w1\",\"box\":\"box0\",\"factors\":[1.0],\"now_ms\":0}",
+            "w1",
+        )
+        .unwrap(),
+    );
+    assert_eq!(v["served_via"], "fresh");
+    drop(stream);
+
+    let cache_path = dir.join("plancache.atm");
+    let before = std::fs::read(&cache_path).expect("cache persisted");
+    assert!(!before.is_empty());
+
+    // SIGKILL: no flush, no farewell.
+    let mut child = daemon.child;
+    child.kill().expect("kill");
+    child.wait().expect("reaped");
+
+    let daemon = spawn_daemon(&bin, &dir);
+    // Reconnects ride the shared seeded backoff; the fleet registry is
+    // in-memory, so re-register (same seed → same fingerprint).
+    let mut stream = connect(&daemon.addr);
+    submit_fleet(&mut stream, 3);
+    let v = last_json(
+        &loadgen::query(
+            &mut stream,
+            "{\"op\":\"get_plan\",\"id\":\"g2\",\"box\":\"box0\",\"now_ms\":0,\"deadline_ms\":0}",
+            "g2",
+        )
+        .unwrap(),
+    );
+    assert_eq!(
+        v["served_via"], "cached",
+        "recovered cache must serve without recompute: {v}"
+    );
+
+    let v = last_json(
+        &loadgen::query(
+            &mut stream,
+            "{\"op\":\"stats\",\"id\":\"st\",\"now_ms\":0}",
+            "st",
+        )
+        .unwrap(),
+    );
+    assert!(
+        v["stats"]["recovered_cache_plans"].as_u64().unwrap() >= 2,
+        "{v}"
+    );
+
+    let after = std::fs::read(&cache_path).expect("cache still there");
+    assert_eq!(
+        before, after,
+        "plan cache must survive SIGKILL byte-identically"
+    );
+
+    let _ = loadgen::query(
+        &mut stream,
+        "{\"op\":\"shutdown\",\"id\":\"bye\",\"now_ms\":0}",
+        "bye",
+    );
+    let mut child = daemon.child;
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Nightly long soak (opt in with `ATM_SERVE_SOAK=1`; the CI
+/// `nightly-serve-soak` job sets it): sustained 4× overload in waves
+/// with chaos connections riding along, a `SIGKILL` mid-soak, and a
+/// restart on the same state dir that keeps taking the same overload.
+/// Every wave must shed without a single stall, every frame must be
+/// answered, and the recovered plan cache must be byte-identical at
+/// the moment of restart.
+#[test]
+fn long_soak_sustained_overload_survives_kill_restart() {
+    if std::env::var_os("ATM_SERVE_SOAK").is_none() {
+        eprintln!("skipping: set ATM_SERVE_SOAK=1 for the long soak");
+        return;
+    }
+    let Some(bin) = serve_bin() else {
+        eprintln!("skipping: daemon binary not built (set ATM_SERVE_BIN)");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("atm-serve-longsoak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // 10/s bucket, offered 40/s in three sustained waves per half. The
+    // waves stamp `deadline_ms: 0`, so every admitted request walks the
+    // degradation ladder (cached plan / safe-mode envelope) instead of
+    // queueing fresh pipeline runs — sustained overload has to be
+    // answered from the cheap rungs to hold the zero-stall bar; the
+    // fresh path under overload is covered by `overload_4x_*` above.
+    let overload = |addr: String, seed: u64| {
+        loadgen::run(&LoadConfig {
+            addr,
+            seed,
+            phases: vec![
+                Phase {
+                    rate_per_sec: 40.0,
+                    requests: 300,
+                };
+                3
+            ],
+            box_name: "box0".into(),
+            deadline_ms: Some(0),
+            chaos_connections: 4,
+            // The open-loop client pipelines the whole schedule at
+            // once, so on a small host the daemon's serialized answers
+            // build a real backlog; the stall bar stays — a hang still
+            // fails — but wide enough for 900 queued answers.
+            stall_slack_ms: 120_000,
+            ..LoadConfig::default()
+        })
+        .expect("soak load run")
+    };
+    let check_wave = |half: &str, r: &loadgen::LoadReport| {
+        assert_eq!(r.sent, 900, "{half}: full schedule sent");
+        assert_eq!(r.stalled, 0, "{half}: zero stalls under sustained overload");
+        assert_eq!(
+            r.ok + r.rejected_total(),
+            r.sent,
+            "{half}: every frame answered"
+        );
+        assert!(
+            r.rejected_total() > 0,
+            "{half}: 4x overload must shed: {r:?}"
+        );
+        assert!(
+            r.ok > 0,
+            "{half}: overload must not starve everything: {r:?}"
+        );
+    };
+
+    let daemon = spawn_daemon_rated(&bin, &dir, 10.0, 4.0);
+    let mut stream = connect(&daemon.addr);
+    submit_fleet(&mut stream, 3);
+    // Warm the cheap rungs: one fresh plan and one fresh whatif
+    // populate the fingerprint-keyed cache the waves will lean on.
+    for frame in [
+        "{\"op\":\"get_plan\",\"id\":\"warm-p\",\"box\":\"box0\",\"now_ms\":0}",
+        "{\"op\":\"whatif\",\"id\":\"warm-w\",\"box\":\"box0\",\"factors\":[1.0],\"now_ms\":0}",
+    ] {
+        let id = if frame.contains("warm-p") {
+            "warm-p"
+        } else {
+            "warm-w"
+        };
+        let v = last_json(&loadgen::query(&mut stream, frame, id).unwrap());
+        assert_eq!(v["served_via"], "fresh", "warmup must compute: {v}");
+    }
+    drop(stream);
+    let first = overload(daemon.addr.clone(), 31);
+    check_wave("first half", &first);
+
+    let cache_path = dir.join("plancache.atm");
+    let before = std::fs::read(&cache_path).expect("cache persisted during soak");
+    assert!(!before.is_empty());
+
+    // SIGKILL mid-soak: no flush, no farewell.
+    let mut child = daemon.child;
+    child.kill().expect("kill");
+    child.wait().expect("reaped");
+
+    let daemon = spawn_daemon_rated(&bin, &dir, 10.0, 4.0);
+    // Before any new work lands, the recovered cache file must be the
+    // bytes the kill left behind.
+    let recovered = std::fs::read(&cache_path).expect("cache survived the kill");
+    assert_eq!(
+        before, recovered,
+        "plan cache must recover byte-identically"
+    );
+
+    let mut stream = connect(&daemon.addr);
+    submit_fleet(&mut stream, 3);
+    drop(stream);
+    let second = overload(daemon.addr.clone(), 32);
+    check_wave("second half", &second);
+
+    // Still serving after ~30s of overload and a kill.
+    let mut stream = connect(&daemon.addr);
+    let v = last_json(
+        &loadgen::query(
+            &mut stream,
+            "{\"op\":\"stats\",\"id\":\"soak\",\"now_ms\":999999999}",
+            "soak",
+        )
+        .unwrap(),
+    );
+    assert_eq!(v["ok"], true);
+    assert!(
+        v["stats"]["recovered_cache_plans"].as_u64().unwrap() > 0,
+        "restart must have recovered cached plans: {v}"
+    );
+
+    let _ = loadgen::query(
+        &mut stream,
+        "{\"op\":\"shutdown\",\"id\":\"bye\",\"now_ms\":999999999}",
+        "bye",
+    );
+    let mut child = daemon.child;
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,235 @@
+//! Contract tests for `core::whatif` — the capacity-question engine
+//! behind the daemon's `whatif` endpoint (DESIGN.md §15).
+//!
+//! Three layers:
+//!
+//! 1. **Proptests** over seeded synthetic boxes: the tickets-vs-capacity
+//!    curve is monotone non-increasing, sweeping factors one at a time
+//!    decomposes identically to one multi-factor sweep, and
+//!    `capacity_for_target` inverts the curve (the returned factor meets
+//!    the target; `None` only when even the upper bound misses it).
+//! 2. **Serde round-trip**: `SweepPoint` survives JSON exactly — the
+//!    serve layer ships these points over JSONL, so lossy encoding would
+//!    silently corrupt answers.
+//! 3. **Committed replay** (`tests/whatif_replays/hot_box_sweep.json`):
+//!    a pinned box (config + seed) with its full expected sweep and
+//!    inversion answer, asserted value-identical on every run. Any
+//!    change to tracegen, the MCKP solver, or the sweep itself that
+//!    moves these numbers must regenerate the file *consciously*.
+//!
+//! `ATM_PROPTEST_CASES` rescales the proptest depth exactly as in
+//! `tests/properties.rs` (nightly CI sets 1024 → 4×).
+
+use atm::core::whatif::{capacity_for_target, capacity_sweep, SweepPoint};
+use atm::tracegen::{generate_box, BoxTrace, FleetConfig, Resource};
+use atm_serve::protocol::json_f64;
+use proptest::prelude::*;
+
+const THRESHOLD: f64 = 60.0;
+const WINDOWS: usize = 96;
+
+/// A deterministic one-box fleet; `hot` picks how many VMs run hot on
+/// CPU (0 = idle mix, 2 = all hot), `seed`/`box_seed` pick the fleet.
+fn seeded_box(seed: u64, box_seed: usize, hot: usize) -> BoxTrace {
+    let hot_cpu_vm_probabilities = match hot {
+        0 => [1.0, 0.0, 0.0],
+        1 => [0.0, 1.0, 0.0],
+        _ => [0.0, 0.0, 1.0],
+    };
+    generate_box(
+        &FleetConfig {
+            num_boxes: 1,
+            days: 1,
+            gap_probability: 0.0,
+            hot_cpu_vm_probabilities,
+            seed,
+            ..FleetConfig::default()
+        },
+        box_seed,
+    )
+}
+
+/// Proptest case count, rescaled by `ATM_PROPTEST_CASES` relative to
+/// proptest's default of 256 (matches `tests/properties.rs`).
+fn proptest_cases(default: u32) -> u32 {
+    match std::env::var("ATM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(cases) => (u64::from(default) * cases).div_ceil(256).max(1) as u32,
+        None => default,
+    }
+}
+
+proptest! {
+    // Each case generates a full synthetic box and solves the MCKP at
+    // several budgets, so the default depth stays modest; the nightly
+    // knob scales it up.
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(24)))]
+
+    /// The sweep is monotone non-increasing in capacity, decomposes
+    /// per-factor, reaches zero tickets under abundant capacity, and
+    /// every point round-trips through JSON exactly.
+    #[test]
+    fn sweep_monotone_decomposable_and_json_exact(
+        seed in 0u64..32,
+        box_seed in 0usize..4,
+        hot in 0usize..3,
+    ) {
+        let b = seeded_box(seed, box_seed, hot);
+        let factors = [0.4, 0.7, 1.0, 1.6, 2.5, 4.0];
+        let points =
+            capacity_sweep(&b, Resource::Cpu, THRESHOLD, WINDOWS, &factors).unwrap();
+        prop_assert_eq!(points.len(), factors.len());
+        for w in points.windows(2) {
+            prop_assert!(
+                w[1].tickets <= w[0].tickets,
+                "tickets rose with capacity: {:?}",
+                points
+            );
+        }
+        prop_assert_eq!(
+            points.last().unwrap().tickets, 0,
+            "4x capacity still tickets: {:?}", points
+        );
+        // Decomposability: a one-factor sweep reproduces each point
+        // exactly — the daemon answers per-query, the curve is batch.
+        for (i, &f) in factors.iter().enumerate() {
+            let single =
+                capacity_sweep(&b, Resource::Cpu, THRESHOLD, WINDOWS, &[f]).unwrap();
+            prop_assert_eq!(&single[0], &points[i]);
+        }
+        // JSON round-trip: every point survives the daemon's wire
+        // encoding (`serve::protocol::json_f64`) bit-exact — the
+        // `whatif` endpoint ships these numbers over JSONL.
+        let json = format!(
+            "[{}]",
+            points
+                .iter()
+                .map(|p| format!(
+                    "{{\"capacity_factor\":{},\"capacity\":{},\"tickets\":{}}}",
+                    json_f64(p.capacity_factor),
+                    json_f64(p.capacity),
+                    p.tickets
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let back: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = back.as_array().expect("points serialize as an array");
+        prop_assert_eq!(arr.len(), points.len());
+        for (v, p) in arr.iter().zip(&points) {
+            prop_assert_eq!(
+                v["capacity_factor"].as_f64().unwrap().to_bits(),
+                p.capacity_factor.to_bits()
+            );
+            prop_assert_eq!(v["capacity"].as_f64().unwrap().to_bits(), p.capacity.to_bits());
+            prop_assert_eq!(v["tickets"].as_u64().unwrap() as usize, p.tickets);
+        }
+    }
+
+    /// `capacity_for_target` inverts the sweep: any returned factor lies
+    /// in `[lo, hi]` and meets the target; `None` means even `hi`
+    /// misses it.
+    #[test]
+    fn target_inversion_is_consistent(
+        seed in 0u64..32,
+        box_seed in 0usize..4,
+        hot in 0usize..3,
+        max_tickets in 0usize..4,
+    ) {
+        let b = seeded_box(seed, box_seed, hot);
+        let (lo, hi) = (0.2, 3.0);
+        let found =
+            capacity_for_target(&b, Resource::Cpu, THRESHOLD, WINDOWS, max_tickets, lo, hi)
+                .unwrap();
+        match found {
+            Some(factor) => {
+                prop_assert!((lo..=hi).contains(&factor), "factor {factor} outside [{lo}, {hi}]");
+                let at =
+                    capacity_sweep(&b, Resource::Cpu, THRESHOLD, WINDOWS, &[factor]).unwrap();
+                prop_assert!(
+                    at[0].tickets <= max_tickets,
+                    "factor {} yields {} tickets > target {}",
+                    factor, at[0].tickets, max_tickets
+                );
+            }
+            None => {
+                let at = capacity_sweep(&b, Resource::Cpu, THRESHOLD, WINDOWS, &[hi]).unwrap();
+                prop_assert!(
+                    at[0].tickets > max_tickets,
+                    "inversion gave up although hi meets the target: {:?}",
+                    at
+                );
+            }
+        }
+    }
+}
+
+/// Committed replay: the pinned hot box's full sweep and inversion
+/// answer, value-identical run over run. The expectations live in
+/// `tests/whatif_replays/hot_box_sweep.json`; regenerate by running
+/// this test with `ATM_WHATIF_REGEN=1` printing the fresh JSON.
+#[test]
+fn replay_hot_box_sweep() {
+    let raw = include_str!("whatif_replays/hot_box_sweep.json");
+    let case: serde_json::Value = serde_json::from_str(raw).expect("replay parses");
+    let seed = case["seed"].as_u64().unwrap();
+    let box_seed = case["box_seed"].as_u64().unwrap() as usize;
+    let hot = case["hot"].as_u64().unwrap() as usize;
+    let factors: Vec<f64> = case["factors"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    let expected: Vec<SweepPoint> = case["expected"]
+        .as_array()
+        .expect("expected is an array")
+        .iter()
+        .map(|v| SweepPoint {
+            capacity_factor: v["capacity_factor"].as_f64().unwrap(),
+            capacity: v["capacity"].as_f64().unwrap(),
+            tickets: v["tickets"].as_u64().unwrap() as usize,
+        })
+        .collect();
+    let expected_factor = case["expected_factor"].as_f64().unwrap();
+
+    let b = seeded_box(seed, box_seed, hot);
+    let points =
+        capacity_sweep(&b, Resource::Cpu, THRESHOLD, WINDOWS, &factors).expect("sweep solves");
+    if std::env::var("ATM_WHATIF_REGEN").is_ok() {
+        let factor = capacity_for_target(&b, Resource::Cpu, THRESHOLD, WINDOWS, 0, 0.2, 3.0)
+            .unwrap()
+            .expect("hot box reaches zero tickets by 3x");
+        let rendered: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"capacity_factor\": {}, \"capacity\": {}, \"tickets\": {}}}",
+                    json_f64(p.capacity_factor),
+                    json_f64(p.capacity),
+                    p.tickets
+                )
+            })
+            .collect();
+        println!(
+            "{{\"expected\": [{}], \"expected_factor\": {}}}",
+            rendered.join(", "),
+            json_f64(factor)
+        );
+        return;
+    }
+    assert_eq!(
+        points, expected,
+        "committed whatif sweep drifted — tracegen, MCKP, or the sweep changed"
+    );
+    let factor = capacity_for_target(&b, Resource::Cpu, THRESHOLD, WINDOWS, 0, 0.2, 3.0)
+        .unwrap()
+        .expect("hot box reaches zero tickets by 3x");
+    assert_eq!(
+        factor.to_bits(),
+        expected_factor.to_bits(),
+        "committed inversion answer drifted: {factor} vs {expected_factor}"
+    );
+}
