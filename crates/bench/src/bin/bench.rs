@@ -157,6 +157,7 @@ fn main() {
     let mut scenario: Option<String> = None;
     let mut seed_override: Option<u64> = None;
     let mut serve = false;
+    let mut fleet: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -208,6 +209,14 @@ fn main() {
                 scenario = Some(args[i].clone());
             }
             "--serve" => serve = true,
+            "--fleet" => {
+                i += 1;
+                if i >= args.len() {
+                    eprintln!("--fleet requires a profile: `ci` or `full`");
+                    std::process::exit(2);
+                }
+                fleet = Some(args[i].clone());
+            }
             "--seed" => {
                 i += 1;
                 seed_override = args.get(i).and_then(|v| v.parse().ok());
@@ -221,7 +230,8 @@ fn main() {
                     "usage: bench [--quick|--full] [--metrics] [--out PATH] [--check PATH] \
                      [--compare BASELINE [--tolerance PCT]] \
                      [--scenario NAME|all [--seed N]] \
-                     [--serve [--seed N]]"
+                     [--serve [--seed N]] \
+                     [--fleet ci|full [--seed N]]"
                 );
                 return;
             }
@@ -248,6 +258,17 @@ fn main() {
 
     if let Some(selector) = scenario {
         run_scenario_mode(&selector, seed_override, out.as_deref(), compare.as_deref());
+        return;
+    }
+
+    if let Some(profile) = fleet {
+        run_fleet_mode(
+            &profile,
+            seed_override,
+            out.as_deref(),
+            compare.as_deref(),
+            tolerance_pct,
+        );
         return;
     }
 
@@ -1595,6 +1616,450 @@ fn compare_serve(
             let delta_pct = (got - baseline_ms) / baseline_ms * 100.0;
             eprintln!(
                 "{}.{field}: {got:.2} ms vs baseline {baseline_ms:.2} ms ({delta_pct:+.1}%)",
+                r.name
+            );
+            if delta_pct > tolerance_pct {
+                violations.push(format!(
+                    "{}.{field} regressed {delta_pct:+.1}% (tolerance {tolerance_pct}%)",
+                    r.name
+                ));
+            }
+        }
+    }
+    Ok(violations)
+}
+
+// ---------------------------------------------------------------------------
+// Fleet mode (`--fleet ci|full`): streamed chunk-store scale legs.
+// ---------------------------------------------------------------------------
+
+/// One fleet-scale leg: a seeded synthetic fleet streamed to a columnar
+/// chunk file and processed box-by-box under a fixed memory budget.
+struct FleetLegSpec {
+    name: &'static str,
+    boxes: usize,
+    /// Trace length in days (96 windows/day at 15-minute sampling).
+    days: usize,
+    /// Committed peak-RSS ceiling for the streamed run, in MiB.
+    budget_mb: usize,
+}
+
+/// The committed fleet matrix. Every leg pins `vm_count_range` to
+/// exactly 13 VMs per box so the VM total is a pure function of the box
+/// count (13 x 6200 = 80,600 — the paper's 6K-box / 80K-VM production
+/// trace) and the chunk geometry is gateable byte-for-byte.
+const FLEET_CI_LEG: FleetLegSpec = FleetLegSpec {
+    name: "fleet_ci",
+    boxes: 512,
+    days: 3,
+    budget_mb: 128,
+};
+
+const FLEET_FULL_LEG: FleetLegSpec = FleetLegSpec {
+    name: "fleet_full",
+    boxes: 6200,
+    days: 7,
+    budget_mb: 256,
+};
+
+/// Committed master seed for the fleet legs; `--seed` overrides it for
+/// ad-hoc replay (which skips the gate, same as scenario and serve mode).
+const FLEET_SEED: u64 = 0x6B0F_1EE7;
+
+/// VMs per box in every fleet leg (fixed so totals are config-derived).
+const FLEET_VMS_PER_BOX: usize = 13;
+
+struct FleetLegResult {
+    name: &'static str,
+    stats: atm_tracegen::chunk::FleetStreamStats,
+    threads: usize,
+    budget_mb: usize,
+    /// In-memory and chunk-store backends produced byte-identical
+    /// reports on the preflight sub-fleet.
+    backend_identical: bool,
+    /// 1-thread and N-thread streamed runs produced byte-identical
+    /// reports on the preflight sub-fleet.
+    threads_identical: bool,
+    reports: usize,
+    failures: usize,
+    gen_wall_ms: f64,
+    stream_wall_ms: f64,
+    /// Peak resident set of the streamed run (`VmHWM`), MiB; `None`
+    /// off-Linux where `/proc` is unavailable.
+    peak_rss_mb: Option<f64>,
+}
+
+fn fleet_config(spec: &FleetLegSpec, seed: u64, boxes: usize) -> atm_tracegen::FleetConfig {
+    atm_tracegen::FleetConfig {
+        num_boxes: boxes,
+        days: spec.days,
+        seed,
+        vm_count_range: (FLEET_VMS_PER_BOX, FLEET_VMS_PER_BOX),
+        ..atm_tracegen::FleetConfig::default()
+    }
+}
+
+/// Pipeline configuration for fleet legs: the oracle temporal model
+/// keeps the leg's cost in the data plane (storage, clustering, MCKP)
+/// rather than in MLP training, whose scaling the temporal benches
+/// already cover.
+fn fleet_pipeline_config(budget_mb: usize) -> AtmConfig {
+    let mut config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        ..AtmConfig::fast_for_tests()
+    };
+    config.compute = config.compute.with_env_threads();
+    config.compute.memory_budget_mb = budget_mb;
+    config
+}
+
+/// Peak resident set size (`VmHWM`) of this process in MiB.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Resets the kernel's peak-RSS water mark so the streamed run is
+/// measured on its own, not inflated by the preflight equality pass.
+/// Best-effort: ignored where `/proc/self/clear_refs` is unavailable.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", b"5");
+}
+
+fn run_one_fleet_leg(spec: &FleetLegSpec, seed: u64) -> FleetLegResult {
+    use atm_core::fleet::{run_fleet_streamed, StreamConfig};
+    use atm_core::storage::{ChunkStore, InMemoryStore};
+    use atm_tracegen::chunk::{stream_fleet_to_chunks, ChunkWriter};
+
+    let die = |stage: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("fleet leg {}: {stage}: {e}", spec.name);
+        std::process::exit(1);
+    };
+
+    let config = fleet_pipeline_config(spec.budget_mb);
+    let threads = config.compute.effective_threads();
+    let stream = StreamConfig::from_config(&config);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "atm-bench-{}-{}.chunk",
+        spec.name,
+        std::process::id()
+    ));
+
+    // Preflight: on a small sub-fleet from the same generator family,
+    // the chunk backend and the thread matrix must reproduce the
+    // in-memory sequential reports byte-for-byte. This runs before the
+    // timed leg and its watermark is reset away below.
+    let pre = atm_tracegen::generate_fleet(&fleet_config(spec, seed ^ 1, 8)).boxes;
+    let mut w = ChunkWriter::create(&path).unwrap_or_else(|e| die("preflight write", &e));
+    for b in &pre {
+        w.append_box(b)
+            .unwrap_or_else(|e| die("preflight append", &e));
+    }
+    w.finish().unwrap_or_else(|e| die("preflight finish", &e));
+    let sequential = StreamConfig {
+        threads: 1,
+        memory_budget_bytes: 0,
+    };
+    let mem = run_fleet_streamed(&InMemoryStore::new(&pre), &config, &sequential)
+        .unwrap_or_else(|e| die("preflight in-memory run", &e));
+    let store = ChunkStore::open(&path).unwrap_or_else(|e| die("preflight open", &e));
+    let chunk1 = run_fleet_streamed(&store, &config, &sequential)
+        .unwrap_or_else(|e| die("preflight chunk run", &e));
+    let chunk_n = run_fleet_streamed(&store, &config, &stream)
+        .unwrap_or_else(|e| die("preflight threaded run", &e));
+    drop(store);
+    let backend_identical = mem == chunk1
+        && serde_json::to_string(&mem).unwrap() == serde_json::to_string(&chunk1).unwrap();
+    let threads_identical = chunk1 == chunk_n
+        && serde_json::to_string(&chunk1).unwrap() == serde_json::to_string(&chunk_n).unwrap();
+
+    // The timed leg: stream-generate the fleet to disk, then process it
+    // as a bounded stream, with the RSS watermark isolating this phase.
+    reset_peak_rss();
+    let t0 = std::time::Instant::now();
+    let stats = stream_fleet_to_chunks(&fleet_config(spec, seed, spec.boxes), &path)
+        .unwrap_or_else(|e| die("stream generation", &e));
+    let gen_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let store = ChunkStore::open(&path).unwrap_or_else(|e| die("open", &e));
+    let t1 = std::time::Instant::now();
+    let report =
+        run_fleet_streamed(&store, &config, &stream).unwrap_or_else(|e| die("streamed run", &e));
+    let stream_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let peak = peak_rss_mb();
+    drop(store);
+    std::fs::remove_file(&path).ok();
+
+    FleetLegResult {
+        name: spec.name,
+        stats,
+        threads,
+        budget_mb: spec.budget_mb,
+        backend_identical,
+        threads_identical,
+        reports: report.reports.len(),
+        failures: report.failures.len(),
+        gen_wall_ms,
+        stream_wall_ms,
+        peak_rss_mb: peak,
+    }
+}
+
+/// Renders the fleet-leg report (hand-rolled like [`render_json`]).
+fn render_fleet_json(results: &[FleetLegResult]) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let rss = match r.peak_rss_mb {
+            Some(mb) => format!("{mb:.1}"),
+            None => "null".to_string(),
+        };
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"boxes\": {}, \"vms\": {}, \"windows\": {}, \
+             \"chunk_bytes\": {}, \"threads\": {}, \"budget_mb\": {}, \
+             \"backend_identical\": {}, \"threads_identical\": {}, \
+             \"reports\": {}, \"failures\": {}, \
+             \"gen_wall_ms\": {:.1}, \"stream_wall_ms\": {:.1}, \"peak_rss_mb\": {rss}}}",
+            r.name,
+            r.stats.boxes,
+            r.stats.vms,
+            r.stats.windows,
+            r.stats.bytes,
+            r.threads,
+            r.budget_mb,
+            r.backend_identical,
+            r.threads_identical,
+            r.reports,
+            r.failures,
+            r.gen_wall_ms,
+            r.stream_wall_ms,
+        ));
+    }
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"mode\": \"fleet\",\n  \"legs\": [\n{rows}\n  ]\n}}\n"
+    )
+}
+
+/// The `--fleet` entry point. `ci` runs the scaled-down leg sized for
+/// per-PR gating; `full` runs the paper-scale 6200-box / 80,600-VM
+/// soak. Equivalence (backend and thread-count byte-identity) is
+/// asserted unconditionally; `--compare` against the committed
+/// `BENCH_FLEET.json` additionally gates geometry exactly, wall times by
+/// `--tolerance`, and peak RSS against the committed budget.
+fn run_fleet_mode(
+    profile: &str,
+    seed_override: Option<u64>,
+    out: Option<&str>,
+    compare: Option<&str>,
+    tolerance_pct: f64,
+) {
+    let legs: &[&FleetLegSpec] = match profile {
+        "ci" => &[&FLEET_CI_LEG],
+        "full" => &[&FLEET_CI_LEG, &FLEET_FULL_LEG],
+        other => {
+            eprintln!("unknown fleet profile `{other}` (expected `ci` or `full`)");
+            std::process::exit(2);
+        }
+    };
+    let seed = seed_override.unwrap_or(FLEET_SEED);
+    let results: Vec<FleetLegResult> = legs.iter().map(|s| run_one_fleet_leg(s, seed)).collect();
+
+    let mut broken = false;
+    for r in &results {
+        let rss = match r.peak_rss_mb {
+            Some(mb) => format!("{mb:.1} MiB"),
+            None => "n/a".to_string(),
+        };
+        eprintln!(
+            "{}: {} boxes x {} VMs x {} windows ({} chunk bytes), {} threads, \
+             gen {:.0} ms, stream {:.0} ms, peak RSS {rss} (budget {} MiB), \
+             {} reports {} failures, backend-identical {} threads-identical {}",
+            r.name,
+            r.stats.boxes,
+            r.stats.vms,
+            r.stats.windows,
+            r.stats.bytes,
+            r.threads,
+            r.gen_wall_ms,
+            r.stream_wall_ms,
+            r.budget_mb,
+            r.reports,
+            r.failures,
+            r.backend_identical,
+            r.threads_identical,
+        );
+        if !r.backend_identical || !r.threads_identical {
+            eprintln!(
+                "FLEET VIOLATION: {}: streamed reports are not byte-identical \
+                 across backends/threads",
+                r.name
+            );
+            broken = true;
+        }
+        if let Some(mb) = r.peak_rss_mb {
+            if mb > r.budget_mb as f64 {
+                eprintln!(
+                    "FLEET VIOLATION: {}: peak RSS {mb:.1} MiB exceeds the {} MiB budget",
+                    r.name, r.budget_mb
+                );
+                broken = true;
+            }
+        }
+    }
+
+    let json = render_fleet_json(&results);
+    match out {
+        Some(path) => {
+            atm_core::fsio::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if broken {
+        std::process::exit(1);
+    }
+
+    // Gate only when replaying the committed seed: a --seed override
+    // changes the fleet, not the contract.
+    if let Some(path) = compare {
+        if seed_override.is_some() {
+            return;
+        }
+        match compare_fleet(&results, path, tolerance_pct) {
+            Ok(violations) if violations.is_empty() => {
+                eprintln!("fleet legs match {path}");
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("FLEET VIOLATION: {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot compare against {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Compares measured fleet legs against the committed baseline. Fleet
+/// geometry (boxes, VMs, windows, chunk bytes, report/failure counts)
+/// is a pure function of the committed seed and must match exactly, as
+/// must the equivalence booleans and the budget itself. Wall times are
+/// machine-dependent and gated by `tolerance_pct` — and only when the
+/// measured thread count matches the baseline's, since the CI thread
+/// matrix runs the same baseline at several `ATM_THREADS` values. Peak
+/// RSS is gated against the committed budget, not the measured baseline:
+/// the budget is the contract.
+fn compare_fleet(
+    results: &[FleetLegResult],
+    path: &str,
+    tolerance_pct: f64,
+) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let legs = v
+        .get("legs")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("baseline missing array `legs`")?;
+
+    let mut violations = Vec::new();
+    for r in results {
+        let Some(base) = legs
+            .iter()
+            .find(|l| l.get("name").and_then(serde_json::Value::as_str) == Some(r.name))
+        else {
+            violations.push(format!("leg {} missing from baseline", r.name));
+            continue;
+        };
+        let want = |field: &str| -> Result<u64, String> {
+            base.get(field)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("baseline leg {} missing `{field}`", r.name))
+        };
+        for (field, got) in [
+            ("boxes", r.stats.boxes as u64),
+            ("vms", r.stats.vms as u64),
+            ("windows", r.stats.windows as u64),
+            ("chunk_bytes", r.stats.bytes),
+            ("budget_mb", r.budget_mb as u64),
+            ("reports", r.reports as u64),
+            ("failures", r.failures as u64),
+        ] {
+            let expected = want(field)?;
+            if got != expected {
+                violations.push(format!(
+                    "{}.{field}: measured {got}, committed {expected} (must match exactly)",
+                    r.name
+                ));
+            }
+        }
+        for (field, got) in [
+            ("backend_identical", r.backend_identical),
+            ("threads_identical", r.threads_identical),
+        ] {
+            let expected = base
+                .get(field)
+                .and_then(serde_json::Value::as_bool)
+                .ok_or_else(|| format!("baseline leg {} missing `{field}`", r.name))?;
+            if !(got && expected) {
+                violations.push(format!(
+                    "{}.{field}: measured {got}, committed {expected} (both must be true)",
+                    r.name
+                ));
+            }
+        }
+        if let Some(mb) = r.peak_rss_mb {
+            let budget = want("budget_mb")? as f64;
+            eprintln!(
+                "{}.peak_rss_mb: {mb:.1} MiB vs budget {budget:.0} MiB",
+                r.name
+            );
+            if mb > budget {
+                violations.push(format!(
+                    "{}.peak_rss_mb: {mb:.1} MiB exceeds committed budget {budget:.0} MiB",
+                    r.name
+                ));
+            }
+        }
+        let base_threads = want("threads")?;
+        if base_threads != r.threads as u64 {
+            eprintln!(
+                "{}: wall-time gate skipped (measured at {} threads, baseline at {})",
+                r.name, r.threads, base_threads
+            );
+            continue;
+        }
+        for (field, got) in [
+            ("gen_wall_ms", r.gen_wall_ms),
+            ("stream_wall_ms", r.stream_wall_ms),
+        ] {
+            let baseline_ms = base
+                .get(field)
+                .and_then(serde_json::Value::as_f64)
+                .ok_or_else(|| format!("baseline leg {} missing `{field}`", r.name))?;
+            if baseline_ms < 50.0 {
+                continue;
+            }
+            let delta_pct = (got - baseline_ms) / baseline_ms * 100.0;
+            eprintln!(
+                "{}.{field}: {got:.0} ms vs baseline {baseline_ms:.0} ms ({delta_pct:+.1}%)",
                 r.name
             );
             if delta_pct > tolerance_pct {

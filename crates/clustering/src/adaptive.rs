@@ -234,8 +234,8 @@ fn evaluate(
 
 /// Seed cutoff from a star sample: exact distances from series 0 to
 /// every other series (`n − 1` DPs), lower quartile of the finite ones.
-fn seed_cutoff(
-    set: &[Vec<f64>],
+fn seed_cutoff<S: AsRef<[f64]>>(
+    set: &[S],
     band: Option<usize>,
     build: &mut PrunedBuildStats,
 ) -> ClusteringResult<f64> {
@@ -245,7 +245,7 @@ fn seed_cutoff(
     };
     let mut star = Vec::with_capacity(set.len().saturating_sub(1));
     for other in &set[1..] {
-        star.push(kernel.distance(&set[0], other)?);
+        star.push(kernel.distance(set[0].as_ref(), other.as_ref())?);
     }
     build.kernel.merge(&kernel.stats());
     star.retain(|d| d.is_finite());
@@ -269,13 +269,13 @@ fn seed_cutoff(
 /// - [`ClusteringError::InvalidParameter`] if `band == Some(0)`,
 ///   `growth <= 1`, or `initial_cutoff` is negative/NaN.
 /// - Any kernel error from the underlying DTW builds.
-pub fn agglomerate_adaptive(
-    set: &[Vec<f64>],
+pub fn agglomerate_adaptive<S: AsRef<[f64]> + Sync>(
+    set: &[S],
     params: &AdaptiveParams,
 ) -> ClusteringResult<AdaptiveOutcome> {
     // Validation mirrors build_matrix_pruned, up front, so the reported
     // error never depends on which pairs a cutoff happens to prune.
-    if set.is_empty() || set.iter().any(|s| s.is_empty()) {
+    if set.is_empty() || set.iter().any(|s| s.as_ref().is_empty()) {
         return Err(ClusteringError::Empty);
     }
     if params.band == Some(0) {
@@ -564,7 +564,7 @@ mod tests {
     fn validation_is_up_front() {
         let set: Vec<Vec<f64>> = (0..4).map(|i| series(8, i as u64)).collect();
         assert!(matches!(
-            agglomerate_adaptive(&[], &AdaptiveParams::default()).unwrap_err(),
+            agglomerate_adaptive::<Vec<f64>>(&[], &AdaptiveParams::default()).unwrap_err(),
             ClusteringError::Empty
         ));
         let mut holed = set.clone();

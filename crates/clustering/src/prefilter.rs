@@ -166,10 +166,13 @@ fn keogh_vs_global(p: &[f64], gmin: f64, gmax: f64) -> f64 {
 /// or any pair of unequal lengths — the global hull is the right (and
 /// cheapest) envelope, so `gmin`/`gmax` are always computed and the
 /// windowed arrays only when `band` is set and the set is uniform-length.
-fn build_envelopes(set: &[Vec<f64>], band: Option<usize>) -> Vec<SeriesEnvelope> {
-    let uniform = set.windows(2).all(|w| w[0].len() == w[1].len());
+fn build_envelopes<S: AsRef<[f64]>>(set: &[S], band: Option<usize>) -> Vec<SeriesEnvelope> {
+    let uniform = set
+        .windows(2)
+        .all(|w| w[0].as_ref().len() == w[1].as_ref().len());
     set.iter()
         .map(|q| {
+            let q = q.as_ref();
             let mut gmin = f64::INFINITY;
             let mut gmax = f64::NEG_INFINITY;
             let mut has_nan = false;
@@ -228,8 +231,11 @@ impl Drop for WorkerGuard<'_> {
 ///   empty — detected before any parallel work, so the reported error is
 ///   independent of thread count and of which pairs the cutoff prunes.
 /// - [`ClusteringError::InvalidParameter`] if `band == Some(0)`.
-pub fn build_matrix_pruned(
-    set: &[Vec<f64>],
+///
+/// The set is any slice of slice-likes (`Vec<f64>`, `&[f64]`, …): the
+/// streaming pipeline hands in borrowed column views without cloning.
+pub fn build_matrix_pruned<S: AsRef<[f64]> + Sync>(
+    set: &[S],
     band: Option<usize>,
     cutoff: f64,
     threads: usize,
@@ -255,8 +261,8 @@ pub fn build_matrix_pruned(
 /// Same conditions as [`build_matrix_pruned`], plus
 /// [`ClusteringError::InvalidParameter`] if `prev` does not cover
 /// exactly `set.len()` items.
-pub fn refine_matrix_pruned(
-    set: &[Vec<f64>],
+pub fn refine_matrix_pruned<S: AsRef<[f64]> + Sync>(
+    set: &[S],
     band: Option<usize>,
     prev: &DistanceMatrix,
     cutoff: f64,
@@ -270,14 +276,14 @@ pub fn refine_matrix_pruned(
     build_pruned_impl(set, band, cutoff, threads, Some(prev))
 }
 
-fn build_pruned_impl(
-    set: &[Vec<f64>],
+fn build_pruned_impl<S: AsRef<[f64]> + Sync>(
+    set: &[S],
     band: Option<usize>,
     cutoff: f64,
     threads: usize,
     prev: Option<&DistanceMatrix>,
 ) -> ClusteringResult<(DistanceMatrix, PrunedBuildStats)> {
-    if set.is_empty() || set.iter().any(|s| s.is_empty()) {
+    if set.is_empty() || set.iter().any(|s| s.as_ref().is_empty()) {
         return Err(ClusteringError::Empty);
     }
     if band == Some(0) {
@@ -309,7 +315,7 @@ fn build_pruned_impl(
             sink: &stats_sink,
         },
         |guard, i, j| -> ClusteringResult<f64> {
-            let (p, q) = (&set[i], &set[j]);
+            let (p, q) = (set[i].as_ref(), set[j].as_ref());
             // Refinement: a non-INFINITY entry from the lower-cutoff
             // matrix is already the exact DP bits (capped contract) and
             // stays exact under any higher cutoff — reuse it verbatim.
@@ -479,7 +485,7 @@ mod tests {
             assert!(matches!(err, ClusteringError::Empty), "threads={threads}");
         }
         assert!(matches!(
-            build_matrix_pruned(&[], None, 1.0, 1).unwrap_err(),
+            build_matrix_pruned::<Vec<f64>>(&[], None, 1.0, 1).unwrap_err(),
             ClusteringError::Empty
         ));
         assert!(matches!(

@@ -183,6 +183,13 @@ pub struct ComputeConfig {
     /// default; disable only for A/B benchmarking.
     #[serde(default = "default_true")]
     pub optimized_kernel: bool,
+    /// Memory budget in MiB for the streaming fleet runner
+    /// ([`crate::fleet::run_fleet_streamed`]): caps how many box working
+    /// sets may be resident at once by clamping worker parallelism. `0`
+    /// (the default) means unlimited. Result-preserving like every other
+    /// knob here — the budget changes scheduling, never report bytes.
+    #[serde(default)]
+    pub memory_budget_mb: usize,
 }
 
 fn default_compute_threads() -> usize {
@@ -199,6 +206,7 @@ impl Default for ComputeConfig {
             threads: 1,
             dtw_band: 0,
             optimized_kernel: true,
+            memory_budget_mb: 0,
         }
     }
 }

@@ -56,6 +56,14 @@ pub enum AtmError {
         /// The configured per-window deadline in milliseconds.
         deadline_ms: u64,
     },
+    /// A trace store failed to serve a box (I/O error, CRC mismatch,
+    /// record out of range).
+    Storage {
+        /// Store path or description.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
     /// A scripted crash-injection point was reached (chaos harness only).
     /// The kill fired just before this window was computed; every earlier
     /// window is durable, and resuming from the checkpoint continues
@@ -102,6 +110,9 @@ impl fmt::Display for AtmError {
                 f,
                 "window {window} exceeded its deadline: {elapsed_ms} ms elapsed, {deadline_ms} ms allowed"
             ),
+            AtmError::Storage { path, reason } => {
+                write!(f, "trace store failure at {path}: {reason}")
+            }
             AtmError::SimulatedCrash { window } => {
                 write!(f, "simulated crash after window {window}")
             }

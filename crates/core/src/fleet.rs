@@ -2,7 +2,7 @@
 //! over many boxes in parallel and aggregates the per-box reports into the
 //! fleet-level numbers the paper's figures plot.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use atm_resize::evaluate::{summarize, BoxOutcome, ReductionSummary};
@@ -10,7 +10,9 @@ use atm_tracegen::{BoxTrace, Resource};
 use serde::{Deserialize, Serialize};
 
 use crate::config::AtmConfig;
+use crate::error::{AtmError, AtmResult};
 use crate::pipeline::{run_box, BoxReport};
+use crate::storage::TraceStore;
 
 /// Which allocator's outcome to aggregate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -175,6 +177,123 @@ pub fn run_fleet(boxes: &[BoxTrace], config: &AtmConfig, threads: usize) -> Flee
         }
     }
     FleetReport { reports, failures }
+}
+
+/// Multiplier from raw sample bytes to a box's estimated peak working set
+/// during a pipeline run (demand splits, distance matrices, forecasts —
+/// measured ~5–6× on the paper-shaped fleet; 8 leaves margin).
+pub const WORKING_SET_MULTIPLIER: u64 = 8;
+
+/// Controls for the streaming fleet runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Requested worker threads (1 = sequential; clamped like `run_fleet`).
+    pub threads: usize,
+    /// Memory budget in bytes for concurrently-resident box working sets;
+    /// 0 = unlimited. The budget only clamps parallelism (fewer boxes in
+    /// flight), never the result: reports are byte-identical at any
+    /// thread count.
+    pub memory_budget_bytes: u64,
+}
+
+impl StreamConfig {
+    /// A stream config from an [`AtmConfig`]: compute threads (after any
+    /// `ATM_THREADS` override already applied) and the configured
+    /// `memory_budget_mb`.
+    pub fn from_config(config: &AtmConfig) -> Self {
+        StreamConfig {
+            threads: config.compute.effective_threads(),
+            memory_budget_bytes: (config.compute.memory_budget_mb as u64) << 20,
+        }
+    }
+
+    /// Worker count after applying the memory budget: at most
+    /// `budget / (per_box_bytes × WORKING_SET_MULTIPLIER)` boxes in
+    /// flight, and always at least one (a budget smaller than a single box
+    /// degrades to sequential, it does not abort).
+    pub fn effective_threads(&self, per_box_bytes: u64) -> usize {
+        let threads = self.threads.max(1);
+        if self.memory_budget_bytes == 0 {
+            return threads;
+        }
+        let per_box = per_box_bytes.saturating_mul(WORKING_SET_MULTIPLIER).max(1);
+        let cap = (self.memory_budget_bytes / per_box).max(1);
+        threads.min(usize::try_from(cap).unwrap_or(usize::MAX))
+    }
+}
+
+/// Runs the ATM pipeline over every box of a [`TraceStore`], loading each
+/// box on demand and dropping it once its report is computed, so peak
+/// memory is `O(threads × box)` instead of `O(fleet)`.
+///
+/// Semantics mirror [`run_fleet`] exactly — same work-queue order, same
+/// report assembly, byte-identical output for the same boxes at any thread
+/// count — with one addition: a **storage** failure (I/O error, CRC
+/// mismatch) is fatal and aborts the sweep with the lowest-index error
+/// (first-error semantics, deterministic across thread counts), while
+/// per-box *pipeline* failures still land in [`FleetReport::failures`].
+pub fn run_fleet_streamed(
+    store: &dyn TraceStore,
+    config: &AtmConfig,
+    stream: &StreamConfig,
+) -> AtmResult<FleetReport> {
+    let n = store.box_count();
+    // Budget from the largest box in the store: metadata only, no samples.
+    let mut per_box_bytes = 0u64;
+    for i in 0..n {
+        per_box_bytes = per_box_bytes.max(store.meta(i)?.sample_bytes());
+    }
+    let threads = stream.effective_threads(per_box_bytes).min(n.max(1));
+
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    type Slot = (usize, Result<Result<BoxReport, String>, AtmError>);
+    let results: Mutex<Vec<Slot>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // `stop` is checked before *claiming*, so every index below
+                // the first fatal one is already claimed and will finish:
+                // the minimum-index fatal error is deterministic.
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = match store.load(i) {
+                    Ok(b) => Ok(run_box(b.as_ref(), config).map_err(|e| e.to_string())),
+                    Err(e) => {
+                        stop.store(true, Ordering::Relaxed);
+                        Err(e)
+                    }
+                };
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((i, outcome));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("threads joined");
+    collected.sort_by_key(|(i, _)| *i);
+
+    let mut reports = Vec::new();
+    let mut failures = Vec::new();
+    for (i, outcome) in collected {
+        match outcome {
+            Err(fatal) => return Err(fatal),
+            Ok(Ok(r)) => reports.push(r),
+            Ok(Err(e)) => failures.push(BoxFailure {
+                box_name: store.meta(i)?.name,
+                error: e,
+            }),
+        }
+    }
+    Ok(FleetReport { reports, failures })
 }
 
 #[cfg(test)]

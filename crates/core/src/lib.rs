@@ -81,9 +81,11 @@ pub mod online;
 pub mod pipeline;
 pub mod signature;
 pub mod spatial;
+pub mod storage;
 pub mod supervisor;
 pub mod whatif;
 
 pub use config::AtmConfig;
 pub use error::{AtmError, AtmResult};
 pub use pipeline::{run_box, BoxReport};
+pub use storage::{ChunkStore, InMemoryStore, TraceStore};

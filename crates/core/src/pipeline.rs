@@ -205,12 +205,18 @@ fn split_demands(trace: &BoxTrace, config: &AtmConfig) -> AtmResult<DemandSplit>
     let mut train_cols = Vec::with_capacity(keys.len());
     let mut test_cols = Vec::with_capacity(keys.len());
     for &k in &keys {
-        let demand = trace.demand(k);
-        if demand[start..].iter().any(|d| !d.is_finite()) {
+        // Materialize only the evaluation window, not the whole series —
+        // on a streamed fleet the box is dropped right after this split,
+        // so the full-history `demand()` clone would dominate the working
+        // set. `demand_range` computes the same per-element expression, so
+        // the columns are bit-identical to slicing the full series.
+        let train = trace.demand_range(k, start..split);
+        let test = trace.demand_range(k, split..total);
+        if train.iter().chain(test.iter()).any(|d| !d.is_finite()) {
             return Err(AtmError::GappyTrace);
         }
-        train_cols.push(demand[start..split].to_vec());
-        test_cols.push(demand[split..].to_vec());
+        train_cols.push(train);
+        test_cols.push(test);
     }
     Ok(DemandSplit {
         keys,
@@ -248,9 +254,12 @@ pub(crate) fn temporal_forecast(
     temporal: &TemporalModel,
     test_actual: &[f64],
 ) -> Vec<f64> {
+    // `train` stays a borrowed view throughout: `atm_forecast::forecast`
+    // takes the history by slice, so a streamed box's split columns are
+    // never cloned per model attempt.
     let forecast = match build_forecaster(temporal) {
         None => return test_actual.to_vec(), // Oracle (or empty ensemble)
-        Some(mut m) => m.fit(train).and_then(|()| m.forecast(horizon)),
+        Some(mut m) => atm_forecast::forecast(m.as_mut(), train, horizon),
     };
     forecast
         .or_else(|_| {
@@ -258,11 +267,11 @@ pub(crate) fn temporal_forecast(
             // the history.
             let period = (train.len() / 2).clamp(1, 96);
             let mut m = SeasonalNaive::new(period);
-            m.fit(train).and_then(|()| m.forecast(horizon))
+            atm_forecast::forecast(&mut m, train, horizon)
         })
         .or_else(|_| {
             let mut m = LastValue::new();
-            m.fit(train).and_then(|()| m.forecast(horizon))
+            atm_forecast::forecast(&mut m, train, horizon)
         })
         .unwrap_or_else(|_| vec![0.0; horizon])
 }
@@ -411,9 +420,9 @@ fn resize_reports(
         let stingy_alloc = baselines::stingy(&problem)?;
         let maxmin_alloc = baselines::max_min_fairness(&problem)?;
 
-        let actual: Vec<Vec<f64>> = vm_indices
+        let actual: Vec<&[f64]> = vm_indices
             .iter()
-            .map(|&vm| split.test_cols[idx_of(vm)].clone())
+            .map(|&vm| split.test_cols[idx_of(vm)].as_slice())
             .collect();
         let original: Vec<f64> = vm_indices
             .iter()
@@ -594,12 +603,16 @@ pub(crate) fn run_box_observed_with(
         .collect();
 
     // Assemble the full predicted matrix aligned with `keys`.
+    // Move (not clone) each forecast into its slot; neither source vector
+    // is read again.
+    let mut sig_predictions = sig_predictions;
+    let mut dep_predictions = dep_predictions;
     let mut predicted: Vec<Vec<f64>> = vec![Vec::new(); split.keys.len()];
     for (pos, &s) in outcome.final_signatures.iter().enumerate() {
-        predicted[s] = sig_predictions[pos].clone();
+        predicted[s] = std::mem::take(&mut sig_predictions[pos]);
     }
     for (pos, &d) in dependents.iter().enumerate() {
-        predicted[d] = dep_predictions[pos].clone();
+        predicted[d] = std::mem::take(&mut dep_predictions[pos]);
     }
 
     let prediction = {

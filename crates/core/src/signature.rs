@@ -582,6 +582,7 @@ mod tests {
                     threads,
                     dtw_band: 0,
                     optimized_kernel,
+                    memory_budget_mb: 0,
                 };
                 let out = search_with(
                     &keys(5),
@@ -616,6 +617,7 @@ mod tests {
                 threads: 1,
                 dtw_band: 8,
                 optimized_kernel: false,
+                memory_budget_mb: 0,
             },
         )
         .unwrap();
@@ -631,6 +633,7 @@ mod tests {
                         threads,
                         dtw_band: 8,
                         optimized_kernel,
+                        memory_budget_mb: 0,
                     },
                 )
                 .unwrap();
@@ -662,6 +665,7 @@ mod tests {
                     threads,
                     dtw_band: 0,
                     optimized_kernel: true,
+                    memory_budget_mb: 0,
                 },
                 &obs,
             )

@@ -1,0 +1,162 @@
+//! Trace storage abstraction: the fleet as a random-access box store.
+//!
+//! `run_fleet` historically took `&[BoxTrace]` — the whole fleet resident in
+//! RAM. At paper scale (~6K boxes / 80K VMs) that is ~850 MB of samples plus
+//! allocator overhead, so the streaming pipeline instead consumes a
+//! [`TraceStore`]: an indexed, thread-safe source of boxes that a worker can
+//! load one at a time and drop as soon as its report is computed.
+//!
+//! Two backends:
+//!
+//! - [`InMemoryStore`] wraps a borrowed `&[BoxTrace]` and serves
+//!   `Cow::Borrowed` boxes — zero-copy, the legacy behavior.
+//! - [`ChunkStore`] wraps a [`tracegen::chunk::ChunkReader`] over a columnar
+//!   chunk file and serves `Cow::Owned` boxes decoded (and CRC-verified) on
+//!   demand, via `mmap` on Linux. Peak memory is the per-worker working set,
+//!   not the fleet.
+//!
+//! Both backends expose cheap per-box metadata ([`TraceStore::meta`]) so a
+//! scheduler can size its working-set estimate without loading samples.
+
+use std::borrow::Cow;
+use std::path::Path;
+
+use atm_tracegen::chunk::{ChunkError, ChunkReader};
+use atm_tracegen::BoxTrace;
+
+use crate::error::{AtmError, AtmResult};
+
+/// Cheap per-box metadata: enough to name failures and budget memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoxMeta {
+    /// Box name, unique within the fleet.
+    pub name: String,
+    /// Number of co-located VMs.
+    pub vm_count: usize,
+    /// Windows per series.
+    pub windows: usize,
+}
+
+impl BoxMeta {
+    /// Raw sample bytes a loaded copy of this box holds
+    /// (`vms × 2 series × windows × 8 bytes`).
+    pub fn sample_bytes(&self) -> u64 {
+        (self.vm_count * 2 * self.windows * 8) as u64
+    }
+}
+
+/// An indexed, thread-safe source of box traces.
+///
+/// Implementations must be deterministic: `load(i)` returns the same box
+/// every time, independent of call order or calling thread — the streaming
+/// fleet runners rely on this for byte-identical reports at any thread
+/// count.
+pub trait TraceStore: Sync {
+    /// Number of boxes in the store.
+    fn box_count(&self) -> usize;
+
+    /// Metadata for box `index` without loading its samples.
+    fn meta(&self, index: usize) -> AtmResult<BoxMeta>;
+
+    /// Load box `index`. Borrowed for resident backends, owned for
+    /// on-disk backends.
+    fn load(&self, index: usize) -> AtmResult<Cow<'_, BoxTrace>>;
+}
+
+/// The resident backend: a borrowed slice of already-materialized boxes.
+pub struct InMemoryStore<'a> {
+    boxes: &'a [BoxTrace],
+}
+
+impl<'a> InMemoryStore<'a> {
+    /// Wrap a fleet slice.
+    pub fn new(boxes: &'a [BoxTrace]) -> Self {
+        InMemoryStore { boxes }
+    }
+}
+
+impl TraceStore for InMemoryStore<'_> {
+    fn box_count(&self) -> usize {
+        self.boxes.len()
+    }
+
+    fn meta(&self, index: usize) -> AtmResult<BoxMeta> {
+        let b = self.boxes.get(index).ok_or_else(|| AtmError::Storage {
+            path: "<in-memory>".into(),
+            reason: format!("box index {index} out of range ({})", self.boxes.len()),
+        })?;
+        Ok(BoxMeta {
+            name: b.name.clone(),
+            vm_count: b.vms.len(),
+            windows: b.window_count(),
+        })
+    }
+
+    fn load(&self, index: usize) -> AtmResult<Cow<'_, BoxTrace>> {
+        self.boxes
+            .get(index)
+            .map(Cow::Borrowed)
+            .ok_or_else(|| AtmError::Storage {
+                path: "<in-memory>".into(),
+                reason: format!("box index {index} out of range ({})", self.boxes.len()),
+            })
+    }
+}
+
+fn chunk_err(e: ChunkError) -> AtmError {
+    let path = match &e {
+        ChunkError::Io { path, .. } | ChunkError::Corrupt { path, .. } => {
+            path.display().to_string()
+        }
+        _ => "<chunk>".into(),
+    };
+    AtmError::Storage {
+        path,
+        reason: e.to_string(),
+    }
+}
+
+/// The out-of-core backend: a CRC-checked columnar chunk file.
+pub struct ChunkStore {
+    reader: ChunkReader,
+}
+
+impl ChunkStore {
+    /// Open (and index) a chunk file written by
+    /// `tracegen::chunk::ChunkWriter`; recovers from a torn tail.
+    pub fn open(path: &Path) -> AtmResult<Self> {
+        Ok(ChunkStore {
+            reader: ChunkReader::open(path).map_err(chunk_err)?,
+        })
+    }
+
+    /// Wrap an already-open reader (e.g. with `mmap` disabled for
+    /// equivalence testing).
+    pub fn from_reader(reader: ChunkReader) -> Self {
+        ChunkStore { reader }
+    }
+
+    /// Bytes dropped from a torn tail when the file was opened.
+    pub fn dropped_tail_bytes(&self) -> u64 {
+        self.reader.dropped_tail_bytes()
+    }
+}
+
+impl TraceStore for ChunkStore {
+    fn box_count(&self) -> usize {
+        self.reader.box_count()
+    }
+
+    fn meta(&self, index: usize) -> AtmResult<BoxMeta> {
+        let h = self.reader.header(index).map_err(chunk_err)?;
+        Ok(BoxMeta {
+            name: h.name.clone(),
+            vm_count: h.vms.len(),
+            windows: h.windows,
+        })
+    }
+
+    fn load(&self, index: usize) -> AtmResult<Cow<'_, BoxTrace>> {
+        self.reader.load(index).map(Cow::Owned).map_err(chunk_err)
+    }
+}

@@ -47,6 +47,7 @@ use crate::online::{
     run_online_checkpointed_observed, run_online_with_actuator_observed, DegradationSummary,
     OnlineReport,
 };
+use crate::storage::TraceStore;
 
 /// Circuit-breaker position, in the classic three-state machine:
 /// `Closed` (requests flow) → `Open` (failing; back off) → `HalfOpen`
@@ -441,6 +442,96 @@ where
                     break;
                 }
                 let run = supervise_box(i, &boxes[i], config, store, &make_actuator, obs);
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .push((i, run));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("threads joined");
+    collected.sort_by_key(|(i, _)| *i);
+
+    let mut degradation = DegradationSummary::default();
+    let boxes: Vec<BoxRun> = collected.into_iter().map(|(_, run)| run).collect();
+    for run in &boxes {
+        if let Some(report) = &run.report {
+            degradation.merge(&report.degradation);
+        }
+    }
+    let metrics = obs
+        .is_enabled()
+        .then(|| MetricsReport::from(&obs.metrics_snapshot()));
+    FleetReport {
+        boxes,
+        degradation,
+        metrics,
+    }
+}
+
+/// [`run_fleet_online_observed`] over a [`TraceStore`]: each worker loads
+/// its box from the store on demand and drops it when the box's run
+/// completes, so peak memory is `O(threads × box)` instead of `O(fleet)`.
+/// The `stream` budget clamps parallelism exactly like
+/// [`crate::fleet::run_fleet_streamed`] and never changes results.
+///
+/// Consistent with the supervisor's degrade-don't-abort contract, a
+/// storage failure (I/O error, CRC mismatch) **quarantines** that box —
+/// the load error becomes its [`BoxRunStatus::Quarantined`] reason, named
+/// from the store's metadata index — rather than aborting the fleet the
+/// way the offline streamed runner does.
+pub fn run_fleet_online_streamed<F>(
+    trace_store: &dyn TraceStore,
+    config: &AtmConfig,
+    store: Option<&CheckpointStore>,
+    stream: &crate::fleet::StreamConfig,
+    make_actuator: F,
+    obs: &Obs,
+) -> FleetReport
+where
+    F: Fn(usize, &BoxTrace) -> Box<dyn CapacityActuator + Send> + Sync,
+{
+    let n = trace_store.box_count();
+    obs.set_gauge("fleet.boxes", n as i64);
+    let mut per_box_bytes = 0u64;
+    for i in 0..n {
+        if let Ok(meta) = trace_store.meta(i) {
+            per_box_bytes = per_box_bytes.max(meta.sample_bytes());
+        }
+    }
+    let threads = stream.effective_threads(per_box_bytes).min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, BoxRun)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let run = match trace_store.load(i) {
+                    Ok(b) => supervise_box(i, b.as_ref(), config, store, &make_actuator, obs),
+                    Err(e) => {
+                        obs.add("supervisor.boxes_quarantined", 1);
+                        BoxRun {
+                            box_name: trace_store
+                                .meta(i)
+                                .map(|m| m.name)
+                                .unwrap_or_else(|_| format!("box[{i}]")),
+                            status: BoxRunStatus::Quarantined {
+                                error: e.to_string(),
+                            },
+                            report: None,
+                            attempts: 0,
+                            panics: 0,
+                            deadline_misses: 0,
+                            breaker_trips: 0,
+                            recovery_events: Vec::new(),
+                        }
+                    }
+                };
                 results
                     .lock()
                     .expect("no panics while holding the lock")

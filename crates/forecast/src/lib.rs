@@ -90,6 +90,23 @@ pub fn fit_forecast<F: Forecaster>(
     model.forecast(horizon)
 }
 
+/// Dyn-friendly one-shot forecast over a **borrowed** history slice.
+///
+/// The streaming pipeline hands each forecaster a view into a demand
+/// split that lives only as long as the box is resident; this entry point
+/// makes the borrow explicit for trait objects (`&mut dyn Forecaster`,
+/// where the `F: Forecaster` bound of [`fit_forecast`] requires `Sized`)
+/// so no caller is tempted to clone the history into an owned `Vec<f64>`
+/// first. Behavior is identical to [`fit_forecast`].
+pub fn forecast(
+    model: &mut dyn Forecaster,
+    history: &[f64],
+    horizon: usize,
+) -> ForecastResult<Vec<f64>> {
+    model.fit(history)?;
+    model.forecast(horizon)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,14 +39,16 @@ impl BoxOutcome {
 /// Computes one box's outcome.
 ///
 /// `actual_demands[i]` is VM `i`'s realized demand over the evaluation
-/// window; `original_capacities` are the allocations in place before
-/// resizing; `new_capacities` the allocator's choice.
+/// window (any slice-like column — owned `Vec<f64>` or a borrowed
+/// `&[f64]` view into a demand split, so streaming callers avoid a
+/// per-resource clone); `original_capacities` are the allocations in
+/// place before resizing; `new_capacities` the allocator's choice.
 ///
 /// # Errors
 ///
 /// Returns [`ResizeError::Empty`] on length mismatches or empty input.
-pub fn box_outcome(
-    actual_demands: &[Vec<f64>],
+pub fn box_outcome<S: AsRef<[f64]>>(
+    actual_demands: &[S],
     original_capacities: &[f64],
     new_capacities: &[f64],
     policy: &ThresholdPolicy,
@@ -155,7 +157,7 @@ mod tests {
     #[test]
     fn outcome_validation() {
         let policy = ThresholdPolicy::default();
-        assert!(box_outcome(&[], &[], &[], &policy).is_err());
+        assert!(box_outcome::<Vec<f64>>(&[], &[], &[], &policy).is_err());
         assert!(box_outcome(&[vec![1.0]], &[1.0], &[1.0, 2.0], &policy).is_err());
     }
 

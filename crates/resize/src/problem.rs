@@ -161,8 +161,8 @@ impl Allocation {
 /// Counts the tickets an allocation incurs against (actual or predicted)
 /// demand series: window `t` of VM `i` tickets when
 /// `demands[i][t] > α·capacities[i]`. `NaN` demands never ticket.
-pub fn tickets_under_allocation(
-    demands: &[Vec<f64>],
+pub fn tickets_under_allocation<S: AsRef<[f64]>>(
+    demands: &[S],
     capacities: &[f64],
     policy: &ThresholdPolicy,
 ) -> usize {
@@ -170,7 +170,8 @@ pub fn tickets_under_allocation(
         .iter()
         .zip(capacities)
         .map(|(d, &c)| {
-            d.iter()
+            d.as_ref()
+                .iter()
                 .filter(|&&x| policy.violates_demand(x, c.max(f64::MIN_POSITIVE)))
                 .count()
         })

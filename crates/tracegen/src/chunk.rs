@@ -1,0 +1,820 @@
+//! Columnar on-disk chunk store for fleet traces.
+//!
+//! The paper's fleet (~6K boxes / 80K+ VMs at 15-minute granularity over a
+//! week) is ~850 MB of raw `f64` samples — too large to require in RAM. This
+//! module defines a simple append-only **columnar chunk file**: one record
+//! per box, each holding a CRC-checked header (box/VM names and capacities)
+//! followed by fixed-width little-endian `f64` column segments, one column
+//! per series in [`BoxTrace::series_keys`] order (VM-major, CPU before RAM).
+//!
+//! Design points, following the `core::fsio` / checkpoint conventions:
+//!
+//! - **CRC-checked framing.** Every record carries a CRC-32 (IEEE, the same
+//!   polynomial as `core::checkpoint`) over its header and another over its
+//!   column data. The header CRC is verified eagerly when the file is
+//!   indexed; the data CRC is verified on every [`ChunkReader::load`].
+//! - **Torn-tail recovery.** Like the checkpoint journal, a reader scanning
+//!   the file stops at the first record whose framing or header CRC is
+//!   invalid (e.g. a crash mid-append) and drops the tail. Every record
+//!   before the tear is served intact.
+//! - **NaN-gap round-trip.** Gap samples are `NaN` throughout the system
+//!   (`tracegen::io` maps them to JSON `null` / empty CSV fields). Columns
+//!   canonicalize `NaN` payloads to the quiet-NaN bit pattern on write, so
+//!   encode→decode preserves gap positions exactly and non-gap samples
+//!   bit-exactly.
+//! - **8-byte alignment.** Column data always starts on an 8-byte boundary
+//!   relative to the file start, so a page-aligned memory map of a record's
+//!   data region is `f64`-aligned. (Decoding still goes through
+//!   `f64::from_le_bytes`, which is endian- and alignment-safe; alignment is
+//!   a forward-compatibility guarantee for zero-copy readers.)
+//!
+//! Reads go through `mmap(2)` on Linux (private read-only mapping per
+//! record, unmapped after decode, so resident memory stays bounded by the
+//! working set instead of the file size) with a `pread(2)`-style fallback
+//! that produces identical bytes everywhere else — or when
+//! [`ChunkReader::with_mmap`] disables mapping for testing.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::generator::{generate_box, FleetConfig};
+use crate::trace::{BoxTrace, VmTrace};
+
+/// File magic: identifies a columnar chunk file, version 1.
+pub const CHUNK_MAGIC: &[u8; 8] = b"ATMCHNK1";
+
+/// Per-record marker preceding every box record.
+const RECORD_MARKER: &[u8; 4] = b"BOXC";
+
+/// Fixed-size record prelude: marker + header_len(u32) + header_crc(u32) +
+/// data_len(u64) + data_crc(u32).
+const PRELUDE_LEN: u64 = 4 + 4 + 4 + 8 + 4;
+
+/// Canonical quiet-NaN bit pattern written for every gap sample.
+const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Errors produced by the chunk writer and reader.
+#[derive(Debug)]
+pub enum ChunkError {
+    /// An OS-level I/O failure.
+    Io {
+        /// The chunk file involved.
+        path: PathBuf,
+        /// The underlying error, rendered.
+        reason: String,
+    },
+    /// A record failed CRC or framing validation.
+    Corrupt {
+        /// The chunk file involved.
+        path: PathBuf,
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+    /// A box violates the columnar invariants (ragged series, oversized
+    /// names) and cannot be encoded.
+    Inconsistent(String),
+    /// A record index out of range.
+    OutOfRange {
+        /// The requested record index.
+        index: usize,
+        /// Number of records in the file.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Io { path, reason } => {
+                write!(f, "chunk I/O error on `{}`: {reason}", path.display())
+            }
+            ChunkError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt chunk record in `{}` at byte {offset}: {reason}",
+                path.display()
+            ),
+            ChunkError::Inconsistent(what) => write!(f, "box cannot be encoded: {what}"),
+            ChunkError::OutOfRange { index, count } => {
+                write!(f, "record index {index} out of range (file has {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), identical to
+/// `core::checkpoint::crc32`. Re-implemented here because `core` depends on
+/// this crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Decoded per-VM metadata from a record header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmHeader {
+    /// VM name.
+    pub name: String,
+    /// Allocated CPU capacity in GHz.
+    pub cpu_capacity_ghz: f64,
+    /// Allocated RAM capacity in GB.
+    pub ram_capacity_gb: f64,
+}
+
+/// Decoded record header: everything about a box except its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxHeader {
+    /// Box name.
+    pub name: String,
+    /// Physical CPU capacity in GHz.
+    pub cpu_capacity_ghz: f64,
+    /// Physical RAM capacity in GB.
+    pub ram_capacity_gb: f64,
+    /// Sampling interval in minutes.
+    pub interval_minutes: u32,
+    /// Windows per series (uniform across the box — columns are
+    /// fixed-width).
+    pub windows: usize,
+    /// Co-located VMs, in column order.
+    pub vms: Vec<VmHeader>,
+}
+
+impl BoxHeader {
+    /// Number of `f64` columns in the record (`vms × 2`).
+    pub fn series_count(&self) -> usize {
+        self.vms.len() * 2
+    }
+
+    /// Exact byte length of the record's column data.
+    fn data_len(&self) -> u64 {
+        (self.series_count() * self.windows * 8) as u64
+    }
+}
+
+fn push_name(buf: &mut Vec<u8>, name: &str) -> Result<(), ChunkError> {
+    let bytes = name.as_bytes();
+    let len = u16::try_from(bytes.len())
+        .map_err(|_| ChunkError::Inconsistent(format!("name `{name:.32}…` exceeds 64 KiB")))?;
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(bytes);
+    Ok(())
+}
+
+fn encode_header(b: &BoxTrace, windows: usize) -> Result<Vec<u8>, ChunkError> {
+    let mut buf = Vec::with_capacity(64 + b.vms.len() * 32);
+    push_name(&mut buf, &b.name)?;
+    buf.extend_from_slice(&b.cpu_capacity_ghz.to_le_bytes());
+    buf.extend_from_slice(&b.ram_capacity_gb.to_le_bytes());
+    buf.extend_from_slice(&b.interval_minutes.to_le_bytes());
+    let windows32 = u32::try_from(windows)
+        .map_err(|_| ChunkError::Inconsistent(format!("{windows} windows exceed u32 range")))?;
+    buf.extend_from_slice(&windows32.to_le_bytes());
+    let vm_count = u32::try_from(b.vms.len())
+        .map_err(|_| ChunkError::Inconsistent("more than u32::MAX VMs".into()))?;
+    buf.extend_from_slice(&vm_count.to_le_bytes());
+    for vm in &b.vms {
+        push_name(&mut buf, &vm.name)?;
+        buf.extend_from_slice(&vm.cpu_capacity_ghz.to_le_bytes());
+        buf.extend_from_slice(&vm.ram_capacity_gb.to_le_bytes());
+    }
+    Ok(buf)
+}
+
+struct HeaderCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> HeaderCursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8).map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            f64::from_le_bytes(a)
+        })
+    }
+
+    fn name(&mut self) -> Option<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+fn decode_header(buf: &[u8]) -> Option<BoxHeader> {
+    let mut c = HeaderCursor { buf, pos: 0 };
+    let name = c.name()?;
+    let cpu_capacity_ghz = c.f64()?;
+    let ram_capacity_gb = c.f64()?;
+    let interval_minutes = c.u32()?;
+    let windows = c.u32()? as usize;
+    let vm_count = c.u32()? as usize;
+    // Cheap sanity bound before allocating: every VM entry is ≥ 18 bytes.
+    if vm_count > buf.len() / 18 + 1 {
+        return None;
+    }
+    let mut vms = Vec::with_capacity(vm_count);
+    for _ in 0..vm_count {
+        vms.push(VmHeader {
+            name: c.name()?,
+            cpu_capacity_ghz: c.f64()?,
+            ram_capacity_gb: c.f64()?,
+        });
+    }
+    if c.pos != buf.len() {
+        return None;
+    }
+    Some(BoxHeader {
+        name,
+        cpu_capacity_ghz,
+        ram_capacity_gb,
+        interval_minutes,
+        windows,
+        vms,
+    })
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> ChunkError {
+    ChunkError::Io {
+        path: path.to_path_buf(),
+        reason: e.to_string(),
+    }
+}
+
+/// Streaming writer: appends one CRC-framed columnar record per box.
+///
+/// Writes go through a buffered stream directly to the final path (chunk
+/// files can exceed RAM, so the `write_atomic` temp-and-rename convention
+/// does not apply); crash safety comes from the reader's torn-tail
+/// recovery instead. [`ChunkWriter::finish`] flushes and fsyncs.
+pub struct ChunkWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    offset: u64,
+    boxes: usize,
+}
+
+impl ChunkWriter {
+    /// Create (truncate) a chunk file and write the magic.
+    pub fn create(path: &Path) -> Result<Self, ChunkError> {
+        let file = File::create(path).map_err(|e| io_err(path, e))?;
+        let mut out = BufWriter::new(file);
+        out.write_all(CHUNK_MAGIC).map_err(|e| io_err(path, e))?;
+        Ok(ChunkWriter {
+            out,
+            path: path.to_path_buf(),
+            offset: CHUNK_MAGIC.len() as u64,
+            boxes: 0,
+        })
+    }
+
+    /// Bytes written so far (the offset where the next record starts).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of box records appended so far.
+    pub fn box_count(&self) -> usize {
+        self.boxes
+    }
+
+    /// Append one box as a columnar record.
+    ///
+    /// Fails with [`ChunkError::Inconsistent`] if the box is ragged (any
+    /// series length differs from the box's window count) — fixed-width
+    /// columns require rectangular traces.
+    pub fn append_box(&mut self, b: &BoxTrace) -> Result<(), ChunkError> {
+        let windows = b.window_count();
+        for vm in &b.vms {
+            if vm.cpu_usage.len() != windows || vm.ram_usage.len() != windows {
+                return Err(ChunkError::Inconsistent(format!(
+                    "VM `{}` on box `{}` is ragged: cpu={} ram={} expected={windows}",
+                    vm.name,
+                    b.name,
+                    vm.cpu_usage.len(),
+                    vm.ram_usage.len(),
+                )));
+            }
+        }
+
+        let header = encode_header(b, windows)?;
+        let header_crc = crc32(&header);
+        let data_len = (b.vms.len() * 2 * windows * 8) as u64;
+
+        // Column data: VM-major, CPU before RAM (series_keys order), NaN
+        // canonicalized so gap positions round-trip bit-exactly.
+        let mut data = Vec::with_capacity(data_len as usize);
+        for vm in &b.vms {
+            for series in [&vm.cpu_usage, &vm.ram_usage] {
+                for &v in series.iter() {
+                    let bits = if v.is_nan() {
+                        CANONICAL_NAN_BITS
+                    } else {
+                        v.to_bits()
+                    };
+                    data.extend_from_slice(&bits.to_le_bytes());
+                }
+            }
+        }
+        let data_crc = crc32(&data);
+
+        let header_len = header.len() as u64;
+        let data_offset = align8(self.offset + PRELUDE_LEN + header_len);
+        let pad = data_offset - (self.offset + PRELUDE_LEN + header_len);
+
+        let path = self.path.clone();
+        let mut write = |bytes: &[u8]| -> Result<(), ChunkError> {
+            self.out.write_all(bytes).map_err(|e| io_err(&path, e))
+        };
+        write(RECORD_MARKER)?;
+        write(&(header.len() as u32).to_le_bytes())?;
+        write(&header_crc.to_le_bytes())?;
+        write(&data_len.to_le_bytes())?;
+        write(&data_crc.to_le_bytes())?;
+        write(&header)?;
+        write(&[0u8; 8][..pad as usize])?;
+        write(&data)?;
+
+        self.offset = data_offset + data_len;
+        self.boxes += 1;
+        Ok(())
+    }
+
+    /// Flush and fsync the file; returns (records, bytes) written.
+    pub fn finish(mut self) -> Result<(usize, u64), ChunkError> {
+        self.out.flush().map_err(|e| io_err(&self.path, e))?;
+        self.out
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io_err(&self.path, e))?;
+        Ok((self.boxes, self.offset))
+    }
+}
+
+fn align8(offset: u64) -> u64 {
+    (offset + 7) & !7
+}
+
+struct RecordEntry {
+    header: BoxHeader,
+    data_offset: u64,
+    data_len: u64,
+    data_crc: u32,
+}
+
+/// Indexed reader over a columnar chunk file.
+///
+/// Opening scans and validates every record frame and header CRC, dropping
+/// a torn tail if present; the (small) header index stays in RAM while
+/// column data is fetched per record on [`ChunkReader::load`] — via a
+/// transient `mmap` on Linux, positional reads elsewhere.
+pub struct ChunkReader {
+    path: PathBuf,
+    file: File,
+    entries: Vec<RecordEntry>,
+    dropped_tail_bytes: u64,
+    use_mmap: bool,
+}
+
+impl ChunkReader {
+    /// Open and index a chunk file, recovering from a torn tail.
+    pub fn open(path: &Path) -> Result<Self, ChunkError> {
+        let mut file = File::open(path).map_err(|e| io_err(path, e))?;
+        let file_len = file.metadata().map_err(|e| io_err(path, e))?.len();
+
+        let mut magic = [0u8; 8];
+        if file_len < 8 {
+            return Err(ChunkError::Corrupt {
+                path: path.to_path_buf(),
+                offset: 0,
+                reason: format!("file is {file_len} bytes, shorter than the magic"),
+            });
+        }
+        file.read_exact(&mut magic).map_err(|e| io_err(path, e))?;
+        if &magic != CHUNK_MAGIC {
+            return Err(ChunkError::Corrupt {
+                path: path.to_path_buf(),
+                offset: 0,
+                reason: "bad magic (not a chunk file)".into(),
+            });
+        }
+
+        let mut entries = Vec::new();
+        let mut pos = 8u64;
+        let mut dropped_tail_bytes = 0u64;
+        while pos < file_len {
+            match Self::scan_record(&mut file, pos, file_len) {
+                Some(entry) => {
+                    pos = entry.data_offset + entry.data_len;
+                    entries.push(entry);
+                }
+                None => {
+                    // Torn or corrupt record: drop it and everything after,
+                    // the checkpoint-journal convention.
+                    dropped_tail_bytes = file_len - pos;
+                    break;
+                }
+            }
+        }
+
+        Ok(ChunkReader {
+            path: path.to_path_buf(),
+            file,
+            entries,
+            dropped_tail_bytes,
+            use_mmap: cfg!(target_os = "linux"),
+        })
+    }
+
+    /// Disable (or re-enable) the `mmap` read path; the positional-read
+    /// fallback produces identical bytes. Used by equivalence tests.
+    pub fn with_mmap(mut self, enabled: bool) -> Self {
+        self.use_mmap = enabled && cfg!(target_os = "linux");
+        self
+    }
+
+    fn scan_record(file: &mut File, start: u64, file_len: u64) -> Option<RecordEntry> {
+        if file_len - start < PRELUDE_LEN {
+            return None;
+        }
+        file.seek(SeekFrom::Start(start)).ok()?;
+        let mut prelude = [0u8; PRELUDE_LEN as usize];
+        file.read_exact(&mut prelude).ok()?;
+        if &prelude[0..4] != RECORD_MARKER {
+            return None;
+        }
+        let header_len = u32::from_le_bytes(prelude[4..8].try_into().unwrap()) as u64;
+        let header_crc = u32::from_le_bytes(prelude[8..12].try_into().unwrap());
+        let data_len = u64::from_le_bytes(prelude[12..20].try_into().unwrap());
+        let data_crc = u32::from_le_bytes(prelude[20..24].try_into().unwrap());
+
+        let header_end = start.checked_add(PRELUDE_LEN)?.checked_add(header_len)?;
+        if header_end > file_len {
+            return None;
+        }
+        let mut header = vec![0u8; header_len as usize];
+        file.read_exact(&mut header).ok()?;
+        if crc32(&header) != header_crc {
+            return None;
+        }
+        let header = decode_header(&header)?;
+        if header.data_len() != data_len {
+            return None;
+        }
+        let data_offset = align8(header_end);
+        if data_offset.checked_add(data_len)? > file_len {
+            return None;
+        }
+        Some(RecordEntry {
+            header,
+            data_offset,
+            data_len,
+            data_crc,
+        })
+    }
+
+    /// Number of intact records in the file.
+    pub fn box_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes dropped from a torn tail at open time (0 for a clean file).
+    pub fn dropped_tail_bytes(&self) -> u64 {
+        self.dropped_tail_bytes
+    }
+
+    /// The decoded header (names, capacities, shape) of record `index`.
+    pub fn header(&self, index: usize) -> Result<&BoxHeader, ChunkError> {
+        self.entries
+            .get(index)
+            .map(|e| &e.header)
+            .ok_or(ChunkError::OutOfRange {
+                index,
+                count: self.entries.len(),
+            })
+    }
+
+    /// Load record `index` into an owned [`BoxTrace`], verifying the data
+    /// CRC.
+    pub fn load(&self, index: usize) -> Result<BoxTrace, ChunkError> {
+        let entry = self.entries.get(index).ok_or(ChunkError::OutOfRange {
+            index,
+            count: self.entries.len(),
+        })?;
+        let data = self.read_data(entry)?;
+        if crc32(&data) != entry.data_crc {
+            return Err(ChunkError::Corrupt {
+                path: self.path.clone(),
+                offset: entry.data_offset,
+                reason: "column data CRC mismatch".into(),
+            });
+        }
+
+        let h = &entry.header;
+        let windows = h.windows;
+        let mut cols = data
+            .chunks_exact(windows.max(1) * 8)
+            .map(|col| {
+                col.chunks_exact(8)
+                    .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+                    .collect::<Vec<f64>>()
+            })
+            .collect::<Vec<_>>();
+        // windows == 0 ⇒ no data bytes at all; synthesize the empty columns.
+        if windows == 0 {
+            cols = vec![Vec::new(); h.series_count()];
+        }
+        debug_assert_eq!(cols.len(), h.series_count());
+
+        let mut cols = cols.into_iter();
+        let vms = h
+            .vms
+            .iter()
+            .map(|vm| VmTrace {
+                name: vm.name.clone(),
+                cpu_capacity_ghz: vm.cpu_capacity_ghz,
+                ram_capacity_gb: vm.ram_capacity_gb,
+                cpu_usage: cols.next().unwrap_or_default(),
+                ram_usage: cols.next().unwrap_or_default(),
+            })
+            .collect();
+        Ok(BoxTrace {
+            name: h.name.clone(),
+            cpu_capacity_ghz: h.cpu_capacity_ghz,
+            ram_capacity_gb: h.ram_capacity_gb,
+            vms,
+            interval_minutes: h.interval_minutes,
+        })
+    }
+
+    fn read_data(&self, entry: &RecordEntry) -> Result<Vec<u8>, ChunkError> {
+        let len = entry.data_len as usize;
+        #[cfg(target_os = "linux")]
+        if self.use_mmap {
+            if len == 0 {
+                return Ok(Vec::new());
+            }
+            if let Some(bytes) = sys::read_via_mmap(&self.file, entry.data_offset, len) {
+                return Ok(bytes);
+            }
+            // mmap failed (exotic filesystem, resource limits): fall through
+            // to the positional read, which yields identical bytes.
+        }
+        let mut buf = vec![0u8; len];
+        read_exact_at(&self.file, &mut buf, entry.data_offset, &self.path)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64, path: &Path) -> Result<(), ChunkError> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset).map_err(|e| io_err(path, e))
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(_: &File, buf: &mut [u8], offset: u64, path: &Path) -> Result<(), ChunkError> {
+    // Portable fallback: a fresh handle per read keeps `load` at `&self`.
+    let mut f = File::open(path).map_err(|e| io_err(path, e))?;
+    f.seek(SeekFrom::Start(offset))
+        .map_err(|e| io_err(path, e))?;
+    f.read_exact(buf).map_err(|e| io_err(path, e))
+}
+
+/// Statistics from streaming a generated fleet to disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetStreamStats {
+    /// Boxes written.
+    pub boxes: usize,
+    /// Total VMs across all boxes.
+    pub vms: usize,
+    /// Windows per series.
+    pub windows: usize,
+    /// Final file size in bytes.
+    pub bytes: u64,
+}
+
+/// Generate a fleet box-by-box and stream it straight to a chunk file.
+///
+/// Peak memory is one box (`generate_box` is independently seeded per box
+/// index), so a paper-scale fleet never materializes. The resulting file
+/// is bit-identical to writing `generate_fleet(config)` box-by-box.
+pub fn stream_fleet_to_chunks(
+    config: &FleetConfig,
+    path: &Path,
+) -> Result<FleetStreamStats, ChunkError> {
+    config.validate();
+    let mut writer = ChunkWriter::create(path)?;
+    let mut vms = 0usize;
+    for i in 0..config.num_boxes {
+        let b = generate_box(config, i);
+        vms += b.vms.len();
+        writer.append_box(&b)?;
+    }
+    let (boxes, bytes) = writer.finish()?;
+    Ok(FleetStreamStats {
+        boxes,
+        vms,
+        windows: config.total_windows(),
+        bytes,
+    })
+}
+
+/// Raw `mmap(2)` bindings, Linux only. The only unsafe code in the crate;
+/// kept minimal: map a record's data region page-aligned, copy it out,
+/// unmap. A `None` return means "use the positional-read fallback".
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn sysconf(name: i32) -> i64;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const SC_PAGESIZE: i32 = 30;
+
+    fn page_size() -> usize {
+        let v = unsafe { sysconf(SC_PAGESIZE) };
+        if v > 0 {
+            v as usize
+        } else {
+            4096
+        }
+    }
+
+    pub fn read_via_mmap(file: &File, offset: u64, len: usize) -> Option<Vec<u8>> {
+        let page = page_size() as u64;
+        let map_off = offset - offset % page;
+        let delta = (offset - map_off) as usize;
+        let map_len = delta.checked_add(len)?;
+        if i64::try_from(map_off).is_err() {
+            return None;
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                map_len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                map_off as i64,
+            )
+        };
+        if ptr as isize == -1 {
+            return None;
+        }
+        // SAFETY: mmap succeeded with map_len bytes readable from ptr; the
+        // mapping is private and lives until the munmap below.
+        let bytes = unsafe { std::slice::from_raw_parts(ptr.cast::<u8>(), map_len) };
+        let out = bytes[delta..delta + len].to_vec();
+        unsafe {
+            munmap(ptr, map_len);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_fleet, FleetConfig};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("atm-chunk-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn bits(v: f64) -> u64 {
+        if v.is_nan() {
+            CANONICAL_NAN_BITS
+        } else {
+            v.to_bits()
+        }
+    }
+
+    fn assert_trace_eq(a: &BoxTrace, b: &BoxTrace) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.cpu_capacity_ghz.to_bits(), b.cpu_capacity_ghz.to_bits());
+        assert_eq!(a.ram_capacity_gb.to_bits(), b.ram_capacity_gb.to_bits());
+        assert_eq!(a.interval_minutes, b.interval_minutes);
+        assert_eq!(a.vms.len(), b.vms.len());
+        for (x, y) in a.vms.iter().zip(&b.vms) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.cpu_usage.len(), y.cpu_usage.len());
+            for (u, v) in x.cpu_usage.iter().zip(&y.cpu_usage) {
+                assert_eq!(bits(*u), bits(*v));
+            }
+            for (u, v) in x.ram_usage.iter().zip(&y.ram_usage) {
+                assert_eq!(bits(*u), bits(*v));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_a_gappy_fleet() {
+        let config = FleetConfig {
+            days: 1,
+            ..FleetConfig::paper(6)
+        };
+        let fleet = generate_fleet(&config);
+        let path = tmp("roundtrip");
+        let mut w = ChunkWriter::create(&path).unwrap();
+        for b in &fleet.boxes {
+            w.append_box(b).unwrap();
+        }
+        w.finish().unwrap();
+
+        let r = ChunkReader::open(&path).unwrap();
+        assert_eq!(r.box_count(), fleet.boxes.len());
+        assert_eq!(r.dropped_tail_bytes(), 0);
+        for (i, b) in fleet.boxes.iter().enumerate() {
+            assert_trace_eq(&r.load(i).unwrap(), b);
+        }
+        // The fallback read path yields the same traces.
+        let r = ChunkReader::open(&path).unwrap().with_mmap(false);
+        for (i, b) in fleet.boxes.iter().enumerate() {
+            assert_trace_eq(&r.load(i).unwrap(), b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_boxes() {
+        let mut b = generate_fleet(&FleetConfig {
+            days: 1,
+            ..FleetConfig::gap_free(1)
+        })
+        .boxes
+        .remove(0);
+        b.vms[0].ram_usage.pop();
+        let path = tmp("ragged");
+        let mut w = ChunkWriter::create(&path).unwrap();
+        assert!(matches!(w.append_box(&b), Err(ChunkError::Inconsistent(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_generation_matches_materialized() {
+        let config = FleetConfig {
+            days: 1,
+            ..FleetConfig::paper(4)
+        };
+        let path = tmp("streamed");
+        let stats = stream_fleet_to_chunks(&config, &path).unwrap();
+        assert_eq!(stats.boxes, 4);
+        assert_eq!(stats.windows, config.total_windows());
+
+        let fleet = generate_fleet(&config);
+        assert_eq!(stats.vms, fleet.boxes.iter().map(|b| b.vms.len()).sum());
+        let r = ChunkReader::open(&path).unwrap();
+        for (i, b) in fleet.boxes.iter().enumerate() {
+            assert_trace_eq(&r.load(i).unwrap(), b);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

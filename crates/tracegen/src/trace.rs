@@ -89,6 +89,24 @@ impl VmTrace {
             .collect()
     }
 
+    /// Demand series over a window sub-range, in capacity units.
+    ///
+    /// Computes `usage/100 × capacity` element-wise over `range` only, so a
+    /// caller that needs a train or test split never materializes the full
+    /// series. Bit-identical to slicing [`VmTrace::demand`]'s result: the
+    /// per-element arithmetic is the same expression in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for the series.
+    pub fn demand_range(&self, resource: Resource, range: std::ops::Range<usize>) -> Vec<f64> {
+        let cap = self.capacity(resource);
+        self.usage(resource)[range]
+            .iter()
+            .map(|&u| u / 100.0 * cap)
+            .collect()
+    }
+
     /// Whether this VM's trace contains gap samples (`NaN`).
     pub fn has_gaps(&self) -> bool {
         self.cpu_usage.iter().any(|v| v.is_nan()) || self.ram_usage.iter().any(|v| v.is_nan())
@@ -158,6 +176,15 @@ impl BoxTrace {
     /// Panics if `key.vm` is out of range.
     pub fn demand(&self, key: SeriesKey) -> Vec<f64> {
         self.vms[key.vm].demand(key.resource)
+    }
+
+    /// The demand series addressed by a key over a window sub-range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.vm` or `range` is out of range.
+    pub fn demand_range(&self, key: SeriesKey, range: std::ops::Range<usize>) -> Vec<f64> {
+        self.vms[key.vm].demand_range(key.resource, range)
     }
 
     /// All demand series in `series_keys` order.

@@ -6,12 +6,13 @@
 #
 # Usage:
 #   scripts/profile.sh micro        # fixed-scale kernel micro-legs (default)
+#   scripts/profile.sh fleet        # streamed fleet legs: wall + peak RSS
 #   scripts/profile.sh perf         # perf record/report on the bench binary
 #   scripts/profile.sh flamegraph   # cargo flamegraph on the bench binary
 #
-# `micro` needs only the repo toolchain. `perf` needs linux-tools;
-# `flamegraph` needs cargo-flamegraph — both modes bail with a hint if
-# the tool is missing rather than half-running.
+# `micro` and `fleet` need only the repo toolchain. `perf` needs
+# linux-tools; `flamegraph` needs cargo-flamegraph — both modes bail
+# with a hint if the tool is missing rather than half-running.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +38,19 @@ micro)
     echo "Divide dtw *_ms by the DP cell count (496 pairs x ~256*33 band"
     echo "cells) for ns/cell; PROFILING.md records per-host baselines."
     ;;
+fleet)
+    # The streamed fleet legs (DESIGN.md §16): chunk-file generation
+    # wall, streamed-pipeline wall, and peak RSS of the streamed phase,
+    # at the current ATM_THREADS. Run twice — once with ATM_THREADS=1,
+    # once at the host's core count — to see how far the per-box
+    # parallelism carries before the memory budget clamps it;
+    # PROFILING.md records per-host findings (mmap vs positional reads,
+    # RSS vs budget headroom).
+    build_bench
+    "$BENCH" --fleet "${2:-ci}" --out /tmp/profile-fleet.json
+    echo "== streamed fleet legs (/tmp/profile-fleet.json) =="
+    grep -o '"name": "fleet[^}]*}' /tmp/profile-fleet.json
+    ;;
 perf)
     command -v perf >/dev/null || {
         echo "perf not found (install linux-tools); falling back is not useful — aborting" >&2
@@ -60,7 +74,7 @@ flamegraph)
     echo "wrote /tmp/profile-bench-flame.svg"
     ;;
 *)
-    echo "usage: scripts/profile.sh {micro|perf|flamegraph}" >&2
+    echo "usage: scripts/profile.sh {micro|fleet [ci|full]|perf|flamegraph}" >&2
     exit 2
     ;;
 esac

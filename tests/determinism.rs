@@ -68,6 +68,7 @@ fn pipeline_report_is_byte_identical_across_threads_and_kernels() {
             threads: 1,
             dtw_band: 0,
             optimized_kernel: false,
+            memory_budget_mb: 0,
         },
         1,
     );
@@ -88,6 +89,7 @@ fn pipeline_report_is_byte_identical_across_threads_and_kernels() {
                 threads,
                 dtw_band: 0,
                 optimized_kernel,
+                memory_budget_mb: 0,
             },
             fleet_threads,
         );
@@ -112,6 +114,7 @@ fn banded_pipeline_is_byte_identical_across_threads_and_kernels() {
             threads: 1,
             dtw_band: 12,
             optimized_kernel: false,
+            memory_budget_mb: 0,
         },
         1,
     );
@@ -122,6 +125,7 @@ fn banded_pipeline_is_byte_identical_across_threads_and_kernels() {
                 threads,
                 dtw_band: 12,
                 optimized_kernel,
+                memory_budget_mb: 0,
             },
             1,
         );
@@ -150,6 +154,7 @@ fn online_resume_is_byte_identical_across_compute_threads() {
             threads,
             dtw_band: 0,
             optimized_kernel: threads != 1,
+            memory_budget_mb: 0,
         },
         ..AtmConfig::fast_for_tests()
     };
@@ -199,6 +204,7 @@ fn obs_metrics_and_events_are_byte_identical_across_threads() {
                 threads,
                 dtw_band: 0,
                 optimized_kernel: true,
+                memory_budget_mb: 0,
             },
             ..AtmConfig::fast_for_tests()
         };
@@ -236,6 +242,7 @@ fn fleet_obs_is_byte_identical_across_fleet_threads() {
             threads: 1,
             dtw_band: 0,
             optimized_kernel: true,
+            memory_budget_mb: 0,
         });
         let obs = Obs::enabled(true);
         let report = run_fleet_online_observed(

@@ -1,0 +1,245 @@
+//! Backend equivalence and determinism for the trace-store data plane.
+//!
+//! The contract under test: a seeded fleet produces **byte-identical**
+//! pipeline reports whether the boxes come from the in-memory store, the
+//! columnar chunk store (mmap or positional reads), the legacy
+//! `run_fleet` slice path, or any worker-thread count — and the memory
+//! budget changes scheduling only, never bytes.
+
+use std::path::PathBuf;
+
+use atm::core::config::TemporalModel;
+use atm::core::fleet::{run_fleet, run_fleet_streamed, FleetReport, StreamConfig};
+use atm::core::storage::{ChunkStore, InMemoryStore, TraceStore};
+use atm::core::supervisor::run_fleet_online_streamed;
+use atm::core::{AtmConfig, AtmError};
+use atm::obs::Obs;
+use atm::tracegen::chunk::{stream_fleet_to_chunks, ChunkReader, ChunkWriter};
+use atm::tracegen::{generate_fleet, BoxTrace, FleetConfig};
+
+fn tmp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "atm-fleet-store-{}-{tag}.chunk",
+        std::process::id()
+    ));
+    p
+}
+
+fn fleet_config(boxes: usize, gaps: f64) -> FleetConfig {
+    FleetConfig {
+        num_boxes: boxes,
+        days: 3,
+        gap_probability: gaps,
+        seed: 0x5103_93AF,
+        ..FleetConfig::default()
+    }
+}
+
+fn pipeline_config() -> AtmConfig {
+    AtmConfig {
+        temporal: TemporalModel::Oracle,
+        ..AtmConfig::fast_for_tests()
+    }
+}
+
+fn write_chunks(boxes: &[BoxTrace], tag: &str) -> PathBuf {
+    let path = tmp(tag);
+    let mut w = ChunkWriter::create(&path).unwrap();
+    for b in boxes {
+        w.append_box(b).unwrap();
+    }
+    w.finish().unwrap();
+    path
+}
+
+fn stream(store: &dyn TraceStore, threads: usize, budget: u64) -> FleetReport {
+    run_fleet_streamed(
+        store,
+        &pipeline_config(),
+        &StreamConfig {
+            threads,
+            memory_budget_bytes: budget,
+        },
+    )
+    .unwrap()
+}
+
+/// Reports must compare byte-identically, not just structurally: the
+/// serialized form is what the determinism harness and bench gates pin.
+fn assert_identical(a: &FleetReport, b: &FleetReport, what: &str) {
+    assert_eq!(a, b, "{what}: reports differ structurally");
+    assert_eq!(
+        serde_json::to_string(a).unwrap(),
+        serde_json::to_string(b).unwrap(),
+        "{what}: serialized reports differ"
+    );
+}
+
+#[test]
+fn chunk_backend_matches_in_memory_byte_identically() {
+    let boxes = generate_fleet(&fleet_config(8, 0.3)).boxes;
+    let path = write_chunks(&boxes, "equiv");
+
+    let legacy = run_fleet(&boxes, &pipeline_config(), 1);
+    let memory = stream(&InMemoryStore::new(&boxes), 1, 0);
+    let chunk = stream(&ChunkStore::open(&path).unwrap(), 1, 0);
+    let chunk_nomap = stream(
+        &ChunkStore::from_reader(ChunkReader::open(&path).unwrap().with_mmap(false)),
+        1,
+        0,
+    );
+
+    assert_identical(&memory, &legacy, "in-memory store vs legacy slice path");
+    assert_identical(&chunk, &legacy, "chunk store vs legacy slice path");
+    assert_identical(&chunk_nomap, &chunk, "positional reads vs mmap");
+    assert!(
+        !legacy.reports.is_empty(),
+        "fleet must produce at least one report for the comparison to mean anything"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_reports_identical_at_1_and_8_threads() {
+    let boxes = generate_fleet(&fleet_config(10, 0.2)).boxes;
+    let path = write_chunks(&boxes, "threads");
+    let store = ChunkStore::open(&path).unwrap();
+
+    let t1 = stream(&store, 1, 0);
+    let t8 = stream(&store, 8, 0);
+    assert_identical(&t1, &t8, "ATM_THREADS 1 vs 8");
+
+    // A budget that forces sequential execution changes nothing either.
+    let tight = stream(&store, 8, 1);
+    assert_identical(&tight, &t1, "budget-clamped vs sequential");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn memory_budget_clamps_parallelism_without_aborting() {
+    let sc = |threads, budget| StreamConfig {
+        threads,
+        memory_budget_bytes: budget,
+    };
+    // 1 MiB per box × multiplier 8 ⇒ 32 MiB budget admits 4 workers.
+    let per_box = 1u64 << 20;
+    assert_eq!(sc(8, 32 << 20).effective_threads(per_box), 4);
+    // Unlimited budget leaves threads alone.
+    assert_eq!(sc(8, 0).effective_threads(per_box), 8);
+    // A budget smaller than one box degrades to sequential, not zero.
+    assert_eq!(sc(8, 1).effective_threads(per_box), 1);
+    // The clamp never raises the thread count.
+    assert_eq!(sc(2, 1 << 40).effective_threads(per_box), 2);
+}
+
+#[test]
+fn storage_failure_aborts_with_first_error() {
+    let boxes = generate_fleet(&fleet_config(6, 0.0)).boxes;
+    let path = write_chunks(&boxes, "firsterr");
+
+    // Corrupt the *data* of a mid-file record: the index stays intact
+    // (framing is scanned by length), but loading that box fails its CRC.
+    let r = ChunkReader::open(&path).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(r.box_count(), boxes.len());
+    drop(r);
+    // Flip one byte near the end of the file's first third — inside some
+    // record's column data (headers are a few hundred bytes of ~megabyte
+    // records, so a random interior byte is data with near certainty).
+    let off = bytes.len() / 3;
+    bytes[off] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ChunkStore::open(&path).unwrap();
+    let failing: Vec<usize> = (0..store.box_count())
+        .filter(|&i| store.load(i).is_err())
+        .collect();
+    assert!(
+        !failing.is_empty(),
+        "the flipped byte must land in some record"
+    );
+    let first = failing[0];
+
+    for threads in [1usize, 8] {
+        let err = run_fleet_streamed(
+            &store,
+            &pipeline_config(),
+            &StreamConfig {
+                threads,
+                memory_budget_bytes: 0,
+            },
+        )
+        .unwrap_err();
+        match err {
+            AtmError::Storage { ref reason, .. } => {
+                let want = store.load(first).unwrap_err();
+                assert_eq!(
+                    err.to_string(),
+                    want.to_string(),
+                    "threads={threads}: must surface the lowest-index error; got `{reason}`"
+                );
+            }
+            other => panic!("expected AtmError::Storage, got {other:?}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn supervisor_quarantines_storage_failures() {
+    use atm::core::actuate::NoopActuator;
+
+    let boxes = generate_fleet(&fleet_config(4, 0.0)).boxes;
+    let path = write_chunks(&boxes, "quarantine");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let off = bytes.len() / 2;
+    bytes[off] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ChunkStore::open(&path).unwrap();
+    let broken: Vec<usize> = (0..store.box_count())
+        .filter(|&i| store.load(i).is_err())
+        .collect();
+    assert!(!broken.is_empty());
+
+    let report = run_fleet_online_streamed(
+        &store,
+        &pipeline_config(),
+        None,
+        &StreamConfig {
+            threads: 2,
+            memory_budget_bytes: 0,
+        },
+        |_, _| Box::new(NoopActuator::default()),
+        &Obs::disabled(),
+    );
+    assert_eq!(report.boxes.len(), store.box_count());
+    for (i, run) in report.boxes.iter().enumerate() {
+        assert_eq!(
+            run.is_quarantined(),
+            broken.contains(&i),
+            "box {i}: quarantine must track storage failures exactly"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_generation_is_bit_identical_to_materialized() {
+    let config = fleet_config(5, 0.35);
+    let path = tmp("gen");
+    let stats = stream_fleet_to_chunks(&config, &path).unwrap();
+    assert_eq!(stats.boxes, 5);
+
+    let materialized = generate_fleet(&config).boxes;
+    let reference = write_chunks(&materialized, "gen-ref");
+    let streamed_bytes = std::fs::read(&path).unwrap();
+    let reference_bytes = std::fs::read(&reference).unwrap();
+    assert_eq!(
+        streamed_bytes, reference_bytes,
+        "streaming generation must write bit-identical chunk files"
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&reference).ok();
+}
