@@ -32,6 +32,16 @@
 //! non-zero if any measured reduction leaves its committed band.
 //! `--seed N` overrides the committed seed for ad-hoc replay.
 //!
+//! `--tickets` switches to the ticket-intelligence leg: it replays the
+//! committed churn-storm fleet from `BENCH_TICKETS.json`, measures storm
+//! collapse (raw tickets vs deduplicated incidents), runs the supervised
+//! fleet with chronic-offender feedback off and on, and proves the
+//! feedback never changes report bytes (threads 1 vs 8, in-memory vs
+//! chunk store). With `--compare`, the committed relational contract is
+//! gated: the storm must still ticket, collapse must still deduplicate,
+//! and feedback must not lose more than the committed band vs the
+//! no-feedback run.
+//!
 //! `--serve` switches to the daemon overload leg: it boots a fresh
 //! in-process `atm-serve` daemon per committed leg (one in-capacity, one
 //! 4× overload) and drives it with the seeded virtual-time load
@@ -53,7 +63,7 @@ use atm_clustering::hierarchical::{agglomerate, Linkage};
 use atm_clustering::kernel::DtwKernel;
 use atm_clustering::prefilter::build_matrix_pruned;
 use atm_clustering::DistanceMatrix;
-use atm_core::config::{AdaptationConfig, ClusterMethod, TemporalModel};
+use atm_core::config::{AdaptationConfig, ClusterMethod, TemporalModel, TicketsConfig};
 use atm_core::online::{run_online, run_online_observed, DriftEventKind, OnlineReport};
 use atm_core::AtmConfig;
 use atm_obs::Obs;
@@ -158,6 +168,7 @@ fn main() {
     let mut seed_override: Option<u64> = None;
     let mut serve = false;
     let mut fleet: Option<String> = None;
+    let mut tickets = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -209,6 +220,7 @@ fn main() {
                 scenario = Some(args[i].clone());
             }
             "--serve" => serve = true,
+            "--tickets" => tickets = true,
             "--fleet" => {
                 i += 1;
                 if i >= args.len() {
@@ -231,7 +243,8 @@ fn main() {
                      [--compare BASELINE [--tolerance PCT]] \
                      [--scenario NAME|all [--seed N]] \
                      [--serve [--seed N]] \
-                     [--fleet ci|full [--seed N]]"
+                     [--fleet ci|full [--seed N]] \
+                     [--tickets [--seed N]]"
                 );
                 return;
             }
@@ -279,6 +292,11 @@ fn main() {
             compare.as_deref(),
             tolerance_pct,
         );
+        return;
+    }
+
+    if tickets {
+        run_tickets_mode(seed_override, out.as_deref(), compare.as_deref());
         return;
     }
 
@@ -1335,6 +1353,358 @@ fn run_scenario_mode(
         } else {
             for v in &violations {
                 eprintln!("BAND VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The committed ticket-intelligence recipe, as read from
+/// `BENCH_TICKETS.json`. Geometry (seed, fleet size, storm onset) comes
+/// from the committed file so the leg and its gate can never drift
+/// apart; the two floors are the relational contract.
+struct TicketsSpec {
+    seed: u64,
+    boxes: usize,
+    days: usize,
+    onset: usize,
+    /// The storm fleet must produce at least this many raw tickets —
+    /// below it, the leg stopped stressing anything.
+    min_raw_tickets: usize,
+    /// Chronic feedback may lose at most this many percentage points of
+    /// ticket reduction vs the no-feedback run (the no-harm band).
+    harm_band_pp: f64,
+}
+
+/// Parses the committed ticket-intelligence baseline.
+fn parse_tickets_baseline(path: &str) -> Result<TicketsSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    if v.get("schema_version").and_then(serde_json::Value::as_u64) != Some(1) {
+        return Err("unsupported tickets-baseline schema_version".into());
+    }
+    let leg = v.get("leg").ok_or("missing object `leg`")?;
+    let u = |field: &str| -> Result<u64, String> {
+        leg.get(field)
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("leg missing `{field}`"))
+    };
+    Ok(TicketsSpec {
+        seed: u("seed")?,
+        boxes: u("boxes")? as usize,
+        days: u("days")? as usize,
+        onset: u("onset_window")? as usize,
+        min_raw_tickets: u("min_raw_tickets")? as usize,
+        harm_band_pp: leg
+            .get("harm_band_pp")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or("leg missing `harm_band_pp`")?,
+    })
+}
+
+/// Measured outcome of the ticket-intelligence leg.
+struct TicketsResult {
+    seed: u64,
+    boxes: usize,
+    days: usize,
+    onset: usize,
+    raw_tickets: usize,
+    incidents: usize,
+    multi_vm_storms: usize,
+    anomaly_score: Option<f64>,
+    total_before: usize,
+    no_feedback_total_after: usize,
+    feedback_total_after: usize,
+    no_feedback_reduction_pct: f64,
+    feedback_reduction_pct: f64,
+    chronic_declared: usize,
+    chronic_cleared: usize,
+    chronic_boxes: usize,
+    threads_identical: bool,
+    backend_identical: bool,
+}
+
+/// The committed evaluation config for the tickets leg: the scenario
+/// config (non-adaptive, so chronic feedback is the only intervention)
+/// with ticket intelligence switched on for the feedback runs.
+fn tickets_atm_config(enabled: bool) -> AtmConfig {
+    let mut cfg = scenario_atm_config(false);
+    if enabled {
+        cfg.tickets = TicketsConfig::fast();
+    }
+    cfg
+}
+
+/// Replays the committed churn-storm fleet: per-box pipeline runs for
+/// the storm digest, supervised fleet runs with feedback off and on, and
+/// the byte-identity matrix (threads 1 vs 8, in-memory vs chunk store).
+fn run_tickets_leg(spec: &TicketsSpec, seed: u64) -> TicketsResult {
+    use atm_core::actuate::{CapacityActuator, NoopActuator};
+    use atm_core::fleet::StreamConfig;
+    use atm_core::storage::{ChunkStore, InMemoryStore};
+    use atm_core::supervisor::{run_fleet_online_observed, run_fleet_online_streamed, FleetReport};
+    use atm_core::tickets::TicketEventKind;
+    use atm_tracegen::chunk::ChunkWriter;
+    use atm_tracegen::BoxTrace;
+
+    let die = |stage: &str, e: &dyn std::fmt::Display| -> ! {
+        eprintln!("tickets leg: {stage}: {e}");
+        std::process::exit(1);
+    };
+
+    // The storm fleet: the committed scenario recipe (smooth 8-VM boxes,
+    // two hot CPU VMs near the threshold) with a VM churn storm applied
+    // to every box, each box on its own derived seed.
+    let mut boxes: Vec<BoxTrace> = Vec::with_capacity(spec.boxes);
+    for i in 0..spec.boxes {
+        let box_seed = seed.wrapping_add(i as u64);
+        let mut b = generate_box(&scenario_fleet(spec.days, box_seed), 0);
+        b.name = format!("storm-{i:04}");
+        ScenarioPlan::new(ScenarioKind::ChurnStorm, box_seed, spec.onset)
+            .apply_box(&mut b, 0)
+            .unwrap_or_else(|e| die("apply churn storm", &e));
+        boxes.push(b);
+    }
+
+    let enabled_cfg = tickets_atm_config(true);
+    let disabled_cfg = tickets_atm_config(false);
+
+    // Storm digest: the pipeline's per-box ticket sections, aggregated
+    // over the whole fleet — which boxes the churn storm actually
+    // tickets varies with the derived seed, so a single box would gate
+    // the committed raw-ticket floor on noise.
+    let mut raw_tickets = 0usize;
+    let mut incidents = 0usize;
+    let mut multi_vm_storms = 0usize;
+    let mut anomaly_score: Option<f64> = None;
+    for b in &boxes {
+        let digest = atm_core::pipeline::run_box(b, &enabled_cfg)
+            .unwrap_or_else(|e| die("digest pipeline run", &e))
+            .tickets
+            .unwrap_or_else(|| die("digest pipeline run", &"missing tickets section"));
+        let summary = digest.storm_summary();
+        raw_tickets += digest.raw_tickets();
+        incidents += digest.incidents();
+        multi_vm_storms += summary.multi_vm_storms;
+        // Keep the worst (largest) score across the fleet.
+        anomaly_score = match (anomaly_score, digest.anomaly_score) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    let noop = |_: usize, _: &BoxTrace| -> Box<dyn CapacityActuator + Send> {
+        Box::<NoopActuator>::default()
+    };
+    let bytes = |r: &FleetReport| -> String {
+        serde_json::to_string(r).unwrap_or_else(|e| die("serialize fleet report", &e))
+    };
+    let totals = |r: &FleetReport| -> (usize, usize) {
+        r.boxes
+            .iter()
+            .filter_map(|b| b.report.as_ref())
+            .fold((0, 0), |(before, after), rep| {
+                (before + rep.total_before(), after + rep.total_after())
+            })
+    };
+
+    let disabled =
+        run_fleet_online_observed(&boxes, &disabled_cfg, None, 1, noop, &Obs::disabled());
+    let seq = run_fleet_online_observed(&boxes, &enabled_cfg, None, 1, noop, &Obs::disabled());
+    let par = run_fleet_online_observed(&boxes, &enabled_cfg, None, 8, noop, &Obs::disabled());
+    let threads_identical = bytes(&seq) == bytes(&par);
+
+    // Backend identity on the streamed supervisor, like the fleet legs:
+    // the same boxes through the in-memory store and the columnar chunk
+    // store must reproduce each other byte-for-byte.
+    let mut path = std::env::temp_dir();
+    path.push(format!("atm-bench-tickets-{}.chunk", std::process::id()));
+    let mut w = ChunkWriter::create(&path).unwrap_or_else(|e| die("chunk write", &e));
+    for b in &boxes {
+        w.append_box(b).unwrap_or_else(|e| die("chunk append", &e));
+    }
+    w.finish().unwrap_or_else(|e| die("chunk finish", &e));
+    let stream = StreamConfig {
+        threads: 2,
+        memory_budget_bytes: 0,
+    };
+    let mem = run_fleet_online_streamed(
+        &InMemoryStore::new(&boxes),
+        &enabled_cfg,
+        None,
+        &stream,
+        noop,
+        &Obs::disabled(),
+    );
+    let store = ChunkStore::open(&path).unwrap_or_else(|e| die("chunk open", &e));
+    let chunk =
+        run_fleet_online_streamed(&store, &enabled_cfg, None, &stream, noop, &Obs::disabled());
+    drop(store);
+    std::fs::remove_file(&path).ok();
+    let backend_identical = bytes(&mem) == bytes(&chunk);
+
+    let (total_before, no_feedback_total_after) = totals(&disabled);
+    let (_, feedback_total_after) = totals(&seq);
+    let reduction = |after: usize| -> f64 {
+        if total_before == 0 {
+            100.0
+        } else {
+            (total_before as f64 - after as f64) / total_before as f64 * 100.0
+        }
+    };
+    let kind_count = |kind: TicketEventKind| -> usize {
+        seq.ticket_events()
+            .iter()
+            .filter(|(_, e)| e.kind == kind)
+            .count()
+    };
+
+    TicketsResult {
+        seed,
+        boxes: spec.boxes,
+        days: spec.days,
+        onset: spec.onset,
+        raw_tickets,
+        incidents,
+        multi_vm_storms,
+        anomaly_score,
+        total_before,
+        no_feedback_total_after,
+        feedback_total_after,
+        no_feedback_reduction_pct: reduction(no_feedback_total_after),
+        feedback_reduction_pct: reduction(feedback_total_after),
+        chronic_declared: kind_count(TicketEventKind::ChronicDeclared),
+        chronic_cleared: kind_count(TicketEventKind::ChronicCleared),
+        chronic_boxes: seq.chronic_boxes().len(),
+        threads_identical,
+        backend_identical,
+    }
+}
+
+/// Renders the tickets-leg report (hand-rolled like [`render_json`]).
+fn render_tickets_json(r: &TicketsResult) -> String {
+    let score = match r.anomaly_score {
+        Some(s) => format!("{s:.4}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\n  \"schema_version\": 1,\n  \"mode\": \"tickets\",\n  \"leg\": {{\n    \
+         \"name\": \"churn_storm_feedback\", \"seed\": {}, \"boxes\": {}, \
+         \"days\": {}, \"onset_window\": {},\n    \
+         \"raw_tickets\": {}, \"incidents\": {}, \"multi_vm_storms\": {}, \
+         \"anomaly_score\": {score},\n    \
+         \"total_before\": {}, \"no_feedback_total_after\": {}, \
+         \"feedback_total_after\": {},\n    \
+         \"no_feedback_reduction_pct\": {:.2}, \"feedback_reduction_pct\": {:.2},\n    \
+         \"chronic_declared\": {}, \"chronic_cleared\": {}, \"chronic_boxes\": {},\n    \
+         \"threads_identical\": {}, \"backend_identical\": {}\n  }}\n}}\n",
+        r.seed,
+        r.boxes,
+        r.days,
+        r.onset,
+        r.raw_tickets,
+        r.incidents,
+        r.multi_vm_storms,
+        r.total_before,
+        r.no_feedback_total_after,
+        r.feedback_total_after,
+        r.no_feedback_reduction_pct,
+        r.feedback_reduction_pct,
+        r.chronic_declared,
+        r.chronic_cleared,
+        r.chronic_boxes,
+        r.threads_identical,
+        r.backend_identical,
+    )
+}
+
+/// The `--tickets` entry point. Byte-identity and the collapse
+/// invariant (incidents never exceed raw tickets) are asserted
+/// unconditionally; the relational contract (storm still tickets,
+/// feedback within the no-harm band) is gated only when `--compare`
+/// names the committed baseline and no `--seed` override is in force.
+fn run_tickets_mode(seed_override: Option<u64>, out: Option<&str>, compare: Option<&str>) {
+    let baseline_path = compare.unwrap_or("BENCH_TICKETS.json");
+    let spec = parse_tickets_baseline(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read tickets baseline {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let r = run_tickets_leg(&spec, seed_override.unwrap_or(spec.seed));
+
+    eprintln!(
+        "tickets: {} raw -> {} incidents ({} multi-VM storms); after-resize \
+         tickets {} (no feedback) vs {} (feedback) of {} before; chronic \
+         declared {} cleared {} on {} boxes; threads-identical {} \
+         backend-identical {}",
+        r.raw_tickets,
+        r.incidents,
+        r.multi_vm_storms,
+        r.no_feedback_total_after,
+        r.feedback_total_after,
+        r.total_before,
+        r.chronic_declared,
+        r.chronic_cleared,
+        r.chronic_boxes,
+        r.threads_identical,
+        r.backend_identical,
+    );
+
+    let json = render_tickets_json(&r);
+    match out {
+        Some(path) => {
+            atm_core::fsio::write_atomic(std::path::Path::new(path), json.as_bytes())
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    let mut broken = false;
+    if !r.threads_identical || !r.backend_identical {
+        eprintln!(
+            "TICKETS VIOLATION: supervised reports are not byte-identical \
+             across threads/backends"
+        );
+        broken = true;
+    }
+    if r.incidents > r.raw_tickets {
+        eprintln!(
+            "TICKETS VIOLATION: collapse produced more incidents ({}) than \
+             raw tickets ({})",
+            r.incidents, r.raw_tickets
+        );
+        broken = true;
+    }
+    if broken {
+        std::process::exit(1);
+    }
+
+    // Gate the relational contract only when replaying the committed
+    // seed: a --seed override changes the fleet, not the contract.
+    if compare.is_some() && seed_override.is_none() {
+        let mut violations = Vec::new();
+        if r.raw_tickets < spec.min_raw_tickets {
+            violations.push(format!(
+                "raw tickets {} below committed floor {} — the storm stopped \
+                 ticketing",
+                r.raw_tickets, spec.min_raw_tickets
+            ));
+        }
+        if r.feedback_reduction_pct < r.no_feedback_reduction_pct - spec.harm_band_pp {
+            violations.push(format!(
+                "chronic feedback made things worse ({:.1}% vs {:.1}%, \
+                 no-harm band {:.1}pp)",
+                r.feedback_reduction_pct, r.no_feedback_reduction_pct, spec.harm_band_pp
+            ));
+        }
+        if violations.is_empty() {
+            eprintln!("tickets contract holds vs {baseline_path}");
+        } else {
+            for v in &violations {
+                eprintln!("TICKETS VIOLATION: {v}");
             }
             std::process::exit(1);
         }

@@ -70,11 +70,10 @@ pub fn fig1(_scale: Scale) {
     // Quantify "tickets are triggered together".
     let policy = ThresholdPolicy::new(60.0).expect("valid threshold");
     let co = atm_ticketing::cooccurrence::box_co_occurrence(&box_trace, Resource::Cpu, &policy);
-    if let Some(j) = co.mean_jaccard() {
+    if let (Some(j), Some(b)) = (co.mean_jaccard(), co.burstiness()) {
         println!(
             "\nticket co-occurrence: mean pairwise Jaccard {j:.2}, \
-             {:.1} tickets per ticketed window",
-            co.burstiness()
+             {b:.1} tickets per ticketed window"
         );
     }
     println!("(paper: VMs 1, 3, 4 move synchronously; tickets trigger together)");

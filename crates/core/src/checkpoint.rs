@@ -664,6 +664,7 @@ mod tests {
             consecutive_actuation_failures: 0,
             safe_mode: false,
             adaptation: AdaptationState::default(),
+            tickets: crate::tickets::TicketState::default(),
         }
     }
 

@@ -483,6 +483,161 @@ impl AdaptationConfig {
     }
 }
 
+/// Ticket-intelligence knobs: storm collapse, inter-ticket-delay anomaly
+/// scoring, and the chronic-offender feedback that biases the resizer
+/// toward boxes that keep ticketing anomalously fast (see `DESIGN.md`
+/// §17).
+///
+/// Disabled by default, and every field is serde-defaulted, so
+/// configurations serialized before this struct existed keep loading
+/// with pipeline and online reports byte-identical to their pre-tickets
+/// form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TicketsConfig {
+    /// Master switch. Off (the default) skips scoring entirely: no
+    /// `tickets` report sections, no events, no resizer feedback.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Jaccard similarity of two VMs' ticket-window sets at or above
+    /// which their tickets are treated as one correlated incident
+    /// ([`atm_ticketing::storm`] collapse). Must be in `[0, 1]`.
+    #[serde(default = "default_storm_jaccard")]
+    pub storm_jaccard: f64,
+    /// Quiet ticketing windows tolerated inside one storm before it
+    /// splits in two.
+    #[serde(default = "default_storm_max_gap")]
+    pub storm_max_gap: usize,
+    /// Robust Z-score at or above which a box's recent inter-ticket
+    /// delays count as anomalous (the Iglewicz–Hoaglin 3.5 cutoff by
+    /// default). Must be positive and finite.
+    #[serde(default = "default_anomaly_z")]
+    pub anomaly_z_threshold: f64,
+    /// Minimum inter-ticket delays before anomaly scoring; below this a
+    /// box has no usable history and is never flagged.
+    #[serde(default = "default_min_delays")]
+    pub min_delays: usize,
+    /// How many of the most recent delays form the "now" that is scored
+    /// against the box's own history. Must be >= 1.
+    #[serde(default = "default_recent_delays")]
+    pub recent_delays: usize,
+    /// Consecutive anomalous evaluations before a box is declared a
+    /// chronic offender (and an equal calm streak clears it again).
+    /// Must be >= 1.
+    #[serde(default = "default_chronic_after")]
+    pub chronic_after: usize,
+    /// Demand-headroom floor applied while a box is a chronic offender.
+    /// Composed with (never replacing) the configured and adaptive
+    /// headroom via `max`, and bounded downstream by the resizer's
+    /// feasibility cap, so the bias can never make the sizing problem
+    /// infeasible. Must be >= 1.
+    #[serde(default = "default_offender_headroom")]
+    pub offender_headroom: f64,
+}
+
+fn default_storm_jaccard() -> f64 {
+    0.5
+}
+
+fn default_storm_max_gap() -> usize {
+    1
+}
+
+fn default_anomaly_z() -> f64 {
+    3.5
+}
+
+fn default_min_delays() -> usize {
+    6
+}
+
+fn default_recent_delays() -> usize {
+    3
+}
+
+fn default_chronic_after() -> usize {
+    2
+}
+
+fn default_offender_headroom() -> f64 {
+    1.25
+}
+
+impl Default for TicketsConfig {
+    fn default() -> Self {
+        TicketsConfig {
+            enabled: false,
+            storm_jaccard: default_storm_jaccard(),
+            storm_max_gap: default_storm_max_gap(),
+            anomaly_z_threshold: default_anomaly_z(),
+            min_delays: default_min_delays(),
+            recent_delays: default_recent_delays(),
+            chronic_after: default_chronic_after(),
+            offender_headroom: default_offender_headroom(),
+        }
+    }
+}
+
+impl TicketsConfig {
+    /// An enabled configuration tuned for short traces (tests, demos):
+    /// scoring starts after three delays and one anomalous evaluation is
+    /// enough to declare a chronic offender.
+    pub fn fast() -> Self {
+        TicketsConfig {
+            enabled: true,
+            min_delays: 3,
+            recent_delays: 2,
+            chronic_after: 1,
+            ..TicketsConfig::default()
+        }
+    }
+
+    /// The storm-collapse settings as the ticketing crate consumes them.
+    pub fn storm_config(&self) -> atm_ticketing::StormConfig {
+        atm_ticketing::StormConfig {
+            jaccard_threshold: self.storm_jaccard,
+            max_gap_windows: self.storm_max_gap,
+        }
+    }
+
+    /// The anomaly-scoring settings as the ticketing crate consumes them.
+    pub fn anomaly_config(&self) -> atm_ticketing::AnomalyConfig {
+        atm_ticketing::AnomalyConfig {
+            z_threshold: self.anomaly_z_threshold,
+            min_delays: self.min_delays,
+            recent_delays: self.recent_delays,
+        }
+    }
+
+    /// Validates the ticket-intelligence settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AtmError::InvalidConfig`] on out-of-range values.
+    pub fn validate(&self) -> crate::AtmResult<()> {
+        if self.storm_config().validate().is_err() {
+            return Err(crate::AtmError::InvalidConfig(
+                "tickets storm_jaccard must be in [0, 1]",
+            ));
+        }
+        if self.anomaly_config().validate().is_err() {
+            return Err(crate::AtmError::InvalidConfig(
+                "tickets anomaly_z_threshold must be positive and finite, recent_delays >= 1",
+            ));
+        }
+        if self.chronic_after == 0 {
+            return Err(crate::AtmError::InvalidConfig(
+                "tickets chronic_after must be >= 1",
+            ));
+        }
+        if !(self.offender_headroom >= 1.0 && self.offender_headroom.is_finite()) {
+            return Err(crate::AtmError::InvalidConfig(
+                "tickets offender_headroom must be >= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Step-1 clustering method for the signature search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ClusterMethod {
@@ -625,6 +780,11 @@ pub struct AtmConfig {
     /// configs keep loading.
     #[serde(default)]
     pub adaptation: AdaptationConfig,
+    /// Ticket intelligence: storm collapse, anomaly scoring, and
+    /// chronic-offender feedback. Defaulted (disabled) when absent from
+    /// serialized configs, so older configs keep loading.
+    #[serde(default)]
+    pub tickets: TicketsConfig,
     /// Intra-box parallelism and DTW kernel selection. Defaulted when
     /// absent from serialized configs, so older configs keep loading.
     #[serde(default)]
@@ -657,6 +817,7 @@ impl Default for AtmConfig {
             online: OnlineConfig::default(),
             demand_headroom: default_demand_headroom(),
             adaptation: AdaptationConfig::default(),
+            tickets: TicketsConfig::default(),
             compute: ComputeConfig::default(),
             durability: DurabilityConfig::default(),
             observability: ObservabilityConfig::default(),
@@ -749,6 +910,7 @@ impl AtmConfig {
         self.imputation.validate()?;
         self.online.validate()?;
         self.adaptation.validate()?;
+        self.tickets.validate()?;
         self.durability.validate()?;
         Ok(())
     }
@@ -891,6 +1053,43 @@ mod tests {
         let restored: AtmConfig = serde_json::from_value(v).expect("adaptation defaults");
         assert_eq!(restored.adaptation, AdaptationConfig::default());
         assert_eq!(restored.demand_headroom, 1.0);
+    }
+
+    #[test]
+    fn tickets_defaults_are_off_and_backward_compatible() {
+        let t = TicketsConfig::default();
+        assert!(!t.enabled);
+        assert_eq!(t.storm_jaccard, 0.5);
+        assert_eq!(t.anomaly_z_threshold, 3.5);
+        assert!(t.validate().is_ok());
+        assert!(TicketsConfig::fast().enabled);
+        assert!(TicketsConfig::fast().validate().is_ok());
+        // A config serialized before the tickets field existed must keep
+        // deserializing with ticket intelligence off.
+        let mut v: serde_json::Value =
+            serde_json::to_value(AtmConfig::fast_for_tests()).expect("serializable");
+        v.as_object_mut().expect("object").remove("tickets");
+        let restored: AtmConfig = serde_json::from_value(v).expect("tickets defaults");
+        assert_eq!(restored.tickets, TicketsConfig::default());
+    }
+
+    #[test]
+    fn tickets_validation_rejects_bad_values() {
+        let mut c = AtmConfig::fast_for_tests();
+        c.tickets.storm_jaccard = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.tickets.anomaly_z_threshold = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.tickets.recent_delays = 0;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.tickets.chronic_after = 0;
+        assert!(c.validate().is_err());
+        let mut c = AtmConfig::fast_for_tests();
+        c.tickets.offender_headroom = 0.9;
+        assert!(c.validate().is_err());
     }
 
     #[test]

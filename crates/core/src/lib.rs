@@ -38,6 +38,13 @@
 //! [`supervisor`] runs whole fleets that way with per-box panic
 //! isolation, restart-from-checkpoint, deadlines, and circuit breakers.
 //!
+//! Ticket intelligence: [`tickets`] collapses correlated ticket bursts
+//! into deduplicated storm incidents, scores each box's inter-ticket
+//! delays with a robust anomaly detector, and feeds chronically
+//! anomalous boxes back to the resizer (headroom floor) and the fleet
+//! supervisor (claim priority) — all off by default and byte-transparent
+//! when disabled.
+//!
 //! Observability: every stage above is instrumented through an
 //! [`atm_obs::Obs`] handle — pipeline-stage spans, kernel work counters,
 //! per-window online counters/events, and supervisor restart/quarantine
@@ -83,6 +90,7 @@ pub mod signature;
 pub mod spatial;
 pub mod storage;
 pub mod supervisor;
+pub mod tickets;
 pub mod whatif;
 
 pub use config::AtmConfig;

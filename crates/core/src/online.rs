@@ -50,6 +50,24 @@
 //! it never aborts. All adaptation state lives in [`OnlineState`], so
 //! crash-resumed runs replay decisions byte-identically.
 //!
+//! # Chronic-offender feedback
+//!
+//! With [`TicketsConfig::enabled`](crate::config::TicketsConfig) the
+//! driver additionally feeds each completed window's ticketed-window
+//! indices (under the caps in effect) through a robust anomaly scorer
+//! over the box's inter-ticket delays (see [`crate::tickets`]). A box
+//! that stays anomalous for
+//! [`chronic_after`](crate::config::TicketsConfig) consecutive
+//! evaluations becomes a *chronic offender*: subsequent windows resize
+//! it under the
+//! [`offender_headroom`](crate::config::TicketsConfig) floor (composed
+//! with adaptive headroom via `max`, bounded by the resizer's
+//! feasibility cap) until an equal calm streak clears it. Transitions
+//! are structured [`TicketEvent`](crate::tickets::TicketEvent)s, the
+//! per-run accounting lands in
+//! [`OnlineReport::tickets`], and all of it lives in [`OnlineState`] —
+//! crash-resumed runs replay decisions byte-identically.
+//!
 //! # Crash safety
 //!
 //! The loop is factored into an [`OnlineDriver`] advancing a serializable
@@ -75,6 +93,7 @@ use crate::pipeline::{
     fallback_box_report_observed_with, run_box_observed_with, scoped_resources, ticket_policy,
     validate_rectangular, BoxReport, ResizeSolvers,
 };
+use crate::tickets::{TicketEventKind, TicketFeedbackReport, TicketState};
 
 /// How one online window completed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -444,6 +463,11 @@ pub struct OnlineReport {
     /// empty so pre-adaptation reports keep their byte layout.
     #[serde(default, skip_serializing_if = "AdaptationReport::is_empty")]
     pub adaptation: AdaptationReport,
+    /// Chronic-offender ticket feedback accounting; omitted from
+    /// serialization while empty so pre-tickets reports keep their
+    /// byte layout.
+    #[serde(default, skip_serializing_if = "TicketFeedbackReport::is_empty")]
+    pub tickets: TicketFeedbackReport,
 }
 
 impl OnlineReport {
@@ -588,13 +612,16 @@ pub fn run_online_observed(
 /// `online.*` counters (as deltas of the running [`DegradationSummary`]
 /// against `before`, so restart-recomputed work is never double-counted
 /// when this is called only after the window is accepted/persisted), the
-/// ticket histograms, a `window` event scoped by the box name, and one
-/// `drift` event per drift-detector transition past `events_before`.
+/// ticket histograms, a `window` event scoped by the box name, one
+/// `drift` event per drift-detector transition past `events_before`, and
+/// one `chronic` event per ticket-feedback transition past
+/// `ticket_events_before`.
 fn record_window_obs(
     obs: &Obs,
     box_name: &str,
     before: &DegradationSummary,
     events_before: usize,
+    ticket_events_before: usize,
     state: &OnlineState,
 ) {
     let outcome = match state.windows.last() {
@@ -716,6 +743,32 @@ fn record_window_obs(
             ],
         );
     }
+    for ev in state.tickets.events.iter().skip(ticket_events_before) {
+        let kind = match ev.kind {
+            TicketEventKind::ChronicDeclared => {
+                obs.add("online.chronic_declared", 1);
+                "declared"
+            }
+            TicketEventKind::ChronicCleared => {
+                obs.add("online.chronic_cleared", 1);
+                "cleared"
+            }
+        };
+        obs.add("online.ticket_events", 1);
+        obs.event(
+            box_name,
+            "chronic",
+            vec![
+                ("window", atm_obs::FieldValue::from(ev.window)),
+                ("kind", atm_obs::FieldValue::from(kind)),
+                // FieldValue has no float variant; see the drift event.
+                (
+                    "score",
+                    atm_obs::FieldValue::from(format!("{:.6}", ev.score)),
+                ),
+            ],
+        );
+    }
 }
 
 /// Rolls ATM along the trace: for every consecutive resizing horizon
@@ -761,12 +814,23 @@ pub fn run_online_with_actuator_observed(
     let mut driver = OnlineDriver::new_observed(box_trace, config, obs)?;
     let mut state = driver.fresh_state();
     while !driver.is_done(&state) {
-        let before = obs
-            .is_enabled()
-            .then(|| (state.summary.clone(), state.adaptation.events.len()));
+        let before = obs.is_enabled().then(|| {
+            (
+                state.summary.clone(),
+                state.adaptation.events.len(),
+                state.tickets.events.len(),
+            )
+        });
         driver.step(&mut state, actuator)?;
-        if let Some((before, events_before)) = before {
-            record_window_obs(obs, &box_trace.name, &before, events_before, &state);
+        if let Some((before, events_before, ticket_events_before)) = before {
+            record_window_obs(
+                obs,
+                &box_trace.name,
+                &before,
+                events_before,
+                ticket_events_before,
+                &state,
+            );
         }
     }
     Ok(driver.finish(state))
@@ -801,6 +865,10 @@ pub struct OnlineState {
     /// checkpoints written before adaptation existed loadable.
     #[serde(default)]
     pub(crate) adaptation: AdaptationState,
+    /// Chronic-offender ticket tracker. Defaults keep checkpoints
+    /// written before ticket feedback existed loadable.
+    #[serde(default)]
+    pub(crate) tickets: TicketState,
 }
 
 impl OnlineState {
@@ -945,6 +1013,7 @@ impl<'a> OnlineDriver<'a> {
             consecutive_actuation_failures: 0,
             safe_mode: false,
             adaptation: AdaptationState::default(),
+            tickets: TicketState::default(),
         }
     }
 
@@ -1025,19 +1094,32 @@ impl<'a> OnlineDriver<'a> {
         // Under an active adaptation episode the pipeline runs with the
         // adapted configuration: training shortened to the re-fit span
         // (which also re-clusters on the fresh history) and demand
-        // headroom raised to the episode's level. Window geometry above
+        // headroom raised to the episode's level. A chronic ticket
+        // offender additionally gets its headroom floored at the
+        // configured offender level — the feasibility cap downstream
+        // still bounds the realized headroom. Window geometry above
         // stays on the original `train_windows`, so the evaluated span
         // is identical either way.
-        let adapted = (config.adaptation.enabled && state.adaptation.active).then(|| {
+        let adapt_active = config.adaptation.enabled && state.adaptation.active;
+        let chronic = config.tickets.enabled && state.tickets.is_chronic();
+        let adapted = (adapt_active || chronic).then(|| {
             let mut c = config.clone();
-            let refit = config.adaptation.refit_train_windows;
-            if refit != 0 && refit < c.train_windows {
-                c.train_windows = refit;
+            if adapt_active {
+                let refit = config.adaptation.refit_train_windows;
+                if refit != 0 && refit < c.train_windows {
+                    c.train_windows = refit;
+                }
+                c.demand_headroom = c.demand_headroom.max(state.adaptation.headroom);
             }
-            c.demand_headroom = c.demand_headroom.max(state.adaptation.headroom);
+            if chronic {
+                c.demand_headroom = c.demand_headroom.max(config.tickets.offender_headroom);
+            }
             c
         });
         let run_config = adapted.as_ref().unwrap_or(config);
+        if chronic {
+            state.tickets.chronic_windows += 1;
+        }
 
         // Fallback chain: full pipeline -> per-VM seasonal naive ->
         // carry previous caps forward.
@@ -1169,6 +1251,20 @@ impl<'a> OnlineDriver<'a> {
                     .observe(&config.adaptation, w, r.prediction.mape_all);
             }
         }
+        // Feed this window's realized tickets (against the caps actually
+        // in force) into the chronic-offender tracker; like adaptation,
+        // its decisions take effect from the next window on.
+        if config.tickets.enabled {
+            let new_windows = crate::tickets::ticketed_windows(
+                self.box_trace,
+                &self.resources,
+                eval_start,
+                end,
+                &state.last_caps,
+                &self.policy,
+            );
+            state.tickets.observe(&config.tickets, w, &new_windows);
+        }
 
         state.windows.push(WindowOutcome {
             window: w,
@@ -1189,6 +1285,7 @@ impl<'a> OnlineDriver<'a> {
             windows: state.windows,
             degradation: state.summary,
             adaptation: state.adaptation.into_report(),
+            tickets: state.tickets.into_report(),
         }
     }
 }
@@ -1295,16 +1392,27 @@ pub fn run_online_until_observed(
             });
         }
         let started = std::time::Instant::now();
-        let before = obs
-            .is_enabled()
-            .then(|| (state.summary.clone(), state.adaptation.events.len()));
+        let before = obs.is_enabled().then(|| {
+            (
+                state.summary.clone(),
+                state.adaptation.events.len(),
+                state.tickets.events.len(),
+            )
+        });
         driver.step(&mut state, actuator)?;
         store.record_window(&box_trace.name, &state, interval)?;
         // Progress metrics only after the window is durable: a crash
         // between step and persistence recomputes the window on restart,
         // and counting it here would then double-count it.
-        if let Some((before, events_before)) = before {
-            record_window_obs(obs, &box_trace.name, &before, events_before, &state);
+        if let Some((before, events_before, ticket_events_before)) = before {
+            record_window_obs(
+                obs,
+                &box_trace.name,
+                &before,
+                events_before,
+                ticket_events_before,
+                &state,
+            );
         }
         if deadline_ms > 0 {
             let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
@@ -1767,6 +1875,86 @@ mod tests {
             serde_json::to_string(&baseline).unwrap()
         );
         let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn tickets_off_keeps_report_semantics_and_byte_layout() {
+        let report = run_online(&trace(5), &oracle_config()).unwrap();
+        assert!(report.tickets.is_empty());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("\"tickets\":"),
+            "empty ticket feedback must not change the serialized layout"
+        );
+    }
+
+    #[test]
+    fn ticket_scoring_is_deterministic_and_window_zero_is_unbiased() {
+        let b = trace(5);
+        let mut cfg = oracle_config();
+        cfg.tickets.enabled = true;
+        let fed = run_online(&b, &cfg).unwrap();
+        assert_eq!(fed, run_online(&b, &cfg).unwrap());
+        // Chronic decisions only ever take effect from the *next*
+        // window, so window 0's model outputs match the no-feedback
+        // run exactly.
+        let plain = run_online(&b, &oracle_config()).unwrap();
+        let fed0 = fed.windows[0].report.as_ref().unwrap();
+        let plain0 = plain.windows[0].report.as_ref().unwrap();
+        assert_eq!(fed0.prediction, plain0.prediction);
+        assert_eq!(fed0.resizing, plain0.resizing);
+        assert_eq!(fed.windows.len(), plain.windows.len());
+        assert!(fed.tickets.windows_scored <= fed.windows.len());
+        assert!(fed.tickets.windows_anomalous <= fed.tickets.windows_scored);
+    }
+
+    #[test]
+    fn chronic_state_floors_headroom_without_touching_prediction() {
+        let b = trace(5);
+        let mut cfg = oracle_config();
+        cfg.tickets.enabled = true;
+        cfg.tickets.offender_headroom = 1.5;
+        let plain = run_online(&b, &oracle_config()).unwrap();
+        let mut driver = OnlineDriver::new(&b, &cfg).unwrap();
+        let mut state = driver.fresh_state();
+        state.tickets.chronic = true;
+        driver.step(&mut state, &mut NoopActuator::new()).unwrap();
+        // The biased window counts toward the chronic accounting and
+        // runs with demand headroom floored at the offender level —
+        // which only ever biases the sizing leg, never the prediction
+        // (drift) signal or the signature search.
+        assert_eq!(state.tickets.chronic_windows, 1);
+        assert!(state.windows[0].status.is_ok());
+        let biased = state.windows[0].report.as_ref().unwrap();
+        let base = plain.windows[0].report.as_ref().unwrap();
+        assert_eq!(biased.prediction, base.prediction);
+        assert_eq!(biased.signature, base.signature);
+    }
+
+    #[test]
+    fn ticket_state_survives_checkpoint_resume() {
+        let b = trace(5);
+        let mut cfg = oracle_config();
+        cfg.tickets = crate::config::TicketsConfig::fast();
+        let baseline = run_online(&b, &cfg).unwrap();
+        let store = temp_store("tickets-resume");
+        let err =
+            run_online_until(&b, &cfg, &mut NoopActuator::new(), &store, Some(2)).unwrap_err();
+        assert_eq!(err, AtmError::SimulatedCrash { window: 2 });
+        let resumed = run_online_checkpointed(&b, &cfg, &mut NoopActuator::new(), &store).unwrap();
+        assert_eq!(resumed.report, baseline);
+        assert_eq!(
+            serde_json::to_string(&resumed.report).unwrap(),
+            serde_json::to_string(&baseline).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(store.dir());
+        // Checkpoints written before ticket feedback existed load with
+        // the default tracker state.
+        let driver = OnlineDriver::new(&b, &cfg).unwrap();
+        let mut v = serde_json::to_value(driver.fresh_state()).unwrap();
+        v.as_object_mut().unwrap().remove("tickets");
+        let legacy: OnlineState = serde_json::from_value(v).unwrap();
+        assert_eq!(legacy.tickets, crate::tickets::TicketState::default());
     }
 
     #[test]

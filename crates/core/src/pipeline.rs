@@ -120,6 +120,13 @@ pub struct BoxReport {
     /// that case so unobserved reports keep their historical byte layout.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsReport>,
+    /// Ticket intelligence for the observed prefix: per-resource storm
+    /// collapse and the box's inter-ticket-delay anomaly score. `None`
+    /// unless [`TicketsConfig::enabled`](crate::config::TicketsConfig),
+    /// and skipped entirely from serialization in that case so
+    /// pre-tickets reports keep their historical byte layout.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub tickets: Option<crate::tickets::TicketReport>,
 }
 
 /// Keys of a box under a resource scope.
@@ -630,6 +637,12 @@ pub(crate) fn run_box_observed_with(
         let _span = obs.span("pipeline.resize");
         resize_reports(trace, &split, &predicted, config, &policy, solvers)?
     };
+    let tickets = if config.tickets.enabled {
+        let _span = obs.span("pipeline.tickets");
+        Some(crate::tickets::box_ticket_report(trace, config, &policy)?)
+    } else {
+        None
+    };
 
     let (sig_cpu, sig_ram) = outcome.signature_resource_counts();
     let metrics = obs.is_enabled().then(|| box_metrics(&stats, &imputation));
@@ -649,6 +662,7 @@ pub(crate) fn run_box_observed_with(
         prediction,
         resizing,
         metrics,
+        tickets,
     })
 }
 
@@ -729,6 +743,11 @@ pub(crate) fn fallback_box_report_observed_with(
     );
     let policy = ticket_policy(config)?;
     let resizing = resize_reports(trace, &split, &predicted, config, &policy, solvers)?;
+    let tickets = config
+        .tickets
+        .enabled
+        .then(|| crate::tickets::box_ticket_report(trace, config, &policy))
+        .transpose()?;
 
     let sig_cpu = split
         .keys
@@ -755,6 +774,7 @@ pub(crate) fn fallback_box_report_observed_with(
         prediction,
         resizing,
         metrics,
+        tickets,
     })
 }
 
@@ -796,6 +816,38 @@ mod tests {
             let total: f64 = res.capacities.iter().sum();
             assert!(total <= b.capacity(res.resource) + 1e-9);
         }
+    }
+
+    #[test]
+    fn tickets_section_is_opt_in_and_byte_transparent() {
+        let b = generate_box(&trace_config(), 0);
+        let off = run_box(&b, &oracle_config()).unwrap();
+        assert!(off.tickets.is_none());
+        // Disabled runs keep the pre-tickets serialized layout: no key.
+        let bytes = serde_json::to_string(&off).unwrap();
+        assert!(!bytes.contains("\"tickets\""));
+
+        let cfg = AtmConfig {
+            tickets: crate::config::TicketsConfig::fast(),
+            ..oracle_config()
+        };
+        let on = run_box(&b, &cfg).unwrap();
+        let t = on.tickets.as_ref().expect("tickets section when enabled");
+        assert_eq!(t.per_resource.len(), 2); // Inter scope: CPU + RAM
+        for r in &t.per_resource {
+            assert!(r.incidents <= r.raw_tickets);
+            if let Some(ratio) = r.collapse_ratio {
+                assert!(ratio >= 1.0);
+            }
+        }
+        // The section is purely additive: everything else is identical.
+        assert_eq!(on.resizing, off.resizing);
+        assert_eq!(on.prediction, off.prediction);
+        assert_eq!(on.signature, off.signature);
+        // And it round-trips.
+        let restored: BoxReport =
+            serde_json::from_str(&serde_json::to_string(&on).unwrap()).unwrap();
+        assert_eq!(restored, on);
     }
 
     #[test]

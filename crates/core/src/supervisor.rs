@@ -217,6 +217,32 @@ impl FleetReport {
             .fold(0, usize::saturating_add)
     }
 
+    /// Every chronic-offender ticket event across completed boxes, with
+    /// the box it came from, in input order.
+    pub fn ticket_events(&self) -> Vec<(&str, &crate::tickets::TicketEvent)> {
+        self.boxes
+            .iter()
+            .filter_map(|b| b.report.as_ref().map(|r| (b.box_name.as_str(), r)))
+            .flat_map(|(name, r)| r.tickets.events.iter().map(move |e| (name, e)))
+            .collect()
+    }
+
+    /// Names of completed boxes declared chronic offenders at least once
+    /// during their run, in input order.
+    pub fn chronic_boxes(&self) -> Vec<&str> {
+        self.boxes
+            .iter()
+            .filter(|b| {
+                b.report.as_ref().is_some_and(|r| {
+                    !r.tickets
+                        .events_of(crate::tickets::TicketEventKind::ChronicDeclared)
+                        .is_empty()
+                })
+            })
+            .map(|b| b.box_name.as_str())
+            .collect()
+    }
+
     /// Every recovery event across the fleet, with the box it came from.
     pub fn recovery_events(&self) -> Vec<(&str, &RecoveryEvent)> {
         self.boxes
@@ -237,6 +263,21 @@ fn box_seed(seed: u64, index: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Deterministic claim order for the supervised worker pools:
+/// chronic-offender priority weights first (highest weight wins, ties
+/// broken by input index), the identity order when ticket intelligence
+/// is off. Only the order in which idle workers *claim* boxes changes —
+/// results are always reassembled by input index, so the report bytes
+/// are identical for any order and any thread count.
+fn claim_order(weights: Option<Vec<f64>>, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(w) = weights {
+        debug_assert_eq!(w.len(), n);
+        order.sort_by(|&a, &b| w[b].total_cmp(&w[a]).then(a.cmp(&b)));
+    }
+    order
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -431,16 +472,26 @@ where
 {
     obs.set_gauge("fleet.boxes", boxes.len() as i64);
     let threads = threads.max(1).min(boxes.len().max(1));
+    // Chronic-offender candidates are claimed first under contention;
+    // see `claim_order` for why this never changes report bytes.
+    let weights = config.tickets.enabled.then(|| {
+        boxes
+            .iter()
+            .map(|b| crate::tickets::priority_weight(b, config))
+            .collect()
+    });
+    let order = claim_order(weights, boxes.len());
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, BoxRun)>> = Mutex::new(Vec::with_capacity(boxes.len()));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= boxes.len() {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= order.len() {
                     break;
                 }
+                let i = order[slot];
                 let run = supervise_box(i, &boxes[i], config, store, &make_actuator, obs);
                 results
                     .lock()
@@ -501,16 +552,32 @@ where
         }
     }
     let threads = stream.effective_threads(per_box_bytes).min(n.max(1));
+    // Chronic-offender candidates are claimed first under contention.
+    // The sequential pre-pass loads one box at a time (peak memory stays
+    // `O(threads × box)`); a box that fails to load weighs 0 here and is
+    // quarantined by its worker below, exactly as without priorities.
+    let weights = config.tickets.enabled.then(|| {
+        (0..n)
+            .map(|i| {
+                trace_store
+                    .load(i)
+                    .map(|b| crate::tickets::priority_weight(b.as_ref(), config))
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    });
+    let order = claim_order(weights, n);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, BoxRun)>> = Mutex::new(Vec::with_capacity(n));
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= order.len() {
                     break;
                 }
+                let i = order[slot];
                 let run = match trace_store.load(i) {
                     Ok(b) => supervise_box(i, b.as_ref(), config, store, &make_actuator, obs),
                     Err(e) => {
@@ -703,6 +770,46 @@ mod tests {
         let seq = run_fleet_online(&boxes, &cfg, None, 1, noop_factory);
         let par = run_fleet_online(&boxes, &cfg, None, 4, noop_factory);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn claim_order_sorts_by_weight_with_stable_ties() {
+        assert_eq!(claim_order(None, 4), vec![0, 1, 2, 3]);
+        assert_eq!(
+            claim_order(Some(vec![0.0, 2.5, 0.0, 2.5]), 4),
+            vec![1, 3, 0, 2]
+        );
+        assert_eq!(claim_order(None, 0), Vec::<usize>::new());
+        // Positive NaN sorts above every finite weight in the total
+        // order — deterministic, never a panic (priority_weight never
+        // produces one, but the pool must not care).
+        assert_eq!(
+            claim_order(Some(vec![f64::NAN, 1.0, 0.0]), 3),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn ticket_priority_never_changes_report_bytes() {
+        let boxes = small_fleet(4);
+        let mut cfg = oracle_config();
+        cfg.tickets = crate::config::TicketsConfig::fast();
+        let seq = run_fleet_online(&boxes, &cfg, None, 1, noop_factory);
+        let par = run_fleet_online(&boxes, &cfg, None, 4, noop_factory);
+        assert_eq!(seq, par);
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap()
+        );
+        // Boxes stay in input order no matter the claim order.
+        for (b, run) in boxes.iter().zip(&seq.boxes) {
+            assert_eq!(run.box_name, b.name);
+        }
+        // Helper surfaces stay consistent: every chronic box carries at
+        // least one declared event.
+        let chronic = seq.chronic_boxes();
+        assert!(chronic.len() <= seq.completed());
+        assert!(seq.ticket_events().len() >= chronic.len());
     }
 
     #[test]

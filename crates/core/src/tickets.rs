@@ -1,0 +1,547 @@
+//! Ticket intelligence for the pipeline and the online loop: storm
+//! collapse, inter-ticket-delay anomaly scoring, and chronic-offender
+//! feedback (see `DESIGN.md` §17).
+//!
+//! Three layers build on [`atm_ticketing`]'s primitives:
+//!
+//! 1. **Per-box scoring** ([`box_ticket_report`]): every pipeline run
+//!    with [`TicketsConfig::enabled`](crate::config::TicketsConfig)
+//!    collapses the observed prefix's raw tickets into deduplicated
+//!    storm incidents per resource and scores the box's inter-ticket
+//!    delays, embedding a [`TicketReport`] in the
+//!    [`BoxReport`](crate::pipeline::BoxReport).
+//! 2. **Online feedback** ([`TicketState`]): the rolling loop feeds each
+//!    completed window's ticketed-window indices through a robust
+//!    anomaly scorer; a box that stays anomalous for
+//!    [`chronic_after`](crate::config::TicketsConfig::chronic_after)
+//!    consecutive evaluations becomes a *chronic offender* and the
+//!    resizer sees its demands under an
+//!    [`offender_headroom`](crate::config::TicketsConfig::offender_headroom)
+//!    floor — bounded by the resizer's feasibility cap — until an equal
+//!    calm streak clears it.
+//! 3. **Fleet priority** ([`priority_weight`]): supervised fleet runners
+//!    claim chronic-offender candidates first under thread contention.
+//!    The weight only permutes claim order; results are reassembled by
+//!    input index, so report bytes are identical for any weighting.
+//!
+//! Everything here is deterministic: scores are pure functions of the
+//! trace and configuration, and all orderings are index-based.
+
+use std::collections::BTreeSet;
+
+use atm_ticketing::anomaly::{anomaly_score, is_anomalous};
+use atm_ticketing::storm::collapse_from_sets;
+use atm_ticketing::{StormSummary, ThresholdPolicy};
+use atm_tracegen::{BoxTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{AtmConfig, TicketsConfig};
+use crate::error::{AtmError, AtmResult};
+use crate::pipeline::{scoped_resources, ticket_policy};
+
+/// Storm-collapse digest for one resource of one box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTicketReport {
+    /// The resource the tickets fired on.
+    pub resource: Resource,
+    /// Raw `(vm, window)` tickets before collapsing.
+    pub raw_tickets: usize,
+    /// Deduplicated storm incidents.
+    pub incidents: usize,
+    /// Correlated VM groups that ticketed.
+    pub correlated_groups: usize,
+    /// Incidents spanning more than one VM.
+    pub multi_vm_storms: usize,
+    /// Largest single incident, in raw tickets.
+    pub max_storm_tickets: usize,
+    /// Raw tickets per incident; `None` when the resource never
+    /// ticketed.
+    pub collapse_ratio: Option<f64>,
+}
+
+/// Ticket-intelligence digest for one box: per-resource storm collapse
+/// over the observed prefix plus the box's anomaly score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TicketReport {
+    /// Per-resource storm digests, in scope order.
+    pub per_resource: Vec<ResourceTicketReport>,
+    /// Robust anomaly score of the box's inter-ticket delays; `None`
+    /// with too little ticket history to score.
+    pub anomaly_score: Option<f64>,
+    /// Whether the score crossed the configured threshold.
+    pub anomalous: bool,
+}
+
+impl TicketReport {
+    /// The fleet-aggregable storm digest, merged over resources.
+    pub fn storm_summary(&self) -> StormSummary {
+        let mut summary = StormSummary::default();
+        for r in &self.per_resource {
+            summary.merge(&StormSummary {
+                raw_tickets: r.raw_tickets,
+                incidents: r.incidents,
+                multi_vm_storms: r.multi_vm_storms,
+                max_storm_tickets: r.max_storm_tickets,
+            });
+        }
+        summary
+    }
+
+    /// Total raw tickets over the scoped resources.
+    pub fn raw_tickets(&self) -> usize {
+        self.per_resource
+            .iter()
+            .fold(0, |acc, r| acc.saturating_add(r.raw_tickets))
+    }
+
+    /// Total deduplicated incidents over the scoped resources.
+    pub fn incidents(&self) -> usize {
+        self.per_resource
+            .iter()
+            .fold(0, |acc, r| acc.saturating_add(r.incidents))
+    }
+}
+
+/// Per-VM ticketed-window sets for `resource` within `[start, end)`,
+/// under the VMs' original capacities. Window indices are global trace
+/// indices. NaN (gap) demand samples never ticket.
+fn vm_ticket_sets(
+    trace: &BoxTrace,
+    resource: Resource,
+    start: usize,
+    end: usize,
+    policy: &ThresholdPolicy,
+) -> Vec<BTreeSet<usize>> {
+    trace
+        .vms
+        .iter()
+        .map(|vm| {
+            // Demand in capacity units, computed inline from the usage
+            // series (`usage/100 × capacity`) to avoid allocating a
+            // demand vector per VM per call.
+            let capacity = vm.capacity(resource);
+            let usage = vm.usage(resource);
+            (start..end.min(usage.len()))
+                .filter(|&t| policy.violates_demand_clamped(usage[t] / 100.0 * capacity, capacity))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sorted, distinct global window indices in `[start, end)` where any
+/// VM ticketed on any of `resources`, under the per-resource capacity
+/// overrides the online loop carries (`caps[ri] = None` means each VM's
+/// original capacity for that resource). This is the per-window feed of
+/// the online anomaly scorer, consistent with the loop's `tickets_after`
+/// accounting.
+pub(crate) fn ticketed_windows(
+    trace: &BoxTrace,
+    resources: &[Resource],
+    start: usize,
+    end: usize,
+    caps: &[Option<Vec<f64>>],
+    policy: &ThresholdPolicy,
+) -> Vec<usize> {
+    debug_assert_eq!(resources.len(), caps.len());
+    let mut windows = BTreeSet::new();
+    for (ri, &resource) in resources.iter().enumerate() {
+        for (vi, vm) in trace.vms.iter().enumerate() {
+            // Demand stays defined against the VM's *original* capacity
+            // (resizing changes the cap, not the workload); only the
+            // capacity side honors the override.
+            let original = vm.capacity(resource);
+            let capacity = caps[ri]
+                .as_ref()
+                .and_then(|c| c.get(vi).copied())
+                .unwrap_or(original);
+            let usage = vm.usage(resource);
+            for t in start..end.min(usage.len()) {
+                if policy.violates_demand_clamped(usage[t] / 100.0 * original, capacity) {
+                    windows.insert(t);
+                }
+            }
+        }
+    }
+    windows.into_iter().collect()
+}
+
+/// Scores one box's observed prefix — everything before the evaluation
+/// horizon — for the pipeline report: per-resource storm collapse under
+/// the VMs' original capacities (raw tickets as the operator would see
+/// them, pre-resize) plus the robust anomaly score of the merged
+/// inter-ticket delays.
+///
+/// # Errors
+///
+/// [`AtmError::InvalidConfig`] if the tickets configuration is invalid —
+/// unreachable after [`AtmConfig::validate`], which every pipeline entry
+/// point runs first.
+pub(crate) fn box_ticket_report(
+    trace: &BoxTrace,
+    config: &AtmConfig,
+    policy: &ThresholdPolicy,
+) -> AtmResult<TicketReport> {
+    let bad_config = |_| AtmError::InvalidConfig("tickets configuration");
+    let observed_end = trace.window_count().saturating_sub(config.horizon);
+    let storm_config = config.tickets.storm_config();
+    let mut per_resource = Vec::new();
+    let mut merged: BTreeSet<usize> = BTreeSet::new();
+    for resource in scoped_resources(config.scope) {
+        let sets = vm_ticket_sets(trace, resource, 0, observed_end, policy);
+        for set in &sets {
+            merged.extend(set.iter().copied());
+        }
+        let report = collapse_from_sets(&sets, &storm_config).map_err(bad_config)?;
+        let summary = report.summary();
+        per_resource.push(ResourceTicketReport {
+            resource,
+            raw_tickets: report.raw_tickets,
+            incidents: report.incidents(),
+            correlated_groups: report.correlated_groups,
+            multi_vm_storms: summary.multi_vm_storms,
+            max_storm_tickets: summary.max_storm_tickets,
+            collapse_ratio: report.collapse_ratio(),
+        });
+    }
+    let windows: Vec<usize> = merged.into_iter().collect();
+    let anomaly = config.tickets.anomaly_config();
+    let score = anomaly_score(&windows, &anomaly).map_err(bad_config)?;
+    Ok(TicketReport {
+        per_resource,
+        anomalous: score.is_some_and(|s| is_anomalous(s, &anomaly)),
+        anomaly_score: score,
+    })
+}
+
+/// Deterministic claim-priority weight for supervised fleet runners:
+/// the box's anomaly score over its training span (clamped at 0), so
+/// chronic-offender candidates are processed first under contention.
+/// Returns `0.0` when ticket intelligence is disabled, the box has too
+/// little ticket history to score, or the configuration is invalid —
+/// ties fall back to input-index order either way, and the weight never
+/// affects report bytes (results are reassembled by input index).
+pub fn priority_weight(trace: &BoxTrace, config: &AtmConfig) -> f64 {
+    if !config.tickets.enabled {
+        return 0.0;
+    }
+    let Ok(policy) = ticket_policy(config) else {
+        return 0.0;
+    };
+    let end = trace.window_count().min(config.train_windows);
+    let resources = scoped_resources(config.scope);
+    let caps: Vec<Option<Vec<f64>>> = vec![None; resources.len()];
+    let windows = ticketed_windows(trace, &resources, 0, end, &caps, &policy);
+    match anomaly_score(&windows, &config.tickets.anomaly_config()) {
+        Ok(Some(score)) if score > 0.0 => score,
+        _ => 0.0,
+    }
+}
+
+/// What a [`TicketEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TicketEventKind {
+    /// The anomalous streak reached
+    /// [`chronic_after`](crate::config::TicketsConfig::chronic_after);
+    /// the box is now a chronic offender and the resizer sees its
+    /// demands under the offender-headroom floor from the next window.
+    ChronicDeclared,
+    /// An equal calm streak cleared the chronic flag; the headroom floor
+    /// is dropped from the next window.
+    ChronicCleared,
+}
+
+/// One structured chronic-offender transition. Events are part of
+/// [`TicketState`] (and therefore of the checkpointed
+/// [`OnlineState`](crate::online::OnlineState)), so a crash-resumed run
+/// carries byte-identical history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TicketEvent {
+    /// Window index (0 = first evaluable window) the transition fired
+    /// on.
+    pub window: usize,
+    /// Transition kind.
+    pub kind: TicketEventKind,
+    /// The anomaly score that drove the transition.
+    pub score: f64,
+}
+
+/// Aggregated chronic-offender accounting surfaced in an
+/// [`OnlineReport`](crate::online::OnlineReport).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TicketFeedbackReport {
+    /// Every chronic transition, in window order.
+    pub events: Vec<TicketEvent>,
+    /// Windows that produced an anomaly score (enough ticket history).
+    pub windows_scored: usize,
+    /// Scored windows whose score crossed the threshold.
+    pub windows_anomalous: usize,
+    /// Windows resized with the offender-headroom floor in force.
+    pub chronic_windows: usize,
+    /// The most recent anomaly score, if any window scored.
+    pub last_score: Option<f64>,
+}
+
+impl TicketFeedbackReport {
+    /// True when ticket feedback never scored anything (or was
+    /// disabled) — the report then serializes without a `tickets` key,
+    /// keeping the pre-tickets byte layout.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.windows_scored == 0
+            && self.chronic_windows == 0
+            && self.last_score.is_none()
+    }
+
+    /// Events of one kind, in window order.
+    pub fn events_of(&self, kind: TicketEventKind) -> Vec<&TicketEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+/// Serializable chronic-offender state for one box's online run.
+///
+/// Lives inside [`OnlineState`](crate::online::OnlineState) so every
+/// decision is replayed byte-identically after a crash-resume. The
+/// state machine, evaluated once per completed window:
+///
+/// 1. the window's ticketed-window indices (under the caps in effect)
+///    extend the box's merged ticket-window history;
+/// 2. the history's log inter-ticket delays are scored with a robust
+///    (median/MAD) Z-score — too little history produces no score and
+///    leaves the streaks untouched;
+/// 3. `chronic_after` consecutive anomalous scores declare the box a
+///    chronic offender ([`TicketEventKind::ChronicDeclared`]); while
+///    chronic, the loop resizes it under the offender-headroom floor;
+/// 4. `chronic_after` consecutive calm scores clear the flag
+///    ([`TicketEventKind::ChronicCleared`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TicketState {
+    /// Merged ticketed-window indices observed so far (strictly
+    /// increasing: each window's span starts after the previous one's).
+    pub(crate) ticket_windows: Vec<usize>,
+    /// Consecutive anomalous scores so far.
+    pub(crate) anomalous_streak: usize,
+    /// Consecutive calm scores so far.
+    pub(crate) calm_streak: usize,
+    /// Whether the box is currently a chronic offender.
+    pub(crate) chronic: bool,
+    /// Windows resized with the offender-headroom floor in force.
+    pub(crate) chronic_windows: usize,
+    /// Windows that produced an anomaly score.
+    pub(crate) windows_scored: usize,
+    /// Scored windows whose score crossed the threshold.
+    pub(crate) windows_anomalous: usize,
+    /// The most recent anomaly score.
+    pub(crate) last_score: Option<f64>,
+    /// Every chronic transition so far, in window order.
+    pub(crate) events: Vec<TicketEvent>,
+}
+
+impl TicketState {
+    /// Whether the box is currently a chronic offender.
+    pub fn is_chronic(&self) -> bool {
+        self.chronic
+    }
+
+    /// Feeds one completed window's ticketed-window indices through the
+    /// state machine. Decisions take effect from the next window on.
+    pub(crate) fn observe(
+        &mut self,
+        cfg: &TicketsConfig,
+        window: usize,
+        new_ticket_windows: &[usize],
+    ) {
+        debug_assert!(
+            new_ticket_windows
+                .first()
+                .zip(self.ticket_windows.last())
+                .is_none_or(|(new, last)| new > last),
+            "window spans must advance monotonically"
+        );
+        self.ticket_windows.extend_from_slice(new_ticket_windows);
+        let anomaly = cfg.anomaly_config();
+        // The config is validated at every loop entry point, and window
+        // indices produce finite log-delays, so scoring cannot fail;
+        // degrade to "no score" defensively rather than panic.
+        let score = anomaly_score(&self.ticket_windows, &anomaly).ok().flatten();
+        self.last_score = score;
+        let Some(score) = score else {
+            return;
+        };
+        self.windows_scored += 1;
+        if is_anomalous(score, &anomaly) {
+            self.windows_anomalous += 1;
+            self.anomalous_streak += 1;
+            self.calm_streak = 0;
+            if !self.chronic && self.anomalous_streak >= cfg.chronic_after {
+                self.chronic = true;
+                self.events.push(TicketEvent {
+                    window,
+                    kind: TicketEventKind::ChronicDeclared,
+                    score,
+                });
+            }
+        } else {
+            self.calm_streak += 1;
+            self.anomalous_streak = 0;
+            if self.chronic && self.calm_streak >= cfg.chronic_after {
+                self.chronic = false;
+                self.events.push(TicketEvent {
+                    window,
+                    kind: TicketEventKind::ChronicCleared,
+                    score,
+                });
+            }
+        }
+    }
+
+    /// The feedback accounting for a finished run.
+    pub(crate) fn into_report(self) -> TicketFeedbackReport {
+        TicketFeedbackReport {
+            events: self.events,
+            windows_scored: self.windows_scored,
+            windows_anomalous: self.windows_anomalous,
+            chronic_windows: self.chronic_windows,
+            last_score: self.last_score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm_tracegen::{generate_box, FleetConfig};
+
+    fn fast_tickets_config() -> AtmConfig {
+        AtmConfig {
+            tickets: TicketsConfig::fast(),
+            ..AtmConfig::fast_for_tests()
+        }
+    }
+
+    /// A two-VM box where both VMs ticket together on the given windows
+    /// (CPU demand above 60% of the VM capacity), quiet elsewhere.
+    fn storm_box(ticket_windows: &[usize], total: usize) -> BoxTrace {
+        let mut b = generate_box(
+            &FleetConfig {
+                num_boxes: 1,
+                days: 1 + total / 96,
+                gap_probability: 0.0,
+                ..FleetConfig::default()
+            },
+            7,
+        );
+        b.vms.truncate(2);
+        for vm in &mut b.vms {
+            vm.cpu_usage = vec![10.0; total];
+            vm.ram_usage = vec![10.0; total];
+            for &w in ticket_windows {
+                vm.cpu_usage[w] = 95.0;
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn ticketed_windows_honor_cap_overrides() {
+        let total = 300;
+        let b = storm_box(&[5, 9], total);
+        let policy = ThresholdPolicy::new(60.0).unwrap();
+        let resources = [Resource::Cpu];
+        let original: Vec<Option<Vec<f64>>> = vec![None];
+        let w = ticketed_windows(&b, &resources, 0, total, &original, &policy);
+        assert_eq!(w, vec![5, 9]);
+        // A span excludes windows outside it.
+        let w = ticketed_windows(&b, &resources, 6, total, &original, &policy);
+        assert_eq!(w, vec![9]);
+        // Generous cap overrides absorb the bursts entirely.
+        let generous: Vec<Option<Vec<f64>>> = vec![Some(
+            b.vms.iter().map(|vm| vm.cpu_capacity_ghz * 10.0).collect(),
+        )];
+        let w = ticketed_windows(&b, &resources, 0, total, &generous, &policy);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn box_report_collapses_synchronized_tickets() {
+        let total = 300;
+        // Both VMs ticket on the same 3 consecutive windows, inside the
+        // observed prefix for horizon 96.
+        let b = storm_box(&[10, 11, 12], total);
+        let config = fast_tickets_config();
+        let policy = ticket_policy(&config).unwrap();
+        let report = box_ticket_report(&b, &config, &policy).unwrap();
+        let cpu = report
+            .per_resource
+            .iter()
+            .find(|r| r.resource == Resource::Cpu)
+            .expect("CPU scoped");
+        assert_eq!(cpu.raw_tickets, 6); // 2 VMs × 3 windows
+        assert_eq!(cpu.incidents, 1); // one synchronized storm
+        assert_eq!(cpu.correlated_groups, 1);
+        assert_eq!(cpu.multi_vm_storms, 1);
+        assert_eq!(cpu.collapse_ratio, Some(6.0));
+        assert_eq!(report.raw_tickets(), 6);
+        assert_eq!(report.incidents(), 1);
+        assert_eq!(report.storm_summary().max_storm_tickets, 6);
+        // 3 ticketed windows → 2 delays < fast() min_delays → no score.
+        assert_eq!(report.anomaly_score, None);
+        assert!(!report.anomalous);
+    }
+
+    #[test]
+    fn chronic_state_machine_declares_and_clears() {
+        let cfg = TicketsConfig::fast();
+        let mut state = TicketState::default();
+        // Calm history: a ticket every ~30 windows with mild jitter (the
+        // jitter keeps the MAD nonzero, so the scorer has a spread to
+        // measure against).
+        state.observe(&cfg, 0, &[30, 60, 91, 123, 156]);
+        assert!(state.last_score.is_some());
+        assert!(!state.is_chronic());
+        // A burst of consecutive-window tickets: delays crash to ln(1).
+        state.observe(&cfg, 1, &[190, 191, 192, 193, 194]);
+        assert!(state.is_chronic(), "score {:?}", state.last_score);
+        assert_eq!(state.events.len(), 1);
+        assert_eq!(state.events[0].kind, TicketEventKind::ChronicDeclared);
+        assert_eq!(state.events[0].window, 1);
+        // Calm again: slow delays pull the recent window back to normal.
+        for (i, w) in (0..6).map(|i| (i, 240 + i * 30)) {
+            state.observe(&cfg, 2 + i, &[w]);
+        }
+        assert!(!state.is_chronic());
+        assert_eq!(state.events.len(), 2);
+        assert_eq!(state.events[1].kind, TicketEventKind::ChronicCleared);
+        let report = state.clone().into_report();
+        assert_eq!(report.events_of(TicketEventKind::ChronicDeclared).len(), 1);
+        assert_eq!(report.events_of(TicketEventKind::ChronicCleared).len(), 1);
+        assert!(report.windows_scored >= report.windows_anomalous);
+        assert!(!report.is_empty());
+        assert!(TicketFeedbackReport::default().is_empty());
+    }
+
+    #[test]
+    fn priority_weight_prefers_bursty_boxes() {
+        let total = 300;
+        // Bursty: a jittered calm cadence, then consecutive-window
+        // tickets — all inside the training span.
+        let bursty = storm_box(&[20, 50, 81, 113, 146, 170, 176, 177, 178, 179], total);
+        // Steady: the same jittered cadence without the burst.
+        let steady = storm_box(&[20, 50, 81, 113, 146, 180], total);
+        let config = AtmConfig {
+            train_windows: 192,
+            ..fast_tickets_config()
+        };
+        let wb = priority_weight(&bursty, &config);
+        let ws = priority_weight(&steady, &config);
+        assert!(wb > ws, "bursty {wb} vs steady {ws}");
+        assert!(ws >= 0.0);
+        // Disabled feature always weighs zero.
+        let off = AtmConfig {
+            train_windows: 192,
+            ..AtmConfig::fast_for_tests()
+        };
+        assert_eq!(priority_weight(&bursty, &off), 0.0);
+    }
+}

@@ -102,7 +102,7 @@ pub(crate) fn solve_with_groups_and_hulls(
         .map(|(vm, &c)| {
             vm.demands
                 .iter()
-                .filter(|&&x| problem.policy.violates_demand(x, c.max(f64::MIN_POSITIVE)))
+                .filter(|&&x| problem.policy.violates_demand_clamped(x, c))
                 .count()
         })
         .sum();

@@ -200,7 +200,7 @@ fn reduced_from_sorted(sorted_desc: &[f64], epsilon: f64) -> Vec<f64> {
 /// per-candidate filter scan, O(T + k) instead of O(k·T).
 ///
 /// Counts are bit-identical to
-/// `demands.filter(|d| policy.violates_demand(d, c.max(MIN_POSITIVE)))`:
+/// `demands.filter(|d| policy.violates_demand_clamped(d, c))`:
 /// the threshold `α·max(c, MIN_POSITIVE)` is non-increasing along the
 /// strictly decreasing candidates (multiplication by a positive finite α
 /// is monotone), so the set `{d : d > thr}` only grows and the pointer

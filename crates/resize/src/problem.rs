@@ -172,7 +172,7 @@ pub fn tickets_under_allocation<S: AsRef<[f64]>>(
         .map(|(d, &c)| {
             d.as_ref()
                 .iter()
-                .filter(|&&x| policy.violates_demand(x, c.max(f64::MIN_POSITIVE)))
+                .filter(|&&x| policy.violates_demand_clamped(x, c))
                 .count()
         })
         .sum()

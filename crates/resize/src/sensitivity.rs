@@ -76,7 +76,7 @@ pub fn vm_marginals(
     let tickets_now = vm
         .demands
         .iter()
-        .filter(|&&d| policy.violates_demand(d, capacity.max(f64::MIN_POSITIVE)))
+        .filter(|&&d| policy.violates_demand_clamped(d, capacity))
         .count();
 
     // Next candidate strictly above the current capacity with fewer
@@ -200,7 +200,7 @@ mod tests {
                 let t: usize = vm
                     .demands
                     .iter()
-                    .filter(|&&d| policy.violates_demand(d, upgraded))
+                    .filter(|&&d| policy.violates_demand_clamped(d, upgraded))
                     .count();
                 assert_eq!(t, m.tickets - dt, "upgrade inconsistent at {capacity}");
             }
@@ -209,7 +209,7 @@ mod tests {
                 let t: usize = vm
                     .demands
                     .iter()
-                    .filter(|&&d| policy.violates_demand(d, downgraded.max(f64::MIN_POSITIVE)))
+                    .filter(|&&d| policy.violates_demand_clamped(d, downgraded))
                     .count();
                 assert_eq!(t, m.tickets + dt, "downgrade inconsistent at {capacity}");
             }

@@ -185,6 +185,22 @@ impl ServeStats {
     }
 }
 
+/// Monotonic ticket-intelligence counters, fed by fresh `get_plan`
+/// computations whose report carried a tickets section (i.e. the
+/// daemon's `atm.tickets` configuration is enabled). Rendered as the
+/// `tickets` object of a `stats` answer.
+#[derive(Debug, Default)]
+struct TicketStats {
+    /// Fresh plans that carried a ticket-intelligence section.
+    boxes_scored: AtomicU64,
+    /// Raw (pre-collapse) threshold tickets across those plans.
+    raw_tickets: AtomicU64,
+    /// Deduplicated storm incidents across those plans.
+    incidents: AtomicU64,
+    /// Plans whose box scored anomalous on inter-ticket delays.
+    anomalous_boxes: AtomicU64,
+}
+
 /// One unit of per-connection work, carried reader → worker.
 enum Job {
     Handle(Request, Deadline),
@@ -212,6 +228,7 @@ struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     stats: ServeStats,
+    tickets: TicketStats,
     bucket: Mutex<TokenBucket>,
     gate: Arc<WorkGate>,
     fleet: Mutex<BTreeMap<String, Arc<BoxTrace>>>,
@@ -307,6 +324,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         addr,
         stats: ServeStats::default(),
+        tickets: TicketStats::default(),
         bucket: Mutex::new(bucket),
         gate: WorkGate::new(config.global_queue),
         fleet: Mutex::new(BTreeMap::new()),
@@ -708,6 +726,23 @@ fn handle_get_plan(
                 let _ = journal.done(fingerprint, "plan");
             }
             if let Ok(report) = result {
+                // Fresh computations feed the daemon's fleet-level
+                // ticket-intelligence accounting (cached/safe-mode
+                // answers replay old work and are not re-counted).
+                if let Some(t) = &report.tickets {
+                    let s = &shared.tickets;
+                    s.boxes_scored.fetch_add(1, Ordering::Relaxed);
+                    s.raw_tickets
+                        .fetch_add(t.raw_tickets() as u64, Ordering::Relaxed);
+                    s.incidents
+                        .fetch_add(t.incidents() as u64, Ordering::Relaxed);
+                    if t.anomalous {
+                        s.anomalous_boxes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    obs.add("serve.ticket_boxes_scored", 1);
+                    obs.add("serve.ticket_raw", t.raw_tickets() as u64);
+                    obs.add("serve.ticket_incidents", t.incidents() as u64);
+                }
                 let body = render_plan_body(&report, fingerprint, false);
                 let _ = shared
                     .cache
@@ -1109,9 +1144,14 @@ fn render_stats_body(shared: &Shared) -> String {
         .iter()
         .map(|(name, value)| format!("\"{name}\":{value}"))
         .collect();
+    let t = &shared.tickets;
     format!(
-        ",\"stats\":{{{}}},\"gate\":{{\"in_flight\":{},\"high_water\":{},\"limit\":{}}},\"cache_plans\":{},\"uptime_ms\":{}",
+        ",\"stats\":{{{}}},\"tickets\":{{\"anomalous_boxes\":{},\"boxes_scored\":{},\"incidents\":{},\"raw_tickets\":{}}},\"gate\":{{\"in_flight\":{},\"high_water\":{},\"limit\":{}}},\"cache_plans\":{},\"uptime_ms\":{}",
         rendered.join(","),
+        t.anomalous_boxes.load(Ordering::Relaxed),
+        t.boxes_scored.load(Ordering::Relaxed),
+        t.incidents.load(Ordering::Relaxed),
+        t.raw_tickets.load(Ordering::Relaxed),
         shared.gate.in_flight(),
         shared.gate.high_water(),
         shared.gate.limit(),

@@ -182,11 +182,17 @@ pub fn characterize_fleet(
 /// safe: tickets cluster in business hours, so a day-ahead plan covers a
 /// full cycle.
 ///
+/// Callers holding a sampled fleet should prefer
+/// [`hourly_ticket_profile_for_interval`], which derives
+/// `windows_per_day` from the traces' `interval_minutes` and rejects
+/// intervals that cannot bin into whole hours instead of silently
+/// misbinning them.
+///
 /// # Errors
 ///
 /// Returns [`TicketingError::Empty`] for an empty fleet or
-/// [`TicketingError::InvalidCoverage`] if `windows_per_day` is not a
-/// positive multiple of 24.
+/// [`TicketingError::InvalidWindowsPerDay`] if `windows_per_day` is not
+/// a positive multiple of 24.
 pub fn hourly_ticket_profile(
     fleet: &FleetTrace,
     resource: Resource,
@@ -197,7 +203,7 @@ pub fn hourly_ticket_profile(
         return Err(TicketingError::Empty);
     }
     if windows_per_day == 0 || !windows_per_day.is_multiple_of(24) {
-        return Err(TicketingError::InvalidCoverage(windows_per_day as f64));
+        return Err(TicketingError::InvalidWindowsPerDay(windows_per_day));
     }
     let per_hour = windows_per_day / 24;
     let mut counts = [0usize; 24];
@@ -219,6 +225,43 @@ pub fn hourly_ticket_profile(
         *o = c as f64 / total as f64;
     }
     Ok(out)
+}
+
+/// [`hourly_ticket_profile`] with `windows_per_day` derived from the
+/// traces' own `interval_minutes`.
+///
+/// Deriving `windows_per_day` by hand from an interval that does not
+/// divide 60 (e.g. `60 / 25 * 24` for 25-minute sampling) truncates to
+/// a value the binning silently accepts but misbins — window 2 of a
+/// 25-minute trace starts at minute 50 of hour 0, yet a hand-derived
+/// `windows_per_day` of 48 files it under hour 1. This entry point
+/// rejects such intervals with a structured error instead.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::Empty`] for an empty fleet,
+/// [`TicketingError::InvalidInterval`] if any box's `interval_minutes`
+/// is zero, does not evenly divide 60, or disagrees with the other
+/// boxes' interval.
+pub fn hourly_ticket_profile_for_interval(
+    fleet: &FleetTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+) -> TicketingResult<[f64; 24]> {
+    if fleet.boxes.is_empty() {
+        return Err(TicketingError::Empty);
+    }
+    let interval = fleet.boxes[0].interval_minutes;
+    if interval == 0 || !60u32.is_multiple_of(interval) {
+        return Err(TicketingError::InvalidInterval(interval));
+    }
+    for b in &fleet.boxes {
+        if b.interval_minutes != interval {
+            return Err(TicketingError::InvalidInterval(b.interval_minutes));
+        }
+    }
+    let windows_per_day = 24 * (60 / interval) as usize;
+    hourly_ticket_profile(fleet, resource, policy, windows_per_day)
 }
 
 #[cfg(test)]
@@ -365,10 +408,56 @@ mod tests {
         // No tickets -> all-zero profile.
         let profile = hourly_ticket_profile(&fleet, Resource::Cpu, &p, 96).unwrap();
         assert!(profile.iter().all(|&v| v == 0.0));
-        assert!(hourly_ticket_profile(&fleet, Resource::Cpu, &p, 95).is_err());
+        assert_eq!(
+            hourly_ticket_profile(&fleet, Resource::Cpu, &p, 95),
+            Err(TicketingError::InvalidWindowsPerDay(95))
+        );
         assert!(hourly_ticket_profile(&fleet, Resource::Cpu, &p, 0).is_err());
         let empty = FleetTrace { boxes: vec![] };
         assert!(hourly_ticket_profile(&empty, Resource::Cpu, &p, 96).is_err());
+    }
+
+    #[test]
+    fn interval_entry_point_matches_hand_derived_windows() {
+        // 15-minute sampling: 96 windows/day; the derived path must agree
+        // with the hand-computed one exactly.
+        let fleet = FleetTrace {
+            boxes: vec![make_box(vec![vec![70.0; 96], vec![10.0; 96]])],
+        };
+        let p = ThresholdPolicy::default();
+        assert_eq!(
+            hourly_ticket_profile_for_interval(&fleet, Resource::Cpu, &p).unwrap(),
+            hourly_ticket_profile(&fleet, Resource::Cpu, &p, 96).unwrap()
+        );
+    }
+
+    #[test]
+    fn interval_entry_point_rejects_nondivisor_intervals() {
+        // Regression: hand-deriving windows_per_day from a 25-minute
+        // interval truncates (60/25 = 2) to 48 — a value the binning
+        // accepts but misbins. The interval-aware entry point must
+        // reject 7- and 25-minute sampling with a structured error.
+        let p = ThresholdPolicy::default();
+        for bad in [7u32, 25, 0] {
+            let mut b = make_box(vec![vec![70.0; 48]]);
+            b.interval_minutes = bad;
+            let fleet = FleetTrace { boxes: vec![b] };
+            assert_eq!(
+                hourly_ticket_profile_for_interval(&fleet, Resource::Cpu, &p),
+                Err(TicketingError::InvalidInterval(bad)),
+                "interval {bad} must be rejected"
+            );
+        }
+        // Mixed intervals across boxes are rejected too, naming the
+        // offending box's interval.
+        let a = make_box(vec![vec![70.0; 96]]);
+        let mut b = make_box(vec![vec![70.0; 48]]);
+        b.interval_minutes = 30;
+        let fleet = FleetTrace { boxes: vec![a, b] };
+        assert_eq!(
+            hourly_ticket_profile_for_interval(&fleet, Resource::Cpu, &p),
+            Err(TicketingError::InvalidInterval(30))
+        );
     }
 
     #[test]

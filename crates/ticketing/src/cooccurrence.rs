@@ -43,22 +43,26 @@ impl CoOccurrence {
 
     /// Ticket *burstiness*: mean tickets per ticketed window (1.0 = every
     /// ticket alone in its window; higher = tickets arrive together).
-    pub fn burstiness(&self) -> f64 {
+    /// `None` when the box never ticketed — a ticketless box has no
+    /// burstiness, and folding a `0.0` sentinel into fleet averages
+    /// would drag them below the 1.0 floor every real ratio respects.
+    pub fn burstiness(&self) -> Option<f64> {
         if self.ticketed_windows == 0 {
-            0.0
+            None
         } else {
-            self.total_tickets as f64 / self.ticketed_windows as f64
+            Some(self.total_tickets as f64 / self.ticketed_windows as f64)
         }
     }
 }
 
-/// Computes ticket co-occurrence for one box and resource.
-pub fn box_co_occurrence(
+/// Per-VM ticket-window sets for one box and resource — the shared
+/// substrate of co-occurrence analysis and storm collapse.
+pub fn ticket_window_sets(
     box_trace: &BoxTrace,
     resource: Resource,
     policy: &ThresholdPolicy,
-) -> CoOccurrence {
-    let windows_per_vm: Vec<BTreeSet<usize>> = box_trace
+) -> Vec<BTreeSet<usize>> {
+    box_trace
         .vms
         .iter()
         .map(|vm| {
@@ -66,8 +70,13 @@ pub fn box_co_occurrence(
                 .into_iter()
                 .collect()
         })
-        .collect();
+        .collect()
+}
 
+/// Pairwise Jaccard similarity of ticket-window sets, for every VM pair
+/// in which both VMs ticket, as `(vm_a, vm_b, jaccard)` with `a < b` in
+/// index order.
+pub fn pair_jaccard_from_sets(windows_per_vm: &[BTreeSet<usize>]) -> Vec<(usize, usize, f64)> {
     let mut pair_jaccard = Vec::new();
     for a in 0..windows_per_vm.len() {
         if windows_per_vm[a].is_empty() {
@@ -82,6 +91,17 @@ pub fn box_co_occurrence(
             pair_jaccard.push((a, b, intersection as f64 / union as f64));
         }
     }
+    pair_jaccard
+}
+
+/// Computes ticket co-occurrence for one box and resource.
+pub fn box_co_occurrence(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+) -> CoOccurrence {
+    let windows_per_vm = ticket_window_sets(box_trace, resource, policy);
+    let pair_jaccard = pair_jaccard_from_sets(&windows_per_vm);
 
     let mut all_windows = BTreeSet::new();
     let mut total = 0usize;
@@ -137,7 +157,7 @@ mod tests {
         // 4 tickets over 2 windows: burstiness 2.
         assert_eq!(c.total_tickets, 4);
         assert_eq!(c.ticketed_windows, 2);
-        assert!((c.burstiness() - 2.0).abs() < 1e-12);
+        assert!((c.burstiness().unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -148,7 +168,7 @@ mod tests {
         ]);
         let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
         assert_eq!(c.pair_jaccard[0].2, 0.0);
-        assert!((c.burstiness() - 1.0).abs() < 1e-12);
+        assert!((c.burstiness().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -166,7 +186,9 @@ mod tests {
         let c = box_co_occurrence(&b, Resource::Cpu, &ThresholdPolicy::default());
         assert!(c.pair_jaccard.is_empty());
         assert_eq!(c.mean_jaccard(), None);
-        assert_eq!(c.burstiness(), 0.0);
+        // Regression: ticketless boxes used to report a 0.0 sentinel,
+        // conflating "no data" with a sub-floor real ratio.
+        assert_eq!(c.burstiness(), None);
         assert_eq!(c.total_tickets, 0);
     }
 

@@ -13,6 +13,15 @@ pub enum TicketingError {
     Empty,
     /// A capacity must be positive and finite.
     InvalidCapacity(f64),
+    /// A windows-per-day count that is not a positive multiple of 24 was
+    /// supplied to an hourly binning.
+    InvalidWindowsPerDay(usize),
+    /// A sampling interval (minutes) that does not evenly divide an hour
+    /// was supplied where whole-hour binning is required.
+    InvalidInterval(u32),
+    /// A non-finite value reached a computation that requires finite
+    /// input.
+    NonFinite(f64),
 }
 
 impl fmt::Display for TicketingError {
@@ -27,6 +36,18 @@ impl fmt::Display for TicketingError {
             TicketingError::Empty => write!(f, "input is empty"),
             TicketingError::InvalidCapacity(c) => {
                 write!(f, "capacity {c} must be positive and finite")
+            }
+            TicketingError::InvalidWindowsPerDay(w) => {
+                write!(f, "windows per day {w} must be a positive multiple of 24")
+            }
+            TicketingError::InvalidInterval(m) => {
+                write!(
+                    f,
+                    "sampling interval {m} min must evenly divide 60 for hourly binning"
+                )
+            }
+            TicketingError::NonFinite(v) => {
+                write!(f, "non-finite value {v} in input")
             }
         }
     }

@@ -15,7 +15,12 @@
 //! - [`correlation`]: the four spatial-dependency measures of paper
 //!   Fig. 3 (intra-CPU, intra-RAM, inter-all, inter-pair);
 //! - [`cooccurrence`]: how synchronously co-located VMs' tickets fire
-//!   (the Fig. 1 "tickets are triggered together" observation).
+//!   (the Fig. 1 "tickets are triggered together" observation);
+//! - [`storm`]: collapses correlated ticket bursts into deduplicated
+//!   [`TicketStorm`](storm::TicketStorm) incidents via Jaccard
+//!   co-occurrence grouping;
+//! - [`anomaly`]: robust (median/MAD) Z-scores on log inter-ticket
+//!   delays, flagging boxes that ticket anomalously fast.
 //!
 //! # Example
 //!
@@ -30,11 +35,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod characterize;
 pub mod cooccurrence;
 pub mod correlation;
 mod error;
+pub mod storm;
 pub mod ticket;
 
+pub use anomaly::AnomalyConfig;
 pub use error::{TicketingError, TicketingResult};
+pub use storm::{StormConfig, StormReport, StormSummary, TicketStorm};
 pub use ticket::ThresholdPolicy;

@@ -1,0 +1,377 @@
+//! Storm collapse: dedupe correlated ticket bursts into incidents.
+//!
+//! The paper's motivating observation (Fig. 1) is that co-located VMs'
+//! tickets "are triggered together" — a single underlying event (a surge
+//! on a shared box) fans out into one ticket per VM per window, burying
+//! the operator in duplicates. This module collapses the raw ticket
+//! stream back into [`TicketStorm`] incidents:
+//!
+//! 1. VM pairs whose ticket-window sets have Jaccard similarity at or
+//!    above [`StormConfig::jaccard_threshold`] (reusing
+//!    [`cooccurrence`](crate::cooccurrence) pairs) are unioned into
+//!    correlated groups;
+//! 2. each group's `(window, vm)` ticket events are merged in window
+//!    order and split wherever consecutive ticketed windows are more
+//!    than [`StormConfig::max_gap_windows`] apart.
+//!
+//! Every raw ticket lands in exactly one storm, so the collapse ratio
+//! `raw_tickets / incidents` measures how much duplicate volume the
+//! operator is spared. All orderings are index-based and deterministic.
+
+use std::collections::BTreeSet;
+
+use atm_tracegen::{BoxTrace, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::cooccurrence::{pair_jaccard_from_sets, ticket_window_sets};
+use crate::error::{TicketingError, TicketingResult};
+use crate::ticket::ThresholdPolicy;
+
+/// Configuration for storm collapse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Minimum pairwise Jaccard similarity of two VMs' ticket-window
+    /// sets for their tickets to be considered the same storm.
+    pub jaccard_threshold: f64,
+    /// Maximum number of quiet windows between two ticketed windows of
+    /// the same group before the storm is split in two. `0` requires
+    /// consecutive windows.
+    pub max_gap_windows: usize,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            jaccard_threshold: 0.5,
+            max_gap_windows: 1,
+        }
+    }
+}
+
+impl StormConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TicketingError::InvalidCoverage`] unless
+    /// `jaccard_threshold` lies in `[0, 1]`.
+    pub fn validate(&self) -> TicketingResult<()> {
+        if !(self.jaccard_threshold >= 0.0 && self.jaccard_threshold <= 1.0) {
+            return Err(TicketingError::InvalidCoverage(self.jaccard_threshold));
+        }
+        Ok(())
+    }
+}
+
+/// One deduplicated incident: a maximal run of correlated tickets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TicketStorm {
+    /// Sorted, distinct indices of the VMs that ticketed in this storm.
+    pub vms: Vec<usize>,
+    /// First ticketed window of the storm (inclusive).
+    pub start_window: usize,
+    /// Last ticketed window of the storm (inclusive).
+    pub end_window: usize,
+    /// Raw `(vm, window)` tickets collapsed into this storm (≥ 1).
+    pub tickets: usize,
+}
+
+/// Storm-collapse outcome for one box and resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormReport {
+    /// Deduplicated incidents, ordered by `(start_window, first vm)`.
+    pub storms: Vec<TicketStorm>,
+    /// Total raw tickets before collapsing.
+    pub raw_tickets: usize,
+    /// Number of correlated VM groups that ticketed (a group may spawn
+    /// several storms when its bursts are separated in time).
+    pub correlated_groups: usize,
+}
+
+impl StormReport {
+    /// Number of deduplicated incidents.
+    pub fn incidents(&self) -> usize {
+        self.storms.len()
+    }
+
+    /// Raw tickets per incident (≥ 1.0); `None` when the box never
+    /// ticketed — like
+    /// [`burstiness`](crate::cooccurrence::CoOccurrence::burstiness),
+    /// a ticketless box has no ratio to report.
+    pub fn collapse_ratio(&self) -> Option<f64> {
+        if self.storms.is_empty() {
+            None
+        } else {
+            Some(self.raw_tickets as f64 / self.storms.len() as f64)
+        }
+    }
+
+    /// The fleet-aggregable digest of this report.
+    pub fn summary(&self) -> StormSummary {
+        StormSummary {
+            raw_tickets: self.raw_tickets,
+            incidents: self.storms.len(),
+            multi_vm_storms: self.storms.iter().filter(|s| s.vms.len() > 1).count(),
+            max_storm_tickets: self.storms.iter().map(|s| s.tickets).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Saturating, commutative storm digest — fleet runners fold these in
+/// arbitrary order, so `merge` must commute (every field saturates or
+/// maxes independently).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormSummary {
+    /// Total raw tickets before collapsing.
+    pub raw_tickets: usize,
+    /// Total deduplicated incidents.
+    pub incidents: usize,
+    /// Incidents spanning more than one VM.
+    pub multi_vm_storms: usize,
+    /// Largest single incident, in raw tickets.
+    pub max_storm_tickets: usize,
+}
+
+impl StormSummary {
+    /// Folds another summary into this one.
+    pub fn merge(&mut self, other: &StormSummary) {
+        self.raw_tickets = self.raw_tickets.saturating_add(other.raw_tickets);
+        self.incidents = self.incidents.saturating_add(other.incidents);
+        self.multi_vm_storms = self.multi_vm_storms.saturating_add(other.multi_vm_storms);
+        self.max_storm_tickets = self.max_storm_tickets.max(other.max_storm_tickets);
+    }
+
+    /// Raw tickets per incident across the fold; `None` when nothing
+    /// ticketed.
+    pub fn collapse_ratio(&self) -> Option<f64> {
+        if self.incidents == 0 {
+            None
+        } else {
+            Some(self.raw_tickets as f64 / self.incidents as f64)
+        }
+    }
+}
+
+/// Collapses one box's tickets on `resource` into storms.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::InvalidCoverage`] if `config` is invalid.
+pub fn collapse_storms(
+    box_trace: &BoxTrace,
+    resource: Resource,
+    policy: &ThresholdPolicy,
+    config: &StormConfig,
+) -> TicketingResult<StormReport> {
+    let sets = ticket_window_sets(box_trace, resource, policy);
+    collapse_from_sets(&sets, config)
+}
+
+/// Collapses pre-computed per-VM ticket-window sets into storms — the
+/// allocation-light entry point the streamed pipeline uses.
+///
+/// # Errors
+///
+/// Returns [`TicketingError::InvalidCoverage`] if `config` is invalid.
+pub fn collapse_from_sets(
+    windows_per_vm: &[BTreeSet<usize>],
+    config: &StormConfig,
+) -> TicketingResult<StormReport> {
+    config.validate()?;
+
+    // Union-find over VM indices: a qualifying Jaccard pair puts both
+    // VMs' tickets in the same correlated group.
+    let n = windows_per_vm.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for (a, b, j) in pair_jaccard_from_sets(windows_per_vm) {
+        if j >= config.jaccard_threshold {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                // Smaller root wins so group identity is index-stable.
+                parent[ra.max(rb)] = ra.min(rb);
+            }
+        }
+    }
+
+    // Gather each group's (window, vm) events in ascending VM order so
+    // group enumeration — and therefore storm order — is deterministic.
+    let mut groups: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+    for vm in 0..n {
+        if windows_per_vm[vm].is_empty() {
+            continue;
+        }
+        let root = find(&mut parent, vm);
+        let slot = match groups.iter().position(|(r, _)| *r == root) {
+            Some(i) => i,
+            None => {
+                groups.push((root, Vec::new()));
+                groups.len() - 1
+            }
+        };
+        groups[slot]
+            .1
+            .extend(windows_per_vm[vm].iter().map(|&w| (w, vm)));
+    }
+
+    let correlated_groups = groups.len();
+    let mut raw_tickets = 0usize;
+    let mut storms = Vec::new();
+    for (_, mut events) in groups {
+        events.sort_unstable();
+        raw_tickets += events.len();
+        let mut start = 0usize;
+        for i in 1..=events.len() {
+            let split = i == events.len() || {
+                let gap = events[i].0 - events[i - 1].0;
+                gap > config.max_gap_windows + 1
+            };
+            if split {
+                let run = &events[start..i];
+                let mut vms: Vec<usize> = run.iter().map(|&(_, vm)| vm).collect();
+                vms.sort_unstable();
+                vms.dedup();
+                storms.push(TicketStorm {
+                    vms,
+                    start_window: run[0].0,
+                    end_window: run[run.len() - 1].0,
+                    tickets: run.len(),
+                });
+                start = i;
+            }
+        }
+    }
+    storms.sort_by(|a, b| {
+        (a.start_window, a.end_window, a.vms[0]).cmp(&(b.start_window, b.end_window, b.vms[0]))
+    });
+
+    Ok(StormReport {
+        storms,
+        raw_tickets,
+        correlated_groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sets(raw: &[&[usize]]) -> Vec<BTreeSet<usize>> {
+        raw.iter().map(|s| s.iter().copied().collect()).collect()
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let bad = StormConfig {
+            jaccard_threshold: 1.5,
+            max_gap_windows: 0,
+        };
+        assert!(collapse_from_sets(&sets(&[&[0]]), &bad).is_err());
+        assert!(StormConfig {
+            jaccard_threshold: f64::NAN,
+            max_gap_windows: 0
+        }
+        .validate()
+        .is_err());
+        assert!(StormConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn synchronized_vms_collapse_into_one_storm() {
+        // Two VMs ticketing in the same windows: Jaccard 1 ≥ 0.5, one
+        // group; windows 3,4,5 are one run → a single 6-ticket storm.
+        let report =
+            collapse_from_sets(&sets(&[&[3, 4, 5], &[3, 4, 5]]), &StormConfig::default()).unwrap();
+        assert_eq!(report.raw_tickets, 6);
+        assert_eq!(report.incidents(), 1);
+        assert_eq!(report.correlated_groups, 1);
+        let s = &report.storms[0];
+        assert_eq!((s.start_window, s.end_window, s.tickets), (3, 5, 6));
+        assert_eq!(s.vms, vec![0, 1]);
+        assert_eq!(report.collapse_ratio(), Some(6.0));
+    }
+
+    #[test]
+    fn disjoint_vms_stay_separate_storms() {
+        // Jaccard 0 < threshold: two singleton groups, two storms.
+        let report =
+            collapse_from_sets(&sets(&[&[0, 1], &[10, 11]]), &StormConfig::default()).unwrap();
+        assert_eq!(report.incidents(), 2);
+        assert_eq!(report.correlated_groups, 2);
+        assert!(report.storms.iter().all(|s| s.vms.len() == 1));
+        assert_eq!(report.collapse_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn gap_splits_a_group_into_two_storms() {
+        // One VM, quiet stretch of 3 windows > max_gap 1 → two storms.
+        let cfg = StormConfig::default();
+        let report = collapse_from_sets(&sets(&[&[0, 1, 2, 6, 7]]), &cfg).unwrap();
+        assert_eq!(report.incidents(), 2);
+        assert_eq!(report.storms[0].tickets, 3);
+        assert_eq!(report.storms[1].tickets, 2);
+        // max_gap 1 means one quiet window between tickets still chains:
+        // 0,2,4 is a single storm.
+        let chained = collapse_from_sets(&sets(&[&[0, 2, 4]]), &cfg).unwrap();
+        assert_eq!(chained.incidents(), 1);
+        // max_gap 0 requires consecutive windows.
+        let strict = StormConfig {
+            max_gap_windows: 0,
+            ..cfg
+        };
+        let split = collapse_from_sets(&sets(&[&[0, 2, 4]]), &strict).unwrap();
+        assert_eq!(split.incidents(), 3);
+    }
+
+    #[test]
+    fn ticketless_box_has_no_storms() {
+        let report = collapse_from_sets(&sets(&[&[], &[]]), &StormConfig::default()).unwrap();
+        assert_eq!(report.incidents(), 0);
+        assert_eq!(report.raw_tickets, 0);
+        assert_eq!(report.collapse_ratio(), None);
+        assert_eq!(report.summary(), StormSummary::default());
+    }
+
+    #[test]
+    fn transitive_correlation_unions_across_pairs() {
+        // A~B and B~C qualify but A~C alone would not: union-find still
+        // puts all three in one group (storms chain through B).
+        let a: &[usize] = &[0, 1, 2, 3];
+        let b: &[usize] = &[2, 3, 4, 5];
+        let c: &[usize] = &[4, 5, 6, 7];
+        let cfg = StormConfig {
+            jaccard_threshold: 0.3,
+            max_gap_windows: 1,
+        };
+        let report = collapse_from_sets(&sets(&[a, b, c]), &cfg).unwrap();
+        assert_eq!(report.correlated_groups, 1);
+        assert_eq!(report.incidents(), 1);
+        assert_eq!(report.storms[0].vms, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn summary_folds_reports() {
+        let r1 = collapse_from_sets(&sets(&[&[0, 1], &[0, 1]]), &StormConfig::default()).unwrap();
+        let r2 = collapse_from_sets(&sets(&[&[9]]), &StormConfig::default()).unwrap();
+        let mut total = r1.summary();
+        total.merge(&r2.summary());
+        assert_eq!(total.raw_tickets, 5);
+        assert_eq!(total.incidents, 2);
+        assert_eq!(total.multi_vm_storms, 1);
+        assert_eq!(total.max_storm_tickets, 4);
+        assert_eq!(total.collapse_ratio(), Some(2.5));
+    }
+}

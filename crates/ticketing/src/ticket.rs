@@ -55,8 +55,32 @@ impl ThresholdPolicy {
 
     /// Whether a demand sample triggers a ticket under an allocated
     /// capacity: `demand > α·capacity`.
-    pub fn violates_demand(&self, demand: f64, capacity: f64) -> bool {
-        demand > self.alpha() * capacity
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TicketingError::InvalidCapacity`] unless `capacity` is
+    /// positive and finite. (An unvalidated `capacity` of `0.0` would
+    /// silently ticket every positive sample, and a negative one would
+    /// ticket even zero demand — solver hot loops that have already
+    /// normalized their capacities use
+    /// [`violates_demand_clamped`](Self::violates_demand_clamped)
+    /// instead.)
+    pub fn violates_demand(&self, demand: f64, capacity: f64) -> TicketingResult<bool> {
+        if !(capacity > 0.0 && capacity.is_finite()) {
+            return Err(TicketingError::InvalidCapacity(capacity));
+        }
+        Ok(self.violates_demand_clamped(demand, capacity))
+    }
+
+    /// Total (never-failing) form of [`violates_demand`] for solver hot
+    /// loops: `capacity` is clamped up to [`f64::MIN_POSITIVE`], so
+    /// zero, negative, and NaN capacities all mean "effectively no
+    /// capacity" — every positive demand tickets, and zero or negative
+    /// demand never does. A `+∞` capacity never tickets. NaN demand
+    /// never tickets (gap samples).
+    #[inline]
+    pub fn violates_demand_clamped(&self, demand: f64, capacity: f64) -> bool {
+        demand > self.alpha() * capacity.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -94,7 +118,7 @@ pub fn count_demand_tickets(
     }
     Ok(demand
         .iter()
-        .filter(|&&d| policy.violates_demand(d, capacity))
+        .filter(|&&d| policy.violates_demand_clamped(d, capacity))
         .count())
 }
 
@@ -157,6 +181,46 @@ mod tests {
         assert_eq!(count_demand_tickets(&d, 100.0, &p).unwrap(), 0);
         assert!(count_demand_tickets(&d, 0.0, &p).is_err());
         assert!(count_demand_tickets(&d, f64::INFINITY, &p).is_err());
+    }
+
+    #[test]
+    fn violates_demand_rejects_invalid_capacity() {
+        // Regression: the unvalidated form accepted capacity 0.0 (every
+        // positive sample ticketed) and negative capacity (even zero
+        // demand ticketed). The validating entry point must reject all
+        // non-positive and non-finite capacities.
+        let p = ThresholdPolicy::default();
+        assert!(matches!(
+            p.violates_demand(1.0, 0.0),
+            Err(TicketingError::InvalidCapacity(c)) if c == 0.0
+        ));
+        assert!(p.violates_demand(0.0, -5.0).is_err());
+        assert!(p.violates_demand(1.0, f64::NAN).is_err());
+        assert!(p.violates_demand(1.0, f64::INFINITY).is_err());
+        assert!(p.violates_demand(1.0, f64::NEG_INFINITY).is_err());
+        assert_eq!(p.violates_demand(61.0, 100.0), Ok(true));
+        assert_eq!(p.violates_demand(60.0, 100.0), Ok(false));
+    }
+
+    #[test]
+    fn violates_demand_clamped_contract() {
+        let p = ThresholdPolicy::default();
+        // Zero/negative/NaN capacity: "no capacity" — positive demand
+        // tickets, zero and negative demand never do. (The old unguarded
+        // form returned `true` for `(0.0, -5.0)`.)
+        assert!(p.violates_demand_clamped(0.5, 0.0));
+        assert!(!p.violates_demand_clamped(0.0, 0.0));
+        assert!(!p.violates_demand_clamped(0.0, -5.0));
+        assert!(!p.violates_demand_clamped(-1.0, -5.0));
+        assert!(p.violates_demand_clamped(1.0, f64::NAN));
+        // Infinite capacity never tickets; NaN demand (gap) never does.
+        assert!(!p.violates_demand_clamped(1e300, f64::INFINITY));
+        assert!(!p.violates_demand_clamped(f64::NAN, 10.0));
+        // Positive finite capacity agrees with the validating form.
+        assert_eq!(
+            p.violates_demand_clamped(61.0, 100.0),
+            p.violates_demand(61.0, 100.0).unwrap()
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! across boxes, VMs and thresholds (paper Fig. 2) and (ii) the spatial
 //! correlation structure of co-located VMs (paper Fig. 3).
 
-use atm::ticketing::characterize::{characterize_fleet, hourly_ticket_profile};
+use atm::ticketing::characterize::{characterize_fleet, hourly_ticket_profile_for_interval};
 use atm::ticketing::cooccurrence::box_co_occurrence;
 use atm::ticketing::correlation::{fleet_correlation_cdfs, CorrelationKind};
 use atm::ticketing::ticket::PAPER_THRESHOLDS;
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- beyond the paper: when do tickets fire, and do they co-occur? ---
     let policy = ThresholdPolicy::new(60.0)?;
     println!("\n== hourly CPU-ticket profile (fraction of daily tickets) ==");
-    let profile = hourly_ticket_profile(&fleet, Resource::Cpu, &policy, 96)?;
+    let profile = hourly_ticket_profile_for_interval(&fleet, Resource::Cpu, &policy)?;
     for (hour, &f) in profile.iter().enumerate() {
         let bar = "#".repeat((f * 300.0).round() as usize);
         println!("  {hour:>2}:00  {:>5.1}%  {bar}", f * 100.0);
@@ -90,8 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(j) = co.mean_jaccard() {
             jaccards.push(j);
         }
-        if co.total_tickets > 0 {
-            burstiness.push(co.burstiness());
+        if let Some(b) = co.burstiness() {
+            burstiness.push(b);
         }
     }
     if !jaccards.is_empty() {

@@ -124,7 +124,7 @@ proptest! {
         for (i, &c) in group.capacities.iter().enumerate() {
             let scan = demands
                 .iter()
-                .filter(|&&d| policy.violates_demand(d, c.max(f64::MIN_POSITIVE)))
+                .filter(|&&d| policy.violates_demand_clamped(d, c))
                 .count();
             prop_assert_eq!(group.tickets[i], scan);
         }

@@ -154,6 +154,44 @@ fn deadline_zero_walks_the_degradation_ladder() {
     handle.shutdown();
 }
 
+/// With ticket intelligence enabled in the daemon's ATM config, fresh
+/// plans feed the `tickets` stats object; cached replays do not
+/// re-count.
+#[test]
+fn stats_expose_ticket_intelligence_for_fresh_plans() {
+    let mut config = ServerConfig {
+        admission: AdmissionPolicy::new(1000.0, 100.0),
+        deterministic_time: true,
+        ..ServerConfig::default()
+    };
+    config.atm.tickets = atm_core::config::TicketsConfig::fast();
+    let handle = server::start(config).expect("daemon starts");
+    let addr = handle.addr().to_string();
+    let mut stream = connect(&addr);
+    submit_fleet(&mut stream, 3);
+
+    let plan = "{\"op\":\"get_plan\",\"id\":\"tp1\",\"box\":\"box0\",\"now_ms\":0}";
+    let v = last_json(&loadgen::query(&mut stream, plan, "tp1").unwrap());
+    assert_eq!(v["served_via"], "fresh");
+
+    // Expired deadline + warm cache: replayed, not re-scored.
+    let plan2 =
+        "{\"op\":\"get_plan\",\"id\":\"tp2\",\"box\":\"box0\",\"now_ms\":0,\"deadline_ms\":0}";
+    let v = last_json(&loadgen::query(&mut stream, plan2, "tp2").unwrap());
+    assert_eq!(v["served_via"], "cached");
+
+    let stats = "{\"op\":\"stats\",\"id\":\"ts\",\"now_ms\":0}";
+    let v = last_json(&loadgen::query(&mut stream, stats, "ts").unwrap());
+    let t = &v["tickets"];
+    assert_eq!(t["boxes_scored"], 1, "{v}");
+    assert!(
+        t["raw_tickets"].as_u64().unwrap() >= t["incidents"].as_u64().unwrap(),
+        "collapse can only deduplicate: {t}"
+    );
+    assert!(t["anomalous_boxes"].as_u64().unwrap() <= 1);
+    handle.shutdown();
+}
+
 /// Streams reject an already-expired deadline with a typed 504 (there
 /// is no degraded answer for a stream) and otherwise emit one line per
 /// window plus a final summary, honouring `max_windows`.

@@ -1,0 +1,555 @@
+//! Ticket-intelligence acceptance suite: storm collapse, robust anomaly
+//! scoring, and the chronic-offender feedback loop.
+//!
+//! Three layers:
+//!
+//! - **Properties** (proptest): collapse never invents incidents
+//!   (`incidents <= raw_tickets`, raw conserved), disjoint ticket sets
+//!   never merge into multi-VM storms under a positive Jaccard
+//!   threshold, [`StormSummary::merge`] commutes (fleet runners fold in
+//!   arbitrary order), and the robust (median/MAD) Z-score is exactly
+//!   invariant under integer shifts and power-of-two scalings — the
+//!   dyadic arithmetic makes bit-equality, not approximation, the
+//!   contract.
+//! - **Committed replay**: `tests/ticket_replays/storm_collapse.json`
+//!   pins a hand-computed collapse (two co-ticketing VMs merging across
+//!   a one-window gap, one loner, one quiet VM) down to the serialized
+//!   report.
+//! - **Fleet acceptance**: with ticket intelligence enabled, supervised
+//!   fleet reports stay byte-identical across thread counts (the
+//!   `ATM_THREADS` CI matrix, like `determinism.rs`) and across the
+//!   in-memory vs chunk-store backends; and on the churn-storm recipe
+//!   the chronic-offender feedback never loses more than the no-harm
+//!   band vs the no-feedback run.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use atm::core::actuate::{CapacityActuator, NoopActuator};
+use atm::core::config::{AtmConfig, ComputeConfig, TemporalModel, TicketsConfig};
+use atm::core::fleet::StreamConfig;
+use atm::core::storage::{ChunkStore, InMemoryStore};
+use atm::core::supervisor::{run_fleet_online_observed, run_fleet_online_streamed, FleetReport};
+use atm::core::tickets::TicketEventKind;
+use atm::obs::Obs;
+use atm::ticketing::anomaly::{anomaly_score, robust_zscores, AnomalyConfig};
+use atm::ticketing::storm::{collapse_from_sets, StormConfig, StormSummary};
+use atm::tracegen::chunk::ChunkWriter;
+use atm::tracegen::{generate_box, BoxTrace, FleetConfig, ScenarioKind, ScenarioPlan};
+use proptest::prelude::*;
+
+/// Windows per day at the generator's 15-minute sampling interval.
+const WPD: usize = 96;
+
+/// Proptest case count: `default`, rescaled by `ATM_PROPTEST_CASES`
+/// relative to proptest's own default of 256 (the nightly deep run sets
+/// 1024, i.e. 4x cases for every suite).
+fn proptest_cases(default: u32) -> u32 {
+    match std::env::var("ATM_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        Some(n) => ((default as u64 * n) / 256).max(1) as u32,
+        None => default,
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("atm-tickets-{}-{tag}.chunk", std::process::id()));
+    p
+}
+
+/// The thread count for the "parallel" legs: `ATM_THREADS` when set
+/// (the CI matrix), 8 otherwise.
+fn parallel_threads() -> usize {
+    ComputeConfig::default().with_env_threads().threads.max(2)
+}
+
+fn noop(_: usize, _: &BoxTrace) -> Box<dyn CapacityActuator + Send> {
+    Box::<NoopActuator>::default()
+}
+
+fn fleet_bytes(report: &FleetReport) -> String {
+    serde_json::to_string(report).expect("fleet report serializes")
+}
+
+/// Oracle-temporal config with ticket intelligence on or off; the
+/// oracle keeps the online legs cheap and the resizing signal clean.
+fn tickets_config(enabled: bool) -> AtmConfig {
+    let mut config = AtmConfig {
+        temporal: TemporalModel::Oracle,
+        ..AtmConfig::fast_for_tests()
+    };
+    if enabled {
+        config.tickets = TicketsConfig::fast();
+    }
+    config
+}
+
+/// A storm fleet: the scenario recipe (smooth 8-VM boxes, two hot CPU
+/// VMs capped just under the ticket threshold, so every ticket is
+/// attributable to the storm) with the given scenario applied mid-eval.
+fn scenario_boxes(
+    kind: ScenarioKind,
+    n: usize,
+    days: usize,
+    onset: usize,
+    seed: u64,
+) -> Vec<BoxTrace> {
+    (0..n)
+        .map(|i| {
+            let box_seed = seed.wrapping_add(i as u64);
+            let mut b = generate_box(
+                &FleetConfig {
+                    days,
+                    seed: box_seed,
+                    vm_count_range: (8, 8),
+                    hot_cpu_vm_probabilities: [0.0, 0.0, 1.0],
+                    hot_ram_probability: 0.0,
+                    hot_cpu_max_usage_pct: 55.0,
+                    ..FleetConfig::smooth(1)
+                },
+                0,
+            );
+            b.name = format!("storm-{i:04}");
+            ScenarioPlan::new(kind, box_seed, onset)
+                .apply_box(&mut b, 0)
+                .expect("scenario applies");
+            b
+        })
+        .collect()
+}
+
+/// The churn-storm fleet most tests use.
+fn storm_boxes(n: usize, days: usize, onset: usize, seed: u64) -> Vec<BoxTrace> {
+    scenario_boxes(ScenarioKind::ChurnStorm, n, days, onset, seed)
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+fn vm_window_sets() -> impl Strategy<Value = Vec<BTreeSet<usize>>> {
+    prop::collection::vec(prop::collection::btree_set(0usize..200, 0..30), 1..6)
+}
+
+fn storm_config() -> impl Strategy<Value = StormConfig> {
+    (0.0f64..=1.0, 0usize..5).prop_map(|(jaccard_threshold, max_gap_windows)| StormConfig {
+        jaccard_threshold,
+        max_gap_windows,
+    })
+}
+
+fn summaries() -> impl Strategy<Value = StormSummary> {
+    (0usize..1000, 0usize..1000, 0usize..100, 0usize..100).prop_map(
+        |(raw_tickets, incidents, multi_vm_storms, max_storm_tickets)| StormSummary {
+            raw_tickets,
+            incidents,
+            multi_vm_storms,
+            max_storm_tickets,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(64)))]
+
+    /// Collapse conserves raw tickets and never invents incidents:
+    /// every storm carries at least one ticket, so `incidents <=
+    /// raw_tickets`, and the collapse ratio is at least 1 whenever
+    /// anything ticketed.
+    #[test]
+    fn collapse_never_inflates(sets in vm_window_sets(), config in storm_config()) {
+        let report = collapse_from_sets(&sets, &config).expect("valid config");
+        let raw: usize = sets.iter().map(BTreeSet::len).sum();
+        prop_assert_eq!(report.raw_tickets, raw);
+        prop_assert!(report.incidents() <= report.raw_tickets);
+        prop_assert_eq!(
+            report.raw_tickets,
+            report.storms.iter().map(|s| s.tickets).sum::<usize>()
+        );
+        for storm in &report.storms {
+            prop_assert!(storm.tickets >= 1);
+            prop_assert!(!storm.vms.is_empty());
+            prop_assert!(storm.start_window <= storm.end_window);
+        }
+        if let Some(ratio) = report.collapse_ratio() {
+            prop_assert!(ratio >= 1.0);
+        } else {
+            prop_assert_eq!(report.raw_tickets, 0);
+        }
+        let summary = report.summary();
+        prop_assert_eq!(summary.raw_tickets, report.raw_tickets);
+        prop_assert_eq!(summary.incidents, report.incidents());
+        prop_assert_eq!(
+            summary.multi_vm_storms,
+            report.storms.iter().filter(|s| s.vms.len() > 1).count()
+        );
+    }
+
+    /// Pairwise-disjoint ticket sets have Jaccard 0 on every pair, so
+    /// any positive threshold keeps every VM in its own correlated
+    /// group: no multi-VM storms, one group per ticketing VM.
+    #[test]
+    fn disjoint_sets_stay_singleton_storms(
+        per_vm in prop::collection::vec(prop::collection::btree_set(0usize..40, 0..10), 1..6),
+        jaccard in 0.05f64..=1.0,
+        max_gap in 0usize..5,
+    ) {
+        let n = per_vm.len();
+        // Residue classes modulo the VM count make the sets disjoint.
+        let sets: Vec<BTreeSet<usize>> = per_vm
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.iter().map(|w| w * n + i).collect())
+            .collect();
+        let config = StormConfig { jaccard_threshold: jaccard, max_gap_windows: max_gap };
+        let report = collapse_from_sets(&sets, &config).expect("valid config");
+        prop_assert_eq!(report.summary().multi_vm_storms, 0);
+        for storm in &report.storms {
+            prop_assert_eq!(storm.vms.len(), 1);
+        }
+        prop_assert_eq!(
+            report.correlated_groups,
+            sets.iter().filter(|s| !s.is_empty()).count()
+        );
+    }
+
+    /// `StormSummary::merge` commutes — fleet runners fold per-box
+    /// digests in whatever order boxes complete.
+    #[test]
+    fn summary_merge_commutes(a in summaries(), b in summaries(), c in summaries()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// The robust Z-score is *exactly* shift- and scale-invariant on
+    /// dyadic inputs: integer shifts and power-of-two scalings keep
+    /// every intermediate (median, deviations, MAD) exact in binary
+    /// floating point, so the scores must match bit for bit.
+    #[test]
+    fn robust_zscores_shift_and_scale_invariant(
+        values in prop::collection::vec(0u32..200u32, 1..20),
+        shift in -50i32..50,
+        scale in prop::sample::select(vec![0.25f64, 0.5, 2.0, 4.0, 8.0]),
+    ) {
+        let base: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let z = robust_zscores(&base).expect("finite input");
+
+        let shifted: Vec<f64> = base.iter().map(|v| v + shift as f64).collect();
+        prop_assert_eq!(&z, &robust_zscores(&shifted).expect("finite input"));
+
+        let scaled: Vec<f64> = base.iter().map(|v| v * scale).collect();
+        prop_assert_eq!(&z, &robust_zscores(&scaled).expect("finite input"));
+    }
+
+    /// Anomaly scoring depends only on inter-ticket gaps, so shifting
+    /// every ticket-window index by a constant changes nothing.
+    #[test]
+    fn anomaly_score_is_translation_invariant(
+        windows in prop::collection::btree_set(0usize..500, 0..40),
+        offset in 0usize..1000,
+        min_delays in 1usize..8,
+        recent_delays in 1usize..5,
+    ) {
+        let config = AnomalyConfig { min_delays, recent_delays, ..AnomalyConfig::default() };
+        let windows: Vec<usize> = windows.into_iter().collect();
+        let shifted: Vec<usize> = windows.iter().map(|w| w + offset).collect();
+        prop_assert_eq!(
+            anomaly_score(&windows, &config).expect("valid config"),
+            anomaly_score(&shifted, &config).expect("valid config")
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Committed replay
+// ---------------------------------------------------------------------
+
+/// Replays the committed hand-computed collapse: the serialized
+/// [`StormReport`](atm::ticketing::StormReport) must match the committed
+/// expectation value-for-value.
+#[test]
+fn committed_storm_collapse_replay() {
+    let text = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/ticket_replays/storm_collapse.json"
+    ));
+    let v: serde_json::Value = serde_json::from_str(text).expect("replay json parses");
+    assert_eq!(
+        v["schema_version"].as_u64(),
+        Some(1),
+        "unknown replay schema"
+    );
+    let config = StormConfig {
+        jaccard_threshold: v["config"]["jaccard_threshold"]
+            .as_f64()
+            .expect("jaccard_threshold"),
+        max_gap_windows: v["config"]["max_gap_windows"]
+            .as_u64()
+            .expect("max_gap_windows") as usize,
+    };
+    let sets: Vec<BTreeSet<usize>> = v["sets"]
+        .as_array()
+        .expect("sets array")
+        .iter()
+        .map(|s| {
+            s.as_array()
+                .expect("set array")
+                .iter()
+                .map(|w| w.as_u64().expect("window index") as usize)
+                .collect()
+        })
+        .collect();
+
+    let report = collapse_from_sets(&sets, &config).expect("valid committed config");
+    assert_eq!(
+        serde_json::to_value(&report).expect("report serializes"),
+        v["expected"],
+        "collapse diverged from the committed replay"
+    );
+    assert_eq!(report.incidents(), 2);
+    assert_eq!(report.collapse_ratio(), Some(3.5));
+}
+
+// ---------------------------------------------------------------------
+// Fleet acceptance
+// ---------------------------------------------------------------------
+
+/// With ticket intelligence enabled (priority-weighted claim order and
+/// all), supervised fleet reports must serialize byte-identically at 1
+/// thread and at the `ATM_THREADS` matrix count, and through the
+/// in-memory vs chunk-store streamed backends.
+#[test]
+fn ticketed_fleet_reports_are_byte_identical_across_threads_and_backends() {
+    let boxes = storm_boxes(4, 5, 2 * WPD + WPD / 2, 0xB07_57AB);
+    let config = tickets_config(true);
+
+    let seq = run_fleet_online_observed(&boxes, &config, None, 1, noop, &Obs::disabled());
+    let par = run_fleet_online_observed(
+        &boxes,
+        &config,
+        None,
+        parallel_threads(),
+        noop,
+        &Obs::disabled(),
+    );
+    assert_eq!(seq.completed(), boxes.len());
+    assert_eq!(
+        fleet_bytes(&seq),
+        fleet_bytes(&par),
+        "thread count changed supervised report bytes"
+    );
+
+    let path = tmp("backend");
+    let mut w = ChunkWriter::create(&path).unwrap();
+    for b in &boxes {
+        w.append_box(b).unwrap();
+    }
+    w.finish().unwrap();
+    let stream = StreamConfig {
+        threads: parallel_threads(),
+        memory_budget_bytes: 0,
+    };
+    let mem = run_fleet_online_streamed(
+        &InMemoryStore::new(&boxes),
+        &config,
+        None,
+        &stream,
+        noop,
+        &Obs::disabled(),
+    );
+    let store = ChunkStore::open(&path).unwrap();
+    let chunk = run_fleet_online_streamed(&store, &config, None, &stream, noop, &Obs::disabled());
+    drop(store);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        fleet_bytes(&mem),
+        fleet_bytes(&chunk),
+        "storage backend changed supervised report bytes"
+    );
+}
+
+/// The chronic-offender feedback contract on the churn-storm recipe:
+/// enabling ticket intelligence never loses more than the no-harm band
+/// vs the no-feedback run, and every per-box feedback report satisfies
+/// the state-machine invariants (scored >= anomalous, events alternate
+/// declared/cleared starting with a declaration).
+#[test]
+fn chronic_feedback_stays_within_the_no_harm_band_on_churn_storm() {
+    let boxes = storm_boxes(3, 5, 2 * WPD + WPD / 2, 0xC4A0_5700);
+
+    let totals = |report: &FleetReport| -> (usize, usize) {
+        report
+            .boxes
+            .iter()
+            .filter_map(|b| b.report.as_ref())
+            .fold((0, 0), |(before, after), r| {
+                (before + r.total_before(), after + r.total_after())
+            })
+    };
+    let disabled = run_fleet_online_observed(
+        &boxes,
+        &tickets_config(false),
+        None,
+        1,
+        noop,
+        &Obs::disabled(),
+    );
+    let enabled = run_fleet_online_observed(
+        &boxes,
+        &tickets_config(true),
+        None,
+        1,
+        noop,
+        &Obs::disabled(),
+    );
+    assert_eq!(disabled.completed(), boxes.len());
+    assert_eq!(enabled.completed(), boxes.len());
+
+    let (before, after_plain) = totals(&disabled);
+    let (before_fed, after_fed) = totals(&enabled);
+    assert_eq!(
+        before, before_fed,
+        "feedback must never change pre-resize ticket accounting"
+    );
+    // The no-harm band: feedback may cost at most 5% of the raw ticket
+    // volume (one ticket minimum so a near-zero storm cannot flake).
+    let slack = (before / 20).max(1);
+    assert!(
+        after_fed <= after_plain + slack,
+        "chronic feedback lost tickets vs the no-feedback run: {after_fed} > {after_plain} + {slack}"
+    );
+
+    for run in &enabled.boxes {
+        let tickets = &run.report.as_ref().expect("completed box").tickets;
+        assert!(tickets.windows_anomalous <= tickets.windows_scored);
+        assert!(tickets.events.len() <= tickets.windows_anomalous.max(1) * 2);
+        for (i, event) in tickets.events.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                TicketEventKind::ChronicDeclared
+            } else {
+                TicketEventKind::ChronicCleared
+            };
+            assert_eq!(
+                event.kind, expected,
+                "chronic events must alternate starting with a declaration"
+            );
+        }
+        if tickets.chronic_windows > 0 {
+            assert!(
+                !tickets
+                    .events_of(TicketEventKind::ChronicDeclared)
+                    .is_empty(),
+                "chronic windows require a declaration event"
+            );
+        }
+    }
+
+    // Feedback-off runs must keep the pre-tickets byte layout: no
+    // `tickets` key anywhere in the serialized fleet report.
+    assert!(
+        !fleet_bytes(&disabled).contains("\"windows_scored\""),
+        "disabled runs must not serialize ticket feedback"
+    );
+}
+
+/// Nightly storm soak, gated behind `ATM_STORM_SOAK` like the long-drift
+/// leg in `scenarios.rs`: a bigger, longer fleet under both
+/// correlated-storm generators (VM churn storm and correlated failure),
+/// holding the full ticket-intelligence contract — thread byte-identity,
+/// pre-resize accounting unchanged by feedback, the no-harm band, and
+/// the storm-collapse invariant on every box's pipeline digest.
+#[test]
+fn storm_soak_holds_ticket_contract_across_generators() {
+    if std::env::var("ATM_STORM_SOAK").is_err() {
+        return;
+    }
+    for (kind, seed) in [
+        (ScenarioKind::ChurnStorm, 0x50A_0001u64),
+        (ScenarioKind::CorrelatedFailure, 0x50A_0002u64),
+    ] {
+        let boxes = scenario_boxes(kind, 8, 8, 3 * WPD, seed);
+        let enabled = run_fleet_online_observed(
+            &boxes,
+            &tickets_config(true),
+            None,
+            1,
+            noop,
+            &Obs::disabled(),
+        );
+        let par = run_fleet_online_observed(
+            &boxes,
+            &tickets_config(true),
+            None,
+            parallel_threads(),
+            noop,
+            &Obs::disabled(),
+        );
+        assert_eq!(enabled.completed(), boxes.len(), "{}", kind.name());
+        assert_eq!(
+            fleet_bytes(&enabled),
+            fleet_bytes(&par),
+            "{}: thread count changed soak report bytes",
+            kind.name()
+        );
+        let disabled = run_fleet_online_observed(
+            &boxes,
+            &tickets_config(false),
+            None,
+            parallel_threads(),
+            noop,
+            &Obs::disabled(),
+        );
+        let sum = |report: &FleetReport, after: bool| -> usize {
+            report
+                .boxes
+                .iter()
+                .filter_map(|b| b.report.as_ref())
+                .map(|r| {
+                    if after {
+                        r.total_after()
+                    } else {
+                        r.total_before()
+                    }
+                })
+                .sum()
+        };
+        assert_eq!(
+            sum(&disabled, false),
+            sum(&enabled, false),
+            "{}: feedback changed pre-resize accounting",
+            kind.name()
+        );
+        let slack = (sum(&disabled, false) / 20).max(1);
+        assert!(
+            sum(&enabled, true) <= sum(&disabled, true) + slack,
+            "{}: feedback left the no-harm band",
+            kind.name()
+        );
+
+        // Every box's pipeline digest must satisfy the collapse
+        // invariant under soak load too.
+        for b in &boxes {
+            let report = atm::core::pipeline::run_box(b, &tickets_config(true)).expect("pipeline");
+            let digest = report.tickets.expect("tickets section when enabled");
+            assert!(
+                digest.incidents() <= digest.raw_tickets(),
+                "{}: collapse invented incidents",
+                kind.name()
+            );
+        }
+    }
+}
